@@ -1,0 +1,65 @@
+// Experiment C5 — discovery-cost amortization.
+//
+// The paper: "metadata discovery and registration only occurs at stream
+// subscription time or when metadata changes... the associated costs do not
+// recur with each message exchange... amortized across the entire set of
+// messages sent using a particular metadata format."
+//
+// Each benchmark measures discover+register+send-N-messages as one unit;
+// items/sec therefore reflects the per-message cost *including* the one-time
+// discovery. As N grows, xml2wire converges to the compiled-in rate.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "core/xml2wire.hpp"
+#include "pbio/encode.hpp"
+
+namespace {
+
+using namespace omf;
+using namespace omf::bench;
+
+void send_n(const pbio::Format& format, const Payload& p, Buffer& wire,
+            std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) {
+    wire.clear();
+    pbio::encode(format, &p, wire);
+    benchmark::DoNotOptimize(wire.data());
+  }
+}
+
+void BM_CompiledIn_Then_N_Messages(benchmark::State& state) {
+  Payload p;
+  std::vector<double> storage;
+  fill_payload(p, storage, 64);
+  auto fields = payload_fields();
+  Buffer wire;
+  for (auto _ : state) {
+    pbio::FormatRegistry reg;
+    auto f = reg.register_format("Payload", fields, sizeof(Payload));
+    send_n(*f, p, wire, state.range(0));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CompiledIn_Then_N_Messages)
+    ->Arg(1)->Arg(10)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_Xml2Wire_Then_N_Messages(benchmark::State& state) {
+  Payload p;
+  std::vector<double> storage;
+  fill_payload(p, storage, 64);
+  Buffer wire;
+  for (auto _ : state) {
+    pbio::FormatRegistry reg;
+    core::Xml2Wire x2w(reg);
+    auto f = x2w.register_text(kPayloadSchema)[0];
+    send_n(*f, p, wire, state.range(0));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Xml2Wire_Then_N_Messages)
+    ->Arg(1)->Arg(10)->Arg(100)->Arg(1000)->Arg(10000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

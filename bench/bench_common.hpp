@@ -1,0 +1,58 @@
+// Shared benchmark workloads.
+//
+// Reuses the paper's Appendix A structures (via tests/test_structs.hpp) and
+// adds a parameterizable bulk-payload message for size sweeps: a tagged
+// block of doubles, the shape of the scientific-data streams the paper's
+// introduction motivates (atmospheric volumes, chemical concentrations).
+#pragma once
+
+#include <vector>
+
+#include "pbio/format.hpp"
+#include "test_structs.hpp"
+
+namespace omf::bench {
+
+/// Bulk payload: `count` doubles plus a routing tag.
+struct Payload {
+  char* tag;
+  int count;
+  double* values;
+};
+
+inline std::vector<pbio::IOField> payload_fields() {
+  return {
+      {"tag", "string", sizeof(char*), offsetof(Payload, tag)},
+      {"count", "integer", sizeof(int), offsetof(Payload, count)},
+      {"values", "float[count]", sizeof(double), offsetof(Payload, values)},
+  };
+}
+
+inline const char* kPayloadSchema = R"(<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:complexType name="Payload">
+    <xsd:element name="tag" type="xsd:string" />
+    <xsd:element name="count" type="xsd:int" />
+    <xsd:element name="values" type="xsd:double" maxOccurs="count" />
+  </xsd:complexType>
+</xsd:schema>
+)";
+
+/// Fills a payload backed by `storage` (resized to `count`).
+inline void fill_payload(Payload& p, std::vector<double>& storage,
+                         int count) {
+  storage.resize(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    storage[static_cast<std::size_t>(i)] = 1.0 / (i + 2);
+  }
+  p.tag = const_cast<char*>("atmos.ozone.ppb");
+  p.count = count;
+  p.values = count > 0 ? storage.data() : nullptr;
+}
+
+/// Logical bytes of application data in a payload message (for MB/s rates).
+inline std::size_t payload_bytes(int count) {
+  return sizeof(Payload) + static_cast<std::size_t>(count) * sizeof(double);
+}
+
+}  // namespace omf::bench

@@ -1,0 +1,174 @@
+// Experiment C4 — end-to-end latency between two endpoints.
+//
+// The paper promised (for the final version) "measurements of end-to-end
+// latency of communication between two endpoints... the overhead introduced
+// by using XML-based metadata is negligible in the context of the total
+// transmission time."
+//
+// Measured here: request/response round trips over TCP loopback and over
+// the in-process backbone queue, with the message marshaled by NDR, XDR,
+// and text-XML — plus the one-time cost of HTTP discovery + registration,
+// for comparison against a single message exchange.
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "bench_common.hpp"
+#include "cdr/cdr.hpp"
+#include "core/context.hpp"
+#include "http/http.hpp"
+#include "pbio/decode.hpp"
+#include "pbio/encode.hpp"
+#include "textxml/textxml.hpp"
+#include "transport/queue.hpp"
+#include "transport/tcp.hpp"
+#include "xdr/xdr.hpp"
+
+namespace {
+
+using namespace omf;
+using namespace omf::bench;
+
+enum class Codec { kNdr, kXdr, kCdr, kTextXml };
+
+/// Echo server + client ping-pong; each iteration is one full round trip
+/// (encode, send, server decode+re-encode, receive, decode).
+void tcp_round_trip(benchmark::State& state, Codec codec) {
+  pbio::FormatRegistry reg;
+  auto f = reg.register_format("Payload", payload_fields(), sizeof(Payload));
+  Payload p;
+  std::vector<double> storage;
+  fill_payload(p, storage, static_cast<int>(state.range(0)));
+
+  transport::TcpListener listener(0);
+  std::thread server([&] {
+    auto conn = listener.accept();
+    pbio::Decoder dec(reg);
+    Payload echo{};
+    pbio::DecodeArena arena;
+    Buffer out;
+    while (auto msg = conn.receive()) {
+      arena.clear();
+      out.clear();
+      switch (codec) {
+        case Codec::kNdr:
+          dec.decode(msg->span(), *f, &echo, arena);
+          pbio::encode(*f, &echo, out);
+          break;
+        case Codec::kXdr:
+          xdr::decode(*f, msg->span(), &echo, arena);
+          xdr::encode(*f, &echo, out);
+          break;
+        case Codec::kCdr:
+          cdr::decode(*f, msg->span(), &echo, arena);
+          cdr::encode(*f, &echo, out);
+          break;
+        case Codec::kTextXml:
+          textxml::decode(*f, msg->span(), &echo, arena);
+          textxml::encode(*f, &echo, out);
+          break;
+      }
+      conn.send(out);
+    }
+  });
+
+  {
+    auto conn = transport::tcp_connect(listener.port());
+    pbio::Decoder dec(reg);
+    Payload got{};
+    pbio::DecodeArena arena;
+    Buffer out;
+    for (auto _ : state) {
+      arena.clear();
+      out.clear();
+      switch (codec) {
+        case Codec::kNdr: pbio::encode(*f, &p, out); break;
+        case Codec::kXdr: xdr::encode(*f, &p, out); break;
+        case Codec::kCdr: cdr::encode(*f, &p, out); break;
+        case Codec::kTextXml: textxml::encode(*f, &p, out); break;
+      }
+      conn.send(out);
+      auto reply = conn.receive();
+      switch (codec) {
+        case Codec::kNdr:
+          dec.decode(reply->span(), *f, &got, arena);
+          break;
+        case Codec::kXdr:
+          xdr::decode(*f, reply->span(), &got, arena);
+          break;
+        case Codec::kCdr:
+          cdr::decode(*f, reply->span(), &got, arena);
+          break;
+        case Codec::kTextXml:
+          textxml::decode(*f, reply->span(), &got, arena);
+          break;
+      }
+      benchmark::DoNotOptimize(got.values);
+    }
+  }  // closes the connection; server loop ends
+  server.join();
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_TcpRoundTrip_NDR(benchmark::State& state) {
+  tcp_round_trip(state, Codec::kNdr);
+}
+BENCHMARK(BM_TcpRoundTrip_NDR)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_TcpRoundTrip_XDR(benchmark::State& state) {
+  tcp_round_trip(state, Codec::kXdr);
+}
+BENCHMARK(BM_TcpRoundTrip_XDR)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_TcpRoundTrip_CDR(benchmark::State& state) {
+  tcp_round_trip(state, Codec::kCdr);
+}
+BENCHMARK(BM_TcpRoundTrip_CDR)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_TcpRoundTrip_TextXml(benchmark::State& state) {
+  tcp_round_trip(state, Codec::kTextXml);
+}
+BENCHMARK(BM_TcpRoundTrip_TextXml)->Arg(16)->Arg(256)->Arg(4096);
+
+/// In-process backbone delivery: publish + receive + decode.
+void BM_Backbone_NDR(benchmark::State& state) {
+  pbio::FormatRegistry reg;
+  auto f = reg.register_format("Payload", payload_fields(), sizeof(Payload));
+  Payload p;
+  std::vector<double> storage;
+  fill_payload(p, storage, static_cast<int>(state.range(0)));
+
+  transport::MessageQueue queue;
+  pbio::Decoder dec(reg);
+  Payload got{};
+  pbio::DecodeArena arena;
+  for (auto _ : state) {
+    queue.push(pbio::encode(*f, &p));
+    auto msg = queue.pop();
+    arena.clear();
+    dec.decode(msg->span(), *f, &got, arena);
+    benchmark::DoNotOptimize(got.values);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Backbone_NDR)->Arg(16)->Arg(256)->Arg(4096);
+
+/// The one-time cost a subscriber pays when it first joins a stream:
+/// HTTP fetch of the metadata document + parse + registration + binding.
+/// Compare one of these against thousands of the message costs above.
+void BM_Discovery_HttpFetchAndRegister(benchmark::State& state) {
+  http::Server server;
+  server.put_document("/payload.xml", kPayloadSchema);
+  std::string url = server.url_for("/payload.xml");
+  for (auto _ : state) {
+    core::Context ctx;
+    auto format = ctx.discover_format(url, "Payload");
+    benchmark::DoNotOptimize(ctx.bind_dynamic(format));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Discovery_HttpFetchAndRegister);
+
+}  // namespace
+
+BENCHMARK_MAIN();

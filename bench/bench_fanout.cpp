@@ -1,0 +1,113 @@
+// Experiment C7 (motivation) — server fan-out scalability.
+//
+// The paper's introduction motivates binary transmission with "scalability
+// to many information clients and sources implies the need to reduce
+// per-client or per-source processing and transmission requirements" and
+// "server-based applications in which single servers must provide
+// information to large numbers of clients."
+//
+// Measured: the publisher-side cost of delivering one event to N
+// subscribers. NDR encodes once and fans the same bytes out; a text-XML
+// server pays the ASCII conversion in the same loop. The per-client gap is
+// what caps a server's client count.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "pbio/encode.hpp"
+#include "textxml/textxml.hpp"
+#include "transport/backbone.hpp"
+
+namespace {
+
+using namespace omf;
+using namespace omf::bench;
+
+constexpr int kValues = 128;
+
+void drain_all(std::vector<transport::EventBackbone::Subscription>& subs) {
+  for (auto& s : subs) {
+    while (s.try_receive()) {
+    }
+  }
+}
+
+void BM_Fanout_NDR(benchmark::State& state) {
+  pbio::FormatRegistry reg;
+  auto f = reg.register_format("Payload", payload_fields(), sizeof(Payload));
+  Payload p;
+  std::vector<double> storage;
+  fill_payload(p, storage, kValues);
+
+  transport::EventBackbone backbone;
+  std::vector<transport::EventBackbone::Subscription> subs;
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    subs.push_back(backbone.subscribe("bulk"));
+  }
+
+  Buffer wire;
+  for (auto _ : state) {
+    wire.clear();
+    pbio::encode(*f, &p, wire);  // encode ONCE
+    backbone.publish("bulk", wire);
+    drain_all(subs);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Fanout_NDR)->Arg(1)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_Fanout_TextXml(benchmark::State& state) {
+  pbio::FormatRegistry reg;
+  auto f = reg.register_format("Payload", payload_fields(), sizeof(Payload));
+  Payload p;
+  std::vector<double> storage;
+  fill_payload(p, storage, kValues);
+
+  transport::EventBackbone backbone;
+  std::vector<transport::EventBackbone::Subscription> subs;
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    subs.push_back(backbone.subscribe("bulk"));
+  }
+
+  Buffer wire;
+  for (auto _ : state) {
+    wire.clear();
+    textxml::encode(*f, &p, wire);
+    backbone.publish("bulk", wire);
+    drain_all(subs);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Fanout_TextXml)->Arg(1)->Arg(8)->Arg(64)->Arg(256);
+
+// The gateway variant: a broker re-encoding per client (e.g. per-client
+// format scoping done by re-marshaling) pays the codec N times. This
+// bounds how expensive any per-client transformation is allowed to be.
+void BM_Fanout_NDR_ReencodePerClient(benchmark::State& state) {
+  pbio::FormatRegistry reg;
+  auto f = reg.register_format("Payload", payload_fields(), sizeof(Payload));
+  Payload p;
+  std::vector<double> storage;
+  fill_payload(p, storage, kValues);
+
+  transport::EventBackbone backbone;
+  std::vector<transport::EventBackbone::Subscription> subs;
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    subs.push_back(backbone.subscribe("bulk"));
+  }
+
+  Buffer wire;
+  for (auto _ : state) {
+    for (std::int64_t i = 0; i < state.range(0); ++i) {
+      wire.clear();
+      pbio::encode(*f, &p, wire);  // once per client
+    }
+    backbone.publish("bulk", wire);
+    drain_all(subs);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Fanout_NDR_ReencodePerClient)->Arg(1)->Arg(8)->Arg(64)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,141 @@
+// Experiment C6 (ablation) — receiver-side conversion cost by sender
+// architecture, and what conversion-plan machinery buys.
+//
+// NDR moves all conversion work to the receiver, and only when needed:
+//   * homogeneous sender  -> coalesced block copy (or zero-copy in place)
+//   * big-endian sender   -> per-field byte swap
+//   * 32-bit sender       -> width changes + offset remapping
+//
+// Two ablations quantify the "compile once, run per message" design:
+//   * coalescing off      -> field-at-a-time ops even when copyable
+//   * no plan cache       -> plan rebuilt for every message (what a naive
+//                            implementation that re-derives conversion per
+//                            message would pay; the stand-in for PBIO's
+//                            dynamic-code-generation amortization argument)
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "core/xml2wire.hpp"
+#include "pbio/decode.hpp"
+#include "pbio/record.hpp"
+#include "pbio/synth.hpp"
+
+namespace {
+
+using namespace omf;
+using namespace omf::bench;
+
+constexpr int kValues = 256;  // doubles per message
+
+struct Setup {
+  pbio::FormatRegistry registry;
+  pbio::FormatHandle native_format;
+  pbio::FormatHandle sender_format;
+  Buffer wire;
+
+  explicit Setup(const std::string& sender_profile) {
+    core::Xml2Wire native_side(registry, arch::native());
+    native_format = native_side.register_text(kPayloadSchema)[0];
+    core::Xml2Wire sender_side(registry,
+                               arch::profile_by_name(sender_profile));
+    sender_format = sender_side.register_text(kPayloadSchema)[0];
+
+    pbio::DynamicRecord rec(native_format);
+    rec.set_string("tag", "atmos.ozone.ppb");
+    std::vector<double> vals(kValues);
+    for (int i = 0; i < kValues; ++i) vals[i] = 0.25 * i;
+    rec.set_float_array("values", vals);
+    wire = pbio::synthesize_wire(*sender_format, rec);
+  }
+};
+
+void decode_loop(benchmark::State& state, Setup& setup, bool coalesce) {
+  pbio::Decoder dec(setup.registry, coalesce);
+  pbio::DynamicRecord out(setup.native_format);
+  // Prime the plan cache; steady-state receive is what we measure.
+  out.from_wire(dec, setup.wire.span());
+  for (auto _ : state) {
+    out.from_wire(dec, setup.wire.span());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(payload_bytes(kValues)));
+}
+
+void BM_Receive_From_x86_64(benchmark::State& state) {
+  Setup setup("x86_64");  // identical ABI: the homogeneous fast path
+  decode_loop(state, setup, true);
+}
+BENCHMARK(BM_Receive_From_x86_64);
+
+void BM_Receive_From_sparc64(benchmark::State& state) {
+  Setup setup("sparc64");  // byte swap only (same widths)
+  decode_loop(state, setup, true);
+}
+BENCHMARK(BM_Receive_From_sparc64);
+
+void BM_Receive_From_i386(benchmark::State& state) {
+  Setup setup("i386");  // width + layout remap, no swap
+  decode_loop(state, setup, true);
+}
+BENCHMARK(BM_Receive_From_i386);
+
+void BM_Receive_From_sparc32(benchmark::State& state) {
+  Setup setup("sparc32");  // swap AND remap: the worst case
+  decode_loop(state, setup, true);
+}
+BENCHMARK(BM_Receive_From_sparc32);
+
+// --- Ablation 1: block-copy coalescing off ------------------------------------
+
+void BM_Receive_Homogeneous_NoCoalescing(benchmark::State& state) {
+  Setup setup("x86_64");
+  decode_loop(state, setup, false);
+}
+BENCHMARK(BM_Receive_Homogeneous_NoCoalescing);
+
+// --- Ablation 2: plan rebuilt per message ---------------------------------------
+
+void BM_Receive_sparc64_PlanRebuiltPerMessage(benchmark::State& state) {
+  Setup setup("sparc64");
+  pbio::DynamicRecord out(setup.native_format);
+  pbio::DecodeArena arena;
+  for (auto _ : state) {
+    auto plan = pbio::ConversionPlan::build(setup.sender_format,
+                                            setup.native_format);
+    arena.clear();
+    BufferReader in(setup.wire);
+    pbio::WireHeader header = pbio::WireHeader::read(in);
+    const std::uint8_t* body = in.read_bytes(header.body_length);
+    plan->execute(body, header.body_length, body,
+                  static_cast<std::uint8_t*>(out.data()), arena);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(payload_bytes(kValues)));
+}
+BENCHMARK(BM_Receive_sparc64_PlanRebuiltPerMessage);
+
+// --- For scale: plan compilation cost itself -------------------------------------
+
+void BM_CompilePlan_Homogeneous(benchmark::State& state) {
+  Setup setup("x86_64");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pbio::ConversionPlan::build(
+        setup.sender_format, setup.native_format));
+  }
+}
+BENCHMARK(BM_CompilePlan_Homogeneous);
+
+void BM_CompilePlan_Heterogeneous(benchmark::State& state) {
+  Setup setup("sparc32");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pbio::ConversionPlan::build(
+        setup.sender_format, setup.native_format));
+  }
+}
+BENCHMARK(BM_CompilePlan_Heterogeneous);
+
+}  // namespace
+
+BENCHMARK_MAIN();

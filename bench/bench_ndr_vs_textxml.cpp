@@ -1,0 +1,150 @@
+// Experiment C2 — NDR vs XML-as-wire-format processing cost.
+//
+// The paper: "when transmitting XML data, our NDR-based approach to data
+// transmission demonstrates performance an entire order of magnitude larger
+// than existing, text-based XML transmission approaches."
+//
+// Both sides carry the same logical message; the text path pays
+// binary→ASCII printing, a full XML parse, and ASCII→binary conversion.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "pbio/decode.hpp"
+#include "pbio/encode.hpp"
+#include "textxml/textxml.hpp"
+
+namespace {
+
+using namespace omf;
+using namespace omf::bench;
+using namespace omf::testing;
+
+pbio::FormatRegistry& registry() {
+  static pbio::FormatRegistry* reg = [] {
+    auto* r = new pbio::FormatRegistry();
+    r->register_format("Payload", payload_fields(), sizeof(Payload));
+    r->register_format("ASDOffEvent", asdoff_fields(), sizeof(AsdOff));
+    return r;
+  }();
+  return *reg;
+}
+
+void BM_Encode_TextXml_Payload(benchmark::State& state) {
+  auto f = registry().by_name("Payload");
+  Payload p;
+  std::vector<double> storage;
+  fill_payload(p, storage, static_cast<int>(state.range(0)));
+  Buffer out;
+  for (auto _ : state) {
+    out.clear();
+    textxml::encode(*f, &p, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(payload_bytes(p.count)));
+}
+BENCHMARK(BM_Encode_TextXml_Payload)->Range(8, 8192);
+
+void BM_Decode_TextXml_Payload(benchmark::State& state) {
+  auto f = registry().by_name("Payload");
+  Payload p;
+  std::vector<double> storage;
+  fill_payload(p, storage, static_cast<int>(state.range(0)));
+  Buffer wire;
+  textxml::encode(*f, &p, wire);
+
+  Payload out{};
+  pbio::DecodeArena arena;
+  for (auto _ : state) {
+    arena.clear();
+    textxml::decode(*f, wire.span(), &out, arena);
+    benchmark::DoNotOptimize(out.values);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(payload_bytes(p.count)));
+}
+BENCHMARK(BM_Decode_TextXml_Payload)->Range(8, 8192);
+
+void BM_RoundTrip_TextXml_Payload(benchmark::State& state) {
+  auto f = registry().by_name("Payload");
+  Payload p;
+  std::vector<double> storage;
+  fill_payload(p, storage, static_cast<int>(state.range(0)));
+  Buffer wire;
+  Payload out{};
+  pbio::DecodeArena arena;
+  for (auto _ : state) {
+    wire.clear();
+    arena.clear();
+    textxml::encode(*f, &p, wire);
+    textxml::decode(*f, wire.span(), &out, arena);
+    benchmark::DoNotOptimize(out.values);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(payload_bytes(p.count)));
+}
+BENCHMARK(BM_RoundTrip_TextXml_Payload)->Range(8, 8192);
+
+// NDR counterparts at the same sizes, so ratios read off one report.
+void BM_RoundTrip_NDR_Payload(benchmark::State& state) {
+  auto f = registry().by_name("Payload");
+  Payload p;
+  std::vector<double> storage;
+  fill_payload(p, storage, static_cast<int>(state.range(0)));
+  pbio::Decoder dec(registry());
+  Buffer wire;
+  Payload out{};
+  pbio::DecodeArena arena;
+  for (auto _ : state) {
+    wire.clear();
+    arena.clear();
+    pbio::encode(*f, &p, wire);
+    dec.decode(wire.span(), *f, &out, arena);
+    benchmark::DoNotOptimize(out.values);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(payload_bytes(p.count)));
+}
+BENCHMARK(BM_RoundTrip_NDR_Payload)->Range(8, 8192);
+
+// The paper's flat flight-event record: the small-message case.
+void BM_RoundTrip_TextXml_StructA(benchmark::State& state) {
+  auto f = registry().by_name("ASDOffEvent");
+  AsdOff in;
+  fill_asdoff(in, 5);
+  Buffer wire;
+  AsdOff out{};
+  pbio::DecodeArena arena;
+  for (auto _ : state) {
+    wire.clear();
+    arena.clear();
+    textxml::encode(*f, &in, wire);
+    textxml::decode(*f, wire.span(), &out, arena);
+    benchmark::DoNotOptimize(out.cntrId);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RoundTrip_TextXml_StructA);
+
+void BM_RoundTrip_NDR_StructA(benchmark::State& state) {
+  auto f = registry().by_name("ASDOffEvent");
+  AsdOff in;
+  fill_asdoff(in, 5);
+  pbio::Decoder dec(registry());
+  Buffer wire;
+  AsdOff out{};
+  pbio::DecodeArena arena;
+  for (auto _ : state) {
+    wire.clear();
+    arena.clear();
+    pbio::encode(*f, &in, wire);
+    dec.decode(wire.span(), *f, &out, arena);
+    benchmark::DoNotOptimize(out.cntrId);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RoundTrip_NDR_StructA);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,168 @@
+// Distributed operational information system — the capstone example.
+//
+// Everything from the paper's deployment story in one program, with the
+// backbone actually on the network:
+//
+//   * a hub process hosts the event backbone and exposes it over TCP
+//     (RemoteBackboneServer);
+//   * metadata lives on an HTTP server, served *scoped*: the ops audience
+//     sees every field, gate displays only a slice (§4.4);
+//   * a capture point attaches as a remote publisher; a second capture
+//     point is a big-endian SPARC host (synthesized wire);
+//   * consumers attach as remote subscribers with different audiences; the
+//     gate display decodes full-format messages through its scoped view
+//     (PBIO evolution machinery — nothing is re-encoded for it);
+//   * a gateway re-encodes the SPARC feed into the local format once, so
+//     thin displays could take the zero-copy path.
+//
+// Build & run:  ./examples/distributed_ois
+#include <cstdio>
+#include <thread>
+
+#include "core/context.hpp"
+#include "core/gateway.hpp"
+#include "core/scoping.hpp"
+#include "http/http.hpp"
+#include "pbio/synth.hpp"
+#include "schema/reader.hpp"
+#include "transport/remote_backbone.hpp"
+
+namespace {
+
+const char* kOpsSchema = R"(<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:complexType name="FlightOps">
+    <xsd:element name="fltNum" type="xsd:int" />
+    <xsd:element name="gate" type="xsd:string" />
+    <xsd:element name="dest" type="xsd:string" />
+    <xsd:element name="fuelKg" type="xsd:double" />
+    <xsd:element name="crewNames" type="xsd:string" />
+  </xsd:complexType>
+</xsd:schema>
+)";
+
+}  // namespace
+
+int main() {
+  using namespace omf;
+
+  // ---- Hub: backbone + TCP bridge + scoped metadata server -------------------
+  transport::EventBackbone backbone;
+  transport::RemoteBackboneServer hub(backbone);
+
+  http::Server meta_server;
+  core::ScopePolicy policy;
+  policy.allow_all("ops", "FlightOps");
+  policy.allow("gate", "FlightOps", "fltNum");
+  policy.allow("gate", "FlightOps", "gate");
+  policy.allow("gate", "FlightOps", "dest");
+  core::ScopedMetadataServer scoped(meta_server, policy);
+  scoped.add_document("/flightops.xml", kOpsSchema);
+  std::printf("[hub] backbone on tcp:%u, metadata on http:%u\n", hub.port(),
+              meta_server.port());
+
+  constexpr int kEvents = 4;
+
+  // ---- Consumers first (so nothing is missed) ---------------------------------
+  transport::RemoteSubscription ops_feed(hub.port(), "flight.ops");
+  transport::RemoteSubscription gate_feed(hub.port(), "flight.ops");
+  while (backbone.subscriber_count("flight.ops") < 2) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // ---- Capture point: remote publisher, full-format events -------------------
+  std::thread capture([&] {
+    core::Context ctx;
+    auto format = ctx.discover_format(
+        scoped.url_for("/flightops.xml", "ops"), "FlightOps");
+    transport::RemotePublisher pub(hub.port());
+    const char* gates[] = {"A1", "B7", "C3", "T9"};
+    for (int i = 0; i < kEvents; ++i) {
+      pbio::DynamicRecord ev(format);
+      ev.set_int("fltNum", 1500 + i);
+      ev.set_string("gate", gates[i % 4]);
+      ev.set_string("dest", i % 2 == 0 ? "MCO" : "LGA");
+      ev.set_float("fuelKg", 17500.0 + 250.0 * i);
+      ev.set_string("crewNames", "Haynes; Fitch");
+      pub.publish("flight.ops", ev.encode());
+    }
+    std::printf("[capture] published %d full-format events\n", kEvents);
+  });
+  capture.join();
+
+  // ---- Ops console: full visibility -------------------------------------------
+  {
+    core::Context ctx;
+    auto format = ctx.discover_format(
+        scoped.url_for("/flightops.xml", "ops"), "FlightOps");
+    std::printf("\n[ops] full view (%zu fields):\n", format->fields().size());
+    for (int i = 0; i < kEvents; ++i) {
+      auto msg = ops_feed.receive();
+      if (!msg) break;
+      pbio::DynamicRecord rec(format);
+      rec.from_wire(ctx.decoder(), msg->span());
+      std::printf("  DL%lld gate %s -> %s, fuel %.0fkg, crew: %s\n",
+                  static_cast<long long>(rec.get_int("fltNum")),
+                  rec.get_string("gate"), rec.get_string("dest"),
+                  rec.get_float("fuelKg"), rec.get_string("crewNames"));
+    }
+  }
+
+  // ---- Gate display: scoped view, same wire messages --------------------------
+  {
+    core::Context ctx;
+    auto scoped_format = ctx.discover_format(
+        scoped.url_for("/flightops.xml", "gate"), "FlightOps");
+    // It needs the full format's metadata to decode (id lookup), which the
+    // ops metadata URL provides; the fields stay invisible regardless.
+    ctx.discover_and_register(scoped.url_for("/flightops.xml", "ops"));
+    std::printf("\n[gate] scoped view (%zu fields — fuel and crew withheld):\n",
+                scoped_format->fields().size());
+    for (int i = 0; i < kEvents; ++i) {
+      auto msg = gate_feed.receive();
+      if (!msg) break;
+      pbio::DynamicRecord rec(scoped_format);
+      rec.from_wire(ctx.decoder(), msg->span());
+      std::printf("  DL%lld gate %s -> %s\n",
+                  static_cast<long long>(rec.get_int("fltNum")),
+                  rec.get_string("gate"), rec.get_string("dest"));
+    }
+  }
+
+  // ---- Gateway: re-encode a SPARC feed for homogeneous thin clients -----------
+  {
+    core::Context ctx;
+    auto native = ctx.discover_format(
+        scoped.url_for("/flightops.xml", "ops"), "FlightOps");
+    core::Xml2Wire sparc_meta(ctx.registry(), arch::sparc64());
+    auto sparc =
+        sparc_meta.register_schema(schema::read_schema_text(kOpsSchema))[0];
+
+    pbio::DynamicRecord ev(native);
+    ev.set_int("fltNum", 1999);
+    ev.set_string("gate", "E2");
+    ev.set_string("dest", "SEA");
+    ev.set_float("fuelKg", 21000);
+    ev.set_string("crewNames", "Sullenberger; Skiles");
+    Buffer foreign_wire = pbio::synthesize_wire(*sparc, ev);
+
+    core::Gateway gateway(ctx.registry(), native, native);
+    Buffer local_wire = gateway.convert(foreign_wire.span());
+    auto in_hdr = pbio::Decoder::peek_header(foreign_wire.span());
+    auto out_hdr = pbio::Decoder::peek_header(local_wire.span());
+    std::printf("\n[gateway] sparc64 wire (%s, %zu B) -> native wire (%s, %zu B); "
+                "thin clients now decode zero-copy\n",
+                in_hdr.byte_order == ByteOrder::kBig ? "BE" : "LE",
+                foreign_wire.size(),
+                out_hdr.byte_order == ByteOrder::kBig ? "BE" : "LE",
+                local_wire.size());
+    auto* p = static_cast<const void*>(pbio::Decoder::decode_in_place(
+        *native, local_wire.data(), local_wire.size()));
+    std::printf("[gateway] zero-copy check: struct at %p inside the buffer\n",
+                p);
+  }
+
+  std::printf("\n[hub] metadata server answered %zu requests; shutting down\n",
+              meta_server.request_count());
+  return 0;
+}

@@ -1,0 +1,157 @@
+// omfc — the OMF metadata compiler / inspector CLI.
+//
+// The tooling face of open metadata: everything here operates on XML
+// documents a non-programmer can read and edit, no recompilation anywhere.
+//
+//   omfc layout  <schema.xml> [profile]   field table (sizes/offsets) for a
+//                                         target architecture profile
+//   omfc header  <schema.xml> [type]      generate the C++ struct header
+//   omfc ids     <schema.xml>             per-profile format ids (shows
+//                                         which ABIs are wire-compatible)
+//   omfc check   <schema.xml> <msg.xml>   classify a text message against
+//                                         the document's types
+//   omfc profiles                         list built-in architecture profiles
+//
+// Exit status: 0 on success, 1 on usage error, 2 on processing error.
+#include <cstdio>
+#include <cstring>
+
+#include "core/classify.hpp"
+#include "core/codegen.hpp"
+#include "core/xml2wire.hpp"
+#include "schema/reader.hpp"
+#include "util/error.hpp"
+#include "xml/parser.hpp"
+
+namespace {
+
+using namespace omf;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: omfc layout  <schema.xml> [profile]\n"
+               "       omfc header  <schema.xml> [type]\n"
+               "       omfc ids     <schema.xml>\n"
+               "       omfc check   <schema.xml> <message.xml>\n"
+               "       omfc profiles\n");
+  return 1;
+}
+
+std::vector<pbio::FormatHandle> register_all(pbio::FormatRegistry& registry,
+                                             const std::string& path,
+                                             const arch::Profile& profile) {
+  core::Xml2Wire x2w(registry, profile);
+  return x2w.register_document(xml::parse_file(path));
+}
+
+int cmd_layout(const std::string& path, const std::string& profile_name) {
+  const arch::Profile& profile = arch::profile_by_name(profile_name);
+  pbio::FormatRegistry registry;
+  for (const auto& format : register_all(registry, path, profile)) {
+    std::printf("format %-24s profile %-8s struct %4zu bytes  align %zu  id %016llx\n",
+                format->name().c_str(), profile.name.c_str(),
+                format->struct_size(), format->alignment(),
+                static_cast<unsigned long long>(format->id()));
+    std::printf("  %-20s %-24s %6s %8s\n", "field", "type", "size", "offset");
+    for (const pbio::Field& f : format->fields()) {
+      std::printf("  %-20s %-24s %6zu %8zu\n", f.name.c_str(),
+                  pbio::type_string(f.type).c_str(), f.size, f.offset);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int cmd_header(const std::string& path, const std::string& type_name) {
+  pbio::FormatRegistry registry;
+  auto formats = register_all(registry, path, arch::native());
+  const pbio::FormatHandle* chosen = &formats.back();
+  if (!type_name.empty()) {
+    for (const auto& f : formats) {
+      if (f->name() == type_name) {
+        chosen = &f;
+        break;
+      }
+    }
+    if ((*chosen)->name() != type_name) {
+      std::fprintf(stderr, "omfc: no complexType named '%s'\n",
+                   type_name.c_str());
+      return 2;
+    }
+  }
+  std::fputs(core::generate_cpp_header(**chosen).c_str(), stdout);
+  return 0;
+}
+
+int cmd_ids(const std::string& path) {
+  std::printf("%-24s %-10s %-22s %10s %16s\n", "format", "profile", "abi",
+              "struct", "id");
+  for (const arch::Profile* profile : arch::all_profiles()) {
+    pbio::FormatRegistry registry;
+    for (const auto& format : register_all(registry, path, *profile)) {
+      std::printf("%-24s %-10s %-22s %9zuB %016llx\n", format->name().c_str(),
+                  profile->name.c_str(), profile->canonical().c_str(),
+                  format->struct_size(),
+                  static_cast<unsigned long long>(format->id()));
+    }
+  }
+  std::printf("\nidentical ids = wire-compatible without conversion\n");
+  return 0;
+}
+
+int cmd_check(const std::string& schema_path, const std::string& msg_path) {
+  schema::SchemaDocument candidates =
+      schema::read_schema(xml::parse_file(schema_path));
+  xml::Document message = xml::parse_file(msg_path);
+  auto scores = core::classify_text_message(*message.root, candidates);
+  std::printf("%-24s %7s %8s %8s %11s\n", "complexType", "score", "matched",
+              "missing", "unexpected");
+  for (const auto& s : scores) {
+    std::printf("%-24s %6.2f%% %8zu %8zu %11zu\n", s.type_name.c_str(),
+                s.score * 100.0, s.matched, s.missing, s.unexpected);
+  }
+  if (!scores.empty() && scores.front().score == 1.0) {
+    std::printf("\nmessage conforms to '%s'\n",
+                scores.front().type_name.c_str());
+  }
+  return 0;
+}
+
+int cmd_profiles() {
+  std::printf("%-10s %-6s %8s %6s %6s %10s\n", "name", "order", "pointer",
+              "int", "long", "align-cap");
+  for (const arch::Profile* p : arch::all_profiles()) {
+    std::printf("%-10s %-6s %7uB %5uB %5uB %9uB\n", p->name.c_str(),
+                p->byte_order == ByteOrder::kBig ? "BE" : "LE",
+                p->pointer_size, p->int_size, p->long_size, p->alignment_cap);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  std::string command = argv[1];
+  try {
+    if (command == "profiles") {
+      return cmd_profiles();
+    }
+    if (command == "layout" && argc >= 3) {
+      return cmd_layout(argv[2], argc >= 4 ? argv[3] : "native");
+    }
+    if (command == "header" && argc >= 3) {
+      return cmd_header(argv[2], argc >= 4 ? argv[3] : "");
+    }
+    if (command == "ids" && argc >= 3) {
+      return cmd_ids(argv[2]);
+    }
+    if (command == "check" && argc >= 4) {
+      return cmd_check(argv[2], argv[3]);
+    }
+  } catch (const omf::Error& e) {
+    std::fprintf(stderr, "omfc: %s\n", e.what());
+    return 2;
+  }
+  return usage();
+}

@@ -1,0 +1,94 @@
+#include "arch/profile.hpp"
+
+#include "util/error.hpp"
+
+namespace omf::arch {
+
+std::string Profile::canonical() const {
+  std::string s;
+  s += byte_order == ByteOrder::kLittle ? "le" : "be";
+  s += "/p" + std::to_string(pointer_size);
+  s += "/i" + std::to_string(int_size);
+  s += "/l" + std::to_string(long_size);
+  s += "/a" + std::to_string(alignment_cap);
+  return s;
+}
+
+namespace {
+
+Profile detect_native() {
+  Profile p;
+  p.name = "native";
+  p.byte_order = host_byte_order();
+  p.pointer_size = sizeof(void*);
+  p.int_size = sizeof(int);
+  p.long_size = sizeof(long);
+  // Probe the compiler's struct alignment of an 8-byte scalar.
+  struct Probe {
+    char c;
+    double d;
+  };
+  p.alignment_cap = static_cast<std::uint8_t>(offsetof(Probe, d));
+  return p;
+}
+
+}  // namespace
+
+const Profile& native() {
+  static const Profile p = detect_native();
+  return p;
+}
+
+const Profile& x86_64() {
+  static const Profile p{"x86_64", ByteOrder::kLittle, 8, 4, 8, 8};
+  return p;
+}
+
+const Profile& i386() {
+  static const Profile p{"i386", ByteOrder::kLittle, 4, 4, 4, 4};
+  return p;
+}
+
+const Profile& sparc64() {
+  static const Profile p{"sparc64", ByteOrder::kBig, 8, 4, 8, 8};
+  return p;
+}
+
+const Profile& sparc32() {
+  static const Profile p{"sparc32", ByteOrder::kBig, 4, 4, 4, 8};
+  return p;
+}
+
+const Profile& arm32() {
+  static const Profile p{"arm32", ByteOrder::kLittle, 4, 4, 4, 8};
+  return p;
+}
+
+const std::vector<const Profile*>& all_profiles() {
+  static const std::vector<const Profile*> all = {
+      &native(), &x86_64(), &i386(), &sparc64(), &sparc32(), &arm32()};
+  return all;
+}
+
+const Profile& profile_by_name(const std::string& name) {
+  for (const Profile* p : all_profiles()) {
+    if (p->name == name) return *p;
+  }
+  throw Error("unknown architecture profile: " + name);
+}
+
+std::size_t StructLayout::add_member(std::size_t size, std::size_t align) {
+  if (align == 0) align = 1;
+  offset_ = align_up(offset_, align);
+  std::size_t at = offset_;
+  offset_ += size;
+  if (align > align_) align_ = align;
+  return at;
+}
+
+std::size_t StructLayout::size() const noexcept {
+  if (offset_ == 0) return 0;
+  return align_up(offset_, alignment());
+}
+
+}  // namespace omf::arch

@@ -1,0 +1,99 @@
+// Architecture profiles.
+//
+// NDR ships data in the *sender's* native layout, so every format is
+// registered against a description of some machine: its byte order, its
+// C-type sizes, and its alignment rules. On a real deployment the profile is
+// always the host's; in this reproduction we also model classic foreign
+// architectures (big-endian 64-bit SPARC, 32-bit x86, ...) so the receiver's
+// conversion machinery — the part of PBIO the paper's performance argument
+// rests on — is exercised end-to-end on a single laptop.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace omf::arch {
+
+/// Static description of a machine architecture as seen by a C compiler.
+/// Scalar alignment follows the common ABI rule "aligned to min(size,
+/// alignment_cap)": alignment_cap is 8 on most ABIs and 4 on System V i386,
+/// where 8-byte scalars are only 4-byte aligned inside structs.
+struct Profile {
+  std::string name;
+  ByteOrder byte_order = ByteOrder::kLittle;
+  std::uint8_t pointer_size = 8;
+  std::uint8_t int_size = 4;    ///< sizeof(int)
+  std::uint8_t long_size = 8;   ///< sizeof(long)
+  std::uint8_t alignment_cap = 8;
+
+  /// Alignment of a scalar of the given width under this ABI.
+  std::size_t scalar_align(std::size_t width) const noexcept {
+    return width < alignment_cap ? width : alignment_cap;
+  }
+
+  bool operator==(const Profile& other) const noexcept {
+    return byte_order == other.byte_order &&
+           pointer_size == other.pointer_size && int_size == other.int_size &&
+           long_size == other.long_size &&
+           alignment_cap == other.alignment_cap;
+  }
+
+  /// Canonical short string ("le/p8/i4/l8/a8") — hashed into format ids so
+  /// two hosts with identical ABIs produce identical ids.
+  std::string canonical() const;
+};
+
+/// The architecture this process is actually running on, detected from the
+/// compiler. All formats bound to real program structs use this profile.
+const Profile& native();
+
+/// Classic profiles for heterogeneity simulation.
+const Profile& x86_64();   ///< LE, 64-bit pointers/longs
+const Profile& i386();     ///< LE, 32-bit, alignment cap 4
+const Profile& sparc64();  ///< BE, 64-bit (the paper-era heterogeneous peer)
+const Profile& sparc32();  ///< BE, 32-bit pointers/longs, 8-byte double align
+const Profile& arm32();    ///< LE, 32-bit pointers/longs, 8-byte double align
+
+/// All built-in profiles (for parameterized tests).
+const std::vector<const Profile*>& all_profiles();
+
+/// Looks a built-in profile up by name; throws omf::Error if unknown.
+const Profile& profile_by_name(const std::string& name);
+
+// ---------------------------------------------------------------------------
+// C struct layout
+// ---------------------------------------------------------------------------
+
+/// Incremental C struct layout calculator for a given profile. Mirrors what
+/// a C compiler does: each member goes at the next offset aligned to its
+/// alignment, the struct's alignment is the max member alignment, and the
+/// final size is rounded up to that alignment.
+class StructLayout {
+public:
+  explicit StructLayout(const Profile& profile) : profile_(&profile) {}
+
+  /// Places one member of `size` bytes with alignment `align` (arrays pass
+  /// element alignment and total size). Returns its offset.
+  std::size_t add_member(std::size_t size, std::size_t align);
+
+  /// Places a scalar of the given width (alignment from the profile).
+  std::size_t add_scalar(std::size_t width) {
+    return add_member(width, profile_->scalar_align(width));
+  }
+
+  /// Final padded size of the struct laid out so far (0 members -> 0).
+  std::size_t size() const noexcept;
+
+  /// Alignment of the struct (max member alignment; 1 if empty).
+  std::size_t alignment() const noexcept { return align_ == 0 ? 1 : align_; }
+
+private:
+  const Profile* profile_;
+  std::size_t offset_ = 0;
+  std::size_t align_ = 0;
+};
+
+}  // namespace omf::arch

@@ -1,0 +1,315 @@
+#include "cdr/cdr.hpp"
+
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace omf::cdr {
+
+using pbio::ArrayKind;
+using pbio::Field;
+using pbio::FieldClass;
+using pbio::Format;
+
+namespace {
+
+// --- Native struct access helpers (see xdr.cpp for rationale) ---------------
+
+std::uint64_t load_native_uint(const std::uint8_t* p, std::size_t size) {
+  switch (size) {
+    case 1: return *p;
+    case 2: { std::uint16_t v; std::memcpy(&v, p, 2); return v; }
+    case 4: { std::uint32_t v; std::memcpy(&v, p, 4); return v; }
+    default: { std::uint64_t v; std::memcpy(&v, p, 8); return v; }
+  }
+}
+
+std::int64_t load_native_int(const std::uint8_t* p, std::size_t size) {
+  std::uint64_t v = load_native_uint(p, size);
+  if (size < 8) {
+    std::uint64_t sign_bit = 1ull << (size * 8 - 1);
+    if (v & sign_bit) v |= ~((sign_bit << 1) - 1);
+  }
+  return static_cast<std::int64_t>(v);
+}
+
+std::int64_t read_count_field(const Format& format, const std::uint8_t* src,
+                              const Field& array_field) {
+  const Field& cf = format.fields()[array_field.count_field_index];
+  return cf.type.cls == FieldClass::kInteger
+             ? load_native_int(src + cf.offset, cf.size)
+             : static_cast<std::int64_t>(
+                   load_native_uint(src + cf.offset, cf.size));
+}
+
+// --- CDR stream writer --------------------------------------------------------
+
+struct Writer {
+  Buffer& out;
+  std::size_t base;  // stream start within the buffer
+
+  void align(std::size_t n) {
+    std::size_t pos = out.size() - base;
+    std::size_t padded = align_up(pos, n);
+    if (padded != pos) out.append_zeros(padded - pos);
+  }
+
+  /// CDR primitive: aligned to its size, written in host (sender) order —
+  /// the copy from struct memory is the marshaling cost being measured.
+  void put_scalar(const std::uint8_t* src, std::size_t size) {
+    align(size);
+    out.append(src, size);
+  }
+
+  void put_u32(std::uint32_t v) {
+    align(4);
+    out.append(&v, 4);  // host order; reader makes right
+  }
+};
+
+void encode_region(const Format& format, const std::uint8_t* src, Writer& w);
+
+void encode_field(const Format& format, const Field& f,
+                  const std::uint8_t* src, Writer& w) {
+  const std::uint8_t* base = src + f.offset;
+  std::size_t count = 1;
+  if (f.type.array == ArrayKind::kStatic) {
+    count = f.type.static_count;
+  } else if (f.type.array == ArrayKind::kDynamic) {
+    std::int64_t n = read_count_field(format, src, f);
+    if (n < 0) throw EncodeError("negative count for '" + f.name + "'");
+    const std::uint8_t* ptr = nullptr;
+    std::memcpy(&ptr, src + f.offset, sizeof(ptr));
+    if (n > 0 && ptr == nullptr) {
+      throw EncodeError("null dynamic array '" + f.name + "'");
+    }
+    w.put_u32(static_cast<std::uint32_t>(n));  // CDR sequence count
+    base = ptr;
+    count = static_cast<std::size_t>(n);
+  }
+
+  switch (f.type.cls) {
+    case FieldClass::kString: {
+      const char* s = nullptr;
+      std::memcpy(&s, src + f.offset, sizeof(s));
+      if (s == nullptr) {
+        // Extension beyond strict CDR (which has no null): length 0.
+        w.put_u32(0);
+        break;
+      }
+      // CDR string: uint32 length including NUL, then bytes + NUL.
+      std::size_t len = std::strlen(s);
+      w.put_u32(static_cast<std::uint32_t>(len + 1));
+      if (len != 0) w.out.append(s, len);
+      w.out.append_zeros(1);
+      break;
+    }
+    case FieldClass::kNested:
+      for (std::size_t i = 0; i < count; ++i) {
+        encode_region(*f.subformat, base + i * f.subformat->struct_size(), w);
+      }
+      break;
+    default:
+      // Scalar runs are contiguous in both the struct and the stream (CDR
+      // aligns each element to its size, so same-size elements pack with no
+      // gaps): one aligned block copy, exactly what real CDR marshalers do
+      // for arrays between identical representations.
+      w.align(f.size);
+      w.out.append(base, count * f.size);
+      break;
+  }
+}
+
+void encode_region(const Format& format, const std::uint8_t* src, Writer& w) {
+  for (const Field& f : format.fields()) {
+    encode_field(format, f, src, w);
+  }
+}
+
+// --- CDR stream reader ----------------------------------------------------------
+
+struct Reader {
+  BufferReader& in;
+  std::size_t base;  // position of the stream start
+  bool swap;
+
+  void align(std::size_t n) {
+    std::size_t pos = in.position() - base;
+    std::size_t padded = align_up(pos, n);
+    if (padded != pos) in.skip(padded - pos);
+  }
+
+  void get_scalar(std::uint8_t* dst, std::size_t size) {
+    align(size);
+    in.read_into(dst, size);
+    if (swap && size > 1) byteswap_inplace(dst, size);
+  }
+
+  std::uint32_t get_u32() {
+    align(4);
+    std::uint32_t v;
+    in.read_into(&v, 4);
+    if (swap) v = byteswap(v);
+    return v;
+  }
+};
+
+void decode_region(const Format& format, Reader& r, std::uint8_t* dst,
+                   pbio::DecodeArena& arena);
+
+void decode_field(const Format& /*format*/, const Field& f, Reader& r,
+                  std::uint8_t* dst, pbio::DecodeArena& arena) {
+  std::uint8_t* base = dst + f.offset;
+  std::size_t count = 1;
+  if (f.type.array == ArrayKind::kStatic) {
+    count = f.type.static_count;
+  } else if (f.type.array == ArrayKind::kDynamic) {
+    std::uint32_t n = r.get_u32();
+    std::size_t elem = f.type.cls == FieldClass::kNested
+                           ? f.subformat->struct_size()
+                           : f.size;
+    void* mem = nullptr;
+    if (n != 0) {
+      if (n > r.in.remaining()) {
+        throw DecodeError("CDR sequence count exceeds remaining stream");
+      }
+      mem = arena.allocate(static_cast<std::size_t>(n) * elem,
+                           f.type.cls == FieldClass::kNested
+                               ? f.subformat->alignment()
+                               : 8);
+    }
+    std::memcpy(dst + f.offset, &mem, sizeof(mem));
+    base = static_cast<std::uint8_t*>(mem);
+    count = n;
+    if (count == 0) return;
+  }
+
+  switch (f.type.cls) {
+    case FieldClass::kString: {
+      std::uint32_t len_with_nul = r.get_u32();
+      if (len_with_nul == 0) {
+        // Extension beyond strict CDR: length 0 encodes a null pointer.
+        const char* null = nullptr;
+        std::memcpy(dst + f.offset, &null, sizeof(null));
+        break;
+      }
+      const std::uint8_t* bytes = r.in.read_bytes(len_with_nul);
+      if (bytes[len_with_nul - 1] != 0) {
+        throw DecodeError("CDR string not NUL-terminated");
+      }
+      char* out = arena.copy_string(reinterpret_cast<const char*>(bytes),
+                                    len_with_nul - 1);
+      std::memcpy(dst + f.offset, &out, sizeof(out));
+      break;
+    }
+    case FieldClass::kNested:
+      for (std::size_t i = 0; i < count; ++i) {
+        decode_region(*f.subformat, r, base + i * f.subformat->struct_size(),
+                      arena);
+      }
+      break;
+    default:
+      // Reader-makes-right: bulk copy when the sender's order matches (the
+      // common homogeneous case), element-wise swap only when it doesn't.
+      r.align(f.size);
+      r.in.read_into(base, count * f.size);
+      if (r.swap && f.size > 1) {
+        for (std::size_t i = 0; i < count; ++i) {
+          byteswap_inplace(base + i * f.size, f.size);
+        }
+      }
+      break;
+  }
+}
+
+void decode_region(const Format& format, Reader& r, std::uint8_t* dst,
+                   pbio::DecodeArena& arena) {
+  for (const Field& f : format.fields()) {
+    decode_field(format, f, r, dst, arena);
+  }
+}
+
+// --- Sizing -------------------------------------------------------------------------
+
+std::size_t region_size(const Format& format, const std::uint8_t* src,
+                        std::size_t pos);
+
+std::size_t field_size(const Format& format, const Field& f,
+                       const std::uint8_t* src, std::size_t pos) {
+  std::size_t start = pos;
+  const std::uint8_t* base = src + f.offset;
+  std::size_t count = 1;
+  if (f.type.array == ArrayKind::kStatic) {
+    count = f.type.static_count;
+  } else if (f.type.array == ArrayKind::kDynamic) {
+    std::int64_t n = read_count_field(format, src, f);
+    pos = align_up(pos, 4) + 4;
+    const std::uint8_t* ptr = nullptr;
+    std::memcpy(&ptr, src + f.offset, sizeof(ptr));
+    base = ptr;
+    count = n < 0 ? 0 : static_cast<std::size_t>(n);
+  }
+
+  switch (f.type.cls) {
+    case FieldClass::kString: {
+      const char* s = nullptr;
+      std::memcpy(&s, src + f.offset, sizeof(s));
+      pos = align_up(pos, 4) + 4 + (s == nullptr ? 0 : std::strlen(s) + 1);
+      break;
+    }
+    case FieldClass::kNested:
+      for (std::size_t i = 0; i < count; ++i) {
+        pos += region_size(*f.subformat,
+                           base + i * f.subformat->struct_size(), pos);
+      }
+      break;
+    default:
+      for (std::size_t i = 0; i < count; ++i) {
+        pos = align_up(pos, f.size) + f.size;
+      }
+      break;
+  }
+  return pos - start;
+}
+
+std::size_t region_size(const Format& format, const std::uint8_t* src,
+                        std::size_t pos) {
+  std::size_t start = pos;
+  for (const Field& f : format.fields()) {
+    pos += field_size(format, f, src, pos);
+  }
+  return pos - start;
+}
+
+}  // namespace
+
+void encode(const Format& format, const void* data, Buffer& out) {
+  // GIOP-style flag octet: 1 = little-endian sender.
+  std::uint8_t flag = host_byte_order() == ByteOrder::kLittle ? 1 : 0;
+  out.append(&flag, 1);
+  Writer w{out, out.size()};
+  encode_region(format, static_cast<const std::uint8_t*>(data), w);
+}
+
+Buffer encode_buffer(const Format& format, const void* data) {
+  Buffer out(format.struct_size() + 64);
+  encode(format, data, out);
+  return out;
+}
+
+std::size_t decode(const Format& format, std::span<const std::uint8_t> bytes,
+                   void* out_struct, pbio::DecodeArena& arena) {
+  BufferReader in(bytes);
+  std::uint8_t flag = in.read_int<std::uint8_t>(ByteOrder::kLittle);
+  ByteOrder sender =
+      flag != 0 ? ByteOrder::kLittle : ByteOrder::kBig;
+  Reader r{in, in.position(), sender != host_byte_order()};
+  decode_region(format, r, static_cast<std::uint8_t*>(out_struct), arena);
+  return in.position();
+}
+
+std::size_t encoded_size(const Format& format, const void* data) {
+  return 1 + region_size(format, static_cast<const std::uint8_t*>(data), 0);
+}
+
+}  // namespace omf::cdr

@@ -1,0 +1,115 @@
+#include "core/classify.hpp"
+
+#include <algorithm>
+
+#include "pbio/decode.hpp"
+#include "xml/parser.hpp"
+
+namespace omf::core {
+
+namespace {
+
+using schema::Occurs;
+using schema::SchemaDocument;
+using schema::SchemaElement;
+using schema::SchemaType;
+
+struct Tally {
+  std::size_t matched = 0;
+  std::size_t missing = 0;
+  std::size_t unexpected = 0;
+};
+
+void match_region(const xml::Node& node, const SchemaType& type,
+                  const SchemaDocument& doc, Tally& tally, int depth) {
+  if (depth > 16) return;  // defensive bound on recursive schemas
+
+  for (const SchemaElement& e : type.elements) {
+    std::vector<const xml::Node*> occurrences = node.child_elements(e.name);
+    if (occurrences.empty()) {
+      // Zero occurrences are legitimate for dynamic arrays.
+      if (e.occurs.kind == Occurs::Kind::kDynamicSized ||
+          e.occurs.kind == Occurs::Kind::kDynamicUnbounded) {
+        ++tally.matched;
+      } else {
+        ++tally.missing;
+      }
+      continue;
+    }
+    // Occurrence-count plausibility: a static array should appear exactly
+    // `count` times, a scalar once.
+    bool count_ok = true;
+    switch (e.occurs.kind) {
+      case Occurs::Kind::kScalar:
+        count_ok = occurrences.size() == 1;
+        break;
+      case Occurs::Kind::kStatic:
+        count_ok = occurrences.size() == e.occurs.count;
+        break;
+      default:
+        break;
+    }
+    if (!count_ok) {
+      ++tally.missing;  // structurally present but with the wrong shape
+      continue;
+    }
+    ++tally.matched;
+    if (!e.is_primitive) {
+      if (const SchemaType* nested = doc.type_named(e.user_type)) {
+        match_region(*occurrences[0], *nested, doc, tally, depth + 1);
+      }
+    }
+  }
+
+  for (const xml::Node* child : node.child_elements()) {
+    if (type.element_named(child->name()) == nullptr) {
+      ++tally.unexpected;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<MatchScore> classify_text_message(const xml::Node& message_root,
+                                              const SchemaDocument& candidates) {
+  std::vector<MatchScore> out;
+  out.reserve(candidates.types.size());
+  for (const SchemaType& type : candidates.types) {
+    Tally tally;
+    match_region(message_root, type, candidates, tally, 0);
+    MatchScore score;
+    score.type_name = type.name;
+    score.matched = tally.matched;
+    score.missing = tally.missing;
+    score.unexpected = tally.unexpected;
+    std::size_t total = tally.matched + tally.missing + tally.unexpected;
+    score.score = total == 0 ? 0.0
+                             : static_cast<double>(tally.matched) /
+                                   static_cast<double>(total);
+    out.push_back(std::move(score));
+  }
+  const std::string& root_name = message_root.name();
+  std::stable_sort(out.begin(), out.end(),
+                   [&](const MatchScore& a, const MatchScore& b) {
+                     if (a.score != b.score) return a.score > b.score;
+                     bool a_named = a.type_name == root_name;
+                     bool b_named = b.type_name == root_name;
+                     if (a_named != b_named) return a_named;
+                     return a.type_name < b.type_name;
+                   });
+  return out;
+}
+
+std::vector<MatchScore> classify_text_message(
+    std::string_view text, const SchemaDocument& candidates) {
+  xml::Document doc = xml::parse(text);
+  return classify_text_message(*doc.root, candidates);
+}
+
+pbio::FormatHandle classify_wire_message(
+    const pbio::FormatRegistry& registry,
+    std::span<const std::uint8_t> message) {
+  return registry.by_id(pbio::Decoder::peek_format_id(message));
+}
+
+}  // namespace omf::core

@@ -1,0 +1,48 @@
+// Live-message classification (paper §4.1.1).
+//
+// "Since the structure of a message will be represented using XML,
+// schema-checking tools will be applicable to live messages received from
+// other parties. This ability could be used to determine which of a set of
+// structure definitions a message most closely fits."
+//
+// Binary NDR messages identify themselves exactly (the header carries the
+// metadata id); text messages are matched structurally against the
+// complexTypes of a schema document and ranked by fit.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "pbio/format.hpp"
+#include "schema/model.hpp"
+#include "xml/dom.hpp"
+
+namespace omf::core {
+
+/// How well one complexType fits a message.
+struct MatchScore {
+  std::string type_name;
+  double score = 0.0;          ///< matched / (matched+missing+unexpected), [0,1]
+  std::size_t matched = 0;     ///< schema elements found (recursively)
+  std::size_t missing = 0;     ///< schema elements absent from the message
+  std::size_t unexpected = 0;  ///< message elements the schema doesn't know
+};
+
+/// Scores every complexType of `candidates` against a parsed text message
+/// (the element tree of one record), best fit first. Ties break toward the
+/// type whose name equals the message's root element name, then
+/// alphabetically.
+std::vector<MatchScore> classify_text_message(
+    const xml::Node& message_root, const schema::SchemaDocument& candidates);
+
+/// Convenience: parse `text` (one record document) and classify it.
+std::vector<MatchScore> classify_text_message(
+    std::string_view text, const schema::SchemaDocument& candidates);
+
+/// Binary classification is exact: reads the wire header and looks the
+/// format up by id. nullptr if the registry has never seen the format.
+pbio::FormatHandle classify_wire_message(const pbio::FormatRegistry& registry,
+                                         std::span<const std::uint8_t> message);
+
+}  // namespace omf::core

@@ -1,0 +1,30 @@
+// C++ code generation from format metadata — the paper's future-work item
+// "generation of language-level message object representations in C++".
+//
+// Given a registered (native-profile) format, emits a self-contained C++
+// header defining the equivalent struct(s), plus static_asserts pinning
+// sizeof and every offsetof to the metadata, so a compile of the generated
+// header *proves* the layout agreement that Context::bind can only
+// spot-check at run time.
+#pragma once
+
+#include <string>
+
+#include "pbio/format.hpp"
+
+namespace omf::core {
+
+struct CodegenOptions {
+  /// Include guard style "#pragma once" when empty, else a macro name.
+  std::string include_guard;
+  /// Emit static_asserts for sizeof/offsetof (requires <cstddef>).
+  bool emit_layout_asserts = true;
+};
+
+/// Generates a header defining `format` (and its nested formats, emitted
+/// first). Throws FormatError for non-native-profile formats — generated
+/// code is compiled on this machine, so the layout must be this machine's.
+std::string generate_cpp_header(const pbio::Format& format,
+                                const CodegenOptions& options = {});
+
+}  // namespace omf::core

@@ -1,0 +1,55 @@
+#include "core/context.hpp"
+
+#include "util/error.hpp"
+
+namespace omf::core {
+
+Context::Context()
+    : xml2wire_(registry_, arch::native()), decoder_(registry_) {
+  discovery_.add_source(make_http_source());
+  discovery_.add_source(make_file_source());
+  auto compiled = std::make_unique<CompiledInSource>();
+  compiled_in_ = compiled.get();
+  discovery_.add_source(std::move(compiled));
+}
+
+std::vector<pbio::FormatHandle> Context::discover_and_register(
+    const std::string& locator) {
+  std::shared_ptr<const xml::Document> doc = discovery_.discover(locator);
+  return xml2wire_.register_document(*doc);
+}
+
+pbio::FormatHandle Context::discover_format(const std::string& locator,
+                                            const std::string& type_name) {
+  std::vector<pbio::FormatHandle> handles = discover_and_register(locator);
+  for (const pbio::FormatHandle& h : handles) {
+    if (h->name() == type_name) return h;
+  }
+  throw FormatError("metadata document '" + locator +
+                    "' does not define complexType '" + type_name + "'");
+}
+
+void Context::check_binding(const pbio::FormatHandle& format,
+                            std::size_t struct_size,
+                            std::size_t alignment) const {
+  if (!format) throw FormatError("bind: null format handle");
+  if (!(format->profile() == arch::native())) {
+    throw FormatError("bind: format '" + format->name() +
+                      "' targets profile '" + format->profile().name +
+                      "', not this machine");
+  }
+  if (format->struct_size() != struct_size) {
+    throw FormatError(
+        "bind: compiled struct is " + std::to_string(struct_size) +
+        " bytes but format '" + format->name() + "' describes " +
+        std::to_string(format->struct_size()) +
+        " bytes — the metadata and the struct definition disagree");
+  }
+  if (format->alignment() > alignment) {
+    throw FormatError("bind: format '" + format->name() +
+                      "' requires stricter alignment than the compiled "
+                      "struct provides");
+  }
+}
+
+}  // namespace omf::core

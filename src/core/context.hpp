@@ -1,0 +1,120 @@
+// The assembled xml2wire runtime: registry + discovery chain + schema
+// compiler + decoder, plus the binding step that ties a discovered format
+// to concrete program data.
+//
+// This is the API an application uses end to end:
+//
+//   omf::core::Context ctx;
+//   ctx.compiled_in().add("http://meta/flight.xml", kFallbackSchema);
+//   auto format = ctx.discover_format("http://meta/flight.xml", "Flight");
+//   auto channel = ctx.bind<FlightStruct>(format);     // binding
+//   Buffer wire = channel.encode(&my_flight);          // marshaling
+//   ...
+//   FlightStruct out;
+//   pbio::DecodeArena arena;
+//   channel.decode(wire.span(), &out, arena);
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/discovery.hpp"
+#include "core/xml2wire.hpp"
+#include "pbio/decode.hpp"
+#include "pbio/encode.hpp"
+#include "pbio/record.hpp"
+
+namespace omf::core {
+
+/// The result of the *binding* step: a format descriptor usable for
+/// marshaling. Lightweight and copyable; shares the context's decoder and
+/// its conversion-plan cache.
+class Marshaler {
+public:
+  Marshaler(pbio::Decoder& decoder, pbio::FormatHandle format)
+      : decoder_(&decoder), format_(std::move(format)) {}
+
+  const pbio::Format& format() const noexcept { return *format_; }
+  const pbio::FormatHandle& handle() const noexcept { return format_; }
+
+  /// Marshals a struct laid out per format().
+  Buffer encode(const void* data) const { return pbio::encode(*format_, data); }
+  void encode(const void* data, Buffer& out) const {
+    pbio::encode(*format_, data, out);
+  }
+
+  /// Unmarshals any convertible wire message into `out_struct`.
+  void decode(std::span<const std::uint8_t> message, void* out_struct,
+              pbio::DecodeArena& arena) const {
+    decoder_->decode(message, *format_, out_struct, arena);
+  }
+
+  /// Zero-copy homogeneous decode (see pbio::Decoder::decode_in_place).
+  void* decode_in_place(std::uint8_t* message, std::size_t len) const {
+    return pbio::Decoder::decode_in_place(*format_, message, len);
+  }
+
+  /// A zeroed DynamicRecord of this format.
+  pbio::DynamicRecord make_record() const {
+    return pbio::DynamicRecord(format_);
+  }
+
+private:
+  pbio::Decoder* decoder_;
+  pbio::FormatHandle format_;
+};
+
+class Context {
+public:
+  /// Builds the standard discovery chain: HTTP, then local files, then
+  /// compiled-in documents (the fault-tolerance ordering of §3.3).
+  Context();
+  Context(const Context&) = delete;
+  Context& operator=(const Context&) = delete;
+
+  pbio::FormatRegistry& registry() noexcept { return registry_; }
+  DiscoveryManager& discovery() noexcept { return discovery_; }
+  CompiledInSource& compiled_in() noexcept { return *compiled_in_; }
+  Xml2Wire& xml2wire() noexcept { return xml2wire_; }
+  pbio::Decoder& decoder() noexcept { return decoder_; }
+
+  /// Discovery + registration in one step: fetches the metadata document at
+  /// `locator` (through the source chain), compiles it, registers every
+  /// complexType, and returns the handles.
+  std::vector<pbio::FormatHandle> discover_and_register(
+      const std::string& locator);
+
+  /// Like discover_and_register, returning just the named type. Throws
+  /// FormatError if the document does not define it.
+  pbio::FormatHandle discover_format(const std::string& locator,
+                                     const std::string& type_name);
+
+  /// Binding with a compile-time layout check: the compiled struct and the
+  /// discovered metadata must agree on the total size (the cheap invariant
+  /// a programmer-supplied binding can verify; per the paper, deeper
+  /// compatibility is the metadata author's contract).
+  template <typename T>
+  Marshaler bind(const pbio::FormatHandle& format) {
+    check_binding(format, sizeof(T), alignof(T));
+    return Marshaler(decoder_, format);
+  }
+
+  /// Binding for metadata-only records (DynamicRecord carries its own
+  /// layout, so no size check is possible or needed).
+  Marshaler bind_dynamic(const pbio::FormatHandle& format) {
+    return Marshaler(decoder_, format);
+  }
+
+private:
+  void check_binding(const pbio::FormatHandle& format, std::size_t struct_size,
+                     std::size_t alignment) const;
+
+  pbio::FormatRegistry registry_;
+  DiscoveryManager discovery_;
+  CompiledInSource* compiled_in_;  // owned by discovery_'s chain
+  Xml2Wire xml2wire_;
+  pbio::Decoder decoder_;
+};
+
+}  // namespace omf::core

@@ -1,0 +1,151 @@
+#include "core/discovery.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "http/http.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+#include "util/strings.hpp"
+#include "xml/parser.hpp"
+
+namespace omf::core {
+
+namespace {
+
+class HttpSource : public MetadataSource {
+public:
+  std::string name() const override { return "http"; }
+
+  std::optional<std::string> fetch(const std::string& locator) override {
+    if (!starts_with(locator, "http://")) return std::nullopt;
+    try {
+      http::Response resp = http::get(locator);
+      if (resp.status != 200) {
+        OMF_LOG_WARN("discovery", "http ", resp.status, " for ", locator);
+        return std::nullopt;
+      }
+      return std::move(resp.body);
+    } catch (const Error& e) {
+      OMF_LOG_WARN("discovery", "http fetch failed for ", locator, ": ",
+                   e.what());
+      return std::nullopt;
+    }
+  }
+};
+
+class FileSource : public MetadataSource {
+public:
+  std::string name() const override { return "file"; }
+
+  std::optional<std::string> fetch(const std::string& locator) override {
+    std::string path = locator;
+    if (starts_with(path, "file://")) {
+      path = path.substr(7);
+    } else if (path.find("://") != std::string::npos) {
+      return std::nullopt;  // some other scheme
+    }
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return std::nullopt;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<MetadataSource> make_http_source() {
+  return std::make_unique<HttpSource>();
+}
+
+std::unique_ptr<MetadataSource> make_file_source() {
+  return std::make_unique<FileSource>();
+}
+
+std::optional<std::string> CompiledInSource::fetch(const std::string& locator) {
+  std::lock_guard lock(mutex_);
+  auto it = documents_.find(locator);
+  if (it == documents_.end()) return std::nullopt;
+  return it->second;
+}
+
+void CompiledInSource::add(const std::string& locator,
+                           std::string document_text) {
+  std::lock_guard lock(mutex_);
+  documents_[locator] = std::move(document_text);
+}
+
+void DiscoveryManager::add_source(std::unique_ptr<MetadataSource> source) {
+  std::lock_guard lock(mutex_);
+  sources_.push_back(std::move(source));
+}
+
+std::shared_ptr<const xml::Document> DiscoveryManager::discover(
+    const std::string& locator) {
+  {
+    std::lock_guard lock(mutex_);
+    ++stats_.requests;
+    auto it = cache_.find(locator);
+    if (it != cache_.end()) {
+      ++stats_.cache_hits;
+      return it->second;
+    }
+    if (sources_.empty()) {
+      throw DiscoveryError("no metadata sources configured");
+    }
+  }
+
+  // Fetch outside the lock: sources may block on the network.
+  std::optional<std::string> text;
+  std::string provider;
+  std::size_t attempts = 0;
+  {
+    // Snapshot the chain; sources are add-only.
+    std::vector<MetadataSource*> chain;
+    {
+      std::lock_guard lock(mutex_);
+      for (const auto& s : sources_) chain.push_back(s.get());
+    }
+    for (MetadataSource* source : chain) {
+      ++attempts;
+      text = source->fetch(locator);
+      if (text) {
+        provider = source->name();
+        break;
+      }
+      OMF_LOG_INFO("discovery", "source '", source->name(),
+                   "' could not provide ", locator, "; trying next");
+    }
+  }
+  if (!text) {
+    throw DiscoveryError("no source could provide metadata for '" + locator +
+                         "' (" + std::to_string(attempts) + " sources tried)");
+  }
+
+  auto doc = std::make_shared<xml::Document>(xml::parse(*text));
+
+  std::lock_guard lock(mutex_);
+  stats_.fetches += attempts;
+  if (attempts > 1) ++stats_.fallbacks;
+  cache_[locator] = doc;
+  OMF_LOG_INFO("discovery", "discovered ", locator, " via ", provider);
+  return doc;
+}
+
+void DiscoveryManager::invalidate(const std::string& locator) {
+  std::lock_guard lock(mutex_);
+  cache_.erase(locator);
+}
+
+void DiscoveryManager::clear_cache() {
+  std::lock_guard lock(mutex_);
+  cache_.clear();
+}
+
+DiscoveryManager::Stats DiscoveryManager::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+}  // namespace omf::core

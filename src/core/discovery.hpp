@@ -1,0 +1,98 @@
+// Metadata discovery: locating the XML document that describes a format.
+//
+// The paper's architecture (§3, §4.1): discovery is an ordered chain of
+// sources — remote (HTTP URL), local file, and compiled-in documents — with
+// later sources acting as fault-tolerant fallbacks when earlier ones fail
+// ("a system that uses remote discovery as a primary discovery method and
+// compiled-in information as a fault-tolerant discovery method can provide
+// a useful, if degraded, level of functionality"). Discovered documents are
+// cached: discovery happens at stream-subscription time or when metadata
+// changes, never per message.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "xml/dom.hpp"
+
+namespace omf::core {
+
+/// One place metadata documents can come from.
+class MetadataSource {
+public:
+  virtual ~MetadataSource() = default;
+
+  /// Human-readable source kind ("http", "file", "compiled-in").
+  virtual std::string name() const = 0;
+
+  /// Returns the document text for `locator`, or nullopt if this source
+  /// cannot provide it (wrong scheme, missing file, network failure —
+  /// failures are soft; the chain tries the next source).
+  virtual std::optional<std::string> fetch(const std::string& locator) = 0;
+};
+
+/// Serves "http://..." locators via the HTTP client.
+std::unique_ptr<MetadataSource> make_http_source();
+
+/// Serves plain paths and "file://..." locators from the filesystem.
+std::unique_ptr<MetadataSource> make_file_source();
+
+/// Serves documents registered in-process — the compiled-in fallback. The
+/// returned pointer stays valid for registering documents; the unique_ptr
+/// owns it.
+class CompiledInSource : public MetadataSource {
+public:
+  std::string name() const override { return "compiled-in"; }
+  std::optional<std::string> fetch(const std::string& locator) override;
+
+  /// Registers a document under a locator (any string; typically the same
+  /// URL remote discovery would use, so the fallback is transparent).
+  void add(const std::string& locator, std::string document_text);
+
+private:
+  std::mutex mutex_;
+  std::map<std::string, std::string> documents_;
+};
+
+/// The discovery chain + parsed-document cache.
+class DiscoveryManager {
+public:
+  struct Stats {
+    std::size_t requests = 0;     ///< discover() calls
+    std::size_t cache_hits = 0;   ///< served from cache
+    std::size_t fetches = 0;      ///< source fetch attempts
+    std::size_t fallbacks = 0;    ///< a non-first source provided the document
+  };
+
+  DiscoveryManager() = default;
+  DiscoveryManager(const DiscoveryManager&) = delete;
+  DiscoveryManager& operator=(const DiscoveryManager&) = delete;
+
+  /// Appends a source; sources are tried in the order added.
+  void add_source(std::unique_ptr<MetadataSource> source);
+
+  /// Fetches and parses the document at `locator`, trying each source in
+  /// order; caches the parsed result. Throws DiscoveryError when every
+  /// source fails, ParseError when the fetched text is not well-formed XML.
+  std::shared_ptr<const xml::Document> discover(const std::string& locator);
+
+  /// Drops one cached document (e.g. after a metadata-change notification),
+  /// forcing re-fetch on next discovery.
+  void invalidate(const std::string& locator);
+
+  void clear_cache();
+
+  Stats stats() const;
+
+private:
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<MetadataSource>> sources_;
+  std::map<std::string, std::shared_ptr<const xml::Document>> cache_;
+  Stats stats_;
+};
+
+}  // namespace omf::core

@@ -1,0 +1,40 @@
+#include "core/gateway.hpp"
+
+#include "pbio/encode.hpp"
+#include "pbio/synth.hpp"
+#include "util/error.hpp"
+
+namespace omf::core {
+
+Gateway::Gateway(pbio::FormatRegistry& registry, pbio::FormatHandle staging,
+                 pbio::FormatHandle target)
+    : decoder_(registry),
+      staging_(std::move(staging)),
+      target_(std::move(target)),
+      scratch_(staging_) {
+  if (!staging_ || !target_) {
+    throw FormatError("gateway: null format handle");
+  }
+  if (!(staging_->profile() == arch::native())) {
+    throw FormatError("gateway: the staging format must be native-profile");
+  }
+}
+
+Buffer Gateway::convert(std::span<const std::uint8_t> message) {
+  if (pbio::Decoder::peek_format_id(message) == target_->id()) {
+    ++passed_through_;
+    Buffer copy(message.size());
+    copy.append(message);
+    return copy;
+  }
+  scratch_.from_wire(decoder_, message);
+  ++converted_;
+  if (target_->id() == staging_->id()) {
+    // Target is this machine's own format: the ordinary encoder is the
+    // fastest way to produce it.
+    return pbio::encode(*staging_, scratch_.data());
+  }
+  return pbio::synthesize_wire(*target_, scratch_);
+}
+
+}  // namespace omf::core

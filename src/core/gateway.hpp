@@ -1,0 +1,51 @@
+// Gateway re-encoding: converting messages between architecture-specific
+// wire formats at an intermediary.
+//
+// Most NDR deployments never convert in the middle — the receiver makes
+// right. But §4.4's format-scoping broker, and any bridge feeding a fleet
+// of identical thin clients, may prefer to burn broker CPU once instead of
+// client CPU N times: take an incoming message in whatever format the
+// producer used, and re-emit it as the byte-exact message a sender on the
+// *client's* architecture would have produced, so every client takes its
+// zero-copy homogeneous path.
+//
+// Built entirely from existing pieces: plan-driven decode into a
+// DynamicRecord, then wire synthesis for the target format.
+#pragma once
+
+#include "pbio/decode.hpp"
+#include "pbio/format.hpp"
+#include "pbio/record.hpp"
+
+namespace omf::core {
+
+class Gateway {
+public:
+  /// `registry` must know (or learn, via discovery/format service) every
+  /// wire format the gateway will see. `staging` is the native-profile
+  /// format records are staged through; `target` is the outgoing wire
+  /// format (any profile). Fields are matched by name in both hops.
+  Gateway(pbio::FormatRegistry& registry, pbio::FormatHandle staging,
+          pbio::FormatHandle target);
+
+  /// Converts one message. Throws DecodeError/FormatError per the decode
+  /// and synthesis rules.
+  Buffer convert(std::span<const std::uint8_t> message);
+
+  /// Messages converted so far.
+  std::size_t converted() const noexcept { return converted_; }
+
+  /// Fast-path statistics: messages already in the target format are
+  /// passed through untouched (no decode, no re-encode).
+  std::size_t passed_through() const noexcept { return passed_through_; }
+
+private:
+  pbio::Decoder decoder_;
+  pbio::FormatHandle staging_;
+  pbio::FormatHandle target_;
+  pbio::DynamicRecord scratch_;
+  std::size_t converted_ = 0;
+  std::size_t passed_through_ = 0;
+};
+
+}  // namespace omf::core

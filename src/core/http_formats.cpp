@@ -1,0 +1,74 @@
+#include "core/http_formats.hpp"
+
+#include "arch/profile.hpp"
+#include "pbio/metaserde.hpp"
+#include "schema/generator.hpp"
+#include "util/error.hpp"
+
+namespace omf::core {
+
+std::string format_id_hex(pbio::FormatId id) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[id & 0xF];
+    id >>= 4;
+  }
+  return out;
+}
+
+HttpFormatPublisher::HttpFormatPublisher(http::Server& server,
+                                         std::string prefix)
+    : server_(&server), prefix_(std::move(prefix)) {
+  if (prefix_.empty() || prefix_.front() != '/' || prefix_.back() != '/') {
+    throw Error("format publisher prefix must start and end with '/'");
+  }
+}
+
+std::string HttpFormatPublisher::publish(const pbio::Format& format) {
+  std::string hex = format_id_hex(format.id());
+
+  Buffer bundle = pbio::serialize_format_bundle(format);
+  server_->put_document(
+      prefix_ + hex,
+      std::string(reinterpret_cast<const char*>(bundle.data()),
+                  bundle.size()),
+      "application/octet-stream");
+
+  if (format.profile() == arch::native()) {
+    // The open, human-readable rendition (only meaningful where the XSD
+    // type names map cleanly, i.e. this machine's ABI).
+    server_->put_document(prefix_ + hex + ".xml",
+                          schema::generate_schema_text(format), "text/xml");
+  }
+  return server_->url_for(prefix_ + hex);
+}
+
+pbio::FormatHandle HttpFormatResolver::resolve(pbio::FormatRegistry& registry,
+                                               pbio::FormatId id) const {
+  http::Response resp = http::get(base_url_ + format_id_hex(id));
+  if (resp.status == 404) return nullptr;
+  if (resp.status != 200) {
+    throw TransportError("format server returned HTTP " +
+                         std::to_string(resp.status));
+  }
+  return pbio::deserialize_format_bundle(
+      registry, {reinterpret_cast<const std::uint8_t*>(resp.body.data()),
+                 resp.body.size()});
+}
+
+void HttpFormatResolver::decode_resolving(
+    pbio::Decoder& decoder, pbio::FormatRegistry& registry,
+    std::span<const std::uint8_t> message, const pbio::Format& native,
+    void* out_struct, pbio::DecodeArena& arena) const {
+  pbio::FormatId id = pbio::Decoder::peek_format_id(message);
+  if (!registry.by_id(id)) {
+    if (!resolve(registry, id)) {
+      throw FormatError("wire format " + format_id_hex(id) +
+                        " is unknown locally and to the format server");
+    }
+  }
+  decoder.decode(message, native, out_struct, arena);
+}
+
+}  // namespace omf::core

@@ -1,0 +1,74 @@
+// Format metadata over HTTP (the paper's future-work item: "a format
+// registration mechanism on top of PBIO that incorporates the HTTP
+// protocol so that the XML descriptions of PBIO formats can be retrieved
+// from remote locations in the same manner that web browsers retrieve
+// other XML documents").
+//
+// Two representations are published per format, at stable URLs derived
+// from the format id:
+//   <prefix><16-hex-id>       binary metadata bundle (self-contained,
+//                             includes nested subformats)
+//   <prefix><16-hex-id>.xml   the XML Schema document (human-readable,
+//                             native-profile formats only)
+//
+// HttpFormatResolver gives receivers the missing half of the unknown-id
+// story: peek the id off an undecodable message, GET the bundle, register,
+// decode — without the custom TCP protocol of transport::FormatService.
+#pragma once
+
+#include <string>
+
+#include "http/http.hpp"
+#include "pbio/decode.hpp"
+#include "pbio/format.hpp"
+
+namespace omf::core {
+
+/// Formats a format id as the 16-digit lowercase hex used in URLs.
+std::string format_id_hex(pbio::FormatId id);
+
+/// Publishes formats on an existing HTTP server.
+class HttpFormatPublisher {
+public:
+  explicit HttpFormatPublisher(http::Server& server,
+                               std::string prefix = "/formats/");
+
+  /// Publishes the binary bundle (and, for native-profile formats, the XML
+  /// Schema rendition). Returns the bundle URL.
+  std::string publish(const pbio::Format& format);
+
+  const std::string& prefix() const noexcept { return prefix_; }
+
+private:
+  http::Server* server_;
+  std::string prefix_;
+};
+
+/// Fetches format bundles by id from a publisher's URL space.
+class HttpFormatResolver {
+public:
+  /// `base_url` is the publisher's prefix URL, e.g.
+  /// "http://127.0.0.1:8080/formats/".
+  explicit HttpFormatResolver(std::string base_url)
+      : base_url_(std::move(base_url)) {}
+
+  /// Fetches and registers the format for `id`. Returns nullptr when the
+  /// server does not know the id; throws TransportError when the server is
+  /// unreachable and DecodeError on corrupt bundles.
+  pbio::FormatHandle resolve(pbio::FormatRegistry& registry,
+                             pbio::FormatId id) const;
+
+  /// Decodes `message` into `out_struct`, resolving the wire format over
+  /// HTTP first if the registry does not know it. The convenience wrapper
+  /// for receive loops. Throws FormatError if resolution fails.
+  void decode_resolving(pbio::Decoder& decoder,
+                        pbio::FormatRegistry& registry,
+                        std::span<const std::uint8_t> message,
+                        const pbio::Format& native, void* out_struct,
+                        pbio::DecodeArena& arena) const;
+
+private:
+  std::string base_url_;
+};
+
+}  // namespace omf::core

@@ -1,0 +1,170 @@
+#include "core/scoping.hpp"
+
+#include <mutex>
+
+#include "schema/generator.hpp"
+#include "schema/reader.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace omf::core {
+
+ScopePolicy& ScopePolicy::allow(const std::string& audience,
+                                const std::string& type,
+                                const std::string& element) {
+  rules_[audience][type].elements.insert(element);
+  return *this;
+}
+
+ScopePolicy& ScopePolicy::allow_all(const std::string& audience,
+                                    const std::string& type) {
+  rules_[audience][type].all = true;
+  return *this;
+}
+
+bool ScopePolicy::visible(const std::string& audience, const std::string& type,
+                          const std::string& element) const {
+  auto audience_it = rules_.find(audience);
+  if (audience_it == rules_.end()) return default_visible_;
+  auto type_it = audience_it->second.find(type);
+  if (type_it == audience_it->second.end()) return false;
+  return type_it->second.all ||
+         type_it->second.elements.count(element) != 0;
+}
+
+bool ScopePolicy::has_rules_for(const std::string& audience) const {
+  return rules_.count(audience) != 0;
+}
+
+schema::SchemaDocument scope_schema(const schema::SchemaDocument& doc,
+                                    const ScopePolicy& policy,
+                                    const std::string& audience) {
+  using schema::Occurs;
+  using schema::SchemaElement;
+  using schema::SchemaType;
+
+  schema::SchemaDocument out;
+  out.target_namespace = doc.target_namespace;
+  out.documentation = doc.documentation;
+  out.simple_types = doc.simple_types;
+
+  // Pass 1: per-type visible element sets (policy only).
+  // Pass 2 (iterate to fixpoint): drop elements whose nested type has
+  // become empty, then drop empty types, until stable.
+  std::map<std::string, std::vector<SchemaElement>> kept;
+  for (const SchemaType& type : doc.types) {
+    std::vector<SchemaElement> elements;
+    for (const SchemaElement& e : type.elements) {
+      if (policy.visible(audience, type.name, e.name)) {
+        elements.push_back(e);
+      }
+    }
+    // Force-include count elements of visible dynamic arrays.
+    for (const SchemaElement& e : type.elements) {
+      if (e.occurs.kind != Occurs::Kind::kDynamicSized) continue;
+      bool array_kept = false;
+      bool count_kept = false;
+      for (const SchemaElement& k : elements) {
+        if (k.name == e.name) array_kept = true;
+        if (k.name == e.occurs.size_field) count_kept = true;
+      }
+      if (array_kept && !count_kept) {
+        const SchemaElement* count = type.element_named(e.occurs.size_field);
+        if (count != nullptr) elements.push_back(*count);
+      }
+    }
+    kept[type.name] = std::move(elements);
+  }
+
+  for (bool changed = true; changed;) {
+    changed = false;
+    for (auto& [type_name, elements] : kept) {
+      for (auto it = elements.begin(); it != elements.end();) {
+        bool drop = false;
+        if (!it->is_primitive) {
+          auto nested = kept.find(it->user_type);
+          drop = nested == kept.end() || nested->second.empty();
+        }
+        if (drop) {
+          it = elements.erase(it);
+          changed = true;
+        } else {
+          ++it;
+        }
+      }
+    }
+  }
+
+  for (const SchemaType& type : doc.types) {
+    auto& elements = kept[type.name];
+    if (elements.empty()) continue;
+    SchemaType scoped;
+    scoped.name = type.name;
+    scoped.documentation = type.documentation;
+    scoped.elements = std::move(elements);
+    out.types.push_back(std::move(scoped));
+  }
+
+  if (out.types.empty()) {
+    throw FormatError("audience '" + audience +
+                      "' has no visible elements in this document");
+  }
+  return out;
+}
+
+struct ScopedMetadataServer::Shared {
+  std::mutex mutex;
+  std::map<std::string, schema::SchemaDocument> documents;
+};
+
+ScopedMetadataServer::ScopedMetadataServer(http::Server& server,
+                                           ScopePolicy policy)
+    : server_(&server),
+      policy_(std::move(policy)),
+      shared_(std::make_shared<Shared>()) {
+  // The handler co-owns the document map and holds a copy of the policy so
+  // it stays valid for the server's lifetime.
+  auto shared = shared_;
+  auto held_policy = policy_;
+  server.set_handler(
+      [shared, held_policy](
+          const std::string& path) -> std::optional<std::string> {
+        std::size_t q = path.find('?');
+        std::string bare = path.substr(0, q);
+        std::string audience;
+        if (q != std::string::npos) {
+          // Hoisted: split() returns views into this string, which must
+          // outlive the loop (C++20 range-for does not extend inner
+          // temporaries).
+          std::string query = path.substr(q + 1);
+          for (std::string_view param : split(query, '&')) {
+            if (starts_with(param, "audience=")) {
+              audience = std::string(param.substr(9));
+            }
+          }
+        }
+        std::lock_guard lock(shared->mutex);
+        auto it = shared->documents.find(bare);
+        if (it == shared->documents.end()) return std::nullopt;
+        try {
+          return schema::write_schema_text(
+              scope_schema(it->second, held_policy, audience));
+        } catch (const Error&) {
+          return std::nullopt;  // nothing visible -> 404
+        }
+      });
+}
+
+void ScopedMetadataServer::add_document(const std::string& path,
+                                        const std::string& schema_text) {
+  schema::SchemaDocument doc = schema::read_schema_text(schema_text);
+  std::lock_guard lock(shared_->mutex);
+  shared_->documents[path] = std::move(doc);
+}
+
+std::string ScopedMetadataServer::url_for(const std::string& path,
+                                          const std::string& audience) const {
+  return server_->url_for(path) + "?audience=" + audience;
+}
+
+}  // namespace omf::core

@@ -1,0 +1,96 @@
+// Format scoping (paper §4.4).
+//
+// "The server can also be extended to dynamically generate metadata ...
+// based on information such as requestor location or authentication
+// credentials. With sufficient support from the BCM, this ability can
+// introduce 'format-scoping' behaviors where certain 'slices' of each
+// information stream are exposed or hidden based on attributes of each
+// subscribing application."
+//
+// A ScopePolicy says which elements of which complexTypes an audience may
+// see; scope_schema() carves that slice out of a full metadata document.
+// The BCM support the paper alludes to is PBIO's evolution machinery: a
+// subscriber holding the scoped format decodes full-format messages with
+// the hidden fields simply absent, so the publisher never re-encodes.
+//
+// ScopedMetadataServer wires a policy into the HTTP metadata server: GET
+// /path?audience=NAME returns the slice for NAME (unknown audiences get
+// the empty-by-default or full-by-default view, per policy configuration).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "http/http.hpp"
+#include "schema/model.hpp"
+
+namespace omf::core {
+
+/// Visibility rules keyed by (audience, complexType).
+class ScopePolicy {
+public:
+  /// Audiences with no rules see everything (true) or nothing (false).
+  explicit ScopePolicy(bool default_visible = false)
+      : default_visible_(default_visible) {}
+
+  /// Makes one element of `type` visible to `audience`.
+  ScopePolicy& allow(const std::string& audience, const std::string& type,
+                     const std::string& element);
+
+  /// Makes every element of `type` (present and future) visible.
+  ScopePolicy& allow_all(const std::string& audience, const std::string& type);
+
+  bool visible(const std::string& audience, const std::string& type,
+               const std::string& element) const;
+
+  /// True if the audience has any rule at all (otherwise the default
+  /// visibility applies).
+  bool has_rules_for(const std::string& audience) const;
+
+private:
+  struct TypeRule {
+    bool all = false;
+    std::set<std::string> elements;
+  };
+  bool default_visible_;
+  std::map<std::string, std::map<std::string, TypeRule>> rules_;
+};
+
+/// Returns the audience's slice of `doc`:
+///  * invisible elements are removed;
+///  * count elements referenced by a visible dynamic array are force-kept
+///    (the wire needs them);
+///  * elements whose nested type ends up with no visible elements are
+///    removed, and such types are dropped entirely;
+///  * simpleTypes are kept as-is (they carry no data).
+/// Throws FormatError if nothing remains visible (an audience with no
+/// access should get an HTTP 404, not an empty schema).
+schema::SchemaDocument scope_schema(const schema::SchemaDocument& doc,
+                                    const ScopePolicy& policy,
+                                    const std::string& audience);
+
+/// Dynamic metadata generation on top of http::Server: serves
+/// `GET <path>?audience=NAME` with the scoped slice of the document
+/// registered at `path`. Unscoped paths fall through to the server's
+/// static documents.
+class ScopedMetadataServer {
+public:
+  ScopedMetadataServer(http::Server& server, ScopePolicy policy);
+
+  /// Registers a full document (parsed once) to be served scoped.
+  void add_document(const std::string& path, const std::string& schema_text);
+
+  /// The URL a subscriber with the given audience should discover from.
+  std::string url_for(const std::string& path,
+                      const std::string& audience) const;
+
+private:
+  struct Shared;  // document map + mutex, co-owned by the HTTP handler
+  http::Server* server_;
+  ScopePolicy policy_;
+  std::shared_ptr<Shared> shared_;
+};
+
+}  // namespace omf::core

@@ -1,0 +1,65 @@
+#include "core/stream.hpp"
+
+#include "pbio/decode.hpp"
+#include "util/logging.hpp"
+
+namespace omf::core {
+
+StreamSubscriber::StreamSubscriber(Context& ctx,
+                                   transport::EventBackbone& backbone,
+                                   const std::string& channel,
+                                   const std::string& type_name)
+    : ctx_(&ctx), channel_(channel), type_name_(type_name) {
+  auto locator = backbone.metadata_locator(channel);
+  if (!locator) {
+    throw DiscoveryError("channel '" + channel +
+                         "' has not announced a metadata locator");
+  }
+  locator_ = *locator;
+  // Subscribe before discovery so no message published during the
+  // (possibly remote) metadata fetch is missed.
+  subscription_ = backbone.subscribe(channel);
+  format_ = ctx.discover_format(locator_, type_name);
+}
+
+pbio::DynamicRecord StreamSubscriber::decode(const Buffer& message) {
+  pbio::FormatId id = pbio::Decoder::peek_format_id(message.span());
+  if (!ctx_->registry().by_id(id)) {
+    // Unknown wire format: the stream's metadata changed, or the sender
+    // has a different ABI. React at run time, as §4.3 prescribes.
+    OMF_LOG_INFO("stream", "channel '", channel_, "': unknown wire format ",
+                 id, "; re-discovering metadata");
+    ++rediscoveries_;
+    ctx_->discovery().invalidate(locator_);
+    ctx_->discover_and_register(locator_);
+    if (auto latest = ctx_->registry().by_name(type_name_)) {
+      format_ = latest;  // adopt the newest native view of the type
+    }
+    if (!ctx_->registry().by_id(id) && fallback_) {
+      fallback_(ctx_->registry(), id);
+    }
+    if (!ctx_->registry().by_id(id)) {
+      throw FormatError("channel '" + channel_ + "': wire format " +
+                        std::to_string(id) +
+                        " could not be resolved from '" + locator_ +
+                        "' or the configured fallback");
+    }
+  }
+  pbio::DynamicRecord record(format_);
+  record.from_wire(ctx_->decoder(), message.span());
+  return record;
+}
+
+std::optional<pbio::DynamicRecord> StreamSubscriber::receive() {
+  auto message = subscription_.receive();
+  if (!message) return std::nullopt;
+  return decode(*message);
+}
+
+std::optional<pbio::DynamicRecord> StreamSubscriber::try_receive() {
+  auto message = subscription_.try_receive();
+  if (!message) return std::nullopt;
+  return decode(*message);
+}
+
+}  // namespace omf::core

@@ -1,0 +1,68 @@
+// Metadata-aware stream subscription.
+//
+// Packages the subscriber-side lifecycle the paper describes: at
+// subscription time, discover the channel's announced metadata and
+// register it; per message, decode into the subscriber's native view; when
+// a message arrives in an unknown wire format (the stream's metadata
+// changed, or the sender runs a different ABI), react at run time —
+// re-discover the XML document, then fall back to a caller-provided
+// resolver (format service / HTTP format server) — and continue. No
+// recompilation, no downtime.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "core/context.hpp"
+#include "transport/backbone.hpp"
+
+namespace omf::core {
+
+class StreamSubscriber {
+public:
+  /// Resolves a wire format id the XML metadata didn't cover (e.g. a
+  /// foreign-architecture sender). Returns true if the id is now in the
+  /// registry. See HttpFormatResolver / transport::FormatServiceClient.
+  using FormatFallback =
+      std::function<bool(pbio::FormatRegistry&, pbio::FormatId)>;
+
+  /// Subscribes to `channel` and discovers its announced metadata. The
+  /// channel must have a metadata locator announced (DiscoveryError
+  /// otherwise). `type_name` is the complexType to bind.
+  StreamSubscriber(Context& ctx, transport::EventBackbone& backbone,
+                   const std::string& channel, const std::string& type_name);
+
+  /// Installs the unknown-id fallback.
+  void set_format_fallback(FormatFallback fallback) {
+    fallback_ = std::move(fallback);
+  }
+
+  /// Blocking receive+decode; nullopt when the channel closes. Throws
+  /// FormatError when a message's format cannot be resolved by any means.
+  std::optional<pbio::DynamicRecord> receive();
+
+  /// Non-blocking variant.
+  std::optional<pbio::DynamicRecord> try_receive();
+
+  /// The subscriber's current native view of the stream's type (updates
+  /// after a metadata-change re-discovery).
+  const pbio::FormatHandle& format() const noexcept { return format_; }
+
+  /// How many times metadata had to be re-discovered or resolved.
+  std::size_t rediscoveries() const noexcept { return rediscoveries_; }
+
+private:
+  pbio::DynamicRecord decode(const Buffer& message);
+
+  Context* ctx_;
+  std::string channel_;
+  std::string locator_;
+  std::string type_name_;
+  transport::EventBackbone::Subscription subscription_;
+  pbio::FormatHandle format_;
+  FormatFallback fallback_;
+  std::size_t rediscoveries_ = 0;
+};
+
+}  // namespace omf::core

@@ -1,0 +1,130 @@
+#include "core/xml2wire.hpp"
+
+#include "schema/reader.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+#include "xml/parser.hpp"
+
+namespace omf::core {
+
+namespace {
+
+using schema::Occurs;
+using schema::SchemaElement;
+using schema::XsdPrimitive;
+
+/// Maps a primitive to its PBIO base type and width on `profile`.
+void map_primitive(XsdPrimitive prim, const arch::Profile& profile,
+                   std::string& base, std::size_t& size) {
+  switch (prim) {
+    case XsdPrimitive::kString: base = "string"; size = 0; return;
+    case XsdPrimitive::kInt: base = "integer"; size = profile.int_size; return;
+    case XsdPrimitive::kLong: base = "integer"; size = profile.long_size; return;
+    case XsdPrimitive::kShort: base = "integer"; size = 2; return;
+    case XsdPrimitive::kByte: base = "integer"; size = 1; return;
+    case XsdPrimitive::kUnsignedInt:
+      base = "unsigned"; size = profile.int_size; return;
+    case XsdPrimitive::kUnsignedLong:
+      base = "unsigned"; size = profile.long_size; return;
+    case XsdPrimitive::kUnsignedShort: base = "unsigned"; size = 2; return;
+    case XsdPrimitive::kUnsignedByte: base = "unsigned"; size = 1; return;
+    case XsdPrimitive::kFloat: base = "float"; size = 4; return;
+    case XsdPrimitive::kDouble: base = "float"; size = 8; return;
+    case XsdPrimitive::kBoolean: base = "unsigned"; size = 1; return;
+    case XsdPrimitive::kChar: base = "char"; size = 1; return;
+  }
+  throw FormatError("unmapped primitive");
+}
+
+}  // namespace
+
+pbio::FormatHandle Xml2Wire::register_type(const schema::SchemaType& type) {
+  std::vector<pbio::FieldSpec> specs;
+  specs.reserve(type.elements.size() + 2);
+
+  for (const SchemaElement& elem : type.elements) {
+    pbio::FieldSpec spec;
+    spec.name = elem.name;
+    spec.element_size = 0;
+    spec.default_text = elem.default_value;
+
+    std::string base;
+    if (elem.is_primitive) {
+      map_primitive(elem.primitive, profile_, base, spec.element_size);
+      if (base == "string" && elem.occurs.kind != Occurs::Kind::kScalar) {
+        throw FormatError("complexType '" + type.name + "': element '" +
+                          elem.name +
+                          "': arrays of strings are not supported");
+      }
+    } else {
+      // Composition by nesting: the referenced type must already be in the
+      // Catalog for this profile.
+      if (!registry_->by_name_profile(elem.user_type, profile_)) {
+        throw FormatError("complexType '" + type.name + "': element '" +
+                          elem.name + "' references type '" + elem.user_type +
+                          "', which has not been registered yet (define it "
+                          "earlier in the document or register it first)");
+      }
+      base = elem.user_type;
+    }
+
+    bool synthesize_count = false;
+    std::string count_name;
+    switch (elem.occurs.kind) {
+      case Occurs::Kind::kScalar:
+        spec.type = base;
+        break;
+      case Occurs::Kind::kStatic:
+        spec.type = base + "[" + std::to_string(elem.occurs.count) + "]";
+        break;
+      case Occurs::Kind::kDynamicSized:
+        spec.type = base + "[" + elem.occurs.size_field + "]";
+        break;
+      case Occurs::Kind::kDynamicUnbounded:
+        count_name = implicit_count_name(elem.name);
+        spec.type = base + "[" + count_name + "]";
+        // If the schema already declares an element with the conventional
+        // name, use it instead of synthesizing a duplicate.
+        synthesize_count = type.element_named(count_name) == nullptr;
+        break;
+    }
+    specs.push_back(std::move(spec));
+
+    if (synthesize_count) {
+      pbio::FieldSpec count;
+      count.name = count_name;
+      count.type = "integer";
+      count.element_size = profile_.int_size;
+      specs.push_back(std::move(count));
+    }
+  }
+
+  pbio::FormatHandle handle =
+      registry_->register_computed(type.name, specs, profile_);
+  OMF_LOG_DEBUG("xml2wire", "registered '", type.name, "' (", profile_.name,
+                "), ", handle->fields().size(), " fields, struct size ",
+                handle->struct_size(), ", id ", handle->id());
+  return handle;
+}
+
+std::vector<pbio::FormatHandle> Xml2Wire::register_schema(
+    const schema::SchemaDocument& doc) {
+  std::vector<pbio::FormatHandle> out;
+  out.reserve(doc.types.size());
+  for (const schema::SchemaType& type : doc.types) {
+    out.push_back(register_type(type));
+  }
+  return out;
+}
+
+std::vector<pbio::FormatHandle> Xml2Wire::register_document(
+    const xml::Document& doc) {
+  return register_schema(schema::read_schema(doc));
+}
+
+std::vector<pbio::FormatHandle> Xml2Wire::register_text(
+    std::string_view xml_text) {
+  return register_document(xml::parse(xml_text));
+}
+
+}  // namespace omf::core

@@ -1,0 +1,67 @@
+// xml2wire: the paper's primary contribution.
+//
+// Converts XML Schema metadata documents into registered PBIO formats. Two
+// modules, as in the paper (§4.2.1): the parsing module (src/xml +
+// src/schema) builds an internal representation of each format; this module
+// converts that representation into the native metadata of the underlying
+// BCM (PBIO) and registers it, computing per-architecture field sizes and
+// offsets the same way the target machine's C compiler would.
+//
+// Field size is *not* present in the XML metadata — "integer" is whatever
+// width the target profile's C int has — which is exactly the architecture
+// independence the paper claims for run-time (vs compile-time) metadata
+// tools. Offsets come from the profile's struct-layout rules (the paper
+// used a C++ template over each concrete type; a run-time layout calculator
+// is the equivalent for formats that exist only as metadata).
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "arch/profile.hpp"
+#include "pbio/format.hpp"
+#include "schema/model.hpp"
+#include "xml/dom.hpp"
+
+namespace omf::core {
+
+class Xml2Wire {
+public:
+  /// Registers formats into `registry` (which must outlive this object),
+  /// laid out for `profile` — the native profile for real use; a foreign
+  /// profile to model what a remote sender would register.
+  explicit Xml2Wire(pbio::FormatRegistry& registry,
+                    const arch::Profile& profile = arch::native())
+      : registry_(&registry), profile_(profile) {}
+
+  /// Parses a metadata document and registers every complexType, in
+  /// document order (so later types can nest earlier ones). Returns the
+  /// registered formats, one per complexType.
+  std::vector<pbio::FormatHandle> register_document(const xml::Document& doc);
+
+  /// Convenience: parse text, then register_document.
+  std::vector<pbio::FormatHandle> register_text(std::string_view xml_text);
+
+  /// Registers every type of an already-read schema.
+  std::vector<pbio::FormatHandle> register_schema(
+      const schema::SchemaDocument& doc);
+
+  /// Registers one type. Referenced user types must already be registered
+  /// (in this document earlier, or previously) — the Catalog discipline of
+  /// the paper. Throws FormatError otherwise.
+  pbio::FormatHandle register_type(const schema::SchemaType& type);
+
+  const arch::Profile& profile() const noexcept { return profile_; }
+  pbio::FormatRegistry& registry() const noexcept { return *registry_; }
+
+  /// Name used for the synthesized count field of a maxOccurs="*" array.
+  static std::string implicit_count_name(std::string_view element_name) {
+    return std::string(element_name) + "_count";
+  }
+
+private:
+  pbio::FormatRegistry* registry_;
+  arch::Profile profile_;
+};
+
+}  // namespace omf::core

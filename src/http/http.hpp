@@ -1,0 +1,93 @@
+// Minimal HTTP/1.0 server and client, sufficient for the paper's remote
+// metadata discovery: GET a small XML document from an intranet server.
+//
+// The server serves documents from an in-memory path map (optionally backed
+// by a directory) on a background thread; the client issues one GET per
+// call. Loopback only. This is deliberately not a general web server — it
+// is the metadata repository of Figure 3.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "transport/tcp.hpp"
+
+namespace omf::http {
+
+struct Response {
+  int status = 0;
+  std::string reason;
+  std::map<std::string, std::string> headers;  // lower-cased names
+  std::string body;
+};
+
+/// Parses "http://host:port/path" (host must be a loopback name/address in
+/// this reproduction). Throws omf::Error on malformed URLs.
+struct Url {
+  std::string host;
+  std::uint16_t port = 80;
+  std::string path;  // always begins with '/'
+
+  static Url parse(const std::string& url);
+};
+
+/// Issues a blocking GET. Throws TransportError on network failure; HTTP
+/// errors come back as the response's status.
+Response get(const Url& url);
+Response get(const std::string& url);
+
+/// Tiny document server.
+class Server {
+public:
+  /// Binds 127.0.0.1:`port` (0 = ephemeral) and serves on a background
+  /// thread until stop()/destruction.
+  explicit Server(std::uint16_t port = 0);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  std::uint16_t port() const noexcept { return listener_.port(); }
+
+  /// Registers a document at `path` (must start with '/').
+  void put_document(const std::string& path, std::string body,
+                    std::string content_type = "text/xml");
+
+  /// Removes a document (subsequent GETs return 404).
+  void remove_document(const std::string& path);
+
+  /// Registers a dynamic handler: called with the request path *including*
+  /// any query string; returning nullopt yields a 404. Handlers take
+  /// precedence over static documents (this is how the paper's
+  /// "dynamically generated metadata" / format-scoping server works).
+  using Handler = std::function<std::optional<std::string>(const std::string&)>;
+  void set_handler(Handler handler);
+
+  /// URL for a path on this server.
+  std::string url_for(const std::string& path) const;
+
+  /// Total requests served (diagnostics).
+  std::size_t request_count() const noexcept { return requests_.load(); }
+
+  void stop();
+
+private:
+  void serve();
+  void handle(transport::TcpConnection conn);
+
+  transport::TcpListener listener_;
+  std::atomic<bool> running_{true};
+  std::atomic<std::size_t> requests_{0};
+  mutable std::mutex mutex_;
+  std::map<std::string, std::pair<std::string, std::string>> documents_;
+  Handler handler_;
+  std::thread thread_;
+};
+
+}  // namespace omf::http

@@ -1,0 +1,96 @@
+// Bump allocator backing the variable-length parts of decoded records.
+//
+// A decoded record's struct memory is caller-owned, but its strings and
+// dynamic arrays need storage the decoder allocates; they live in a
+// DecodeArena whose lifetime the caller controls. Allocations are stable
+// (never move) and are freed all at once, which matches the
+// decode-use-discard pattern of message processing loops.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+namespace omf::pbio {
+
+class DecodeArena {
+public:
+  DecodeArena() = default;
+  DecodeArena(const DecodeArena&) = delete;
+  DecodeArena& operator=(const DecodeArena&) = delete;
+
+  /// Returns `n` bytes aligned to `align` (a power of two, at most 16).
+  /// The memory is UNINITIALIZED and valid until clear()/destruction.
+  void* allocate(std::size_t n, std::size_t align = alignof(std::max_align_t)) {
+    if (n == 0) n = 1;
+    std::size_t aligned_used = (used_ + align - 1) & ~(align - 1);
+    if (current_ == nullptr || aligned_used + n > current_capacity_) {
+      new_chunk(n);
+      aligned_used = 0;  // fresh chunks are max-aligned
+    }
+    void* p = current_ + aligned_used;
+    used_ = aligned_used + n;
+    return p;
+  }
+
+  /// Copies `n` bytes into the arena and returns the copy.
+  void* copy(const void* src, std::size_t n, std::size_t align = 1) {
+    void* p = allocate(n, align);
+    std::memcpy(p, src, n);
+    return p;
+  }
+
+  /// Copies a NUL-terminated region of length `len` (adds the NUL).
+  char* copy_string(const char* src, std::size_t len) {
+    char* p = static_cast<char*>(allocate(len + 1, 1));
+    std::memcpy(p, src, len);
+    p[len] = '\0';
+    return p;
+  }
+
+  /// Releases all memory; previously returned pointers become invalid.
+  void clear() {
+    chunks_.clear();
+    current_ = nullptr;
+    current_capacity_ = 0;
+    used_ = 0;
+    next_chunk_size_ = kDefaultChunk;
+  }
+
+  /// Total bytes currently reserved (for tests and capacity diagnostics).
+  std::size_t reserved_bytes() const noexcept {
+    std::size_t total = 0;
+    for (const auto& c : chunks_) total += c.size;
+    return total;
+  }
+
+private:
+  static constexpr std::size_t kDefaultChunk = 4096;
+
+  struct Chunk {
+    std::unique_ptr<std::uint8_t[]> data;
+    std::size_t size;
+  };
+
+  void new_chunk(std::size_t at_least) {
+    std::size_t size = next_chunk_size_;
+    while (size < at_least) size *= 2;
+    chunks_.push_back(Chunk{std::make_unique<std::uint8_t[]>(size), size});
+    current_ = chunks_.back().data.get();
+    current_capacity_ = size;
+    used_ = 0;
+    // Grow geometrically so records with many strings don't allocate a
+    // chunk per string.
+    if (next_chunk_size_ < 1 << 20) next_chunk_size_ *= 2;
+  }
+
+  std::vector<Chunk> chunks_;
+  std::uint8_t* current_ = nullptr;
+  std::size_t current_capacity_ = 0;
+  std::size_t used_ = 0;
+  std::size_t next_chunk_size_ = kDefaultChunk;
+};
+
+}  // namespace omf::pbio

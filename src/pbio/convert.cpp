@@ -1,0 +1,388 @@
+#include "pbio/convert.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace omf::pbio {
+
+namespace {
+
+/// Loads an integer element of 1/2/4/8 bytes with optional swap and sign
+/// extension into a 64-bit value.
+std::uint64_t load_int(const std::uint8_t* p, std::size_t size, bool swap,
+                       bool sign_extend) noexcept {
+  std::uint64_t v = 0;
+  switch (size) {
+    case 1: v = *p; break;
+    case 2: {
+      std::uint16_t x;
+      std::memcpy(&x, p, 2);
+      if (swap) x = byteswap(x);
+      v = x;
+      break;
+    }
+    case 4: {
+      std::uint32_t x;
+      std::memcpy(&x, p, 4);
+      if (swap) x = byteswap(x);
+      v = x;
+      break;
+    }
+    default: {
+      std::uint64_t x;
+      std::memcpy(&x, p, 8);
+      if (swap) x = byteswap(x);
+      v = x;
+      break;
+    }
+  }
+  if (sign_extend && size < 8) {
+    std::uint64_t sign_bit = 1ull << (size * 8 - 1);
+    if (v & sign_bit) {
+      v |= ~((sign_bit << 1) - 1);
+    }
+  }
+  return v;
+}
+
+/// Stores the low `size` bytes of a 64-bit value in host order.
+void store_int(std::uint8_t* p, std::size_t size, std::uint64_t v) noexcept {
+  switch (size) {
+    case 1: {
+      std::uint8_t x = static_cast<std::uint8_t>(v);
+      std::memcpy(p, &x, 1);
+      break;
+    }
+    case 2: {
+      std::uint16_t x = static_cast<std::uint16_t>(v);
+      std::memcpy(p, &x, 2);
+      break;
+    }
+    case 4: {
+      std::uint32_t x = static_cast<std::uint32_t>(v);
+      std::memcpy(p, &x, 4);
+      break;
+    }
+    default:
+      std::memcpy(p, &v, 8);
+      break;
+  }
+}
+
+double load_float(const std::uint8_t* p, std::size_t size, bool swap) noexcept {
+  if (size == 4) {
+    std::uint32_t bits;
+    std::memcpy(&bits, p, 4);
+    if (swap) bits = byteswap(bits);
+    return static_cast<double>(std::bit_cast<float>(bits));
+  }
+  std::uint64_t bits;
+  std::memcpy(&bits, p, 8);
+  if (swap) bits = byteswap(bits);
+  return std::bit_cast<double>(bits);
+}
+
+void store_float(std::uint8_t* p, std::size_t size, double v) noexcept {
+  if (size == 4) {
+    float f = static_cast<float>(v);
+    std::memcpy(p, &f, 4);
+  } else {
+    std::memcpy(p, &v, 8);
+  }
+}
+
+[[noreturn]] void incompatible(const Format& wire, const Format& native,
+                               const std::string& what) {
+  throw FormatError("cannot convert wire format '" + wire.name() + "' (id " +
+                    std::to_string(wire.id()) + ") to native format '" +
+                    native.name() + "': " + what);
+}
+
+}  // namespace
+
+PlanHandle ConversionPlan::build(FormatHandle wire, FormatHandle native,
+                                 bool coalesce) {
+  auto plan = std::shared_ptr<ConversionPlan>(new ConversionPlan());
+  plan->wire_ = wire;
+  plan->native_ = native;
+  plan->src_order_ = wire->profile().byte_order;
+  plan->src_ptr_size_ = wire->profile().pointer_size;
+  bool swap = wire->profile().byte_order != host_byte_order();
+
+  for (const Field& nf : native->fields()) {
+    const Field* wf = wire->field_named(nf.name);
+    ConvOp op;
+    op.dst_offset = static_cast<std::uint32_t>(nf.offset);
+
+    if (wf == nullptr) {
+      // Restricted evolution: the sender predates this field. Apply the
+      // schema default if the metadata declares one, else zero-fill.
+      if (!nf.default_text.empty()) {
+        auto bits =
+            parse_default_scalar(nf.type.cls, nf.size, nf.default_text);
+        if (bits) {
+          op.kind = ConvOp::Kind::kDefault;
+          op.dst_size = static_cast<std::uint32_t>(nf.size);
+          op.default_bits = *bits;
+          plan->ops_.push_back(std::move(op));
+          continue;
+        }
+      }
+      op.kind = ConvOp::Kind::kZero;
+      op.count = static_cast<std::uint32_t>(
+          nf.slot_size(native->profile().pointer_size));
+      plan->ops_.push_back(std::move(op));
+      continue;
+    }
+
+    op.src_offset = static_cast<std::uint32_t>(wf->offset);
+    op.src_size = static_cast<std::uint32_t>(wf->size);
+    op.dst_size = static_cast<std::uint32_t>(nf.size);
+    op.swap = swap;
+
+    // Array-kind reconciliation.
+    if ((wf->type.array == ArrayKind::kDynamic) !=
+        (nf.type.array == ArrayKind::kDynamic)) {
+      incompatible(*wire, *native,
+                   "field '" + nf.name + "' is dynamic on one side only");
+    }
+
+    bool dynamic = nf.type.array == ArrayKind::kDynamic;
+    std::size_t src_count =
+        wf->type.array == ArrayKind::kStatic ? wf->type.static_count : 1;
+    std::size_t dst_count =
+        nf.type.array == ArrayKind::kStatic ? nf.type.static_count : 1;
+    std::size_t copy_count = src_count < dst_count ? src_count : dst_count;
+    op.count = static_cast<std::uint32_t>(copy_count);
+    op.zero_tail =
+        static_cast<std::uint32_t>((dst_count - copy_count) * nf.size);
+
+    auto classes_compatible = [](FieldClass a, FieldClass b) {
+      if (a == b) return true;
+      bool a_int = a == FieldClass::kInteger || a == FieldClass::kUnsigned;
+      bool b_int = b == FieldClass::kInteger || b == FieldClass::kUnsigned;
+      return a_int && b_int;
+    };
+    if (!classes_compatible(wf->type.cls, nf.type.cls)) {
+      incompatible(*wire, *native,
+                   "field '" + nf.name + "' changed class (" +
+                       std::string(field_class_name(wf->type.cls)) + " -> " +
+                       std::string(field_class_name(nf.type.cls)) + ")");
+    }
+
+    if (dynamic) {
+      op.kind = ConvOp::Kind::kDynArray;
+      const Field& count_field = wire->fields()[wf->count_field_index];
+      op.src_count_offset = static_cast<std::uint32_t>(count_field.offset);
+      op.src_count_size = static_cast<std::uint8_t>(count_field.size);
+      op.src_count_signed = count_field.type.cls == FieldClass::kInteger;
+      op.elem_class = nf.type.cls;
+      op.sign_extend = wf->type.cls == FieldClass::kInteger;
+      if (nf.type.cls == FieldClass::kNested) {
+        op.subplan = build(wf->subformat, nf.subformat, coalesce);
+        op.dst_align =
+            static_cast<std::uint8_t>(nf.subformat->alignment());
+      } else {
+        op.dst_align = static_cast<std::uint8_t>(
+            native->profile().scalar_align(nf.size));
+      }
+      plan->ops_.push_back(std::move(op));
+      continue;
+    }
+
+    switch (nf.type.cls) {
+      case FieldClass::kString:
+        op.kind = ConvOp::Kind::kString;
+        break;
+      case FieldClass::kNested:
+        op.kind = ConvOp::Kind::kNestedStatic;
+        op.subplan = build(wf->subformat, nf.subformat, coalesce);
+        break;
+      case FieldClass::kChar:
+        op.kind = ConvOp::Kind::kCopy;
+        op.count = static_cast<std::uint32_t>(copy_count);  // bytes == elems
+        break;
+      case FieldClass::kFloat:
+        if (!op.swap && op.src_size == op.dst_size) {
+          op.kind = ConvOp::Kind::kCopy;
+          op.count = static_cast<std::uint32_t>(copy_count * nf.size);
+        } else {
+          op.kind = ConvOp::Kind::kFloat;
+        }
+        break;
+      case FieldClass::kInteger:
+      case FieldClass::kUnsigned:
+        op.sign_extend = wf->type.cls == FieldClass::kInteger;
+        if (!op.swap && op.src_size == op.dst_size) {
+          op.kind = ConvOp::Kind::kCopy;
+          op.count = static_cast<std::uint32_t>(copy_count * nf.size);
+        } else {
+          op.kind = ConvOp::Kind::kInt;
+        }
+        break;
+    }
+    plan->ops_.push_back(std::move(op));
+  }
+
+  if (coalesce) {
+    // Merge adjacent raw copies that are contiguous in both source and
+    // destination — in the homogeneous case this collapses whole runs of
+    // fields (padding included is NOT merged; only exactly adjacent slots).
+    std::vector<ConvOp> merged;
+    merged.reserve(plan->ops_.size());
+    for (ConvOp& op : plan->ops_) {
+      if (op.kind == ConvOp::Kind::kCopy && op.zero_tail == 0 &&
+          !merged.empty()) {
+        ConvOp& prev = merged.back();
+        if (prev.kind == ConvOp::Kind::kCopy && prev.zero_tail == 0 &&
+            prev.src_offset + prev.count == op.src_offset &&
+            prev.dst_offset + prev.count == op.dst_offset) {
+          prev.count += op.count;
+          continue;
+        }
+      }
+      merged.push_back(std::move(op));
+    }
+    plan->ops_ = std::move(merged);
+  }
+
+  plan->trivial_ =
+      plan->ops_.size() == 1 && plan->ops_[0].kind == ConvOp::Kind::kCopy &&
+      plan->ops_[0].src_offset == 0 && plan->ops_[0].dst_offset == 0 &&
+      plan->ops_[0].count == native->struct_size() &&
+      wire->struct_size() == native->struct_size();
+  return plan;
+}
+
+void ConversionPlan::execute(const std::uint8_t* body, std::size_t body_len,
+                             const std::uint8_t* src_region,
+                             std::uint8_t* dst_region,
+                             DecodeArena& arena) const {
+  for (const ConvOp& op : ops_) {
+    const std::uint8_t* src = src_region + op.src_offset;
+    std::uint8_t* dst = dst_region + op.dst_offset;
+
+    switch (op.kind) {
+      case ConvOp::Kind::kCopy:
+        std::memcpy(dst, src, op.count);
+        if (op.zero_tail != 0) {
+          std::memset(dst + op.count, 0, op.zero_tail);
+        }
+        break;
+
+      case ConvOp::Kind::kZero:
+        std::memset(dst, 0, op.count);
+        break;
+
+      case ConvOp::Kind::kDefault:
+        store_int(dst, op.dst_size, op.default_bits);
+        break;
+
+      case ConvOp::Kind::kInt:
+        for (std::uint32_t i = 0; i < op.count; ++i) {
+          std::uint64_t v = load_int(src + i * op.src_size, op.src_size,
+                                     op.swap, op.sign_extend);
+          store_int(dst + i * op.dst_size, op.dst_size, v);
+        }
+        if (op.zero_tail != 0) {
+          std::memset(dst + op.count * op.dst_size, 0, op.zero_tail);
+        }
+        break;
+
+      case ConvOp::Kind::kFloat:
+        for (std::uint32_t i = 0; i < op.count; ++i) {
+          double v = load_float(src + i * op.src_size, op.src_size, op.swap);
+          store_float(dst + i * op.dst_size, op.dst_size, v);
+        }
+        if (op.zero_tail != 0) {
+          std::memset(dst + op.count * op.dst_size, 0, op.zero_tail);
+        }
+        break;
+
+      case ConvOp::Kind::kString: {
+        std::uint64_t off =
+            load_int(src, src_ptr_size_, op.swap, /*sign_extend=*/false);
+        char* out = nullptr;
+        if (off != 0) {
+          if (off >= body_len) {
+            throw DecodeError("string offset out of range");
+          }
+          const auto* start = reinterpret_cast<const char*>(body + off);
+          const void* nul = std::memchr(start, 0, body_len - off);
+          if (nul == nullptr) {
+            throw DecodeError("unterminated string in variable section");
+          }
+          std::size_t len = static_cast<const char*>(nul) - start;
+          out = arena.copy_string(start, len);
+        }
+        std::memcpy(dst, &out, sizeof(out));
+        break;
+      }
+
+      case ConvOp::Kind::kDynArray: {
+        std::uint64_t n_raw =
+            load_int(src_region + op.src_count_offset, op.src_count_size,
+                     op.swap, op.src_count_signed);
+        auto n_signed = static_cast<std::int64_t>(n_raw);
+        if (op.src_count_signed && n_signed < 0) {
+          throw DecodeError("negative dynamic array count");
+        }
+        std::uint64_t n = n_raw;
+        std::uint64_t off =
+            load_int(src, src_ptr_size_, op.swap, /*sign_extend=*/false);
+        void* out = nullptr;
+        if (n != 0) {
+          if (off == 0) {
+            throw DecodeError("null dynamic array with nonzero count");
+          }
+          if (off > body_len ||
+              n > (body_len - off) / op.src_size) {
+            throw DecodeError("dynamic array extends past message body");
+          }
+          const std::uint8_t* elems = body + off;
+          out = arena.allocate(static_cast<std::size_t>(n) * op.dst_size,
+                               op.dst_align);
+          auto* dst_elems = static_cast<std::uint8_t*>(out);
+          if (op.elem_class == FieldClass::kNested) {
+            for (std::uint64_t i = 0; i < n; ++i) {
+              op.subplan->execute(body, body_len, elems + i * op.src_size,
+                                  dst_elems + i * op.dst_size, arena);
+            }
+          } else if (op.elem_class == FieldClass::kChar) {
+            std::memcpy(dst_elems, elems, static_cast<std::size_t>(n));
+          } else if (!op.swap && op.src_size == op.dst_size) {
+            // Same representation (floats included): one block copy.
+            std::memcpy(dst_elems, elems,
+                        static_cast<std::size_t>(n) * op.src_size);
+          } else if (op.elem_class == FieldClass::kFloat) {
+            for (std::uint64_t i = 0; i < n; ++i) {
+              store_float(dst_elems + i * op.dst_size, op.dst_size,
+                          load_float(elems + i * op.src_size, op.src_size,
+                                     op.swap));
+            }
+          } else {
+            for (std::uint64_t i = 0; i < n; ++i) {
+              store_int(dst_elems + i * op.dst_size, op.dst_size,
+                        load_int(elems + i * op.src_size, op.src_size, op.swap,
+                                 op.sign_extend));
+            }
+          }
+        }
+        std::memcpy(dst, &out, sizeof(out));
+        break;
+      }
+
+      case ConvOp::Kind::kNestedStatic:
+        for (std::uint32_t i = 0; i < op.count; ++i) {
+          op.subplan->execute(body, body_len, src + i * op.src_size,
+                              dst + i * op.dst_size, arena);
+        }
+        if (op.zero_tail != 0) {
+          std::memset(dst + op.count * op.dst_size, 0, op.zero_tail);
+        }
+        break;
+    }
+  }
+}
+
+}  // namespace omf::pbio

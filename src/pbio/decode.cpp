@@ -1,0 +1,189 @@
+#include "pbio/decode.hpp"
+
+#include <cstring>
+
+namespace omf::pbio {
+
+namespace {
+
+/// Reads a pointer slot (offset) from native-order wire data.
+std::uint64_t read_offset_slot(const std::uint8_t* slot,
+                               std::size_t ptr_size) noexcept {
+  if (ptr_size == 8) {
+    std::uint64_t v;
+    std::memcpy(&v, slot, 8);
+    return v;
+  }
+  std::uint32_t v;
+  std::memcpy(&v, slot, 4);
+  return v;
+}
+
+std::int64_t read_native_count(const std::uint8_t* region,
+                               const Field& count_field) {
+  std::uint64_t v = 0;
+  std::memcpy(&v, region + count_field.offset, count_field.size);
+  if (host_byte_order() == ByteOrder::kBig) {
+    // Value occupies the *first* count_field.size bytes; realign.
+    v >>= (8 - count_field.size) * 8;
+  }
+  if (count_field.type.cls == FieldClass::kInteger &&
+      count_field.size < 8) {
+    std::uint64_t sign_bit = 1ull << (count_field.size * 8 - 1);
+    if (v & sign_bit) v |= ~((sign_bit << 1) - 1);
+  }
+  return static_cast<std::int64_t>(v);
+}
+
+/// Patches one region's pointer slots from offsets to real addresses.
+void patch_region(const Format& format, std::uint8_t* body,
+                  std::size_t body_len, std::uint8_t* region) {
+  std::size_t ptr_size = format.profile().pointer_size;
+  for (std::size_t idx : format.pointer_fields()) {
+    const Field& f = format.fields()[idx];
+    std::uint8_t* slot = region + f.offset;
+
+    if (f.type.cls == FieldClass::kNested &&
+        f.type.array != ArrayKind::kDynamic) {
+      const Format& sub = *f.subformat;
+      std::size_t count =
+          f.type.array == ArrayKind::kStatic ? f.type.static_count : 1;
+      for (std::size_t i = 0; i < count; ++i) {
+        patch_region(sub, body, body_len, slot + i * sub.struct_size());
+      }
+      continue;
+    }
+
+    std::uint64_t off = read_offset_slot(slot, ptr_size);
+
+    if (f.type.cls == FieldClass::kString) {
+      const char* out = nullptr;
+      if (off != 0) {
+        if (off >= body_len) {
+          throw DecodeError("string offset out of range");
+        }
+        if (std::memchr(body + off, 0, body_len - off) == nullptr) {
+          throw DecodeError("unterminated string in variable section");
+        }
+        out = reinterpret_cast<const char*>(body + off);
+      }
+      std::memcpy(slot, &out, sizeof(out));
+      continue;
+    }
+
+    // Dynamic array (of scalars or nested).
+    std::int64_t n =
+        read_native_count(region, format.fields()[f.count_field_index]);
+    if (n < 0) throw DecodeError("negative dynamic array count");
+    std::size_t elem_size = f.type.cls == FieldClass::kNested
+                                ? f.subformat->struct_size()
+                                : f.size;
+    const std::uint8_t* out = nullptr;
+    if (n != 0) {
+      if (off == 0) {
+        throw DecodeError("null dynamic array with nonzero count");
+      }
+      if (off > body_len ||
+          static_cast<std::uint64_t>(n) > (body_len - off) / elem_size) {
+        throw DecodeError("dynamic array extends past message body");
+      }
+      out = body + off;
+      if (f.type.cls == FieldClass::kNested && f.subformat->has_pointers()) {
+        for (std::int64_t i = 0; i < n; ++i) {
+          patch_region(*f.subformat, body, body_len,
+                       body + off + i * elem_size);
+        }
+      }
+    }
+    std::memcpy(slot, &out, sizeof(out));
+  }
+}
+
+}  // namespace
+
+FormatId Decoder::peek_format_id(std::span<const std::uint8_t> message) {
+  return peek_header(message).format_id;
+}
+
+WireHeader Decoder::peek_header(std::span<const std::uint8_t> message) {
+  BufferReader in(message);
+  return WireHeader::read(in);
+}
+
+void* Decoder::decode_in_place(const Format& native, std::uint8_t* message,
+                               std::size_t len) {
+  BufferReader in(message, len);
+  WireHeader header = WireHeader::read(in);
+  if (header.format_id != native.id()) {
+    throw DecodeError(
+        "decode_in_place requires the wire format to equal the native "
+        "format; use Decoder::decode for heterogeneous messages");
+  }
+  if (header.body_length > in.remaining()) {
+    throw DecodeError("truncated message body");
+  }
+  if (header.body_length < native.struct_size()) {
+    throw DecodeError("message body smaller than the struct");
+  }
+  std::uint8_t* body = message + WireHeader::kSize;
+  if (native.has_pointers()) {
+    patch_region(native, body, header.body_length, body);
+  }
+  return body;
+}
+
+void Decoder::decode(std::span<const std::uint8_t> message,
+                     const Format& native, void* out_struct,
+                     DecodeArena& arena) {
+  BufferReader in(message);
+  WireHeader header = WireHeader::read(in);
+  if (header.body_length > in.remaining()) {
+    throw DecodeError("truncated message body");
+  }
+
+  FormatHandle wire = registry_->by_id(header.format_id);
+  if (!wire) {
+    throw FormatError(
+        "unknown wire format id " + std::to_string(header.format_id) +
+        "; discover and register its metadata before decoding");
+  }
+  if (wire->profile().byte_order != header.byte_order) {
+    throw DecodeError("header byte order disagrees with format metadata");
+  }
+  if (header.body_length < wire->struct_size()) {
+    throw DecodeError("message body smaller than the wire struct");
+  }
+
+  FormatHandle native_handle = registry_->by_id(native.id());
+  if (!native_handle) {
+    throw FormatError("native format '" + native.name() +
+                      "' is not registered in this decoder's registry");
+  }
+
+  PlanHandle plan = plan_for(wire, native_handle);
+  const std::uint8_t* body = in.read_bytes(header.body_length);
+  plan->execute(body, header.body_length, body,
+                static_cast<std::uint8_t*>(out_struct), arena);
+}
+
+PlanHandle Decoder::plan_for(const FormatHandle& wire,
+                             const FormatHandle& native) {
+  // Pair key: both halves are already FNV hashes; mix to avoid collisions
+  // between (a,b) and (b,a).
+  std::uint64_t key = wire->id() * 0x9E3779B97F4A7C15ull ^ native->id();
+  {
+    std::lock_guard lock(mutex_);
+    auto it = plans_.find(key);
+    if (it != plans_.end()) return it->second;
+  }
+  PlanHandle plan = ConversionPlan::build(wire, native, coalesce_);
+  std::lock_guard lock(mutex_);
+  return plans_.try_emplace(key, std::move(plan)).first->second;
+}
+
+std::size_t Decoder::cached_plans() const {
+  std::lock_guard lock(mutex_);
+  return plans_.size();
+}
+
+}  // namespace omf::pbio

@@ -1,0 +1,76 @@
+// Receiver-side decoding.
+//
+// Two paths, mirroring PBIO:
+//
+//  * decode_in_place — the homogeneous fast path. When the wire format *is*
+//    the receiver's native format, no data is converted or copied at all:
+//    pointer slots in the (mutable) receive buffer are patched from
+//    body-relative offsets back to real addresses and the caller gets a
+//    pointer to the struct, living inside the buffer. This is the "move data
+//    directly from the transmission medium into memory" claim of the paper.
+//
+//  * Decoder::decode — the general path. Parses the header, looks the wire
+//    format up by id in the registry, compiles (or fetches from cache) a
+//    conversion plan against the caller's native format, and executes it
+//    into caller-provided struct memory + an arena.
+#pragma once
+
+#include <mutex>
+#include <span>
+#include <unordered_map>
+
+#include "pbio/arena.hpp"
+#include "pbio/convert.hpp"
+#include "pbio/format.hpp"
+#include "pbio/wire.hpp"
+
+namespace omf::pbio {
+
+class Decoder {
+public:
+  /// `registry` is where wire formats are looked up by id; it must outlive
+  /// the decoder. `coalesce_plans` is the plan-compilation optimization
+  /// switch (on in production; the ablation bench turns it off).
+  explicit Decoder(const FormatRegistry& registry, bool coalesce_plans = true)
+      : registry_(&registry), coalesce_(coalesce_plans) {}
+
+  Decoder(const Decoder&) = delete;
+  Decoder& operator=(const Decoder&) = delete;
+
+  /// Decodes a complete wire message into `out_struct`, laid out per
+  /// `native` (which must be a native-profile format). Variable-length data
+  /// is materialized in `arena`. Throws DecodeError for malformed messages
+  /// and FormatError when the wire format id is not in the registry or the
+  /// formats cannot be reconciled.
+  void decode(std::span<const std::uint8_t> message, const Format& native,
+              void* out_struct, DecodeArena& arena);
+
+  /// Returns the cached (or freshly compiled) plan for a format pair.
+  PlanHandle plan_for(const FormatHandle& wire, const FormatHandle& native);
+
+  /// Number of compiled plans currently cached.
+  std::size_t cached_plans() const;
+
+  /// Reads the format id out of a message header without decoding. Lets
+  /// receivers detect unknown formats and fetch metadata before decoding.
+  static FormatId peek_format_id(std::span<const std::uint8_t> message);
+
+  /// Parses and validates just the header.
+  static WireHeader peek_header(std::span<const std::uint8_t> message);
+
+  /// Zero-copy homogeneous decode; see file comment. `message` must remain
+  /// alive and unmodified (other than this call's patching) while the
+  /// returned struct is in use. Throws DecodeError if the message's format
+  /// id differs from `native.id()` or the body is malformed. Must be called
+  /// at most once per message buffer.
+  static void* decode_in_place(const Format& native, std::uint8_t* message,
+                               std::size_t len);
+
+private:
+  const FormatRegistry* registry_;
+  bool coalesce_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint64_t, PlanHandle> plans_;
+};
+
+}  // namespace omf::pbio

@@ -1,0 +1,265 @@
+#include "pbio/encode.hpp"
+
+#include <cstring>
+
+#include "pbio/wire.hpp"
+
+namespace omf::pbio {
+
+namespace {
+
+/// Reads a dynamic-array count field from native struct memory.
+std::int64_t read_count(const std::uint8_t* struct_mem, const Field& count_field) {
+  const std::uint8_t* p = struct_mem + count_field.offset;
+  bool is_signed = count_field.type.cls == FieldClass::kInteger;
+  switch (count_field.size) {
+    case 1:
+      return is_signed ? static_cast<std::int64_t>(
+                             *reinterpret_cast<const std::int8_t*>(p))
+                       : *p;
+    case 2:
+      return is_signed
+                 ? static_cast<std::int64_t>(static_cast<std::int16_t>(
+                       load_order<std::uint16_t>(p, host_byte_order())))
+                 : load_order<std::uint16_t>(p, host_byte_order());
+    case 4:
+      return is_signed
+                 ? static_cast<std::int64_t>(static_cast<std::int32_t>(
+                       load_order<std::uint32_t>(p, host_byte_order())))
+                 : load_order<std::uint32_t>(p, host_byte_order());
+    case 8:
+      return static_cast<std::int64_t>(
+          load_order<std::uint64_t>(p, host_byte_order()));
+    default:
+      throw EncodeError("invalid count field size");
+  }
+}
+
+struct EncodeContext {
+  Buffer& out;
+  std::size_t body_base;            // buffer offset where the body starts
+  const arch::Profile& profile;     // always the native profile
+
+  /// Overwrites a pointer slot at absolute buffer offset `slot_at` with a
+  /// body-relative variable-section offset.
+  void patch_pointer_slot(std::size_t slot_at, std::size_t var_off) {
+    if (profile.pointer_size == 8) {
+      out.patch_int<std::uint64_t>(slot_at, var_off, profile.byte_order);
+    } else {
+      if (var_off > 0xFFFFFFFFull) {
+        throw EncodeError("variable section exceeds 32-bit offset range");
+      }
+      out.patch_int<std::uint32_t>(slot_at, static_cast<std::uint32_t>(var_off),
+                                   profile.byte_order);
+    }
+  }
+
+  /// Pads the variable section so the next append lands body-aligned to
+  /// `align` — receivers may reference array elements in place.
+  void align_var_section(std::size_t align) {
+    std::size_t body_len = out.size() - body_base;
+    std::size_t padded = align_up(body_len, align);
+    if (padded != body_len) out.append_zeros(padded - body_len);
+  }
+};
+
+/// Fixes up all pointer-bearing fields of one struct region.
+///
+/// `src` is the field data in application memory (real pointers); `region_at`
+/// is the absolute buffer offset of this region's verbatim copy.
+void fix_region(const Format& format, const std::uint8_t* src,
+                std::size_t region_at, EncodeContext& ctx) {
+  for (std::size_t idx : format.pointer_fields()) {
+    const Field& f = format.fields()[idx];
+    std::size_t slot_at = region_at + f.offset;
+
+    switch (f.type.cls) {
+      case FieldClass::kString: {
+        const char* s = nullptr;
+        std::memcpy(&s, src + f.offset, sizeof(s));
+        if (s == nullptr) {
+          ctx.patch_pointer_slot(slot_at, 0);
+          break;
+        }
+        std::size_t len = std::strlen(s);
+        std::size_t var_off = ctx.out.size() - ctx.body_base;
+        ctx.out.append(s, len + 1);
+        ctx.patch_pointer_slot(slot_at, var_off);
+        break;
+      }
+
+      case FieldClass::kNested: {
+        const Format& sub = *f.subformat;
+        if (f.type.array == ArrayKind::kDynamic) {
+          std::int64_t n =
+              read_count(src, format.fields()[f.count_field_index]);
+          if (n < 0) {
+            throw EncodeError("negative count for dynamic array '" + f.name +
+                              "'");
+          }
+          const std::uint8_t* elems = nullptr;
+          std::memcpy(&elems, src + f.offset, sizeof(elems));
+          if (n == 0) {
+            ctx.patch_pointer_slot(slot_at, 0);
+            break;
+          }
+          if (elems == nullptr) {
+            throw EncodeError("null dynamic array '" + f.name +
+                              "' with count " + std::to_string(n));
+          }
+          ctx.align_var_section(sub.alignment());
+          std::size_t var_off = ctx.out.size() - ctx.body_base;
+          std::size_t total = static_cast<std::size_t>(n) * sub.struct_size();
+          ctx.out.append(elems, total);
+          if (sub.has_pointers()) {
+            for (std::int64_t i = 0; i < n; ++i) {
+              fix_region(sub, elems + i * sub.struct_size(),
+                         ctx.body_base + var_off + i * sub.struct_size(), ctx);
+            }
+          }
+          ctx.patch_pointer_slot(slot_at, var_off);
+        } else {
+          // Scalar nested or static array of nested: embedded in the struct
+          // copy itself; recurse into each element in place.
+          std::size_t count =
+              f.type.array == ArrayKind::kStatic ? f.type.static_count : 1;
+          for (std::size_t i = 0; i < count; ++i) {
+            fix_region(sub, src + f.offset + i * sub.struct_size(),
+                       slot_at + i * sub.struct_size(), ctx);
+          }
+        }
+        break;
+      }
+
+      default: {
+        // Dynamic array of scalars.
+        std::int64_t n = read_count(src, format.fields()[f.count_field_index]);
+        if (n < 0) {
+          throw EncodeError("negative count for dynamic array '" + f.name +
+                            "'");
+        }
+        const std::uint8_t* elems = nullptr;
+        std::memcpy(&elems, src + f.offset, sizeof(elems));
+        if (n == 0) {
+          ctx.patch_pointer_slot(slot_at, 0);
+          break;
+        }
+        if (elems == nullptr) {
+          throw EncodeError("null dynamic array '" + f.name + "' with count " +
+                            std::to_string(n));
+        }
+        ctx.align_var_section(ctx.profile.scalar_align(f.size));
+        std::size_t var_off = ctx.out.size() - ctx.body_base;
+        ctx.out.append(elems, static_cast<std::size_t>(n) * f.size);
+        ctx.patch_pointer_slot(slot_at, var_off);
+        break;
+      }
+    }
+  }
+}
+
+void check_native(const Format& format) {
+  if (!(format.profile() == arch::native())) {
+    throw EncodeError("format '" + format.name() +
+                      "' is registered for profile '" +
+                      format.profile().name +
+                      "', not the native architecture; only native formats "
+                      "can marshal live structs");
+  }
+}
+
+}  // namespace
+
+void encode(const Format& format, const void* data, Buffer& out) {
+  check_native(format);
+
+  WireHeader header;
+  header.byte_order = format.profile().byte_order;
+  header.format_id = format.id();
+  std::size_t body_length_at = header.write(out);
+
+  EncodeContext ctx{out, out.size(), format.profile()};
+
+  // The fast path: the struct goes on the wire verbatim.
+  std::size_t region_at = out.grow(format.struct_size());
+  std::memcpy(out.data() + region_at, data, format.struct_size());
+
+  if (format.has_pointers()) {
+    fix_region(format, static_cast<const std::uint8_t*>(data), region_at, ctx);
+  }
+
+  std::size_t body_len = out.size() - ctx.body_base;
+  if (body_len > 0xFFFFFFFFull) {
+    throw EncodeError("message body exceeds 4 GiB");
+  }
+  out.patch_int<std::uint32_t>(body_length_at,
+                               static_cast<std::uint32_t>(body_len),
+                               header.byte_order);
+}
+
+Buffer encode(const Format& format, const void* data) {
+  Buffer out(WireHeader::kSize + format.struct_size() + 64);
+  encode(format, data, out);
+  return out;
+}
+
+namespace {
+
+std::size_t var_section_size(const Format& format, const std::uint8_t* src) {
+  std::size_t total = 0;
+  for (std::size_t idx : format.pointer_fields()) {
+    const Field& f = format.fields()[idx];
+    switch (f.type.cls) {
+      case FieldClass::kString: {
+        const char* s = nullptr;
+        std::memcpy(&s, src + f.offset, sizeof(s));
+        if (s != nullptr) total += std::strlen(s) + 1;
+        break;
+      }
+      case FieldClass::kNested: {
+        const Format& sub = *f.subformat;
+        if (f.type.array == ArrayKind::kDynamic) {
+          std::int64_t n =
+              read_count(src, format.fields()[f.count_field_index]);
+          const std::uint8_t* elems = nullptr;
+          std::memcpy(&elems, src + f.offset, sizeof(elems));
+          if (n > 0 && elems != nullptr) {
+            total += sub.alignment() - 1;  // worst-case padding
+            total += static_cast<std::size_t>(n) * sub.struct_size();
+            if (sub.has_pointers()) {
+              for (std::int64_t i = 0; i < n; ++i) {
+                total += var_section_size(sub, elems + i * sub.struct_size());
+              }
+            }
+          }
+        } else {
+          std::size_t count =
+              f.type.array == ArrayKind::kStatic ? f.type.static_count : 1;
+          for (std::size_t i = 0; i < count; ++i) {
+            total += var_section_size(sub, src + f.offset + i * sub.struct_size());
+          }
+        }
+        break;
+      }
+      default: {
+        std::int64_t n = read_count(src, format.fields()[f.count_field_index]);
+        if (n > 0) {
+          total += f.size - 1;  // worst-case padding
+          total += static_cast<std::size_t>(n) * f.size;
+        }
+        break;
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace
+
+std::size_t encoded_size(const Format& format, const void* data) {
+  check_native(format);
+  return WireHeader::kSize + format.struct_size() +
+         var_section_size(format, static_cast<const std::uint8_t*>(data));
+}
+
+}  // namespace omf::pbio

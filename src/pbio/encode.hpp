@@ -1,0 +1,32 @@
+// NDR encoding: marshals a struct into a wire message.
+//
+// This is the sender-side half of PBIO's performance story. The struct's
+// bytes are copied onto the wire *verbatim* — no byte-swapping, no
+// canonicalization, no per-field transformation. The only work is for
+// pointer-bearing fields (strings, dynamic arrays): their targets are
+// appended to a variable-length section and the pointer slots in the copied
+// struct are overwritten with body-relative offsets.
+#pragma once
+
+#include <span>
+
+#include "pbio/format.hpp"
+#include "util/buffer.hpp"
+
+namespace omf::pbio {
+
+/// Appends a complete wire message (header + body) for `data`, a struct laid
+/// out according to `format`. The format must have been registered for the
+/// native architecture profile (its pointers are dereferenced). Throws
+/// EncodeError on inconsistent data (negative dynamic-array counts, null
+/// arrays with nonzero counts, variable data too large for the offset width).
+void encode(const Format& format, const void* data, Buffer& out);
+
+/// Convenience wrapper returning a fresh buffer.
+Buffer encode(const Format& format, const void* data);
+
+/// Upper-bound estimate of the encoded size of `data` (exact for formats
+/// without pointers): header + struct + variable section.
+std::size_t encoded_size(const Format& format, const void* data);
+
+}  // namespace omf::pbio

@@ -1,0 +1,146 @@
+#include "pbio/field.hpp"
+
+#include <cstring>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace omf::pbio {
+
+std::string_view field_class_name(FieldClass cls) noexcept {
+  switch (cls) {
+    case FieldClass::kInteger: return "integer";
+    case FieldClass::kUnsigned: return "unsigned";
+    case FieldClass::kFloat: return "float";
+    case FieldClass::kChar: return "char";
+    case FieldClass::kString: return "string";
+    case FieldClass::kNested: return "<nested>";
+  }
+  return "?";
+}
+
+TypeSpec parse_type_string(std::string_view type) {
+  TypeSpec spec;
+  std::string_view base = type;
+
+  // Split off an optional array suffix "[...]".
+  std::size_t bracket = type.find('[');
+  if (bracket != std::string_view::npos) {
+    if (type.back() != ']') {
+      throw FormatError("malformed array suffix in type '" + std::string(type) +
+                        "'");
+    }
+    base = type.substr(0, bracket);
+    std::string_view inner = type.substr(bracket + 1,
+                                         type.size() - bracket - 2);
+    if (inner.empty()) {
+      throw FormatError("empty array bound in type '" + std::string(type) +
+                        "'");
+    }
+    if (auto n = parse_uint(inner)) {
+      if (*n == 0) {
+        throw FormatError("zero-length static array in type '" +
+                          std::string(type) + "'");
+      }
+      spec.array = ArrayKind::kStatic;
+      spec.static_count = static_cast<std::size_t>(*n);
+    } else {
+      spec.array = ArrayKind::kDynamic;
+      spec.size_field = std::string(inner);
+    }
+  }
+
+  if (base.empty()) {
+    throw FormatError("empty base type in type string '" + std::string(type) +
+                      "'");
+  }
+
+  if (base == "integer") {
+    spec.cls = FieldClass::kInteger;
+  } else if (base == "unsigned" || base == "unsigned integer") {
+    spec.cls = FieldClass::kUnsigned;
+  } else if (base == "float" || base == "double") {
+    // PBIO separates type from size: "float" covers both widths; the field
+    // size distinguishes binary32 from binary64.
+    spec.cls = FieldClass::kFloat;
+  } else if (base == "char") {
+    spec.cls = FieldClass::kChar;
+  } else if (base == "string") {
+    spec.cls = FieldClass::kString;
+  } else {
+    spec.cls = FieldClass::kNested;
+    spec.nested_name = std::string(base);
+  }
+
+  if (spec.cls == FieldClass::kString && spec.array != ArrayKind::kNone) {
+    throw FormatError("arrays of strings are not supported: '" +
+                      std::string(type) + "'");
+  }
+  return spec;
+}
+
+std::optional<std::uint64_t> parse_default_scalar(FieldClass cls,
+                                                  std::size_t size,
+                                                  std::string_view text) {
+  text = trim(text);
+  switch (cls) {
+    case FieldClass::kInteger: {
+      auto v = parse_int(text);
+      if (!v) return std::nullopt;
+      return static_cast<std::uint64_t>(*v);
+    }
+    case FieldClass::kUnsigned: {
+      // Accept the XSD boolean literals for boolean-mapped fields.
+      if (text == "true") return 1;
+      if (text == "false") return 0;
+      auto v = parse_uint(text);
+      if (!v) return std::nullopt;
+      return *v;
+    }
+    case FieldClass::kFloat: {
+      auto v = parse_double(text);
+      if (!v) return std::nullopt;
+      if (size == 4) {
+        float f = static_cast<float>(*v);
+        std::uint32_t bits;
+        std::memcpy(&bits, &f, 4);
+        return bits;
+      }
+      std::uint64_t bits;
+      double d = *v;
+      std::memcpy(&bits, &d, 8);
+      return bits;
+    }
+    case FieldClass::kChar: {
+      if (text.size() == 1) {
+        return static_cast<std::uint8_t>(text[0]);
+      }
+      auto v = parse_int(text);
+      if (!v || *v < -128 || *v > 255) return std::nullopt;
+      return static_cast<std::uint64_t>(*v) & 0xFF;
+    }
+    case FieldClass::kString:
+    case FieldClass::kNested:
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+std::string type_string(const TypeSpec& spec) {
+  std::string out = spec.cls == FieldClass::kNested
+                        ? spec.nested_name
+                        : std::string(field_class_name(spec.cls));
+  switch (spec.array) {
+    case ArrayKind::kNone:
+      break;
+    case ArrayKind::kStatic:
+      out += "[" + std::to_string(spec.static_count) + "]";
+      break;
+    case ArrayKind::kDynamic:
+      out += "[" + spec.size_field + "]";
+      break;
+  }
+  return out;
+}
+
+}  // namespace omf::pbio

@@ -1,0 +1,91 @@
+// Field metadata: the unit all marshaling machinery is driven by.
+//
+// Mirrors PBIO's model: a message format is a list of fields, each with a
+// name, a *type* (a marshaling technique — "integer", "float", "string", a
+// nested format name, optionally an array suffix), a *size* (the element
+// width in bytes; kept separate from type, so "integer" can be 2, 4, or 8
+// bytes depending on the architecture), and an *offset* within the struct.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <optional>
+#include <string_view>
+
+namespace omf::pbio {
+
+/// Marshaling class of a field.
+enum class FieldClass : std::uint8_t {
+  kInteger,   ///< signed integral, 1/2/4/8 bytes
+  kUnsigned,  ///< unsigned integral, 1/2/4/8 bytes
+  kFloat,     ///< IEEE-754 binary32 or binary64
+  kChar,      ///< single byte, never swapped
+  kString,    ///< NUL-terminated char*, variable length
+  kNested,    ///< embedded previously-registered format
+};
+
+/// Returns the PBIO type keyword for a class ("integer", "string", ...).
+std::string_view field_class_name(FieldClass cls) noexcept;
+
+enum class ArrayKind : std::uint8_t {
+  kNone,     ///< scalar field
+  kStatic,   ///< fixed-length in-struct array, e.g. "integer[5]"
+  kDynamic,  ///< pointer + companion count field, e.g. "integer[eta_count]"
+};
+
+/// A parsed PBIO type string.
+struct TypeSpec {
+  FieldClass cls = FieldClass::kInteger;
+  std::string nested_name;  ///< referenced format name when cls == kNested
+  ArrayKind array = ArrayKind::kNone;
+  std::size_t static_count = 0;  ///< for kStatic
+  std::string size_field;        ///< for kDynamic: name of the count field
+
+  bool operator==(const TypeSpec&) const = default;
+};
+
+/// Parses a PBIO type string: one of the primitive keywords ("integer",
+/// "unsigned", "float", "char", "string") or the name of a nested format,
+/// optionally suffixed with "[N]" (static array) or "[field]" (dynamic
+/// array sized by the named integer field). Throws FormatError on syntax
+/// errors or meaningless combinations (e.g. "string[3]" arrays of strings
+/// are not supported, matching PBIO).
+TypeSpec parse_type_string(std::string_view type);
+
+/// Canonical text form of a TypeSpec (inverse of parse_type_string).
+std::string type_string(const TypeSpec& spec);
+
+/// Parses a textual default value for a scalar field into the bit pattern
+/// to store in a `size`-byte slot (floats: IEEE bits of the narrowed
+/// value; chars: the single character, or an integer code). Returns
+/// nullopt when the text does not parse for the class. String, nested,
+/// and array fields cannot have defaults.
+std::optional<std::uint64_t> parse_default_scalar(FieldClass cls,
+                                                  std::size_t size,
+                                                  std::string_view text);
+
+/// User-facing field description, as produced by hand (with sizeof/offsetof,
+/// like the paper's IOField lists) or by xml2wire. A sentinel with an empty
+/// name terminates C-style arrays; the span-based APIs don't need one.
+struct IOField {
+  IOField() = default;
+  // The constructor (rather than aggregate init) keeps the paper-style
+  // four-element brace lists working cleanly now that default_text exists.
+  IOField(std::string name, std::string type, std::size_t size,
+          std::size_t offset, std::string default_text = {})
+      : name(std::move(name)),
+        type(std::move(type)),
+        size(size),
+        offset(offset),
+        default_text(std::move(default_text)) {}
+
+  std::string name;
+  std::string type;        ///< PBIO type string
+  std::size_t size = 0;    ///< element size in bytes
+  std::size_t offset = 0;  ///< offset of the field's slot within the struct
+  /// Optional receiver-side default (empty = none); see Field::default_text.
+  std::string default_text;
+};
+
+}  // namespace omf::pbio

@@ -1,0 +1,122 @@
+#include "pbio/file.hpp"
+
+#include <cstring>
+
+#include "pbio/encode.hpp"
+#include "pbio/metaserde.hpp"
+#include "util/error.hpp"
+
+namespace omf::pbio {
+
+namespace {
+constexpr char kMagic[8] = {'O', 'M', 'F', 'F', 'I', 'L', 'E', '1'};
+constexpr std::uint32_t kMaxRecord = 1u << 30;
+}  // namespace
+
+MessageFileWriter::MessageFileWriter(const std::string& path) : path_(path) {
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) {
+    throw Error("cannot create message file: " + path);
+  }
+  if (std::fwrite(kMagic, 1, sizeof(kMagic), file_) != sizeof(kMagic)) {
+    std::fclose(file_);
+    file_ = nullptr;
+    throw Error("cannot write message file header: " + path);
+  }
+}
+
+MessageFileWriter::~MessageFileWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void MessageFileWriter::close() {
+  if (file_ != nullptr) {
+    if (std::fclose(file_) != 0) {
+      file_ = nullptr;
+      throw Error("error closing message file: " + path_);
+    }
+    file_ = nullptr;
+  }
+}
+
+void MessageFileWriter::put_record(char tag, const std::uint8_t* payload,
+                                   std::size_t len) {
+  if (file_ == nullptr) {
+    throw Error("write to closed message file: " + path_);
+  }
+  if (len > kMaxRecord) {
+    throw EncodeError("message file record exceeds 1 GiB");
+  }
+  std::uint8_t header[5];
+  header[0] = static_cast<std::uint8_t>(tag);
+  store_le<std::uint32_t>(header + 1, static_cast<std::uint32_t>(len));
+  if (std::fwrite(header, 1, sizeof(header), file_) != sizeof(header) ||
+      std::fwrite(payload, 1, len, file_) != len) {
+    throw Error("error writing message file: " + path_);
+  }
+}
+
+void MessageFileWriter::write(const Format& format, const Buffer& wire) {
+  if (emitted_.insert(format.id()).second) {
+    Buffer bundle = serialize_format_bundle(format);
+    put_record('F', bundle.data(), bundle.size());
+  }
+  put_record('M', wire.data(), wire.size());
+  ++messages_;
+}
+
+void MessageFileWriter::write_struct(const Format& format, const void* data) {
+  write(format, encode(format, data));
+}
+
+MessageFileReader::MessageFileReader(const std::string& path,
+                                     FormatRegistry& registry)
+    : registry_(&registry) {
+  file_ = std::fopen(path.c_str(), "rb");
+  if (file_ == nullptr) {
+    throw Error("cannot open message file: " + path);
+  }
+  char magic[sizeof(kMagic)];
+  if (std::fread(magic, 1, sizeof(magic), file_) != sizeof(magic) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    std::fclose(file_);
+    file_ = nullptr;
+    throw DecodeError("not an OMF message file: " + path);
+  }
+}
+
+MessageFileReader::~MessageFileReader() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+std::optional<Buffer> MessageFileReader::next() {
+  for (;;) {
+    if (file_ == nullptr) return std::nullopt;
+    std::uint8_t header[5];
+    std::size_t got = std::fread(header, 1, sizeof(header), file_);
+    if (got == 0) return std::nullopt;  // clean EOF
+    if (got != sizeof(header)) {
+      throw DecodeError("truncated record header in message file");
+    }
+    char tag = static_cast<char>(header[0]);
+    std::uint32_t len = load_le<std::uint32_t>(header + 1);
+    if (len > kMaxRecord) {
+      throw DecodeError("oversized record in message file");
+    }
+    std::vector<std::uint8_t> payload(len);
+    if (std::fread(payload.data(), 1, len, file_) != len) {
+      throw DecodeError("truncated record payload in message file");
+    }
+    if (tag == 'F') {
+      deserialize_format_bundle(*registry_, payload);
+      continue;  // transparent to the caller
+    }
+    if (tag != 'M') {
+      throw DecodeError("unknown record tag in message file");
+    }
+    ++messages_;
+    return Buffer(std::move(payload));
+  }
+}
+
+}  // namespace omf::pbio

@@ -1,0 +1,82 @@
+// Message files.
+//
+// PBIO "provides facilities for encoding application data structures so
+// that they may be transmitted in binary form over computer networks or
+// written to data files in a heterogeneous computing environment". This is
+// the data-file half: an append-only container of NDR messages plus the
+// format bundles needed to read them anywhere.
+//
+// File layout (all integers little-endian):
+//   8-byte magic "OMFFILE1"
+//   records:  1-byte tag ('F' format bundle | 'M' message)
+//             4-byte payload length
+//             payload bytes
+//
+// A writer emits each format's bundle before the first message using it,
+// so the file is self-contained: a reader on any machine registers bundles
+// as they appear and can convert every message to its own native layout —
+// the persistent analogue of the format service.
+#pragma once
+
+#include <cstdio>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "pbio/format.hpp"
+#include "util/buffer.hpp"
+
+namespace omf::pbio {
+
+class MessageFileWriter {
+public:
+  /// Creates/truncates `path`. Throws omf::Error on I/O failure.
+  explicit MessageFileWriter(const std::string& path);
+  ~MessageFileWriter();
+  MessageFileWriter(const MessageFileWriter&) = delete;
+  MessageFileWriter& operator=(const MessageFileWriter&) = delete;
+
+  /// Appends one message, emitting the format's bundle first if this is
+  /// the first message of its format. `format` must describe `wire` (it is
+  /// used only for the bundle; the message bytes are written verbatim).
+  void write(const Format& format, const Buffer& wire);
+
+  /// Convenience: encode + write.
+  void write_struct(const Format& format, const void* data);
+
+  /// Flushes and closes; subsequent writes throw. Called by the destructor.
+  void close();
+
+  std::size_t messages_written() const noexcept { return messages_; }
+
+private:
+  void put_record(char tag, const std::uint8_t* payload, std::size_t len);
+
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  std::set<FormatId> emitted_;
+  std::size_t messages_ = 0;
+};
+
+class MessageFileReader {
+public:
+  /// Opens `path` and registers embedded format bundles into `registry` as
+  /// they are encountered. Throws omf::Error on open failure or bad magic.
+  MessageFileReader(const std::string& path, FormatRegistry& registry);
+  ~MessageFileReader();
+  MessageFileReader(const MessageFileReader&) = delete;
+  MessageFileReader& operator=(const MessageFileReader&) = delete;
+
+  /// Next message in file order (bundles are consumed transparently);
+  /// nullopt at end of file. Throws DecodeError on corrupt records.
+  std::optional<Buffer> next();
+
+  std::size_t messages_read() const noexcept { return messages_; }
+
+private:
+  std::FILE* file_ = nullptr;
+  FormatRegistry* registry_;
+  std::size_t messages_ = 0;
+};
+
+}  // namespace omf::pbio

@@ -1,0 +1,338 @@
+#include "pbio/format.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+#include "util/hash.hpp"
+#include "util/strings.hpp"
+
+namespace omf::pbio {
+
+namespace {
+
+bool valid_scalar_width(std::size_t w) noexcept {
+  return w == 1 || w == 2 || w == 4 || w == 8;
+}
+
+[[noreturn]] void fail(const std::string& format_name, const std::string& what) {
+  throw FormatError("format '" + format_name + "': " + what);
+}
+
+}  // namespace
+
+const Field* Format::field_named(std::string_view name) const noexcept {
+  for (const Field& f : fields_) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+std::size_t Format::field_index(std::string_view name) const noexcept {
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return i;
+  }
+  return SIZE_MAX;
+}
+
+FormatId compute_format_id(const std::string& name,
+                           const arch::Profile& profile,
+                           std::span<const Field> fields,
+                           std::size_t struct_size) {
+  Fnv1a h;
+  h.update(name);
+  h.update(profile.canonical());
+  h.update(static_cast<std::uint64_t>(struct_size));
+  for (const Field& f : fields) {
+    h.update(f.name);
+    h.update(type_string(f.type));
+    h.update(static_cast<std::uint64_t>(f.size));
+    h.update(static_cast<std::uint64_t>(f.offset));
+    h.update(f.default_text);
+    if (f.subformat) h.update(f.subformat->id());
+  }
+  return h.digest();
+}
+
+void FormatRegistry::validate_and_resolve(Format& format) const {
+  const arch::Profile& profile = format.profile_;
+  const std::string& fname = format.name_;
+
+  if (fname.empty()) {
+    throw FormatError("format name must not be empty");
+  }
+  if (format.fields_.empty()) {
+    fail(fname, "must have at least one field");
+  }
+
+  // Resolve nested subformats and dynamic count fields; validate each field.
+  for (Field& f : format.fields_) {
+    if (f.name.empty()) fail(fname, "field with empty name");
+    for (const Field& other : format.fields_) {
+      if (&other != &f && other.name == f.name) {
+        fail(fname, "duplicate field name '" + f.name + "'");
+      }
+    }
+
+    switch (f.type.cls) {
+      case FieldClass::kInteger:
+      case FieldClass::kUnsigned:
+        if (!valid_scalar_width(f.size)) {
+          fail(fname, "field '" + f.name + "': invalid integer size " +
+                          std::to_string(f.size));
+        }
+        break;
+      case FieldClass::kFloat:
+        if (f.size != 4 && f.size != 8) {
+          fail(fname, "field '" + f.name + "': invalid float size " +
+                          std::to_string(f.size));
+        }
+        break;
+      case FieldClass::kChar:
+        if (f.size != 1) {
+          fail(fname, "field '" + f.name + "': char fields are 1 byte");
+        }
+        break;
+      case FieldClass::kString:
+        // By convention PBIO metadata gives sizeof(char*) as a string's
+        // size; normalize to the profile's pointer size.
+        f.size = profile.pointer_size;
+        break;
+      case FieldClass::kNested: {
+        FormatHandle sub = by_name_profile(f.type.nested_name, profile);
+        if (!sub) {
+          fail(fname, "field '" + f.name + "' references unknown format '" +
+                          f.type.nested_name + "'");
+        }
+        if (!(sub->profile() == profile)) {
+          fail(fname, "field '" + f.name + "': nested format '" +
+                          f.type.nested_name +
+                          "' was registered for a different architecture "
+                          "profile");
+        }
+        f.subformat = sub;
+        f.size = sub->struct_size();
+        break;
+      }
+    }
+
+    if (!f.default_text.empty()) {
+      if (f.type.array != ArrayKind::kNone ||
+          !parse_default_scalar(f.type.cls, f.size, f.default_text)) {
+        fail(fname, "field '" + f.name + "': default value '" +
+                        f.default_text +
+                        "' is only supported on scalar integer/float/char "
+                        "fields and must parse for the field's class");
+      }
+    }
+
+    if (f.type.array == ArrayKind::kDynamic) {
+      std::size_t idx = SIZE_MAX;
+      for (std::size_t i = 0; i < format.fields_.size(); ++i) {
+        if (format.fields_[i].name == f.type.size_field) {
+          idx = i;
+          break;
+        }
+      }
+      if (idx == SIZE_MAX) {
+        fail(fname, "dynamic array '" + f.name + "' references missing count "
+                        "field '" + f.type.size_field + "'");
+      }
+      const Field& count = format.fields_[idx];
+      if ((count.type.cls != FieldClass::kInteger &&
+           count.type.cls != FieldClass::kUnsigned) ||
+          count.type.array != ArrayKind::kNone) {
+        fail(fname, "count field '" + f.type.size_field +
+                        "' for dynamic array '" + f.name +
+                        "' must be a scalar integer");
+      }
+      f.count_field_index = idx;
+    }
+  }
+
+  // Slot-bounds and overlap checks: sort field views by offset and verify
+  // each slot ends before the next begins and within the struct.
+  std::vector<const Field*> by_offset;
+  by_offset.reserve(format.fields_.size());
+  for (const Field& f : format.fields_) by_offset.push_back(&f);
+  std::sort(by_offset.begin(), by_offset.end(),
+            [](const Field* a, const Field* b) { return a->offset < b->offset; });
+  std::size_t prev_end = 0;
+  for (const Field* f : by_offset) {
+    std::size_t slot = f->slot_size(profile.pointer_size);
+    if (f->offset < prev_end) {
+      fail(fname, "field '" + f->name + "' overlaps the previous field");
+    }
+    if (f->offset + slot > format.struct_size_) {
+      fail(fname, "field '" + f->name + "' extends past the declared struct "
+                      "size (" + std::to_string(format.struct_size_) + ")");
+    }
+    prev_end = f->offset + slot;
+  }
+
+  // Precompute pointer-bearing fields and the alignment.
+  format.has_pointers_ = false;
+  format.pointer_fields_.clear();
+  std::size_t max_align = 1;
+  for (std::size_t i = 0; i < format.fields_.size(); ++i) {
+    const Field& f = format.fields_[i];
+    bool pointery = f.is_pointer_slot() ||
+                    (f.type.cls == FieldClass::kNested &&
+                     f.subformat->has_pointers());
+    if (pointery) {
+      format.has_pointers_ = true;
+      format.pointer_fields_.push_back(i);
+    }
+    std::size_t a = f.type.cls == FieldClass::kNested
+                        ? f.subformat->alignment()
+                        : profile.scalar_align(
+                              f.is_pointer_slot() ? profile.pointer_size
+                                                  : f.size);
+    max_align = std::max(max_align, a);
+  }
+  format.alignment_ = max_align;
+}
+
+FormatHandle FormatRegistry::register_format(const std::string& name,
+                                             std::span<const IOField> fields,
+                                             std::size_t struct_size,
+                                             const arch::Profile& profile) {
+  auto format = std::unique_ptr<Format>(new Format());
+  format->name_ = name;
+  format->profile_ = profile;
+  format->struct_size_ = struct_size;
+  format->fields_.reserve(fields.size());
+  for (const IOField& io : fields) {
+    if (io.name.empty()) break;  // tolerate C-style sentinel terminators
+    Field f;
+    f.name = io.name;
+    f.type = parse_type_string(io.type);
+    f.size = io.size;
+    f.offset = io.offset;
+    f.default_text = io.default_text;
+    format->fields_.push_back(std::move(f));
+  }
+  return finish_registration(std::move(format));
+}
+
+FormatHandle FormatRegistry::register_computed(
+    const std::string& name, std::span<const FieldSpec> fields,
+    const arch::Profile& profile) {
+  auto format = std::unique_ptr<Format>(new Format());
+  format->name_ = name;
+  format->profile_ = profile;
+  format->fields_.reserve(fields.size());
+
+  arch::StructLayout layout(profile);
+  for (const FieldSpec& spec : fields) {
+    Field f;
+    f.name = spec.name;
+    f.type = parse_type_string(spec.type);
+    f.default_text = spec.default_text;
+
+    // Determine element size and the in-struct slot.
+    std::size_t elem_size = spec.element_size;
+    std::size_t slot_size = 0;
+    std::size_t slot_align = 0;
+    switch (f.type.cls) {
+      case FieldClass::kString:
+        elem_size = profile.pointer_size;
+        break;
+      case FieldClass::kNested: {
+        FormatHandle sub = by_name_profile(f.type.nested_name, profile);
+        if (!sub) {
+          fail(name, "field '" + f.name + "' references unknown format '" +
+                         f.type.nested_name + "'");
+        }
+        elem_size = sub->struct_size();
+        break;
+      }
+      default:
+        if (elem_size == 0) {
+          fail(name, "field '" + f.name + "' needs an element size");
+        }
+        break;
+    }
+    f.size = elem_size;
+
+    if (f.is_pointer_slot()) {
+      slot_size = profile.pointer_size;
+      slot_align = profile.scalar_align(profile.pointer_size);
+    } else if (f.type.cls == FieldClass::kNested) {
+      FormatHandle sub = by_name_profile(f.type.nested_name, profile);
+      std::size_t count =
+          f.type.array == ArrayKind::kStatic ? f.type.static_count : 1;
+      slot_size = sub->struct_size() * count;
+      slot_align = sub->alignment();
+    } else {
+      std::size_t count =
+          f.type.array == ArrayKind::kStatic ? f.type.static_count : 1;
+      slot_size = elem_size * count;
+      slot_align = profile.scalar_align(elem_size);
+    }
+    f.offset = layout.add_member(slot_size, slot_align);
+    format->fields_.push_back(std::move(f));
+  }
+  format->struct_size_ = layout.size();
+  return finish_registration(std::move(format));
+}
+
+FormatHandle FormatRegistry::finish_registration(
+    std::unique_ptr<Format> format) {
+  validate_and_resolve(*format);
+  format->id_ = compute_format_id(format->name_, format->profile_,
+                                  format->fields_, format->struct_size_);
+
+  FormatHandle handle(std::move(format));
+  std::unique_lock lock(mutex_);
+  auto [it, inserted] = by_id_.try_emplace(handle->id(), handle);
+  if (!inserted) {
+    // Identical metadata registered twice: return the existing instance so
+    // handles compare equal and plan caches stay small.
+    return it->second;
+  }
+  by_name_[handle->name()].push_back(handle);
+  in_order_.push_back(handle);
+  return handle;
+}
+
+namespace {
+
+FormatHandle newest_with_profile(const std::vector<FormatHandle>& versions,
+                                 const arch::Profile& profile) {
+  for (auto it = versions.rbegin(); it != versions.rend(); ++it) {
+    if ((*it)->profile() == profile) return *it;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+FormatHandle FormatRegistry::by_name(const std::string& name) const {
+  return by_name_profile(name, arch::native());
+}
+
+FormatHandle FormatRegistry::by_name_profile(
+    const std::string& name, const arch::Profile& profile) const {
+  std::shared_lock lock(mutex_);
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) return nullptr;
+  return newest_with_profile(it->second, profile);
+}
+
+FormatHandle FormatRegistry::by_id(FormatId id) const {
+  std::shared_lock lock(mutex_);
+  auto it = by_id_.find(id);
+  return it == by_id_.end() ? nullptr : it->second;
+}
+
+std::vector<FormatHandle> FormatRegistry::all() const {
+  std::shared_lock lock(mutex_);
+  return in_order_;
+}
+
+std::size_t FormatRegistry::size() const {
+  std::shared_lock lock(mutex_);
+  return in_order_.size();
+}
+
+}  // namespace omf::pbio

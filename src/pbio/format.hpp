@@ -1,0 +1,184 @@
+// Registered message formats and the format registry (the paper's Catalog).
+//
+// A Format is immutable once registered. Its identity is a 64-bit hash of
+// its complete metadata (name, architecture profile, every field), so two
+// processes that independently register identical metadata agree on the id
+// without coordination — the id travels in every wire message header and is
+// how receivers find the metadata describing an incoming message.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "arch/profile.hpp"
+#include "pbio/field.hpp"
+#include "util/error.hpp"
+
+namespace omf::pbio {
+
+class Format;
+using FormatHandle = std::shared_ptr<const Format>;
+
+/// Stable 64-bit identity of a format's full metadata.
+using FormatId = std::uint64_t;
+
+/// A fully resolved field of a registered format.
+struct Field {
+  std::string name;
+  TypeSpec type;
+  std::size_t size = 0;    ///< element size in bytes
+  std::size_t offset = 0;  ///< offset of the slot within the struct
+  FormatHandle subformat;  ///< resolved nested format (kNested only)
+  std::size_t count_field_index = SIZE_MAX;  ///< index of the dynamic count field
+  /// Receiver-side default (from the schema's `default` attribute): when a
+  /// wire format lacks this field, conversion writes this value instead of
+  /// zero. Textual, profile-independent; empty = no default. Scalar
+  /// integer/float/char fields only.
+  std::string default_text;
+
+  /// Bytes this field occupies inside the struct itself: the full array for
+  /// static arrays, a pointer for strings and dynamic arrays, the element
+  /// size otherwise.
+  std::size_t slot_size(std::size_t pointer_size) const noexcept {
+    if (type.cls == FieldClass::kString || type.array == ArrayKind::kDynamic) {
+      return pointer_size;
+    }
+    if (type.array == ArrayKind::kStatic) {
+      return size * type.static_count;
+    }
+    return size;
+  }
+
+  bool is_pointer_slot() const noexcept {
+    return type.cls == FieldClass::kString ||
+           type.array == ArrayKind::kDynamic;
+  }
+};
+
+/// An immutable registered message format.
+class Format {
+public:
+  const std::string& name() const noexcept { return name_; }
+  FormatId id() const noexcept { return id_; }
+  const arch::Profile& profile() const noexcept { return profile_; }
+  const std::vector<Field>& fields() const noexcept { return fields_; }
+  std::size_t struct_size() const noexcept { return struct_size_; }
+  std::size_t alignment() const noexcept { return alignment_; }
+
+  /// True if any field at any nesting depth is a string or dynamic array —
+  /// i.e. encoding needs a variable-length section and pointer fixups.
+  bool has_pointers() const noexcept { return has_pointers_; }
+
+  /// Indices of the fields that need pointer/recursion treatment during
+  /// encode/decode (strings, dynamic arrays, and nested fields whose
+  /// subformat has pointers). Precomputed so hot paths skip plain fields.
+  const std::vector<std::size_t>& pointer_fields() const noexcept {
+    return pointer_fields_;
+  }
+
+  /// Field lookup by name; nullptr if absent.
+  const Field* field_named(std::string_view name) const noexcept;
+
+  /// Index of a field by name; SIZE_MAX if absent.
+  std::size_t field_index(std::string_view name) const noexcept;
+
+private:
+  friend class FormatRegistry;
+  Format() = default;
+
+  std::string name_;
+  FormatId id_ = 0;
+  arch::Profile profile_;
+  std::vector<Field> fields_;
+  std::size_t struct_size_ = 0;
+  std::size_t alignment_ = 1;
+  bool has_pointers_ = false;
+  std::vector<std::size_t> pointer_fields_;
+};
+
+/// A field specification for registry-computed layout (the xml2wire path):
+/// the registry assigns offsets using the target profile's ABI rules, the
+/// way the target machine's C compiler would.
+struct FieldSpec {
+  FieldSpec() = default;
+  FieldSpec(std::string name, std::string type, std::size_t element_size,
+            std::string default_text = {})
+      : name(std::move(name)),
+        type(std::move(type)),
+        element_size(element_size),
+        default_text(std::move(default_text)) {}
+
+  std::string name;
+  std::string type;              ///< PBIO type string
+  std::size_t element_size = 0;  ///< scalar width; 0 for nested/string
+  std::string default_text;      ///< optional receiver-side default (scalars)
+};
+
+/// Thread-safe catalog of registered formats.
+///
+/// Lookup by name returns the *most recently* registered format with that
+/// name (supporting format evolution: v2 re-registration supersedes v1 for
+/// senders), while lookup by id reaches every version ever registered (so
+/// receivers can still decode old-format messages).
+class FormatRegistry {
+public:
+  FormatRegistry() = default;
+  FormatRegistry(const FormatRegistry&) = delete;
+  FormatRegistry& operator=(const FormatRegistry&) = delete;
+
+  /// PBIO-native registration: field sizes and offsets were measured by the
+  /// compiler (sizeof / offsetof), `struct_size` is sizeof(the struct).
+  /// Validates the metadata (names, type strings, nested resolution, count
+  /// fields, slot bounds) and returns the immutable format.
+  FormatHandle register_format(const std::string& name,
+                               std::span<const IOField> fields,
+                               std::size_t struct_size,
+                               const arch::Profile& profile = arch::native());
+
+  /// Registry-computed registration: assigns offsets and the total size by
+  /// laying the fields out for `profile` in declaration order.
+  FormatHandle register_computed(const std::string& name,
+                                 std::span<const FieldSpec> fields,
+                                 const arch::Profile& profile = arch::native());
+
+  /// Latest format registered under `name` for the native profile — the
+  /// format a local sender should use. nullptr if none.
+  FormatHandle by_name(const std::string& name) const;
+
+  /// Latest format registered under `name` for a specific architecture
+  /// profile (e.g. a deserialized remote format). nullptr if none.
+  FormatHandle by_name_profile(const std::string& name,
+                               const arch::Profile& profile) const;
+
+  /// Format with the given metadata id; nullptr if unknown.
+  FormatHandle by_id(FormatId id) const;
+
+  /// Every format ever registered, in registration order.
+  std::vector<FormatHandle> all() const;
+
+  std::size_t size() const;
+
+private:
+  FormatHandle finish_registration(std::unique_ptr<Format> format);
+  void validate_and_resolve(Format& format) const;
+
+  mutable std::shared_mutex mutex_;
+  // Per name, every registration in order; lookups scan backwards for the
+  // newest entry matching the requested profile.
+  std::unordered_map<std::string, std::vector<FormatHandle>> by_name_;
+  std::unordered_map<FormatId, FormatHandle> by_id_;
+  std::vector<FormatHandle> in_order_;
+};
+
+/// Computes the metadata hash that identifies a format.
+FormatId compute_format_id(const std::string& name,
+                           const arch::Profile& profile,
+                           std::span<const Field> fields,
+                           std::size_t struct_size);
+
+}  // namespace omf::pbio

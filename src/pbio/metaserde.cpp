@@ -1,0 +1,115 @@
+#include "pbio/metaserde.hpp"
+
+#include <vector>
+
+namespace omf::pbio {
+
+namespace {
+
+constexpr std::uint32_t kBundleMagic = 0x464D424Fu;  // "OBMF"
+constexpr ByteOrder kOrder = ByteOrder::kLittle;
+
+void put_string(Buffer& out, std::string_view s) {
+  out.append_int<std::uint32_t>(static_cast<std::uint32_t>(s.size()), kOrder);
+  out.append(s);
+}
+
+std::string get_string(BufferReader& in) {
+  std::uint32_t len = in.read_int<std::uint32_t>(kOrder);
+  return in.read_string(len);
+}
+
+void serialize_one(const Format& f, Buffer& out) {
+  put_string(out, f.name());
+  const arch::Profile& p = f.profile();
+  put_string(out, p.name);
+  out.append_int<std::uint8_t>(
+      p.byte_order == ByteOrder::kBig ? 1 : 0, kOrder);
+  out.append_int<std::uint8_t>(p.pointer_size, kOrder);
+  out.append_int<std::uint8_t>(p.int_size, kOrder);
+  out.append_int<std::uint8_t>(p.long_size, kOrder);
+  out.append_int<std::uint8_t>(p.alignment_cap, kOrder);
+  out.append_int<std::uint64_t>(f.struct_size(), kOrder);
+  out.append_int<std::uint32_t>(static_cast<std::uint32_t>(f.fields().size()),
+                                kOrder);
+  for (const Field& field : f.fields()) {
+    put_string(out, field.name);
+    put_string(out, type_string(field.type));
+    out.append_int<std::uint64_t>(field.size, kOrder);
+    out.append_int<std::uint64_t>(field.offset, kOrder);
+    put_string(out, field.default_text);
+  }
+}
+
+void collect(const Format& f, std::vector<const Format*>& out) {
+  for (const Field& field : f.fields()) {
+    if (field.subformat) collect(*field.subformat, out);
+  }
+  // Dependencies first; dedupe by id.
+  for (const Format* existing : out) {
+    if (existing->id() == f.id()) return;
+  }
+  out.push_back(&f);
+}
+
+}  // namespace
+
+Buffer serialize_format_bundle(const Format& format) {
+  std::vector<const Format*> formats;
+  collect(format, formats);
+
+  Buffer out;
+  out.append_int<std::uint32_t>(kBundleMagic, kOrder);
+  out.append_int<std::uint32_t>(static_cast<std::uint32_t>(formats.size()),
+                                kOrder);
+  for (const Format* f : formats) {
+    serialize_one(*f, out);
+  }
+  return out;
+}
+
+FormatHandle deserialize_format_bundle(FormatRegistry& registry,
+                                       std::span<const std::uint8_t> bytes) {
+  BufferReader in(bytes);
+  if (in.read_int<std::uint32_t>(kOrder) != kBundleMagic) {
+    throw DecodeError("not a format bundle (bad magic)");
+  }
+  std::uint32_t count = in.read_int<std::uint32_t>(kOrder);
+  if (count == 0) {
+    throw DecodeError("empty format bundle");
+  }
+
+  FormatHandle last;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::string name = get_string(in);
+    arch::Profile profile;
+    profile.name = get_string(in);
+    profile.byte_order = in.read_int<std::uint8_t>(kOrder) != 0
+                             ? ByteOrder::kBig
+                             : ByteOrder::kLittle;
+    profile.pointer_size = in.read_int<std::uint8_t>(kOrder);
+    profile.int_size = in.read_int<std::uint8_t>(kOrder);
+    profile.long_size = in.read_int<std::uint8_t>(kOrder);
+    profile.alignment_cap = in.read_int<std::uint8_t>(kOrder);
+    std::uint64_t struct_size = in.read_int<std::uint64_t>(kOrder);
+    std::uint32_t field_count = in.read_int<std::uint32_t>(kOrder);
+
+    std::vector<IOField> fields;
+    fields.reserve(field_count);
+    for (std::uint32_t j = 0; j < field_count; ++j) {
+      IOField f;
+      f.name = get_string(in);
+      f.type = get_string(in);
+      f.size = static_cast<std::size_t>(in.read_int<std::uint64_t>(kOrder));
+      f.offset = static_cast<std::size_t>(in.read_int<std::uint64_t>(kOrder));
+      f.default_text = get_string(in);
+      fields.push_back(std::move(f));
+    }
+    last = registry.register_format(name, fields,
+                                    static_cast<std::size_t>(struct_size),
+                                    profile);
+  }
+  return last;
+}
+
+}  // namespace omf::pbio

@@ -1,0 +1,32 @@
+// Binary serialization of format metadata.
+//
+// This is how format metadata itself travels: a sender registers a format,
+// pushes the serialized bundle to the format service (or an intranet HTTP
+// server), and receivers that encounter an unknown format id in a message
+// header fetch the bundle and register it locally, after which conversion
+// plans can be compiled. A bundle contains the format plus every nested
+// subformat, dependencies first, so deserialization can resolve references
+// in one pass.
+//
+// The serialized form is architecture-independent (explicit little-endian
+// integers) — it describes a layout, it does not use one.
+#pragma once
+
+#include <span>
+
+#include "pbio/format.hpp"
+#include "util/buffer.hpp"
+
+namespace omf::pbio {
+
+/// Serializes `format` and its nested subformats (dependencies first).
+Buffer serialize_format_bundle(const Format& format);
+
+/// Deserializes a bundle, registering every contained format into
+/// `registry` (formats already present are deduplicated by metadata id).
+/// Returns the top-level (last) format. Throws DecodeError on malformed
+/// bundles and FormatError if the contained metadata is invalid.
+FormatHandle deserialize_format_bundle(FormatRegistry& registry,
+                                       std::span<const std::uint8_t> bytes);
+
+}  // namespace omf::pbio

@@ -1,0 +1,571 @@
+#include "pbio/record.hpp"
+
+#include <cstring>
+#include <sstream>
+
+#include "pbio/encode.hpp"
+
+namespace omf::pbio {
+
+DynamicRecord::DynamicRecord(FormatHandle format) {
+  if (!format) throw FormatError("DynamicRecord: null format");
+  if (!(format->profile() == arch::native())) {
+    throw FormatError("DynamicRecord requires a native-profile format; '" +
+                      format->name() + "' targets '" + format->profile().name +
+                      "'");
+  }
+  auto shared = std::make_shared<Shared>();
+  shared->top = format;
+  shared->storage.assign(format->struct_size(), 0);
+  shared_ = std::move(shared);
+  format_ = shared_->top.get();
+  mem_ = shared_->storage.data();
+}
+
+const Field& DynamicRecord::require(std::string_view field) const {
+  const Field* f = format_->field_named(field);
+  if (f == nullptr) {
+    throw FormatError("format '" + format_->name() + "' has no field '" +
+                      std::string(field) + "'");
+  }
+  return *f;
+}
+
+const Field& DynamicRecord::require_class(std::string_view field, FieldClass a,
+                                          FieldClass b) const {
+  const Field& f = require(field);
+  if (f.type.cls != a && f.type.cls != b) {
+    throw FormatError("field '" + std::string(field) + "' of format '" +
+                      format_->name() + "' is " +
+                      std::string(field_class_name(f.type.cls)) +
+                      ", not the requested class");
+  }
+  return f;
+}
+
+void DynamicRecord::write_scalar_int(const Field& f, std::uint8_t* slot,
+                                     std::uint64_t v) {
+  switch (f.size) {
+    case 1: {
+      auto x = static_cast<std::uint8_t>(v);
+      std::memcpy(slot, &x, 1);
+      break;
+    }
+    case 2: {
+      auto x = static_cast<std::uint16_t>(v);
+      std::memcpy(slot, &x, 2);
+      break;
+    }
+    case 4: {
+      auto x = static_cast<std::uint32_t>(v);
+      std::memcpy(slot, &x, 4);
+      break;
+    }
+    default:
+      std::memcpy(slot, &v, 8);
+      break;
+  }
+}
+
+std::uint64_t DynamicRecord::read_scalar_uint(const Field& f,
+                                              const std::uint8_t* slot) const {
+  switch (f.size) {
+    case 1: return *slot;
+    case 2: {
+      std::uint16_t x;
+      std::memcpy(&x, slot, 2);
+      return x;
+    }
+    case 4: {
+      std::uint32_t x;
+      std::memcpy(&x, slot, 4);
+      return x;
+    }
+    default: {
+      std::uint64_t x;
+      std::memcpy(&x, slot, 8);
+      return x;
+    }
+  }
+}
+
+std::int64_t DynamicRecord::read_scalar_int(const Field& f,
+                                            const std::uint8_t* slot) const {
+  std::uint64_t v = read_scalar_uint(f, slot);
+  if (f.size < 8) {
+    std::uint64_t sign_bit = 1ull << (f.size * 8 - 1);
+    if (v & sign_bit) v |= ~((sign_bit << 1) - 1);
+  }
+  return static_cast<std::int64_t>(v);
+}
+
+void DynamicRecord::set_int(std::string_view field, std::int64_t v) {
+  const Field& f =
+      require_class(field, FieldClass::kInteger, FieldClass::kUnsigned);
+  if (f.type.array != ArrayKind::kNone) {
+    throw FormatError("field '" + std::string(field) +
+                      "' is an array; use set_int_array");
+  }
+  write_scalar_int(f, mem_ + f.offset, static_cast<std::uint64_t>(v));
+}
+
+void DynamicRecord::set_uint(std::string_view field, std::uint64_t v) {
+  const Field& f =
+      require_class(field, FieldClass::kInteger, FieldClass::kUnsigned);
+  if (f.type.array != ArrayKind::kNone) {
+    throw FormatError("field '" + std::string(field) +
+                      "' is an array; use set_uint_array");
+  }
+  write_scalar_int(f, mem_ + f.offset, v);
+}
+
+void DynamicRecord::set_float(std::string_view field, double v) {
+  const Field& f = require_class(field, FieldClass::kFloat, FieldClass::kFloat);
+  if (f.type.array != ArrayKind::kNone) {
+    throw FormatError("field '" + std::string(field) +
+                      "' is an array; use set_float_array");
+  }
+  if (f.size == 4) {
+    float x = static_cast<float>(v);
+    std::memcpy(mem_ + f.offset, &x, 4);
+  } else {
+    std::memcpy(mem_ + f.offset, &v, 8);
+  }
+}
+
+void DynamicRecord::set_char(std::string_view field, char v) {
+  const Field& f = require_class(field, FieldClass::kChar, FieldClass::kChar);
+  if (f.type.array != ArrayKind::kNone) {
+    throw FormatError("field '" + std::string(field) + "' is an array");
+  }
+  std::memcpy(mem_ + f.offset, &v, 1);
+}
+
+void DynamicRecord::set_string(std::string_view field, std::string_view v) {
+  const Field& f =
+      require_class(field, FieldClass::kString, FieldClass::kString);
+  char* copy = shared_->arena.copy_string(v.data(), v.size());
+  std::memcpy(mem_ + f.offset, &copy, sizeof(copy));
+}
+
+std::int64_t DynamicRecord::get_int(std::string_view field) const {
+  const Field& f =
+      require_class(field, FieldClass::kInteger, FieldClass::kUnsigned);
+  if (f.type.array != ArrayKind::kNone) {
+    throw FormatError("field '" + std::string(field) +
+                      "' is an array; use get_int_array");
+  }
+  return f.type.cls == FieldClass::kInteger
+             ? read_scalar_int(f, mem_ + f.offset)
+             : static_cast<std::int64_t>(read_scalar_uint(f, mem_ + f.offset));
+}
+
+std::uint64_t DynamicRecord::get_uint(std::string_view field) const {
+  const Field& f =
+      require_class(field, FieldClass::kInteger, FieldClass::kUnsigned);
+  if (f.type.array != ArrayKind::kNone) {
+    throw FormatError("field '" + std::string(field) +
+                      "' is an array; use get_uint_array");
+  }
+  return read_scalar_uint(f, mem_ + f.offset);
+}
+
+double DynamicRecord::get_float(std::string_view field) const {
+  const Field& f = require_class(field, FieldClass::kFloat, FieldClass::kFloat);
+  if (f.type.array != ArrayKind::kNone) {
+    throw FormatError("field '" + std::string(field) +
+                      "' is an array; use get_float_array");
+  }
+  if (f.size == 4) {
+    float x;
+    std::memcpy(&x, mem_ + f.offset, 4);
+    return x;
+  }
+  double x;
+  std::memcpy(&x, mem_ + f.offset, 8);
+  return x;
+}
+
+char DynamicRecord::get_char(std::string_view field) const {
+  const Field& f = require_class(field, FieldClass::kChar, FieldClass::kChar);
+  char v;
+  std::memcpy(&v, mem_ + f.offset, 1);
+  return v;
+}
+
+const char* DynamicRecord::get_string(std::string_view field) const {
+  const Field& f =
+      require_class(field, FieldClass::kString, FieldClass::kString);
+  const char* v = nullptr;
+  std::memcpy(&v, mem_ + f.offset, sizeof(v));
+  return v;
+}
+
+std::size_t DynamicRecord::array_length(std::string_view field) const {
+  const Field& f = require(field);
+  switch (f.type.array) {
+    case ArrayKind::kStatic:
+      return f.type.static_count;
+    case ArrayKind::kDynamic: {
+      const Field& count = format_->fields()[f.count_field_index];
+      std::int64_t n = read_scalar_int(count, mem_ + count.offset);
+      return n < 0 ? 0 : static_cast<std::size_t>(n);
+    }
+    case ArrayKind::kNone:
+      throw FormatError("field '" + std::string(field) + "' is not an array");
+  }
+  return 0;
+}
+
+namespace {
+
+/// Shared logic for all array setters: resolves the element base pointer,
+/// allocating + recording the count for dynamic arrays.
+template <typename Setter>
+void set_array_common(const Format& format, std::uint8_t* mem,
+                      DecodeArena& arena, const Field& f, std::size_t n,
+                      std::size_t elem_align, Setter&& set_element) {
+  std::uint8_t* base = nullptr;
+  if (f.type.array == ArrayKind::kStatic) {
+    if (n != f.type.static_count) {
+      throw FormatError("static array '" + f.name + "' has length " +
+                        std::to_string(f.type.static_count) + ", got " +
+                        std::to_string(n) + " values");
+    }
+    base = mem + f.offset;
+  } else {
+    base = static_cast<std::uint8_t*>(
+        arena.allocate(n == 0 ? 1 : n * f.size, elem_align));
+    // Arena memory is uninitialized; element setters overwrite it, but the
+    // nested-array resize path hands zeroed records to the caller.
+    std::memset(base, 0, n == 0 ? 1 : n * f.size);
+    std::uint8_t* stored = n == 0 ? nullptr : base;
+    std::memcpy(mem + f.offset, &stored, sizeof(stored));
+    const Field& count = format.fields()[f.count_field_index];
+    std::uint64_t cv = n;
+    // Write count in the count field's width.
+    switch (count.size) {
+      case 1: { auto x = static_cast<std::uint8_t>(cv); std::memcpy(mem + count.offset, &x, 1); break; }
+      case 2: { auto x = static_cast<std::uint16_t>(cv); std::memcpy(mem + count.offset, &x, 2); break; }
+      case 4: { auto x = static_cast<std::uint32_t>(cv); std::memcpy(mem + count.offset, &x, 4); break; }
+      default: std::memcpy(mem + count.offset, &cv, 8); break;
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    set_element(base + i * f.size, i);
+  }
+}
+
+}  // namespace
+
+void DynamicRecord::set_int_array(std::string_view field,
+                                  std::span<const std::int64_t> values) {
+  const Field& f =
+      require_class(field, FieldClass::kInteger, FieldClass::kUnsigned);
+  if (f.type.array == ArrayKind::kNone) {
+    throw FormatError("field '" + std::string(field) + "' is not an array");
+  }
+  set_array_common(*format_, mem_, shared_->arena, f, values.size(),
+                   format_->profile().scalar_align(f.size),
+                   [&](std::uint8_t* slot, std::size_t i) {
+                     write_scalar_int(f, slot,
+                                      static_cast<std::uint64_t>(values[i]));
+                   });
+}
+
+void DynamicRecord::set_uint_array(std::string_view field,
+                                   std::span<const std::uint64_t> values) {
+  const Field& f =
+      require_class(field, FieldClass::kInteger, FieldClass::kUnsigned);
+  if (f.type.array == ArrayKind::kNone) {
+    throw FormatError("field '" + std::string(field) + "' is not an array");
+  }
+  set_array_common(*format_, mem_, shared_->arena, f, values.size(),
+                   format_->profile().scalar_align(f.size),
+                   [&](std::uint8_t* slot, std::size_t i) {
+                     write_scalar_int(f, slot, values[i]);
+                   });
+}
+
+void DynamicRecord::set_float_array(std::string_view field,
+                                    std::span<const double> values) {
+  const Field& f = require_class(field, FieldClass::kFloat, FieldClass::kFloat);
+  if (f.type.array == ArrayKind::kNone) {
+    throw FormatError("field '" + std::string(field) + "' is not an array");
+  }
+  set_array_common(*format_, mem_, shared_->arena, f, values.size(),
+                   format_->profile().scalar_align(f.size),
+                   [&](std::uint8_t* slot, std::size_t i) {
+                     if (f.size == 4) {
+                       float x = static_cast<float>(values[i]);
+                       std::memcpy(slot, &x, 4);
+                     } else {
+                       double x = values[i];
+                       std::memcpy(slot, &x, 8);
+                     }
+                   });
+}
+
+namespace {
+
+const std::uint8_t* array_base(const std::uint8_t* mem, const Field& f) {
+  if (f.type.array == ArrayKind::kStatic) return mem + f.offset;
+  const std::uint8_t* p = nullptr;
+  std::memcpy(&p, mem + f.offset, sizeof(p));
+  return p;
+}
+
+}  // namespace
+
+std::vector<std::int64_t> DynamicRecord::get_int_array(
+    std::string_view field) const {
+  const Field& f =
+      require_class(field, FieldClass::kInteger, FieldClass::kUnsigned);
+  std::size_t n = array_length(field);
+  const std::uint8_t* base = array_base(mem_, f);
+  std::vector<std::int64_t> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = read_scalar_int(f, base + i * f.size);
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> DynamicRecord::get_uint_array(
+    std::string_view field) const {
+  const Field& f =
+      require_class(field, FieldClass::kInteger, FieldClass::kUnsigned);
+  std::size_t n = array_length(field);
+  const std::uint8_t* base = array_base(mem_, f);
+  std::vector<std::uint64_t> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = read_scalar_uint(f, base + i * f.size);
+  }
+  return out;
+}
+
+std::vector<double> DynamicRecord::get_float_array(
+    std::string_view field) const {
+  const Field& f = require_class(field, FieldClass::kFloat, FieldClass::kFloat);
+  std::size_t n = array_length(field);
+  const std::uint8_t* base = array_base(mem_, f);
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (f.size == 4) {
+      float x;
+      std::memcpy(&x, base + i * 4, 4);
+      out[i] = x;
+    } else {
+      std::memcpy(&out[i], base + i * 8, 8);
+    }
+  }
+  return out;
+}
+
+void DynamicRecord::set_char_array(std::string_view field,
+                                   std::string_view bytes) {
+  const Field& f = require_class(field, FieldClass::kChar, FieldClass::kChar);
+  if (f.type.array == ArrayKind::kNone) {
+    throw FormatError("field '" + std::string(field) + "' is not an array");
+  }
+  set_array_common(*format_, mem_, shared_->arena, f, bytes.size(), 1,
+                   [&](std::uint8_t* slot, std::size_t i) {
+                     *slot = static_cast<std::uint8_t>(bytes[i]);
+                   });
+}
+
+std::string DynamicRecord::get_char_array(std::string_view field) const {
+  const Field& f = require_class(field, FieldClass::kChar, FieldClass::kChar);
+  if (f.type.array == ArrayKind::kNone) {
+    throw FormatError("field '" + std::string(field) + "' is not an array");
+  }
+  std::size_t n = array_length(field);
+  const std::uint8_t* base = array_base(mem_, f);
+  return std::string(reinterpret_cast<const char*>(base), n);
+}
+
+DynamicRecord DynamicRecord::nested(std::string_view field,
+                                    std::size_t index) const {
+  const Field& f = require(field);
+  if (f.type.cls != FieldClass::kNested) {
+    throw FormatError("field '" + std::string(field) + "' is not a nested "
+                      "record");
+  }
+  const Format& sub = *f.subformat;
+  std::uint8_t* base = nullptr;
+  std::size_t limit = 1;
+  if (f.type.array == ArrayKind::kDynamic) {
+    std::memcpy(&base, mem_ + f.offset, sizeof(base));
+    limit = array_length(field);
+    if (base == nullptr) {
+      throw FormatError("dynamic nested array '" + std::string(field) +
+                        "' has not been sized; call resize_nested_array");
+    }
+  } else {
+    base = mem_ + f.offset;
+    limit = f.type.array == ArrayKind::kStatic ? f.type.static_count : 1;
+  }
+  if (index >= limit) {
+    throw FormatError("nested index " + std::to_string(index) +
+                      " out of range for field '" + std::string(field) + "'");
+  }
+  return DynamicRecord(shared_, &sub, base + index * sub.struct_size());
+}
+
+void DynamicRecord::resize_nested_array(std::string_view field, std::size_t n) {
+  const Field& f = require(field);
+  if (f.type.cls != FieldClass::kNested ||
+      f.type.array != ArrayKind::kDynamic) {
+    throw FormatError("field '" + std::string(field) +
+                      "' is not a dynamic nested array");
+  }
+  const Format& sub = *f.subformat;
+  set_array_common(*format_, mem_, shared_->arena, f, n, sub.alignment(),
+                   [](std::uint8_t*, std::size_t) {});
+}
+
+bool DynamicRecord::deep_equals(const DynamicRecord& other) const {
+  if (format_->fields().size() != other.format_->fields().size()) return false;
+  for (const Field& f : format_->fields()) {
+    const Field* of = other.format_->field_named(f.name);
+    if (of == nullptr || of->type.cls != f.type.cls ||
+        of->type.array != f.type.array) {
+      return false;
+    }
+    std::string name = f.name;
+    switch (f.type.cls) {
+      case FieldClass::kInteger:
+      case FieldClass::kUnsigned:
+        if (f.type.array == ArrayKind::kNone) {
+          if (get_int(name) != other.get_int(name)) return false;
+        } else {
+          if (get_int_array(name) != other.get_int_array(name)) return false;
+        }
+        break;
+      case FieldClass::kFloat:
+        if (f.type.array == ArrayKind::kNone) {
+          if (get_float(name) != other.get_float(name)) return false;
+        } else {
+          if (get_float_array(name) != other.get_float_array(name)) {
+            return false;
+          }
+        }
+        break;
+      case FieldClass::kChar:
+        if (f.type.array == ArrayKind::kNone) {
+          if (get_char(name) != other.get_char(name)) return false;
+        } else {
+          if (get_char_array(name) != other.get_char_array(name)) return false;
+        }
+        break;
+      case FieldClass::kString: {
+        const char* a = get_string(name);
+        const char* b = other.get_string(name);
+        if ((a == nullptr) != (b == nullptr)) return false;
+        if (a != nullptr && std::strcmp(a, b) != 0) return false;
+        break;
+      }
+      case FieldClass::kNested: {
+        std::size_t n = f.type.array == ArrayKind::kNone
+                            ? 1
+                            : array_length(name);
+        std::size_t m = of->type.array == ArrayKind::kNone
+                            ? 1
+                            : other.array_length(name);
+        if (n != m) return false;
+        for (std::size_t i = 0; i < n; ++i) {
+          if (!nested(name, i).deep_equals(other.nested(name, i))) {
+            return false;
+          }
+        }
+        break;
+      }
+    }
+  }
+  return true;
+}
+
+std::string DynamicRecord::to_string() const {
+  std::ostringstream os;
+  os << format_->name() << " { ";
+  for (const Field& f : format_->fields()) {
+    os << f.name << "=";
+    std::string name = f.name;
+    switch (f.type.cls) {
+      case FieldClass::kInteger:
+      case FieldClass::kUnsigned:
+        if (f.type.array == ArrayKind::kNone) {
+          os << get_int(name);
+        } else {
+          os << "[";
+          auto vals = get_int_array(name);
+          for (std::size_t i = 0; i < vals.size(); ++i) {
+            if (i) os << ",";
+            os << vals[i];
+          }
+          os << "]";
+        }
+        break;
+      case FieldClass::kFloat:
+        if (f.type.array == ArrayKind::kNone) {
+          os << get_float(name);
+        } else {
+          os << "[";
+          auto vals = get_float_array(name);
+          for (std::size_t i = 0; i < vals.size(); ++i) {
+            if (i) os << ",";
+            os << vals[i];
+          }
+          os << "]";
+        }
+        break;
+      case FieldClass::kChar:
+        if (f.type.array == ArrayKind::kNone) {
+          os << "'" << get_char(name) << "'";
+        } else {
+          os << "bytes[" << array_length(name) << "]";
+        }
+        break;
+      case FieldClass::kString: {
+        const char* s = get_string(name);
+        os << (s ? std::string("\"") + s + "\"" : "null");
+        break;
+      }
+      case FieldClass::kNested: {
+        std::size_t n =
+            f.type.array == ArrayKind::kNone ? 1 : array_length(name);
+        if (f.type.array == ArrayKind::kNone) {
+          os << nested(name).to_string();
+        } else {
+          os << "[";
+          for (std::size_t i = 0; i < n; ++i) {
+            if (i) os << ",";
+            os << nested(name, i).to_string();
+          }
+          os << "]";
+        }
+        break;
+      }
+    }
+    os << " ";
+  }
+  os << "}";
+  return os.str();
+}
+
+Buffer DynamicRecord::encode() const { return pbio::encode(*format_, mem_); }
+
+void DynamicRecord::from_wire(Decoder& decoder,
+                              std::span<const std::uint8_t> message) {
+  // Every field is overwritten by the decode (absent wire fields are
+  // zeroed), so prior arena contents are unreachable afterwards — release
+  // them up front. Without this, a record reused as a receive target in a
+  // message loop would accumulate arena memory per message.
+  // Views into a larger record must not clear the shared arena — the rest
+  // of the root record still references it.
+  if (mem_ == shared_->storage.data()) {
+    shared_->arena.clear();
+  }
+  decoder.decode(message, *format_, mem_, shared_->arena);
+}
+
+}  // namespace omf::pbio

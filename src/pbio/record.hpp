@@ -1,0 +1,130 @@
+// DynamicRecord: a message instance built at run time from format metadata
+// alone — no compiled struct definition required.
+//
+// This realizes the paper's future-work item "generation of language-level
+// message object representations": once xml2wire has registered a format,
+// an application (or a non-programmer's tool) can construct, fill, send,
+// receive, and inspect messages of that format purely by field name. The
+// record's backing memory is laid out exactly like the equivalent C struct,
+// so encode()/decode() treat it identically to compiled application data.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "pbio/arena.hpp"
+#include "pbio/decode.hpp"
+#include "pbio/format.hpp"
+#include "util/buffer.hpp"
+
+namespace omf::pbio {
+
+class DynamicRecord {
+public:
+  /// Creates a zeroed record of the given format. The format must be
+  /// registered for the native architecture profile (records hold real
+  /// pointers). Throws FormatError otherwise.
+  explicit DynamicRecord(FormatHandle format);
+
+  const Format& format() const noexcept { return *format_; }
+
+  /// Raw struct memory, laid out per format() — pass to encode(), or cast
+  /// to the matching compiled struct type.
+  void* data() noexcept { return mem_; }
+  const void* data() const noexcept { return mem_; }
+
+  // --- Scalar accessors (throw FormatError on unknown field / wrong class) --
+
+  void set_int(std::string_view field, std::int64_t v);
+  void set_uint(std::string_view field, std::uint64_t v);
+  void set_float(std::string_view field, double v);
+  void set_char(std::string_view field, char v);
+  /// Stores a copy of `v` (owned by the record) and points the field at it.
+  void set_string(std::string_view field, std::string_view v);
+
+  std::int64_t get_int(std::string_view field) const;
+  std::uint64_t get_uint(std::string_view field) const;
+  double get_float(std::string_view field) const;
+  char get_char(std::string_view field) const;
+  /// Returns the field's string, or nullptr when unset/null.
+  const char* get_string(std::string_view field) const;
+
+  // --- Arrays ---------------------------------------------------------------
+
+  /// Number of elements currently in an array field: the declared length
+  /// for static arrays, the count-field value for dynamic arrays.
+  std::size_t array_length(std::string_view field) const;
+
+  /// Writes all elements. Static arrays require values.size() to equal the
+  /// declared length; dynamic arrays are (re)allocated and the companion
+  /// count field is updated.
+  void set_int_array(std::string_view field, std::span<const std::int64_t> values);
+  void set_uint_array(std::string_view field, std::span<const std::uint64_t> values);
+  void set_float_array(std::string_view field, std::span<const double> values);
+
+  std::vector<std::int64_t> get_int_array(std::string_view field) const;
+  std::vector<std::uint64_t> get_uint_array(std::string_view field) const;
+  std::vector<double> get_float_array(std::string_view field) const;
+
+  /// Char arrays as byte blocks (fixed-size buffers, not NUL-terminated
+  /// strings — use string fields for text).
+  void set_char_array(std::string_view field, std::string_view bytes);
+  std::string get_char_array(std::string_view field) const;
+
+  // --- Nested records -------------------------------------------------------
+
+  /// A view onto a nested record (element `index` for arrays of nested).
+  /// The view shares this record's storage; mutations are visible through
+  /// both. For dynamic nested arrays the array must have been sized with
+  /// resize_nested_array() first.
+  DynamicRecord nested(std::string_view field, std::size_t index = 0) const;
+
+  /// Allocates a dynamic array of `n` zeroed nested elements and updates
+  /// the companion count field.
+  void resize_nested_array(std::string_view field, std::size_t n);
+
+  // --- Whole-record operations ----------------------------------------------
+
+  /// Field-by-field deep comparison (same format name, same field set, same
+  /// values; strings compared by content, arrays element-wise).
+  bool deep_equals(const DynamicRecord& other) const;
+
+  /// Human-readable dump: "name { field=value ... }".
+  std::string to_string() const;
+
+  /// Marshals this record to an NDR wire message.
+  Buffer encode() const;
+
+  /// Fills this record by decoding `message` (any wire format convertible
+  /// to this record's format; see Decoder::decode).
+  void from_wire(Decoder& decoder, std::span<const std::uint8_t> message);
+
+private:
+  struct Shared {
+    FormatHandle top;
+    std::vector<std::uint8_t> storage;
+    DecodeArena arena;
+  };
+
+  DynamicRecord(std::shared_ptr<Shared> shared, const Format* format,
+                std::uint8_t* mem)
+      : shared_(std::move(shared)), format_(format), mem_(mem) {}
+
+  const Field& require(std::string_view field) const;
+  const Field& require_class(std::string_view field, FieldClass a,
+                             FieldClass b) const;
+
+  void write_scalar_int(const Field& f, std::uint8_t* slot, std::uint64_t v);
+  std::uint64_t read_scalar_uint(const Field& f, const std::uint8_t* slot) const;
+  std::int64_t read_scalar_int(const Field& f, const std::uint8_t* slot) const;
+
+  std::shared_ptr<Shared> shared_;
+  const Format* format_;
+  std::uint8_t* mem_;
+};
+
+}  // namespace omf::pbio

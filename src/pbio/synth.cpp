@@ -1,0 +1,209 @@
+#include "pbio/synth.hpp"
+
+#include <bit>
+#include <cstring>
+
+#include "pbio/wire.hpp"
+
+namespace omf::pbio {
+
+namespace {
+
+struct SynthContext {
+  Buffer& out;
+  std::size_t body_base;
+  const arch::Profile& profile;  // the foreign profile
+
+  void store_uint_at(std::size_t at, std::size_t size, std::uint64_t v) {
+    switch (size) {
+      case 1:
+        out.patch_int<std::uint8_t>(at, static_cast<std::uint8_t>(v),
+                                    profile.byte_order);
+        break;
+      case 2:
+        out.patch_int<std::uint16_t>(at, static_cast<std::uint16_t>(v),
+                                     profile.byte_order);
+        break;
+      case 4:
+        out.patch_int<std::uint32_t>(at, static_cast<std::uint32_t>(v),
+                                     profile.byte_order);
+        break;
+      default:
+        out.patch_int<std::uint64_t>(at, v, profile.byte_order);
+        break;
+    }
+  }
+
+  void patch_pointer_slot(std::size_t at, std::size_t var_off) {
+    if (profile.pointer_size == 4 && var_off > 0xFFFFFFFFull) {
+      throw EncodeError("variable section exceeds 32-bit offsets");
+    }
+    store_uint_at(at, profile.pointer_size, var_off);
+  }
+
+  void align_var_section(std::size_t align) {
+    std::size_t body_len = out.size() - body_base;
+    std::size_t padded = align_up(body_len, align);
+    if (padded != body_len) out.append_zeros(padded - body_len);
+  }
+};
+
+void fill_region(const Format& fmt, const DynamicRecord& rec,
+                 std::size_t region_at, SynthContext& ctx);
+
+void store_scalar(const Field& f, const DynamicRecord& rec,
+                  std::size_t slot_at, std::size_t index, bool from_array,
+                  SynthContext& ctx) {
+  switch (f.type.cls) {
+    case FieldClass::kInteger:
+    case FieldClass::kUnsigned: {
+      std::uint64_t v;
+      if (from_array) {
+        v = rec.get_uint_array(f.name)[index];
+      } else {
+        v = rec.get_uint(f.name);
+      }
+      ctx.store_uint_at(slot_at, f.size, v);
+      break;
+    }
+    case FieldClass::kFloat: {
+      double v = from_array ? rec.get_float_array(f.name)[index]
+                            : rec.get_float(f.name);
+      if (f.size == 4) {
+        ctx.store_uint_at(slot_at, 4, std::bit_cast<std::uint32_t>(
+                                          static_cast<float>(v)));
+      } else {
+        ctx.store_uint_at(slot_at, 8, std::bit_cast<std::uint64_t>(v));
+      }
+      break;
+    }
+    case FieldClass::kChar: {
+      char v = rec.get_char(f.name);
+      ctx.out.data()[slot_at] = static_cast<std::uint8_t>(v);
+      break;
+    }
+    default:
+      throw FormatError("store_scalar on non-scalar field '" + f.name + "'");
+  }
+}
+
+void fill_field(const Field& f, const DynamicRecord& rec,
+                std::size_t region_at, SynthContext& ctx) {
+  std::size_t slot_at = region_at + f.offset;
+
+  // Fields the record's format does not know stay zero (evolution).
+  if (rec.format().field_named(f.name) == nullptr) return;
+
+  switch (f.type.array) {
+    case ArrayKind::kNone:
+      switch (f.type.cls) {
+        case FieldClass::kString: {
+          const char* s = rec.get_string(f.name);
+          if (s == nullptr) {
+            ctx.patch_pointer_slot(slot_at, 0);
+          } else {
+            std::size_t len = std::strlen(s);
+            std::size_t var_off = ctx.out.size() - ctx.body_base;
+            ctx.out.append(s, len + 1);
+            ctx.patch_pointer_slot(slot_at, var_off);
+          }
+          break;
+        }
+        case FieldClass::kNested:
+          fill_region(*f.subformat, rec.nested(f.name), slot_at, ctx);
+          break;
+        default:
+          store_scalar(f, rec, slot_at, 0, /*from_array=*/false, ctx);
+          break;
+      }
+      break;
+
+    case ArrayKind::kStatic: {
+      std::size_t declared = f.type.static_count;
+      if (f.type.cls == FieldClass::kNested) {
+        std::size_t have = rec.array_length(f.name);
+        std::size_t n = have < declared ? have : declared;
+        for (std::size_t i = 0; i < n; ++i) {
+          fill_region(*f.subformat, rec.nested(f.name, i),
+                      slot_at + i * f.subformat->struct_size(), ctx);
+        }
+      } else if (f.type.cls == FieldClass::kChar) {
+        std::string bytes = rec.get_char_array(f.name);
+        std::size_t n = bytes.size() < declared ? bytes.size() : declared;
+        std::memcpy(ctx.out.data() + slot_at, bytes.data(), n);
+      } else {
+        std::size_t have = rec.array_length(f.name);
+        std::size_t n = have < declared ? have : declared;
+        for (std::size_t i = 0; i < n; ++i) {
+          store_scalar(f, rec, slot_at + i * f.size, i, /*from_array=*/true,
+                       ctx);
+        }
+      }
+      break;
+    }
+
+    case ArrayKind::kDynamic: {
+      std::size_t n = rec.array_length(f.name);
+      if (n == 0) {
+        ctx.patch_pointer_slot(slot_at, 0);
+        break;
+      }
+      std::size_t elem = f.type.cls == FieldClass::kNested
+                             ? f.subformat->struct_size()
+                             : f.size;
+      std::size_t align = f.type.cls == FieldClass::kNested
+                              ? f.subformat->alignment()
+                              : ctx.profile.scalar_align(f.size);
+      ctx.align_var_section(align);
+      std::size_t var_off = ctx.out.size() - ctx.body_base;
+      std::size_t elems_at = ctx.out.grow(n * elem);
+      if (f.type.cls == FieldClass::kNested) {
+        for (std::size_t i = 0; i < n; ++i) {
+          fill_region(*f.subformat, rec.nested(f.name, i), elems_at + i * elem,
+                      ctx);
+        }
+      } else if (f.type.cls == FieldClass::kChar) {
+        std::string bytes = rec.get_char_array(f.name);
+        std::memcpy(ctx.out.data() + elems_at, bytes.data(),
+                    bytes.size() < n ? bytes.size() : n);
+      } else {
+        for (std::size_t i = 0; i < n; ++i) {
+          store_scalar(f, rec, elems_at + i * elem, i, /*from_array=*/true,
+                       ctx);
+        }
+      }
+      ctx.patch_pointer_slot(slot_at, var_off);
+      break;
+    }
+  }
+}
+
+void fill_region(const Format& fmt, const DynamicRecord& rec,
+                 std::size_t region_at, SynthContext& ctx) {
+  for (const Field& f : fmt.fields()) {
+    fill_field(f, rec, region_at, ctx);
+  }
+}
+
+}  // namespace
+
+Buffer synthesize_wire(const Format& foreign_format,
+                       const DynamicRecord& values) {
+  Buffer out(WireHeader::kSize + foreign_format.struct_size() + 64);
+  WireHeader header;
+  header.byte_order = foreign_format.profile().byte_order;
+  header.format_id = foreign_format.id();
+  std::size_t body_length_at = header.write(out);
+
+  SynthContext ctx{out, out.size(), foreign_format.profile()};
+  std::size_t region_at = out.grow(foreign_format.struct_size());
+  fill_region(foreign_format, values, region_at, ctx);
+
+  std::size_t body_len = out.size() - ctx.body_base;
+  out.patch_int<std::uint32_t>(body_length_at,
+                               static_cast<std::uint32_t>(body_len),
+                               header.byte_order);
+  return out;
+}
+
+}  // namespace omf::pbio

@@ -1,0 +1,33 @@
+// Wire synthesis: produce the exact NDR message a sender on a *different*
+// architecture would have produced for the same logical values.
+//
+// On a real heterogeneous deployment the foreign struct layout, byte order,
+// and type widths come for free from the remote machine. This reproduction
+// runs on one host, so the heterogeneous receive path (conversion plans:
+// byte swapping, width changes, offset remapping) is driven by synthesized
+// messages instead: take a DynamicRecord holding the logical values, take
+// the same format registered for a foreign profile (e.g. via xml2wire with
+// profile=sparc64), and emit the byte-exact message that sender would have
+// put on the wire. Everything downstream of the socket is the production
+// code path.
+//
+// Doubles as a gateway re-encoder: a broker can convert messages to a
+// client's native format before forwarding, trading broker CPU for client
+// simplicity ("format-scoping" infrastructure, §4.4).
+#pragma once
+
+#include "pbio/format.hpp"
+#include "pbio/record.hpp"
+#include "util/buffer.hpp"
+
+namespace omf::pbio {
+
+/// Emits a complete wire message for `values` as a sender whose native
+/// format is `foreign_format` would. Fields are matched by name; fields of
+/// `foreign_format` absent from the record's format are zero-filled.
+/// Throws FormatError on field class mismatches and EncodeError on
+/// inconsistent values.
+Buffer synthesize_wire(const Format& foreign_format,
+                       const DynamicRecord& values);
+
+}  // namespace omf::pbio

@@ -1,0 +1,69 @@
+// NDR wire message framing.
+//
+// A wire message is a 16-byte header followed by the body: a verbatim copy
+// of the sender's struct memory, then a variable-length section holding
+// string bytes and dynamic-array elements. Pointer slots inside the body
+// hold offsets (relative to the body start) instead of addresses; offset 0
+// is the null pointer (the struct region itself occupies body offset 0, so
+// no variable data can legitimately live there).
+//
+// Header integers are written in the *sender's* byte order — the receiver
+// learns that order from the flags byte, which is order-independent. This
+// is the defining property of NDR: the sender never converts anything.
+#pragma once
+
+#include <cstdint>
+
+#include "util/buffer.hpp"
+#include "util/bytes.hpp"
+
+namespace omf::pbio {
+
+struct WireHeader {
+  static constexpr std::uint8_t kMagic = 0xB1;
+  static constexpr std::uint8_t kVersion = 1;
+  static constexpr std::size_t kSize = 16;
+  static constexpr std::uint8_t kFlagBigEndian = 0x01;
+
+  ByteOrder byte_order = ByteOrder::kLittle;
+  std::uint32_t body_length = 0;
+  std::uint64_t format_id = 0;
+
+  /// Appends the header; returns the buffer offset of the body_length word
+  /// so encoders can patch it once the body is complete.
+  std::size_t write(Buffer& out) const {
+    std::uint8_t flags = byte_order == ByteOrder::kBig ? kFlagBigEndian : 0;
+    out.append(&kMagic, 1);
+    out.append(&kVersion, 1);
+    out.append(&flags, 1);
+    std::uint8_t header_size = kSize;
+    out.append(&header_size, 1);
+    std::size_t body_length_at = out.size();
+    out.append_int<std::uint32_t>(body_length, byte_order);
+    out.append_int<std::uint64_t>(format_id, byte_order);
+    return body_length_at;
+  }
+
+  /// Parses and validates a header. Throws DecodeError on bad magic,
+  /// unsupported version, or truncation.
+  static WireHeader read(BufferReader& in) {
+    const std::uint8_t* p = in.read_bytes(4);
+    if (p[0] != kMagic) {
+      throw DecodeError("bad magic byte (not an NDR message)");
+    }
+    if (p[1] != kVersion) {
+      throw DecodeError("unsupported NDR version " + std::to_string(p[1]));
+    }
+    if (p[3] != kSize) {
+      throw DecodeError("unexpected header size " + std::to_string(p[3]));
+    }
+    WireHeader h;
+    h.byte_order =
+        (p[2] & kFlagBigEndian) != 0 ? ByteOrder::kBig : ByteOrder::kLittle;
+    h.body_length = in.read_int<std::uint32_t>(h.byte_order);
+    h.format_id = in.read_int<std::uint64_t>(h.byte_order);
+    return h;
+  }
+};
+
+}  // namespace omf::pbio

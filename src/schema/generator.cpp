@@ -1,0 +1,194 @@
+#include "schema/generator.hpp"
+
+#include <vector>
+
+#include "schema/reader.hpp"
+#include "util/error.hpp"
+#include "xml/writer.hpp"
+
+namespace omf::schema {
+
+namespace {
+
+/// Picks the XSD spelling for a scalar field on the format's profile.
+std::string xsd_type_for(const pbio::Field& f, const arch::Profile& profile,
+                         const std::string& format_name) {
+  using pbio::FieldClass;
+  switch (f.type.cls) {
+    case FieldClass::kString:
+      return "xsd:string";
+    case FieldClass::kChar:
+      return "omf:char";
+    case FieldClass::kFloat:
+      return f.size == 4 ? "xsd:float" : "xsd:double";
+    case FieldClass::kInteger:
+      if (f.size == profile.int_size) return "xsd:int";
+      if (f.size == profile.long_size) return "xsd:long";
+      if (f.size == 2) return "xsd:short";
+      if (f.size == 1) return "xsd:byte";
+      break;
+    case FieldClass::kUnsigned:
+      if (f.size == profile.int_size) return "xsd:unsignedInt";
+      if (f.size == profile.long_size) return "xsd:unsignedLong";
+      if (f.size == 2) return "xsd:unsignedShort";
+      if (f.size == 1) return "xsd:unsignedByte";
+      break;
+    case FieldClass::kNested:
+      break;
+  }
+  throw FormatError("format '" + format_name + "': field '" + f.name +
+                    "' (size " + std::to_string(f.size) +
+                    ") has no XML Schema spelling on profile '" +
+                    profile.name + "'");
+}
+
+void collect_formats(const pbio::Format& f,
+                     std::vector<const pbio::Format*>& out) {
+  for (const pbio::Field& field : f.fields()) {
+    if (field.subformat) collect_formats(*field.subformat, out);
+  }
+  for (const pbio::Format* existing : out) {
+    if (existing->id() == f.id()) return;
+  }
+  out.push_back(&f);
+}
+
+void emit_type(const pbio::Format& format, xml::Node& schema_root) {
+  xml::Node& type_node = schema_root.append_element("xsd:complexType");
+  type_node.set_attribute("name", format.name());
+  const arch::Profile& profile = format.profile();
+
+  for (const pbio::Field& f : format.fields()) {
+    xml::Node& elem = type_node.append_element("xsd:element");
+    elem.set_attribute("name", f.name);
+    if (f.type.cls == pbio::FieldClass::kNested) {
+      elem.set_attribute("type", f.type.nested_name);
+    } else {
+      elem.set_attribute("type", xsd_type_for(f, profile, format.name()));
+    }
+    if (!f.default_text.empty()) {
+      elem.set_attribute("default", f.default_text);
+    }
+    switch (f.type.array) {
+      case pbio::ArrayKind::kNone:
+        break;
+      case pbio::ArrayKind::kStatic:
+        elem.set_attribute("minOccurs", std::to_string(f.type.static_count));
+        elem.set_attribute("maxOccurs", std::to_string(f.type.static_count));
+        break;
+      case pbio::ArrayKind::kDynamic:
+        elem.set_attribute("minOccurs", "0");
+        elem.set_attribute("maxOccurs", f.type.size_field);
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+xml::Document generate_schema(const pbio::Format& format,
+                              const GenerateOptions& options) {
+  xml::Document doc;
+  doc.root = xml::make_element("xsd:schema");
+  xml::Node& root = *doc.root;
+  root.set_attribute("xmlns:xsd", "http://www.w3.org/2001/XMLSchema");
+  root.set_attribute("xmlns:omf", std::string(kOmfNamespace));
+  if (!options.target_namespace.empty()) {
+    root.set_attribute("targetNamespace", options.target_namespace);
+  }
+  if (!options.documentation.empty()) {
+    xml::Node& ann = root.append_element("xsd:annotation");
+    xml::Node& text = ann.append_element("xsd:documentation");
+    text.append_text(options.documentation);
+  }
+
+  std::vector<const pbio::Format*> formats;
+  collect_formats(format, formats);
+  for (const pbio::Format* f : formats) {
+    emit_type(*f, root);
+  }
+  return doc;
+}
+
+std::string generate_schema_text(const pbio::Format& format,
+                                 const GenerateOptions& options) {
+  return xml::write(generate_schema(format, options));
+}
+
+namespace {
+
+std::string occurs_type_name(const SchemaElement& e) {
+  return e.is_primitive ? primitive_name(e.primitive) : e.user_type;
+}
+
+}  // namespace
+
+xml::Document write_schema_document(const SchemaDocument& doc) {
+  xml::Document out;
+  out.root = xml::make_element("xsd:schema");
+  xml::Node& root = *out.root;
+  root.set_attribute("xmlns:xsd", "http://www.w3.org/2001/XMLSchema");
+  root.set_attribute("xmlns:omf", std::string(kOmfNamespace));
+  if (!doc.target_namespace.empty()) {
+    root.set_attribute("targetNamespace", doc.target_namespace);
+  }
+  if (!doc.documentation.empty()) {
+    xml::Node& ann = root.append_element("xsd:annotation");
+    ann.append_element("xsd:documentation").append_text(doc.documentation);
+  }
+
+  for (const SchemaSimpleType& simple : doc.simple_types) {
+    xml::Node& node = root.append_element("xsd:simpleType");
+    node.set_attribute("name", simple.name);
+    if (!simple.documentation.empty()) {
+      xml::Node& ann = node.append_element("xsd:annotation");
+      ann.append_element("xsd:documentation")
+          .append_text(simple.documentation);
+    }
+    xml::Node& restriction = node.append_element("xsd:restriction");
+    restriction.set_attribute("base", primitive_name(simple.base));
+    for (const std::string& value : simple.enumeration) {
+      xml::Node& facet = restriction.append_element("xsd:enumeration");
+      facet.set_attribute("value", value);
+    }
+  }
+
+  for (const SchemaType& type : doc.types) {
+    xml::Node& node = root.append_element("xsd:complexType");
+    node.set_attribute("name", type.name);
+    if (!type.documentation.empty()) {
+      xml::Node& ann = node.append_element("xsd:annotation");
+      ann.append_element("xsd:documentation").append_text(type.documentation);
+    }
+    for (const SchemaElement& e : type.elements) {
+      xml::Node& elem = node.append_element("xsd:element");
+      elem.set_attribute("name", e.name);
+      elem.set_attribute("type", occurs_type_name(e));
+      if (!e.default_value.empty()) {
+        elem.set_attribute("default", e.default_value);
+      }
+      switch (e.occurs.kind) {
+        case Occurs::Kind::kScalar:
+          break;
+        case Occurs::Kind::kStatic:
+          elem.set_attribute("minOccurs", std::to_string(e.occurs.count));
+          elem.set_attribute("maxOccurs", std::to_string(e.occurs.count));
+          break;
+        case Occurs::Kind::kDynamicUnbounded:
+          elem.set_attribute("maxOccurs", "*");
+          break;
+        case Occurs::Kind::kDynamicSized:
+          elem.set_attribute("minOccurs", "0");
+          elem.set_attribute("maxOccurs", e.occurs.size_field);
+          break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string write_schema_text(const SchemaDocument& doc) {
+  return xml::write(write_schema_document(doc));
+}
+
+}  // namespace omf::schema

@@ -1,0 +1,41 @@
+// Schema generation: the inverse of xml2wire.
+//
+// Turns a registered PBIO format back into an XML Schema metadata document,
+// so formats that originated as compiled-in IOField lists can be published
+// on a metadata server and discovered by other parties — the "open" half of
+// open metadata. Nested subformats are emitted first (dependencies before
+// users), and dynamic arrays reference their count element via maxOccurs.
+#pragma once
+
+#include <string>
+
+#include "pbio/format.hpp"
+#include "schema/model.hpp"
+#include "xml/dom.hpp"
+
+namespace omf::schema {
+
+struct GenerateOptions {
+  std::string target_namespace = "http://omf.example.org/schemas";
+  /// Annotation text placed on the schema element (empty: none).
+  std::string documentation;
+};
+
+/// Builds a schema document describing `format` (and its nested formats).
+/// Throws FormatError if a field's (class, size) pair has no XSD spelling
+/// on the format's profile.
+xml::Document generate_schema(const pbio::Format& format,
+                              const GenerateOptions& options = {});
+
+/// Convenience: generate and serialize to text.
+std::string generate_schema_text(const pbio::Format& format,
+                                 const GenerateOptions& options = {});
+
+/// Serializes a schema *model* back to an XML document — the inverse of
+/// read_schema. Used by tools that transform metadata (e.g. the
+/// format-scoping server, which carves audience-specific slices out of a
+/// full schema before publishing it).
+xml::Document write_schema_document(const SchemaDocument& doc);
+std::string write_schema_text(const SchemaDocument& doc);
+
+}  // namespace omf::schema

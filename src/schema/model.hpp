@@ -1,0 +1,117 @@
+// Model of the paper's XML Schema dialect for message format metadata.
+//
+// A schema document carries one or more complexType definitions; each
+// complexType is a message format whose child elements are the fields, in
+// declaration order. Element types are either XML Schema primitives
+// (xsd:integer, xsd:string, ...) or the names of previously defined
+// complexTypes (composition by nesting). Arrays are expressed through
+// minOccurs/maxOccurs, exactly as in the paper:
+//
+//   maxOccurs="5"            fixed-length array of 5
+//   maxOccurs="*"            dynamically-allocated array (a companion count
+//                            field is synthesized at registration time)
+//   maxOccurs="eta_count"    dynamically-allocated array whose length lives
+//                            in the sibling integer element "eta_count"
+//
+// This module is deliberately independent of PBIO and of any architecture:
+// widths are bound later, when xml2wire registers the format for a profile.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace omf::schema {
+
+/// XML Schema primitive datatypes we map onto PBIO marshaling classes.
+enum class XsdPrimitive : std::uint8_t {
+  kString,
+  kInt,            ///< xsd:int / xsd:integer — C int on the target profile
+  kLong,           ///< xsd:long — C long on the target profile
+  kShort,          ///< xsd:short — 2 bytes
+  kByte,           ///< xsd:byte — 1 byte
+  kUnsignedInt,    ///< xsd:unsignedInt / xsd:unsigned-int
+  kUnsignedLong,   ///< xsd:unsignedLong / xsd:unsigned-long
+  kUnsignedShort,  ///< xsd:unsignedShort
+  kUnsignedByte,   ///< xsd:unsignedByte
+  kFloat,          ///< xsd:float — binary32
+  kDouble,         ///< xsd:double — binary64
+  kBoolean,        ///< xsd:boolean — 1 byte
+  kChar,           ///< omf:char extension — raw byte, never sign-converted
+};
+
+/// Returns the canonical "xsd:..." (or "omf:char") name of a primitive.
+std::string primitive_name(XsdPrimitive p);
+
+/// Cardinality of an element.
+struct Occurs {
+  enum class Kind : std::uint8_t {
+    kScalar,            ///< plain field
+    kStatic,            ///< fixed-length array of `count`
+    kDynamicUnbounded,  ///< maxOccurs="*" / "unbounded"
+    kDynamicSized,      ///< maxOccurs names the count element
+  };
+  Kind kind = Kind::kScalar;
+  std::size_t count = 0;   ///< kStatic
+  std::string size_field;  ///< kDynamicSized
+
+  bool operator==(const Occurs&) const = default;
+};
+
+/// One element (field) of a complexType.
+struct SchemaElement {
+  std::string name;
+  bool is_primitive = true;
+  XsdPrimitive primitive = XsdPrimitive::kInt;
+  std::string user_type;  ///< referenced complexType name (!is_primitive)
+  Occurs occurs;
+  /// XSD `default` attribute: the value a receiver substitutes when a
+  /// message's wire format predates this element (empty = zero-fill).
+  /// Scalar numeric/char elements only.
+  std::string default_value;
+};
+
+/// One complexType (message format).
+struct SchemaType {
+  std::string name;
+  std::string documentation;  ///< from a nested xsd:annotation, if any
+  std::vector<SchemaElement> elements;
+
+  const SchemaElement* element_named(std::string_view name) const;
+};
+
+/// A named simple type derived from a primitive by restriction or
+/// extension (the paper's footnote 1). Facets (min/max, patterns) are
+/// recorded for documentation but do not change the wire representation —
+/// a restricted xsd:int still marshals as an int.
+struct SchemaSimpleType {
+  std::string name;
+  XsdPrimitive base = XsdPrimitive::kInt;
+  std::string documentation;
+  /// xsd:enumeration facet values, in declaration order. An enumerated
+  /// simple type still marshals as its base primitive; the labels give
+  /// applications (and DynamicRecord helpers) the symbolic mapping —
+  /// label i corresponds to wire value i for integer bases.
+  std::vector<std::string> enumeration;
+
+  /// Index of `label` in the enumeration, or SIZE_MAX.
+  std::size_t enum_index(std::string_view label) const {
+    for (std::size_t i = 0; i < enumeration.size(); ++i) {
+      if (enumeration[i] == label) return i;
+    }
+    return SIZE_MAX;
+  }
+};
+
+/// A whole parsed metadata document.
+struct SchemaDocument {
+  std::string target_namespace;
+  std::string documentation;
+  std::vector<SchemaType> types;
+  std::vector<SchemaSimpleType> simple_types;
+
+  const SchemaType* type_named(std::string_view name) const;
+  const SchemaSimpleType* simple_type_named(std::string_view name) const;
+};
+
+}  // namespace omf::schema

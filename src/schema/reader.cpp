@@ -1,0 +1,341 @@
+#include "schema/reader.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+#include "xml/parser.hpp"
+
+namespace omf::schema {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) { throw FormatError(what); }
+
+/// Maps an XSD-namespace local type name to a primitive. The paper's
+/// documents use the 1999-draft hyphenated spellings ("unsigned-long");
+/// later specs use camelCase ("unsignedLong"); both are accepted.
+bool lookup_primitive(std::string_view local, XsdPrimitive& out) {
+  struct Entry {
+    std::string_view name;
+    XsdPrimitive prim;
+  };
+  static constexpr Entry kTable[] = {
+      {"string", XsdPrimitive::kString},
+      {"integer", XsdPrimitive::kInt},
+      {"int", XsdPrimitive::kInt},
+      {"long", XsdPrimitive::kLong},
+      {"short", XsdPrimitive::kShort},
+      {"byte", XsdPrimitive::kByte},
+      {"unsigned-int", XsdPrimitive::kUnsignedInt},
+      {"unsignedInt", XsdPrimitive::kUnsignedInt},
+      {"unsigned-long", XsdPrimitive::kUnsignedLong},
+      {"unsignedLong", XsdPrimitive::kUnsignedLong},
+      {"unsigned-short", XsdPrimitive::kUnsignedShort},
+      {"unsignedShort", XsdPrimitive::kUnsignedShort},
+      {"unsigned-byte", XsdPrimitive::kUnsignedByte},
+      {"unsignedByte", XsdPrimitive::kUnsignedByte},
+      {"float", XsdPrimitive::kFloat},
+      {"double", XsdPrimitive::kDouble},
+      {"boolean", XsdPrimitive::kBoolean},
+  };
+  for (const Entry& e : kTable) {
+    if (e.name == local) {
+      out = e.prim;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string annotation_text(const xml::Node& parent) {
+  const xml::Node* ann = parent.first_child_local("annotation");
+  if (ann == nullptr) return {};
+  const xml::Node* doc = ann->first_child_local("documentation");
+  if (doc == nullptr) return {};
+  return std::string(trim(doc->text_content()));
+}
+
+Occurs parse_occurs(const xml::Node& elem, const std::string& where) {
+  auto min_attr = elem.attribute("minOccurs");
+  auto max_attr = elem.attribute("maxOccurs");
+  Occurs occurs;
+  if (!max_attr) {
+    return occurs;  // scalar
+  }
+  std::string_view max = trim(*max_attr);
+  if (max == "*" || max == "unbounded") {
+    occurs.kind = Occurs::Kind::kDynamicUnbounded;
+    return occurs;
+  }
+  if (auto n = parse_uint(max)) {
+    if (*n == 0) fail(where + ": maxOccurs=\"0\" is meaningless");
+    if (*n == 1) return occurs;  // scalar
+    if (min_attr) {
+      auto m = parse_uint(trim(*min_attr));
+      if (!m || *m != *n) {
+        fail(where + ": fixed-length arrays require minOccurs == maxOccurs");
+      }
+    }
+    occurs.kind = Occurs::Kind::kStatic;
+    occurs.count = static_cast<std::size_t>(*n);
+    return occurs;
+  }
+  // A non-numeric, non-wildcard maxOccurs names the count element.
+  if (!is_xml_name(max)) {
+    fail(where + ": malformed maxOccurs value '" + std::string(max) + "'");
+  }
+  occurs.kind = Occurs::Kind::kDynamicSized;
+  occurs.size_field = std::string(max);
+  return occurs;
+}
+
+SchemaElement parse_element(const xml::Node& node, const SchemaDocument& doc,
+                            const std::string& where) {
+  SchemaElement out;
+  auto name = node.attribute("name");
+  if (!name || name->empty()) {
+    fail(where + ": element without a name attribute");
+  }
+  out.name = std::string(*name);
+
+  auto type = node.attribute("type");
+  if (!type || type->empty()) {
+    fail(where + ": element '" + out.name + "' without a type attribute");
+  }
+
+  xml::QName q = xml::split_qname(*type);
+  auto uri = node.resolve_namespace(q.prefix);
+  bool xsd = uri && is_xsd_namespace(*uri);
+  bool omf_ext = uri && *uri == kOmfNamespace;
+  if (xsd) {
+    if (!lookup_primitive(q.local, out.primitive)) {
+      fail(where + ": element '" + out.name + "' has unsupported XML Schema "
+           "type 'xsd:" + std::string(q.local) + "'");
+    }
+    out.is_primitive = true;
+  } else if (omf_ext && q.local == "char") {
+    out.is_primitive = true;
+    out.primitive = XsdPrimitive::kChar;
+  } else if (!q.prefix.empty() && (!uri || uri->empty())) {
+    fail(where + ": element '" + out.name + "' uses undeclared namespace "
+         "prefix '" + std::string(q.prefix) + "'");
+  } else if (const SchemaSimpleType* simple =
+                 doc.simple_type_named(q.local)) {
+    // A derived simple type marshals as its primitive base.
+    out.is_primitive = true;
+    out.primitive = simple->base;
+  } else {
+    out.is_primitive = false;
+    out.user_type = std::string(q.local);
+  }
+
+  out.occurs = parse_occurs(node, where + ": element '" + out.name + "'");
+
+  if (auto default_attr = node.attribute("default")) {
+    if (!out.is_primitive || out.primitive == XsdPrimitive::kString ||
+        out.occurs.kind != Occurs::Kind::kScalar) {
+      fail(where + ": element '" + out.name +
+           "': default values are only supported on scalar numeric/char "
+           "elements");
+    }
+    out.default_value = std::string(*default_attr);
+  }
+  return out;
+}
+
+SchemaSimpleType parse_simple_type(const xml::Node& node,
+                                   const SchemaDocument& doc) {
+  SchemaSimpleType out;
+  auto name = node.attribute("name");
+  if (!name || name->empty()) {
+    fail("simpleType without a name attribute");
+  }
+  out.name = std::string(*name);
+  out.documentation = annotation_text(node);
+  std::string where = "simpleType '" + out.name + "'";
+
+  const xml::Node* derivation = node.first_child_local("restriction");
+  if (derivation == nullptr) derivation = node.first_child_local("extension");
+  if (derivation == nullptr) {
+    fail(where + ": expected a restriction or extension child");
+  }
+  auto base = derivation->attribute("base");
+  if (!base || base->empty()) {
+    fail(where + ": derivation without a base attribute");
+  }
+  xml::QName q = xml::split_qname(*base);
+  auto uri = derivation->resolve_namespace(q.prefix);
+  if (uri && is_xsd_namespace(*uri)) {
+    if (!lookup_primitive(q.local, out.base)) {
+      fail(where + ": unsupported base type 'xsd:" + std::string(q.local) +
+           "'");
+    }
+  } else if (const SchemaSimpleType* earlier =
+                 doc.simple_type_named(q.local)) {
+    out.base = earlier->base;  // chains of derivation collapse to the root
+  } else {
+    fail(where + ": base type '" + std::string(*base) +
+         "' is neither an XML Schema primitive nor a previously defined "
+         "simpleType");
+  }
+
+  // Enumeration facets. Only declaration order matters for the wire
+  // mapping (label i <-> value i).
+  for (const xml::Node* facet : derivation->children_local("enumeration")) {
+    auto value = facet->attribute("value");
+    if (!value) {
+      fail(where + ": enumeration facet without a value attribute");
+    }
+    for (const std::string& existing : out.enumeration) {
+      if (existing == *value) {
+        fail(where + ": duplicate enumeration value '" + std::string(*value) +
+             "'");
+      }
+    }
+    out.enumeration.emplace_back(*value);
+  }
+  if (!out.enumeration.empty() &&
+      (out.base == XsdPrimitive::kFloat || out.base == XsdPrimitive::kDouble)) {
+    fail(where + ": enumerations of floating-point types are not supported");
+  }
+  return out;
+}
+
+SchemaType parse_complex_type(const xml::Node& node,
+                              const SchemaDocument& doc) {
+  SchemaType out;
+  auto name = node.attribute("name");
+  if (!name || name->empty()) {
+    fail("complexType without a name attribute");
+  }
+  out.name = std::string(*name);
+  out.documentation = annotation_text(node);
+  std::string where = "complexType '" + out.name + "'";
+
+  // Elements may be direct children (the paper's 1999-draft style) or
+  // wrapped in an xsd:sequence (the final 2001 REC style).
+  const xml::Node* container = &node;
+  if (const xml::Node* seq = node.first_child_local("sequence")) {
+    container = seq;
+  }
+  for (const xml::Node* child : container->children_local("element")) {
+    SchemaElement elem = parse_element(*child, doc, where);
+    if (out.element_named(elem.name) != nullptr) {
+      fail(where + ": duplicate element name '" + elem.name + "'");
+    }
+    out.elements.push_back(std::move(elem));
+  }
+  if (out.elements.empty()) {
+    fail(where + ": no elements");
+  }
+
+  // Validate size-field references.
+  for (const SchemaElement& e : out.elements) {
+    if (e.occurs.kind != Occurs::Kind::kDynamicSized) continue;
+    const SchemaElement* count = out.element_named(e.occurs.size_field);
+    if (count == nullptr) {
+      fail(where + ": element '" + e.name + "' sized by missing element '" +
+           e.occurs.size_field + "'");
+    }
+    if (!count->is_primitive || count->occurs.kind != Occurs::Kind::kScalar ||
+        count->primitive == XsdPrimitive::kString ||
+        count->primitive == XsdPrimitive::kFloat ||
+        count->primitive == XsdPrimitive::kDouble) {
+      fail(where + ": size element '" + e.occurs.size_field +
+           "' must be a scalar integer");
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+bool is_xsd_namespace(std::string_view uri) noexcept {
+  return uri == "http://www.w3.org/1999/XMLSchema" ||
+         uri == "http://www.w3.org/2000/10/XMLSchema" ||
+         uri == "http://www.w3.org/2001/XMLSchema";
+}
+
+const SchemaElement* SchemaType::element_named(std::string_view name) const {
+  for (const SchemaElement& e : elements) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+const SchemaType* SchemaDocument::type_named(std::string_view name) const {
+  for (const SchemaType& t : types) {
+    if (t.name == name) return &t;
+  }
+  return nullptr;
+}
+
+const SchemaSimpleType* SchemaDocument::simple_type_named(
+    std::string_view name) const {
+  for (const SchemaSimpleType& t : simple_types) {
+    if (t.name == name) return &t;
+  }
+  return nullptr;
+}
+
+std::string primitive_name(XsdPrimitive p) {
+  switch (p) {
+    case XsdPrimitive::kString: return "xsd:string";
+    case XsdPrimitive::kInt: return "xsd:int";
+    case XsdPrimitive::kLong: return "xsd:long";
+    case XsdPrimitive::kShort: return "xsd:short";
+    case XsdPrimitive::kByte: return "xsd:byte";
+    case XsdPrimitive::kUnsignedInt: return "xsd:unsignedInt";
+    case XsdPrimitive::kUnsignedLong: return "xsd:unsignedLong";
+    case XsdPrimitive::kUnsignedShort: return "xsd:unsignedShort";
+    case XsdPrimitive::kUnsignedByte: return "xsd:unsignedByte";
+    case XsdPrimitive::kFloat: return "xsd:float";
+    case XsdPrimitive::kDouble: return "xsd:double";
+    case XsdPrimitive::kBoolean: return "xsd:boolean";
+    case XsdPrimitive::kChar: return "omf:char";
+  }
+  return "?";
+}
+
+SchemaDocument read_schema(const xml::Document& doc) {
+  if (!doc.root) fail("empty document");
+  const xml::Node& root = *doc.root;
+  if (root.local_name() != "schema") {
+    fail("root element is '" + root.name() + "', expected a schema");
+  }
+
+  SchemaDocument out;
+  out.target_namespace = std::string(root.attribute_or("targetNamespace", ""));
+  out.documentation = annotation_text(root);
+
+  // Simple types first: complexType elements may reference them.
+  for (const xml::Node* child : root.children_local("simpleType")) {
+    SchemaSimpleType simple = parse_simple_type(*child, out);
+    if (out.simple_type_named(simple.name) != nullptr) {
+      fail("duplicate simpleType '" + simple.name + "'");
+    }
+    out.simple_types.push_back(std::move(simple));
+  }
+
+  for (const xml::Node* child : root.children_local("complexType")) {
+    SchemaType type = parse_complex_type(*child, out);
+    if (out.type_named(type.name) != nullptr) {
+      fail("duplicate complexType '" + type.name + "'");
+    }
+    if (out.simple_type_named(type.name) != nullptr) {
+      fail("'" + type.name + "' is defined as both a simpleType and a "
+           "complexType");
+    }
+    out.types.push_back(std::move(type));
+  }
+  if (out.types.empty()) {
+    fail("schema defines no complexType");
+  }
+  return out;
+}
+
+SchemaDocument read_schema_text(std::string_view text) {
+  xml::Document doc = xml::parse(text);
+  return read_schema(doc);
+}
+
+}  // namespace omf::schema

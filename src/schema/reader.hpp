@@ -1,0 +1,28 @@
+// Reads a metadata document (XML Schema subset) into the schema model.
+#pragma once
+
+#include <string_view>
+
+#include "schema/model.hpp"
+#include "xml/dom.hpp"
+
+namespace omf::schema {
+
+/// True if `uri` is one of the XML Schema namespace URIs we accept (the
+/// 1999 draft the paper used, the 2000/10 draft, and the final 2001 REC).
+bool is_xsd_namespace(std::string_view uri) noexcept;
+
+/// The OMF extension namespace (currently just the "char" type).
+inline constexpr std::string_view kOmfNamespace =
+    "http://omf.example.org/schema-ext";
+
+/// Parses a schema DOM into the model. Throws omf::FormatError on schema-
+/// level problems (unknown types, duplicate names, bad occurs constraints,
+/// dangling size-field references) and accepts documents with or without
+/// namespace prefixes on the schema elements.
+SchemaDocument read_schema(const xml::Document& doc);
+
+/// Convenience: parse text then read.
+SchemaDocument read_schema_text(std::string_view text);
+
+}  // namespace omf::schema

@@ -1,0 +1,317 @@
+#include "textxml/textxml.hpp"
+
+#include <charconv>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+#include "xml/parser.hpp"
+#include "xml/writer.hpp"
+
+namespace omf::textxml {
+
+using pbio::ArrayKind;
+using pbio::Field;
+using pbio::FieldClass;
+using pbio::Format;
+
+namespace {
+
+// --- Native memory helpers (duplicated narrowly; hot-path codecs keep
+// their scalar access local rather than sharing a virtual interface) -------
+
+std::uint64_t load_native_uint(const std::uint8_t* p, std::size_t size) {
+  switch (size) {
+    case 1: return *p;
+    case 2: { std::uint16_t v; std::memcpy(&v, p, 2); return v; }
+    case 4: { std::uint32_t v; std::memcpy(&v, p, 4); return v; }
+    default: { std::uint64_t v; std::memcpy(&v, p, 8); return v; }
+  }
+}
+
+std::int64_t load_native_int(const std::uint8_t* p, std::size_t size) {
+  std::uint64_t v = load_native_uint(p, size);
+  if (size < 8) {
+    std::uint64_t sign_bit = 1ull << (size * 8 - 1);
+    if (v & sign_bit) v |= ~((sign_bit << 1) - 1);
+  }
+  return static_cast<std::int64_t>(v);
+}
+
+void store_native_int(std::uint8_t* p, std::size_t size, std::uint64_t v) {
+  switch (size) {
+    case 1: { auto x = static_cast<std::uint8_t>(v); std::memcpy(p, &x, 1); break; }
+    case 2: { auto x = static_cast<std::uint16_t>(v); std::memcpy(p, &x, 2); break; }
+    case 4: { auto x = static_cast<std::uint32_t>(v); std::memcpy(p, &x, 4); break; }
+    default: std::memcpy(p, &v, 8); break;
+  }
+}
+
+std::int64_t read_count_field(const Format& format, const std::uint8_t* src,
+                              const Field& array_field) {
+  const Field& cf = format.fields()[array_field.count_field_index];
+  return cf.type.cls == FieldClass::kInteger
+             ? load_native_int(src + cf.offset, cf.size)
+             : static_cast<std::int64_t>(
+                   load_native_uint(src + cf.offset, cf.size));
+}
+
+// --- Encoding ---------------------------------------------------------------
+
+void append_scalar_text(const Field& f, const std::uint8_t* elem,
+                        std::string& out) {
+  char buf[40];
+  switch (f.type.cls) {
+    case FieldClass::kInteger:
+      std::snprintf(buf, sizeof(buf), "%" PRId64, load_native_int(elem, f.size));
+      out += buf;
+      break;
+    case FieldClass::kUnsigned:
+      std::snprintf(buf, sizeof(buf), "%" PRIu64, load_native_uint(elem, f.size));
+      out += buf;
+      break;
+    case FieldClass::kFloat: {
+      double v;
+      if (f.size == 4) {
+        float x;
+        std::memcpy(&x, elem, 4);
+        v = x;
+      } else {
+        std::memcpy(&v, elem, 8);
+      }
+      // %.17g preserves every double exactly through the text round-trip.
+      std::snprintf(buf, sizeof(buf), "%.17g", v);
+      out += buf;
+      break;
+    }
+    case FieldClass::kChar:
+      std::snprintf(buf, sizeof(buf), "%d", static_cast<int>(
+                        *reinterpret_cast<const std::int8_t*>(elem)));
+      out += buf;
+      break;
+    default:
+      throw EncodeError("append_scalar_text on non-scalar field");
+  }
+}
+
+void encode_region(const Format& format, const std::uint8_t* src,
+                   std::string& out);
+
+void open_tag(std::string& out, const std::string& name) {
+  out += '<';
+  out += name;
+  out += '>';
+}
+
+void close_tag(std::string& out, const std::string& name) {
+  out += "</";
+  out += name;
+  out += '>';
+}
+
+void encode_field(const Format& format, const Field& f,
+                  const std::uint8_t* src, std::string& out) {
+  const std::uint8_t* base = src + f.offset;
+  std::size_t count = 1;
+  if (f.type.array == ArrayKind::kStatic) {
+    count = f.type.static_count;
+  } else if (f.type.array == ArrayKind::kDynamic) {
+    std::int64_t n = read_count_field(format, src, f);
+    if (n < 0) throw EncodeError("negative count for '" + f.name + "'");
+    const std::uint8_t* ptr = nullptr;
+    std::memcpy(&ptr, src + f.offset, sizeof(ptr));
+    if (n > 0 && ptr == nullptr) {
+      throw EncodeError("null dynamic array '" + f.name + "'");
+    }
+    base = ptr;
+    count = static_cast<std::size_t>(n);
+  }
+
+  if (f.type.cls == FieldClass::kString) {
+    const char* s = nullptr;
+    std::memcpy(&s, src + f.offset, sizeof(s));
+    if (s == nullptr) {
+      // Null strings are marked explicitly (xsi:nil style) so a null and an
+      // empty string stay distinguishable through the text format.
+      out += '<';
+      out += f.name;
+      out += " nil=\"true\" />";
+      return;
+    }
+    open_tag(out, f.name);
+    out += xml::escape_text(s);
+    close_tag(out, f.name);
+    return;
+  }
+
+  std::size_t elem_size = f.type.cls == FieldClass::kNested
+                              ? f.subformat->struct_size()
+                              : f.size;
+  for (std::size_t i = 0; i < count; ++i) {
+    open_tag(out, f.name);
+    if (f.type.cls == FieldClass::kNested) {
+      encode_region(*f.subformat, base + i * elem_size, out);
+    } else {
+      append_scalar_text(f, base + i * elem_size, out);
+    }
+    close_tag(out, f.name);
+  }
+}
+
+void encode_region(const Format& format, const std::uint8_t* src,
+                   std::string& out) {
+  for (const Field& f : format.fields()) {
+    encode_field(format, f, src, out);
+  }
+}
+
+// --- Decoding ---------------------------------------------------------------
+
+void parse_scalar_text(const Field& f, std::string_view text,
+                       std::uint8_t* elem) {
+  text = trim(text);
+  switch (f.type.cls) {
+    case FieldClass::kInteger:
+    case FieldClass::kChar: {
+      auto v = parse_int(text);
+      if (!v) {
+        throw DecodeError("field '" + f.name + "': bad integer '" +
+                          std::string(text) + "'");
+      }
+      store_native_int(elem, f.type.cls == FieldClass::kChar ? 1 : f.size,
+                       static_cast<std::uint64_t>(*v));
+      break;
+    }
+    case FieldClass::kUnsigned: {
+      auto v = parse_uint(text);
+      if (!v) {
+        throw DecodeError("field '" + f.name + "': bad unsigned '" +
+                          std::string(text) + "'");
+      }
+      store_native_int(elem, f.size, *v);
+      break;
+    }
+    case FieldClass::kFloat: {
+      auto v = parse_double(text);
+      if (!v) {
+        throw DecodeError("field '" + f.name + "': bad float '" +
+                          std::string(text) + "'");
+      }
+      if (f.size == 4) {
+        float x = static_cast<float>(*v);
+        std::memcpy(elem, &x, 4);
+      } else {
+        double x = *v;
+        std::memcpy(elem, &x, 8);
+      }
+      break;
+    }
+    default:
+      throw DecodeError("parse_scalar_text on non-scalar field");
+  }
+}
+
+void decode_region(const Format& format, const xml::Node& node,
+                   std::uint8_t* dst, pbio::DecodeArena& arena) {
+  for (const Field& f : format.fields()) {
+    std::vector<const xml::Node*> elems = node.child_elements(f.name);
+
+    if (f.type.cls == FieldClass::kString) {
+      if (elems.empty()) {
+        throw DecodeError("missing element '" + f.name + "'");
+      }
+      char* s = nullptr;
+      if (elems[0]->attribute_or("nil", "false") != "true") {
+        std::string text = elems[0]->text_content();
+        s = arena.copy_string(text.data(), text.size());
+      }
+      std::memcpy(dst + f.offset, &s, sizeof(s));
+      continue;
+    }
+
+    std::size_t elem_size = f.type.cls == FieldClass::kNested
+                                ? f.subformat->struct_size()
+                                : f.size;
+    std::uint8_t* base = dst + f.offset;
+
+    switch (f.type.array) {
+      case ArrayKind::kNone:
+        if (elems.empty()) {
+          throw DecodeError("missing element '" + f.name + "'");
+        }
+        break;
+      case ArrayKind::kStatic:
+        if (elems.size() != f.type.static_count) {
+          throw DecodeError("element '" + f.name + "': expected " +
+                            std::to_string(f.type.static_count) +
+                            " occurrences, got " +
+                            std::to_string(elems.size()));
+        }
+        break;
+      case ArrayKind::kDynamic: {
+        std::size_t n = elems.size();
+        void* mem = nullptr;
+        if (n != 0) {
+          mem = arena.allocate(n * elem_size,
+                               f.type.cls == FieldClass::kNested
+                                   ? f.subformat->alignment()
+                                   : 8);
+        }
+        std::memcpy(dst + f.offset, &mem, sizeof(mem));
+        base = static_cast<std::uint8_t*>(mem);
+        // The companion count field may also appear as its own element;
+        // the occurrence count is authoritative (it is the wire truth).
+        const Field& cf = format.fields()[f.count_field_index];
+        store_native_int(dst + cf.offset, cf.size, n);
+        break;
+      }
+    }
+
+    std::size_t n = f.type.array == ArrayKind::kNone
+                        ? 1
+                        : (f.type.array == ArrayKind::kStatic
+                               ? f.type.static_count
+                               : elems.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      if (f.type.cls == FieldClass::kNested) {
+        decode_region(*f.subformat, *elems[i], base + i * elem_size, arena);
+      } else {
+        parse_scalar_text(f, elems[i]->text_content(), base + i * elem_size);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void encode(const Format& format, const void* data, Buffer& out) {
+  std::string doc = encode_text(format, data);
+  out.append(doc);
+}
+
+std::string encode_text(const Format& format, const void* data) {
+  std::string out;
+  out.reserve(format.struct_size() * 8);
+  out += "<?xml version=\"1.0\"?>";
+  open_tag(out, format.name());
+  encode_region(format, static_cast<const std::uint8_t*>(data), out);
+  close_tag(out, format.name());
+  return out;
+}
+
+void decode(const Format& format, std::span<const std::uint8_t> bytes,
+            void* out_struct, pbio::DecodeArena& arena) {
+  std::string_view text(reinterpret_cast<const char*>(bytes.data()),
+                        bytes.size());
+  xml::Document doc = xml::parse(text);
+  if (doc.root->name() != format.name()) {
+    throw DecodeError("message root '" + doc.root->name() +
+                      "' does not match format '" + format.name() + "'");
+  }
+  decode_region(format, *doc.root, static_cast<std::uint8_t*>(out_struct),
+                arena);
+}
+
+}  // namespace omf::textxml

@@ -1,0 +1,37 @@
+// Text-XML wire format — the "XML as transport" baseline (XML-RPC style).
+//
+// This codec does what 2000-era XML messaging systems did: every message is
+// a self-describing ASCII XML document. Each record becomes an element
+// named after its format; each field becomes a child element whose text is
+// the printed value; arrays repeat the element; nested records nest the
+// elements. Decoding parses the document and converts text back to binary.
+//
+// It exists to quantify the paper's two claims about XML-as-wire-format:
+// the 6-8x size expansion and the ~order-of-magnitude processing cost of
+// binary->ASCII->binary conversion, measured against the NDR path on
+// identical data and identical field metadata.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "pbio/arena.hpp"
+#include "pbio/format.hpp"
+#include "util/buffer.hpp"
+
+namespace omf::textxml {
+
+/// Marshals `data` (native-profile struct per `format`) into an XML text
+/// document appended to `out`.
+void encode(const pbio::Format& format, const void* data, Buffer& out);
+
+/// Convenience wrapper returning the document as a string.
+std::string encode_text(const pbio::Format& format, const void* data);
+
+/// Parses an XML text message and fills `out_struct` (native layout per
+/// `format`), allocating variable-length data in `arena`. Throws ParseError
+/// for malformed XML and DecodeError for structure/value mismatches.
+void decode(const pbio::Format& format, std::span<const std::uint8_t> bytes,
+            void* out_struct, pbio::DecodeArena& arena);
+
+}  // namespace omf::textxml

@@ -1,0 +1,105 @@
+#include "transport/backbone.hpp"
+
+#include <algorithm>
+
+namespace omf::transport {
+
+void EventBackbone::Subscription::unsubscribe() {
+  if (backbone_ != nullptr && queue_ != nullptr) {
+    queue_->close();
+    backbone_->remove(channel_, queue_.get());
+  }
+  backbone_ = nullptr;
+  queue_.reset();
+}
+
+EventBackbone::Subscription EventBackbone::subscribe(
+    const std::string& channel) {
+  auto queue = std::make_shared<MessageQueue>();
+  {
+    std::lock_guard lock(mutex_);
+    if (closed_) {
+      queue->close();
+    } else {
+      subscribers_[channel].push_back(queue);
+    }
+  }
+  return Subscription(this, channel, std::move(queue));
+}
+
+std::size_t EventBackbone::publish(const std::string& channel,
+                                   const Buffer& message) {
+  std::vector<std::shared_ptr<MessageQueue>> targets;
+  {
+    std::lock_guard lock(mutex_);
+    auto it = subscribers_.find(channel);
+    if (it == subscribers_.end()) return 0;
+    targets = it->second;  // copy so delivery happens outside the lock
+  }
+  std::size_t delivered = 0;
+  for (const auto& q : targets) {
+    Buffer copy;
+    copy.append(message.span());
+    if (q->push(std::move(copy))) ++delivered;
+  }
+  return delivered;
+}
+
+void EventBackbone::announce(const std::string& channel,
+                             std::string metadata_locator) {
+  std::lock_guard lock(mutex_);
+  locators_[channel] = std::move(metadata_locator);
+}
+
+std::optional<std::string> EventBackbone::metadata_locator(
+    const std::string& channel) const {
+  std::lock_guard lock(mutex_);
+  auto it = locators_.find(channel);
+  if (it == locators_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<std::string> EventBackbone::channels() const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::string> out;
+  for (const auto& [name, queues] : subscribers_) {
+    if (!queues.empty()) out.push_back(name);
+  }
+  for (const auto& [name, locator] : locators_) {
+    if (std::find(out.begin(), out.end(), name) == out.end()) {
+      out.push_back(name);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::size_t EventBackbone::subscriber_count(const std::string& channel) const {
+  std::lock_guard lock(mutex_);
+  auto it = subscribers_.find(channel);
+  return it == subscribers_.end() ? 0 : it->second.size();
+}
+
+void EventBackbone::close() {
+  std::lock_guard lock(mutex_);
+  closed_ = true;
+  for (auto& [name, queues] : subscribers_) {
+    for (auto& q : queues) q->close();
+    queues.clear();
+  }
+}
+
+void EventBackbone::remove(const std::string& channel,
+                           const MessageQueue* queue) {
+  std::lock_guard lock(mutex_);
+  auto it = subscribers_.find(channel);
+  if (it == subscribers_.end()) return;
+  auto& queues = it->second;
+  queues.erase(std::remove_if(queues.begin(), queues.end(),
+                              [queue](const std::shared_ptr<MessageQueue>& q) {
+                                return q.get() == queue;
+                              }),
+               queues.end());
+}
+
+}  // namespace omf::transport

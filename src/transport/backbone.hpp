@@ -1,0 +1,123 @@
+// Event backbone: the publish/subscribe substrate of the application
+// scenario (Figure 1 of the paper).
+//
+// Capture points publish encoded messages on named channels; consumers
+// subscribe and drain their own queues. Each channel can also announce a
+// *metadata locator* — the URL/path of the XML document describing the
+// messages flowing on it — which is how subscribers bootstrap xml2wire
+// discovery for streams they have never seen before.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "transport/queue.hpp"
+
+namespace omf::transport {
+
+class EventBackbone {
+public:
+  /// A live subscription. Dropping it unsubscribes. Move-only.
+  class Subscription {
+  public:
+    Subscription() = default;
+    Subscription(Subscription&& other) noexcept
+        : backbone_(other.backbone_),
+          channel_(std::move(other.channel_)),
+          queue_(std::move(other.queue_)) {
+      other.backbone_ = nullptr;
+    }
+    Subscription& operator=(Subscription&& other) noexcept {
+      if (this != &other) {
+        unsubscribe();
+        backbone_ = other.backbone_;
+        channel_ = std::move(other.channel_);
+        queue_ = std::move(other.queue_);
+        other.backbone_ = nullptr;
+      }
+      return *this;
+    }
+    Subscription(const Subscription&) = delete;
+    Subscription& operator=(const Subscription&) = delete;
+    ~Subscription() { unsubscribe(); }
+
+    /// Blocking receive; nullopt when the backbone (or this subscription)
+    /// has been closed and the queue is drained.
+    std::optional<Buffer> receive() {
+      return queue_ ? queue_->pop() : std::nullopt;
+    }
+
+    /// Non-blocking receive.
+    std::optional<Buffer> try_receive() {
+      return queue_ ? queue_->try_pop() : std::nullopt;
+    }
+
+    /// Bounded-wait receive; nullopt on timeout or closure.
+    std::optional<Buffer> receive_for(std::chrono::milliseconds timeout) {
+      return queue_ ? queue_->pop_for(timeout) : std::nullopt;
+    }
+
+    /// True once the backbone (or this subscription) has shut the queue.
+    bool closed() const { return !queue_ || queue_->closed(); }
+
+    std::size_t pending() const { return queue_ ? queue_->size() : 0; }
+    const std::string& channel() const noexcept { return channel_; }
+    bool active() const noexcept { return queue_ != nullptr; }
+
+    void unsubscribe();
+
+  private:
+    friend class EventBackbone;
+    Subscription(EventBackbone* backbone, std::string channel,
+                 std::shared_ptr<MessageQueue> queue)
+        : backbone_(backbone),
+          channel_(std::move(channel)),
+          queue_(std::move(queue)) {}
+
+    EventBackbone* backbone_ = nullptr;
+    std::string channel_;
+    std::shared_ptr<MessageQueue> queue_;
+  };
+
+  EventBackbone() = default;
+  EventBackbone(const EventBackbone&) = delete;
+  EventBackbone& operator=(const EventBackbone&) = delete;
+  ~EventBackbone() { close(); }
+
+  /// Subscribes to a channel (created on first use).
+  Subscription subscribe(const std::string& channel);
+
+  /// Delivers `message` to every current subscriber of `channel` (each gets
+  /// its own copy). Returns the number of queues it was delivered to.
+  std::size_t publish(const std::string& channel, const Buffer& message);
+
+  /// Announces where the metadata for this channel's messages can be
+  /// discovered (a file path or URL understood by the DiscoveryManager).
+  void announce(const std::string& channel, std::string metadata_locator);
+
+  /// The announced metadata locator, if any.
+  std::optional<std::string> metadata_locator(const std::string& channel) const;
+
+  /// Channels with at least one subscriber or an announcement.
+  std::vector<std::string> channels() const;
+
+  std::size_t subscriber_count(const std::string& channel) const;
+
+  /// Closes every subscriber queue; subsequent publishes deliver nowhere.
+  void close();
+
+private:
+  void remove(const std::string& channel, const MessageQueue* queue);
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, std::vector<std::shared_ptr<MessageQueue>>>
+      subscribers_;
+  std::unordered_map<std::string, std::string> locators_;
+  bool closed_ = false;
+};
+
+}  // namespace omf::transport

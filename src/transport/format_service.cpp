@@ -1,0 +1,100 @@
+#include "transport/format_service.hpp"
+
+#include "util/logging.hpp"
+
+namespace omf::transport {
+
+FormatServiceServer::FormatServiceServer(std::uint16_t port)
+    : listener_(port), thread_([this] { serve(); }) {}
+
+FormatServiceServer::~FormatServiceServer() { stop(); }
+
+void FormatServiceServer::stop() {
+  if (running_.exchange(false)) {
+    listener_.close();
+  }
+  if (thread_.joinable()) thread_.join();
+}
+
+void FormatServiceServer::publish(const pbio::Format& format) {
+  Buffer bundle = pbio::serialize_format_bundle(format);
+  pbio::deserialize_format_bundle(registry_, bundle.span());
+}
+
+void FormatServiceServer::serve() {
+  while (running_.load()) {
+    TcpConnection conn = listener_.accept();
+    if (!conn.valid()) break;
+    try {
+      handle(std::move(conn));
+    } catch (const Error& e) {
+      OMF_LOG_WARN("format-service", "request failed: ", e.what());
+    }
+  }
+}
+
+void FormatServiceServer::handle(TcpConnection conn) {
+  // One request per connection keeps the protocol stateless and trivially
+  // robust; discovery traffic is rare by design.
+  std::optional<Buffer> request = conn.receive();
+  if (!request) return;
+  BufferReader in(*request);
+  std::uint8_t op = in.read_int<std::uint8_t>(ByteOrder::kLittle);
+
+  Buffer response;
+  if (op == 'G') {
+    auto id = in.read_int<std::uint64_t>(ByteOrder::kLittle);
+    pbio::FormatHandle format = registry_.by_id(id);
+    if (format) {
+      Buffer bundle = pbio::serialize_format_bundle(*format);
+      response.append_int<std::uint32_t>(
+          static_cast<std::uint32_t>(bundle.size()), ByteOrder::kLittle);
+      response.append(bundle.span());
+    } else {
+      response.append_int<std::uint32_t>(0, ByteOrder::kLittle);
+    }
+  } else if (op == 'P') {
+    auto len = in.read_int<std::uint32_t>(ByteOrder::kLittle);
+    const std::uint8_t* bundle = in.read_bytes(len);
+    pbio::deserialize_format_bundle(registry_, {bundle, len});
+    response.append_int<std::uint8_t>(1, ByteOrder::kLittle);
+  } else {
+    throw TransportError("unknown format-service opcode");
+  }
+  conn.send(response);
+}
+
+pbio::FormatHandle FormatServiceClient::fetch(pbio::FormatRegistry& registry,
+                                              pbio::FormatId id) {
+  TcpConnection conn = tcp_connect(port_);
+  Buffer request;
+  request.append_int<std::uint8_t>('G', ByteOrder::kLittle);
+  request.append_int<std::uint64_t>(id, ByteOrder::kLittle);
+  conn.send(request);
+  std::optional<Buffer> response = conn.receive();
+  if (!response) throw TransportError("format service closed connection");
+  BufferReader in(*response);
+  auto len = in.read_int<std::uint32_t>(ByteOrder::kLittle);
+  if (len == 0) return nullptr;
+  const std::uint8_t* bundle = in.read_bytes(len);
+  return pbio::deserialize_format_bundle(registry, {bundle, len});
+}
+
+void FormatServiceClient::push(const pbio::Format& format) {
+  TcpConnection conn = tcp_connect(port_);
+  Buffer bundle = pbio::serialize_format_bundle(format);
+  Buffer request;
+  request.append_int<std::uint8_t>('P', ByteOrder::kLittle);
+  request.append_int<std::uint32_t>(static_cast<std::uint32_t>(bundle.size()),
+                                    ByteOrder::kLittle);
+  request.append(bundle.span());
+  conn.send(request);
+  std::optional<Buffer> response = conn.receive();
+  if (!response) throw TransportError("format service closed connection");
+  BufferReader in(*response);
+  if (in.read_int<std::uint8_t>(ByteOrder::kLittle) != 1) {
+    throw TransportError("format service rejected push");
+  }
+}
+
+}  // namespace omf::transport

@@ -1,0 +1,71 @@
+// Format service: PBIO's format server.
+//
+// Wire messages carry only a 64-bit format id. When a receiver sees an id
+// it does not know, it asks the format service for the serialized metadata
+// bundle, registers it locally, and can then compile a conversion plan.
+// Senders push their formats to the service at registration time.
+//
+// Protocol (all integers little-endian):
+//   request:  1-byte opcode ('G' get | 'P' put) ...
+//     G: 8-byte format id
+//     P: 4-byte bundle length + bundle bytes
+//   response (to G): 4-byte length + bundle bytes, length 0 = unknown id
+//   response (to P): 1-byte status (1 = ok)
+#pragma once
+
+#include <atomic>
+#include <thread>
+
+#include "pbio/format.hpp"
+#include "pbio/metaserde.hpp"
+#include "transport/tcp.hpp"
+
+namespace omf::transport {
+
+/// In-process format server: owns its own registry of published formats and
+/// serves them over a loopback TCP port on a background thread.
+class FormatServiceServer {
+public:
+  /// Starts listening on `port` (0 = ephemeral; see port()).
+  explicit FormatServiceServer(std::uint16_t port = 0);
+  ~FormatServiceServer();
+  FormatServiceServer(const FormatServiceServer&) = delete;
+  FormatServiceServer& operator=(const FormatServiceServer&) = delete;
+
+  std::uint16_t port() const noexcept { return listener_.port(); }
+
+  /// Publishes a format directly (server-side registration, no socket).
+  void publish(const pbio::Format& format);
+
+  /// Number of formats currently published.
+  std::size_t published() const { return registry_.size(); }
+
+  void stop();
+
+private:
+  void serve();
+  void handle(TcpConnection conn);
+
+  pbio::FormatRegistry registry_;
+  TcpListener listener_;
+  std::atomic<bool> running_{true};
+  std::thread thread_;
+};
+
+/// Client side: fetch/push format bundles from/to a server.
+class FormatServiceClient {
+public:
+  explicit FormatServiceClient(std::uint16_t port) : port_(port) {}
+
+  /// Fetches the bundle for `id` and registers it into `registry`.
+  /// Returns the fetched format, or nullptr if the server does not know it.
+  pbio::FormatHandle fetch(pbio::FormatRegistry& registry, pbio::FormatId id);
+
+  /// Pushes a format's bundle to the server.
+  void push(const pbio::Format& format);
+
+private:
+  std::uint16_t port_;
+};
+
+}  // namespace omf::transport

@@ -1,0 +1,55 @@
+#include "transport/ndr_connection.hpp"
+
+#include "pbio/encode.hpp"
+#include "pbio/metaserde.hpp"
+#include "util/error.hpp"
+
+namespace omf::transport {
+
+namespace {
+
+Buffer tagged(char tag, std::span<const std::uint8_t> payload) {
+  Buffer frame(payload.size() + 1);
+  frame.append(&tag, 1);
+  frame.append(payload);
+  return frame;
+}
+
+}  // namespace
+
+void NdrConnection::send(const pbio::Format& format, const Buffer& wire) {
+  if (announced_.insert(format.id()).second) {
+    Buffer bundle = pbio::serialize_format_bundle(format);
+    connection_.send(tagged('F', bundle.span()));
+  }
+  connection_.send(tagged('M', wire.span()));
+}
+
+void NdrConnection::send_struct(const pbio::Format& format, const void* data) {
+  send(format, pbio::encode(format, data));
+}
+
+std::optional<Buffer> NdrConnection::receive() {
+  for (;;) {
+    std::optional<Buffer> frame = connection_.receive();
+    if (!frame) return std::nullopt;
+    if (frame->empty()) {
+      throw TransportError("empty NDR connection frame");
+    }
+    char tag = static_cast<char>(*frame->data());
+    std::span<const std::uint8_t> payload = frame->span().subspan(1);
+    if (tag == 'F') {
+      pbio::deserialize_format_bundle(*registry_, payload);
+      ++received_;
+      continue;
+    }
+    if (tag != 'M') {
+      throw TransportError("unknown NDR connection frame tag");
+    }
+    Buffer message(payload.size());
+    message.append(payload);
+    return message;
+  }
+}
+
+}  // namespace omf::transport

@@ -1,0 +1,60 @@
+// NDR message connection with in-band format negotiation.
+//
+// This is how PBIO connections actually behaved: the first time a sender
+// uses a format on a connection, it transmits the format's metadata bundle
+// in-band, immediately before the message; the receiver registers it and
+// can decode everything that follows — no side-channel, no pre-agreement,
+// no recompilation. Combined with NDR this makes a connection fully
+// self-describing: any two endpoints sharing only this protocol can
+// exchange arbitrary registered structures.
+//
+// Frame layout on top of TcpConnection's length framing:
+//   1-byte tag: 'F' (format bundle) | 'M' (NDR message)
+//   payload
+#pragma once
+
+#include <optional>
+#include <set>
+
+#include "pbio/format.hpp"
+#include "transport/tcp.hpp"
+
+namespace omf::transport {
+
+class NdrConnection {
+public:
+  /// Wraps a connected socket. Received format bundles register into
+  /// `registry` (must outlive the connection).
+  NdrConnection(TcpConnection connection, pbio::FormatRegistry& registry)
+      : connection_(std::move(connection)), registry_(&registry) {}
+
+  NdrConnection(NdrConnection&&) noexcept = default;
+  NdrConnection& operator=(NdrConnection&&) noexcept = default;
+
+  /// Sends an already-encoded wire message, preceding it with the format's
+  /// metadata bundle the first time this connection sees the format id.
+  void send(const pbio::Format& format, const Buffer& wire);
+
+  /// Convenience: encode + send.
+  void send_struct(const pbio::Format& format, const void* data);
+
+  /// Next NDR message; format bundles are consumed (and registered)
+  /// transparently. nullopt on orderly peer close.
+  std::optional<Buffer> receive();
+
+  /// Formats announced to the peer so far.
+  std::size_t formats_sent() const noexcept { return announced_.size(); }
+
+  /// Format bundles received (and registered) from the peer.
+  std::size_t formats_received() const noexcept { return received_; }
+
+  void close() { connection_.close(); }
+
+private:
+  TcpConnection connection_;
+  pbio::FormatRegistry* registry_;
+  std::set<pbio::FormatId> announced_;
+  std::size_t received_ = 0;
+};
+
+}  // namespace omf::transport

@@ -1,0 +1,93 @@
+// Bounded-unbounded MPMC message queue: the in-process transport primitive.
+//
+// Buffers are moved, never copied, queue-to-queue — the event backbone and
+// the in-process channel endpoints are built on this.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "util/buffer.hpp"
+
+namespace omf::transport {
+
+class MessageQueue {
+public:
+  MessageQueue() = default;
+  MessageQueue(const MessageQueue&) = delete;
+  MessageQueue& operator=(const MessageQueue&) = delete;
+
+  /// Enqueues a message. Returns false if the queue has been closed.
+  bool push(Buffer message) {
+    {
+      std::lock_guard lock(mutex_);
+      if (closed_) return false;
+      queue_.push_back(std::move(message));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Blocks until a message is available or the queue is closed and
+  /// drained; nullopt means closed-and-empty.
+  std::optional<Buffer> pop() {
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [&] { return !queue_.empty() || closed_; });
+    if (queue_.empty()) return std::nullopt;
+    Buffer b = std::move(queue_.front());
+    queue_.pop_front();
+    return b;
+  }
+
+  /// Blocks up to `timeout` for a message; nullopt on timeout or when
+  /// closed-and-empty (check closed() to distinguish). Lets pollers (e.g.
+  /// network bridge threads) observe external stop flags periodically.
+  std::optional<Buffer> pop_for(std::chrono::milliseconds timeout) {
+    std::unique_lock lock(mutex_);
+    cv_.wait_for(lock, timeout, [&] { return !queue_.empty() || closed_; });
+    if (queue_.empty()) return std::nullopt;
+    Buffer b = std::move(queue_.front());
+    queue_.pop_front();
+    return b;
+  }
+
+  /// Non-blocking pop; nullopt when nothing is queued right now.
+  std::optional<Buffer> try_pop() {
+    std::lock_guard lock(mutex_);
+    if (queue_.empty()) return std::nullopt;
+    Buffer b = std::move(queue_.front());
+    queue_.pop_front();
+    return b;
+  }
+
+  /// Wakes all blocked consumers; subsequent pushes are rejected. Messages
+  /// already queued remain poppable.
+  void close() {
+    {
+      std::lock_guard lock(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard lock(mutex_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard lock(mutex_);
+    return queue_.size();
+  }
+
+private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Buffer> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace omf::transport

@@ -1,0 +1,136 @@
+#include "transport/remote_backbone.hpp"
+
+#include <chrono>
+#include <cstring>
+
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+namespace omf::transport {
+
+using namespace std::chrono_literals;
+
+RemoteBackboneServer::RemoteBackboneServer(EventBackbone& backbone,
+                                           std::uint16_t port)
+    : backbone_(&backbone),
+      listener_(port),
+      acceptor_([this] { accept_loop(); }) {}
+
+RemoteBackboneServer::~RemoteBackboneServer() { stop(); }
+
+void RemoteBackboneServer::stop() {
+  if (running_.exchange(false)) {
+    listener_.close();
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard lock(workers_mutex_);
+    workers.swap(workers_);
+  }
+  for (std::thread& w : workers) {
+    if (w.joinable()) w.join();
+  }
+}
+
+void RemoteBackboneServer::accept_loop() {
+  while (running_.load()) {
+    TcpConnection conn = listener_.accept();
+    if (!conn.valid()) break;
+    std::optional<Buffer> hello;
+    try {
+      hello = conn.receive();
+    } catch (const Error& e) {
+      OMF_LOG_WARN("remote-backbone", "bad hello: ", e.what());
+      continue;
+    }
+    if (!hello || hello->empty()) continue;
+    char op = static_cast<char>(*hello->data());
+    std::lock_guard lock(workers_mutex_);
+    if (op == 'S') {
+      std::string channel(reinterpret_cast<const char*>(hello->data()) + 1,
+                          hello->size() - 1);
+      workers_.emplace_back(
+          [this, channel,
+           c = std::make_shared<TcpConnection>(std::move(conn))]() mutable {
+            serve_subscriber(std::move(*c), channel);
+          });
+    } else if (op == 'P') {
+      workers_.emplace_back(
+          [this, c = std::make_shared<TcpConnection>(std::move(conn))]() mutable {
+            serve_publisher(std::move(*c));
+          });
+    } else {
+      OMF_LOG_WARN("remote-backbone", "unknown hello op");
+    }
+  }
+}
+
+void RemoteBackboneServer::serve_subscriber(TcpConnection conn,
+                                            const std::string& channel) {
+  EventBackbone::Subscription sub = backbone_->subscribe(channel);
+  try {
+    while (running_.load()) {
+      auto msg = sub.receive_for(50ms);
+      if (msg) {
+        conn.send(*msg);
+      } else if (sub.closed()) {
+        break;
+      }
+    }
+  } catch (const Error&) {
+    // Peer went away; the subscription unsubscribes via RAII.
+  }
+}
+
+void RemoteBackboneServer::serve_publisher(TcpConnection conn) {
+  try {
+    while (running_.load()) {
+      auto frame = conn.receive();
+      if (!frame) break;
+      BufferReader in(*frame);
+      std::uint16_t name_len = in.read_int<std::uint16_t>(ByteOrder::kLittle);
+      std::string channel = in.read_string(name_len);
+      const std::uint8_t* payload = in.read_bytes(in.remaining());
+      Buffer message;
+      message.append(payload,
+                     frame->size() - 2 - name_len);
+      backbone_->publish(channel, message);
+    }
+  } catch (const Error& e) {
+    OMF_LOG_WARN("remote-backbone", "publisher session ended: ", e.what());
+  }
+}
+
+RemoteSubscription::RemoteSubscription(std::uint16_t port,
+                                       const std::string& channel)
+    : connection_(tcp_connect(port)) {
+  Buffer hello;
+  char op = 'S';
+  hello.append(&op, 1);
+  hello.append(channel);
+  connection_.send(hello);
+}
+
+RemotePublisher::RemotePublisher(std::uint16_t port)
+    : connection_(tcp_connect(port)) {
+  Buffer hello;
+  char op = 'P';
+  hello.append(&op, 1);
+  connection_.send(hello);
+}
+
+void RemotePublisher::publish(const std::string& channel,
+                              const Buffer& message) {
+  if (channel.size() > 0xFFFF) {
+    throw TransportError("channel name too long");
+  }
+  Buffer frame(2 + channel.size() + message.size());
+  frame.append_int<std::uint16_t>(static_cast<std::uint16_t>(channel.size()),
+                                  ByteOrder::kLittle);
+  frame.append(channel);
+  frame.append(message.span());
+  connection_.send(frame);
+}
+
+}  // namespace omf::transport

@@ -1,0 +1,90 @@
+// Networked event backbone: remote subscribers and publishers over TCP.
+//
+// Figure 1's "future data access points ... handheld devices which join the
+// network when activated by their owners and leave the network when their
+// work is done": processes on other machines attach to a backbone hosted
+// elsewhere, subscribe to channels, and publish into them, all with the
+// same Buffer-of-NDR-bytes currency as the in-process API.
+//
+// Protocol (on TcpConnection framing):
+//   client first frame:   'S' + channel-name        subscribe; server then
+//                                                   streams message frames
+//                         'P'                       publisher session; the
+//                                                   client then sends
+//                                                   publish frames:
+//                                                   u16 name-len + name +
+//                                                   message bytes
+//   server->subscriber:   raw message bytes, one frame per message
+//
+// Channel metadata announcements remain on the hosting process's backbone
+// object; remote parties learn locators out of band (e.g. a known HTTP
+// metadata server), exactly like the paper's deployment story.
+#pragma once
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "transport/backbone.hpp"
+#include "transport/tcp.hpp"
+
+namespace omf::transport {
+
+/// Exposes an EventBackbone on a TCP port.
+class RemoteBackboneServer {
+public:
+  /// `backbone` must outlive the server. Port 0 = ephemeral (see port()).
+  explicit RemoteBackboneServer(EventBackbone& backbone,
+                                std::uint16_t port = 0);
+  ~RemoteBackboneServer();
+  RemoteBackboneServer(const RemoteBackboneServer&) = delete;
+  RemoteBackboneServer& operator=(const RemoteBackboneServer&) = delete;
+
+  std::uint16_t port() const noexcept { return listener_.port(); }
+
+  void stop();
+
+private:
+  void accept_loop();
+  void serve_subscriber(TcpConnection conn, const std::string& channel);
+  void serve_publisher(TcpConnection conn);
+
+  EventBackbone* backbone_;
+  TcpListener listener_;
+  std::atomic<bool> running_{true};
+  std::thread acceptor_;
+  std::mutex workers_mutex_;
+  std::vector<std::thread> workers_;
+};
+
+/// A remote subscription: blocking receive of messages from a channel on a
+/// backbone hosted elsewhere.
+class RemoteSubscription {
+public:
+  RemoteSubscription(std::uint16_t port, const std::string& channel);
+
+  /// Blocks for the next message; nullopt when the server shuts down.
+  std::optional<Buffer> receive() { return connection_.receive(); }
+
+  void close() { connection_.close(); }
+
+private:
+  TcpConnection connection_;
+};
+
+/// A remote publisher session.
+class RemotePublisher {
+public:
+  explicit RemotePublisher(std::uint16_t port);
+
+  /// Publishes one message to a channel on the remote backbone.
+  void publish(const std::string& channel, const Buffer& message);
+
+  void close() { connection_.close(); }
+
+private:
+  TcpConnection connection_;
+};
+
+}  // namespace omf::transport

@@ -1,0 +1,173 @@
+#include "transport/tcp.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace omf::transport {
+
+namespace {
+
+constexpr std::uint32_t kMaxFrame = 1u << 30;  // 1 GiB sanity bound
+
+[[noreturn]] void fail_errno(const std::string& what) {
+  throw TransportError(what + ": " + std::strerror(errno));
+}
+
+void write_all(int fd, const void* data, std::size_t n) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  while (n > 0) {
+    ssize_t w = ::write(fd, p, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      fail_errno("write");
+    }
+    p += w;
+    n -= static_cast<std::size_t>(w);
+  }
+}
+
+/// Reads exactly n bytes; returns false on clean EOF at a frame boundary
+/// (start == true) and throws on mid-frame EOF or errors.
+bool read_all(int fd, void* data, std::size_t n, bool at_frame_start) {
+  auto* p = static_cast<std::uint8_t*>(data);
+  std::size_t got = 0;
+  while (got < n) {
+    ssize_t r = ::read(fd, p + got, n - got);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      fail_errno("read");
+    }
+    if (r == 0) {
+      if (got == 0 && at_frame_start) return false;
+      throw TransportError("connection closed mid-frame");
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+}  // namespace
+
+TcpConnection::~TcpConnection() { close(); }
+
+TcpConnection& TcpConnection::operator=(TcpConnection&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void TcpConnection::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void TcpConnection::send(const Buffer& message) {
+  if (fd_ < 0) throw TransportError("send on closed connection");
+  if (message.size() > kMaxFrame) throw TransportError("frame too large");
+  std::uint8_t header[4];
+  store_le<std::uint32_t>(header, static_cast<std::uint32_t>(message.size()));
+  write_all(fd_, header, 4);
+  write_all(fd_, message.data(), message.size());
+}
+
+std::optional<Buffer> TcpConnection::receive() {
+  if (fd_ < 0) throw TransportError("receive on closed connection");
+  std::uint8_t header[4];
+  if (!read_all(fd_, header, 4, /*at_frame_start=*/true)) {
+    return std::nullopt;
+  }
+  std::uint32_t len = load_le<std::uint32_t>(header);
+  if (len > kMaxFrame) throw TransportError("oversized frame");
+  std::vector<std::uint8_t> payload(len);
+  read_all(fd_, payload.data(), len, /*at_frame_start=*/false);
+  return Buffer(std::move(payload));
+}
+
+TcpListener::TcpListener(std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) fail_errno("socket");
+  int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = saved;
+    fail_errno("bind");
+  }
+  if (::listen(fd_, 64) != 0) {
+    int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = saved;
+    fail_errno("listen");
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+}
+
+TcpListener::~TcpListener() { close(); }
+
+TcpListener::TcpListener(TcpListener&& other) noexcept
+    : fd_(other.fd_), port_(other.port_) {
+  other.fd_ = -1;
+}
+
+void TcpListener::close() {
+  if (fd_ >= 0) {
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+TcpConnection TcpListener::accept() {
+  if (fd_ < 0) return TcpConnection();
+  int client = ::accept(fd_, nullptr, nullptr);
+  if (client < 0) {
+    // Closed listener (EBADF/EINVAL) is a normal shutdown signal.
+    return TcpConnection();
+  }
+  int one = 1;
+  ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return TcpConnection(client);
+}
+
+TcpConnection tcp_connect(std::uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) fail_errno("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    int saved = errno;
+    ::close(fd);
+    errno = saved;
+    fail_errno("connect");
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return TcpConnection(fd);
+}
+
+}  // namespace omf::transport

@@ -1,0 +1,81 @@
+// Minimal TCP framing transport over POSIX sockets.
+//
+// Frames are a 4-byte little-endian length followed by the payload. NDR
+// messages already carry their own self-describing header; the frame length
+// exists only so stream boundaries survive TCP's byte-stream semantics.
+// Loopback-only by intent: this reproduction's "network" is one machine.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "util/buffer.hpp"
+
+namespace omf::transport {
+
+/// A connected, message-framed TCP endpoint. Move-only RAII over the fd.
+class TcpConnection {
+public:
+  TcpConnection() = default;
+  explicit TcpConnection(int fd) : fd_(fd) {}
+  ~TcpConnection();
+  TcpConnection(TcpConnection&& other) noexcept : fd_(other.fd_) {
+    other.fd_ = -1;
+  }
+  TcpConnection& operator=(TcpConnection&& other) noexcept;
+  TcpConnection(const TcpConnection&) = delete;
+  TcpConnection& operator=(const TcpConnection&) = delete;
+
+  bool valid() const noexcept { return fd_ >= 0; }
+
+  /// Sends one framed message. Throws TransportError on I/O failure.
+  void send(const Buffer& message);
+
+  /// Receives one framed message; nullopt on orderly peer close.
+  /// Throws TransportError on I/O failure or oversized frames.
+  std::optional<Buffer> receive();
+
+  void close();
+
+  /// Relinquishes ownership of the descriptor to the caller (for byte-
+  /// stream protocols like HTTP that cannot use message framing). Returns
+  /// -1 if the connection is not open.
+  int release_fd() noexcept {
+    int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+private:
+  int fd_ = -1;
+};
+
+/// Listening socket bound to 127.0.0.1. Move-only RAII.
+class TcpListener {
+public:
+  /// Binds and listens; port 0 picks an ephemeral port (see port()).
+  explicit TcpListener(std::uint16_t port);
+  ~TcpListener();
+  TcpListener(TcpListener&& other) noexcept;
+  TcpListener& operator=(TcpListener&&) = delete;
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  std::uint16_t port() const noexcept { return port_; }
+
+  /// Blocks for the next inbound connection. Returns an invalid connection
+  /// if the listener has been closed from another thread.
+  TcpConnection accept();
+
+  void close();
+
+private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+/// Connects to 127.0.0.1:port. Throws TransportError on failure.
+TcpConnection tcp_connect(std::uint16_t port);
+
+}  // namespace omf::transport

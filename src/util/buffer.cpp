@@ -1,0 +1,23 @@
+#include "util/buffer.hpp"
+
+namespace omf {
+
+std::string Buffer::hex(std::size_t max_bytes) const {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  std::size_t n = data_.size() < max_bytes ? data_.size() : max_bytes;
+  out.reserve(n * 3 + 8);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i != 0) {
+      out.push_back(i % 16 == 0 ? '\n' : ' ');
+    }
+    out.push_back(kDigits[data_[i] >> 4]);
+    out.push_back(kDigits[data_[i] & 0xF]);
+  }
+  if (n < data_.size()) {
+    out += " ... (" + std::to_string(data_.size() - n) + " more)";
+  }
+  return out;
+}
+
+}  // namespace omf

@@ -1,0 +1,152 @@
+// Growable byte buffer and bounds-checked reader.
+//
+// Buffer is the unit of exchange between codecs and transports: encoders
+// append into a Buffer, transports move Buffers, decoders wrap a received
+// Buffer in a BufferReader. BufferReader throws DecodeError on any attempt
+// to read past the end, so truncated or corrupt wire data is always caught
+// at the read site instead of producing garbage.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/bytes.hpp"
+#include "util/error.hpp"
+
+namespace omf {
+
+/// Contiguous, growable byte buffer with typed append helpers.
+class Buffer {
+public:
+  Buffer() = default;
+  explicit Buffer(std::size_t reserve_bytes) { data_.reserve(reserve_bytes); }
+  explicit Buffer(std::vector<std::uint8_t> bytes) : data_(std::move(bytes)) {}
+
+  const std::uint8_t* data() const noexcept { return data_.data(); }
+  std::uint8_t* data() noexcept { return data_.data(); }
+  std::size_t size() const noexcept { return data_.size(); }
+  bool empty() const noexcept { return data_.empty(); }
+  void clear() noexcept { data_.clear(); }
+  void reserve(std::size_t n) { data_.reserve(n); }
+
+  std::span<const std::uint8_t> span() const noexcept {
+    return {data_.data(), data_.size()};
+  }
+
+  /// Appends raw bytes.
+  void append(const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::uint8_t*>(p);
+    data_.insert(data_.end(), b, b + n);
+  }
+
+  void append(std::span<const std::uint8_t> bytes) {
+    data_.insert(data_.end(), bytes.begin(), bytes.end());
+  }
+
+  void append(std::string_view text) { append(text.data(), text.size()); }
+
+  /// Appends `n` zero bytes (used for alignment padding in wire formats).
+  void append_zeros(std::size_t n) { data_.insert(data_.end(), n, 0); }
+
+  /// Appends an integer in the requested byte order.
+  template <typename T>
+  void append_int(T v, ByteOrder order) {
+    std::uint8_t tmp[sizeof(T)];
+    store_order<T>(tmp, v, order);
+    append(tmp, sizeof(T));
+  }
+
+  /// Grows the buffer by `n` uninitialized-ish (zeroed) bytes and returns the
+  /// offset of the start of the new region. Callers write into the region via
+  /// data() + offset. Used by encoders that reserve fixed-size regions and
+  /// patch them afterwards.
+  std::size_t grow(std::size_t n) {
+    std::size_t off = data_.size();
+    data_.resize(off + n);
+    return off;
+  }
+
+  /// Overwrites an integer at a previously reserved position.
+  template <typename T>
+  void patch_int(std::size_t offset, T v, ByteOrder order) {
+    if (offset + sizeof(T) > data_.size()) {
+      throw EncodeError("patch past end of buffer");
+    }
+    store_order<T>(data_.data() + offset, v, order);
+  }
+
+  bool operator==(const Buffer& other) const noexcept {
+    return data_ == other.data_;
+  }
+
+  /// Hex dump for diagnostics and examples; at most `max_bytes` bytes.
+  std::string hex(std::size_t max_bytes = 64) const;
+
+private:
+  std::vector<std::uint8_t> data_;
+};
+
+/// Bounds-checked sequential reader over a byte span. Does not own the bytes.
+class BufferReader {
+public:
+  explicit BufferReader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+  BufferReader(const void* p, std::size_t n)
+      : bytes_(static_cast<const std::uint8_t*>(p), n) {}
+  explicit BufferReader(const Buffer& b) : bytes_(b.span()) {}
+
+  std::size_t position() const noexcept { return pos_; }
+  std::size_t remaining() const noexcept { return bytes_.size() - pos_; }
+  bool at_end() const noexcept { return pos_ == bytes_.size(); }
+
+  /// Returns a pointer to the next `n` bytes and advances past them.
+  const std::uint8_t* read_bytes(std::size_t n) {
+    require(n);
+    const std::uint8_t* p = bytes_.data() + pos_;
+    pos_ += n;
+    return p;
+  }
+
+  /// Copies the next `n` bytes into `out`.
+  void read_into(void* out, std::size_t n) {
+    const std::uint8_t* p = read_bytes(n);
+    std::memcpy(out, p, n);
+  }
+
+  template <typename T>
+  T read_int(ByteOrder order) {
+    const std::uint8_t* p = read_bytes(sizeof(T));
+    return load_order<T>(p, order);
+  }
+
+  std::string read_string(std::size_t n) {
+    const std::uint8_t* p = read_bytes(n);
+    return std::string(reinterpret_cast<const char*>(p), n);
+  }
+
+  void skip(std::size_t n) { require(n), pos_ += n; }
+
+  /// Moves the cursor to an absolute position (used by offset-based decoders).
+  void seek(std::size_t pos) {
+    if (pos > bytes_.size()) {
+      throw DecodeError("seek past end of buffer");
+    }
+    pos_ = pos;
+  }
+
+private:
+  void require(std::size_t n) const {
+    if (n > remaining()) {
+      throw DecodeError("truncated message: need " + std::to_string(n) +
+                        " bytes, have " + std::to_string(remaining()));
+    }
+  }
+
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace omf

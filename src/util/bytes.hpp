@@ -1,0 +1,148 @@
+// Byte-order primitives.
+//
+// NDR transmission sends data in the sender's byte order and lets the
+// receiver swap only when the orders differ, so the library needs cheap,
+// explicit byte-order manipulation rather than the always-canonicalize
+// helpers (htonl & co.) that XDR-style systems use.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+namespace omf {
+
+/// Byte order of an architecture (host or a simulated remote peer).
+enum class ByteOrder : std::uint8_t {
+  kLittle = 0,
+  kBig = 1,
+};
+
+/// The byte order this process runs under.
+constexpr ByteOrder host_byte_order() noexcept {
+  return std::endian::native == std::endian::little ? ByteOrder::kLittle
+                                                    : ByteOrder::kBig;
+}
+
+constexpr std::uint8_t byteswap(std::uint8_t v) noexcept { return v; }
+
+constexpr std::uint16_t byteswap(std::uint16_t v) noexcept {
+  return static_cast<std::uint16_t>((v << 8) | (v >> 8));
+}
+
+constexpr std::uint32_t byteswap(std::uint32_t v) noexcept {
+  return ((v & 0x000000FFu) << 24) | ((v & 0x0000FF00u) << 8) |
+         ((v & 0x00FF0000u) >> 8) | ((v & 0xFF000000u) >> 24);
+}
+
+constexpr std::uint64_t byteswap(std::uint64_t v) noexcept {
+  return (static_cast<std::uint64_t>(byteswap(static_cast<std::uint32_t>(v)))
+          << 32) |
+         byteswap(static_cast<std::uint32_t>(v >> 32));
+}
+
+/// Reverses `size` bytes in place. `size` must be 1, 2, 4, or 8.
+inline void byteswap_inplace(void* p, std::size_t size) noexcept {
+  auto* b = static_cast<std::uint8_t*>(p);
+  switch (size) {
+    case 1:
+      break;
+    case 2: {
+      std::uint8_t t = b[0]; b[0] = b[1]; b[1] = t;
+      break;
+    }
+    case 4: {
+      std::uint8_t t0 = b[0], t1 = b[1];
+      b[0] = b[3]; b[1] = b[2]; b[2] = t1; b[3] = t0;
+      break;
+    }
+    case 8: {
+      for (int i = 0; i < 4; ++i) {
+        std::uint8_t t = b[i];
+        b[i] = b[7 - i];
+        b[7 - i] = t;
+      }
+      break;
+    }
+    default:
+      // Non-power-of-two sizes never reach here: field sizes are validated
+      // at format-registration time.
+      break;
+  }
+}
+
+/// Loads a little-endian integer of the given width from unaligned memory.
+template <typename T>
+T load_le(const void* p) noexcept {
+  static_assert(std::is_integral_v<T>);
+  T v;
+  std::memcpy(&v, p, sizeof(T));
+  if constexpr (sizeof(T) > 1) {
+    if (host_byte_order() == ByteOrder::kBig) {
+      v = static_cast<T>(byteswap(static_cast<std::make_unsigned_t<T>>(v)));
+    }
+  }
+  return v;
+}
+
+/// Loads a big-endian integer of the given width from unaligned memory.
+template <typename T>
+T load_be(const void* p) noexcept {
+  static_assert(std::is_integral_v<T>);
+  T v;
+  std::memcpy(&v, p, sizeof(T));
+  if constexpr (sizeof(T) > 1) {
+    if (host_byte_order() == ByteOrder::kLittle) {
+      v = static_cast<T>(byteswap(static_cast<std::make_unsigned_t<T>>(v)));
+    }
+  }
+  return v;
+}
+
+/// Stores an integer to unaligned memory in little-endian order.
+template <typename T>
+void store_le(void* p, T v) noexcept {
+  static_assert(std::is_integral_v<T>);
+  if constexpr (sizeof(T) > 1) {
+    if (host_byte_order() == ByteOrder::kBig) {
+      v = static_cast<T>(byteswap(static_cast<std::make_unsigned_t<T>>(v)));
+    }
+  }
+  std::memcpy(p, &v, sizeof(T));
+}
+
+/// Stores an integer to unaligned memory in big-endian order.
+template <typename T>
+void store_be(void* p, T v) noexcept {
+  static_assert(std::is_integral_v<T>);
+  if constexpr (sizeof(T) > 1) {
+    if (host_byte_order() == ByteOrder::kLittle) {
+      v = static_cast<T>(byteswap(static_cast<std::make_unsigned_t<T>>(v)));
+    }
+  }
+  std::memcpy(p, &v, sizeof(T));
+}
+
+/// Loads an integer in the byte order of `order`.
+template <typename T>
+T load_order(const void* p, ByteOrder order) noexcept {
+  return order == ByteOrder::kLittle ? load_le<T>(p) : load_be<T>(p);
+}
+
+/// Stores an integer in the byte order of `order`.
+template <typename T>
+void store_order(void* p, T v, ByteOrder order) noexcept {
+  if (order == ByteOrder::kLittle) {
+    store_le<T>(p, v);
+  } else {
+    store_be<T>(p, v);
+  }
+}
+
+/// Rounds `n` up to the next multiple of `align` (a power of two).
+constexpr std::size_t align_up(std::size_t n, std::size_t align) noexcept {
+  return (n + align - 1) & ~(align - 1);
+}
+
+}  // namespace omf

@@ -1,0 +1,79 @@
+// Error types shared across the OMF library.
+//
+// OMF uses exceptions for error reporting, following the C++ Core Guidelines
+// (E.2): errors that prevent a function from meeting its postcondition throw.
+// All OMF exceptions derive from omf::Error so callers can catch the whole
+// family at an API boundary.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+namespace omf {
+
+/// Root of the OMF exception hierarchy.
+class Error : public std::runtime_error {
+public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a read runs past the end of a buffer, a length prefix is
+/// inconsistent with the remaining bytes, or a wire message is otherwise
+/// structurally truncated or corrupt.
+class DecodeError : public Error {
+public:
+  explicit DecodeError(const std::string& what) : Error("decode error: " + what) {}
+};
+
+/// Thrown when in-memory data cannot be marshaled (e.g. a negative
+/// size-field for a dynamic array, or a null pointer where data is required).
+class EncodeError : public Error {
+public:
+  explicit EncodeError(const std::string& what) : Error("encode error: " + what) {}
+};
+
+/// Thrown by the XML lexer/parser and the schema reader. Carries the 1-based
+/// source position of the offending construct.
+class ParseError : public Error {
+public:
+  ParseError(const std::string& what, std::size_t line, std::size_t column)
+      : Error("parse error at " + std::to_string(line) + ":" +
+              std::to_string(column) + ": " + what),
+        line_(line),
+        column_(column) {}
+
+  std::size_t line() const noexcept { return line_; }
+  std::size_t column() const noexcept { return column_; }
+
+private:
+  std::size_t line_;
+  std::size_t column_;
+};
+
+/// Thrown when a format definition is internally inconsistent: duplicate
+/// field names, unknown referenced types, dynamic arrays whose size field is
+/// missing, and similar metadata-level problems.
+class FormatError : public Error {
+public:
+  explicit FormatError(const std::string& what) : Error("format error: " + what) {}
+};
+
+/// Thrown when metadata discovery fails: the document cannot be located,
+/// fetched, or parsed, and no fallback source in the discovery chain
+/// succeeded either.
+class DiscoveryError : public Error {
+public:
+  explicit DiscoveryError(const std::string& what)
+      : Error("discovery error: " + what) {}
+};
+
+/// Thrown by the transport layer (sockets, event backbone) on I/O failure
+/// or protocol violation.
+class TransportError : public Error {
+public:
+  explicit TransportError(const std::string& what)
+      : Error("transport error: " + what) {}
+};
+
+}  // namespace omf

@@ -1,0 +1,45 @@
+// FNV-1a hashing, used to derive stable 64-bit format identifiers from
+// format metadata so that two endpoints that independently register the same
+// format agree on its wire id without a round-trip.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace omf {
+
+inline constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+/// Incrementally hashable FNV-1a accumulator.
+class Fnv1a {
+public:
+  constexpr Fnv1a() = default;
+
+  constexpr void update(std::string_view bytes) noexcept {
+    for (char c : bytes) {
+      state_ ^= static_cast<std::uint8_t>(c);
+      state_ *= kFnvPrime;
+    }
+  }
+
+  constexpr void update(std::uint64_t v) noexcept {
+    for (int i = 0; i < 8; ++i) {
+      state_ ^= static_cast<std::uint8_t>(v >> (i * 8));
+      state_ *= kFnvPrime;
+    }
+  }
+
+  constexpr std::uint64_t digest() const noexcept { return state_; }
+
+private:
+  std::uint64_t state_ = kFnvOffset;
+};
+
+constexpr std::uint64_t fnv1a(std::string_view bytes) noexcept {
+  Fnv1a h;
+  h.update(bytes);
+  return h.digest();
+}
+
+}  // namespace omf

@@ -1,0 +1,47 @@
+// Minimal leveled logger. Components log discovery decisions, fallbacks,
+// and transport events so examples can narrate what the system does; tests
+// run with logging off by default.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace omf {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// Sets the global threshold; messages below it are discarded.
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// Writes one line to stderr as "[level] component: message" (thread-safe).
+void log_line(LogLevel level, std::string_view component,
+              std::string_view message);
+
+namespace detail {
+template <typename... Args>
+void log_fmt(LogLevel level, std::string_view component, Args&&... args) {
+  if (level < log_level()) return;
+  std::ostringstream os;
+  (os << ... << args);
+  log_line(level, component, os.str());
+}
+}  // namespace detail
+
+#define OMF_LOG_DEBUG(component, ...) \
+  ::omf::detail::log_fmt(::omf::LogLevel::kDebug, component, __VA_ARGS__)
+#define OMF_LOG_INFO(component, ...) \
+  ::omf::detail::log_fmt(::omf::LogLevel::kInfo, component, __VA_ARGS__)
+#define OMF_LOG_WARN(component, ...) \
+  ::omf::detail::log_fmt(::omf::LogLevel::kWarn, component, __VA_ARGS__)
+#define OMF_LOG_ERROR(component, ...) \
+  ::omf::detail::log_fmt(::omf::LogLevel::kError, component, __VA_ARGS__)
+
+}  // namespace omf

@@ -1,0 +1,62 @@
+// Deterministic pseudo-random generator for tests, property sweeps, and
+// benchmark workload generation. SplitMix64: tiny, fast, and reproducible
+// across platforms (unlike std::mt19937 seeded via seed_seq, whose stream we
+// would rather not depend on for golden tests).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace omf {
+
+class Rng {
+public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  /// Next 64 random bits.
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound). `bound` must be nonzero.
+  std::uint64_t below(std::uint64_t bound) noexcept { return next() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive. Computed in unsigned space so
+  /// full-width ranges (e.g. [-2^62, 2^62]) don't overflow.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept {
+    std::uint64_t span = static_cast<std::uint64_t>(hi) -
+                         static_cast<std::uint64_t>(lo) + 1;
+    std::uint64_t offset = span == 0 ? next() : below(span);
+    return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) + offset);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  bool chance(double p) noexcept { return uniform() < p; }
+
+  /// Random ASCII identifier of the given length, starting with a letter.
+  std::string identifier(std::size_t len) {
+    static constexpr char kFirst[] = "abcdefghijklmnopqrstuvwxyz";
+    static constexpr char kRest[] =
+        "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_";
+    std::string s;
+    s.reserve(len);
+    if (len == 0) return s;
+    s.push_back(kFirst[below(sizeof(kFirst) - 1)]);
+    for (std::size_t i = 1; i < len; ++i) {
+      s.push_back(kRest[below(sizeof(kRest) - 1)]);
+    }
+    return s;
+  }
+
+private:
+  std::uint64_t state_;
+};
+
+}  // namespace omf

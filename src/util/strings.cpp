@@ -1,0 +1,106 @@
+#include "util/strings.hpp"
+
+#include <cerrno>
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
+
+namespace omf {
+
+namespace {
+bool is_space(char c) noexcept {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f' ||
+         c == '\v';
+}
+}  // namespace
+
+std::string_view trim(std::string_view s) noexcept {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && is_space(s[b])) ++b;
+  while (e > b && is_space(s[e - 1])) --e;
+  return s.substr(b, e - b);
+}
+
+std::vector<std::string_view> split(std::string_view s, char sep) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.push_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) noexcept {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) noexcept {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+bool iequals(std::string_view a, std::string_view b) noexcept {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+std::optional<std::int64_t> parse_int(std::string_view s) noexcept {
+  if (s.empty()) return std::nullopt;
+  std::int64_t v = 0;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) return std::nullopt;
+  return v;
+}
+
+std::optional<std::uint64_t> parse_uint(std::string_view s) noexcept {
+  if (s.empty()) return std::nullopt;
+  std::uint64_t v = 0;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) return std::nullopt;
+  return v;
+}
+
+std::optional<double> parse_double(std::string_view s) noexcept {
+  if (s.empty()) return std::nullopt;
+  // std::from_chars<double> is available in libstdc++ 11+; use it for
+  // locale-independence.
+  double v = 0;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) return std::nullopt;
+  return v;
+}
+
+bool is_xml_name(std::string_view s) noexcept {
+  if (s.empty()) return false;
+  auto name_start = [](unsigned char c) {
+    return std::isalpha(c) || c == '_' || c == ':' || c >= 0x80;
+  };
+  auto name_char = [&](unsigned char c) {
+    return name_start(c) || std::isdigit(c) || c == '-' || c == '.';
+  };
+  if (!name_start(static_cast<unsigned char>(s[0]))) return false;
+  for (std::size_t i = 1; i < s.size(); ++i) {
+    if (!name_char(static_cast<unsigned char>(s[i]))) return false;
+  }
+  return true;
+}
+
+}  // namespace omf

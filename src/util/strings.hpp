@@ -1,0 +1,43 @@
+// Small string utilities used by the XML parser, schema reader, and HTTP
+// code. All functions are pure and allocation-conscious (string_view in,
+// string out only where a copy is unavoidable).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace omf {
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view s) noexcept;
+
+/// Splits on a single-character separator. Empty pieces are preserved
+/// ("a,,b" -> {"a", "", "b"}); an empty input yields one empty piece.
+std::vector<std::string_view> split(std::string_view s, char sep);
+
+/// True if `s` starts with / ends with the given prefix/suffix.
+bool starts_with(std::string_view s, std::string_view prefix) noexcept;
+bool ends_with(std::string_view s, std::string_view suffix) noexcept;
+
+/// ASCII case-insensitive comparison (sufficient for HTTP header names).
+bool iequals(std::string_view a, std::string_view b) noexcept;
+
+/// ASCII lower-casing.
+std::string to_lower(std::string_view s);
+
+/// Parses a decimal integer, rejecting trailing garbage, overflow, and empty
+/// input. Returns nullopt on any failure rather than guessing.
+std::optional<std::int64_t> parse_int(std::string_view s) noexcept;
+std::optional<std::uint64_t> parse_uint(std::string_view s) noexcept;
+
+/// Parses a floating-point number with the same strictness.
+std::optional<double> parse_double(std::string_view s) noexcept;
+
+/// True if `s` is a valid XML name (Name production, ASCII subset plus
+/// accepting any byte >= 0x80 so UTF-8 names pass through untouched).
+bool is_xml_name(std::string_view s) noexcept;
+
+}  // namespace omf

@@ -1,0 +1,348 @@
+#include "xdr/xdr.hpp"
+
+#include <bit>
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace omf::xdr {
+
+using pbio::ArrayKind;
+using pbio::Field;
+using pbio::FieldClass;
+using pbio::Format;
+
+namespace {
+
+// --- Native struct memory access (host order, arbitrary width) -------------
+
+std::uint64_t load_native_uint(const std::uint8_t* p, std::size_t size) {
+  switch (size) {
+    case 1: return *p;
+    case 2: { std::uint16_t v; std::memcpy(&v, p, 2); return v; }
+    case 4: { std::uint32_t v; std::memcpy(&v, p, 4); return v; }
+    default: { std::uint64_t v; std::memcpy(&v, p, 8); return v; }
+  }
+}
+
+std::int64_t load_native_int(const std::uint8_t* p, std::size_t size) {
+  std::uint64_t v = load_native_uint(p, size);
+  if (size < 8) {
+    std::uint64_t sign_bit = 1ull << (size * 8 - 1);
+    if (v & sign_bit) v |= ~((sign_bit << 1) - 1);
+  }
+  return static_cast<std::int64_t>(v);
+}
+
+void store_native_int(std::uint8_t* p, std::size_t size, std::uint64_t v) {
+  switch (size) {
+    case 1: { auto x = static_cast<std::uint8_t>(v); std::memcpy(p, &x, 1); break; }
+    case 2: { auto x = static_cast<std::uint16_t>(v); std::memcpy(p, &x, 2); break; }
+    case 4: { auto x = static_cast<std::uint32_t>(v); std::memcpy(p, &x, 4); break; }
+    default: std::memcpy(p, &v, 8); break;
+  }
+}
+
+std::int64_t read_count_field(const Format& format, const std::uint8_t* src,
+                              const Field& array_field) {
+  const Field& cf = format.fields()[array_field.count_field_index];
+  return cf.type.cls == FieldClass::kInteger
+             ? load_native_int(src + cf.offset, cf.size)
+             : static_cast<std::int64_t>(
+                   load_native_uint(src + cf.offset, cf.size));
+}
+
+constexpr std::size_t pad4(std::size_t n) { return (n + 3) & ~std::size_t{3}; }
+
+// --- Encoding ---------------------------------------------------------------
+
+void put_scalar(const Field& f, const std::uint8_t* elem, Buffer& out) {
+  switch (f.type.cls) {
+    case FieldClass::kInteger: {
+      std::int64_t v = load_native_int(elem, f.size);
+      if (f.size <= 4) {
+        out.append_int<std::uint32_t>(static_cast<std::uint32_t>(v),
+                                      ByteOrder::kBig);
+      } else {
+        out.append_int<std::uint64_t>(static_cast<std::uint64_t>(v),
+                                      ByteOrder::kBig);
+      }
+      break;
+    }
+    case FieldClass::kUnsigned: {
+      std::uint64_t v = load_native_uint(elem, f.size);
+      if (f.size <= 4) {
+        out.append_int<std::uint32_t>(static_cast<std::uint32_t>(v),
+                                      ByteOrder::kBig);
+      } else {
+        out.append_int<std::uint64_t>(v, ByteOrder::kBig);
+      }
+      break;
+    }
+    case FieldClass::kFloat:
+      if (f.size == 4) {
+        std::uint32_t bits;
+        std::memcpy(&bits, elem, 4);
+        out.append_int<std::uint32_t>(bits, ByteOrder::kBig);
+      } else {
+        std::uint64_t bits;
+        std::memcpy(&bits, elem, 8);
+        out.append_int<std::uint64_t>(bits, ByteOrder::kBig);
+      }
+      break;
+    case FieldClass::kChar:
+      // A lone char is an XDR int occupying a full 4-byte unit.
+      out.append_int<std::uint32_t>(*elem, ByteOrder::kBig);
+      break;
+    default:
+      throw EncodeError("put_scalar on non-scalar field '" + f.name + "'");
+  }
+}
+
+void encode_region(const Format& format, const std::uint8_t* src, Buffer& out);
+
+void encode_field(const Format& format, const Field& f,
+                  const std::uint8_t* src, Buffer& out) {
+  // Resolve element base + count.
+  const std::uint8_t* base = src + f.offset;
+  std::size_t count = 1;
+  if (f.type.array == ArrayKind::kStatic) {
+    count = f.type.static_count;
+  } else if (f.type.array == ArrayKind::kDynamic) {
+    std::int64_t n = read_count_field(format, src, f);
+    if (n < 0) throw EncodeError("negative count for '" + f.name + "'");
+    const std::uint8_t* ptr = nullptr;
+    std::memcpy(&ptr, src + f.offset, sizeof(ptr));
+    if (n > 0 && ptr == nullptr) {
+      throw EncodeError("null dynamic array '" + f.name + "'");
+    }
+    // XDR variable-length array: count prefix, then elements.
+    out.append_int<std::uint32_t>(static_cast<std::uint32_t>(n),
+                                  ByteOrder::kBig);
+    base = ptr;
+    count = static_cast<std::size_t>(n);
+  }
+
+  switch (f.type.cls) {
+    case FieldClass::kString: {
+      const char* s = nullptr;
+      std::memcpy(&s, src + f.offset, sizeof(s));
+      std::size_t len = s == nullptr ? 0 : std::strlen(s);
+      out.append_int<std::uint32_t>(static_cast<std::uint32_t>(len),
+                                    ByteOrder::kBig);
+      if (len != 0) out.append(s, len);
+      out.append_zeros(pad4(len) - len);
+      break;
+    }
+    case FieldClass::kNested:
+      for (std::size_t i = 0; i < count; ++i) {
+        encode_region(*f.subformat, base + i * f.subformat->struct_size(),
+                      out);
+      }
+      break;
+    case FieldClass::kChar:
+      if (f.type.array != ArrayKind::kNone) {
+        // Char arrays travel as XDR opaque: raw bytes padded to 4.
+        out.append(base, count);
+        out.append_zeros(pad4(count) - count);
+        break;
+      }
+      [[fallthrough]];
+    default:
+      for (std::size_t i = 0; i < count; ++i) {
+        put_scalar(f, base + i * f.size, out);
+      }
+      break;
+  }
+}
+
+void encode_region(const Format& format, const std::uint8_t* src, Buffer& out) {
+  for (const Field& f : format.fields()) {
+    encode_field(format, f, src, out);
+  }
+}
+
+// --- Decoding ---------------------------------------------------------------
+
+void get_scalar(const Field& f, BufferReader& in, std::uint8_t* elem) {
+  switch (f.type.cls) {
+    case FieldClass::kInteger: {
+      std::int64_t v =
+          f.size <= 4
+              ? static_cast<std::int32_t>(in.read_int<std::uint32_t>(ByteOrder::kBig))
+              : static_cast<std::int64_t>(in.read_int<std::uint64_t>(ByteOrder::kBig));
+      store_native_int(elem, f.size, static_cast<std::uint64_t>(v));
+      break;
+    }
+    case FieldClass::kUnsigned: {
+      std::uint64_t v = f.size <= 4
+                            ? in.read_int<std::uint32_t>(ByteOrder::kBig)
+                            : in.read_int<std::uint64_t>(ByteOrder::kBig);
+      store_native_int(elem, f.size, v);
+      break;
+    }
+    case FieldClass::kFloat:
+      if (f.size == 4) {
+        std::uint32_t bits = in.read_int<std::uint32_t>(ByteOrder::kBig);
+        std::memcpy(elem, &bits, 4);
+      } else {
+        std::uint64_t bits = in.read_int<std::uint64_t>(ByteOrder::kBig);
+        std::memcpy(elem, &bits, 8);
+      }
+      break;
+    case FieldClass::kChar: {
+      std::uint32_t v = in.read_int<std::uint32_t>(ByteOrder::kBig);
+      *elem = static_cast<std::uint8_t>(v);
+      break;
+    }
+    default:
+      throw DecodeError("get_scalar on non-scalar field '" + f.name + "'");
+  }
+}
+
+void decode_region(const Format& format, BufferReader& in, std::uint8_t* dst,
+                   pbio::DecodeArena& arena);
+
+void decode_field(const Format& /*format*/, const Field& f, BufferReader& in,
+                  std::uint8_t* dst, pbio::DecodeArena& arena) {
+  std::uint8_t* base = dst + f.offset;
+  std::size_t count = 1;
+  if (f.type.array == ArrayKind::kStatic) {
+    count = f.type.static_count;
+  } else if (f.type.array == ArrayKind::kDynamic) {
+    std::uint32_t n = in.read_int<std::uint32_t>(ByteOrder::kBig);
+    std::size_t elem_native = f.type.cls == FieldClass::kNested
+                                  ? f.subformat->struct_size()
+                                  : f.size;
+    void* mem = nullptr;
+    if (n != 0) {
+      // Sanity bound: even 1-byte elements need a byte on the wire.
+      if (n > in.remaining()) {
+        throw DecodeError("XDR array count exceeds remaining stream");
+      }
+      mem = arena.allocate(static_cast<std::size_t>(n) * elem_native,
+                           f.type.cls == FieldClass::kNested
+                               ? f.subformat->alignment()
+                               : 8);
+    }
+    std::memcpy(dst + f.offset, &mem, sizeof(mem));
+    base = static_cast<std::uint8_t*>(mem);
+    count = n;
+    if (count == 0) return;
+  }
+
+  switch (f.type.cls) {
+    case FieldClass::kString: {
+      std::uint32_t len = in.read_int<std::uint32_t>(ByteOrder::kBig);
+      const char* out = nullptr;
+      const std::uint8_t* bytes = in.read_bytes(pad4(len));
+      out = arena.copy_string(reinterpret_cast<const char*>(bytes), len);
+      std::memcpy(dst + f.offset, &out, sizeof(out));
+      break;
+    }
+    case FieldClass::kNested:
+      for (std::size_t i = 0; i < count; ++i) {
+        decode_region(*f.subformat, in,
+                      base + i * f.subformat->struct_size(), arena);
+      }
+      break;
+    case FieldClass::kChar:
+      if (f.type.array != ArrayKind::kNone) {
+        const std::uint8_t* bytes = in.read_bytes(pad4(count));
+        std::memcpy(base, bytes, count);
+        break;
+      }
+      [[fallthrough]];
+    default:
+      for (std::size_t i = 0; i < count; ++i) {
+        get_scalar(f, in, base + i * f.size);
+      }
+      break;
+  }
+}
+
+void decode_region(const Format& format, BufferReader& in, std::uint8_t* dst,
+                   pbio::DecodeArena& arena) {
+  for (const Field& f : format.fields()) {
+    decode_field(format, f, in, dst, arena);
+  }
+}
+
+// --- Sizing -----------------------------------------------------------------
+
+std::size_t region_size(const Format& format, const std::uint8_t* src);
+
+std::size_t field_size(const Format& format, const Field& f,
+                       const std::uint8_t* src) {
+  std::size_t total = 0;
+  const std::uint8_t* base = src + f.offset;
+  std::size_t count = 1;
+  if (f.type.array == ArrayKind::kStatic) {
+    count = f.type.static_count;
+  } else if (f.type.array == ArrayKind::kDynamic) {
+    std::int64_t n = read_count_field(format, src, f);
+    total += 4;  // count prefix
+    const std::uint8_t* ptr = nullptr;
+    std::memcpy(&ptr, src + f.offset, sizeof(ptr));
+    base = ptr;
+    count = n < 0 ? 0 : static_cast<std::size_t>(n);
+  }
+
+  switch (f.type.cls) {
+    case FieldClass::kString: {
+      const char* s = nullptr;
+      std::memcpy(&s, src + f.offset, sizeof(s));
+      total += 4 + pad4(s == nullptr ? 0 : std::strlen(s));
+      break;
+    }
+    case FieldClass::kNested:
+      for (std::size_t i = 0; i < count; ++i) {
+        total += region_size(*f.subformat,
+                             base + i * f.subformat->struct_size());
+      }
+      break;
+    case FieldClass::kChar:
+      if (f.type.array != ArrayKind::kNone) {
+        total += pad4(count);
+        break;
+      }
+      [[fallthrough]];
+    default:
+      total += count * (f.size <= 4 ? 4 : 8);
+      break;
+  }
+  return total;
+}
+
+std::size_t region_size(const Format& format, const std::uint8_t* src) {
+  std::size_t total = 0;
+  for (const Field& f : format.fields()) {
+    total += field_size(format, f, src);
+  }
+  return total;
+}
+
+}  // namespace
+
+void encode(const Format& format, const void* data, Buffer& out) {
+  encode_region(format, static_cast<const std::uint8_t*>(data), out);
+}
+
+Buffer encode_buffer(const Format& format, const void* data) {
+  Buffer out(format.struct_size() * 2 + 64);
+  encode(format, data, out);
+  return out;
+}
+
+std::size_t decode(const Format& format, std::span<const std::uint8_t> bytes,
+                   void* out_struct, pbio::DecodeArena& arena) {
+  BufferReader in(bytes);
+  decode_region(format, in, static_cast<std::uint8_t*>(out_struct), arena);
+  return in.position();
+}
+
+std::size_t encoded_size(const Format& format, const void* data) {
+  return region_size(format, static_cast<const std::uint8_t*>(data));
+}
+
+}  // namespace omf::xdr

@@ -1,0 +1,50 @@
+// XDR (RFC 1014) codec — the baseline "commercial platform" wire format.
+//
+// XDR is the canonical-representation approach the paper argues against:
+// *every* scalar is converted to a fixed network representation (big-endian,
+// padded to 4-byte units) on the sender and converted again on the
+// receiver, even when both ends are identical little-endian machines. The
+// codec here is driven by the same field metadata as the NDR path, so the
+// NDR-vs-XDR benchmarks compare wire formats, not implementation quality.
+//
+// Encoding rules (per RFC 1014):
+//   integers <= 4 bytes   -> 4-byte big-endian (sign-extended)
+//   8-byte integers       -> XDR hyper: 8-byte big-endian
+//   float / double        -> IEEE bits, big-endian, 4 / 8 bytes
+//   char                  -> 4-byte unit (value in the last byte)
+//   string                -> uint32 length + bytes + pad to 4
+//   fixed array           -> elements in sequence
+//   variable array        -> uint32 count + elements
+//   struct                -> fields in declaration order
+//
+// An XDR stream carries no format id — sender and receiver must agree on
+// the format out of band, which is exactly the inflexibility the paper's
+// discovery separation addresses.
+#pragma once
+
+#include <span>
+
+#include "pbio/arena.hpp"
+#include "pbio/format.hpp"
+#include "util/buffer.hpp"
+
+namespace omf::xdr {
+
+/// Marshals `data` (native-profile struct per `format`) into XDR.
+void encode(const pbio::Format& format, const void* data, Buffer& out);
+
+/// Convenience wrapper returning a fresh buffer.
+Buffer encode_buffer(const pbio::Format& format, const void* data);
+
+/// Unmarshals an XDR stream produced for `format` into `out_struct`
+/// (native-profile layout); strings and dynamic arrays go into `arena`.
+/// Throws DecodeError on truncation or inconsistent lengths. Returns the
+/// number of bytes consumed.
+std::size_t decode(const pbio::Format& format,
+                   std::span<const std::uint8_t> bytes, void* out_struct,
+                   pbio::DecodeArena& arena);
+
+/// Exact size of the XDR encoding of `data`.
+std::size_t encoded_size(const pbio::Format& format, const void* data);
+
+}  // namespace omf::xdr

@@ -1,0 +1,149 @@
+#include "xml/dom.hpp"
+
+#include "util/strings.hpp"
+
+namespace omf::xml {
+
+QName split_qname(std::string_view name) noexcept {
+  std::size_t colon = name.find(':');
+  if (colon == std::string_view::npos) {
+    return {std::string_view{}, name};
+  }
+  return {name.substr(0, colon), name.substr(colon + 1)};
+}
+
+std::optional<std::string_view> Node::attribute(std::string_view name) const {
+  for (const Attribute& a : attrs_) {
+    if (a.name == name) return std::string_view(a.value);
+  }
+  return std::nullopt;
+}
+
+std::string_view Node::attribute_or(std::string_view name,
+                                    std::string_view fallback) const {
+  auto v = attribute(name);
+  return v ? *v : fallback;
+}
+
+void Node::set_attribute(std::string name, std::string value) {
+  for (Attribute& a : attrs_) {
+    if (a.name == name) {
+      a.value = std::move(value);
+      return;
+    }
+  }
+  attrs_.push_back(Attribute{std::move(name), std::move(value)});
+}
+
+Node& Node::append_child(std::unique_ptr<Node> child) {
+  child->parent_ = this;
+  children_.push_back(std::move(child));
+  return *children_.back();
+}
+
+Node& Node::append_element(std::string name) {
+  auto node = std::make_unique<Node>(NodeKind::kElement);
+  node->set_name(std::move(name));
+  return append_child(std::move(node));
+}
+
+Node& Node::append_text(std::string text) {
+  auto node = std::make_unique<Node>(NodeKind::kText);
+  node->set_text(std::move(text));
+  return append_child(std::move(node));
+}
+
+const Node* Node::first_child_element(std::string_view name) const {
+  for (const auto& c : children_) {
+    if (c->is_element() && c->name() == name) return c.get();
+  }
+  return nullptr;
+}
+
+std::vector<const Node*> Node::child_elements(std::string_view name) const {
+  std::vector<const Node*> out;
+  for (const auto& c : children_) {
+    if (c->is_element() && c->name() == name) out.push_back(c.get());
+  }
+  return out;
+}
+
+std::vector<const Node*> Node::child_elements() const {
+  std::vector<const Node*> out;
+  for (const auto& c : children_) {
+    if (c->is_element()) out.push_back(c.get());
+  }
+  return out;
+}
+
+const Node* Node::first_child_local(std::string_view local_name) const {
+  for (const auto& c : children_) {
+    if (c->is_element() && c->local_name() == local_name) return c.get();
+  }
+  return nullptr;
+}
+
+std::vector<const Node*> Node::children_local(
+    std::string_view local_name) const {
+  std::vector<const Node*> out;
+  for (const auto& c : children_) {
+    if (c->is_element() && c->local_name() == local_name) out.push_back(c.get());
+  }
+  return out;
+}
+
+std::string Node::text_content() const {
+  std::string out;
+  if (is_text()) {
+    out = text_;
+    return out;
+  }
+  for (const auto& c : children_) {
+    if (c->is_text()) {
+      out += c->text();
+    } else if (c->is_element()) {
+      out += c->text_content();
+    }
+  }
+  return out;
+}
+
+std::optional<std::string_view> Node::resolve_namespace(
+    std::string_view prefix) const {
+  // "xml" is bound by the spec without declaration.
+  if (prefix == "xml") {
+    return std::string_view("http://www.w3.org/XML/1998/namespace");
+  }
+  for (const Node* n = this; n != nullptr; n = n->parent_) {
+    if (!n->is_element()) continue;
+    for (const Attribute& a : n->attrs_) {
+      if (prefix.empty()) {
+        if (a.name == "xmlns") return std::string_view(a.value);
+      } else {
+        QName q = split_qname(a.name);
+        if (q.prefix == "xmlns" && q.local == prefix) {
+          return std::string_view(a.value);
+        }
+      }
+    }
+  }
+  if (prefix.empty()) {
+    // No default namespace in scope: element is in no namespace.
+    return std::string_view{};
+  }
+  return std::nullopt;
+}
+
+std::string_view Node::namespace_uri() const {
+  QName q = split_qname(name_);
+  auto uri = resolve_namespace(q.prefix);
+  return uri ? *uri : std::string_view{};
+}
+
+std::unique_ptr<Node> make_element(std::string name) {
+  auto node = std::make_unique<Node>(NodeKind::kElement);
+  node->set_name(std::move(name));
+  return node;
+}
+
+}  // namespace omf::xml

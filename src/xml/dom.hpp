@@ -1,0 +1,146 @@
+// XML document object model.
+//
+// The tree is deliberately small: metadata documents (XML Schema format
+// descriptions) are the workload, not arbitrary web content. Elements own
+// their children; parents are back-referenced with non-owning pointers so
+// namespace resolution can walk upward.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace omf::xml {
+
+enum class NodeKind {
+  kElement,
+  kText,
+  kCData,
+  kComment,
+  kProcessingInstruction,
+};
+
+struct Attribute {
+  std::string name;   // as written, possibly prefixed ("xsd:element")
+  std::string value;  // entity-expanded
+};
+
+/// A qualified name split at the first ':'. An unprefixed name has an empty
+/// prefix.
+struct QName {
+  std::string_view prefix;
+  std::string_view local;
+};
+
+QName split_qname(std::string_view name) noexcept;
+
+class Node {
+public:
+  explicit Node(NodeKind kind) : kind_(kind) {}
+
+  NodeKind kind() const noexcept { return kind_; }
+  bool is_element() const noexcept { return kind_ == NodeKind::kElement; }
+  bool is_text() const noexcept {
+    return kind_ == NodeKind::kText || kind_ == NodeKind::kCData;
+  }
+
+  /// Element name or PI target; empty for text/comment nodes.
+  const std::string& name() const noexcept { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Text content for text/CDATA/comment/PI nodes; empty for elements.
+  const std::string& text() const noexcept { return text_; }
+  void set_text(std::string text) { text_ = std::move(text); }
+
+  Node* parent() const noexcept { return parent_; }
+
+  // --- Attributes (elements only) -----------------------------------------
+
+  const std::vector<Attribute>& attributes() const noexcept { return attrs_; }
+
+  /// Value of the named attribute, or nullopt if absent.
+  std::optional<std::string_view> attribute(std::string_view name) const;
+
+  /// Value of the named attribute, or `fallback` if absent.
+  std::string_view attribute_or(std::string_view name,
+                                std::string_view fallback) const;
+
+  void set_attribute(std::string name, std::string value);
+
+  // --- Children (elements only) --------------------------------------------
+
+  const std::vector<std::unique_ptr<Node>>& children() const noexcept {
+    return children_;
+  }
+
+  /// Appends a child and returns a reference to it.
+  Node& append_child(std::unique_ptr<Node> child);
+
+  /// Convenience: creates and appends an element child.
+  Node& append_element(std::string name);
+
+  /// Convenience: creates and appends a text child.
+  Node& append_text(std::string text);
+
+  /// First element child with the given (qualified, as-written) name.
+  const Node* first_child_element(std::string_view name) const;
+
+  /// All element children with the given name.
+  std::vector<const Node*> child_elements(std::string_view name) const;
+
+  /// All element children regardless of name.
+  std::vector<const Node*> child_elements() const;
+
+  /// First element child whose *local* name (after any prefix) matches.
+  const Node* first_child_local(std::string_view local_name) const;
+
+  /// All element children whose local name matches.
+  std::vector<const Node*> children_local(std::string_view local_name) const;
+
+  /// Concatenated text of all descendant text/CDATA nodes.
+  std::string text_content() const;
+
+  /// Resolves a namespace prefix to its URI by walking xmlns declarations on
+  /// this element and its ancestors. The empty prefix resolves the default
+  /// namespace. Returns nullopt if the prefix is not in scope.
+  std::optional<std::string_view> resolve_namespace(
+      std::string_view prefix) const;
+
+  /// Local part of this element's name.
+  std::string_view local_name() const noexcept {
+    return split_qname(name_).local;
+  }
+
+  /// Namespace URI of this element (resolving its prefix), empty if none.
+  std::string_view namespace_uri() const;
+
+private:
+  NodeKind kind_;
+  std::string name_;
+  std::string text_;
+  std::vector<Attribute> attrs_;
+  std::vector<std::unique_ptr<Node>> children_;
+  Node* parent_ = nullptr;
+};
+
+/// A parsed document: prolog information plus the single root element.
+/// Comments and PIs outside the root are preserved in `prolog_nodes`.
+struct Document {
+  std::string version = "1.0";
+  std::string encoding;  // empty if not declared
+  bool standalone_declared = false;
+  bool standalone = false;
+  std::vector<std::unique_ptr<Node>> prolog_nodes;
+  std::unique_ptr<Node> root;
+
+  Node& root_element() { return *root; }
+  const Node& root_element() const { return *root; }
+};
+
+/// Builds an element node (no parent) — the starting point for documents
+/// constructed programmatically, e.g. by the schema generator.
+std::unique_ptr<Node> make_element(std::string name);
+
+}  // namespace omf::xml

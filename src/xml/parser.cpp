@@ -1,0 +1,553 @@
+#include "xml/parser.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "util/strings.hpp"
+#include "xml/sax.hpp"
+
+namespace omf::xml {
+
+namespace {
+
+bool is_space(char c) noexcept {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+}
+
+bool is_name_start(unsigned char c) noexcept {
+  return std::isalpha(c) || c == '_' || c == ':' || c >= 0x80;
+}
+
+bool is_name_char(unsigned char c) noexcept {
+  return is_name_start(c) || std::isdigit(c) || c == '-' || c == '.';
+}
+
+/// Character cursor with line/column tracking for error messages.
+class Cursor {
+public:
+  explicit Cursor(std::string_view text) : text_(text) {}
+
+  bool at_end() const noexcept { return pos_ >= text_.size(); }
+  char peek() const noexcept { return at_end() ? '\0' : text_[pos_]; }
+  char peek_at(std::size_t ahead) const noexcept {
+    return pos_ + ahead < text_.size() ? text_[pos_ + ahead] : '\0';
+  }
+
+  char advance() noexcept {
+    char c = text_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+
+  bool consume(char c) noexcept {
+    if (peek() == c) {
+      advance();
+      return true;
+    }
+    return false;
+  }
+
+  bool consume(std::string_view literal) noexcept {
+    if (text_.substr(pos_).substr(0, literal.size()) == literal) {
+      for (std::size_t i = 0; i < literal.size(); ++i) advance();
+      return true;
+    }
+    return false;
+  }
+
+  void skip_space() noexcept {
+    while (!at_end() && is_space(peek())) advance();
+  }
+
+  std::size_t line() const noexcept { return line_; }
+  std::size_t column() const noexcept { return column_; }
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw ParseError(what, line_, column_);
+  }
+
+private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+  std::size_t column_ = 1;
+};
+
+/// The event-emitting parser core. Document structure (DOM vs streaming)
+/// is the handler's business; well-formedness is enforced here.
+class Parser {
+public:
+  Parser(std::string_view text, SaxHandler& handler,
+         const ParseOptions& options)
+      : cur_(text), handler_(handler), options_(options) {}
+
+  void parse_document() {
+    handler_.on_start_document();
+    parse_prolog();
+    if (cur_.at_end() || cur_.peek() != '<') {
+      cur_.fail("expected root element");
+    }
+    parse_element(0);
+    // Trailing misc: whitespace, comments, PIs only.
+    for (;;) {
+      cur_.skip_space();
+      if (cur_.at_end()) break;
+      if (cur_.consume("<!--")) {
+        parse_comment_body();
+      } else if (cur_.peek() == '<' && cur_.peek_at(1) == '?') {
+        parse_pi();
+      } else {
+        cur_.fail("content after root element");
+      }
+    }
+    handler_.on_end_document();
+  }
+
+  /// XML declaration data (filled if the document has one).
+  struct Declaration {
+    std::string version = "1.0";
+    std::string encoding;
+    bool standalone_declared = false;
+    bool standalone = false;
+  };
+  const Declaration& declaration() const noexcept { return decl_; }
+
+private:
+  void parse_prolog() {
+    if (cur_.consume("<?xml")) {
+      if (!is_space(cur_.peek())) {
+        // A PI whose target merely starts with "xml" is not allowed here.
+        cur_.fail("malformed XML declaration");
+      }
+      parse_xml_decl();
+    }
+    bool seen_doctype = false;
+    for (;;) {
+      cur_.skip_space();
+      if (cur_.consume("<!--")) {
+        parse_comment_body();
+        continue;
+      }
+      if (cur_.peek() == '<' && cur_.peek_at(1) == '?') {
+        parse_pi();
+        continue;
+      }
+      if (cur_.consume("<!DOCTYPE")) {
+        if (seen_doctype) cur_.fail("multiple DOCTYPE declarations");
+        seen_doctype = true;
+        skip_doctype();
+        continue;
+      }
+      break;
+    }
+  }
+
+  void parse_xml_decl() {
+    for (;;) {
+      cur_.skip_space();
+      if (cur_.consume("?>")) return;
+      if (cur_.at_end()) cur_.fail("unterminated XML declaration");
+      std::string name = read_name("attribute name in XML declaration");
+      cur_.skip_space();
+      if (!cur_.consume('=')) cur_.fail("expected '=' in XML declaration");
+      cur_.skip_space();
+      std::string value = read_quoted_value();
+      if (name == "version") {
+        decl_.version = value;
+      } else if (name == "encoding") {
+        decl_.encoding = value;
+      } else if (name == "standalone") {
+        decl_.standalone_declared = true;
+        decl_.standalone = (value == "yes");
+      } else {
+        cur_.fail("unknown XML declaration attribute '" + name + "'");
+      }
+    }
+  }
+
+  void skip_doctype() {
+    // Skip until the matching '>', tolerating an internal subset in [...].
+    int bracket_depth = 0;
+    while (!cur_.at_end()) {
+      char c = cur_.advance();
+      if (c == '[') {
+        ++bracket_depth;
+      } else if (c == ']') {
+        if (bracket_depth > 0) --bracket_depth;
+      } else if (c == '>' && bracket_depth == 0) {
+        return;
+      }
+    }
+    cur_.fail("unterminated DOCTYPE declaration");
+  }
+
+  void parse_comment_body() {
+    std::string comment = read_until("-->", "unterminated comment");
+    if (comment.find("--") != std::string::npos) {
+      cur_.fail("'--' not allowed inside comment");
+    }
+    handler_.on_comment(comment);
+  }
+
+  void parse_pi() {
+    cur_.consume("<?");
+    std::string target = read_name("processing instruction target");
+    if (iequals(target, "xml")) {
+      cur_.fail("XML declaration only allowed at document start");
+    }
+    std::string content;
+    if (is_space(cur_.peek())) {
+      cur_.skip_space();
+      content = read_until("?>", "unterminated processing instruction");
+    } else if (!cur_.consume("?>")) {
+      cur_.fail("malformed processing instruction");
+    }
+    handler_.on_processing_instruction(target, content);
+  }
+
+  void parse_element(std::size_t depth) {
+    if (depth > options_.max_depth) {
+      cur_.fail("element nesting exceeds maximum depth of " +
+                std::to_string(options_.max_depth));
+    }
+    cur_.consume('<');
+    std::string name = read_name("element name");
+    std::vector<Attribute> attrs;
+
+    for (;;) {
+      bool had_space = is_space(cur_.peek());
+      cur_.skip_space();
+      if (cur_.consume("/>")) {
+        handler_.on_start_element(name, attrs);
+        handler_.on_end_element(name);
+        return;
+      }
+      if (cur_.consume('>')) {
+        break;
+      }
+      if (cur_.at_end()) cur_.fail("unterminated start tag <" + name);
+      if (!had_space) cur_.fail("expected whitespace before attribute");
+      std::string attr_name = read_name("attribute name");
+      for (const Attribute& a : attrs) {
+        if (a.name == attr_name) {
+          cur_.fail("duplicate attribute '" + attr_name + "'");
+        }
+      }
+      cur_.skip_space();
+      if (!cur_.consume('=')) {
+        cur_.fail("expected '=' after attribute name '" + attr_name + "'");
+      }
+      cur_.skip_space();
+      attrs.push_back(Attribute{std::move(attr_name), read_attribute_value()});
+    }
+    handler_.on_start_element(name, attrs);
+
+    std::string pending_text;
+    auto flush_text = [&] {
+      if (pending_text.empty()) return;
+      bool all_space = true;
+      for (char c : pending_text) {
+        if (!is_space(c)) {
+          all_space = false;
+          break;
+        }
+      }
+      if (!(all_space && options_.discard_whitespace_text)) {
+        handler_.on_text(pending_text);
+      }
+      pending_text.clear();
+    };
+
+    for (;;) {
+      if (cur_.at_end()) {
+        cur_.fail("unterminated element <" + name + ">");
+      }
+      char c = cur_.peek();
+      if (c == '<') {
+        if (cur_.peek_at(1) == '/') {
+          flush_text();
+          cur_.consume("</");
+          std::string end_name = read_name("end tag name");
+          cur_.skip_space();
+          if (!cur_.consume('>')) cur_.fail("malformed end tag");
+          if (end_name != name) {
+            cur_.fail("mismatched end tag: expected </" + name + ">, got </" +
+                      end_name + ">");
+          }
+          handler_.on_end_element(name);
+          return;
+        }
+        if (cur_.consume("<!--")) {
+          flush_text();
+          parse_comment_body();
+          continue;
+        }
+        if (cur_.consume("<![CDATA[")) {
+          flush_text();
+          handler_.on_cdata(read_until("]]>", "unterminated CDATA section"));
+          continue;
+        }
+        if (cur_.peek_at(1) == '?') {
+          flush_text();
+          parse_pi();
+          continue;
+        }
+        if (cur_.peek_at(1) == '!') {
+          cur_.fail("unexpected markup declaration in content");
+        }
+        flush_text();
+        parse_element(depth + 1);
+        continue;
+      }
+      if (c == '&') {
+        pending_text += read_entity();
+        continue;
+      }
+      pending_text.push_back(cur_.advance());
+    }
+  }
+
+  std::string read_name(const std::string& what) {
+    if (cur_.at_end() ||
+        !is_name_start(static_cast<unsigned char>(cur_.peek()))) {
+      cur_.fail("expected " + what);
+    }
+    std::string name;
+    name.push_back(cur_.advance());
+    while (!cur_.at_end() &&
+           is_name_char(static_cast<unsigned char>(cur_.peek()))) {
+      name.push_back(cur_.advance());
+    }
+    return name;
+  }
+
+  std::string read_quoted_value() {
+    char quote = cur_.peek();
+    if (quote != '"' && quote != '\'') {
+      cur_.fail("expected quoted value");
+    }
+    cur_.advance();
+    std::string value;
+    while (!cur_.at_end() && cur_.peek() != quote) {
+      value.push_back(cur_.advance());
+    }
+    if (!cur_.consume(quote)) cur_.fail("unterminated quoted value");
+    return value;
+  }
+
+  std::string read_attribute_value() {
+    char quote = cur_.peek();
+    if (quote != '"' && quote != '\'') {
+      cur_.fail("expected quoted attribute value");
+    }
+    cur_.advance();
+    std::string value;
+    for (;;) {
+      if (cur_.at_end()) cur_.fail("unterminated attribute value");
+      char c = cur_.peek();
+      if (c == quote) {
+        cur_.advance();
+        return value;
+      }
+      if (c == '<') {
+        cur_.fail("'<' not allowed in attribute value");
+      }
+      if (c == '&') {
+        value += read_entity();
+        continue;
+      }
+      // Attribute-value normalization: whitespace characters become spaces.
+      cur_.advance();
+      value.push_back(is_space(c) ? ' ' : c);
+    }
+  }
+
+  /// Reads an entity reference at '&' and returns its expansion (UTF-8).
+  std::string read_entity() {
+    cur_.consume('&');
+    if (cur_.consume('#')) {
+      bool hex = cur_.consume('x');
+      std::uint32_t code = 0;
+      bool any = false;
+      while (!cur_.at_end() && cur_.peek() != ';') {
+        char c = cur_.advance();
+        std::uint32_t digit;
+        if (c >= '0' && c <= '9') {
+          digit = static_cast<std::uint32_t>(c - '0');
+        } else if (hex && c >= 'a' && c <= 'f') {
+          digit = static_cast<std::uint32_t>(c - 'a' + 10);
+        } else if (hex && c >= 'A' && c <= 'F') {
+          digit = static_cast<std::uint32_t>(c - 'A' + 10);
+        } else {
+          cur_.fail("bad character reference digit");
+        }
+        code = code * (hex ? 16 : 10) + digit;
+        if (code > 0x10FFFF) cur_.fail("character reference out of range");
+        any = true;
+      }
+      if (!any || !cur_.consume(';')) {
+        cur_.fail("unterminated character reference");
+      }
+      if (code == 0 || (code >= 0xD800 && code <= 0xDFFF)) {
+        cur_.fail("invalid character reference");
+      }
+      return encode_utf8(code);
+    }
+    std::string name = read_name("entity name");
+    if (!cur_.consume(';')) cur_.fail("unterminated entity reference");
+    if (name == "lt") return "<";
+    if (name == "gt") return ">";
+    if (name == "amp") return "&";
+    if (name == "apos") return "'";
+    if (name == "quot") return "\"";
+    cur_.fail("unknown entity '&" + name + ";' (non-validating parser)");
+  }
+
+  static std::string encode_utf8(std::uint32_t code) {
+    std::string out;
+    if (code < 0x80) {
+      out.push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else if (code < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+    return out;
+  }
+
+  /// Consumes text up to and including `terminator`; returns the text
+  /// before it. Fails with `error` if the terminator never appears.
+  std::string read_until(std::string_view terminator, const std::string& error) {
+    std::string out;
+    while (!cur_.at_end()) {
+      if (cur_.peek() == terminator[0] && cur_.consume(terminator)) {
+        return out;
+      }
+      out.push_back(cur_.advance());
+    }
+    cur_.fail(error);
+  }
+
+  Cursor cur_;
+  SaxHandler& handler_;
+  ParseOptions options_;
+  Declaration decl_;
+};
+
+/// The DOM consumer of the event stream.
+class DomBuilder : public SaxHandler {
+public:
+  explicit DomBuilder(Document& doc, const ParseOptions& options)
+      : doc_(doc), options_(options) {}
+
+  void on_start_element(std::string_view name,
+                        std::span<const Attribute> attributes) override {
+    auto node = std::make_unique<Node>(NodeKind::kElement);
+    node->set_name(std::string(name));
+    for (const Attribute& a : attributes) {
+      node->set_attribute(a.name, a.value);
+    }
+    Node* raw = node.get();
+    if (stack_.empty()) {
+      doc_.root = std::move(node);
+    } else {
+      stack_.back()->append_child(std::move(node));
+    }
+    stack_.push_back(raw);
+  }
+
+  void on_end_element(std::string_view) override { stack_.pop_back(); }
+
+  void on_text(std::string_view text) override {
+    if (!stack_.empty()) stack_.back()->append_text(std::string(text));
+  }
+
+  void on_cdata(std::string_view data) override {
+    if (stack_.empty()) return;
+    auto node = std::make_unique<Node>(NodeKind::kCData);
+    node->set_text(std::string(data));
+    stack_.back()->append_child(std::move(node));
+  }
+
+  void on_comment(std::string_view text) override {
+    if (!options_.keep_comments) return;
+    auto node = std::make_unique<Node>(NodeKind::kComment);
+    node->set_text(std::string(text));
+    if (stack_.empty()) {
+      doc_.prolog_nodes.push_back(std::move(node));
+    } else {
+      stack_.back()->append_child(std::move(node));
+    }
+  }
+
+  void on_processing_instruction(std::string_view target,
+                                 std::string_view data) override {
+    // Prolog/epilog PIs are not retained (matching expat-based tools).
+    if (stack_.empty()) return;
+    auto node = std::make_unique<Node>(NodeKind::kProcessingInstruction);
+    node->set_name(std::string(target));
+    node->set_text(std::string(data));
+    stack_.back()->append_child(std::move(node));
+  }
+
+private:
+  Document& doc_;
+  ParseOptions options_;
+  std::vector<Node*> stack_;
+};
+
+std::string_view strip_bom(std::string_view text) {
+  if (text.size() >= 3 && static_cast<unsigned char>(text[0]) == 0xEF &&
+      static_cast<unsigned char>(text[1]) == 0xBB &&
+      static_cast<unsigned char>(text[2]) == 0xBF) {
+    text.remove_prefix(3);
+  }
+  return text;
+}
+
+}  // namespace
+
+void sax_parse(std::string_view text, SaxHandler& handler,
+               const ParseOptions& options) {
+  Parser p(strip_bom(text), handler, options);
+  p.parse_document();
+}
+
+Document parse(std::string_view text, const ParseOptions& options) {
+  Document doc;
+  DomBuilder builder(doc, options);
+  Parser p(strip_bom(text), builder, options);
+  p.parse_document();
+  doc.version = p.declaration().version;
+  doc.encoding = p.declaration().encoding;
+  doc.standalone_declared = p.declaration().standalone_declared;
+  doc.standalone = p.declaration().standalone;
+  return doc;
+}
+
+Document parse_file(const std::string& path, const ParseOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw Error("cannot open XML file: " + path);
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parse(ss.str(), options);
+}
+
+}  // namespace omf::xml

@@ -1,0 +1,40 @@
+// Non-validating XML 1.0 parser.
+//
+// Covers the language subset any metadata document needs — elements,
+// attributes (both quote styles), namespaces (declaration syntax; resolution
+// lives in the DOM), character and predefined entity references, CDATA,
+// comments, processing instructions, an XML declaration, and a DOCTYPE
+// declaration that is recognized and skipped (external DTDs are not
+// fetched; this parser is non-validating by design, like expat).
+//
+// Well-formedness is enforced: mismatched tags, duplicate attributes,
+// multiple roots, stray '<' in attribute values, bad entity syntax, and
+// unterminated constructs all raise ParseError with a 1-based line:column.
+#pragma once
+
+#include <string_view>
+
+#include "util/error.hpp"
+#include "xml/dom.hpp"
+
+namespace omf::xml {
+
+struct ParseOptions {
+  /// Drop text nodes that contain only whitespace (typical for "pretty"
+  /// metadata documents, where inter-element whitespace is noise).
+  bool discard_whitespace_text = true;
+  /// Keep comment nodes in the tree (off: comments are skipped entirely).
+  bool keep_comments = false;
+  /// Maximum element nesting depth; guards against stack exhaustion from
+  /// adversarial input.
+  std::size_t max_depth = 256;
+};
+
+/// Parses a complete document from text. Throws omf::ParseError on any
+/// lexical or well-formedness violation.
+Document parse(std::string_view text, const ParseOptions& options = {});
+
+/// Parses the file at `path` (throws omf::Error if unreadable).
+Document parse_file(const std::string& path, const ParseOptions& options = {});
+
+}  // namespace omf::xml

@@ -1,0 +1,53 @@
+// Event-driven (SAX-style) parsing interface.
+//
+// The parser core emits events; the DOM of xml/parser.hpp is one consumer
+// (see DomBuilder in parser.cpp). Streaming consumers — large metadata
+// catalogs, message scanners that only need a few elements — implement
+// SaxHandler directly and never materialize a tree.
+//
+// All string_views passed to handlers are valid only for the duration of
+// the callback.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "xml/dom.hpp"
+
+namespace omf::xml {
+
+struct ParseOptions;  // from xml/parser.hpp
+
+class SaxHandler {
+public:
+  virtual ~SaxHandler() = default;
+
+  virtual void on_start_document() {}
+  virtual void on_end_document() {}
+
+  /// `attributes` are entity-expanded and whitespace-normalized.
+  virtual void on_start_element(std::string_view name,
+                                std::span<const Attribute> attributes) {
+    (void)name;
+    (void)attributes;
+  }
+  virtual void on_end_element(std::string_view name) { (void)name; }
+
+  /// Entity-expanded character data. May be called multiple times for one
+  /// logical run (entity boundaries do not split it; CDATA does).
+  virtual void on_text(std::string_view text) { (void)text; }
+  virtual void on_cdata(std::string_view data) { (void)data; }
+  virtual void on_comment(std::string_view text) { (void)text; }
+  virtual void on_processing_instruction(std::string_view target,
+                                         std::string_view data) {
+    (void)target;
+    (void)data;
+  }
+};
+
+/// Runs the parser, delivering events to `handler`. Same well-formedness
+/// guarantees and ParseError behavior as xml::parse.
+void sax_parse(std::string_view text, SaxHandler& handler,
+               const ParseOptions& options);
+
+}  // namespace omf::xml

@@ -1,0 +1,161 @@
+#include "xml/writer.hpp"
+
+namespace omf::xml {
+
+namespace {
+
+void write_node(const Node& node, const WriteOptions& options, int depth,
+                std::string& out) {
+  auto newline_indent = [&](int d) {
+    if (options.indent > 0) {
+      out.push_back('\n');
+      out.append(static_cast<std::size_t>(d) *
+                     static_cast<std::size_t>(options.indent),
+                 ' ');
+    }
+  };
+
+  switch (node.kind()) {
+    case NodeKind::kText:
+      out += escape_text(node.text());
+      return;
+    case NodeKind::kCData:
+      // A CDATA section cannot contain "]]>"; split if the data does.
+      {
+        std::string_view data = node.text();
+        out += "<![CDATA[";
+        std::size_t pos;
+        while ((pos = data.find("]]>")) != std::string_view::npos) {
+          out += std::string(data.substr(0, pos + 2));
+          out += "]]><![CDATA[";
+          data.remove_prefix(pos + 2);
+        }
+        out += std::string(data);
+        out += "]]>";
+      }
+      return;
+    case NodeKind::kComment:
+      out += "<!--";
+      out += node.text();
+      out += "-->";
+      return;
+    case NodeKind::kProcessingInstruction:
+      out += "<?";
+      out += node.name();
+      if (!node.text().empty()) {
+        out += ' ';
+        out += node.text();
+      }
+      out += "?>";
+      return;
+    case NodeKind::kElement:
+      break;
+  }
+
+  out += '<';
+  out += node.name();
+  for (const Attribute& a : node.attributes()) {
+    out += ' ';
+    out += a.name;
+    out += "=\"";
+    out += escape_attribute(a.value);
+    out += '"';
+  }
+  if (node.children().empty()) {
+    out += " />";
+    return;
+  }
+  out += '>';
+
+  // Mixed content (any text child) is written inline to preserve the text
+  // exactly; element-only content is pretty-printed.
+  bool has_text_child = false;
+  for (const auto& c : node.children()) {
+    if (c->is_text()) {
+      has_text_child = true;
+      break;
+    }
+  }
+  if (has_text_child || options.indent == 0) {
+    for (const auto& c : node.children()) {
+      write_node(*c, options, depth + 1, out);
+    }
+  } else {
+    for (const auto& c : node.children()) {
+      newline_indent(depth + 1);
+      write_node(*c, options, depth + 1, out);
+    }
+    newline_indent(depth);
+  }
+  out += "</";
+  out += node.name();
+  out += '>';
+}
+
+}  // namespace
+
+std::string escape_text(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string escape_attribute(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      case '\t': out += "&#9;"; break;
+      case '\n': out += "&#10;"; break;
+      case '\r': out += "&#13;"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string write(const Document& doc, const WriteOptions& options) {
+  std::string out;
+  if (options.declaration) {
+    out += "<?xml version=\"";
+    out += doc.version;
+    out += '"';
+    if (!doc.encoding.empty()) {
+      out += " encoding=\"";
+      out += doc.encoding;
+      out += '"';
+    }
+    if (doc.standalone_declared) {
+      out += " standalone=\"";
+      out += doc.standalone ? "yes" : "no";
+      out += '"';
+    }
+    out += "?>";
+    if (options.indent > 0) out += '\n';
+  }
+  if (doc.root) {
+    write_node(*doc.root, options, 0, out);
+    if (options.indent > 0) out += '\n';
+  }
+  return out;
+}
+
+std::string write(const Node& element, const WriteOptions& options) {
+  std::string out;
+  write_node(element, options, 0, out);
+  return out;
+}
+
+}  // namespace omf::xml

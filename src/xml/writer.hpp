@@ -1,0 +1,34 @@
+// XML serializer: turns a DOM tree back into text, with correct escaping in
+// both text content and attribute values. Round-trips with the parser (the
+// property tests rely on this).
+#pragma once
+
+#include <string>
+
+#include "xml/dom.hpp"
+
+namespace omf::xml {
+
+struct WriteOptions {
+  /// Emit an `<?xml version="1.0"?>` declaration.
+  bool declaration = true;
+  /// Indent nested elements by `indent` spaces per level; 0 writes the
+  /// document on a single line with no inserted whitespace.
+  int indent = 2;
+};
+
+/// Serializes a whole document.
+std::string write(const Document& doc, const WriteOptions& options = {});
+
+/// Serializes a single element subtree (no declaration).
+std::string write(const Node& element, const WriteOptions& options = {});
+
+/// Escapes text content: & < > (quotes are left alone in content).
+std::string escape_text(std::string_view text);
+
+/// Escapes an attribute value for double-quoted output: & < > " plus
+/// tab/newline (as character references, preserving them across the
+/// attribute-value normalization the parser applies).
+std::string escape_attribute(std::string_view value);
+
+}  // namespace omf::xml

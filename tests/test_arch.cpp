@@ -1,0 +1,181 @@
+// Architecture profiles and the struct-layout calculator, validated against
+// the real compiler's layouts for a corpus of structs.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+
+#include "arch/profile.hpp"
+#include "util/error.hpp"
+
+namespace omf::arch {
+namespace {
+
+TEST(Profiles, NativeDetection) {
+  const Profile& n = native();
+  EXPECT_EQ(n.pointer_size, sizeof(void*));
+  EXPECT_EQ(n.int_size, sizeof(int));
+  EXPECT_EQ(n.long_size, sizeof(long));
+  EXPECT_EQ(n.byte_order, host_byte_order());
+  struct P {
+    char c;
+    double d;
+  };
+  EXPECT_EQ(n.alignment_cap, offsetof(P, d));
+}
+
+TEST(Profiles, CanonicalStrings) {
+  EXPECT_EQ(x86_64().canonical(), "le/p8/i4/l8/a8");
+  EXPECT_EQ(i386().canonical(), "le/p4/i4/l4/a4");
+  EXPECT_EQ(sparc64().canonical(), "be/p8/i4/l8/a8");
+  EXPECT_EQ(sparc32().canonical(), "be/p4/i4/l4/a8");
+  EXPECT_EQ(arm32().canonical(), "le/p4/i4/l4/a8");
+}
+
+TEST(Profiles, EqualityIgnoresName) {
+  Profile a = x86_64();
+  Profile b = a;
+  b.name = "renamed";
+  EXPECT_TRUE(a == b);
+  b.long_size = 4;
+  EXPECT_FALSE(a == b);
+}
+
+TEST(Profiles, LookupByName) {
+  EXPECT_EQ(&profile_by_name("sparc64"), &sparc64());
+  EXPECT_THROW(profile_by_name("vax"), omf::Error);
+}
+
+TEST(Profiles, ScalarAlign) {
+  EXPECT_EQ(x86_64().scalar_align(8), 8u);
+  EXPECT_EQ(i386().scalar_align(8), 4u);  // the i386 ABI quirk
+  EXPECT_EQ(i386().scalar_align(4), 4u);
+  EXPECT_EQ(sparc32().scalar_align(8), 8u);
+  EXPECT_EQ(x86_64().scalar_align(1), 1u);
+}
+
+// --- Layout vs the real compiler ---------------------------------------------
+
+// Each case lays out the same member sequence through StructLayout and
+// checks offsets/size against the compiled struct.
+
+TEST(Layout, Empty) {
+  StructLayout l(native());
+  EXPECT_EQ(l.size(), 0u);
+  EXPECT_EQ(l.alignment(), 1u);
+}
+
+TEST(Layout, PackedScalars) {
+  struct S {
+    char a;
+    int b;
+    char c;
+    double d;
+    short e;
+  };
+  StructLayout l(native());
+  EXPECT_EQ(l.add_scalar(1), offsetof(S, a));
+  EXPECT_EQ(l.add_scalar(sizeof(int)), offsetof(S, b));
+  EXPECT_EQ(l.add_scalar(1), offsetof(S, c));
+  EXPECT_EQ(l.add_scalar(sizeof(double)), offsetof(S, d));
+  EXPECT_EQ(l.add_scalar(2), offsetof(S, e));
+  EXPECT_EQ(l.size(), sizeof(S));
+  EXPECT_EQ(l.alignment(), alignof(S));
+}
+
+TEST(Layout, TrailingPadding) {
+  struct S {
+    double d;
+    char c;
+  };
+  StructLayout l(native());
+  l.add_scalar(8);
+  l.add_scalar(1);
+  EXPECT_EQ(l.size(), sizeof(S));
+}
+
+TEST(Layout, Arrays) {
+  struct S {
+    char c;
+    unsigned long arr[5];
+    short s;
+  };
+  StructLayout l(native());
+  EXPECT_EQ(l.add_scalar(1), offsetof(S, c));
+  EXPECT_EQ(l.add_member(sizeof(unsigned long) * 5, alignof(unsigned long)),
+            offsetof(S, arr));
+  EXPECT_EQ(l.add_scalar(2), offsetof(S, s));
+  EXPECT_EQ(l.size(), sizeof(S));
+}
+
+TEST(Layout, NestedStructMember) {
+  struct Inner {
+    char c;
+    double d;
+  };
+  struct Outer {
+    short s;
+    Inner in;
+    char c;
+  };
+  StructLayout inner(native());
+  inner.add_scalar(1);
+  inner.add_scalar(8);
+  ASSERT_EQ(inner.size(), sizeof(Inner));
+
+  StructLayout outer(native());
+  EXPECT_EQ(outer.add_scalar(2), offsetof(Outer, s));
+  EXPECT_EQ(outer.add_member(inner.size(), inner.alignment()),
+            offsetof(Outer, in));
+  EXPECT_EQ(outer.add_scalar(1), offsetof(Outer, c));
+  EXPECT_EQ(outer.size(), sizeof(Outer));
+}
+
+TEST(Layout, PointerMembers) {
+  struct S {
+    char c;
+    char* p;
+    int i;
+    void* q;
+  };
+  StructLayout l(native());
+  EXPECT_EQ(l.add_scalar(1), offsetof(S, c));
+  EXPECT_EQ(l.add_scalar(sizeof(void*)), offsetof(S, p));
+  EXPECT_EQ(l.add_scalar(sizeof(int)), offsetof(S, i));
+  EXPECT_EQ(l.add_scalar(sizeof(void*)), offsetof(S, q));
+  EXPECT_EQ(l.size(), sizeof(S));
+}
+
+TEST(Layout, I386DoubleAlignmentDiffersFromX86_64) {
+  // struct { char c; double d; } is 12 bytes on i386 (double aligned to 4)
+  // and 16 on x86_64 (aligned to 8).
+  StructLayout l32(i386());
+  l32.add_scalar(1);
+  l32.add_scalar(8);
+  EXPECT_EQ(l32.size(), 12u);
+
+  StructLayout l64(x86_64());
+  l64.add_scalar(1);
+  l64.add_scalar(8);
+  EXPECT_EQ(l64.size(), 16u);
+
+  // arm32 aligns 8-byte scalars to 8 even though pointers are 4 bytes.
+  StructLayout larm(arm32());
+  larm.add_scalar(1);
+  larm.add_scalar(8);
+  EXPECT_EQ(larm.size(), 16u);
+}
+
+TEST(Layout, PointerSizeVariesByProfile) {
+  StructLayout l32(sparc32());
+  EXPECT_EQ(l32.add_scalar(sparc32().pointer_size), 0u);
+  EXPECT_EQ(l32.add_scalar(4), 4u);
+  EXPECT_EQ(l32.size(), 8u);
+
+  StructLayout l64(sparc64());
+  EXPECT_EQ(l64.add_scalar(sparc64().pointer_size), 0u);
+  EXPECT_EQ(l64.add_scalar(4), 8u);
+  EXPECT_EQ(l64.size(), 16u);
+}
+
+}  // namespace
+}  // namespace omf::arch

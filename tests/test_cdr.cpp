@@ -1,0 +1,364 @@
+// CDR/IIOP-style codec, in-band format negotiation (NdrConnection), and
+// schema default values.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "cdr/cdr.hpp"
+#include "core/xml2wire.hpp"
+#include "pbio/decode.hpp"
+#include "pbio/encode.hpp"
+#include "pbio/metaserde.hpp"
+#include "pbio/record.hpp"
+#include "schema/reader.hpp"
+#include "test_structs.hpp"
+#include "transport/ndr_connection.hpp"
+
+namespace omf {
+namespace {
+
+using namespace omf::testing;
+
+// --- CDR ---------------------------------------------------------------------
+
+class CdrTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    format_a =
+        reg.register_format("ASDOffEvent", asdoff_fields(), sizeof(AsdOff));
+    auto [b, c] = register_nested_pair(reg);
+    format_b = b;
+    format_c = c;
+  }
+  pbio::FormatRegistry reg;
+  pbio::FormatHandle format_a, format_b, format_c;
+};
+
+TEST_F(CdrTest, RoundTripStructureA) {
+  AsdOff in;
+  fill_asdoff(in, 3);
+  Buffer wire = cdr::encode_buffer(*format_a, &in);
+  AsdOff out{};
+  pbio::DecodeArena arena;
+  std::size_t consumed = cdr::decode(*format_a, wire.span(), &out, arena);
+  EXPECT_EQ(consumed, wire.size());
+  EXPECT_TRUE(asdoff_equal(in, out));
+}
+
+TEST_F(CdrTest, RoundTripStructureBAndNested) {
+  unsigned long etas[3];
+  AsdOffB b;
+  fill_asdoffb(b, etas, 3, 4);
+  Buffer wire_b = cdr::encode_buffer(*format_b, &b);
+  AsdOffB out_b{};
+  pbio::DecodeArena arena;
+  cdr::decode(*format_b, wire_b.span(), &out_b, arena);
+  EXPECT_TRUE(asdoffb_equal(b, out_b));
+
+  unsigned long e1[1], e2[2], e3[1];
+  ThreeAsdOffs c{};
+  fill_asdoffb(c.one, e1, 1, 1);
+  c.bart = 7.5;
+  fill_asdoffb(c.two, e2, 2, 2);
+  c.lisa = -0.125;
+  fill_asdoffb(c.three, e3, 1, 3);
+  Buffer wire_c = cdr::encode_buffer(*format_c, &c);
+  ThreeAsdOffs out_c{};
+  cdr::decode(*format_c, wire_c.span(), &out_c, arena);
+  EXPECT_TRUE(three_asdoffs_equal(c, out_c));
+}
+
+TEST_F(CdrTest, SenderOrderIsNative) {
+  struct One {
+    int v;
+  };
+  std::vector<pbio::IOField> fields = {{"v", "integer", 4, 0}};
+  auto f = reg.register_format("One", fields, sizeof(One));
+  One in{0x01020304};
+  Buffer wire = cdr::encode_buffer(*f, &in);
+  // Alignment is relative to the stream start (just after the flag octet).
+  ASSERT_EQ(wire.size(), 1u + 4u);
+  // Reader-makes-right: flag says little-endian, payload is native order.
+  EXPECT_EQ(wire.data()[0], 1);
+  EXPECT_EQ(wire.data()[1], 0x04);  // little-endian native bytes, unswapped
+}
+
+TEST_F(CdrTest, ReaderMakesRightSwapsForeignOrder) {
+  struct S {
+    int v;
+    double d;
+  };
+  std::vector<pbio::IOField> fields = {
+      {"v", "integer", 4, offsetof(S, v)},
+      {"d", "float", 8, offsetof(S, d)},
+  };
+  auto f = reg.register_format("S", fields, sizeof(S));
+  S in{77, 2.5};
+  Buffer wire = cdr::encode_buffer(*f, &in);
+  // Forge a big-endian sender: flip the flag and swap every scalar.
+  // Stream positions (post-flag): v at 0..4, d aligned to 8 at 8..16;
+  // buffer offsets are one higher (the flag octet).
+  wire.data()[0] = 0;
+  byteswap_inplace(wire.data() + 1, 4);
+  byteswap_inplace(wire.data() + 1 + 8, 8);
+  S out{};
+  pbio::DecodeArena arena;
+  cdr::decode(*f, wire.span(), &out, arena);
+  EXPECT_EQ(out.v, 77);
+  EXPECT_DOUBLE_EQ(out.d, 2.5);
+}
+
+TEST_F(CdrTest, NullAndEmptyStringsAreDistinct) {
+  AsdOff in;
+  fill_asdoff(in);
+  in.equip = nullptr;
+  in.dest = const_cast<char*>("");
+  Buffer wire = cdr::encode_buffer(*format_a, &in);
+  AsdOff out{};
+  pbio::DecodeArena arena;
+  cdr::decode(*format_a, wire.span(), &out, arena);
+  EXPECT_EQ(out.equip, nullptr);
+  ASSERT_NE(out.dest, nullptr);
+  EXPECT_STREQ(out.dest, "");
+}
+
+TEST_F(CdrTest, EncodedSizeIsExact) {
+  unsigned long etas[5];
+  AsdOffB in;
+  fill_asdoffb(in, etas, 5, 9);
+  Buffer wire = cdr::encode_buffer(*format_b, &in);
+  EXPECT_EQ(cdr::encoded_size(*format_b, &in), wire.size());
+}
+
+TEST_F(CdrTest, TruncationThrows) {
+  AsdOff in;
+  fill_asdoff(in);
+  Buffer wire = cdr::encode_buffer(*format_a, &in);
+  AsdOff out{};
+  pbio::DecodeArena arena;
+  for (std::size_t len : {std::size_t{0}, std::size_t{5}, wire.size() - 2}) {
+    EXPECT_THROW(cdr::decode(*format_a, {wire.data(), len}, &out, arena),
+                 DecodeError);
+  }
+}
+
+TEST_F(CdrTest, HugeSequenceCountRejected) {
+  unsigned long etas[1];
+  AsdOffB in;
+  fill_asdoffb(in, etas, 1);
+  Buffer wire = cdr::encode_buffer(*format_b, &in);
+  AsdOffB zero = in;
+  zero.eta_count = 0;
+  zero.eta = nullptr;
+  Buffer wire0 = cdr::encode_buffer(*format_b, &zero);
+  std::size_t prefix_at = 0;
+  for (std::size_t i = 0; i < wire0.size(); ++i) {
+    if (wire.data()[i] != wire0.data()[i]) {
+      prefix_at = i & ~std::size_t{3};
+      break;
+    }
+  }
+  std::uint32_t huge = 0x7FFFFFFF;
+  std::memcpy(wire.data() + prefix_at, &huge, 4);
+  AsdOffB out{};
+  pbio::DecodeArena arena;
+  EXPECT_THROW(cdr::decode(*format_b, wire.span(), &out, arena), DecodeError);
+}
+
+TEST_F(CdrTest, CdrIsSmallerThanItLooksButCopiesAnyway) {
+  // Documentation-by-test of the design-space placement: for bulk doubles
+  // the CDR stream is about the payload size (like NDR), yet both ends
+  // still marshal element-wise (unlike NDR) — the performance benches
+  // quantify the CPU consequence.
+  struct Arr {
+    double vals[64];
+  };
+  std::vector<pbio::IOField> fields = {
+      {"vals", "float[64]", sizeof(double), 0}};
+  auto f = reg.register_format("Arr", fields, sizeof(Arr));
+  Arr in;
+  for (int i = 0; i < 64; ++i) in.vals[i] = i * 0.5;
+  EXPECT_LE(cdr::encoded_size(*f, &in), sizeof(Arr) + 8);
+}
+
+// --- NdrConnection ---------------------------------------------------------------
+
+TEST(NdrConnection, FormatsTravelInBand) {
+  pbio::FormatRegistry sender_reg, receiver_reg;
+  auto f = sender_reg.register_format("ASDOffEvent", asdoff_fields(),
+                                      sizeof(AsdOff));
+
+  transport::TcpListener listener(0);
+  std::vector<AsdOff> received;
+  pbio::DecodeArena arena;
+  std::thread receiver_thread([&] {
+    transport::NdrConnection conn(listener.accept(), receiver_reg);
+    pbio::Decoder dec(receiver_reg);
+    while (auto msg = conn.receive()) {
+      // The wire format arrived in-band; look it up by id.
+      auto wire_format = receiver_reg.by_id(
+          pbio::Decoder::peek_format_id(msg->span()));
+      ASSERT_NE(wire_format, nullptr);
+      AsdOff out{};
+      dec.decode(msg->span(), *wire_format, &out, arena);
+      received.push_back(out);
+    }
+    EXPECT_EQ(conn.formats_received(), 1u);
+  });
+
+  {
+    transport::NdrConnection conn(transport::tcp_connect(listener.port()),
+                                  sender_reg);
+    for (int i = 0; i < 5; ++i) {
+      AsdOff event;
+      fill_asdoff(event, i);
+      conn.send_struct(*f, &event);
+    }
+    EXPECT_EQ(conn.formats_sent(), 1u);  // bundle sent exactly once
+  }
+  receiver_thread.join();
+
+  ASSERT_EQ(received.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    AsdOff expected;
+    fill_asdoff(expected, i);
+    // Strings in `received` point into the arena; still valid here.
+    EXPECT_TRUE(asdoff_equal(expected, received[static_cast<std::size_t>(i)]));
+  }
+}
+
+TEST(NdrConnection, MultipleFormatsEachAnnouncedOnce) {
+  pbio::FormatRegistry sender_reg, receiver_reg;
+  auto fa = sender_reg.register_format("ASDOffEvent", asdoff_fields(),
+                                       sizeof(AsdOff));
+  auto [fb, fc] = register_nested_pair(sender_reg);
+
+  transport::TcpListener listener(0);
+  std::size_t messages = 0, formats = 0;
+  std::thread receiver_thread([&] {
+    transport::NdrConnection conn(listener.accept(), receiver_reg);
+    while (conn.receive()) ++messages;
+    formats = conn.formats_received();
+  });
+  {
+    transport::NdrConnection conn(transport::tcp_connect(listener.port()),
+                                  sender_reg);
+    AsdOff a;
+    fill_asdoff(a);
+    unsigned long etas[1];
+    AsdOffB b;
+    fill_asdoffb(b, etas, 1);
+    conn.send_struct(*fa, &a);
+    conn.send_struct(*fb, &b);
+    conn.send_struct(*fa, &a);
+    conn.send_struct(*fb, &b);
+    EXPECT_EQ(conn.formats_sent(), 2u);
+  }
+  receiver_thread.join();
+  EXPECT_EQ(messages, 4u);
+  EXPECT_EQ(formats, 2u);
+  EXPECT_NE(receiver_reg.by_id(fa->id()), nullptr);
+  EXPECT_NE(receiver_reg.by_id(fb->id()), nullptr);
+}
+
+// --- Schema defaults ----------------------------------------------------------------
+
+TEST(Defaults, AppliedWhenWireFormatLacksField) {
+  const char* v1 = R"(<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:complexType name="Leg">
+    <xsd:element name="fltNum" type="xsd:int" />
+  </xsd:complexType>
+</xsd:schema>)";
+  const char* v2 = R"(<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:complexType name="Leg">
+    <xsd:element name="fltNum" type="xsd:int" />
+    <xsd:element name="paxCount" type="xsd:int" default="-1" />
+    <xsd:element name="loadFactor" type="xsd:double" default="0.85" />
+    <xsd:element name="cabin" type="omf:char" xmlns:omf="http://omf.example.org/schema-ext" default="Y" />
+    <xsd:element name="codeshare" type="xsd:boolean" default="true" />
+  </xsd:complexType>
+</xsd:schema>)";
+
+  pbio::FormatRegistry reg;
+  core::Xml2Wire x2w(reg);
+  auto f1 = x2w.register_text(v1)[0];
+  auto f2 = x2w.register_text(v2)[0];
+  EXPECT_EQ(f2->field_named("paxCount")->default_text, "-1");
+
+  pbio::DynamicRecord old_msg(f1);
+  old_msg.set_int("fltNum", 11);
+  Buffer wire = old_msg.encode();
+
+  pbio::Decoder dec(reg);
+  pbio::DynamicRecord out(f2);
+  out.from_wire(dec, wire.span());
+  EXPECT_EQ(out.get_int("fltNum"), 11);
+  EXPECT_EQ(out.get_int("paxCount"), -1);          // default, not zero
+  EXPECT_DOUBLE_EQ(out.get_float("loadFactor"), 0.85);
+  EXPECT_EQ(out.get_char("cabin"), 'Y');
+  EXPECT_EQ(out.get_uint("codeshare"), 1u);
+}
+
+TEST(Defaults, PresentWireFieldsBeatDefaults) {
+  std::vector<pbio::FieldSpec> specs = {
+      {"a", "integer", 4, ""},
+      {"b", "integer", 4, "42"},
+  };
+  pbio::FormatRegistry reg;
+  auto f = reg.register_computed("T", specs);
+  pbio::DynamicRecord in(f);
+  in.set_int("a", 1);
+  in.set_int("b", 7);
+  Buffer wire = in.encode();
+  pbio::Decoder dec(reg);
+  pbio::DynamicRecord out(f);
+  out.from_wire(dec, wire.span());
+  EXPECT_EQ(out.get_int("b"), 7);  // wire value wins
+}
+
+TEST(Defaults, InvalidDefaultsRejected) {
+  pbio::FormatRegistry reg;
+  std::vector<pbio::FieldSpec> bad_value = {{"a", "integer", 4, "abc"}};
+  EXPECT_THROW(reg.register_computed("T", bad_value), FormatError);
+  std::vector<pbio::FieldSpec> on_string = {{"s", "string", 0, "x"}};
+  EXPECT_THROW(reg.register_computed("T", on_string), FormatError);
+  std::vector<pbio::FieldSpec> on_array = {{"a", "integer[3]", 4, "1"}};
+  EXPECT_THROW(reg.register_computed("T", on_array), FormatError);
+}
+
+TEST(Defaults, SchemaRejectsDefaultsOnStringsAndArrays) {
+  EXPECT_THROW(schema::read_schema_text(R"(
+<s:schema xmlns:s="http://www.w3.org/2001/XMLSchema">
+  <s:complexType name="T"><s:element name="x" type="s:string" default="y"/></s:complexType>
+</s:schema>)"),
+               FormatError);
+  EXPECT_THROW(schema::read_schema_text(R"(
+<s:schema xmlns:s="http://www.w3.org/2001/XMLSchema">
+  <s:complexType name="T"><s:element name="x" type="s:int" maxOccurs="3" default="1"/></s:complexType>
+</s:schema>)"),
+               FormatError);
+}
+
+TEST(Defaults, DefaultsChangeFormatIdentity) {
+  pbio::FormatRegistry reg;
+  std::vector<pbio::FieldSpec> without = {{"a", "integer", 4, ""}};
+  std::vector<pbio::FieldSpec> with = {{"a", "integer", 4, "5"}};
+  auto f1 = reg.register_computed("T", without);
+  auto f2 = reg.register_computed("T", with);
+  EXPECT_NE(f1->id(), f2->id());
+}
+
+TEST(Defaults, SurviveBundleSerde) {
+  pbio::FormatRegistry reg, reg2;
+  std::vector<pbio::FieldSpec> specs = {{"a", "integer", 4, "123"}};
+  auto f = reg.register_computed("T", specs);
+  Buffer bundle = pbio::serialize_format_bundle(*f);
+  auto g = pbio::deserialize_format_bundle(reg2, bundle.span());
+  EXPECT_EQ(g->id(), f->id());
+  EXPECT_EQ(g->field_named("a")->default_text, "123");
+}
+
+}  // namespace
+}  // namespace omf

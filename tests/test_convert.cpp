@@ -1,0 +1,415 @@
+// Heterogeneous receive: conversion plans across architecture profiles,
+// format evolution, plan caching, and the coalescing optimization.
+//
+// Foreign-sender messages are synthesized byte-exactly (see pbio/synth.hpp);
+// everything from the message bytes onward is the production decode path.
+#include <gtest/gtest.h>
+
+#include "core/xml2wire.hpp"
+#include "pbio/decode.hpp"
+#include "pbio/encode.hpp"
+#include "pbio/record.hpp"
+#include "pbio/synth.hpp"
+#include "test_structs.hpp"
+
+namespace omf {
+namespace {
+
+using namespace omf::testing;
+using pbio::ConversionPlan;
+using pbio::ConvOp;
+using pbio::DecodeArena;
+using pbio::Decoder;
+using pbio::DynamicRecord;
+using pbio::FormatHandle;
+using pbio::FormatRegistry;
+
+/// Registers the B-structure schema for both the native profile and a
+/// foreign one, fills a record, and returns everything a test needs.
+class HeterogeneousTest : public ::testing::TestWithParam<const char*> {
+protected:
+  void SetUp() override {
+    const arch::Profile& foreign = arch::profile_by_name(GetParam());
+    core::Xml2Wire native_side(reg, arch::native());
+    core::Xml2Wire foreign_side(reg, foreign);
+    native_b = native_side.register_text(kAsdOffBSchema)[0];
+    foreign_b = foreign_side.register_text(kAsdOffBSchema)[0];
+  }
+
+  DynamicRecord sample_record() {
+    DynamicRecord r(native_b);
+    r.set_string("cntrId", "ZTL");
+    r.set_string("arln", "DL");
+    r.set_int("fltNum", -204);  // negative: sign extension must be correct
+    r.set_string("equip", "MD88");
+    r.set_string("org", "ATL");
+    r.set_string("dest", "BOS");
+    std::vector<std::int64_t> off = {10, 20, 30, 40, 1u << 20};
+    r.set_int_array("off", off);
+    std::vector<std::int64_t> eta = {955913600, 955917200};
+    r.set_int_array("eta", eta);
+    return r;
+  }
+
+  FormatRegistry reg;
+  FormatHandle native_b, foreign_b;
+};
+
+TEST_P(HeterogeneousTest, ForeignMessageDecodesToNativeValues) {
+  DynamicRecord in = sample_record();
+  Buffer wire = pbio::synthesize_wire(*foreign_b, in);
+
+  Decoder dec(reg);
+  DynamicRecord out(native_b);
+  out.from_wire(dec, wire.span());
+  EXPECT_TRUE(in.deep_equals(out)) << "foreign profile " << GetParam()
+                                   << "\nin:  " << in.to_string()
+                                   << "\nout: " << out.to_string();
+}
+
+TEST_P(HeterogeneousTest, ForeignFormatIdDiffersUnlessAbiIdentical) {
+  const arch::Profile& foreign = arch::profile_by_name(GetParam());
+  if (foreign == arch::native()) {
+    EXPECT_EQ(native_b->id(), foreign_b->id());
+  } else {
+    EXPECT_NE(native_b->id(), foreign_b->id());
+  }
+}
+
+TEST_P(HeterogeneousTest, EmptyDynamicArrayAcrossArchitectures) {
+  DynamicRecord in(native_b);
+  in.set_string("cntrId", "ZME");
+  in.set_int("fltNum", 7);
+  std::vector<std::int64_t> off = {1, 2, 3, 4, 5};
+  in.set_int_array("off", off);
+  in.set_int_array("eta", {});
+
+  Buffer wire = pbio::synthesize_wire(*foreign_b, in);
+  Decoder dec(reg);
+  DynamicRecord out(native_b);
+  out.from_wire(dec, wire.span());
+  EXPECT_EQ(out.array_length("eta"), 0u);
+  EXPECT_EQ(out.get_int("fltNum"), 7);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProfiles, HeterogeneousTest,
+                         ::testing::Values("x86_64", "i386", "sparc64",
+                                           "sparc32", "arm32"),
+                         [](const auto& info) { return info.param; });
+
+// --- Nested structures across architectures ---------------------------------
+
+class NestedHeterogeneousTest : public ::testing::TestWithParam<const char*> {
+protected:
+  void SetUp() override {
+    const arch::Profile& foreign = arch::profile_by_name(GetParam());
+    core::Xml2Wire native_side(reg, arch::native());
+    core::Xml2Wire foreign_side(reg, foreign);
+    native_c = native_side.register_text(kThreeAsdOffsSchema)[1];
+    foreign_c = foreign_side.register_text(kThreeAsdOffsSchema)[1];
+    native_b = reg.by_name("ASDOffEventB");
+  }
+
+  FormatRegistry reg;
+  FormatHandle native_b, native_c, foreign_c;
+};
+
+TEST_P(NestedHeterogeneousTest, NestedRecordsConvert) {
+  DynamicRecord in(native_c);
+  in.set_float("bart", 3.25);
+  in.set_float("lisa", -0.5);
+  int flt = 100;
+  for (const char* which : {"one", "two", "three"}) {
+    auto sub = in.nested(which);
+    sub.set_string("cntrId", "ZTL");
+    sub.set_string("arln", "DL");
+    sub.set_int("fltNum", flt++);
+    sub.set_string("equip", "B737");
+    sub.set_string("org", "ATL");
+    sub.set_string("dest", "DCA");
+    std::vector<std::int64_t> off = {9, 8, 7, 6, 5};
+    sub.set_int_array("off", off);
+    std::vector<std::int64_t> eta = {11, 22, 33};
+    sub.set_int_array("eta", eta);
+  }
+
+  Buffer wire = pbio::synthesize_wire(*foreign_c, in);
+  Decoder dec(reg);
+  DynamicRecord out(native_c);
+  out.from_wire(dec, wire.span());
+  EXPECT_TRUE(in.deep_equals(out)) << "foreign profile " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProfiles, NestedHeterogeneousTest,
+                         ::testing::Values("i386", "sparc64", "sparc32"),
+                         [](const auto& info) { return info.param; });
+
+// --- Format evolution ---------------------------------------------------------
+
+class EvolutionTest : public ::testing::Test {
+protected:
+  FormatRegistry reg;
+};
+
+TEST_F(EvolutionTest, NewReceiverReadsOldMessages) {
+  // v1 lacks the "gate" and "delayMin" fields that v2 adds.
+  const char* v1_schema = R"(<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:complexType name="Departure">
+    <xsd:element name="fltNum" type="xsd:int" />
+    <xsd:element name="dest" type="xsd:string" />
+  </xsd:complexType>
+</xsd:schema>)";
+  const char* v2_schema = R"(<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:complexType name="Departure">
+    <xsd:element name="fltNum" type="xsd:int" />
+    <xsd:element name="dest" type="xsd:string" />
+    <xsd:element name="gate" type="xsd:string" />
+    <xsd:element name="delayMin" type="xsd:int" />
+  </xsd:complexType>
+</xsd:schema>)";
+
+  core::Xml2Wire x2w(reg);
+  auto v1 = x2w.register_text(v1_schema)[0];
+  auto v2 = x2w.register_text(v2_schema)[0];
+  ASSERT_NE(v1->id(), v2->id());
+
+  DynamicRecord old_msg(v1);
+  old_msg.set_int("fltNum", 99);
+  old_msg.set_string("dest", "LGA");
+  Buffer wire = old_msg.encode();
+
+  Decoder dec(reg);
+  DynamicRecord out(v2);
+  out.from_wire(dec, wire.span());
+  EXPECT_EQ(out.get_int("fltNum"), 99);
+  EXPECT_STREQ(out.get_string("dest"), "LGA");
+  // Fields the sender predates are zero / null.
+  EXPECT_EQ(out.get_string("gate"), nullptr);
+  EXPECT_EQ(out.get_int("delayMin"), 0);
+}
+
+TEST_F(EvolutionTest, OldReceiverReadsNewMessages) {
+  const char* v1_schema = R"(<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:complexType name="Departure">
+    <xsd:element name="fltNum" type="xsd:int" />
+    <xsd:element name="dest" type="xsd:string" />
+  </xsd:complexType>
+</xsd:schema>)";
+  const char* v2_schema = R"(<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:complexType name="Departure">
+    <xsd:element name="gate" type="xsd:string" />
+    <xsd:element name="fltNum" type="xsd:int" />
+    <xsd:element name="dest" type="xsd:string" />
+  </xsd:complexType>
+</xsd:schema>)";
+
+  core::Xml2Wire x2w(reg);
+  auto v1 = x2w.register_text(v1_schema)[0];
+  auto v2 = x2w.register_text(v2_schema)[0];
+
+  DynamicRecord new_msg(v2);
+  new_msg.set_string("gate", "A17");
+  new_msg.set_int("fltNum", 1200);
+  new_msg.set_string("dest", "SFO");
+  Buffer wire = new_msg.encode();
+
+  Decoder dec(reg);
+  DynamicRecord out(v1);
+  out.from_wire(dec, wire.span());
+  // Unknown wire fields are skipped; known fields land despite the layout
+  // shift the inserted field caused.
+  EXPECT_EQ(out.get_int("fltNum"), 1200);
+  EXPECT_STREQ(out.get_string("dest"), "SFO");
+}
+
+TEST_F(EvolutionTest, FieldClassChangeIsRejected) {
+  std::vector<pbio::FieldSpec> v1 = {{"x", "integer", 4}};
+  std::vector<pbio::FieldSpec> v2 = {{"x", "string", 0}};
+  auto f1 = reg.register_computed("T", v1);
+  auto f2 = reg.register_computed("T", v2);
+  EXPECT_THROW(ConversionPlan::build(f1, f2), FormatError);
+  EXPECT_THROW(ConversionPlan::build(f2, f1), FormatError);
+}
+
+TEST_F(EvolutionTest, StaticToDynamicArrayChangeIsRejected) {
+  std::vector<pbio::FieldSpec> v1 = {{"a", "integer[4]", 4}};
+  std::vector<pbio::FieldSpec> v2 = {{"a", "integer[n]", 4},
+                                     {"n", "integer", 4}};
+  auto f1 = reg.register_computed("T", v1);
+  auto f2 = reg.register_computed("T", v2);
+  EXPECT_THROW(ConversionPlan::build(f1, f2), FormatError);
+}
+
+TEST_F(EvolutionTest, StaticArrayGrowthZeroFillsTail) {
+  std::vector<pbio::FieldSpec> v1 = {{"a", "integer[2]", 4},
+                                     {"z", "integer", 4}};
+  std::vector<pbio::FieldSpec> v2 = {{"a", "integer[4]", 4},
+                                     {"z", "integer", 4}};
+  auto f1 = reg.register_computed("T", v1);
+  auto f2 = reg.register_computed("T", v2);
+
+  DynamicRecord in(f1);
+  std::vector<std::int64_t> a = {5, 6};
+  in.set_int_array("a", a);
+  in.set_int("z", 77);
+  Buffer wire = in.encode();
+
+  Decoder dec(reg);
+  DynamicRecord out(f2);
+  out.from_wire(dec, wire.span());
+  std::vector<std::int64_t> expect = {5, 6, 0, 0};
+  EXPECT_EQ(out.get_int_array("a"), expect);
+  EXPECT_EQ(out.get_int("z"), 77);
+}
+
+// --- Integer width and sign conversion ---------------------------------------
+
+TEST(WidthConversion, SignExtensionAcrossWidths) {
+  // Sender uses 4-byte ints (i386 long), receiver 8-byte (x86_64 long):
+  // negative values must sign-extend; unsigned must zero-extend.
+  const char* schema = R"(<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:complexType name="W">
+    <xsd:element name="s" type="xsd:long" />
+    <xsd:element name="u" type="xsd:unsignedLong" />
+  </xsd:complexType>
+</xsd:schema>)";
+  FormatRegistry reg;
+  core::Xml2Wire native_side(reg, arch::native());
+  core::Xml2Wire foreign_side(reg, arch::i386());
+  auto native_f = native_side.register_text(schema)[0];
+  auto foreign_f = foreign_side.register_text(schema)[0];
+
+  // On i386, long is 4 bytes; on x86_64 it is 8.
+  ASSERT_EQ(foreign_f->field_named("s")->size, 4u);
+  ASSERT_EQ(native_f->field_named("s")->size, 8u);
+
+  DynamicRecord in(native_f);
+  in.set_int("s", -123456);
+  in.set_uint("u", 0xFFFF0000u);  // would look negative if sign-extended
+  Buffer wire = pbio::synthesize_wire(*foreign_f, in);
+
+  Decoder dec(reg);
+  DynamicRecord out(native_f);
+  out.from_wire(dec, wire.span());
+  EXPECT_EQ(out.get_int("s"), -123456);
+  EXPECT_EQ(out.get_uint("u"), 0xFFFF0000u);
+}
+
+TEST(WidthConversion, FloatWidthsAcrossProfiles) {
+  const char* schema = R"(<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:complexType name="F">
+    <xsd:element name="f" type="xsd:float" />
+    <xsd:element name="d" type="xsd:double" />
+  </xsd:complexType>
+</xsd:schema>)";
+  FormatRegistry reg;
+  core::Xml2Wire native_side(reg, arch::native());
+  core::Xml2Wire foreign_side(reg, arch::sparc64());
+  auto native_f = native_side.register_text(schema)[0];
+  auto foreign_f = foreign_side.register_text(schema)[0];
+
+  DynamicRecord in(native_f);
+  in.set_float("f", 1.5f);
+  in.set_float("d", -6.25e-3);
+  Buffer wire = pbio::synthesize_wire(*foreign_f, in);
+
+  Decoder dec(reg);
+  DynamicRecord out(native_f);
+  out.from_wire(dec, wire.span());
+  EXPECT_FLOAT_EQ(static_cast<float>(out.get_float("f")), 1.5f);
+  EXPECT_DOUBLE_EQ(out.get_float("d"), -6.25e-3);
+}
+
+// --- Plan structure and caching -----------------------------------------------
+
+TEST(Plans, HomogeneousPlanCoalescesToSingleCopyForPlainStructs) {
+  FormatRegistry reg;
+  std::vector<pbio::FieldSpec> specs = {
+      {"a", "integer", 4}, {"b", "integer", 4},
+      {"c", "float", 8},   {"d", "unsigned", 8},
+  };
+  auto f = reg.register_computed("P", specs);
+  auto plan = ConversionPlan::build(f, f);
+  ASSERT_EQ(plan->ops().size(), 1u);
+  EXPECT_EQ(plan->ops()[0].kind, ConvOp::Kind::kCopy);
+  EXPECT_EQ(plan->ops()[0].count, f->struct_size());
+  EXPECT_TRUE(plan->is_trivial());
+}
+
+TEST(Plans, CoalescingCanBeDisabled) {
+  FormatRegistry reg;
+  std::vector<pbio::FieldSpec> specs = {
+      {"a", "integer", 4}, {"b", "integer", 4}, {"c", "integer", 4},
+      {"d", "integer", 4}};
+  auto f = reg.register_computed("P", specs);
+  auto fast = ConversionPlan::build(f, f, /*coalesce=*/true);
+  auto slow = ConversionPlan::build(f, f, /*coalesce=*/false);
+  EXPECT_EQ(fast->ops().size(), 1u);
+  EXPECT_EQ(slow->ops().size(), 4u);
+}
+
+TEST(Plans, SwappedPlanIsNotTrivial) {
+  FormatRegistry reg;
+  std::vector<pbio::FieldSpec> specs = {{"a", "integer", 4}};
+  auto native_f = reg.register_computed("P", specs, arch::native());
+  auto foreign_f = reg.register_computed("P", specs, arch::sparc64());
+  auto plan = ConversionPlan::build(foreign_f, native_f);
+  EXPECT_FALSE(plan->is_trivial());
+  EXPECT_EQ(plan->ops()[0].kind, ConvOp::Kind::kInt);
+  EXPECT_TRUE(plan->ops()[0].swap);
+}
+
+TEST(Plans, DecoderCachesPlans) {
+  FormatRegistry reg;
+  core::Xml2Wire native_side(reg, arch::native());
+  core::Xml2Wire foreign_side(reg, arch::sparc64());
+  auto native_f = native_side.register_text(testing::kAsdOffBSchema)[0];
+  auto foreign_f = foreign_side.register_text(testing::kAsdOffBSchema)[0];
+
+  Decoder dec(reg);
+  DynamicRecord r(native_f);
+  r.set_string("cntrId", "Z");
+  std::vector<std::int64_t> off = {1, 2, 3, 4, 5};
+  r.set_int_array("off", off);
+  Buffer wire = pbio::synthesize_wire(*foreign_f, r);
+
+  EXPECT_EQ(dec.cached_plans(), 0u);
+  DynamicRecord out(native_f);
+  out.from_wire(dec, wire.span());
+  EXPECT_EQ(dec.cached_plans(), 1u);
+  out.from_wire(dec, wire.span());
+  out.from_wire(dec, wire.span());
+  EXPECT_EQ(dec.cached_plans(), 1u);  // reused, not rebuilt
+}
+
+TEST(Plans, CoalescedAndNaivePlansProduceIdenticalResults) {
+  FormatRegistry reg;
+  core::Xml2Wire x2w(reg);
+  auto f = x2w.register_text(testing::kAsdOffBSchema)[0];
+
+  DynamicRecord in(f);
+  in.set_string("cntrId", "ZOB");
+  in.set_int("fltNum", 17);
+  std::vector<std::int64_t> off = {2, 4, 6, 8, 10};
+  in.set_int_array("off", off);
+  std::vector<std::int64_t> eta = {42};
+  in.set_int_array("eta", eta);
+  Buffer wire = in.encode();
+
+  Decoder fast(reg, /*coalesce_plans=*/true);
+  Decoder slow(reg, /*coalesce_plans=*/false);
+  DynamicRecord out1(f), out2(f);
+  out1.from_wire(fast, wire.span());
+  out2.from_wire(slow, wire.span());
+  EXPECT_TRUE(out1.deep_equals(out2));
+  EXPECT_TRUE(in.deep_equals(out1));
+}
+
+}  // namespace
+}  // namespace omf

@@ -1,0 +1,389 @@
+// Deep-coverage tests: the gateway re-encoder plus corners of pbio/util
+// the main suites exercise only incidentally.
+#include <gtest/gtest.h>
+
+#include "core/gateway.hpp"
+#include "core/xml2wire.hpp"
+#include "pbio/arena.hpp"
+#include "pbio/decode.hpp"
+#include "pbio/encode.hpp"
+#include "pbio/record.hpp"
+#include "pbio/synth.hpp"
+#include "pbio/wire.hpp"
+#include "test_structs.hpp"
+
+namespace omf {
+namespace {
+
+using namespace omf::testing;
+
+// --- Gateway -------------------------------------------------------------------
+
+const char* kGatewaySchema = R"(<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:complexType name="Reading">
+    <xsd:element name="sensor" type="xsd:string" />
+    <xsd:element name="value" type="xsd:double" />
+    <xsd:element name="samples" type="xsd:int" maxOccurs="*" />
+  </xsd:complexType>
+</xsd:schema>)";
+
+class GatewayTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    core::Xml2Wire native_x2w(reg, arch::native());
+    core::Xml2Wire sparc_x2w(reg, arch::sparc64());
+    core::Xml2Wire arm_x2w(reg, arch::arm32());
+    native_f = native_x2w.register_text(kGatewaySchema)[0];
+    sparc_f = sparc_x2w.register_text(kGatewaySchema)[0];
+    arm_f = arm_x2w.register_text(kGatewaySchema)[0];
+  }
+
+  pbio::DynamicRecord sample() {
+    pbio::DynamicRecord r(native_f);
+    r.set_string("sensor", "egt-2");
+    r.set_float("value", 612.25);
+    r.set_int_array("samples", std::vector<std::int64_t>{601, 612, 618});
+    return r;
+  }
+
+  pbio::FormatRegistry reg;
+  pbio::FormatHandle native_f, sparc_f, arm_f;
+};
+
+TEST_F(GatewayTest, ConvertsForeignWireToClientWire) {
+  // Producer on sparc64, client fleet on arm32.
+  pbio::DynamicRecord values = sample();
+  Buffer from_producer = pbio::synthesize_wire(*sparc_f, values);
+
+  core::Gateway gateway(reg, native_f, arm_f);
+  Buffer for_client = gateway.convert(from_producer.span());
+  EXPECT_EQ(gateway.converted(), 1u);
+
+  // The client sees a message in ITS native format id and byte order.
+  auto header = pbio::Decoder::peek_header(for_client.span());
+  EXPECT_EQ(header.format_id, arm_f->id());
+  EXPECT_EQ(header.byte_order, ByteOrder::kLittle);
+
+  // And this machine (as a stand-in decoder) recovers identical values.
+  pbio::Decoder dec(reg);
+  pbio::DynamicRecord got(native_f);
+  got.from_wire(dec, for_client.span());
+  EXPECT_TRUE(values.deep_equals(got));
+}
+
+TEST_F(GatewayTest, PassThroughWhenAlreadyTargetFormat) {
+  pbio::DynamicRecord values = sample();
+  Buffer already = pbio::synthesize_wire(*arm_f, values);
+  core::Gateway gateway(reg, native_f, arm_f);
+  Buffer out = gateway.convert(already.span());
+  EXPECT_EQ(gateway.passed_through(), 1u);
+  EXPECT_EQ(gateway.converted(), 0u);
+  EXPECT_EQ(out, already);
+}
+
+TEST_F(GatewayTest, NativeTargetUsesPlainEncoder) {
+  pbio::DynamicRecord values = sample();
+  Buffer from_producer = pbio::synthesize_wire(*sparc_f, values);
+  core::Gateway gateway(reg, native_f, native_f);
+  Buffer out = gateway.convert(from_producer.span());
+  EXPECT_EQ(pbio::Decoder::peek_format_id(out.span()), native_f->id());
+  // Zero-copy decodable by a homogeneous client.
+  auto* p = pbio::Decoder::decode_in_place(*native_f, out.data(), out.size());
+  EXPECT_NE(p, nullptr);
+}
+
+TEST_F(GatewayTest, StagingMustBeNative) {
+  EXPECT_THROW(core::Gateway(reg, sparc_f, native_f), FormatError);
+}
+
+// --- DynamicRecord corners ---------------------------------------------------------
+
+class RecordCornerTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    const char* schema = R"(<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:complexType name="Inner">
+    <xsd:element name="name" type="xsd:string" />
+    <xsd:element name="weights" type="xsd:double" maxOccurs="*" />
+  </xsd:complexType>
+  <xsd:complexType name="Outer">
+    <xsd:element name="inners" type="Inner" maxOccurs="*" />
+    <xsd:element name="tags" type="xsd:unsignedShort" minOccurs="3" maxOccurs="3" />
+  </xsd:complexType>
+</xsd:schema>)";
+    core::Xml2Wire x2w(reg);
+    auto handles = x2w.register_text(schema);
+    inner = handles[0];
+    outer = handles[1];
+  }
+  pbio::FormatRegistry reg;
+  pbio::FormatHandle inner, outer;
+};
+
+TEST_F(RecordCornerTest, DynamicNestedArraysWithInnerDynamicArrays) {
+  pbio::DynamicRecord r(outer);
+  r.resize_nested_array("inners", 3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    auto sub = r.nested("inners", i);
+    sub.set_string("name", "n" + std::to_string(i));
+    std::vector<double> w(i + 1, 0.5 * static_cast<double>(i));
+    sub.set_float_array("weights", w);
+  }
+  r.set_uint_array("tags", std::vector<std::uint64_t>{7, 8, 9});
+
+  Buffer wire = r.encode();
+  pbio::Decoder dec(reg);
+  pbio::DynamicRecord out(outer);
+  out.from_wire(dec, wire.span());
+  EXPECT_TRUE(r.deep_equals(out));
+  EXPECT_EQ(out.array_length("inners"), 3u);
+  EXPECT_EQ(out.nested("inners", 2).get_float_array("weights").size(), 3u);
+}
+
+TEST_F(RecordCornerTest, InPlaceDecodeOfNestedDynamicArrays) {
+  pbio::DynamicRecord r(outer);
+  r.resize_nested_array("inners", 2);
+  r.nested("inners", 0).set_string("name", "alpha");
+  r.nested("inners", 1).set_string("name", "beta");
+  r.nested("inners", 1)
+      .set_float_array("weights", std::vector<double>{1.0, 2.0});
+  r.set_uint_array("tags", std::vector<std::uint64_t>{1, 2, 3});
+  Buffer wire = r.encode();
+
+  void* p = pbio::Decoder::decode_in_place(*outer, wire.data(), wire.size());
+  ASSERT_NE(p, nullptr);
+  // Walk via the raw layout the metadata describes.
+  const pbio::Field* inners_field = outer->field_named("inners");
+  const std::uint8_t* base = static_cast<const std::uint8_t*>(p);
+  const std::uint8_t* elems = nullptr;
+  std::memcpy(&elems, base + inners_field->offset, sizeof(elems));
+  ASSERT_NE(elems, nullptr);
+  const pbio::Field* name_field = inner->field_named("name");
+  const char* name1 = nullptr;
+  std::memcpy(&name1, elems + inner->struct_size() + name_field->offset,
+              sizeof(name1));
+  EXPECT_STREQ(name1, "beta");
+}
+
+TEST_F(RecordCornerTest, NestedIndexOutOfRangeThrows) {
+  pbio::DynamicRecord r(outer);
+  r.resize_nested_array("inners", 2);
+  EXPECT_NO_THROW(r.nested("inners", 1));
+  EXPECT_THROW(r.nested("inners", 2), FormatError);
+  pbio::DynamicRecord fresh(outer);
+  EXPECT_THROW(fresh.nested("inners", 0), FormatError);  // not sized yet
+}
+
+TEST_F(RecordCornerTest, ReceiveLoopDoesNotAccumulateArenaMemory) {
+  pbio::DynamicRecord sender(outer);
+  sender.resize_nested_array("inners", 1);
+  sender.nested("inners", 0).set_string("name", "x");
+  sender.nested("inners", 0)
+      .set_float_array("weights", std::vector<double>(64, 1.0));
+  sender.set_uint_array("tags", std::vector<std::uint64_t>{1, 2, 3});
+  Buffer wire = sender.encode();
+
+  pbio::Decoder dec(reg);
+  pbio::DynamicRecord receiver(outer);
+  receiver.from_wire(dec, wire.span());
+  // Arena reuse: after thousands of receives, footprint must stay flat.
+  for (int i = 0; i < 5000; ++i) {
+    receiver.from_wire(dec, wire.span());
+  }
+  EXPECT_TRUE(sender.deep_equals(receiver));
+}
+
+// --- Char arrays (byte blocks) across every codec --------------------------------
+
+class CharArrayTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    const char* schema = R"(<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema"
+            xmlns:omf="http://omf.example.org/schema-ext">
+  <xsd:complexType name="Blob">
+    <xsd:element name="magic" type="omf:char" minOccurs="4" maxOccurs="4" />
+    <xsd:element name="payload" type="omf:char" maxOccurs="*" />
+    <xsd:element name="kind" type="xsd:int" />
+  </xsd:complexType>
+</xsd:schema>)";
+    core::Xml2Wire x2w(reg);
+    blob = x2w.register_text(schema)[0];
+  }
+
+  pbio::DynamicRecord sample() {
+    pbio::DynamicRecord r(blob);
+    r.set_char_array("magic", std::string_view("OMF1", 4));
+    std::string payload;
+    for (int i = 0; i < 19; ++i) payload.push_back(static_cast<char>(i * 13));
+    r.set_char_array("payload", payload);
+    r.set_int("kind", 3);
+    return r;
+  }
+
+  pbio::FormatRegistry reg;
+  pbio::FormatHandle blob;
+};
+
+TEST_F(CharArrayTest, AccessorsAndNdrRoundTrip) {
+  pbio::DynamicRecord in = sample();
+  EXPECT_EQ(in.get_char_array("magic"), "OMF1");
+  EXPECT_EQ(in.array_length("payload"), 19u);
+
+  Buffer wire = in.encode();
+  pbio::Decoder dec(reg);
+  pbio::DynamicRecord out(blob);
+  out.from_wire(dec, wire.span());
+  EXPECT_TRUE(in.deep_equals(out));
+}
+
+TEST_F(CharArrayTest, StaticLengthEnforced) {
+  pbio::DynamicRecord r(blob);
+  EXPECT_THROW(r.set_char_array("magic", "TOOLONG"), FormatError);
+  EXPECT_THROW(r.set_char_array("kind", "x"), FormatError);  // not char
+}
+
+TEST_F(CharArrayTest, SynthesizedAcrossArchitectures) {
+  core::Xml2Wire sparc_x2w(reg, arch::sparc32());
+  auto foreign = reg.by_name_profile("Blob", arch::sparc32());
+  if (!foreign) {
+    const char* schema = R"(<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema"
+            xmlns:omf="http://omf.example.org/schema-ext">
+  <xsd:complexType name="Blob">
+    <xsd:element name="magic" type="omf:char" minOccurs="4" maxOccurs="4" />
+    <xsd:element name="payload" type="omf:char" maxOccurs="*" />
+    <xsd:element name="kind" type="xsd:int" />
+  </xsd:complexType>
+</xsd:schema>)";
+    foreign = sparc_x2w.register_text(schema)[0];
+  }
+  pbio::DynamicRecord in = sample();
+  Buffer wire = pbio::synthesize_wire(*foreign, in);
+  pbio::Decoder dec(reg);
+  pbio::DynamicRecord out(blob);
+  out.from_wire(dec, wire.span());
+  EXPECT_TRUE(in.deep_equals(out));
+}
+
+// --- Arena ----------------------------------------------------------------------
+
+TEST(Arena, AlignmentAndStability) {
+  pbio::DecodeArena arena;
+  void* a = arena.allocate(3, 1);
+  void* b = arena.allocate(8, 8);
+  void* c = arena.allocate(1, 1);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b) % 8, 0u);
+  std::memset(a, 0xAA, 3);
+  std::memset(c, 0xCC, 1);
+  // Large allocation triggers a fresh chunk; earlier pointers stay valid.
+  void* big = arena.allocate(1 << 16, 8);
+  std::memset(big, 0xBB, 1 << 16);
+  EXPECT_EQ(*static_cast<std::uint8_t*>(a), 0xAA);
+  EXPECT_EQ(*static_cast<std::uint8_t*>(c), 0xCC);
+  EXPECT_GT(arena.reserved_bytes(), std::size_t{1} << 16);
+  arena.clear();
+  EXPECT_EQ(arena.reserved_bytes(), 0u);
+}
+
+TEST(Arena, ManySmallStringsShareChunks) {
+  pbio::DecodeArena arena;
+  std::vector<char*> strings;
+  for (int i = 0; i < 1000; ++i) {
+    strings.push_back(arena.copy_string("abcdefg", 7));
+  }
+  for (char* s : strings) EXPECT_STREQ(s, "abcdefg");
+  // 1000 * 8 bytes must not consume 1000 chunks.
+  EXPECT_LT(arena.reserved_bytes(), std::size_t{64} << 10);
+}
+
+// --- Wire header edge cases ----------------------------------------------------------
+
+TEST(WireHeader, BigEndianFlagRoundTrips) {
+  Buffer out;
+  pbio::WireHeader h;
+  h.byte_order = ByteOrder::kBig;
+  h.format_id = 0xABCDEF;
+  h.body_length = 99;
+  std::size_t at = h.write(out);
+  out.patch_int<std::uint32_t>(at, 99, ByteOrder::kBig);
+  BufferReader in(out);
+  pbio::WireHeader g = pbio::WireHeader::read(in);
+  EXPECT_EQ(g.byte_order, ByteOrder::kBig);
+  EXPECT_EQ(g.format_id, 0xABCDEFu);
+  EXPECT_EQ(g.body_length, 99u);
+}
+
+TEST(WireHeader, RejectsWrongVersionAndSize) {
+  pbio::FormatRegistry reg;
+  auto f = reg.register_format("ASDOffEvent", asdoff_fields(), sizeof(AsdOff));
+  AsdOff a;
+  fill_asdoff(a);
+  Buffer wire = pbio::encode(*f, &a);
+  {
+    Buffer bad = wire;
+    bad.data()[1] = 9;  // version
+    BufferReader in(bad);
+    EXPECT_THROW(pbio::WireHeader::read(in), DecodeError);
+  }
+  {
+    Buffer bad = wire;
+    bad.data()[3] = 8;  // header size
+    BufferReader in(bad);
+    EXPECT_THROW(pbio::WireHeader::read(in), DecodeError);
+  }
+}
+
+// --- Registry corners ------------------------------------------------------------------
+
+TEST(RegistryCorners, ByNameProfileSeparatesAbis) {
+  pbio::FormatRegistry reg;
+  core::Xml2Wire native_x2w(reg, arch::native());
+  core::Xml2Wire sparc_x2w(reg, arch::sparc64());
+  auto n = native_x2w.register_text(kAsdOffSchema)[0];
+  auto s = sparc_x2w.register_text(kAsdOffSchema)[0];
+
+  EXPECT_EQ(reg.by_name("ASDOffEvent"), n);  // native view unscathed
+  EXPECT_EQ(reg.by_name_profile("ASDOffEvent", arch::sparc64()), s);
+  EXPECT_EQ(reg.by_name_profile("ASDOffEvent", arch::i386()), nullptr);
+}
+
+TEST(RegistryCorners, AllPreservesRegistrationOrder) {
+  pbio::FormatRegistry reg;
+  auto [b, c] = register_nested_pair(reg);
+  auto all = reg.all();
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0], b);
+  EXPECT_EQ(all[1], c);
+}
+
+TEST(RegistryCorners, SentinelTerminatedFieldArrays) {
+  // C-style IOField lists end with an empty-name sentinel (paper Figure 5).
+  pbio::FormatRegistry reg;
+  std::vector<pbio::IOField> fields = {
+      {"a", "integer", 4, 0},
+      {"", "", 0, 0},             // sentinel
+      {"ignored", "integer", 4, 4},  // must never be reached
+  };
+  auto f = reg.register_format("S", fields, 4);
+  EXPECT_EQ(f->fields().size(), 1u);
+}
+
+// --- Encoded-size exactness -------------------------------------------------------------
+
+TEST(EncodedSize, ExactForPointerFreeFormats) {
+  pbio::FormatRegistry reg;
+  std::vector<pbio::FieldSpec> specs = {
+      {"a", "integer", 4}, {"b", "float", 8}, {"c", "integer[7]", 2}};
+  auto f = reg.register_computed("Plain", specs);
+  pbio::DynamicRecord r(f);
+  r.set_int("a", 1);
+  EXPECT_EQ(pbio::encoded_size(*f, r.data()),
+            pbio::WireHeader::kSize + f->struct_size());
+  EXPECT_EQ(r.encode().size(), pbio::WireHeader::kSize + f->struct_size());
+}
+
+}  // namespace
+}  // namespace omf

@@ -1,0 +1,314 @@
+// Discovery: HTTP client/server, source chain, fallback, caching, Context.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/context.hpp"
+#include "core/discovery.hpp"
+#include "http/http.hpp"
+#include "pbio/encode.hpp"
+#include "test_structs.hpp"
+
+namespace omf {
+namespace {
+
+using namespace omf::testing;
+
+// --- HTTP ------------------------------------------------------------------------
+
+TEST(Http, UrlParsing) {
+  auto u = http::Url::parse("http://127.0.0.1:8080/meta/flight.xml");
+  EXPECT_EQ(u.host, "127.0.0.1");
+  EXPECT_EQ(u.port, 8080);
+  EXPECT_EQ(u.path, "/meta/flight.xml");
+
+  auto bare = http::Url::parse("http://localhost/x");
+  EXPECT_EQ(bare.port, 80);
+
+  auto no_path = http::Url::parse("http://h:99");
+  EXPECT_EQ(no_path.path, "/");
+
+  EXPECT_THROW(http::Url::parse("ftp://x/"), Error);
+  EXPECT_THROW(http::Url::parse("http://:80/"), Error);
+  EXPECT_THROW(http::Url::parse("http://h:0/"), Error);
+  EXPECT_THROW(http::Url::parse("http://h:99999/"), Error);
+}
+
+TEST(Http, ServeDocument) {
+  http::Server server;
+  server.put_document("/meta.xml", "<doc/>");
+  auto resp = http::get(server.url_for("/meta.xml"));
+  EXPECT_EQ(resp.status, 200);
+  EXPECT_EQ(resp.body, "<doc/>");
+  EXPECT_EQ(resp.headers.at("content-type"), "text/xml");
+  EXPECT_EQ(server.request_count(), 1u);
+}
+
+TEST(Http, NotFound) {
+  http::Server server;
+  auto resp = http::get(server.url_for("/nope.xml"));
+  EXPECT_EQ(resp.status, 404);
+}
+
+TEST(Http, RemoveDocument) {
+  http::Server server;
+  server.put_document("/d", "x");
+  EXPECT_EQ(http::get(server.url_for("/d")).status, 200);
+  server.remove_document("/d");
+  EXPECT_EQ(http::get(server.url_for("/d")).status, 404);
+}
+
+TEST(Http, DynamicHandler) {
+  http::Server server;
+  server.set_handler([](const std::string& path) -> std::optional<std::string> {
+    if (path.find("/gen/") == 0) return "<generated path=\"" + path + "\"/>";
+    return std::nullopt;
+  });
+  server.put_document("/static", "s");
+  EXPECT_EQ(http::get(server.url_for("/gen/abc")).status, 200);
+  EXPECT_NE(http::get(server.url_for("/gen/abc")).body.find("/gen/abc"),
+            std::string::npos);
+  EXPECT_EQ(http::get(server.url_for("/static")).body, "s");
+  EXPECT_EQ(http::get(server.url_for("/missing")).status, 404);
+}
+
+TEST(Http, LargeDocument) {
+  http::Server server;
+  std::string big(512 * 1024, 'x');
+  server.put_document("/big", big);
+  auto resp = http::get(server.url_for("/big"));
+  EXPECT_EQ(resp.status, 200);
+  EXPECT_EQ(resp.body.size(), big.size());
+}
+
+TEST(Http, ConnectionRefusedThrows) {
+  std::uint16_t dead_port;
+  {
+    http::Server server;
+    dead_port = server.port();
+  }
+  EXPECT_THROW(http::get("http://127.0.0.1:" + std::to_string(dead_port) + "/"),
+               TransportError);
+}
+
+// --- Discovery sources -----------------------------------------------------------
+
+TEST(Discovery, CompiledInSource) {
+  core::CompiledInSource src;
+  src.add("flight", "<schema/>");
+  EXPECT_EQ(src.fetch("flight"), "<schema/>");
+  EXPECT_FALSE(src.fetch("unknown"));
+}
+
+TEST(Discovery, FileSource) {
+  std::string path = ::testing::TempDir() + "/omf_disc_test.xml";
+  {
+    std::ofstream f(path);
+    f << "<root/>";
+  }
+  auto src = core::make_file_source();
+  EXPECT_EQ(src->fetch(path), "<root/>");
+  EXPECT_EQ(src->fetch("file://" + path), "<root/>");
+  EXPECT_FALSE(src->fetch(path + ".missing"));
+  EXPECT_FALSE(src->fetch("http://elsewhere/x"));  // wrong scheme
+  std::remove(path.c_str());
+}
+
+TEST(Discovery, HttpSourceFetches) {
+  http::Server server;
+  server.put_document("/m.xml", "<m/>");
+  auto src = core::make_http_source();
+  EXPECT_EQ(src->fetch(server.url_for("/m.xml")), "<m/>");
+  EXPECT_FALSE(src->fetch(server.url_for("/gone.xml")));   // 404 -> soft fail
+  EXPECT_FALSE(src->fetch("/local/path.xml"));             // wrong scheme
+}
+
+TEST(Discovery, ChainFallsBackInOrder) {
+  http::Server server;  // serves nothing: primary source fails
+  core::DiscoveryManager dm;
+  dm.add_source(core::make_http_source());
+  auto compiled = std::make_unique<core::CompiledInSource>();
+  std::string url = server.url_for("/flight.xml");
+  compiled->add(url, "<schema><complexType name=\"T\">"
+                     "<element name=\"x\" type=\"U\"/></complexType></schema>");
+  dm.add_source(std::move(compiled));
+
+  auto doc = dm.discover(url);
+  EXPECT_EQ(doc->root->name(), "schema");
+  auto stats = dm.stats();
+  EXPECT_EQ(stats.fallbacks, 1u);
+  EXPECT_EQ(stats.fetches, 2u);
+}
+
+TEST(Discovery, PrimaryWinsWhenAvailable) {
+  http::Server server;
+  std::string url = server.url_for("/flight.xml");
+  server.put_document("/flight.xml", "<remote/>");
+
+  core::DiscoveryManager dm;
+  dm.add_source(core::make_http_source());
+  auto compiled = std::make_unique<core::CompiledInSource>();
+  compiled->add(url, "<compiled/>");
+  dm.add_source(std::move(compiled));
+
+  EXPECT_EQ(dm.discover(url)->root->name(), "remote");
+  EXPECT_EQ(dm.stats().fallbacks, 0u);
+}
+
+TEST(Discovery, CachesDocuments) {
+  http::Server server;
+  server.put_document("/m.xml", "<m/>");
+  std::string url = server.url_for("/m.xml");
+  core::DiscoveryManager dm;
+  dm.add_source(core::make_http_source());
+  auto d1 = dm.discover(url);
+  auto d2 = dm.discover(url);
+  EXPECT_EQ(d1, d2);  // same shared instance
+  EXPECT_EQ(server.request_count(), 1u);
+  EXPECT_EQ(dm.stats().cache_hits, 1u);
+
+  dm.invalidate(url);
+  auto d3 = dm.discover(url);
+  EXPECT_EQ(server.request_count(), 2u);
+  EXPECT_NE(d1, d3);
+}
+
+TEST(Discovery, AllSourcesFailingThrows) {
+  core::DiscoveryManager dm;
+  dm.add_source(core::make_file_source());
+  EXPECT_THROW(dm.discover("/no/such/file.xml"), DiscoveryError);
+}
+
+TEST(Discovery, NoSourcesThrows) {
+  core::DiscoveryManager dm;
+  EXPECT_THROW(dm.discover("x"), DiscoveryError);
+}
+
+TEST(Discovery, MalformedFetchedDocumentThrowsParseError) {
+  core::DiscoveryManager dm;
+  auto compiled = std::make_unique<core::CompiledInSource>();
+  compiled->add("bad", "<broken");
+  dm.add_source(std::move(compiled));
+  EXPECT_THROW(dm.discover("bad"), ParseError);
+}
+
+// --- Context (the assembled runtime) ------------------------------------------------
+
+TEST(Context, DiscoverRegisterBindMarshal) {
+  http::Server server;
+  server.put_document("/asdoff.xml", kAsdOffSchema);
+  std::string url = server.url_for("/asdoff.xml");
+
+  core::Context ctx;
+  auto format = ctx.discover_format(url, "ASDOffEvent");
+  ASSERT_NE(format, nullptr);
+
+  auto channel = ctx.bind<AsdOff>(format);
+  AsdOff in;
+  fill_asdoff(in, 77);
+  Buffer wire = channel.encode(&in);
+
+  AsdOff out{};
+  pbio::DecodeArena arena;
+  channel.decode(wire.span(), &out, arena);
+  EXPECT_TRUE(asdoff_equal(in, out));
+
+  // In-place too.
+  auto* zc = static_cast<AsdOff*>(
+      channel.decode_in_place(wire.data(), wire.size()));
+  EXPECT_TRUE(asdoff_equal(in, *zc));
+}
+
+TEST(Context, ServerFailureFallsBackToCompiledIn) {
+  std::string url;
+  {
+    http::Server server;
+    url = server.url_for("/asdoff.xml");
+    // Server dies here — the network is gone.
+  }
+  core::Context ctx;
+  ctx.compiled_in().add(url, kAsdOffSchema);
+  auto format = ctx.discover_format(url, "ASDOffEvent");
+  EXPECT_EQ(format->struct_size(), sizeof(AsdOff));
+  EXPECT_GE(ctx.discovery().stats().fallbacks, 1u);
+}
+
+TEST(Context, BindRejectsSizeMismatch) {
+  core::Context ctx;
+  ctx.compiled_in().add("m", kAsdOffSchema);
+  auto format = ctx.discover_format("m", "ASDOffEvent");
+  EXPECT_THROW(ctx.bind<AsdOffB>(format), FormatError);  // wrong struct
+  EXPECT_NO_THROW(ctx.bind<AsdOff>(format));
+}
+
+TEST(Context, DiscoverFormatRejectsMissingType) {
+  core::Context ctx;
+  ctx.compiled_in().add("m", kAsdOffSchema);
+  EXPECT_THROW(ctx.discover_format("m", "NoSuchType"), FormatError);
+}
+
+TEST(Context, DynamicBindingNeedsNoStruct) {
+  core::Context ctx;
+  ctx.compiled_in().add("m", kAsdOffBSchema);
+  auto format = ctx.discover_format("m", "ASDOffEventB");
+  auto channel = ctx.bind_dynamic(format);
+
+  auto rec = channel.make_record();
+  rec.set_string("cntrId", "ZLA");
+  rec.set_int("fltNum", 1549);
+  std::vector<std::int64_t> off = {1, 2, 3, 4, 5};
+  rec.set_int_array("off", off);
+  Buffer wire = channel.encode(rec.data());
+
+  auto out = channel.make_record();
+  out.from_wire(ctx.decoder(), wire.span());
+  EXPECT_TRUE(rec.deep_equals(out));
+}
+
+TEST(Context, DynamicallyGeneratedMetadata) {
+  // §4.4: the server can generate metadata per-request (format scoping).
+  http::Server server;
+  server.set_handler(
+      [](const std::string& path) -> std::optional<std::string> {
+        if (path.find("/scoped") != 0) return std::nullopt;
+        bool full = path.find("auth=ops") != std::string::npos;
+        std::string fields =
+            "<xsd:element name=\"fltNum\" type=\"xsd:int\" />";
+        if (full) {
+          fields += "<xsd:element name=\"crewCount\" type=\"xsd:int\" />";
+        }
+        return "<?xml version=\"1.0\"?>"
+               "<xsd:schema xmlns:xsd=\"http://www.w3.org/2001/XMLSchema\">"
+               "<xsd:complexType name=\"Slice\">" +
+               fields + "</xsd:complexType></xsd:schema>";
+      });
+
+  core::Context ops_ctx, public_ctx;
+  auto ops_format =
+      ops_ctx.discover_format(server.url_for("/scoped?auth=ops"), "Slice");
+  auto public_format =
+      public_ctx.discover_format(server.url_for("/scoped"), "Slice");
+  EXPECT_EQ(ops_format->fields().size(), 2u);
+  EXPECT_EQ(public_format->fields().size(), 1u);
+
+  // A message in the ops format still decodes for the public subscriber —
+  // the hidden slice is simply absent (PBIO evolution machinery).
+  public_ctx.registry().register_format(
+      "Slice",
+      std::vector<pbio::IOField>{{"fltNum", "integer", 4, 0},
+                                 {"crewCount", "integer", 4, 4}},
+      8);
+  auto rec = pbio::DynamicRecord(ops_format);
+  rec.set_int("fltNum", 12);
+  rec.set_int("crewCount", 6);
+  Buffer wire = rec.encode();
+
+  auto out = pbio::DynamicRecord(public_format);
+  out.from_wire(public_ctx.decoder(), wire.span());
+  EXPECT_EQ(out.get_int("fltNum"), 12);
+  EXPECT_THROW(out.get_int("crewCount"), FormatError);  // scoped away
+}
+
+}  // namespace
+}  // namespace omf

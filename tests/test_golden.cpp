@@ -1,0 +1,156 @@
+// Golden wire-format tests: exact byte sequences for each codec, pinned.
+//
+// These protect on-the-wire and on-disk compatibility: any change to the
+// NDR header, offset encoding, XDR/CDR rules, bundle serialization, or the
+// format-id hash shows up here as a diff against known bytes, forcing a
+// deliberate (and versioned) decision rather than a silent break.
+#include <gtest/gtest.h>
+
+#include "cdr/cdr.hpp"
+#include "pbio/encode.hpp"
+#include "pbio/metaserde.hpp"
+#include "textxml/textxml.hpp"
+#include "xdr/xdr.hpp"
+
+namespace omf {
+namespace {
+
+struct Golden {
+  char* tag;
+  int id;
+  unsigned long stamp;
+};
+
+pbio::FormatHandle golden_format(pbio::FormatRegistry& reg) {
+  std::vector<pbio::IOField> fields = {
+      {"tag", "string", sizeof(char*), offsetof(Golden, tag)},
+      {"id", "integer", sizeof(int), offsetof(Golden, id)},
+      {"stamp", "unsigned", sizeof(unsigned long), offsetof(Golden, stamp)},
+  };
+  return reg.register_format("Golden", fields, sizeof(Golden));
+}
+
+Golden golden_value() {
+  Golden g{};
+  g.tag = const_cast<char*>("ab");
+  g.id = 0x01020304;
+  g.stamp = 0x1122334455667788ul;
+  return g;
+}
+
+std::string hex(std::span<const std::uint8_t> bytes) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  for (std::uint8_t b : bytes) {
+    out.push_back(kDigits[b >> 4]);
+    out.push_back(kDigits[b & 0xF]);
+  }
+  return out;
+}
+
+// These tests assume the usual x86_64 Linux ABI (the format id and layout
+// depend on it); skip elsewhere rather than fail.
+bool abi_matches() {
+  return sizeof(void*) == 8 && sizeof(long) == 8 && sizeof(int) == 4 &&
+         host_byte_order() == ByteOrder::kLittle;
+}
+
+TEST(Golden, FormatIdIsStable) {
+  if (!abi_matches()) GTEST_SKIP() << "golden bytes are LP64-LE specific";
+  pbio::FormatRegistry reg;
+  auto f = golden_format(reg);
+  // The metadata hash: any change to field hashing, type strings, or the
+  // profile canonical form changes this constant.
+  EXPECT_EQ(f->id(), 0xd54c1770b9101223ull) << std::hex << f->id();
+}
+
+TEST(Golden, NdrBytes) {
+  if (!abi_matches()) GTEST_SKIP() << "golden bytes are LP64-LE specific";
+  pbio::FormatRegistry reg;
+  auto f = golden_format(reg);
+  Golden g = golden_value();
+  Buffer wire = pbio::encode(*f, &g);
+  EXPECT_EQ(hex(wire.span()),
+            // header: magic b1, version 01, flags 00 (LE), size 10,
+            // body length 27 (24-byte struct + "ab\0"), then the format id
+            "b10100101b000000"
+            "231210b970174cd5"
+            // body: tag slot = offset 24 (1800...), id, pad, stamp
+            "1800000000000000"
+            "04030201"
+            "00000000"
+            "8877665544332211"
+            // variable section: "ab\0"
+            "616200");
+}
+
+TEST(Golden, XdrBytes) {
+  pbio::FormatRegistry reg;
+  auto f = golden_format(reg);
+  Golden g = golden_value();
+  Buffer wire = xdr::encode_buffer(*f, &g);
+  // XDR is canonical: identical on every host.
+  EXPECT_EQ(hex(wire.span()),
+            // string: len 2 BE, "ab" + 2 pad
+            "00000002"
+            "61620000"
+            // int 4 BE
+            "01020304"
+            // unsigned hyper BE
+            "1122334455667788");
+}
+
+TEST(Golden, CdrBytes) {
+  if (host_byte_order() != ByteOrder::kLittle) {
+    GTEST_SKIP() << "golden bytes assume a little-endian host";
+  }
+  pbio::FormatRegistry reg;
+  auto f = golden_format(reg);
+  Golden g = golden_value();
+  Buffer wire = cdr::encode_buffer(*f, &g);
+  EXPECT_EQ(hex(wire.span()),
+            // flag 01 (LE sender)
+            "01"
+            // string: u32 len-with-nul = 3 (LE), "ab\0"
+            "03000000"
+            "616200"
+            // int at stream pos 7 -> align to 8: 1 pad byte
+            "00"
+            "04030201"
+            // unsigned long at pos 12 -> align to 8: 4 pad bytes
+            "00000000"
+            "8877665544332211");
+}
+
+TEST(Golden, TextXmlBytes) {
+  pbio::FormatRegistry reg;
+  auto f = golden_format(reg);
+  Golden g = golden_value();
+  std::string doc = textxml::encode_text(*f, &g);
+  EXPECT_EQ(doc,
+            "<?xml version=\"1.0\"?><Golden><tag>ab</tag>"
+            "<id>16909060</id><stamp>1234605616436508552</stamp></Golden>");
+}
+
+TEST(Golden, BundleBytesRoundTripExactly) {
+  if (!abi_matches()) GTEST_SKIP() << "golden bytes are LP64-LE specific";
+  pbio::FormatRegistry reg;
+  auto f = golden_format(reg);
+  Buffer bundle = pbio::serialize_format_bundle(*f);
+  // Don't pin every byte (the profile name is informative), but pin the
+  // prefix: magic + count=1 + name.
+  EXPECT_EQ(hex(bundle.span()).substr(0, 8 + 8 + 8 + 12),
+            "4f424d46"        // bundle magic
+            "01000000"        // 1 format
+            "06000000"        // name length 6
+            "476f6c64656e");  // "Golden"
+  // And require exact re-registration fidelity.
+  pbio::FormatRegistry reg2;
+  auto g2 = pbio::deserialize_format_bundle(reg2, bundle.span());
+  EXPECT_EQ(g2->id(), f->id());
+  Buffer again = pbio::serialize_format_bundle(*g2);
+  EXPECT_EQ(hex(bundle.span()), hex(again.span()));
+}
+
+}  // namespace
+}  // namespace omf

@@ -1,0 +1,307 @@
+// End-to-end integration: the airline operational information system of the
+// paper's Figures 1 and 3 — capture points publishing on an event backbone,
+// consumers discovering metadata via xml2wire (HTTP + fallbacks), decoding
+// homogeneous and heterogeneous messages, format evolution mid-stream, and
+// the format service resolving unknown wire ids.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/context.hpp"
+#include "http/http.hpp"
+#include "pbio/synth.hpp"
+#include "schema/reader.hpp"
+#include "test_structs.hpp"
+#include "transport/backbone.hpp"
+#include "transport/format_service.hpp"
+
+namespace omf {
+namespace {
+
+using namespace omf::testing;
+
+TEST(Airline, FullScenario) {
+  // --- The metadata server (the "publicly known intranet server").
+  http::Server meta_server;
+  meta_server.put_document("/schemas/asdoff.xml", kAsdOffSchema);
+  std::string locator = meta_server.url_for("/schemas/asdoff.xml");
+
+  // --- The event backbone, with the channel announcing its metadata.
+  transport::EventBackbone backbone;
+  backbone.announce("aircraft.positions", locator);
+
+  // --- A capture point: discovers its own format, publishes events.
+  core::Context producer;
+  auto producer_format =
+      producer.discover_format(*backbone.metadata_locator("aircraft.positions"),
+                               "ASDOffEvent");
+  auto producer_channel = producer.bind<AsdOff>(producer_format);
+
+  // --- Two consumers subscribe, each with its own context, discovering
+  // the format independently (independent registration, same ids).
+  core::Context display, gate_agent;
+  auto display_format = display.discover_format(locator, "ASDOffEvent");
+  auto gate_format = gate_agent.discover_format(locator, "ASDOffEvent");
+  EXPECT_EQ(display_format->id(), producer_format->id());
+
+  auto display_sub = backbone.subscribe("aircraft.positions");
+  auto gate_sub = backbone.subscribe("aircraft.positions");
+
+  // --- Publish a burst of events.
+  constexpr int kEvents = 50;
+  for (int i = 0; i < kEvents; ++i) {
+    AsdOff event;
+    fill_asdoff(event, i);
+    EXPECT_EQ(backbone.publish("aircraft.positions",
+                               producer_channel.encode(&event)),
+              2u);
+  }
+
+  // --- Consumers decode every event correctly.
+  auto drain = [&](core::Context& ctx, const pbio::FormatHandle& format,
+                   transport::EventBackbone::Subscription& sub) {
+    auto channel = ctx.bind<AsdOff>(format);
+    int n = 0;
+    while (auto msg = sub.try_receive()) {
+      AsdOff expected;
+      fill_asdoff(expected, n);
+      AsdOff got{};
+      pbio::DecodeArena arena;
+      channel.decode(msg->span(), &got, arena);
+      EXPECT_TRUE(asdoff_equal(expected, got)) << "event " << n;
+      ++n;
+    }
+    return n;
+  };
+  EXPECT_EQ(drain(display, display_format, display_sub), kEvents);
+  EXPECT_EQ(drain(gate_agent, gate_format, gate_sub), kEvents);
+}
+
+TEST(Airline, HeterogeneousFeedThroughBackbone) {
+  // A weather feed arrives from a big-endian 64-bit SPARC capture point;
+  // the x86 display decodes it via a conversion plan.
+  const char* weather_schema = R"(<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:complexType name="Metar">
+    <xsd:element name="station" type="xsd:string" />
+    <xsd:element name="tempC" type="xsd:float" />
+    <xsd:element name="windKt" type="xsd:int" />
+    <xsd:element name="gusts" type="xsd:int" maxOccurs="*" />
+  </xsd:complexType>
+</xsd:schema>)";
+
+  core::Context consumer;
+  consumer.compiled_in().add("weather-meta", weather_schema);
+  auto native_format = consumer.discover_format("weather-meta", "Metar");
+
+  // The sender side (simulated SPARC): same schema, foreign layout.
+  core::Xml2Wire foreign_x2w(consumer.registry(), arch::sparc64());
+  auto foreign_format =
+      foreign_x2w.register_schema(schema::read_schema_text(weather_schema))[0];
+
+  transport::EventBackbone backbone;
+  auto sub = backbone.subscribe("weather.metar");
+
+  pbio::DynamicRecord report(native_format);
+  report.set_string("station", "KATL");
+  report.set_float("tempC", 31.5);
+  report.set_int("windKt", 12);
+  report.set_int_array("gusts", std::vector<std::int64_t>{18, 22, 19});
+  backbone.publish("weather.metar",
+                   pbio::synthesize_wire(*foreign_format, report));
+
+  auto msg = sub.try_receive();
+  ASSERT_TRUE(msg);
+  // The wire format is the foreign one...
+  EXPECT_EQ(pbio::Decoder::peek_format_id(msg->span()), foreign_format->id());
+  EXPECT_EQ(pbio::Decoder::peek_header(msg->span()).byte_order,
+            ByteOrder::kBig);
+  // ...and still decodes into the native record.
+  pbio::DynamicRecord got(native_format);
+  got.from_wire(consumer.decoder(), msg->span());
+  EXPECT_TRUE(report.deep_equals(got));
+}
+
+TEST(Airline, NewStreamFormatDiscoveredAtRuntime) {
+  // A consumer that has never seen a stream's format learns it at
+  // subscription time from the channel announcement — no recompilation.
+  http::Server meta_server;
+  const char* baggage_schema = R"(<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:complexType name="BagScan">
+    <xsd:element name="tag" type="xsd:string" />
+    <xsd:element name="fltNum" type="xsd:int" />
+    <xsd:element name="location" type="xsd:string" />
+  </xsd:complexType>
+</xsd:schema>)";
+  meta_server.put_document("/schemas/bagscan.xml", baggage_schema);
+
+  transport::EventBackbone backbone;
+  std::string locator = meta_server.url_for("/schemas/bagscan.xml");
+  backbone.announce("baggage.scans", locator);
+
+  // Producer.
+  core::Context producer;
+  auto pformat = producer.discover_format(locator, "BagScan");
+  auto prec = pbio::DynamicRecord(pformat);
+  prec.set_string("tag", "DL123456");
+  prec.set_int("fltNum", 204);
+  prec.set_string("location", "ATL-T4");
+  auto sub = backbone.subscribe("baggage.scans");
+  backbone.publish("baggage.scans", prec.encode());
+
+  // Consumer: knows nothing about BagScan until now.
+  core::Context consumer;
+  auto announced = backbone.metadata_locator("baggage.scans");
+  ASSERT_TRUE(announced);
+  auto cformat = consumer.discover_format(*announced, "BagScan");
+  auto msg = sub.try_receive();
+  ASSERT_TRUE(msg);
+  pbio::DynamicRecord got(cformat);
+  got.from_wire(consumer.decoder(), msg->span());
+  EXPECT_STREQ(got.get_string("tag"), "DL123456");
+  EXPECT_STREQ(got.get_string("location"), "ATL-T4");
+}
+
+TEST(Airline, MetadataChangeMidStreamWithoutRecompilation) {
+  // The stream's metadata document is updated (v2 adds a field). Old
+  // in-flight messages and new messages both decode on a consumer that
+  // re-discovers after an unknown-id signal.
+  http::Server meta_server;
+  const char* v1 = R"(<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:complexType name="Gate">
+    <xsd:element name="fltNum" type="xsd:int" />
+    <xsd:element name="gate" type="xsd:string" />
+  </xsd:complexType>
+</xsd:schema>)";
+  const char* v2 = R"(<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:complexType name="Gate">
+    <xsd:element name="fltNum" type="xsd:int" />
+    <xsd:element name="gate" type="xsd:string" />
+    <xsd:element name="remote" type="xsd:boolean" />
+  </xsd:complexType>
+</xsd:schema>)";
+  meta_server.put_document("/gate.xml", v1);
+  std::string locator = meta_server.url_for("/gate.xml");
+
+  core::Context producer, consumer;
+  auto pv1 = producer.discover_format(locator, "Gate");
+  auto cv1 = consumer.discover_format(locator, "Gate");
+
+  pbio::DynamicRecord m1(pv1);
+  m1.set_int("fltNum", 88);
+  m1.set_string("gate", "B2");
+  Buffer w1 = m1.encode();
+
+  // Metadata changes on the server; the producer re-discovers and sends v2.
+  meta_server.put_document("/gate.xml", v2);
+  producer.discovery().invalidate(locator);
+  auto pv2 = producer.discover_format(locator, "Gate");
+  ASSERT_NE(pv1->id(), pv2->id());
+  pbio::DynamicRecord m2(pv2);
+  m2.set_int("fltNum", 89);
+  m2.set_string("gate", "T9");
+  m2.set_uint("remote", 1);
+  Buffer w2 = m2.encode();
+
+  // Consumer decodes the old message fine.
+  pbio::DynamicRecord out1(cv1);
+  out1.from_wire(consumer.decoder(), w1.span());
+  EXPECT_EQ(out1.get_int("fltNum"), 88);
+
+  // The new message has an unknown id; the consumer re-discovers (the
+  // paper's runtime reaction to format change) and decodes.
+  pbio::FormatId id2 = pbio::Decoder::peek_format_id(w2.span());
+  EXPECT_EQ(consumer.registry().by_id(id2), nullptr);
+  consumer.discovery().invalidate(locator);
+  auto cv2 = consumer.discover_format(locator, "Gate");
+  EXPECT_EQ(cv2->id(), id2);
+  pbio::DynamicRecord out2(cv2);
+  out2.from_wire(consumer.decoder(), w2.span());
+  EXPECT_EQ(out2.get_int("fltNum"), 89);
+  EXPECT_STREQ(out2.get_string("gate"), "T9");
+  EXPECT_EQ(out2.get_uint("remote"), 1u);
+}
+
+TEST(Airline, FormatServiceResolvesUnknownWireIds) {
+  // Alternative to re-discovering the XML: fetch the binary metadata
+  // bundle from the format service keyed by the wire id itself.
+  core::Context producer, consumer;
+  producer.compiled_in().add("m", kAsdOffBSchema);
+  auto pformat = producer.discover_format("m", "ASDOffEventB");
+
+  transport::FormatServiceServer service;
+  service.publish(*pformat);
+
+  unsigned long etas[2];
+  AsdOffB event;
+  fill_asdoffb(event, etas, 2, 6);
+  Buffer wire = producer.bind<AsdOffB>(pformat).encode(&event);
+
+  pbio::FormatId id = pbio::Decoder::peek_format_id(wire.span());
+  ASSERT_EQ(consumer.registry().by_id(id), nullptr);
+  transport::FormatServiceClient client(service.port());
+  auto fetched = client.fetch(consumer.registry(), id);
+  ASSERT_NE(fetched, nullptr);
+
+  AsdOffB out{};
+  pbio::DecodeArena arena;
+  consumer.decoder().decode(wire.span(), *fetched, &out, arena);
+  EXPECT_TRUE(asdoffb_equal(event, out));
+}
+
+TEST(Airline, ConcurrentProducersAndConsumersOverTcp) {
+  // Three producers stream over TCP to one receiver thread; the receiver
+  // decodes in place (homogeneous) and tallies.
+  core::Context ctx;
+  ctx.compiled_in().add("m", kAsdOffSchema);
+  auto format = ctx.discover_format("m", "ASDOffEvent");
+  auto channel = ctx.bind<AsdOff>(format);
+
+  constexpr int kProducers = 3, kEach = 40;
+  transport::TcpListener listener(0);
+
+  std::atomic<int> decoded{0};
+  std::atomic<long> flt_sum{0};
+  std::vector<std::thread> handlers;
+  std::thread acceptor([&] {
+    for (int i = 0; i < kProducers; ++i) {
+      auto conn = listener.accept();
+      handlers.emplace_back(
+          [&, c = std::make_shared<transport::TcpConnection>(
+                  std::move(conn))]() mutable {
+            while (auto msg = c->receive()) {
+              auto* event = static_cast<AsdOff*>(
+                  channel.decode_in_place(msg->data(), msg->size()));
+              flt_sum += event->fltNum;
+              ++decoded;
+            }
+          });
+    }
+  });
+
+  long expected_sum = 0;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    for (int i = 0; i < kEach; ++i) expected_sum += 1000 + p * 100 + i;
+    producers.emplace_back([&, p] {
+      auto conn = transport::tcp_connect(listener.port());
+      for (int i = 0; i < kEach; ++i) {
+        AsdOff event;
+        fill_asdoff(event, p * 100 + i);
+        conn.send(channel.encode(&event));
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  acceptor.join();
+  for (auto& t : handlers) t.join();
+
+  EXPECT_EQ(decoded.load(), kProducers * kEach);
+  EXPECT_EQ(flt_sum.load(), expected_sum);
+}
+
+}  // namespace
+}  // namespace omf

@@ -1,0 +1,615 @@
+// PBIO core: registration, NDR encode, homogeneous decode (copying and
+// in-place), DynamicRecord, bundle serde.
+#include <gtest/gtest.h>
+
+#include "pbio/decode.hpp"
+#include "pbio/encode.hpp"
+#include "pbio/metaserde.hpp"
+#include "pbio/record.hpp"
+#include "pbio/wire.hpp"
+#include "test_structs.hpp"
+
+namespace omf {
+namespace {
+
+using namespace omf::testing;
+using pbio::DecodeArena;
+using pbio::Decoder;
+using pbio::FormatHandle;
+using pbio::FormatRegistry;
+using pbio::IOField;
+
+// --- Type string parsing -----------------------------------------------------
+
+TEST(TypeString, ParsesPrimitives) {
+  auto t = pbio::parse_type_string("integer");
+  EXPECT_EQ(t.cls, pbio::FieldClass::kInteger);
+  EXPECT_EQ(t.array, pbio::ArrayKind::kNone);
+
+  EXPECT_EQ(pbio::parse_type_string("unsigned").cls,
+            pbio::FieldClass::kUnsigned);
+  EXPECT_EQ(pbio::parse_type_string("float").cls, pbio::FieldClass::kFloat);
+  EXPECT_EQ(pbio::parse_type_string("double").cls, pbio::FieldClass::kFloat);
+  EXPECT_EQ(pbio::parse_type_string("char").cls, pbio::FieldClass::kChar);
+  EXPECT_EQ(pbio::parse_type_string("string").cls, pbio::FieldClass::kString);
+}
+
+TEST(TypeString, ParsesStaticArray) {
+  auto t = pbio::parse_type_string("integer[5]");
+  EXPECT_EQ(t.array, pbio::ArrayKind::kStatic);
+  EXPECT_EQ(t.static_count, 5u);
+}
+
+TEST(TypeString, ParsesDynamicArray) {
+  auto t = pbio::parse_type_string("unsigned[eta_count]");
+  EXPECT_EQ(t.array, pbio::ArrayKind::kDynamic);
+  EXPECT_EQ(t.size_field, "eta_count");
+}
+
+TEST(TypeString, ParsesNestedType) {
+  auto t = pbio::parse_type_string("ASDOffEvent");
+  EXPECT_EQ(t.cls, pbio::FieldClass::kNested);
+  EXPECT_EQ(t.nested_name, "ASDOffEvent");
+}
+
+TEST(TypeString, RoundTripsThroughTypeString) {
+  for (const char* s : {"integer", "unsigned[4]", "float[n]", "char",
+                        "string", "Nested", "Nested[7]", "Nested[count]"}) {
+    EXPECT_EQ(pbio::type_string(pbio::parse_type_string(s)), s);
+  }
+}
+
+TEST(TypeString, RejectsMalformed) {
+  EXPECT_THROW(pbio::parse_type_string("integer["), FormatError);
+  EXPECT_THROW(pbio::parse_type_string("integer[]"), FormatError);
+  EXPECT_THROW(pbio::parse_type_string("integer[0]"), FormatError);
+  EXPECT_THROW(pbio::parse_type_string("[5]"), FormatError);
+  EXPECT_THROW(pbio::parse_type_string("string[3]"), FormatError);
+  EXPECT_THROW(pbio::parse_type_string("string[n]"), FormatError);
+}
+
+// --- Registration ------------------------------------------------------------
+
+TEST(Registry, RegistersStructureA) {
+  FormatRegistry reg;
+  auto f = reg.register_format("ASDOffEvent", asdoff_fields(), sizeof(AsdOff));
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->name(), "ASDOffEvent");
+  EXPECT_EQ(f->struct_size(), sizeof(AsdOff));
+  EXPECT_EQ(f->fields().size(), 8u);
+  EXPECT_TRUE(f->has_pointers());
+  EXPECT_NE(f->id(), 0u);
+}
+
+TEST(Registry, LookupByNameAndId) {
+  FormatRegistry reg;
+  auto f = reg.register_format("ASDOffEvent", asdoff_fields(), sizeof(AsdOff));
+  EXPECT_EQ(reg.by_name("ASDOffEvent"), f);
+  EXPECT_EQ(reg.by_id(f->id()), f);
+  EXPECT_EQ(reg.by_name("nope"), nullptr);
+  EXPECT_EQ(reg.by_id(12345), nullptr);
+}
+
+TEST(Registry, IdenticalReRegistrationDeduplicates) {
+  FormatRegistry reg;
+  auto a = reg.register_format("ASDOffEvent", asdoff_fields(), sizeof(AsdOff));
+  auto b = reg.register_format("ASDOffEvent", asdoff_fields(), sizeof(AsdOff));
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(Registry, IndependentRegistriesAgreeOnId) {
+  FormatRegistry r1, r2;
+  auto a = r1.register_format("ASDOffEvent", asdoff_fields(), sizeof(AsdOff));
+  auto b = r2.register_format("ASDOffEvent", asdoff_fields(), sizeof(AsdOff));
+  EXPECT_EQ(a->id(), b->id());
+}
+
+TEST(Registry, DifferentMetadataDifferentId) {
+  FormatRegistry reg;
+  auto fields = asdoff_fields();
+  auto v1 = reg.register_format("E", fields, sizeof(AsdOff));
+  fields[2].name = "flightNumber";
+  auto v2 = reg.register_format("E", fields, sizeof(AsdOff));
+  EXPECT_NE(v1->id(), v2->id());
+  // Latest wins for name lookup; both reachable by id.
+  EXPECT_EQ(reg.by_name("E"), v2);
+  EXPECT_EQ(reg.by_id(v1->id()), v1);
+}
+
+TEST(Registry, NestedResolution) {
+  FormatRegistry reg;
+  auto [b, c] = register_nested_pair(reg);
+  const pbio::Field* one = c->field_named("one");
+  ASSERT_NE(one, nullptr);
+  EXPECT_EQ(one->subformat, b);
+  EXPECT_TRUE(c->has_pointers());
+}
+
+TEST(Registry, RejectsUnknownNested) {
+  FormatRegistry reg;
+  std::vector<IOField> fields = {{"x", "NoSuchFormat", 16, 0}};
+  EXPECT_THROW(reg.register_format("F", fields, 16), FormatError);
+}
+
+TEST(Registry, RejectsDuplicateFieldNames) {
+  FormatRegistry reg;
+  std::vector<IOField> fields = {{"x", "integer", 4, 0},
+                                 {"x", "integer", 4, 4}};
+  EXPECT_THROW(reg.register_format("F", fields, 8), FormatError);
+}
+
+TEST(Registry, RejectsMissingCountField) {
+  FormatRegistry reg;
+  std::vector<IOField> fields = {{"arr", "integer[n]", 4, 0}};
+  EXPECT_THROW(reg.register_format("F", fields, 8), FormatError);
+}
+
+TEST(Registry, RejectsNonIntegerCountField) {
+  FormatRegistry reg;
+  std::vector<IOField> fields = {{"arr", "integer[n]", 4, 0},
+                                 {"n", "float", 4, 8}};
+  EXPECT_THROW(reg.register_format("F", fields, 16), FormatError);
+}
+
+TEST(Registry, RejectsOverlappingFields) {
+  FormatRegistry reg;
+  std::vector<IOField> fields = {{"a", "integer", 4, 0},
+                                 {"b", "integer", 4, 2}};
+  EXPECT_THROW(reg.register_format("F", fields, 8), FormatError);
+}
+
+TEST(Registry, RejectsFieldPastStructEnd) {
+  FormatRegistry reg;
+  std::vector<IOField> fields = {{"a", "integer", 4, 8}};
+  EXPECT_THROW(reg.register_format("F", fields, 8), FormatError);
+}
+
+TEST(Registry, RejectsBadScalarWidths) {
+  FormatRegistry reg;
+  std::vector<IOField> bad_int = {{"a", "integer", 3, 0}};
+  EXPECT_THROW(reg.register_format("F", bad_int, 8), FormatError);
+  std::vector<IOField> bad_float = {{"a", "float", 2, 0}};
+  EXPECT_THROW(reg.register_format("F", bad_float, 8), FormatError);
+  std::vector<IOField> bad_char = {{"a", "char", 2, 0}};
+  EXPECT_THROW(reg.register_format("F", bad_char, 8), FormatError);
+}
+
+TEST(Registry, RejectsEmptyFormat) {
+  FormatRegistry reg;
+  std::vector<IOField> none;
+  EXPECT_THROW(reg.register_format("F", none, 0), FormatError);
+  EXPECT_THROW(reg.register_format("", asdoff_fields(), sizeof(AsdOff)),
+               FormatError);
+}
+
+// --- Round trips, copying decode --------------------------------------------
+
+class RoundTrip : public ::testing::Test {
+protected:
+  FormatRegistry reg;
+};
+
+TEST_F(RoundTrip, StructureA) {
+  auto f = reg.register_format("ASDOffEvent", asdoff_fields(), sizeof(AsdOff));
+  AsdOff in;
+  fill_asdoff(in, 7);
+  Buffer wire = pbio::encode(*f, &in);
+
+  Decoder dec(reg);
+  AsdOff out{};
+  DecodeArena arena;
+  dec.decode(wire.span(), *f, &out, arena);
+  EXPECT_TRUE(asdoff_equal(in, out));
+}
+
+TEST_F(RoundTrip, StructureB) {
+  auto f =
+      reg.register_format("ASDOffEventB", asdoffb_fields(), sizeof(AsdOffB));
+  unsigned long etas[3];
+  AsdOffB in;
+  fill_asdoffb(in, etas, 3, 5);
+  Buffer wire = pbio::encode(*f, &in);
+
+  Decoder dec(reg);
+  AsdOffB out{};
+  DecodeArena arena;
+  dec.decode(wire.span(), *f, &out, arena);
+  EXPECT_TRUE(asdoffb_equal(in, out));
+}
+
+TEST_F(RoundTrip, StructureBEmptyDynamicArray) {
+  auto f =
+      reg.register_format("ASDOffEventB", asdoffb_fields(), sizeof(AsdOffB));
+  AsdOffB in;
+  fill_asdoffb(in, nullptr, 0, 1);
+  Buffer wire = pbio::encode(*f, &in);
+
+  Decoder dec(reg);
+  AsdOffB out{};
+  DecodeArena arena;
+  dec.decode(wire.span(), *f, &out, arena);
+  EXPECT_TRUE(asdoffb_equal(in, out));
+  EXPECT_EQ(out.eta, nullptr);
+}
+
+TEST_F(RoundTrip, StructureCD_Nesting) {
+  register_nested_pair(reg);
+  auto c = reg.by_name("threeASDOffs");
+
+  unsigned long e1[2], e2[4], e3[1];
+  ThreeAsdOffs in{};
+  fill_asdoffb(in.one, e1, 2, 1);
+  in.bart = 3.14159;
+  fill_asdoffb(in.two, e2, 4, 2);
+  in.lisa = -2.71828;
+  fill_asdoffb(in.three, e3, 1, 3);
+
+  Buffer wire = pbio::encode(*c, &in);
+  Decoder dec(reg);
+  ThreeAsdOffs out{};
+  DecodeArena arena;
+  dec.decode(wire.span(), *c, &out, arena);
+  EXPECT_TRUE(three_asdoffs_equal(in, out));
+}
+
+TEST_F(RoundTrip, NullStringsSurvive) {
+  auto f = reg.register_format("ASDOffEvent", asdoff_fields(), sizeof(AsdOff));
+  AsdOff in;
+  fill_asdoff(in);
+  in.equip = nullptr;
+  in.dest = nullptr;
+  Buffer wire = pbio::encode(*f, &in);
+
+  Decoder dec(reg);
+  AsdOff out{};
+  DecodeArena arena;
+  dec.decode(wire.span(), *f, &out, arena);
+  EXPECT_EQ(out.equip, nullptr);
+  EXPECT_EQ(out.dest, nullptr);
+  EXPECT_STREQ(out.org, "ATL");
+}
+
+TEST_F(RoundTrip, EmptyStringIsNotNull) {
+  auto f = reg.register_format("ASDOffEvent", asdoff_fields(), sizeof(AsdOff));
+  AsdOff in;
+  fill_asdoff(in);
+  in.equip = const_cast<char*>("");
+  Buffer wire = pbio::encode(*f, &in);
+
+  Decoder dec(reg);
+  AsdOff out{};
+  DecodeArena arena;
+  dec.decode(wire.span(), *f, &out, arena);
+  ASSERT_NE(out.equip, nullptr);
+  EXPECT_STREQ(out.equip, "");
+}
+
+TEST_F(RoundTrip, FormatWithoutPointersIsVerbatim) {
+  struct Plain {
+    int a;
+    double b;
+    char c;
+  };
+  std::vector<IOField> fields = {
+      {"a", "integer", sizeof(int), offsetof(Plain, a)},
+      {"b", "float", sizeof(double), offsetof(Plain, b)},
+      {"c", "char", 1, offsetof(Plain, c)},
+  };
+  auto f = reg.register_format("Plain", fields, sizeof(Plain));
+  EXPECT_FALSE(f->has_pointers());
+
+  Plain in{42, 9.5, 'x'};
+  Buffer wire = pbio::encode(*f, &in);
+  // Body is the struct bytes, verbatim (the NDR property).
+  ASSERT_EQ(wire.size(), pbio::WireHeader::kSize + sizeof(Plain));
+  EXPECT_EQ(std::memcmp(wire.data() + pbio::WireHeader::kSize, &in,
+                        sizeof(Plain)),
+            0);
+}
+
+TEST_F(RoundTrip, EncodedSizeMatchesActual) {
+  auto f =
+      reg.register_format("ASDOffEventB", asdoffb_fields(), sizeof(AsdOffB));
+  unsigned long etas[3];
+  AsdOffB in;
+  fill_asdoffb(in, etas, 3);
+  Buffer wire = pbio::encode(*f, &in);
+  // encoded_size is an upper bound that is exact up to alignment padding.
+  EXPECT_GE(pbio::encoded_size(*f, &in), wire.size());
+  EXPECT_LE(pbio::encoded_size(*f, &in), wire.size() + 16);
+}
+
+TEST_F(RoundTrip, NegativeDynamicCountThrows) {
+  auto f =
+      reg.register_format("ASDOffEventB", asdoffb_fields(), sizeof(AsdOffB));
+  unsigned long etas[1];
+  AsdOffB in;
+  fill_asdoffb(in, etas, 1);
+  in.eta_count = -4;
+  Buffer out;
+  EXPECT_THROW(pbio::encode(*f, &in, out), EncodeError);
+}
+
+TEST_F(RoundTrip, NullArrayWithNonzeroCountThrows) {
+  auto f =
+      reg.register_format("ASDOffEventB", asdoffb_fields(), sizeof(AsdOffB));
+  AsdOffB in;
+  fill_asdoffb(in, nullptr, 0);
+  in.eta_count = 2;  // lies about the null pointer
+  Buffer out;
+  EXPECT_THROW(pbio::encode(*f, &in, out), EncodeError);
+}
+
+// --- In-place (zero-copy) decode ----------------------------------------------
+
+TEST_F(RoundTrip, InPlaceDecodeStructureA) {
+  auto f = reg.register_format("ASDOffEvent", asdoff_fields(), sizeof(AsdOff));
+  AsdOff in;
+  fill_asdoff(in, 3);
+  Buffer wire = pbio::encode(*f, &in);
+
+  auto* out = static_cast<AsdOff*>(
+      Decoder::decode_in_place(*f, wire.data(), wire.size()));
+  ASSERT_NE(out, nullptr);
+  EXPECT_TRUE(asdoff_equal(in, *out));
+  // Strings point INTO the wire buffer: zero copies.
+  EXPECT_GE(reinterpret_cast<const std::uint8_t*>(out->cntrId), wire.data());
+  EXPECT_LT(reinterpret_cast<const std::uint8_t*>(out->cntrId),
+            wire.data() + wire.size());
+}
+
+TEST_F(RoundTrip, InPlaceDecodeStructureCD) {
+  register_nested_pair(reg);
+  auto c = reg.by_name("threeASDOffs");
+  unsigned long e1[2], e2[4], e3[1];
+  ThreeAsdOffs in{};
+  fill_asdoffb(in.one, e1, 2, 1);
+  in.bart = 1.5;
+  fill_asdoffb(in.two, e2, 4, 2);
+  in.lisa = 2.5;
+  fill_asdoffb(in.three, e3, 1, 3);
+  Buffer wire = pbio::encode(*c, &in);
+
+  auto* out = static_cast<ThreeAsdOffs*>(
+      Decoder::decode_in_place(*c, wire.data(), wire.size()));
+  ASSERT_NE(out, nullptr);
+  EXPECT_TRUE(three_asdoffs_equal(in, *out));
+}
+
+TEST_F(RoundTrip, InPlaceRejectsForeignFormatId) {
+  auto a = reg.register_format("ASDOffEvent", asdoff_fields(), sizeof(AsdOff));
+  auto b =
+      reg.register_format("ASDOffEventB", asdoffb_fields(), sizeof(AsdOffB));
+  AsdOff in;
+  fill_asdoff(in);
+  Buffer wire = pbio::encode(*a, &in);
+  EXPECT_THROW(Decoder::decode_in_place(*b, wire.data(), wire.size()),
+               DecodeError);
+}
+
+// --- Malformed wire data ------------------------------------------------------
+
+TEST_F(RoundTrip, TruncatedMessageThrows) {
+  auto f = reg.register_format("ASDOffEvent", asdoff_fields(), sizeof(AsdOff));
+  AsdOff in;
+  fill_asdoff(in);
+  Buffer wire = pbio::encode(*f, &in);
+
+  Decoder dec(reg);
+  AsdOff out{};
+  DecodeArena arena;
+  for (std::size_t len :
+       {std::size_t{0}, std::size_t{3}, std::size_t{15},
+        pbio::WireHeader::kSize, wire.size() - 1}) {
+    EXPECT_THROW(dec.decode({wire.data(), len}, *f, &out, arena), DecodeError)
+        << "length " << len;
+  }
+}
+
+TEST_F(RoundTrip, BadMagicThrows) {
+  auto f = reg.register_format("ASDOffEvent", asdoff_fields(), sizeof(AsdOff));
+  AsdOff in;
+  fill_asdoff(in);
+  Buffer wire = pbio::encode(*f, &in);
+  wire.data()[0] = 0x00;
+
+  Decoder dec(reg);
+  AsdOff out{};
+  DecodeArena arena;
+  EXPECT_THROW(dec.decode(wire.span(), *f, &out, arena), DecodeError);
+}
+
+TEST_F(RoundTrip, UnknownFormatIdThrows) {
+  auto f = reg.register_format("ASDOffEvent", asdoff_fields(), sizeof(AsdOff));
+  AsdOff in;
+  fill_asdoff(in);
+  Buffer wire = pbio::encode(*f, &in);
+
+  FormatRegistry empty;
+  // Register a different format so `native` resolves but the wire id not.
+  auto other =
+      empty.register_format("ASDOffEventB", asdoffb_fields(), sizeof(AsdOffB));
+  Decoder dec(empty);
+  AsdOffB out{};
+  DecodeArena arena;
+  EXPECT_THROW(dec.decode(wire.span(), *other, &out, arena), FormatError);
+}
+
+TEST_F(RoundTrip, CorruptStringOffsetThrows) {
+  auto f = reg.register_format("ASDOffEvent", asdoff_fields(), sizeof(AsdOff));
+  AsdOff in;
+  fill_asdoff(in);
+  Buffer wire = pbio::encode(*f, &in);
+  // Stomp the first pointer slot with an out-of-range offset.
+  std::uint64_t bad = 0xFFFFFF;
+  std::memcpy(wire.data() + pbio::WireHeader::kSize + offsetof(AsdOff, cntrId),
+              &bad, sizeof(bad));
+
+  Decoder dec(reg);
+  AsdOff out{};
+  DecodeArena arena;
+  EXPECT_THROW(dec.decode(wire.span(), *f, &out, arena), DecodeError);
+}
+
+TEST_F(RoundTrip, PeekFormatId) {
+  auto f = reg.register_format("ASDOffEvent", asdoff_fields(), sizeof(AsdOff));
+  AsdOff in;
+  fill_asdoff(in);
+  Buffer wire = pbio::encode(*f, &in);
+  EXPECT_EQ(Decoder::peek_format_id(wire.span()), f->id());
+}
+
+// --- Format bundles ------------------------------------------------------------
+
+TEST(MetaSerde, BundleRoundTripsFlatFormat) {
+  FormatRegistry a, b;
+  auto f = a.register_format("ASDOffEvent", asdoff_fields(), sizeof(AsdOff));
+  Buffer bundle = pbio::serialize_format_bundle(*f);
+  auto g = pbio::deserialize_format_bundle(b, bundle.span());
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->id(), f->id());
+  EXPECT_EQ(g->struct_size(), f->struct_size());
+  EXPECT_EQ(g->fields().size(), f->fields().size());
+}
+
+TEST(MetaSerde, BundleCarriesNestedDependencies) {
+  FormatRegistry a, b;
+  auto [fb, fc] = register_nested_pair(a);
+  Buffer bundle = pbio::serialize_format_bundle(*fc);
+  auto g = pbio::deserialize_format_bundle(b, bundle.span());
+  EXPECT_EQ(g->id(), fc->id());
+  // The nested dependency must have arrived too.
+  EXPECT_NE(b.by_id(fb->id()), nullptr);
+}
+
+TEST(MetaSerde, RejectsGarbage) {
+  FormatRegistry reg;
+  std::vector<std::uint8_t> junk = {1, 2, 3, 4, 5};
+  EXPECT_THROW(pbio::deserialize_format_bundle(reg, junk), DecodeError);
+}
+
+// --- DynamicRecord --------------------------------------------------------------
+
+class RecordTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    register_nested_pair(reg);
+    format_b = reg.by_name("ASDOffEventB");
+    format_c = reg.by_name("threeASDOffs");
+  }
+  FormatRegistry reg;
+  FormatHandle format_b, format_c;
+};
+
+TEST_F(RecordTest, ScalarAccessors) {
+  pbio::DynamicRecord r(format_b);
+  r.set_string("cntrId", "ZID");
+  r.set_int("fltNum", 882);
+  EXPECT_STREQ(r.get_string("cntrId"), "ZID");
+  EXPECT_EQ(r.get_int("fltNum"), 882);
+  EXPECT_EQ(r.get_string("arln"), nullptr);  // unset string is null
+}
+
+TEST_F(RecordTest, ArrayAccessors) {
+  pbio::DynamicRecord r(format_b);
+  std::vector<std::int64_t> off = {10, 20, 30, 40, 50};
+  r.set_int_array("off", off);
+  EXPECT_EQ(r.get_int_array("off"), off);
+
+  std::vector<std::int64_t> eta = {7, 8};
+  r.set_int_array("eta", eta);
+  EXPECT_EQ(r.get_int_array("eta"), eta);
+  EXPECT_EQ(r.get_int("eta_count"), 2);  // companion count auto-updated
+  EXPECT_EQ(r.array_length("eta"), 2u);
+}
+
+TEST_F(RecordTest, StaticArrayLengthMustMatch) {
+  pbio::DynamicRecord r(format_b);
+  std::vector<std::int64_t> wrong = {1, 2, 3};
+  EXPECT_THROW(r.set_int_array("off", wrong), FormatError);
+}
+
+TEST_F(RecordTest, WrongClassThrows) {
+  pbio::DynamicRecord r(format_b);
+  EXPECT_THROW(r.set_float("fltNum", 1.0), FormatError);
+  EXPECT_THROW(r.set_int("cntrId", 1), FormatError);
+  EXPECT_THROW(r.get_string("fltNum"), FormatError);
+  EXPECT_THROW(r.set_int("no_such_field", 1), FormatError);
+}
+
+TEST_F(RecordTest, NestedViewsShareStorage) {
+  pbio::DynamicRecord r(format_c);
+  r.set_float("bart", 6.5);
+  auto one = r.nested("one");
+  one.set_int("fltNum", 111);
+  one.set_string("org", "JFK");
+  EXPECT_EQ(r.nested("one").get_int("fltNum"), 111);
+  EXPECT_STREQ(r.nested("one").get_string("org"), "JFK");
+  EXPECT_DOUBLE_EQ(r.get_float("bart"), 6.5);
+}
+
+TEST_F(RecordTest, RecordMatchesCompiledStruct) {
+  // The record's storage must be byte-compatible with the C struct.
+  pbio::DynamicRecord r(format_b);
+  r.set_string("cntrId", "ZTL");
+  r.set_int("fltNum", 204);
+  std::vector<std::int64_t> off = {0, 1000, 2000, 3000, 4000};
+  r.set_int_array("off", off);
+
+  const auto* s = static_cast<const AsdOffB*>(r.data());
+  EXPECT_STREQ(s->cntrId, "ZTL");
+  EXPECT_EQ(s->fltNum, 204);
+  EXPECT_EQ(s->off[3], 3000ul);
+}
+
+TEST_F(RecordTest, EncodeDecodeRoundTrip) {
+  pbio::DynamicRecord in(format_b);
+  in.set_string("cntrId", "ZNY");
+  in.set_string("arln", "UA");
+  in.set_int("fltNum", 42);
+  in.set_string("equip", "A320");
+  in.set_string("org", "EWR");
+  in.set_string("dest", "ORD");
+  std::vector<std::int64_t> off = {1, 2, 3, 4, 5};
+  in.set_int_array("off", off);
+  std::vector<std::int64_t> eta = {100, 200, 300};
+  in.set_int_array("eta", eta);
+
+  Buffer wire = in.encode();
+  Decoder dec(reg);
+  pbio::DynamicRecord out(format_b);
+  out.from_wire(dec, wire.span());
+  EXPECT_TRUE(in.deep_equals(out));
+}
+
+TEST_F(RecordTest, DeepEqualsDetectsDifferences) {
+  pbio::DynamicRecord a(format_b), b(format_b);
+  a.set_int("fltNum", 1);
+  b.set_int("fltNum", 1);
+  EXPECT_TRUE(a.deep_equals(b));
+  b.set_int("fltNum", 2);
+  EXPECT_FALSE(a.deep_equals(b));
+  b.set_int("fltNum", 1);
+  b.set_string("org", "LAX");
+  EXPECT_FALSE(a.deep_equals(b));
+}
+
+TEST_F(RecordTest, ToStringMentionsFieldsAndValues) {
+  pbio::DynamicRecord r(format_b);
+  r.set_int("fltNum", 77);
+  r.set_string("org", "SEA");
+  std::string s = r.to_string();
+  EXPECT_NE(s.find("fltNum=77"), std::string::npos);
+  EXPECT_NE(s.find("\"SEA\""), std::string::npos);
+}
+
+TEST_F(RecordTest, RequiresNativeProfile) {
+  FormatRegistry reg2;
+  std::vector<pbio::FieldSpec> specs = {{"x", "integer", 4}};
+  auto foreign = reg2.register_computed("F", specs, arch::sparc64());
+  EXPECT_THROW(pbio::DynamicRecord r(foreign), FormatError);
+}
+
+}  // namespace
+}  // namespace omf

@@ -1,0 +1,335 @@
+// Robustness: adversarial and corrupted inputs must raise omf::Error (or
+// decode to something) — never crash, hang, or overrun. Also concurrency
+// smoke tests for the shared registries and servers.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/xml2wire.hpp"
+#include "http/http.hpp"
+#include "pbio/decode.hpp"
+#include "pbio/encode.hpp"
+#include "pbio/metaserde.hpp"
+#include "pbio/record.hpp"
+#include "test_structs.hpp"
+#include "textxml/textxml.hpp"
+#include "util/rng.hpp"
+#include "xdr/xdr.hpp"
+#include "xml/parser.hpp"
+
+namespace omf {
+namespace {
+
+using namespace omf::testing;
+
+std::vector<std::uint8_t> random_bytes(Rng& rng, std::size_t n) {
+  std::vector<std::uint8_t> out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.next());
+  return out;
+}
+
+// --- Pure-noise inputs -----------------------------------------------------------
+
+TEST(Fuzz, RandomBytesIntoNdrDecoder) {
+  pbio::FormatRegistry reg;
+  auto f = reg.register_format("ASDOffEventB", asdoffb_fields(),
+                               sizeof(AsdOffB));
+  pbio::Decoder dec(reg);
+  Rng rng(101);
+  AsdOffB out{};
+  pbio::DecodeArena arena;
+  for (int i = 0; i < 500; ++i) {
+    auto noise = random_bytes(rng, rng.below(256));
+    try {
+      dec.decode(noise, *f, &out, arena);
+    } catch (const Error&) {
+      // expected almost always
+    }
+  }
+}
+
+TEST(Fuzz, RandomBytesIntoInPlaceDecoder) {
+  pbio::FormatRegistry reg;
+  auto f = reg.register_format("ASDOffEventB", asdoffb_fields(),
+                               sizeof(AsdOffB));
+  Rng rng(102);
+  for (int i = 0; i < 500; ++i) {
+    auto noise = random_bytes(rng, rng.below(256));
+    try {
+      pbio::Decoder::decode_in_place(*f, noise.data(), noise.size());
+    } catch (const Error&) {
+    }
+  }
+}
+
+TEST(Fuzz, RandomBytesIntoBundleDeserializer) {
+  Rng rng(103);
+  for (int i = 0; i < 500; ++i) {
+    pbio::FormatRegistry reg;
+    auto noise = random_bytes(rng, rng.below(512));
+    try {
+      pbio::deserialize_format_bundle(reg, noise);
+    } catch (const Error&) {
+    }
+  }
+}
+
+TEST(Fuzz, RandomBytesIntoXdrDecoder) {
+  pbio::FormatRegistry reg;
+  auto f = reg.register_format("ASDOffEventB", asdoffb_fields(),
+                               sizeof(AsdOffB));
+  Rng rng(104);
+  AsdOffB out{};
+  pbio::DecodeArena arena;
+  for (int i = 0; i < 500; ++i) {
+    auto noise = random_bytes(rng, rng.below(256));
+    try {
+      xdr::decode(*f, noise, &out, arena);
+    } catch (const Error&) {
+    }
+  }
+}
+
+TEST(Fuzz, RandomBytesIntoXmlParser) {
+  Rng rng(105);
+  for (int i = 0; i < 500; ++i) {
+    auto noise = random_bytes(rng, rng.below(512));
+    std::string_view text(reinterpret_cast<const char*>(noise.data()),
+                          noise.size());
+    try {
+      xml::parse(text);
+    } catch (const Error&) {
+    }
+  }
+}
+
+// --- Single-byte corruption of valid messages --------------------------------------
+
+TEST(Fuzz, EveryBytePositionCorruptedInNdrMessage) {
+  pbio::FormatRegistry reg;
+  auto [b, c] = register_nested_pair(reg);
+  unsigned long e1[2], e2[1], e3[3];
+  ThreeAsdOffs in{};
+  fill_asdoffb(in.one, e1, 2, 1);
+  fill_asdoffb(in.two, e2, 1, 2);
+  fill_asdoffb(in.three, e3, 3, 3);
+  Buffer wire = pbio::encode(*c, &in);
+
+  pbio::Decoder dec(reg);
+  ThreeAsdOffs out{};
+  for (std::size_t pos = 0; pos < wire.size(); ++pos) {
+    for (std::uint8_t flip : {std::uint8_t{0xFF}, std::uint8_t{0x80},
+                              std::uint8_t{0x01}}) {
+      std::vector<std::uint8_t> copy(wire.data(), wire.data() + wire.size());
+      copy[pos] ^= flip;
+      pbio::DecodeArena arena;
+      try {
+        dec.decode(copy, *c, &out, arena);
+      } catch (const Error&) {
+        // rejection is fine; crashing is not
+      }
+    }
+  }
+}
+
+TEST(Fuzz, TruncationAtEveryLengthOfNdrMessage) {
+  pbio::FormatRegistry reg;
+  auto f = reg.register_format("ASDOffEventB", asdoffb_fields(),
+                               sizeof(AsdOffB));
+  unsigned long etas[4];
+  AsdOffB in;
+  fill_asdoffb(in, etas, 4);
+  Buffer wire = pbio::encode(*f, &in);
+
+  pbio::Decoder dec(reg);
+  AsdOffB out{};
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    pbio::DecodeArena arena;
+    EXPECT_THROW(dec.decode({wire.data(), len}, *f, &out, arena), Error)
+        << "length " << len;
+  }
+}
+
+TEST(Fuzz, MutatedXmlDocumentsNeverCrashParser) {
+  std::string base(kThreeAsdOffsSchema);
+  Rng rng(106);
+  for (int i = 0; i < 400; ++i) {
+    std::string copy = base;
+    int mutations = 1 + static_cast<int>(rng.below(4));
+    for (int m = 0; m < mutations; ++m) {
+      std::size_t pos = rng.below(copy.size());
+      switch (rng.below(3)) {
+        case 0: copy[pos] = static_cast<char>(rng.next()); break;
+        case 1: copy.erase(pos, 1 + rng.below(5)); break;
+        case 2: copy.insert(pos, 1, static_cast<char>('<' + rng.below(4))); break;
+      }
+    }
+    try {
+      pbio::FormatRegistry reg;
+      core::Xml2Wire x2w(reg);
+      x2w.register_text(copy);
+    } catch (const Error&) {
+    }
+  }
+}
+
+TEST(Fuzz, MutatedTextXmlMessages) {
+  pbio::FormatRegistry reg;
+  auto f = reg.register_format("ASDOffEventB", asdoffb_fields(),
+                               sizeof(AsdOffB));
+  unsigned long etas[2];
+  AsdOffB in;
+  fill_asdoffb(in, etas, 2);
+  std::string base = textxml::encode_text(*f, &in);
+
+  Rng rng(107);
+  AsdOffB out{};
+  for (int i = 0; i < 400; ++i) {
+    std::string copy = base;
+    std::size_t pos = rng.below(copy.size());
+    copy[pos] = static_cast<char>(rng.next());
+    pbio::DecodeArena arena;
+    try {
+      textxml::decode(*f,
+                      {reinterpret_cast<const std::uint8_t*>(copy.data()),
+                       copy.size()},
+                      &out, arena);
+    } catch (const Error&) {
+    }
+  }
+}
+
+// --- Hostile variable-section geometry ---------------------------------------------
+
+TEST(Hostile, SelfReferentialStringOffset) {
+  // A string offset pointing back into the struct region: legal bytes-wise
+  // (in range, NUL findable) — must decode without touching anything out
+  // of bounds, or throw; either way no crash.
+  pbio::FormatRegistry reg;
+  auto f = reg.register_format("ASDOffEvent", asdoff_fields(), sizeof(AsdOff));
+  AsdOff in;
+  fill_asdoff(in);
+  Buffer wire = pbio::encode(*f, &in);
+  // Point cntrId at offset 2 (inside the struct copy).
+  std::uint64_t off = 2;
+  std::memcpy(wire.data() + pbio::WireHeader::kSize + offsetof(AsdOff, cntrId),
+              &off, sizeof(off));
+  pbio::Decoder dec(reg);
+  AsdOff out{};
+  pbio::DecodeArena arena;
+  try {
+    dec.decode(wire.span(), *f, &out, arena);
+  } catch (const Error&) {
+  }
+}
+
+TEST(Hostile, OverlappingDynamicArrays) {
+  pbio::FormatRegistry reg;
+  auto f = reg.register_format("ASDOffEventB", asdoffb_fields(),
+                               sizeof(AsdOffB));
+  unsigned long etas[4];
+  AsdOffB in;
+  fill_asdoffb(in, etas, 4);
+  Buffer wire = pbio::encode(*f, &in);
+  // Point eta back at body offset 0 (overlapping the struct copy).
+  std::uint64_t off = 0;
+  std::memcpy(wire.data() + pbio::WireHeader::kSize + offsetof(AsdOffB, eta),
+              &off, sizeof(off));
+  pbio::Decoder dec(reg);
+  AsdOffB out{};
+  pbio::DecodeArena arena;
+  // Offset 0 with nonzero count must be rejected (0 is the null encoding).
+  EXPECT_THROW(dec.decode(wire.span(), *f, &out, arena), DecodeError);
+}
+
+TEST(Hostile, HugeDeclaredBodyLength) {
+  pbio::FormatRegistry reg;
+  auto f = reg.register_format("ASDOffEvent", asdoff_fields(), sizeof(AsdOff));
+  AsdOff in;
+  fill_asdoff(in);
+  Buffer wire = pbio::encode(*f, &in);
+  // Claim a 256 MB body in a 100-byte message.
+  store_le<std::uint32_t>(wire.data() + 4, 256u << 20);
+  pbio::Decoder dec(reg);
+  AsdOff out{};
+  pbio::DecodeArena arena;
+  EXPECT_THROW(dec.decode(wire.span(), *f, &out, arena), DecodeError);
+  EXPECT_THROW(
+      pbio::Decoder::decode_in_place(*f, wire.data(), wire.size()),
+      DecodeError);
+}
+
+// --- Concurrency smoke --------------------------------------------------------------
+
+TEST(Concurrency, ParallelRegistrationAndLookup) {
+  pbio::FormatRegistry reg;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> workers;
+  std::atomic<bool> failed{false};
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      try {
+        for (int i = 0; i < 200; ++i) {
+          std::string name = "F" + std::to_string((t * 13 + i) % 20);
+          std::vector<pbio::FieldSpec> specs = {
+              {"a", "integer", 4}, {"b", "float", 8}, {"s", "string", 0}};
+          auto f = reg.register_computed(name, specs);
+          if (!reg.by_name(name) || !reg.by_id(f->id())) failed = true;
+        }
+      } catch (const Error&) {
+        failed = true;
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_FALSE(failed);
+  EXPECT_EQ(reg.size(), 20u);  // 20 distinct names, all deduped by id
+}
+
+TEST(Concurrency, ParallelDecodersShareOneRegistry) {
+  pbio::FormatRegistry reg;
+  auto f = reg.register_format("ASDOffEventB", asdoffb_fields(),
+                               sizeof(AsdOffB));
+  unsigned long etas[3];
+  AsdOffB in;
+  fill_asdoffb(in, etas, 3);
+  Buffer wire = pbio::encode(*f, &in);
+
+  pbio::Decoder dec(reg);
+  std::atomic<int> ok{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 8; ++t) {
+    workers.emplace_back([&] {
+      AsdOffB out{};
+      pbio::DecodeArena arena;
+      for (int i = 0; i < 300; ++i) {
+        arena.clear();
+        dec.decode(wire.span(), *f, &out, arena);
+        if (asdoffb_equal(in, out)) ++ok;
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(ok.load(), 8 * 300);
+  EXPECT_EQ(dec.cached_plans(), 1u);
+}
+
+TEST(Concurrency, ParallelHttpGets) {
+  http::Server server;
+  server.put_document("/doc", std::string(4096, 'x'));
+  std::atomic<int> ok{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 6; ++t) {
+    clients.emplace_back([&] {
+      for (int i = 0; i < 30; ++i) {
+        auto resp = http::get(server.url_for("/doc"));
+        if (resp.status == 200 && resp.body.size() == 4096) ++ok;
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  EXPECT_EQ(ok.load(), 6 * 30);
+}
+
+}  // namespace
+}  // namespace omf

@@ -1,0 +1,310 @@
+// XML Schema subset: reader and generator.
+#include <gtest/gtest.h>
+
+#include "pbio/format.hpp"
+#include "core/xml2wire.hpp"
+#include "schema/generator.hpp"
+#include "schema/reader.hpp"
+#include "test_structs.hpp"
+
+namespace omf::schema {
+namespace {
+
+using omf::testing::kAsdOffBSchema;
+using omf::testing::kAsdOffSchema;
+using omf::testing::kThreeAsdOffsSchema;
+
+TEST(SchemaReader, ReadsStructureA) {
+  SchemaDocument doc = read_schema_text(kAsdOffSchema);
+  EXPECT_EQ(doc.target_namespace, "http://www.cc.gatech.edu/pmw/schemas");
+  EXPECT_EQ(doc.documentation, "ASDOff");
+  ASSERT_EQ(doc.types.size(), 1u);
+  const SchemaType& t = doc.types[0];
+  EXPECT_EQ(t.name, "ASDOffEvent");
+  ASSERT_EQ(t.elements.size(), 8u);
+  EXPECT_EQ(t.elements[0].name, "cntrId");
+  EXPECT_TRUE(t.elements[0].is_primitive);
+  EXPECT_EQ(t.elements[0].primitive, XsdPrimitive::kString);
+  EXPECT_EQ(t.elements[2].primitive, XsdPrimitive::kInt);
+  EXPECT_EQ(t.elements[6].primitive, XsdPrimitive::kUnsignedLong);
+  EXPECT_EQ(t.elements[6].occurs.kind, Occurs::Kind::kScalar);
+}
+
+TEST(SchemaReader, ReadsArrays) {
+  SchemaDocument doc = read_schema_text(kAsdOffBSchema);
+  const SchemaType& t = doc.types[0];
+  const SchemaElement* off = t.element_named("off");
+  ASSERT_NE(off, nullptr);
+  EXPECT_EQ(off->occurs.kind, Occurs::Kind::kStatic);
+  EXPECT_EQ(off->occurs.count, 5u);
+  const SchemaElement* eta = t.element_named("eta");
+  ASSERT_NE(eta, nullptr);
+  EXPECT_EQ(eta->occurs.kind, Occurs::Kind::kDynamicSized);
+  EXPECT_EQ(eta->occurs.size_field, "eta_count");
+}
+
+TEST(SchemaReader, ReadsNesting) {
+  SchemaDocument doc = read_schema_text(kThreeAsdOffsSchema);
+  ASSERT_EQ(doc.types.size(), 2u);
+  const SchemaType& t = doc.types[1];
+  EXPECT_EQ(t.name, "threeASDOffs");
+  const SchemaElement* one = t.element_named("one");
+  ASSERT_NE(one, nullptr);
+  EXPECT_FALSE(one->is_primitive);
+  EXPECT_EQ(one->user_type, "ASDOffEventB");
+  EXPECT_EQ(t.element_named("bart")->primitive, XsdPrimitive::kDouble);
+}
+
+TEST(SchemaReader, WildcardMaxOccursIsUnbounded) {
+  const char* schema = R"(<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:complexType name="T">
+    <xsd:element name="xs" type="xsd:int" maxOccurs="*" />
+    <xsd:element name="ys" type="xsd:int" maxOccurs="unbounded" />
+  </xsd:complexType>
+</xsd:schema>)";
+  SchemaDocument doc = read_schema_text(schema);
+  EXPECT_EQ(doc.types[0].elements[0].occurs.kind,
+            Occurs::Kind::kDynamicUnbounded);
+  EXPECT_EQ(doc.types[0].elements[1].occurs.kind,
+            Occurs::Kind::kDynamicUnbounded);
+}
+
+TEST(SchemaReader, SequenceWrapperAccepted) {
+  const char* schema = R"(<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:complexType name="T">
+    <xsd:sequence>
+      <xsd:element name="x" type="xsd:int" />
+    </xsd:sequence>
+  </xsd:complexType>
+</xsd:schema>)";
+  SchemaDocument doc = read_schema_text(schema);
+  ASSERT_EQ(doc.types[0].elements.size(), 1u);
+}
+
+TEST(SchemaReader, The1999NamespaceAndHyphenatedTypesWork) {
+  // The paper's own appendix style.
+  const char* schema = R"(<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/1999/XMLSchema">
+  <xsd:complexType name="T">
+    <xsd:element name="a" type="xsd:unsigned-long" />
+    <xsd:element name="b" type="xsd:integer" />
+  </xsd:complexType>
+</xsd:schema>)";
+  SchemaDocument doc = read_schema_text(schema);
+  EXPECT_EQ(doc.types[0].elements[0].primitive, XsdPrimitive::kUnsignedLong);
+  EXPECT_EQ(doc.types[0].elements[1].primitive, XsdPrimitive::kInt);
+}
+
+TEST(SchemaReader, NoNamespacePrefixesAccepted) {
+  const char* schema = R"(<schema>
+  <complexType name="T"><element name="x" type="U" /></complexType>
+</schema>)";
+  SchemaDocument doc = read_schema_text(schema);
+  EXPECT_FALSE(doc.types[0].elements[0].is_primitive);
+  EXPECT_EQ(doc.types[0].elements[0].user_type, "U");
+}
+
+struct BadSchema {
+  const char* name;
+  const char* text;
+};
+
+class SchemaErrors : public ::testing::TestWithParam<BadSchema> {};
+
+TEST_P(SchemaErrors, Throws) {
+  EXPECT_THROW(read_schema_text(GetParam().text), FormatError)
+      << GetParam().text;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, SchemaErrors,
+    ::testing::Values(
+        BadSchema{"wrong_root", "<notschema/>"},
+        BadSchema{"no_types",
+                  "<xsd:schema xmlns:xsd=\"http://www.w3.org/2001/XMLSchema\"/>"},
+        BadSchema{"type_without_name",
+                  R"(<s:schema xmlns:s="http://www.w3.org/2001/XMLSchema">
+                     <s:complexType><s:element name="x" type="s:int"/></s:complexType></s:schema>)"},
+        BadSchema{"element_without_type",
+                  R"(<s:schema xmlns:s="http://www.w3.org/2001/XMLSchema">
+                     <s:complexType name="T"><s:element name="x"/></s:complexType></s:schema>)"},
+        BadSchema{"unsupported_xsd_type",
+                  R"(<s:schema xmlns:s="http://www.w3.org/2001/XMLSchema">
+                     <s:complexType name="T"><s:element name="x" type="s:dateTime"/></s:complexType></s:schema>)"},
+        BadSchema{"duplicate_elements",
+                  R"(<s:schema xmlns:s="http://www.w3.org/2001/XMLSchema">
+                     <s:complexType name="T"><s:element name="x" type="s:int"/>
+                     <s:element name="x" type="s:int"/></s:complexType></s:schema>)"},
+        BadSchema{"duplicate_types",
+                  R"(<s:schema xmlns:s="http://www.w3.org/2001/XMLSchema">
+                     <s:complexType name="T"><s:element name="x" type="s:int"/></s:complexType>
+                     <s:complexType name="T"><s:element name="y" type="s:int"/></s:complexType></s:schema>)"},
+        BadSchema{"dangling_size_field",
+                  R"(<s:schema xmlns:s="http://www.w3.org/2001/XMLSchema">
+                     <s:complexType name="T"><s:element name="a" type="s:int" maxOccurs="n"/></s:complexType></s:schema>)"},
+        BadSchema{"float_size_field",
+                  R"(<s:schema xmlns:s="http://www.w3.org/2001/XMLSchema">
+                     <s:complexType name="T"><s:element name="a" type="s:int" maxOccurs="n"/>
+                     <s:element name="n" type="s:float"/></s:complexType></s:schema>)"},
+        BadSchema{"min_max_mismatch",
+                  R"(<s:schema xmlns:s="http://www.w3.org/2001/XMLSchema">
+                     <s:complexType name="T"><s:element name="a" type="s:int" minOccurs="2" maxOccurs="5"/></s:complexType></s:schema>)"},
+        BadSchema{"zero_max_occurs",
+                  R"(<s:schema xmlns:s="http://www.w3.org/2001/XMLSchema">
+                     <s:complexType name="T"><s:element name="a" type="s:int" maxOccurs="0"/></s:complexType></s:schema>)"},
+        BadSchema{"undeclared_prefix",
+                  R"(<s:schema xmlns:s="http://www.w3.org/2001/XMLSchema">
+                     <s:complexType name="T"><s:element name="a" type="zz:int"/></s:complexType></s:schema>)"},
+        BadSchema{"empty_type",
+                  R"(<s:schema xmlns:s="http://www.w3.org/2001/XMLSchema">
+                     <s:complexType name="T"></s:complexType></s:schema>)"}),
+    [](const auto& info) { return info.param.name; });
+
+// --- Simple types (paper footnote 1) ---------------------------------------------
+
+TEST(SimpleTypes, RestrictionOfPrimitive) {
+  const char* schema = R"(<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:simpleType name="Knots">
+    <xsd:restriction base="xsd:int" />
+  </xsd:simpleType>
+  <xsd:complexType name="Wind">
+    <xsd:element name="speed" type="Knots" />
+    <xsd:element name="gust" type="Knots" />
+  </xsd:complexType>
+</xsd:schema>)";
+  SchemaDocument doc = read_schema_text(schema);
+  ASSERT_EQ(doc.simple_types.size(), 1u);
+  EXPECT_EQ(doc.simple_types[0].base, XsdPrimitive::kInt);
+  const SchemaType& t = doc.types[0];
+  EXPECT_TRUE(t.elements[0].is_primitive);
+  EXPECT_EQ(t.elements[0].primitive, XsdPrimitive::kInt);
+}
+
+TEST(SimpleTypes, ChainedDerivationCollapses) {
+  const char* schema = R"(<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:simpleType name="Altitude">
+    <xsd:restriction base="xsd:unsignedLong" />
+  </xsd:simpleType>
+  <xsd:simpleType name="FlightLevel">
+    <xsd:extension base="Altitude" />
+  </xsd:simpleType>
+  <xsd:complexType name="T">
+    <xsd:element name="fl" type="FlightLevel" />
+  </xsd:complexType>
+</xsd:schema>)";
+  SchemaDocument doc = read_schema_text(schema);
+  EXPECT_EQ(doc.simple_type_named("FlightLevel")->base,
+            XsdPrimitive::kUnsignedLong);
+  EXPECT_EQ(doc.types[0].elements[0].primitive, XsdPrimitive::kUnsignedLong);
+}
+
+TEST(SimpleTypes, ArraysOfSimpleTypesWork) {
+  const char* schema = R"(<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:simpleType name="Celsius">
+    <xsd:restriction base="xsd:double" />
+  </xsd:simpleType>
+  <xsd:complexType name="Readings">
+    <xsd:element name="temps" type="Celsius" maxOccurs="*" />
+  </xsd:complexType>
+</xsd:schema>)";
+  pbio::FormatRegistry reg;
+  core::Xml2Wire x2w(reg);
+  auto f = x2w.register_text(schema)[0];
+  EXPECT_EQ(f->field_named("temps")->type.cls, pbio::FieldClass::kFloat);
+  EXPECT_EQ(f->field_named("temps")->size, 8u);
+  EXPECT_EQ(f->field_named("temps")->type.array, pbio::ArrayKind::kDynamic);
+}
+
+TEST(SimpleTypes, ErrorsAreDiagnosed) {
+  EXPECT_THROW(read_schema_text(R"(
+<s:schema xmlns:s="http://www.w3.org/2001/XMLSchema">
+  <s:simpleType name="Bad"><s:restriction base="s:dateTime"/></s:simpleType>
+  <s:complexType name="T"><s:element name="x" type="s:int"/></s:complexType>
+</s:schema>)"),
+               FormatError);
+  EXPECT_THROW(read_schema_text(R"(
+<s:schema xmlns:s="http://www.w3.org/2001/XMLSchema">
+  <s:simpleType name="Bad"><s:restriction base="NotDefined"/></s:simpleType>
+  <s:complexType name="T"><s:element name="x" type="s:int"/></s:complexType>
+</s:schema>)"),
+               FormatError);
+  EXPECT_THROW(read_schema_text(R"(
+<s:schema xmlns:s="http://www.w3.org/2001/XMLSchema">
+  <s:simpleType name="NoDerivation"/>
+  <s:complexType name="T"><s:element name="x" type="s:int"/></s:complexType>
+</s:schema>)"),
+               FormatError);
+  EXPECT_THROW(read_schema_text(R"(
+<s:schema xmlns:s="http://www.w3.org/2001/XMLSchema">
+  <s:simpleType name="Dup"><s:restriction base="s:int"/></s:simpleType>
+  <s:simpleType name="Dup"><s:restriction base="s:int"/></s:simpleType>
+  <s:complexType name="T"><s:element name="x" type="s:int"/></s:complexType>
+</s:schema>)"),
+               FormatError);
+  // A name used as both simple and complex type is ambiguous.
+  EXPECT_THROW(read_schema_text(R"(
+<s:schema xmlns:s="http://www.w3.org/2001/XMLSchema">
+  <s:simpleType name="X"><s:restriction base="s:int"/></s:simpleType>
+  <s:complexType name="X"><s:element name="a" type="s:int"/></s:complexType>
+</s:schema>)"),
+               FormatError);
+}
+
+// --- Generator -----------------------------------------------------------------
+
+TEST(SchemaGenerator, GeneratedSchemaReadsBack) {
+  pbio::FormatRegistry reg;
+  auto [b, c] = omf::testing::register_nested_pair(reg);
+  std::string text = generate_schema_text(*c);
+  SchemaDocument doc = read_schema_text(text);
+  ASSERT_EQ(doc.types.size(), 2u);
+  EXPECT_EQ(doc.types[0].name, "ASDOffEventB");  // dependency first
+  EXPECT_EQ(doc.types[1].name, "threeASDOffs");
+  const SchemaElement* eta = doc.types[0].element_named("eta");
+  ASSERT_NE(eta, nullptr);
+  EXPECT_EQ(eta->occurs.kind, Occurs::Kind::kDynamicSized);
+  EXPECT_EQ(eta->occurs.size_field, "eta_count");
+}
+
+TEST(SchemaGenerator, RoundTripPreservesLayout) {
+  // format -> schema -> xml2wire -> format must be layout-identical.
+  pbio::FormatRegistry reg;
+  auto [b, c] = omf::testing::register_nested_pair(reg);
+  std::string text = generate_schema_text(*c);
+
+  pbio::FormatRegistry reg2;
+  core::Xml2Wire x2w(reg2);
+  auto handles = x2w.register_text(text);
+  ASSERT_EQ(handles.size(), 2u);
+  EXPECT_EQ(handles[0]->id(), b->id());
+  EXPECT_EQ(handles[1]->id(), c->id());
+}
+
+TEST(SchemaGenerator, EmitsDocumentation) {
+  pbio::FormatRegistry reg;
+  std::vector<pbio::FieldSpec> specs = {{"x", "integer", 4}};
+  auto f = reg.register_computed("T", specs);
+  GenerateOptions opts;
+  opts.documentation = "generated for tests";
+  std::string text = generate_schema_text(*f, opts);
+  SchemaDocument doc = read_schema_text(text);
+  EXPECT_EQ(doc.documentation, "generated for tests");
+}
+
+TEST(SchemaGenerator, CharUsesExtensionNamespace) {
+  pbio::FormatRegistry reg;
+  std::vector<pbio::FieldSpec> specs = {{"c", "char", 1}};
+  auto f = reg.register_computed("T", specs);
+  std::string text = generate_schema_text(*f);
+  EXPECT_NE(text.find("omf:char"), std::string::npos);
+  SchemaDocument doc = read_schema_text(text);
+  EXPECT_EQ(doc.types[0].elements[0].primitive, XsdPrimitive::kChar);
+}
+
+}  // namespace
+}  // namespace omf::schema

@@ -1,0 +1,378 @@
+// Stream subscription lifecycle, message files, and enumeration facets.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <unistd.h>
+
+#include "core/http_formats.hpp"
+#include "core/stream.hpp"
+#include "http/http.hpp"
+#include "pbio/decode.hpp"
+#include "pbio/file.hpp"
+#include "pbio/record.hpp"
+#include "pbio/synth.hpp"
+#include "schema/generator.hpp"
+#include "schema/reader.hpp"
+#include "test_structs.hpp"
+#include "transport/backbone.hpp"
+
+namespace omf {
+namespace {
+
+using namespace omf::testing;
+
+// --- StreamSubscriber ------------------------------------------------------------
+
+const char* kV1 = R"(<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:complexType name="Gate">
+    <xsd:element name="fltNum" type="xsd:int" />
+    <xsd:element name="gate" type="xsd:string" />
+  </xsd:complexType>
+</xsd:schema>)";
+
+const char* kV2 = R"(<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:complexType name="Gate">
+    <xsd:element name="fltNum" type="xsd:int" />
+    <xsd:element name="gate" type="xsd:string" />
+    <xsd:element name="remote" type="xsd:boolean" />
+  </xsd:complexType>
+</xsd:schema>)";
+
+TEST(StreamSubscriber, DiscoversAtSubscribeTimeAndDecodes) {
+  http::Server meta;
+  meta.put_document("/gate.xml", kV1);
+  transport::EventBackbone backbone;
+  backbone.announce("gates", meta.url_for("/gate.xml"));
+
+  core::Context producer_ctx, consumer_ctx;
+  auto pformat =
+      producer_ctx.discover_format(meta.url_for("/gate.xml"), "Gate");
+
+  core::StreamSubscriber sub(consumer_ctx, backbone, "gates", "Gate");
+  EXPECT_EQ(sub.format()->id(), pformat->id());
+
+  pbio::DynamicRecord msg(pformat);
+  msg.set_int("fltNum", 11);
+  msg.set_string("gate", "C3");
+  backbone.publish("gates", msg.encode());
+
+  auto got = sub.try_receive();
+  ASSERT_TRUE(got);
+  EXPECT_EQ(got->get_int("fltNum"), 11);
+  EXPECT_STREQ(got->get_string("gate"), "C3");
+  EXPECT_EQ(sub.rediscoveries(), 0u);
+}
+
+TEST(StreamSubscriber, RequiresAnnouncedMetadata) {
+  transport::EventBackbone backbone;
+  core::Context ctx;
+  EXPECT_THROW(
+      core::StreamSubscriber(ctx, backbone, "unannounced", "Gate"),
+      DiscoveryError);
+}
+
+TEST(StreamSubscriber, ReactsToMetadataChangeMidStream) {
+  http::Server meta;
+  meta.put_document("/gate.xml", kV1);
+  transport::EventBackbone backbone;
+  backbone.announce("gates", meta.url_for("/gate.xml"));
+
+  core::Context producer_ctx, consumer_ctx;
+  auto v1 = producer_ctx.discover_format(meta.url_for("/gate.xml"), "Gate");
+  core::StreamSubscriber sub(consumer_ctx, backbone, "gates", "Gate");
+
+  pbio::DynamicRecord m1(v1);
+  m1.set_int("fltNum", 1);
+  m1.set_string("gate", "A1");
+  backbone.publish("gates", m1.encode());
+
+  // Metadata changes; producer re-discovers and publishes v2 messages.
+  meta.put_document("/gate.xml", kV2);
+  producer_ctx.discovery().invalidate(meta.url_for("/gate.xml"));
+  auto v2 = producer_ctx.discover_format(meta.url_for("/gate.xml"), "Gate");
+  pbio::DynamicRecord m2(v2);
+  m2.set_int("fltNum", 2);
+  m2.set_string("gate", "B2");
+  m2.set_uint("remote", 1);
+  backbone.publish("gates", m2.encode());
+
+  auto got1 = sub.try_receive();
+  ASSERT_TRUE(got1);
+  EXPECT_EQ(got1->get_int("fltNum"), 1);
+  EXPECT_EQ(sub.rediscoveries(), 0u);
+
+  auto got2 = sub.try_receive();  // triggers re-discovery
+  ASSERT_TRUE(got2);
+  EXPECT_EQ(got2->get_int("fltNum"), 2);
+  EXPECT_EQ(got2->get_uint("remote"), 1u);  // the new field is visible
+  EXPECT_EQ(sub.rediscoveries(), 1u);
+  EXPECT_EQ(sub.format()->id(), v2->id());  // adopted the new view
+}
+
+TEST(StreamSubscriber, FallbackResolvesForeignSenders) {
+  http::Server meta;
+  meta.put_document("/gate.xml", kV1);
+  transport::EventBackbone backbone;
+  backbone.announce("gates", meta.url_for("/gate.xml"));
+
+  // The sender runs on sparc64; its wire id is not derivable from the XML
+  // on this (little-endian) machine, so the subscriber needs the fallback.
+  pbio::FormatRegistry sender_reg;
+  core::Xml2Wire sender_x2w(sender_reg, arch::sparc64());
+  auto foreign = sender_x2w.register_text(kV1)[0];
+
+  http::Server format_server;
+  core::HttpFormatPublisher publisher(format_server);
+  publisher.publish(*foreign);
+
+  core::Context consumer_ctx;
+  core::StreamSubscriber sub(consumer_ctx, backbone, "gates", "Gate");
+  core::HttpFormatResolver resolver(format_server.url_for("/formats/"));
+  sub.set_format_fallback(
+      [&resolver](pbio::FormatRegistry& reg, pbio::FormatId id) {
+        return resolver.resolve(reg, id) != nullptr;
+      });
+
+  pbio::DynamicRecord values(sub.format());
+  values.set_int("fltNum", 77);
+  values.set_string("gate", "E9");
+  backbone.publish("gates", pbio::synthesize_wire(*foreign, values));
+
+  auto got = sub.try_receive();
+  ASSERT_TRUE(got);
+  EXPECT_EQ(got->get_int("fltNum"), 77);
+  EXPECT_STREQ(got->get_string("gate"), "E9");
+  EXPECT_EQ(sub.rediscoveries(), 1u);
+}
+
+TEST(StreamSubscriber, UnresolvableFormatThrows) {
+  http::Server meta;
+  meta.put_document("/gate.xml", kV1);
+  transport::EventBackbone backbone;
+  backbone.announce("gates", meta.url_for("/gate.xml"));
+
+  pbio::FormatRegistry sender_reg;
+  core::Xml2Wire sender_x2w(sender_reg, arch::sparc64());
+  auto foreign = sender_x2w.register_text(kV1)[0];
+
+  core::Context ctx;
+  core::StreamSubscriber sub(ctx, backbone, "gates", "Gate");
+  pbio::DynamicRecord values(sub.format());
+  values.set_int("fltNum", 1);
+  backbone.publish("gates", pbio::synthesize_wire(*foreign, values));
+  EXPECT_THROW(sub.try_receive(), FormatError);
+}
+
+// --- Message files ----------------------------------------------------------------
+
+class MessageFileTest : public ::testing::Test {
+protected:
+  std::string path() const {
+    return ::testing::TempDir() + "/omf_msgs_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+           ".omf";
+  }
+  void TearDown() override { std::remove(path().c_str()); }
+};
+
+TEST_F(MessageFileTest, WriteReadRoundTrip) {
+  pbio::FormatRegistry writer_reg;
+  auto f = writer_reg.register_format("ASDOffEvent", asdoff_fields(),
+                                      sizeof(AsdOff));
+  {
+    pbio::MessageFileWriter writer(path());
+    for (int i = 0; i < 10; ++i) {
+      AsdOff event;
+      fill_asdoff(event, i);
+      writer.write_struct(*f, &event);
+    }
+    EXPECT_EQ(writer.messages_written(), 10u);
+  }
+
+  // A fresh registry: formats come from the file itself.
+  pbio::FormatRegistry reader_reg;
+  pbio::MessageFileReader reader(path(), reader_reg);
+  pbio::Decoder dec(reader_reg);
+  auto native = reader_reg.register_format("ASDOffEvent", asdoff_fields(),
+                                           sizeof(AsdOff));
+  int n = 0;
+  while (auto msg = reader.next()) {
+    AsdOff expected;
+    fill_asdoff(expected, n);
+    AsdOff out{};
+    pbio::DecodeArena arena;
+    dec.decode(msg->span(), *native, &out, arena);
+    EXPECT_TRUE(asdoff_equal(expected, out)) << "message " << n;
+    ++n;
+  }
+  EXPECT_EQ(n, 10);
+}
+
+TEST_F(MessageFileTest, FormatBundleWrittenOnceAndSelfContained) {
+  pbio::FormatRegistry writer_reg;
+  auto [b, c] = register_nested_pair(writer_reg);
+  {
+    pbio::MessageFileWriter writer(path());
+    unsigned long etas[2];
+    AsdOffB event;
+    fill_asdoffb(event, etas, 2);
+    for (int i = 0; i < 3; ++i) writer.write_struct(*b, &event);
+  }
+  pbio::FormatRegistry reader_reg;
+  pbio::MessageFileReader reader(path(), reader_reg);
+  int n = 0;
+  while (reader.next()) ++n;
+  EXPECT_EQ(n, 3);
+  // The file registered the format (exactly once is invisible here, but
+  // the id must resolve without any local registration).
+  EXPECT_NE(reader_reg.by_id(b->id()), nullptr);
+}
+
+TEST_F(MessageFileTest, MixedFormatsInOneFile) {
+  pbio::FormatRegistry writer_reg;
+  auto fa = writer_reg.register_format("ASDOffEvent", asdoff_fields(),
+                                       sizeof(AsdOff));
+  auto [fb, fc] = register_nested_pair(writer_reg);
+  {
+    pbio::MessageFileWriter writer(path());
+    AsdOff a;
+    fill_asdoff(a);
+    unsigned long etas[1];
+    AsdOffB b;
+    fill_asdoffb(b, etas, 1);
+    writer.write_struct(*fa, &a);
+    writer.write_struct(*fb, &b);
+    writer.write_struct(*fa, &a);
+  }
+  pbio::FormatRegistry reader_reg;
+  pbio::MessageFileReader reader(path(), reader_reg);
+  std::vector<pbio::FormatId> ids;
+  while (auto msg = reader.next()) {
+    ids.push_back(pbio::Decoder::peek_format_id(msg->span()));
+  }
+  ASSERT_EQ(ids.size(), 3u);
+  EXPECT_EQ(ids[0], fa->id());
+  EXPECT_EQ(ids[1], fb->id());
+  EXPECT_EQ(ids[2], fa->id());
+}
+
+TEST_F(MessageFileTest, HeterogeneousArchiveReplaysAnywhere) {
+  // A foreign-architecture producer wrote the archive; this machine reads
+  // and converts it — "data files in a heterogeneous computing
+  // environment".
+  pbio::FormatRegistry reg;
+  core::Xml2Wire native_x2w(reg, arch::native());
+  core::Xml2Wire foreign_x2w(reg, arch::sparc64());
+  auto native = native_x2w.register_text(kAsdOffBSchema)[0];
+  auto foreign = foreign_x2w.register_text(kAsdOffBSchema)[0];
+
+  pbio::DynamicRecord values(native);
+  values.set_string("cntrId", "ZAU");
+  values.set_int("fltNum", 330);
+  values.set_int_array("off", std::vector<std::int64_t>{1, 2, 3, 4, 5});
+  values.set_int_array("eta", std::vector<std::int64_t>{9, 8});
+  {
+    pbio::MessageFileWriter writer(path());
+    writer.write(*foreign, pbio::synthesize_wire(*foreign, values));
+  }
+
+  pbio::FormatRegistry reader_reg;
+  core::Xml2Wire reader_x2w(reader_reg);
+  auto reader_native = reader_x2w.register_text(kAsdOffBSchema)[0];
+  pbio::MessageFileReader reader(path(), reader_reg);
+  pbio::Decoder dec(reader_reg);
+  auto msg = reader.next();
+  ASSERT_TRUE(msg);
+  pbio::DynamicRecord out(reader_native);
+  out.from_wire(dec, msg->span());
+  EXPECT_TRUE(values.deep_equals(out));
+}
+
+TEST_F(MessageFileTest, CorruptFilesAreRejected) {
+  {
+    std::FILE* f = std::fopen(path().c_str(), "wb");
+    std::fwrite("NOTANOMF", 1, 8, f);
+    std::fclose(f);
+  }
+  pbio::FormatRegistry reg;
+  EXPECT_THROW(pbio::MessageFileReader(path(), reg), DecodeError);
+}
+
+TEST_F(MessageFileTest, TruncatedRecordThrows) {
+  pbio::FormatRegistry reg;
+  auto f = reg.register_format("ASDOffEvent", asdoff_fields(), sizeof(AsdOff));
+  {
+    pbio::MessageFileWriter writer(path());
+    AsdOff a;
+    fill_asdoff(a);
+    writer.write_struct(*f, &a);
+  }
+  // Chop the last 10 bytes.
+  {
+    std::FILE* file = std::fopen(path().c_str(), "rb+");
+    std::fseek(file, 0, SEEK_END);
+    long size = std::ftell(file);
+    std::fclose(file);
+    ASSERT_EQ(truncate(path().c_str(), size - 10), 0);
+  }
+  pbio::FormatRegistry reader_reg;
+  pbio::MessageFileReader reader(path(), reader_reg);
+  EXPECT_THROW(while (reader.next()) {}, DecodeError);
+}
+
+// --- Enumeration facets -------------------------------------------------------------
+
+TEST(Enumerations, ParsedFromSimpleType) {
+  const char* schema = R"(<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:simpleType name="FlightPhase">
+    <xsd:restriction base="xsd:int">
+      <xsd:enumeration value="taxi" />
+      <xsd:enumeration value="takeoff" />
+      <xsd:enumeration value="cruise" />
+      <xsd:enumeration value="landing" />
+    </xsd:restriction>
+  </xsd:simpleType>
+  <xsd:complexType name="Status">
+    <xsd:element name="phase" type="FlightPhase" />
+  </xsd:complexType>
+</xsd:schema>)";
+  schema::SchemaDocument doc = schema::read_schema_text(schema);
+  const schema::SchemaSimpleType* phase = doc.simple_type_named("FlightPhase");
+  ASSERT_NE(phase, nullptr);
+  ASSERT_EQ(phase->enumeration.size(), 4u);
+  EXPECT_EQ(phase->enum_index("cruise"), 2u);
+  EXPECT_EQ(phase->enum_index("hover"), SIZE_MAX);
+  // Marshals as the base primitive.
+  EXPECT_EQ(doc.types[0].elements[0].primitive, schema::XsdPrimitive::kInt);
+
+  // Round-trips through the schema writer.
+  schema::SchemaDocument again =
+      schema::read_schema_text(schema::write_schema_text(doc));
+  EXPECT_EQ(again.simple_type_named("FlightPhase")->enumeration,
+            phase->enumeration);
+}
+
+TEST(Enumerations, ErrorsAreDiagnosed) {
+  EXPECT_THROW(schema::read_schema_text(R"(
+<s:schema xmlns:s="http://www.w3.org/2001/XMLSchema">
+  <s:simpleType name="E"><s:restriction base="s:int">
+    <s:enumeration value="a"/><s:enumeration value="a"/>
+  </s:restriction></s:simpleType>
+  <s:complexType name="T"><s:element name="x" type="s:int"/></s:complexType>
+</s:schema>)"),
+               FormatError);
+  EXPECT_THROW(schema::read_schema_text(R"(
+<s:schema xmlns:s="http://www.w3.org/2001/XMLSchema">
+  <s:simpleType name="E"><s:restriction base="s:double">
+    <s:enumeration value="a"/>
+  </s:restriction></s:simpleType>
+  <s:complexType name="T"><s:element name="x" type="s:int"/></s:complexType>
+</s:schema>)"),
+               FormatError);
+}
+
+}  // namespace
+}  // namespace omf

@@ -1,0 +1,233 @@
+// Shared fixtures: the paper's Appendix A structures (A, B, C/D) as compiled
+// C structs, their PBIO-native IOField metadata (sizeof/offsetof, exactly as
+// Figures 5/8/11 do), and the equivalent XML Schema documents (Figures
+// 6/9/12, modernized to the 2001 namespace).
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "pbio/field.hpp"
+#include "pbio/format.hpp"
+
+namespace omf::testing {
+
+// --- Structure A: flat, strings, no arrays (paper Figure 4) ----------------
+
+struct AsdOff {
+  char* cntrId;
+  char* arln;
+  int fltNum;
+  char* equip;
+  char* org;
+  char* dest;
+  unsigned long off;
+  unsigned long eta;
+};
+
+inline std::vector<pbio::IOField> asdoff_fields() {
+  return {
+      {"cntrId", "string", sizeof(char*), offsetof(AsdOff, cntrId)},
+      {"arln", "string", sizeof(char*), offsetof(AsdOff, arln)},
+      {"fltNum", "integer", sizeof(int), offsetof(AsdOff, fltNum)},
+      {"equip", "string", sizeof(char*), offsetof(AsdOff, equip)},
+      {"org", "string", sizeof(char*), offsetof(AsdOff, org)},
+      {"dest", "string", sizeof(char*), offsetof(AsdOff, dest)},
+      {"off", "unsigned", sizeof(unsigned long), offsetof(AsdOff, off)},
+      {"eta", "unsigned", sizeof(unsigned long), offsetof(AsdOff, eta)},
+  };
+}
+
+inline const char* kAsdOffSchema = R"(<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema"
+            targetNamespace="http://www.cc.gatech.edu/pmw/schemas">
+  <xsd:annotation>
+    <xsd:documentation>ASDOff</xsd:documentation>
+  </xsd:annotation>
+  <xsd:complexType name="ASDOffEvent">
+    <xsd:element name="cntrId" type="xsd:string" />
+    <xsd:element name="arln" type="xsd:string" />
+    <xsd:element name="fltNum" type="xsd:int" />
+    <xsd:element name="equip" type="xsd:string" />
+    <xsd:element name="org" type="xsd:string" />
+    <xsd:element name="dest" type="xsd:string" />
+    <xsd:element name="off" type="xsd:unsignedLong" />
+    <xsd:element name="eta" type="xsd:unsignedLong" />
+  </xsd:complexType>
+</xsd:schema>
+)";
+
+/// Fills A with deterministic values; string storage must outlive use.
+inline void fill_asdoff(AsdOff& a, int salt = 0) {
+  static const char* kAirlines[] = {"DL", "UA", "AA", "SW"};
+  std::memset(&a, 0, sizeof(a));
+  a.cntrId = const_cast<char*>("ZTL");
+  a.arln = const_cast<char*>(kAirlines[salt % 4]);
+  a.fltNum = 1000 + salt;
+  a.equip = const_cast<char*>("B757");
+  a.org = const_cast<char*>("ATL");
+  a.dest = const_cast<char*>("MCO");
+  a.off = 955910000ul + static_cast<unsigned long>(salt);
+  a.eta = 955913600ul + static_cast<unsigned long>(salt);
+}
+
+inline bool asdoff_equal(const AsdOff& x, const AsdOff& y) {
+  auto str_eq = [](const char* a, const char* b) {
+    if ((a == nullptr) != (b == nullptr)) return false;
+    return a == nullptr || std::strcmp(a, b) == 0;
+  };
+  return str_eq(x.cntrId, y.cntrId) && str_eq(x.arln, y.arln) &&
+         x.fltNum == y.fltNum && str_eq(x.equip, y.equip) &&
+         str_eq(x.org, y.org) && str_eq(x.dest, y.dest) && x.off == y.off &&
+         x.eta == y.eta;
+}
+
+// --- Structure B: static + dynamic arrays (paper Figure 7) -----------------
+
+struct AsdOffB {
+  char* cntrId;
+  char* arln;
+  int fltNum;
+  char* equip;
+  char* org;
+  char* dest;
+  unsigned long off[5];
+  unsigned long* eta;
+  int eta_count;
+};
+
+inline std::vector<pbio::IOField> asdoffb_fields() {
+  return {
+      {"cntrId", "string", sizeof(char*), offsetof(AsdOffB, cntrId)},
+      {"arln", "string", sizeof(char*), offsetof(AsdOffB, arln)},
+      {"fltNum", "integer", sizeof(int), offsetof(AsdOffB, fltNum)},
+      {"equip", "string", sizeof(char*), offsetof(AsdOffB, equip)},
+      {"org", "string", sizeof(char*), offsetof(AsdOffB, org)},
+      {"dest", "string", sizeof(char*), offsetof(AsdOffB, dest)},
+      {"off", "unsigned[5]", sizeof(unsigned long), offsetof(AsdOffB, off)},
+      {"eta", "unsigned[eta_count]", sizeof(unsigned long),
+       offsetof(AsdOffB, eta)},
+      {"eta_count", "integer", sizeof(int), offsetof(AsdOffB, eta_count)},
+  };
+}
+
+inline const char* kAsdOffBSchema = R"(<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema"
+            targetNamespace="http://www.cc.gatech.edu/pmw/schemas">
+  <xsd:complexType name="ASDOffEventB">
+    <xsd:element name="cntrId" type="xsd:string" />
+    <xsd:element name="arln" type="xsd:string" />
+    <xsd:element name="fltNum" type="xsd:int" />
+    <xsd:element name="equip" type="xsd:string" />
+    <xsd:element name="org" type="xsd:string" />
+    <xsd:element name="dest" type="xsd:string" />
+    <xsd:element name="off" type="xsd:unsignedLong" minOccurs="5" maxOccurs="5" />
+    <xsd:element name="eta" type="xsd:unsignedLong" minOccurs="0" maxOccurs="eta_count" />
+    <xsd:element name="eta_count" type="xsd:int" />
+  </xsd:complexType>
+</xsd:schema>
+)";
+
+inline void fill_asdoffb(AsdOffB& b, unsigned long* eta_storage,
+                         int eta_count, int salt = 0) {
+  std::memset(&b, 0, sizeof(b));
+  b.cntrId = const_cast<char*>("ZTL");
+  b.arln = const_cast<char*>("DL");
+  b.fltNum = 200 + salt;
+  b.equip = const_cast<char*>("MD88");
+  b.org = const_cast<char*>("ATL");
+  b.dest = const_cast<char*>("BOS");
+  for (int i = 0; i < 5; ++i) {
+    b.off[i] = 1000ul * static_cast<unsigned long>(salt + i);
+  }
+  for (int i = 0; i < eta_count; ++i) {
+    eta_storage[i] = 2000ul * static_cast<unsigned long>(salt + i + 1);
+  }
+  b.eta = eta_count > 0 ? eta_storage : nullptr;
+  b.eta_count = eta_count;
+}
+
+inline bool asdoffb_equal(const AsdOffB& x, const AsdOffB& y) {
+  auto str_eq = [](const char* a, const char* b) {
+    if ((a == nullptr) != (b == nullptr)) return false;
+    return a == nullptr || std::strcmp(a, b) == 0;
+  };
+  if (!(str_eq(x.cntrId, y.cntrId) && str_eq(x.arln, y.arln) &&
+        x.fltNum == y.fltNum && str_eq(x.equip, y.equip) &&
+        str_eq(x.org, y.org) && str_eq(x.dest, y.dest))) {
+    return false;
+  }
+  for (int i = 0; i < 5; ++i) {
+    if (x.off[i] != y.off[i]) return false;
+  }
+  if (x.eta_count != y.eta_count) return false;
+  for (int i = 0; i < x.eta_count; ++i) {
+    if (x.eta[i] != y.eta[i]) return false;
+  }
+  return true;
+}
+
+// --- Structures C/D: composition by nesting (paper Figure 10) --------------
+
+struct ThreeAsdOffs {
+  AsdOffB one;
+  double bart;
+  AsdOffB two;
+  double lisa;
+  AsdOffB three;
+};
+
+inline std::vector<pbio::IOField> three_asdoffs_fields() {
+  return {
+      {"one", "ASDOffEventB", sizeof(AsdOffB), offsetof(ThreeAsdOffs, one)},
+      {"bart", "float", sizeof(double), offsetof(ThreeAsdOffs, bart)},
+      {"two", "ASDOffEventB", sizeof(AsdOffB), offsetof(ThreeAsdOffs, two)},
+      {"lisa", "float", sizeof(double), offsetof(ThreeAsdOffs, lisa)},
+      {"three", "ASDOffEventB", sizeof(AsdOffB), offsetof(ThreeAsdOffs, three)},
+  };
+}
+
+inline const char* kThreeAsdOffsSchema = R"(<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema"
+            targetNamespace="http://www.cc.gatech.edu/pmw/schemas">
+  <xsd:complexType name="ASDOffEventB">
+    <xsd:element name="cntrId" type="xsd:string" />
+    <xsd:element name="arln" type="xsd:string" />
+    <xsd:element name="fltNum" type="xsd:int" />
+    <xsd:element name="equip" type="xsd:string" />
+    <xsd:element name="org" type="xsd:string" />
+    <xsd:element name="dest" type="xsd:string" />
+    <xsd:element name="off" type="xsd:unsignedLong" minOccurs="5" maxOccurs="5" />
+    <xsd:element name="eta" type="xsd:unsignedLong" minOccurs="0" maxOccurs="eta_count" />
+    <xsd:element name="eta_count" type="xsd:int" />
+  </xsd:complexType>
+  <xsd:complexType name="threeASDOffs">
+    <xsd:element name="one" type="ASDOffEventB" />
+    <xsd:element name="bart" type="xsd:double" />
+    <xsd:element name="two" type="ASDOffEventB" />
+    <xsd:element name="lisa" type="xsd:double" />
+    <xsd:element name="three" type="ASDOffEventB" />
+  </xsd:complexType>
+</xsd:schema>
+)";
+
+inline bool three_asdoffs_equal(const ThreeAsdOffs& x, const ThreeAsdOffs& y) {
+  return asdoffb_equal(x.one, y.one) && x.bart == y.bart &&
+         asdoffb_equal(x.two, y.two) && x.lisa == y.lisa &&
+         asdoffb_equal(x.three, y.three);
+}
+
+/// Registers B then C in `registry` under the PBIO-native path. Returns
+/// (formatB, formatC).
+inline std::pair<pbio::FormatHandle, pbio::FormatHandle>
+register_nested_pair(pbio::FormatRegistry& registry) {
+  auto b = registry.register_format("ASDOffEventB", asdoffb_fields(),
+                                    sizeof(AsdOffB));
+  auto c = registry.register_format("threeASDOffs", three_asdoffs_fields(),
+                                    sizeof(ThreeAsdOffs));
+  return {b, c};
+}
+
+}  // namespace omf::testing

@@ -1,0 +1,341 @@
+// Transport: message queue, TCP framing, event backbone, format service.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "pbio/decode.hpp"
+#include "pbio/encode.hpp"
+#include "test_structs.hpp"
+#include "transport/backbone.hpp"
+#include "transport/format_service.hpp"
+#include "transport/queue.hpp"
+#include "transport/tcp.hpp"
+
+namespace omf::transport {
+namespace {
+
+using namespace omf::testing;
+
+Buffer make_buffer(std::string_view text) {
+  Buffer b;
+  b.append(text);
+  return b;
+}
+
+std::string as_text(const Buffer& b) {
+  return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+}
+
+// --- MessageQueue -------------------------------------------------------------
+
+TEST(Queue, FifoOrder) {
+  MessageQueue q;
+  q.push(make_buffer("one"));
+  q.push(make_buffer("two"));
+  EXPECT_EQ(as_text(*q.pop()), "one");
+  EXPECT_EQ(as_text(*q.pop()), "two");
+  EXPECT_FALSE(q.try_pop());
+}
+
+TEST(Queue, CloseDrainsThenSignals) {
+  MessageQueue q;
+  q.push(make_buffer("last"));
+  q.close();
+  EXPECT_FALSE(q.push(make_buffer("rejected")));
+  EXPECT_EQ(as_text(*q.pop()), "last");
+  EXPECT_FALSE(q.pop());  // closed and empty
+}
+
+TEST(Queue, BlockingPopWakesOnPush) {
+  MessageQueue q;
+  std::string got;
+  std::thread consumer([&] { got = as_text(*q.pop()); });
+  q.push(make_buffer("wake"));
+  consumer.join();
+  EXPECT_EQ(got, "wake");
+}
+
+TEST(Queue, BlockingPopWakesOnClose) {
+  MessageQueue q;
+  std::optional<Buffer> got = make_buffer("sentinel");
+  std::thread consumer([&] { got = q.pop(); });
+  q.close();
+  consumer.join();
+  EXPECT_FALSE(got);
+}
+
+TEST(Queue, ManyProducersOneConsumer) {
+  MessageQueue q;
+  constexpr int kProducers = 4, kEach = 250;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, p] {
+      for (int i = 0; i < kEach; ++i) {
+        q.push(make_buffer("p" + std::to_string(p)));
+      }
+    });
+  }
+  int received = 0;
+  std::thread consumer([&] {
+    while (received < kProducers * kEach) {
+      if (q.pop()) ++received;
+    }
+  });
+  for (auto& t : producers) t.join();
+  consumer.join();
+  EXPECT_EQ(received, kProducers * kEach);
+}
+
+// --- TCP ------------------------------------------------------------------------
+
+TEST(Tcp, FramedRoundTrip) {
+  TcpListener listener(0);
+  std::optional<Buffer> received;
+  std::thread server([&] {
+    TcpConnection conn = listener.accept();
+    received = conn.receive();
+    conn.send(make_buffer("pong"));
+  });
+  TcpConnection client = tcp_connect(listener.port());
+  client.send(make_buffer("ping"));
+  auto reply = client.receive();
+  server.join();
+  ASSERT_TRUE(received);
+  EXPECT_EQ(as_text(*received), "ping");
+  ASSERT_TRUE(reply);
+  EXPECT_EQ(as_text(*reply), "pong");
+}
+
+TEST(Tcp, EmptyFrame) {
+  TcpListener listener(0);
+  std::thread server([&] {
+    TcpConnection conn = listener.accept();
+    conn.send(Buffer());
+  });
+  TcpConnection client = tcp_connect(listener.port());
+  auto msg = client.receive();
+  server.join();
+  ASSERT_TRUE(msg);
+  EXPECT_EQ(msg->size(), 0u);
+}
+
+TEST(Tcp, OrderlyCloseYieldsNullopt) {
+  TcpListener listener(0);
+  std::thread server([&] {
+    TcpConnection conn = listener.accept();
+    conn.close();
+  });
+  TcpConnection client = tcp_connect(listener.port());
+  EXPECT_FALSE(client.receive());
+  server.join();
+}
+
+TEST(Tcp, ManyMessagesOverOneConnection) {
+  TcpListener listener(0);
+  constexpr int kN = 500;
+  std::thread server([&] {
+    TcpConnection conn = listener.accept();
+    for (int i = 0; i < kN; ++i) {
+      auto msg = conn.receive();
+      ASSERT_TRUE(msg);
+      conn.send(*msg);  // echo
+    }
+  });
+  TcpConnection client = tcp_connect(listener.port());
+  for (int i = 0; i < kN; ++i) {
+    client.send(make_buffer("msg" + std::to_string(i)));
+    auto echo = client.receive();
+    ASSERT_TRUE(echo);
+    EXPECT_EQ(as_text(*echo), "msg" + std::to_string(i));
+  }
+  server.join();
+}
+
+TEST(Tcp, ConnectToClosedPortThrows) {
+  std::uint16_t dead_port;
+  {
+    TcpListener listener(0);
+    dead_port = listener.port();
+  }
+  EXPECT_THROW(tcp_connect(dead_port), TransportError);
+}
+
+TEST(Tcp, NdrMessageAcrossSocket) {
+  pbio::FormatRegistry reg;
+  auto f = reg.register_format("ASDOffEvent", asdoff_fields(), sizeof(AsdOff));
+  AsdOff in;
+  fill_asdoff(in, 21);
+
+  TcpListener listener(0);
+  AsdOff out{};
+  pbio::DecodeArena arena;
+  std::thread receiver([&] {
+    TcpConnection conn = listener.accept();
+    auto msg = conn.receive();
+    ASSERT_TRUE(msg);
+    pbio::Decoder dec(reg);
+    dec.decode(msg->span(), *f, &out, arena);
+  });
+  TcpConnection sender = tcp_connect(listener.port());
+  sender.send(pbio::encode(*f, &in));
+  receiver.join();
+  EXPECT_TRUE(asdoff_equal(in, out));
+}
+
+// --- Event backbone ---------------------------------------------------------------
+
+TEST(Backbone, PublishReachesAllSubscribers) {
+  EventBackbone bb;
+  auto s1 = bb.subscribe("weather");
+  auto s2 = bb.subscribe("weather");
+  auto other = bb.subscribe("positions");
+  EXPECT_EQ(bb.publish("weather", make_buffer("sunny")), 2u);
+  EXPECT_EQ(as_text(*s1.receive()), "sunny");
+  EXPECT_EQ(as_text(*s2.receive()), "sunny");
+  EXPECT_FALSE(other.try_receive());
+}
+
+TEST(Backbone, PublishWithoutSubscribersDeliversNowhere) {
+  EventBackbone bb;
+  EXPECT_EQ(bb.publish("void", make_buffer("x")), 0u);
+}
+
+TEST(Backbone, UnsubscribeStopsDelivery) {
+  EventBackbone bb;
+  auto s = bb.subscribe("ch");
+  EXPECT_EQ(bb.subscriber_count("ch"), 1u);
+  s.unsubscribe();
+  EXPECT_EQ(bb.subscriber_count("ch"), 0u);
+  EXPECT_EQ(bb.publish("ch", make_buffer("x")), 0u);
+}
+
+TEST(Backbone, SubscriptionDestructorUnsubscribes) {
+  EventBackbone bb;
+  {
+    auto s = bb.subscribe("ch");
+    EXPECT_EQ(bb.subscriber_count("ch"), 1u);
+  }
+  EXPECT_EQ(bb.subscriber_count("ch"), 0u);
+}
+
+TEST(Backbone, MoveTransfersOwnership) {
+  EventBackbone bb;
+  auto s1 = bb.subscribe("ch");
+  auto s2 = std::move(s1);
+  EXPECT_FALSE(s1.active());
+  EXPECT_TRUE(s2.active());
+  EXPECT_EQ(bb.subscriber_count("ch"), 1u);
+  bb.publish("ch", make_buffer("m"));
+  EXPECT_EQ(as_text(*s2.receive()), "m");
+}
+
+TEST(Backbone, MetadataAnnouncements) {
+  EventBackbone bb;
+  bb.announce("weather", "http://meta/weather.xml");
+  EXPECT_EQ(bb.metadata_locator("weather"), "http://meta/weather.xml");
+  EXPECT_FALSE(bb.metadata_locator("positions"));
+  auto channels = bb.channels();
+  ASSERT_EQ(channels.size(), 1u);
+  EXPECT_EQ(channels[0], "weather");
+}
+
+TEST(Backbone, CloseWakesSubscribers) {
+  EventBackbone bb;
+  auto s = bb.subscribe("ch");
+  std::optional<Buffer> got = make_buffer("sentinel");
+  std::thread consumer([&] { got = s.receive(); });
+  bb.close();
+  consumer.join();
+  EXPECT_FALSE(got);
+}
+
+TEST(Backbone, ConcurrentPublishersAndSubscribers) {
+  EventBackbone bb;
+  constexpr int kMessages = 200;
+  auto s1 = bb.subscribe("ch");
+  auto s2 = bb.subscribe("ch");
+  std::thread pub1([&] {
+    for (int i = 0; i < kMessages; ++i) bb.publish("ch", make_buffer("a"));
+  });
+  std::thread pub2([&] {
+    for (int i = 0; i < kMessages; ++i) bb.publish("ch", make_buffer("b"));
+  });
+  pub1.join();
+  pub2.join();
+  int got1 = 0, got2 = 0;
+  while (s1.try_receive()) ++got1;
+  while (s2.try_receive()) ++got2;
+  EXPECT_EQ(got1, 2 * kMessages);
+  EXPECT_EQ(got2, 2 * kMessages);
+}
+
+// --- Format service ------------------------------------------------------------------
+
+TEST(FormatService, FetchUnknownIdReturnsNull) {
+  FormatServiceServer server;
+  FormatServiceClient client(server.port());
+  pbio::FormatRegistry reg;
+  EXPECT_EQ(client.fetch(reg, 0xDEADBEEF), nullptr);
+}
+
+TEST(FormatService, PublishThenFetch) {
+  pbio::FormatRegistry sender_reg;
+  auto f = sender_reg.register_format("ASDOffEvent", asdoff_fields(),
+                                      sizeof(AsdOff));
+  FormatServiceServer server;
+  server.publish(*f);
+  EXPECT_EQ(server.published(), 1u);
+
+  pbio::FormatRegistry receiver_reg;
+  FormatServiceClient client(server.port());
+  auto fetched = client.fetch(receiver_reg, f->id());
+  ASSERT_NE(fetched, nullptr);
+  EXPECT_EQ(fetched->id(), f->id());
+  EXPECT_EQ(receiver_reg.by_id(f->id()), fetched);
+}
+
+TEST(FormatService, PushFromClient) {
+  pbio::FormatRegistry sender_reg;
+  auto [b, c] = register_nested_pair(sender_reg);
+  FormatServiceServer server;
+  FormatServiceClient client(server.port());
+  client.push(*c);
+  EXPECT_EQ(server.published(), 2u);  // nested dependency travels too
+
+  pbio::FormatRegistry receiver_reg;
+  auto fetched = client.fetch(receiver_reg, c->id());
+  ASSERT_NE(fetched, nullptr);
+  EXPECT_NE(receiver_reg.by_id(b->id()), nullptr);
+}
+
+TEST(FormatService, UnknownFormatFlowEndToEnd) {
+  // Receiver sees a message with an unknown id, fetches metadata from the
+  // format service, then decodes — the full PBIO discovery story.
+  pbio::FormatRegistry sender_reg;
+  auto f = sender_reg.register_format("ASDOffEvent", asdoff_fields(),
+                                      sizeof(AsdOff));
+  FormatServiceServer server;
+  server.publish(*f);
+
+  AsdOff in;
+  fill_asdoff(in, 31);
+  Buffer wire = pbio::encode(*f, &in);
+
+  pbio::FormatRegistry receiver_reg;
+  // The receiver knows the format *name* via its own registration (same
+  // metadata → same id here, so make its registry empty to force a fetch).
+  pbio::FormatId id = pbio::Decoder::peek_format_id(wire.span());
+  ASSERT_EQ(receiver_reg.by_id(id), nullptr);
+  FormatServiceClient client(server.port());
+  auto fetched = client.fetch(receiver_reg, id);
+  ASSERT_NE(fetched, nullptr);
+
+  pbio::Decoder dec(receiver_reg);
+  AsdOff out{};
+  pbio::DecodeArena arena;
+  dec.decode(wire.span(), *fetched, &out, arena);
+  EXPECT_TRUE(asdoff_equal(in, out));
+}
+
+}  // namespace
+}  // namespace omf::transport

@@ -1,0 +1,204 @@
+// util: buffers, byte order, strings, hashing, rng.
+#include <gtest/gtest.h>
+
+#include "util/buffer.hpp"
+#include "util/bytes.hpp"
+#include "util/hash.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace omf {
+namespace {
+
+TEST(Bytes, Byteswap) {
+  EXPECT_EQ(byteswap(std::uint16_t{0x1234}), 0x3412);
+  EXPECT_EQ(byteswap(std::uint32_t{0x12345678}), 0x78563412u);
+  EXPECT_EQ(byteswap(std::uint64_t{0x0102030405060708ull}),
+            0x0807060504030201ull);
+}
+
+TEST(Bytes, ByteswapInplace) {
+  std::uint8_t b2[] = {1, 2};
+  byteswap_inplace(b2, 2);
+  EXPECT_EQ(b2[0], 2);
+  std::uint8_t b4[] = {1, 2, 3, 4};
+  byteswap_inplace(b4, 4);
+  EXPECT_EQ(b4[0], 4);
+  EXPECT_EQ(b4[3], 1);
+  std::uint8_t b8[] = {1, 2, 3, 4, 5, 6, 7, 8};
+  byteswap_inplace(b8, 8);
+  EXPECT_EQ(b8[0], 8);
+  EXPECT_EQ(b8[7], 1);
+}
+
+TEST(Bytes, LoadStoreRoundTrip) {
+  std::uint8_t buf[8];
+  store_le<std::uint32_t>(buf, 0xDEADBEEF);
+  EXPECT_EQ(load_le<std::uint32_t>(buf), 0xDEADBEEFu);
+  EXPECT_EQ(buf[0], 0xEF);  // little-endian byte layout
+  store_be<std::uint32_t>(buf, 0xDEADBEEF);
+  EXPECT_EQ(load_be<std::uint32_t>(buf), 0xDEADBEEFu);
+  EXPECT_EQ(buf[0], 0xDE);  // big-endian byte layout
+  store_order<std::uint64_t>(buf, 42, ByteOrder::kBig);
+  EXPECT_EQ(load_order<std::uint64_t>(buf, ByteOrder::kBig), 42u);
+}
+
+TEST(Bytes, AlignUp) {
+  EXPECT_EQ(align_up(0, 8), 0u);
+  EXPECT_EQ(align_up(1, 8), 8u);
+  EXPECT_EQ(align_up(8, 8), 8u);
+  EXPECT_EQ(align_up(9, 4), 12u);
+}
+
+TEST(Buffer, AppendAndRead) {
+  Buffer b;
+  b.append_int<std::uint32_t>(7, ByteOrder::kLittle);
+  b.append("hi");
+  b.append_zeros(2);
+  EXPECT_EQ(b.size(), 8u);
+
+  BufferReader r(b);
+  EXPECT_EQ(r.read_int<std::uint32_t>(ByteOrder::kLittle), 7u);
+  EXPECT_EQ(r.read_string(2), "hi");
+  r.skip(2);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Buffer, PatchInt) {
+  Buffer b;
+  std::size_t at = b.grow(4);
+  b.append("tail");
+  b.patch_int<std::uint32_t>(at, 99, ByteOrder::kLittle);
+  BufferReader r(b);
+  EXPECT_EQ(r.read_int<std::uint32_t>(ByteOrder::kLittle), 99u);
+}
+
+TEST(Buffer, PatchPastEndThrows) {
+  Buffer b;
+  b.grow(2);
+  EXPECT_THROW(b.patch_int<std::uint32_t>(0, 1, ByteOrder::kLittle),
+               EncodeError);
+}
+
+TEST(BufferReader, ThrowsOnOverrun) {
+  Buffer b;
+  b.append("abc");
+  BufferReader r(b);
+  r.skip(2);
+  EXPECT_THROW(r.read_bytes(2), DecodeError);
+  EXPECT_THROW(r.skip(2), DecodeError);
+  EXPECT_NO_THROW(r.read_bytes(1));
+}
+
+TEST(BufferReader, SeekBounds) {
+  Buffer b;
+  b.append("abcd");
+  BufferReader r(b);
+  r.seek(4);
+  EXPECT_TRUE(r.at_end());
+  EXPECT_THROW(r.seek(5), DecodeError);
+}
+
+TEST(Buffer, HexDump) {
+  Buffer b;
+  b.append_int<std::uint16_t>(0xABCD, ByteOrder::kBig);
+  EXPECT_EQ(b.hex(), "ab cd");
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim("\t\n x y \r"), "x y");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Strings, Split) {
+  auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(split("", ',').size(), 1u);
+}
+
+TEST(Strings, StartsEndsWith) {
+  EXPECT_TRUE(starts_with("http://x", "http://"));
+  EXPECT_FALSE(starts_with("ht", "http://"));
+  EXPECT_TRUE(ends_with("file.xml", ".xml"));
+  EXPECT_FALSE(ends_with("xml", ".xml"));
+}
+
+TEST(Strings, IEquals) {
+  EXPECT_TRUE(iequals("Content-Type", "content-type"));
+  EXPECT_FALSE(iequals("a", "ab"));
+}
+
+TEST(Strings, ParseInt) {
+  EXPECT_EQ(parse_int("42"), 42);
+  EXPECT_EQ(parse_int("-7"), -7);
+  EXPECT_FALSE(parse_int("4x"));
+  EXPECT_FALSE(parse_int(""));
+  EXPECT_FALSE(parse_int("999999999999999999999999"));
+  EXPECT_EQ(parse_uint("18446744073709551615"), 18446744073709551615ull);
+  EXPECT_FALSE(parse_uint("-1"));
+}
+
+TEST(Strings, ParseDouble) {
+  EXPECT_DOUBLE_EQ(*parse_double("2.5"), 2.5);
+  EXPECT_DOUBLE_EQ(*parse_double("-1e3"), -1000.0);
+  EXPECT_FALSE(parse_double("nanx"));
+  EXPECT_FALSE(parse_double(""));
+}
+
+TEST(Strings, IsXmlName) {
+  EXPECT_TRUE(is_xml_name("xsd:element"));
+  EXPECT_TRUE(is_xml_name("_x-1.y"));
+  EXPECT_FALSE(is_xml_name("1abc"));
+  EXPECT_FALSE(is_xml_name(""));
+  EXPECT_FALSE(is_xml_name("a b"));
+}
+
+TEST(Hash, Fnv1aIsStable) {
+  // Known FNV-1a vectors.
+  EXPECT_EQ(fnv1a(""), 0xcbf29ce484222325ull);
+  EXPECT_EQ(fnv1a("a"), 0xaf63dc4c8601ec8cull);
+  Fnv1a h;
+  h.update("a");
+  EXPECT_EQ(h.digest(), fnv1a("a"));
+}
+
+TEST(Hash, DifferentInputsDiffer) {
+  EXPECT_NE(fnv1a("format-a"), fnv1a("format-b"));
+  Fnv1a h1, h2;
+  h1.update(std::uint64_t{1});
+  h2.update(std::uint64_t{2});
+  EXPECT_NE(h1.digest(), h2.digest());
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Rng, RangeBounds) {
+  Rng r(1);
+  for (int i = 0; i < 1000; ++i) {
+    auto v = r.range(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    auto u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, IdentifierShape) {
+  Rng r(7);
+  std::string id = r.identifier(12);
+  EXPECT_EQ(id.size(), 12u);
+  EXPECT_TRUE(std::isalpha(static_cast<unsigned char>(id[0])));
+}
+
+}  // namespace
+}  // namespace omf

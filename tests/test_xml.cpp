@@ -1,0 +1,353 @@
+// XML parser, DOM, namespaces, and writer round-trips.
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+#include "xml/parser.hpp"
+#include "xml/sax.hpp"
+#include "xml/writer.hpp"
+
+namespace omf::xml {
+namespace {
+
+TEST(Parser, MinimalDocument) {
+  Document doc = parse("<root/>");
+  EXPECT_EQ(doc.root->name(), "root");
+  EXPECT_TRUE(doc.root->children().empty());
+}
+
+TEST(Parser, DeclarationAttributes) {
+  Document doc =
+      parse("<?xml version=\"1.1\" encoding=\"UTF-8\" standalone=\"yes\"?><r/>");
+  EXPECT_EQ(doc.version, "1.1");
+  EXPECT_EQ(doc.encoding, "UTF-8");
+  EXPECT_TRUE(doc.standalone_declared);
+  EXPECT_TRUE(doc.standalone);
+}
+
+TEST(Parser, NestedElementsAndText) {
+  Document doc = parse("<a><b>hello</b><c>world</c></a>");
+  ASSERT_EQ(doc.root->children().size(), 2u);
+  EXPECT_EQ(doc.root->first_child_element("b")->text_content(), "hello");
+  EXPECT_EQ(doc.root->first_child_element("c")->text_content(), "world");
+}
+
+TEST(Parser, Attributes) {
+  Document doc = parse("<e a=\"1\" b='two' c=\"with 'quotes'\"/>");
+  EXPECT_EQ(doc.root->attribute("a"), "1");
+  EXPECT_EQ(doc.root->attribute("b"), "two");
+  EXPECT_EQ(doc.root->attribute("c"), "with 'quotes'");
+  EXPECT_FALSE(doc.root->attribute("missing"));
+  EXPECT_EQ(doc.root->attribute_or("missing", "dflt"), "dflt");
+}
+
+TEST(Parser, EntityExpansion) {
+  Document doc = parse("<e a=\"&lt;&amp;&gt;\">&quot;x&apos; &#65;&#x42;</e>");
+  EXPECT_EQ(doc.root->attribute("a"), "<&>");
+  EXPECT_EQ(doc.root->text_content(), "\"x' AB");
+}
+
+TEST(Parser, NumericEntityUtf8) {
+  Document doc = parse("<e>&#233;&#x20AC;</e>");  // é €
+  EXPECT_EQ(doc.root->text_content(), "\xC3\xA9\xE2\x82\xAC");
+}
+
+TEST(Parser, CData) {
+  Document doc = parse("<e><![CDATA[<not&parsed>]]></e>");
+  EXPECT_EQ(doc.root->text_content(), "<not&parsed>");
+}
+
+TEST(Parser, CommentsSkippedByDefault) {
+  Document doc = parse("<e><!-- hidden -->v</e>");
+  EXPECT_EQ(doc.root->text_content(), "v");
+  ParseOptions keep;
+  keep.keep_comments = true;
+  Document doc2 = parse("<e><!-- hidden -->v</e>", keep);
+  ASSERT_EQ(doc2.root->children().size(), 2u);
+  EXPECT_EQ(doc2.root->children()[0]->kind(), NodeKind::kComment);
+  EXPECT_EQ(doc2.root->children()[0]->text(), " hidden ");
+}
+
+TEST(Parser, ProcessingInstructions) {
+  Document doc = parse("<e><?target some data?></e>");
+  ASSERT_EQ(doc.root->children().size(), 1u);
+  EXPECT_EQ(doc.root->children()[0]->kind(),
+            NodeKind::kProcessingInstruction);
+  EXPECT_EQ(doc.root->children()[0]->name(), "target");
+  EXPECT_EQ(doc.root->children()[0]->text(), "some data");
+}
+
+TEST(Parser, DoctypeIsSkipped) {
+  Document doc = parse(
+      "<!DOCTYPE r [ <!ELEMENT r (#PCDATA)> ]>\n<r>ok</r>");
+  EXPECT_EQ(doc.root->text_content(), "ok");
+}
+
+TEST(Parser, WhitespaceTextDiscardedByDefault) {
+  Document doc = parse("<a>\n  <b/>\n</a>");
+  ASSERT_EQ(doc.root->children().size(), 1u);
+  EXPECT_EQ(doc.root->children()[0]->name(), "b");
+}
+
+TEST(Parser, MixedContentPreserved) {
+  Document doc = parse("<a>pre<b/>post</a>");
+  EXPECT_EQ(doc.root->children().size(), 3u);
+  EXPECT_EQ(doc.root->text_content(), "prepost");
+}
+
+TEST(Parser, Utf8BomSkipped) {
+  std::string text = "\xEF\xBB\xBF<r/>";
+  Document doc = parse(text);
+  EXPECT_EQ(doc.root->name(), "r");
+}
+
+// --- Well-formedness errors --------------------------------------------------
+
+struct BadCase {
+  const char* name;
+  const char* text;
+};
+
+class Malformed : public ::testing::TestWithParam<BadCase> {};
+
+TEST_P(Malformed, Throws) {
+  EXPECT_THROW(parse(GetParam().text), ParseError) << GetParam().text;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, Malformed,
+    ::testing::Values(
+        BadCase{"empty", ""},
+        BadCase{"text_only", "just text"},
+        BadCase{"mismatched_tags", "<a><b></a></b>"},
+        BadCase{"unterminated", "<a><b>"},
+        BadCase{"duplicate_attr", "<a x=\"1\" x=\"2\"/>"},
+        BadCase{"two_roots", "<a/><b/>"},
+        BadCase{"content_after_root", "<a/>junk"},
+        BadCase{"lt_in_attr", "<a x=\"<\"/>"},
+        BadCase{"bad_entity", "<a>&nosuch;</a>"},
+        BadCase{"unterminated_entity", "<a>&amp</a>"},
+        BadCase{"bad_char_ref", "<a>&#xZZ;</a>"},
+        BadCase{"null_char_ref", "<a>&#0;</a>"},
+        BadCase{"unterminated_comment", "<a><!-- x</a>"},
+        BadCase{"double_dash_comment", "<a><!-- x -- y --></a>"},
+        BadCase{"unterminated_cdata", "<a><![CDATA[x</a>"},
+        BadCase{"bad_name", "<1a/>"},
+        BadCase{"attr_no_value", "<a x/>"},
+        BadCase{"attr_unquoted", "<a x=1/>"},
+        BadCase{"unterminated_doctype", "<!DOCTYPE r"},
+        BadCase{"eof_in_tag", "<a"}),
+    [](const auto& info) { return info.param.name; });
+
+TEST(Parser, ErrorsCarryPosition) {
+  try {
+    parse("<a>\n  <b></c>\n</a>");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 2u);
+    EXPECT_GT(e.column(), 1u);
+  }
+}
+
+TEST(Parser, DepthLimit) {
+  std::string deep;
+  for (int i = 0; i < 400; ++i) deep += "<d>";
+  for (int i = 0; i < 400; ++i) deep += "</d>";
+  EXPECT_THROW(parse(deep), ParseError);
+  ParseOptions opts;
+  opts.max_depth = 1000;
+  EXPECT_NO_THROW(parse(deep, opts));
+}
+
+// --- Namespaces ----------------------------------------------------------------
+
+TEST(Namespaces, QNameSplit) {
+  QName q = split_qname("xsd:element");
+  EXPECT_EQ(q.prefix, "xsd");
+  EXPECT_EQ(q.local, "element");
+  QName bare = split_qname("element");
+  EXPECT_EQ(bare.prefix, "");
+  EXPECT_EQ(bare.local, "element");
+}
+
+TEST(Namespaces, PrefixResolution) {
+  Document doc = parse(
+      "<root xmlns:x=\"urn:one\"><x:child><grand xmlns:y=\"urn:two\">"
+      "<y:leaf/></grand></x:child></root>");
+  const Node* child = doc.root->first_child_element("x:child");
+  ASSERT_NE(child, nullptr);
+  EXPECT_EQ(child->namespace_uri(), "urn:one");
+  const Node* grand = child->first_child_element("grand");
+  const Node* leaf = grand->first_child_element("y:leaf");
+  EXPECT_EQ(leaf->namespace_uri(), "urn:two");
+  // Inherited from the root scope.
+  EXPECT_EQ(leaf->resolve_namespace("x"), "urn:one");
+  EXPECT_FALSE(leaf->resolve_namespace("zz"));
+}
+
+TEST(Namespaces, DefaultNamespace) {
+  Document doc = parse("<root xmlns=\"urn:default\"><child/></root>");
+  EXPECT_EQ(doc.root->namespace_uri(), "urn:default");
+  EXPECT_EQ(doc.root->first_child_element("child")->namespace_uri(),
+            "urn:default");
+}
+
+TEST(Namespaces, XmlPrefixIsBuiltIn) {
+  Document doc = parse("<r/>");
+  EXPECT_EQ(doc.root->resolve_namespace("xml"),
+            "http://www.w3.org/XML/1998/namespace");
+}
+
+// --- SAX (event) interface ----------------------------------------------------
+
+/// Records events as compact strings for assertion.
+class RecordingHandler : public SaxHandler {
+public:
+  std::vector<std::string> events;
+
+  void on_start_document() override { events.push_back("start-doc"); }
+  void on_end_document() override { events.push_back("end-doc"); }
+  void on_start_element(std::string_view name,
+                        std::span<const Attribute> attrs) override {
+    std::string e = "<" + std::string(name);
+    for (const Attribute& a : attrs) e += " " + a.name + "=" + a.value;
+    events.push_back(e);
+  }
+  void on_end_element(std::string_view name) override {
+    events.push_back("</" + std::string(name));
+  }
+  void on_text(std::string_view text) override {
+    events.push_back("text:" + std::string(text));
+  }
+  void on_cdata(std::string_view data) override {
+    events.push_back("cdata:" + std::string(data));
+  }
+  void on_comment(std::string_view text) override {
+    events.push_back("comment:" + std::string(text));
+  }
+  void on_processing_instruction(std::string_view target,
+                                 std::string_view data) override {
+    events.push_back("pi:" + std::string(target) + ":" + std::string(data));
+  }
+};
+
+TEST(Sax, EventSequence) {
+  RecordingHandler h;
+  sax_parse("<a x=\"1\"><b>hi</b><![CDATA[raw]]></a>", h, {});
+  std::vector<std::string> expected = {
+      "start-doc", "<a x=1", "<b", "text:hi", "</b",
+      "cdata:raw", "</a", "end-doc"};
+  EXPECT_EQ(h.events, expected);
+}
+
+TEST(Sax, EntitiesExpandedInEvents) {
+  RecordingHandler h;
+  sax_parse("<a>x&amp;y</a>", h, {});
+  EXPECT_EQ(h.events[2], "text:x&y");
+}
+
+TEST(Sax, CommentsAndPisDelivered) {
+  RecordingHandler h;
+  sax_parse("<?go fast?><a><!-- note --><?p d?></a>", h, {});
+  std::vector<std::string> expected = {"start-doc", "pi:go:fast", "<a",
+                                       "comment: note ", "pi:p:d", "</a",
+                                       "end-doc"};
+  EXPECT_EQ(h.events, expected);
+}
+
+TEST(Sax, ErrorsStillCarryPositions) {
+  RecordingHandler h;
+  EXPECT_THROW(sax_parse("<a><b></a>", h, {}), ParseError);
+}
+
+TEST(Sax, StreamingConsumerNeedsNoTree) {
+  // Count elements of a large synthetic document without building a DOM.
+  std::string doc = "<list>";
+  for (int i = 0; i < 5000; ++i) doc += "<item/>";
+  doc += "</list>";
+
+  class Counter : public SaxHandler {
+  public:
+    int items = 0;
+    void on_start_element(std::string_view name,
+                          std::span<const Attribute>) override {
+      if (name == "item") ++items;
+    }
+  } counter;
+  sax_parse(doc, counter, {});
+  EXPECT_EQ(counter.items, 5000);
+}
+
+// --- Writer ----------------------------------------------------------------------
+
+TEST(Writer, EscapesTextAndAttributes) {
+  EXPECT_EQ(escape_text("a<b&c>d"), "a&lt;b&amp;c&gt;d");
+  EXPECT_EQ(escape_attribute("say \"hi\"\n"), "say &quot;hi&quot;&#10;");
+}
+
+TEST(Writer, RoundTripSimple) {
+  const char* text = "<a x=\"1\"><b>v&amp;w</b><c/></a>";
+  Document doc = parse(text);
+  std::string written = write(doc, {.declaration = false, .indent = 0});
+  Document again = parse(written);
+  EXPECT_EQ(again.root->attribute("x"), "1");
+  EXPECT_EQ(again.root->first_child_element("b")->text_content(), "v&w");
+}
+
+TEST(Writer, CDataSplitsTerminator) {
+  Node n(NodeKind::kElement);
+  n.set_name("e");
+  auto cd = std::make_unique<Node>(NodeKind::kCData);
+  cd->set_text("a]]>b");
+  n.append_child(std::move(cd));
+  std::string out = write(n, {.indent = 0});
+  Document doc = parse(out);
+  EXPECT_EQ(doc.root->text_content(), "a]]>b");
+}
+
+TEST(Writer, PrettyPrintIndents) {
+  Document doc = parse("<a><b><c/></b></a>");
+  std::string out = write(doc, {.declaration = false, .indent = 2});
+  EXPECT_NE(out.find("\n  <b>"), std::string::npos);
+  EXPECT_NE(out.find("\n    <c"), std::string::npos);
+}
+
+/// Property: random trees survive write→parse→write unchanged.
+TEST(Writer, PropertyRandomTreeRoundTrip) {
+  Rng rng(2024);
+  for (int iter = 0; iter < 50; ++iter) {
+    Document doc;
+    doc.root = make_element("root");
+    // Build a random tree.
+    std::vector<Node*> stack = {doc.root.get()};
+    int budget = 40;
+    while (budget-- > 0) {
+      Node* cur = stack[rng.below(stack.size())];
+      switch (rng.below(3)) {
+        case 0: {
+          Node& child = cur->append_element(rng.identifier(5));
+          if (rng.chance(0.6)) {
+            child.set_attribute(rng.identifier(4),
+                                "v<&\">'" + rng.identifier(3));
+          }
+          stack.push_back(&child);
+          break;
+        }
+        case 1:
+          cur->append_text("text & <stuff> " + rng.identifier(6));
+          break;
+        case 2:
+          cur->set_attribute(rng.identifier(4), rng.identifier(8));
+          break;
+      }
+    }
+    ParseOptions keep_all;
+    keep_all.discard_whitespace_text = false;
+    std::string once = write(doc, {.declaration = false, .indent = 0});
+    Document reparsed = parse(once, keep_all);
+    std::string twice = write(reparsed, {.declaration = false, .indent = 0});
+    EXPECT_EQ(once, twice) << "iteration " << iter;
+  }
+}
+
+}  // namespace
+}  // namespace omf::xml

@@ -1,0 +1,265 @@
+// xml2wire registration: XML metadata -> PBIO formats, layout agreement
+// with the compiler, implicit count synthesis, codegen.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+
+#include "core/codegen.hpp"
+#include "core/xml2wire.hpp"
+#include "pbio/decode.hpp"
+#include "pbio/encode.hpp"
+#include "test_structs.hpp"
+
+namespace omf {
+namespace {
+
+using namespace omf::testing;
+using core::Xml2Wire;
+using pbio::FormatRegistry;
+
+TEST(Xml2Wire, StructureALayoutMatchesCompiler) {
+  FormatRegistry reg;
+  Xml2Wire x2w(reg);
+  auto handles = x2w.register_text(kAsdOffSchema);
+  ASSERT_EQ(handles.size(), 1u);
+  const pbio::Format& f = *handles[0];
+  EXPECT_EQ(f.struct_size(), sizeof(AsdOff));
+  EXPECT_EQ(f.field_named("cntrId")->offset, offsetof(AsdOff, cntrId));
+  EXPECT_EQ(f.field_named("fltNum")->offset, offsetof(AsdOff, fltNum));
+  EXPECT_EQ(f.field_named("fltNum")->size, sizeof(int));
+  EXPECT_EQ(f.field_named("off")->offset, offsetof(AsdOff, off));
+  EXPECT_EQ(f.field_named("off")->size, sizeof(unsigned long));
+  EXPECT_EQ(f.field_named("eta")->offset, offsetof(AsdOff, eta));
+}
+
+TEST(Xml2Wire, StructureBLayoutMatchesCompiler) {
+  FormatRegistry reg;
+  Xml2Wire x2w(reg);
+  const pbio::Format& f = *x2w.register_text(kAsdOffBSchema)[0];
+  EXPECT_EQ(f.struct_size(), sizeof(AsdOffB));
+  EXPECT_EQ(f.field_named("off")->offset, offsetof(AsdOffB, off));
+  EXPECT_EQ(f.field_named("eta")->offset, offsetof(AsdOffB, eta));
+  EXPECT_EQ(f.field_named("eta_count")->offset, offsetof(AsdOffB, eta_count));
+  EXPECT_EQ(f.field_named("eta")->type.array, pbio::ArrayKind::kDynamic);
+  EXPECT_EQ(f.field_named("eta")->type.size_field, "eta_count");
+}
+
+TEST(Xml2Wire, StructureCDLayoutMatchesCompiler) {
+  FormatRegistry reg;
+  Xml2Wire x2w(reg);
+  auto handles = x2w.register_text(kThreeAsdOffsSchema);
+  ASSERT_EQ(handles.size(), 2u);
+  const pbio::Format& c = *handles[1];
+  EXPECT_EQ(c.struct_size(), sizeof(ThreeAsdOffs));
+  EXPECT_EQ(c.field_named("one")->offset, offsetof(ThreeAsdOffs, one));
+  EXPECT_EQ(c.field_named("bart")->offset, offsetof(ThreeAsdOffs, bart));
+  EXPECT_EQ(c.field_named("two")->offset, offsetof(ThreeAsdOffs, two));
+  EXPECT_EQ(c.field_named("three")->offset, offsetof(ThreeAsdOffs, three));
+}
+
+TEST(Xml2Wire, MatchesPbioNativeRegistrationExactly) {
+  // Headline Table-1 property: xml2wire registration produces the *same*
+  // formats (same ids, hence identical wire compatibility) as compiled-in
+  // IOField registration — only the discovery method differs.
+  FormatRegistry reg_native, reg_xml;
+  auto [nb, nc] = register_nested_pair(reg_native);
+
+  Xml2Wire x2w(reg_xml);
+  auto handles = x2w.register_text(kThreeAsdOffsSchema);
+  EXPECT_EQ(handles[0]->id(), nb->id());
+  EXPECT_EQ(handles[1]->id(), nc->id());
+}
+
+TEST(Xml2Wire, RoundTripWithCompiledStruct) {
+  FormatRegistry reg;
+  Xml2Wire x2w(reg);
+  auto f = x2w.register_text(kAsdOffBSchema)[0];
+
+  unsigned long etas[4];
+  AsdOffB in;
+  fill_asdoffb(in, etas, 4, 9);
+  Buffer wire = pbio::encode(*f, &in);
+
+  pbio::Decoder dec(reg);
+  AsdOffB out{};
+  pbio::DecodeArena arena;
+  dec.decode(wire.span(), *f, &out, arena);
+  EXPECT_TRUE(asdoffb_equal(in, out));
+}
+
+TEST(Xml2Wire, UnboundedArraySynthesizesCountField) {
+  const char* schema = R"(<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:complexType name="T">
+    <xsd:element name="vals" type="xsd:double" maxOccurs="*" />
+    <xsd:element name="tag" type="xsd:int" />
+  </xsd:complexType>
+</xsd:schema>)";
+  FormatRegistry reg;
+  Xml2Wire x2w(reg);
+  const pbio::Format& f = *x2w.register_text(schema)[0];
+  ASSERT_EQ(f.fields().size(), 3u);
+  EXPECT_EQ(f.fields()[0].name, "vals");
+  EXPECT_EQ(f.fields()[1].name, "vals_count");  // synthesized, right after
+  EXPECT_EQ(f.fields()[2].name, "tag");
+  EXPECT_EQ(f.fields()[0].type.size_field, "vals_count");
+
+  // Matches: struct T { double* vals; int vals_count; int tag; };
+  struct T {
+    double* vals;
+    int vals_count;
+    int tag;
+  };
+  EXPECT_EQ(f.struct_size(), sizeof(T));
+  EXPECT_EQ(f.fields()[1].offset, offsetof(T, vals_count));
+}
+
+TEST(Xml2Wire, UnboundedArrayReusesDeclaredCountField) {
+  const char* schema = R"(<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:complexType name="T">
+    <xsd:element name="vals" type="xsd:int" maxOccurs="*" />
+    <xsd:element name="vals_count" type="xsd:int" />
+  </xsd:complexType>
+</xsd:schema>)";
+  FormatRegistry reg;
+  Xml2Wire x2w(reg);
+  const pbio::Format& f = *x2w.register_text(schema)[0];
+  ASSERT_EQ(f.fields().size(), 2u);  // no duplicate synthesized
+}
+
+TEST(Xml2Wire, ForwardReferenceToNestedTypeFails) {
+  const char* schema = R"(<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:complexType name="Outer">
+    <xsd:element name="in" type="Inner" />
+  </xsd:complexType>
+  <xsd:complexType name="Inner">
+    <xsd:element name="x" type="xsd:int" />
+  </xsd:complexType>
+</xsd:schema>)";
+  FormatRegistry reg;
+  Xml2Wire x2w(reg);
+  EXPECT_THROW(x2w.register_text(schema), FormatError);
+}
+
+TEST(Xml2Wire, ArrayOfStringsRejected) {
+  const char* schema = R"(<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:complexType name="T">
+    <xsd:element name="names" type="xsd:string" maxOccurs="4" />
+  </xsd:complexType>
+</xsd:schema>)";
+  FormatRegistry reg;
+  Xml2Wire x2w(reg);
+  EXPECT_THROW(x2w.register_text(schema), FormatError);
+}
+
+TEST(Xml2Wire, ForeignProfileChangesLayout) {
+  FormatRegistry reg;
+  Xml2Wire native_side(reg, arch::native());
+  Xml2Wire i386_side(reg, arch::i386());
+  auto n = native_side.register_text(kAsdOffSchema)[0];
+  auto f = i386_side.register_text(kAsdOffSchema)[0];
+  // Six pointers shrink from 8 to 4 bytes; unsigned long from 8 to 4.
+  EXPECT_LT(f->struct_size(), n->struct_size());
+  EXPECT_EQ(f->field_named("cntrId")->size, 4u);
+  EXPECT_EQ(f->field_named("off")->size, 4u);
+}
+
+TEST(Xml2Wire, BooleanAndShortAndByteWidths) {
+  const char* schema = R"(<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:complexType name="T">
+    <xsd:element name="flag" type="xsd:boolean" />
+    <xsd:element name="s" type="xsd:short" />
+    <xsd:element name="b" type="xsd:byte" />
+    <xsd:element name="us" type="xsd:unsignedShort" />
+    <xsd:element name="ub" type="xsd:unsignedByte" />
+  </xsd:complexType>
+</xsd:schema>)";
+  FormatRegistry reg;
+  Xml2Wire x2w(reg);
+  const pbio::Format& f = *x2w.register_text(schema)[0];
+  EXPECT_EQ(f.field_named("flag")->size, 1u);
+  EXPECT_EQ(f.field_named("s")->size, 2u);
+  EXPECT_EQ(f.field_named("s")->type.cls, pbio::FieldClass::kInteger);
+  EXPECT_EQ(f.field_named("b")->size, 1u);
+  EXPECT_EQ(f.field_named("us")->type.cls, pbio::FieldClass::kUnsigned);
+  EXPECT_EQ(f.field_named("ub")->size, 1u);
+  struct T {
+    unsigned char flag;
+    short s;
+    signed char b;
+    unsigned short us;
+    unsigned char ub;
+  };
+  EXPECT_EQ(f.struct_size(), sizeof(T));
+}
+
+// --- Codegen ---------------------------------------------------------------------
+
+TEST(Codegen, EmitsCompilableLookingHeader) {
+  FormatRegistry reg;
+  auto [b, c] = register_nested_pair(reg);
+  std::string header = core::generate_cpp_header(*c);
+  // Nested struct first, then the outer one.
+  std::size_t pos_b = header.find("struct ASDOffEventB {");
+  std::size_t pos_c = header.find("struct threeASDOffs {");
+  ASSERT_NE(pos_b, std::string::npos);
+  ASSERT_NE(pos_c, std::string::npos);
+  EXPECT_LT(pos_b, pos_c);
+  EXPECT_NE(header.find("char* cntrId;"), std::string::npos);
+  EXPECT_NE(header.find("unsigned long off[5];"), std::string::npos);
+  EXPECT_NE(header.find("unsigned long* eta;"), std::string::npos);
+  EXPECT_NE(header.find("static_assert(sizeof(ASDOffEventB) == " +
+                        std::to_string(sizeof(AsdOffB))),
+            std::string::npos);
+  EXPECT_NE(header.find("offsetof(threeASDOffs, lisa)"), std::string::npos);
+}
+
+TEST(Codegen, GeneratedHeaderActuallyCompiles) {
+  // Strongest possible layout proof: compile the generated header and let
+  // its static_asserts check sizeof/offsetof against the metadata.
+  FormatRegistry reg;
+  core::Xml2Wire x2w(reg);
+  auto f = x2w.register_text(kThreeAsdOffsSchema)[1];
+  std::string header = core::generate_cpp_header(*f);
+
+  std::string dir = ::testing::TempDir();
+  std::string hpath = dir + "/omf_codegen_test.hpp";
+  std::string cpath = dir + "/omf_codegen_test.cpp";
+  {
+    std::ofstream h(hpath);
+    h << header;
+    std::ofstream c(cpath);
+    c << "#include \"omf_codegen_test.hpp\"\n"
+      << "int main() { threeASDOffs t{}; (void)t; return 0; }\n";
+  }
+  std::string cmd = "c++ -std=c++20 -fsyntax-only -I" + dir + " " + cpath +
+                    " 2>/dev/null";
+  EXPECT_EQ(std::system(cmd.c_str()), 0) << header;
+}
+
+TEST(Codegen, RejectsForeignProfiles) {
+  FormatRegistry reg;
+  std::vector<pbio::FieldSpec> specs = {{"x", "integer", 4}};
+  auto f = reg.register_computed("T", specs, arch::sparc64());
+  EXPECT_THROW(core::generate_cpp_header(*f), FormatError);
+}
+
+TEST(Codegen, IncludeGuardOption) {
+  FormatRegistry reg;
+  std::vector<pbio::FieldSpec> specs = {{"x", "integer", 4}};
+  auto f = reg.register_computed("T", specs);
+  core::CodegenOptions opts;
+  opts.include_guard = "OMF_T_H";
+  std::string header = core::generate_cpp_header(*f, opts);
+  EXPECT_NE(header.find("#ifndef OMF_T_H"), std::string::npos);
+  EXPECT_NE(header.find("#endif"), std::string::npos);
+  EXPECT_EQ(header.find("#pragma once"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace omf
