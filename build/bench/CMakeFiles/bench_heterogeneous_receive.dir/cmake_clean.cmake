@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_heterogeneous_receive.dir/bench_heterogeneous_receive.cpp.o"
+  "CMakeFiles/bench_heterogeneous_receive.dir/bench_heterogeneous_receive.cpp.o.d"
+  "bench_heterogeneous_receive"
+  "bench_heterogeneous_receive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_heterogeneous_receive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ndr_vs_textxml.dir/bench_ndr_vs_textxml.cpp.o"
+  "CMakeFiles/bench_ndr_vs_textxml.dir/bench_ndr_vs_textxml.cpp.o.d"
+  "bench_ndr_vs_textxml"
+  "bench_ndr_vs_textxml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ndr_vs_textxml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

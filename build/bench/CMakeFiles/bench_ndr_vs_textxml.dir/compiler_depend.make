@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_ndr_vs_textxml.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_registration.dir/bench_table1_registration.cpp.o"
+  "CMakeFiles/bench_table1_registration.dir/bench_table1_registration.cpp.o.d"
+  "bench_table1_registration"
+  "bench_table1_registration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_registration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_wire_sizes.dir/bench_wire_sizes.cpp.o"
+  "CMakeFiles/bench_wire_sizes.dir/bench_wire_sizes.cpp.o.d"
+  "bench_wire_sizes"
+  "bench_wire_sizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_wire_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

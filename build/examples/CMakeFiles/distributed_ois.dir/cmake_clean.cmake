@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_ois.dir/distributed_ois.cpp.o"
+  "CMakeFiles/distributed_ois.dir/distributed_ois.cpp.o.d"
+  "distributed_ois"
+  "distributed_ois.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_ois.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/format_evolution.dir/format_evolution.cpp.o"
+  "CMakeFiles/format_evolution.dir/format_evolution.cpp.o.d"
+  "format_evolution"
+  "format_evolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/format_evolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

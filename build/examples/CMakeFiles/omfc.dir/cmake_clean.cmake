@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omfc.dir/omfc.cpp.o"
+  "CMakeFiles/omfc.dir/omfc.cpp.o.d"
+  "omfc"
+  "omfc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omfc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

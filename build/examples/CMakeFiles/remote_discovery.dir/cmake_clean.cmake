@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remote_discovery.dir/remote_discovery.cpp.o"
+  "CMakeFiles/remote_discovery.dir/remote_discovery.cpp.o.d"
+  "remote_discovery"
+  "remote_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remote_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

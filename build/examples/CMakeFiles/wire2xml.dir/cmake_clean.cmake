@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wire2xml.dir/wire2xml.cpp.o"
+  "CMakeFiles/wire2xml.dir/wire2xml.cpp.o.d"
+  "wire2xml"
+  "wire2xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wire2xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

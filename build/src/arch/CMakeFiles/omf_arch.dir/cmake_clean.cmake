@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omf_arch.dir/profile.cpp.o"
+  "CMakeFiles/omf_arch.dir/profile.cpp.o.d"
+  "libomf_arch.a"
+  "libomf_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omf_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

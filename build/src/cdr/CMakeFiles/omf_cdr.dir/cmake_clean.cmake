@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omf_cdr.dir/cdr.cpp.o"
+  "CMakeFiles/omf_cdr.dir/cdr.cpp.o.d"
+  "libomf_cdr.a"
+  "libomf_cdr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omf_cdr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

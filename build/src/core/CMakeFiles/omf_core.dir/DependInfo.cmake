@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/classify.cpp" "src/core/CMakeFiles/omf_core.dir/classify.cpp.o" "gcc" "src/core/CMakeFiles/omf_core.dir/classify.cpp.o.d"
+  "/root/repo/src/core/codegen.cpp" "src/core/CMakeFiles/omf_core.dir/codegen.cpp.o" "gcc" "src/core/CMakeFiles/omf_core.dir/codegen.cpp.o.d"
+  "/root/repo/src/core/context.cpp" "src/core/CMakeFiles/omf_core.dir/context.cpp.o" "gcc" "src/core/CMakeFiles/omf_core.dir/context.cpp.o.d"
+  "/root/repo/src/core/discovery.cpp" "src/core/CMakeFiles/omf_core.dir/discovery.cpp.o" "gcc" "src/core/CMakeFiles/omf_core.dir/discovery.cpp.o.d"
+  "/root/repo/src/core/gateway.cpp" "src/core/CMakeFiles/omf_core.dir/gateway.cpp.o" "gcc" "src/core/CMakeFiles/omf_core.dir/gateway.cpp.o.d"
+  "/root/repo/src/core/http_formats.cpp" "src/core/CMakeFiles/omf_core.dir/http_formats.cpp.o" "gcc" "src/core/CMakeFiles/omf_core.dir/http_formats.cpp.o.d"
+  "/root/repo/src/core/scoping.cpp" "src/core/CMakeFiles/omf_core.dir/scoping.cpp.o" "gcc" "src/core/CMakeFiles/omf_core.dir/scoping.cpp.o.d"
+  "/root/repo/src/core/stream.cpp" "src/core/CMakeFiles/omf_core.dir/stream.cpp.o" "gcc" "src/core/CMakeFiles/omf_core.dir/stream.cpp.o.d"
+  "/root/repo/src/core/xml2wire.cpp" "src/core/CMakeFiles/omf_core.dir/xml2wire.cpp.o" "gcc" "src/core/CMakeFiles/omf_core.dir/xml2wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/schema/CMakeFiles/omf_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/pbio/CMakeFiles/omf_pbio.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/omf_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/omf_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/omf_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/omf_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/omf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omf_core.dir/classify.cpp.o"
+  "CMakeFiles/omf_core.dir/classify.cpp.o.d"
+  "CMakeFiles/omf_core.dir/codegen.cpp.o"
+  "CMakeFiles/omf_core.dir/codegen.cpp.o.d"
+  "CMakeFiles/omf_core.dir/context.cpp.o"
+  "CMakeFiles/omf_core.dir/context.cpp.o.d"
+  "CMakeFiles/omf_core.dir/discovery.cpp.o"
+  "CMakeFiles/omf_core.dir/discovery.cpp.o.d"
+  "CMakeFiles/omf_core.dir/gateway.cpp.o"
+  "CMakeFiles/omf_core.dir/gateway.cpp.o.d"
+  "CMakeFiles/omf_core.dir/http_formats.cpp.o"
+  "CMakeFiles/omf_core.dir/http_formats.cpp.o.d"
+  "CMakeFiles/omf_core.dir/scoping.cpp.o"
+  "CMakeFiles/omf_core.dir/scoping.cpp.o.d"
+  "CMakeFiles/omf_core.dir/stream.cpp.o"
+  "CMakeFiles/omf_core.dir/stream.cpp.o.d"
+  "CMakeFiles/omf_core.dir/xml2wire.cpp.o"
+  "CMakeFiles/omf_core.dir/xml2wire.cpp.o.d"
+  "libomf_core.a"
+  "libomf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omf_http.dir/http.cpp.o"
+  "CMakeFiles/omf_http.dir/http.cpp.o.d"
+  "libomf_http.a"
+  "libomf_http.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omf_http.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

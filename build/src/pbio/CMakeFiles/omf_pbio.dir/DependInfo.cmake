@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pbio/convert.cpp" "src/pbio/CMakeFiles/omf_pbio.dir/convert.cpp.o" "gcc" "src/pbio/CMakeFiles/omf_pbio.dir/convert.cpp.o.d"
+  "/root/repo/src/pbio/decode.cpp" "src/pbio/CMakeFiles/omf_pbio.dir/decode.cpp.o" "gcc" "src/pbio/CMakeFiles/omf_pbio.dir/decode.cpp.o.d"
+  "/root/repo/src/pbio/encode.cpp" "src/pbio/CMakeFiles/omf_pbio.dir/encode.cpp.o" "gcc" "src/pbio/CMakeFiles/omf_pbio.dir/encode.cpp.o.d"
+  "/root/repo/src/pbio/field.cpp" "src/pbio/CMakeFiles/omf_pbio.dir/field.cpp.o" "gcc" "src/pbio/CMakeFiles/omf_pbio.dir/field.cpp.o.d"
+  "/root/repo/src/pbio/file.cpp" "src/pbio/CMakeFiles/omf_pbio.dir/file.cpp.o" "gcc" "src/pbio/CMakeFiles/omf_pbio.dir/file.cpp.o.d"
+  "/root/repo/src/pbio/format.cpp" "src/pbio/CMakeFiles/omf_pbio.dir/format.cpp.o" "gcc" "src/pbio/CMakeFiles/omf_pbio.dir/format.cpp.o.d"
+  "/root/repo/src/pbio/metaserde.cpp" "src/pbio/CMakeFiles/omf_pbio.dir/metaserde.cpp.o" "gcc" "src/pbio/CMakeFiles/omf_pbio.dir/metaserde.cpp.o.d"
+  "/root/repo/src/pbio/record.cpp" "src/pbio/CMakeFiles/omf_pbio.dir/record.cpp.o" "gcc" "src/pbio/CMakeFiles/omf_pbio.dir/record.cpp.o.d"
+  "/root/repo/src/pbio/synth.cpp" "src/pbio/CMakeFiles/omf_pbio.dir/synth.cpp.o" "gcc" "src/pbio/CMakeFiles/omf_pbio.dir/synth.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/omf_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/omf_arch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

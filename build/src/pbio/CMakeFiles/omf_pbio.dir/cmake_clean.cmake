@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omf_pbio.dir/convert.cpp.o"
+  "CMakeFiles/omf_pbio.dir/convert.cpp.o.d"
+  "CMakeFiles/omf_pbio.dir/decode.cpp.o"
+  "CMakeFiles/omf_pbio.dir/decode.cpp.o.d"
+  "CMakeFiles/omf_pbio.dir/encode.cpp.o"
+  "CMakeFiles/omf_pbio.dir/encode.cpp.o.d"
+  "CMakeFiles/omf_pbio.dir/field.cpp.o"
+  "CMakeFiles/omf_pbio.dir/field.cpp.o.d"
+  "CMakeFiles/omf_pbio.dir/file.cpp.o"
+  "CMakeFiles/omf_pbio.dir/file.cpp.o.d"
+  "CMakeFiles/omf_pbio.dir/format.cpp.o"
+  "CMakeFiles/omf_pbio.dir/format.cpp.o.d"
+  "CMakeFiles/omf_pbio.dir/metaserde.cpp.o"
+  "CMakeFiles/omf_pbio.dir/metaserde.cpp.o.d"
+  "CMakeFiles/omf_pbio.dir/record.cpp.o"
+  "CMakeFiles/omf_pbio.dir/record.cpp.o.d"
+  "CMakeFiles/omf_pbio.dir/synth.cpp.o"
+  "CMakeFiles/omf_pbio.dir/synth.cpp.o.d"
+  "libomf_pbio.a"
+  "libomf_pbio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omf_pbio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

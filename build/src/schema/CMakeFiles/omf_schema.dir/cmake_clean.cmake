@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omf_schema.dir/generator.cpp.o"
+  "CMakeFiles/omf_schema.dir/generator.cpp.o.d"
+  "CMakeFiles/omf_schema.dir/reader.cpp.o"
+  "CMakeFiles/omf_schema.dir/reader.cpp.o.d"
+  "libomf_schema.a"
+  "libomf_schema.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omf_schema.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

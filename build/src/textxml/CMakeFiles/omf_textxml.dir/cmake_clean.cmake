@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omf_textxml.dir/textxml.cpp.o"
+  "CMakeFiles/omf_textxml.dir/textxml.cpp.o.d"
+  "libomf_textxml.a"
+  "libomf_textxml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omf_textxml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transport/backbone.cpp" "src/transport/CMakeFiles/omf_transport.dir/backbone.cpp.o" "gcc" "src/transport/CMakeFiles/omf_transport.dir/backbone.cpp.o.d"
+  "/root/repo/src/transport/format_service.cpp" "src/transport/CMakeFiles/omf_transport.dir/format_service.cpp.o" "gcc" "src/transport/CMakeFiles/omf_transport.dir/format_service.cpp.o.d"
+  "/root/repo/src/transport/ndr_connection.cpp" "src/transport/CMakeFiles/omf_transport.dir/ndr_connection.cpp.o" "gcc" "src/transport/CMakeFiles/omf_transport.dir/ndr_connection.cpp.o.d"
+  "/root/repo/src/transport/remote_backbone.cpp" "src/transport/CMakeFiles/omf_transport.dir/remote_backbone.cpp.o" "gcc" "src/transport/CMakeFiles/omf_transport.dir/remote_backbone.cpp.o.d"
+  "/root/repo/src/transport/tcp.cpp" "src/transport/CMakeFiles/omf_transport.dir/tcp.cpp.o" "gcc" "src/transport/CMakeFiles/omf_transport.dir/tcp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/omf_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/pbio/CMakeFiles/omf_pbio.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/omf_arch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omf_transport.dir/backbone.cpp.o"
+  "CMakeFiles/omf_transport.dir/backbone.cpp.o.d"
+  "CMakeFiles/omf_transport.dir/format_service.cpp.o"
+  "CMakeFiles/omf_transport.dir/format_service.cpp.o.d"
+  "CMakeFiles/omf_transport.dir/ndr_connection.cpp.o"
+  "CMakeFiles/omf_transport.dir/ndr_connection.cpp.o.d"
+  "CMakeFiles/omf_transport.dir/remote_backbone.cpp.o"
+  "CMakeFiles/omf_transport.dir/remote_backbone.cpp.o.d"
+  "CMakeFiles/omf_transport.dir/tcp.cpp.o"
+  "CMakeFiles/omf_transport.dir/tcp.cpp.o.d"
+  "libomf_transport.a"
+  "libomf_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omf_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

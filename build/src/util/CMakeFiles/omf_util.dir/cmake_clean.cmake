@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omf_util.dir/buffer.cpp.o"
+  "CMakeFiles/omf_util.dir/buffer.cpp.o.d"
+  "CMakeFiles/omf_util.dir/logging.cpp.o"
+  "CMakeFiles/omf_util.dir/logging.cpp.o.d"
+  "CMakeFiles/omf_util.dir/strings.cpp.o"
+  "CMakeFiles/omf_util.dir/strings.cpp.o.d"
+  "libomf_util.a"
+  "libomf_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omf_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

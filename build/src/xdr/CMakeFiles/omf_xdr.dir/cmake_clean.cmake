@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omf_xdr.dir/xdr.cpp.o"
+  "CMakeFiles/omf_xdr.dir/xdr.cpp.o.d"
+  "libomf_xdr.a"
+  "libomf_xdr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omf_xdr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omf_xml.dir/dom.cpp.o"
+  "CMakeFiles/omf_xml.dir/dom.cpp.o.d"
+  "CMakeFiles/omf_xml.dir/parser.cpp.o"
+  "CMakeFiles/omf_xml.dir/parser.cpp.o.d"
+  "CMakeFiles/omf_xml.dir/writer.cpp.o"
+  "CMakeFiles/omf_xml.dir/writer.cpp.o.d"
+  "libomf_xml.a"
+  "libomf_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omf_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libomf_xml.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_remote_backbone.dir/test_remote_backbone.cpp.o"
+  "CMakeFiles/test_remote_backbone.dir/test_remote_backbone.cpp.o.d"
+  "test_remote_backbone"
+  "test_remote_backbone.pdb"
+  "test_remote_backbone[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_remote_backbone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xml2wire.dir/test_xml2wire.cpp.o"
+  "CMakeFiles/test_xml2wire.dir/test_xml2wire.cpp.o.d"
+  "test_xml2wire"
+  "test_xml2wire.pdb"
+  "test_xml2wire[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xml2wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_xml2wire.
+# This may be replaced when dependencies are built.
