@@ -6,12 +6,68 @@
 // introduction motivates (atmospheric volumes, chemical concentrations).
 #pragma once
 
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "pbio/format.hpp"
 #include "test_structs.hpp"
 
 namespace omf::bench {
+
+/// Machine-readable benchmark trajectory. Benches accumulate one row per
+/// workload and write `BENCH_<id>.json` into the working directory, so runs
+/// can be diffed across commits (google-benchmark binaries get the same via
+/// `--benchmark_format=json`; this covers hand-rolled harnesses).
+class BenchJson {
+public:
+  explicit BenchJson(std::string bench_id) : id_(std::move(bench_id)) {}
+
+  /// Adds one result row. `extra` holds workload-specific numeric fields
+  /// (thread counts, cache statistics, ...).
+  void add(const std::string& workload, double ns_per_op, double mb_per_s,
+           std::vector<std::pair<std::string, double>> extra = {}) {
+    rows_.push_back(Row{workload, ns_per_op, mb_per_s, std::move(extra)});
+  }
+
+  /// Writes BENCH_<id>.json; returns the file name.
+  std::string write() const {
+    std::string path = "BENCH_" + id_ + ".json";
+    std::ofstream out(path);
+    out << "{\n  \"bench\": \"" << id_ << "\",\n  \"results\": [\n";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      const Row& r = rows_[i];
+      out << "    {\"workload\": \"" << r.workload
+          << "\", \"ns_per_op\": " << fmt(r.ns_per_op)
+          << ", \"mb_per_s\": " << fmt(r.mb_per_s);
+      for (const auto& [key, value] : r.extra) {
+        out << ", \"" << key << "\": " << fmt(value);
+      }
+      out << (i + 1 < rows_.size() ? "},\n" : "}\n");
+    }
+    out << "  ]\n}\n";
+    return path;
+  }
+
+private:
+  struct Row {
+    std::string workload;
+    double ns_per_op;
+    double mb_per_s;
+    std::vector<std::pair<std::string, double>> extra;
+  };
+
+  static std::string fmt(double v) {
+    std::ostringstream os;
+    os << v;
+    return os.str();
+  }
+
+  std::string id_;
+  std::vector<Row> rows_;
+};
 
 /// Bulk payload: `count` doubles plus a routing tag.
 struct Payload {

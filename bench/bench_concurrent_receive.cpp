@@ -1,0 +1,249 @@
+// Concurrent receive-path benchmark: how decode throughput scales across
+// threads, and what each layer of the receive-path overhaul buys.
+//
+// Four ablations, extending the C6 heterogeneous-receive story to the
+// multi-core server shape the ROADMAP targets:
+//
+//   * scale/<T>        — aggregate heterogeneous decode throughput with 1..16
+//                        threads, every decoder sharing one process-wide
+//                        PlanCache (shared lock per lookup, plans compiled
+//                        once per pair for the whole process).
+//   * cache/*          — connection churn: each "connection" constructs a
+//                        fresh Decoder and decodes a handful of messages.
+//                        Per-decoder caches recompile every plan per
+//                        connection; the shared cache compiles once, ever.
+//   * kernels/*        — type-specialized conversion kernels (selected at
+//                        plan build, the DRISC stand-in) vs the interpreted
+//                        per-element dispatch, single-threaded.
+//   * arena/*          — DecodeArena::reset() pooling vs a fresh arena per
+//                        message, single-threaded.
+//
+// Hand-rolled harness (google-benchmark's threading model does not fit the
+// churn scenario); results land in BENCH_concurrent_receive.json.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/xml2wire.hpp"
+#include "pbio/decode.hpp"
+#include "pbio/plan_cache.hpp"
+#include "pbio/record.hpp"
+#include "pbio/synth.hpp"
+
+namespace {
+
+using namespace omf;
+using namespace omf::bench;
+
+constexpr int kValues = 256;  // doubles per message
+
+struct Setup {
+  pbio::FormatRegistry registry;
+  pbio::FormatHandle native_format;
+  pbio::FormatHandle sender_format;
+  Buffer wire;
+
+  explicit Setup(const std::string& sender_profile) {
+    core::Xml2Wire native_side(registry, arch::native());
+    native_format = native_side.register_text(kPayloadSchema)[0];
+    core::Xml2Wire sender_side(registry,
+                               arch::profile_by_name(sender_profile));
+    sender_format = sender_side.register_text(kPayloadSchema)[0];
+
+    pbio::DynamicRecord rec(native_format);
+    rec.set_string("tag", "atmos.ozone.ppb");
+    std::vector<double> vals(kValues);
+    for (int i = 0; i < kValues; ++i) vals[i] = 0.25 * i;
+    rec.set_float_array("values", vals);
+    wire = pbio::synthesize_wire(*sender_format, rec);
+  }
+};
+
+/// Runs `per_thread` on `threads` threads after a common start signal and
+/// returns the wall time of the slowest thread in nanoseconds.
+double timed_parallel(unsigned threads,
+                      const std::function<void(unsigned)>& per_thread) {
+  std::atomic<bool> go{false};
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  std::atomic<unsigned> ready{0};
+  for (unsigned t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      ready.fetch_add(1);
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      per_thread(t);
+    });
+  }
+  while (ready.load() != threads) {
+  }
+  auto t0 = std::chrono::steady_clock::now();
+  go.store(true, std::memory_order_release);
+  for (auto& th : pool) th.join();
+  auto t1 = std::chrono::steady_clock::now();
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+}
+
+struct Result {
+  double ns_per_op;
+  double mb_per_s;
+};
+
+Result rate(double wall_ns, std::size_t total_ops, std::size_t bytes_per_op) {
+  double ns_per_op = wall_ns / static_cast<double>(total_ops);
+  double mb_per_s = static_cast<double>(total_ops) *
+                    static_cast<double>(bytes_per_op) /
+                    (wall_ns / 1e9) / 1e6;
+  return {ns_per_op, mb_per_s};
+}
+
+/// Aggregate steady-state decode throughput, all decoders sharing `cache`.
+Result scaling_run(Setup& setup, unsigned threads, std::size_t iters,
+                   const std::shared_ptr<pbio::PlanCache>& cache) {
+  double wall = timed_parallel(threads, [&](unsigned) {
+    pbio::Decoder dec(setup.registry, cache);
+    pbio::DynamicRecord out(setup.native_format);
+    for (std::size_t i = 0; i < iters; ++i) {
+      out.from_wire(dec, setup.wire.span());
+    }
+  });
+  return rate(wall, iters * threads, payload_bytes(kValues));
+}
+
+/// Connection churn: every op constructs a fresh Decoder ("connection") and
+/// decodes `msgs_per_conn` messages through it. With `shared` null each
+/// connection pays its own plan compiles.
+Result churn_run(Setup& setup, unsigned threads, std::size_t connections,
+                 std::size_t msgs_per_conn,
+                 const std::shared_ptr<pbio::PlanCache>& shared) {
+  double wall = timed_parallel(threads, [&](unsigned) {
+    pbio::DynamicRecord out(setup.native_format);
+    for (std::size_t c = 0; c < connections; ++c) {
+      pbio::Decoder dec(setup.registry, shared);
+      for (std::size_t m = 0; m < msgs_per_conn; ++m) {
+        out.from_wire(dec, setup.wire.span());
+      }
+    }
+  });
+  return rate(wall, threads * connections * msgs_per_conn,
+              payload_bytes(kValues));
+}
+
+/// Single-threaded decode with explicit plan options (kernel ablation).
+Result options_run(Setup& setup, std::size_t iters, pbio::PlanOptions opts) {
+  pbio::Decoder dec(setup.registry, nullptr, opts);
+  pbio::DynamicRecord out(setup.native_format);
+  out.from_wire(dec, setup.wire.span());  // prime the cache
+  auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < iters; ++i) {
+    out.from_wire(dec, setup.wire.span());
+  }
+  auto t1 = std::chrono::steady_clock::now();
+  return rate(static_cast<double>(
+                  std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                      .count()),
+              iters, payload_bytes(kValues));
+}
+
+/// Arena ablation: decode the same arena-heavy message with one pooled
+/// (reset) arena vs a freshly constructed arena per message.
+Result arena_run(Setup& setup, std::size_t iters, bool pooled) {
+  pbio::Decoder dec(setup.registry);
+  pbio::DynamicRecord out(setup.native_format);
+  std::vector<std::uint8_t> struct_mem(setup.native_format->struct_size());
+  pbio::DecodeArena arena;
+  dec.decode(setup.wire.span(), *setup.native_format, struct_mem.data(),
+             arena);  // prime plan cache and arena high-water mark
+  auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < iters; ++i) {
+    if (pooled) {
+      arena.reset();
+      dec.decode(setup.wire.span(), *setup.native_format, struct_mem.data(),
+                 arena);
+    } else {
+      pbio::DecodeArena fresh;
+      dec.decode(setup.wire.span(), *setup.native_format, struct_mem.data(),
+                 fresh);
+    }
+  }
+  auto t1 = std::chrono::steady_clock::now();
+  return rate(static_cast<double>(
+                  std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                      .count()),
+              iters, payload_bytes(kValues));
+}
+
+}  // namespace
+
+int main() {
+  BenchJson json("concurrent_receive");
+  Setup hetero("sparc64");   // byte-swapped sender: real conversion work
+  Setup remap("sparc32");    // swap + width/offset remap: worst case
+
+  std::printf("%-28s %12s %10s\n", "workload", "ns/op", "MB/s");
+  auto report = [&](const std::string& workload, Result r,
+                    std::vector<std::pair<std::string, double>> extra = {}) {
+    std::printf("%-28s %12.1f %10.1f\n", workload.c_str(), r.ns_per_op,
+                r.mb_per_s);
+    json.add(workload, r.ns_per_op, r.mb_per_s, std::move(extra));
+  };
+
+  // --- Thread scaling with the shared plan cache --------------------------
+  constexpr std::size_t kScaleIters = 20000;
+  double base_ops_per_s = 0;
+  for (unsigned threads : {1u, 2u, 4u, 8u, 16u}) {
+    auto cache = std::make_shared<pbio::PlanCache>();
+    Result r = scaling_run(hetero, threads, kScaleIters, cache);
+    double ops_per_s = 1e9 / r.ns_per_op;
+    if (threads == 1) base_ops_per_s = ops_per_s;
+    report("scale/threads=" + std::to_string(threads), r,
+           {{"threads", threads},
+            {"speedup_vs_1", ops_per_s / base_ops_per_s},
+            {"plan_compiles", static_cast<double>(cache->stats().compiles)}});
+  }
+
+  // --- Shared vs per-decoder cache under connection churn -----------------
+  constexpr unsigned kChurnThreads = 8;
+  constexpr std::size_t kConnections = 400;
+  constexpr std::size_t kMsgsPerConn = 4;
+  {
+    auto cache = std::make_shared<pbio::PlanCache>();
+    Result shared = churn_run(remap, kChurnThreads, kConnections,
+                              kMsgsPerConn, cache);
+    report("cache/shared", shared,
+           {{"threads", kChurnThreads},
+            {"plan_compiles", static_cast<double>(cache->stats().compiles)}});
+    Result private_cache =
+        churn_run(remap, kChurnThreads, kConnections, kMsgsPerConn, nullptr);
+    report("cache/per_decoder", private_cache,
+           {{"threads", kChurnThreads},
+            {"plan_compiles",
+             static_cast<double>(kChurnThreads * kConnections)}});
+  }
+
+  // --- Specialized kernels vs interpreted dispatch ------------------------
+  constexpr std::size_t kKernelIters = 100000;
+  for (auto& [name, setup] :
+       {std::pair<const char*, Setup&>{"sparc64", hetero},
+        std::pair<const char*, Setup&>{"sparc32", remap}}) {
+    report(std::string("kernels/on/") + name,
+           options_run(setup, kKernelIters, pbio::PlanOptions{true, true}));
+    report(std::string("kernels/off/") + name,
+           options_run(setup, kKernelIters, pbio::PlanOptions{true, false}));
+  }
+
+  // --- Arena pooling vs per-message arenas --------------------------------
+  constexpr std::size_t kArenaIters = 100000;
+  report("arena/pooled", arena_run(hetero, kArenaIters, true));
+  report("arena/fresh", arena_run(hetero, kArenaIters, false));
+
+  std::string path = json.write();
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}

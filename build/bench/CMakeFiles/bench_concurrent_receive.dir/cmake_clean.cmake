@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_concurrent_receive.dir/bench_concurrent_receive.cpp.o"
+  "CMakeFiles/bench_concurrent_receive.dir/bench_concurrent_receive.cpp.o.d"
+  "bench_concurrent_receive"
+  "bench_concurrent_receive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_concurrent_receive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -209,7 +209,13 @@ bench/CMakeFiles/bench_end_to_end.dir/bench_end_to_end.cpp.o: \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h \
- /root/repo/bench/bench_common.hpp /root/repo/src/pbio/format.hpp \
+ /root/repo/bench/bench_common.hpp /usr/include/c++/12/fstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/codecvt.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
+ /usr/include/c++/12/bits/fstream.tcc /usr/include/c++/12/sstream \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/pbio/format.hpp \
  /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
@@ -238,19 +244,17 @@ bench/CMakeFiles/bench_end_to_end.dir/bench_end_to_end.cpp.o: \
  /usr/include/c++/12/bits/unique_lock.h /root/repo/src/xml/dom.hpp \
  /root/repo/src/core/xml2wire.hpp /root/repo/src/schema/model.hpp \
  /root/repo/src/pbio/decode.hpp /root/repo/src/pbio/convert.hpp \
- /root/repo/src/pbio/wire.hpp /root/repo/src/pbio/encode.hpp \
- /root/repo/src/pbio/record.hpp /root/repo/src/http/http.hpp \
- /usr/include/c++/12/filesystem /usr/include/c++/12/bits/fs_fwd.h \
- /usr/include/c++/12/bits/fs_path.h /usr/include/c++/12/locale \
+ /root/repo/src/pbio/plan_cache.hpp /root/repo/src/pbio/wire.hpp \
+ /root/repo/src/pbio/encode.hpp /root/repo/src/pbio/record.hpp \
+ /root/repo/src/http/http.hpp /usr/include/c++/12/filesystem \
+ /usr/include/c++/12/bits/fs_fwd.h /usr/include/c++/12/bits/fs_path.h \
+ /usr/include/c++/12/locale \
  /usr/include/c++/12/bits/locale_facets_nonio.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/time_members.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/messages_members.h \
- /usr/include/libintl.h /usr/include/c++/12/bits/codecvt.h \
- /usr/include/c++/12/bits/locale_facets_nonio.tcc \
+ /usr/include/libintl.h /usr/include/c++/12/bits/locale_facets_nonio.tcc \
  /usr/include/c++/12/bits/locale_conv.h /usr/include/c++/12/iomanip \
- /usr/include/c++/12/bits/quoted_string.h /usr/include/c++/12/sstream \
- /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/codecvt \
+ /usr/include/c++/12/bits/quoted_string.h /usr/include/c++/12/codecvt \
  /usr/include/c++/12/bits/fs_dir.h /usr/include/c++/12/bits/fs_ops.h \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /root/repo/src/transport/tcp.hpp /root/repo/src/textxml/textxml.hpp \

@@ -224,11 +224,11 @@ examples/CMakeFiles/distributed_ois.dir/distributed_ois.cpp.o: \
  /usr/include/c++/12/bits/unordered_map.h /root/repo/src/pbio/field.hpp \
  /root/repo/src/util/error.hpp /root/repo/src/schema/model.hpp \
  /root/repo/src/pbio/decode.hpp /root/repo/src/pbio/arena.hpp \
- /root/repo/src/pbio/convert.hpp /root/repo/src/pbio/wire.hpp \
- /root/repo/src/util/buffer.hpp /root/repo/src/pbio/encode.hpp \
- /root/repo/src/pbio/record.hpp /root/repo/src/core/gateway.hpp \
- /root/repo/src/core/scoping.hpp /usr/include/c++/12/set \
- /usr/include/c++/12/bits/stl_set.h \
+ /root/repo/src/pbio/convert.hpp /root/repo/src/pbio/plan_cache.hpp \
+ /root/repo/src/pbio/wire.hpp /root/repo/src/util/buffer.hpp \
+ /root/repo/src/pbio/encode.hpp /root/repo/src/pbio/record.hpp \
+ /root/repo/src/core/gateway.hpp /root/repo/src/core/scoping.hpp \
+ /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/http/http.hpp \
  /usr/include/c++/12/filesystem /usr/include/c++/12/bits/fs_fwd.h \
  /usr/include/c++/12/bits/fs_path.h /usr/include/c++/12/locale \

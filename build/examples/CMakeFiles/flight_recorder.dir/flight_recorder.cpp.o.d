@@ -212,9 +212,10 @@ examples/CMakeFiles/flight_recorder.dir/flight_recorder.cpp.o: \
  /usr/include/c++/12/bits/erase_if.h /root/repo/src/pbio/field.hpp \
  /usr/include/c++/12/optional /root/repo/src/util/error.hpp \
  /root/repo/src/schema/model.hpp /root/repo/src/xml/dom.hpp \
- /root/repo/src/pbio/decode.hpp /usr/include/c++/12/mutex \
- /usr/include/c++/12/bits/unique_lock.h /root/repo/src/pbio/arena.hpp \
- /root/repo/src/pbio/convert.hpp /root/repo/src/pbio/wire.hpp \
+ /root/repo/src/pbio/decode.hpp /root/repo/src/pbio/arena.hpp \
+ /root/repo/src/pbio/convert.hpp /root/repo/src/pbio/plan_cache.hpp \
+ /usr/include/c++/12/atomic /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/pbio/wire.hpp \
  /root/repo/src/util/buffer.hpp /root/repo/src/pbio/file.hpp \
  /usr/include/c++/12/set /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/stl_set.h \

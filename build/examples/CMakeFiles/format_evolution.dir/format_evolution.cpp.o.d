@@ -219,12 +219,12 @@ examples/CMakeFiles/format_evolution.dir/format_evolution.cpp.o: \
  /usr/include/c++/12/bits/unordered_map.h /root/repo/src/pbio/field.hpp \
  /root/repo/src/util/error.hpp /root/repo/src/schema/model.hpp \
  /root/repo/src/pbio/decode.hpp /root/repo/src/pbio/arena.hpp \
- /root/repo/src/pbio/convert.hpp /root/repo/src/pbio/wire.hpp \
+ /root/repo/src/pbio/convert.hpp /root/repo/src/pbio/plan_cache.hpp \
+ /usr/include/c++/12/atomic /root/repo/src/pbio/wire.hpp \
  /root/repo/src/util/buffer.hpp /root/repo/src/pbio/encode.hpp \
  /root/repo/src/pbio/record.hpp /root/repo/src/http/http.hpp \
- /usr/include/c++/12/atomic /usr/include/c++/12/filesystem \
- /usr/include/c++/12/bits/fs_fwd.h /usr/include/c++/12/bits/fs_path.h \
- /usr/include/c++/12/locale \
+ /usr/include/c++/12/filesystem /usr/include/c++/12/bits/fs_fwd.h \
+ /usr/include/c++/12/bits/fs_path.h /usr/include/c++/12/locale \
  /usr/include/c++/12/bits/locale_facets_nonio.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/time_members.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/messages_members.h \

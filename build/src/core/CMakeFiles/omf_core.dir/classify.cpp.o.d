@@ -221,7 +221,8 @@ src/core/CMakeFiles/omf_core.dir/classify.cpp.o: \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/pbio/decode.hpp /usr/include/c++/12/mutex \
- /usr/include/c++/12/bits/unique_lock.h /root/repo/src/pbio/arena.hpp \
- /root/repo/src/pbio/convert.hpp /root/repo/src/pbio/wire.hpp \
+ /root/repo/src/pbio/decode.hpp /root/repo/src/pbio/arena.hpp \
+ /root/repo/src/pbio/convert.hpp /root/repo/src/pbio/plan_cache.hpp \
+ /usr/include/c++/12/atomic /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/pbio/wire.hpp \
  /root/repo/src/util/buffer.hpp /root/repo/src/xml/parser.hpp

@@ -219,6 +219,7 @@ src/core/CMakeFiles/omf_core.dir/context.cpp.o: \
  /usr/include/c++/12/bits/unordered_map.h /root/repo/src/pbio/field.hpp \
  /root/repo/src/util/error.hpp /root/repo/src/schema/model.hpp \
  /root/repo/src/pbio/decode.hpp /root/repo/src/pbio/arena.hpp \
- /root/repo/src/pbio/convert.hpp /root/repo/src/pbio/wire.hpp \
+ /root/repo/src/pbio/convert.hpp /root/repo/src/pbio/plan_cache.hpp \
+ /usr/include/c++/12/atomic /root/repo/src/pbio/wire.hpp \
  /root/repo/src/util/buffer.hpp /root/repo/src/pbio/encode.hpp \
  /root/repo/src/pbio/record.hpp

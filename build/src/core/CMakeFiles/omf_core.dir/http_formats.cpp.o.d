@@ -232,7 +232,7 @@ src/core/CMakeFiles/omf_core.dir/http_formats.cpp.o: \
  /root/repo/src/util/bytes.hpp /usr/include/c++/12/cstring \
  /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/util/error.hpp /root/repo/src/pbio/decode.hpp \
- /root/repo/src/pbio/arena.hpp /usr/include/c++/12/memory \
+ /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/shared_ptr_atomic.h \
  /usr/include/c++/12/backward/auto_ptr.h \
@@ -240,9 +240,10 @@ src/core/CMakeFiles/omf_core.dir/http_formats.cpp.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h \
+ /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/pbio/arena.hpp \
  /root/repo/src/pbio/convert.hpp /root/repo/src/pbio/format.hpp \
  /usr/include/c++/12/shared_mutex /root/repo/src/arch/profile.hpp \
- /root/repo/src/pbio/field.hpp /root/repo/src/pbio/wire.hpp \
- /root/repo/src/pbio/metaserde.hpp /root/repo/src/schema/generator.hpp \
- /root/repo/src/schema/model.hpp /root/repo/src/xml/dom.hpp
+ /root/repo/src/pbio/field.hpp /root/repo/src/pbio/plan_cache.hpp \
+ /root/repo/src/pbio/wire.hpp /root/repo/src/pbio/metaserde.hpp \
+ /root/repo/src/schema/generator.hpp /root/repo/src/schema/model.hpp \
+ /root/repo/src/xml/dom.hpp

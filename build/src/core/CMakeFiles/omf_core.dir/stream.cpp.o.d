@@ -225,6 +225,7 @@ src/core/CMakeFiles/omf_core.dir/stream.cpp.o: \
  /root/repo/src/pbio/field.hpp /root/repo/src/util/error.hpp \
  /root/repo/src/schema/model.hpp /root/repo/src/pbio/decode.hpp \
  /root/repo/src/pbio/arena.hpp /root/repo/src/pbio/convert.hpp \
+ /root/repo/src/pbio/plan_cache.hpp /usr/include/c++/12/atomic \
  /root/repo/src/pbio/wire.hpp /root/repo/src/util/buffer.hpp \
  /root/repo/src/pbio/encode.hpp /root/repo/src/pbio/record.hpp \
  /root/repo/src/transport/backbone.hpp /root/repo/src/transport/queue.hpp \
@@ -232,8 +233,8 @@ src/core/CMakeFiles/omf_core.dir/stream.cpp.o: \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc \
  /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
- /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
- /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \

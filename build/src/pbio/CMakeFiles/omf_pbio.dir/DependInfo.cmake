@@ -15,6 +15,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/pbio/file.cpp" "src/pbio/CMakeFiles/omf_pbio.dir/file.cpp.o" "gcc" "src/pbio/CMakeFiles/omf_pbio.dir/file.cpp.o.d"
   "/root/repo/src/pbio/format.cpp" "src/pbio/CMakeFiles/omf_pbio.dir/format.cpp.o" "gcc" "src/pbio/CMakeFiles/omf_pbio.dir/format.cpp.o.d"
   "/root/repo/src/pbio/metaserde.cpp" "src/pbio/CMakeFiles/omf_pbio.dir/metaserde.cpp.o" "gcc" "src/pbio/CMakeFiles/omf_pbio.dir/metaserde.cpp.o.d"
+  "/root/repo/src/pbio/plan_cache.cpp" "src/pbio/CMakeFiles/omf_pbio.dir/plan_cache.cpp.o" "gcc" "src/pbio/CMakeFiles/omf_pbio.dir/plan_cache.cpp.o.d"
   "/root/repo/src/pbio/record.cpp" "src/pbio/CMakeFiles/omf_pbio.dir/record.cpp.o" "gcc" "src/pbio/CMakeFiles/omf_pbio.dir/record.cpp.o.d"
   "/root/repo/src/pbio/synth.cpp" "src/pbio/CMakeFiles/omf_pbio.dir/synth.cpp.o" "gcc" "src/pbio/CMakeFiles/omf_pbio.dir/synth.cpp.o.d"
   )

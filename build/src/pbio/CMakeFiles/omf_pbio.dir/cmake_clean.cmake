@@ -13,6 +13,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/omf_pbio.dir/format.cpp.o.d"
   "CMakeFiles/omf_pbio.dir/metaserde.cpp.o"
   "CMakeFiles/omf_pbio.dir/metaserde.cpp.o.d"
+  "CMakeFiles/omf_pbio.dir/plan_cache.cpp.o"
+  "CMakeFiles/omf_pbio.dir/plan_cache.cpp.o.d"
   "CMakeFiles/omf_pbio.dir/record.cpp.o"
   "CMakeFiles/omf_pbio.dir/record.cpp.o.d"
   "CMakeFiles/omf_pbio.dir/synth.cpp.o"

@@ -200,21 +200,22 @@ src/pbio/CMakeFiles/omf_pbio.dir/record.cpp.o: \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/pbio/arena.hpp \
  /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
- /root/repo/src/pbio/decode.hpp /usr/include/c++/12/mutex \
+ /root/repo/src/pbio/decode.hpp /root/repo/src/pbio/convert.hpp \
+ /root/repo/src/pbio/format.hpp /usr/include/c++/12/shared_mutex \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/limits /usr/include/c++/12/ctime \
  /usr/include/c++/12/bits/parse_numbers.h \
- /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/unordered_map \
- /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
- /usr/include/c++/12/bits/erase_if.h /root/repo/src/pbio/convert.hpp \
- /root/repo/src/pbio/format.hpp /usr/include/c++/12/shared_mutex \
- /root/repo/src/arch/profile.hpp /root/repo/src/util/bytes.hpp \
- /root/repo/src/pbio/field.hpp /usr/include/c++/12/optional \
- /root/repo/src/util/error.hpp /root/repo/src/pbio/wire.hpp \
- /root/repo/src/util/buffer.hpp /usr/include/c++/12/sstream \
- /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/erase_if.h /root/repo/src/arch/profile.hpp \
+ /root/repo/src/util/bytes.hpp /root/repo/src/pbio/field.hpp \
+ /usr/include/c++/12/optional /root/repo/src/util/error.hpp \
+ /root/repo/src/pbio/plan_cache.hpp /usr/include/c++/12/atomic \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/pbio/wire.hpp /root/repo/src/util/buffer.hpp \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/pbio/encode.hpp

@@ -215,6 +215,7 @@ src/pbio/CMakeFiles/omf_pbio.dir/synth.cpp.o: \
  /root/repo/src/pbio/field.hpp /usr/include/c++/12/optional \
  /root/repo/src/util/error.hpp /root/repo/src/pbio/record.hpp \
  /root/repo/src/pbio/arena.hpp /root/repo/src/pbio/decode.hpp \
- /usr/include/c++/12/mutex /usr/include/c++/12/bits/unique_lock.h \
- /root/repo/src/pbio/convert.hpp /root/repo/src/pbio/wire.hpp \
+ /root/repo/src/pbio/convert.hpp /root/repo/src/pbio/plan_cache.hpp \
+ /usr/include/c++/12/atomic /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/pbio/wire.hpp \
  /root/repo/src/util/buffer.hpp

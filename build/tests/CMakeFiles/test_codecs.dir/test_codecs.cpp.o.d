@@ -295,12 +295,12 @@ tests/CMakeFiles/test_codecs.dir/test_codecs.cpp.o: \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/pbio/record.hpp /usr/include/c++/12/span \
  /root/repo/src/pbio/arena.hpp /usr/include/c++/12/cstring \
- /root/repo/src/pbio/decode.hpp /usr/include/c++/12/mutex \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/bits/unique_lock.h /root/repo/src/pbio/convert.hpp \
+ /root/repo/src/pbio/decode.hpp /root/repo/src/pbio/convert.hpp \
  /root/repo/src/pbio/format.hpp /usr/include/c++/12/shared_mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /root/repo/src/arch/profile.hpp /root/repo/src/util/bytes.hpp \
  /root/repo/src/pbio/field.hpp /root/repo/src/util/error.hpp \
- /root/repo/src/pbio/wire.hpp /root/repo/src/util/buffer.hpp \
- /root/repo/tests/test_structs.hpp /root/repo/src/textxml/textxml.hpp \
- /root/repo/src/xdr/xdr.hpp
+ /root/repo/src/pbio/plan_cache.hpp /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/pbio/wire.hpp \
+ /root/repo/src/util/buffer.hpp /root/repo/tests/test_structs.hpp \
+ /root/repo/src/textxml/textxml.hpp /root/repo/src/xdr/xdr.hpp

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_concurrency.cpp" "tests/CMakeFiles/test_concurrency.dir/test_concurrency.cpp.o" "gcc" "tests/CMakeFiles/test_concurrency.dir/test_concurrency.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/omf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/schema/CMakeFiles/omf_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/pbio/CMakeFiles/omf_pbio.dir/DependInfo.cmake"
+  "/root/repo/build/src/xdr/CMakeFiles/omf_xdr.dir/DependInfo.cmake"
+  "/root/repo/build/src/cdr/CMakeFiles/omf_cdr.dir/DependInfo.cmake"
+  "/root/repo/build/src/textxml/CMakeFiles/omf_textxml.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/omf_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/omf_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/omf_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/omf_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/omf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -300,8 +300,9 @@ tests/CMakeFiles/test_convert.dir/test_convert.cpp.o: \
  /usr/include/c++/12/span /root/repo/src/pbio/field.hpp \
  /root/repo/src/util/error.hpp /root/repo/src/schema/model.hpp \
  /root/repo/src/xml/dom.hpp /root/repo/src/pbio/decode.hpp \
- /usr/include/c++/12/mutex /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/pbio/arena.hpp /root/repo/src/pbio/convert.hpp \
- /root/repo/src/pbio/wire.hpp /root/repo/src/util/buffer.hpp \
- /root/repo/src/pbio/encode.hpp /root/repo/src/pbio/record.hpp \
- /root/repo/src/pbio/synth.hpp /root/repo/tests/test_structs.hpp
+ /root/repo/src/pbio/plan_cache.hpp /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/pbio/wire.hpp \
+ /root/repo/src/util/buffer.hpp /root/repo/src/pbio/encode.hpp \
+ /root/repo/src/pbio/record.hpp /root/repo/src/pbio/synth.hpp \
+ /root/repo/tests/test_structs.hpp

@@ -294,15 +294,15 @@ tests/CMakeFiles/test_coverage.dir/test_coverage.cpp.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/core/gateway.hpp /root/repo/src/pbio/decode.hpp \
- /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
  /usr/include/c++/12/span /root/repo/src/pbio/arena.hpp \
  /usr/include/c++/12/cstring /root/repo/src/pbio/convert.hpp \
  /root/repo/src/pbio/format.hpp /usr/include/c++/12/shared_mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /root/repo/src/arch/profile.hpp /root/repo/src/util/bytes.hpp \
  /root/repo/src/pbio/field.hpp /root/repo/src/util/error.hpp \
- /root/repo/src/pbio/wire.hpp /root/repo/src/util/buffer.hpp \
- /root/repo/src/pbio/record.hpp /root/repo/src/core/xml2wire.hpp \
- /root/repo/src/schema/model.hpp /root/repo/src/xml/dom.hpp \
- /root/repo/src/pbio/encode.hpp /root/repo/src/pbio/synth.hpp \
- /root/repo/tests/test_structs.hpp
+ /root/repo/src/pbio/plan_cache.hpp /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/pbio/wire.hpp \
+ /root/repo/src/util/buffer.hpp /root/repo/src/pbio/record.hpp \
+ /root/repo/src/core/xml2wire.hpp /root/repo/src/schema/model.hpp \
+ /root/repo/src/xml/dom.hpp /root/repo/src/pbio/encode.hpp \
+ /root/repo/src/pbio/synth.hpp /root/repo/tests/test_structs.hpp

@@ -306,15 +306,15 @@ tests/CMakeFiles/test_discovery.dir/test_discovery.cpp.o: \
  /usr/include/c++/12/shared_mutex /root/repo/src/pbio/field.hpp \
  /root/repo/src/util/error.hpp /root/repo/src/schema/model.hpp \
  /root/repo/src/pbio/decode.hpp /root/repo/src/pbio/arena.hpp \
- /root/repo/src/pbio/convert.hpp /root/repo/src/pbio/wire.hpp \
- /root/repo/src/util/buffer.hpp /root/repo/src/pbio/encode.hpp \
- /root/repo/src/pbio/record.hpp /root/repo/src/http/http.hpp \
- /usr/include/c++/12/filesystem /usr/include/c++/12/bits/fs_fwd.h \
- /usr/include/c++/12/bits/fs_path.h /usr/include/c++/12/codecvt \
- /usr/include/c++/12/bits/fs_dir.h /usr/include/c++/12/bits/fs_ops.h \
- /usr/include/c++/12/thread /usr/include/c++/12/stop_token \
- /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
- /usr/include/c++/12/bits/semaphore_base.h \
+ /root/repo/src/pbio/convert.hpp /root/repo/src/pbio/plan_cache.hpp \
+ /root/repo/src/pbio/wire.hpp /root/repo/src/util/buffer.hpp \
+ /root/repo/src/pbio/encode.hpp /root/repo/src/pbio/record.hpp \
+ /root/repo/src/http/http.hpp /usr/include/c++/12/filesystem \
+ /usr/include/c++/12/bits/fs_fwd.h /usr/include/c++/12/bits/fs_path.h \
+ /usr/include/c++/12/codecvt /usr/include/c++/12/bits/fs_dir.h \
+ /usr/include/c++/12/bits/fs_ops.h /usr/include/c++/12/thread \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \

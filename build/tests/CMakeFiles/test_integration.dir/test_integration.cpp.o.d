@@ -310,16 +310,17 @@ tests/CMakeFiles/test_integration.dir/test_integration.cpp.o: \
  /root/repo/src/pbio/field.hpp /root/repo/src/util/error.hpp \
  /root/repo/src/schema/model.hpp /root/repo/src/pbio/decode.hpp \
  /root/repo/src/pbio/arena.hpp /root/repo/src/pbio/convert.hpp \
- /root/repo/src/pbio/wire.hpp /root/repo/src/util/buffer.hpp \
- /root/repo/src/pbio/encode.hpp /root/repo/src/pbio/record.hpp \
- /root/repo/src/http/http.hpp /usr/include/c++/12/filesystem \
- /usr/include/c++/12/bits/fs_fwd.h /usr/include/c++/12/bits/fs_path.h \
- /usr/include/c++/12/codecvt /usr/include/c++/12/bits/fs_dir.h \
- /usr/include/c++/12/bits/fs_ops.h /root/repo/src/transport/tcp.hpp \
- /root/repo/src/pbio/synth.hpp /root/repo/src/schema/reader.hpp \
- /root/repo/tests/test_structs.hpp /root/repo/src/transport/backbone.hpp \
- /root/repo/src/transport/queue.hpp /usr/include/c++/12/chrono \
- /usr/include/c++/12/condition_variable /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/pbio/plan_cache.hpp /root/repo/src/pbio/wire.hpp \
+ /root/repo/src/util/buffer.hpp /root/repo/src/pbio/encode.hpp \
+ /root/repo/src/pbio/record.hpp /root/repo/src/http/http.hpp \
+ /usr/include/c++/12/filesystem /usr/include/c++/12/bits/fs_fwd.h \
+ /usr/include/c++/12/bits/fs_path.h /usr/include/c++/12/codecvt \
+ /usr/include/c++/12/bits/fs_dir.h /usr/include/c++/12/bits/fs_ops.h \
+ /root/repo/src/transport/tcp.hpp /root/repo/src/pbio/synth.hpp \
+ /root/repo/src/schema/reader.hpp /root/repo/tests/test_structs.hpp \
+ /root/repo/src/transport/backbone.hpp /root/repo/src/transport/queue.hpp \
+ /usr/include/c++/12/chrono /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/transport/format_service.hpp \
  /root/repo/src/pbio/metaserde.hpp

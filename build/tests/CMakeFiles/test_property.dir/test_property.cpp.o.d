@@ -301,9 +301,9 @@ tests/CMakeFiles/test_property.dir/test_property.cpp.o: \
  /root/repo/src/pbio/field.hpp /root/repo/src/util/error.hpp \
  /root/repo/src/util/buffer.hpp /root/repo/src/core/xml2wire.hpp \
  /root/repo/src/schema/model.hpp /root/repo/src/xml/dom.hpp \
- /root/repo/src/pbio/decode.hpp /usr/include/c++/12/mutex \
- /usr/include/c++/12/bits/unique_lock.h /root/repo/src/pbio/convert.hpp \
- /root/repo/src/pbio/wire.hpp /root/repo/src/pbio/record.hpp \
- /root/repo/src/pbio/synth.hpp /root/repo/src/schema/generator.hpp \
- /root/repo/src/textxml/textxml.hpp /root/repo/src/util/rng.hpp \
- /root/repo/src/xdr/xdr.hpp
+ /root/repo/src/pbio/decode.hpp /root/repo/src/pbio/convert.hpp \
+ /root/repo/src/pbio/plan_cache.hpp /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/pbio/wire.hpp \
+ /root/repo/src/pbio/record.hpp /root/repo/src/pbio/synth.hpp \
+ /root/repo/src/schema/generator.hpp /root/repo/src/textxml/textxml.hpp \
+ /root/repo/src/util/rng.hpp /root/repo/src/xdr/xdr.hpp

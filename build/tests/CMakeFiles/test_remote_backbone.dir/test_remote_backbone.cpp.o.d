@@ -310,9 +310,9 @@ tests/CMakeFiles/test_remote_backbone.dir/test_remote_backbone.cpp.o: \
  /root/repo/src/pbio/field.hpp /root/repo/src/util/error.hpp \
  /root/repo/src/schema/model.hpp /root/repo/src/pbio/decode.hpp \
  /root/repo/src/pbio/arena.hpp /root/repo/src/pbio/convert.hpp \
- /root/repo/src/pbio/wire.hpp /root/repo/src/util/buffer.hpp \
- /root/repo/src/pbio/encode.hpp /root/repo/src/pbio/record.hpp \
- /root/repo/tests/test_structs.hpp \
+ /root/repo/src/pbio/plan_cache.hpp /root/repo/src/pbio/wire.hpp \
+ /root/repo/src/util/buffer.hpp /root/repo/src/pbio/encode.hpp \
+ /root/repo/src/pbio/record.hpp /root/repo/tests/test_structs.hpp \
  /root/repo/src/transport/remote_backbone.hpp \
  /root/repo/src/transport/backbone.hpp /root/repo/src/transport/queue.hpp \
  /usr/include/c++/12/chrono /usr/include/c++/12/condition_variable \

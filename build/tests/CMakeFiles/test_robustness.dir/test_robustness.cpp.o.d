@@ -313,8 +313,9 @@ tests/CMakeFiles/test_robustness.dir/test_robustness.cpp.o: \
  /usr/include/c++/12/mutex /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/transport/tcp.hpp /root/repo/src/util/buffer.hpp \
  /root/repo/src/pbio/decode.hpp /root/repo/src/pbio/arena.hpp \
- /root/repo/src/pbio/convert.hpp /root/repo/src/pbio/wire.hpp \
- /root/repo/src/pbio/encode.hpp /root/repo/src/pbio/metaserde.hpp \
- /root/repo/src/pbio/record.hpp /root/repo/tests/test_structs.hpp \
- /root/repo/src/textxml/textxml.hpp /root/repo/src/util/rng.hpp \
- /root/repo/src/xdr/xdr.hpp /root/repo/src/xml/parser.hpp
+ /root/repo/src/pbio/convert.hpp /root/repo/src/pbio/plan_cache.hpp \
+ /root/repo/src/pbio/wire.hpp /root/repo/src/pbio/encode.hpp \
+ /root/repo/src/pbio/metaserde.hpp /root/repo/src/pbio/record.hpp \
+ /root/repo/tests/test_structs.hpp /root/repo/src/textxml/textxml.hpp \
+ /root/repo/src/util/rng.hpp /root/repo/src/xdr/xdr.hpp \
+ /root/repo/src/xml/parser.hpp

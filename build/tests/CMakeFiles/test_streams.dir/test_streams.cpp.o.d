@@ -312,14 +312,15 @@ tests/CMakeFiles/test_streams.dir/test_streams.cpp.o: \
  /root/repo/src/pbio/decode.hpp /root/repo/src/pbio/arena.hpp \
  /root/repo/src/pbio/convert.hpp /root/repo/src/pbio/format.hpp \
  /usr/include/c++/12/shared_mutex /root/repo/src/arch/profile.hpp \
- /root/repo/src/pbio/field.hpp /root/repo/src/pbio/wire.hpp \
- /root/repo/src/core/stream.hpp /root/repo/src/core/context.hpp \
- /root/repo/src/core/discovery.hpp /root/repo/src/xml/dom.hpp \
- /root/repo/src/core/xml2wire.hpp /root/repo/src/schema/model.hpp \
- /root/repo/src/pbio/encode.hpp /root/repo/src/pbio/record.hpp \
- /root/repo/src/transport/backbone.hpp /root/repo/src/transport/queue.hpp \
- /usr/include/c++/12/chrono /usr/include/c++/12/condition_variable \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /root/repo/src/pbio/file.hpp \
- /root/repo/src/pbio/synth.hpp /root/repo/src/schema/generator.hpp \
- /root/repo/src/schema/reader.hpp /root/repo/tests/test_structs.hpp
+ /root/repo/src/pbio/field.hpp /root/repo/src/pbio/plan_cache.hpp \
+ /root/repo/src/pbio/wire.hpp /root/repo/src/core/stream.hpp \
+ /root/repo/src/core/context.hpp /root/repo/src/core/discovery.hpp \
+ /root/repo/src/xml/dom.hpp /root/repo/src/core/xml2wire.hpp \
+ /root/repo/src/schema/model.hpp /root/repo/src/pbio/encode.hpp \
+ /root/repo/src/pbio/record.hpp /root/repo/src/transport/backbone.hpp \
+ /root/repo/src/transport/queue.hpp /usr/include/c++/12/chrono \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/pbio/file.hpp /root/repo/src/pbio/synth.hpp \
+ /root/repo/src/schema/generator.hpp /root/repo/src/schema/reader.hpp \
+ /root/repo/tests/test_structs.hpp

@@ -301,17 +301,18 @@ tests/CMakeFiles/test_transport.dir/test_transport.cpp.o: \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h \
- /root/repo/src/pbio/decode.hpp /usr/include/c++/12/mutex \
- /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/span \
+ /root/repo/src/pbio/decode.hpp /usr/include/c++/12/span \
  /root/repo/src/pbio/arena.hpp /usr/include/c++/12/cstring \
  /root/repo/src/pbio/convert.hpp /root/repo/src/pbio/format.hpp \
  /usr/include/c++/12/shared_mutex /root/repo/src/arch/profile.hpp \
  /root/repo/src/util/bytes.hpp /root/repo/src/pbio/field.hpp \
- /root/repo/src/util/error.hpp /root/repo/src/pbio/wire.hpp \
- /root/repo/src/util/buffer.hpp /root/repo/src/pbio/encode.hpp \
- /root/repo/tests/test_structs.hpp /root/repo/src/transport/backbone.hpp \
- /root/repo/src/transport/queue.hpp /usr/include/c++/12/chrono \
- /usr/include/c++/12/condition_variable /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/util/error.hpp /root/repo/src/pbio/plan_cache.hpp \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/pbio/wire.hpp /root/repo/src/util/buffer.hpp \
+ /root/repo/src/pbio/encode.hpp /root/repo/tests/test_structs.hpp \
+ /root/repo/src/transport/backbone.hpp /root/repo/src/transport/queue.hpp \
+ /usr/include/c++/12/chrono /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/transport/format_service.hpp \
  /root/repo/src/pbio/metaserde.hpp /root/repo/src/transport/tcp.hpp

@@ -304,7 +304,8 @@ tests/CMakeFiles/test_xml2wire.dir/test_xml2wire.cpp.o: \
  /root/repo/src/pbio/field.hpp /root/repo/src/util/error.hpp \
  /root/repo/src/core/xml2wire.hpp /root/repo/src/schema/model.hpp \
  /root/repo/src/xml/dom.hpp /root/repo/src/pbio/decode.hpp \
- /usr/include/c++/12/mutex /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/pbio/arena.hpp /root/repo/src/pbio/convert.hpp \
- /root/repo/src/pbio/wire.hpp /root/repo/src/util/buffer.hpp \
- /root/repo/src/pbio/encode.hpp /root/repo/tests/test_structs.hpp
+ /root/repo/src/pbio/plan_cache.hpp /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/pbio/wire.hpp \
+ /root/repo/src/util/buffer.hpp /root/repo/src/pbio/encode.hpp \
+ /root/repo/tests/test_structs.hpp

@@ -24,3 +24,5 @@ include("/root/repo/build/tests/test_golden[1]_include.cmake")
 include("/root/repo/build/tests/test_coverage[1]_include.cmake")
 include("/root/repo/build/tests/test_remote_backbone[1]_include.cmake")
 include("/root/repo/build/tests/test_misc[1]_include.cmake")
+include("/root/repo/build/tests/test_concurrency[1]_include.cmake")
+include("/root/repo/build/tests/test_arena[1]_include.cmake")

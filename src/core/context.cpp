@@ -4,8 +4,9 @@
 
 namespace omf::core {
 
-Context::Context()
-    : xml2wire_(registry_, arch::native()), decoder_(registry_) {
+Context::Context(std::shared_ptr<pbio::PlanCache> shared_plans)
+    : xml2wire_(registry_, arch::native()),
+      decoder_(registry_, std::move(shared_plans)) {
   discovery_.add_source(make_http_source());
   discovery_.add_source(make_file_source());
   auto compiled = std::make_unique<CompiledInSource>();

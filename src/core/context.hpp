@@ -69,7 +69,10 @@ class Context {
 public:
   /// Builds the standard discovery chain: HTTP, then local files, then
   /// compiled-in documents (the fault-tolerance ordering of §3.3).
-  Context();
+  /// `shared_plans` lets several contexts (or other decoders in the same
+  /// process) share one conversion-plan cache, so a plan is compiled once
+  /// per format pair process-wide; nullptr keeps a private cache.
+  explicit Context(std::shared_ptr<pbio::PlanCache> shared_plans = nullptr);
   Context(const Context&) = delete;
   Context& operator=(const Context&) = delete;
 

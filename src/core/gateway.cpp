@@ -7,8 +7,9 @@
 namespace omf::core {
 
 Gateway::Gateway(pbio::FormatRegistry& registry, pbio::FormatHandle staging,
-                 pbio::FormatHandle target)
-    : decoder_(registry),
+                 pbio::FormatHandle target,
+                 std::shared_ptr<pbio::PlanCache> shared_plans)
+    : decoder_(registry, std::move(shared_plans)),
       staging_(std::move(staging)),
       target_(std::move(target)),
       scratch_(staging_) {

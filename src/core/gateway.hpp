@@ -25,8 +25,11 @@ public:
   /// wire format the gateway will see. `staging` is the native-profile
   /// format records are staged through; `target` is the outgoing wire
   /// format (any profile). Fields are matched by name in both hops.
+  /// `shared_plans` optionally shares a process-wide conversion-plan cache
+  /// with other gateways/decoders (see pbio::PlanCache).
   Gateway(pbio::FormatRegistry& registry, pbio::FormatHandle staging,
-          pbio::FormatHandle target);
+          pbio::FormatHandle target,
+          std::shared_ptr<pbio::PlanCache> shared_plans = nullptr);
 
   /// Converts one message. Throws DecodeError/FormatError per the decode
   /// and synthesis rules.

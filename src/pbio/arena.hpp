@@ -5,6 +5,11 @@
 // DecodeArena whose lifetime the caller controls. Allocations are stable
 // (never move) and are freed all at once, which matches the
 // decode-use-discard pattern of message processing loops.
+//
+// Message loops should call reset() between messages rather than clear():
+// reset retains the arena's high-water chunk plus a small free list, so a
+// steady-state loop decoding similar-sized messages performs zero heap
+// allocations once warm. clear() releases everything back to the heap.
 #pragma once
 
 #include <cstddef>
@@ -50,24 +55,53 @@ public:
     return p;
   }
 
+  /// Invalidates all allocations but retains memory for reuse: the largest
+  /// chunk stays current and up to kFreeListMax other chunks move to a free
+  /// list that new_chunk() consumes before touching the heap. A loop whose
+  /// per-message footprint fits the retained capacity allocates nothing.
+  void reset() {
+    if (chunks_.empty()) {
+      used_ = 0;
+      return;
+    }
+    std::size_t largest = 0;
+    for (std::size_t i = 1; i < chunks_.size(); ++i) {
+      if (chunks_[i].size > chunks_[largest].size) largest = i;
+    }
+    for (std::size_t i = 0; i < chunks_.size(); ++i) {
+      if (i != largest && free_list_.size() < kFreeListMax) {
+        free_list_.push_back(std::move(chunks_[i]));
+      }
+    }
+    if (largest != 0) chunks_[0] = std::move(chunks_[largest]);
+    chunks_.resize(1);
+    current_ = chunks_[0].data.get();
+    current_capacity_ = chunks_[0].size;
+    used_ = 0;
+  }
+
   /// Releases all memory; previously returned pointers become invalid.
   void clear() {
     chunks_.clear();
+    free_list_.clear();
     current_ = nullptr;
     current_capacity_ = 0;
     used_ = 0;
     next_chunk_size_ = kDefaultChunk;
   }
 
-  /// Total bytes currently reserved (for tests and capacity diagnostics).
+  /// Total bytes currently reserved, free-listed chunks included (for tests
+  /// and capacity diagnostics).
   std::size_t reserved_bytes() const noexcept {
     std::size_t total = 0;
     for (const auto& c : chunks_) total += c.size;
+    for (const auto& c : free_list_) total += c.size;
     return total;
   }
 
 private:
   static constexpr std::size_t kDefaultChunk = 4096;
+  static constexpr std::size_t kFreeListMax = 4;
 
   struct Chunk {
     std::unique_ptr<std::uint8_t[]> data;
@@ -75,6 +109,17 @@ private:
   };
 
   void new_chunk(std::size_t at_least) {
+    for (std::size_t i = 0; i < free_list_.size(); ++i) {
+      if (free_list_[i].size >= at_least) {
+        chunks_.push_back(std::move(free_list_[i]));
+        free_list_.erase(free_list_.begin() +
+                         static_cast<std::ptrdiff_t>(i));
+        current_ = chunks_.back().data.get();
+        current_capacity_ = chunks_.back().size;
+        used_ = 0;
+        return;
+      }
+    }
     std::size_t size = next_chunk_size_;
     while (size < at_least) size *= 2;
     chunks_.push_back(Chunk{std::make_unique<std::uint8_t[]>(size), size});
@@ -87,6 +132,7 @@ private:
   }
 
   std::vector<Chunk> chunks_;
+  std::vector<Chunk> free_list_;
   std::uint8_t* current_ = nullptr;
   std::size_t current_capacity_ = 0;
   std::size_t used_ = 0;

@@ -2,6 +2,7 @@
 
 #include <bit>
 #include <cstring>
+#include <type_traits>
 
 namespace omf::pbio {
 
@@ -28,13 +29,16 @@ std::uint64_t load_int(const std::uint8_t* p, std::size_t size, bool swap,
       v = x;
       break;
     }
-    default: {
+    case 8: {
       std::uint64_t x;
       std::memcpy(&x, p, 8);
       if (swap) x = byteswap(x);
       v = x;
       break;
     }
+    default:
+      // Unreachable: plan compilation rejects widths outside {1,2,4,8}.
+      break;
   }
   if (sign_extend && size < 8) {
     std::uint64_t sign_bit = 1ull << (size * 8 - 1);
@@ -98,10 +102,124 @@ void store_float(std::uint8_t* p, std::size_t size, double v) noexcept {
                     native.name() + "': " + what);
 }
 
+// ---------------------------------------------------------------------------
+// Specialized conversion kernels.
+//
+// PBIO generated native machine code per (wire, native) pair with DRISC; the
+// portable equivalent is to select, once at plan-build time, a function whose
+// element widths, byte order, and signedness are compile-time constants.
+// The compiler turns these loops into tight swap/widen/convert code (bulk
+// bswap loops, sign-extending widens, float batches) with no per-element
+// dispatch left.
+// ---------------------------------------------------------------------------
+
+/// Integer element loop. `Src` encodes the wire element's width and
+/// signedness (sign extension falls out of the signed static_cast); `DstU`
+/// is the unsigned type of the native width (stores are bit-pattern
+/// truncations/extensions, so signedness of the destination is irrelevant).
+template <typename Src, typename DstU, bool Swap>
+void int_kernel(const std::uint8_t* src, std::uint8_t* dst,
+                std::size_t count) {
+  using SrcU = std::make_unsigned_t<Src>;
+  for (std::size_t i = 0; i < count; ++i) {
+    SrcU u;
+    std::memcpy(&u, src + i * sizeof(SrcU), sizeof(SrcU));
+    if constexpr (Swap && sizeof(SrcU) > 1) u = byteswap(u);
+    DstU d = static_cast<DstU>(static_cast<Src>(u));
+    std::memcpy(dst + i * sizeof(DstU), &d, sizeof(DstU));
+  }
+}
+
+/// Float element loop: float32/float64 in either direction, optional swap.
+template <typename SrcF, typename DstF, bool Swap>
+void float_kernel(const std::uint8_t* src, std::uint8_t* dst,
+                  std::size_t count) {
+  using Bits =
+      std::conditional_t<sizeof(SrcF) == 4, std::uint32_t, std::uint64_t>;
+  for (std::size_t i = 0; i < count; ++i) {
+    Bits bits;
+    std::memcpy(&bits, src + i * sizeof(Bits), sizeof(Bits));
+    if constexpr (Swap) bits = byteswap(bits);
+    DstF d = static_cast<DstF>(std::bit_cast<SrcF>(bits));
+    std::memcpy(dst + i * sizeof(DstF), &d, sizeof(DstF));
+  }
+}
+
+template <typename Src, typename DstU>
+ScalarKernel int_kernel_swap(bool swap) {
+  return swap ? &int_kernel<Src, DstU, true> : &int_kernel<Src, DstU, false>;
+}
+
+template <typename Src>
+ScalarKernel int_kernel_dst(std::size_t dst_size, bool swap) {
+  switch (dst_size) {
+    case 1: return int_kernel_swap<Src, std::uint8_t>(swap);
+    case 2: return int_kernel_swap<Src, std::uint16_t>(swap);
+    case 4: return int_kernel_swap<Src, std::uint32_t>(swap);
+    default: return int_kernel_swap<Src, std::uint64_t>(swap);
+  }
+}
+
+ScalarKernel select_int_kernel(std::size_t src_size, std::size_t dst_size,
+                               bool swap, bool sign_extend) {
+  switch (src_size) {
+    case 1:
+      return sign_extend ? int_kernel_dst<std::int8_t>(dst_size, swap)
+                         : int_kernel_dst<std::uint8_t>(dst_size, swap);
+    case 2:
+      return sign_extend ? int_kernel_dst<std::int16_t>(dst_size, swap)
+                         : int_kernel_dst<std::uint16_t>(dst_size, swap);
+    case 4:
+      return sign_extend ? int_kernel_dst<std::int32_t>(dst_size, swap)
+                         : int_kernel_dst<std::uint32_t>(dst_size, swap);
+    default:
+      return sign_extend ? int_kernel_dst<std::int64_t>(dst_size, swap)
+                         : int_kernel_dst<std::uint64_t>(dst_size, swap);
+  }
+}
+
+template <typename SrcF>
+ScalarKernel float_kernel_dst(std::size_t dst_size, bool swap) {
+  if (dst_size == 4) {
+    return swap ? &float_kernel<SrcF, float, true>
+                : &float_kernel<SrcF, float, false>;
+  }
+  return swap ? &float_kernel<SrcF, double, true>
+              : &float_kernel<SrcF, double, false>;
+}
+
+ScalarKernel select_float_kernel(std::size_t src_size, std::size_t dst_size,
+                                 bool swap) {
+  return src_size == 4 ? float_kernel_dst<float>(dst_size, swap)
+                       : float_kernel_dst<double>(dst_size, swap);
+}
+
+bool valid_int_width(std::size_t w) noexcept {
+  return w == 1 || w == 2 || w == 4 || w == 8;
+}
+
+/// Rejects scalar element widths the converting loops cannot handle, so the
+/// (noexcept) element loads never misread memory. Registration validates the
+/// same invariant; this guards plans built from any other metadata source.
+void check_scalar_widths(const Format& wire, const Format& native,
+                         const Field& nf, const ConvOp& op) {
+  bool is_float = nf.type.cls == FieldClass::kFloat;
+  bool src_ok = is_float ? op.src_size == 4 || op.src_size == 8
+                         : valid_int_width(op.src_size);
+  bool dst_ok = is_float ? op.dst_size == 4 || op.dst_size == 8
+                         : valid_int_width(op.dst_size);
+  if (!src_ok || !dst_ok) {
+    incompatible(wire, native,
+                 "field '" + nf.name + "' has invalid scalar width (wire " +
+                     std::to_string(op.src_size) + ", native " +
+                     std::to_string(op.dst_size) + ")");
+  }
+}
+
 }  // namespace
 
 PlanHandle ConversionPlan::build(FormatHandle wire, FormatHandle native,
-                                 bool coalesce) {
+                                 PlanOptions options) {
   auto plan = std::shared_ptr<ConversionPlan>(new ConversionPlan());
   plan->wire_ = wire;
   plan->native_ = native;
@@ -173,18 +291,37 @@ PlanHandle ConversionPlan::build(FormatHandle wire, FormatHandle native,
     if (dynamic) {
       op.kind = ConvOp::Kind::kDynArray;
       const Field& count_field = wire->fields()[wf->count_field_index];
+      if (!valid_int_width(count_field.size)) {
+        incompatible(*wire, *native,
+                     "count field '" + count_field.name +
+                         "' has invalid width " +
+                         std::to_string(count_field.size));
+      }
       op.src_count_offset = static_cast<std::uint32_t>(count_field.offset);
       op.src_count_size = static_cast<std::uint8_t>(count_field.size);
       op.src_count_signed = count_field.type.cls == FieldClass::kInteger;
       op.elem_class = nf.type.cls;
       op.sign_extend = wf->type.cls == FieldClass::kInteger;
       if (nf.type.cls == FieldClass::kNested) {
-        op.subplan = build(wf->subformat, nf.subformat, coalesce);
+        op.subplan = build(wf->subformat, nf.subformat, options);
         op.dst_align =
             static_cast<std::uint8_t>(nf.subformat->alignment());
       } else {
         op.dst_align = static_cast<std::uint8_t>(
             native->profile().scalar_align(nf.size));
+        bool converts = op.swap || op.src_size != op.dst_size;
+        if (converts && (nf.type.cls == FieldClass::kInteger ||
+                         nf.type.cls == FieldClass::kUnsigned ||
+                         nf.type.cls == FieldClass::kFloat)) {
+          check_scalar_widths(*wire, *native, nf, op);
+          if (options.specialize) {
+            op.kernel = nf.type.cls == FieldClass::kFloat
+                            ? select_float_kernel(op.src_size, op.dst_size,
+                                                  op.swap)
+                            : select_int_kernel(op.src_size, op.dst_size,
+                                                op.swap, op.sign_extend);
+          }
+        }
       }
       plan->ops_.push_back(std::move(op));
       continue;
@@ -196,7 +333,7 @@ PlanHandle ConversionPlan::build(FormatHandle wire, FormatHandle native,
         break;
       case FieldClass::kNested:
         op.kind = ConvOp::Kind::kNestedStatic;
-        op.subplan = build(wf->subformat, nf.subformat, coalesce);
+        op.subplan = build(wf->subformat, nf.subformat, options);
         break;
       case FieldClass::kChar:
         op.kind = ConvOp::Kind::kCopy;
@@ -208,6 +345,11 @@ PlanHandle ConversionPlan::build(FormatHandle wire, FormatHandle native,
           op.count = static_cast<std::uint32_t>(copy_count * nf.size);
         } else {
           op.kind = ConvOp::Kind::kFloat;
+          check_scalar_widths(*wire, *native, nf, op);
+          if (options.specialize) {
+            op.kernel =
+                select_float_kernel(op.src_size, op.dst_size, op.swap);
+          }
         }
         break;
       case FieldClass::kInteger:
@@ -218,13 +360,18 @@ PlanHandle ConversionPlan::build(FormatHandle wire, FormatHandle native,
           op.count = static_cast<std::uint32_t>(copy_count * nf.size);
         } else {
           op.kind = ConvOp::Kind::kInt;
+          check_scalar_widths(*wire, *native, nf, op);
+          if (options.specialize) {
+            op.kernel = select_int_kernel(op.src_size, op.dst_size, op.swap,
+                                          op.sign_extend);
+          }
         }
         break;
     }
     plan->ops_.push_back(std::move(op));
   }
 
-  if (coalesce) {
+  if (options.coalesce) {
     // Merge adjacent raw copies that are contiguous in both source and
     // destination — in the homogeneous case this collapses whole runs of
     // fields (padding included is NOT merged; only exactly adjacent slots).
@@ -279,10 +426,14 @@ void ConversionPlan::execute(const std::uint8_t* body, std::size_t body_len,
         break;
 
       case ConvOp::Kind::kInt:
-        for (std::uint32_t i = 0; i < op.count; ++i) {
-          std::uint64_t v = load_int(src + i * op.src_size, op.src_size,
-                                     op.swap, op.sign_extend);
-          store_int(dst + i * op.dst_size, op.dst_size, v);
+        if (op.kernel != nullptr) {
+          op.kernel(src, dst, op.count);
+        } else {
+          for (std::uint32_t i = 0; i < op.count; ++i) {
+            std::uint64_t v = load_int(src + i * op.src_size, op.src_size,
+                                       op.swap, op.sign_extend);
+            store_int(dst + i * op.dst_size, op.dst_size, v);
+          }
         }
         if (op.zero_tail != 0) {
           std::memset(dst + op.count * op.dst_size, 0, op.zero_tail);
@@ -290,9 +441,13 @@ void ConversionPlan::execute(const std::uint8_t* body, std::size_t body_len,
         break;
 
       case ConvOp::Kind::kFloat:
-        for (std::uint32_t i = 0; i < op.count; ++i) {
-          double v = load_float(src + i * op.src_size, op.src_size, op.swap);
-          store_float(dst + i * op.dst_size, op.dst_size, v);
+        if (op.kernel != nullptr) {
+          op.kernel(src, dst, op.count);
+        } else {
+          for (std::uint32_t i = 0; i < op.count; ++i) {
+            double v = load_float(src + i * op.src_size, op.src_size, op.swap);
+            store_float(dst + i * op.dst_size, op.dst_size, v);
+          }
         }
         if (op.zero_tail != 0) {
           std::memset(dst + op.count * op.dst_size, 0, op.zero_tail);
@@ -354,6 +509,8 @@ void ConversionPlan::execute(const std::uint8_t* body, std::size_t body_len,
             // Same representation (floats included): one block copy.
             std::memcpy(dst_elems, elems,
                         static_cast<std::size_t>(n) * op.src_size);
+          } else if (op.kernel != nullptr) {
+            op.kernel(elems, dst_elems, static_cast<std::size_t>(n));
           } else if (op.elem_class == FieldClass::kFloat) {
             for (std::uint64_t i = 0; i < n; ++i) {
               store_float(dst_elems + i * op.dst_size, op.dst_size,

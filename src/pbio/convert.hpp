@@ -26,6 +26,32 @@ namespace omf::pbio {
 class ConversionPlan;
 using PlanHandle = std::shared_ptr<const ConversionPlan>;
 
+/// Plan-compilation switches. Both default on; each can be disabled
+/// independently for the ablation benchmarks that measure what the
+/// corresponding optimization buys.
+struct PlanOptions {
+  /// Merge adjacent no-conversion fields into single block copies.
+  bool coalesce = true;
+  /// Resolve element-converting ops to type-specialized kernel functions
+  /// (selected once at plan build, the moral equivalent of PBIO's DRISC
+  /// code generation) instead of the interpreted per-element dispatch.
+  bool specialize = true;
+
+  friend bool operator==(const PlanOptions&, const PlanOptions&) = default;
+
+  /// Dense encoding for cache keys.
+  std::uint8_t bits() const noexcept {
+    return static_cast<std::uint8_t>((coalesce ? 1 : 0) |
+                                     (specialize ? 2 : 0));
+  }
+};
+
+/// A type-specialized element-conversion loop: converts `count` elements
+/// from `src` to `dst`. Element widths, byte order, and signedness are baked
+/// into the function itself at plan-build time.
+using ScalarKernel = void (*)(const std::uint8_t* src, std::uint8_t* dst,
+                              std::size_t count);
+
 /// One step of a conversion plan.
 struct ConvOp {
   enum class Kind : std::uint8_t {
@@ -59,18 +85,31 @@ struct ConvOp {
   std::uint64_t default_bits = 0;  ///< kDefault: precomputed native value
 
   PlanHandle subplan;  ///< kNestedStatic / kDynArray-of-nested
+
+  /// Specialized conversion loop for kInt/kFloat ops and for the scalar
+  /// elements of kDynArray ops; nullptr when the plan was built with
+  /// `PlanOptions::specialize` off (the interpreted path runs instead) or
+  /// when the op needs no element conversion.
+  ScalarKernel kernel = nullptr;
 };
 
 /// A compiled wire→native conversion program.
 class ConversionPlan {
 public:
   /// Compiles a plan converting `wire` records into `native` records.
-  /// `coalesce` enables block-copy merging (off only for the ablation
-  /// benchmark that measures what plan compilation buys).
   /// Throws FormatError when the formats cannot be reconciled (field class
-  /// mismatch, static vs dynamic array mismatch, nested format mismatch).
+  /// mismatch, static vs dynamic array mismatch, nested format mismatch)
+  /// or when the metadata carries scalar widths outside {1,2,4,8}.
   static PlanHandle build(FormatHandle wire, FormatHandle native,
-                          bool coalesce = true);
+                          PlanOptions options);
+
+  /// Back-compat convenience: `coalesce` maps to PlanOptions::coalesce with
+  /// kernel specialization on.
+  static PlanHandle build(FormatHandle wire, FormatHandle native,
+                          bool coalesce = true) {
+    return build(std::move(wire), std::move(native),
+                 PlanOptions{coalesce, /*specialize=*/true});
+  }
 
   /// Converts one record. `body`/`body_len` delimit the wire body (the
   /// space variable-section offsets refer to); `src_region` is the wire

@@ -168,22 +168,9 @@ void Decoder::decode(std::span<const std::uint8_t> message,
 
 PlanHandle Decoder::plan_for(const FormatHandle& wire,
                              const FormatHandle& native) {
-  // Pair key: both halves are already FNV hashes; mix to avoid collisions
-  // between (a,b) and (b,a).
-  std::uint64_t key = wire->id() * 0x9E3779B97F4A7C15ull ^ native->id();
-  {
-    std::lock_guard lock(mutex_);
-    auto it = plans_.find(key);
-    if (it != plans_.end()) return it->second;
-  }
-  PlanHandle plan = ConversionPlan::build(wire, native, coalesce_);
-  std::lock_guard lock(mutex_);
-  return plans_.try_emplace(key, std::move(plan)).first->second;
+  return cache_->get_or_build(wire, native, options_);
 }
 
-std::size_t Decoder::cached_plans() const {
-  std::lock_guard lock(mutex_);
-  return plans_.size();
-}
+std::size_t Decoder::cached_plans() const { return cache_->size(); }
 
 }  // namespace omf::pbio

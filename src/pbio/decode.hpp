@@ -15,13 +15,13 @@
 //    into caller-provided struct memory + an arena.
 #pragma once
 
-#include <mutex>
+#include <memory>
 #include <span>
-#include <unordered_map>
 
 #include "pbio/arena.hpp"
 #include "pbio/convert.hpp"
 #include "pbio/format.hpp"
+#include "pbio/plan_cache.hpp"
 #include "pbio/wire.hpp"
 
 namespace omf::pbio {
@@ -30,9 +30,20 @@ class Decoder {
 public:
   /// `registry` is where wire formats are looked up by id; it must outlive
   /// the decoder. `coalesce_plans` is the plan-compilation optimization
-  /// switch (on in production; the ablation bench turns it off).
+  /// switch (on in production; the ablation bench turns it off). The
+  /// decoder owns a private plan cache.
   explicit Decoder(const FormatRegistry& registry, bool coalesce_plans = true)
-      : registry_(&registry), coalesce_(coalesce_plans) {}
+      : Decoder(registry, nullptr, PlanOptions{coalesce_plans, true}) {}
+
+  /// Shares `cache` with other decoders — the production shape for a server
+  /// process, where every connection's decoder reuses one process-wide
+  /// cache and a plan is compiled once per format pair for the whole
+  /// process. Passing nullptr creates a private cache.
+  Decoder(const FormatRegistry& registry, std::shared_ptr<PlanCache> cache,
+          PlanOptions options = {})
+      : registry_(&registry),
+        options_(options),
+        cache_(cache ? std::move(cache) : std::make_shared<PlanCache>()) {}
 
   Decoder(const Decoder&) = delete;
   Decoder& operator=(const Decoder&) = delete;
@@ -46,10 +57,22 @@ public:
               void* out_struct, DecodeArena& arena);
 
   /// Returns the cached (or freshly compiled) plan for a format pair.
+  /// Thread-safe; concurrent callers compile a given pair at most once.
   PlanHandle plan_for(const FormatHandle& wire, const FormatHandle& native);
 
-  /// Number of compiled plans currently cached.
+  /// Number of compiled plans currently cached. For a decoder sharing a
+  /// process-wide cache this counts the whole cache, not just the pairs
+  /// this decoder touched.
   std::size_t cached_plans() const;
+
+  /// The cache this decoder resolves plans from (private unless one was
+  /// shared in at construction).
+  const std::shared_ptr<PlanCache>& plan_cache() const noexcept {
+    return cache_;
+  }
+
+  /// Plan-compilation options this decoder was constructed with.
+  PlanOptions plan_options() const noexcept { return options_; }
 
   /// Reads the format id out of a message header without decoding. Lets
   /// receivers detect unknown formats and fetch metadata before decoding.
@@ -68,9 +91,8 @@ public:
 
 private:
   const FormatRegistry* registry_;
-  bool coalesce_;
-  mutable std::mutex mutex_;
-  std::unordered_map<std::uint64_t, PlanHandle> plans_;
+  PlanOptions options_;
+  std::shared_ptr<PlanCache> cache_;
 };
 
 }  // namespace omf::pbio

@@ -1,0 +1,44 @@
+#include "pbio/plan_cache.hpp"
+
+namespace omf::pbio {
+
+PlanHandle PlanCache::get_or_build(const FormatHandle& wire,
+                                   const FormatHandle& native,
+                                   PlanOptions options) {
+  Key key{wire->id(), native->id(), options.bits()};
+
+  std::shared_ptr<Entry> entry;
+  {
+    std::shared_lock lock(mutex_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) entry = it->second;
+  }
+  if (entry) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    std::unique_lock lock(mutex_);
+    entry = entries_.try_emplace(key, std::make_shared<Entry>()).first->second;
+  }
+
+  // Compile outside any cache-wide lock; call_once serializes per key and
+  // publishes `plan` to every waiter. On throw the flag stays unset.
+  std::call_once(entry->once, [&] {
+    entry->plan = ConversionPlan::build(wire, native, options);
+    compiles_.fetch_add(1, std::memory_order_relaxed);
+  });
+  return entry->plan;
+}
+
+std::size_t PlanCache::size() const {
+  std::shared_lock lock(mutex_);
+  return entries_.size();
+}
+
+PlanCache::Stats PlanCache::stats() const {
+  return Stats{hits_.load(std::memory_order_relaxed),
+               misses_.load(std::memory_order_relaxed),
+               compiles_.load(std::memory_order_relaxed)};
+}
+
+}  // namespace omf::pbio

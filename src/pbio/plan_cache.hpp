@@ -1,0 +1,84 @@
+// Process-wide cache of compiled conversion plans.
+//
+// The paper's amortization argument — conversion code is generated once per
+// (wire format, native format) pair and reused for every subsequent message
+// — only pays off at server scale if the cache is shared: a process holding
+// N connections from senders on the same architecture should compile each
+// plan once, not N times. PlanCache is that shared cache. It is read-mostly
+// (a steady-state lookup takes only a shared lock), and misses have per-key
+// once semantics: two threads racing to decode the first message of a pair
+// never both compile — one compiles outside any cache-wide lock, the other
+// blocks on that key alone and reuses the result.
+//
+// A Decoder constructed without an explicit cache owns a private one, which
+// preserves the historical per-decoder behavior (and serves as the ablation
+// baseline for the concurrent-receive benchmark).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_map>
+
+#include "pbio/convert.hpp"
+
+namespace omf::pbio {
+
+class PlanCache {
+public:
+  PlanCache() = default;
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  /// Returns the plan converting `wire` records into `native` records,
+  /// compiling it at most once per (wire id, native id, options) key even
+  /// under concurrent callers. Compilation runs outside the cache-wide
+  /// lock, so a slow compile never stalls lookups of other keys. If
+  /// compilation throws (irreconcilable formats), the exception propagates
+  /// and the key stays empty — a later call retries.
+  PlanHandle get_or_build(const FormatHandle& wire, const FormatHandle& native,
+                          PlanOptions options = {});
+
+  /// Number of cached (or currently compiling) plans.
+  std::size_t size() const;
+
+  /// Monotonic counters for tests and benchmarks. `compiles` counts actual
+  /// plan builds; under races it stays equal to the number of distinct keys
+  /// ever requested — that equality is the once-per-key guarantee.
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t compiles = 0;
+  };
+  Stats stats() const;
+
+private:
+  struct Key {
+    FormatId wire = 0;
+    FormatId native = 0;
+    std::uint8_t options = 0;
+    friend bool operator==(const Key&, const Key&) = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept {
+      // Both ids are already FNV digests; mix asymmetrically so (a,b) and
+      // (b,a) land apart.
+      std::uint64_t h = k.wire * 0x9E3779B97F4A7C15ull ^ k.native;
+      return static_cast<std::size_t>(h ^ (h >> 32) ^ k.options);
+    }
+  };
+  struct Entry {
+    std::once_flag once;
+    PlanHandle plan;  // written exactly once, under `once`
+  };
+
+  mutable std::shared_mutex mutex_;
+  std::unordered_map<Key, std::shared_ptr<Entry>, KeyHash> entries_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> compiles_{0};
+};
+
+}  // namespace omf::pbio

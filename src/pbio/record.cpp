@@ -554,16 +554,21 @@ std::string DynamicRecord::to_string() const {
 
 Buffer DynamicRecord::encode() const { return pbio::encode(*format_, mem_); }
 
+void DynamicRecord::encode_into(Buffer& out) const {
+  out.clear();
+  pbio::encode(*format_, mem_, out);
+}
+
 void DynamicRecord::from_wire(Decoder& decoder,
                               std::span<const std::uint8_t> message) {
   // Every field is overwritten by the decode (absent wire fields are
-  // zeroed), so prior arena contents are unreachable afterwards — release
-  // them up front. Without this, a record reused as a receive target in a
-  // message loop would accumulate arena memory per message.
-  // Views into a larger record must not clear the shared arena — the rest
-  // of the root record still references it.
+  // zeroed), so prior arena contents are unreachable afterwards — recycle
+  // them up front (reset retains the arena's memory, so a record reused as
+  // a receive target decodes allocation-free once warm). Views into a
+  // larger record must not reset the shared arena — the rest of the root
+  // record still references it.
   if (mem_ == shared_->storage.data()) {
-    shared_->arena.clear();
+    shared_->arena.reset();
   }
   decoder.decode(message, *format_, mem_, shared_->arena);
 }

@@ -99,6 +99,11 @@ public:
   /// Marshals this record to an NDR wire message.
   Buffer encode() const;
 
+  /// Marshals into a caller-owned buffer (cleared first). Reusing one
+  /// buffer across a send loop keeps steady-state encoding allocation-free:
+  /// Buffer::clear() retains capacity.
+  void encode_into(Buffer& out) const;
+
   /// Fills this record by decoding `message` (any wire format convertible
   /// to this record's format; see Decoder::decode).
   void from_wire(Decoder& decoder, std::span<const std::uint8_t> message);

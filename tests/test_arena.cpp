@@ -1,0 +1,166 @@
+// DecodeArena reset/reuse semantics, and the zero-allocation guarantee:
+// once an arena (and an encode buffer) is warm, a steady-state
+// decode/encode loop of a repeated message touches the heap zero times.
+// Verified with a global operator new/delete counting hook.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "core/xml2wire.hpp"
+#include "pbio/arena.hpp"
+#include "pbio/decode.hpp"
+#include "pbio/record.hpp"
+#include "pbio/synth.hpp"
+
+namespace {
+
+// --- Allocation-counting hook ----------------------------------------------
+// Counts every global operator new while `g_counting` is set. Installed for
+// this test binary only.
+
+std::atomic<bool> g_counting{false};
+std::atomic<std::size_t> g_allocations{0};
+
+void* counted_alloc(std::size_t n) {
+  if (g_counting.load(std::memory_order_relaxed)) {
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+
+struct AllocationCounter {
+  AllocationCounter() {
+    g_allocations.store(0);
+    g_counting.store(true);
+  }
+  ~AllocationCounter() { g_counting.store(false); }
+  std::size_t count() const { return g_allocations.load(); }
+};
+
+}  // namespace
+
+void* operator new(std::size_t n) { return counted_alloc(n); }
+void* operator new[](std::size_t n) { return counted_alloc(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace omf {
+namespace {
+
+using pbio::DecodeArena;
+using pbio::Decoder;
+using pbio::DynamicRecord;
+
+TEST(DecodeArena, ResetRetainsHighWaterChunk) {
+  DecodeArena arena;
+  arena.allocate(100);
+  arena.allocate(10000);  // forces a second, larger chunk
+  std::size_t reserved = arena.reserved_bytes();
+  ASSERT_GT(reserved, 10000u);
+
+  arena.reset();
+  // Nothing was released: the largest chunk stays current, the rest is
+  // free-listed for reuse.
+  EXPECT_EQ(arena.reserved_bytes(), reserved);
+
+  // The same allocation pattern now fits entirely in retained memory.
+  AllocationCounter counter;
+  arena.allocate(100);
+  arena.allocate(10000);
+  EXPECT_EQ(counter.count(), 0u);
+}
+
+TEST(DecodeArena, ClearReleasesEverything) {
+  DecodeArena arena;
+  arena.allocate(5000);
+  arena.reset();
+  ASSERT_GT(arena.reserved_bytes(), 0u);
+  arena.clear();
+  EXPECT_EQ(arena.reserved_bytes(), 0u);
+}
+
+TEST(DecodeArena, ResetReusesFreeListedChunks) {
+  DecodeArena arena;
+  // Build up several chunks, reset, and check the re-run draws them from the
+  // free list instead of the heap.
+  for (int round = 0; round < 3; ++round) {
+    arena.reset();
+    for (int i = 0; i < 6; ++i) arena.allocate(3000);
+  }
+  std::size_t reserved = arena.reserved_bytes();
+  AllocationCounter counter;
+  arena.reset();
+  for (int i = 0; i < 6; ++i) arena.allocate(3000);
+  EXPECT_EQ(counter.count(), 0u);
+  EXPECT_EQ(arena.reserved_bytes(), reserved);
+}
+
+const char* kSchema = R"(<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:complexType name="Sample">
+    <xsd:element name="tag" type="xsd:string" />
+    <xsd:element name="count" type="xsd:int" />
+    <xsd:element name="values" type="xsd:double" maxOccurs="count" />
+  </xsd:complexType>
+</xsd:schema>
+)";
+
+TEST(ZeroAllocSteadyState, DecodeRepeatedMessage) {
+  pbio::FormatRegistry registry;
+  core::Xml2Wire native_side(registry, arch::native());
+  auto native = native_side.register_text(kSchema)[0];
+  core::Xml2Wire foreign_side(registry, arch::profile_by_name("sparc64"));
+  auto foreign = foreign_side.register_text(kSchema)[0];
+
+  DynamicRecord rec(native);
+  rec.set_string("tag", "steady.state.decode");
+  rec.set_float_array("values", std::vector<double>(64, 0.5));
+  Buffer wire = pbio::synthesize_wire(*foreign, rec);
+
+  Decoder dec(registry);
+  std::vector<std::uint8_t> out(native->struct_size());
+  DecodeArena arena;
+  // Warm: compiles the plan and raises the arena to its high-water mark.
+  dec.decode(wire.span(), *native, out.data(), arena);
+  arena.reset();
+  dec.decode(wire.span(), *native, out.data(), arena);
+
+  AllocationCounter counter;
+  for (int i = 0; i < 100; ++i) {
+    arena.reset();
+    dec.decode(wire.span(), *native, out.data(), arena);
+  }
+  EXPECT_EQ(counter.count(), 0u)
+      << "steady-state decode touched the heap " << counter.count()
+      << " times";
+}
+
+TEST(ZeroAllocSteadyState, EncodeIntoReusedBuffer) {
+  pbio::FormatRegistry registry;
+  core::Xml2Wire x2w(registry, arch::native());
+  auto format = x2w.register_text(kSchema)[0];
+
+  DynamicRecord rec(format);
+  rec.set_string("tag", "steady.state.encode");
+  rec.set_float_array("values", std::vector<double>(64, 2.25));
+
+  Buffer out;
+  rec.encode_into(out);  // warm: buffer reaches final capacity
+
+  AllocationCounter counter;
+  for (int i = 0; i < 100; ++i) {
+    rec.encode_into(out);
+  }
+  EXPECT_EQ(counter.count(), 0u)
+      << "steady-state encode touched the heap " << counter.count()
+      << " times";
+}
+
+}  // namespace
+}  // namespace omf

@@ -1,0 +1,208 @@
+// Concurrency stress tests for the receive path: the shared PlanCache's
+// once-per-key compile guarantee, Decoder::plan_for under racing callers,
+// and concurrent format registration interleaved with decoding. Run these
+// under TSan via -DOMF_SANITIZE=thread.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/xml2wire.hpp"
+#include "pbio/decode.hpp"
+#include "pbio/plan_cache.hpp"
+#include "pbio/record.hpp"
+#include "pbio/synth.hpp"
+
+namespace omf {
+namespace {
+
+using pbio::Decoder;
+using pbio::DynamicRecord;
+using pbio::FormatHandle;
+using pbio::FormatRegistry;
+using pbio::PlanCache;
+using pbio::PlanHandle;
+
+constexpr unsigned kThreads = 8;
+
+/// Releases all threads at once to maximize race pressure.
+class StartGate {
+public:
+  void wait() {
+    arrived_.fetch_add(1);
+    while (!open_.load(std::memory_order_acquire)) std::this_thread::yield();
+  }
+  void open(unsigned expected) {
+    while (arrived_.load() != expected) std::this_thread::yield();
+    open_.store(true, std::memory_order_release);
+  }
+
+private:
+  std::atomic<unsigned> arrived_{0};
+  std::atomic<bool> open_{false};
+};
+
+const char* kSchema = R"(<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:complexType name="Reading">
+    <xsd:element name="station" type="xsd:string" />
+    <xsd:element name="count" type="xsd:int" />
+    <xsd:element name="values" type="xsd:double" maxOccurs="count" />
+    <xsd:element name="flags" type="xsd:short" minOccurs="3" maxOccurs="3" />
+  </xsd:complexType>
+</xsd:schema>
+)";
+
+struct Fixture {
+  FormatRegistry registry;
+  FormatHandle native_format;
+  FormatHandle foreign_format;
+  Buffer wire;
+
+  Fixture() {
+    core::Xml2Wire native_side(registry, arch::native());
+    native_format = native_side.register_text(kSchema)[0];
+    core::Xml2Wire foreign_side(registry, arch::profile_by_name("sparc64"));
+    foreign_format = foreign_side.register_text(kSchema)[0];
+
+    DynamicRecord rec(native_format);
+    rec.set_string("station", "tower-7");
+    rec.set_float_array("values", std::vector<double>{1.5, 2.5, 3.5});
+    rec.set_int_array("flags", std::vector<std::int64_t>{1, 2, 3});
+    wire = pbio::synthesize_wire(*foreign_format, rec);
+  }
+};
+
+TEST(PlanCacheConcurrency, CompilesOncePerKeyUnderRace) {
+  Fixture fx;
+  PlanCache cache;
+  StartGate gate;
+  std::vector<PlanHandle> plans(kThreads);
+  std::vector<std::thread> pool;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&, t] {
+      gate.wait();
+      plans[t] = cache.get_or_build(fx.foreign_format, fx.native_format);
+    });
+  }
+  gate.open(kThreads);
+  for (auto& th : pool) th.join();
+
+  for (unsigned t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(plans[0].get(), plans[t].get()) << "thread " << t;
+  }
+  EXPECT_EQ(cache.stats().compiles, 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(PlanCacheConcurrency, DistinctOptionsAreDistinctKeys) {
+  Fixture fx;
+  PlanCache cache;
+  auto a = cache.get_or_build(fx.foreign_format, fx.native_format,
+                              pbio::PlanOptions{true, true});
+  auto b = cache.get_or_build(fx.foreign_format, fx.native_format,
+                              pbio::PlanOptions{true, false});
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(PlanCacheConcurrency, DecoderPlanForRaceCompilesOnce) {
+  Fixture fx;
+  Decoder dec(fx.registry);
+  StartGate gate;
+  std::vector<PlanHandle> plans(kThreads);
+  std::vector<std::thread> pool;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&, t] {
+      gate.wait();
+      plans[t] = dec.plan_for(fx.foreign_format, fx.native_format);
+    });
+  }
+  gate.open(kThreads);
+  for (auto& th : pool) th.join();
+
+  for (unsigned t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(plans[0].get(), plans[t].get());
+  }
+  EXPECT_EQ(dec.cached_plans(), 1u);
+  EXPECT_EQ(dec.plan_cache()->stats().compiles, 1u);
+}
+
+TEST(PlanCacheConcurrency, SharedAcrossDecodersCompilesOnce) {
+  Fixture fx;
+  auto cache = std::make_shared<PlanCache>();
+  StartGate gate;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> pool;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&] {
+      // One decoder per "connection", all sharing the process cache.
+      Decoder dec(fx.registry, cache);
+      DynamicRecord out(fx.native_format);
+      gate.wait();
+      for (int i = 0; i < 200; ++i) {
+        out.from_wire(dec, fx.wire.span());
+        if (out.get_float_array("values") !=
+            std::vector<double>({1.5, 2.5, 3.5})) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  gate.open(kThreads);
+  for (auto& th : pool) th.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(cache->stats().compiles, 1u);
+  EXPECT_GE(cache->stats().hits, kThreads * 200u - kThreads);
+}
+
+TEST(RegistryConcurrency, RegisterWhileDecoding) {
+  Fixture fx;
+  auto cache = std::make_shared<PlanCache>();
+  StartGate gate;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> pool;
+
+  // Half the threads register fresh formats (distinct names, plus re-running
+  // registrations of the same schema, exercising the dedup path); the other
+  // half decode heterogeneous messages that need registry lookups.
+  for (unsigned t = 0; t < kThreads / 2; ++t) {
+    pool.emplace_back([&, t] {
+      gate.wait();
+      for (int i = 0; i < 50; ++i) {
+        std::vector<pbio::FieldSpec> fields;
+        fields.emplace_back("seq", "integer", 4);
+        fields.emplace_back("value", "float", 8);
+        std::string name =
+            "Dyn" + std::to_string(t) + "_" + std::to_string(i);
+        auto h = fx.registry.register_computed(name, fields);
+        if (!h || fx.registry.by_id(h->id()) != h) failures.fetch_add(1);
+        core::Xml2Wire again(fx.registry, arch::native());
+        again.register_text(kSchema);  // duplicate: must dedup, not corrupt
+      }
+    });
+  }
+  for (unsigned t = 0; t < kThreads - kThreads / 2; ++t) {
+    pool.emplace_back([&] {
+      Decoder dec(fx.registry, cache);
+      DynamicRecord out(fx.native_format);
+      gate.wait();
+      for (int i = 0; i < 200; ++i) {
+        out.from_wire(dec, fx.wire.span());
+        if (std::string(out.get_string("station")) != "tower-7") {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  gate.open(kThreads);
+  for (auto& th : pool) th.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(cache->stats().compiles, 1u);
+}
+
+}  // namespace
+}  // namespace omf

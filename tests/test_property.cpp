@@ -249,6 +249,41 @@ TEST_P(RandomFormats, NdrHeterogeneousRoundTrip) {
   }
 }
 
+TEST_P(RandomFormats, KernelAndInterpreterPlansAgree) {
+  // The type-specialized conversion kernels must be observationally
+  // identical to the interpreted per-element dispatch on arbitrary formats
+  // and senders.
+  Rng rng(8000 + GetParam());
+  std::string schema = make_random_schema(rng, 3);
+  FormatRegistry reg;
+  core::Xml2Wire native_side(reg, arch::native());
+  auto native_handles = native_side.register_text(schema);
+
+  for (const char* profile_name : {"i386", "sparc64", "sparc32", "arm32"}) {
+    core::Xml2Wire foreign_side(reg, arch::profile_by_name(profile_name));
+    auto foreign_handles = foreign_side.register_text(schema);
+    Decoder with_kernels(reg, nullptr, pbio::PlanOptions{true, true});
+    Decoder interpreted(reg, nullptr, pbio::PlanOptions{true, false});
+    for (std::size_t i = 0; i < native_handles.size(); ++i) {
+      DynamicRecord in(native_handles[i]);
+      fill_random(in, rng, 0, /*width_clamp=*/4);
+      Buffer wire = pbio::synthesize_wire(*foreign_handles[i], in);
+      DynamicRecord a(native_handles[i]);
+      a.from_wire(with_kernels, wire.span());
+      DynamicRecord b(native_handles[i]);
+      b.from_wire(interpreted, wire.span());
+      EXPECT_TRUE(a.deep_equals(b))
+          << "format " << native_handles[i]->name() << " from "
+          << profile_name << "\nkernels:     " << a.to_string()
+          << "\ninterpreted: " << b.to_string();
+      EXPECT_TRUE(in.deep_equals(a))
+          << "format " << native_handles[i]->name() << " from "
+          << profile_name << "\nin:  " << in.to_string()
+          << "\nout: " << a.to_string();
+    }
+  }
+}
+
 TEST_P(RandomFormats, XdrRoundTrip) {
   Rng rng(3000 + GetParam());
   FormatRegistry reg;
