@@ -1,0 +1,175 @@
+// Experiment C9 — what does the static metadata audit cost?
+//
+// The analyzer runs inside the registration and plan-compilation paths
+// (Context/Gateway reject-on-error policy), so its cost must be a small
+// fraction of the work it piggybacks on. Four measurements:
+//
+//   * plan compile            — ConversionPlan::build for the worst-case
+//                               heterogeneous pair (sparc32 sender, nested
+//                               formats with dynamic arrays)
+//   * plan audit              — lossiness lattice + bounds proof over the
+//                               same compiled plan
+//   * bundle register         — deserialize + validate + register a
+//                               serialized format bundle (nested closure)
+//   * bundle audit            — decode + full descriptor audit of the same
+//                               bundle, i.e. the extra work the reject-on-
+//                               error policy adds to that path
+//
+// The audit is a one-time, per-metadata cost: it never runs per message.
+#include <benchmark/benchmark.h>
+
+#include "analysis/audit_format.hpp"
+#include "analysis/audit_plan.hpp"
+#include "analysis/audit_schema.hpp"
+#include "bench_common.hpp"
+#include "core/context.hpp"
+#include "core/xml2wire.hpp"
+#include "pbio/convert.hpp"
+#include "pbio/metaserde.hpp"
+#include "schema/reader.hpp"
+#include "xml/parser.hpp"
+
+namespace {
+
+using namespace omf;
+using namespace omf::bench;
+using omf::testing::kThreeAsdOffsSchema;
+
+// The Appendix-A nested document with the count element declared *before*
+// the array it sizes: a fully clean schema (zero diagnostics), so the
+// audit-on numbers measure analysis cost, not warning-logging I/O.
+constexpr const char* kCleanNestedSchema = R"(<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:complexType name="ASDOffEventB">
+    <xsd:element name="cntrId" type="xsd:string" />
+    <xsd:element name="arln" type="xsd:string" />
+    <xsd:element name="fltNum" type="xsd:int" />
+    <xsd:element name="equip" type="xsd:string" />
+    <xsd:element name="org" type="xsd:string" />
+    <xsd:element name="dest" type="xsd:string" />
+    <xsd:element name="off" type="xsd:unsignedLong" minOccurs="5" maxOccurs="5" />
+    <xsd:element name="eta_count" type="xsd:int" />
+    <xsd:element name="eta" type="xsd:unsignedLong" minOccurs="0" maxOccurs="eta_count" />
+  </xsd:complexType>
+  <xsd:complexType name="threeASDOffs">
+    <xsd:element name="one" type="ASDOffEventB" />
+    <xsd:element name="bart" type="xsd:double" />
+    <xsd:element name="two" type="ASDOffEventB" />
+    <xsd:element name="lisa" type="xsd:double" />
+    <xsd:element name="three" type="ASDOffEventB" />
+  </xsd:complexType>
+</xsd:schema>
+)";
+
+struct Setup {
+  pbio::FormatRegistry registry;
+  pbio::FormatHandle native_format;
+  pbio::FormatHandle sender_format;
+  Buffer bundle;
+
+  Setup() {
+    core::Xml2Wire native_side(registry, arch::native());
+    native_format = native_side.register_text(kThreeAsdOffsSchema).back();
+    core::Xml2Wire sender_side(registry, arch::profile_by_name("sparc32"));
+    sender_format = sender_side.register_text(kThreeAsdOffsSchema).back();
+    bundle = pbio::serialize_format_bundle(*sender_format);
+  }
+};
+
+void BM_PlanCompile(benchmark::State& state) {
+  Setup setup;
+  for (auto _ : state) {
+    pbio::PlanHandle plan = pbio::ConversionPlan::build(
+        setup.sender_format, setup.native_format, pbio::PlanOptions{});
+    benchmark::DoNotOptimize(plan);
+  }
+}
+BENCHMARK(BM_PlanCompile);
+
+void BM_PlanAudit(benchmark::State& state) {
+  Setup setup;
+  pbio::PlanHandle plan = pbio::ConversionPlan::build(
+      setup.sender_format, setup.native_format, pbio::PlanOptions{});
+  for (auto _ : state) {
+    std::vector<analysis::Diagnostic> diags = analysis::audit_plan(*plan);
+    benchmark::DoNotOptimize(diags);
+  }
+}
+BENCHMARK(BM_PlanAudit);
+
+void BM_BundleRegister(benchmark::State& state) {
+  Setup setup;
+  for (auto _ : state) {
+    pbio::FormatRegistry fresh;
+    pbio::FormatHandle f =
+        pbio::deserialize_format_bundle(fresh, setup.bundle.span());
+    benchmark::DoNotOptimize(f);
+  }
+}
+BENCHMARK(BM_BundleRegister);
+
+void BM_BundleAudit(benchmark::State& state) {
+  Setup setup;
+  for (auto _ : state) {
+    std::vector<analysis::Diagnostic> diags =
+        analysis::audit_bundle(setup.bundle.span());
+    benchmark::DoNotOptimize(diags);
+  }
+}
+BENCHMARK(BM_BundleAudit);
+
+// The schema auditors alone, over a pre-parsed document: the exact work
+// the audit policy adds to the discovery path above.
+void BM_SchemaAudit(benchmark::State& state) {
+  xml::Document doc = xml::parse(kCleanNestedSchema);
+  schema::SchemaDocument model = schema::read_schema(doc);
+  for (auto _ : state) {
+    std::vector<analysis::Diagnostic> diags = analysis::audit_schema(model);
+    std::vector<analysis::Diagnostic> dom = analysis::audit_schema_xml(doc);
+    benchmark::DoNotOptimize(diags);
+    benchmark::DoNotOptimize(dom);
+  }
+}
+BENCHMARK(BM_SchemaAudit);
+
+// The trust-boundary path the policy actually guards: discovery + schema
+// compile + layout + registration, with the audit on (production default)
+// and off. The delta is the real-world overhead per registered document.
+void discover_register_loop(benchmark::State& state, bool audit) {
+  for (auto _ : state) {
+    core::Context ctx;
+    if (!audit) {
+      analysis::AuditPolicy off;
+      off.enabled = false;
+      ctx.set_audit_policy(off);
+    }
+    ctx.compiled_in().add("mem://three.xml", kCleanNestedSchema);
+    std::vector<pbio::FormatHandle> handles =
+        ctx.discover_and_register("mem://three.xml");
+    benchmark::DoNotOptimize(handles);
+  }
+}
+
+void BM_DiscoverRegister_AuditOn(benchmark::State& state) {
+  discover_register_loop(state, true);
+}
+BENCHMARK(BM_DiscoverRegister_AuditOn);
+
+void BM_DiscoverRegister_AuditOff(benchmark::State& state) {
+  discover_register_loop(state, false);
+}
+BENCHMARK(BM_DiscoverRegister_AuditOff);
+
+void BM_FormatAudit(benchmark::State& state) {
+  Setup setup;
+  for (auto _ : state) {
+    std::vector<analysis::Diagnostic> diags =
+        analysis::audit_format(*setup.sender_format);
+    benchmark::DoNotOptimize(diags);
+  }
+}
+BENCHMARK(BM_FormatAudit);
+
+}  // namespace
+
+BENCHMARK_MAIN();

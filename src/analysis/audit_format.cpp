@@ -1,0 +1,489 @@
+#include "analysis/audit_format.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "pbio/field.hpp"
+
+namespace omf::analysis {
+
+namespace {
+
+using pbio::ArrayKind;
+using pbio::FieldClass;
+using pbio::TypeSpec;
+
+bool add_overflows(std::uint64_t a, std::uint64_t b, std::uint64_t& out) {
+  return __builtin_add_overflow(a, b, &out);
+}
+
+bool mul_overflows(std::uint64_t a, std::uint64_t b, std::uint64_t& out) {
+  return __builtin_mul_overflow(a, b, &out);
+}
+
+void emit(std::vector<Diagnostic>& out, const char* code, Severity severity,
+          std::string message, std::string path, std::size_t line = 0) {
+  Diagnostic d;
+  d.code = code;
+  d.severity = severity;
+  d.message = std::move(message);
+  d.path = std::move(path);
+  d.line = line;
+  out.push_back(std::move(d));
+}
+
+/// A field with its parsed type (when parseable) and computed slot extent.
+struct ParsedField {
+  const FieldDescriptor* desc = nullptr;
+  TypeSpec type;
+  bool type_ok = false;
+  std::uint64_t slot_size = 0;
+  bool slot_ok = false;  ///< slot_size is meaningful (no overflow, resolved)
+};
+
+/// Resolves a nested format name: set members win, then the registry.
+const FormatDescriptor* find_in_set(std::span<const FormatDescriptor> set,
+                                    const std::string& name) {
+  for (const FormatDescriptor& f : set) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+/// Struct size of a referenced nested format, or nullopt if unresolvable.
+std::optional<std::uint64_t> nested_struct_size(
+    const std::string& name, const arch::Profile& profile,
+    std::span<const FormatDescriptor> set,
+    const pbio::FormatRegistry* registry) {
+  if (const FormatDescriptor* d = find_in_set(set, name)) {
+    return d->struct_size;
+  }
+  if (registry != nullptr) {
+    if (pbio::FormatHandle h = registry->by_name_profile(name, profile)) {
+      return h->struct_size();
+    }
+  }
+  return std::nullopt;
+}
+
+/// Alignment a descriptor's struct would need, from its declared metadata.
+/// Cycle-guarded (a recursive reference contributes alignment 1; the cycle
+/// itself is reported separately as OMF108).
+std::uint64_t descriptor_alignment(
+    const FormatDescriptor& fmt, std::span<const FormatDescriptor> set,
+    const pbio::FormatRegistry* registry,
+    std::vector<const FormatDescriptor*>& stack) {
+  for (const FormatDescriptor* on_stack : stack) {
+    if (on_stack == &fmt) return 1;
+  }
+  stack.push_back(&fmt);
+  std::uint64_t align = 1;
+  for (const FieldDescriptor& f : fmt.fields) {
+    TypeSpec type;
+    try {
+      type = pbio::parse_type_string(f.type);
+    } catch (const Error&) {
+      continue;
+    }
+    std::uint64_t a = 1;
+    if (type.cls == FieldClass::kString || type.array == ArrayKind::kDynamic) {
+      a = fmt.profile.scalar_align(fmt.profile.pointer_size);
+    } else if (type.cls == FieldClass::kNested) {
+      if (const FormatDescriptor* sub = find_in_set(set, type.nested_name)) {
+        a = descriptor_alignment(*sub, set, registry, stack);
+      } else if (registry != nullptr) {
+        if (pbio::FormatHandle h =
+                registry->by_name_profile(type.nested_name, fmt.profile)) {
+          a = h->alignment();
+        }
+      }
+    } else if (f.size != 0 && f.size <= 16) {
+      a = fmt.profile.scalar_align(static_cast<std::size_t>(f.size));
+    }
+    align = std::max(align, a);
+  }
+  stack.pop_back();
+  return align;
+}
+
+/// Per-format checks (everything except cross-set cycle detection).
+void audit_one(const FormatDescriptor& fmt,
+               std::span<const FormatDescriptor> set,
+               const pbio::FormatRegistry* registry,
+               std::vector<Diagnostic>& out) {
+  const arch::Profile& profile = fmt.profile;
+
+  if (fmt.fields.empty()) {
+    emit(out, codes::kEmptyFormat, Severity::kError,
+         "format '" + fmt.name + "' declares no fields", fmt.name, fmt.line);
+    return;
+  }
+  if (profile.pointer_size != 4 && profile.pointer_size != 8) {
+    emit(out, codes::kInvalidScalarWidth, Severity::kError,
+         "profile '" + profile.name + "' declares pointer size " +
+             std::to_string(profile.pointer_size) +
+             "; only 4 and 8 are meaningful",
+         fmt.name, fmt.line);
+  }
+
+  std::vector<ParsedField> fields(fmt.fields.size());
+  std::unordered_set<std::string_view> seen_names;
+
+  for (std::size_t i = 0; i < fmt.fields.size(); ++i) {
+    const FieldDescriptor& f = fmt.fields[i];
+    ParsedField& pf = fields[i];
+    pf.desc = &f;
+    auto path = [&] { return fmt.name + "." + f.name; };
+
+    if (!seen_names.insert(f.name).second) {
+      emit(out, codes::kDuplicateField, Severity::kError,
+           "duplicate field name '" + f.name + "'", path(), f.line);
+    }
+
+    try {
+      pf.type = pbio::parse_type_string(f.type);
+      pf.type_ok = true;
+    } catch (const Error& e) {
+      emit(out, codes::kBadTypeString, Severity::kError,
+           "type string '" + f.type + "' does not parse: " + e.what(),
+           path(), f.line);
+      continue;
+    }
+
+    // Scalar width sanity for the marshaling class.
+    bool width_ok = true;
+    switch (pf.type.cls) {
+      case FieldClass::kInteger:
+      case FieldClass::kUnsigned:
+        width_ok = f.size == 1 || f.size == 2 || f.size == 4 || f.size == 8;
+        break;
+      case FieldClass::kFloat:
+        width_ok = f.size == 4 || f.size == 8;
+        break;
+      case FieldClass::kChar:
+        width_ok = f.size == 1;
+        break;
+      case FieldClass::kString:
+      case FieldClass::kNested:
+        break;  // size is derived, not declared
+    }
+    if (!width_ok) {
+      emit(out, codes::kInvalidScalarWidth, Severity::kError,
+           "field '" + f.name + "' declares " + std::to_string(f.size) +
+               "-byte " + std::string(pbio::field_class_name(pf.type.cls)) +
+               " elements; the conversion kernels only handle natural widths",
+           path(), f.line);
+    }
+
+    // Slot extent within the struct, overflow-safe.
+    std::uint64_t elem = f.size;
+    bool resolved = true;
+    if (pf.type.cls == FieldClass::kNested) {
+      auto sub =
+          nested_struct_size(pf.type.nested_name, profile, set, registry);
+      if (!sub) {
+        emit(out, codes::kUnknownNestedFormat, Severity::kError,
+             "field '" + f.name + "' references format '" +
+                 pf.type.nested_name +
+                 "', which is neither in this bundle nor registered",
+             path(), f.line);
+        resolved = false;
+      } else {
+        elem = *sub;
+      }
+    }
+
+    if (resolved) {
+      if (pf.type.cls == FieldClass::kString ||
+          pf.type.array == ArrayKind::kDynamic) {
+        pf.slot_size = profile.pointer_size;
+        pf.slot_ok = true;
+      } else if (pf.type.array == ArrayKind::kStatic) {
+        if (mul_overflows(elem, pf.type.static_count, pf.slot_size)) {
+          emit(out, codes::kOffsetOverflow, Severity::kError,
+               "static array extent " + std::to_string(elem) + " x " +
+                   std::to_string(pf.type.static_count) +
+                   " overflows 64-bit arithmetic",
+               path(), f.line);
+        } else {
+          pf.slot_ok = true;
+        }
+      } else {
+        pf.slot_size = elem;
+        pf.slot_ok = true;
+      }
+    }
+
+    if (pf.slot_ok) {
+      std::uint64_t end = 0;
+      if (add_overflows(f.offset, pf.slot_size, end)) {
+        emit(out, codes::kOffsetOverflow, Severity::kError,
+             "offset " + std::to_string(f.offset) + " + slot " +
+                 std::to_string(pf.slot_size) +
+                 " overflows 64-bit arithmetic",
+             path(), f.line);
+        pf.slot_ok = false;
+      } else if (end > fmt.struct_size) {
+        emit(out, codes::kFieldOutsideStruct, Severity::kError,
+             "field '" + f.name + "' ends at byte " + std::to_string(end) +
+                 " but the struct is declared as " +
+                 std::to_string(fmt.struct_size) + " bytes",
+             path(), f.line);
+      }
+    }
+
+    // Alignment (warning): the offset a C compiler for this profile would
+    // never produce suggests hand-forged or corrupted metadata.
+    if (pf.slot_ok) {
+      std::uint64_t align = 1;
+      if (pf.type.cls == FieldClass::kString ||
+          pf.type.array == ArrayKind::kDynamic) {
+        align = profile.scalar_align(profile.pointer_size);
+      } else if (pf.type.cls == FieldClass::kNested) {
+        if (const FormatDescriptor* sub =
+                find_in_set(set, pf.type.nested_name)) {
+          std::vector<const FormatDescriptor*> stack;
+          align = descriptor_alignment(*sub, set, registry, stack);
+        } else if (registry != nullptr) {
+          if (pbio::FormatHandle h =
+                  registry->by_name_profile(pf.type.nested_name, profile)) {
+            align = h->alignment();
+          }
+        }
+      } else if (f.size != 0 && f.size <= 16) {
+        align = profile.scalar_align(static_cast<std::size_t>(f.size));
+      }
+      if (align > 1 && f.offset % align != 0) {
+        emit(out, codes::kMisalignedField, Severity::kWarning,
+             "field '" + f.name + "' at offset " + std::to_string(f.offset) +
+                 " is not " + std::to_string(align) +
+                 "-byte aligned for profile '" + profile.name + "'",
+             path(), f.line);
+      }
+    }
+  }
+
+  // Dynamic arrays: count-field discipline.
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    const ParsedField& pf = fields[i];
+    if (!pf.type_ok || pf.type.array != ArrayKind::kDynamic) continue;
+    const FieldDescriptor& f = *pf.desc;
+    auto path = [&] { return fmt.name + "." + f.name; };
+
+    std::size_t count_idx = SIZE_MAX;
+    for (std::size_t j = 0; j < fmt.fields.size(); ++j) {
+      if (fmt.fields[j].name == pf.type.size_field) {
+        count_idx = j;
+        break;
+      }
+    }
+    if (count_idx == SIZE_MAX) {
+      emit(out, codes::kCountFieldMissing, Severity::kError,
+           "dynamic array '" + f.name + "' is sized by field '" +
+               pf.type.size_field + "', which does not exist",
+           path(), f.line);
+      continue;
+    }
+    const ParsedField& count = fields[count_idx];
+    const FieldDescriptor& cf = fmt.fields[count_idx];
+    if (count.type_ok &&
+        ((count.type.cls != FieldClass::kInteger &&
+          count.type.cls != FieldClass::kUnsigned) ||
+         count.type.array != ArrayKind::kNone)) {
+      emit(out, codes::kCountFieldNotInteger, Severity::kError,
+           "count field '" + cf.name + "' for dynamic array '" + f.name +
+               "' must be a scalar integer, not '" + cf.type + "'",
+           path(), cf.line != 0 ? cf.line : f.line);
+    }
+    if (cf.size > sizeof(std::size_t)) {
+      emit(out, codes::kCountFieldTooWide, Severity::kError,
+           "count field '" + cf.name + "' is " + std::to_string(cf.size) +
+               " bytes wide — wider than the receiver's size_t (" +
+               std::to_string(sizeof(std::size_t)) +
+               " bytes); element counts could silently wrap",
+           path(), cf.line != 0 ? cf.line : f.line);
+    }
+    if (count_idx > i) {
+      emit(out, codes::kCountFieldAfterData, Severity::kWarning,
+           "count field '" + cf.name + "' is declared after the array '" +
+               f.name +
+               "' it sizes; streaming decoders cannot size the array when "
+               "they reach it",
+           path(), f.line);
+    }
+  }
+
+  // Overlap: sort by offset, each slot must end at or before the next start.
+  std::vector<const ParsedField*> by_offset;
+  for (const ParsedField& pf : fields) {
+    if (pf.slot_ok) by_offset.push_back(&pf);
+  }
+  std::sort(by_offset.begin(), by_offset.end(),
+            [](const ParsedField* a, const ParsedField* b) {
+              return a->desc->offset < b->desc->offset;
+            });
+  for (std::size_t i = 1; i < by_offset.size(); ++i) {
+    const ParsedField& prev = *by_offset[i - 1];
+    const ParsedField& cur = *by_offset[i];
+    // No overflow: prev passed the add_overflows check above.
+    if (prev.desc->offset + prev.slot_size > cur.desc->offset) {
+      emit(out, codes::kFieldOverlap, Severity::kError,
+           "field '" + cur.desc->name + "' (offset " +
+               std::to_string(cur.desc->offset) + ") overlaps field '" +
+               prev.desc->name + "' (bytes " +
+               std::to_string(prev.desc->offset) + ".." +
+               std::to_string(prev.desc->offset + prev.slot_size) + ")",
+           fmt.name + "." + cur.desc->name, cur.desc->line);
+    }
+  }
+
+  // Struct-size consistency with the struct's own alignment (warning).
+  {
+    std::vector<const FormatDescriptor*> stack;
+    std::uint64_t align = descriptor_alignment(fmt, set, registry, stack);
+    if (align > 1 && fmt.struct_size % align != 0) {
+      emit(out, codes::kUnpaddedStruct, Severity::kWarning,
+           "struct size " + std::to_string(fmt.struct_size) +
+               " is not a multiple of the struct alignment " +
+               std::to_string(align) +
+               "; arrays of this struct would misalign their elements",
+           fmt.name, fmt.line);
+    }
+  }
+}
+
+/// DFS from `fmt` through nested references inside `set`; reports one
+/// OMF108 per field of `fmt` whose reference chain reaches `fmt` again.
+void audit_cycles(const FormatDescriptor& fmt,
+                  std::span<const FormatDescriptor> set,
+                  std::vector<Diagnostic>& out) {
+  auto reaches = [&](const FormatDescriptor* from, const FormatDescriptor* to,
+                     auto&& self) -> bool {
+    static thread_local std::unordered_set<const FormatDescriptor*> visiting;
+    if (from == to) return true;
+    if (!visiting.insert(from).second) return false;
+    bool found = false;
+    for (const FieldDescriptor& f : from->fields) {
+      TypeSpec type;
+      try {
+        type = pbio::parse_type_string(f.type);
+      } catch (const Error&) {
+        continue;
+      }
+      if (type.cls != FieldClass::kNested) continue;
+      const FormatDescriptor* sub = find_in_set(set, type.nested_name);
+      if (sub != nullptr && self(sub, to, self)) {
+        found = true;
+        break;
+      }
+    }
+    visiting.erase(from);
+    return found;
+  };
+
+  for (const FieldDescriptor& f : fmt.fields) {
+    TypeSpec type;
+    try {
+      type = pbio::parse_type_string(f.type);
+    } catch (const Error&) {
+      continue;
+    }
+    if (type.cls != FieldClass::kNested) continue;
+    const FormatDescriptor* sub = find_in_set(set, type.nested_name);
+    if (sub == nullptr) continue;
+    if (reaches(sub, &fmt, reaches)) {
+      emit(out, codes::kNestedCycle, Severity::kError,
+           "field '" + f.name + "' makes format '" + fmt.name +
+               "' contain itself (via '" + type.nested_name +
+               "'); a fixed-size struct cannot recurse",
+           fmt.name + "." + f.name, f.line);
+    }
+  }
+}
+
+}  // namespace
+
+FormatDescriptor describe(const pbio::Format& format) {
+  FormatDescriptor out;
+  out.name = format.name();
+  out.profile = format.profile();
+  out.struct_size = format.struct_size();
+  out.fields.reserve(format.fields().size());
+  for (const pbio::Field& f : format.fields()) {
+    FieldDescriptor fd;
+    fd.name = f.name;
+    fd.type = pbio::type_string(f.type);
+    fd.size = f.size;
+    fd.offset = f.offset;
+    fd.default_text = f.default_text;
+    out.fields.push_back(std::move(fd));
+  }
+  return out;
+}
+
+FormatDescriptor describe(const pbio::RawFormat& raw) {
+  FormatDescriptor out;
+  out.name = raw.name;
+  out.profile = raw.profile;
+  out.struct_size = raw.struct_size;
+  out.fields.reserve(raw.fields.size());
+  for (const pbio::RawField& f : raw.fields) {
+    FieldDescriptor fd;
+    fd.name = f.name;
+    fd.type = f.type;
+    fd.size = f.size;
+    fd.offset = f.offset;
+    fd.default_text = f.default_text;
+    out.fields.push_back(std::move(fd));
+  }
+  return out;
+}
+
+std::vector<Diagnostic> audit_format(const FormatDescriptor& format,
+                                     std::span<const FormatDescriptor> siblings,
+                                     const pbio::FormatRegistry* registry) {
+  std::vector<Diagnostic> out;
+  audit_one(format, siblings, registry, out);
+  audit_cycles(format, siblings, out);
+  return out;
+}
+
+std::vector<Diagnostic> audit_formats(std::span<const FormatDescriptor> set,
+                                      const pbio::FormatRegistry* registry) {
+  std::vector<Diagnostic> out;
+  for (const FormatDescriptor& fmt : set) {
+    audit_one(fmt, set, registry, out);
+    audit_cycles(fmt, set, out);
+  }
+  return out;
+}
+
+std::vector<Diagnostic> audit_format(const pbio::Format& format) {
+  // Collect the transitive nested closure, dependencies first, so
+  // references resolve inside the set.
+  std::vector<FormatDescriptor> set;
+  auto collect = [&](const pbio::Format& f, auto&& self) -> void {
+    for (const pbio::Field& field : f.fields()) {
+      if (field.subformat) self(*field.subformat, self);
+    }
+    for (const FormatDescriptor& existing : set) {
+      if (existing.name == f.name()) return;
+    }
+    set.push_back(describe(f));
+  };
+  collect(format, collect);
+  return audit_formats(set);
+}
+
+std::vector<Diagnostic> audit_bundle(std::span<const std::uint8_t> bytes) {
+  std::vector<pbio::RawFormat> raws = pbio::decode_format_bundle(bytes);
+  std::vector<FormatDescriptor> set;
+  set.reserve(raws.size());
+  for (const pbio::RawFormat& raw : raws) {
+    set.push_back(describe(raw));
+  }
+  return audit_formats(set);
+}
+
+}  // namespace omf::analysis

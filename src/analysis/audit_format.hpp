@@ -1,0 +1,70 @@
+// Static audit of format descriptors — the metadata a receiver must trust
+// before it compiles conversion plans for a remote sender's messages.
+//
+// The auditor deliberately does NOT take a registered pbio::Format as its
+// only input: hostile metadata must be auditable *before* anything resolves
+// or trusts it. FormatDescriptor is the raw, unvalidated shape (as carried
+// by serialized bundles, textual descriptor files, or produced from a
+// registered Format for re-checking), and audit_formats() runs every check
+// with overflow-safe arithmetic so the descriptor's own numbers cannot
+// corrupt the audit.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "analysis/diagnostics.hpp"
+#include "arch/profile.hpp"
+#include "pbio/format.hpp"
+#include "pbio/metaserde.hpp"
+
+namespace omf::analysis {
+
+/// One field as declared, nothing validated.
+struct FieldDescriptor {
+  std::string name;
+  std::string type;  ///< PBIO type string, as written
+  std::uint64_t size = 0;
+  std::uint64_t offset = 0;
+  std::string default_text;
+  std::size_t line = 0;  ///< 1-based source line when read from a file
+};
+
+/// One format as declared.
+struct FormatDescriptor {
+  std::string name;
+  arch::Profile profile;
+  std::uint64_t struct_size = 0;
+  std::vector<FieldDescriptor> fields;
+  std::size_t line = 0;
+};
+
+/// Introspection adapters.
+FormatDescriptor describe(const pbio::Format& format);
+FormatDescriptor describe(const pbio::RawFormat& raw);
+
+/// Audits one descriptor. Nested references resolve against `siblings`
+/// (e.g. the other members of a bundle, dependencies first) and, when
+/// given, `registry`; an unresolvable reference is OMF107.
+std::vector<Diagnostic> audit_format(
+    const FormatDescriptor& format,
+    std::span<const FormatDescriptor> siblings = {},
+    const pbio::FormatRegistry* registry = nullptr);
+
+/// Audits a whole descriptor set (a bundle): per-format checks for every
+/// member plus cycle detection across the set's nested references.
+std::vector<Diagnostic> audit_formats(
+    std::span<const FormatDescriptor> set,
+    const pbio::FormatRegistry* registry = nullptr);
+
+/// Convenience: audits a registered format (and, transitively, the nested
+/// formats it references). Registered formats already passed registration
+/// validation; this re-derives the full diagnostic set — alignment and
+/// count-field-ordering warnings included — for policy decisions and lint.
+std::vector<Diagnostic> audit_format(const pbio::Format& format);
+
+/// Convenience: raw-decodes a serialized bundle and audits it without
+/// registering anything. Throws DecodeError only on framing corruption.
+std::vector<Diagnostic> audit_bundle(std::span<const std::uint8_t> bytes);
+
+}  // namespace omf::analysis

@@ -1,0 +1,207 @@
+#include "analysis/audit_plan.hpp"
+
+#include <string>
+
+#include "pbio/field.hpp"
+
+namespace omf::analysis {
+
+namespace {
+
+using pbio::ArrayKind;
+using pbio::ConvOp;
+using pbio::ConversionPlan;
+using pbio::Field;
+using pbio::FieldClass;
+using pbio::Format;
+
+void emit(std::vector<Diagnostic>& out, const char* code, Severity severity,
+          std::string message, std::string path) {
+  Diagnostic d;
+  d.code = code;
+  d.severity = severity;
+  d.message = std::move(message);
+  d.path = std::move(path);
+  out.push_back(std::move(d));
+}
+
+bool is_integral(FieldClass cls) {
+  return cls == FieldClass::kInteger || cls == FieldClass::kUnsigned;
+}
+
+/// Stack-linked chain of enclosing nested-field names; the dotted path
+/// string is materialized only when a diagnostic actually fires, so a clean
+/// audit allocates nothing.
+struct Scope {
+  const Scope* parent;
+  const std::string* name;
+};
+
+std::string join(const Scope* scope, const std::string& leaf) {
+  std::vector<const std::string*> parts;
+  for (const Scope* s = scope; s != nullptr; s = s->parent) {
+    parts.push_back(s->name);
+  }
+  std::string out;
+  for (auto it = parts.rbegin(); it != parts.rend(); ++it) {
+    out += **it;
+    out += '.';
+  }
+  out += leaf;
+  return out;
+}
+
+/// The lossiness lattice: every by-name field pairing that cannot be
+/// round-tripped exactly gets a warning with its dotted path.
+void audit_lossiness(const Format& wire, const Format& native,
+                     const Scope* scope, std::vector<Diagnostic>& out) {
+  const std::vector<Field>& wire_fields = wire.fields();
+  std::size_t matched = 0;
+  for (std::size_t i = 0; i < native.fields().size(); ++i) {
+    const Field& nf = native.fields()[i];
+    // Formats that pair at all almost always declare fields in the same
+    // order, so try the index-aligned slot before the linear scan.
+    const Field* wf = i < wire_fields.size() && wire_fields[i].name == nf.name
+                          ? &wire_fields[i]
+                          : wire.field_named(nf.name);
+    if (wf == nullptr) continue;  // zero/default fill loses nothing sent
+    ++matched;
+    auto path = [&] { return join(scope, nf.name); };
+
+    // Element counts for static arrays; dynamic arrays convert elementwise
+    // with the sender's count, so only element types matter there.
+    if (wf->type.array == ArrayKind::kStatic &&
+        nf.type.array == ArrayKind::kStatic &&
+        nf.type.static_count < wf->type.static_count) {
+      emit(out, codes::kArrayTruncation, Severity::kWarning,
+           "static array '" + nf.name + "' shrinks from " +
+               std::to_string(wf->type.static_count) + " to " +
+               std::to_string(nf.type.static_count) +
+               " elements; the tail is discarded",
+           path());
+    }
+
+    if (is_integral(wf->type.cls) && is_integral(nf.type.cls)) {
+      if (nf.size < wf->size) {
+        emit(out, codes::kLossyIntNarrowing, Severity::kWarning,
+             "integer narrows from " + std::to_string(wf->size) + " to " +
+                 std::to_string(nf.size) +
+                 " bytes; high-order bits are truncated",
+             path());
+      }
+      if (wf->type.cls != nf.type.cls) {
+        emit(out, codes::kSignChange, Severity::kWarning,
+             std::string("field is ") +
+                 std::string(pbio::field_class_name(wf->type.cls)) +
+                 " on the wire but " +
+                 std::string(pbio::field_class_name(nf.type.cls)) +
+                 " natively; out-of-range values reinterpret",
+             path());
+      }
+    } else if (wf->type.cls == FieldClass::kFloat &&
+               nf.type.cls == FieldClass::kFloat && nf.size < wf->size) {
+      emit(out, codes::kLossyFloatNarrowing, Severity::kWarning,
+           "floating-point narrows from binary64 to binary32; precision "
+           "and range are lost",
+           path());
+    } else if (wf->type.cls == FieldClass::kNested &&
+               nf.type.cls == FieldClass::kNested && wf->subformat &&
+               nf.subformat) {
+      Scope inner{scope, &nf.name};
+      audit_lossiness(*wf->subformat, *nf.subformat, &inner, out);
+    }
+  }
+
+  // Wire fields the receiver has no slot for are silently skipped. Field
+  // names are unique per format, so `matched` counts exactly the wire
+  // fields with a counterpart; when all have one, skip the reverse scan.
+  if (matched != wire_fields.size()) {
+    for (const Field& wf : wire_fields) {
+      if (native.field_named(wf.name) == nullptr) {
+        emit(out, codes::kDroppedField, Severity::kWarning,
+             "wire field '" + wf.name +
+                 "' has no counterpart in the native format and is dropped",
+             join(scope, wf.name));
+      }
+    }
+  }
+}
+
+/// Proves every struct-region read of the op program is inside
+/// `region_len` readable bytes. Recurses into subplans with the element
+/// extent. `where` names the plan level for messages.
+void audit_bounds(const ConversionPlan& plan, std::uint64_t region_len,
+                  std::vector<Diagnostic>& out) {
+  const std::uint64_t ptr_size = plan.wire().profile().pointer_size;
+  // Every string below is built only on a failed check — the proof runs at
+  // plan-compile time and the passing path must stay allocation-free.
+  auto check_read = [&](std::uint64_t offset, std::uint64_t size,
+                        const char* what) {
+    // Overflow-safe: never form offset + size.
+    if (offset > region_len || size > region_len - offset) {
+      const std::string where = "'" + plan.wire().name() + "' wire struct";
+      emit(out, codes::kPlanOutOfBounds, Severity::kError,
+           std::string(what) + " reads bytes " + std::to_string(offset) +
+               ".." +
+               std::to_string(offset + size) + " but the " + where +
+               " region is only " + std::to_string(region_len) +
+               " bytes; executing this plan would read past the message "
+               "extent",
+           where);
+    }
+  };
+
+  for (const ConvOp& op : plan.ops()) {
+    switch (op.kind) {
+      case ConvOp::Kind::kZero:
+      case ConvOp::Kind::kDefault:
+        break;  // no source reads
+      case ConvOp::Kind::kCopy:
+        check_read(op.src_offset, op.count, "block copy");
+        break;
+      case ConvOp::Kind::kInt:
+      case ConvOp::Kind::kFloat:
+        check_read(op.src_offset,
+                   std::uint64_t{op.count} * op.src_size, "element loop");
+        break;
+      case ConvOp::Kind::kString:
+        check_read(op.src_offset, ptr_size, "string pointer slot");
+        break;
+      case ConvOp::Kind::kDynArray:
+        check_read(op.src_offset, ptr_size, "dynamic array pointer slot");
+        check_read(op.src_count_offset, op.src_count_size,
+                   "dynamic array count");
+        if (op.subplan) {
+          // Elements live in the variable section; each subplan run sees
+          // exactly one wire element of src_size bytes.
+          audit_bounds(*op.subplan, op.src_size, out);
+        }
+        break;
+      case ConvOp::Kind::kNestedStatic:
+        check_read(op.src_offset,
+                   std::uint64_t{op.count} * op.src_size, "embedded struct");
+        if (op.subplan) {
+          audit_bounds(*op.subplan, op.src_size, out);
+        }
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Diagnostic> audit_conversion(const Format& wire,
+                                         const Format& native) {
+  std::vector<Diagnostic> out;
+  audit_lossiness(wire, native, nullptr, out);
+  return out;
+}
+
+std::vector<Diagnostic> audit_plan(const ConversionPlan& plan) {
+  std::vector<Diagnostic> out;
+  audit_lossiness(plan.wire(), plan.native(), nullptr, out);
+  audit_bounds(plan, plan.wire().struct_size(), out);
+  return out;
+}
+
+}  // namespace omf::analysis

@@ -1,0 +1,38 @@
+// Static audit of compiled conversion plans.
+//
+// Two independent analyses over a ConversionPlan:
+//
+//  1. The lossiness lattice (warnings OMF201..OMF205): walks the wire and
+//     native formats the plan reconciles, field by field — the same by-name
+//     pairing plan compilation uses — and reports every conversion that can
+//     lose information (integer narrowing, double→float, signed/unsigned
+//     reinterpretation, static-array truncation, dropped wire fields) with
+//     the exact dotted field path.
+//
+//  2. The bounds proof (error OMF210): walks the compiled op program and
+//     proves that every read the plan performs against the wire struct
+//     region stays inside the extent the decoder guarantees
+//     (wire.struct_size(), which Decoder::decode checks against
+//     body_length before executing the plan). Nested subplans are proved
+//     against their element extents. Variable-section reads are excluded:
+//     those are bounds-checked at execute() time against the actual body
+//     length, which is unknowable statically.
+#pragma once
+
+#include <vector>
+
+#include "analysis/diagnostics.hpp"
+#include "pbio/convert.hpp"
+
+namespace omf::analysis {
+
+/// Audits one compiled plan: lossiness lattice + bounds proof.
+std::vector<Diagnostic> audit_plan(const pbio::ConversionPlan& plan);
+
+/// Lossiness lattice only, over a (wire, native) format pair — usable
+/// before a plan is compiled (plan compilation can throw on irreconcilable
+/// formats; this never does).
+std::vector<Diagnostic> audit_conversion(const pbio::Format& wire,
+                                         const pbio::Format& native);
+
+}  // namespace omf::analysis

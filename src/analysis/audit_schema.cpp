@@ -1,0 +1,236 @@
+#include "analysis/audit_schema.hpp"
+
+#include <string>
+#include <unordered_map>
+
+namespace omf::analysis {
+
+namespace {
+
+/// Mirrors core::Xml2Wire::implicit_count_name (analysis sits below core in
+/// the layering, so the one-line convention is duplicated, not included).
+std::string implicit_count_name(std::string_view element_name) {
+  return std::string(element_name) + "_count";
+}
+
+using schema::Occurs;
+using schema::SchemaDocument;
+using schema::SchemaElement;
+using schema::SchemaType;
+using schema::XsdPrimitive;
+
+void emit(std::vector<Diagnostic>& out, const char* code, Severity severity,
+          std::string message, std::string path, std::size_t line,
+          std::size_t column) {
+  Diagnostic d;
+  d.code = code;
+  d.severity = severity;
+  d.message = std::move(message);
+  d.path = std::move(path);
+  d.line = line;
+  d.column = column;
+  out.push_back(std::move(d));
+}
+
+bool integral_count_element(const SchemaElement& e) {
+  return e.is_primitive && e.occurs.kind == Occurs::Kind::kScalar &&
+         e.primitive != XsdPrimitive::kString &&
+         e.primitive != XsdPrimitive::kFloat &&
+         e.primitive != XsdPrimitive::kDouble;
+}
+
+std::size_t element_index(const SchemaType& type, std::string_view name) {
+  for (std::size_t i = 0; i < type.elements.size(); ++i) {
+    if (type.elements[i].name == name) return i;
+  }
+  return SIZE_MAX;
+}
+
+void audit_type(const SchemaDocument& doc, std::size_t type_index,
+                std::vector<Diagnostic>& out) {
+  const SchemaType& type = doc.types[type_index];
+
+  // How many arrays each count element sizes (explicit and implicit).
+  std::unordered_map<std::string, std::vector<const SchemaElement*>> counts;
+
+  for (std::size_t i = 0; i < type.elements.size(); ++i) {
+    const SchemaElement& e = type.elements[i];
+    // Built only when a diagnostic fires; the audit runs on every
+    // registration and a clean document must stay cheap.
+    auto path = [&] { return type.name + "." + e.name; };
+
+    // Type references: forward/self references fail at registration time
+    // (the Catalog registers in document order); flag them here with the
+    // source position. Types absent from the document entirely may be
+    // pre-registered — legal, but worth a note when linting a lone file.
+    if (!e.is_primitive) {
+      bool found_earlier = false;
+      bool found_later_or_self = false;
+      for (std::size_t t = 0; t < doc.types.size(); ++t) {
+        if (doc.types[t].name != e.user_type) continue;
+        (t < type_index ? found_earlier : found_later_or_self) = true;
+      }
+      if (found_later_or_self) {
+        emit(out, codes::kForwardTypeReference, Severity::kError,
+             "element '" + e.name + "' references complexType '" +
+                 e.user_type +
+                 "', which is defined later in the document (or is this "
+                 "type itself); xml2wire registers types in document order",
+             path(), e.line, e.column);
+      } else if (!found_earlier) {
+        emit(out, codes::kExternalTypeReference, Severity::kWarning,
+             "element '" + e.name + "' references type '" + e.user_type +
+                 "', which this document does not define; registration "
+                 "requires it to be in the catalog already",
+             path(), e.line, e.column);
+      }
+    }
+
+    // Arrays of strings have no PBIO representation.
+    if (e.is_primitive && e.primitive == XsdPrimitive::kString &&
+        e.occurs.kind != Occurs::Kind::kScalar) {
+      emit(out, codes::kUnsupportedArrayElement, Severity::kError,
+           "element '" + e.name +
+               "' is an array of strings, which PBIO cannot marshal",
+           path(), e.line, e.column);
+    }
+
+    if (e.occurs.kind == Occurs::Kind::kDynamicSized) {
+      counts[e.occurs.size_field].push_back(&e);
+      std::size_t count_idx = element_index(type, e.occurs.size_field);
+      if (count_idx != SIZE_MAX && count_idx > i) {
+        emit(out, codes::kCountElementAfterArray, Severity::kWarning,
+             "count element '" + e.occurs.size_field +
+                 "' is declared after the array '" + e.name +
+                 "' it sizes; reorder them so streaming consumers see the "
+                 "count first",
+             path(), e.line, e.column);
+      }
+    }
+
+    if (e.occurs.kind == Occurs::Kind::kDynamicUnbounded) {
+      std::string implicit = implicit_count_name(e.name);
+      const SchemaElement* existing = type.element_named(implicit);
+      if (existing != nullptr) {
+        if (!integral_count_element(*existing)) {
+          emit(out, codes::kCountNameCollision, Severity::kError,
+               "unbounded array '" + e.name +
+                   "' synthesizes a count field named '" + implicit +
+                   "', but the document declares an element of that name "
+                   "that is not a scalar integer",
+               path(), existing->line != 0 ? existing->line : e.line,
+               existing->line != 0 ? existing->column : e.column);
+        } else {
+          emit(out, codes::kCountNameReused, Severity::kWarning,
+               "declared element '" + implicit +
+                   "' doubles as the count field of unbounded array '" +
+                   e.name + "'; senders must fill it consistently",
+               path(), existing->line, existing->column);
+          counts[implicit].push_back(&e);
+        }
+      }
+    }
+  }
+
+  for (const auto& [count_name, arrays] : counts) {
+    if (arrays.size() < 2) continue;
+    std::string list;
+    for (const SchemaElement* a : arrays) {
+      if (!list.empty()) list += "', '";
+      list += a->name;
+    }
+    emit(out, codes::kSharedCountElement, Severity::kWarning,
+         "count element '" + count_name + "' sizes " +
+             std::to_string(arrays.size()) + " arrays ('" + list +
+             "'); they are forced to always have equal lengths",
+         type.name + "." + count_name, arrays.front()->line,
+         arrays.front()->column);
+  }
+}
+
+// --- DOM-level scan for ignored constructs (OMF307) ------------------------
+
+/// `context` is a callable producing the location description, so the
+/// common all-supported scan never builds the string.
+template <typename ContextFn>
+void note_ignored(std::vector<Diagnostic>& out, const xml::Node& node,
+                  const ContextFn& context) {
+  std::string where = context();
+  emit(out, codes::kIgnoredConstruct, Severity::kWarning,
+       "<" + node.name() + "> inside " + where +
+           " is not part of the supported dialect and is silently ignored",
+       std::move(where), node.line(), node.column());
+}
+
+bool local_is(const xml::Node& n, std::string_view name) {
+  return n.local_name() == name;
+}
+
+template <typename ContextFn>
+void scan_element_decl(const xml::Node& elem, const ContextFn& context,
+                       std::vector<Diagnostic>& out) {
+  for (const auto& child : elem.children()) {
+    if (!child->is_element()) continue;
+    // Inline type definitions and facets are not supported; only
+    // annotations are read.
+    if (!local_is(*child, "annotation")) {
+      note_ignored(out, *child, context);
+    }
+  }
+}
+
+void scan_type_body(const xml::Node& body, const std::string& type_name,
+                    std::vector<Diagnostic>& out) {
+  auto type_context = [&] { return "complexType '" + type_name + "'"; };
+  for (const auto& child : body.children()) {
+    if (!child->is_element()) continue;
+    if (local_is(*child, "element")) {
+      scan_element_decl(
+          *child,
+          [&] {
+            return type_context() + " element '" +
+                   std::string(child->attribute_or("name", "?")) + "'";
+          },
+          out);
+    } else if (local_is(*child, "sequence")) {
+      scan_type_body(*child, type_name, out);
+    } else if (!local_is(*child, "annotation")) {
+      // xsd:attribute, xsd:choice, xsd:all, anything else.
+      note_ignored(out, *child, type_context);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Diagnostic> audit_schema(const SchemaDocument& doc) {
+  std::vector<Diagnostic> out;
+  for (std::size_t i = 0; i < doc.types.size(); ++i) {
+    audit_type(doc, i, out);
+  }
+  return out;
+}
+
+std::vector<Diagnostic> audit_schema_xml(const xml::Document& doc) {
+  std::vector<Diagnostic> out;
+  if (!doc.root) return out;
+  const xml::Node& root = *doc.root;
+  if (root.local_name() != "schema") return out;  // read_schema rejects it
+
+  for (const auto& child : root.children()) {
+    if (!child->is_element()) continue;
+    if (local_is(*child, "complexType")) {
+      std::string name(child->attribute_or("name", "?"));
+      scan_type_body(*child, name, out);
+    } else if (local_is(*child, "simpleType") ||
+               local_is(*child, "annotation")) {
+      // Fully handled by the reader.
+    } else {
+      // xsd:import, xsd:include, xsd:redefine, top-level xsd:element, ...
+      note_ignored(out, *child, [] { return std::string("the schema root"); });
+    }
+  }
+  return out;
+}
+
+}  // namespace omf::analysis

@@ -1,0 +1,29 @@
+// Static audit of XML Schema metadata documents.
+//
+// read_schema() and xml2wire already *reject* outright-invalid documents;
+// these audits cover the gray zone — documents that register fine but mean
+// something the author probably didn't intend (count-field surprises,
+// silently ignored constructs, types resolved outside the document) — and
+// turn a handful of late registration failures (forward references, string
+// arrays) into early diagnostics with source line/column.
+#pragma once
+
+#include <vector>
+
+#include "analysis/diagnostics.hpp"
+#include "schema/model.hpp"
+#include "xml/dom.hpp"
+
+namespace omf::analysis {
+
+/// Audits a parsed schema document (model-level checks: OMF301..OMF306,
+/// OMF309). Positions come from the line/column the reader recorded.
+std::vector<Diagnostic> audit_schema(const schema::SchemaDocument& doc);
+
+/// Audits the raw DOM for constructs xml2wire silently ignores (OMF307):
+/// xsd:attribute, xsd:choice, xsd:all, xsd:import/include/redefine, and
+/// unrecognized children of schema/complexType/sequence elements. Runs on
+/// the DOM (not the model) because the model never sees ignored nodes.
+std::vector<Diagnostic> audit_schema_xml(const xml::Document& doc);
+
+}  // namespace omf::analysis

@@ -1,0 +1,130 @@
+#include "analysis/diagnostics.hpp"
+
+#include "util/logging.hpp"
+
+namespace omf::analysis {
+
+std::string render(const Diagnostic& d) {
+  std::string out;
+  if (!d.file.empty()) {
+    out += d.file;
+    out += ':';
+    if (d.line != 0) {
+      out += std::to_string(d.line);
+      out += ':';
+      if (d.column != 0) {
+        out += std::to_string(d.column);
+        out += ':';
+      }
+    }
+    out += ' ';
+  }
+  out += d.severity == Severity::kError ? "error[" : "warning[";
+  out += d.code;
+  out += "]: ";
+  out += d.message;
+  if (!d.path.empty()) {
+    out += " [";
+    out += d.path;
+    out += ']';
+  }
+  return out;
+}
+
+bool has_errors(const std::vector<Diagnostic>& diagnostics) {
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity == Severity::kError) return true;
+  }
+  return false;
+}
+
+std::span<const CodeInfo> diagnostic_codes() {
+  static constexpr CodeInfo kTable[] = {
+      {"OMF001", Severity::kError, "input file cannot be parsed"},
+      {"OMF002", Severity::kError, "schema rejected by the format compiler"},
+      {"OMF100", Severity::kError, "unparseable PBIO type string"},
+      {"OMF101", Severity::kError, "duplicate field name"},
+      {"OMF102", Severity::kError, "field slots overlap"},
+      {"OMF103", Severity::kError,
+       "field extends past the declared struct size"},
+      {"OMF104", Severity::kError, "offset/size arithmetic overflows"},
+      {"OMF105", Severity::kWarning,
+       "field offset violates the profile's alignment rule"},
+      {"OMF106", Severity::kWarning,
+       "struct size is not padded to the struct alignment"},
+      {"OMF107", Severity::kError, "nested field references an unknown format"},
+      {"OMF108", Severity::kError, "cycle in nested format references"},
+      {"OMF109", Severity::kError, "dynamic array's count field is missing"},
+      {"OMF110", Severity::kWarning,
+       "count field is declared after the array it sizes"},
+      {"OMF111", Severity::kError, "count field is not a scalar integer"},
+      {"OMF112", Severity::kError,
+       "count field is wider than the receiver's size_t"},
+      {"OMF113", Severity::kError, "invalid scalar width for the field class"},
+      {"OMF114", Severity::kError, "format declares no fields"},
+      {"OMF201", Severity::kWarning,
+       "integer narrowing may lose high-order bits"},
+      {"OMF202", Severity::kWarning, "double-to-float narrowing loses precision"},
+      {"OMF203", Severity::kWarning,
+       "signed/unsigned reinterpretation changes value ranges"},
+      {"OMF204", Severity::kWarning,
+       "static array truncated: receiver keeps fewer elements"},
+      {"OMF205", Severity::kWarning, "wire field unknown to the receiver is dropped"},
+      {"OMF210", Severity::kError,
+       "compiled plan accesses bytes outside the message extent"},
+      {"OMF301", Severity::kWarning,
+       "count element is declared after the array it sizes"},
+      {"OMF302", Severity::kError,
+       "synthesized count name collides with an incompatible element"},
+      {"OMF303", Severity::kWarning,
+       "element is reused as an implicit count field"},
+      {"OMF304", Severity::kWarning, "one count element sizes several arrays"},
+      {"OMF305", Severity::kError,
+       "element references a type defined later (or itself)"},
+      {"OMF306", Severity::kWarning,
+       "element references a type not defined in this document"},
+      {"OMF307", Severity::kWarning, "construct is ignored by xml2wire"},
+      {"OMF309", Severity::kError, "unsupported array element type"},
+  };
+  return kTable;
+}
+
+AuditError::AuditError(std::string subject, std::vector<Diagnostic> diagnostics)
+    : Error([&] {
+        std::string what = "metadata audit rejected '" + subject + "': ";
+        std::size_t errors = 0;
+        const Diagnostic* first = nullptr;
+        for (const Diagnostic& d : diagnostics) {
+          if (d.severity == Severity::kError) {
+            if (first == nullptr) first = &d;
+            ++errors;
+          }
+        }
+        if (first != nullptr) {
+          what += render(*first);
+          if (errors > 1) {
+            what += " (+" + std::to_string(errors - 1) + " more)";
+          }
+        }
+        return what;
+      }()),
+      subject_(std::move(subject)),
+      diagnostics_(std::move(diagnostics)) {}
+
+void enforce(const std::string& subject,
+             const std::vector<Diagnostic>& diagnostics,
+             const AuditPolicy& policy) {
+  if (!policy.enabled) return;
+  if (policy.log_warnings) {
+    for (const Diagnostic& d : diagnostics) {
+      if (d.severity == Severity::kWarning) {
+        OMF_LOG_WARN("audit", subject, ": ", render(d));
+      }
+    }
+  }
+  if (policy.reject_on_error && has_errors(diagnostics)) {
+    throw AuditError(subject, diagnostics);
+  }
+}
+
+}  // namespace omf::analysis

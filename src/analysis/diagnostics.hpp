@@ -1,0 +1,131 @@
+// Diagnostic model of the metadata static analyzer (omf-lint).
+//
+// The system trusts three metadata artifacts: format descriptors, compiled
+// conversion plans, and XML Schema documents. Each auditor
+// (audit_format/audit_plan/audit_schema) reports findings as Diagnostics —
+// a stable machine-readable code, a severity, a human message, and the most
+// precise location available (field path, source file:line:column). Codes
+// are stable across releases so CI gates and tests can assert them.
+//
+// Code ranges:
+//   OMF0xx  input/compile failures (file unreadable, schema rejected)
+//   OMF1xx  format-descriptor audits (overlap, bounds, cycles, count fields)
+//   OMF2xx  conversion-plan audits (lossiness lattice, bounds proof)
+//   OMF3xx  XML Schema audits (xml2wire-time diagnostics)
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace omf::analysis {
+
+enum class Severity : std::uint8_t {
+  kWarning,  ///< suspicious but decodable; policy may log
+  kError,    ///< unsafe or meaningless metadata; policy may reject
+};
+
+struct Diagnostic {
+  std::string code;     ///< stable "OMFnnn" identifier
+  Severity severity = Severity::kError;
+  std::string message;  ///< human-readable, self-contained
+  std::string path;     ///< dotted field path ("Flight.eta" ), may be empty
+  std::string file;     ///< source file when auditing files, may be empty
+  std::size_t line = 0;    ///< 1-based; 0 = unknown
+  std::size_t column = 0;  ///< 1-based; 0 = unknown
+};
+
+/// GCC-style one-line rendering:
+/// "file:line:col: error[OMF102]: message [path]".
+std::string render(const Diagnostic& d);
+
+/// True if any diagnostic has Severity::kError.
+bool has_errors(const std::vector<Diagnostic>& diagnostics);
+
+/// The registry of every code the analyzer can emit, for `omf-lint --codes`
+/// and the README table.
+struct CodeInfo {
+  const char* code;
+  Severity severity;
+  const char* summary;
+};
+std::span<const CodeInfo> diagnostic_codes();
+
+// --- Stable code constants --------------------------------------------------
+
+namespace codes {
+// Input / compile failures.
+inline constexpr const char* kInputParse = "OMF001";
+inline constexpr const char* kSchemaCompile = "OMF002";
+// Format descriptors.
+inline constexpr const char* kBadTypeString = "OMF100";
+inline constexpr const char* kDuplicateField = "OMF101";
+inline constexpr const char* kFieldOverlap = "OMF102";
+inline constexpr const char* kFieldOutsideStruct = "OMF103";
+inline constexpr const char* kOffsetOverflow = "OMF104";
+inline constexpr const char* kMisalignedField = "OMF105";
+inline constexpr const char* kUnpaddedStruct = "OMF106";
+inline constexpr const char* kUnknownNestedFormat = "OMF107";
+inline constexpr const char* kNestedCycle = "OMF108";
+inline constexpr const char* kCountFieldMissing = "OMF109";
+inline constexpr const char* kCountFieldAfterData = "OMF110";
+inline constexpr const char* kCountFieldNotInteger = "OMF111";
+inline constexpr const char* kCountFieldTooWide = "OMF112";
+inline constexpr const char* kInvalidScalarWidth = "OMF113";
+inline constexpr const char* kEmptyFormat = "OMF114";
+// Conversion plans.
+inline constexpr const char* kLossyIntNarrowing = "OMF201";
+inline constexpr const char* kLossyFloatNarrowing = "OMF202";
+inline constexpr const char* kSignChange = "OMF203";
+inline constexpr const char* kArrayTruncation = "OMF204";
+inline constexpr const char* kDroppedField = "OMF205";
+inline constexpr const char* kPlanOutOfBounds = "OMF210";
+// XML Schema.
+inline constexpr const char* kCountElementAfterArray = "OMF301";
+inline constexpr const char* kCountNameCollision = "OMF302";
+inline constexpr const char* kCountNameReused = "OMF303";
+inline constexpr const char* kSharedCountElement = "OMF304";
+inline constexpr const char* kForwardTypeReference = "OMF305";
+inline constexpr const char* kExternalTypeReference = "OMF306";
+inline constexpr const char* kIgnoredConstruct = "OMF307";
+inline constexpr const char* kUnsupportedArrayElement = "OMF309";
+}  // namespace codes
+
+// --- Policy -----------------------------------------------------------------
+
+/// What a registration path does with audit findings. The production
+/// default is the paper-safe posture: refuse metadata the analyzer proves
+/// unsafe, log anything merely suspicious.
+struct AuditPolicy {
+  bool enabled = true;          ///< run the audit at all
+  bool reject_on_error = true;  ///< throw AuditError when errors are found
+  bool log_warnings = true;     ///< OMF_LOG_WARN each warning diagnostic
+};
+
+/// Structured rejection: carries every diagnostic, not just a message, so
+/// gateways and services can report (or transmit) exactly what was wrong
+/// with the metadata they refused.
+class AuditError : public Error {
+public:
+  AuditError(std::string subject, std::vector<Diagnostic> diagnostics);
+
+  const std::string& subject() const noexcept { return subject_; }
+  const std::vector<Diagnostic>& diagnostics() const noexcept {
+    return diagnostics_;
+  }
+
+private:
+  std::string subject_;
+  std::vector<Diagnostic> diagnostics_;
+};
+
+/// Applies `policy` to audit findings for `subject` (a format or document
+/// name): logs warnings, throws AuditError if any error diagnostic is
+/// present and the policy rejects. No-op when the policy is disabled.
+void enforce(const std::string& subject,
+             const std::vector<Diagnostic>& diagnostics,
+             const AuditPolicy& policy);
+
+}  // namespace omf::analysis

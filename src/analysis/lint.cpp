@@ -1,0 +1,345 @@
+#include "analysis/lint.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "analysis/audit_format.hpp"
+#include "analysis/audit_schema.hpp"
+#include "arch/profile.hpp"
+#include "pbio/format.hpp"
+#include "schema/reader.hpp"
+#include "util/strings.hpp"
+#include "xml/parser.hpp"
+
+namespace omf::analysis {
+
+namespace {
+
+using schema::Occurs;
+using schema::SchemaElement;
+using schema::SchemaType;
+using schema::XsdPrimitive;
+
+void emit(std::vector<Diagnostic>& out, const char* code, Severity severity,
+          std::string message, std::size_t line = 0, std::size_t column = 0) {
+  Diagnostic d;
+  d.code = code;
+  d.severity = severity;
+  d.message = std::move(message);
+  d.line = line;
+  d.column = column;
+  out.push_back(std::move(d));
+}
+
+std::vector<std::string_view> tokenize(std::string_view line) {
+  std::vector<std::string_view> out;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    std::size_t start = i;
+    while (i < line.size() && line[i] != ' ' && line[i] != '\t') ++i;
+    if (i > start) out.push_back(line.substr(start, i - start));
+  }
+  return out;
+}
+
+// --- Textual descriptor files (*.fmt) --------------------------------------
+
+std::vector<Diagnostic> lint_fmt_text(std::string_view content) {
+  std::vector<Diagnostic> diags;
+  std::vector<FormatDescriptor> set;
+  FormatDescriptor* cur = nullptr;
+
+  std::size_t lineno = 0;
+  std::size_t pos = 0;
+  while (pos <= content.size()) {
+    std::size_t eol = content.find('\n', pos);
+    std::string_view line = content.substr(
+        pos, eol == std::string_view::npos ? std::string_view::npos
+                                           : eol - pos);
+    pos = eol == std::string_view::npos ? content.size() + 1 : eol + 1;
+    ++lineno;
+
+    line = trim(line);
+    if (line.empty() || line[0] == '#') continue;
+    std::vector<std::string_view> tok = tokenize(line);
+
+    if (tok[0] == "format") {
+      if (tok.size() < 2) {
+        emit(diags, codes::kInputParse, Severity::kError,
+             "'format' line needs a name", lineno);
+        cur = nullptr;
+        continue;
+      }
+      FormatDescriptor fmt;
+      fmt.name = std::string(tok[1]);
+      fmt.profile = arch::native();
+      fmt.line = lineno;
+      bool have_size = false;
+      bool ok = true;
+      for (std::size_t i = 2; i < tok.size(); ++i) {
+        if (starts_with(tok[i], "profile=")) {
+          try {
+            fmt.profile = arch::profile_by_name(
+                std::string(tok[i].substr(std::strlen("profile="))));
+          } catch (const Error& e) {
+            emit(diags, codes::kInputParse, Severity::kError, e.what(),
+                 lineno);
+            ok = false;
+          }
+        } else if (starts_with(tok[i], "size=")) {
+          auto n = parse_uint(tok[i].substr(std::strlen("size=")));
+          if (!n) {
+            emit(diags, codes::kInputParse, Severity::kError,
+                 "unparseable size in '" + std::string(tok[i]) + "'", lineno);
+            ok = false;
+          } else {
+            fmt.struct_size = *n;
+            have_size = true;
+          }
+        } else {
+          emit(diags, codes::kInputParse, Severity::kError,
+               "unknown attribute '" + std::string(tok[i]) +
+                   "' on format line",
+               lineno);
+          ok = false;
+        }
+      }
+      if (!have_size) {
+        emit(diags, codes::kInputParse, Severity::kError,
+             "format '" + fmt.name + "' must declare size=<struct-bytes>",
+             lineno);
+        ok = false;
+      }
+      if (ok) {
+        set.push_back(std::move(fmt));
+        cur = &set.back();
+      } else {
+        cur = nullptr;
+      }
+      continue;
+    }
+
+    if (tok[0] == "field") {
+      if (cur == nullptr) {
+        emit(diags, codes::kInputParse, Severity::kError,
+             "'field' line before any valid 'format' line", lineno);
+        continue;
+      }
+      if (tok.size() < 5) {
+        emit(diags, codes::kInputParse, Severity::kError,
+             "'field' needs: field <name> <type> <size> <offset>", lineno);
+        continue;
+      }
+      FieldDescriptor f;
+      f.name = std::string(tok[1]);
+      f.type = std::string(tok[2]);
+      f.line = lineno;
+      auto size = parse_uint(tok[3]);
+      auto offset = parse_uint(tok[4]);
+      if (!size || !offset) {
+        emit(diags, codes::kInputParse, Severity::kError,
+             "unparseable size/offset on field '" + f.name + "'", lineno);
+        continue;
+      }
+      f.size = *size;
+      f.offset = *offset;
+      for (std::size_t i = 5; i < tok.size(); ++i) {
+        if (starts_with(tok[i], "default=")) {
+          f.default_text =
+              std::string(tok[i].substr(std::strlen("default=")));
+        } else {
+          emit(diags, codes::kInputParse, Severity::kError,
+               "unknown attribute '" + std::string(tok[i]) +
+                   "' on field line",
+               lineno);
+        }
+      }
+      cur->fields.push_back(std::move(f));
+      continue;
+    }
+
+    emit(diags, codes::kInputParse, Severity::kError,
+         "unrecognized directive '" + std::string(tok[0]) + "'", lineno);
+  }
+
+  std::vector<Diagnostic> audits = audit_formats(set);
+  diags.insert(diags.end(), std::make_move_iterator(audits.begin()),
+               std::make_move_iterator(audits.end()));
+  return diags;
+}
+
+// --- XML Schema pipeline ----------------------------------------------------
+
+/// Mirrors core::Xml2Wire's primitive mapping. Duplicated (about a dozen
+/// lines) because analysis sits *below* core in the layering: core calls
+/// into the auditors, so the auditors cannot link against core.
+void map_primitive(XsdPrimitive prim, const arch::Profile& profile,
+                   std::string& base, std::size_t& size) {
+  switch (prim) {
+    case XsdPrimitive::kString: base = "string"; size = 0; return;
+    case XsdPrimitive::kInt: base = "integer"; size = profile.int_size; return;
+    case XsdPrimitive::kLong:
+      base = "integer"; size = profile.long_size; return;
+    case XsdPrimitive::kShort: base = "integer"; size = 2; return;
+    case XsdPrimitive::kByte: base = "integer"; size = 1; return;
+    case XsdPrimitive::kUnsignedInt:
+      base = "unsigned"; size = profile.int_size; return;
+    case XsdPrimitive::kUnsignedLong:
+      base = "unsigned"; size = profile.long_size; return;
+    case XsdPrimitive::kUnsignedShort: base = "unsigned"; size = 2; return;
+    case XsdPrimitive::kUnsignedByte: base = "unsigned"; size = 1; return;
+    case XsdPrimitive::kFloat: base = "float"; size = 4; return;
+    case XsdPrimitive::kDouble: base = "float"; size = 8; return;
+    case XsdPrimitive::kBoolean: base = "unsigned"; size = 1; return;
+    case XsdPrimitive::kChar: base = "char"; size = 1; return;
+  }
+  base = "integer";
+  size = profile.int_size;
+}
+
+/// Lays the schema's types out for `profile` in a scratch registry — the
+/// same field specs xml2wire would register — and runs the format auditor
+/// over the result. Only *errors* are kept: warnings on schema inputs come
+/// from the schema-level auditors (the synthesized trailing count field of
+/// an unbounded array would otherwise warn OMF110 by construction).
+void audit_schema_layout(const schema::SchemaDocument& doc,
+                         const arch::Profile& profile,
+                         std::vector<Diagnostic>& diags) {
+  pbio::FormatRegistry scratch;
+  for (const SchemaType& type : doc.types) {
+    std::vector<pbio::FieldSpec> specs;
+    specs.reserve(type.elements.size() + 2);
+    for (const SchemaElement& elem : type.elements) {
+      pbio::FieldSpec spec;
+      spec.name = elem.name;
+      spec.default_text = elem.default_value;
+      std::string base;
+      if (elem.is_primitive) {
+        map_primitive(elem.primitive, profile, base, spec.element_size);
+      } else {
+        base = elem.user_type;
+      }
+      bool synthesize_count = false;
+      std::string count_name;
+      switch (elem.occurs.kind) {
+        case Occurs::Kind::kScalar:
+          spec.type = base;
+          break;
+        case Occurs::Kind::kStatic:
+          spec.type = base + "[" + std::to_string(elem.occurs.count) + "]";
+          break;
+        case Occurs::Kind::kDynamicSized:
+          spec.type = base + "[" + elem.occurs.size_field + "]";
+          break;
+        case Occurs::Kind::kDynamicUnbounded:
+          count_name = elem.name + "_count";
+          spec.type = base + "[" + count_name + "]";
+          synthesize_count = type.element_named(count_name) == nullptr;
+          break;
+      }
+      specs.push_back(std::move(spec));
+      if (synthesize_count) {
+        pbio::FieldSpec count;
+        count.name = count_name;
+        count.type = "integer";
+        count.element_size = profile.int_size;
+        specs.push_back(std::move(count));
+      }
+    }
+    try {
+      scratch.register_computed(type.name, specs, profile);
+    } catch (const Error& e) {
+      emit(diags, codes::kSchemaCompile, Severity::kError,
+           std::string("layout for profile '") + profile.name +
+               "' failed: " + e.what(),
+           type.line, type.column);
+      return;
+    }
+  }
+
+  std::vector<FormatDescriptor> set;
+  for (const pbio::FormatHandle& h : scratch.all()) {
+    set.push_back(describe(*h));
+  }
+  for (Diagnostic& d : audit_formats(set)) {
+    if (d.severity == Severity::kError) diags.push_back(std::move(d));
+  }
+}
+
+std::vector<Diagnostic> lint_schema_text(std::string_view content) {
+  std::vector<Diagnostic> diags;
+  xml::Document doc;
+  try {
+    doc = xml::parse(content);
+  } catch (const ParseError& e) {
+    emit(diags, codes::kInputParse, Severity::kError, e.what(), e.line(),
+         e.column());
+    return diags;
+  }
+
+  schema::SchemaDocument model;
+  try {
+    model = schema::read_schema(doc);
+  } catch (const Error& e) {
+    emit(diags, codes::kSchemaCompile, Severity::kError, e.what());
+    return diags;
+  }
+
+  diags = audit_schema(model);
+  std::vector<Diagnostic> dom = audit_schema_xml(doc);
+  diags.insert(diags.end(), std::make_move_iterator(dom.begin()),
+               std::make_move_iterator(dom.end()));
+
+  if (!has_errors(diags)) {
+    audit_schema_layout(model, arch::native(), diags);
+  }
+  return diags;
+}
+
+}  // namespace
+
+LintResult lint_buffer(const std::string& name, std::string_view content) {
+  LintResult result;
+  result.file = name;
+
+  if (content.size() >= 4 && std::memcmp(content.data(), "OBMF", 4) == 0) {
+    try {
+      result.diagnostics = audit_bundle(std::span<const std::uint8_t>(
+          reinterpret_cast<const std::uint8_t*>(content.data()),
+          content.size()));
+    } catch (const Error& e) {
+      emit(result.diagnostics, codes::kInputParse, Severity::kError,
+           e.what());
+    }
+  } else if (ends_with(name, ".fmt")) {
+    result.diagnostics = lint_fmt_text(content);
+  } else {
+    result.diagnostics = lint_schema_text(content);
+  }
+
+  for (Diagnostic& d : result.diagnostics) {
+    if (d.file.empty()) d.file = name;
+    (d.severity == Severity::kError ? result.errors : result.warnings) += 1;
+  }
+  return result;
+}
+
+LintResult lint_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    LintResult result;
+    result.file = path;
+    emit(result.diagnostics, codes::kInputParse, Severity::kError,
+         "cannot open file");
+    result.diagnostics.back().file = path;
+    result.errors = 1;
+    return result;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return lint_buffer(path, buf.str());
+}
+
+}  // namespace omf::analysis

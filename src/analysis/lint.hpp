@@ -1,0 +1,46 @@
+// File-level lint driver: the engine behind the omf-lint tool.
+//
+// Dispatches on the input's shape and runs every applicable auditor:
+//
+//   * serialized format bundles ("OBMF" magic)  -> audit_bundle
+//   * textual descriptor files (*.fmt)          -> audit_formats
+//   * anything else                             -> XML Schema pipeline
+//     (parse -> read_schema -> audit_schema + audit_schema_xml -> lay the
+//      types out for a profile and audit the resulting formats)
+//
+// The *.fmt format exists so the lint corpus (and users) can write raw
+// descriptors — including ones the registry would refuse — as text:
+//
+//   # comment
+//   format <name> [profile=<builtin-profile>] size=<struct-size>
+//   field <name> <pbio-type> <size> <offset> [default=<text>]
+//
+// Every diagnostic is stamped with the file name; parse problems in the
+// input itself become OMF001 diagnostics rather than exceptions, so a lint
+// run always produces a report.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostics.hpp"
+
+namespace omf::analysis {
+
+struct LintResult {
+  std::string file;
+  std::vector<Diagnostic> diagnostics;
+  std::size_t errors = 0;
+  std::size_t warnings = 0;
+
+  bool ok() const noexcept { return errors == 0; }
+};
+
+/// Lints an in-memory input. `name` is used for dispatch (the .fmt
+/// extension) and stamped on every diagnostic.
+LintResult lint_buffer(const std::string& name, std::string_view content);
+
+/// Reads and lints a file. An unreadable file yields a single OMF001.
+LintResult lint_file(const std::string& path);
+
+}  // namespace omf::analysis

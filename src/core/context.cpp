@@ -1,5 +1,9 @@
 #include "core/context.hpp"
 
+#include "analysis/audit_format.hpp"
+#include "analysis/audit_schema.hpp"
+#include "pbio/metaserde.hpp"
+#include "schema/reader.hpp"
 #include "util/error.hpp"
 
 namespace omf::core {
@@ -17,7 +21,32 @@ Context::Context(std::shared_ptr<pbio::PlanCache> shared_plans)
 std::vector<pbio::FormatHandle> Context::discover_and_register(
     const std::string& locator) {
   std::shared_ptr<const xml::Document> doc = discovery_.discover(locator);
-  return xml2wire_.register_document(*doc);
+  schema::SchemaDocument model = schema::read_schema(*doc);
+  if (audit_policy_.enabled) {
+    std::vector<analysis::Diagnostic> diags = analysis::audit_schema(model);
+    std::vector<analysis::Diagnostic> dom = analysis::audit_schema_xml(*doc);
+    diags.insert(diags.end(), std::make_move_iterator(dom.begin()),
+                 std::make_move_iterator(dom.end()));
+    analysis::enforce(locator, diags, audit_policy_);
+  }
+  return xml2wire_.register_schema(model);
+}
+
+pbio::FormatHandle Context::register_remote_bundle(
+    std::span<const std::uint8_t> bundle) {
+  if (audit_policy_.enabled) {
+    std::vector<pbio::RawFormat> raws = pbio::decode_format_bundle(bundle);
+    std::vector<analysis::FormatDescriptor> set;
+    set.reserve(raws.size());
+    for (const pbio::RawFormat& raw : raws) {
+      set.push_back(analysis::describe(raw));
+    }
+    // Earlier registrations may satisfy references the bundle omits.
+    analysis::enforce(set.empty() ? "format bundle" : set.back().name,
+                      analysis::audit_formats(set, &registry_),
+                      audit_policy_);
+  }
+  return pbio::deserialize_format_bundle(registry_, bundle);
 }
 
 pbio::FormatHandle Context::discover_format(const std::string& locator,

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/diagnostics.hpp"
 #include "core/discovery.hpp"
 #include "core/xml2wire.hpp"
 #include "pbio/decode.hpp"
@@ -82,11 +83,30 @@ public:
   Xml2Wire& xml2wire() noexcept { return xml2wire_; }
   pbio::Decoder& decoder() noexcept { return decoder_; }
 
+  /// Metadata audit policy. Discovered documents and remote bundles are
+  /// audited before registration; with the default policy, metadata the
+  /// analyzer proves unsafe is rejected (analysis::AuditError carries the
+  /// full diagnostic list) and merely-suspicious metadata is logged.
+  void set_audit_policy(const analysis::AuditPolicy& policy) noexcept {
+    audit_policy_ = policy;
+  }
+  const analysis::AuditPolicy& audit_policy() const noexcept {
+    return audit_policy_;
+  }
+
   /// Discovery + registration in one step: fetches the metadata document at
-  /// `locator` (through the source chain), compiles it, registers every
-  /// complexType, and returns the handles.
+  /// `locator` (through the source chain), compiles it, audits it per the
+  /// audit policy, registers every complexType, and returns the handles.
   std::vector<pbio::FormatHandle> discover_and_register(
       const std::string& locator);
+
+  /// Registers a serialized format bundle received from a remote peer
+  /// (format service, gateway hand-off). The raw descriptors are audited
+  /// *before* anything is registered — with the default policy a bad bundle
+  /// is rejected atomically, leaving the registry untouched. Returns the
+  /// bundle's top-level format.
+  pbio::FormatHandle register_remote_bundle(
+      std::span<const std::uint8_t> bundle);
 
   /// Like discover_and_register, returning just the named type. Throws
   /// FormatError if the document does not define it.
@@ -118,6 +138,7 @@ private:
   CompiledInSource* compiled_in_;  // owned by discovery_'s chain
   Xml2Wire xml2wire_;
   pbio::Decoder decoder_;
+  analysis::AuditPolicy audit_policy_;
 };
 
 }  // namespace omf::core

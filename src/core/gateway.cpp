@@ -1,6 +1,8 @@
 #include "core/gateway.hpp"
 
+#include "analysis/audit_format.hpp"
 #include "pbio/encode.hpp"
+#include "pbio/metaserde.hpp"
 #include "pbio/synth.hpp"
 #include "util/error.hpp"
 
@@ -9,7 +11,8 @@ namespace omf::core {
 Gateway::Gateway(pbio::FormatRegistry& registry, pbio::FormatHandle staging,
                  pbio::FormatHandle target,
                  std::shared_ptr<pbio::PlanCache> shared_plans)
-    : decoder_(registry, std::move(shared_plans)),
+    : registry_(&registry),
+      decoder_(registry, std::move(shared_plans)),
       staging_(std::move(staging)),
       target_(std::move(target)),
       scratch_(staging_) {
@@ -36,6 +39,22 @@ Buffer Gateway::convert(std::span<const std::uint8_t> message) {
     return pbio::encode(*staging_, scratch_.data());
   }
   return pbio::synthesize_wire(*target_, scratch_);
+}
+
+pbio::FormatHandle Gateway::register_remote_format(
+    std::span<const std::uint8_t> bundle) {
+  if (audit_policy_.enabled) {
+    std::vector<pbio::RawFormat> raws = pbio::decode_format_bundle(bundle);
+    std::vector<analysis::FormatDescriptor> set;
+    set.reserve(raws.size());
+    for (const pbio::RawFormat& raw : raws) {
+      set.push_back(analysis::describe(raw));
+    }
+    analysis::enforce(set.empty() ? "format bundle" : set.back().name,
+                      analysis::audit_formats(set, registry_),
+                      audit_policy_);
+  }
+  return pbio::deserialize_format_bundle(*registry_, bundle);
 }
 
 }  // namespace omf::core

@@ -13,6 +13,7 @@
 // DynamicRecord, then wire synthesis for the target format.
 #pragma once
 
+#include "analysis/diagnostics.hpp"
 #include "pbio/decode.hpp"
 #include "pbio/format.hpp"
 #include "pbio/record.hpp"
@@ -35,6 +36,23 @@ public:
   /// and synthesis rules.
   Buffer convert(std::span<const std::uint8_t> message);
 
+  /// Audit policy applied to register_remote_format. A gateway sits at a
+  /// trust boundary, so the default is reject-on-error.
+  void set_audit_policy(const analysis::AuditPolicy& policy) noexcept {
+    audit_policy_ = policy;
+  }
+  const analysis::AuditPolicy& audit_policy() const noexcept {
+    return audit_policy_;
+  }
+
+  /// Learns a producer's wire format from a serialized metadata bundle.
+  /// The raw descriptors are statically audited *before* registration;
+  /// a bundle with error-severity findings is rejected atomically with
+  /// analysis::AuditError (structured diagnostics, nothing registered).
+  /// Returns the bundle's top-level format.
+  pbio::FormatHandle register_remote_format(
+      std::span<const std::uint8_t> bundle);
+
   /// Messages converted so far.
   std::size_t converted() const noexcept { return converted_; }
 
@@ -43,10 +61,12 @@ public:
   std::size_t passed_through() const noexcept { return passed_through_; }
 
 private:
+  pbio::FormatRegistry* registry_;
   pbio::Decoder decoder_;
   pbio::FormatHandle staging_;
   pbio::FormatHandle target_;
   pbio::DynamicRecord scratch_;
+  analysis::AuditPolicy audit_policy_;
   std::size_t converted_ = 0;
   std::size_t passed_through_ = 0;
 };

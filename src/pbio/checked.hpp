@@ -1,0 +1,56 @@
+// Bounds-checked wire reads.
+//
+// Every read the receive path performs against attacker-supplied bytes goes
+// through these helpers: the range is validated against the region's extent
+// *before* memory is touched, with overflow-safe comparisons (never forming
+// offset + size, which could wrap). A short or hostile message therefore
+// surfaces as DecodeError, not as an out-of-bounds read — the runtime half
+// of the guarantee the static analyzer (src/analysis) proves for plans.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace omf::pbio {
+
+/// Validates that [offset, offset+size) lies inside a region of `len` bytes
+/// and returns a pointer to its start. Throws DecodeError otherwise.
+inline const std::uint8_t* checked_at(const std::uint8_t* region,
+                                      std::size_t len, std::size_t offset,
+                                      std::size_t size, const char* what) {
+  if (offset > len || size > len - offset) {
+    throw DecodeError(std::string(what) +
+                      " extends past the end of the wire buffer");
+  }
+  return region + offset;
+}
+
+/// Mutable-region variant for in-place patching.
+inline std::uint8_t* checked_at(std::uint8_t* region, std::size_t len,
+                                std::size_t offset, std::size_t size,
+                                const char* what) {
+  return const_cast<std::uint8_t*>(
+      checked_at(static_cast<const std::uint8_t*>(region), len, offset, size,
+                 what));
+}
+
+/// Reads an unsigned little-or-native-order integer of 1..8 bytes after
+/// bounds-checking it. The value occupies the first `size` bytes at the
+/// source (NDR slot convention); on big-endian hosts it is realigned.
+inline std::uint64_t checked_read_uint(const std::uint8_t* region,
+                                       std::size_t len, std::size_t offset,
+                                       std::size_t size, const char* what) {
+  if (size == 0 || size > 8) {
+    throw DecodeError(std::string(what) + " has unsupported width " +
+                      std::to_string(size));
+  }
+  const std::uint8_t* p = checked_at(region, len, offset, size, what);
+  std::uint64_t v = 0;
+  std::memcpy(&v, p, size);
+  return v;
+}
+
+}  // namespace omf::pbio

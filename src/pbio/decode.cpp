@@ -2,27 +2,21 @@
 
 #include <cstring>
 
+#include "pbio/checked.hpp"
+
 namespace omf::pbio {
 
 namespace {
 
-/// Reads a pointer slot (offset) from native-order wire data.
-std::uint64_t read_offset_slot(const std::uint8_t* slot,
-                               std::size_t ptr_size) noexcept {
-  if (ptr_size == 8) {
-    std::uint64_t v;
-    std::memcpy(&v, slot, 8);
-    return v;
-  }
-  std::uint32_t v;
-  std::memcpy(&v, slot, 4);
-  return v;
-}
-
+/// Reads the dynamic-array count field from a struct region, bounds-checked
+/// against the region's extent so a short message cannot make the read run
+/// past the wire buffer.
 std::int64_t read_native_count(const std::uint8_t* region,
+                               std::size_t region_len,
                                const Field& count_field) {
-  std::uint64_t v = 0;
-  std::memcpy(&v, region + count_field.offset, count_field.size);
+  std::uint64_t v = checked_read_uint(region, region_len, count_field.offset,
+                                      count_field.size,
+                                      "dynamic array count field");
   if (host_byte_order() == ByteOrder::kBig) {
     // Value occupies the *first* count_field.size bytes; realign.
     v >>= (8 - count_field.size) * 8;
@@ -36,25 +30,35 @@ std::int64_t read_native_count(const std::uint8_t* region,
 }
 
 /// Patches one region's pointer slots from offsets to real addresses.
+/// `region_len` is the number of readable bytes at `region` (the struct
+/// extent for that nesting level); every slot access is checked against it.
 void patch_region(const Format& format, std::uint8_t* body,
-                  std::size_t body_len, std::uint8_t* region) {
+                  std::size_t body_len, std::uint8_t* region,
+                  std::size_t region_len) {
   std::size_t ptr_size = format.profile().pointer_size;
   for (std::size_t idx : format.pointer_fields()) {
     const Field& f = format.fields()[idx];
-    std::uint8_t* slot = region + f.offset;
 
     if (f.type.cls == FieldClass::kNested &&
         f.type.array != ArrayKind::kDynamic) {
       const Format& sub = *f.subformat;
       std::size_t count =
           f.type.array == ArrayKind::kStatic ? f.type.static_count : 1;
+      std::uint8_t* slot = checked_at(region, region_len, f.offset,
+                                      count * sub.struct_size(),
+                                      "embedded struct field");
       for (std::size_t i = 0; i < count; ++i) {
-        patch_region(sub, body, body_len, slot + i * sub.struct_size());
+        patch_region(sub, body, body_len, slot + i * sub.struct_size(),
+                     sub.struct_size());
       }
       continue;
     }
 
-    std::uint64_t off = read_offset_slot(slot, ptr_size);
+    std::uint8_t* slot =
+        checked_at(region, region_len, f.offset, ptr_size, "pointer slot");
+    std::uint64_t off = checked_read_uint(region, region_len, f.offset,
+                                          ptr_size == 8 ? 8 : 4,
+                                          "pointer slot");
 
     if (f.type.cls == FieldClass::kString) {
       const char* out = nullptr;
@@ -72,8 +76,8 @@ void patch_region(const Format& format, std::uint8_t* body,
     }
 
     // Dynamic array (of scalars or nested).
-    std::int64_t n =
-        read_native_count(region, format.fields()[f.count_field_index]);
+    std::int64_t n = read_native_count(
+        region, region_len, format.fields()[f.count_field_index]);
     if (n < 0) throw DecodeError("negative dynamic array count");
     std::size_t elem_size = f.type.cls == FieldClass::kNested
                                 ? f.subformat->struct_size()
@@ -91,7 +95,7 @@ void patch_region(const Format& format, std::uint8_t* body,
       if (f.type.cls == FieldClass::kNested && f.subformat->has_pointers()) {
         for (std::int64_t i = 0; i < n; ++i) {
           patch_region(*f.subformat, body, body_len,
-                       body + off + i * elem_size);
+                       body + off + i * elem_size, elem_size);
         }
       }
     }
@@ -127,7 +131,8 @@ void* Decoder::decode_in_place(const Format& native, std::uint8_t* message,
   }
   std::uint8_t* body = message + WireHeader::kSize;
   if (native.has_pointers()) {
-    patch_region(native, body, header.body_length, body);
+    patch_region(native, body, header.body_length, body,
+                 native.struct_size());
   }
   return body;
 }

@@ -68,8 +68,8 @@ Buffer serialize_format_bundle(const Format& format) {
   return out;
 }
 
-FormatHandle deserialize_format_bundle(FormatRegistry& registry,
-                                       std::span<const std::uint8_t> bytes) {
+std::vector<RawFormat> decode_format_bundle(
+    std::span<const std::uint8_t> bytes) {
   BufferReader in(bytes);
   if (in.read_int<std::uint32_t>(kOrder) != kBundleMagic) {
     throw DecodeError("not a format bundle (bad magic)");
@@ -79,35 +79,52 @@ FormatHandle deserialize_format_bundle(FormatRegistry& registry,
     throw DecodeError("empty format bundle");
   }
 
-  FormatHandle last;
+  std::vector<RawFormat> out;
+  out.reserve(count);
   for (std::uint32_t i = 0; i < count; ++i) {
-    std::string name = get_string(in);
-    arch::Profile profile;
-    profile.name = get_string(in);
-    profile.byte_order = in.read_int<std::uint8_t>(kOrder) != 0
-                             ? ByteOrder::kBig
-                             : ByteOrder::kLittle;
-    profile.pointer_size = in.read_int<std::uint8_t>(kOrder);
-    profile.int_size = in.read_int<std::uint8_t>(kOrder);
-    profile.long_size = in.read_int<std::uint8_t>(kOrder);
-    profile.alignment_cap = in.read_int<std::uint8_t>(kOrder);
-    std::uint64_t struct_size = in.read_int<std::uint64_t>(kOrder);
+    RawFormat raw;
+    raw.name = get_string(in);
+    raw.profile.name = get_string(in);
+    raw.profile.byte_order = in.read_int<std::uint8_t>(kOrder) != 0
+                                 ? ByteOrder::kBig
+                                 : ByteOrder::kLittle;
+    raw.profile.pointer_size = in.read_int<std::uint8_t>(kOrder);
+    raw.profile.int_size = in.read_int<std::uint8_t>(kOrder);
+    raw.profile.long_size = in.read_int<std::uint8_t>(kOrder);
+    raw.profile.alignment_cap = in.read_int<std::uint8_t>(kOrder);
+    raw.struct_size = in.read_int<std::uint64_t>(kOrder);
     std::uint32_t field_count = in.read_int<std::uint32_t>(kOrder);
 
-    std::vector<IOField> fields;
-    fields.reserve(field_count);
+    raw.fields.reserve(field_count);
     for (std::uint32_t j = 0; j < field_count; ++j) {
-      IOField f;
+      RawField f;
       f.name = get_string(in);
       f.type = get_string(in);
-      f.size = static_cast<std::size_t>(in.read_int<std::uint64_t>(kOrder));
-      f.offset = static_cast<std::size_t>(in.read_int<std::uint64_t>(kOrder));
+      f.size = in.read_int<std::uint64_t>(kOrder);
+      f.offset = in.read_int<std::uint64_t>(kOrder);
       f.default_text = get_string(in);
-      fields.push_back(std::move(f));
+      raw.fields.push_back(std::move(f));
     }
-    last = registry.register_format(name, fields,
-                                    static_cast<std::size_t>(struct_size),
-                                    profile);
+    out.push_back(std::move(raw));
+  }
+  return out;
+}
+
+FormatHandle deserialize_format_bundle(FormatRegistry& registry,
+                                       std::span<const std::uint8_t> bytes) {
+  std::vector<RawFormat> raws = decode_format_bundle(bytes);
+  FormatHandle last;
+  for (const RawFormat& raw : raws) {
+    std::vector<IOField> fields;
+    fields.reserve(raw.fields.size());
+    for (const RawField& rf : raw.fields) {
+      fields.emplace_back(rf.name, rf.type, static_cast<std::size_t>(rf.size),
+                          static_cast<std::size_t>(rf.offset),
+                          rf.default_text);
+    }
+    last = registry.register_format(raw.name, fields,
+                                    static_cast<std::size_t>(raw.struct_size),
+                                    raw.profile);
   }
   return last;
 }

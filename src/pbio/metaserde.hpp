@@ -22,6 +22,32 @@ namespace omf::pbio {
 /// Serializes `format` and its nested subformats (dependencies first).
 Buffer serialize_format_bundle(const Format& format);
 
+/// One field of a bundle entry, exactly as carried on the wire — nothing
+/// parsed, resolved, or validated.
+struct RawField {
+  std::string name;
+  std::string type;  ///< PBIO type string, as transmitted
+  std::uint64_t size = 0;
+  std::uint64_t offset = 0;
+  std::string default_text;
+};
+
+/// One format descriptor of a bundle, unvalidated.
+struct RawFormat {
+  std::string name;
+  arch::Profile profile;
+  std::uint64_t struct_size = 0;
+  std::vector<RawField> fields;
+};
+
+/// Parses a bundle's framing without validating or registering anything —
+/// the introspection hook static analysis is built on: an auditor can
+/// inspect a hostile descriptor before any component trusts it. Throws
+/// DecodeError only for structural truncation/bad magic; metadata-level
+/// nonsense (overlaps, bad type strings, absurd offsets) is preserved
+/// verbatim for the auditor to report.
+std::vector<RawFormat> decode_format_bundle(std::span<const std::uint8_t> bytes);
+
 /// Deserializes a bundle, registering every contained format into
 /// `registry` (formats already present are deduplicated by metadata id).
 /// Returns the top-level (last) format. Throws DecodeError on malformed

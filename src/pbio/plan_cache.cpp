@@ -23,17 +23,29 @@ PlanHandle PlanCache::get_or_build(const FormatHandle& wire,
 
   // Compile outside any cache-wide lock; call_once serializes per key and
   // publishes `plan` to every waiter. On throw the flag stays unset.
+  bool compiled_here = false;
   std::call_once(entry->once, [&] {
     entry->plan = ConversionPlan::build(wire, native, options);
     compiles_.fetch_add(1, std::memory_order_relaxed);
+    compiled_here = true;
   });
+  if (compiled_here) {
+    std::unique_lock lock(mutex_);
+    compiled_.push_back(entry->plan);
+  }
   return entry->plan;
+}
+
+std::vector<PlanHandle> PlanCache::snapshot() const {
+  std::shared_lock lock(mutex_);
+  return compiled_;
 }
 
 std::size_t PlanCache::size() const {
   std::shared_lock lock(mutex_);
   return entries_.size();
 }
+
 
 PlanCache::Stats PlanCache::stats() const {
   return Stats{hits_.load(std::memory_order_relaxed),

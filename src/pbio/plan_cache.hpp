@@ -44,6 +44,12 @@ public:
   /// Number of cached (or currently compiling) plans.
   std::size_t size() const;
 
+  /// Every fully compiled plan currently in the cache (entries still being
+  /// compiled by another thread are skipped). The introspection hook for
+  /// auditors: `analysis::audit_plan` can sweep a server's whole cache
+  /// without racing the decode paths that fill it.
+  std::vector<PlanHandle> snapshot() const;
+
   /// Monotonic counters for tests and benchmarks. `compiles` counts actual
   /// plan builds; under races it stays equal to the number of distinct keys
   /// ever requested — that equality is the once-per-key guarantee.
@@ -76,6 +82,7 @@ private:
 
   mutable std::shared_mutex mutex_;
   std::unordered_map<Key, std::shared_ptr<Entry>, KeyHash> entries_;
+  std::vector<PlanHandle> compiled_;  // fully built plans, for snapshot()
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
   std::atomic<std::uint64_t> compiles_{0};

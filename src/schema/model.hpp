@@ -69,6 +69,9 @@ struct SchemaElement {
   /// message's wire format predates this element (empty = zero-fill).
   /// Scalar numeric/char elements only.
   std::string default_value;
+  /// 1-based source position of the xsd:element tag (0 if synthesized).
+  std::size_t line = 0;
+  std::size_t column = 0;
 };
 
 /// One complexType (message format).
@@ -76,6 +79,9 @@ struct SchemaType {
   std::string name;
   std::string documentation;  ///< from a nested xsd:annotation, if any
   std::vector<SchemaElement> elements;
+  /// 1-based source position of the xsd:complexType tag (0 if synthesized).
+  std::size_t line = 0;
+  std::size_t column = 0;
 
   const SchemaElement* element_named(std::string_view name) const;
 };

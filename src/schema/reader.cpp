@@ -91,6 +91,8 @@ Occurs parse_occurs(const xml::Node& elem, const std::string& where) {
 SchemaElement parse_element(const xml::Node& node, const SchemaDocument& doc,
                             const std::string& where) {
   SchemaElement out;
+  out.line = node.line();
+  out.column = node.column();
   auto name = node.attribute("name");
   if (!name || name->empty()) {
     fail(where + ": element without a name attribute");
@@ -203,6 +205,8 @@ SchemaSimpleType parse_simple_type(const xml::Node& node,
 SchemaType parse_complex_type(const xml::Node& node,
                               const SchemaDocument& doc) {
   SchemaType out;
+  out.line = node.line();
+  out.column = node.column();
   auto name = node.attribute("name");
   if (!name || name->empty()) {
     fail("complexType without a name attribute");

@@ -56,6 +56,15 @@ public:
 
   Node* parent() const noexcept { return parent_; }
 
+  /// 1-based source position of the node's start tag; 0 when the node was
+  /// built programmatically rather than parsed.
+  std::size_t line() const noexcept { return line_; }
+  std::size_t column() const noexcept { return column_; }
+  void set_position(std::size_t line, std::size_t column) noexcept {
+    line_ = line;
+    column_ = column;
+  }
+
   // --- Attributes (elements only) -----------------------------------------
 
   const std::vector<Attribute>& attributes() const noexcept { return attrs_; }
@@ -118,6 +127,8 @@ public:
 
 private:
   NodeKind kind_;
+  std::size_t line_ = 0;
+  std::size_t column_ = 0;
   std::string name_;
   std::string text_;
   std::vector<Attribute> attrs_;

@@ -217,6 +217,8 @@ private:
       cur_.fail("element nesting exceeds maximum depth of " +
                 std::to_string(options_.max_depth));
     }
+    std::size_t start_line = cur_.line();
+    std::size_t start_column = cur_.column();
     cur_.consume('<');
     std::string name = read_name("element name");
     std::vector<Attribute> attrs;
@@ -225,6 +227,7 @@ private:
       bool had_space = is_space(cur_.peek());
       cur_.skip_space();
       if (cur_.consume("/>")) {
+        handler_.on_position(start_line, start_column);
         handler_.on_start_element(name, attrs);
         handler_.on_end_element(name);
         return;
@@ -247,6 +250,7 @@ private:
       cur_.skip_space();
       attrs.push_back(Attribute{std::move(attr_name), read_attribute_value()});
     }
+    handler_.on_position(start_line, start_column);
     handler_.on_start_element(name, attrs);
 
     std::string pending_text;
@@ -455,10 +459,16 @@ public:
   explicit DomBuilder(Document& doc, const ParseOptions& options)
       : doc_(doc), options_(options) {}
 
+  void on_position(std::size_t line, std::size_t column) override {
+    pending_line_ = line;
+    pending_column_ = column;
+  }
+
   void on_start_element(std::string_view name,
                         std::span<const Attribute> attributes) override {
     auto node = std::make_unique<Node>(NodeKind::kElement);
     node->set_name(std::string(name));
+    node->set_position(pending_line_, pending_column_);
     for (const Attribute& a : attributes) {
       node->set_attribute(a.name, a.value);
     }
@@ -509,6 +519,8 @@ private:
   Document& doc_;
   ParseOptions options_;
   std::vector<Node*> stack_;
+  std::size_t pending_line_ = 0;
+  std::size_t pending_column_ = 0;
 };
 
 std::string_view strip_bom(std::string_view text) {

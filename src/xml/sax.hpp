@@ -25,6 +25,14 @@ public:
   virtual void on_start_document() {}
   virtual void on_end_document() {}
 
+  /// 1-based source position of the construct about to be reported; emitted
+  /// immediately before on_start_element. Handlers that do not care about
+  /// positions (the default) ignore it.
+  virtual void on_position(std::size_t line, std::size_t column) {
+    (void)line;
+    (void)column;
+  }
+
   /// `attributes` are entity-expanded and whitespace-normalized.
   virtual void on_start_element(std::string_view name,
                                 std::span<const Attribute> attributes) {

@@ -1,0 +1,433 @@
+// The static analyzer end to end: the lint corpus must emit exactly the
+// diagnostic codes its filenames promise, the shipped example schemas must
+// be clean, the plan auditors must classify lossy conversions and prove
+// bounds, and the Context/Gateway registration paths must reject metadata
+// the analyzer flags — atomically, with structured diagnostics.
+//
+// Also the truncated-message regression sweep: every strict prefix of a
+// valid wire message must fail with DecodeError, never read past the end.
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/audit_format.hpp"
+#include "analysis/audit_plan.hpp"
+#include "analysis/diagnostics.hpp"
+#include "analysis/lint.hpp"
+#include "arch/profile.hpp"
+#include "core/context.hpp"
+#include "core/gateway.hpp"
+#include "pbio/decode.hpp"
+#include "pbio/encode.hpp"
+#include "pbio/metaserde.hpp"
+#include "test_structs.hpp"
+
+namespace omf {
+namespace {
+
+using namespace omf::testing;
+namespace fs = std::filesystem;
+
+// --- Lint corpus ------------------------------------------------------------
+
+/// Corpus files are named `<description>__<CODE>[+<CODE>].<ext>`; the codes
+/// between the double underscore and the extension are the complete set the
+/// file must produce.
+std::set<std::string> expected_codes(const fs::path& file) {
+  std::string stem = file.stem().string();
+  std::size_t sep = stem.find("__");
+  EXPECT_NE(sep, std::string::npos) << "corpus file without __CODE suffix: "
+                                    << file;
+  std::set<std::string> out;
+  std::string codes = stem.substr(sep + 2);
+  std::size_t at = 0;
+  while (at <= codes.size()) {
+    std::size_t plus = codes.find('+', at);
+    if (plus == std::string::npos) {
+      out.insert(codes.substr(at));
+      break;
+    }
+    out.insert(codes.substr(at, plus - at));
+    at = plus + 1;
+  }
+  return out;
+}
+
+TEST(LintCorpus, EveryFileEmitsExactlyItsCodes) {
+  fs::path dir(OMF_LINT_CORPUS_DIR);
+  ASSERT_TRUE(fs::is_directory(dir)) << dir;
+
+  std::size_t checked = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    std::set<std::string> expected = expected_codes(entry.path());
+
+    analysis::LintResult result =
+        analysis::lint_file(entry.path().string());
+    std::set<std::string> got;
+    for (const analysis::Diagnostic& d : result.diagnostics) {
+      got.insert(d.code);
+      EXPECT_EQ(d.file, entry.path().string());
+    }
+    EXPECT_EQ(got, expected) << entry.path();
+    ++checked;
+  }
+  EXPECT_GE(checked, 24u) << "lint corpus unexpectedly small";
+}
+
+TEST(LintCorpus, DiagnosticCodeTableCoversEveryEmittedCode) {
+  std::set<std::string> known;
+  for (const analysis::CodeInfo& info : analysis::diagnostic_codes()) {
+    known.insert(info.code);
+  }
+  fs::path dir(OMF_LINT_CORPUS_DIR);
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    for (const std::string& code : expected_codes(entry.path())) {
+      EXPECT_TRUE(known.count(code))
+          << code << " missing from diagnostic_codes()";
+    }
+  }
+}
+
+TEST(LintExamples, ShippedSchemasAreClean) {
+  fs::path dir(OMF_EXAMPLE_SCHEMAS_DIR);
+  ASSERT_TRUE(fs::is_directory(dir)) << dir;
+
+  std::size_t checked = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() != ".xsd") continue;
+    analysis::LintResult result =
+        analysis::lint_file(entry.path().string());
+    EXPECT_EQ(result.errors, 0u) << entry.path();
+    EXPECT_EQ(result.warnings, 0u) << entry.path();
+    EXPECT_TRUE(result.diagnostics.empty()) << entry.path();
+    ++checked;
+  }
+  EXPECT_GE(checked, 8u) << "example schema set unexpectedly small";
+}
+
+// --- Plan audits: the lossiness lattice and the bounds proof ----------------
+
+/// A wire/native pair engineered to hit every lossiness code exactly once:
+/// `a` narrows 8 -> 4 bytes (OMF201), `b` is double -> float (OMF202),
+/// `c` flips unsigned -> signed (OMF203), `d` shrinks a static array
+/// (OMF204), and wire-only `e` is dropped (OMF205).
+struct LossyPair {
+  pbio::FormatRegistry registry;
+  pbio::FormatHandle wire;
+  pbio::FormatHandle native;
+
+  LossyPair() {
+    std::vector<pbio::IOField> wire_fields = {
+        {"a", "integer", 8, 0},
+        {"b", "float", 8, 8},
+        {"c", "unsigned", 4, 16},
+        {"d", "integer[4]", 4, 20},
+        {"e", "integer", 4, 36},
+    };
+    wire = registry.register_format("LossySource", wire_fields, 40);
+
+    std::vector<pbio::IOField> native_fields = {
+        {"a", "integer", 4, 0},
+        {"b", "float", 4, 4},
+        {"c", "integer", 4, 8},
+        {"d", "integer[2]", 4, 12},
+    };
+    native = registry.register_format("LossyTarget", native_fields, 20);
+  }
+};
+
+TEST(PlanAudit, LossinessLatticeReportsEveryLossyPairing) {
+  LossyPair p;
+  std::vector<analysis::Diagnostic> diags =
+      analysis::audit_conversion(*p.wire, *p.native);
+
+  std::set<std::string> got;
+  for (const analysis::Diagnostic& d : diags) {
+    EXPECT_EQ(d.severity, analysis::Severity::kWarning) << d.code;
+    got.insert(d.code);
+  }
+  std::set<std::string> expected = {"OMF201", "OMF202", "OMF203", "OMF204",
+                                    "OMF205"};
+  EXPECT_EQ(got, expected);
+
+  // Each warning names the exact field.
+  const std::map<std::string, std::string> paths = {
+      {"OMF201", "a"}, {"OMF202", "b"}, {"OMF203", "c"},
+      {"OMF204", "d"}, {"OMF205", "e"}};
+  for (const analysis::Diagnostic& d : diags) {
+    EXPECT_EQ(d.path, paths.at(d.code)) << d.code;
+  }
+}
+
+TEST(PlanAudit, CompiledLossyPlanIsInBoundsButWarns) {
+  LossyPair p;
+  pbio::Decoder decoder(p.registry);
+  pbio::PlanHandle plan = decoder.plan_for(p.wire, p.native);
+  ASSERT_TRUE(plan);
+
+  std::vector<analysis::Diagnostic> diags = analysis::audit_plan(*plan);
+  EXPECT_FALSE(analysis::has_errors(diags));  // the bounds proof holds
+  std::set<std::string> got;
+  for (const analysis::Diagnostic& d : diags) got.insert(d.code);
+  std::set<std::string> expected = {"OMF201", "OMF202", "OMF203", "OMF204",
+                                    "OMF205"};
+  EXPECT_EQ(got, expected);
+}
+
+TEST(PlanAudit, HomogeneousNestedPlanIsSilent) {
+  pbio::FormatRegistry registry;
+  auto [b, c] = register_nested_pair(registry);
+  pbio::Decoder decoder(registry);
+
+  for (const pbio::FormatHandle& f : {b, c}) {
+    pbio::PlanHandle plan = decoder.plan_for(f, f);
+    ASSERT_TRUE(plan);
+    std::vector<analysis::Diagnostic> diags = analysis::audit_plan(*plan);
+    EXPECT_TRUE(diags.empty()) << f->name();
+  }
+}
+
+TEST(FormatAudit, RegisteredNativeFormatsHaveNoErrors) {
+  pbio::FormatRegistry registry;
+  auto a = registry.register_format("ASDOffEvent", asdoff_fields(),
+                                    sizeof(AsdOff));
+  auto [b, c] = register_nested_pair(registry);
+  for (const pbio::FormatHandle& f : {a, b, c}) {
+    EXPECT_FALSE(analysis::has_errors(analysis::audit_format(*f)))
+        << f->name();
+  }
+}
+
+// --- Registration-time enforcement ------------------------------------------
+
+/// A serialized bundle whose single format has two overlapping fields
+/// (OMF102) — metadata a hostile or buggy peer could send. Framing follows
+/// pbio/metaserde.cpp exactly.
+Buffer hostile_bundle() {
+  constexpr ByteOrder kOrder = ByteOrder::kLittle;
+  Buffer b;
+  auto put_string = [&](std::string_view s) {
+    b.append_int<std::uint32_t>(static_cast<std::uint32_t>(s.size()), kOrder);
+    b.append(s);
+  };
+
+  const arch::Profile& p = arch::native();
+  b.append_int<std::uint32_t>(0x464D424Fu, kOrder);  // "OBMF"
+  b.append_int<std::uint32_t>(1, kOrder);            // one format
+  put_string("EvilRemote");
+  put_string(p.name);
+  b.append_int<std::uint8_t>(p.byte_order == ByteOrder::kBig ? 1 : 0, kOrder);
+  b.append_int<std::uint8_t>(static_cast<std::uint8_t>(p.pointer_size),
+                             kOrder);
+  b.append_int<std::uint8_t>(static_cast<std::uint8_t>(p.int_size), kOrder);
+  b.append_int<std::uint8_t>(static_cast<std::uint8_t>(p.long_size), kOrder);
+  b.append_int<std::uint8_t>(static_cast<std::uint8_t>(p.alignment_cap),
+                             kOrder);
+  b.append_int<std::uint64_t>(8, kOrder);  // struct_size
+  b.append_int<std::uint32_t>(2, kOrder);  // field count
+  // a: integer, 8 bytes at offset 0 — reaches to byte 8.
+  put_string("a");
+  put_string("integer");
+  b.append_int<std::uint64_t>(8, kOrder);
+  b.append_int<std::uint64_t>(0, kOrder);
+  put_string("");
+  // b: integer, 4 bytes at offset 4 — inside a's extent: OMF102.
+  put_string("b");
+  put_string("integer");
+  b.append_int<std::uint64_t>(4, kOrder);
+  b.append_int<std::uint64_t>(4, kOrder);
+  put_string("");
+  return b;
+}
+
+bool contains_code(const std::vector<analysis::Diagnostic>& diags,
+                   const char* code) {
+  return std::any_of(diags.begin(), diags.end(),
+                     [&](const analysis::Diagnostic& d) {
+                       return d.code == code;
+                     });
+}
+
+TEST(GatewayAudit, RejectsHostileBundleAtomically) {
+  pbio::FormatRegistry registry;
+  auto staging = registry.register_format("ASDOffEvent", asdoff_fields(),
+                                          sizeof(AsdOff));
+  core::Gateway gateway(registry, staging, staging);
+  Buffer bundle = hostile_bundle();
+
+  std::size_t before = registry.size();
+  try {
+    gateway.register_remote_format(bundle.span());
+    FAIL() << "hostile bundle registered";
+  } catch (const analysis::AuditError& e) {
+    EXPECT_EQ(e.subject(), "EvilRemote");
+    EXPECT_TRUE(analysis::has_errors(e.diagnostics()));
+    EXPECT_TRUE(contains_code(e.diagnostics(), analysis::codes::kFieldOverlap));
+  }
+  EXPECT_EQ(registry.size(), before);  // nothing registered
+  EXPECT_EQ(registry.by_name("EvilRemote"), nullptr);
+}
+
+TEST(GatewayAudit, DisabledPolicyFallsThroughToRegistryValidation) {
+  pbio::FormatRegistry registry;
+  auto staging = registry.register_format("ASDOffEvent", asdoff_fields(),
+                                          sizeof(AsdOff));
+  core::Gateway gateway(registry, staging, staging);
+  analysis::AuditPolicy off;
+  off.enabled = false;
+  gateway.set_audit_policy(off);
+
+  // Without the audit, the overlap is still caught — but only as an
+  // unstructured FormatError deep in registration.
+  Buffer bundle = hostile_bundle();
+  EXPECT_THROW(gateway.register_remote_format(bundle.span()), FormatError);
+}
+
+TEST(GatewayAudit, AcceptsCleanBundle) {
+  pbio::FormatRegistry remote_registry;
+  auto remote = remote_registry.register_format("ASDOffEvent", asdoff_fields(),
+                                                sizeof(AsdOff));
+  Buffer bundle = pbio::serialize_format_bundle(*remote);
+
+  pbio::FormatRegistry registry;
+  auto staging = registry.register_format("Staging", asdoff_fields(),
+                                          sizeof(AsdOff));
+  core::Gateway gateway(registry, staging, staging);
+  pbio::FormatHandle learned = gateway.register_remote_format(bundle.span());
+  ASSERT_TRUE(learned);
+  EXPECT_EQ(learned->name(), "ASDOffEvent");
+}
+
+TEST(ContextAudit, RejectsBadSchemaAtDiscovery) {
+  static const char* kCollidingSchema = R"(<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:complexType name="Collide">
+    <xsd:element name="samples" type="xsd:int" maxOccurs="*" />
+    <xsd:element name="samples_count" type="xsd:string" />
+  </xsd:complexType>
+</xsd:schema>
+)";
+  core::Context ctx;
+  ctx.compiled_in().add("http://meta/bad.xml", kCollidingSchema);
+
+  try {
+    ctx.discover_and_register("http://meta/bad.xml");
+    FAIL() << "colliding count schema registered";
+  } catch (const analysis::AuditError& e) {
+    EXPECT_TRUE(
+        contains_code(e.diagnostics(), analysis::codes::kCountNameCollision));
+  }
+  EXPECT_EQ(ctx.registry().by_name("Collide"), nullptr);
+}
+
+TEST(ContextAudit, AcceptsGoodSchemaAndRemoteBundle) {
+  core::Context ctx;
+  ctx.compiled_in().add("http://meta/asdoff.xml", kAsdOffSchema);
+  std::vector<pbio::FormatHandle> handles =
+      ctx.discover_and_register("http://meta/asdoff.xml");
+  ASSERT_EQ(handles.size(), 1u);
+  EXPECT_EQ(handles[0]->name(), "ASDOffEvent");
+
+  pbio::FormatRegistry remote_registry;
+  auto remote = remote_registry.register_format("RemoteOff", asdoff_fields(),
+                                                sizeof(AsdOff));
+  Buffer bundle = pbio::serialize_format_bundle(*remote);
+  pbio::FormatHandle learned = ctx.register_remote_bundle(bundle.span());
+  ASSERT_TRUE(learned);
+  EXPECT_EQ(learned->name(), "RemoteOff");
+  EXPECT_NE(ctx.registry().by_name("RemoteOff"), nullptr);
+}
+
+TEST(ContextAudit, RejectsHostileRemoteBundle) {
+  core::Context ctx;
+  Buffer bundle = hostile_bundle();
+  std::size_t before = ctx.registry().size();
+  EXPECT_THROW(ctx.register_remote_bundle(bundle.span()),
+               analysis::AuditError);
+  EXPECT_EQ(ctx.registry().size(), before);
+}
+
+// --- Truncated-message regression (the checked decode path) -----------------
+
+TEST(TruncatedMessages, EveryStrictPrefixFailsCleanly) {
+  pbio::FormatRegistry registry;
+  auto fmt_a = registry.register_format("ASDOffEvent", asdoff_fields(),
+                                        sizeof(AsdOff));
+  auto fmt_b = registry.register_format("ASDOffEventB", asdoffb_fields(),
+                                        sizeof(AsdOffB));
+  pbio::Decoder decoder(registry);
+
+  AsdOff a;
+  fill_asdoff(a, 1);
+  Buffer msg_a = pbio::encode(*fmt_a, &a);
+
+  AsdOffB b;
+  unsigned long eta[3];
+  fill_asdoffb(b, eta, 3, 2);
+  Buffer msg_b = pbio::encode(*fmt_b, &b);
+
+  struct Case {
+    const Buffer* message;
+    pbio::FormatHandle format;
+  };
+  for (const Case& c : {Case{&msg_a, fmt_a}, Case{&msg_b, fmt_b}}) {
+    alignas(alignof(std::max_align_t)) std::uint8_t out[sizeof(AsdOffB)];
+
+    // Sanity: the full message decodes on both paths.
+    {
+      pbio::DecodeArena arena;
+      decoder.decode(c.message->span(), *c.format, out, arena);
+      std::vector<std::uint8_t> copy(c.message->data(),
+                                     c.message->data() + c.message->size());
+      EXPECT_NE(pbio::Decoder::decode_in_place(*c.format, copy.data(),
+                                               copy.size()),
+                nullptr);
+    }
+
+    for (std::size_t len = 0; len < c.message->size(); ++len) {
+      std::span<const std::uint8_t> cut(c.message->data(), len);
+      pbio::DecodeArena arena;
+      EXPECT_THROW(decoder.decode(cut, *c.format, out, arena), DecodeError)
+          << c.format->name() << " at length " << len;
+
+      std::vector<std::uint8_t> copy(c.message->data(),
+                                     c.message->data() + len);
+      EXPECT_THROW(
+          pbio::Decoder::decode_in_place(*c.format, copy.data(), len),
+          DecodeError)
+          << c.format->name() << " in place at length " << len;
+    }
+  }
+}
+
+TEST(TruncatedMessages, OverlongBodyLengthIsRejected) {
+  pbio::FormatRegistry registry;
+  auto fmt = registry.register_format("ASDOffEvent", asdoff_fields(),
+                                      sizeof(AsdOff));
+  pbio::Decoder decoder(registry);
+
+  AsdOff a;
+  fill_asdoff(a, 3);
+  Buffer msg = pbio::encode(*fmt, &a);
+  std::vector<std::uint8_t> corrupt(msg.data(), msg.data() + msg.size());
+  // body_length lives at header bytes 4..8; claim far more than is there.
+  std::memset(corrupt.data() + 4, 0xFF, 4);
+
+  alignas(alignof(std::max_align_t)) std::uint8_t out[sizeof(AsdOff)];
+  pbio::DecodeArena arena;
+  EXPECT_THROW(decoder.decode(corrupt, *fmt, out, arena), DecodeError);
+  EXPECT_THROW(
+      pbio::Decoder::decode_in_place(*fmt, corrupt.data(), corrupt.size()),
+      DecodeError);
+}
+
+}  // namespace
+}  // namespace omf
