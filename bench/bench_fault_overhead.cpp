@@ -1,0 +1,98 @@
+// C10: happy-path cost of the fault-tolerance machinery.
+//
+// The receive path gained poll(2)-guarded deadlines and a CRC-32 frame
+// trailer; the claim (EXPERIMENTS.md C10) is that an unfaulted echo
+// round-trip pays < 3% for the deadline plumbing. Three measurements:
+//
+//   echo/never-deadline    TcpConnection round-trip, no timeouts configured
+//                          (Deadline::never() fast path)
+//   echo/armed-deadline    same round-trip with 1 s send/recv timeouts, so
+//                          every poll carries a computed timeout
+//   crc32                  the checksum alone, for per-byte context
+//
+// Loopback TCP round-trips are microseconds; the deadline arithmetic is
+// nanoseconds. Run both echo variants and compare.
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "transport/tcp.hpp"
+#include "util/hash.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace omf;
+using namespace omf::transport;
+using namespace std::chrono_literals;
+
+Buffer payload_of(std::size_t size) {
+  Rng rng(0xC10);
+  std::vector<std::uint8_t> bytes(size);
+  for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.below(256));
+  return Buffer(std::move(bytes));
+}
+
+/// Echo server + connected client for one benchmark run.
+struct EchoPair {
+  EchoPair() : listener(0) {
+    server = std::thread([this] {
+      TcpConnection conn = listener.accept();
+      for (;;) {
+        auto msg = conn.receive();
+        if (!msg) break;
+        conn.send(*msg);
+      }
+    });
+    client = tcp_connect(listener.port());
+  }
+  ~EchoPair() {
+    client.close();
+    server.join();
+  }
+
+  TcpListener listener;
+  std::thread server;
+  TcpConnection client;
+};
+
+void BM_EchoNeverDeadline(benchmark::State& state) {
+  EchoPair pair;
+  Buffer msg = payload_of(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    pair.client.send(msg);
+    auto echo = pair.client.receive();
+    benchmark::DoNotOptimize(echo);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0) * 2);
+}
+BENCHMARK(BM_EchoNeverDeadline)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_EchoArmedDeadline(benchmark::State& state) {
+  EchoPair pair;
+  pair.client.set_timeouts({.connect = 1000ms, .send = 1000ms, .recv = 1000ms});
+  Buffer msg = payload_of(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    pair.client.send(msg);
+    auto echo = pair.client.receive();
+    benchmark::DoNotOptimize(echo);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0) * 2);
+}
+BENCHMARK(BM_EchoArmedDeadline)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_Crc32(benchmark::State& state) {
+  Buffer msg = payload_of(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crc32(msg.data(), msg.size()));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Crc32)->Arg(64)->Arg(1024)->Arg(16384);
+
+}  // namespace
+
+BENCHMARK_MAIN();

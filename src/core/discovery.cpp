@@ -15,12 +15,21 @@ namespace {
 
 class HttpSource : public MetadataSource {
 public:
+  explicit HttpSource(const HttpSourceOptions& options) : options_(options) {}
+
   std::string name() const override { return "http"; }
+  bool remote() const override { return true; }
+  bool handles(const std::string& locator) const override {
+    return starts_with(locator, "http://");
+  }
 
   std::optional<std::string> fetch(const std::string& locator) override {
-    if (!starts_with(locator, "http://")) return std::nullopt;
+    if (!handles(locator)) return std::nullopt;
     try {
-      http::Response resp = http::get(locator);
+      http::Response resp = retry_call(options_.retry, [&] {
+        return http::get(locator,
+                         Deadline::from_timeout(options_.fetch_timeout));
+      });
       if (resp.status != 200) {
         OMF_LOG_WARN("discovery", "http ", resp.status, " for ", locator);
         return std::nullopt;
@@ -32,11 +41,18 @@ public:
       return std::nullopt;
     }
   }
+
+private:
+  HttpSourceOptions options_;
 };
 
 class FileSource : public MetadataSource {
 public:
   std::string name() const override { return "file"; }
+  bool handles(const std::string& locator) const override {
+    return starts_with(locator, "file://") ||
+           locator.find("://") == std::string::npos;
+  }
 
   std::optional<std::string> fetch(const std::string& locator) override {
     std::string path = locator;
@@ -56,7 +72,12 @@ public:
 }  // namespace
 
 std::unique_ptr<MetadataSource> make_http_source() {
-  return std::make_unique<HttpSource>();
+  return make_http_source(HttpSourceOptions{});
+}
+
+std::unique_ptr<MetadataSource> make_http_source(
+    const HttpSourceOptions& options) {
+  return std::make_unique<HttpSource>(options);
 }
 
 std::unique_ptr<MetadataSource> make_file_source() {
@@ -78,7 +99,30 @@ void CompiledInSource::add(const std::string& locator,
 
 void DiscoveryManager::add_source(std::unique_ptr<MetadataSource> source) {
   std::lock_guard lock(mutex_);
-  sources_.push_back(std::move(source));
+  SourceEntry entry;
+  if (source->remote()) {
+    entry.breaker = std::make_unique<fault::CircuitBreaker>(breaker_config_);
+  }
+  entry.source = std::move(source);
+  sources_.push_back(std::move(entry));
+}
+
+void DiscoveryManager::set_breaker_config(
+    const fault::CircuitBreaker::Config& config) {
+  std::lock_guard lock(mutex_);
+  breaker_config_ = config;
+  for (SourceEntry& entry : sources_) {
+    if (entry.source->remote()) {
+      entry.breaker = std::make_unique<fault::CircuitBreaker>(config);
+    }
+  }
+}
+
+const fault::CircuitBreaker* DiscoveryManager::source_breaker(
+    std::size_t index) const {
+  std::lock_guard lock(mutex_);
+  if (index >= sources_.size()) return nullptr;
+  return sources_[index].breaker.get();
 }
 
 std::shared_ptr<const xml::Document> DiscoveryManager::discover(
@@ -100,16 +144,35 @@ std::shared_ptr<const xml::Document> DiscoveryManager::discover(
   std::optional<std::string> text;
   std::string provider;
   std::size_t attempts = 0;
+  std::size_t breaker_skips = 0;
   {
-    // Snapshot the chain; sources are add-only.
-    std::vector<MetadataSource*> chain;
+    // Snapshot the chain; sources are add-only, and breakers are only
+    // replaced by set_breaker_config (documented as config-time-only), so
+    // the raw pointers stay valid while we fetch unlocked.
+    std::vector<std::pair<MetadataSource*, fault::CircuitBreaker*>> chain;
     {
       std::lock_guard lock(mutex_);
-      for (const auto& s : sources_) chain.push_back(s.get());
+      for (const auto& entry : sources_) {
+        chain.emplace_back(entry.source.get(), entry.breaker.get());
+      }
     }
-    for (MetadataSource* source : chain) {
+    for (auto [source, breaker] : chain) {
+      bool applicable = source->handles(locator);
+      if (breaker && applicable && !breaker->allow()) {
+        ++breaker_skips;
+        OMF_LOG_INFO("discovery", "source '", source->name(),
+                     "' breaker open; skipping ", locator);
+        continue;
+      }
       ++attempts;
       text = source->fetch(locator);
+      if (breaker && applicable) {
+        if (text) {
+          breaker->record_success();
+        } else {
+          breaker->record_failure();
+        }
+      }
       if (text) {
         provider = source->name();
         break;
@@ -119,6 +182,19 @@ std::shared_ptr<const xml::Document> DiscoveryManager::discover(
     }
   }
   if (!text) {
+    std::lock_guard lock(mutex_);
+    stats_.fetches += attempts;
+    stats_.breaker_skips += breaker_skips;
+    auto it = stale_.find(locator);
+    if (it != stale_.end()) {
+      // Graceful degradation: every source failed, but we have seen this
+      // document before — serve the last-known-good copy rather than
+      // failing the subscription outright.
+      ++stats_.stale_served;
+      OMF_LOG_WARN("discovery", "all sources failed for ", locator,
+                   "; serving stale metadata");
+      return it->second;
+    }
     throw DiscoveryError("no source could provide metadata for '" + locator +
                          "' (" + std::to_string(attempts) + " sources tried)");
   }
@@ -127,20 +203,27 @@ std::shared_ptr<const xml::Document> DiscoveryManager::discover(
 
   std::lock_guard lock(mutex_);
   stats_.fetches += attempts;
+  stats_.breaker_skips += breaker_skips;
   if (attempts > 1) ++stats_.fallbacks;
   cache_[locator] = doc;
+  stale_.erase(locator);  // fresh copy supersedes the stale one
   OMF_LOG_INFO("discovery", "discovered ", locator, " via ", provider);
   return doc;
 }
 
 void DiscoveryManager::invalidate(const std::string& locator) {
   std::lock_guard lock(mutex_);
-  cache_.erase(locator);
+  auto it = cache_.find(locator);
+  if (it != cache_.end()) {
+    stale_[locator] = std::move(it->second);
+    cache_.erase(it);
+  }
 }
 
 void DiscoveryManager::clear_cache() {
   std::lock_guard lock(mutex_);
   cache_.clear();
+  stale_.clear();
 }
 
 DiscoveryManager::Stats DiscoveryManager::stats() const {

@@ -8,8 +8,17 @@
 // a useful, if degraded, level of functionality"). Discovered documents are
 // cached: discovery happens at stream-subscription time or when metadata
 // changes, never per message.
+//
+// Fault tolerance (beyond the chain's ordering): remote sources sit behind
+// a per-source circuit breaker, so a repository that keeps failing is
+// skipped — without paying a connect timeout per lookup — until a cooldown
+// elapses; and invalidated documents are kept as a stale last-known-good
+// copy that is served (flagged in Stats::stale_served) when every source
+// fails, implementing the paper's "useful, if degraded, level of
+// functionality".
 #pragma once
 
+#include <chrono>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -17,6 +26,8 @@
 #include <string>
 #include <vector>
 
+#include "fault/circuit_breaker.hpp"
+#include "util/retry.hpp"
 #include "xml/dom.hpp"
 
 namespace omf::core {
@@ -29,14 +40,38 @@ public:
   /// Human-readable source kind ("http", "file", "compiled-in").
   virtual std::string name() const = 0;
 
+  /// True when this source talks to another process/machine and can
+  /// therefore fail transiently. Remote sources are guarded by the
+  /// discovery manager's circuit breakers; local ones are not.
+  virtual bool remote() const { return false; }
+
+  /// True when the locator is of a shape this source could ever serve
+  /// (scheme match). A fetch that returns nullopt despite handles() being
+  /// true counts as a real failure for breaker accounting.
+  virtual bool handles(const std::string& locator) const {
+    (void)locator;
+    return true;
+  }
+
   /// Returns the document text for `locator`, or nullopt if this source
   /// cannot provide it (wrong scheme, missing file, network failure —
   /// failures are soft; the chain tries the next source).
   virtual std::optional<std::string> fetch(const std::string& locator) = 0;
 };
 
+/// Knobs for the HTTP metadata source: how long one fetch attempt may take
+/// and how transient failures are retried (exponential backoff with
+/// deterministic jitter). Defaults keep the historical behaviour: one
+/// attempt, no timeout.
+struct HttpSourceOptions {
+  RetryPolicy retry{.max_attempts = 1};
+  std::chrono::milliseconds fetch_timeout{0};  ///< per attempt; 0 = none
+};
+
 /// Serves "http://..." locators via the HTTP client.
 std::unique_ptr<MetadataSource> make_http_source();
+std::unique_ptr<MetadataSource> make_http_source(
+    const HttpSourceOptions& options);
 
 /// Serves plain paths and "file://..." locators from the filesystem.
 std::unique_ptr<MetadataSource> make_file_source();
@@ -66,32 +101,55 @@ public:
     std::size_t cache_hits = 0;   ///< served from cache
     std::size_t fetches = 0;      ///< source fetch attempts
     std::size_t fallbacks = 0;    ///< a non-first source provided the document
+    std::size_t stale_served = 0;   ///< every source failed; stale copy used
+    std::size_t breaker_skips = 0;  ///< sources skipped by an open breaker
   };
 
   DiscoveryManager() = default;
   DiscoveryManager(const DiscoveryManager&) = delete;
   DiscoveryManager& operator=(const DiscoveryManager&) = delete;
 
-  /// Appends a source; sources are tried in the order added.
+  /// Appends a source; sources are tried in the order added. Remote
+  /// sources get a circuit breaker with the current breaker config.
   void add_source(std::unique_ptr<MetadataSource> source);
 
+  /// Breaker config for remote sources. Existing breakers are rebuilt
+  /// (losing their state), so call this before the faults start flying.
+  void set_breaker_config(const fault::CircuitBreaker::Config& config);
+
+  /// The breaker guarding source `index` (in add order), or nullptr for
+  /// local sources. For tests and diagnostics.
+  const fault::CircuitBreaker* source_breaker(std::size_t index) const;
+
   /// Fetches and parses the document at `locator`, trying each source in
-  /// order; caches the parsed result. Throws DiscoveryError when every
-  /// source fails, ParseError when the fetched text is not well-formed XML.
+  /// order; caches the parsed result. When every source fails but a stale
+  /// copy exists (from an earlier invalidate()), the stale copy is served
+  /// instead (counted in Stats::stale_served). Throws DiscoveryError when
+  /// every source fails and nothing stale is available, ParseError when
+  /// the fetched text is not well-formed XML.
   std::shared_ptr<const xml::Document> discover(const std::string& locator);
 
   /// Drops one cached document (e.g. after a metadata-change notification),
-  /// forcing re-fetch on next discovery.
+  /// forcing re-fetch on next discovery. The dropped copy is retained as
+  /// stale last-known-good metadata for graceful degradation.
   void invalidate(const std::string& locator);
 
+  /// Drops everything, including stale copies.
   void clear_cache();
 
   Stats stats() const;
 
 private:
+  struct SourceEntry {
+    std::unique_ptr<MetadataSource> source;
+    std::unique_ptr<fault::CircuitBreaker> breaker;  // remote sources only
+  };
+
   mutable std::mutex mutex_;
-  std::vector<std::unique_ptr<MetadataSource>> sources_;
+  std::vector<SourceEntry> sources_;
+  fault::CircuitBreaker::Config breaker_config_;
   std::map<std::string, std::shared_ptr<const xml::Document>> cache_;
+  std::map<std::string, std::shared_ptr<const xml::Document>> stale_;
   Stats stats_;
 };
 

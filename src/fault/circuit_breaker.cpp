@@ -1,0 +1,59 @@
+#include "fault/circuit_breaker.hpp"
+
+namespace omf::fault {
+
+bool CircuitBreaker::allow() {
+  std::lock_guard lock(mutex_);
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      if (Clock::now() - opened_at_ >= config_.cooldown) {
+        state_ = State::kHalfOpen;
+        probe_successes_ = 0;
+        return true;
+      }
+      ++rejected_;
+      return false;
+    case State::kHalfOpen:
+      return true;
+  }
+  return true;  // unreachable
+}
+
+void CircuitBreaker::record_success() {
+  std::lock_guard lock(mutex_);
+  if (state_ == State::kHalfOpen) {
+    if (++probe_successes_ >= config_.half_open_successes) {
+      state_ = State::kClosed;
+      failures_ = 0;
+    }
+  } else {
+    failures_ = 0;
+  }
+}
+
+void CircuitBreaker::record_failure() {
+  std::lock_guard lock(mutex_);
+  if (state_ == State::kHalfOpen) {
+    state_ = State::kOpen;
+    opened_at_ = Clock::now();
+    return;
+  }
+  if (state_ == State::kClosed && ++failures_ >= config_.failure_threshold) {
+    state_ = State::kOpen;
+    opened_at_ = Clock::now();
+  }
+}
+
+CircuitBreaker::State CircuitBreaker::state() const {
+  std::lock_guard lock(mutex_);
+  return state_;
+}
+
+std::size_t CircuitBreaker::rejected() const {
+  std::lock_guard lock(mutex_);
+  return rejected_;
+}
+
+}  // namespace omf::fault

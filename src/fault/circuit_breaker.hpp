@@ -1,0 +1,71 @@
+// Circuit breaker: stop hammering an endpoint that keeps failing.
+//
+// Classic three-state machine:
+//
+//   kClosed    normal operation; failures are counted, and when
+//              `failure_threshold` consecutive failures accumulate the
+//              breaker trips to kOpen.
+//   kOpen      calls are refused without touching the endpoint until
+//              `cooldown` has elapsed, then the next allow() moves to
+//              kHalfOpen and lets one probe through.
+//   kHalfOpen  probes are allowed; `half_open_successes` consecutive
+//              successes close the breaker, any failure re-opens it and
+//              restarts the cooldown.
+//
+// Thread-safe; time comes from steady_clock so wall-clock jumps cannot
+// wedge an open breaker. Used by the discovery chain to skip remote
+// metadata sources that are down (serving stale cache instead) without
+// paying a connect timeout on every lookup.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <mutex>
+
+namespace omf::fault {
+
+class CircuitBreaker {
+public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  struct Config {
+    int failure_threshold = 5;                ///< consecutive failures to trip
+    std::chrono::milliseconds cooldown{1000};  ///< open -> half-open delay
+    int half_open_successes = 1;              ///< probes needed to close
+  };
+
+  CircuitBreaker() : CircuitBreaker(Config{}) {}
+  explicit CircuitBreaker(Config config) : config_(config) {}
+
+  /// True when a call may proceed. In kOpen, returns false until the
+  /// cooldown elapses, at which point the breaker moves to kHalfOpen and
+  /// admits probes. Callers must report the outcome via record_success()
+  /// or record_failure().
+  bool allow();
+
+  /// Reports a successful call. Resets the failure count; in kHalfOpen,
+  /// counts toward closing the breaker.
+  void record_success();
+
+  /// Reports a failed call. May trip the breaker (kClosed) or re-open it
+  /// (kHalfOpen).
+  void record_failure();
+
+  State state() const;
+
+  /// Calls refused by allow() while open (diagnostics).
+  std::size_t rejected() const;
+
+private:
+  using Clock = std::chrono::steady_clock;
+
+  Config config_;
+  mutable std::mutex mutex_;
+  State state_ = State::kClosed;
+  int failures_ = 0;          // consecutive, while closed
+  int probe_successes_ = 0;   // consecutive, while half-open
+  std::size_t rejected_ = 0;
+  Clock::time_point opened_at_{};
+};
+
+}  // namespace omf::fault

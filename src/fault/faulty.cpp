@@ -1,0 +1,372 @@
+#include "fault/faulty.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "transport/net_io.hpp"
+#include "util/bytes.hpp"
+#include "util/error.hpp"
+#include "util/hash.hpp"
+#include "util/rng.hpp"
+
+namespace omf::fault {
+
+namespace netio = transport::netio;
+
+using namespace std::chrono_literals;
+
+FaultScript chaos_script(std::uint64_t seed, int connections,
+                         int frames_per_connection, double fault_rate) {
+  Rng rng(seed);
+  FaultScript script;
+  for (int c = 0; c < connections; ++c) {
+    bool fatal = false;
+    for (int f = 0; f < frames_per_connection && !fatal; ++f) {
+      if (!rng.chance(fault_rate)) continue;
+      FaultAction a;
+      a.connection = c;
+      a.frame = f;
+      a.direction = rng.chance(0.5) ? Direction::kServerToClient
+                                    : Direction::kClientToServer;
+      switch (rng.below(8)) {
+        case 0:
+        case 1:
+        case 2:
+          a.kind = FaultKind::kDelay;
+          a.delay = std::chrono::milliseconds(1 + rng.below(20));
+          break;
+        case 3:
+        case 4:
+          a.kind = FaultKind::kDrop;
+          break;
+        case 5:
+          a.kind = FaultKind::kCorrupt;
+          a.corrupt_seed = rng.next() | 1;
+          a.corrupt_count = 1 + static_cast<int>(rng.below(4));
+          break;
+        case 6:
+          a.kind = FaultKind::kTruncate;
+          a.keep_bytes = rng.below(12);  // inside header or early payload
+          fatal = true;
+          break;
+        default:
+          a.kind = FaultKind::kReset;
+          fatal = true;
+          break;
+      }
+      // The first client->server frame is the subscribe/publish hello, and
+      // the protocol is ack-less: a hello silently swallowed or rejected
+      // (drop, corrupt) is indistinguishable from an idle channel, which no
+      // amount of client-side retry can detect. Faults that *kill* the
+      // connection (truncate, reset) are fair game there — the client sees
+      // the failure and re-dials — so remap the undetectable ones to delay.
+      if (a.direction == Direction::kClientToServer && f == 0 &&
+          (a.kind == FaultKind::kDrop || a.kind == FaultKind::kCorrupt)) {
+        a.kind = FaultKind::kDelay;
+        a.delay = std::chrono::milliseconds(1 + rng.below(20));
+      }
+      script.push_back(a);
+    }
+  }
+  return script;
+}
+
+// ---------------------------------------------------------------------------
+// FaultProxy
+
+FaultProxy::FaultProxy(std::uint16_t upstream_port, FaultScript script)
+    : upstream_(upstream_port),
+      listener_(0),
+      script_(std::move(script)),
+      fired_(script_.size(), 0),
+      acceptor_([this] { accept_loop(); }) {}
+
+FaultProxy::~FaultProxy() { stop(); }
+
+void FaultProxy::stop() {
+  // The acceptor polls with a short deadline and re-checks running_, so it
+  // exits on its own; closing the listener only after the join keeps all
+  // fd accesses on one thread.
+  running_.store(false);
+  if (acceptor_.joinable()) acceptor_.join();
+  listener_.close();
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard lock(workers_mutex_);
+    workers.swap(workers_);
+  }
+  for (std::thread& w : workers) {
+    if (w.joinable()) w.join();
+  }
+}
+
+void FaultProxy::accept_loop() {
+  while (running_.load()) {
+    transport::TcpConnection conn;
+    try {
+      conn = listener_.accept(Deadline::after(50ms));
+    } catch (const TimeoutError&) {
+      continue;  // periodic running_ re-check; stop() relies on this
+    } catch (const TransportError&) {
+      break;
+    }
+    if (!conn.valid()) break;
+    int client_fd = conn.release_fd();
+    int server_fd = -1;
+    try {
+      server_fd = netio::connect_loopback(upstream_, Deadline::after(5000ms));
+    } catch (const Error&) {
+      ::close(client_fd);
+      continue;  // upstream down; client sees an immediate close
+    }
+    int index = static_cast<int>(accepted_.fetch_add(1));
+    std::lock_guard lock(workers_mutex_);
+    workers_.emplace_back([this, client_fd, server_fd, index] {
+      relay(client_fd, server_fd, index);
+    });
+  }
+}
+
+void FaultProxy::relay(int client_fd, int server_fd, int conn_index) {
+  int frames_c2s = 0;
+  int frames_s2c = 0;
+  bool open_c2s = true;  // client still sending
+  bool open_s2c = true;  // server still sending
+  bool kill = false;
+  while (!kill && running_.load() && (open_c2s || open_s2c)) {
+    pollfd pfds[2];
+    pfds[0].fd = client_fd;
+    pfds[0].events = static_cast<short>(open_c2s ? POLLIN : 0);
+    pfds[0].revents = 0;
+    pfds[1].fd = server_fd;
+    pfds[1].events = static_cast<short>(open_s2c ? POLLIN : 0);
+    pfds[1].revents = 0;
+    int rc = ::poll(pfds, 2, 50);  // slice so stop() is honored promptly
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (rc == 0) continue;
+    try {
+      if (open_c2s && pfds[0].revents != 0) {
+        switch (forward_frame(client_fd, server_fd,
+                              Direction::kClientToServer, conn_index,
+                              frames_c2s)) {
+          case Outcome::kForwarded:
+            ++frames_c2s;
+            break;
+          case Outcome::kEof:
+            open_c2s = false;
+            ::shutdown(server_fd, SHUT_WR);
+            break;
+          case Outcome::kKill:
+            kill = true;
+            break;
+        }
+      }
+      if (!kill && open_s2c && pfds[1].revents != 0) {
+        switch (forward_frame(server_fd, client_fd,
+                              Direction::kServerToClient, conn_index,
+                              frames_s2c)) {
+          case Outcome::kForwarded:
+            ++frames_s2c;
+            break;
+          case Outcome::kEof:
+            open_s2c = false;
+            ::shutdown(client_fd, SHUT_WR);
+            break;
+          case Outcome::kKill:
+            kill = true;
+            break;
+        }
+      }
+    } catch (const Error&) {
+      kill = true;  // relay I/O failed; tear the pair down
+    }
+  }
+  ::close(client_fd);
+  ::close(server_fd);
+}
+
+FaultProxy::Outcome FaultProxy::forward_frame(int src_fd, int dst_fd,
+                                              Direction dir, int conn_index,
+                                              int frame_index) {
+  // The peer writes whole frames, so once the header starts arriving the
+  // rest follows quickly; this bounds a wedged peer without slicing.
+  Deadline deadline = Deadline::after(10000ms);
+  std::uint8_t header[4];
+  if (!netio::read_exact(src_fd, header, 4, /*eof_ok=*/true, deadline,
+                         "proxy read")) {
+    return Outcome::kEof;
+  }
+  std::uint32_t len = load_le<std::uint32_t>(header);
+  if (len > (1u << 30)) return Outcome::kKill;  // not our framing; bail out
+  std::vector<std::uint8_t> raw(4 + static_cast<std::size_t>(len) + 4);
+  std::memcpy(raw.data(), header, 4);
+  netio::read_exact(src_fd, raw.data() + 4, raw.size() - 4, /*eof_ok=*/false,
+                    deadline, "proxy read");
+
+  std::optional<FaultAction> action = match(dir, conn_index, frame_index);
+  if (action) {
+    faults_.fetch_add(1);
+    switch (action->kind) {
+      case FaultKind::kDelay:
+        std::this_thread::sleep_for(action->delay);
+        break;  // then forward intact
+      case FaultKind::kDrop:
+        return Outcome::kForwarded;  // the frame "happened"; nobody saw it
+      case FaultKind::kCorrupt: {
+        Rng rng(action->corrupt_seed);
+        // Never the length header: a corrupted length desynchronizes the
+        // relay itself. Payload and CRC are fair game.
+        std::size_t mutable_bytes = raw.size() - 4;
+        for (int i = 0; i < action->corrupt_count && mutable_bytes > 0; ++i) {
+          std::size_t pos = 4 + static_cast<std::size_t>(rng.below(mutable_bytes));
+          raw[pos] ^= static_cast<std::uint8_t>(1 + rng.below(255));
+        }
+        break;  // forward the damaged frame
+      }
+      case FaultKind::kTruncate: {
+        std::size_t keep = std::min(action->keep_bytes, raw.size());
+        if (keep > 0) {
+          netio::write_all(dst_fd, raw.data(), keep, deadline, "proxy write");
+        }
+        return Outcome::kKill;  // orderly close mid-frame
+      }
+      case FaultKind::kReset:
+        netio::arm_reset_on_close(src_fd);
+        netio::arm_reset_on_close(dst_fd);
+        return Outcome::kKill;  // close() now RSTs both sides
+    }
+  }
+  netio::write_all(dst_fd, raw.data(), raw.size(), deadline, "proxy write");
+  return Outcome::kForwarded;
+}
+
+std::optional<FaultAction> FaultProxy::match(Direction dir, int conn_index,
+                                             int frame_index) {
+  std::lock_guard lock(script_mutex_);
+  for (std::size_t i = 0; i < script_.size(); ++i) {
+    const FaultAction& a = script_[i];
+    if (fired_[i]) continue;
+    if (a.direction != dir) continue;
+    if (a.connection != -1 && a.connection != conn_index) continue;
+    if (a.frame != -1 && a.frame != frame_index) continue;
+    if (a.frame != -1 || a.connection != -1) fired_[i] = 1;
+    return a;
+  }
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// FaultyConnection
+
+namespace {
+
+/// Serializes `message` exactly as TcpConnection::send would put it on the
+/// wire: length, payload, CRC-32.
+std::vector<std::uint8_t> raw_frame(const Buffer& message) {
+  std::vector<std::uint8_t> raw(4 + message.size() + 4);
+  store_le<std::uint32_t>(raw.data(),
+                          static_cast<std::uint32_t>(message.size()));
+  std::memcpy(raw.data() + 4, message.data(), message.size());
+  store_le<std::uint32_t>(raw.data() + 4 + message.size(),
+                          crc32(message.data(), message.size()));
+  return raw;
+}
+
+}  // namespace
+
+FaultyConnection::FaultyConnection(transport::TcpConnection conn,
+                                   FaultScript script)
+    : conn_(std::move(conn)),
+      script_(std::move(script)),
+      fired_(script_.size(), 0) {}
+
+std::optional<FaultAction> FaultyConnection::match(Direction dir,
+                                                   int frame_index) {
+  for (std::size_t i = 0; i < script_.size(); ++i) {
+    const FaultAction& a = script_[i];
+    if (fired_[i]) continue;
+    if (a.direction != dir) continue;
+    if (a.connection != -1 && a.connection != 0) continue;
+    if (a.frame != -1 && a.frame != frame_index) continue;
+    if (a.frame != -1 || a.connection != -1) fired_[i] = 1;
+    return a;
+  }
+  return std::nullopt;
+}
+
+void FaultyConnection::send(const Buffer& message) {
+  std::optional<FaultAction> action =
+      match(Direction::kClientToServer, sends_++);
+  if (!action) {
+    conn_.send(message);
+    return;
+  }
+  ++faults_;
+  switch (action->kind) {
+    case FaultKind::kDelay:
+      std::this_thread::sleep_for(action->delay);
+      conn_.send(message);
+      return;
+    case FaultKind::kDrop:
+      return;
+    case FaultKind::kCorrupt: {
+      std::vector<std::uint8_t> raw = raw_frame(message);
+      Rng rng(action->corrupt_seed);
+      std::size_t mutable_bytes = raw.size() - 4;
+      for (int i = 0; i < action->corrupt_count && mutable_bytes > 0; ++i) {
+        std::size_t pos = 4 + static_cast<std::size_t>(rng.below(mutable_bytes));
+        raw[pos] ^= static_cast<std::uint8_t>(1 + rng.below(255));
+      }
+      netio::write_all(conn_.native_handle(), raw.data(), raw.size(),
+                       Deadline::never(), "faulty send");
+      return;
+    }
+    case FaultKind::kTruncate: {
+      std::vector<std::uint8_t> raw = raw_frame(message);
+      std::size_t keep = std::min(action->keep_bytes, raw.size());
+      if (keep > 0) {
+        netio::write_all(conn_.native_handle(), raw.data(), keep,
+                         Deadline::never(), "faulty send");
+      }
+      conn_.close();
+      return;
+    }
+    case FaultKind::kReset:
+      netio::arm_reset_on_close(conn_.native_handle());
+      conn_.close();
+      return;
+  }
+}
+
+std::optional<Buffer> FaultyConnection::receive() {
+  std::optional<FaultAction> action =
+      match(Direction::kServerToClient, receives_++);
+  if (!action) return conn_.receive();
+  ++faults_;
+  switch (action->kind) {
+    case FaultKind::kDelay:
+      std::this_thread::sleep_for(action->delay);
+      return conn_.receive();
+    case FaultKind::kDrop: {
+      std::optional<Buffer> skipped = conn_.receive();
+      if (!skipped) return std::nullopt;  // peer closed before the drop
+      return conn_.receive();
+    }
+    case FaultKind::kCorrupt:
+    case FaultKind::kTruncate:
+    case FaultKind::kReset:
+      conn_.close();
+      throw TransportError("injected receive fault");
+  }
+  return conn_.receive();  // unreachable
+}
+
+}  // namespace omf::fault

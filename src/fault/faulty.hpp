@@ -1,0 +1,154 @@
+// Fault injection for the TCP framing transport.
+//
+// Two instruments, both driven by the same seeded, deterministic
+// FaultScript so a chaos run can be replayed byte-for-byte:
+//
+//   FaultProxy       a transparent man-in-the-middle: listens on its own
+//                    port, relays framed traffic to an upstream port, and
+//                    perturbs scripted frames in flight — delay, drop,
+//                    corrupt (bit flips the CRC must catch), truncate
+//                    mid-frame, or reset (RST). Because clients dial the
+//                    proxy's port exactly as they would the real server,
+//                    this exercises the genuine reconnect/retry paths.
+//
+//   FaultyConnection a wrapper around one TcpConnection for in-process
+//                    tests that don't need a relay: scripted faults are
+//                    applied per send()/receive() call index.
+//
+// Scripts are lists of FaultAction, matched by (connection index, frame
+// index, direction). An action with frame == -1 and connection == -1 is
+// recurring; all others fire at most once. chaos_script() derives a script
+// from a single RNG seed (util/rng.hpp SplitMix64), so CI can sweep fixed
+// seeds and any failure reproduces locally from the seed alone.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "transport/tcp.hpp"
+#include "util/buffer.hpp"
+
+namespace omf::fault {
+
+enum class FaultKind {
+  kDelay,     ///< hold the frame for `delay`, then forward intact
+  kDrop,      ///< swallow the frame (silent loss)
+  kCorrupt,   ///< flip `corrupt_count` payload/CRC bytes, then forward
+  kTruncate,  ///< forward only `keep_bytes` raw bytes, then close
+  kReset,     ///< tear the connection down with RST (SO_LINGER 0)
+};
+
+enum class Direction {
+  kClientToServer,
+  kServerToClient,
+};
+
+struct FaultAction {
+  FaultKind kind = FaultKind::kDelay;
+  Direction direction = Direction::kServerToClient;
+  int connection = 0;  ///< proxied-connection index; -1 = any
+  int frame = 0;       ///< frame index within (connection, direction); -1 = any
+
+  std::chrono::milliseconds delay{0};  ///< kDelay
+  std::size_t keep_bytes = 0;          ///< kTruncate: raw bytes forwarded
+  std::uint64_t corrupt_seed = 1;      ///< kCorrupt: position/bit stream
+  int corrupt_count = 1;               ///< kCorrupt: bytes flipped
+};
+
+using FaultScript = std::vector<FaultAction>;
+
+/// Derives a deterministic script from `seed`: for each of `connections`
+/// proxied connections and each of the first `frames_per_connection` frames
+/// (either direction), injects a fault with probability `fault_rate`. At
+/// most one connection-fatal fault (truncate/reset) is scheduled per
+/// connection, since no later frame would survive it anyway.
+FaultScript chaos_script(std::uint64_t seed, int connections,
+                         int frames_per_connection, double fault_rate = 0.25);
+
+/// Frame-aware TCP relay with scripted fault injection.
+///
+/// Accepts connections on port(), dials `upstream_port` for each, and
+/// relays whole frames (4-byte length | payload | 4-byte CRC) in both
+/// directions, applying the script. Orderly EOF on one side is propagated
+/// as a half-close; truncate/reset faults kill the proxied pair.
+class FaultProxy {
+public:
+  explicit FaultProxy(std::uint16_t upstream_port, FaultScript script = {});
+  ~FaultProxy();
+  FaultProxy(const FaultProxy&) = delete;
+  FaultProxy& operator=(const FaultProxy&) = delete;
+
+  /// Port clients should dial instead of the upstream's.
+  std::uint16_t port() const noexcept { return listener_.port(); }
+
+  /// Proxied connections accepted so far.
+  std::size_t connections() const noexcept { return accepted_.load(); }
+
+  /// Scripted faults actually applied so far.
+  std::size_t faults_injected() const noexcept { return faults_.load(); }
+
+  void stop();
+
+private:
+  enum class Outcome { kForwarded, kEof, kKill };
+
+  void accept_loop();
+  void relay(int client_fd, int server_fd, int conn_index);
+  Outcome forward_frame(int src_fd, int dst_fd, Direction dir, int conn_index,
+                        int frame_index);
+  std::optional<FaultAction> match(Direction dir, int conn_index,
+                                   int frame_index);
+
+  std::uint16_t upstream_;
+  transport::TcpListener listener_;
+  FaultScript script_;
+  std::vector<char> fired_;  // parallel to script_ (vector<bool> is a trap)
+  std::mutex script_mutex_;
+  std::atomic<bool> running_{true};
+  std::atomic<std::size_t> accepted_{0};
+  std::atomic<std::size_t> faults_{0};
+  std::thread acceptor_;
+  std::mutex workers_mutex_;
+  std::vector<std::thread> workers_;
+};
+
+/// In-process fault wrapper around one TcpConnection.
+///
+/// Actions are matched against the send() / receive() call index (as the
+/// `frame` field) with connection index 0. Send-side faults operate on the
+/// raw frame bytes (so kCorrupt produces a frame whose CRC check fails at
+/// the peer, and kTruncate leaves the peer mid-frame); receive-side
+/// supports kDelay and kDrop (discard one frame, deliver the next), while
+/// kTruncate/kReset/kCorrupt on the receive side simply kill the
+/// connection locally.
+class FaultyConnection {
+public:
+  FaultyConnection(transport::TcpConnection conn, FaultScript script);
+
+  void send(const Buffer& message);
+  std::optional<Buffer> receive();
+
+  bool valid() const noexcept { return conn_.valid(); }
+  void close() { conn_.close(); }
+  std::size_t faults_injected() const noexcept { return faults_; }
+
+  /// The wrapped connection, for timeout/size knobs.
+  transport::TcpConnection& wrapped() noexcept { return conn_; }
+
+private:
+  std::optional<FaultAction> match(Direction dir, int frame_index);
+
+  transport::TcpConnection conn_;
+  FaultScript script_;
+  std::vector<char> fired_;
+  int sends_ = 0;
+  int receives_ = 0;
+  std::size_t faults_ = 0;
+};
+
+}  // namespace omf::fault

@@ -10,6 +10,7 @@
 #include <cstring>
 #include <sstream>
 
+#include "transport/net_io.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
 #include "util/strings.hpp"
@@ -19,34 +20,26 @@ namespace omf::http {
 namespace {
 
 // The framing TcpConnection is message-oriented; HTTP is a byte stream, so
-// the client/server here use raw fds via small local helpers.
+// the client/server here use raw fds via the shared deadline-aware netio
+// helpers (poll-guarded non-blocking I/O, EINTR/EAGAIN handling,
+// MSG_NOSIGNAL).
 
-void write_all(int fd, std::string_view data) {
-  const char* p = data.data();
-  std::size_t n = data.size();
-  while (n > 0) {
-    ssize_t w = ::write(fd, p, n);
-    if (w < 0) {
-      if (errno == EINTR) continue;
-      throw TransportError(std::string("http write: ") + std::strerror(errno));
-    }
-    p += w;
-    n -= static_cast<std::size_t>(w);
-  }
+namespace netio = transport::netio;
+
+void write_all(int fd, std::string_view data, const Deadline& deadline) {
+  netio::write_all(fd, data.data(), data.size(), deadline, "http write");
 }
 
 /// Reads until EOF (HTTP/1.0 close-delimited bodies) with a size cap.
-std::string read_to_eof(int fd, std::size_t cap = 64u << 20) {
+std::string read_to_eof(int fd, const Deadline& deadline,
+                        std::size_t cap = 64u << 20) {
   std::string out;
   char buf[8192];
   for (;;) {
-    ssize_t r = ::read(fd, buf, sizeof(buf));
-    if (r < 0) {
-      if (errno == EINTR) continue;
-      throw TransportError(std::string("http read: ") + std::strerror(errno));
-    }
+    std::size_t r = netio::read_some(fd, buf, sizeof(buf), deadline,
+                                     "http read");
     if (r == 0) break;
-    out.append(buf, static_cast<std::size_t>(r));
+    out.append(buf, r);
     if (out.size() > cap) throw TransportError("http response too large");
   }
   return out;
@@ -54,38 +47,18 @@ std::string read_to_eof(int fd, std::size_t cap = 64u << 20) {
 
 /// Reads from fd until the header terminator, returning everything read so
 /// far (possibly including the start of the body).
-std::string read_until_headers_end(int fd, std::size_t cap = 1u << 20) {
+std::string read_until_headers_end(int fd, const Deadline& deadline,
+                                   std::size_t cap = 1u << 20) {
   std::string out;
   char buf[4096];
   while (out.find("\r\n\r\n") == std::string::npos) {
-    ssize_t r = ::read(fd, buf, sizeof(buf));
-    if (r < 0) {
-      if (errno == EINTR) continue;
-      throw TransportError(std::string("http read: ") + std::strerror(errno));
-    }
+    std::size_t r = netio::read_some(fd, buf, sizeof(buf), deadline,
+                                     "http read");
     if (r == 0) break;
-    out.append(buf, static_cast<std::size_t>(r));
+    out.append(buf, r);
     if (out.size() > cap) throw TransportError("http headers too large");
   }
   return out;
-}
-
-int connect_loopback(std::uint16_t port) {
-  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) throw TransportError("socket failed");
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(port);
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    int saved = errno;
-    ::close(fd);
-    throw TransportError(std::string("http connect: ") +
-                         std::strerror(saved));
-  }
-  int one = 1;
-  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  return fd;
 }
 
 }  // namespace
@@ -118,8 +91,8 @@ Url Url::parse(const std::string& url) {
   return out;
 }
 
-Response get(const Url& url) {
-  int fd = connect_loopback(url.port);
+Response get(const Url& url, const Deadline& deadline) {
+  int fd = netio::connect_loopback(url.port, deadline);
   Response out;
   try {
     std::ostringstream req;
@@ -127,9 +100,9 @@ Response get(const Url& url) {
         << "Host: " << url.host << "\r\n"
         << "User-Agent: omf-xml2wire/1.0\r\n"
         << "Connection: close\r\n\r\n";
-    write_all(fd, req.str());
+    write_all(fd, req.str(), deadline);
     ::shutdown(fd, SHUT_WR);
-    std::string raw = read_to_eof(fd);
+    std::string raw = read_to_eof(fd, deadline);
     ::close(fd);
     fd = -1;
 
@@ -169,7 +142,9 @@ Response get(const Url& url) {
   return out;
 }
 
-Response get(const std::string& url) { return get(Url::parse(url)); }
+Response get(const std::string& url, const Deadline& deadline) {
+  return get(Url::parse(url), deadline);
+}
 
 Server::Server(std::uint16_t port)
     : listener_(port), thread_([this] { serve(); }) {}
@@ -177,10 +152,12 @@ Server::Server(std::uint16_t port)
 Server::~Server() { stop(); }
 
 void Server::stop() {
-  if (running_.exchange(false)) {
-    listener_.close();
-  }
+  // serve() polls accept with a short deadline and re-checks running_, so
+  // it exits on its own; closing the listener only after the join keeps
+  // all fd accesses on one thread.
+  running_.store(false);
   if (thread_.joinable()) thread_.join();
+  listener_.close();
 }
 
 void Server::put_document(const std::string& path, std::string body,
@@ -205,7 +182,14 @@ std::string Server::url_for(const std::string& path) const {
 
 void Server::serve() {
   while (running_.load()) {
-    transport::TcpConnection conn = listener_.accept();
+    transport::TcpConnection conn;
+    try {
+      conn = listener_.accept(Deadline::after(std::chrono::milliseconds(50)));
+    } catch (const TimeoutError&) {
+      continue;  // periodic running_ re-check; stop() relies on this
+    } catch (const TransportError&) {
+      break;
+    }
     if (!conn.valid()) break;
     try {
       handle(std::move(conn));
@@ -228,8 +212,10 @@ void Server::handle(transport::TcpConnection conn) {
   int fd = conn.release_fd();
   if (fd < 0) return;
   requests_.fetch_add(1);
+  Deadline deadline = Deadline::from_timeout(
+      std::chrono::milliseconds(request_timeout_ms_.load()));
   try {
-    std::string raw = read_until_headers_end(fd);
+    std::string raw = read_until_headers_end(fd, deadline);
     std::size_t line_end = raw.find("\r\n");
     std::string_view request_line =
         line_end == std::string::npos
@@ -280,7 +266,7 @@ void Server::handle(transport::TcpConnection conn) {
          << "Content-Length: " << body.size() << "\r\n"
          << "Connection: close\r\n\r\n"
          << body;
-    write_all(fd, resp.str());
+    write_all(fd, resp.str(), deadline);
   } catch (...) {
     ::close(fd);
     throw;

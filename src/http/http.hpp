@@ -18,6 +18,7 @@
 #include <thread>
 
 #include "transport/tcp.hpp"
+#include "util/deadline.hpp"
 
 namespace omf::http {
 
@@ -39,9 +40,12 @@ struct Url {
 };
 
 /// Issues a blocking GET. Throws TransportError on network failure; HTTP
-/// errors come back as the response's status.
-Response get(const Url& url);
-Response get(const std::string& url);
+/// errors come back as the response's status. The deadline bounds the whole
+/// request — connect, send, and read — and expiry throws TimeoutError;
+/// without one the call may block indefinitely (historical behaviour).
+Response get(const Url& url, const Deadline& deadline = Deadline::never());
+Response get(const std::string& url,
+             const Deadline& deadline = Deadline::never());
 
 /// Tiny document server.
 class Server {
@@ -75,6 +79,13 @@ public:
   /// Total requests served (diagnostics).
   std::size_t request_count() const noexcept { return requests_.load(); }
 
+  /// Per-request I/O bound. The server handles requests sequentially on one
+  /// thread, so a client that connects and stalls (slowloris) would
+  /// otherwise wedge every later request. Default 30 s.
+  void set_request_timeout(std::chrono::milliseconds t) noexcept {
+    request_timeout_ms_.store(t.count());
+  }
+
   void stop();
 
 private:
@@ -84,6 +95,7 @@ private:
   transport::TcpListener listener_;
   std::atomic<bool> running_{true};
   std::atomic<std::size_t> requests_{0};
+  std::atomic<std::int64_t> request_timeout_ms_{30000};
   mutable std::mutex mutex_;
   std::map<std::string, std::pair<std::string, std::string>> documents_;
   Handler handler_;

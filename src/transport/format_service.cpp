@@ -10,10 +10,12 @@ FormatServiceServer::FormatServiceServer(std::uint16_t port)
 FormatServiceServer::~FormatServiceServer() { stop(); }
 
 void FormatServiceServer::stop() {
-  if (running_.exchange(false)) {
-    listener_.close();
-  }
+  // serve() polls accept with a short deadline and re-checks running_, so
+  // it exits on its own; closing the listener only after the join keeps
+  // all fd accesses on one thread.
+  running_.store(false);
   if (thread_.joinable()) thread_.join();
+  listener_.close();
 }
 
 void FormatServiceServer::publish(const pbio::Format& format) {
@@ -23,7 +25,14 @@ void FormatServiceServer::publish(const pbio::Format& format) {
 
 void FormatServiceServer::serve() {
   while (running_.load()) {
-    TcpConnection conn = listener_.accept();
+    TcpConnection conn;
+    try {
+      conn = listener_.accept(Deadline::after(std::chrono::milliseconds(50)));
+    } catch (const TimeoutError&) {
+      continue;  // periodic running_ re-check; stop() relies on this
+    } catch (const TransportError&) {
+      break;
+    }
     if (!conn.valid()) break;
     try {
       handle(std::move(conn));
@@ -36,6 +45,8 @@ void FormatServiceServer::serve() {
 void FormatServiceServer::handle(TcpConnection conn) {
   // One request per connection keeps the protocol stateless and trivially
   // robust; discovery traffic is rare by design.
+  std::chrono::milliseconds t(request_timeout_.load());
+  conn.set_timeouts({.connect = {}, .send = t, .recv = t});
   std::optional<Buffer> request = conn.receive();
   if (!request) return;
   BufferReader in(*request);
@@ -64,16 +75,28 @@ void FormatServiceServer::handle(TcpConnection conn) {
   conn.send(response);
 }
 
+/// One request/response exchange on a fresh connection, bounded by a single
+/// deadline spanning connect + send + receive, retried per the policy.
+Buffer FormatServiceClient::roundtrip(const Buffer& request) {
+  int attempt = 0;
+  return retry_call(options_.retry, [&] {
+    if (attempt++ > 0) ++retries_;
+    Deadline deadline = Deadline::from_timeout(options_.rpc_timeout);
+    TcpConnection conn = tcp_connect(port_, deadline);
+    conn.send(request, deadline);
+    std::optional<Buffer> response = conn.receive(deadline);
+    if (!response) throw TransportError("format service closed connection");
+    return std::move(*response);
+  });
+}
+
 pbio::FormatHandle FormatServiceClient::fetch(pbio::FormatRegistry& registry,
                                               pbio::FormatId id) {
-  TcpConnection conn = tcp_connect(port_);
   Buffer request;
   request.append_int<std::uint8_t>('G', ByteOrder::kLittle);
   request.append_int<std::uint64_t>(id, ByteOrder::kLittle);
-  conn.send(request);
-  std::optional<Buffer> response = conn.receive();
-  if (!response) throw TransportError("format service closed connection");
-  BufferReader in(*response);
+  Buffer response = roundtrip(request);
+  BufferReader in(response);
   auto len = in.read_int<std::uint32_t>(ByteOrder::kLittle);
   if (len == 0) return nullptr;
   const std::uint8_t* bundle = in.read_bytes(len);
@@ -81,17 +104,14 @@ pbio::FormatHandle FormatServiceClient::fetch(pbio::FormatRegistry& registry,
 }
 
 void FormatServiceClient::push(const pbio::Format& format) {
-  TcpConnection conn = tcp_connect(port_);
   Buffer bundle = pbio::serialize_format_bundle(format);
   Buffer request;
   request.append_int<std::uint8_t>('P', ByteOrder::kLittle);
   request.append_int<std::uint32_t>(static_cast<std::uint32_t>(bundle.size()),
                                     ByteOrder::kLittle);
   request.append(bundle.span());
-  conn.send(request);
-  std::optional<Buffer> response = conn.receive();
-  if (!response) throw TransportError("format service closed connection");
-  BufferReader in(*response);
+  Buffer response = roundtrip(request);
+  BufferReader in(response);
   if (in.read_int<std::uint8_t>(ByteOrder::kLittle) != 1) {
     throw TransportError("format service rejected push");
   }

@@ -19,6 +19,7 @@
 #include "pbio/format.hpp"
 #include "pbio/metaserde.hpp"
 #include "transport/tcp.hpp"
+#include "util/retry.hpp"
 
 namespace omf::transport {
 
@@ -40,6 +41,12 @@ public:
   /// Number of formats currently published.
   std::size_t published() const { return registry_.size(); }
 
+  /// Per-request I/O bound: a client that connects and stalls is dropped
+  /// after this long instead of wedging the (single) service thread.
+  void set_request_timeout(std::chrono::milliseconds t) noexcept {
+    request_timeout_.store(t.count());
+  }
+
   void stop();
 
 private:
@@ -49,13 +56,27 @@ private:
   pbio::FormatRegistry registry_;
   TcpListener listener_;
   std::atomic<bool> running_{true};
+  std::atomic<std::int64_t> request_timeout_{30000};  // ms
   std::thread thread_;
 };
 
 /// Client side: fetch/push format bundles from/to a server.
+///
+/// Each RPC dials a fresh connection; transient failures (connect refused,
+/// reset, deadline expiry) are retried per `Options::retry` with exponential
+/// backoff, each attempt bounded by `Options::rpc_timeout`. Defaults keep
+/// the historical behaviour: one attempt, no timeout.
 class FormatServiceClient {
 public:
-  explicit FormatServiceClient(std::uint16_t port) : port_(port) {}
+  struct Options {
+    RetryPolicy retry{.max_attempts = 1};
+    std::chrono::milliseconds rpc_timeout{0};  ///< whole-RPC; 0 = none
+  };
+
+  explicit FormatServiceClient(std::uint16_t port)
+      : FormatServiceClient(port, Options{}) {}
+  FormatServiceClient(std::uint16_t port, Options options)
+      : port_(port), options_(options) {}
 
   /// Fetches the bundle for `id` and registers it into `registry`.
   /// Returns the fetched format, or nullptr if the server does not know it.
@@ -64,8 +85,15 @@ public:
   /// Pushes a format's bundle to the server.
   void push(const pbio::Format& format);
 
+  /// RPC attempts that failed and were retried (diagnostics).
+  std::size_t retries() const noexcept { return retries_; }
+
 private:
+  Buffer roundtrip(const Buffer& request);
+
   std::uint16_t port_;
+  Options options_;
+  std::size_t retries_ = 0;
 };
 
 }  // namespace omf::transport

@@ -29,9 +29,9 @@ void NdrConnection::send_struct(const pbio::Format& format, const void* data) {
   send(format, pbio::encode(format, data));
 }
 
-std::optional<Buffer> NdrConnection::receive() {
+std::optional<Buffer> NdrConnection::receive(const Deadline& deadline) {
   for (;;) {
-    std::optional<Buffer> frame = connection_.receive();
+    std::optional<Buffer> frame = connection_.receive(deadline);
     if (!frame) return std::nullopt;
     if (frame->empty()) {
       throw TransportError("empty NDR connection frame");

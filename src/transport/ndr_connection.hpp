@@ -39,8 +39,22 @@ public:
   void send_struct(const pbio::Format& format, const void* data);
 
   /// Next NDR message; format bundles are consumed (and registered)
-  /// transparently. nullopt on orderly peer close.
-  std::optional<Buffer> receive();
+  /// transparently. nullopt on orderly peer close. The deadline bounds the
+  /// whole call, including any interleaved format-bundle frames.
+  std::optional<Buffer> receive() {
+    return receive(Deadline::from_timeout(connection_.timeouts().recv));
+  }
+  std::optional<Buffer> receive(const Deadline& deadline);
+
+  /// Timeout / frame-size knobs, forwarded to the underlying connection.
+  /// Format bundles and messages share the same bounds: a hostile bundle is
+  /// rejected by header inspection exactly like a hostile message.
+  void set_timeouts(const IoTimeouts& t) noexcept {
+    connection_.set_timeouts(t);
+  }
+  void set_max_message_size(std::size_t bytes) noexcept {
+    connection_.set_max_message_size(bytes);
+  }
 
   /// Formats announced to the peer so far.
   std::size_t formats_sent() const noexcept { return announced_.size(); }

@@ -1,0 +1,142 @@
+#include "transport/net_io.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace omf::transport::netio {
+
+namespace {
+
+[[noreturn]] void fail_errno(const char* what, int err) {
+  throw TransportError(std::string(what) + ": " + std::strerror(err));
+}
+
+}  // namespace
+
+void set_nonblocking(int fd, bool on) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) fail_errno("fcntl(F_GETFL)", errno);
+  int want = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (want != flags && ::fcntl(fd, F_SETFL, want) < 0) {
+    fail_errno("fcntl(F_SETFL)", errno);
+  }
+}
+
+void wait_ready(int fd, short events, const Deadline& deadline,
+                const char* what) {
+  for (;;) {
+    if (deadline.expired()) {
+      throw TimeoutError(std::string(what) + " deadline exceeded");
+    }
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = events;
+    int rc = ::poll(&pfd, 1, deadline.poll_timeout_ms());
+    if (rc < 0) {
+      if (errno == EINTR) continue;  // re-poll against the same deadline
+      fail_errno("poll", errno);
+    }
+    if (rc == 0) {
+      throw TimeoutError(std::string(what) + " deadline exceeded");
+    }
+    // POLLERR/POLLHUP: let the subsequent read/write surface the error.
+    return;
+  }
+}
+
+void write_all(int fd, const void* data, std::size_t n,
+               const Deadline& deadline, const char* what) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  while (n > 0) {
+    ssize_t w = ::send(fd, p, n, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        wait_ready(fd, POLLOUT, deadline, what);
+        continue;
+      }
+      fail_errno(what, errno);
+    }
+    p += w;
+    n -= static_cast<std::size_t>(w);
+  }
+}
+
+std::size_t read_some(int fd, void* data, std::size_t n,
+                      const Deadline& deadline, const char* what) {
+  for (;;) {
+    ssize_t r = ::recv(fd, data, n, 0);
+    if (r >= 0) return static_cast<std::size_t>(r);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      wait_ready(fd, POLLIN, deadline, what);
+      continue;
+    }
+    fail_errno(what, errno);
+  }
+}
+
+bool read_exact(int fd, void* data, std::size_t n, bool eof_ok,
+                const Deadline& deadline, const char* what) {
+  auto* p = static_cast<std::uint8_t*>(data);
+  std::size_t got = 0;
+  while (got < n) {
+    std::size_t r = read_some(fd, p + got, n - got, deadline, what);
+    if (r == 0) {
+      if (got == 0 && eof_ok) return false;
+      throw TransportError(std::string(what) + ": connection closed mid-frame");
+    }
+    got += r;
+  }
+  return true;
+}
+
+int connect_loopback(std::uint16_t port, const Deadline& deadline) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) fail_errno("socket", errno);
+  try {
+    set_nonblocking(fd);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      if (errno != EINPROGRESS && errno != EINTR) {
+        fail_errno("connect", errno);
+      }
+      wait_ready(fd, POLLOUT, deadline, "connect");
+      int err = 0;
+      socklen_t len = sizeof(err);
+      if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0) {
+        fail_errno("getsockopt(SO_ERROR)", errno);
+      }
+      if (err != 0) fail_errno("connect", err);
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return fd;
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+}
+
+void arm_reset_on_close(int fd) {
+  linger lg{};
+  lg.l_onoff = 1;
+  lg.l_linger = 0;
+  ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
+}
+
+}  // namespace omf::transport::netio

@@ -1,0 +1,52 @@
+// Deadline-aware POSIX socket I/O primitives, shared by the TCP framing
+// transport and the HTTP byte-stream code.
+//
+// All loops here are poll(2)-guarded over non-blocking descriptors: EINTR
+// restarts the wait with the *same* absolute deadline, EAGAIN/EWOULDBLOCK
+// re-polls, and sends use MSG_NOSIGNAL so a peer reset surfaces as an EPIPE
+// TransportError instead of killing the process with SIGPIPE. A Deadline of
+// Deadline::never() reproduces the historical fully-blocking behaviour.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/deadline.hpp"
+
+namespace omf::transport::netio {
+
+/// Sets or clears O_NONBLOCK. Throws TransportError on fcntl failure.
+void set_nonblocking(int fd, bool on = true);
+
+/// Waits until `fd` is ready for `events` (POLLIN / POLLOUT) or the deadline
+/// expires. Throws TimeoutError on expiry, TransportError on poll failure.
+/// `what` names the operation for error messages ("recv", "http read", ...).
+void wait_ready(int fd, short events, const Deadline& deadline,
+                const char* what);
+
+/// Writes all `n` bytes (MSG_NOSIGNAL). Throws TimeoutError when the
+/// deadline expires mid-write, TransportError on I/O failure.
+void write_all(int fd, const void* data, std::size_t n,
+               const Deadline& deadline, const char* what);
+
+/// Reads up to `n` bytes once the descriptor is readable. Returns 0 on EOF.
+/// Throws TimeoutError / TransportError.
+std::size_t read_some(int fd, void* data, std::size_t n,
+                      const Deadline& deadline, const char* what);
+
+/// Reads exactly `n` bytes; returns false on clean EOF before the first
+/// byte when `eof_ok` is set, throws TransportError on EOF mid-read.
+bool read_exact(int fd, void* data, std::size_t n, bool eof_ok,
+                const Deadline& deadline, const char* what);
+
+/// Non-blocking connect to 127.0.0.1:port honoring the deadline. Returns a
+/// connected non-blocking descriptor with TCP_NODELAY set. Throws
+/// TimeoutError / TransportError.
+int connect_loopback(std::uint16_t port, const Deadline& deadline);
+
+/// Arms SO_LINGER with a zero timeout so close(fd) aborts the connection
+/// with RST instead of an orderly FIN — fault injection's "connection
+/// reset" and the fast-teardown path for poisoned connections.
+void arm_reset_on_close(int fd);
+
+}  // namespace omf::transport::netio

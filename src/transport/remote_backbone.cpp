@@ -19,10 +19,12 @@ RemoteBackboneServer::RemoteBackboneServer(EventBackbone& backbone,
 RemoteBackboneServer::~RemoteBackboneServer() { stop(); }
 
 void RemoteBackboneServer::stop() {
-  if (running_.exchange(false)) {
-    listener_.close();
-  }
+  // Order matters: the acceptor polls with a short deadline and re-checks
+  // running_, so it exits on its own; only then is it safe to close the
+  // listener from this thread (no cross-thread fd access).
+  running_.store(false);
   if (acceptor_.joinable()) acceptor_.join();
+  listener_.close();
   std::vector<std::thread> workers;
   {
     std::lock_guard lock(workers_mutex_);
@@ -35,11 +37,20 @@ void RemoteBackboneServer::stop() {
 
 void RemoteBackboneServer::accept_loop() {
   while (running_.load()) {
-    TcpConnection conn = listener_.accept();
+    TcpConnection conn;
+    try {
+      conn = listener_.accept(Deadline::after(50ms));
+    } catch (const TimeoutError&) {
+      continue;  // periodic running_ re-check; stop() relies on this
+    } catch (const TransportError&) {
+      break;
+    }
     if (!conn.valid()) break;
     std::optional<Buffer> hello;
     try {
-      hello = conn.receive();
+      // The accept loop is single-threaded: a client that connects and
+      // never says hello (or trickles a partial frame) must not wedge it.
+      hello = conn.receive(Deadline::after(10000ms));
     } catch (const Error& e) {
       OMF_LOG_WARN("remote-backbone", "bad hello: ", e.what());
       continue;
@@ -68,6 +79,9 @@ void RemoteBackboneServer::accept_loop() {
 
 void RemoteBackboneServer::serve_subscriber(TcpConnection conn,
                                             const std::string& channel) {
+  // A subscriber that stops draining its socket must not pin this worker
+  // (and the messages queued behind it) forever: bound the send.
+  conn.set_timeouts({.connect = {}, .send = 10000ms, .recv = {}});
   EventBackbone::Subscription sub = backbone_->subscribe(channel);
   try {
     while (running_.load()) {
@@ -103,13 +117,59 @@ void RemoteBackboneServer::serve_publisher(TcpConnection conn) {
 }
 
 RemoteSubscription::RemoteSubscription(std::uint16_t port,
-                                       const std::string& channel)
-    : connection_(tcp_connect(port)) {
+                                       const std::string& channel,
+                                       ReconnectOptions options)
+    : port_(port), channel_(channel), options_(options) {
+  dial();
+}
+
+void RemoteSubscription::dial() {
+  connection_ = tcp_connect(port_);
+  connection_.set_timeouts(
+      {.connect = {}, .send = {}, .recv = options_.recv_timeout});
   Buffer hello;
   char op = 'S';
   hello.append(&op, 1);
-  hello.append(channel);
+  hello.append(channel_);
   connection_.send(hello);
+}
+
+std::optional<Buffer> RemoteSubscription::receive() {
+  for (;;) {
+    bool orderly_close = false;
+    try {
+      std::optional<Buffer> msg = connection_.receive();
+      if (msg) return msg;
+      orderly_close = true;  // server closed cleanly; maybe it restarted
+    } catch (const TimeoutError&) {
+      throw;  // an idle channel is not a dead connection
+    } catch (const TransportError&) {
+      if (!options_.enabled) throw;
+    }
+    if (!options_.enabled) return std::nullopt;
+
+    // Reconnect-and-resubscribe per the retry policy. Each attempt re-dials
+    // and resends the hello; the server sees a brand-new subscriber.
+    int attempts =
+        options_.retry.max_attempts < 1 ? 1 : options_.retry.max_attempts;
+    bool restored = false;
+    for (int attempt = 1; attempt <= attempts && !restored; ++attempt) {
+      default_retry_sleeper(options_.retry.backoff(attempt));
+      try {
+        dial();
+        restored = true;
+      } catch (const TransportError&) {
+        // Server still down; keep backing off.
+      }
+    }
+    if (!restored) {
+      if (orderly_close) return std::nullopt;
+      throw TransportError("remote subscription lost: reconnect to port " +
+                           std::to_string(port_) + " failed after " +
+                           std::to_string(attempts) + " attempts");
+    }
+    ++reconnects_;
+  }
 }
 
 RemotePublisher::RemotePublisher(std::uint16_t port)

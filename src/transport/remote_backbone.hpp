@@ -23,11 +23,13 @@
 
 #include <atomic>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "transport/backbone.hpp"
 #include "transport/tcp.hpp"
+#include "util/retry.hpp"
 
 namespace omf::transport {
 
@@ -60,16 +62,44 @@ private:
 
 /// A remote subscription: blocking receive of messages from a channel on a
 /// backbone hosted elsewhere.
+///
+/// With ReconnectOptions.enabled, a dropped connection (reset, mid-frame
+/// truncation, even an orderly close) triggers transparent
+/// reconnect-and-resubscribe per the retry policy: the subscription
+/// re-dials, resends its hello, and resumes receiving. Messages published
+/// while disconnected are lost — the backbone is at-most-once by design —
+/// but the subscription object survives the fault. receive() returns
+/// nullopt only when reconnection attempts are exhausted against a server
+/// that has gone away for good.
 class RemoteSubscription {
 public:
-  RemoteSubscription(std::uint16_t port, const std::string& channel);
+  struct ReconnectOptions {
+    bool enabled = false;
+    RetryPolicy retry;                        ///< attempts + backoff
+    std::chrono::milliseconds recv_timeout{0};  ///< per-receive; 0 = none
+  };
 
-  /// Blocks for the next message; nullopt when the server shuts down.
-  std::optional<Buffer> receive() { return connection_.receive(); }
+  RemoteSubscription(std::uint16_t port, const std::string& channel)
+      : RemoteSubscription(port, channel, ReconnectOptions{}) {}
+  RemoteSubscription(std::uint16_t port, const std::string& channel,
+                     ReconnectOptions options);
+
+  /// Blocks for the next message; nullopt when the server shuts down (and,
+  /// if reconnect is enabled, could not be reached again).
+  std::optional<Buffer> receive();
+
+  /// Times the subscription successfully reconnected and resubscribed.
+  std::size_t reconnects() const noexcept { return reconnects_; }
 
   void close() { connection_.close(); }
 
 private:
+  void dial();
+
+  std::uint16_t port_;
+  std::string channel_;
+  ReconnectOptions options_;
+  std::size_t reconnects_ = 0;
   TcpConnection connection_;
 };
 

@@ -3,58 +3,32 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <cstring>
 
+#include "transport/net_io.hpp"
 #include "util/error.hpp"
+#include "util/hash.hpp"
 
 namespace omf::transport {
 
 namespace {
 
-constexpr std::uint32_t kMaxFrame = 1u << 30;  // 1 GiB sanity bound
+constexpr std::uint32_t kMaxFrame = 1u << 30;  // 1 GiB hard sanity bound
 
 [[noreturn]] void fail_errno(const std::string& what) {
   throw TransportError(what + ": " + std::strerror(errno));
 }
 
-void write_all(int fd, const void* data, std::size_t n) {
-  const auto* p = static_cast<const std::uint8_t*>(data);
-  while (n > 0) {
-    ssize_t w = ::write(fd, p, n);
-    if (w < 0) {
-      if (errno == EINTR) continue;
-      fail_errno("write");
-    }
-    p += w;
-    n -= static_cast<std::size_t>(w);
-  }
-}
-
-/// Reads exactly n bytes; returns false on clean EOF at a frame boundary
-/// (start == true) and throws on mid-frame EOF or errors.
-bool read_all(int fd, void* data, std::size_t n, bool at_frame_start) {
-  auto* p = static_cast<std::uint8_t*>(data);
-  std::size_t got = 0;
-  while (got < n) {
-    ssize_t r = ::read(fd, p + got, n - got);
-    if (r < 0) {
-      if (errno == EINTR) continue;
-      fail_errno("read");
-    }
-    if (r == 0) {
-      if (got == 0 && at_frame_start) return false;
-      throw TransportError("connection closed mid-frame");
-    }
-    got += static_cast<std::size_t>(r);
-  }
-  return true;
-}
-
 }  // namespace
+
+TcpConnection::TcpConnection(int fd) : fd_(fd) {
+  if (fd_ >= 0) netio::set_nonblocking(fd_);
+}
 
 TcpConnection::~TcpConnection() { close(); }
 
@@ -62,6 +36,8 @@ TcpConnection& TcpConnection::operator=(TcpConnection&& other) noexcept {
   if (this != &other) {
     close();
     fd_ = other.fd_;
+    timeouts_ = other.timeouts_;
+    max_message_size_ = other.max_message_size_;
     other.fd_ = -1;
   }
   return *this;
@@ -74,25 +50,46 @@ void TcpConnection::close() {
   }
 }
 
-void TcpConnection::send(const Buffer& message) {
+void TcpConnection::send(const Buffer& message, const Deadline& deadline) {
   if (fd_ < 0) throw TransportError("send on closed connection");
-  if (message.size() > kMaxFrame) throw TransportError("frame too large");
+  if (message.size() > max_message_size_ || message.size() > kMaxFrame) {
+    throw TransportError("frame too large: " + std::to_string(message.size()) +
+                         " bytes (limit " +
+                         std::to_string(max_message_size_) + ")");
+  }
   std::uint8_t header[4];
   store_le<std::uint32_t>(header, static_cast<std::uint32_t>(message.size()));
-  write_all(fd_, header, 4);
-  write_all(fd_, message.data(), message.size());
+  std::uint8_t trailer[4];
+  store_le<std::uint32_t>(trailer, crc32(message.data(), message.size()));
+  netio::write_all(fd_, header, 4, deadline, "send");
+  netio::write_all(fd_, message.data(), message.size(), deadline, "send");
+  netio::write_all(fd_, trailer, 4, deadline, "send");
 }
 
-std::optional<Buffer> TcpConnection::receive() {
+std::optional<Buffer> TcpConnection::receive(const Deadline& deadline) {
   if (fd_ < 0) throw TransportError("receive on closed connection");
   std::uint8_t header[4];
-  if (!read_all(fd_, header, 4, /*at_frame_start=*/true)) {
+  if (!netio::read_exact(fd_, header, 4, /*eof_ok=*/true, deadline, "recv")) {
     return std::nullopt;
   }
   std::uint32_t len = load_le<std::uint32_t>(header);
-  if (len > kMaxFrame) throw TransportError("oversized frame");
+  if (len > max_message_size_ || len > kMaxFrame) {
+    // Reject by header inspection — nothing has been allocated yet, so a
+    // forged length cannot cost more than these 4 bytes.
+    throw TransportError("oversized frame: header claims " +
+                         std::to_string(len) + " bytes (limit " +
+                         std::to_string(max_message_size_) + ")");
+  }
   std::vector<std::uint8_t> payload(len);
-  read_all(fd_, payload.data(), len, /*at_frame_start=*/false);
+  netio::read_exact(fd_, payload.data(), len, /*eof_ok=*/false, deadline,
+                    "recv");
+  std::uint8_t trailer[4];
+  netio::read_exact(fd_, trailer, 4, /*eof_ok=*/false, deadline, "recv");
+  std::uint32_t want = load_le<std::uint32_t>(trailer);
+  std::uint32_t got = crc32(payload.data(), payload.size());
+  if (want != got) {
+    throw TransportError("frame checksum mismatch (corrupted in transit)");
+  }
   return Buffer(std::move(payload));
 }
 
@@ -140,8 +137,17 @@ void TcpListener::close() {
   }
 }
 
-TcpConnection TcpListener::accept() {
+TcpConnection TcpListener::accept(const Deadline& deadline) {
   if (fd_ < 0) return TcpConnection();
+  if (!deadline.is_never()) {
+    try {
+      netio::wait_ready(fd_, POLLIN, deadline, "accept");
+    } catch (const TimeoutError&) {
+      throw;
+    } catch (const TransportError&) {
+      return TcpConnection();  // listener closed under us
+    }
+  }
   int client = ::accept(fd_, nullptr, nullptr);
   if (client < 0) {
     // Closed listener (EBADF/EINVAL) is a normal shutdown signal.
@@ -152,22 +158,8 @@ TcpConnection TcpListener::accept() {
   return TcpConnection(client);
 }
 
-TcpConnection tcp_connect(std::uint16_t port) {
-  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) fail_errno("socket");
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(port);
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    int saved = errno;
-    ::close(fd);
-    errno = saved;
-    fail_errno("connect");
-  }
-  int one = 1;
-  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  return TcpConnection(fd);
+TcpConnection tcp_connect(std::uint16_t port, const Deadline& deadline) {
+  return TcpConnection(netio::connect_loopback(port, deadline));
 }
 
 }  // namespace omf::transport

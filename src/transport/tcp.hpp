@@ -1,26 +1,55 @@
 // Minimal TCP framing transport over POSIX sockets.
 //
-// Frames are a 4-byte little-endian length followed by the payload. NDR
-// messages already carry their own self-describing header; the frame length
-// exists only so stream boundaries survive TCP's byte-stream semantics.
-// Loopback-only by intent: this reproduction's "network" is one machine.
+// Frames are a 4-byte little-endian payload length, the payload, and a
+// 4-byte little-endian CRC-32 of the payload. NDR messages already carry
+// their own self-describing header; the frame length exists only so stream
+// boundaries survive TCP's byte-stream semantics, and the CRC exists so a
+// corrupted frame is rejected at the framing layer instead of reaching a
+// decoder (TCP's own checksum is too weak to rely on against the faults the
+// chaos suite injects). Loopback-only by intent: this reproduction's
+// "network" is one machine.
+//
+// Fault tolerance: every blocking call takes an optional Deadline (or uses
+// the connection's configured IoTimeouts); expiry throws TimeoutError.
+// Sockets are non-blocking with poll(2)-guarded loops, sends use
+// MSG_NOSIGNAL (a peer reset is a clean TransportError, not SIGPIPE), and
+// frames larger than max_message_size are rejected *before* any allocation
+// so a hostile peer cannot force a multi-GB buffer with a forged header.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <optional>
 #include <string>
 
 #include "util/buffer.hpp"
+#include "util/deadline.hpp"
 
 namespace omf::transport {
+
+/// Per-operation timeout knobs; zero means "no timeout" (block forever).
+struct IoTimeouts {
+  std::chrono::milliseconds connect{0};
+  std::chrono::milliseconds send{0};
+  std::chrono::milliseconds recv{0};
+};
+
+/// Default per-connection frame-size bound (64 MiB). Far above any metadata
+/// bundle or event this system exchanges, far below an allocation that
+/// could hurt the process.
+inline constexpr std::size_t kDefaultMaxMessageSize = 64u << 20;
 
 /// A connected, message-framed TCP endpoint. Move-only RAII over the fd.
 class TcpConnection {
 public:
   TcpConnection() = default;
-  explicit TcpConnection(int fd) : fd_(fd) {}
+  /// Takes ownership of a connected stream socket (made non-blocking).
+  explicit TcpConnection(int fd);
   ~TcpConnection();
-  TcpConnection(TcpConnection&& other) noexcept : fd_(other.fd_) {
+  TcpConnection(TcpConnection&& other) noexcept
+      : fd_(other.fd_),
+        timeouts_(other.timeouts_),
+        max_message_size_(other.max_message_size_) {
     other.fd_ = -1;
   }
   TcpConnection& operator=(TcpConnection&& other) noexcept;
@@ -29,18 +58,42 @@ public:
 
   bool valid() const noexcept { return fd_ >= 0; }
 
-  /// Sends one framed message. Throws TransportError on I/O failure.
-  void send(const Buffer& message);
+  /// Configured timeouts applied when the explicit-deadline overloads are
+  /// not used. Zero fields block forever (the default).
+  void set_timeouts(const IoTimeouts& t) noexcept { timeouts_ = t; }
+  const IoTimeouts& timeouts() const noexcept { return timeouts_; }
 
-  /// Receives one framed message; nullopt on orderly peer close.
-  /// Throws TransportError on I/O failure or oversized frames.
-  std::optional<Buffer> receive();
+  /// Largest acceptable frame payload, enforced on both send and receive
+  /// (receive rejects by header inspection, before allocating).
+  void set_max_message_size(std::size_t bytes) noexcept {
+    max_message_size_ = bytes;
+  }
+  std::size_t max_message_size() const noexcept { return max_message_size_; }
+
+  /// Sends one framed message. Throws TransportError on I/O failure,
+  /// TimeoutError past the deadline.
+  void send(const Buffer& message) {
+    send(message, Deadline::from_timeout(timeouts_.send));
+  }
+  void send(const Buffer& message, const Deadline& deadline);
+
+  /// Receives one framed message; nullopt on orderly peer close. Throws
+  /// TransportError on I/O failure, corrupt or oversized frames;
+  /// TimeoutError past the deadline.
+  std::optional<Buffer> receive() {
+    return receive(Deadline::from_timeout(timeouts_.recv));
+  }
+  std::optional<Buffer> receive(const Deadline& deadline);
 
   void close();
 
+  /// Underlying descriptor, still owned by the connection (-1 when closed).
+  /// For diagnostics and the fault-injection harness only.
+  int native_handle() const noexcept { return fd_; }
+
   /// Relinquishes ownership of the descriptor to the caller (for byte-
-  /// stream protocols like HTTP that cannot use message framing). Returns
-  /// -1 if the connection is not open.
+  /// stream protocols like HTTP that cannot use message framing). The fd
+  /// is non-blocking. Returns -1 if the connection is not open.
   int release_fd() noexcept {
     int fd = fd_;
     fd_ = -1;
@@ -49,6 +102,8 @@ public:
 
 private:
   int fd_ = -1;
+  IoTimeouts timeouts_{};
+  std::size_t max_message_size_ = kDefaultMaxMessageSize;
 };
 
 /// Listening socket bound to 127.0.0.1. Move-only RAII.
@@ -65,8 +120,10 @@ public:
   std::uint16_t port() const noexcept { return port_; }
 
   /// Blocks for the next inbound connection. Returns an invalid connection
-  /// if the listener has been closed from another thread.
-  TcpConnection accept();
+  /// if the listener has been closed from another thread. The deadline
+  /// overload throws TimeoutError when nothing arrives in time.
+  TcpConnection accept() { return accept(Deadline::never()); }
+  TcpConnection accept(const Deadline& deadline);
 
   void close();
 
@@ -75,7 +132,9 @@ private:
   std::uint16_t port_ = 0;
 };
 
-/// Connects to 127.0.0.1:port. Throws TransportError on failure.
-TcpConnection tcp_connect(std::uint16_t port);
+/// Connects to 127.0.0.1:port. Throws TransportError on failure,
+/// TimeoutError when the connect does not complete by the deadline.
+TcpConnection tcp_connect(std::uint16_t port,
+                          const Deadline& deadline = Deadline::never());
 
 }  // namespace omf::transport

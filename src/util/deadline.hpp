@@ -1,0 +1,76 @@
+// Deadlines for blocking operations.
+//
+// A Deadline is an absolute point in time by which a blocking call must
+// complete; "never" means the call may block indefinitely (the historical
+// behaviour of every transport call, still the default). Deadlines compose
+// naturally across a multi-step operation — connect, send request, read
+// response — because each step polls the same absolute time point instead of
+// restarting a relative timeout. Expiry surfaces as TimeoutError (see
+// util/error.hpp), which derives from TransportError so existing catch
+// sites keep working.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <limits>
+
+namespace omf {
+
+class Deadline {
+public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Default-constructed deadlines never expire.
+  constexpr Deadline() = default;
+
+  /// A deadline that never expires.
+  static constexpr Deadline never() { return Deadline(); }
+
+  /// A deadline `d` from now. Non-positive durations are already expired.
+  static Deadline after(std::chrono::milliseconds d) {
+    Deadline out;
+    out.infinite_ = false;
+    out.when_ = Clock::now() + d;
+    return out;
+  }
+
+  /// Converts a relative-timeout knob to a deadline: zero or negative
+  /// means "no timeout" (never expires).
+  static Deadline from_timeout(std::chrono::milliseconds timeout) {
+    return timeout <= std::chrono::milliseconds::zero() ? never()
+                                                        : after(timeout);
+  }
+
+  bool is_never() const noexcept { return infinite_; }
+
+  bool expired() const noexcept {
+    return !infinite_ && Clock::now() >= when_;
+  }
+
+  /// Remaining time, clamped to zero; an arbitrary large value when the
+  /// deadline never expires.
+  std::chrono::milliseconds remaining() const noexcept {
+    if (infinite_) return std::chrono::milliseconds::max();
+    auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        when_ - Clock::now());
+    return left < std::chrono::milliseconds::zero()
+               ? std::chrono::milliseconds::zero()
+               : left;
+  }
+
+  /// Timeout argument for poll(2): -1 to block forever, otherwise the
+  /// remaining milliseconds clamped into int range (0 when expired).
+  int poll_timeout_ms() const noexcept {
+    if (infinite_) return -1;
+    auto left = remaining().count();
+    constexpr auto kMax =
+        static_cast<std::int64_t>(std::numeric_limits<int>::max());
+    return static_cast<int>(left > kMax ? kMax : left);
+  }
+
+private:
+  bool infinite_ = true;
+  Clock::time_point when_{};
+};
+
+}  // namespace omf

@@ -74,6 +74,19 @@ class TransportError : public Error {
 public:
   explicit TransportError(const std::string& what)
       : Error("transport error: " + what) {}
+
+protected:
+  struct Raw {};
+  TransportError(Raw, const std::string& what) : Error(what) {}
+};
+
+/// Thrown when a blocking operation exceeds its Deadline (util/deadline.hpp).
+/// Derives from TransportError so pre-deadline catch sites keep working;
+/// catch TimeoutError first to distinguish "slow" from "broken".
+class TimeoutError : public TransportError {
+public:
+  explicit TimeoutError(const std::string& what)
+      : TransportError(Raw{}, "timeout: " + what) {}
 };
 
 }  // namespace omf

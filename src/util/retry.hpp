@@ -1,0 +1,80 @@
+// Retry with exponential backoff and deterministic jitter.
+//
+// RetryPolicy describes how many times to attempt an operation and how long
+// to wait between attempts: delay(k) = min(cap, base * 2^k), spread by a
+// jitter fraction drawn from the SplitMix64 RNG (util/rng.hpp) seeded from
+// the policy — the same seed always yields the same delay sequence, so
+// chaos tests and backoff-shape assertions are reproducible.
+//
+// retry_call() wraps a callable: transient failures (TransportError,
+// including TimeoutError) are retried per the policy; anything else —
+// DecodeError, FormatError, logic errors — propagates immediately, because
+// retrying corrupt data cannot make it valid. The sleeper is injectable so
+// tests can capture delays instead of actually sleeping.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <thread>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace omf {
+
+struct RetryPolicy {
+  int max_attempts = 3;                    ///< total attempts (>= 1)
+  std::chrono::milliseconds base{50};      ///< delay before attempt 2
+  std::chrono::milliseconds cap{2000};     ///< backoff ceiling
+  double jitter = 0.2;                     ///< +/- fraction of the delay
+  std::uint64_t seed = 0x0FA117u;          ///< jitter stream seed
+
+  /// Delay to wait after failed attempt `attempt` (1-based). Deterministic
+  /// for a given (seed, attempt) pair.
+  std::chrono::milliseconds backoff(int attempt) const {
+    if (attempt < 1) attempt = 1;
+    auto ms = static_cast<std::uint64_t>(base.count());
+    // Saturating doubling: attempt 1 -> base, 2 -> 2*base, ...
+    for (int i = 1; i < attempt && ms < static_cast<std::uint64_t>(cap.count());
+         ++i) {
+      ms *= 2;
+    }
+    if (ms > static_cast<std::uint64_t>(cap.count())) {
+      ms = static_cast<std::uint64_t>(cap.count());
+    }
+    if (jitter > 0.0 && ms > 0) {
+      Rng rng(seed ^ (0x9E3779B97F4A7C15ull * static_cast<std::uint64_t>(attempt)));
+      double spread = (rng.uniform() * 2.0 - 1.0) * jitter;  // [-j, +j)
+      double jittered = static_cast<double>(ms) * (1.0 + spread);
+      ms = jittered < 0.0 ? 0 : static_cast<std::uint64_t>(jittered);
+    }
+    return std::chrono::milliseconds(static_cast<std::int64_t>(ms));
+  }
+};
+
+using RetrySleeper = std::function<void(std::chrono::milliseconds)>;
+
+inline void default_retry_sleeper(std::chrono::milliseconds d) {
+  if (d > std::chrono::milliseconds::zero()) std::this_thread::sleep_for(d);
+}
+
+/// Invokes `fn` up to policy.max_attempts times, backing off between
+/// attempts. Retries only TransportError (and subclasses); the last error
+/// is rethrown once attempts are exhausted.
+template <typename F>
+auto retry_call(const RetryPolicy& policy, F&& fn,
+                const RetrySleeper& sleeper = default_retry_sleeper)
+    -> decltype(fn()) {
+  int attempts = policy.max_attempts < 1 ? 1 : policy.max_attempts;
+  for (int attempt = 1;; ++attempt) {
+    try {
+      return fn();
+    } catch (const TransportError&) {
+      if (attempt >= attempts) throw;
+      sleeper(policy.backoff(attempt));
+    }
+  }
+}
+
+}  // namespace omf

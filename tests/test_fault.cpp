@@ -1,0 +1,656 @@
+// Fault tolerance: deadlines, retry/backoff, circuit breaker, graceful
+// degradation, and seeded chaos against the fault-injection harness.
+//
+// The chaos sweep reads OMF_CHAOS_SEED from the environment (default 1) so
+// CI can run the same suite under several fixed seeds; any failure
+// reproduces locally from the seed alone.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "core/discovery.hpp"
+#include "fault/circuit_breaker.hpp"
+#include "fault/faulty.hpp"
+#include "http/http.hpp"
+#include "pbio/format.hpp"
+#include "test_structs.hpp"
+#include "transport/format_service.hpp"
+#include "transport/net_io.hpp"
+#include "transport/remote_backbone.hpp"
+#include "transport/tcp.hpp"
+#include "util/bytes.hpp"
+#include "util/deadline.hpp"
+#include "util/retry.hpp"
+#include "util/rng.hpp"
+
+namespace omf::fault {
+namespace {
+
+using namespace std::chrono_literals;
+using namespace omf::testing;
+using transport::TcpConnection;
+using transport::TcpListener;
+using transport::tcp_connect;
+
+Buffer text_buffer(std::string_view text) {
+  Buffer b;
+  b.append(text);
+  return b;
+}
+
+std::string as_text(const Buffer& b) {
+  return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+}
+
+// --- Deadline ---------------------------------------------------------------
+
+TEST(DeadlineTest, NeverNeverExpires) {
+  Deadline d;
+  EXPECT_TRUE(d.is_never());
+  EXPECT_FALSE(d.expired());
+  EXPECT_EQ(d.poll_timeout_ms(), -1);
+  EXPECT_TRUE(Deadline::never().is_never());
+}
+
+TEST(DeadlineTest, FromTimeoutZeroMeansNever) {
+  EXPECT_TRUE(Deadline::from_timeout(0ms).is_never());
+  EXPECT_TRUE(Deadline::from_timeout(-5ms).is_never());
+  EXPECT_FALSE(Deadline::from_timeout(5ms).is_never());
+}
+
+TEST(DeadlineTest, ExpiresAndClampsPollTimeout) {
+  Deadline d = Deadline::after(30ms);
+  EXPECT_FALSE(d.expired());
+  int first = d.poll_timeout_ms();
+  EXPECT_GE(first, 0);
+  EXPECT_LE(first, 30);
+  std::this_thread::sleep_for(40ms);
+  EXPECT_TRUE(d.expired());
+  EXPECT_EQ(d.poll_timeout_ms(), 0);
+  EXPECT_EQ(d.remaining(), std::chrono::milliseconds::zero());
+}
+
+// --- Retry ------------------------------------------------------------------
+
+TEST(RetryTest, BackoffIsDeterministicPerSeed) {
+  RetryPolicy a;
+  RetryPolicy b;
+  for (int attempt = 1; attempt <= 6; ++attempt) {
+    EXPECT_EQ(a.backoff(attempt), b.backoff(attempt)) << attempt;
+  }
+  RetryPolicy other;
+  other.seed = 12345;
+  bool any_different = false;
+  for (int attempt = 1; attempt <= 6; ++attempt) {
+    any_different |= a.backoff(attempt) != other.backoff(attempt);
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(RetryTest, BackoffGrowsExponentiallyWithinJitterAndCap) {
+  RetryPolicy p;
+  p.base = 100ms;
+  p.cap = 1000ms;
+  p.jitter = 0.2;
+  for (int attempt = 1; attempt <= 8; ++attempt) {
+    std::int64_t nominal = std::min<std::int64_t>(
+        1000, 100ll << (attempt - 1));
+    auto d = p.backoff(attempt).count();
+    EXPECT_GE(d, nominal * 80 / 100) << attempt;
+    EXPECT_LE(d, nominal * 120 / 100) << attempt;
+  }
+}
+
+TEST(RetryTest, RetryCallConvergesOnTransientFailure) {
+  RetryPolicy p;
+  p.max_attempts = 5;
+  std::vector<std::chrono::milliseconds> slept;
+  int calls = 0;
+  int result = retry_call(
+      p,
+      [&] {
+        if (++calls < 3) throw TransportError("transient");
+        return 42;
+      },
+      [&](std::chrono::milliseconds d) { slept.push_back(d); });
+  EXPECT_EQ(result, 42);
+  EXPECT_EQ(calls, 3);
+  ASSERT_EQ(slept.size(), 2u);
+  EXPECT_EQ(slept[0], p.backoff(1));
+  EXPECT_EQ(slept[1], p.backoff(2));
+}
+
+TEST(RetryTest, RetryCallDoesNotRetryCorruptData) {
+  RetryPolicy p;
+  p.max_attempts = 5;
+  int calls = 0;
+  EXPECT_THROW(retry_call(
+                   p,
+                   [&]() -> int {
+                     ++calls;
+                     throw DecodeError("corrupt");
+                   },
+                   [](std::chrono::milliseconds) {}),
+               DecodeError);
+  EXPECT_EQ(calls, 1);  // retrying corrupt data cannot make it valid
+}
+
+TEST(RetryTest, RetryCallExhaustionRethrowsLastError) {
+  RetryPolicy p;
+  p.max_attempts = 3;
+  int calls = 0;
+  EXPECT_THROW(retry_call(
+                   p,
+                   [&]() -> int {
+                     ++calls;
+                     throw TimeoutError("slow");
+                   },
+                   [](std::chrono::milliseconds) {}),
+               TimeoutError);
+  EXPECT_EQ(calls, 3);
+}
+
+// --- Circuit breaker --------------------------------------------------------
+
+TEST(CircuitBreakerTest, TripsAfterThresholdAndRejectsWhileOpen) {
+  CircuitBreaker::Config cfg;
+  cfg.failure_threshold = 3;
+  cfg.cooldown = 10s;  // never elapses in this test
+  CircuitBreaker breaker(cfg);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(breaker.allow());
+    breaker.record_failure();
+  }
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_FALSE(breaker.allow());
+  EXPECT_FALSE(breaker.allow());
+  EXPECT_EQ(breaker.rejected(), 2u);
+}
+
+TEST(CircuitBreakerTest, SuccessResetsFailureCount) {
+  CircuitBreaker::Config cfg;
+  cfg.failure_threshold = 2;
+  CircuitBreaker breaker(cfg);
+  breaker.record_failure();
+  breaker.record_success();  // streak broken
+  breaker.record_failure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+}
+
+TEST(CircuitBreakerTest, HalfOpenProbeClosesAfterCooldown) {
+  CircuitBreaker::Config cfg;
+  cfg.failure_threshold = 1;
+  cfg.cooldown = 30ms;
+  cfg.half_open_successes = 2;
+  CircuitBreaker breaker(cfg);
+  breaker.record_failure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_FALSE(breaker.allow());
+  std::this_thread::sleep_for(50ms);
+  EXPECT_TRUE(breaker.allow());  // cooldown elapsed: probe admitted
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  breaker.record_success();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  breaker.record_success();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+}
+
+TEST(CircuitBreakerTest, HalfOpenFailureReopens) {
+  CircuitBreaker::Config cfg;
+  cfg.failure_threshold = 1;
+  cfg.cooldown = 20ms;
+  CircuitBreaker breaker(cfg);
+  breaker.record_failure();
+  std::this_thread::sleep_for(40ms);
+  EXPECT_TRUE(breaker.allow());
+  breaker.record_failure();  // probe failed
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_FALSE(breaker.allow());
+}
+
+// --- FaultyConnection -------------------------------------------------------
+
+TEST(FaultyConnectionTest, CorruptedSendRejectedAtPeer) {
+  TcpListener listener(0);
+  std::thread server([&] {
+    TcpConnection conn = listener.accept();
+    EXPECT_THROW(conn.receive(), TransportError);  // checksum mismatch
+  });
+  FaultAction corrupt;
+  corrupt.kind = FaultKind::kCorrupt;
+  corrupt.direction = Direction::kClientToServer;
+  corrupt.frame = 0;
+  FaultyConnection client(tcp_connect(listener.port()), {corrupt});
+  client.send(text_buffer("precious payload"));
+  EXPECT_EQ(client.faults_injected(), 1u);
+  server.join();
+}
+
+TEST(FaultyConnectionTest, DroppedSendNeverArrives) {
+  TcpListener listener(0);
+  std::string got;
+  std::thread server([&] {
+    TcpConnection conn = listener.accept();
+    auto msg = conn.receive();
+    if (msg) got = as_text(*msg);
+  });
+  FaultAction drop;
+  drop.kind = FaultKind::kDrop;
+  drop.direction = Direction::kClientToServer;
+  drop.frame = 0;
+  FaultyConnection client(tcp_connect(listener.port()), {drop});
+  client.send(text_buffer("lost"));
+  client.send(text_buffer("delivered"));
+  client.close();
+  server.join();
+  EXPECT_EQ(got, "delivered");
+}
+
+TEST(FaultyConnectionTest, TruncatedSendLeavesPeerMidFrame) {
+  TcpListener listener(0);
+  std::thread server([&] {
+    TcpConnection conn = listener.accept();
+    EXPECT_THROW(conn.receive(), TransportError);  // closed mid-frame
+  });
+  FaultAction trunc;
+  trunc.kind = FaultKind::kTruncate;
+  trunc.direction = Direction::kClientToServer;
+  trunc.frame = 0;
+  trunc.keep_bytes = 7;  // header + 3 payload bytes
+  FaultyConnection client(tcp_connect(listener.port()), {trunc});
+  client.send(text_buffer("cut short"));
+  EXPECT_FALSE(client.valid());
+  server.join();
+}
+
+TEST(FaultyConnectionTest, ResetSendResetsPeer) {
+  TcpListener listener(0);
+  std::thread server([&] {
+    TcpConnection conn = listener.accept();
+    EXPECT_THROW(conn.receive(), TransportError);  // ECONNRESET
+  });
+  FaultAction reset;
+  reset.kind = FaultKind::kReset;
+  reset.direction = Direction::kClientToServer;
+  reset.frame = 0;
+  FaultyConnection client(tcp_connect(listener.port()), {reset});
+  client.send(text_buffer("never mind"));
+  EXPECT_FALSE(client.valid());
+  server.join();
+}
+
+TEST(FaultyConnectionTest, DelayedReceiveStillIntact) {
+  TcpListener listener(0);
+  std::thread server([&] {
+    TcpConnection conn = listener.accept();
+    conn.send(text_buffer("worth the wait"));
+  });
+  FaultAction delay;
+  delay.kind = FaultKind::kDelay;
+  delay.direction = Direction::kServerToClient;
+  delay.frame = 0;
+  delay.delay = 30ms;
+  FaultyConnection client(tcp_connect(listener.port()), {delay});
+  auto start = std::chrono::steady_clock::now();
+  auto msg = client.receive();
+  server.join();
+  ASSERT_TRUE(msg);
+  EXPECT_EQ(as_text(*msg), "worth the wait");
+  EXPECT_GE(std::chrono::steady_clock::now() - start, 30ms);
+}
+
+// --- FaultProxy -------------------------------------------------------------
+
+TEST(FaultProxyTest, TransparentWithEmptyScript) {
+  TcpListener listener(0);
+  std::thread server([&] {
+    TcpConnection conn = listener.accept();
+    for (;;) {
+      auto msg = conn.receive();
+      if (!msg) break;
+      conn.send(*msg);  // echo
+    }
+  });
+  FaultProxy proxy(listener.port());
+  TcpConnection client = tcp_connect(proxy.port());
+  for (int i = 0; i < 20; ++i) {
+    client.send(text_buffer("echo-" + std::to_string(i)));
+    auto reply = client.receive();
+    ASSERT_TRUE(reply);
+    EXPECT_EQ(as_text(*reply), "echo-" + std::to_string(i));
+  }
+  client.close();
+  server.join();
+  EXPECT_EQ(proxy.connections(), 1u);
+  EXPECT_EQ(proxy.faults_injected(), 0u);
+}
+
+TEST(FaultProxyTest, DeadlineNotOvershotPastInjectedDelay) {
+  // Tentpole acceptance: an injected stall must surface as TimeoutError at
+  // the configured deadline, never a hang — and within 2x the deadline.
+  TcpListener listener(0);
+  std::thread server([&] {
+    TcpConnection conn = listener.accept();
+    auto msg = conn.receive();
+    if (msg) conn.send(*msg);
+  });
+  FaultAction stall;
+  stall.kind = FaultKind::kDelay;
+  stall.direction = Direction::kServerToClient;
+  stall.frame = 0;
+  stall.delay = 2000ms;
+  FaultProxy proxy(listener.port(), {stall});
+  TcpConnection client = tcp_connect(proxy.port());
+  client.set_timeouts({.connect = {}, .send = {}, .recv = 200ms});
+  client.send(text_buffer("ping"));
+  auto start = std::chrono::steady_clock::now();
+  EXPECT_THROW(client.receive(), TimeoutError);
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(elapsed, 400ms);  // < 2x the 200ms deadline
+  client.close();
+  server.join();
+  proxy.stop();
+}
+
+TEST(FaultProxyTest, EveryCorruptedFrameRejectedNeverDelivered) {
+  TcpListener listener(0);
+  std::thread server([&] {
+    TcpConnection conn = listener.accept();
+    for (;;) {
+      auto msg = conn.receive();
+      if (!msg) break;
+      conn.send(*msg);
+    }
+  });
+  FaultAction corrupt_all;
+  corrupt_all.kind = FaultKind::kCorrupt;
+  corrupt_all.direction = Direction::kServerToClient;
+  corrupt_all.connection = -1;
+  corrupt_all.frame = -1;  // recurring: every server->client frame
+  corrupt_all.corrupt_seed = 0xBADC0DE;
+  FaultProxy proxy(listener.port(), {corrupt_all});
+  TcpConnection client = tcp_connect(proxy.port());
+  for (int i = 0; i < 5; ++i) {
+    client.send(text_buffer("important data " + std::to_string(i)));
+    // The frame arrives whole and in sequence, but its CRC must fail: the
+    // framing layer never hands corrupted bytes to the application.
+    EXPECT_THROW(client.receive(), TransportError) << i;
+  }
+  client.close();
+  server.join();
+  EXPECT_EQ(proxy.faults_injected(), 5u);
+}
+
+TEST(FaultProxyTest, ResetTriggersReconnectAndResubscribe) {
+  transport::EventBackbone backbone;
+  transport::RemoteBackboneServer server(backbone);
+  FaultAction reset;
+  reset.kind = FaultKind::kReset;
+  reset.direction = Direction::kServerToClient;
+  reset.connection = 0;
+  reset.frame = 1;  // second message on the first connection
+  FaultProxy proxy(server.port(), {reset});
+
+  transport::RemoteSubscription::ReconnectOptions opts;
+  opts.enabled = true;
+  opts.retry.max_attempts = 40;
+  opts.retry.base = 5ms;
+  opts.retry.cap = 25ms;
+  transport::RemoteSubscription sub(proxy.port(), "armored", opts);
+  for (int i = 0; i < 500 && backbone.subscriber_count("armored") == 0; ++i) {
+    std::this_thread::sleep_for(1ms);
+  }
+  backbone.publish("armored", text_buffer("m0"));
+  auto m0 = sub.receive();
+  ASSERT_TRUE(m0);
+  EXPECT_EQ(as_text(*m0), "m0");
+
+  backbone.publish("armored", text_buffer("m1"));  // RST injected here
+
+  // m1 dies with the connection (at-most-once); keep publishing m2 until
+  // the resubscribed stream delivers it.
+  std::atomic<bool> got_m2{false};
+  std::thread publisher([&] {
+    for (int i = 0; i < 2000 && !got_m2.load(); ++i) {
+      backbone.publish("armored", text_buffer("m2"));
+      std::this_thread::sleep_for(5ms);
+    }
+  });
+  std::optional<Buffer> msg;
+  do {
+    msg = sub.receive();
+    ASSERT_TRUE(msg);  // reconnect must succeed; server never went away
+  } while (as_text(*msg) != "m2");
+  got_m2.store(true);
+  publisher.join();
+  EXPECT_GE(sub.reconnects(), 1u);
+  sub.close();
+  server.stop();
+  proxy.stop();
+}
+
+TEST(FaultProxyTest, FormatServiceRetriesThroughFlakyNetwork) {
+  pbio::FormatRegistry sender_reg;
+  auto f = sender_reg.register_format("ASDOffEvent", asdoff_fields(),
+                                      sizeof(AsdOff));
+  transport::FormatServiceServer server;
+  server.publish(*f);
+
+  FaultAction reset;
+  reset.kind = FaultKind::kReset;
+  reset.direction = Direction::kClientToServer;
+  reset.connection = 0;
+  reset.frame = 0;  // kill the first RPC's request frame
+  FaultProxy proxy(server.port(), {reset});
+
+  transport::FormatServiceClient::Options opts;
+  opts.retry.max_attempts = 5;
+  opts.retry.base = 5ms;
+  opts.retry.cap = 25ms;
+  opts.rpc_timeout = 2000ms;
+  transport::FormatServiceClient client(proxy.port(), opts);
+  pbio::FormatRegistry receiver_reg;
+  auto fetched = client.fetch(receiver_reg, f->id());
+  ASSERT_NE(fetched, nullptr);
+  EXPECT_EQ(fetched->id(), f->id());
+  EXPECT_GE(client.retries(), 1u);
+  proxy.stop();
+}
+
+// --- Corrupt metadata is not retried ---------------------------------------
+
+TEST(FaultTolerance, TruncatedBundleFromCorpusNotMaskedByRetry) {
+  // The lint corpus's truncated bundle, served as a format-service
+  // response: the transport retries transient faults, but a structurally
+  // corrupt bundle must fail immediately as DecodeError — retrying corrupt
+  // data cannot make it valid.
+  std::ifstream in(
+      std::string(OMF_LINT_CORPUS_DIR) + "/truncated_bundle__OMF001.fmt",
+      std::ios::binary);
+  ASSERT_TRUE(in) << "corpus file missing";
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  std::string bundle = ss.str();
+  ASSERT_EQ(bundle.substr(0, 4), "OBMF");
+
+  TcpListener listener(0);
+  std::thread fake_service([&] {
+    TcpConnection conn = listener.accept();
+    auto request = conn.receive();
+    ASSERT_TRUE(request);
+    Buffer response;
+    response.append_int<std::uint32_t>(
+        static_cast<std::uint32_t>(bundle.size()), ByteOrder::kLittle);
+    response.append(bundle);
+    conn.send(response);
+  });
+
+  transport::FormatServiceClient::Options opts;
+  opts.retry.max_attempts = 5;
+  opts.retry.base = 5ms;
+  transport::FormatServiceClient client(listener.port(), opts);
+  pbio::FormatRegistry reg;
+  EXPECT_THROW(client.fetch(reg, 1), DecodeError);
+  EXPECT_EQ(client.retries(), 0u);  // corruption was not retried
+  fake_service.join();
+}
+
+// --- HTTP deadline ----------------------------------------------------------
+
+TEST(FaultTolerance, HttpGetHonorsDeadlineAgainstSilentServer) {
+  // A listener that accepts nothing: the TCP handshake completes out of
+  // the backlog, then the server is silent forever.
+  TcpListener listener(0);
+  std::string url =
+      "http://127.0.0.1:" + std::to_string(listener.port()) + "/meta.xml";
+  auto start = std::chrono::steady_clock::now();
+  EXPECT_THROW(http::get(url, Deadline::after(200ms)), TimeoutError);
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(elapsed, 400ms);  // < 2x the deadline
+}
+
+// --- Discovery: breaker + stale cache ---------------------------------------
+
+TEST(FaultTolerance, DiscoveryServesStaleBehindTrippedBreaker) {
+  auto server = std::make_unique<http::Server>();
+  std::uint16_t port = server->port();
+  server->put_document("/m.xml", "<meta><format>asd</format></meta>");
+  std::string url = server->url_for("/m.xml");
+
+  core::DiscoveryManager dm;
+  CircuitBreaker::Config cfg;
+  cfg.failure_threshold = 2;
+  cfg.cooldown = 100ms;
+  dm.set_breaker_config(cfg);
+  core::HttpSourceOptions http_opts;
+  http_opts.fetch_timeout = 2000ms;
+  dm.add_source(core::make_http_source(http_opts));
+
+  auto fresh = dm.discover(url);
+  ASSERT_NE(fresh, nullptr);
+  dm.invalidate(url);  // metadata-change notification: refetch next time
+  server->stop();
+  server.reset();  // repository goes dark
+
+  // Graceful degradation: every fetch fails, the stale copy is served.
+  auto stale1 = dm.discover(url);
+  EXPECT_EQ(stale1, fresh);
+  auto stale2 = dm.discover(url);  // second failure trips the breaker
+  EXPECT_EQ(stale2, fresh);
+  ASSERT_NE(dm.source_breaker(0), nullptr);
+  EXPECT_EQ(dm.source_breaker(0)->state(), CircuitBreaker::State::kOpen);
+
+  auto fetches_before = dm.stats().fetches;
+  auto stale3 = dm.discover(url);  // breaker open: no fetch attempt at all
+  EXPECT_EQ(stale3, fresh);
+  EXPECT_EQ(dm.stats().fetches, fetches_before);
+  EXPECT_GE(dm.stats().breaker_skips, 1u);
+  EXPECT_EQ(dm.stats().stale_served, 3u);
+
+  // Repository comes back; after the cooldown a half-open probe succeeds
+  // and fresh metadata flows again.
+  http::Server revived(port);
+  revived.put_document("/m.xml", "<meta><format>asd-v2</format></meta>");
+  std::this_thread::sleep_for(150ms);
+  auto recovered = dm.discover(url);
+  ASSERT_NE(recovered, nullptr);
+  EXPECT_NE(recovered, fresh);  // genuinely re-fetched, not stale
+  EXPECT_EQ(dm.source_breaker(0)->state(), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(dm.stats().stale_served, 3u);  // no new degradation
+}
+
+TEST(FaultTolerance, DiscoveryWithoutStaleCopyStillThrows) {
+  core::DiscoveryManager dm;
+  core::HttpSourceOptions opts;
+  opts.fetch_timeout = 200ms;
+  dm.add_source(core::make_http_source(opts));
+  TcpListener silent(0);  // real port, no HTTP behind it
+  std::string url =
+      "http://127.0.0.1:" + std::to_string(silent.port()) + "/nope.xml";
+  EXPECT_THROW(dm.discover(url), DiscoveryError);
+}
+
+// --- Seeded chaos sweep -----------------------------------------------------
+
+TEST(Chaos, SeededSweepDeliversOnlyIntactMessages) {
+  std::uint64_t seed = 1;
+  if (const char* env = std::getenv("OMF_CHAOS_SEED")) {
+    seed = std::strtoull(env, nullptr, 10);
+  }
+  SCOPED_TRACE("OMF_CHAOS_SEED=" + std::to_string(seed));
+
+  transport::EventBackbone backbone;
+  transport::RemoteBackboneServer server(backbone);
+  FaultProxy proxy(server.port(), chaos_script(seed, /*connections=*/8,
+                                               /*frames_per_connection=*/40,
+                                               /*fault_rate=*/0.3));
+
+  transport::RemoteSubscription::ReconnectOptions opts;
+  opts.enabled = true;
+  opts.retry.max_attempts = 50;
+  opts.retry.base = 5ms;
+  opts.retry.cap = 20ms;
+  opts.retry.seed = seed;
+  opts.recv_timeout = 250ms;
+  transport::RemoteSubscription sub(proxy.port(), "chaos", opts);
+
+  constexpr int kMessages = 120;
+  std::vector<std::string> payloads;
+  std::set<std::string> sent;
+  Rng rng(seed);
+  for (int i = 0; i < kMessages; ++i) {
+    std::string m = "chaos-" + std::to_string(i) + ":" + rng.identifier(32);
+    payloads.push_back(m);
+    sent.insert(m);
+  }
+
+  std::atomic<bool> done{false};
+  std::thread publisher([&] {
+    for (int i = 0; i < 200 && backbone.subscriber_count("chaos") == 0; ++i) {
+      std::this_thread::sleep_for(1ms);
+    }
+    for (const std::string& m : payloads) {
+      backbone.publish("chaos", text_buffer(m));
+      std::this_thread::sleep_for(2ms);
+    }
+    std::this_thread::sleep_for(100ms);
+    done.store(true);
+  });
+
+  std::size_t received = 0;
+  Deadline hard_stop = Deadline::after(30000ms);  // chaos must not hang
+  for (;;) {
+    ASSERT_FALSE(hard_stop.expired()) << "chaos sweep wedged";
+    try {
+      auto msg = sub.receive();
+      if (!msg) break;
+      // The invariant under any fault schedule: what reaches the
+      // application is a message the publisher actually sent, intact.
+      EXPECT_EQ(sent.count(as_text(*msg)), 1u)
+          << "corrupted or fabricated message delivered";
+      ++received;
+    } catch (const TimeoutError&) {
+      if (done.load()) break;  // stream idle and publisher finished
+    } catch (const TransportError&) {
+      break;  // reconnect exhausted — acceptable terminal state, not a hang
+    }
+  }
+  publisher.join();
+  EXPECT_LE(received, static_cast<std::size_t>(kMessages));  // at-most-once
+  EXPECT_GT(received, 0u);  // chaos thinned the stream but did not kill it
+  sub.close();
+  server.stop();
+  proxy.stop();
+}
+
+}  // namespace
+}  // namespace omf::fault

@@ -1,12 +1,17 @@
 // Networked event backbone: remote subscribe/publish over TCP.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <chrono>
 #include <thread>
 
 #include "core/context.hpp"
 #include "pbio/record.hpp"
 #include "test_structs.hpp"
+#include "transport/net_io.hpp"
 #include "transport/remote_backbone.hpp"
+#include "util/bytes.hpp"
 
 namespace omf::transport {
 namespace {
@@ -150,6 +155,97 @@ TEST(RemoteBackbone, ManyRemoteSubscribersFanOut) {
     ASSERT_TRUE(msg);
     EXPECT_EQ(as_text(*msg), "broadcast");
   }
+}
+
+TEST(RemoteBackbone, SubscriberSurvivesServerRestartWithReconnect) {
+  // The tentpole reconnect-and-resubscribe path: the server goes away and
+  // comes back on the same port; a reconnect-enabled subscription resumes
+  // receiving without the caller noticing anything but message loss.
+  EventBackbone backbone;
+  auto server = std::make_unique<RemoteBackboneServer>(backbone);
+  std::uint16_t port = server->port();
+
+  RemoteSubscription::ReconnectOptions opts;
+  opts.enabled = true;
+  opts.retry.max_attempts = 40;
+  opts.retry.base = std::chrono::milliseconds(10);
+  opts.retry.cap = std::chrono::milliseconds(50);
+  RemoteSubscription sub(port, "sturdy", opts);
+  for (int i = 0; i < 200 && backbone.subscriber_count("sturdy") == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  backbone.publish("sturdy", text_buffer("before"));
+  auto m1 = sub.receive();
+  ASSERT_TRUE(m1);
+  EXPECT_EQ(as_text(*m1), "before");
+
+  server->stop();
+  server.reset();
+  std::thread restarter([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    server = std::make_unique<RemoteBackboneServer>(backbone, port);
+  });
+
+  // This receive crosses the outage: it observes the orderly close,
+  // re-dials until the restarted server answers, resubscribes, and then
+  // blocks for the next message.
+  std::thread publisher([&] {
+    while (backbone.subscriber_count("sturdy") == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    backbone.publish("sturdy", text_buffer("after"));
+  });
+  auto m2 = sub.receive();
+  restarter.join();
+  publisher.join();
+  ASSERT_TRUE(m2);
+  EXPECT_EQ(as_text(*m2), "after");
+  EXPECT_GE(sub.reconnects(), 1u);
+}
+
+TEST(RemoteBackbone, ReconnectExhaustionAgainstDeadServer) {
+  EventBackbone backbone;
+  auto server = std::make_unique<RemoteBackboneServer>(backbone);
+  std::uint16_t port = server->port();
+
+  RemoteSubscription::ReconnectOptions opts;
+  opts.enabled = true;
+  opts.retry.max_attempts = 3;
+  opts.retry.base = std::chrono::milliseconds(5);
+  opts.retry.cap = std::chrono::milliseconds(10);
+  RemoteSubscription sub(port, "doomed", opts);
+  for (int i = 0; i < 200 && backbone.subscriber_count("doomed") == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  server->stop();
+  server.reset();  // nobody is coming back
+  EXPECT_FALSE(sub.receive());  // orderly close + exhausted retries
+  EXPECT_EQ(sub.reconnects(), 0u);
+}
+
+TEST(RemoteBackbone, TruncatedHelloIsIgnoredByServer) {
+  // A client that sends a partial frame and dies must not wedge or kill
+  // the accept loop; later well-formed subscribers still work.
+  EventBackbone backbone;
+  RemoteBackboneServer server(backbone);
+  {
+    TcpConnection half_open = tcp_connect(server.port());
+    int fd = half_open.release_fd();
+    std::uint8_t header[4];
+    store_le<std::uint32_t>(header, 64);  // promise 64 bytes, send none
+    netio::write_all(fd, header, 4, Deadline::never(), "test write");
+    ::close(fd);
+  }
+  RemoteSubscription sub(server.port(), "still-works");
+  for (int i = 0;
+       i < 500 && backbone.subscriber_count("still-works") == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(backbone.subscriber_count("still-works"), 1u);
+  backbone.publish("still-works", text_buffer("alive"));
+  auto msg = sub.receive();
+  ASSERT_TRUE(msg);
+  EXPECT_EQ(as_text(*msg), "alive");
 }
 
 }  // namespace

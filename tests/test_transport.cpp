@@ -1,6 +1,10 @@
 // Transport: message queue, TCP framing, event backbone, format service.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
 #include <thread>
 
 #include "pbio/decode.hpp"
@@ -8,8 +12,11 @@
 #include "test_structs.hpp"
 #include "transport/backbone.hpp"
 #include "transport/format_service.hpp"
+#include "transport/net_io.hpp"
 #include "transport/queue.hpp"
 #include "transport/tcp.hpp"
+#include "util/bytes.hpp"
+#include "util/hash.hpp"
 
 namespace omf::transport {
 namespace {
@@ -180,6 +187,143 @@ TEST(Tcp, NdrMessageAcrossSocket) {
   sender.send(pbio::encode(*f, &in));
   receiver.join();
   EXPECT_TRUE(asdoff_equal(in, out));
+}
+
+TEST(Tcp, TruncatedFrameThrowsMidFrameError) {
+  // A peer that dies after the header leaves the receiver mid-frame; that
+  // must surface as a TransportError, not a hang or a short read.
+  TcpListener listener(0);
+  std::thread server([&] {
+    TcpConnection conn = listener.accept();
+    int fd = conn.release_fd();
+    std::uint8_t header[4];
+    store_le<std::uint32_t>(header, 100);  // claim 100 bytes...
+    netio::write_all(fd, header, 4, Deadline::never(), "test write");
+    std::uint8_t partial[10] = {};
+    netio::write_all(fd, partial, 10, Deadline::never(), "test write");
+    ::close(fd);  // ...deliver 10
+  });
+  TcpConnection client = tcp_connect(listener.port());
+  EXPECT_THROW(client.receive(), TransportError);
+  server.join();
+}
+
+TEST(Tcp, OversizedHeaderRejectedBeforeAllocation) {
+  TcpListener listener(0);
+  std::thread server([&] {
+    TcpConnection conn = listener.accept();
+    int fd = conn.release_fd();
+    std::uint8_t header[4];
+    store_le<std::uint32_t>(header, 512u << 20);  // over the 64 MiB default
+    netio::write_all(fd, header, 4, Deadline::never(), "test write");
+    ::close(fd);
+  });
+  TcpConnection client = tcp_connect(listener.port());
+  try {
+    client.receive();
+    FAIL() << "oversized frame accepted";
+  } catch (const TransportError& e) {
+    EXPECT_NE(std::string(e.what()).find("oversized"), std::string::npos);
+  }
+  server.join();
+}
+
+TEST(Tcp, MaxMessageSizeIsPerConnectionConfigurable) {
+  TcpListener listener(0);
+  std::thread server([&] {
+    TcpConnection conn = listener.accept();
+    conn.send(make_buffer("0123456789abcdef"));  // 16 bytes
+  });
+  TcpConnection client = tcp_connect(listener.port());
+  client.set_max_message_size(8);
+  EXPECT_THROW(client.receive(), TransportError);
+  server.join();
+}
+
+TEST(Tcp, CorruptedPayloadRejectedByChecksum) {
+  TcpListener listener(0);
+  std::thread server([&] {
+    TcpConnection conn = listener.accept();
+    int fd = conn.release_fd();
+    // Hand-build a frame whose CRC was computed before a payload byte got
+    // flipped — what a fault on the wire looks like.
+    std::uint8_t payload[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+    std::uint8_t frame[16];
+    store_le<std::uint32_t>(frame, 8);
+    std::memcpy(frame + 4, payload, 8);
+    store_le<std::uint32_t>(frame + 12, crc32(payload, 8));
+    frame[6] ^= 0x40;  // corruption after the CRC was stamped
+    netio::write_all(fd, frame, sizeof(frame), Deadline::never(), "test");
+    ::close(fd);
+  });
+  TcpConnection client = tcp_connect(listener.port());
+  try {
+    client.receive();
+    FAIL() << "corrupted frame delivered";
+  } catch (const TransportError& e) {
+    EXPECT_NE(std::string(e.what()).find("checksum"), std::string::npos);
+  }
+  server.join();
+}
+
+TEST(Tcp, ReceiveDeadlineThrowsTimeoutError) {
+  TcpListener listener(0);
+  std::thread server([&] {
+    TcpConnection conn = listener.accept();
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  });
+  TcpConnection client = tcp_connect(listener.port());
+  client.set_timeouts({.connect = {},
+                       .send = {},
+                       .recv = std::chrono::milliseconds(50)});
+  auto start = std::chrono::steady_clock::now();
+  EXPECT_THROW(client.receive(), TimeoutError);
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(elapsed, std::chrono::milliseconds(250));  // no overshoot
+  server.join();
+}
+
+TEST(Tcp, SendToResetPeerThrowsInsteadOfSigpipe) {
+  TcpListener listener(0);
+  std::thread server([&] {
+    TcpConnection conn = listener.accept();
+    netio::arm_reset_on_close(conn.native_handle());
+    conn.close();  // RST
+  });
+  TcpConnection client = tcp_connect(listener.port());
+  server.join();
+  // The first sends may land in the kernel buffer before the RST is
+  // processed; keep sending — with SIGPIPE the process would die here.
+  EXPECT_THROW(
+      {
+        for (int i = 0; i < 100; ++i) {
+          client.send(make_buffer("into the void"));
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+      },
+      TransportError);
+}
+
+TEST(Tcp, AcceptDeadlineThrowsTimeoutError) {
+  TcpListener listener(0);
+  EXPECT_THROW(listener.accept(Deadline::after(std::chrono::milliseconds(30))),
+               TimeoutError);
+}
+
+TEST(Tcp, ConnectDeadlineToBlackholePort) {
+  // A bound-but-unaccepted listener still completes the TCP handshake, so
+  // use a dead port: connect must fail or time out, never hang.
+  std::uint16_t dead_port;
+  {
+    TcpListener listener(0);
+    dead_port = listener.port();
+  }
+  auto start = std::chrono::steady_clock::now();
+  EXPECT_THROW(
+      tcp_connect(dead_port, Deadline::after(std::chrono::milliseconds(200))),
+      TransportError);
+  EXPECT_LT(std::chrono::steady_clock::now() - start,
+            std::chrono::milliseconds(1000));
 }
 
 // --- Event backbone ---------------------------------------------------------------
