@@ -4,6 +4,8 @@
 #include <sstream>
 
 #include "http/http.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
 #include "util/strings.hpp"
@@ -12,6 +14,29 @@
 namespace omf::core {
 
 namespace {
+
+// Process-wide discovery aggregates; DiscoveryManager::Stats stays as the
+// per-instance view for tests.
+struct DiscoveryMetrics {
+  obs::Counter& requests;
+  obs::Counter& cache_hits;
+  obs::Counter& fetches;
+  obs::Counter& fallbacks;
+  obs::Counter& stale_served;
+  obs::Counter& breaker_skips;
+  obs::Histogram& fetch_ns;
+  static const DiscoveryMetrics& get() {
+    auto& reg = obs::MetricsRegistry::instance();
+    static DiscoveryMetrics m{reg.counter("discovery.requests"),
+                              reg.counter("discovery.cache_hits"),
+                              reg.counter("discovery.fetches"),
+                              reg.counter("discovery.fallbacks"),
+                              reg.counter("discovery.stale_served"),
+                              reg.counter("discovery.breaker_skips"),
+                              reg.histogram("discovery.fetch_ns")};
+    return m;
+  }
+};
 
 class HttpSource : public MetadataSource {
 public:
@@ -127,18 +152,24 @@ const fault::CircuitBreaker* DiscoveryManager::source_breaker(
 
 std::shared_ptr<const xml::Document> DiscoveryManager::discover(
     const std::string& locator) {
+  const DiscoveryMetrics& metrics = DiscoveryMetrics::get();
+  metrics.requests.add();
   {
     std::lock_guard lock(mutex_);
     ++stats_.requests;
     auto it = cache_.find(locator);
     if (it != cache_.end()) {
       ++stats_.cache_hits;
+      metrics.cache_hits.add();
       return it->second;
     }
     if (sources_.empty()) {
       throw DiscoveryError("no metadata sources configured");
     }
   }
+
+  // Cache miss means real discovery work: always traced (rare, ms-scale).
+  obs::ScopedSpan span(obs::Phase::kDiscover, locator);
 
   // Fetch outside the lock: sources may block on the network.
   std::optional<std::string> text;
@@ -165,7 +196,11 @@ std::shared_ptr<const xml::Document> DiscoveryManager::discover(
         continue;
       }
       ++attempts;
-      text = source->fetch(locator);
+      metrics.fetches.add();
+      {
+        obs::ScopedTimer timer(metrics.fetch_ns);
+        text = source->fetch(locator);
+      }
       if (breaker && applicable) {
         if (text) {
           breaker->record_success();
@@ -181,6 +216,7 @@ std::shared_ptr<const xml::Document> DiscoveryManager::discover(
                    "' could not provide ", locator, "; trying next");
     }
   }
+  if (breaker_skips > 0) metrics.breaker_skips.add(breaker_skips);
   if (!text) {
     std::lock_guard lock(mutex_);
     stats_.fetches += attempts;
@@ -191,6 +227,7 @@ std::shared_ptr<const xml::Document> DiscoveryManager::discover(
       // document before — serve the last-known-good copy rather than
       // failing the subscription outright.
       ++stats_.stale_served;
+      metrics.stale_served.add();
       OMF_LOG_WARN("discovery", "all sources failed for ", locator,
                    "; serving stale metadata");
       return it->second;
@@ -204,7 +241,10 @@ std::shared_ptr<const xml::Document> DiscoveryManager::discover(
   std::lock_guard lock(mutex_);
   stats_.fetches += attempts;
   stats_.breaker_skips += breaker_skips;
-  if (attempts > 1) ++stats_.fallbacks;
+  if (attempts > 1) {
+    ++stats_.fallbacks;
+    metrics.fallbacks.add();
+  }
   cache_[locator] = doc;
   stale_.erase(locator);  // fresh copy supersedes the stale one
   OMF_LOG_INFO("discovery", "discovered ", locator, " via ", provider);

@@ -96,6 +96,10 @@ private:
 /// The discovery chain + parsed-document cache.
 class DiscoveryManager {
 public:
+  /// Deprecated shim: per-instance counters kept for tests. Process-wide
+  /// observation should read the registry aggregates ("discovery.requests",
+  /// ".cache_hits", ".fetches", ".fallbacks", ".stale_served",
+  /// ".breaker_skips" and the "discovery.fetch_ns" histogram).
   struct Stats {
     std::size_t requests = 0;     ///< discover() calls
     std::size_t cache_hits = 0;   ///< served from cache

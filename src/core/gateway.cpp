@@ -1,12 +1,26 @@
 #include "core/gateway.hpp"
 
 #include "analysis/audit_format.hpp"
+#include "obs/metrics.hpp"
 #include "pbio/encode.hpp"
 #include "pbio/metaserde.hpp"
 #include "pbio/synth.hpp"
 #include "util/error.hpp"
 
 namespace omf::core {
+
+namespace {
+struct GatewayMetrics {
+  obs::Counter& converted;
+  obs::Counter& passed_through;
+  static const GatewayMetrics& get() {
+    auto& reg = obs::MetricsRegistry::instance();
+    static GatewayMetrics m{reg.counter("gateway.converted"),
+                            reg.counter("gateway.passed_through")};
+    return m;
+  }
+};
+}  // namespace
 
 Gateway::Gateway(pbio::FormatRegistry& registry, pbio::FormatHandle staging,
                  pbio::FormatHandle target,
@@ -27,18 +41,29 @@ Gateway::Gateway(pbio::FormatRegistry& registry, pbio::FormatHandle staging,
 Buffer Gateway::convert(std::span<const std::uint8_t> message) {
   if (pbio::Decoder::peek_format_id(message) == target_->id()) {
     ++passed_through_;
+    GatewayMetrics::get().passed_through.add();
     Buffer copy(message.size());
     copy.append(message);
     return copy;
   }
   scratch_.from_wire(decoder_, message);
   ++converted_;
+  GatewayMetrics::get().converted.add();
   if (target_->id() == staging_->id()) {
     // Target is this machine's own format: the ordinary encoder is the
     // fastest way to produce it.
     return pbio::encode(*staging_, scratch_.data());
   }
   return pbio::synthesize_wire(*target_, scratch_);
+}
+
+Gateway::StatsSnapshot Gateway::stats_snapshot() const {
+  StatsSnapshot snap;
+  snap.converted = converted_;
+  snap.passed_through = passed_through_;
+  snap.cached_plans = decoder_.plan_cache()->size();
+  snap.plans = decoder_.plan_cache()->stats();
+  return snap;
 }
 
 pbio::FormatHandle Gateway::register_remote_format(

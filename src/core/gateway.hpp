@@ -60,6 +60,18 @@ public:
   /// passed through untouched (no decode, no re-encode).
   std::size_t passed_through() const noexcept { return passed_through_; }
 
+  /// One-call aggregate of this gateway's health: message counts plus the
+  /// plan-cache view its decoder sees (shared or private). The process-wide
+  /// picture — transport bytes, discovery, breaker state — lives in
+  /// obs::stats_snapshot(); this struct is the per-gateway slice.
+  struct StatsSnapshot {
+    std::size_t converted = 0;
+    std::size_t passed_through = 0;
+    std::size_t cached_plans = 0;
+    pbio::PlanCache::Stats plans;
+  };
+  StatsSnapshot stats_snapshot() const;
+
 private:
   pbio::FormatRegistry* registry_;
   pbio::Decoder decoder_;

@@ -1,6 +1,23 @@
 #include "fault/circuit_breaker.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace omf::fault {
+
+namespace {
+struct BreakerMetrics {
+  obs::Counter& trips;
+  obs::Counter& closes;
+  obs::Counter& rejected;
+  static const BreakerMetrics& get() {
+    auto& reg = obs::MetricsRegistry::instance();
+    static BreakerMetrics m{reg.counter("fault.breaker.trips"),
+                            reg.counter("fault.breaker.closes"),
+                            reg.counter("fault.breaker.rejected")};
+    return m;
+  }
+};
+}  // namespace
 
 bool CircuitBreaker::allow() {
   std::lock_guard lock(mutex_);
@@ -14,6 +31,7 @@ bool CircuitBreaker::allow() {
         return true;
       }
       ++rejected_;
+      BreakerMetrics::get().rejected.add();
       return false;
     case State::kHalfOpen:
       return true;
@@ -27,6 +45,7 @@ void CircuitBreaker::record_success() {
     if (++probe_successes_ >= config_.half_open_successes) {
       state_ = State::kClosed;
       failures_ = 0;
+      BreakerMetrics::get().closes.add();
     }
   } else {
     failures_ = 0;
@@ -38,11 +57,13 @@ void CircuitBreaker::record_failure() {
   if (state_ == State::kHalfOpen) {
     state_ = State::kOpen;
     opened_at_ = Clock::now();
+    BreakerMetrics::get().trips.add();
     return;
   }
   if (state_ == State::kClosed && ++failures_ >= config_.failure_threshold) {
     state_ = State::kOpen;
     opened_at_ = Clock::now();
+    BreakerMetrics::get().trips.add();
   }
 }
 

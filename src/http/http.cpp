@@ -10,6 +10,8 @@
 #include <cstring>
 #include <sstream>
 
+#include "obs/exposition.hpp"
+#include "obs/metrics.hpp"
 #include "transport/net_io.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
@@ -212,6 +214,9 @@ void Server::handle(transport::TcpConnection conn) {
   int fd = conn.release_fd();
   if (fd < 0) return;
   requests_.fetch_add(1);
+  static obs::Counter& request_metric =
+      obs::MetricsRegistry::instance().counter("http.server.requests");
+  request_metric.add();
   Deadline deadline = Deadline::from_timeout(
       std::chrono::milliseconds(request_timeout_ms_.load()));
   try {
@@ -246,6 +251,11 @@ void Server::handle(transport::TcpConnection conn) {
             doc_type = it->second.second;
           }
         }
+      }
+      if (!doc && metrics_endpoint_.load() &&
+          path.substr(0, path.find('?')) == "/metrics") {
+        doc = obs::render_prometheus();
+        doc_type = "text/plain; version=0.0.4";
       }
       if (doc) {
         status = "200 OK";

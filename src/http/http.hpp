@@ -76,8 +76,18 @@ public:
   /// URL for a path on this server.
   std::string url_for(const std::string& path) const;
 
-  /// Total requests served (diagnostics).
+  /// Total requests served. Deprecated shim: per-instance count kept for
+  /// tests; the process-wide aggregate is the registry counter
+  /// "http.server.requests".
   std::size_t request_count() const noexcept { return requests_.load(); }
+
+  /// Every Server exposes GET /metrics — the process-wide metrics snapshot
+  /// rendered as Prometheus text (obs::render_prometheus). A user handler
+  /// or document registered at "/metrics" takes precedence; call
+  /// set_metrics_endpoint(false) to disable the built-in entirely.
+  void set_metrics_endpoint(bool enabled) noexcept {
+    metrics_endpoint_.store(enabled);
+  }
 
   /// Per-request I/O bound. The server handles requests sequentially on one
   /// thread, so a client that connects and stalls (slowloris) would
@@ -94,6 +104,7 @@ private:
 
   transport::TcpListener listener_;
   std::atomic<bool> running_{true};
+  std::atomic<bool> metrics_endpoint_{true};
   std::atomic<std::size_t> requests_{0};
   std::atomic<std::int64_t> request_timeout_ms_{30000};
   mutable std::mutex mutex_;

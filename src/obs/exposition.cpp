@@ -1,0 +1,120 @@
+#include "obs/exposition.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/logging.hpp"
+
+namespace omf::obs {
+
+StatsSnapshot stats_snapshot() {
+  StatsSnapshot out;
+  out.metrics = MetricsRegistry::instance().snapshot();
+  out.spans = Tracer::instance().snapshot();
+  out.recent_errors = recent_log_errors();
+  return out;
+}
+
+std::string prometheus_name(const std::string& dotted) {
+  std::string out = "omf_";
+  out.reserve(dotted.size() + 4);
+  for (char c : dotted) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+std::string render_prometheus(const MetricsSnapshot& snapshot) {
+  std::ostringstream out;
+  for (const auto& c : snapshot.counters) {
+    std::string name = prometheus_name(c.name);
+    out << "# TYPE " << name << " counter\n" << name << " " << c.value << "\n";
+  }
+  for (const auto& g : snapshot.gauges) {
+    std::string name = prometheus_name(g.name);
+    out << "# TYPE " << name << " gauge\n" << name << " " << g.value << "\n";
+  }
+  for (const auto& h : snapshot.histograms) {
+    std::string name = prometheus_name(h.name);
+    out << "# TYPE " << name << " histogram\n";
+    std::uint64_t cumulative = 0;
+    // Collapse the empty tail: emit buckets up to the last nonzero one, so
+    // 40 log2 buckets don't become 40 lines of zeros per histogram.
+    std::size_t last = 0;
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      if (h.buckets[b] != 0) last = b;
+    }
+    for (std::size_t b = 0; b <= last && b + 1 < h.buckets.size(); ++b) {
+      cumulative += h.buckets[b];
+      out << name << "_bucket{le=\"" << Histogram::le(b) << "\"} "
+          << cumulative << "\n";
+    }
+    out << name << "_bucket{le=\"+Inf\"} " << h.count << "\n";
+    out << name << "_sum " << h.sum << "\n";
+    out << name << "_count " << h.count << "\n";
+  }
+  return out.str();
+}
+
+std::string render_prometheus() {
+  return render_prometheus(MetricsRegistry::instance().snapshot());
+}
+
+std::string render_text(const StatsSnapshot& snapshot) {
+  std::ostringstream out;
+  std::size_t width = 0;
+  for (const auto& c : snapshot.metrics.counters) {
+    width = std::max(width, c.name.size());
+  }
+  for (const auto& g : snapshot.metrics.gauges) {
+    width = std::max(width, g.name.size());
+  }
+
+  out << "== counters ==\n";
+  for (const auto& c : snapshot.metrics.counters) {
+    out << "  " << c.name << std::string(width - c.name.size() + 2, ' ')
+        << c.value << "\n";
+  }
+  if (!snapshot.metrics.gauges.empty()) {
+    out << "== gauges ==\n";
+    for (const auto& g : snapshot.metrics.gauges) {
+      out << "  " << g.name << std::string(width - g.name.size() + 2, ' ')
+          << g.value << "\n";
+    }
+  }
+  out << "== histograms ==\n";
+  for (const auto& h : snapshot.metrics.histograms) {
+    double mean =
+        h.count == 0 ? 0.0 : static_cast<double>(h.sum) / static_cast<double>(h.count);
+    out << "  " << h.name << "  count=" << h.count << " sum=" << h.sum
+        << " mean=" << static_cast<std::uint64_t>(mean) << "\n";
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      if (h.buckets[b] == 0) continue;
+      out << "    le " << Histogram::le(b) << ": " << h.buckets[b] << "\n";
+    }
+  }
+  if (!snapshot.spans.empty()) {
+    out << "== spans (" << snapshot.spans.size() << ") ==\n";
+    for (const Span& s : snapshot.spans) {
+      char id[17];
+      static constexpr char kHex[] = "0123456789abcdef";
+      for (int i = 0; i < 16; ++i) {
+        id[i] = kHex[(s.trace_id >> (60 - 4 * i)) & 0xF];
+      }
+      id[16] = '\0';
+      out << "  " << id << "  " << phase_name(s.phase) << "  " << s.name
+          << "  " << s.duration_ns << "ns" << (s.ok ? "" : "  FAILED") << "\n";
+    }
+  }
+  if (!snapshot.recent_errors.empty()) {
+    out << "== recent errors ==\n";
+    for (const std::string& line : snapshot.recent_errors) {
+      out << "  " << line << "\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace omf::obs

@@ -1,0 +1,47 @@
+// Exposition: turning the registry and tracer into text.
+//
+// Two renderings:
+//  * render_prometheus — the Prometheus text exposition format (version
+//    0.0.4): `# TYPE` comments, mangled names (dots -> underscores, "omf_"
+//    prefix), cumulative `_bucket{le="..."}` series for histograms. Served
+//    by http::Server's /metrics endpoint and scraped by anything that
+//    speaks Prometheus.
+//  * render_text — a human-oriented dump of a full StatsSnapshot (metrics,
+//    recent spans, last captured errors) used by tools/omf-stat and
+//    post-mortem diagnostics.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace omf::obs {
+
+/// Everything observable about the process at one instant: metric values,
+/// the tracer's span ring, and the last captured warning/error log lines.
+struct StatsSnapshot {
+  MetricsSnapshot metrics;
+  std::vector<Span> spans;
+  std::vector<std::string> recent_errors;
+};
+
+/// Captures the process-wide snapshot (registry + tracer + log ring).
+StatsSnapshot stats_snapshot();
+
+/// Mangles a dotted metric name into a valid Prometheus metric name:
+/// "pbio.plan_cache.hits" -> "omf_pbio_plan_cache_hits".
+std::string prometheus_name(const std::string& dotted);
+
+/// Renders a metrics snapshot as Prometheus text (content type
+/// "text/plain; version=0.0.4").
+std::string render_prometheus(const MetricsSnapshot& snapshot);
+
+/// Convenience: snapshot the process registry and render it.
+std::string render_prometheus();
+
+/// Human-readable multi-section dump of a StatsSnapshot.
+std::string render_text(const StatsSnapshot& snapshot);
+
+}  // namespace omf::obs

@@ -1,0 +1,181 @@
+#include "obs/metrics.hpp"
+
+#include <stdexcept>
+
+namespace omf::obs {
+
+namespace {
+
+// The stable instrumentation name table (README "Observability"). Names are
+// pre-registered at registry construction so a /metrics scrape sees the full
+// surface from process start — a metric a workload never touched reads 0
+// instead of being absent, which keeps dashboards and the acceptance check
+// independent of traffic ordering.
+constexpr const char* kCoreCounters[] = {
+    "pbio.plan_cache.hits",
+    "pbio.plan_cache.misses",
+    "pbio.plan_cache.compiles",
+    "pbio.decode.messages",
+    "pbio.decode.bytes",
+    "pbio.decode.in_place",
+    "pbio.encode.messages",
+    "pbio.encode.bytes",
+    "pbio.arena.chunk_allocs",
+    "pbio.arena.chunk_bytes",
+    "discovery.requests",
+    "discovery.cache_hits",
+    "discovery.fetches",
+    "discovery.fallbacks",
+    "discovery.stale_served",
+    "discovery.breaker_skips",
+    "fault.breaker.trips",
+    "fault.breaker.closes",
+    "fault.breaker.rejected",
+    "fault.retry.retries",
+    "fault.retry.exhausted",
+    "transport.bytes_tx",
+    "transport.bytes_rx",
+    "transport.frames_tx",
+    "transport.frames_rx",
+    "transport.crc_rejects",
+    "transport.oversized_rejects",
+    "transport.timeouts",
+    "transport.ndr.messages_tx",
+    "transport.ndr.messages_rx",
+    "transport.ndr.formats_tx",
+    "transport.ndr.formats_rx",
+    "transport.ndr.traced_frames",
+    "transport.format_service.requests",
+    "transport.format_service.fetches",
+    "transport.format_service.pushes",
+    "transport.format_service.unknown_ids",
+    "transport.format_service.retries",
+    "http.server.requests",
+    "gateway.converted",
+    "gateway.passed_through",
+    "obs.spans.recorded",
+    "obs.spans.dropped",
+};
+
+constexpr const char* kCoreHistograms[] = {
+    "pbio.plan_cache.compile_ns",
+    "pbio.decode.body_bytes",
+    "discovery.fetch_ns",
+};
+
+}  // namespace
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+#ifndef OMF_NO_METRICS
+
+MetricsRegistry::MetricsRegistry() {
+  for (const char* name : kCoreCounters) {
+    counters_.emplace(name, std::make_unique<Counter>());
+  }
+  for (const char* name : kCoreHistograms) {
+    histograms_.emplace(name, std::make_unique<Histogram>());
+  }
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  auto it = counters_.find(name);
+  if (it != counters_.end()) return *it->second;
+  if (gauges_.find(name) != gauges_.end() ||
+      histograms_.find(name) != histograms_.end()) {
+    throw std::logic_error("metric name '" + std::string(name) +
+                           "' already registered with a different kind");
+  }
+  return *counters_.emplace(std::string(name), std::make_unique<Counter>())
+              .first->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it != gauges_.end()) return *it->second;
+  if (counters_.find(name) != counters_.end() ||
+      histograms_.find(name) != histograms_.end()) {
+    throw std::logic_error("metric name '" + std::string(name) +
+                           "' already registered with a different kind");
+  }
+  return *gauges_.emplace(std::string(name), std::make_unique<Gauge>())
+              .first->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it != histograms_.end()) return *it->second;
+  if (counters_.find(name) != counters_.end() ||
+      gauges_.find(name) != gauges_.end()) {
+    throw std::logic_error("metric name '" + std::string(name) +
+                           "' already registered with a different kind");
+  }
+  return *histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+              .first->second;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard lock(mutex_);
+  MetricsSnapshot out;
+  out.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    out.counters.push_back({name, c->value()});
+  }
+  out.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    out.gauges.push_back({name, g->value()});
+  }
+  out.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    MetricsSnapshot::HistogramRow row;
+    row.name = name;
+    row.count = h->count();
+    row.sum = h->sum();
+    row.buckets.resize(Histogram::kBuckets);
+    for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+      row.buckets[b] = h->bucket(b);
+    }
+    out.histograms.push_back(std::move(row));
+  }
+  return out;
+}
+
+void MetricsRegistry::reset_values() {
+  std::lock_guard lock(mutex_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+#else  // OMF_NO_METRICS: the registry is an empty shell handing out dummies.
+
+MetricsRegistry::MetricsRegistry() = default;
+
+Counter& MetricsRegistry::counter(std::string_view) {
+  static Counter dummy;
+  return dummy;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view) {
+  static Gauge dummy;
+  return dummy;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view) {
+  static Histogram dummy;
+  return dummy;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const { return {}; }
+
+void MetricsRegistry::reset_values() {}
+
+#endif  // OMF_NO_METRICS
+
+}  // namespace omf::obs

@@ -1,0 +1,279 @@
+// Process-wide metrics: counters, gauges, and log2 latency histograms.
+//
+// The paper's evaluation measures the three BCM steps — discovery, binding,
+// marshaling — with one-off benchmarks; a deployed server needs the same
+// numbers continuously. MetricsRegistry is the always-on substrate: metrics
+// are registered once under stable dotted names ("pbio.plan_cache.hits",
+// "transport.bytes_rx", ...) and incremented from hot paths at near-zero
+// cost — a relaxed atomic add on a thread-striped cache line, no locks, no
+// allocation after the first registration. The idiom at an instrumentation
+// site is a function-local static reference, so the name lookup happens once
+// per process:
+//
+//   static obs::Counter& hits =
+//       obs::MetricsRegistry::instance().counter("pbio.plan_cache.hits");
+//   hits.add();
+//
+// The per-*message* sites (decode, encode, plan-cache hit) go one step
+// further: even a relaxed fetch_add is ~6 ns of a ~180 ns decode, so they
+// accumulate in plain thread-local structs and fold into the registry every
+// 64 messages and at thread exit (see DecodeTls in pbio/decode.cpp).
+// Registry values there can lag a busy thread by up to 63 events; they are
+// exact at quiescence.
+//
+// Compile-time disable: building with -DOMF_NO_METRICS (CMake option
+// OMF_NO_METRICS) replaces every mutation with an empty inline body and the
+// registry with an empty shell, so the layer costs literally nothing —
+// the acceptance configuration for environments that want the seed-state
+// binary back.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace omf::obs {
+
+/// Monotonic nanoseconds from an unspecified epoch (steady_clock); the
+/// timebase for histograms, spans, and overhead measurements.
+inline std::uint64_t monotonic_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+#ifndef OMF_NO_METRICS
+
+namespace detail {
+/// Small dense per-thread slot index, assigned on first use, used to stripe
+/// counter shards so concurrent increments rarely share a cache line.
+inline unsigned thread_slot() noexcept {
+  static std::atomic<unsigned> next{0};
+  static thread_local unsigned slot =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+}  // namespace detail
+
+/// Monotonic event counter. Increments are relaxed atomic adds striped over
+/// cache-line-sized shards; value() sums the shards, and is exact once the
+/// incrementing threads are quiescent (relaxed RMWs never lose updates).
+class Counter {
+ public:
+  static constexpr std::size_t kShards = 8;
+
+  void add(std::uint64_t n = 1) noexcept {
+    shards_[detail::thread_slot() & (kShards - 1)].v.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+
+  std::uint64_t value() const noexcept {
+    std::uint64_t total = 0;
+    for (const Shard& s : shards_) total += s.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+  /// Zeroes the counter (tests; not expected to race with add()).
+  void reset() noexcept {
+    for (Shard& s : shards_) s.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> v{0};
+  };
+  std::array<Shard, kShards> shards_{};
+};
+
+/// Instantaneous signed value (queue depths, connection counts).
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept { v_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t n = 1) noexcept {
+    v_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void sub(std::int64_t n = 1) noexcept {
+    v_.fetch_sub(n, std::memory_order_relaxed);
+  }
+  std::int64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Fixed-bucket base-2 histogram. Bucket k counts values whose bit width is
+/// k, i.e. v in [2^(k-1), 2^k); equivalently every value in bucket k
+/// satisfies v <= 2^k - 1, which is the `le` bound exposition emits. The
+/// last bucket absorbs everything wider (le="+Inf"). record() is two relaxed
+/// atomic adds — cheap enough for per-message sizes and latencies.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 40;  // le up to 2^39-1 (~9 min in ns)
+
+  void record(std::uint64_t v) noexcept {
+    std::size_t b = static_cast<std::size_t>(std::bit_width(v));
+    if (b >= kBuckets) b = kBuckets - 1;
+    buckets_[b].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  /// Upper bound (inclusive) of bucket `b`; the final bucket is unbounded.
+  static constexpr std::uint64_t le(std::size_t b) noexcept {
+    return (std::uint64_t{1} << b) - 1;
+  }
+
+  std::uint64_t count() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& b : buckets_) total += b.load(std::memory_order_relaxed);
+    return total;
+  }
+  std::uint64_t sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t bucket(std::size_t b) const noexcept {
+    return buckets_[b].load(std::memory_order_relaxed);
+  }
+
+  /// Bulk merge for thread-local batching (see pbio's hot-path batches):
+  /// adds `count` observations to bucket `b` and `sum` to the total.
+  void add_bucket(std::size_t b, std::uint64_t count,
+                  std::uint64_t sum) noexcept {
+    if (b >= kBuckets) b = kBuckets - 1;
+    buckets_[b].fetch_add(count, std::memory_order_relaxed);
+    sum_.fetch_add(sum, std::memory_order_relaxed);
+  }
+
+  void reset() noexcept {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+#else  // OMF_NO_METRICS — same API, empty bodies, zero storage.
+
+class Counter {
+ public:
+  static constexpr std::size_t kShards = 1;
+  void add(std::uint64_t = 1) noexcept {}
+  std::uint64_t value() const noexcept { return 0; }
+  void reset() noexcept {}
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t) noexcept {}
+  void add(std::int64_t = 1) noexcept {}
+  void sub(std::int64_t = 1) noexcept {}
+  std::int64_t value() const noexcept { return 0; }
+  void reset() noexcept {}
+};
+
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 1;
+  void record(std::uint64_t) noexcept {}
+  void add_bucket(std::size_t, std::uint64_t, std::uint64_t) noexcept {}
+  static constexpr std::uint64_t le(std::size_t) noexcept { return 0; }
+  std::uint64_t count() const noexcept { return 0; }
+  std::uint64_t sum() const noexcept { return 0; }
+  std::uint64_t bucket(std::size_t) const noexcept { return 0; }
+  void reset() noexcept {}
+};
+
+#endif  // OMF_NO_METRICS
+
+/// Point-in-time copy of every registered metric, ordered by name (the
+/// shape exposition and omf-stat render from).
+struct MetricsSnapshot {
+  struct CounterRow {
+    std::string name;
+    std::uint64_t value;
+  };
+  struct GaugeRow {
+    std::string name;
+    std::int64_t value;
+  };
+  struct HistogramRow {
+    std::string name;
+    std::uint64_t count;
+    std::uint64_t sum;
+    std::vector<std::uint64_t> buckets;  // non-cumulative, kBuckets entries
+  };
+  std::vector<CounterRow> counters;
+  std::vector<GaugeRow> gauges;
+  std::vector<HistogramRow> histograms;
+};
+
+/// The process-wide registry. counter()/gauge()/histogram() return a stable
+/// reference for the lifetime of the process, registering the name on first
+/// use (a name can only ever name one metric kind; reusing it for another
+/// kind throws). The core instrumentation names (README "Observability"
+/// table) are pre-registered so /metrics always exposes them, zero-valued
+/// or not.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& instance();
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  MetricsSnapshot snapshot() const;
+
+  /// Zeroes every metric's value (names and addresses stay registered).
+  /// For tests; not expected to race with hot-path increments.
+  void reset_values();
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+ private:
+  MetricsRegistry();
+
+#ifndef OMF_NO_METRICS
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+#endif
+};
+
+/// Records the elapsed nanoseconds of a scope into a histogram. Use on
+/// coarse-grained paths (discovery fetches, plan compiles) — it pays two
+/// steady_clock reads, which per-message hot paths avoid (they count, and
+/// leave timing to the sampled span tracer).
+class ScopedTimer {
+ public:
+#ifndef OMF_NO_METRICS
+  explicit ScopedTimer(Histogram& h) noexcept
+      : h_(&h), start_(monotonic_ns()) {}
+  ~ScopedTimer() { h_->record(monotonic_ns() - start_); }
+
+ private:
+  Histogram* h_;
+  std::uint64_t start_;
+#else
+  explicit ScopedTimer(Histogram&) noexcept {}
+#endif
+ public:
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+};
+
+}  // namespace omf::obs

@@ -1,0 +1,151 @@
+#include "obs/trace.hpp"
+
+#include <atomic>
+#include <ostream>
+
+#include "obs/metrics.hpp"
+
+namespace omf::obs {
+
+std::string_view phase_name(Phase p) noexcept {
+  switch (p) {
+    case Phase::kDiscover: return "discover";
+    case Phase::kBind: return "bind";
+    case Phase::kMarshal: return "marshal";
+    case Phase::kUnmarshal: return "unmarshal";
+    case Phase::kTransport: return "transport";
+  }
+  return "?";
+}
+
+#ifndef OMF_NO_METRICS
+
+namespace {
+thread_local std::uint64_t t_current_trace = 0;
+}  // namespace
+
+std::uint64_t current_trace_id() noexcept { return t_current_trace; }
+void set_current_trace_id(std::uint64_t id) noexcept { t_current_trace = id; }
+
+std::uint64_t new_trace_id() noexcept {
+  // SplitMix64 over a process-wide sequence: unique, well-mixed, never 0.
+  static std::atomic<std::uint64_t> seq{0};
+  std::uint64_t z = (seq.fetch_add(1, std::memory_order_relaxed) + 1) *
+                    0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  z ^= z >> 31;
+  return z == 0 ? 1 : z;
+}
+
+Tracer& Tracer::instance() {
+  static Tracer tracer;
+  return tracer;
+}
+
+Tracer::Tracer() { ring_.resize(4096); }
+
+void Tracer::set_sample_every(std::uint32_t n) noexcept {
+  if (n <= 1) {
+    sample_mask_.store(0, std::memory_order_relaxed);
+    return;
+  }
+  std::uint32_t mask = 1;
+  while (mask + 1 < n) mask = (mask << 1) | 1;
+  sample_mask_.store(mask, std::memory_order_relaxed);
+}
+
+void Tracer::record(const Span& span) noexcept {
+  if (!enabled()) return;
+  static Counter& recorded =
+      MetricsRegistry::instance().counter("obs.spans.recorded");
+  static Counter& dropped =
+      MetricsRegistry::instance().counter("obs.spans.dropped");
+  recorded.add();
+  std::lock_guard lock(mutex_);
+  if (ring_.empty()) return;
+  if (total_ >= ring_.size()) dropped.add();  // overwrote the oldest
+  ring_[next_] = span;
+  next_ = (next_ + 1) % ring_.size();
+  ++total_;
+}
+
+void Tracer::set_capacity(std::size_t spans) {
+  std::lock_guard lock(mutex_);
+  ring_.assign(spans, Span{});
+  next_ = 0;
+  total_ = 0;
+}
+
+std::vector<Span> Tracer::snapshot() const {
+  std::lock_guard lock(mutex_);
+  std::vector<Span> out;
+  std::size_t n = total_ < ring_.size() ? total_ : ring_.size();
+  out.reserve(n);
+  // Oldest first: when the ring has wrapped, the oldest span sits at next_.
+  std::size_t start = total_ < ring_.size() ? 0 : next_;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void Tracer::export_jsonl(std::ostream& out) const {
+  static constexpr char kHex[] = "0123456789abcdef";
+  for (const Span& s : snapshot()) {
+    char id[17];
+    for (int i = 0; i < 16; ++i) {
+      id[i] = kHex[(s.trace_id >> (60 - 4 * i)) & 0xF];
+    }
+    id[16] = '\0';
+    out << "{\"trace\":\"" << id << "\",\"phase\":\"" << phase_name(s.phase)
+        << "\",\"name\":\"";
+    for (const char* p = s.name; *p != '\0'; ++p) {
+      if (*p == '"' || *p == '\\') out << '\\';
+      out << *p;
+    }
+    out << "\",\"start_ns\":" << s.start_ns
+        << ",\"dur_ns\":" << s.duration_ns
+        << ",\"ok\":" << (s.ok ? "true" : "false") << "}\n";
+  }
+}
+
+void Tracer::clear() {
+  std::lock_guard lock(mutex_);
+  next_ = 0;
+  total_ = 0;
+}
+
+void ScopedSpan::init(Phase phase, std::string_view name) noexcept {
+  if (!Tracer::instance().enabled()) return;
+  active_ = true;
+  if (t_current_trace == 0) {
+    t_current_trace = new_trace_id();
+    owns_trace_ = true;
+  }
+  span_.trace_id = t_current_trace;
+  span_.phase = phase;
+  std::size_t n = name.size() < sizeof(span_.name) - 1 ? name.size()
+                                                       : sizeof(span_.name) - 1;
+  std::memcpy(span_.name, name.data(), n);
+  span_.name[n] = '\0';
+  exceptions_ = std::uncaught_exceptions();
+  span_.start_ns = monotonic_ns();
+}
+
+void ScopedSpan::finish() noexcept {
+  span_.duration_ns = monotonic_ns() - span_.start_ns;
+  span_.ok = std::uncaught_exceptions() == exceptions_;
+  Tracer::instance().record(span_);
+  if (owns_trace_) t_current_trace = 0;
+}
+
+#else  // OMF_NO_METRICS
+
+std::uint64_t current_trace_id() noexcept { return 0; }
+void set_current_trace_id(std::uint64_t) noexcept {}
+std::uint64_t new_trace_id() noexcept { return 0; }
+
+#endif  // OMF_NO_METRICS
+
+}  // namespace omf::obs

@@ -1,0 +1,210 @@
+// Span tracing for a message's journey through the paper's three phases.
+//
+// Every BCM performs discovery, binding, and marshaling (§2); this tracer
+// stamps each phase with monotonic timestamps so the per-phase costs the
+// paper tabulates are visible in deployment, per message, not just in
+// bench/. A span is a fixed-size POD (no allocation on the record path)
+// holding a 64-bit trace id, the phase, a short detail string (locator,
+// format name), and start/duration in nanoseconds. Spans land in a
+// preallocated ring buffer; readers snapshot or export JSONL for offline
+// analysis.
+//
+// Trace ids propagate: the thread-local current trace id set by a
+// ScopedSpan (or explicitly) is carried across NdrConnection frames in a
+// 'T'-tagged frame header, so a receiver's unmarshal span joins the
+// sender's marshal span under one id — Dapper-style propagation scaled to
+// this repo's loopback world.
+//
+// Hot-path discipline: marshal/unmarshal spans are *sampled* (default one
+// in 64 messages per thread, power-of-two mask, a thread-local increment on
+// the skip path — no shared-cacheline traffic) so steady-state decode pays
+// ~no clock reads; discovery and plan-compile spans are always recorded —
+// those paths are millisecond-scale and rare.
+// Building with -DOMF_NO_METRICS compiles all of it out.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <iosfwd>
+#include <string_view>
+#include <vector>
+
+#ifndef OMF_NO_METRICS
+#include <atomic>
+#include <mutex>
+#endif
+
+namespace omf::obs {
+
+/// The paper's phase taxonomy, plus transport for frame-level events.
+enum class Phase : std::uint8_t {
+  kDiscover = 0,   ///< locating metadata (DiscoveryManager)
+  kBind = 1,       ///< metadata -> usable plan (PlanCache compile)
+  kMarshal = 2,    ///< native struct -> wire bytes (encode)
+  kUnmarshal = 3,  ///< wire bytes -> native struct (decode)
+  kTransport = 4,  ///< frame-level send/receive
+};
+
+std::string_view phase_name(Phase p) noexcept;
+
+/// One recorded phase of one traced operation. Fixed-size so ring writes
+/// never allocate. Deliberately has no default member initializers:
+/// ScopedSpan embeds one that stays *uninitialized* on the unsampled hot
+/// path (zeroing 56 bytes per message is measurable); value-initialize
+/// (`Span{}`) when you need a blank one.
+struct Span {
+  std::uint64_t trace_id;
+  std::uint64_t start_ns;         ///< monotonic_ns() at phase entry
+  std::uint64_t duration_ns;
+  Phase phase;
+  bool ok;                        ///< false when the phase threw
+  char name[30];                  ///< NUL-terminated detail, truncated to fit
+};
+
+/// The trace id active on this thread (0 = none). Set by ScopedSpan for the
+/// root span of an operation, and by NdrConnection::receive when a traced
+/// frame arrives.
+std::uint64_t current_trace_id() noexcept;
+void set_current_trace_id(std::uint64_t id) noexcept;
+
+/// Allocates a fresh, process-unique 64-bit trace id (SplitMix64 over an
+/// atomic sequence — never 0).
+std::uint64_t new_trace_id() noexcept;
+
+#ifndef OMF_NO_METRICS
+
+/// Process-wide span sink: a fixed-capacity ring (default 4096 spans,
+/// overwriting the oldest) plus the sampling decision for hot paths.
+class Tracer {
+ public:
+  static Tracer& instance();
+
+  /// Master switch; disabled() makes sample() false and record() a no-op.
+  /// Static (the tracer is a process singleton) so the hot-path reads below
+  /// compile to plain global loads with no init-guard check.
+  static void set_enabled(bool on) noexcept {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  static bool enabled() noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Marshal/unmarshal spans fire once per `n` messages (rounded up to a
+  /// power of two; 1 = every message). Discovery/bind spans ignore this.
+  static void set_sample_every(std::uint32_t n) noexcept;
+  static std::uint32_t sample_every() noexcept {
+    return sample_mask_.load(std::memory_order_relaxed) + 1;
+  }
+
+  /// The per-message sampling decision: a thread-local increment and a mask
+  /// — no shared-cacheline RMW and no singleton lookup on the skip path.
+  /// Each thread runs its own 1-in-N sequence (and samples its first
+  /// message).
+  static bool sample() noexcept {
+    if (!enabled()) return false;
+    std::uint32_t mask = sample_mask_.load(std::memory_order_relaxed);
+    if (mask == 0) return true;
+    static thread_local std::uint32_t seq = 0;
+    return (seq++ & mask) == 0;
+  }
+
+  /// Appends one span to the ring (no allocation; overwrites the oldest
+  /// when full).
+  void record(const Span& span) noexcept;
+
+  /// Ring capacity; resizing clears recorded spans.
+  void set_capacity(std::size_t spans);
+
+  /// Spans currently in the ring, oldest first.
+  std::vector<Span> snapshot() const;
+
+  /// Writes one JSON object per span: {"trace":"%016x","phase":"marshal",
+  /// "name":"...","start_ns":N,"dur_ns":N,"ok":true}.
+  void export_jsonl(std::ostream& out) const;
+
+  /// Drops recorded spans (capacity and switches unchanged).
+  void clear();
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+ private:
+  Tracer();
+
+  static inline std::atomic<bool> enabled_{true};
+  static inline std::atomic<std::uint32_t> sample_mask_{63};  // 1 in 64
+  mutable std::mutex mutex_;
+  std::vector<Span> ring_;
+  std::size_t next_ = 0;    // ring write cursor
+  std::uint64_t total_ = 0; // spans ever recorded
+};
+
+/// RAII phase span. Construct with sampled=false to make it inert (the
+/// pattern for hot paths: `ScopedSpan span(phase, name, tracer.sample())`).
+/// If no trace id is active on this thread, a fresh one is installed for
+/// the span's extent and cleared on exit, so nested phases (e.g. a decode
+/// that triggers a plan compile) share the root's id. A span whose scope
+/// unwinds via exception records ok=false.
+class ScopedSpan {
+ public:
+  /// The unsampled path is the hot one (decode constructs a span per
+  /// message with `sampled = tracer.sample()`), so construction and
+  /// destruction inline to a branch; the recording machinery lives
+  /// out-of-line in init()/finish().
+  ScopedSpan(Phase phase, std::string_view name, bool sampled = true) noexcept {
+    if (sampled) init(phase, name);
+  }
+  ~ScopedSpan() {
+    if (active_) finish();
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  bool active() const noexcept { return active_; }
+  std::uint64_t trace_id() const noexcept {
+    return active_ ? span_.trace_id : 0;
+  }
+
+ private:
+  void init(Phase phase, std::string_view name) noexcept;
+  void finish() noexcept;
+
+  Span span_;  // fields written by init()/finish(); untouched when inactive
+  bool active_ = false;
+  bool owns_trace_ = false;  // we installed the thread's current trace id
+  int exceptions_ = 0;
+};
+
+#else  // OMF_NO_METRICS
+
+class Tracer {
+ public:
+  static Tracer& instance() {
+    static Tracer t;
+    return t;
+  }
+  static void set_enabled(bool) noexcept {}
+  static bool enabled() noexcept { return false; }
+  static void set_sample_every(std::uint32_t) noexcept {}
+  static std::uint32_t sample_every() noexcept { return 0; }
+  static bool sample() noexcept { return false; }
+  void record(const Span&) noexcept {}
+  void set_capacity(std::size_t) {}
+  std::vector<Span> snapshot() const { return {}; }
+  void export_jsonl(std::ostream&) const {}
+  void clear() {}
+};
+
+class ScopedSpan {
+ public:
+  ScopedSpan(Phase, std::string_view, bool = true) noexcept {}
+  bool active() const noexcept { return false; }
+  std::uint64_t trace_id() const noexcept { return 0; }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+};
+
+#endif  // OMF_NO_METRICS
+
+}  // namespace omf::obs

@@ -18,6 +18,8 @@
 #include <memory>
 #include <vector>
 
+#include "obs/metrics.hpp"
+
 namespace omf::pbio {
 
 class DecodeArena {
@@ -122,6 +124,14 @@ private:
     }
     std::size_t size = next_chunk_size_;
     while (size < at_least) size *= 2;
+    // Only genuine heap growth is counted — free-list reuse above is the
+    // steady state and should read as zero here.
+    static obs::Counter& chunk_allocs =
+        obs::MetricsRegistry::instance().counter("pbio.arena.chunk_allocs");
+    static obs::Counter& chunk_bytes =
+        obs::MetricsRegistry::instance().counter("pbio.arena.chunk_bytes");
+    chunk_allocs.add();
+    chunk_bytes.add(static_cast<std::uint64_t>(size));
     chunks_.push_back(Chunk{std::make_unique<std::uint8_t[]>(size), size});
     current_ = chunks_.back().data.get();
     current_capacity_ = size;

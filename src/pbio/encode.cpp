@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "pbio/wire.hpp"
 
 namespace omf::pbio {
@@ -158,6 +160,44 @@ void fix_region(const Format& format, const std::uint8_t* src,
   }
 }
 
+#ifndef OMF_NO_METRICS
+// Per-message marshal counters batch in thread-local storage, like decode's
+// (see decode.cpp): registry values lag by up to kFlushEvery-1 messages per
+// live thread, and are exact at thread exit.
+struct EncodeTls {
+  static constexpr std::uint32_t kFlushEvery = 64;
+
+  obs::Counter& messages =
+      obs::MetricsRegistry::instance().counter("pbio.encode.messages");
+  obs::Counter& bytes =
+      obs::MetricsRegistry::instance().counter("pbio.encode.bytes");
+
+  std::uint32_t p_messages = 0;
+  std::uint64_t p_bytes = 0;
+
+  void note(std::size_t message_bytes) noexcept {
+    p_bytes += message_bytes;
+    if (++p_messages >= kFlushEvery) flush();
+  }
+
+  void flush() noexcept {
+    if (p_messages == 0) return;
+    messages.add(p_messages);
+    bytes.add(p_bytes);
+    p_messages = 0;
+    p_bytes = 0;
+  }
+
+  ~EncodeTls() { flush(); }
+};
+#else
+struct EncodeTls {
+  void note(std::size_t) noexcept {}
+};
+#endif
+
+thread_local EncodeTls t_encode;
+
 void check_native(const Format& format) {
   if (!(format.profile() == arch::native())) {
     throw EncodeError("format '" + format.name() +
@@ -172,6 +212,9 @@ void check_native(const Format& format) {
 
 void encode(const Format& format, const void* data, Buffer& out) {
   check_native(format);
+  std::size_t size_before = out.size();
+  obs::ScopedSpan span(obs::Phase::kMarshal, format.name(),
+                       obs::Tracer::sample());
 
   WireHeader header;
   header.byte_order = format.profile().byte_order;
@@ -195,6 +238,8 @@ void encode(const Format& format, const void* data, Buffer& out) {
   out.patch_int<std::uint32_t>(body_length_at,
                                static_cast<std::uint32_t>(body_len),
                                header.byte_order);
+
+  t_encode.note(out.size() - size_before);
 }
 
 Buffer encode(const Format& format, const void* data) {

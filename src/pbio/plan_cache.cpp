@@ -1,6 +1,55 @@
 #include "pbio/plan_cache.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace omf::pbio {
+
+namespace {
+// Process-wide aggregates across every PlanCache instance; the per-instance
+// Stats struct remains for tests and ablations. The miss/compile metrics
+// are cold (a handful per process) and update the registry directly; the
+// hit counter fires once per decoded message, so it batches in thread-local
+// storage like decode's counters (see decode.cpp) — the registry value lags
+// by up to kFlushEvery-1 hits per live thread and is exact at thread exit.
+struct CacheMetrics {
+  obs::Counter& misses;
+  obs::Counter& compiles;
+  obs::Histogram& compile_ns;
+  static const CacheMetrics& get() {
+    static CacheMetrics m{
+        obs::MetricsRegistry::instance().counter("pbio.plan_cache.misses"),
+        obs::MetricsRegistry::instance().counter("pbio.plan_cache.compiles"),
+        obs::MetricsRegistry::instance().histogram(
+            "pbio.plan_cache.compile_ns")};
+    return m;
+  }
+};
+
+#ifndef OMF_NO_METRICS
+struct CacheHitTls {
+  static constexpr std::uint32_t kFlushEvery = 64;
+  obs::Counter& hits =
+      obs::MetricsRegistry::instance().counter("pbio.plan_cache.hits");
+  std::uint32_t pending = 0;
+
+  void hit() noexcept {
+    if (++pending >= kFlushEvery) flush();
+  }
+  void flush() noexcept {
+    if (pending != 0) hits.add(pending);
+    pending = 0;
+  }
+  ~CacheHitTls() { flush(); }
+};
+#else
+struct CacheHitTls {
+  void hit() noexcept {}
+};
+#endif
+
+thread_local CacheHitTls t_cache_hits;
+}  // namespace
 
 PlanHandle PlanCache::get_or_build(const FormatHandle& wire,
                                    const FormatHandle& native,
@@ -15,8 +64,10 @@ PlanHandle PlanCache::get_or_build(const FormatHandle& wire,
   }
   if (entry) {
     hits_.fetch_add(1, std::memory_order_relaxed);
+    t_cache_hits.hit();
   } else {
     misses_.fetch_add(1, std::memory_order_relaxed);
+    CacheMetrics::get().misses.add();
     std::unique_lock lock(mutex_);
     entry = entries_.try_emplace(key, std::make_shared<Entry>()).first->second;
   }
@@ -25,8 +76,15 @@ PlanHandle PlanCache::get_or_build(const FormatHandle& wire,
   // publishes `plan` to every waiter. On throw the flag stays unset.
   bool compiled_here = false;
   std::call_once(entry->once, [&] {
+    // Compilation is the paper's *binding* step: metadata becomes an
+    // executable plan. Rare and milliseconds-scale, so it is always traced
+    // and timed.
+    const CacheMetrics& metrics = CacheMetrics::get();
+    obs::ScopedSpan span(obs::Phase::kBind, native->name());
+    obs::ScopedTimer timer(metrics.compile_ns);
     entry->plan = ConversionPlan::build(wire, native, options);
     compiles_.fetch_add(1, std::memory_order_relaxed);
+    metrics.compiles.add();
     compiled_here = true;
   });
   if (compiled_here) {

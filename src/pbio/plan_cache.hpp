@@ -53,6 +53,12 @@ public:
   /// Monotonic counters for tests and benchmarks. `compiles` counts actual
   /// plan builds; under races it stays equal to the number of distinct keys
   /// ever requested — that equality is the once-per-key guarantee.
+  ///
+  /// Deprecated shim: these per-instance numbers remain for tests and
+  /// ablations, but production observation should read the process-wide
+  /// registry aggregates ("pbio.plan_cache.hits" / ".misses" /
+  /// ".compiles" and the "pbio.plan_cache.compile_ns" histogram), which
+  /// sum over every cache in the process.
   struct Stats {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;

@@ -1,8 +1,29 @@
 #include "transport/format_service.hpp"
 
+#include "obs/metrics.hpp"
 #include "util/logging.hpp"
 
 namespace omf::transport {
+
+namespace {
+struct FormatServiceMetrics {
+  obs::Counter& requests;
+  obs::Counter& fetches;
+  obs::Counter& pushes;
+  obs::Counter& unknown_ids;
+  obs::Counter& retries;
+  static const FormatServiceMetrics& get() {
+    auto& reg = obs::MetricsRegistry::instance();
+    static FormatServiceMetrics m{
+        reg.counter("transport.format_service.requests"),
+        reg.counter("transport.format_service.fetches"),
+        reg.counter("transport.format_service.pushes"),
+        reg.counter("transport.format_service.unknown_ids"),
+        reg.counter("transport.format_service.retries")};
+    return m;
+  }
+};
+}  // namespace
 
 FormatServiceServer::FormatServiceServer(std::uint16_t port)
     : listener_(port), thread_([this] { serve(); }) {}
@@ -51,6 +72,8 @@ void FormatServiceServer::handle(TcpConnection conn) {
   if (!request) return;
   BufferReader in(*request);
   std::uint8_t op = in.read_int<std::uint8_t>(ByteOrder::kLittle);
+  const FormatServiceMetrics& metrics = FormatServiceMetrics::get();
+  metrics.requests.add();
 
   Buffer response;
   if (op == 'G') {
@@ -62,6 +85,7 @@ void FormatServiceServer::handle(TcpConnection conn) {
           static_cast<std::uint32_t>(bundle.size()), ByteOrder::kLittle);
       response.append(bundle.span());
     } else {
+      metrics.unknown_ids.add();
       response.append_int<std::uint32_t>(0, ByteOrder::kLittle);
     }
   } else if (op == 'P') {
@@ -80,7 +104,10 @@ void FormatServiceServer::handle(TcpConnection conn) {
 Buffer FormatServiceClient::roundtrip(const Buffer& request) {
   int attempt = 0;
   return retry_call(options_.retry, [&] {
-    if (attempt++ > 0) ++retries_;
+    if (attempt++ > 0) {
+      ++retries_;
+      FormatServiceMetrics::get().retries.add();
+    }
     Deadline deadline = Deadline::from_timeout(options_.rpc_timeout);
     TcpConnection conn = tcp_connect(port_, deadline);
     conn.send(request, deadline);
@@ -92,6 +119,7 @@ Buffer FormatServiceClient::roundtrip(const Buffer& request) {
 
 pbio::FormatHandle FormatServiceClient::fetch(pbio::FormatRegistry& registry,
                                               pbio::FormatId id) {
+  FormatServiceMetrics::get().fetches.add();
   Buffer request;
   request.append_int<std::uint8_t>('G', ByteOrder::kLittle);
   request.append_int<std::uint64_t>(id, ByteOrder::kLittle);
@@ -104,6 +132,7 @@ pbio::FormatHandle FormatServiceClient::fetch(pbio::FormatRegistry& registry,
 }
 
 void FormatServiceClient::push(const pbio::Format& format) {
+  FormatServiceMetrics::get().pushes.add();
   Buffer bundle = pbio::serialize_format_bundle(format);
   Buffer request;
   request.append_int<std::uint8_t>('P', ByteOrder::kLittle);

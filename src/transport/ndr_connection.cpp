@@ -1,8 +1,11 @@
 #include "transport/ndr_connection.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "pbio/encode.hpp"
 #include "pbio/metaserde.hpp"
 #include "util/error.hpp"
+#include "util/hash.hpp"
 
 namespace omf::transport {
 
@@ -15,14 +18,54 @@ Buffer tagged(char tag, std::span<const std::uint8_t> payload) {
   return frame;
 }
 
+/// 'T' frame: tag + 8-byte little-endian trace id + NDR message. The trace
+/// id travels at the framing layer, not inside WireHeader, so the 16-byte
+/// wire header (and every golden vector that pins it) is untouched.
+Buffer traced(std::uint64_t trace_id, std::span<const std::uint8_t> payload) {
+  Buffer frame(payload.size() + 9);
+  char tag = 'T';
+  frame.append(&tag, 1);
+  std::uint8_t id[8];
+  store_le<std::uint64_t>(id, trace_id);
+  frame.append(id, 8);
+  frame.append(payload);
+  return frame;
+}
+
+struct NdrMetrics {
+  obs::Counter& messages_tx;
+  obs::Counter& messages_rx;
+  obs::Counter& formats_tx;
+  obs::Counter& formats_rx;
+  obs::Counter& traced_frames;
+  static const NdrMetrics& get() {
+    auto& reg = obs::MetricsRegistry::instance();
+    static NdrMetrics m{reg.counter("transport.ndr.messages_tx"),
+                        reg.counter("transport.ndr.messages_rx"),
+                        reg.counter("transport.ndr.formats_tx"),
+                        reg.counter("transport.ndr.formats_rx"),
+                        reg.counter("transport.ndr.traced_frames")};
+    return m;
+  }
+};
+
 }  // namespace
 
 void NdrConnection::send(const pbio::Format& format, const Buffer& wire) {
+  const NdrMetrics& metrics = NdrMetrics::get();
   if (announced_.insert(format.id()).second) {
     Buffer bundle = pbio::serialize_format_bundle(format);
     connection_.send(tagged('F', bundle.span()));
+    metrics.formats_tx.add();
   }
-  connection_.send(tagged('M', wire.span()));
+  std::uint64_t trace = obs::current_trace_id();
+  if (trace != 0) {
+    connection_.send(traced(trace, wire.span()));
+    metrics.traced_frames.add();
+  } else {
+    connection_.send(tagged('M', wire.span()));
+  }
+  metrics.messages_tx.add();
 }
 
 void NdrConnection::send_struct(const pbio::Format& format, const void* data) {
@@ -30,6 +73,7 @@ void NdrConnection::send_struct(const pbio::Format& format, const void* data) {
 }
 
 std::optional<Buffer> NdrConnection::receive(const Deadline& deadline) {
+  const NdrMetrics& metrics = NdrMetrics::get();
   for (;;) {
     std::optional<Buffer> frame = connection_.receive(deadline);
     if (!frame) return std::nullopt;
@@ -41,13 +85,24 @@ std::optional<Buffer> NdrConnection::receive(const Deadline& deadline) {
     if (tag == 'F') {
       pbio::deserialize_format_bundle(*registry_, payload);
       ++received_;
+      metrics.formats_rx.add();
       continue;
     }
-    if (tag != 'M') {
+    if (tag == 'T') {
+      // Traced message: adopt the sender's trace id so spans recorded while
+      // processing this message correlate across the two processes.
+      if (payload.size() < 8) {
+        throw TransportError("truncated traced NDR frame");
+      }
+      obs::set_current_trace_id(load_le<std::uint64_t>(payload.data()));
+      payload = payload.subspan(8);
+      metrics.traced_frames.add();
+    } else if (tag != 'M') {
       throw TransportError("unknown NDR connection frame tag");
     }
     Buffer message(payload.size());
     message.append(payload);
+    metrics.messages_rx.add();
     return message;
   }
 }

@@ -10,7 +10,14 @@
 //
 // Frame layout on top of TcpConnection's length framing:
 //   1-byte tag: 'F' (format bundle) | 'M' (NDR message)
+//             | 'T' (traced NDR message: 8-byte LE trace id, then message)
 //   payload
+//
+// 'T' frames carry the sender's active span-trace id (obs/trace.hpp) so a
+// discover→bind→marshal→unmarshal pipeline can be correlated across
+// processes; receivers adopt the id as their thread's current trace before
+// returning the message. Senders emit 'T' only when a trace is active, so
+// the format stays byte-compatible with peers that predate tracing.
 #pragma once
 
 #include <optional>

@@ -12,6 +12,7 @@
 #include <cstring>
 #include <string>
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace omf::transport::netio {
@@ -20,6 +21,11 @@ namespace {
 
 [[noreturn]] void fail_errno(const char* what, int err) {
   throw TransportError(std::string(what) + ": " + std::strerror(err));
+}
+
+[[noreturn]] void fail_timeout(const char* what) {
+  obs::MetricsRegistry::instance().counter("transport.timeouts").add();
+  throw TimeoutError(std::string(what) + " deadline exceeded");
 }
 
 }  // namespace
@@ -37,7 +43,7 @@ void wait_ready(int fd, short events, const Deadline& deadline,
                 const char* what) {
   for (;;) {
     if (deadline.expired()) {
-      throw TimeoutError(std::string(what) + " deadline exceeded");
+      fail_timeout(what);
     }
     pollfd pfd{};
     pfd.fd = fd;
@@ -48,7 +54,7 @@ void wait_ready(int fd, short events, const Deadline& deadline,
       fail_errno("poll", errno);
     }
     if (rc == 0) {
-      throw TimeoutError(std::string(what) + " deadline exceeded");
+      fail_timeout(what);
     }
     // POLLERR/POLLHUP: let the subsequent read/write surface the error.
     return;

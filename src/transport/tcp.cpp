@@ -10,6 +10,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include "obs/metrics.hpp"
 #include "transport/net_io.hpp"
 #include "util/error.hpp"
 #include "util/hash.hpp"
@@ -19,6 +20,25 @@ namespace omf::transport {
 namespace {
 
 constexpr std::uint32_t kMaxFrame = 1u << 30;  // 1 GiB hard sanity bound
+
+struct TcpMetrics {
+  obs::Counter& frames_tx;
+  obs::Counter& frames_rx;
+  obs::Counter& bytes_tx;
+  obs::Counter& bytes_rx;
+  obs::Counter& crc_rejects;
+  obs::Counter& oversized_rejects;
+  static const TcpMetrics& get() {
+    auto& reg = obs::MetricsRegistry::instance();
+    static TcpMetrics m{reg.counter("transport.frames_tx"),
+                        reg.counter("transport.frames_rx"),
+                        reg.counter("transport.bytes_tx"),
+                        reg.counter("transport.bytes_rx"),
+                        reg.counter("transport.crc_rejects"),
+                        reg.counter("transport.oversized_rejects")};
+    return m;
+  }
+};
 
 [[noreturn]] void fail_errno(const std::string& what) {
   throw TransportError(what + ": " + std::strerror(errno));
@@ -64,6 +84,9 @@ void TcpConnection::send(const Buffer& message, const Deadline& deadline) {
   netio::write_all(fd_, header, 4, deadline, "send");
   netio::write_all(fd_, message.data(), message.size(), deadline, "send");
   netio::write_all(fd_, trailer, 4, deadline, "send");
+  const TcpMetrics& metrics = TcpMetrics::get();
+  metrics.frames_tx.add();
+  metrics.bytes_tx.add(message.size() + 8);  // payload + length + CRC framing
 }
 
 std::optional<Buffer> TcpConnection::receive(const Deadline& deadline) {
@@ -73,9 +96,11 @@ std::optional<Buffer> TcpConnection::receive(const Deadline& deadline) {
     return std::nullopt;
   }
   std::uint32_t len = load_le<std::uint32_t>(header);
+  const TcpMetrics& metrics = TcpMetrics::get();
   if (len > max_message_size_ || len > kMaxFrame) {
     // Reject by header inspection — nothing has been allocated yet, so a
     // forged length cannot cost more than these 4 bytes.
+    metrics.oversized_rejects.add();
     throw TransportError("oversized frame: header claims " +
                          std::to_string(len) + " bytes (limit " +
                          std::to_string(max_message_size_) + ")");
@@ -88,8 +113,11 @@ std::optional<Buffer> TcpConnection::receive(const Deadline& deadline) {
   std::uint32_t want = load_le<std::uint32_t>(trailer);
   std::uint32_t got = crc32(payload.data(), payload.size());
   if (want != got) {
+    metrics.crc_rejects.add();
     throw TransportError("frame checksum mismatch (corrupted in transit)");
   }
+  metrics.frames_rx.add();
+  metrics.bytes_rx.add(static_cast<std::uint64_t>(len) + 8);
   return Buffer(std::move(payload));
 }
 

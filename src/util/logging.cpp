@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdio>
+#include <deque>
 #include <mutex>
 
 namespace omf {
@@ -9,6 +10,14 @@ namespace omf {
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
 std::mutex g_mutex;
+
+// Post-mortem capture: the last kCaptureMax warning/error lines, kept even
+// when the threshold suppresses printing. Guarded by g_mutex.
+constexpr std::size_t kCaptureMax = 64;
+std::deque<std::string>& capture_ring() {
+  static std::deque<std::string> ring;
+  return ring;
+}
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -32,11 +41,35 @@ LogLevel log_level() noexcept {
 
 void log_line(LogLevel level, std::string_view component,
               std::string_view message) {
-  if (level < log_level()) return;
+  bool print = level >= log_level();
+  bool capture = level >= LogLevel::kWarn && level < LogLevel::kOff;
+  if (!print && !capture) return;
   std::lock_guard<std::mutex> lock(g_mutex);
-  std::fprintf(stderr, "[%s] %.*s: %.*s\n", level_name(level),
-               static_cast<int>(component.size()), component.data(),
-               static_cast<int>(message.size()), message.data());
+  if (capture) {
+    std::string line;
+    line.reserve(component.size() + message.size() + 16);
+    line.append("[").append(level_name(level)).append("] ");
+    line.append(component).append(": ").append(message);
+    std::deque<std::string>& ring = capture_ring();
+    if (ring.size() >= kCaptureMax) ring.pop_front();
+    ring.push_back(std::move(line));
+  }
+  if (print) {
+    std::fprintf(stderr, "[%s] %.*s: %.*s\n", level_name(level),
+                 static_cast<int>(component.size()), component.data(),
+                 static_cast<int>(message.size()), message.data());
+  }
+}
+
+std::vector<std::string> recent_log_errors() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  const std::deque<std::string>& ring = capture_ring();
+  return std::vector<std::string>(ring.begin(), ring.end());
+}
+
+void clear_recent_log_errors() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  capture_ring().clear();
 }
 
 }  // namespace omf

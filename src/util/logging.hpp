@@ -1,11 +1,25 @@
 // Minimal leveled logger. Components log discovery decisions, fallbacks,
 // and transport events so examples can narrate what the system does; tests
 // run with logging off by default.
+//
+// Structured fields: wrap values in kv("key", value) inside the streaming
+// macros to get a uniform `key=value` format that log scrapers (and eyes)
+// can split on:
+//
+//   OMF_LOG_WARN("discovery", "fetch failed", kv("locator", locator),
+//                kv("status", resp.status));
+//   // [warn] discovery: fetch failed locator=http://... status=503
+//
+// Post-mortem ring: every kWarn/kError line is captured into a fixed-size
+// in-memory ring even when the global threshold suppresses printing, so a
+// chaos-test failure can be diagnosed after the fact via
+// recent_log_errors() (exposed through obs::stats_snapshot()).
 #pragma once
 
 #include <sstream>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace omf {
 
@@ -17,18 +31,47 @@ enum class LogLevel : int {
   kOff = 4,
 };
 
-/// Sets the global threshold; messages below it are discarded.
+/// Sets the global threshold; messages below it are discarded (kWarn and
+/// above are still captured in the post-mortem ring).
 void set_log_level(LogLevel level) noexcept;
 LogLevel log_level() noexcept;
 
-/// Writes one line to stderr as "[level] component: message" (thread-safe).
+/// Writes one line to stderr as "[level] component: message" (thread-safe)
+/// when `level` passes the threshold; always captures kWarn+ in the ring.
 void log_line(LogLevel level, std::string_view component,
               std::string_view message);
+
+/// The last captured kWarn/kError lines, oldest first (bounded ring; the
+/// capacity is small and fixed). Independent of the print threshold.
+std::vector<std::string> recent_log_errors();
+
+/// Empties the post-mortem ring (tests).
+void clear_recent_log_errors();
+
+/// Structured key=value log field; stream it inside the OMF_LOG_* macros.
+/// Prints as " key=value" (leading space, so fields chain after prose).
+template <typename T>
+struct LogField {
+  std::string_view key;
+  const T& value;
+};
+
+template <typename T>
+LogField<T> kv(std::string_view key, const T& value) noexcept {
+  return LogField<T>{key, value};
+}
+
+template <typename T>
+std::ostream& operator<<(std::ostream& os, const LogField<T>& f) {
+  return os << ' ' << f.key << '=' << f.value;
+}
 
 namespace detail {
 template <typename... Args>
 void log_fmt(LogLevel level, std::string_view component, Args&&... args) {
-  if (level < log_level()) return;
+  // kWarn+ always reaches log_line for ring capture; below that the
+  // threshold check here skips the formatting cost entirely.
+  if (level < log_level() && level < LogLevel::kWarn) return;
   std::ostringstream os;
   (os << ... << args);
   log_line(level, component, os.str());

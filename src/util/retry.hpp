@@ -18,6 +18,7 @@
 #include <functional>
 #include <thread>
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 
@@ -71,7 +72,11 @@ auto retry_call(const RetryPolicy& policy, F&& fn,
     try {
       return fn();
     } catch (const TransportError&) {
-      if (attempt >= attempts) throw;
+      if (attempt >= attempts) {
+        obs::MetricsRegistry::instance().counter("fault.retry.exhausted").add();
+        throw;
+      }
+      obs::MetricsRegistry::instance().counter("fault.retry.retries").add();
       sleeper(policy.backoff(attempt));
     }
   }

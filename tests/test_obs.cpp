@@ -1,0 +1,537 @@
+// The observability layer: metric primitives (exact concurrent counters,
+// log2 histogram buckets), the span tracer (ring semantics, trace-id
+// propagation across a loopback NdrConnection), Prometheus exposition from
+// a live process, the post-mortem log ring, and the zero-allocation
+// guarantee for steady-state decode *with metrics and tracing enabled*.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "core/gateway.hpp"
+#include "core/xml2wire.hpp"
+#include "http/http.hpp"
+#include "obs/exposition.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "pbio/decode.hpp"
+#include "pbio/record.hpp"
+#include "pbio/synth.hpp"
+#include "transport/ndr_connection.hpp"
+#include "transport/tcp.hpp"
+#include "util/logging.hpp"
+
+namespace {
+
+// --- Allocation-counting hook (same pattern as test_arena.cpp) -------------
+
+std::atomic<bool> g_counting{false};
+std::atomic<std::size_t> g_allocations{0};
+
+void* counted_alloc(std::size_t n) {
+  if (g_counting.load(std::memory_order_relaxed)) {
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+
+struct AllocationCounter {
+  AllocationCounter() {
+    g_allocations.store(0);
+    g_counting.store(true);
+  }
+  ~AllocationCounter() { g_counting.store(false); }
+  std::size_t count() const { return g_allocations.load(); }
+};
+
+}  // namespace
+
+void* operator new(std::size_t n) { return counted_alloc(n); }
+void* operator new[](std::size_t n) { return counted_alloc(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace omf {
+namespace {
+
+const char* kSchema = R"(<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:complexType name="Sample">
+    <xsd:element name="tag" type="xsd:string" />
+    <xsd:element name="count" type="xsd:int" />
+    <xsd:element name="values" type="xsd:double" maxOccurs="count" />
+  </xsd:complexType>
+</xsd:schema>
+)";
+
+// --- Metric primitives ------------------------------------------------------
+
+TEST(ObsCounter, ConcurrentAddsAreExact) {
+  obs::Counter c;
+  constexpr int kThreads = 8;
+  constexpr int kAdds = 100000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kAdds; ++i) c.add();
+    });
+  }
+  for (auto& t : threads) t.join();
+  // Relaxed RMWs never lose updates; once quiescent the shard sum is exact.
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kAdds);
+}
+
+TEST(ObsCounter, AddWithIncrementAndReset) {
+  obs::Counter c;
+  c.add(40);
+  c.add(2);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(ObsGauge, SetAddSub) {
+  obs::Gauge g;
+  g.set(10);
+  g.add(5);
+  g.sub(7);
+  EXPECT_EQ(g.value(), 8);
+  g.sub(20);
+  EXPECT_EQ(g.value(), -12);  // gauges go negative; counters never do
+}
+
+TEST(ObsHistogram, BucketBoundaries) {
+  obs::Histogram h;
+  h.record(0);  // bit_width(0) == 0 -> bucket 0 (le 0)
+  h.record(1);  // bucket 1 (le 1)
+  h.record(2);  // bucket 2 (le 3)
+  h.record(3);  // bucket 2 (le 3)
+  h.record(4);  // bucket 3 (le 7)
+  h.record(std::uint64_t{1} << 45);  // wider than every bucket -> last
+
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(2), 2u);
+  EXPECT_EQ(h.bucket(3), 1u);
+  EXPECT_EQ(h.bucket(obs::Histogram::kBuckets - 1), 1u);
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_EQ(h.sum(), 0u + 1 + 2 + 3 + 4 + (std::uint64_t{1} << 45));
+
+  // The `le` bound each bucket advertises is inclusive of everything the
+  // bucket counted: bucket k holds values of bit width k, max 2^k - 1.
+  EXPECT_EQ(obs::Histogram::le(0), 0u);
+  EXPECT_EQ(obs::Histogram::le(1), 1u);
+  EXPECT_EQ(obs::Histogram::le(2), 3u);
+  EXPECT_EQ(obs::Histogram::le(10), 1023u);
+}
+
+// --- Registry ---------------------------------------------------------------
+
+TEST(ObsRegistry, StableReferencesAndKindCollision) {
+  auto& reg = obs::MetricsRegistry::instance();
+  obs::Counter& a = reg.counter("test.obs.stable");
+  obs::Counter& b = reg.counter("test.obs.stable");
+  EXPECT_EQ(&a, &b);  // one address per name, for the process lifetime
+  // A name denotes exactly one metric kind.
+  EXPECT_THROW(reg.gauge("test.obs.stable"), std::logic_error);
+  EXPECT_THROW(reg.histogram("test.obs.stable"), std::logic_error);
+}
+
+TEST(ObsRegistry, SnapshotPreRegistersCoreNames) {
+  // The full core instrumentation surface is visible (zero-valued or not)
+  // before any traffic flows — scrape targets never see a partial schema.
+  obs::MetricsSnapshot snap = obs::MetricsRegistry::instance().snapshot();
+  auto has_counter = [&](std::string_view name) {
+    for (const auto& row : snap.counters) {
+      if (row.name == name) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has_counter("pbio.plan_cache.hits"));
+  EXPECT_TRUE(has_counter("pbio.decode.messages"));
+  EXPECT_TRUE(has_counter("discovery.requests"));
+  EXPECT_TRUE(has_counter("transport.bytes_rx"));
+  EXPECT_TRUE(has_counter("fault.breaker.trips"));
+  EXPECT_TRUE(has_counter("gateway.converted"));
+  EXPECT_TRUE(has_counter("http.server.requests"));
+
+  bool has_hist = false;
+  for (const auto& row : snap.histograms) {
+    if (row.name == "pbio.plan_cache.compile_ns") has_hist = true;
+  }
+  EXPECT_TRUE(has_hist);
+}
+
+// --- Span tracing -----------------------------------------------------------
+
+TEST(ObsTrace, ScopedSpanRecordsAndClearsThreadTraceId) {
+  auto& tracer = obs::Tracer::instance();
+  tracer.clear();
+  ASSERT_EQ(obs::current_trace_id(), 0u);
+  std::uint64_t id = 0;
+  {
+    obs::ScopedSpan span(obs::Phase::kDiscover, "unit-test-locator");
+    ASSERT_TRUE(span.active());
+    id = obs::current_trace_id();
+    EXPECT_NE(id, 0u);  // root span installed a fresh trace id
+    EXPECT_EQ(span.trace_id(), id);
+  }
+  EXPECT_EQ(obs::current_trace_id(), 0u);  // cleared on exit
+
+  std::vector<obs::Span> spans = tracer.snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].trace_id, id);
+  EXPECT_EQ(spans[0].phase, obs::Phase::kDiscover);
+  EXPECT_STREQ(spans[0].name, "unit-test-locator");
+  EXPECT_TRUE(spans[0].ok);
+}
+
+TEST(ObsTrace, NestedSpansShareTheRootTraceId) {
+  auto& tracer = obs::Tracer::instance();
+  tracer.clear();
+  {
+    obs::ScopedSpan outer(obs::Phase::kDiscover, "outer");
+    obs::ScopedSpan inner(obs::Phase::kBind, "inner");
+    EXPECT_EQ(inner.trace_id(), outer.trace_id());
+  }
+  std::vector<obs::Span> spans = tracer.snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].trace_id, spans[1].trace_id);
+}
+
+TEST(ObsTrace, ExceptionUnwindMarksSpanNotOk) {
+  auto& tracer = obs::Tracer::instance();
+  tracer.clear();
+  try {
+    obs::ScopedSpan span(obs::Phase::kBind, "will-throw");
+    throw std::runtime_error("boom");
+  } catch (const std::runtime_error&) {
+  }
+  std::vector<obs::Span> spans = tracer.snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_FALSE(spans[0].ok);
+}
+
+TEST(ObsTrace, LongNamesAreTruncatedNotOverrun) {
+  auto& tracer = obs::Tracer::instance();
+  tracer.clear();
+  std::string long_name(100, 'x');
+  { obs::ScopedSpan span(obs::Phase::kMarshal, long_name); }
+  std::vector<obs::Span> spans = tracer.snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(std::string(spans[0].name), std::string(sizeof(obs::Span{}.name) - 1, 'x'));
+}
+
+TEST(ObsTrace, SampleEveryRoundsUpToPowerOfTwo) {
+  auto& tracer = obs::Tracer::instance();
+  tracer.set_sample_every(1);
+  EXPECT_EQ(tracer.sample_every(), 1u);
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(tracer.sample());
+  tracer.set_sample_every(3);
+  EXPECT_EQ(tracer.sample_every(), 4u);
+  int sampled = 0;
+  for (int i = 0; i < 400; ++i) sampled += tracer.sample() ? 1 : 0;
+  EXPECT_EQ(sampled, 100);  // exactly 1 in 4, single-threaded
+  tracer.set_sample_every(64);
+}
+
+TEST(ObsTrace, RingOverwritesOldestAndCountsDrops) {
+  auto& tracer = obs::Tracer::instance();
+  tracer.set_capacity(4);
+  for (std::uint64_t i = 1; i <= 6; ++i) {
+    obs::Span s{};
+    s.trace_id = i;
+    tracer.record(s);
+  }
+  std::vector<obs::Span> spans = tracer.snapshot();
+  ASSERT_EQ(spans.size(), 4u);
+  // Oldest first, and the two oldest were overwritten.
+  EXPECT_EQ(spans.front().trace_id, 3u);
+  EXPECT_EQ(spans.back().trace_id, 6u);
+  tracer.set_capacity(4096);
+}
+
+TEST(ObsTrace, JsonlExportIsOneObjectPerSpan) {
+  auto& tracer = obs::Tracer::instance();
+  tracer.clear();
+  { obs::ScopedSpan span(obs::Phase::kUnmarshal, "jsonl\"test"); }
+  std::ostringstream out;
+  tracer.export_jsonl(out);
+  std::string line = out.str();
+  EXPECT_NE(line.find("\"phase\":\"unmarshal\""), std::string::npos);
+  EXPECT_NE(line.find("jsonl\\\"test"), std::string::npos);  // quote escaped
+  EXPECT_EQ(line.find('\n'), line.size() - 1);  // exactly one line
+}
+
+// --- Trace-id propagation over a loopback NdrConnection ---------------------
+
+TEST(ObsTracePropagation, TraceIdTravelsAcrossNdrConnection) {
+  pbio::FormatRegistry sender_reg, receiver_reg;
+  core::Xml2Wire x2w(sender_reg, arch::native());
+  auto format = x2w.register_text(kSchema)[0];
+
+  pbio::DynamicRecord rec(format);
+  rec.set_string("tag", "traced");
+  rec.set_float_array("values", std::vector<double>(4, 1.5));
+  Buffer wire = rec.encode();
+
+  transport::TcpListener listener(0);
+  std::uint64_t receiver_saw = 0;
+  std::size_t messages = 0;
+  std::thread receiver([&] {
+    transport::NdrConnection conn(listener.accept(), receiver_reg);
+    while (conn.receive()) {
+      ++messages;
+      if (receiver_saw == 0) receiver_saw = obs::current_trace_id();
+    }
+    obs::set_current_trace_id(0);
+  });
+
+  std::uint64_t id = obs::new_trace_id();
+  {
+    transport::NdrConnection conn(transport::tcp_connect(listener.port()),
+                                  sender_reg);
+    obs::set_current_trace_id(id);
+    conn.send(*format, wire);       // 'T' frame: trace id rides in-band
+    obs::set_current_trace_id(0);
+    conn.send(*format, wire);       // plain 'M' frame: no trace active
+  }
+  receiver.join();
+
+  EXPECT_EQ(messages, 2u);
+  EXPECT_EQ(receiver_saw, id);  // receiver's thread adopted the sender's id
+}
+
+// --- Exposition -------------------------------------------------------------
+
+TEST(ObsExposition, PrometheusNameMangling) {
+  EXPECT_EQ(obs::prometheus_name("pbio.plan_cache.hits"),
+            "omf_pbio_plan_cache_hits");
+  EXPECT_EQ(obs::prometheus_name("transport.bytes_rx"),
+            "omf_transport_bytes_rx");
+}
+
+// Line-level validation of the Prometheus text exposition format: every
+// line is either a "# TYPE <name> <kind>" comment or "<name>[{labels}]
+// <number>", names match [a-zA-Z_][a-zA-Z0-9_]*.
+void validate_prometheus_text(const std::string& body) {
+  std::istringstream in(body);
+  std::string line;
+  std::size_t samples = 0;
+  while (std::getline(in, line)) {
+    ASSERT_FALSE(line.empty()) << "blank line in exposition";
+    if (line[0] == '#') {
+      EXPECT_EQ(line.rfind("# TYPE ", 0), 0u) << line;
+      continue;
+    }
+    std::size_t i = 0;
+    ASSERT_TRUE(std::isalpha(static_cast<unsigned char>(line[0])) ||
+                line[0] == '_')
+        << line;
+    while (i < line.size() &&
+           (std::isalnum(static_cast<unsigned char>(line[i])) ||
+            line[i] == '_')) {
+      ++i;
+    }
+    if (i < line.size() && line[i] == '{') {  // label set, e.g. {le="255"}
+      std::size_t close = line.find('}', i);
+      ASSERT_NE(close, std::string::npos) << line;
+      i = close + 1;
+    }
+    ASSERT_LT(i, line.size()) << line;
+    ASSERT_EQ(line[i], ' ') << line;
+    // The remainder must parse as a number.
+    std::size_t pos = 0;
+    const std::string value = line.substr(i + 1);
+    if (value == "+Inf") continue;
+    (void)std::stod(value, &pos);
+    EXPECT_EQ(pos, value.size()) << line;
+    ++samples;
+  }
+  EXPECT_GT(samples, 0u);
+}
+
+TEST(ObsExposition, MetricsEndpointServesValidPrometheusFromLiveProcess) {
+  // Drive real traffic through the pipeline first: discovery-compiled
+  // formats, a gateway converting a foreign message, decode/encode — then
+  // scrape the /metrics endpoint a live server exposes and check the text
+  // is valid and covers the plan-cache, discovery, transport, and fault
+  // families.
+  pbio::FormatRegistry registry;
+  core::Xml2Wire native_side(registry, arch::native());
+  auto native = native_side.register_text(kSchema)[0];
+  core::Xml2Wire foreign_side(registry, arch::profile_by_name("sparc64"));
+  auto foreign = foreign_side.register_text(kSchema)[0];
+
+  pbio::DynamicRecord rec(native);
+  rec.set_string("tag", "live");
+  rec.set_float_array("values", std::vector<double>(8, 2.5));
+  Buffer foreign_wire = pbio::synthesize_wire(*foreign, rec);
+
+  core::Gateway gateway(registry, native, native);
+  Buffer converted = gateway.convert(foreign_wire.span());  // foreign -> native
+  Buffer passed = gateway.convert(converted.span());        // already native
+  EXPECT_EQ(gateway.converted(), 1u);
+  EXPECT_EQ(gateway.passed_through(), 1u);
+  // Per-message decode counters batch in thread-local storage and fold into
+  // the registry every 64 messages; push enough traffic that the scrape
+  // below observes a flushed, nonzero value.
+  for (int i = 0; i < 64; ++i) gateway.convert(foreign_wire.span());
+
+  http::Server server;
+  http::Response resp = http::get(server.url_for("/metrics"),
+                                  Deadline::from_timeout(std::chrono::seconds(5)));
+  ASSERT_EQ(resp.status, 200);
+  EXPECT_NE(resp.headers.at("content-type").find("version=0.0.4"),
+            std::string::npos);
+  validate_prometheus_text(resp.body);
+
+  auto sample_value = [&](const std::string& name) -> double {
+    std::istringstream in(resp.body);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.rfind(name + " ", 0) == 0) {
+        return std::stod(line.substr(name.size() + 1));
+      }
+    }
+    return -1.0;
+  };
+  // Live values from the traffic above, one per required family.
+  EXPECT_GE(sample_value("omf_pbio_plan_cache_compiles"), 1.0);
+  EXPECT_GE(sample_value("omf_pbio_decode_messages"), 1.0);
+  EXPECT_GE(sample_value("omf_gateway_converted"), 1.0);
+  EXPECT_GE(sample_value("omf_http_server_requests"), 1.0);
+  // Present even when zero: discovery, transport, fault families.
+  EXPECT_GE(sample_value("omf_discovery_requests"), 0.0);
+  EXPECT_GE(sample_value("omf_transport_bytes_rx"), 0.0);
+  EXPECT_GE(sample_value("omf_fault_breaker_trips"), 0.0);
+  EXPECT_GE(sample_value("omf_fault_retry_retries"), 0.0);
+}
+
+TEST(ObsExposition, MetricsEndpointCanBeDisabled) {
+  http::Server server;
+  server.set_metrics_endpoint(false);
+  http::Response resp = http::get(server.url_for("/metrics"),
+                                  Deadline::from_timeout(std::chrono::seconds(5)));
+  EXPECT_EQ(resp.status, 404);
+}
+
+TEST(ObsExposition, UserHandlerTakesPrecedenceOverMetrics) {
+  http::Server server;
+  server.set_handler([](const std::string& path) -> std::optional<std::string> {
+    if (path == "/metrics") return std::string("mine");
+    return std::nullopt;
+  });
+  http::Response resp = http::get(server.url_for("/metrics"),
+                                  Deadline::from_timeout(std::chrono::seconds(5)));
+  ASSERT_EQ(resp.status, 200);
+  EXPECT_EQ(resp.body, "mine");
+}
+
+TEST(ObsExposition, GatewayStatsSnapshotAggregates) {
+  pbio::FormatRegistry registry;
+  core::Xml2Wire native_side(registry, arch::native());
+  auto native = native_side.register_text(kSchema)[0];
+  core::Xml2Wire foreign_side(registry, arch::profile_by_name("sparc64"));
+  auto foreign = foreign_side.register_text(kSchema)[0];
+
+  pbio::DynamicRecord rec(native);
+  rec.set_string("tag", "snap");
+  rec.set_float_array("values", std::vector<double>(2, 0.25));
+  Buffer foreign_wire = pbio::synthesize_wire(*foreign, rec);
+
+  core::Gateway gateway(registry, native, native);
+  gateway.convert(foreign_wire.span());
+  Buffer native_wire = rec.encode();
+  gateway.convert(native_wire.span());
+
+  core::Gateway::StatsSnapshot snap = gateway.stats_snapshot();
+  EXPECT_EQ(snap.converted, 1u);
+  EXPECT_EQ(snap.passed_through, 1u);
+  EXPECT_EQ(snap.cached_plans, 1u);  // one foreign->native plan compiled
+  EXPECT_EQ(snap.plans.compiles, 1u);
+  EXPECT_EQ(snap.plans.misses, 1u);
+}
+
+// --- Logging satellite ------------------------------------------------------
+
+TEST(ObsLogging, KvFieldsAndPostMortemRing) {
+  clear_recent_log_errors();
+  LogLevel prev = log_level();
+  set_log_level(LogLevel::kOff);  // print nothing...
+  OMF_LOG_WARN("obs-test", "fetch failed", kv("locator", "http://x/y"),
+               kv("status", 503));
+  OMF_LOG_INFO("obs-test", "info is not captured", kv("n", 1));
+  set_log_level(prev);
+
+  std::vector<std::string> captured = recent_log_errors();
+  ASSERT_EQ(captured.size(), 1u);  // ...but warn+ is still captured
+  EXPECT_NE(captured[0].find("[warn] obs-test: fetch failed"),
+            std::string::npos);
+  EXPECT_NE(captured[0].find("locator=http://x/y"), std::string::npos);
+  EXPECT_NE(captured[0].find("status=503"), std::string::npos);
+
+  clear_recent_log_errors();
+  EXPECT_TRUE(recent_log_errors().empty());
+}
+
+TEST(ObsLogging, RingReachesStatsSnapshot) {
+  clear_recent_log_errors();
+  LogLevel prev = log_level();
+  set_log_level(LogLevel::kOff);
+  OMF_LOG_ERROR("obs-test", "snapshot sees this");
+  set_log_level(prev);
+  obs::StatsSnapshot snap = obs::stats_snapshot();
+  ASSERT_FALSE(snap.recent_errors.empty());
+  EXPECT_NE(snap.recent_errors.back().find("snapshot sees this"),
+            std::string::npos);
+  clear_recent_log_errors();
+}
+
+// --- Zero-allocation steady state with metrics ON ---------------------------
+
+TEST(ObsZeroAlloc, SteadyStateDecodeWithMetricsAndTracingEnabled) {
+  // The seed repo's guarantee (test_arena.cpp) must survive observability:
+  // counters are relaxed adds, histograms are fixed arrays, spans are POD
+  // ring writes — even tracing EVERY message must not touch the heap once
+  // warm.
+  obs::Tracer::instance().set_sample_every(1);
+  pbio::FormatRegistry registry;
+  core::Xml2Wire native_side(registry, arch::native());
+  auto native = native_side.register_text(kSchema)[0];
+  core::Xml2Wire foreign_side(registry, arch::profile_by_name("sparc64"));
+  auto foreign = foreign_side.register_text(kSchema)[0];
+
+  pbio::DynamicRecord rec(native);
+  rec.set_string("tag", "steady.state.obs");
+  rec.set_float_array("values", std::vector<double>(64, 0.5));
+  Buffer wire = pbio::synthesize_wire(*foreign, rec);
+
+  pbio::Decoder dec(registry);
+  std::vector<std::uint8_t> out(native->struct_size());
+  pbio::DecodeArena arena;
+  dec.decode(wire.span(), *native, out.data(), arena);  // warm: plan + arena
+  arena.reset();
+  dec.decode(wire.span(), *native, out.data(), arena);
+
+  AllocationCounter counter;
+  for (int i = 0; i < 100; ++i) {
+    arena.reset();
+    dec.decode(wire.span(), *native, out.data(), arena);
+  }
+  EXPECT_EQ(counter.count(), 0u)
+      << "instrumented steady-state decode touched the heap "
+      << counter.count() << " times";
+  obs::Tracer::instance().set_sample_every(64);
+}
+
+}  // namespace
+}  // namespace omf
