@@ -1,0 +1,276 @@
+// Batched SIMD decode benchmark (EXPERIMENTS.md C12).
+//
+// Three questions, each an ablation ladder from one binary:
+//
+//   * bulk/*    — mismatched-endianness bulk arrays (the scientific-data
+//                 shape): what do run fusion, SIMD kernels, and N-message
+//                 batch dispatch each buy over the PR 1 specialized
+//                 per-field kernels?
+//   * fields/*  — a flat struct of 64 individual int32 fields (the
+//                 paper-style telemetry record): run fusion collapses 64
+//                 kernel dispatches into one 64-element SIMD run, and
+//                 batching amortizes the per-message fixed costs on top.
+//   * matched/* — matched-layout messages, where the plan is trivial: the
+//                 batch path must sit within striking distance of a raw
+//                 memcpy of the same bytes.
+//
+// Every row decodes into raw struct memory (no DynamicRecord) so the
+// kernels, not record bookkeeping, dominate. Results land in
+// BENCH_batch_decode.json with explicit speedup ratios.
+#include <chrono>
+#include <memory>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "pbio/decode.hpp"
+#include "pbio/encode.hpp"
+#include "pbio/record.hpp"
+#include "pbio/synth.hpp"
+
+namespace {
+
+using namespace omf;
+using namespace omf::bench;
+
+double now_ns() {
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+struct Workload {
+  pbio::FormatRegistry reg;
+  pbio::FormatHandle native;
+  pbio::FormatHandle foreign;
+  Buffer wire;
+  std::size_t body_bytes = 0;
+};
+
+/// A `count`-double bulk array, synthesized from a big-endian sender: every
+/// element is an 8-byte swap, fusible into a single run. Swept across
+/// message sizes: small messages are dominated by per-message fixed costs
+/// (header parse, plan lookup, dispatch) that batching amortizes; large
+/// ones by the swap kernel itself.
+std::unique_ptr<Workload> bulk_doubles(int count) {
+  auto wp = std::make_unique<Workload>();
+  Workload& w = *wp;
+  std::vector<pbio::IOField> fields = {
+      {"vals", "float[" + std::to_string(count) + "]", 8, 0}};
+  std::size_t bytes = static_cast<std::size_t>(count) * 8;
+  std::string name = "Bulk" + std::to_string(count);
+  w.native = w.reg.register_format(name, fields, bytes, arch::native());
+  w.foreign = w.reg.register_format(name, fields, bytes, arch::sparc64());
+  pbio::DynamicRecord r(w.native);
+  std::vector<double> vals(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    vals[static_cast<std::size_t>(i)] = 0.25 * i;
+  }
+  r.set_float_array("vals", vals);
+  w.wire = pbio::synthesize_wire(*w.foreign, r);
+  w.body_bytes = bytes;
+  return wp;
+}
+
+std::unique_ptr<Workload> bulk_32() { return bulk_doubles(32); }
+std::unique_ptr<Workload> bulk_64() { return bulk_doubles(64); }
+std::unique_ptr<Workload> bulk_512() { return bulk_doubles(512); }
+
+/// Width-changing bulk conversion: a sparc32 sender's long[512] (4-byte,
+/// big-endian) widens to this machine's 8-byte int64 — swap + sign-extend
+/// per element, the shape the AVX2 vpmovsx kernels target.
+std::unique_ptr<Workload> bulk_widen() {
+  auto wp = std::make_unique<Workload>();
+  Workload& w = *wp;
+  const arch::Profile& s32 = arch::profile_by_name("sparc32");
+  std::vector<pbio::IOField> native_fields = {{"vals", "integer[512]", 8, 0}};
+  std::vector<pbio::IOField> foreign_fields = {{"vals", "integer[512]", 4, 0}};
+  w.native =
+      w.reg.register_format("Widen", native_fields, 4096, arch::native());
+  w.foreign = w.reg.register_format("Widen", foreign_fields, 2048, s32);
+  pbio::DynamicRecord r(w.native);
+  std::vector<std::int64_t> vals(512);
+  for (int i = 0; i < 512; ++i) {
+    vals[static_cast<std::size_t>(i)] = (i % 2 ? -1 : 1) * i * 65537;
+  }
+  r.set_int_array("vals", vals);
+  w.wire = pbio::synthesize_wire(*w.foreign, r);
+  w.body_bytes = 2048;
+  return wp;
+}
+
+/// 64 individual int32 fields: the per-field plan runs 64 one-element
+/// kernel dispatches; the fused plan runs one 64-element kernel.
+std::unique_ptr<Workload> flat_fields() {
+  auto wp = std::make_unique<Workload>();
+  Workload& w = *wp;
+  std::vector<pbio::IOField> fields;
+  for (int i = 0; i < 64; ++i) {
+    fields.push_back(
+        {"f" + std::to_string(i), "integer", 4, static_cast<std::size_t>(i) * 4});
+  }
+  w.native = w.reg.register_format("Flat", fields, 256, arch::native());
+  w.foreign = w.reg.register_format("Flat", fields, 256, arch::sparc64());
+  pbio::DynamicRecord r(w.native);
+  for (int i = 0; i < 64; ++i) {
+    r.set_int("f" + std::to_string(i), i * 1000003);
+  }
+  w.wire = pbio::synthesize_wire(*w.foreign, r);
+  w.body_bytes = 256;
+  return wp;
+}
+
+/// Matched layout: the sender is this architecture, the plan is trivial.
+std::unique_ptr<Workload> matched() {
+  auto wp = std::make_unique<Workload>();
+  Workload& w = *wp;
+  std::vector<pbio::IOField> fields = {{"vals", "float[512]", 8, 0}};
+  w.native = w.reg.register_format("Same", fields, 4096, arch::native());
+  w.foreign = w.native;
+  pbio::DynamicRecord r(w.native);
+  std::vector<double> vals(512);
+  for (int i = 0; i < 512; ++i) vals[static_cast<std::size_t>(i)] = 0.25 * i;
+  r.set_float_array("vals", vals);
+  w.wire = pbio::encode(*w.native, r.data());
+  w.body_bytes = 4096;
+  return wp;
+}
+
+struct Result {
+  double ns_per_msg;
+  double mb_per_s;
+};
+
+/// Per-message decode with explicit plan options.
+Result single_run(Workload& w, pbio::PlanOptions opts, std::size_t iters) {
+  pbio::Decoder dec(w.reg, nullptr, opts);
+  std::vector<std::uint8_t> out(w.native->struct_size());
+  pbio::DecodeArena arena;
+  dec.decode(w.wire.span(), *w.native, out.data(), arena);  // prime
+  double t0 = now_ns();
+  for (std::size_t i = 0; i < iters; ++i) {
+    dec.decode(w.wire.span(), *w.native, out.data(), arena);
+  }
+  double wall = now_ns() - t0;
+  return {wall / static_cast<double>(iters),
+          static_cast<double>(iters) * static_cast<double>(w.body_bytes) /
+              (wall / 1e9) / 1e6};
+}
+
+/// decode_batch over `batch_n`-message bursts (full plan options).
+Result batch_run(Workload& w, std::size_t batch_n, std::size_t iters) {
+  pbio::Decoder dec(w.reg, nullptr, pbio::PlanOptions{});
+  std::vector<std::span<const std::uint8_t>> spans(batch_n, w.wire.span());
+  std::vector<std::uint8_t> out(batch_n * w.native->struct_size());
+  std::vector<void*> ptrs;
+  for (std::size_t i = 0; i < batch_n; ++i) {
+    ptrs.push_back(out.data() + i * w.native->struct_size());
+  }
+  pbio::DecodeArena arena;
+  dec.decode_batch(spans.data(), batch_n, *w.native, ptrs.data(), arena);
+  std::size_t rounds = iters / batch_n;
+  double t0 = now_ns();
+  for (std::size_t i = 0; i < rounds; ++i) {
+    arena.reset();
+    dec.decode_batch(spans.data(), batch_n, *w.native, ptrs.data(), arena);
+  }
+  double wall = now_ns() - t0;
+  double msgs = static_cast<double>(rounds * batch_n);
+  return {wall / msgs,
+          msgs * static_cast<double>(w.body_bytes) / (wall / 1e9) / 1e6};
+}
+
+/// The floor: a bare memcpy of the same struct bytes, same batch shape.
+Result memcpy_run(Workload& w, std::size_t batch_n, std::size_t iters) {
+  std::size_t stride = w.native->struct_size();
+  std::vector<std::uint8_t> src(batch_n * stride, 0x5A);
+  std::vector<std::uint8_t> dst(batch_n * stride);
+  std::size_t rounds = iters / batch_n;
+  double t0 = now_ns();
+  for (std::size_t i = 0; i < rounds; ++i) {
+    for (std::size_t k = 0; k < batch_n; ++k) {
+      std::memcpy(dst.data() + k * stride, src.data() + k * stride, stride);
+    }
+    // Keep the copies observable.
+    asm volatile("" : : "r"(dst.data()) : "memory");
+  }
+  double wall = now_ns() - t0;
+  double msgs = static_cast<double>(rounds * batch_n);
+  return {wall / msgs,
+          msgs * static_cast<double>(w.body_bytes) / (wall / 1e9) / 1e6};
+}
+
+}  // namespace
+
+int main() {
+  BenchJson json("batch_decode");
+  std::printf("%-30s %12s %10s\n", "workload", "ns/msg", "MB/s");
+  auto report = [&](const std::string& workload, Result r,
+                    std::vector<std::pair<std::string, double>> extra = {}) {
+    std::printf("%-30s %12.1f %10.1f\n", workload.c_str(), r.ns_per_msg,
+                r.mb_per_s);
+    json.add(workload, r.ns_per_msg, r.mb_per_s, std::move(extra));
+  };
+
+  constexpr std::size_t kIters = 200000;
+  constexpr std::size_t kBatch = 32;
+
+  // interpreted → specialized(per-field, PR 1) → fused-scalar → fused-SIMD
+  // → batched, per workload.
+  const pbio::PlanOptions kInterpreted{true, false, false, false};
+  const pbio::PlanOptions kPerField = pbio::PlanOptions::per_field();
+  const pbio::PlanOptions kFusedScalar{true, true, true, false};
+  const pbio::PlanOptions kFusedSimd{};
+
+  using Maker = std::unique_ptr<Workload> (*)();
+  for (auto& [name, make] :
+       {std::pair<const char*, Maker>{"bulk32", bulk_32},
+        std::pair<const char*, Maker>{"bulk64", bulk_64},
+        std::pair<const char*, Maker>{"bulk512", bulk_512},
+        std::pair<const char*, Maker>{"widen", bulk_widen},
+        std::pair<const char*, Maker>{"fields", flat_fields}}) {
+    auto wp = make();
+    Workload& w = *wp;
+    std::string prefix = std::string(name) + "/";
+    Result interpreted = single_run(w, kInterpreted, kIters / 4);
+    Result per_field = single_run(w, kPerField, kIters);
+    Result fused_scalar = single_run(w, kFusedScalar, kIters);
+    Result fused_simd = single_run(w, kFusedSimd, kIters);
+    Result batched = batch_run(w, kBatch, kIters);
+    report(prefix + "interpreted", interpreted);
+    report(prefix + "per_field", per_field,
+           {{"speedup_vs_interpreted",
+             interpreted.ns_per_msg / per_field.ns_per_msg}});
+    report(prefix + "fused_scalar", fused_scalar,
+           {{"speedup_vs_per_field",
+             per_field.ns_per_msg / fused_scalar.ns_per_msg}});
+    report(prefix + "fused_simd", fused_simd,
+           {{"speedup_vs_per_field",
+             per_field.ns_per_msg / fused_simd.ns_per_msg}});
+    report(prefix + "batched", batched,
+           {{"batch_n", static_cast<double>(kBatch)},
+            {"speedup_vs_per_field",
+             per_field.ns_per_msg / batched.ns_per_msg}});
+  }
+
+  {
+    auto wp = matched();
+    Workload& w = *wp;
+    Result copy = memcpy_run(w, kBatch, kIters);
+    Result batched = batch_run(w, kBatch, kIters);
+    Result single = single_run(w, kFusedSimd, kIters);
+    report("matched/raw_memcpy", copy);
+    report("matched/batched", batched,
+           {{"batch_n", static_cast<double>(kBatch)},
+            {"ratio_vs_memcpy", batched.ns_per_msg / copy.ns_per_msg}});
+    report("matched/single", single,
+           {{"ratio_vs_memcpy", single.ns_per_msg / copy.ns_per_msg}});
+  }
+
+  std::string path = json.write();
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}

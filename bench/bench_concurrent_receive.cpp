@@ -151,6 +151,35 @@ Result options_run(Setup& setup, std::size_t iters, pbio::PlanOptions opts) {
               iters, payload_bytes(kValues));
 }
 
+/// Batched dispatch: decode_batch over `batch_n`-message bursts with the
+/// full plan options — the top rung of the kernel ablation ladder.
+Result batch_run(Setup& setup, std::size_t iters, std::size_t batch_n) {
+  pbio::Decoder dec(setup.registry, nullptr, pbio::PlanOptions{});
+  std::vector<std::span<const std::uint8_t>> spans(batch_n,
+                                                   setup.wire.span());
+  std::size_t stride = setup.native_format->struct_size();
+  std::vector<std::uint8_t> out(batch_n * stride);
+  std::vector<void*> ptrs;
+  for (std::size_t i = 0; i < batch_n; ++i) {
+    ptrs.push_back(out.data() + i * stride);
+  }
+  pbio::DecodeArena arena;
+  dec.decode_batch(spans.data(), batch_n, *setup.native_format, ptrs.data(),
+                   arena);  // prime
+  std::size_t rounds = iters / batch_n;
+  auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < rounds; ++i) {
+    arena.reset();
+    dec.decode_batch(spans.data(), batch_n, *setup.native_format, ptrs.data(),
+                     arena);
+  }
+  auto t1 = std::chrono::steady_clock::now();
+  return rate(static_cast<double>(
+                  std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                      .count()),
+              rounds * batch_n, payload_bytes(kValues));
+}
+
 /// Arena ablation: decode the same arena-heavy message with one pooled
 /// (reset) arena vs a freshly constructed arena per message.
 Result arena_run(Setup& setup, std::size_t iters, bool pooled) {
@@ -227,15 +256,33 @@ int main() {
              static_cast<double>(kChurnThreads * kConnections)}});
   }
 
-  // --- Specialized kernels vs interpreted dispatch ------------------------
+  // --- Kernel ablation ladder ---------------------------------------------
+  // interpreted → specialized (PR 1) → fused-scalar → fused-SIMD → batched,
+  // all from this one binary; each rung isolates one receive-path
+  // optimization.
   constexpr std::size_t kKernelIters = 100000;
   for (auto& [name, setup] :
        {std::pair<const char*, Setup&>{"sparc64", hetero},
         std::pair<const char*, Setup&>{"sparc32", remap}}) {
-    report(std::string("kernels/on/") + name,
-           options_run(setup, kKernelIters, pbio::PlanOptions{true, true}));
-    report(std::string("kernels/off/") + name,
-           options_run(setup, kKernelIters, pbio::PlanOptions{true, false}));
+    std::string prefix = std::string("kernels/");
+    Result interpreted = options_run(
+        setup, kKernelIters, pbio::PlanOptions{true, false, false, false});
+    Result specialized =
+        options_run(setup, kKernelIters, pbio::PlanOptions::per_field());
+    Result fused_scalar = options_run(
+        setup, kKernelIters, pbio::PlanOptions{true, true, true, false});
+    Result fused_simd =
+        options_run(setup, kKernelIters, pbio::PlanOptions{});
+    Result batched = batch_run(setup, kKernelIters, 32);
+    auto vs = [&](Result r) {
+      return std::vector<std::pair<std::string, double>>{
+          {"speedup_vs_interpreted", interpreted.ns_per_op / r.ns_per_op}};
+    };
+    report(prefix + "interpreted/" + name, interpreted);
+    report(prefix + "specialized/" + name, specialized, vs(specialized));
+    report(prefix + "fused_scalar/" + name, fused_scalar, vs(fused_scalar));
+    report(prefix + "fused_simd/" + name, fused_simd, vs(fused_simd));
+    report(prefix + "batched/" + name, batched, vs(batched));
   }
 
   // --- Arena pooling vs per-message arenas --------------------------------

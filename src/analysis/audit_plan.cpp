@@ -127,27 +127,55 @@ void audit_lossiness(const Format& wire, const Format& native,
   }
 }
 
+/// Wire field whose slot starts at `offset` — the first field of a fused
+/// run, since coalesce/fusion always keep the run head's offset. Falls back
+/// to the nearest field at or before the offset (an op can only start
+/// inside a field's slot). nullptr for an empty format.
+const Field* field_at(const Format& wire, std::uint64_t offset) {
+  const Field* best = nullptr;
+  for (const Field& f : wire.fields()) {
+    if (f.offset == offset) return &f;
+    if (f.offset < offset && (best == nullptr || f.offset > best->offset)) {
+      best = &f;
+    }
+  }
+  return best;
+}
+
 /// Proves every struct-region read of the op program is inside
-/// `region_len` readable bytes. Recurses into subplans with the element
-/// extent. `where` names the plan level for messages.
+/// `region_len` readable bytes, fused RunOps included: a run's proof covers
+/// the whole `count * src_size` (or `count` bytes for copy runs) span the
+/// merged fields occupy, and its diagnostic names the run's head field with
+/// the number of fields the run fused. Recurses into subplans with the
+/// element extent.
 void audit_bounds(const ConversionPlan& plan, std::uint64_t region_len,
                   std::vector<Diagnostic>& out) {
   const std::uint64_t ptr_size = plan.wire().profile().pointer_size;
   // Every string below is built only on a failed check — the proof runs at
   // plan-compile time and the passing path must stay allocation-free.
-  auto check_read = [&](std::uint64_t offset, std::uint64_t size,
-                        const char* what) {
+  auto check_read = [&](const ConvOp& op, std::uint64_t offset,
+                        std::uint64_t size, const char* what) {
     // Overflow-safe: never form offset + size.
     if (offset > region_len || size > region_len - offset) {
-      const std::string where = "'" + plan.wire().name() + "' wire struct";
+      const Field* leaf = field_at(plan.wire(), op.src_offset);
+      std::string where = "'" + plan.wire().name() + "' wire struct";
+      std::string path = leaf != nullptr
+                             ? plan.wire().name() + "." + leaf->name
+                             : where;
+      std::string run;
+      if (op.fused_fields > 1) {
+        run = " (fused run of " + std::to_string(op.fused_fields) +
+              " fields starting at '" +
+              (leaf != nullptr ? leaf->name : std::string("?")) + "')";
+      }
       emit(out, codes::kPlanOutOfBounds, Severity::kError,
-           std::string(what) + " reads bytes " + std::to_string(offset) +
-               ".." +
-               std::to_string(offset + size) + " but the " + where +
-               " region is only " + std::to_string(region_len) +
+           std::string(what) + run + " reads bytes " +
+               std::to_string(offset) + ".." + std::to_string(offset + size) +
+               " but the " + where + " region is only " +
+               std::to_string(region_len) +
                " bytes; executing this plan would read past the message "
                "extent",
-           where);
+           std::move(path));
     }
   };
 
@@ -157,19 +185,19 @@ void audit_bounds(const ConversionPlan& plan, std::uint64_t region_len,
       case ConvOp::Kind::kDefault:
         break;  // no source reads
       case ConvOp::Kind::kCopy:
-        check_read(op.src_offset, op.count, "block copy");
+        check_read(op, op.src_offset, op.count, "block copy");
         break;
       case ConvOp::Kind::kInt:
       case ConvOp::Kind::kFloat:
-        check_read(op.src_offset,
+        check_read(op, op.src_offset,
                    std::uint64_t{op.count} * op.src_size, "element loop");
         break;
       case ConvOp::Kind::kString:
-        check_read(op.src_offset, ptr_size, "string pointer slot");
+        check_read(op, op.src_offset, ptr_size, "string pointer slot");
         break;
       case ConvOp::Kind::kDynArray:
-        check_read(op.src_offset, ptr_size, "dynamic array pointer slot");
-        check_read(op.src_count_offset, op.src_count_size,
+        check_read(op, op.src_offset, ptr_size, "dynamic array pointer slot");
+        check_read(op, op.src_count_offset, op.src_count_size,
                    "dynamic array count");
         if (op.subplan) {
           // Elements live in the variable section; each subplan run sees
@@ -178,7 +206,7 @@ void audit_bounds(const ConversionPlan& plan, std::uint64_t region_len,
         }
         break;
       case ConvOp::Kind::kNestedStatic:
-        check_read(op.src_offset,
+        check_read(op, op.src_offset,
                    std::uint64_t{op.count} * op.src_size, "embedded struct");
         if (op.subplan) {
           audit_bounds(*op.subplan, op.src_size, out);

@@ -72,6 +72,8 @@ std::span<const CodeInfo> diagnostic_codes() {
       {"OMF205", Severity::kWarning, "wire field unknown to the receiver is dropped"},
       {"OMF210", Severity::kError,
        "compiled plan accesses bytes outside the message extent"},
+      {"OMF211", Severity::kError,
+       "fused and unfused plans audit differently (analyzer invariant)"},
       {"OMF301", Severity::kWarning,
        "count element is declared after the array it sizes"},
       {"OMF302", Severity::kError,

@@ -82,6 +82,7 @@ inline constexpr const char* kSignChange = "OMF203";
 inline constexpr const char* kArrayTruncation = "OMF204";
 inline constexpr const char* kDroppedField = "OMF205";
 inline constexpr const char* kPlanOutOfBounds = "OMF210";
+inline constexpr const char* kFusedAuditDivergence = "OMF211";
 // XML Schema.
 inline constexpr const char* kCountElementAfterArray = "OMF301";
 inline constexpr const char* kCountNameCollision = "OMF302";

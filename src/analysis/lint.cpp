@@ -2,11 +2,14 @@
 
 #include <cstring>
 #include <fstream>
+#include <set>
 #include <sstream>
 
 #include "analysis/audit_format.hpp"
+#include "analysis/audit_plan.hpp"
 #include "analysis/audit_schema.hpp"
 #include "arch/profile.hpp"
+#include "pbio/convert.hpp"
 #include "pbio/format.hpp"
 #include "schema/reader.hpp"
 #include "util/strings.hpp"
@@ -46,9 +49,107 @@ std::vector<std::string_view> tokenize(std::string_view line) {
 
 // --- Textual descriptor files (*.fmt) --------------------------------------
 
+/// A `convert <wire> <native>` directive: audit the conversion the two
+/// formats would compile to, exactly as a decoder would build it.
+struct ConvertRequest {
+  std::string wire;
+  std::string native;
+  std::size_t line = 0;
+};
+
+/// Runs the plan auditor over every `convert` directive. Each pair is
+/// audited twice — once with the production plan options (run fusion and
+/// SIMD kernel selection on) and once with PlanOptions::per_field() — and
+/// the two diagnostic sets are compared as multisets of (code, path).
+/// Fusion is a pure execution-strategy change, so any divergence means the
+/// analyzer (not the metadata) is broken: that invariant violation is
+/// reported as OMF211. The fused plan's diagnostics are then appended,
+/// pinned to the directive's line.
+void audit_convert_directives(const std::vector<FormatDescriptor>& set,
+                              const std::vector<ConvertRequest>& requests,
+                              std::vector<Diagnostic>& diags) {
+  // Lay the descriptors out in a scratch registry. The format audit has
+  // already passed clean, so registration is expected to succeed; any
+  // residual rejection is still reported rather than swallowed.
+  pbio::FormatRegistry scratch;
+  for (const FormatDescriptor& fmt : set) {
+    std::vector<pbio::IOField> fields;
+    fields.reserve(fmt.fields.size());
+    for (const FieldDescriptor& f : fmt.fields) {
+      fields.emplace_back(f.name, f.type, f.size, f.offset, f.default_text);
+    }
+    try {
+      scratch.register_format(fmt.name, fields, fmt.struct_size, fmt.profile);
+    } catch (const Error& e) {
+      emit(diags, codes::kInputParse, Severity::kError,
+           "format '" + fmt.name + "' rejected by the registry: " + e.what(),
+           fmt.line);
+      return;
+    }
+  }
+
+  auto descriptor_named = [&](const std::string& name) -> const
+      FormatDescriptor* {
+    for (auto it = set.rbegin(); it != set.rend(); ++it) {
+      if (it->name == name) return &*it;
+    }
+    return nullptr;
+  };
+
+  for (const ConvertRequest& req : requests) {
+    const FormatDescriptor* wd = descriptor_named(req.wire);
+    const FormatDescriptor* nd = descriptor_named(req.native);
+    if (wd == nullptr || nd == nullptr) {
+      emit(diags, codes::kInputParse, Severity::kError,
+           "'convert' references unknown format '" +
+               (wd == nullptr ? req.wire : req.native) + "'",
+           req.line);
+      continue;
+    }
+    pbio::FormatHandle wire = scratch.by_name_profile(req.wire, wd->profile);
+    pbio::FormatHandle native =
+        scratch.by_name_profile(req.native, nd->profile);
+
+    std::vector<Diagnostic> fused;
+    std::vector<Diagnostic> per_field;
+    try {
+      fused = audit_plan(*pbio::ConversionPlan::build(wire, native,
+                                                      pbio::PlanOptions{}));
+      per_field = audit_plan(*pbio::ConversionPlan::build(
+          wire, native, pbio::PlanOptions::per_field()));
+    } catch (const Error& e) {
+      emit(diags, codes::kInputParse, Severity::kError,
+           "conversion plan '" + req.wire + "' -> '" + req.native +
+               "' failed to compile: " + e.what(),
+           req.line);
+      continue;
+    }
+
+    auto keys = [](const std::vector<Diagnostic>& ds) {
+      std::multiset<std::string> out;
+      for (const Diagnostic& d : ds) out.insert(d.code + " " + d.path);
+      return out;
+    };
+    if (keys(fused) != keys(per_field)) {
+      emit(diags, codes::kFusedAuditDivergence, Severity::kError,
+           "plan '" + req.wire + "' -> '" + req.native +
+               "' audits differently with run fusion on (" +
+               std::to_string(fused.size()) + " findings) vs per-field (" +
+               std::to_string(per_field.size()) +
+               "); fusion must never change audit results",
+           req.line);
+    }
+    for (Diagnostic& d : fused) {
+      if (d.line == 0) d.line = req.line;
+      diags.push_back(std::move(d));
+    }
+  }
+}
+
 std::vector<Diagnostic> lint_fmt_text(std::string_view content) {
   std::vector<Diagnostic> diags;
   std::vector<FormatDescriptor> set;
+  std::vector<ConvertRequest> requests;
   FormatDescriptor* cur = nullptr;
 
   std::size_t lineno = 0;
@@ -160,6 +261,18 @@ std::vector<Diagnostic> lint_fmt_text(std::string_view content) {
       continue;
     }
 
+    if (tok[0] == "convert") {
+      if (tok.size() != 3) {
+        emit(diags, codes::kInputParse, Severity::kError,
+             "'convert' needs: convert <wire-format> <native-format>",
+             lineno);
+        continue;
+      }
+      requests.push_back(
+          {std::string(tok[1]), std::string(tok[2]), lineno});
+      continue;
+    }
+
     emit(diags, codes::kInputParse, Severity::kError,
          "unrecognized directive '" + std::string(tok[0]) + "'", lineno);
   }
@@ -167,6 +280,11 @@ std::vector<Diagnostic> lint_fmt_text(std::string_view content) {
   std::vector<Diagnostic> audits = audit_formats(set);
   diags.insert(diags.end(), std::make_move_iterator(audits.begin()),
                std::make_move_iterator(audits.end()));
+  // Plan audits need registrable metadata; skip them when the descriptors
+  // themselves are already broken.
+  if (!requests.empty() && !has_errors(diags)) {
+    audit_convert_directives(set, requests, diags);
+  }
   return diags;
 }
 

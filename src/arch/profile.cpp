@@ -1,5 +1,8 @@
 #include "arch/profile.hpp"
 
+#include <cstdlib>
+#include <cstring>
+
 #include "util/error.hpp"
 
 namespace omf::arch {
@@ -75,6 +78,49 @@ const Profile& profile_by_name(const std::string& name) {
     if (p->name == name) return *p;
   }
   throw Error("unknown architecture profile: " + name);
+}
+
+const char* simd_tier_name(SimdTier tier) noexcept {
+  switch (tier) {
+    case SimdTier::kSSE2: return "sse2";
+    case SimdTier::kAVX2: return "avx2";
+    case SimdTier::kScalar: break;
+  }
+  return "scalar";
+}
+
+namespace {
+
+SimdTier probe_cpu_tier() noexcept {
+#if !defined(OMF_SIMD_DISABLED) && (defined(__x86_64__) || defined(__i386__))
+  if (__builtin_cpu_supports("avx2")) return SimdTier::kAVX2;
+  if (__builtin_cpu_supports("sse2")) return SimdTier::kSSE2;
+#endif
+  return SimdTier::kScalar;
+}
+
+SimdTier clamp_by_env(SimdTier detected) noexcept {
+  const char* env = std::getenv("OMF_SIMD_TIER");
+  if (env == nullptr || *env == '\0') return detected;
+  SimdTier cap = SimdTier::kScalar;
+  if (std::strcmp(env, "avx2") == 0) {
+    cap = SimdTier::kAVX2;
+  } else if (std::strcmp(env, "sse2") == 0) {
+    cap = SimdTier::kSSE2;
+  }  // anything else (including "scalar" and typos) clamps to scalar
+  return cap < detected ? cap : detected;
+}
+
+}  // namespace
+
+SimdTier detected_simd_tier() noexcept {
+  static const SimdTier tier = probe_cpu_tier();
+  return tier;
+}
+
+SimdTier simd_tier() noexcept {
+  static const SimdTier tier = clamp_by_env(detected_simd_tier());
+  return tier;
 }
 
 std::size_t StructLayout::add_member(std::size_t size, std::size_t align) {

@@ -64,6 +64,32 @@ const std::vector<const Profile*>& all_profiles();
 const Profile& profile_by_name(const std::string& name);
 
 // ---------------------------------------------------------------------------
+// SIMD capability
+// ---------------------------------------------------------------------------
+
+/// Vector instruction tiers the fused decode kernels (pbio/run_kernels) are
+/// compiled for. Ordered: a CPU at tier N can run every kernel of tier ≤ N.
+enum class SimdTier : std::uint8_t {
+  kScalar = 0,  ///< portable C++ loops only
+  kSSE2 = 1,    ///< 16-byte lanes (x86-64 baseline)
+  kAVX2 = 2,    ///< 32-byte lanes
+};
+
+/// Short stable name ("scalar" / "sse2" / "avx2") for logs and metrics.
+const char* simd_tier_name(SimdTier tier) noexcept;
+
+/// The tier this process dispatches run kernels at: the highest tier both
+/// compiled in and reported by the CPU, detected once at first call.
+/// A build with -DOMF_SIMD=OFF always reports kScalar. The OMF_SIMD_TIER
+/// environment variable ("scalar"/"sse2"/"avx2") clamps the tier *downward*
+/// — it can disable vector paths on a capable CPU (for ablations and the
+/// scalar-fallback CI job) but never enables instructions the CPU lacks.
+SimdTier simd_tier() noexcept;
+
+/// What the CPU supports, ignoring the environment clamp (for diagnostics).
+SimdTier detected_simd_tier() noexcept;
+
+// ---------------------------------------------------------------------------
 // C struct layout
 // ---------------------------------------------------------------------------
 

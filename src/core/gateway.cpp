@@ -1,5 +1,7 @@
 #include "core/gateway.hpp"
 
+#include <cstring>
+
 #include "analysis/audit_format.hpp"
 #include "obs/metrics.hpp"
 #include "pbio/encode.hpp"
@@ -55,6 +57,57 @@ Buffer Gateway::convert(std::span<const std::uint8_t> message) {
     return pbio::encode(*staging_, scratch_.data());
   }
   return pbio::synthesize_wire(*target_, scratch_);
+}
+
+std::vector<Buffer> Gateway::convert_batch(
+    std::span<const std::span<const std::uint8_t>> messages) {
+  const GatewayMetrics& metrics = GatewayMetrics::get();
+  std::vector<Buffer> out;
+  out.reserve(messages.size());
+  const std::size_t stride = staging_->struct_size();
+  std::size_t i = 0;
+  while (i < messages.size()) {
+    pbio::FormatId id = pbio::Decoder::peek_format_id(messages[i]);
+    if (id == target_->id()) {
+      ++passed_through_;
+      metrics.passed_through.add();
+      Buffer copy(messages[i].size());
+      copy.append(messages[i]);
+      out.push_back(std::move(copy));
+      ++i;
+      continue;
+    }
+    // Maximal run of consecutive messages in this wire format.
+    std::size_t j = i + 1;
+    while (j < messages.size() &&
+           pbio::Decoder::peek_format_id(messages[j]) == id) {
+      ++j;
+    }
+    const std::size_t n = j - i;
+    batch_structs_.resize(n * stride);
+    batch_ptrs_.clear();
+    for (std::size_t k = 0; k < n; ++k) {
+      batch_ptrs_.push_back(batch_structs_.data() + k * stride);
+    }
+    batch_arena_.reset();
+    decoder_.decode_batch(messages.data() + i, n, *staging_,
+                          batch_ptrs_.data(), batch_arena_);
+    for (std::size_t k = 0; k < n; ++k) {
+      ++converted_;
+      metrics.converted.add();
+      if (target_->id() == staging_->id()) {
+        out.push_back(pbio::encode(*staging_, batch_ptrs_[k]));
+      } else {
+        // synthesize_wire reads from a DynamicRecord; stage the decoded
+        // struct through the scratch record (its pointers into batch_arena_
+        // stay valid until the next convert_batch call resets it).
+        std::memcpy(scratch_.data(), batch_ptrs_[k], stride);
+        out.push_back(pbio::synthesize_wire(*target_, scratch_));
+      }
+    }
+    i = j;
+  }
+  return out;
 }
 
 Gateway::StatsSnapshot Gateway::stats_snapshot() const {

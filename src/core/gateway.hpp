@@ -36,6 +36,16 @@ public:
   /// and synthesis rules.
   Buffer convert(std::span<const std::uint8_t> message);
 
+  /// Converts a burst in one pass: maximal runs of consecutive messages
+  /// sharing a wire format decode through Decoder::decode_batch (one header
+  /// parse + plan lookup + op walk per run, not per message) before
+  /// re-encoding; messages already in the target format pass through as in
+  /// convert(). Output order matches input order. The batch scratch (struct
+  /// block + arena) is retained across calls, so a steady-state forwarding
+  /// loop allocates nothing here once warm.
+  std::vector<Buffer> convert_batch(
+      std::span<const std::span<const std::uint8_t>> messages);
+
   /// Audit policy applied to register_remote_format. A gateway sits at a
   /// trust boundary, so the default is reject-on-error.
   void set_audit_policy(const analysis::AuditPolicy& policy) noexcept {
@@ -78,6 +88,9 @@ private:
   pbio::FormatHandle staging_;
   pbio::FormatHandle target_;
   pbio::DynamicRecord scratch_;
+  std::vector<std::uint8_t> batch_structs_;
+  std::vector<void*> batch_ptrs_;
+  pbio::DecodeArena batch_arena_;
   analysis::AuditPolicy audit_policy_;
   std::size_t converted_ = 0;
   std::size_t passed_through_ = 0;

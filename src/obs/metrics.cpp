@@ -18,6 +18,8 @@ constexpr const char* kCoreCounters[] = {
     "pbio.decode.messages",
     "pbio.decode.bytes",
     "pbio.decode.in_place",
+    "pbio.decode.batches",
+    "pbio.decode.runs_fused",
     "pbio.encode.messages",
     "pbio.encode.bytes",
     "pbio.arena.chunk_allocs",
@@ -60,7 +62,12 @@ constexpr const char* kCoreCounters[] = {
 constexpr const char* kCoreHistograms[] = {
     "pbio.plan_cache.compile_ns",
     "pbio.decode.body_bytes",
+    "pbio.decode.batch_messages",
     "discovery.fetch_ns",
+};
+
+constexpr const char* kCoreGauges[] = {
+    "pbio.decode.kernel_tier",
 };
 
 }  // namespace
@@ -78,6 +85,9 @@ MetricsRegistry::MetricsRegistry() {
   }
   for (const char* name : kCoreHistograms) {
     histograms_.emplace(name, std::make_unique<Histogram>());
+  }
+  for (const char* name : kCoreGauges) {
+    gauges_.emplace(name, std::make_unique<Gauge>());
   }
 }
 

@@ -42,6 +42,17 @@ public:
     return p;
   }
 
+  /// Ensures the next `n` bytes of allocations fit the current chunk, so a
+  /// batch with a known variable-data footprint grows the arena once up
+  /// front instead of mid-batch. Never shrinks; safe to over-reserve (the
+  /// space is reclaimed by reset() like any allocation).
+  void reserve(std::size_t n) {
+    if (n == 0) return;
+    if (current_ == nullptr || used_ + n > current_capacity_) {
+      new_chunk(n);
+    }
+  }
+
   /// Copies `n` bytes into the arena and returns the copy.
   void* copy(const void* src, std::size_t n, std::size_t align = 1) {
     void* p = allocate(n, align);

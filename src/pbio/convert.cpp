@@ -4,6 +4,8 @@
 #include <cstring>
 #include <type_traits>
 
+#include "pbio/run_kernels.hpp"
+
 namespace omf::pbio {
 
 namespace {
@@ -194,6 +196,22 @@ ScalarKernel select_float_kernel(std::size_t src_size, std::size_t dst_size,
                        : float_kernel_dst<double>(dst_size, swap);
 }
 
+/// Kernel selection: the SIMD run kernel when the build allows it and the
+/// dispatch tier has a vector form for this element shape, else the scalar
+/// specialized loop. Selected once at plan build, like everything else.
+ScalarKernel select_kernel(bool is_float, std::size_t src_size,
+                           std::size_t dst_size, bool swap, bool sign_extend,
+                           const PlanOptions& options) {
+  if (options.simd) {
+    if (ScalarKernel k = select_simd_kernel(is_float, src_size, dst_size, swap,
+                                            sign_extend)) {
+      return k;
+    }
+  }
+  return is_float ? select_float_kernel(src_size, dst_size, swap)
+                  : select_int_kernel(src_size, dst_size, swap, sign_extend);
+}
+
 bool valid_int_width(std::size_t w) noexcept {
   return w == 1 || w == 2 || w == 4 || w == 8;
 }
@@ -315,11 +333,9 @@ PlanHandle ConversionPlan::build(FormatHandle wire, FormatHandle native,
                          nf.type.cls == FieldClass::kFloat)) {
           check_scalar_widths(*wire, *native, nf, op);
           if (options.specialize) {
-            op.kernel = nf.type.cls == FieldClass::kFloat
-                            ? select_float_kernel(op.src_size, op.dst_size,
-                                                  op.swap)
-                            : select_int_kernel(op.src_size, op.dst_size,
-                                                op.swap, op.sign_extend);
+            op.kernel =
+                select_kernel(nf.type.cls == FieldClass::kFloat, op.src_size,
+                              op.dst_size, op.swap, op.sign_extend, options);
           }
         }
       }
@@ -347,8 +363,9 @@ PlanHandle ConversionPlan::build(FormatHandle wire, FormatHandle native,
           op.kind = ConvOp::Kind::kFloat;
           check_scalar_widths(*wire, *native, nf, op);
           if (options.specialize) {
-            op.kernel =
-                select_float_kernel(op.src_size, op.dst_size, op.swap);
+            op.kernel = select_kernel(/*is_float=*/true, op.src_size,
+                                      op.dst_size, op.swap,
+                                      /*sign_extend=*/false, options);
           }
         }
         break;
@@ -362,8 +379,9 @@ PlanHandle ConversionPlan::build(FormatHandle wire, FormatHandle native,
           op.kind = ConvOp::Kind::kInt;
           check_scalar_widths(*wire, *native, nf, op);
           if (options.specialize) {
-            op.kernel = select_int_kernel(op.src_size, op.dst_size, op.swap,
-                                          op.sign_extend);
+            op.kernel = select_kernel(/*is_float=*/false, op.src_size,
+                                      op.dst_size, op.swap, op.sign_extend,
+                                      options);
           }
         }
         break;
@@ -383,14 +401,61 @@ PlanHandle ConversionPlan::build(FormatHandle wire, FormatHandle native,
         ConvOp& prev = merged.back();
         if (prev.kind == ConvOp::Kind::kCopy && prev.zero_tail == 0 &&
             prev.src_offset + prev.count == op.src_offset &&
-            prev.dst_offset + prev.count == op.dst_offset) {
+            prev.dst_offset + prev.count == op.dst_offset &&
+            prev.fused_fields + op.fused_fields <= 0xFFFF) {
           prev.count += op.count;
+          prev.fused_fields =
+              static_cast<std::uint16_t>(prev.fused_fields + op.fused_fields);
           continue;
         }
       }
       merged.push_back(std::move(op));
     }
     plan->ops_ = std::move(merged);
+  }
+
+  if (options.fuse_runs) {
+    // Run fusion: merge adjacent *converting* fields that share one element
+    // shape (class, widths, byte order, signedness — and therefore the same
+    // kernel) and are contiguous in both layouts, so a struct of N int32
+    // fields byteswaps as one N-element run instead of N dispatches. Adjacent
+    // zero-fills (evolution gaps) merge on destination contiguity alone.
+    std::vector<ConvOp> fused;
+    fused.reserve(plan->ops_.size());
+    for (ConvOp& op : plan->ops_) {
+      if (!fused.empty() && fused.back().fused_fields + op.fused_fields <=
+                                0xFFFF) {
+        ConvOp& prev = fused.back();
+        bool elem_run =
+            (op.kind == ConvOp::Kind::kInt ||
+             op.kind == ConvOp::Kind::kFloat) &&
+            prev.kind == op.kind && prev.zero_tail == 0 &&
+            prev.src_size == op.src_size && prev.dst_size == op.dst_size &&
+            prev.swap == op.swap && prev.sign_extend == op.sign_extend &&
+            prev.kernel == op.kernel &&
+            prev.src_offset + prev.count * prev.src_size == op.src_offset &&
+            prev.dst_offset + prev.count * prev.dst_size == op.dst_offset;
+        bool zero_run = op.kind == ConvOp::Kind::kZero &&
+                        prev.kind == ConvOp::Kind::kZero &&
+                        prev.dst_offset + prev.count == op.dst_offset;
+        if (elem_run || zero_run) {
+          prev.count += op.count;
+          prev.zero_tail = op.zero_tail;
+          prev.fused_fields =
+              static_cast<std::uint16_t>(prev.fused_fields + op.fused_fields);
+          continue;
+        }
+      }
+      fused.push_back(std::move(op));
+    }
+    plan->ops_ = std::move(fused);
+  }
+
+  for (const ConvOp& op : plan->ops_) {
+    if (op.fused_fields > 1) {
+      plan->run_ops_++;
+      plan->fused_away_ += op.fused_fields - 1u;
+    }
   }
 
   plan->trivial_ =
@@ -406,139 +471,177 @@ void ConversionPlan::execute(const std::uint8_t* body, std::size_t body_len,
                              std::uint8_t* dst_region,
                              DecodeArena& arena) const {
   for (const ConvOp& op : ops_) {
-    const std::uint8_t* src = src_region + op.src_offset;
-    std::uint8_t* dst = dst_region + op.dst_offset;
+    execute_op(op, body, body_len, src_region, dst_region, arena);
+  }
+}
 
-    switch (op.kind) {
-      case ConvOp::Kind::kCopy:
-        std::memcpy(dst, src, op.count);
-        if (op.zero_tail != 0) {
-          std::memset(dst + op.count, 0, op.zero_tail);
-        }
-        break;
-
-      case ConvOp::Kind::kZero:
-        std::memset(dst, 0, op.count);
-        break;
-
-      case ConvOp::Kind::kDefault:
-        store_int(dst, op.dst_size, op.default_bits);
-        break;
-
-      case ConvOp::Kind::kInt:
-        if (op.kernel != nullptr) {
-          op.kernel(src, dst, op.count);
-        } else {
-          for (std::uint32_t i = 0; i < op.count; ++i) {
-            std::uint64_t v = load_int(src + i * op.src_size, op.src_size,
-                                       op.swap, op.sign_extend);
-            store_int(dst + i * op.dst_size, op.dst_size, v);
-          }
-        }
-        if (op.zero_tail != 0) {
-          std::memset(dst + op.count * op.dst_size, 0, op.zero_tail);
-        }
-        break;
-
-      case ConvOp::Kind::kFloat:
-        if (op.kernel != nullptr) {
-          op.kernel(src, dst, op.count);
-        } else {
-          for (std::uint32_t i = 0; i < op.count; ++i) {
-            double v = load_float(src + i * op.src_size, op.src_size, op.swap);
-            store_float(dst + i * op.dst_size, op.dst_size, v);
-          }
-        }
-        if (op.zero_tail != 0) {
-          std::memset(dst + op.count * op.dst_size, 0, op.zero_tail);
-        }
-        break;
-
-      case ConvOp::Kind::kString: {
-        std::uint64_t off =
-            load_int(src, src_ptr_size_, op.swap, /*sign_extend=*/false);
-        char* out = nullptr;
-        if (off != 0) {
-          if (off >= body_len) {
-            throw DecodeError("string offset out of range");
-          }
-          const auto* start = reinterpret_cast<const char*>(body + off);
-          const void* nul = std::memchr(start, 0, body_len - off);
-          if (nul == nullptr) {
-            throw DecodeError("unterminated string in variable section");
-          }
-          std::size_t len = static_cast<const char*>(nul) - start;
-          out = arena.copy_string(start, len);
-        }
-        std::memcpy(dst, &out, sizeof(out));
-        break;
-      }
-
-      case ConvOp::Kind::kDynArray: {
-        std::uint64_t n_raw =
-            load_int(src_region + op.src_count_offset, op.src_count_size,
-                     op.swap, op.src_count_signed);
-        auto n_signed = static_cast<std::int64_t>(n_raw);
-        if (op.src_count_signed && n_signed < 0) {
-          throw DecodeError("negative dynamic array count");
-        }
-        std::uint64_t n = n_raw;
-        std::uint64_t off =
-            load_int(src, src_ptr_size_, op.swap, /*sign_extend=*/false);
-        void* out = nullptr;
-        if (n != 0) {
-          if (off == 0) {
-            throw DecodeError("null dynamic array with nonzero count");
-          }
-          if (off > body_len ||
-              n > (body_len - off) / op.src_size) {
-            throw DecodeError("dynamic array extends past message body");
-          }
-          const std::uint8_t* elems = body + off;
-          out = arena.allocate(static_cast<std::size_t>(n) * op.dst_size,
-                               op.dst_align);
-          auto* dst_elems = static_cast<std::uint8_t*>(out);
-          if (op.elem_class == FieldClass::kNested) {
-            for (std::uint64_t i = 0; i < n; ++i) {
-              op.subplan->execute(body, body_len, elems + i * op.src_size,
-                                  dst_elems + i * op.dst_size, arena);
-            }
-          } else if (op.elem_class == FieldClass::kChar) {
-            std::memcpy(dst_elems, elems, static_cast<std::size_t>(n));
-          } else if (!op.swap && op.src_size == op.dst_size) {
-            // Same representation (floats included): one block copy.
-            std::memcpy(dst_elems, elems,
-                        static_cast<std::size_t>(n) * op.src_size);
-          } else if (op.kernel != nullptr) {
-            op.kernel(elems, dst_elems, static_cast<std::size_t>(n));
-          } else if (op.elem_class == FieldClass::kFloat) {
-            for (std::uint64_t i = 0; i < n; ++i) {
-              store_float(dst_elems + i * op.dst_size, op.dst_size,
-                          load_float(elems + i * op.src_size, op.src_size,
-                                     op.swap));
-            }
-          } else {
-            for (std::uint64_t i = 0; i < n; ++i) {
-              store_int(dst_elems + i * op.dst_size, op.dst_size,
-                        load_int(elems + i * op.src_size, op.src_size, op.swap,
-                                 op.sign_extend));
-            }
-          }
-        }
-        std::memcpy(dst, &out, sizeof(out));
-        break;
-      }
-
-      case ConvOp::Kind::kNestedStatic:
-        for (std::uint32_t i = 0; i < op.count; ++i) {
-          op.subplan->execute(body, body_len, src + i * op.src_size,
-                              dst + i * op.dst_size, arena);
-        }
-        if (op.zero_tail != 0) {
-          std::memset(dst + op.count * op.dst_size, 0, op.zero_tail);
-        }
-        break;
+void ConversionPlan::convert_batch(const std::uint8_t* const* srcs,
+                                   const std::size_t* src_lens,
+                                   std::uint8_t* const* dsts, std::size_t n,
+                                   DecodeArena& arena) const {
+  const std::size_t need = wire_->struct_size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (src_lens[i] < need) {
+      throw DecodeError("message body shorter than wire struct");
     }
+  }
+  if (trivial_) {
+    // Matched layout: the whole plan is one full-struct raw copy, so the
+    // batch degenerates to n length-checked memcpys — memory bandwidth is
+    // the only cost left.
+    const std::size_t size = native_->struct_size();
+    for (std::size_t i = 0; i < n; ++i) {
+      std::memcpy(dsts[i], srcs[i], size);
+    }
+    return;
+  }
+  // Op-outer walk: each plan step runs across every message before the next
+  // step is even fetched, so op dispatch (and its branch history) amortizes
+  // over the batch the same way run fusion amortizes it over fields.
+  for (const ConvOp& op : ops_) {
+    for (std::size_t i = 0; i < n; ++i) {
+      execute_op(op, srcs[i], src_lens[i], srcs[i], dsts[i], arena);
+    }
+  }
+}
+
+void ConversionPlan::execute_op(const ConvOp& op, const std::uint8_t* body,
+                                std::size_t body_len,
+                                const std::uint8_t* src_region,
+                                std::uint8_t* dst_region,
+                                DecodeArena& arena) const {
+  const std::uint8_t* src = src_region + op.src_offset;
+  std::uint8_t* dst = dst_region + op.dst_offset;
+
+  switch (op.kind) {
+    case ConvOp::Kind::kCopy:
+      std::memcpy(dst, src, op.count);
+      if (op.zero_tail != 0) {
+        std::memset(dst + op.count, 0, op.zero_tail);
+      }
+      break;
+
+    case ConvOp::Kind::kZero:
+      std::memset(dst, 0, op.count);
+      break;
+
+    case ConvOp::Kind::kDefault:
+      store_int(dst, op.dst_size, op.default_bits);
+      break;
+
+    case ConvOp::Kind::kInt:
+      if (op.kernel != nullptr) {
+        op.kernel(src, dst, op.count);
+      } else {
+        for (std::uint32_t i = 0; i < op.count; ++i) {
+          std::uint64_t v = load_int(src + i * op.src_size, op.src_size,
+                                     op.swap, op.sign_extend);
+          store_int(dst + i * op.dst_size, op.dst_size, v);
+        }
+      }
+      if (op.zero_tail != 0) {
+        std::memset(dst + op.count * op.dst_size, 0, op.zero_tail);
+      }
+      break;
+
+    case ConvOp::Kind::kFloat:
+      if (op.kernel != nullptr) {
+        op.kernel(src, dst, op.count);
+      } else {
+        for (std::uint32_t i = 0; i < op.count; ++i) {
+          double v = load_float(src + i * op.src_size, op.src_size, op.swap);
+          store_float(dst + i * op.dst_size, op.dst_size, v);
+        }
+      }
+      if (op.zero_tail != 0) {
+        std::memset(dst + op.count * op.dst_size, 0, op.zero_tail);
+      }
+      break;
+
+    case ConvOp::Kind::kString: {
+      std::uint64_t off =
+          load_int(src, src_ptr_size_, op.swap, /*sign_extend=*/false);
+      char* out = nullptr;
+      if (off != 0) {
+        if (off >= body_len) {
+          throw DecodeError("string offset out of range");
+        }
+        const auto* start = reinterpret_cast<const char*>(body + off);
+        const void* nul = std::memchr(start, 0, body_len - off);
+        if (nul == nullptr) {
+          throw DecodeError("unterminated string in variable section");
+        }
+        std::size_t len = static_cast<const char*>(nul) - start;
+        out = arena.copy_string(start, len);
+      }
+      std::memcpy(dst, &out, sizeof(out));
+      break;
+    }
+
+    case ConvOp::Kind::kDynArray: {
+      std::uint64_t n_raw =
+          load_int(src_region + op.src_count_offset, op.src_count_size,
+                   op.swap, op.src_count_signed);
+      auto n_signed = static_cast<std::int64_t>(n_raw);
+      if (op.src_count_signed && n_signed < 0) {
+        throw DecodeError("negative dynamic array count");
+      }
+      std::uint64_t n = n_raw;
+      std::uint64_t off =
+          load_int(src, src_ptr_size_, op.swap, /*sign_extend=*/false);
+      void* out = nullptr;
+      if (n != 0) {
+        if (off == 0) {
+          throw DecodeError("null dynamic array with nonzero count");
+        }
+        if (off > body_len ||
+            n > (body_len - off) / op.src_size) {
+          throw DecodeError("dynamic array extends past message body");
+        }
+        const std::uint8_t* elems = body + off;
+        out = arena.allocate(static_cast<std::size_t>(n) * op.dst_size,
+                             op.dst_align);
+        auto* dst_elems = static_cast<std::uint8_t*>(out);
+        if (op.elem_class == FieldClass::kNested) {
+          for (std::uint64_t i = 0; i < n; ++i) {
+            op.subplan->execute(body, body_len, elems + i * op.src_size,
+                                dst_elems + i * op.dst_size, arena);
+          }
+        } else if (op.elem_class == FieldClass::kChar) {
+          std::memcpy(dst_elems, elems, static_cast<std::size_t>(n));
+        } else if (!op.swap && op.src_size == op.dst_size) {
+          // Same representation (floats included): one block copy.
+          std::memcpy(dst_elems, elems,
+                      static_cast<std::size_t>(n) * op.src_size);
+        } else if (op.kernel != nullptr) {
+          op.kernel(elems, dst_elems, static_cast<std::size_t>(n));
+        } else if (op.elem_class == FieldClass::kFloat) {
+          for (std::uint64_t i = 0; i < n; ++i) {
+            store_float(dst_elems + i * op.dst_size, op.dst_size,
+                        load_float(elems + i * op.src_size, op.src_size,
+                                   op.swap));
+          }
+        } else {
+          for (std::uint64_t i = 0; i < n; ++i) {
+            store_int(dst_elems + i * op.dst_size, op.dst_size,
+                      load_int(elems + i * op.src_size, op.src_size, op.swap,
+                               op.sign_extend));
+          }
+        }
+      }
+      std::memcpy(dst, &out, sizeof(out));
+      break;
+    }
+
+    case ConvOp::Kind::kNestedStatic:
+      for (std::uint32_t i = 0; i < op.count; ++i) {
+        op.subplan->execute(body, body_len, src + i * op.src_size,
+                            dst + i * op.dst_size, arena);
+      }
+      if (op.zero_tail != 0) {
+        std::memset(dst + op.count * op.dst_size, 0, op.zero_tail);
+      }
+      break;
   }
 }
 

@@ -26,7 +26,7 @@ namespace omf::pbio {
 class ConversionPlan;
 using PlanHandle = std::shared_ptr<const ConversionPlan>;
 
-/// Plan-compilation switches. Both default on; each can be disabled
+/// Plan-compilation switches. All default on; each can be disabled
 /// independently for the ablation benchmarks that measure what the
 /// corresponding optimization buys.
 struct PlanOptions {
@@ -36,13 +36,27 @@ struct PlanOptions {
   /// (selected once at plan build, the moral equivalent of PBIO's DRISC
   /// code generation) instead of the interpreted per-element dispatch.
   bool specialize = true;
+  /// Fuse adjacent converting fields of the same element shape (class,
+  /// widths, byte order) into single RunOps, so a run of N int32 fields
+  /// executes as one N-element kernel call instead of N dispatches.
+  bool fuse_runs = true;
+  /// Let kernel selection pick SIMD implementations (SSE2/AVX2, per
+  /// arch::simd_tier()) for byte-swap and widen/narrow runs. Off = the
+  /// portable scalar specialized kernels, the PR 1 baseline.
+  bool simd = true;
 
   friend bool operator==(const PlanOptions&, const PlanOptions&) = default;
 
   /// Dense encoding for cache keys.
   std::uint8_t bits() const noexcept {
-    return static_cast<std::uint8_t>((coalesce ? 1 : 0) |
-                                     (specialize ? 2 : 0));
+    return static_cast<std::uint8_t>((coalesce ? 1 : 0) | (specialize ? 2 : 0) |
+                                     (fuse_runs ? 4 : 0) | (simd ? 8 : 0));
+  }
+
+  /// The PR 1 configuration: specialized per-field kernels, no run fusion,
+  /// no SIMD — the ablation baseline batched decode is measured against.
+  static PlanOptions per_field() noexcept {
+    return PlanOptions{true, true, false, false};
   }
 };
 
@@ -53,6 +67,15 @@ using ScalarKernel = void (*)(const std::uint8_t* src, std::uint8_t* dst,
                               std::size_t count);
 
 /// One step of a conversion plan.
+///
+/// An op whose `fused_fields` exceeds 1 is a **RunOp**: the plan-build
+/// fusion pass proved that `fused_fields` adjacent fields share one element
+/// shape and are contiguous in both the wire and the native layout, and
+/// merged them into a single kCopy (raw-copy run), kInt/kFloat (bswap or
+/// widen/narrow run), or kZero (zero-fill run) whose `count` spans the whole
+/// run. Execution is unchanged — a RunOp is just an op with a bigger count —
+/// but dispatch cost drops from per-field to per-run, and the run lengths
+/// are what make the SIMD kernels pay.
 struct ConvOp {
   enum class Kind : std::uint8_t {
     kCopy,          ///< raw block copy of `count` bytes
@@ -83,6 +106,9 @@ struct ConvOp {
   FieldClass elem_class = FieldClass::kInteger;
   std::uint8_t dst_align = 1;  ///< arena alignment for the materialized array
   std::uint64_t default_bits = 0;  ///< kDefault: precomputed native value
+
+  /// Source fields this op covers; >1 marks a fused RunOp (see above).
+  std::uint16_t fused_fields = 1;
 
   PlanHandle subplan;  ///< kNestedStatic / kDynArray-of-nested
 
@@ -121,16 +147,46 @@ public:
                const std::uint8_t* src_region, std::uint8_t* dst_region,
                DecodeArena& arena) const;
 
+  /// Converts `n` top-level messages that all use this plan in one pass.
+  /// `srcs[i]`/`src_lens[i]` delimit message i's wire *body* (struct copy at
+  /// offset 0, variable section after it — what Decoder hands execute());
+  /// `dsts[i]` receives the native struct. Each body must be at least the
+  /// wire struct size (DecodeError otherwise — the same length check the
+  /// single-message path performs before execute()).
+  ///
+  /// The op program is walked once per batch, not once per message: each op
+  /// dispatches one kernel/copy loop across all n messages, which amortizes
+  /// dispatch exactly the way the per-element kernels amortized per-element
+  /// dispatch. A matched-layout plan (is_trivial()) collapses to a
+  /// length-checked memcpy per message with no op walk at all.
+  void convert_batch(const std::uint8_t* const* srcs,
+                     const std::size_t* src_lens, std::uint8_t* const* dsts,
+                     std::size_t n, DecodeArena& arena) const;
+
   const std::vector<ConvOp>& ops() const noexcept { return ops_; }
   const Format& wire() const noexcept { return *wire_; }
   const Format& native() const noexcept { return *native_; }
 
   /// True when source and destination are byte-identical (single block
-  /// copy + pointer materialization) — the homogeneous fast path.
+  /// copy + pointer materialization) — the homogeneous fast path. Batched
+  /// execution of a trivial plan is one memcpy per message.
   bool is_trivial() const noexcept { return trivial_; }
+
+  /// Source fields merged away by the coalesce (raw-copy runs) and
+  /// run-fusion (converting/zero runs) passes — 0 when both are off or when
+  /// no adjacent fields shared an element shape.
+  std::size_t fused_away() const noexcept { return fused_away_; }
+
+  /// Ops covering more than one source field (fused RunOps, raw-copy runs
+  /// included).
+  std::size_t run_ops() const noexcept { return run_ops_; }
 
 private:
   ConversionPlan() = default;
+
+  void execute_op(const ConvOp& op, const std::uint8_t* body,
+                  std::size_t body_len, const std::uint8_t* src_region,
+                  std::uint8_t* dst_region, DecodeArena& arena) const;
 
   std::vector<ConvOp> ops_;
   FormatHandle wire_;
@@ -138,6 +194,8 @@ private:
   ByteOrder src_order_ = ByteOrder::kLittle;
   std::uint8_t src_ptr_size_ = 8;
   bool trivial_ = false;
+  std::size_t fused_away_ = 0;
+  std::size_t run_ops_ = 0;
 };
 
 }  // namespace omf::pbio

@@ -6,10 +6,16 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "pbio/checked.hpp"
+#include "pbio/run_kernels.hpp"
 
 namespace omf::pbio {
 
 namespace {
+
+// Expose the selected kernel tier on /metrics from process start, before any
+// message arrives — the runtime-dispatch smoke test scrapes it cold.
+[[maybe_unused]] const bool kKernelTierPublished =
+    (publish_kernel_tier(), true);
 
 #ifndef OMF_NO_METRICS
 // Decode is the hottest path in the system (~200 ns/message for the C8
@@ -247,6 +253,84 @@ void Decoder::decode(std::span<const std::uint8_t> message,
                   static_cast<std::uint8_t*>(out_struct), arena);
   }
   t_decode.note(message.size(), header.body_length, /*was_in_place=*/false);
+}
+
+void Decoder::decode_batch(const std::span<const std::uint8_t>* messages,
+                           std::size_t n, const Format& native,
+                           void* const* out_structs, DecodeArena& arena) {
+  if (n == 0) return;
+
+  // Reused across calls so a steady-state receive loop batching warm
+  // formats performs no heap allocation here after the first burst.
+  thread_local std::vector<const std::uint8_t*> bodies;
+  thread_local std::vector<std::size_t> body_lens;
+  bodies.clear();
+  body_lens.clear();
+  bodies.reserve(n);
+  body_lens.reserve(n);
+
+  FormatId batch_id = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    BufferReader in(messages[i]);
+    WireHeader header = WireHeader::read(in);
+    if (header.body_length > in.remaining()) {
+      throw DecodeError("truncated message body");
+    }
+    if (i == 0) {
+      batch_id = header.format_id;
+    } else if (header.format_id != batch_id) {
+      throw DecodeError("decode_batch requires one wire format per batch");
+    }
+    bodies.push_back(in.read_bytes(header.body_length));
+    body_lens.push_back(header.body_length);
+  }
+
+  FormatHandle wire = registry_->by_id(batch_id);
+  if (!wire) {
+    throw FormatError(
+        "unknown wire format id " + std::to_string(batch_id) +
+        "; discover and register its metadata before decoding");
+  }
+  if (wire->profile().byte_order !=
+      Decoder::peek_header(messages[0]).byte_order) {
+    throw DecodeError("header byte order disagrees with format metadata");
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (body_lens[i] < wire->struct_size()) {
+      throw DecodeError("message body smaller than the wire struct");
+    }
+  }
+
+  FormatHandle native_handle = registry_->by_id(native.id());
+  if (!native_handle) {
+    throw FormatError("native format '" + native.name() +
+                      "' is not registered in this decoder's registry");
+  }
+
+  PlanHandle plan = plan_for(wire, native_handle);
+  {
+    obs::ScopedSpan span(obs::Phase::kUnmarshal, native.name(),
+                         obs::Tracer::sample());
+    plan->convert_batch(bodies.data(), body_lens.data(),
+                        reinterpret_cast<std::uint8_t* const*>(out_structs),
+                        n, arena);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    t_decode.note(messages[i].size(), static_cast<std::uint32_t>(body_lens[i]),
+                  /*was_in_place=*/false);
+  }
+#ifndef OMF_NO_METRICS
+  static obs::Counter& batches =
+      obs::MetricsRegistry::instance().counter("pbio.decode.batches");
+  static obs::Histogram& batch_messages =
+      obs::MetricsRegistry::instance().histogram(
+          "pbio.decode.batch_messages");
+  static obs::Counter& runs_fused =
+      obs::MetricsRegistry::instance().counter("pbio.decode.runs_fused");
+  batches.add();
+  batch_messages.record(n);
+  if (plan->run_ops() != 0) runs_fused.add(plan->run_ops() * n);
+#endif
 }
 
 PlanHandle Decoder::plan_for(const FormatHandle& wire,

@@ -56,6 +56,18 @@ public:
   void decode(std::span<const std::uint8_t> message, const Format& native,
               void* out_struct, DecodeArena& arena);
 
+  /// Decodes `n` complete wire messages that all carry the *same* wire
+  /// format id (DecodeError otherwise — callers group bursts by format)
+  /// into `out_structs[i]`, each laid out per `native`. Header parsing,
+  /// plan lookup, and the plan walk itself are paid once per batch rather
+  /// than once per message: the plan's op program runs op-outer across all
+  /// n bodies (ConversionPlan::convert_batch), which is where bursts of
+  /// small homogeneous messages recover the per-message fixed costs.
+  /// Matched-layout (trivial) plans decode as one memcpy per message.
+  void decode_batch(const std::span<const std::uint8_t>* messages,
+                    std::size_t n, const Format& native,
+                    void* const* out_structs, DecodeArena& arena);
+
   /// Returns the cached (or freshly compiled) plan for a format pair.
   /// Thread-safe; concurrent callers compile a given pair at most once.
   PlanHandle plan_for(const FormatHandle& wire, const FormatHandle& native);

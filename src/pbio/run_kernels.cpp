@@ -1,0 +1,388 @@
+#include "pbio/run_kernels.hpp"
+
+#include <bit>
+#include <cstring>
+
+#include "arch/profile.hpp"
+#include "obs/metrics.hpp"
+#include "util/bytes.hpp"
+
+#if !defined(OMF_SIMD_DISABLED) && (defined(__x86_64__) || defined(__i386__))
+#define OMF_RUN_KERNELS_X86 1
+#include <immintrin.h>
+#endif
+
+namespace omf::pbio {
+
+#ifdef OMF_RUN_KERNELS_X86
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scalar tails. Every vector loop below consumes whole lanes and finishes the
+// remaining 0..lane-1 elements with one of these, which mirror the scalar
+// specialized kernels element-for-element so odd run lengths stay
+// bit-identical to the pure scalar plan.
+// ---------------------------------------------------------------------------
+
+inline void tail_bswap16(const std::uint8_t* src, std::uint8_t* dst,
+                         std::size_t count) noexcept {
+  for (std::size_t i = 0; i < count; ++i) {
+    std::uint16_t x;
+    std::memcpy(&x, src + i * 2, 2);
+    x = byteswap(x);
+    std::memcpy(dst + i * 2, &x, 2);
+  }
+}
+
+inline void tail_bswap32(const std::uint8_t* src, std::uint8_t* dst,
+                         std::size_t count) noexcept {
+  for (std::size_t i = 0; i < count; ++i) {
+    std::uint32_t x;
+    std::memcpy(&x, src + i * 4, 4);
+    x = byteswap(x);
+    std::memcpy(dst + i * 4, &x, 4);
+  }
+}
+
+inline void tail_bswap64(const std::uint8_t* src, std::uint8_t* dst,
+                         std::size_t count) noexcept {
+  for (std::size_t i = 0; i < count; ++i) {
+    std::uint64_t x;
+    std::memcpy(&x, src + i * 8, 8);
+    x = byteswap(x);
+    std::memcpy(dst + i * 8, &x, 8);
+  }
+}
+
+template <bool Swap, bool SignExtend>
+inline void tail_i32_to_i64(const std::uint8_t* src, std::uint8_t* dst,
+                            std::size_t count) noexcept {
+  for (std::size_t i = 0; i < count; ++i) {
+    std::uint32_t x;
+    std::memcpy(&x, src + i * 4, 4);
+    if constexpr (Swap) x = byteswap(x);
+    std::uint64_t d =
+        SignExtend
+            ? static_cast<std::uint64_t>(
+                  static_cast<std::int64_t>(static_cast<std::int32_t>(x)))
+            : static_cast<std::uint64_t>(x);
+    std::memcpy(dst + i * 8, &d, 8);
+  }
+}
+
+template <bool Swap>
+inline void tail_i64_to_i32(const std::uint8_t* src, std::uint8_t* dst,
+                            std::size_t count) noexcept {
+  for (std::size_t i = 0; i < count; ++i) {
+    std::uint64_t x;
+    std::memcpy(&x, src + i * 8, 8);
+    if constexpr (Swap) x = byteswap(x);
+    std::uint32_t d = static_cast<std::uint32_t>(x);
+    std::memcpy(dst + i * 4, &d, 4);
+  }
+}
+
+template <bool Swap>
+inline void tail_f32_to_f64(const std::uint8_t* src, std::uint8_t* dst,
+                            std::size_t count) noexcept {
+  for (std::size_t i = 0; i < count; ++i) {
+    std::uint32_t bits;
+    std::memcpy(&bits, src + i * 4, 4);
+    if constexpr (Swap) bits = byteswap(bits);
+    double d = static_cast<double>(std::bit_cast<float>(bits));
+    std::memcpy(dst + i * 8, &d, 8);
+  }
+}
+
+template <bool Swap>
+inline void tail_f64_to_f32(const std::uint8_t* src, std::uint8_t* dst,
+                            std::size_t count) noexcept {
+  for (std::size_t i = 0; i < count; ++i) {
+    std::uint64_t bits;
+    std::memcpy(&bits, src + i * 8, 8);
+    if constexpr (Swap) bits = byteswap(bits);
+    float f = static_cast<float>(std::bit_cast<double>(bits));
+    std::memcpy(dst + i * 4, &f, 4);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SSE2 tier: same-width byte-swap runs over 16-byte lanes. SSE2 has no byte
+// shuffle (that's SSSE3), so the swaps compose from 16-bit shifts and dword
+// shuffles. All loads/stores are unaligned — wire bodies and arena
+// destinations sit at arbitrary byte offsets.
+// ---------------------------------------------------------------------------
+
+void sse2_bswap16(const std::uint8_t* src, std::uint8_t* dst,
+                  std::size_t count) {
+  const std::size_t bytes = count * 2;
+  std::size_t i = 0;
+  for (; i + 16 <= bytes; i += 16) {
+    __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    v = _mm_or_si128(_mm_slli_epi16(v, 8), _mm_srli_epi16(v, 8));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), v);
+  }
+  tail_bswap16(src + i, dst + i, (bytes - i) / 2);
+}
+
+void sse2_bswap32(const std::uint8_t* src, std::uint8_t* dst,
+                  std::size_t count) {
+  const std::size_t bytes = count * 4;
+  std::size_t i = 0;
+  for (; i + 16 <= bytes; i += 16) {
+    __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    v = _mm_or_si128(_mm_slli_epi16(v, 8), _mm_srli_epi16(v, 8));
+    v = _mm_or_si128(_mm_slli_epi32(v, 16), _mm_srli_epi32(v, 16));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), v);
+  }
+  tail_bswap32(src + i, dst + i, (bytes - i) / 4);
+}
+
+void sse2_bswap64(const std::uint8_t* src, std::uint8_t* dst,
+                  std::size_t count) {
+  const std::size_t bytes = count * 8;
+  std::size_t i = 0;
+  for (; i + 16 <= bytes; i += 16) {
+    __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    v = _mm_or_si128(_mm_slli_epi16(v, 8), _mm_srli_epi16(v, 8));
+    v = _mm_or_si128(_mm_slli_epi32(v, 16), _mm_srli_epi32(v, 16));
+    v = _mm_shuffle_epi32(v, _MM_SHUFFLE(2, 3, 0, 1));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), v);
+  }
+  tail_bswap64(src + i, dst + i, (bytes - i) / 8);
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 tier. vpshufb shuffles independently within each 128-bit lane, which
+// is exactly what a byteswap needs (no element crosses a lane); the widen/
+// narrow and float-convert kernels use the 128->256 / 256->128 converting
+// forms. Compiled with a per-function target attribute so the rest of the
+// binary stays at the baseline ISA; these bodies are only reachable after
+// runtime dispatch confirms AVX2.
+// ---------------------------------------------------------------------------
+
+__attribute__((target("avx2"), always_inline)) inline __m256i
+avx2_mask_bswap16() {
+  return _mm256_setr_epi8(1, 0, 3, 2, 5, 4, 7, 6, 9, 8, 11, 10, 13, 12, 15,
+                          14, 1, 0, 3, 2, 5, 4, 7, 6, 9, 8, 11, 10, 13, 12,
+                          15, 14);
+}
+
+__attribute__((target("avx2"), always_inline)) inline __m256i
+avx2_mask_bswap32() {
+  return _mm256_setr_epi8(3, 2, 1, 0, 7, 6, 5, 4, 11, 10, 9, 8, 15, 14, 13,
+                          12, 3, 2, 1, 0, 7, 6, 5, 4, 11, 10, 9, 8, 15, 14,
+                          13, 12);
+}
+
+__attribute__((target("avx2"), always_inline)) inline __m256i
+avx2_mask_bswap64() {
+  return _mm256_setr_epi8(7, 6, 5, 4, 3, 2, 1, 0, 15, 14, 13, 12, 11, 10, 9,
+                          8, 7, 6, 5, 4, 3, 2, 1, 0, 15, 14, 13, 12, 11, 10,
+                          9, 8);
+}
+
+__attribute__((target("avx2"))) void avx2_bswap16(const std::uint8_t* src,
+                                                  std::uint8_t* dst,
+                                                  std::size_t count) {
+  const __m256i m = avx2_mask_bswap16();
+  const std::size_t bytes = count * 2;
+  std::size_t i = 0;
+  for (; i + 32 <= bytes; i += 32) {
+    __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_shuffle_epi8(v, m));
+  }
+  tail_bswap16(src + i, dst + i, (bytes - i) / 2);
+}
+
+__attribute__((target("avx2"))) void avx2_bswap32(const std::uint8_t* src,
+                                                  std::uint8_t* dst,
+                                                  std::size_t count) {
+  const __m256i m = avx2_mask_bswap32();
+  const std::size_t bytes = count * 4;
+  std::size_t i = 0;
+  for (; i + 32 <= bytes; i += 32) {
+    __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_shuffle_epi8(v, m));
+  }
+  tail_bswap32(src + i, dst + i, (bytes - i) / 4);
+}
+
+__attribute__((target("avx2"))) void avx2_bswap64(const std::uint8_t* src,
+                                                  std::uint8_t* dst,
+                                                  std::size_t count) {
+  const __m256i m = avx2_mask_bswap64();
+  const std::size_t bytes = count * 8;
+  std::size_t i = 0;
+  for (; i + 32 <= bytes; i += 32) {
+    __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_shuffle_epi8(v, m));
+  }
+  tail_bswap64(src + i, dst + i, (bytes - i) / 8);
+}
+
+// int32 -> int64 widen, 4 elements per iteration (16B load, 32B store). The
+// optional byte swap happens on the 32-bit source elements *before* the
+// widening sign/zero extension, matching the scalar kernel's load order.
+
+template <bool Swap, bool SignExtend>
+__attribute__((target("avx2"))) void avx2_i32_to_i64(const std::uint8_t* src,
+                                                     std::uint8_t* dst,
+                                                     std::size_t count) {
+  [[maybe_unused]] const __m128i m =
+      _mm_setr_epi8(3, 2, 1, 0, 7, 6, 5, 4, 11, 10, 9, 8, 15, 14, 13, 12);
+  std::size_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i * 4));
+    if constexpr (Swap) v = _mm_shuffle_epi8(v, m);
+    __m256i w = SignExtend ? _mm256_cvtepi32_epi64(v)
+                           : _mm256_cvtepu32_epi64(v);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i * 8), w);
+  }
+  tail_i32_to_i64<Swap, SignExtend>(src + i * 4, dst + i * 8, count - i);
+}
+
+// int64 -> int32 truncation (signedness is irrelevant to a truncating
+// store), 4 elements per iteration. After the in-lane swap the low dword of
+// each qword holds the value's low 32 bits; the cross-lane permute gathers
+// dwords 0,2,4,6 into the bottom half.
+
+template <bool Swap>
+__attribute__((target("avx2"))) void avx2_i64_to_i32(const std::uint8_t* src,
+                                                     std::uint8_t* dst,
+                                                     std::size_t count) {
+  const __m256i pick = _mm256_setr_epi32(0, 2, 4, 6, 0, 0, 0, 0);
+  std::size_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i * 8));
+    if constexpr (Swap) v = _mm256_shuffle_epi8(v, avx2_mask_bswap64());
+    __m256i p = _mm256_permutevar8x32_epi32(v, pick);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i * 4),
+                     _mm256_castsi256_si128(p));
+  }
+  tail_i64_to_i32<Swap>(src + i * 8, dst + i * 4, count - i);
+}
+
+// float32 <-> float64, 4 elements per iteration. vcvtps2pd / vcvtpd2ps have
+// the same IEEE semantics (round-to-nearest, sNaN quieting) as the scalar
+// cvtss2sd/cvtsd2ss the specialized kernels compile to, so results stay
+// bit-identical.
+
+template <bool Swap>
+__attribute__((target("avx2"))) void avx2_f32_to_f64(const std::uint8_t* src,
+                                                     std::uint8_t* dst,
+                                                     std::size_t count) {
+  [[maybe_unused]] const __m128i m =
+      _mm_setr_epi8(3, 2, 1, 0, 7, 6, 5, 4, 11, 10, 9, 8, 15, 14, 13, 12);
+  std::size_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i * 4));
+    if constexpr (Swap) v = _mm_shuffle_epi8(v, m);
+    __m256d d = _mm256_cvtps_pd(_mm_castsi128_ps(v));
+    _mm256_storeu_pd(reinterpret_cast<double*>(dst + i * 8), d);
+  }
+  tail_f32_to_f64<Swap>(src + i * 4, dst + i * 8, count - i);
+}
+
+template <bool Swap>
+__attribute__((target("avx2"))) void avx2_f64_to_f32(const std::uint8_t* src,
+                                                     std::uint8_t* dst,
+                                                     std::size_t count) {
+  std::size_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i * 8));
+    if constexpr (Swap) v = _mm256_shuffle_epi8(v, avx2_mask_bswap64());
+    __m128 f = _mm256_cvtpd_ps(_mm256_castsi256_pd(v));
+    _mm_storeu_ps(reinterpret_cast<float*>(dst + i * 4), f);
+  }
+  tail_f64_to_f32<Swap>(src + i * 8, dst + i * 4, count - i);
+}
+
+ScalarKernel select_same_width_swap(std::size_t width, bool avx2) noexcept {
+  switch (width) {
+    case 2: return avx2 ? &avx2_bswap16 : &sse2_bswap16;
+    case 4: return avx2 ? &avx2_bswap32 : &sse2_bswap32;
+    case 8: return avx2 ? &avx2_bswap64 : &sse2_bswap64;
+    default: return nullptr;  // 1-byte elements never swap
+  }
+}
+
+}  // namespace
+
+ScalarKernel select_simd_kernel(bool is_float, std::size_t src_size,
+                                std::size_t dst_size, bool swap,
+                                bool sign_extend) noexcept {
+  const arch::SimdTier tier = arch::simd_tier();
+  if (tier == arch::SimdTier::kScalar) return nullptr;
+  const bool avx2 = tier >= arch::SimdTier::kAVX2;
+
+  // Same-width byte-swap runs apply to ints and floats alike: the scalar
+  // float kernel's load-swap-bitcast-store at equal widths is a pure
+  // byteswap, so the integer shuffle form is bit-identical.
+  if (src_size == dst_size) {
+    if (!swap) return nullptr;  // plan emits kCopy; never reaches a kernel
+    return select_same_width_swap(src_size, avx2);
+  }
+
+  // Width-changing runs only have AVX2 forms (the converting loads/stores
+  // below are AVX2/SSE4.1-era instructions).
+  if (!avx2) return nullptr;
+
+  if (is_float) {
+    if (src_size == 4 && dst_size == 8) {
+      return swap ? &avx2_f32_to_f64<true> : &avx2_f32_to_f64<false>;
+    }
+    if (src_size == 8 && dst_size == 4) {
+      return swap ? &avx2_f64_to_f32<true> : &avx2_f64_to_f32<false>;
+    }
+    return nullptr;
+  }
+
+  if (src_size == 4 && dst_size == 8) {
+    if (sign_extend) {
+      return swap ? &avx2_i32_to_i64<true, true>
+                  : &avx2_i32_to_i64<false, true>;
+    }
+    return swap ? &avx2_i32_to_i64<true, false>
+                : &avx2_i32_to_i64<false, false>;
+  }
+  if (src_size == 8 && dst_size == 4) {
+    return swap ? &avx2_i64_to_i32<true> : &avx2_i64_to_i32<false>;
+  }
+  return nullptr;  // 1/2-byte widths fall back to the scalar kernels
+}
+
+#else  // !OMF_RUN_KERNELS_X86: scalar-only build (-DOMF_SIMD=OFF or non-x86)
+
+ScalarKernel select_simd_kernel(bool, std::size_t, std::size_t, bool,
+                                bool) noexcept {
+  return nullptr;
+}
+
+#endif  // OMF_RUN_KERNELS_X86
+
+void publish_kernel_tier() noexcept {
+  static const bool published = [] {
+    obs::MetricsRegistry::instance()
+        .gauge("pbio.decode.kernel_tier")
+        .set(static_cast<std::int64_t>(arch::simd_tier()));
+    return true;
+  }();
+  (void)published;
+}
+
+}  // namespace omf::pbio

@@ -1,0 +1,38 @@
+// SIMD kernels for fused field runs.
+//
+// The scalar specialized kernels (convert.cpp) bake element widths and byte
+// order into the function at plan-build time but still move one element per
+// loop iteration. For the shapes that dominate heterogeneous bulk decode —
+// same-width byte-swap runs, int widen/narrow between the common long sizes,
+// and float32<->float64 conversion — this unit provides vector
+// implementations working 16-byte (SSE2) or 32-byte (AVX2) lanes at a time,
+// selected once per process by runtime CPU dispatch (arch::simd_tier()).
+//
+// Every kernel is bit-identical to its scalar counterpart (the golden and
+// property suites decode through both and compare bytes), handles arbitrary
+// (odd) element counts with a scalar tail, and makes no alignment
+// assumptions — wire bodies and arena destinations land on arbitrary byte
+// offsets.
+//
+// A build with -DOMF_SIMD=OFF compiles none of the vector bodies; selection
+// always returns nullptr and plans run the portable scalar kernels.
+#pragma once
+
+#include "pbio/convert.hpp"
+
+namespace omf::pbio {
+
+/// Returns the SIMD implementation for an element-converting run — element
+/// class, wire/native widths, byte-order mismatch, source signedness — at
+/// this process's dispatch tier, or nullptr when no vector form exists for
+/// the shape (the caller falls back to the scalar specialized kernel).
+ScalarKernel select_simd_kernel(bool is_float, std::size_t src_size,
+                                std::size_t dst_size, bool swap,
+                                bool sign_extend) noexcept;
+
+/// Publishes the dispatch tier to the "pbio.decode.kernel_tier" gauge
+/// (0 = scalar, 1 = sse2, 2 = avx2) so /metrics exposes which kernels this
+/// process selected. Idempotent; called from Decoder construction.
+void publish_kernel_tier() noexcept;
+
+}  // namespace omf::pbio

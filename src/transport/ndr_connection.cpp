@@ -107,4 +107,21 @@ std::optional<Buffer> NdrConnection::receive(const Deadline& deadline) {
   }
 }
 
+std::size_t NdrConnection::receive_batch(std::vector<Buffer>& out,
+                                         std::size_t max_messages,
+                                         const Deadline& deadline) {
+  if (max_messages == 0) return 0;
+  std::optional<Buffer> first = receive(deadline);
+  if (!first) return 0;
+  out.push_back(std::move(*first));
+  std::size_t n = 1;
+  while (n < max_messages && connection_.readable()) {
+    std::optional<Buffer> next = receive(deadline);
+    if (!next) break;  // peer closed mid-burst; deliver what arrived
+    out.push_back(std::move(*next));
+    ++n;
+  }
+  return n;
+}
+
 }  // namespace omf::transport

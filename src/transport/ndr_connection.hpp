@@ -22,6 +22,7 @@
 
 #include <optional>
 #include <set>
+#include <vector>
 
 #include "pbio/format.hpp"
 #include "transport/tcp.hpp"
@@ -52,6 +53,23 @@ public:
     return receive(Deadline::from_timeout(connection_.timeouts().recv));
   }
   std::optional<Buffer> receive(const Deadline& deadline);
+
+  /// Drains a burst: blocks for the first message exactly like receive(),
+  /// then keeps appending messages to `out` as long as more frames are
+  /// already waiting in the kernel buffer (TcpConnection::readable()) and
+  /// fewer than `max_messages` have been taken — the receive loop never
+  /// stalls waiting for a batch to fill. Format bundles are consumed and
+  /// registered transparently, as in receive(). Returns the number of
+  /// messages appended; 0 means orderly peer close. A burst of same-format
+  /// messages gathered here is what Decoder::decode_batch /
+  /// Gateway::convert_batch turn into one plan walk.
+  std::size_t receive_batch(std::vector<Buffer>& out,
+                            std::size_t max_messages) {
+    return receive_batch(out, max_messages,
+                         Deadline::from_timeout(connection_.timeouts().recv));
+  }
+  std::size_t receive_batch(std::vector<Buffer>& out, std::size_t max_messages,
+                            const Deadline& deadline);
 
   /// Timeout / frame-size knobs, forwarded to the underlying connection.
   /// Format bundles and messages share the same bounds: a hostile bundle is

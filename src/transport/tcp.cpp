@@ -70,6 +70,18 @@ void TcpConnection::close() {
   }
 }
 
+bool TcpConnection::readable() const noexcept {
+  if (fd_ < 0) return false;
+  pollfd pfd{};
+  pfd.fd = fd_;
+  pfd.events = POLLIN;
+  // Zero timeout: a pure readiness probe. HUP/ERR also count as readable so
+  // a closed peer is noticed by the next receive() instead of ending a
+  // batch silently.
+  return ::poll(&pfd, 1, 0) == 1 &&
+         (pfd.revents & (POLLIN | POLLHUP | POLLERR)) != 0;
+}
+
 void TcpConnection::send(const Buffer& message, const Deadline& deadline) {
   if (fd_ < 0) throw TransportError("send on closed connection");
   if (message.size() > max_message_size_ || message.size() > kMaxFrame) {

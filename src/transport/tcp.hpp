@@ -85,6 +85,13 @@ public:
   }
   std::optional<Buffer> receive(const Deadline& deadline);
 
+  /// True when bytes are already waiting in the kernel receive buffer, i.e.
+  /// a receive() can start without blocking (poll with zero timeout; a
+  /// partially arrived frame may still wait briefly for its tail, bounded
+  /// by the deadline as usual). False on a closed connection. Lets receive
+  /// loops drain a burst into one batch without ever stalling for more.
+  bool readable() const noexcept;
+
   void close();
 
   /// Underlying descriptor, still owned by the connection (-1 when closed).

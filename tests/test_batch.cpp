@@ -1,0 +1,600 @@
+// Batched decode: fused field-run kernels, N-message plan dispatch, and the
+// matched-layout memcpy fast path.
+//
+// The invariants under test:
+//  * fused/SIMD plans are bit-identical to the PR-1 per-field kernels, for
+//    every scalar width, at odd element counts (vector tails) and misaligned
+//    struct offsets (no alignment assumptions),
+//  * Decoder::decode_batch produces exactly what N individual decodes
+//    produce, including dynamic arrays through the arena,
+//  * a warm batch pipeline allocates nothing per message,
+//  * Gateway::convert_batch and NdrConnection::receive_batch compose into
+//    the same bytes the one-at-a-time paths emit.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <thread>
+#include <vector>
+
+#include "analysis/audit_plan.hpp"
+#include "arch/profile.hpp"
+#include "core/gateway.hpp"
+#include "core/xml2wire.hpp"
+#include "http/http.hpp"
+#include "obs/metrics.hpp"
+#include "pbio/decode.hpp"
+#include "pbio/encode.hpp"
+#include "pbio/record.hpp"
+#include "pbio/synth.hpp"
+#include "transport/ndr_connection.hpp"
+#include "transport/tcp.hpp"
+
+// --- Allocation counting (same idiom as test_arena.cpp) ---------------------
+
+namespace {
+std::atomic<std::size_t> g_allocations{0};
+std::atomic<bool> g_counting{false};
+
+void* counted_alloc(std::size_t n) {
+  if (g_counting.load(std::memory_order_relaxed)) {
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+  }
+  void* p = std::malloc(n);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+struct AllocationCounter {
+  AllocationCounter() {
+    g_allocations.store(0);
+    g_counting.store(true);
+  }
+  ~AllocationCounter() { g_counting.store(false); }
+  std::size_t count() const { return g_allocations.load(); }
+};
+
+}  // namespace
+
+void* operator new(std::size_t n) { return counted_alloc(n); }
+void* operator new[](std::size_t n) { return counted_alloc(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace omf {
+namespace {
+
+using pbio::ConversionPlan;
+using pbio::DecodeArena;
+using pbio::Decoder;
+using pbio::DynamicRecord;
+using pbio::FormatHandle;
+using pbio::FormatRegistry;
+using pbio::IOField;
+using pbio::PlanOptions;
+
+// --- Bulk-array bit-identity across kernels ---------------------------------
+
+/// One scalar type, an odd element count (so every SIMD kernel runs its
+/// scalar tail), and a one-byte leading field so the array lands at a
+/// misaligned struct offset.
+struct BulkCase {
+  const char* name;        ///< test suffix
+  const char* type;        ///< PBIO element type string base
+  std::size_t elem_size;   ///< element width in bytes
+  std::size_t count;       ///< odd on purpose
+  bool is_float;
+};
+
+const BulkCase kBulkCases[] = {
+    {"Int16x7", "integer", 2, 7, false},
+    {"Int32x9", "integer", 4, 9, false},
+    {"Int64x5", "integer", 8, 5, false},
+    {"Uint32x13", "unsigned", 4, 13, false},
+    {"Float32x11", "float", 4, 11, true},
+    {"Float64x3", "float", 8, 3, true},
+};
+
+class BulkSwapTest : public ::testing::TestWithParam<BulkCase> {
+protected:
+  void SetUp() override {
+    const BulkCase& c = GetParam();
+    std::string arr_type =
+        std::string(c.type) + "[" + std::to_string(c.count) + "]";
+    // `tag` (1 byte) pushes the array to offset 1: deliberately misaligned,
+    // because the fused kernels promise unaligned loads/stores.
+    std::size_t arr_bytes = c.elem_size * c.count;
+    std::vector<IOField> fields = {
+        {"tag", "unsigned", 1, 0},
+        {"vals", arr_type, c.elem_size, 1},
+    };
+    struct_size = 1 + arr_bytes;
+    native = reg.register_format("Bulk" + std::string(c.name), fields,
+                                 struct_size, arch::native());
+    foreign = reg.register_format("Bulk" + std::string(c.name), fields,
+                                  struct_size, arch::sparc64());
+  }
+
+  /// Values that exercise sign extension and every byte lane, clamped to
+  /// the element's representable range.
+  std::vector<std::int64_t> gen_ints(int salt) const {
+    const BulkCase& c = GetParam();
+    std::vector<std::int64_t> vals;
+    for (std::size_t i = 0; i < c.count; ++i) {
+      std::int64_t v =
+          (static_cast<std::int64_t>(i + 1) * 0x0102030405LL + salt) *
+          (i % 2 == 0 ? 1 : -1);
+      if (c.elem_size < 8) {
+        std::int64_t mask = (std::int64_t{1} << (8 * c.elem_size - 1)) - 1;
+        v %= mask;
+      }
+      vals.push_back(v);
+    }
+    return vals;
+  }
+
+  std::vector<double> gen_floats(int salt) const {
+    const BulkCase& c = GetParam();
+    std::vector<double> vals;
+    for (std::size_t i = 0; i < c.count; ++i) {
+      double v = static_cast<double>(i) * 1.5 - salt;
+      if (c.elem_size == 4) v = static_cast<float>(v);  // representable
+      vals.push_back(v);
+    }
+    return vals;
+  }
+
+  /// Foreign (big-endian) wire bytes for a record with distinctive values.
+  Buffer foreign_wire(int salt) {
+    const BulkCase& c = GetParam();
+    DynamicRecord r(native);
+    r.set_int("tag", salt & 0x7f);
+    if (c.is_float) {
+      r.set_float_array("vals", gen_floats(salt));
+    } else {
+      r.set_int_array("vals", gen_ints(salt));
+    }
+    return pbio::synthesize_wire(*foreign, r);
+  }
+
+  FormatRegistry reg;
+  FormatHandle native, foreign;
+  std::size_t struct_size = 0;
+};
+
+TEST_P(BulkSwapTest, FusedSimdBitIdenticalToPerFieldKernels) {
+  Buffer wire = foreign_wire(3);
+
+  Decoder fused(reg, nullptr, PlanOptions{});
+  Decoder per_field(reg, nullptr, PlanOptions::per_field());
+
+  std::vector<std::uint8_t> a(struct_size, 0xAA), b(struct_size, 0xAA);
+  DecodeArena arena_a, arena_b;
+  fused.decode(wire.span(), *native, a.data(), arena_a);
+  per_field.decode(wire.span(), *native, b.data(), arena_b);
+  EXPECT_EQ(std::memcmp(a.data(), b.data(), struct_size), 0)
+      << "fused plan diverges from per-field kernels for " << GetParam().name;
+}
+
+TEST_P(BulkSwapTest, FusedPlanRecoversExactValues) {
+  const BulkCase& c = GetParam();
+  Buffer wire = foreign_wire(7);
+  Decoder dec(reg);  // production options: fusion + SIMD on
+  DynamicRecord out(native);
+  out.from_wire(dec, wire.span());
+  EXPECT_EQ(out.get_int("tag"), 7);
+  if (c.is_float) {
+    EXPECT_EQ(out.get_float_array("vals"), gen_floats(7));
+  } else {
+    EXPECT_EQ(out.get_int_array("vals"), gen_ints(7));
+  }
+}
+
+TEST_P(BulkSwapTest, DecodeBatchMatchesPerMessageDecode) {
+  constexpr std::size_t kN = 33;
+  std::vector<Buffer> wires;
+  std::vector<std::span<const std::uint8_t>> spans;
+  for (std::size_t i = 0; i < kN; ++i) {
+    wires.push_back(foreign_wire(static_cast<int>(i)));
+  }
+  for (const Buffer& w : wires) spans.push_back(w.span());
+
+  Decoder dec(reg);
+  std::vector<std::uint8_t> batch_out(kN * struct_size, 0xCC);
+  std::vector<void*> ptrs;
+  for (std::size_t i = 0; i < kN; ++i) {
+    ptrs.push_back(batch_out.data() + i * struct_size);
+  }
+  DecodeArena arena;
+  dec.decode_batch(spans.data(), kN, *native, ptrs.data(), arena);
+
+  for (std::size_t i = 0; i < kN; ++i) {
+    std::vector<std::uint8_t> single(struct_size, 0xCC);
+    DecodeArena sarena;
+    dec.decode(spans[i], *native, single.data(), sarena);
+    EXPECT_EQ(std::memcmp(single.data(),
+                          batch_out.data() + i * struct_size, struct_size),
+              0)
+        << "message " << i << " differs between batch and single decode";
+  }
+}
+
+TEST_P(BulkSwapTest, FusedAndPerFieldPlansAuditIdentically) {
+  auto fused = ConversionPlan::build(foreign, native, PlanOptions{});
+  auto per_field =
+      ConversionPlan::build(foreign, native, PlanOptions::per_field());
+  std::vector<analysis::Diagnostic> a = analysis::audit_plan(*fused);
+  std::vector<analysis::Diagnostic> b = analysis::audit_plan(*per_field);
+  auto keys = [](const std::vector<analysis::Diagnostic>& ds) {
+    std::vector<std::string> out;
+    for (const auto& d : ds) out.push_back(d.code + " " + d.path);
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  EXPECT_EQ(keys(a), keys(b));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWidths, BulkSwapTest,
+                         ::testing::ValuesIn(kBulkCases),
+                         [](const auto& info) { return info.param.name; });
+
+// --- Batch semantics --------------------------------------------------------
+
+struct Reading {
+  char sensor[8];
+  double value;
+  std::int32_t count;
+  std::int32_t* samples;
+};
+
+std::vector<IOField> reading_fields() {
+  return {
+      {"sensor", "char[8]", 1, offsetof(Reading, sensor)},
+      {"value", "float", 8, offsetof(Reading, value)},
+      {"count", "integer", 4, offsetof(Reading, count)},
+      {"samples", "integer[count]", 4, offsetof(Reading, samples)},
+  };
+}
+
+class BatchSemanticsTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    native = reg.register_format("Reading", reading_fields(), sizeof(Reading),
+                                 arch::native());
+    foreign = reg.register_format("Reading", reading_fields(), sizeof(Reading),
+                                  arch::sparc64());
+  }
+
+  Buffer foreign_wire(int salt) {
+    DynamicRecord r(native);
+    r.set_char_array("sensor", std::string_view("egt-004", 8));
+    r.set_float("value", 0.5 * salt);
+    std::vector<std::int64_t> samples;
+    for (int i = 0; i < salt % 5; ++i) samples.push_back(600 + salt + i);
+    r.set_int_array("samples", samples);
+    return pbio::synthesize_wire(*foreign, r);
+  }
+
+  FormatRegistry reg;
+  FormatHandle native, foreign;
+};
+
+TEST_F(BatchSemanticsTest, DynamicArraysDecodeThroughBatchArena) {
+  constexpr std::size_t kN = 9;
+  std::vector<Buffer> wires;
+  std::vector<std::span<const std::uint8_t>> spans;
+  for (std::size_t i = 0; i < kN; ++i) {
+    wires.push_back(foreign_wire(static_cast<int>(i + 1)));
+  }
+  for (const Buffer& w : wires) spans.push_back(w.span());
+
+  Decoder dec(reg);
+  std::vector<Reading> out(kN);
+  std::vector<void*> ptrs;
+  for (Reading& r : out) ptrs.push_back(&r);
+  DecodeArena arena;
+  dec.decode_batch(spans.data(), kN, *native, ptrs.data(), arena);
+
+  for (std::size_t i = 0; i < kN; ++i) {
+    int salt = static_cast<int>(i + 1);
+    EXPECT_STREQ(out[i].sensor, "egt-004");
+    EXPECT_EQ(out[i].value, 0.5 * salt);
+    ASSERT_EQ(out[i].count, salt % 5);
+    for (int k = 0; k < out[i].count; ++k) {
+      EXPECT_EQ(out[i].samples[k], 600 + salt + k);
+    }
+  }
+}
+
+TEST_F(BatchSemanticsTest, MixedFormatBatchIsRejected) {
+  auto other = reg.register_format("Other",
+                                   std::vector<IOField>{{"x", "integer", 4, 0}},
+                                   4, arch::native());
+  DynamicRecord r(other);
+  r.set_int("x", 1);
+  Buffer other_wire = pbio::encode(*other, r.data());
+  Buffer reading_wire = foreign_wire(1);
+
+  std::span<const std::uint8_t> spans[2] = {reading_wire.span(),
+                                            other_wire.span()};
+  Decoder dec(reg);
+  Reading a{};
+  std::int32_t b = 0;
+  void* ptrs[2] = {&a, &b};
+  DecodeArena arena;
+  EXPECT_THROW(dec.decode_batch(spans, 2, *native, ptrs, arena),
+               DecodeError);
+}
+
+TEST_F(BatchSemanticsTest, EmptyBatchIsANoOp) {
+  Decoder dec(reg);
+  DecodeArena arena;
+  dec.decode_batch(nullptr, 0, *native, nullptr, arena);
+}
+
+TEST_F(BatchSemanticsTest, MatchedLayoutBatchTakesTheMemcpyPath) {
+  // Wire format == native format: the plan is trivial and the batch path
+  // degenerates to one memcpy per message.
+  struct Flat {
+    std::int32_t a;
+    std::int32_t b;
+  };
+  auto flat = reg.register_format(
+      "Flat",
+      std::vector<IOField>{{"a", "integer", 4, 0}, {"b", "integer", 4, 4}},
+      sizeof(Flat), arch::native());
+  auto plan = ConversionPlan::build(flat, flat, PlanOptions{});
+  ASSERT_TRUE(plan->is_trivial());
+
+  constexpr std::size_t kN = 16;
+  std::vector<Buffer> wires;
+  std::vector<std::span<const std::uint8_t>> spans;
+  for (std::size_t i = 0; i < kN; ++i) {
+    Flat f{static_cast<std::int32_t>(i), static_cast<std::int32_t>(i * i)};
+    wires.push_back(pbio::encode(*flat, &f));
+  }
+  for (const Buffer& w : wires) spans.push_back(w.span());
+
+  Decoder dec(reg);
+  std::vector<Flat> out(kN);
+  std::vector<void*> ptrs;
+  for (Flat& f : out) ptrs.push_back(&f);
+  DecodeArena arena;
+  dec.decode_batch(spans.data(), kN, *flat, ptrs.data(), arena);
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(out[i].a, static_cast<std::int32_t>(i));
+    EXPECT_EQ(out[i].b, static_cast<std::int32_t>(i * i));
+  }
+}
+
+TEST_F(BatchSemanticsTest, WarmBatchDecodeAllocatesNothing) {
+  constexpr std::size_t kN = 8;
+  std::vector<Buffer> wires;
+  std::vector<std::span<const std::uint8_t>> spans;
+  for (std::size_t i = 0; i < kN; ++i) {
+    wires.push_back(foreign_wire(static_cast<int>(i + 1)));
+  }
+  for (const Buffer& w : wires) spans.push_back(w.span());
+
+  Decoder dec(reg);
+  std::vector<Reading> out(kN);
+  std::vector<void*> ptrs;
+  for (Reading& r : out) ptrs.push_back(&r);
+  DecodeArena arena;
+  // Warm: compiles the plan, sizes the thread-local batch scratch, grows
+  // the arena to its high-water mark.
+  dec.decode_batch(spans.data(), kN, *native, ptrs.data(), arena);
+  arena.reset();
+
+  AllocationCounter counter;
+  dec.decode_batch(spans.data(), kN, *native, ptrs.data(), arena);
+  EXPECT_EQ(counter.count(), 0u)
+      << "steady-state batch decode must not touch the heap";
+}
+
+// --- Kernel-tier gauge ------------------------------------------------------
+
+TEST(KernelTier, GaugeReportsTheDispatchedTier) {
+  auto& reg = obs::MetricsRegistry::instance();
+  obs::Gauge& g = reg.gauge("pbio.decode.kernel_tier");
+#ifdef OMF_NO_METRICS
+  (void)g;
+#else
+  EXPECT_EQ(g.value(),
+            static_cast<std::int64_t>(arch::simd_tier()));
+#endif
+}
+
+TEST(KernelTier, ExposedViaMetricsEndpoint) {
+#ifndef OMF_NO_METRICS
+  // The runtime-dispatch smoke test: the tier selected at process start
+  // (CPU probe clamped by OMF_SIMD_TIER) is scrapeable from /metrics, so an
+  // operator can always see which kernels a process is actually running.
+  http::Server server;
+  http::Response resp =
+      http::get(server.url_for("/metrics"),
+                Deadline::from_timeout(std::chrono::seconds(5)));
+  ASSERT_EQ(resp.status, 200);
+  std::string expect =
+      "omf_pbio_decode_kernel_tier " +
+      std::to_string(static_cast<int>(arch::simd_tier()));
+  EXPECT_NE(resp.body.find(expect), std::string::npos)
+      << "gauge line missing from /metrics exposition";
+#endif
+}
+
+// --- Gateway batch conversion ------------------------------------------------
+
+const char* kGatewayBatchSchema = R"(<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:complexType name="Burst">
+    <xsd:element name="seq" type="xsd:int" />
+    <xsd:element name="value" type="xsd:double" />
+  </xsd:complexType>
+</xsd:schema>)";
+
+TEST(GatewayBatch, ConvertBatchMatchesPerMessageConvert) {
+  FormatRegistry reg;
+  core::Xml2Wire native_x2w(reg, arch::native());
+  core::Xml2Wire sparc_x2w(reg, arch::sparc64());
+  core::Xml2Wire arm_x2w(reg, arch::arm32());
+  FormatHandle native_f = native_x2w.register_text(kGatewayBatchSchema)[0];
+  FormatHandle sparc_f = sparc_x2w.register_text(kGatewayBatchSchema)[0];
+  FormatHandle arm_f = arm_x2w.register_text(kGatewayBatchSchema)[0];
+
+  auto sample = [&](int i) {
+    DynamicRecord r(native_f);
+    r.set_int("seq", i);
+    r.set_float("value", 2.5 * i);
+    return r;
+  };
+
+  // A burst that interleaves: 5 sparc messages, 2 already-target arm
+  // messages, 4 more sparc — exercising run grouping and pass-through.
+  std::vector<Buffer> burst;
+  for (int i = 0; i < 5; ++i) {
+    burst.push_back(pbio::synthesize_wire(*sparc_f, sample(i)));
+  }
+  for (int i = 5; i < 7; ++i) {
+    burst.push_back(pbio::synthesize_wire(*arm_f, sample(i)));
+  }
+  for (int i = 7; i < 11; ++i) {
+    burst.push_back(pbio::synthesize_wire(*sparc_f, sample(i)));
+  }
+  std::vector<std::span<const std::uint8_t>> spans;
+  for (const Buffer& b : burst) spans.push_back(b.span());
+
+  core::Gateway batch_gw(reg, native_f, arm_f);
+  std::vector<Buffer> batched = batch_gw.convert_batch(spans);
+
+  core::Gateway single_gw(reg, native_f, arm_f);
+  ASSERT_EQ(batched.size(), burst.size());
+  for (std::size_t i = 0; i < burst.size(); ++i) {
+    Buffer one = single_gw.convert(spans[i]);
+    EXPECT_EQ(batched[i], one) << "message " << i;
+  }
+  EXPECT_EQ(batch_gw.converted(), 9u);
+  EXPECT_EQ(batch_gw.passed_through(), 2u);
+}
+
+TEST(GatewayBatch, NativeTargetBatchUsesPlainEncoder) {
+  FormatRegistry reg;
+  core::Xml2Wire native_x2w(reg, arch::native());
+  core::Xml2Wire sparc_x2w(reg, arch::sparc64());
+  FormatHandle native_f = native_x2w.register_text(kGatewayBatchSchema)[0];
+  FormatHandle sparc_f = sparc_x2w.register_text(kGatewayBatchSchema)[0];
+
+  DynamicRecord r(native_f);
+  r.set_int("seq", 42);
+  r.set_float("value", -1.25);
+  Buffer wire = pbio::synthesize_wire(*sparc_f, r);
+  std::vector<std::span<const std::uint8_t>> spans = {wire.span(),
+                                                      wire.span()};
+
+  core::Gateway gw(reg, native_f, native_f);
+  std::vector<Buffer> out = gw.convert_batch(spans);
+  ASSERT_EQ(out.size(), 2u);
+  for (const Buffer& b : out) {
+    EXPECT_EQ(Decoder::peek_format_id(b.span()), native_f->id());
+  }
+  EXPECT_EQ(out[0], out[1]);
+}
+
+// --- receive_batch ----------------------------------------------------------
+
+TEST(ReceiveBatch, DrainsBurstsWithoutStalling) {
+  FormatRegistry sender_reg, receiver_reg;
+  struct Tick {
+    std::int64_t seq;
+  };
+  auto f = sender_reg.register_format(
+      "Tick", std::vector<IOField>{{"seq", "integer", 8, 0}}, sizeof(Tick),
+      arch::native());
+
+  transport::TcpListener listener(0);
+  std::vector<std::int64_t> received;
+  std::size_t batches = 0;
+  std::thread receiver_thread([&] {
+    transport::NdrConnection conn(listener.accept(), receiver_reg);
+    Decoder dec(receiver_reg);
+    DecodeArena arena;
+    std::vector<Buffer> batch;
+    for (;;) {
+      batch.clear();
+      std::size_t n = conn.receive_batch(batch, 64);
+      if (n == 0) break;  // orderly close
+      ++batches;
+      for (const Buffer& msg : batch) {
+        auto wire_format =
+            receiver_reg.by_id(Decoder::peek_format_id(msg.span()));
+        ASSERT_NE(wire_format, nullptr);
+        Tick out{};
+        dec.decode(msg.span(), *wire_format, &out, arena);
+        received.push_back(out.seq);
+      }
+    }
+  });
+
+  constexpr int kMessages = 40;
+  {
+    transport::NdrConnection conn(transport::tcp_connect(listener.port()),
+                                  sender_reg);
+    for (int i = 0; i < kMessages; ++i) {
+      Tick t{i};
+      conn.send_struct(*f, &t);
+    }
+  }
+  receiver_thread.join();
+
+  ASSERT_EQ(received.size(), static_cast<std::size_t>(kMessages));
+  for (int i = 0; i < kMessages; ++i) {
+    EXPECT_EQ(received[static_cast<std::size_t>(i)], i);
+  }
+  // The whole point: bursts coalesce, so far fewer receive_batch calls than
+  // messages (at minimum the close costs one extra call).
+  EXPECT_LE(batches, static_cast<std::size_t>(kMessages));
+  EXPECT_GE(batches, 1u);
+}
+
+TEST(ReceiveBatch, MaxMessagesBoundsOneCall) {
+  FormatRegistry sender_reg, receiver_reg;
+  struct Tick {
+    std::int64_t seq;
+  };
+  auto f = sender_reg.register_format(
+      "Tick", std::vector<IOField>{{"seq", "integer", 8, 0}}, sizeof(Tick),
+      arch::native());
+
+  transport::TcpListener listener(0);
+  std::size_t total = 0;
+  std::thread receiver_thread([&] {
+    transport::NdrConnection conn(listener.accept(), receiver_reg);
+    std::vector<Buffer> batch;
+    for (;;) {
+      batch.clear();
+      std::size_t n = conn.receive_batch(batch, 3);
+      if (n == 0) break;
+      EXPECT_LE(n, 3u);
+      EXPECT_EQ(n, batch.size());
+      total += n;
+    }
+  });
+
+  {
+    transport::NdrConnection conn(transport::tcp_connect(listener.port()),
+                                  sender_reg);
+    for (int i = 0; i < 10; ++i) {
+      Tick t{i};
+      conn.send_struct(*f, &t);
+    }
+  }
+  receiver_thread.join();
+  EXPECT_EQ(total, 10u);
+}
+
+}  // namespace
+}  // namespace omf
