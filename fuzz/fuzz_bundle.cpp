@@ -1,0 +1,6 @@
+#include "harnesses.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  return omf::fuzz::bundle_one(data, size);
+}

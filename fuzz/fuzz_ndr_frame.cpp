@@ -1,0 +1,6 @@
+#include "harnesses.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  return omf::fuzz::ndr_frame_one(data, size);
+}

@@ -1,0 +1,169 @@
+// Regenerates the committed seed corpus under fuzz/corpus/. Run after
+// changing any wire format:
+//
+//   cmake --build build --target omf-gen-fuzz-seeds
+//   ./build/fuzz/omf-gen-fuzz-seeds fuzz/corpus
+//
+// Seeds are deliberately small and structurally valid (or near-valid): the
+// fuzzer mutates from parseable inputs toward interesting rejections far
+// faster than from random bytes. Every file written here is also replayed
+// as a plain unit test by tests/test_fuzz_corpus.cpp.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <string_view>
+
+#include "arch/profile.hpp"
+#include "core/xml2wire.hpp"
+#include "pbio/format.hpp"
+#include "pbio/metaserde.hpp"
+#include "pbio/record.hpp"
+#include "pbio/wire.hpp"
+#include "util/buffer.hpp"
+
+namespace fs = std::filesystem;
+using namespace omf;
+
+namespace {
+
+void write_file(const fs::path& path, std::string_view bytes) {
+  fs::create_directories(path.parent_path());
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.string().c_str());
+    std::exit(1);
+  }
+}
+
+void write_file(const fs::path& path, const Buffer& bytes) {
+  write_file(path, std::string_view(reinterpret_cast<const char*>(bytes.data()),
+                                    bytes.size()));
+}
+
+const char* kSchema = R"(<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:complexType name="FuzzEvent">
+    <xsd:element name="tag" type="xsd:string" />
+    <xsd:element name="seq" type="xsd:int" />
+    <xsd:element name="coords" type="xsd:double" minOccurs="3" maxOccurs="3" />
+    <xsd:element name="samples" type="xsd:unsignedLong"
+                 minOccurs="0" maxOccurs="samples_count" />
+    <xsd:element name="samples_count" type="xsd:int" />
+    <xsd:element name="note" type="xsd:string" />
+  </xsd:complexType>
+</xsd:schema>
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: omf-gen-fuzz-seeds <corpus-dir>\n");
+    return 2;
+  }
+  fs::path root(argv[1]);
+
+  // --- descriptor: .fmt text ------------------------------------------------
+  write_file(root / "descriptor/telemetry_pair.fmt",
+             "format Telemetry size=32 profile=sparc64\n"
+             "field seq unsigned 8 0\n"
+             "field a integer 8 8\n"
+             "field b integer 8 16\n"
+             "field c integer 8 24\n"
+             "format TelemetryHost size=16\n"
+             "field seq unsigned 4 0\n"
+             "field a integer 4 4\n"
+             "field b integer 2 8\n"
+             "field c unsigned 2 10\n"
+             "convert Telemetry TelemetryHost\n");
+  write_file(root / "descriptor/dyn_array.fmt",
+             "format Burst size=24\n"
+             "field n integer 4 0\n"
+             "field data unsigned[n] 8 8\n"
+             "field tail integer 4 16\n");
+  write_file(root / "descriptor/bad_type.fmt",
+             "format BadType size=8\n"
+             "field a integer[ 4 0\n");
+
+  // --- schema: XML text -----------------------------------------------------
+  write_file(root / "schema/fuzz_event.xsd", kSchema);
+  write_file(root / "schema/minimal.xsd",
+             "<?xml version=\"1.0\"?>\n"
+             "<xsd:schema xmlns:xsd=\"http://www.w3.org/2001/XMLSchema\">\n"
+             "  <xsd:complexType name=\"P\">\n"
+             "    <xsd:element name=\"x\" type=\"xsd:int\" />\n"
+             "  </xsd:complexType>\n"
+             "</xsd:schema>\n");
+  write_file(root / "schema/unclosed.xsd",
+             "<?xml version=\"1.0\"?>\n"
+             "<xsd:schema xmlns:xsd=\"http://www.w3.org/2001/XMLSchema\">\n"
+             "  <xsd:complexType name=\"P\">\n");
+
+  // --- bundle + ndr_frame + decode_batch: binary, from the real encoders ----
+  pbio::FormatRegistry registry;
+  core::Xml2Wire x2w(registry, arch::native());
+  pbio::FormatHandle format = x2w.register_text(kSchema)[0];
+
+  Buffer bundle = pbio::serialize_format_bundle(*format);
+  write_file(root / "bundle/fuzz_event.obmf", bundle);
+  write_file(root / "bundle/truncated.obmf",
+             std::string_view(reinterpret_cast<const char*>(bundle.data()),
+                              bundle.size() / 2));
+
+  pbio::DynamicRecord rec(format);
+  rec.set_string("tag", "seed");
+  rec.set_int("seq", 7);
+  double coords[3] = {1.5, -2.5, 3.25};
+  rec.set_float_array("coords", coords);
+  std::uint64_t samples[2] = {10, 20};
+  rec.set_uint_array("samples", samples);
+  rec.set_string("note", "fuzz corpus seed");
+  Buffer message = rec.encode();
+
+  {
+    Buffer frame(message.size() + 1);
+    char tag = 'M';
+    frame.append(&tag, 1);
+    frame.append(message.span());
+    write_file(root / "ndr_frame/message.bin", frame);
+  }
+  {
+    Buffer frame(message.size() + 9);
+    char tag = 'T';
+    frame.append(&tag, 1);
+    std::uint8_t id[8] = {0xEF, 0xBE, 0xAD, 0xDE, 0, 0, 0, 0};
+    frame.append(id, 8);
+    frame.append(message.span());
+    write_file(root / "ndr_frame/traced.bin", frame);
+  }
+  {
+    Buffer frame(bundle.size() + 1);
+    char tag = 'F';
+    frame.append(&tag, 1);
+    frame.append(bundle.span());
+    write_file(root / "ndr_frame/format.bin", frame);
+  }
+  write_file(root / "ndr_frame/bad_tag.bin", std::string_view("Xjunk", 5));
+
+  // decode_batch seeds: steer byte + raw bodies (the harness frames them).
+  std::string_view body(reinterpret_cast<const char*>(message.data()) +
+                            pbio::WireHeader::kSize,
+                        message.size() - pbio::WireHeader::kSize);
+  write_file(root / "decode_batch/native_single.bin",
+             std::string("\x00", 1) + std::string(body));
+  write_file(root / "decode_batch/native_burst4.bin",
+             std::string("\x03", 1) + std::string(body) + std::string(body) +
+                 std::string(body) + std::string(body));
+  write_file(root / "decode_batch/foreign_pair.bin",
+             std::string("\x05", 1) + std::string(body) + std::string(body));
+  {
+    std::string raw("\x08", 1);
+    raw.append(reinterpret_cast<const char*>(message.data()), message.size());
+    write_file(root / "decode_batch/raw_message.bin", raw);
+  }
+
+  std::printf("seed corpus written under %s\n", root.string().c_str());
+  return 0;
+}

@@ -1,0 +1,169 @@
+#include "harnesses.hpp"
+
+#include <array>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/lint.hpp"
+#include "arch/profile.hpp"
+#include "core/xml2wire.hpp"
+#include "pbio/arena.hpp"
+#include "pbio/decode.hpp"
+#include "pbio/format.hpp"
+#include "pbio/metaserde.hpp"
+#include "pbio/plan_cache.hpp"
+#include "pbio/wire.hpp"
+#include "transport/ndr_connection.hpp"
+#include "util/buffer.hpp"
+#include "util/error.hpp"
+
+namespace omf::fuzz {
+namespace {
+
+std::string_view as_text(const std::uint8_t* data, std::size_t size) {
+  return {reinterpret_cast<const char*>(data), size};
+}
+
+}  // namespace
+
+int descriptor_one(const std::uint8_t* data, std::size_t size) {
+  // lint_buffer never throws by contract: malformed text becomes OMF001
+  // diagnostics. The catch guards that contract rather than relying on it.
+  try {
+    analysis::lint_buffer("fuzz.fmt", as_text(data, size));
+  } catch (const Error&) {
+  }
+  return 0;
+}
+
+int bundle_one(const std::uint8_t* data, std::size_t size) {
+  std::span<const std::uint8_t> bytes(data, size);
+  try {
+    pbio::decode_format_bundle(bytes);
+  } catch (const Error&) {
+  }
+  try {
+    pbio::FormatRegistry scratch;
+    pbio::deserialize_format_bundle(scratch, bytes);
+  } catch (const Error&) {
+  }
+  return 0;
+}
+
+int schema_one(const std::uint8_t* data, std::size_t size) {
+  try {
+    pbio::FormatRegistry scratch;
+    core::Xml2Wire x2w(scratch, arch::native());
+    x2w.register_text(as_text(data, size));
+  } catch (const Error&) {
+  }
+  return 0;
+}
+
+int ndr_frame_one(const std::uint8_t* data, std::size_t size) {
+  try {
+    transport::NdrFrame frame =
+        transport::parse_ndr_frame(std::span<const std::uint8_t>(data, size));
+    if (frame.tag == 'F') {
+      pbio::decode_format_bundle(frame.payload);
+    } else {
+      pbio::Decoder::peek_header(frame.payload);
+    }
+  } catch (const Error&) {
+  }
+  return 0;
+}
+
+namespace {
+
+/// The decode_batch fixture: one native format and one byte-swapped foreign
+/// variant of it, covering every body feature the decoder interprets from
+/// the wire — strings (offset chasing), a static array run, and a
+/// count-field-driven dynamic array.
+struct BatchFixture {
+  pbio::FormatRegistry registry;
+  pbio::Decoder decoder{registry, nullptr};
+  pbio::FormatHandle native;
+  pbio::FormatHandle foreign;
+
+  BatchFixture() {
+    static const char* kSchema = R"(<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:complexType name="FuzzEvent">
+    <xsd:element name="tag" type="xsd:string" />
+    <xsd:element name="seq" type="xsd:int" />
+    <xsd:element name="coords" type="xsd:double" minOccurs="3" maxOccurs="3" />
+    <xsd:element name="samples" type="xsd:unsignedLong"
+                 minOccurs="0" maxOccurs="samples_count" />
+    <xsd:element name="samples_count" type="xsd:int" />
+    <xsd:element name="note" type="xsd:string" />
+  </xsd:complexType>
+</xsd:schema>
+)";
+    core::Xml2Wire native_side(registry, arch::native());
+    native = native_side.register_text(kSchema)[0];
+    core::Xml2Wire foreign_side(registry, arch::profile_by_name("sparc64"));
+    foreign = foreign_side.register_text(kSchema)[0];
+  }
+
+  static BatchFixture& get() {
+    static BatchFixture fixture;
+    return fixture;
+  }
+};
+
+}  // namespace
+
+int decode_batch_one(const std::uint8_t* data, std::size_t size) {
+  BatchFixture& fx = BatchFixture::get();
+  if (size == 0) return 0;
+
+  // Byte 0 steers the shape: low bits pick the burst size (1..4), bit 2
+  // picks the wire format (native fast path vs byte-swapped conversion),
+  // bit 3 feeds the raw input as one unframed message instead (fuzzes the
+  // header parser through the batch path).
+  const std::uint8_t steer = data[0];
+  const std::uint8_t* body = data + 1;
+  const std::size_t body_size = size - 1;
+
+  std::vector<Buffer> frames;
+  std::vector<std::span<const std::uint8_t>> messages;
+  if ((steer & 0x08) != 0) {
+    messages.emplace_back(body, body_size);
+  } else {
+    const pbio::Format& wire_fmt =
+        (steer & 0x04) != 0 ? *fx.foreign : *fx.native;
+    const std::size_t n = (steer & 0x03) + 1;
+    const std::size_t slice = body_size / n;
+    frames.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      pbio::WireHeader header;
+      header.byte_order = wire_fmt.profile().byte_order;
+      header.format_id = wire_fmt.id();
+      header.body_length = static_cast<std::uint32_t>(slice);
+      Buffer frame(pbio::WireHeader::kSize + slice);
+      header.write(frame);
+      frame.append(std::span<const std::uint8_t>(body + i * slice, slice));
+      frames.push_back(std::move(frame));
+    }
+    messages.reserve(n);
+    for (const Buffer& f : frames) messages.push_back(f.span());
+  }
+
+  std::vector<std::vector<std::uint8_t>> structs(
+      messages.size(), std::vector<std::uint8_t>(fx.native->struct_size()));
+  std::vector<void*> outs;
+  outs.reserve(structs.size());
+  for (auto& s : structs) outs.push_back(s.data());
+
+  try {
+    pbio::DecodeArena arena;
+    fx.decoder.decode_batch(messages.data(), messages.size(), *fx.native,
+                            outs.data(), arena);
+  } catch (const Error&) {
+  }
+  return 0;
+}
+
+}  // namespace omf::fuzz

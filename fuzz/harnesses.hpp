@@ -1,0 +1,39 @@
+// Fuzz entry points for every parser that consumes bytes from outside the
+// process: the .fmt descriptor text, OBMF format bundles, XML schema
+// documents, NDR connection frames, and batched NDR message decoding.
+//
+// Each function is the body of one libFuzzer target (fuzz_*.cpp wraps it in
+// LLVMFuzzerTestOneInput) and is also called directly by the corpus-replay
+// unit test, so every committed seed runs under the normal test matrix and
+// its sanitizers even when libFuzzer itself is unavailable (gcc builds).
+//
+// Contract: a harness returns 0 and may throw nothing. Rejecting the input
+// via the library's own omf::Error hierarchy is the expected outcome for
+// hostile bytes; any other escape (segfault, sanitizer report, foreign
+// exception) is a finding.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace omf::fuzz {
+
+/// .fmt descriptor text → analysis::parse_fmt_text + the metadata audits.
+int descriptor_one(const std::uint8_t* data, std::size_t size);
+
+/// OBMF bundle bytes → frame decode, then full registry deserialization.
+int bundle_one(const std::uint8_t* data, std::size_t size);
+
+/// XML schema text → DOM parse, schema compile, wire-format registration.
+int schema_one(const std::uint8_t* data, std::size_t size);
+
+/// Raw connection frame → transport::parse_ndr_frame, then the payload
+/// parser the tag selects (bundle decode for 'F', header peek for 'M'/'T').
+int ndr_frame_one(const std::uint8_t* data, std::size_t size);
+
+/// NDR messages → Decoder::decode_batch against a fixed native format with
+/// strings, static and dynamic arrays. Bodies are framed with valid headers
+/// so the fuzzer explores the plan walk, not just header rejection.
+int decode_batch_one(const std::uint8_t* data, std::size_t size);
+
+}  // namespace omf::fuzz

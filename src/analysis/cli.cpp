@@ -1,0 +1,267 @@
+#include "analysis/cli.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "analysis/lint.hpp"
+#include "analysis/verify_kernels.hpp"
+#include "analysis/verify_plan.hpp"
+#include "arch/profile.hpp"
+#include "pbio/format.hpp"
+#include "util/strings.hpp"
+
+namespace omf::analysis {
+
+namespace {
+
+constexpr int kExitClean = 0;
+constexpr int kExitFindings = 1;
+constexpr int kExitUsage = 2;
+
+int lint_usage(std::FILE* err) {
+  std::fprintf(err,
+               "usage: omf-lint [--quiet] [--werror] [--json] <file>...\n"
+               "       omf-lint --codes | --codes-md\n"
+               "\n"
+               "Statically audits OMF metadata: XML Schema documents,\n"
+               "textual descriptor files (*.fmt), and serialized format\n"
+               "bundles. --json emits one JSON array of diagnostics on\n"
+               "stdout; --codes-md prints docs/DIAGNOSTICS.md.\n"
+               "\n"
+               "exit codes:\n"
+               "  0  no error diagnostics (warnings allowed without"
+               " --werror)\n"
+               "  1  error diagnostics found, or any warning with --werror\n"
+               "  2  usage error (unknown option, no input files)\n");
+  return kExitUsage;
+}
+
+int verify_usage(std::FILE* err) {
+  std::fprintf(
+      err,
+      "usage: omf-verify [--quiet] [--json] [--cert] <file>...\n"
+      "       omf-verify --kernels\n"
+      "\n"
+      "Bounds-certifies conversion plans: every read must fit the wire\n"
+      "struct region of the minimum admissible message and every write\n"
+      "the native struct, or an OMF4xx diagnostic with a counterexample\n"
+      "message length is emitted. Inputs are raw op programs (*.plan)\n"
+      "or descriptor files (*.fmt) whose `convert` directives are\n"
+      "compiled and certified. --cert prints the certificate for every\n"
+      "proven plan; --kernels runs the SIMD/scalar equivalence sweep.\n"
+      "\n"
+      "exit codes:\n"
+      "  0  every plan certified (/ kernel sweep clean)\n"
+      "  1  a plan was rejected or the kernel sweep found a mismatch\n"
+      "  2  usage error (unknown option, no input files)\n");
+  return kExitUsage;
+}
+
+int print_codes(std::FILE* out) {
+  std::fprintf(out, "%-8s %-8s %s\n", "code", "severity", "summary");
+  for (const CodeInfo& info : diagnostic_codes()) {
+    std::fprintf(out, "%-8s %-8s %s\n", info.code,
+                 info.severity == Severity::kError ? "error" : "warning",
+                 info.summary);
+  }
+  return kExitClean;
+}
+
+/// Certifies one input file for verify_cli: *.plan op programs directly,
+/// *.fmt via plan compilation of each `convert` directive.
+void verify_one_file(const std::string& path, bool want_cert, std::FILE* out,
+                     bool quiet, std::vector<Diagnostic>& all) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    Diagnostic d{codes::kInputParse, Severity::kError, "cannot open file",
+                 "", path};
+    all.push_back(std::move(d));
+    return;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string content = buf.str();
+
+  auto emit_result = [&](VerifyResult result) {
+    if (result.certified() && want_cert && !quiet) {
+      std::fprintf(out, "%s", result.certificate->to_string().c_str());
+    }
+    for (Diagnostic& d : result.diagnostics) {
+      if (d.file.empty()) d.file = path;
+      all.push_back(std::move(d));
+    }
+  };
+
+  if (ends_with(path, ".fmt")) {
+    FmtFile parsed = parse_fmt_text(content);
+    for (Diagnostic& d : parsed.diagnostics) {
+      if (d.file.empty()) d.file = path;
+      all.push_back(std::move(d));
+    }
+    if (has_errors(all)) return;
+    pbio::FormatRegistry scratch;
+    for (const FormatDescriptor& fmt : parsed.formats) {
+      std::vector<pbio::IOField> fields;
+      fields.reserve(fmt.fields.size());
+      for (const FieldDescriptor& f : fmt.fields) {
+        fields.emplace_back(f.name, f.type, f.size, f.offset, f.default_text);
+      }
+      try {
+        scratch.register_format(fmt.name, fields, fmt.struct_size,
+                                fmt.profile);
+      } catch (const Error& e) {
+        all.push_back(Diagnostic{codes::kInputParse, Severity::kError,
+                                 "format '" + fmt.name +
+                                     "' rejected by the registry: " + e.what(),
+                                 "", path, fmt.line});
+        return;
+      }
+    }
+    for (const FmtFile::Convert& req : parsed.converts) {
+      try {
+        pbio::FormatHandle wire = scratch.by_name(req.wire);
+        pbio::FormatHandle native = scratch.by_name(req.native);
+        emit_result(verify_plan(
+            *pbio::ConversionPlan::build(wire, native, pbio::PlanOptions{})));
+      } catch (const Error& e) {
+        all.push_back(Diagnostic{codes::kInputParse, Severity::kError,
+                                 "convert '" + req.wire + "' -> '" +
+                                     req.native + "': " + e.what(),
+                                 "", path, req.line});
+      }
+    }
+    return;
+  }
+
+  std::vector<Diagnostic> parse_diags;
+  PlanShape shape = parse_plan_text(content, path, parse_diags);
+  if (!parse_diags.empty()) {
+    for (Diagnostic& d : parse_diags) all.push_back(std::move(d));
+    return;
+  }
+  emit_result(verify_ops(shape));
+}
+
+}  // namespace
+
+int lint_cli(const std::vector<std::string>& args, std::FILE* out,
+             std::FILE* err) {
+  bool quiet = false;
+  bool werror = false;
+  bool json = false;
+  std::vector<std::string> files;
+
+  for (const std::string& arg : args) {
+    if (arg == "--codes") return print_codes(out);
+    if (arg == "--codes-md") {
+      std::fprintf(out, "%s", diagnostics_markdown().c_str());
+      return kExitClean;
+    }
+    if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--werror") {
+      werror = true;
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--help" || arg == "-h") {
+      lint_usage(err);
+      return kExitClean;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(err, "omf-lint: unknown option '%s'\n", arg.c_str());
+      return lint_usage(err);
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) return lint_usage(err);
+
+  std::size_t errors = 0;
+  std::size_t warnings = 0;
+  std::vector<Diagnostic> all;
+  for (const std::string& file : files) {
+    LintResult result = lint_file(file);
+    errors += result.errors;
+    warnings += result.warnings;
+    if (json) {
+      all.insert(all.end(),
+                 std::make_move_iterator(result.diagnostics.begin()),
+                 std::make_move_iterator(result.diagnostics.end()));
+    } else if (!quiet) {
+      for (const Diagnostic& d : result.diagnostics) {
+        std::fprintf(err, "%s\n", render(d).c_str());
+      }
+    }
+  }
+  if (json) {
+    std::fprintf(out, "%s\n", render_json(all).c_str());
+  } else if (!quiet && (errors != 0 || warnings != 0)) {
+    std::fprintf(err, "omf-lint: %zu error(s), %zu warning(s) in %zu file(s)\n",
+                 errors, warnings, files.size());
+  }
+  return (errors != 0 || (werror && warnings != 0)) ? kExitFindings
+                                                    : kExitClean;
+}
+
+int verify_cli(const std::vector<std::string>& args, std::FILE* out,
+               std::FILE* err) {
+  bool quiet = false;
+  bool json = false;
+  bool want_cert = false;
+  bool kernels = false;
+  std::vector<std::string> files;
+
+  for (const std::string& arg : args) {
+    if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--cert") {
+      want_cert = true;
+    } else if (arg == "--kernels") {
+      kernels = true;
+    } else if (arg == "--help" || arg == "-h") {
+      verify_usage(err);
+      return kExitClean;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(err, "omf-verify: unknown option '%s'\n", arg.c_str());
+      return verify_usage(err);
+    } else {
+      files.push_back(arg);
+    }
+  }
+
+  if (kernels) {
+    KernelSweepResult sweep = sweep_kernel_equivalence();
+    if (!quiet) {
+      std::fprintf(out,
+                   "kernel equivalence: tier %zu, %zu vectorized shape(s), "
+                   "%zu case(s): %s\n",
+                   sweep.tier, sweep.shapes, sweep.cases,
+                   sweep.ok() ? "all byte-identical" : "MISMATCH");
+      for (const std::string& m : sweep.mismatches) {
+        std::fprintf(err, "omf-verify: %s\n", m.c_str());
+      }
+    }
+    return sweep.ok() ? kExitClean : kExitFindings;
+  }
+  if (files.empty()) return verify_usage(err);
+
+  std::vector<Diagnostic> all;
+  for (const std::string& file : files) {
+    verify_one_file(file, want_cert, out, quiet, all);
+  }
+  if (json) {
+    std::fprintf(out, "%s\n", render_json(all).c_str());
+  } else if (!quiet) {
+    for (const Diagnostic& d : all) {
+      std::fprintf(err, "%s\n", render(d).c_str());
+    }
+    if (has_errors(all)) {
+      std::fprintf(err, "omf-verify: %zu finding(s) in %zu file(s)\n",
+                   all.size(), files.size());
+    }
+  }
+  return has_errors(all) ? kExitFindings : kExitClean;
+}
+
+}  // namespace omf::analysis

@@ -1,0 +1,32 @@
+// Testable drivers behind the omf-lint and omf-verify executables.
+//
+// The tools' mains are thin argv adapters over these functions, so the
+// exit-code contract and the output formats are unit-testable
+// (tests/test_analysis.cpp, tests/test_verify.cpp) without spawning
+// processes.
+//
+// Shared exit-code contract:
+//   0  no error diagnostics (warnings allowed, unless --werror)
+//   1  error diagnostics found — or warnings under --werror, or an
+//      uncertified plan (omf-verify), or a kernel-equivalence mismatch
+//   2  usage error: unknown option, or no inputs
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace omf::analysis {
+
+/// omf-lint driver. `args` excludes argv[0]; diagnostics go to `err`,
+/// machine output (--json / --codes / --codes-md) to `out`.
+int lint_cli(const std::vector<std::string>& args, std::FILE* out,
+             std::FILE* err);
+
+/// omf-verify driver: bounds-certifies `.plan` op programs and the
+/// conversions declared by `convert` directives in `.fmt` files;
+/// `--kernels` runs the SIMD/scalar equivalence sweep instead.
+int verify_cli(const std::vector<std::string>& args, std::FILE* out,
+               std::FILE* err);
+
+}  // namespace omf::analysis

@@ -31,6 +31,71 @@ std::string render(const Diagnostic& d) {
   return out;
 }
 
+namespace {
+// Minimal JSON string escaping: quotes, backslash, control characters.
+void append_json_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static constexpr char kHex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[(c >> 4) & 0xF];
+          out += kHex[c & 0xF];
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+}  // namespace
+
+std::string render_json(const Diagnostic& d) {
+  std::string out = "{";
+  if (!d.file.empty()) {
+    out += "\"file\":";
+    append_json_string(out, d.file);
+    out += ',';
+    if (d.line != 0) {
+      out += "\"line\":" + std::to_string(d.line) + ',';
+      if (d.column != 0) {
+        out += "\"column\":" + std::to_string(d.column) + ',';
+      }
+    }
+  }
+  out += "\"code\":";
+  append_json_string(out, d.code);
+  out += ",\"severity\":\"";
+  out += d.severity == Severity::kError ? "error" : "warning";
+  out += "\",\"message\":";
+  append_json_string(out, d.message);
+  if (!d.path.empty()) {
+    out += ",\"path\":";
+    append_json_string(out, d.path);
+  }
+  out += '}';
+  return out;
+}
+
+std::string render_json(std::span<const Diagnostic> diagnostics) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < diagnostics.size(); ++i) {
+    if (i != 0) out += ',';
+    out += '\n';
+    out += render_json(diagnostics[i]);
+  }
+  if (!diagnostics.empty()) out += '\n';
+  out += ']';
+  return out;
+}
+
 bool has_errors(const std::vector<Diagnostic>& diagnostics) {
   for (const Diagnostic& d : diagnostics) {
     if (d.severity == Severity::kError) return true;
@@ -40,55 +105,136 @@ bool has_errors(const std::vector<Diagnostic>& diagnostics) {
 
 std::span<const CodeInfo> diagnostic_codes() {
   static constexpr CodeInfo kTable[] = {
-      {"OMF001", Severity::kError, "input file cannot be parsed"},
-      {"OMF002", Severity::kError, "schema rejected by the format compiler"},
-      {"OMF100", Severity::kError, "unparseable PBIO type string"},
-      {"OMF101", Severity::kError, "duplicate field name"},
-      {"OMF102", Severity::kError, "field slots overlap"},
+      {"OMF001", Severity::kError, "input file cannot be parsed",
+       "a truncated OBMF bundle, or a `.fmt` line that is not a directive"},
+      {"OMF002", Severity::kError, "schema rejected by the format compiler",
+       "an `.xsd` whose root element never resolves to a complex type"},
+      {"OMF100", Severity::kError, "unparseable PBIO type string",
+       "`field x quaternion 4 0` — `quaternion` is not a known class"},
+      {"OMF101", Severity::kError, "duplicate field name",
+       "two `field eta ...` lines in one format"},
+      {"OMF102", Severity::kError, "field slots overlap",
+       "`a` at offset 0 size 8 and `b` at offset 4 size 4"},
       {"OMF103", Severity::kError,
-       "field extends past the declared struct size"},
-      {"OMF104", Severity::kError, "offset/size arithmetic overflows"},
+       "field extends past the declared struct size",
+       "`field tail integer 8 60` in a `size=64` struct"},
+      {"OMF104", Severity::kError, "offset/size arithmetic overflows",
+       "offset 0xFFFFFFFFFFFFFFF8 + size 16 wraps past SIZE_MAX"},
       {"OMF105", Severity::kWarning,
-       "field offset violates the profile's alignment rule"},
+       "field offset violates the profile's alignment rule",
+       "an 8-byte float at offset 4 under an align-8 profile"},
       {"OMF106", Severity::kWarning,
-       "struct size is not padded to the struct alignment"},
-      {"OMF107", Severity::kError, "nested field references an unknown format"},
-      {"OMF108", Severity::kError, "cycle in nested format references"},
-      {"OMF109", Severity::kError, "dynamic array's count field is missing"},
+       "struct size is not padded to the struct alignment",
+       "`size=12` for a struct whose widest member needs align 8"},
+      {"OMF107", Severity::kError, "nested field references an unknown format",
+       "`field hdr nested:Header 16 0` with no `Header` registered"},
+      {"OMF108", Severity::kError, "cycle in nested format references",
+       "`A` embeds `B` embeds `A`"},
+      {"OMF109", Severity::kError, "dynamic array's count field is missing",
+       "`var_array[n]` with no field named `n`"},
       {"OMF110", Severity::kWarning,
-       "count field is declared after the array it sizes"},
-      {"OMF111", Severity::kError, "count field is not a scalar integer"},
+       "count field is declared after the array it sizes",
+       "`items` at offset 8, its count `n` at offset 24"},
+      {"OMF111", Severity::kError, "count field is not a scalar integer",
+       "`var_array[f]` where `f` is a float64"},
       {"OMF112", Severity::kError,
-       "count field is wider than the receiver's size_t"},
-      {"OMF113", Severity::kError, "invalid scalar width for the field class"},
-      {"OMF114", Severity::kError, "format declares no fields"},
+       "count field is wider than the receiver's size_t",
+       "an 8-byte count decoded on a 32-bit profile"},
+      {"OMF113", Severity::kError, "invalid scalar width for the field class",
+       "`field x float 3 0` — floats are 4 or 8 bytes"},
+      {"OMF114", Severity::kError, "format declares no fields",
+       "`format Empty size=0` followed by no `field` lines"},
       {"OMF201", Severity::kWarning,
-       "integer narrowing may lose high-order bits"},
-      {"OMF202", Severity::kWarning, "double-to-float narrowing loses precision"},
+       "integer narrowing may lose high-order bits",
+       "wire `int64` landing in a native `int32`"},
+      {"OMF202", Severity::kWarning,
+       "double-to-float narrowing loses precision",
+       "wire `float64` landing in a native `float32`"},
       {"OMF203", Severity::kWarning,
-       "signed/unsigned reinterpretation changes value ranges"},
+       "signed/unsigned reinterpretation changes value ranges",
+       "wire `integer` landing in a native `unsigned`"},
       {"OMF204", Severity::kWarning,
-       "static array truncated: receiver keeps fewer elements"},
-      {"OMF205", Severity::kWarning, "wire field unknown to the receiver is dropped"},
+       "static array truncated: receiver keeps fewer elements",
+       "wire `int32[8]` landing in a native `int32[4]`"},
+      {"OMF205", Severity::kWarning,
+       "wire field unknown to the receiver is dropped",
+       "sender's `debug_tag` has no native counterpart"},
       {"OMF210", Severity::kError,
-       "compiled plan accesses bytes outside the message extent"},
+       "compiled plan accesses bytes outside the message extent",
+       "an op whose src_offset+size exceeds the wire struct size"},
       {"OMF211", Severity::kError,
-       "fused and unfused plans audit differently (analyzer invariant)"},
+       "fused and unfused plans audit differently (analyzer invariant)",
+       "run fusion changed the lossiness multiset for a convert pair"},
       {"OMF301", Severity::kWarning,
-       "count element is declared after the array it sizes"},
+       "count element is declared after the array it sizes",
+       "`<element name=\"n\"/>` following the array it counts"},
       {"OMF302", Severity::kError,
-       "synthesized count name collides with an incompatible element"},
+       "synthesized count name collides with an incompatible element",
+       "array `xs` needs count `xs_count`, but `xs_count` is a string"},
       {"OMF303", Severity::kWarning,
-       "element is reused as an implicit count field"},
-      {"OMF304", Severity::kWarning, "one count element sizes several arrays"},
+       "element is reused as an implicit count field",
+       "existing `<element name=\"n\" type=\"xs:int\"/>` adopted as a count"},
+      {"OMF304", Severity::kWarning, "one count element sizes several arrays",
+       "`n` counting both `xs[n]` and `ys[n]`"},
       {"OMF305", Severity::kError,
-       "element references a type defined later (or itself)"},
+       "element references a type defined later (or itself)",
+       "`<element type=\"Pose\"/>` before `Pose`'s complexType"},
       {"OMF306", Severity::kWarning,
-       "element references a type not defined in this document"},
-      {"OMF307", Severity::kWarning, "construct is ignored by xml2wire"},
-      {"OMF309", Severity::kError, "unsupported array element type"},
+       "element references a type not defined in this document",
+       "`type=\"ext:Vector\"` with no local definition"},
+      {"OMF307", Severity::kWarning, "construct is ignored by xml2wire",
+       "`<xs:attribute>` inside a mapped complexType"},
+      {"OMF309", Severity::kError, "unsupported array element type",
+       "an array of `xs:anyType`"},
+      {"OMF400", Severity::kError,
+       "plan op reads outside the wire struct region",
+       "a fused run whose src span ends past the struct size; the "
+       "counterexample is the minimum admissible body length"},
+      {"OMF401", Severity::kError,
+       "plan op writes outside the native struct",
+       "zero_tail extending one byte past the destination slot"},
+      {"OMF402", Severity::kError,
+       "plan ops write overlapping native bytes",
+       "two ops whose dst spans share byte 12 — last-writer-wins would "
+       "depend on op order"},
+      {"OMF403", Severity::kError,
+       "plan op carries an element width the interpreter cannot certify",
+       "a kInt op with src_size=3 (store_int would write 8 bytes)"},
+      {"OMF404", Severity::kError,
+       "variable-section guard cannot be proven safe",
+       "a kDynArray op with src_size=0 — the runtime overflow guard "
+       "divides by element size"},
   };
   return kTable;
+}
+
+std::string diagnostics_markdown() {
+  std::string out =
+      "# OMF diagnostic codes\n"
+      "\n"
+      "Generated from `diagnostic_codes()` in `src/analysis/diagnostics.cpp`"
+      " — regenerate with `omf-lint --codes-md`. A tier-1 test"
+      " (`DiagnosticsDoc.InSyncWithCodeTable`) fails when this file and the"
+      " table diverge.\n"
+      "\n"
+      "Code ranges: OMF0xx input/compile failures, OMF1xx format-descriptor"
+      " audits, OMF2xx conversion-plan audits, OMF3xx XML Schema audits,"
+      " OMF4xx plan bounds certification (omf-verify).\n"
+      "\n"
+      "| Code | Severity | Meaning | Example |\n"
+      "|------|----------|---------|---------|\n";
+  for (const CodeInfo& info : diagnostic_codes()) {
+    out += "| ";
+    out += info.code;
+    out += " | ";
+    out += info.severity == Severity::kError ? "error" : "warning";
+    out += " | ";
+    out += info.summary;
+    out += " | ";
+    out += info.example;
+    out += " |\n";
+  }
+  return out;
 }
 
 AuditError::AuditError(std::string subject, std::vector<Diagnostic> diagnostics)

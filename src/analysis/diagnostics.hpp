@@ -12,6 +12,7 @@
 //   OMF1xx  format-descriptor audits (overlap, bounds, cycles, count fields)
 //   OMF2xx  conversion-plan audits (lossiness lattice, bounds proof)
 //   OMF3xx  XML Schema audits (xml2wire-time diagnostics)
+//   OMF4xx  plan bounds certification (omf-verify interval interpreter)
 #pragma once
 
 #include <span>
@@ -41,6 +42,16 @@ struct Diagnostic {
 /// "file:line:col: error[OMF102]: message [path]".
 std::string render(const Diagnostic& d);
 
+/// One diagnostic as a JSON object — {"file":..., "line":..., "column":...,
+/// "code":..., "severity":"error"|"warning", "message":..., "path":...}.
+/// Zero line/column and empty file/path are omitted. The machine-readable
+/// emitter shared by `omf-lint --json` and `omf-verify --json`.
+std::string render_json(const Diagnostic& d);
+
+/// A whole report as a JSON array (one render_json object per diagnostic,
+/// newline-separated inside `[...]`) — what the CLI tools print per run.
+std::string render_json(std::span<const Diagnostic> diagnostics);
+
 /// True if any diagnostic has Severity::kError.
 bool has_errors(const std::vector<Diagnostic>& diagnostics);
 
@@ -50,8 +61,17 @@ struct CodeInfo {
   const char* code;
   Severity severity;
   const char* summary;
+  /// A concrete instance of the finding — the metadata shape (or plan op)
+  /// that triggers it. Rendered in docs/DIAGNOSTICS.md.
+  const char* example;
 };
 std::span<const CodeInfo> diagnostic_codes();
+
+/// docs/DIAGNOSTICS.md, generated from diagnostic_codes(): one table row per
+/// code (id, severity, meaning, example). A tier-1 test asserts the checked-
+/// in file matches this string byte for byte; `omf-lint --codes-md`
+/// regenerates it.
+std::string diagnostics_markdown();
 
 // --- Stable code constants --------------------------------------------------
 
@@ -92,6 +112,12 @@ inline constexpr const char* kForwardTypeReference = "OMF305";
 inline constexpr const char* kExternalTypeReference = "OMF306";
 inline constexpr const char* kIgnoredConstruct = "OMF307";
 inline constexpr const char* kUnsupportedArrayElement = "OMF309";
+// Plan bounds certification (analysis/verify_plan.cpp).
+inline constexpr const char* kVerifyReadOutOfBounds = "OMF400";
+inline constexpr const char* kVerifyWriteOutOfBounds = "OMF401";
+inline constexpr const char* kVerifyWriteOverlap = "OMF402";
+inline constexpr const char* kVerifyBadWidth = "OMF403";
+inline constexpr const char* kVerifyUnprovableGuard = "OMF404";
 }  // namespace codes
 
 // --- Policy -----------------------------------------------------------------

@@ -49,14 +49,6 @@ std::vector<std::string_view> tokenize(std::string_view line) {
 
 // --- Textual descriptor files (*.fmt) --------------------------------------
 
-/// A `convert <wire> <native>` directive: audit the conversion the two
-/// formats would compile to, exactly as a decoder would build it.
-struct ConvertRequest {
-  std::string wire;
-  std::string native;
-  std::size_t line = 0;
-};
-
 /// Runs the plan auditor over every `convert` directive. Each pair is
 /// audited twice — once with the production plan options (run fusion and
 /// SIMD kernel selection on) and once with PlanOptions::per_field() — and
@@ -66,7 +58,7 @@ struct ConvertRequest {
 /// reported as OMF211. The fused plan's diagnostics are then appended,
 /// pinned to the directive's line.
 void audit_convert_directives(const std::vector<FormatDescriptor>& set,
-                              const std::vector<ConvertRequest>& requests,
+                              const std::vector<FmtFile::Convert>& requests,
                               std::vector<Diagnostic>& diags) {
   // Lay the descriptors out in a scratch registry. The format audit has
   // already passed clean, so registration is expected to succeed; any
@@ -96,7 +88,7 @@ void audit_convert_directives(const std::vector<FormatDescriptor>& set,
     return nullptr;
   };
 
-  for (const ConvertRequest& req : requests) {
+  for (const FmtFile::Convert& req : requests) {
     const FormatDescriptor* wd = descriptor_named(req.wire);
     const FormatDescriptor* nd = descriptor_named(req.native);
     if (wd == nullptr || nd == nullptr) {
@@ -147,9 +139,27 @@ void audit_convert_directives(const std::vector<FormatDescriptor>& set,
 }
 
 std::vector<Diagnostic> lint_fmt_text(std::string_view content) {
-  std::vector<Diagnostic> diags;
-  std::vector<FormatDescriptor> set;
-  std::vector<ConvertRequest> requests;
+  FmtFile parsed = parse_fmt_text(content);
+  std::vector<Diagnostic> diags = std::move(parsed.diagnostics);
+
+  std::vector<Diagnostic> audits = audit_formats(parsed.formats);
+  diags.insert(diags.end(), std::make_move_iterator(audits.begin()),
+               std::make_move_iterator(audits.end()));
+  // Plan audits need registrable metadata; skip them when the descriptors
+  // themselves are already broken.
+  if (!parsed.converts.empty() && !has_errors(diags)) {
+    audit_convert_directives(parsed.formats, parsed.converts, diags);
+  }
+  return diags;
+}
+
+}  // namespace
+
+FmtFile parse_fmt_text(std::string_view content) {
+  FmtFile out;
+  std::vector<Diagnostic>& diags = out.diagnostics;
+  std::vector<FormatDescriptor>& set = out.formats;
+  std::vector<FmtFile::Convert>& requests = out.converts;
   FormatDescriptor* cur = nullptr;
 
   std::size_t lineno = 0;
@@ -277,16 +287,10 @@ std::vector<Diagnostic> lint_fmt_text(std::string_view content) {
          "unrecognized directive '" + std::string(tok[0]) + "'", lineno);
   }
 
-  std::vector<Diagnostic> audits = audit_formats(set);
-  diags.insert(diags.end(), std::make_move_iterator(audits.begin()),
-               std::make_move_iterator(audits.end()));
-  // Plan audits need registrable metadata; skip them when the descriptors
-  // themselves are already broken.
-  if (!requests.empty() && !has_errors(diags)) {
-    audit_convert_directives(set, requests, diags);
-  }
-  return diags;
+  return out;
 }
+
+namespace {
 
 // --- XML Schema pipeline ----------------------------------------------------
 

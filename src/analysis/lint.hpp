@@ -21,11 +21,31 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "analysis/audit_format.hpp"
 #include "analysis/diagnostics.hpp"
 
 namespace omf::analysis {
+
+/// A parsed *.fmt file: the descriptor set plus the `convert` directives.
+/// Exposed so omf-verify can compile and certify exactly the conversions
+/// omf-lint audits, without re-implementing the directive grammar.
+struct FmtFile {
+  struct Convert {
+    std::string wire;
+    std::string native;
+    std::size_t line = 0;
+  };
+  std::vector<FormatDescriptor> formats;
+  std::vector<Convert> converts;
+  std::vector<Diagnostic> diagnostics;  ///< parse problems (OMF001)
+};
+
+/// Parses the `.fmt` directive grammar (see the header comment). Purely
+/// syntactic: no auditors run, parse problems land in `diagnostics`.
+FmtFile parse_fmt_text(std::string_view content);
 
 struct LintResult {
   std::string file;

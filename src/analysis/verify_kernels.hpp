@@ -1,0 +1,36 @@
+// SIMD/scalar kernel equivalence oracle (omf-verify --kernels).
+//
+// The bounds certifier (verify_plan) proves *where* a plan touches memory;
+// this oracle proves *what* the fused SIMD kernels compute: for every
+// element shape the dispatch tier vectorizes, the vector kernel must be
+// byte-identical to the portable scalar kernel the simd-off build runs —
+// across every source alignment (0–63, both buffers deliberately
+// misaligned against each other) and every tail length (0–32 elements, so
+// full vector iterations, partial tails, and the empty run are all hit).
+// Destinations carry a canary past the written region, so a kernel that
+// writes even one byte beyond count*dst_size fails the sweep too.
+//
+// Runs as a tier-1 test at whatever tier the host dispatches (CI sweeps
+// OMF_SIMD_TIER=scalar/sse2/avx2) and as `omf-verify --kernels`.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace omf::analysis {
+
+struct KernelSweepResult {
+  std::size_t tier = 0;    ///< arch::SimdTier the sweep dispatched at
+  std::size_t shapes = 0;  ///< element shapes with a vector form at this tier
+  std::size_t cases = 0;   ///< (shape, alignment, tail) cases executed
+  std::vector<std::string> mismatches;  ///< empty on success
+
+  bool ok() const noexcept { return mismatches.empty(); }
+};
+
+/// Sweeps every (element class, widths, swap, signedness) shape through
+/// select_simd_kernel and compares against select_scalar_kernel.
+KernelSweepResult sweep_kernel_equivalence();
+
+}  // namespace omf::analysis

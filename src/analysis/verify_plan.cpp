@@ -1,0 +1,583 @@
+#include "analysis/verify_plan.hpp"
+
+#include <algorithm>
+#include <charconv>
+
+#include "pbio/plan_cache.hpp"
+
+namespace omf::analysis {
+
+namespace {
+
+using pbio::ConvOp;
+
+const char* kind_name(ConvOp::Kind k) {
+  switch (k) {
+    case ConvOp::Kind::kCopy: return "copy";
+    case ConvOp::Kind::kInt: return "int";
+    case ConvOp::Kind::kFloat: return "float";
+    case ConvOp::Kind::kString: return "string";
+    case ConvOp::Kind::kDynArray: return "dyn_array";
+    case ConvOp::Kind::kNestedStatic: return "nested_static";
+    case ConvOp::Kind::kZero: return "zero";
+    case ConvOp::Kind::kDefault: return "default";
+  }
+  return "?";
+}
+
+bool valid_int_width(std::uint64_t w) {
+  return w == 1 || w == 2 || w == 4 || w == 8;
+}
+bool valid_float_width(std::uint64_t w) { return w == 4 || w == 8; }
+
+std::string interval_str(std::uint64_t b, std::uint64_t e) {
+  return "[" + std::to_string(b) + ", " + std::to_string(e) + ")";
+}
+
+/// One verification walk over one op program. All arithmetic is exact in
+/// 64 bits: ConvOp offsets/sizes/counts are 32-bit, so the worst case
+/// offset + count*size + zero_tail < 2^64 — the interval domain never
+/// wraps.
+struct Interp {
+  const PlanShape& shape;
+  BoundsCertificate cert;
+  std::vector<Diagnostic> diags;
+
+  explicit Interp(const PlanShape& s) : shape(s) {
+    cert.plan = s.name;
+    cert.wire_extent = s.wire_extent;
+    cert.native_extent = s.native_extent;
+    cert.ptr_size = s.ptr_size;
+  }
+
+  std::string op_label(std::size_t i, const ConvOp& op) const {
+    std::string s = "op#" + std::to_string(i) + " (" + kind_name(op.kind);
+    if (shape.wire != nullptr && op.src_field != ConvOp::kNoSrcField &&
+        op.src_field < shape.wire->fields().size()) {
+      s += ", field '" + shape.wire->fields()[op.src_field].name + "'";
+      if (op.fused_fields > 1) {
+        s += " +" + std::to_string(op.fused_fields - 1) + " fused";
+      }
+    }
+    s += ")";
+    return s;
+  }
+
+  void error(const char* code, std::string msg) {
+    diags.push_back(Diagnostic{code, Severity::kError, std::move(msg),
+                               /*path=*/shape.name});
+  }
+
+  /// The concrete counterexample every OMF4xx diagnostic carries: the
+  /// decoder admits any body of at least wire_extent bytes, so the
+  /// shortest admissible message is the witness for static violations.
+  std::string counterexample() const {
+    return "counterexample message length: " +
+           std::to_string(cert.wire_extent) +
+           "-byte body (the minimum the decoder admits for this format)";
+  }
+
+  void read(std::size_t i, const ConvOp& op, std::uint64_t begin,
+            std::uint64_t end, const char* what) {
+    cert.reads.push_back(AccessInterval{i, begin, end, false});
+    if (end > cert.wire_extent) {
+      error(codes::kVerifyReadOutOfBounds,
+            op_label(i, op) + " reads " + what + " bytes " +
+                interval_str(begin, end) +
+                " of the wire struct region, which only spans [0, " +
+                std::to_string(cert.wire_extent) + "): " +
+                std::to_string(end - cert.wire_extent) +
+                " byte(s) past the end; " + counterexample());
+    }
+  }
+
+  void write(std::size_t i, const ConvOp& op, std::uint64_t begin,
+             std::uint64_t end, const char* what) {
+    cert.writes.push_back(AccessInterval{i, begin, end, false});
+    if (end > cert.native_extent) {
+      error(codes::kVerifyWriteOutOfBounds,
+            op_label(i, op) + " writes " + what + " bytes " +
+                interval_str(begin, end) +
+                " of the native struct, which only spans [0, " +
+                std::to_string(cert.native_extent) + "): " +
+                std::to_string(end - cert.native_extent) +
+                " byte(s) past the end; " + counterexample());
+    }
+  }
+
+  void bad_width(std::size_t i, const ConvOp& op, const char* what,
+                 std::uint64_t width) {
+    error(codes::kVerifyBadWidth,
+          op_label(i, op) + " has " + what + " width " +
+              std::to_string(width) +
+              ", outside the certifiable set {1,2,4,8} — the interpreted "
+              "store writes 8 bytes per element regardless; " +
+              counterexample());
+  }
+
+  void unprovable(std::size_t i, const ConvOp& op, const std::string& why) {
+    error(codes::kVerifyUnprovableGuard,
+          op_label(i, op) + ": " + why + "; " + counterexample());
+  }
+
+  void subplan(std::size_t i, const ConvOp& op) {
+    if (op.subplan == nullptr) {
+      unprovable(i, op,
+                 "nested conversion has no subplan — execute_op would "
+                 "dereference null");
+      return;
+    }
+    VerifyResult sub = verify_plan(*op.subplan);
+    cert.subplans += 1;
+    if (!sub.certified()) {
+      for (Diagnostic& d : sub.diagnostics) {
+        d.message = op_label(i, op) + " subplan: " + d.message;
+        diags.push_back(std::move(d));
+      }
+      return;
+    }
+    cert.subplans += sub.certificate->subplans;
+    cert.guarded_accesses += sub.certificate->guarded_accesses;
+    // Element stride must cover the subplan's own extents, or the last
+    // element's conversion escapes the run this op accounts for.
+    if (sub.certificate->wire_extent > op.src_size) {
+      error(codes::kVerifyReadOutOfBounds,
+            op_label(i, op) + " subplan reads " +
+                std::to_string(sub.certificate->wire_extent) +
+                " bytes per element but the element stride is only " +
+                std::to_string(op.src_size) + "; " + counterexample());
+    }
+    if (sub.certificate->native_extent > op.dst_size) {
+      error(codes::kVerifyWriteOutOfBounds,
+            op_label(i, op) + " subplan writes " +
+                std::to_string(sub.certificate->native_extent) +
+                " bytes per element but the destination stride is only " +
+                std::to_string(op.dst_size) + "; " + counterexample());
+    }
+  }
+
+  void ptr_slot(std::size_t i, const ConvOp& op) {
+    if (!valid_int_width(cert.ptr_size)) {
+      unprovable(i, op,
+                 "wire pointer-slot width " + std::to_string(cert.ptr_size) +
+                     " is not loadable — the variable-section guard never "
+                     "sees a defined offset");
+    }
+    read(i, op, op.src_offset,
+         static_cast<std::uint64_t>(op.src_offset) + cert.ptr_size,
+         "pointer-slot");
+  }
+
+  void walk(std::size_t i, const ConvOp& op) {
+    const std::uint64_t soff = op.src_offset;
+    const std::uint64_t doff = op.dst_offset;
+    const std::uint64_t ssz = op.src_size;
+    const std::uint64_t dsz = op.dst_size;
+    const std::uint64_t cnt = op.count;
+    const std::uint64_t zt = op.zero_tail;
+
+    switch (op.kind) {
+      case ConvOp::Kind::kCopy:
+        read(i, op, soff, soff + cnt, "source");
+        write(i, op, doff, doff + cnt + zt, "destination");
+        break;
+
+      case ConvOp::Kind::kInt:
+      case ConvOp::Kind::kFloat: {
+        const bool flt = op.kind == ConvOp::Kind::kFloat;
+        if (!(flt ? valid_float_width(ssz) : valid_int_width(ssz))) {
+          bad_width(i, op, "source element", ssz);
+        }
+        if (!(flt ? valid_float_width(dsz) : valid_int_width(dsz))) {
+          bad_width(i, op, "destination element", dsz);
+        }
+        read(i, op, soff, soff + cnt * ssz, "source");
+        write(i, op, doff, doff + cnt * dsz + zt, "destination");
+        break;
+      }
+
+      case ConvOp::Kind::kZero:
+        write(i, op, doff, doff + cnt, "zero-fill");
+        break;
+
+      case ConvOp::Kind::kDefault:
+        if (!valid_int_width(dsz)) {
+          bad_width(i, op, "default-value", dsz);
+        }
+        write(i, op, doff, doff + dsz, "default-value");
+        break;
+
+      case ConvOp::Kind::kString:
+        ptr_slot(i, op);
+        // The string scan is runtime-guarded: offset < body_len checked,
+        // memchr bounded by body_len - off. Sound for every body length.
+        cert.guarded_accesses++;
+        write(i, op, doff, doff + sizeof(void*), "pointer");
+        break;
+
+      case ConvOp::Kind::kDynArray: {
+        if (!valid_int_width(op.src_count_size)) {
+          bad_width(i, op, "count-field", op.src_count_size);
+        }
+        read(i, op, op.src_count_offset,
+             static_cast<std::uint64_t>(op.src_count_offset) +
+                 op.src_count_size,
+             "count-field");
+        ptr_slot(i, op);
+        // Element accesses are guarded by
+        //   off <= body_len && n <= (body_len - off) / src_size
+        // which is sound for every count in [0, 2^(8*count_size)) iff the
+        // divisor is nonzero and the destination arena block (n * dst_size
+        // bytes) covers what the copy loop writes.
+        if (ssz == 0) {
+          unprovable(i, op,
+                     "element size 0 — the runtime overflow guard divides "
+                     "by the element size, and a nonzero count with offset "
+                     "== body length escapes the variable section");
+        } else if (op.elem_class == pbio::FieldClass::kNested) {
+          subplan(i, op);
+        } else if (op.elem_class == pbio::FieldClass::kChar) {
+          if (dsz == 0) {
+            unprovable(i, op,
+                       "char elements with destination size 0 — the arena "
+                       "block holds n*0 bytes but the copy writes n");
+          }
+        } else if (op.swap || ssz != dsz) {
+          const bool flt = op.elem_class == pbio::FieldClass::kFloat;
+          if (!(flt ? valid_float_width(ssz) : valid_int_width(ssz))) {
+            bad_width(i, op, "source element", ssz);
+          }
+          if (!(flt ? valid_float_width(dsz) : valid_int_width(dsz))) {
+            bad_width(i, op, "destination element", dsz);
+          }
+        }
+        cert.guarded_accesses++;
+        write(i, op, doff, doff + sizeof(void*), "pointer");
+        break;
+      }
+
+      case ConvOp::Kind::kNestedStatic:
+        subplan(i, op);
+        read(i, op, soff, soff + cnt * ssz, "element");
+        write(i, op, doff, doff + cnt * dsz + zt, "element");
+        break;
+    }
+  }
+
+  /// Pairwise disjointness of the native write intervals (OMF402): with an
+  /// overlap, the decoded value of the shared bytes depends on op order —
+  /// no certificate can state what the plan computes. Out-of-bounds
+  /// intervals were already reported; skip them so one defect yields one
+  /// code.
+  void check_write_overlap(const std::vector<ConvOp>& ops) {
+    std::vector<AccessInterval> sorted;
+    for (const AccessInterval& w : cert.writes) {
+      if (w.begin < w.end && w.end <= cert.native_extent) {
+        sorted.push_back(w);
+      }
+    }
+    // std::sort with a total order (not stable_sort): same deterministic
+    // result, but no temporary-buffer allocation — stable_sort's
+    // get_temporary_buffer uses the nothrow operator new, which breaks
+    // binaries that replace only the plain global new/delete pair.
+    std::sort(sorted.begin(), sorted.end(),
+              [](const AccessInterval& a, const AccessInterval& b) {
+                if (a.begin != b.begin) return a.begin < b.begin;
+                if (a.end != b.end) return a.end < b.end;
+                return a.op_index < b.op_index;
+              });
+    for (std::size_t k = 1; k < sorted.size(); ++k) {
+      const AccessInterval& a = sorted[k - 1];
+      const AccessInterval& b = sorted[k];
+      if (a.end > b.begin) {
+        error(codes::kVerifyWriteOverlap,
+              op_label(a.op_index, ops[a.op_index]) + " and " +
+                  op_label(b.op_index, ops[b.op_index]) +
+                  " both write native bytes " +
+                  interval_str(b.begin, std::min(a.end, b.end)) +
+                  " — the decoded value depends on op order; " +
+                  counterexample());
+      }
+    }
+  }
+};
+
+}  // namespace
+
+bool BoundsCertificate::check() const {
+  for (const AccessInterval& r : reads) {
+    if (!r.guarded && (r.begin > r.end || r.end > wire_extent)) return false;
+  }
+  std::vector<AccessInterval> sorted;
+  for (const AccessInterval& w : writes) {
+    if (w.guarded) continue;
+    if (w.begin > w.end || w.end > native_extent) return false;
+    if (w.begin < w.end) sorted.push_back(w);
+  }
+  std::sort(sorted.begin(), sorted.end(),
+            [](const AccessInterval& a, const AccessInterval& b) {
+              return a.begin < b.begin;
+            });
+  for (std::size_t k = 1; k < sorted.size(); ++k) {
+    if (sorted[k - 1].end > sorted[k].begin) return false;
+  }
+  return true;
+}
+
+std::string BoundsCertificate::to_string() const {
+  std::string out = "certificate: " + plan + "\n";
+  out += "  extents: wire struct " + std::to_string(wire_extent) +
+         " B (minimum admissible body), native struct " +
+         std::to_string(native_extent) + " B, pointer slot " +
+         std::to_string(ptr_size) + " B\n";
+  for (const AccessInterval& r : reads) {
+    out += "  op#" + std::to_string(r.op_index) + " reads  " +
+           interval_str(r.begin, r.end) + "\n";
+  }
+  for (const AccessInterval& w : writes) {
+    out += "  op#" + std::to_string(w.op_index) + " writes " +
+           interval_str(w.begin, w.end) + "\n";
+  }
+  out += "  proven: " + std::to_string(reads.size()) + " read(s) within [0, " +
+         std::to_string(wire_extent) + "), " + std::to_string(writes.size()) +
+         " write(s) within [0, " + std::to_string(native_extent) +
+         ") pairwise disjoint, " + std::to_string(guarded_accesses) +
+         " guarded variable-section access(es), " + std::to_string(subplans) +
+         " subplan(s) certified\n";
+  return out;
+}
+
+VerifyResult verify_ops(const PlanShape& shape) {
+  Interp interp(shape);
+  for (std::size_t i = 0; i < shape.ops.size(); ++i) {
+    interp.walk(i, shape.ops[i]);
+  }
+  interp.check_write_overlap(shape.ops);
+
+  VerifyResult result;
+  result.diagnostics = std::move(interp.diags);
+  if (!has_errors(result.diagnostics)) {
+    result.certificate = std::move(interp.cert);
+  }
+  return result;
+}
+
+VerifyResult verify_plan(const pbio::ConversionPlan& plan) {
+  PlanShape shape;
+  shape.name = plan.wire().name() + " -> " + plan.native().name();
+  shape.wire_extent = plan.wire().struct_size();
+  shape.native_extent = plan.native().struct_size();
+  shape.ptr_size = plan.wire().profile().pointer_size;
+  shape.ops = plan.ops();
+  // Formats are registry-owned; alias without taking ownership so the
+  // verifier can label diagnostics with field names.
+  shape.wire = pbio::FormatHandle(&plan.wire(), [](const pbio::Format*) {});
+  return verify_ops(shape);
+}
+
+namespace {
+
+bool parse_u64(std::string_view v, std::uint64_t& out) {
+  const char* b = v.data();
+  const char* e = b + v.size();
+  auto [p, ec] = std::from_chars(b, e, out);
+  return ec == std::errc() && p == e;
+}
+
+void parse_error(std::vector<Diagnostic>& diags, const std::string& file,
+                 std::size_t line, std::string msg) {
+  diags.push_back(Diagnostic{codes::kInputParse, Severity::kError,
+                             std::move(msg), /*path=*/"", file, line});
+}
+
+}  // namespace
+
+PlanShape parse_plan_text(std::string_view text, const std::string& filename,
+                          std::vector<Diagnostic>& diagnostics) {
+  PlanShape shape;
+  bool have_plan = false;
+  std::size_t lineno = 0;
+
+  while (!text.empty()) {
+    ++lineno;
+    std::size_t nl = text.find('\n');
+    std::string_view line = text.substr(0, nl);
+    text.remove_prefix(nl == std::string_view::npos ? text.size() : nl + 1);
+
+    std::vector<std::string_view> tokens;
+    while (!line.empty()) {
+      std::size_t start = line.find_first_not_of(" \t\r");
+      if (start == std::string_view::npos) break;
+      line.remove_prefix(start);
+      std::size_t end = line.find_first_of(" \t\r");
+      tokens.push_back(line.substr(0, end));
+      line.remove_prefix(end == std::string_view::npos ? line.size() : end);
+    }
+    if (tokens.empty() || tokens[0].front() == '#') continue;
+
+    if (tokens[0] == "plan") {
+      if (tokens.size() < 2) {
+        parse_error(diagnostics, filename, lineno, "plan directive needs a name");
+        continue;
+      }
+      have_plan = true;
+      shape.name = std::string(tokens[1]);
+      for (std::size_t t = 2; t < tokens.size(); ++t) {
+        std::string_view tok = tokens[t];
+        std::size_t eq = tok.find('=');
+        std::string_view key = tok.substr(0, eq);
+        std::uint64_t val = 0;
+        if (eq == std::string_view::npos ||
+            !parse_u64(tok.substr(eq + 1), val)) {
+          parse_error(diagnostics, filename, lineno,
+                      "bad plan attribute '" + std::string(tok) + "'");
+          continue;
+        }
+        if (key == "wire_size") {
+          shape.wire_extent = val;
+        } else if (key == "native_size") {
+          shape.native_extent = val;
+        } else if (key == "ptr_size") {
+          shape.ptr_size = static_cast<std::uint8_t>(val);
+        } else {
+          parse_error(diagnostics, filename, lineno,
+                      "unknown plan attribute '" + std::string(key) + "'");
+        }
+      }
+      continue;
+    }
+
+    if (tokens[0] != "op") {
+      parse_error(diagnostics, filename, lineno,
+                  "expected 'plan', 'op', or comment; got '" +
+                      std::string(tokens[0]) + "'");
+      continue;
+    }
+    if (!have_plan) {
+      parse_error(diagnostics, filename, lineno,
+                  "op before the plan directive");
+      continue;
+    }
+    if (tokens.size() < 2) {
+      parse_error(diagnostics, filename, lineno, "op directive needs a kind");
+      continue;
+    }
+
+    ConvOp op;
+    std::string_view kind = tokens[1];
+    if (kind == "copy") {
+      op.kind = ConvOp::Kind::kCopy;
+    } else if (kind == "int") {
+      op.kind = ConvOp::Kind::kInt;
+    } else if (kind == "float") {
+      op.kind = ConvOp::Kind::kFloat;
+    } else if (kind == "string") {
+      op.kind = ConvOp::Kind::kString;
+    } else if (kind == "dyn_array") {
+      op.kind = ConvOp::Kind::kDynArray;
+    } else if (kind == "nested_static") {
+      op.kind = ConvOp::Kind::kNestedStatic;
+    } else if (kind == "zero") {
+      op.kind = ConvOp::Kind::kZero;
+    } else if (kind == "default") {
+      op.kind = ConvOp::Kind::kDefault;
+    } else {
+      parse_error(diagnostics, filename, lineno,
+                  "unknown op kind '" + std::string(kind) + "'");
+      continue;
+    }
+
+    bool ok = true;
+    for (std::size_t t = 2; t < tokens.size(); ++t) {
+      std::string_view tok = tokens[t];
+      if (tok == "swap") {
+        op.swap = true;
+        continue;
+      }
+      if (tok == "sign") {
+        op.sign_extend = true;
+        continue;
+      }
+      if (tok == "signed_count") {
+        op.src_count_signed = true;
+        continue;
+      }
+      std::size_t eq = tok.find('=');
+      if (eq == std::string_view::npos) {
+        parse_error(diagnostics, filename, lineno,
+                    "bad op attribute '" + std::string(tok) + "'");
+        ok = false;
+        continue;
+      }
+      std::string_view key = tok.substr(0, eq);
+      std::string_view value = tok.substr(eq + 1);
+      if (key == "elem") {
+        if (value == "int") {
+          op.elem_class = pbio::FieldClass::kInteger;
+        } else if (value == "uint") {
+          op.elem_class = pbio::FieldClass::kUnsigned;
+        } else if (value == "float") {
+          op.elem_class = pbio::FieldClass::kFloat;
+        } else if (value == "char") {
+          op.elem_class = pbio::FieldClass::kChar;
+        } else if (value == "nested") {
+          op.elem_class = pbio::FieldClass::kNested;
+        } else {
+          parse_error(diagnostics, filename, lineno,
+                      "unknown elem class '" + std::string(value) + "'");
+          ok = false;
+        }
+        continue;
+      }
+      std::uint64_t val = 0;
+      if (!parse_u64(value, val)) {
+        parse_error(diagnostics, filename, lineno,
+                    "bad op attribute value '" + std::string(tok) + "'");
+        ok = false;
+        continue;
+      }
+      if (key == "src") {
+        op.src_offset = static_cast<std::uint32_t>(val);
+      } else if (key == "dst") {
+        op.dst_offset = static_cast<std::uint32_t>(val);
+      } else if (key == "src_size") {
+        op.src_size = static_cast<std::uint32_t>(val);
+      } else if (key == "dst_size") {
+        op.dst_size = static_cast<std::uint32_t>(val);
+      } else if (key == "count") {
+        op.count = static_cast<std::uint32_t>(val);
+      } else if (key == "zero_tail") {
+        op.zero_tail = static_cast<std::uint32_t>(val);
+      } else if (key == "count_off") {
+        op.src_count_offset = static_cast<std::uint32_t>(val);
+      } else if (key == "count_size") {
+        op.src_count_size = static_cast<std::uint8_t>(val);
+      } else if (key == "bits") {
+        op.default_bits = val;
+      } else {
+        parse_error(diagnostics, filename, lineno,
+                    "unknown op attribute '" + std::string(key) + "'");
+        ok = false;
+      }
+    }
+    if (ok) shape.ops.push_back(std::move(op));
+  }
+
+  if (!have_plan && !has_errors(diagnostics)) {
+    parse_error(diagnostics, filename, lineno,
+                "no plan directive in the file");
+  }
+  return shape;
+}
+
+void install_plan_verifier() {
+  pbio::PlanCache::set_plan_verifier(
+      +[](const pbio::ConversionPlan& plan) {
+        VerifyResult result = verify_plan(plan);
+        if (result.certified()) return;
+        throw AuditError(plan.wire().name() + " -> " + plan.native().name(),
+                         std::move(result.diagnostics));
+      });
+}
+
+}  // namespace omf::analysis

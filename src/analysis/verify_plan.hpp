@@ -1,0 +1,121 @@
+// Symbolic bounds certification of compiled conversion plans (omf-verify).
+//
+// PR 2's audit_plan checks plans heuristically against the formats they were
+// compiled from; this pass *proves* memory safety of the op program itself.
+// It is an abstract interpretation over an interval domain: every ConvOp
+// (fused RunOps included) is mapped to the exact byte intervals execute_op
+// touches — reads against the wire struct region, writes against the native
+// struct — computed symbolically from the op's offsets, element widths,
+// counts, and zero tails. Variable-section accesses (strings, dynamic
+// arrays) are handled as *guarded* obligations: their byte ranges depend on
+// message content, so instead of an interval the verifier discharges the
+// soundness conditions of the runtime guard (count-field range × element
+// size cannot overflow or divide by zero, pointer-slot widths are loadable,
+// subplans exist and are themselves certified).
+//
+// The output is either a BoundsCertificate — a machine-checkable artifact
+// listing every interval, re-validatable by BoundsCertificate::check()
+// without rerunning the inference — or OMF4xx diagnostics, each carrying a
+// concrete counterexample message length for which the access escapes.
+//
+// The pass certifies the *minimum admissible* message: the decoder admits
+// any body with body_len >= wire struct size, so a static read is safe only
+// if it fits in [0, wire_struct_size). That is exactly the bound the PR 6
+// fused kernels must respect for the batched fast paths to be safe on
+// hostile input.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/diagnostics.hpp"
+#include "pbio/convert.hpp"
+
+namespace omf::analysis {
+
+/// One proven access: op `op_index` touches bytes [begin, end) of the wire
+/// struct region (reads) or the native struct (writes). `guarded` marks
+/// variable-section accesses whose bound is enforced by a runtime guard the
+/// verifier proved sound, rather than by a static interval.
+struct AccessInterval {
+  std::size_t op_index = 0;
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;  ///< half-open; begin == end for empty accesses
+  bool guarded = false;
+};
+
+/// The machine-checkable artifact a certified plan carries. check() is a
+/// deliberately dumb re-validation — interval containment and write
+/// disjointness only, independent of the interpretation that produced the
+/// intervals — so a certificate can be trusted without trusting the
+/// inference.
+struct BoundsCertificate {
+  std::string plan;             ///< "wire -> native"
+  std::uint64_t wire_extent = 0;    ///< wire struct size (min admissible body)
+  std::uint64_t native_extent = 0;  ///< native struct size
+  std::uint8_t ptr_size = 8;        ///< wire pointer-slot width
+  std::vector<AccessInterval> reads;   ///< static reads, ⊆ [0, wire_extent)
+  std::vector<AccessInterval> writes;  ///< static writes, ⊆ [0, native_extent)
+  std::size_t guarded_accesses = 0;  ///< runtime-guarded accesses proven sound
+  std::size_t subplans = 0;          ///< nested plans certified recursively
+
+  /// Re-validates the certificate: every read ⊆ [0, wire_extent), every
+  /// write ⊆ [0, native_extent), no two unguarded writes overlap.
+  bool check() const;
+
+  /// Human-readable rendering for `omf-verify`.
+  std::string to_string() const;
+};
+
+struct VerifyResult {
+  /// Present iff certification succeeded (no error diagnostics).
+  std::optional<BoundsCertificate> certificate;
+  std::vector<Diagnostic> diagnostics;
+
+  bool certified() const noexcept { return certificate.has_value(); }
+};
+
+/// A raw op program plus the extents it claims to operate in — the
+/// verifier's input shape. Compiled plans are converted to this; hostile
+/// mutants (tests/verify_corpus/*.plan) are parsed into it directly, since
+/// plans compiled from registered formats are always in bounds.
+struct PlanShape {
+  std::string name = "plan";
+  std::uint64_t wire_extent = 0;
+  std::uint64_t native_extent = 0;
+  std::uint8_t ptr_size = 8;
+  std::vector<pbio::ConvOp> ops;
+  /// Optional: the wire format, for naming fields in diagnostics.
+  pbio::FormatHandle wire;
+};
+
+/// Certifies a raw op program.
+VerifyResult verify_ops(const PlanShape& shape);
+
+/// Certifies a compiled plan (recursing into subplans).
+VerifyResult verify_plan(const pbio::ConversionPlan& plan);
+
+/// Parses the textual `.plan` corpus format:
+///
+///   # comment
+///   plan <name> wire_size=<N> native_size=<M> [ptr_size=<P>]
+///   op <kind> [src=<o>] [dst=<o>] [src_size=<n>] [dst_size=<n>]
+///      [count=<n>] [zero_tail=<n>] [count_off=<o>] [count_size=<n>]
+///      [bits=<v>] [elem=int|uint|float|char|nested] [swap] [sign]
+///      [signed_count]
+///
+/// with <kind> one of copy|int|float|string|dyn_array|nested_static|zero|
+/// default. Parse problems become OMF001 diagnostics stamped with
+/// `filename`, mirroring lint_buffer.
+PlanShape parse_plan_text(std::string_view text, const std::string& filename,
+                          std::vector<Diagnostic>& diagnostics);
+
+/// Registers the certifier as the process-wide PlanCache verification hook
+/// (PlanCache::set_plan_verifier): plans requested with PlanOptions::verify
+/// that fail certification make get_or_build throw AuditError, exactly how
+/// AuditPolicy rejects hostile bundles. Idempotent.
+void install_plan_verifier();
+
+}  // namespace omf::analysis

@@ -100,7 +100,9 @@ SimdTier probe_cpu_tier() noexcept {
 }
 
 SimdTier clamp_by_env(SimdTier detected) noexcept {
-  const char* env = std::getenv("OMF_SIMD_TIER");
+  // Read once at startup (from the simd_tier() static initializer), before
+  // any thread could call setenv.
+  const char* env = std::getenv("OMF_SIMD_TIER");  // NOLINT(concurrency-mt-unsafe)
   if (env == nullptr || *env == '\0') return detected;
   SimdTier cap = SimdTier::kScalar;
   if (std::strcmp(env, "avx2") == 0) {

@@ -2,15 +2,28 @@
 
 #include "analysis/audit_format.hpp"
 #include "analysis/audit_schema.hpp"
+#include "analysis/verify_plan.hpp"
 #include "pbio/metaserde.hpp"
 #include "schema/reader.hpp"
 #include "util/error.hpp"
 
 namespace omf::core {
 
+namespace {
+/// A context decodes wire data from peers it did not author, so its plans
+/// must carry a bounds certificate before the cache serves them — the same
+/// trust-boundary posture as the audit policy's reject-on-error default.
+pbio::PlanOptions verified_plan_options() {
+  analysis::install_plan_verifier();
+  pbio::PlanOptions options;
+  options.verify = true;
+  return options;
+}
+}  // namespace
+
 Context::Context(std::shared_ptr<pbio::PlanCache> shared_plans)
     : xml2wire_(registry_, arch::native()),
-      decoder_(registry_, std::move(shared_plans)) {
+      decoder_(registry_, std::move(shared_plans), verified_plan_options()) {
   discovery_.add_source(make_http_source());
   discovery_.add_source(make_file_source());
   auto compiled = std::make_unique<CompiledInSource>();

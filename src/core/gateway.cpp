@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "analysis/audit_format.hpp"
+#include "analysis/verify_plan.hpp"
 #include "obs/metrics.hpp"
 #include "pbio/encode.hpp"
 #include "pbio/metaserde.hpp"
@@ -22,13 +23,22 @@ struct GatewayMetrics {
     return m;
   }
 };
+/// Gateways sit at a trust boundary (they decode producers' wire data), so
+/// their plans must carry a bounds certificate before the cache serves
+/// them — the same posture as register_remote_format's audit.
+pbio::PlanOptions verified_plan_options() {
+  analysis::install_plan_verifier();
+  pbio::PlanOptions options;
+  options.verify = true;
+  return options;
+}
 }  // namespace
 
 Gateway::Gateway(pbio::FormatRegistry& registry, pbio::FormatHandle staging,
                  pbio::FormatHandle target,
                  std::shared_ptr<pbio::PlanCache> shared_plans)
     : registry_(&registry),
-      decoder_(registry, std::move(shared_plans)),
+      decoder_(registry, std::move(shared_plans), verified_plan_options()),
       staging_(std::move(staging)),
       target_(std::move(target)),
       scratch_(staging_) {

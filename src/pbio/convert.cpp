@@ -216,6 +216,8 @@ bool valid_int_width(std::size_t w) noexcept {
   return w == 1 || w == 2 || w == 4 || w == 8;
 }
 
+bool valid_float_width(std::size_t w) noexcept { return w == 4 || w == 8; }
+
 /// Rejects scalar element widths the converting loops cannot handle, so the
 /// (noexcept) element loads never misread memory. Registration validates the
 /// same invariant; this guards plans built from any other metadata source.
@@ -235,6 +237,21 @@ void check_scalar_widths(const Format& wire, const Format& native,
 }
 
 }  // namespace
+
+ScalarKernel select_scalar_kernel(bool is_float, std::size_t src_size,
+                                  std::size_t dst_size, bool swap,
+                                  bool sign_extend) noexcept {
+  if (is_float) {
+    if (!valid_float_width(src_size) || !valid_float_width(dst_size)) {
+      return nullptr;
+    }
+    return select_float_kernel(src_size, dst_size, swap);
+  }
+  if (!valid_int_width(src_size) || !valid_int_width(dst_size)) {
+    return nullptr;
+  }
+  return select_int_kernel(src_size, dst_size, swap, sign_extend);
+}
 
 PlanHandle ConversionPlan::build(FormatHandle wire, FormatHandle native,
                                  PlanOptions options) {
@@ -271,6 +288,7 @@ PlanHandle ConversionPlan::build(FormatHandle wire, FormatHandle native,
       continue;
     }
 
+    op.src_field = static_cast<std::uint32_t>(wf - wire->fields().data());
     op.src_offset = static_cast<std::uint32_t>(wf->offset);
     op.src_size = static_cast<std::uint32_t>(wf->size);
     op.dst_size = static_cast<std::uint32_t>(nf.size);

@@ -44,13 +44,21 @@ struct PlanOptions {
   /// arch::simd_tier()) for byte-swap and widen/narrow runs. Off = the
   /// portable scalar specialized kernels, the PR 1 baseline.
   bool simd = true;
+  /// Require a bounds certificate before the plan is served from a
+  /// PlanCache: after compilation the cache invokes the process-wide
+  /// verifier hook (analysis::install_plan_verifier registers the
+  /// interval-domain certifier) and rejects the plan if certification
+  /// fails — or if no verifier is installed (fail closed). Off by default;
+  /// trust boundaries (core::Context, core::Gateway) turn it on.
+  bool verify = false;
 
   friend bool operator==(const PlanOptions&, const PlanOptions&) = default;
 
   /// Dense encoding for cache keys.
   std::uint8_t bits() const noexcept {
     return static_cast<std::uint8_t>((coalesce ? 1 : 0) | (specialize ? 2 : 0) |
-                                     (fuse_runs ? 4 : 0) | (simd ? 8 : 0));
+                                     (fuse_runs ? 4 : 0) | (simd ? 8 : 0) |
+                                     (verify ? 16 : 0));
   }
 
   /// The PR 1 configuration: specialized per-field kernels, no run fusion,
@@ -65,6 +73,15 @@ struct PlanOptions {
 /// into the function itself at plan-build time.
 using ScalarKernel = void (*)(const std::uint8_t* src, std::uint8_t* dst,
                               std::size_t count);
+
+/// The portable scalar specialized kernel for an element shape — exactly
+/// what a plan built with `PlanOptions::simd` off dispatches. Exposed so the
+/// SIMD/scalar equivalence oracle (analysis/verify_kernels, `omf-verify
+/// --kernels`) can run every vector kernel against its scalar ground truth.
+/// Widths outside {1,2,4,8} (floats: {4,8}) return nullptr.
+ScalarKernel select_scalar_kernel(bool is_float, std::size_t src_size,
+                                  std::size_t dst_size, bool swap,
+                                  bool sign_extend) noexcept;
 
 /// One step of a conversion plan.
 ///
@@ -109,6 +126,14 @@ struct ConvOp {
 
   /// Source fields this op covers; >1 marks a fused RunOp (see above).
   std::uint16_t fused_fields = 1;
+
+  /// Index (into the wire format's fields()) of the source field this op
+  /// reads — the run head for fused RunOps. kNoSrcField for ops with no
+  /// wire counterpart (kZero, kDefault). Plan metadata for the auditors and
+  /// the bounds verifier: diagnostics name the exact field an access
+  /// belongs to instead of inferring it from offsets.
+  static constexpr std::uint32_t kNoSrcField = 0xFFFFFFFF;
+  std::uint32_t src_field = kNoSrcField;
 
   PlanHandle subplan;  ///< kNestedStatic / kDynArray-of-nested
 

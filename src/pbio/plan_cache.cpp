@@ -49,7 +49,17 @@ struct CacheHitTls {
 #endif
 
 thread_local CacheHitTls t_cache_hits;
+
+std::atomic<PlanCache::PlanVerifier> g_plan_verifier{nullptr};
 }  // namespace
+
+PlanCache::PlanVerifier PlanCache::set_plan_verifier(PlanVerifier v) noexcept {
+  return g_plan_verifier.exchange(v, std::memory_order_acq_rel);
+}
+
+PlanCache::PlanVerifier PlanCache::plan_verifier() noexcept {
+  return g_plan_verifier.load(std::memory_order_acquire);
+}
 
 PlanHandle PlanCache::get_or_build(const FormatHandle& wire,
                                    const FormatHandle& native,
@@ -82,7 +92,20 @@ PlanHandle PlanCache::get_or_build(const FormatHandle& wire,
     const CacheMetrics& metrics = CacheMetrics::get();
     obs::ScopedSpan span(obs::Phase::kBind, native->name());
     obs::ScopedTimer timer(metrics.compile_ns);
-    entry->plan = ConversionPlan::build(wire, native, options);
+    PlanHandle plan = ConversionPlan::build(wire, native, options);
+    if (options.verify) {
+      // Trust boundary: the plan must carry a bounds certificate before it
+      // is published. No installed verifier means no certificate — fail
+      // closed rather than serve an unchecked plan.
+      PlanVerifier verifier = plan_verifier();
+      if (verifier == nullptr) {
+        throw FormatError(
+            "PlanOptions::verify set but no plan verifier installed "
+            "(call analysis::install_plan_verifier at process start)");
+      }
+      verifier(*plan);  // throws on certification failure
+    }
+    entry->plan = std::move(plan);
     compiles_.fetch_add(1, std::memory_order_relaxed);
     metrics.compiles.add();
     compiled_here = true;

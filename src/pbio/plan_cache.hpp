@@ -28,6 +28,21 @@ namespace omf::pbio {
 
 class PlanCache {
 public:
+  /// Bounds-certification hook invoked on freshly compiled plans when the
+  /// requesting options carry `verify`. Installed process-wide (by
+  /// `analysis::install_plan_verifier`) rather than linked directly: pbio
+  /// sits below analysis in the layering, so the certifier arrives as a
+  /// function pointer. The verifier throws to reject a plan; the exception
+  /// propagates out of get_or_build and the key stays uncompiled.
+  using PlanVerifier = void (*)(const ConversionPlan&);
+
+  /// Registers (or, with nullptr, clears) the process-wide verifier.
+  /// Returns the previous hook.
+  static PlanVerifier set_plan_verifier(PlanVerifier v) noexcept;
+
+  /// The currently installed verifier, nullptr when none.
+  static PlanVerifier plan_verifier() noexcept;
+
   PlanCache() = default;
   PlanCache(const PlanCache&) = delete;
   PlanCache& operator=(const PlanCache&) = delete;

@@ -51,6 +51,25 @@ struct NdrMetrics {
 
 }  // namespace
 
+NdrFrame parse_ndr_frame(std::span<const std::uint8_t> frame) {
+  if (frame.empty()) {
+    throw TransportError("empty NDR connection frame");
+  }
+  NdrFrame out;
+  out.tag = static_cast<char>(frame[0]);
+  out.payload = frame.subspan(1);
+  if (out.tag == 'T') {
+    if (out.payload.size() < 8) {
+      throw TransportError("truncated traced NDR frame");
+    }
+    out.trace_id = load_le<std::uint64_t>(out.payload.data());
+    out.payload = out.payload.subspan(8);
+  } else if (out.tag != 'F' && out.tag != 'M') {
+    throw TransportError("unknown NDR connection frame tag");
+  }
+  return out;
+}
+
 void NdrConnection::send(const pbio::Format& format, const Buffer& wire) {
   const NdrMetrics& metrics = NdrMetrics::get();
   if (announced_.insert(format.id()).second) {
@@ -77,31 +96,21 @@ std::optional<Buffer> NdrConnection::receive(const Deadline& deadline) {
   for (;;) {
     std::optional<Buffer> frame = connection_.receive(deadline);
     if (!frame) return std::nullopt;
-    if (frame->empty()) {
-      throw TransportError("empty NDR connection frame");
-    }
-    char tag = static_cast<char>(*frame->data());
-    std::span<const std::uint8_t> payload = frame->span().subspan(1);
-    if (tag == 'F') {
-      pbio::deserialize_format_bundle(*registry_, payload);
+    NdrFrame parsed = parse_ndr_frame(frame->span());
+    if (parsed.tag == 'F') {
+      pbio::deserialize_format_bundle(*registry_, parsed.payload);
       ++received_;
       metrics.formats_rx.add();
       continue;
     }
-    if (tag == 'T') {
+    if (parsed.tag == 'T') {
       // Traced message: adopt the sender's trace id so spans recorded while
       // processing this message correlate across the two processes.
-      if (payload.size() < 8) {
-        throw TransportError("truncated traced NDR frame");
-      }
-      obs::set_current_trace_id(load_le<std::uint64_t>(payload.data()));
-      payload = payload.subspan(8);
+      obs::set_current_trace_id(parsed.trace_id);
       metrics.traced_frames.add();
-    } else if (tag != 'M') {
-      throw TransportError("unknown NDR connection frame tag");
     }
-    Buffer message(payload.size());
-    message.append(payload);
+    Buffer message(parsed.payload.size());
+    message.append(parsed.payload);
     metrics.messages_rx.add();
     return message;
   }

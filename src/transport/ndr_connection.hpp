@@ -29,6 +29,20 @@
 
 namespace omf::transport {
 
+/// One parsed connection frame. `payload` aliases the input bytes: the
+/// format-bundle body for 'F', the NDR message for 'M'/'T'.
+struct NdrFrame {
+  char tag = 0;                 ///< 'F', 'M', or 'T'
+  std::uint64_t trace_id = 0;   ///< sender's span-trace id ('T' frames only)
+  std::span<const std::uint8_t> payload;
+};
+
+/// Splits a raw length-delimited frame into tag / trace id / payload.
+/// Pure — no registry, socket, or thread-local trace state is touched, so
+/// hostile frames can be parsed (and fuzzed) in isolation. Throws
+/// TransportError on empty frames, unknown tags, and truncated 'T' frames.
+NdrFrame parse_ndr_frame(std::span<const std::uint8_t> frame);
+
 class NdrConnection {
 public:
   /// Wraps a connected socket. Received format bundles register into

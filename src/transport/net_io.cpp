@@ -20,7 +20,8 @@ namespace omf::transport::netio {
 namespace {
 
 [[noreturn]] void fail_errno(const char* what, int err) {
-  throw TransportError(std::string(what) + ": " + std::strerror(err));
+  // glibc strerror is thread-safe (per-thread buffer); see tcp.cpp.
+  throw TransportError(std::string(what) + ": " + std::strerror(err));  // NOLINT(concurrency-mt-unsafe)
 }
 
 [[noreturn]] void fail_timeout(const char* what) {

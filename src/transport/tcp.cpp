@@ -41,7 +41,9 @@ struct TcpMetrics {
 };
 
 [[noreturn]] void fail_errno(const std::string& what) {
-  throw TransportError(what + ": " + std::strerror(errno));
+  // glibc strerror is thread-safe (per-thread buffer); strerror_r's two
+  // incompatible signatures are not worth the portability thicket here.
+  throw TransportError(what + ": " + std::strerror(errno));  // NOLINT(concurrency-mt-unsafe)
 }
 
 }  // namespace

@@ -7,16 +7,20 @@
 // Also the truncated-message regression sweep: every strict prefix of a
 // valid wire message must fail with DecodeError, never read past the end.
 #include <algorithm>
+#include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <map>
 #include <set>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "analysis/audit_format.hpp"
+#include "analysis/cli.hpp"
 #include "analysis/audit_plan.hpp"
 #include "analysis/diagnostics.hpp"
 #include "analysis/lint.hpp"
@@ -427,6 +431,111 @@ TEST(TruncatedMessages, OverlongBodyLengthIsRejected) {
   EXPECT_THROW(
       pbio::Decoder::decode_in_place(*fmt, corrupt.data(), corrupt.size()),
       DecodeError);
+}
+
+// --- omf-lint CLI contract ---------------------------------------------------
+//
+// Exit codes are the tool's API for CI: 0 clean, 1 findings (errors always;
+// warnings under --werror), 2 usage error. The --werror accumulation bug
+// class this guards against: a clean file processed *after* a warning file
+// must not reset the exit status.
+
+class LintCli : public ::testing::Test {
+protected:
+  int run(const std::vector<std::string>& args) {
+    out_ = std::tmpfile();
+    err_ = std::tmpfile();
+    return analysis::lint_cli(args, out_, err_);
+  }
+  static std::string slurp(std::FILE* f) {
+    std::string text;
+    std::rewind(f);
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+    return text;
+  }
+  void TearDown() override {
+    if (out_ != nullptr) std::fclose(out_);
+    if (err_ != nullptr) std::fclose(err_);
+  }
+  std::FILE* out_ = nullptr;
+  std::FILE* err_ = nullptr;
+
+  const std::string warning_only_ =
+      std::string(OMF_LINT_CORPUS_DIR) + "/misaligned__OMF105.fmt";
+  const std::string error_ =
+      std::string(OMF_LINT_CORPUS_DIR) + "/overlap__OMF102.fmt";
+  const std::string clean_ =
+      std::string(OMF_EXAMPLE_SCHEMAS_DIR) + "/asd-position.xsd";
+};
+
+TEST_F(LintCli, CleanInputExitsZero) { EXPECT_EQ(run({clean_}), 0); }
+
+TEST_F(LintCli, WarningsExitZeroWithoutWerror) {
+  EXPECT_EQ(run({warning_only_}), 0);
+  EXPECT_NE(slurp(err_).find("OMF105"), std::string::npos);
+}
+
+TEST_F(LintCli, WerrorPromotesWarnings) {
+  EXPECT_EQ(run({"--werror", warning_only_}), 1);
+}
+
+TEST_F(LintCli, WerrorSurvivesTrailingCleanInput) {
+  // The regression: warnings in an early file, clean files after — the
+  // accumulated count must still fail the run.
+  EXPECT_EQ(run({"--werror", warning_only_, clean_}), 1);
+  EXPECT_EQ(run({"--werror", clean_, warning_only_, clean_}), 1);
+}
+
+TEST_F(LintCli, ErrorsExitOneRegardless) {
+  EXPECT_EQ(run({error_, clean_}), 1);
+}
+
+TEST_F(LintCli, NoInputsIsUsageError) { EXPECT_EQ(run({}), 2); }
+
+TEST_F(LintCli, UnknownOptionIsUsageError) {
+  EXPECT_EQ(run({"--frobnicate"}), 2);
+}
+
+TEST_F(LintCli, HelpDocumentsTheExitCodes) {
+  EXPECT_EQ(run({"--help"}), 0);
+  std::string help = slurp(err_);
+  EXPECT_NE(help.find("exit codes"), std::string::npos) << help;
+  for (const char* line : {"0 ", "1 ", "2 "}) {
+    EXPECT_NE(help.find(line), std::string::npos);
+  }
+}
+
+TEST_F(LintCli, JsonEmitsOneArrayAcrossAllInputs) {
+  EXPECT_EQ(run({"--json", warning_only_, error_}), 1);
+  std::string json = slurp(out_);
+  EXPECT_EQ(json.find('['), 0u) << json;
+  EXPECT_NE(json.find("\"code\":\"OMF105\""), std::string::npos);
+  EXPECT_NE(json.find("\"code\":\"OMF102\""), std::string::npos);
+  EXPECT_NE(json.find("\"severity\":\"warning\""), std::string::npos);
+  EXPECT_NE(json.find("\"severity\":\"error\""), std::string::npos);
+}
+
+// --- Diagnostics documentation sync ------------------------------------------
+
+TEST(DiagnosticsDoc, InSyncWithCodeTable) {
+  std::ifstream in(OMF_DIAGNOSTICS_MD, std::ios::binary);
+  ASSERT_TRUE(in.is_open())
+      << OMF_DIAGNOSTICS_MD
+      << " missing — regenerate with: omf-lint --codes-md > docs/DIAGNOSTICS.md";
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(buf.str(), analysis::diagnostics_markdown())
+      << "docs/DIAGNOSTICS.md is stale — regenerate with: "
+         "omf-lint --codes-md > docs/DIAGNOSTICS.md";
+}
+
+TEST(DiagnosticsDoc, EveryCodeHasAnExample) {
+  for (const analysis::CodeInfo& info : analysis::diagnostic_codes()) {
+    EXPECT_NE(info.example, nullptr) << info.code;
+    EXPECT_GT(std::strlen(info.example), 0u) << info.code;
+  }
 }
 
 }  // namespace

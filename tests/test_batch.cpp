@@ -15,6 +15,7 @@
 #include <atomic>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <new>
 #include <thread>
 #include <vector>
@@ -64,6 +65,20 @@ void operator delete(void* p) noexcept { std::free(p); }
 void operator delete[](void* p) noexcept { std::free(p); }
 void operator delete(void* p, std::size_t) noexcept { std::free(p); }
 void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+// The nothrow pair must be replaced too: libstdc++ internals (e.g.
+// stable_sort's temporary buffer) allocate through it, and a mix of the
+// default nothrow new with the malloc-backed delete above is an
+// alloc-dealloc mismatch under ASan.
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  return std::malloc(n ? n : 1);
+}
+void* operator new[](std::size_t n, const std::nothrow_t&) noexcept {
+  return std::malloc(n ? n : 1);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
 
 namespace omf {
 namespace {
@@ -328,6 +343,107 @@ TEST_F(BatchSemanticsTest, MixedFormatBatchIsRejected) {
   DecodeArena arena;
   EXPECT_THROW(dec.decode_batch(spans, 2, *native, ptrs, arena),
                DecodeError);
+}
+
+TEST_F(BatchSemanticsTest, TruncatedLastMessageFailsTheBatchNotThePrefix) {
+  // A burst whose final message lost its tail in transit: the batch call
+  // must reject it (body shorter than the header claims) and must not have
+  // read past the truncated buffer; the intact prefix then decodes alone.
+  constexpr std::size_t kN = 4;
+  std::vector<Buffer> wires;
+  for (std::size_t i = 0; i < kN; ++i) {
+    wires.push_back(foreign_wire(static_cast<int>(i + 1)));
+  }
+  std::vector<std::span<const std::uint8_t>> spans;
+  for (const Buffer& w : wires) spans.push_back(w.span());
+  ASSERT_GT(wires.back().size(), 5u);
+  spans.back() = spans.back().first(wires.back().size() - 5);
+
+  Decoder dec(reg);
+  std::vector<Reading> out(kN);
+  std::vector<void*> ptrs;
+  for (Reading& r : out) ptrs.push_back(&r);
+  DecodeArena arena;
+  EXPECT_THROW(dec.decode_batch(spans.data(), kN, *native, ptrs.data(), arena),
+               DecodeError);
+
+  // Mid-header truncation of the last message is equally fatal.
+  spans.back() = wires.back().span().first(8);
+  EXPECT_THROW(dec.decode_batch(spans.data(), kN, *native, ptrs.data(), arena),
+               DecodeError);
+
+  dec.decode_batch(spans.data(), kN - 1, *native, ptrs.data(), arena);
+  for (std::size_t i = 0; i < kN - 1; ++i) {
+    int salt = static_cast<int>(i + 1);
+    EXPECT_STREQ(out[i].sensor, "egt-004");
+    EXPECT_EQ(out[i].value, 0.5 * salt);
+  }
+}
+
+TEST_F(BatchSemanticsTest, MixedFormatBurstFromConnectionMustBeGrouped) {
+  // receive_batch hands back whatever the peer sent; grouping by format id
+  // before decode_batch is the caller's contract. An ungrouped burst that
+  // interleaves two formats is rejected, and peek_format_id gives the
+  // caller everything needed to split it correctly.
+  FormatRegistry sender_reg, receiver_reg;
+  struct Tick {
+    std::int64_t seq;
+  };
+  auto tick = sender_reg.register_format(
+      "Tick", std::vector<IOField>{{"seq", "integer", 8, 0}}, sizeof(Tick),
+      arch::native());
+  auto tock = sender_reg.register_format(
+      "Tock", std::vector<IOField>{{"seq", "integer", 8, 0}}, sizeof(Tick),
+      arch::native());
+
+  transport::TcpListener listener(0);
+  std::thread sender([&] {
+    transport::NdrConnection conn(transport::tcp_connect(listener.port()),
+                                  sender_reg);
+    for (int i = 0; i < 6; ++i) {
+      Tick t{i};
+      conn.send_struct(i % 2 == 0 ? *tick : *tock, &t);
+    }
+  });
+
+  transport::NdrConnection conn(listener.accept(), receiver_reg);
+  std::vector<Buffer> burst;
+  while (conn.receive_batch(burst, 64) != 0) {
+  }
+  sender.join();
+  ASSERT_EQ(burst.size(), 6u);
+
+  auto native_tick = receiver_reg.by_id(Decoder::peek_format_id(burst[0].span()));
+  ASSERT_NE(native_tick, nullptr);
+
+  std::vector<std::span<const std::uint8_t>> spans;
+  for (const Buffer& b : burst) spans.push_back(b.span());
+  Decoder dec(receiver_reg);
+  std::vector<Tick> out(burst.size());
+  std::vector<void*> ptrs;
+  for (Tick& t : out) ptrs.push_back(&t);
+  DecodeArena arena;
+  EXPECT_THROW(dec.decode_batch(spans.data(), spans.size(), *native_tick,
+                                ptrs.data(), arena),
+               DecodeError);
+
+  // Grouped by format id, both halves decode.
+  std::map<pbio::FormatId, std::vector<std::span<const std::uint8_t>>> groups;
+  for (const Buffer& b : burst) {
+    groups[Decoder::peek_format_id(b.span())].push_back(b.span());
+  }
+  ASSERT_EQ(groups.size(), 2u);
+  for (auto& [id, members] : groups) {
+    auto fmt = receiver_reg.by_id(id);
+    ASSERT_NE(fmt, nullptr);
+    std::vector<Tick> decoded(members.size());
+    std::vector<void*> outs;
+    for (Tick& t : decoded) outs.push_back(&t);
+    dec.decode_batch(members.data(), members.size(), *fmt, outs.data(), arena);
+    for (std::size_t i = 0; i < decoded.size(); ++i) {
+      EXPECT_EQ(decoded[i].seq % 2, decoded[0].seq % 2);
+    }
+  }
 }
 
 TEST_F(BatchSemanticsTest, EmptyBatchIsANoOp) {

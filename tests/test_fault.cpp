@@ -17,11 +17,14 @@
 #include <thread>
 #include <vector>
 
+#include "arch/profile.hpp"
 #include "core/discovery.hpp"
 #include "fault/circuit_breaker.hpp"
 #include "fault/faulty.hpp"
 #include "http/http.hpp"
+#include "pbio/decode.hpp"
 #include "pbio/format.hpp"
+#include "transport/ndr_connection.hpp"
 #include "test_structs.hpp"
 #include "transport/format_service.hpp"
 #include "transport/net_io.hpp"
@@ -388,6 +391,72 @@ TEST(FaultProxyTest, EveryCorruptedFrameRejectedNeverDelivered) {
   client.close();
   server.join();
   EXPECT_EQ(proxy.faults_injected(), 5u);
+}
+
+TEST(FaultProxyTest, CorruptedMiddleFrameFailsBurstAfterIntactPrefix) {
+  // A burst of NDR messages where one mid-burst frame is corrupted in
+  // flight: the frames before it are delivered and decode exactly, the
+  // corrupted one surfaces as TransportError (CRC, at the framing layer),
+  // and nothing corrupt is ever handed to decode_batch.
+  struct Tick {
+    std::int64_t seq;
+  };
+  pbio::FormatRegistry sender_reg, receiver_reg;
+  auto tick = sender_reg.register_format(
+      "Tick", std::vector<pbio::IOField>{{"seq", "integer", 8, 0}},
+      sizeof(Tick), arch::native());
+
+  constexpr int kMessages = 6;
+  TcpListener listener(0);
+  std::thread sender([&] {
+    transport::NdrConnection conn(listener.accept(), sender_reg);
+    for (int i = 0; i < kMessages; ++i) {
+      Tick t{i};
+      conn.send_struct(*tick, &t);
+    }
+    // Keep the socket open until the client has seen the CRC failure, so
+    // the error is the corruption, never a racing close.
+    conn.receive();
+  });
+
+  FaultAction corrupt_one;
+  corrupt_one.kind = FaultKind::kCorrupt;
+  corrupt_one.direction = Direction::kServerToClient;
+  corrupt_one.connection = -1;
+  corrupt_one.frame = 3;  // frame 0 is the 'F' bundle; this is message #2
+  corrupt_one.corrupt_seed = 0xBADC0DE;
+  FaultProxy proxy(listener.port(), {corrupt_one});
+
+  transport::NdrConnection conn(tcp_connect(proxy.port()), receiver_reg);
+  std::vector<Buffer> delivered;
+  bool failed = false;
+  while (!failed) {
+    try {
+      if (conn.receive_batch(delivered, 64) == 0) break;
+    } catch (const TransportError&) {
+      failed = true;
+    }
+  }
+  EXPECT_TRUE(failed);
+  EXPECT_EQ(proxy.faults_injected(), 1u);
+
+  // Exactly the intact prefix arrived: messages 0 and 1.
+  ASSERT_EQ(delivered.size(), 2u);
+  auto native_tick =
+      receiver_reg.by_id(pbio::Decoder::peek_format_id(delivered[0].span()));
+  ASSERT_NE(native_tick, nullptr);
+  pbio::Decoder dec(receiver_reg);
+  pbio::DecodeArena arena;
+  std::span<const std::uint8_t> spans[2] = {delivered[0].span(),
+                                            delivered[1].span()};
+  Tick out[2] = {};
+  void* ptrs[2] = {&out[0], &out[1]};
+  dec.decode_batch(spans, 2, *native_tick, ptrs, arena);
+  EXPECT_EQ(out[0].seq, 0);
+  EXPECT_EQ(out[1].seq, 1);
+
+  conn.close();
+  sender.join();
 }
 
 TEST(FaultProxyTest, ResetTriggersReconnectAndResubscribe) {

@@ -1,0 +1,80 @@
+// Replays the committed fuzz seed corpus through the harness bodies under
+// the normal test matrix (and its sanitizer configurations), so the seeds
+// are exercised even in builds where libFuzzer is unavailable. A crash or
+// sanitizer report here is the same finding the fuzzer would file.
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harnesses.hpp"
+
+namespace omf {
+namespace {
+
+namespace fs = std::filesystem;
+
+using Harness = int (*)(const std::uint8_t*, std::size_t);
+
+const std::map<std::string, Harness>& harnesses() {
+  static const std::map<std::string, Harness> table = {
+      {"descriptor", fuzz::descriptor_one},
+      {"bundle", fuzz::bundle_one},
+      {"schema", fuzz::schema_one},
+      {"ndr_frame", fuzz::ndr_frame_one},
+      {"decode_batch", fuzz::decode_batch_one},
+  };
+  return table;
+}
+
+std::vector<std::uint8_t> slurp(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << path;
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+TEST(FuzzCorpus, EveryTargetHasSeeds) {
+  fs::path root(OMF_FUZZ_CORPUS_DIR);
+  ASSERT_TRUE(fs::is_directory(root)) << root;
+  for (const auto& [target, harness] : harnesses()) {
+    (void)harness;
+    EXPECT_TRUE(fs::is_directory(root / target))
+        << "no seed directory for fuzz target " << target;
+  }
+}
+
+TEST(FuzzCorpus, ReplaysCleanly) {
+  fs::path root(OMF_FUZZ_CORPUS_DIR);
+  std::size_t replayed = 0;
+  for (const auto& [target, harness] : harnesses()) {
+    fs::path dir = root / target;
+    if (!fs::is_directory(dir)) continue;
+    for (const auto& entry : fs::directory_iterator(dir)) {
+      if (!entry.is_regular_file()) continue;
+      std::vector<std::uint8_t> bytes = slurp(entry.path());
+      EXPECT_EQ(harness(bytes.data(), bytes.size()), 0) << entry.path();
+      ++replayed;
+    }
+  }
+  EXPECT_GE(replayed, 14u) << "seed corpus unexpectedly small";
+}
+
+TEST(FuzzCorpus, HarnessesSurviveDegenerateInputs) {
+  // The empty input and single bytes never appear in the corpus but are the
+  // first things libFuzzer tries.
+  for (const auto& [target, harness] : harnesses()) {
+    SCOPED_TRACE(target);
+    EXPECT_EQ(harness(nullptr, 0), 0);
+    for (int b = 0; b < 256; ++b) {
+      std::uint8_t byte = static_cast<std::uint8_t>(b);
+      EXPECT_EQ(harness(&byte, 1), 0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace omf

@@ -1,0 +1,423 @@
+// The plan bounds certifier end to end: the hostile-mutant corpus must be
+// rejected with exactly the OMF4xx codes its filenames promise (each with a
+// concrete counterexample message length), every plan the real metadata
+// pipeline compiles must certify across profiles and plan-option ablations,
+// the PlanCache must fail closed when verification is requested with no
+// verifier installed, and the SIMD/scalar kernel equivalence sweep must be
+// byte-identical at whatever tier this process dispatches.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/cli.hpp"
+#include "analysis/verify_kernels.hpp"
+#include "analysis/verify_plan.hpp"
+#include "arch/profile.hpp"
+#include "core/context.hpp"
+#include "core/xml2wire.hpp"
+#include "pbio/decode.hpp"
+#include "pbio/plan_cache.hpp"
+#include "test_structs.hpp"
+
+namespace omf {
+namespace {
+
+using namespace omf::testing;
+namespace fs = std::filesystem;
+using analysis::PlanShape;
+using analysis::VerifyResult;
+using pbio::ConversionPlan;
+using pbio::ConvOp;
+using pbio::FormatHandle;
+using pbio::FormatRegistry;
+using pbio::PlanCache;
+using pbio::PlanOptions;
+
+// --- Hostile-mutant corpus --------------------------------------------------
+
+/// Corpus files are named `<description>__<CODE>[+<CODE>].plan`; the
+/// sentinel `__certified` means the plan must produce a certificate and no
+/// diagnostics at all.
+std::set<std::string> expected_codes(const fs::path& file) {
+  std::string stem = file.stem().string();
+  std::size_t sep = stem.find("__");
+  EXPECT_NE(sep, std::string::npos)
+      << "corpus file without __CODE suffix: " << file;
+  std::set<std::string> out;
+  std::string codes = stem.substr(sep + 2);
+  if (codes == "certified") return out;
+  std::size_t at = 0;
+  while (at <= codes.size()) {
+    std::size_t plus = codes.find('+', at);
+    if (plus == std::string::npos) {
+      out.insert(codes.substr(at));
+      break;
+    }
+    out.insert(codes.substr(at, plus - at));
+    at = plus + 1;
+  }
+  return out;
+}
+
+VerifyResult verify_corpus_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::vector<analysis::Diagnostic> parse_diags;
+  PlanShape shape =
+      analysis::parse_plan_text(buf.str(), path.string(), parse_diags);
+  EXPECT_TRUE(parse_diags.empty())
+      << path << ": " << analysis::render(parse_diags.front());
+  return analysis::verify_ops(shape);
+}
+
+TEST(VerifyCorpus, EveryFileEmitsExactlyItsCodes) {
+  fs::path dir(OMF_VERIFY_CORPUS_DIR);
+  ASSERT_TRUE(fs::is_directory(dir)) << dir;
+
+  std::size_t checked = 0;
+  std::size_t hostile = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    std::set<std::string> expected = expected_codes(entry.path());
+    VerifyResult result = verify_corpus_file(entry.path());
+
+    std::set<std::string> got;
+    for (const analysis::Diagnostic& d : result.diagnostics) {
+      got.insert(d.code);
+    }
+    EXPECT_EQ(got, expected) << entry.path();
+    if (expected.empty()) {
+      ASSERT_TRUE(result.certified()) << entry.path();
+      EXPECT_TRUE(result.certificate->check()) << entry.path();
+    } else {
+      ++hostile;
+      EXPECT_FALSE(result.certified()) << entry.path();
+    }
+    ++checked;
+  }
+  EXPECT_GE(checked, 7u) << "verify corpus unexpectedly small";
+  EXPECT_GE(hostile, 5u) << "verify corpus needs hostile mutants";
+}
+
+TEST(VerifyCorpus, RejectionsCarryCounterexampleLength) {
+  fs::path dir(OMF_VERIFY_CORPUS_DIR);
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    if (expected_codes(entry.path()).empty()) continue;
+    VerifyResult result = verify_corpus_file(entry.path());
+    for (const analysis::Diagnostic& d : result.diagnostics) {
+      EXPECT_NE(d.message.find("counterexample message length"),
+                std::string::npos)
+          << entry.path() << ": " << d.message;
+    }
+  }
+}
+
+// --- Real compiled plans must all certify -----------------------------------
+
+std::vector<PlanOptions> ablation_options() {
+  PlanOptions def;
+  PlanOptions no_coalesce = def;
+  no_coalesce.coalesce = false;
+  PlanOptions no_simd = def;
+  no_simd.simd = false;
+  PlanOptions interpreted;
+  interpreted.coalesce = false;
+  interpreted.specialize = false;
+  interpreted.fuse_runs = false;
+  interpreted.simd = false;
+  return {def, PlanOptions::per_field(), no_coalesce, no_simd, interpreted};
+}
+
+class CompiledPlanCertification : public ::testing::TestWithParam<const char*> {
+};
+
+TEST_P(CompiledPlanCertification, EveryPlanShapeCertifies) {
+  const arch::Profile& foreign = arch::profile_by_name(GetParam());
+  FormatRegistry reg;
+  core::Xml2Wire native_side(reg, arch::native());
+  core::Xml2Wire foreign_side(reg, foreign);
+
+  // The full metadata zoo: strings, dynamic arrays, nested records (and
+  // nested-in-nested via the C schema), evolution pairs with defaults.
+  std::vector<std::pair<FormatHandle, FormatHandle>> pairs;
+  {
+    FormatHandle nb = native_side.register_text(kAsdOffBSchema)[0];
+    FormatHandle fb = foreign_side.register_text(kAsdOffBSchema)[0];
+    pairs.emplace_back(fb, nb);
+    pairs.emplace_back(nb, nb);  // homogeneous fast path
+  }
+  {
+    auto nc = native_side.register_text(kThreeAsdOffsSchema);
+    auto fc = foreign_side.register_text(kThreeAsdOffsSchema);
+    for (std::size_t i = 0; i < nc.size(); ++i) {
+      pairs.emplace_back(fc[i], nc[i]);
+    }
+  }
+
+  std::size_t certified = 0;
+  for (const auto& [wire, native] : pairs) {
+    for (const PlanOptions& options : ablation_options()) {
+      pbio::PlanHandle plan = ConversionPlan::build(wire, native, options);
+      VerifyResult result = analysis::verify_plan(*plan);
+      ASSERT_TRUE(result.certified())
+          << wire->name() << " -> " << native->name() << " (options bits "
+          << int(options.bits()) << "): "
+          << analysis::render(result.diagnostics.front());
+      EXPECT_TRUE(result.certificate->check());
+      ++certified;
+    }
+  }
+  EXPECT_GE(certified, 15u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProfiles, CompiledPlanCertification,
+                         ::testing::Values("x86_64", "i386", "sparc64",
+                                           "sparc32", "arm32"),
+                         [](const auto& info) { return info.param; });
+
+TEST(VerifyPlan, EvolutionPlansCertify) {
+  // Restricted evolution: v2 grows a defaulted field and drops one, so the
+  // plans exercise kDefault and kZero alongside the converting runs.
+  static const char* kEvoV1 = R"(<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:complexType name="EvoEvent">
+    <xsd:element name="id" type="xsd:int" />
+    <xsd:element name="ts" type="xsd:unsignedLong" />
+    <xsd:element name="legacy" type="xsd:int" />
+  </xsd:complexType>
+</xsd:schema>
+)";
+  static const char* kEvoV2 = R"(<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:complexType name="EvoEventV2">
+    <xsd:element name="id" type="xsd:int" />
+    <xsd:element name="ts" type="xsd:unsignedLong" />
+    <xsd:element name="severity" type="xsd:int" default="3" />
+  </xsd:complexType>
+</xsd:schema>
+)";
+  FormatRegistry reg;
+  core::Xml2Wire x2w(reg, arch::native());
+  FormatHandle v1 = x2w.register_text(kEvoV1)[0];
+  FormatHandle v2 = x2w.register_text(kEvoV2)[0];
+  for (const PlanOptions& options : ablation_options()) {
+    VerifyResult fwd =
+        analysis::verify_plan(*ConversionPlan::build(v1, v2, options));
+    VerifyResult back =
+        analysis::verify_plan(*ConversionPlan::build(v2, v1, options));
+    EXPECT_TRUE(fwd.certified());
+    EXPECT_TRUE(back.certified());
+  }
+}
+
+TEST(VerifyPlan, CertificateNamesFusedFields) {
+  // src_field plan metadata: diagnostics and labels name the run-head
+  // field rather than inferring it from offsets.
+  PlanShape shape;
+  shape.name = "labeled";
+  shape.wire_extent = 8;
+  shape.native_extent = 8;
+  ConvOp op;
+  op.kind = ConvOp::Kind::kInt;
+  op.src_offset = 4;
+  op.src_size = 4;
+  op.dst_size = 4;
+  op.count = 2;  // reads [4, 12) of an 8-byte region
+  op.swap = true;
+  shape.ops.push_back(op);
+  VerifyResult result = analysis::verify_ops(shape);
+  ASSERT_FALSE(result.certified());
+  ASSERT_EQ(result.diagnostics.size(), 1u);
+  EXPECT_EQ(result.diagnostics[0].code, analysis::codes::kVerifyReadOutOfBounds);
+  EXPECT_NE(result.diagnostics[0].message.find("op#0"), std::string::npos);
+}
+
+TEST(VerifyPlan, MissingSubplanIsUnprovable) {
+  PlanShape shape;
+  shape.wire_extent = 16;
+  shape.native_extent = 16;
+  ConvOp op;
+  op.kind = ConvOp::Kind::kNestedStatic;
+  op.src_size = 8;
+  op.dst_size = 8;
+  op.count = 1;
+  shape.ops.push_back(op);
+  VerifyResult result = analysis::verify_ops(shape);
+  ASSERT_FALSE(result.certified());
+  EXPECT_EQ(result.diagnostics[0].code,
+            analysis::codes::kVerifyUnprovableGuard);
+}
+
+TEST(VerifyPlan, TamperedCertificateFailsCheck) {
+  PlanShape shape;
+  shape.name = "tamper";
+  shape.wire_extent = 16;
+  shape.native_extent = 16;
+  ConvOp op;
+  op.kind = ConvOp::Kind::kCopy;
+  op.count = 16;
+  shape.ops.push_back(op);
+  VerifyResult result = analysis::verify_ops(shape);
+  ASSERT_TRUE(result.certified());
+  analysis::BoundsCertificate cert = *result.certificate;
+  ASSERT_TRUE(cert.check());
+
+  analysis::BoundsCertificate bad_read = cert;
+  bad_read.reads.push_back({9, 8, 24, false});  // past wire_extent
+  EXPECT_FALSE(bad_read.check());
+
+  analysis::BoundsCertificate bad_overlap = cert;
+  bad_overlap.writes.push_back({9, 8, 12, false});  // overlaps [0, 16)
+  EXPECT_FALSE(bad_overlap.check());
+}
+
+// --- PlanCache enforcement ---------------------------------------------------
+
+struct VerifierGuard {
+  PlanCache::PlanVerifier saved;
+  explicit VerifierGuard(PlanCache::PlanVerifier replacement)
+      : saved(PlanCache::set_plan_verifier(replacement)) {}
+  ~VerifierGuard() { PlanCache::set_plan_verifier(saved); }
+};
+
+TEST(PlanCacheVerify, FailsClosedWithoutVerifier) {
+  VerifierGuard guard(nullptr);
+  FormatRegistry reg;
+  core::Xml2Wire x2w(reg, arch::native());
+  FormatHandle f = x2w.register_text(kAsdOffSchema)[0];
+
+  PlanCache cache;
+  PlanOptions options;
+  options.verify = true;
+  EXPECT_THROW(cache.get_or_build(f, f, options), FormatError);
+  // The key stays uncompiled: installing the verifier lets a retry succeed.
+  analysis::install_plan_verifier();
+  EXPECT_NE(cache.get_or_build(f, f, options), nullptr);
+}
+
+TEST(PlanCacheVerify, VerifyBitIsPartOfTheCacheKey) {
+  PlanOptions plain;
+  PlanOptions verified;
+  verified.verify = true;
+  EXPECT_NE(plain.bits(), verified.bits());
+
+  analysis::install_plan_verifier();
+  FormatRegistry reg;
+  core::Xml2Wire x2w(reg, arch::native());
+  FormatHandle f = x2w.register_text(kAsdOffSchema)[0];
+  PlanCache cache;
+  EXPECT_NE(cache.get_or_build(f, f, plain), nullptr);
+  EXPECT_NE(cache.get_or_build(f, f, verified), nullptr);
+  EXPECT_EQ(cache.stats().compiles, 2u);
+}
+
+TEST(PlanCacheVerify, ContextDecodesThroughVerifiedPlans) {
+  // Context is a trust boundary: its decoder requests certification, and a
+  // full discover->bind->decode round trip works under it.
+  core::Context ctx;
+  EXPECT_TRUE(ctx.decoder().plan_options().verify);
+
+  ctx.compiled_in().add("mem://flight.xsd", kAsdOffSchema);
+  FormatHandle f = ctx.discover_format("mem://flight.xsd", "ASDOffEvent");
+  core::Marshaler m = ctx.bind_dynamic(f);
+  pbio::DynamicRecord rec = m.make_record();
+  rec.set_int("fltNum", 42);
+  Buffer wire = m.encode(rec.data());
+
+  pbio::DynamicRecord out(f);
+  out.from_wire(ctx.decoder(), wire.span());
+  EXPECT_EQ(out.get_int("fltNum"), 42);
+}
+
+// --- Kernel equivalence ------------------------------------------------------
+
+TEST(KernelEquivalence, SweepIsByteIdenticalAtDispatchTier) {
+  analysis::KernelSweepResult sweep = analysis::sweep_kernel_equivalence();
+  for (const std::string& m : sweep.mismatches) {
+    ADD_FAILURE() << m;
+  }
+  if (arch::simd_tier() != arch::SimdTier::kScalar) {
+    EXPECT_GT(sweep.shapes, 0u)
+        << "vector tier dispatched but no shape had a vector form";
+    EXPECT_GT(sweep.cases, 0u);
+  }
+}
+
+// --- omf-verify CLI contract -------------------------------------------------
+
+class VerifyCli : public ::testing::Test {
+protected:
+  int run(const std::vector<std::string>& args) {
+    out_ = std::tmpfile();
+    err_ = std::tmpfile();
+    int rc = analysis::verify_cli(args, out_, err_);
+    return rc;
+  }
+  static std::string slurp(std::FILE* f) {
+    std::string text;
+    std::rewind(f);
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+    return text;
+  }
+  void TearDown() override {
+    if (out_ != nullptr) std::fclose(out_);
+    if (err_ != nullptr) std::fclose(err_);
+  }
+  std::FILE* out_ = nullptr;
+  std::FILE* err_ = nullptr;
+
+  const std::string hostile_ =
+      std::string(OMF_VERIFY_CORPUS_DIR) + "/read_past_extent__OMF400.plan";
+  const std::string clean_ =
+      std::string(OMF_VERIFY_CORPUS_DIR) + "/clean__certified.plan";
+};
+
+TEST_F(VerifyCli, CleanPlanExitsZero) { EXPECT_EQ(run({clean_}), 0); }
+
+TEST_F(VerifyCli, RejectionExitsOne) {
+  EXPECT_EQ(run({hostile_}), 1);
+  EXPECT_NE(slurp(err_).find("OMF400"), std::string::npos);
+}
+
+TEST_F(VerifyCli, MixedInputsStillFail) {
+  EXPECT_EQ(run({clean_, hostile_}), 1);
+}
+
+TEST_F(VerifyCli, NoInputsIsUsageError) { EXPECT_EQ(run({}), 2); }
+
+TEST_F(VerifyCli, UnknownOptionIsUsageError) {
+  EXPECT_EQ(run({"--frobnicate", clean_}), 2);
+}
+
+TEST_F(VerifyCli, KernelSweepExitsZero) {
+  EXPECT_EQ(run({"--kernels"}), 0);
+  EXPECT_NE(slurp(out_).find("kernel equivalence"), std::string::npos);
+}
+
+TEST_F(VerifyCli, JsonEmitsMachineReadableDiagnostics) {
+  EXPECT_EQ(run({"--json", hostile_}), 1);
+  std::string json = slurp(out_);
+  EXPECT_NE(json.find("\"code\":\"OMF400\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"severity\":\"error\""), std::string::npos);
+}
+
+TEST_F(VerifyCli, CertPrintsTheCertificate) {
+  EXPECT_EQ(run({"--cert", clean_}), 0);
+  std::string text = slurp(out_);
+  EXPECT_NE(text.find("certificate: clean"), std::string::npos) << text;
+  EXPECT_NE(text.find("proven:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace omf

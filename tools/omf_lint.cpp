@@ -1,88 +1,23 @@
 // omf-lint: static analyzer for OMF metadata.
 //
-//   omf-lint [options] <file>...
+//   omf-lint [--quiet] [--werror] [--json] <file>...
+//   omf-lint --codes | --codes-md
 //
 // Inputs may be XML Schema documents (*.xsd / *.xml), textual format
 // descriptors (*.fmt), or serialized format bundles ("OBMF" magic). Every
 // diagnostic is printed GCC-style (file:line:col: severity[CODE]: message)
-// so editors and CI annotate them natively.
+// so editors and CI annotate them natively; --json emits one JSON array
+// instead. Exit codes (also in --help): 0 = no errors (warnings allowed),
+// 1 = errors found (or warnings under --werror), 2 = usage error.
 //
-// Exit status: 0 = no errors (warnings allowed), 1 = errors found,
-// 2 = usage error. --werror promotes warnings to a failing exit status.
-#include <cstdio>
-#include <cstring>
+// The driver lives in analysis::lint_cli so the exit-code contract is
+// regression-tested without spawning this binary.
 #include <string>
 #include <vector>
 
-#include "analysis/lint.hpp"
-
-namespace {
-
-int print_codes() {
-  std::printf("%-8s %-8s %s\n", "code", "severity", "summary");
-  for (const omf::analysis::CodeInfo& info :
-       omf::analysis::diagnostic_codes()) {
-    std::printf("%-8s %-8s %s\n", info.code,
-                info.severity == omf::analysis::Severity::kError ? "error"
-                                                                 : "warning",
-                info.summary);
-  }
-  return 0;
-}
-
-int usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s [--quiet] [--werror] <file>...\n"
-               "       %s --codes\n"
-               "\n"
-               "Statically audits OMF metadata: XML Schema documents,\n"
-               "textual descriptor files (*.fmt), and serialized format\n"
-               "bundles. Exits nonzero if any error diagnostic is found.\n",
-               argv0, argv0);
-  return 2;
-}
-
-}  // namespace
+#include "analysis/cli.hpp"
 
 int main(int argc, char** argv) {
-  bool quiet = false;
-  bool werror = false;
-  std::vector<std::string> files;
-
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--codes") == 0) return print_codes();
-    if (std::strcmp(argv[i], "--quiet") == 0) {
-      quiet = true;
-    } else if (std::strcmp(argv[i], "--werror") == 0) {
-      werror = true;
-    } else if (std::strcmp(argv[i], "--help") == 0 ||
-               std::strcmp(argv[i], "-h") == 0) {
-      usage(argv[0]);
-      return 0;
-    } else if (argv[i][0] == '-') {
-      std::fprintf(stderr, "%s: unknown option '%s'\n", argv[0], argv[i]);
-      return usage(argv[0]);
-    } else {
-      files.emplace_back(argv[i]);
-    }
-  }
-  if (files.empty()) return usage(argv[0]);
-
-  std::size_t errors = 0;
-  std::size_t warnings = 0;
-  for (const std::string& file : files) {
-    omf::analysis::LintResult result = omf::analysis::lint_file(file);
-    errors += result.errors;
-    warnings += result.warnings;
-    if (!quiet) {
-      for (const omf::analysis::Diagnostic& d : result.diagnostics) {
-        std::fprintf(stderr, "%s\n", omf::analysis::render(d).c_str());
-      }
-    }
-  }
-  if (!quiet && (errors != 0 || warnings != 0)) {
-    std::fprintf(stderr, "omf-lint: %zu error(s), %zu warning(s) in %zu file(s)\n",
-                 errors, warnings, files.size());
-  }
-  return (errors != 0 || (werror && warnings != 0)) ? 1 : 0;
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return omf::analysis::lint_cli(args, stdout, stderr);
 }

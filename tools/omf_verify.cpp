@@ -1,0 +1,26 @@
+// omf-verify: bounds certification of compiled conversion plans.
+//
+//   omf-verify [--quiet] [--json] [--cert] <file.plan|file.fmt>...
+//   omf-verify --kernels
+//
+// The static half of the PR 7 correctness gate: an interval-domain abstract
+// interpretation proves every plan read fits the wire struct region of the
+// minimum admissible message and every write fits the native struct — or
+// emits an OMF4xx diagnostic carrying a concrete counterexample message
+// length. `.plan` inputs are raw op programs (the hostile-mutant corpus
+// format); `.fmt` inputs have each `convert` directive compiled with
+// production options and certified. --cert prints the machine-checkable
+// certificate for every proven plan. --kernels runs the dynamic oracle
+// instead: the exhaustive SIMD-vs-scalar equivalence sweep.
+//
+// The driver lives in analysis::verify_cli so the exit-code contract is
+// regression-tested without spawning this binary.
+#include <string>
+#include <vector>
+
+#include "analysis/cli.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return omf::analysis::verify_cli(args, stdout, stderr);
+}

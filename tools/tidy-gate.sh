@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# Blocking clang-tidy gate with a committed baseline.
+#
+#   tools/tidy-gate.sh           # fail if the run produces findings not in
+#                                # .clang-tidy-baseline
+#   tools/tidy-gate.sh --update  # rewrite the baseline from the current run
+#
+# Requires a compile database: configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+# (override the build dir with BUILD_DIR=...).
+#
+# Findings are normalized to "file: severity: message [check]" — line and
+# column numbers are stripped so edits *above* an accepted finding don't
+# churn the baseline, while any new diagnostic (new site, new check, new
+# message) is a hard failure.
+set -u
+
+MODE=check
+if [ "${1:-}" = "--update" ]; then
+  MODE=update
+elif [ -n "${1:-}" ]; then
+  echo "usage: tools/tidy-gate.sh [--update]" >&2
+  exit 2
+fi
+
+BUILD_DIR=${BUILD_DIR:-build}
+BASELINE=.clang-tidy-baseline
+REPO_ROOT=$(cd "$(dirname "$0")/.." && pwd)
+cd "$REPO_ROOT"
+
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  echo "tidy-gate: $BUILD_DIR/compile_commands.json not found" >&2
+  echo "tidy-gate: configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON" >&2
+  exit 2
+fi
+
+RUN_CLANG_TIDY=$(command -v run-clang-tidy || command -v run-clang-tidy.py)
+if [ -z "$RUN_CLANG_TIDY" ]; then
+  echo "tidy-gate: run-clang-tidy not found in PATH" >&2
+  exit 2
+fi
+
+raw=$(mktemp)
+findings=$(mktemp)
+trap 'rm -f "$raw" "$findings"' EXIT
+
+# run-clang-tidy exits non-zero whenever any diagnostic fires; the gate
+# decides pass/fail itself, so the exit status is ignored here.
+"$RUN_CLANG_TIDY" -p "$BUILD_DIR" -quiet \
+  "$REPO_ROOT/src/.*" "$REPO_ROOT/tools/.*" "$REPO_ROOT/fuzz/.*" \
+  >"$raw" 2>/dev/null || true
+
+grep -E '^[^ ]+:[0-9]+:[0-9]+: (warning|error): .*\[[A-Za-z0-9.,-]+\]$' "$raw" \
+  | sed -E "s|^$REPO_ROOT/||" \
+  | sed -E 's/:[0-9]+:[0-9]+: / /' \
+  | LC_ALL=C sort -u >"$findings"
+
+if [ "$MODE" = update ]; then
+  {
+    echo "# clang-tidy findings accepted as pre-existing. Regenerate with"
+    echo "# tools/tidy-gate.sh --update after fixing or accepting findings."
+    cat "$findings"
+  } >"$BASELINE"
+  echo "tidy-gate: baseline updated ($(wc -l <"$findings") finding(s))"
+  exit 0
+fi
+
+accepted=$(mktemp)
+trap 'rm -f "$raw" "$findings" "$accepted"' EXIT
+grep -v '^#' "$BASELINE" 2>/dev/null | LC_ALL=C sort -u >"$accepted"
+
+new=$(LC_ALL=C comm -13 "$accepted" "$findings")
+gone=$(LC_ALL=C comm -23 "$accepted" "$findings")
+
+if [ -n "$gone" ]; then
+  echo "tidy-gate: $(printf '%s\n' "$gone" | wc -l) baseline finding(s) no longer fire" \
+       "- consider tools/tidy-gate.sh --update to shrink the baseline"
+fi
+if [ -n "$new" ]; then
+  echo "tidy-gate: NEW clang-tidy findings (not in $BASELINE):" >&2
+  printf '%s\n' "$new" >&2
+  exit 1
+fi
+echo "tidy-gate: clean ($(wc -l <"$findings") total, all baselined)"
