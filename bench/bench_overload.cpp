@@ -1,0 +1,294 @@
+// C13: overload protection under a stalled subscriber and a flooding
+// publisher (EXPERIMENTS.md).
+//
+// A hand-rolled harness (google-benchmark's steady-state model does not fit
+// a chaos scenario): each workload runs once, wall-clocked, and the numbers
+// that matter are the overload counters — how much was shed, what the
+// healthy subscriber still received, and where the memory budget peaked
+// relative to its configured limit. Emits BENCH_overload.json.
+//
+//   flood/no-stall           both subscribers read; publish-side throughput
+//   flood/stalled-subscriber one subscriber stalled via FaultProxy; the
+//                            bounded queues shed, the budget stays under its
+//                            limit, and the shed counter is scraped back off
+//                            a live /metrics endpoint to prove observability
+//   admission/publisher-quota a flooding remote publisher against a token
+//                            bucket: burst admitted, the rest rejected
+//   journal/append           registry durability cost per fsync'd append
+//   journal/recover          replay rate on restart
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "fault/faulty.hpp"
+#include "http/http.hpp"
+#include "obs/metrics.hpp"
+#include "overload/budget.hpp"
+#include "overload/health.hpp"
+#include "overload/journal.hpp"
+#include "transport/backbone.hpp"
+#include "transport/queue.hpp"
+#include "transport/remote_backbone.hpp"
+#include "util/buffer.hpp"
+
+namespace {
+
+using namespace std::chrono_literals;
+using omf::Buffer;
+using omf::bench::BenchJson;
+using omf::transport::EventBackbone;
+using omf::transport::OverflowPolicy;
+
+constexpr std::size_t kMsgBytes = 16 * 1024;
+constexpr int kFlood = 600;  // ~9.6 MB, past what loopback TCP buffers hide
+constexpr std::size_t kBudgetLimit = 8u << 20;
+
+double elapsed_ns(std::chrono::steady_clock::time_point start) {
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+std::uint64_t counter_value(const std::string& name) {
+  return omf::obs::MetricsRegistry::instance().counter(name).value();
+}
+
+Buffer filled_buffer(std::size_t n, char fill = 'x') {
+  Buffer b;
+  b.append(std::string(n, fill));
+  return b;
+}
+
+std::string as_text(const Buffer& b) {
+  return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+}
+
+void reset_budget() {
+  omf::overload::HealthMonitor::instance().set_draining(false);
+  omf::overload::MemoryBudget::instance().reset_for_tests();
+}
+
+/// Runs the flood against a server with 8-message shed-oldest queues. With
+/// `stall_one`, one of the two subscribers sits behind a FaultProxy that
+/// stops relaying server→client after a few frames — the TCP connection
+/// stays up, so only backpressure (and then shedding) is observable.
+void run_flood(BenchJson& json, bool stall_one) {
+  reset_budget();
+  auto& budget = omf::overload::MemoryBudget::instance();
+  budget.set_limit(kBudgetLimit);
+
+  EventBackbone backbone;
+  omf::transport::RemoteBackboneServer server(
+      backbone, omf::transport::RemoteBackboneServer::Options{
+                    .queue = {.max_messages = 8,
+                              .policy = OverflowPolicy::kShedOldest},
+                    .subscriber_send_timeout = 2000ms});
+
+  std::optional<omf::fault::FaultProxy> proxy;
+  if (stall_one) {
+    omf::fault::FaultScript script;
+    script.push_back({.kind = omf::fault::FaultKind::kStall,
+                      .direction = omf::fault::Direction::kServerToClient,
+                      .connection = 0,
+                      .frame = 2});
+    proxy.emplace(server.port(), script);
+  }
+
+  omf::transport::RemoteSubscription first(
+      stall_one ? proxy->port() : server.port(), "flood");
+  omf::transport::RemoteSubscription healthy(server.port(), "flood");
+  for (int i = 0; i < 500 && backbone.subscriber_count("flood") < 2; ++i) {
+    std::this_thread::sleep_for(2ms);
+  }
+
+  std::atomic<int> healthy_received{0};
+  std::atomic<bool> healthy_done{false};
+  std::thread healthy_reader([&] {
+    for (;;) {
+      auto msg = healthy.receive();
+      if (!msg || as_text(*msg) == "done") break;
+      healthy_received.fetch_add(1);
+    }
+    healthy_done.store(true);
+  });
+  // In the no-stall run the first subscriber reads too (a second healthy
+  // fan-out leg); in the stalled run its client never gets the frames.
+  std::thread first_reader;
+  if (!stall_one) {
+    first_reader = std::thread([&] {
+      while (auto msg = first.receive()) {
+        if (as_text(*msg) == "done") break;
+      }
+    });
+  }
+
+  const std::uint64_t shed_before = counter_value("transport.backbone.shed");
+  auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < kFlood; ++i) {
+    backbone.publish("flood", filled_buffer(kMsgBytes));
+    // Pace so the healthy reader can keep up with its bounded queue; the
+    // stalled path sheds regardless (total volume, not rate, buries it).
+    if (i % 8 == 7) std::this_thread::sleep_for(1ms);
+  }
+  const double publish_ns = elapsed_ns(start) / kFlood;
+
+  // The marker is republished until the healthy reader confirms arrival —
+  // it can legitimately be shed from a still-full queue the first few times.
+  Buffer done;
+  done.append(std::string("done"));
+  for (int i = 0; i < 2000 && !healthy_done.load(); ++i) {
+    backbone.publish("flood", done);
+    std::this_thread::sleep_for(5ms);
+  }
+
+  const std::uint64_t shed = counter_value("transport.backbone.shed") -
+                             shed_before;
+  const std::size_t peak = budget.peak();
+
+  // Prove the counters are live on /metrics, not just in-process: scrape a
+  // real exposition endpoint and look for the shed counter's family.
+  double metrics_observable = 0;
+  {
+    omf::http::Server http;
+    std::string body =
+        omf::http::get(http.url_for("/metrics"),
+                       omf::Deadline::from_timeout(std::chrono::seconds(5)))
+            .body;
+    if (body.find("transport_backbone_shed") != std::string::npos &&
+        body.find("admission_rejected_rate") != std::string::npos) {
+      metrics_observable = 1;
+    }
+  }
+
+  // Stopping the server closes the subscriber connections, so a reader that
+  // missed every marker still unblocks on EOF (no cross-thread close()).
+  server.stop();
+  if (proxy) proxy->stop();
+  healthy_reader.join();
+  if (first_reader.joinable()) first_reader.join();
+  first.close();
+
+  const char* name = stall_one ? "flood/stalled-subscriber" : "flood/no-stall";
+  json.add(name, publish_ns,
+           static_cast<double>(kMsgBytes) / (publish_ns / 1e9) / 1e6,
+           {{"messages", kFlood},
+            {"msg_bytes", static_cast<double>(kMsgBytes)},
+            {"healthy_received", healthy_received.load()},
+            {"shed", static_cast<double>(shed)},
+            {"budget_peak_bytes", static_cast<double>(peak)},
+            {"budget_limit_bytes", static_cast<double>(kBudgetLimit)},
+            {"budget_peak_pct",
+             100.0 * static_cast<double>(peak) / kBudgetLimit},
+            {"metrics_observable", metrics_observable}});
+  std::printf("%-26s %9.0f ns/publish  healthy_received=%d shed=%llu "
+              "budget_peak=%zu/%zu (%.1f%%)\n",
+              name, publish_ns, healthy_received.load(),
+              static_cast<unsigned long long>(shed), peak, kBudgetLimit,
+              100.0 * static_cast<double>(peak) / kBudgetLimit);
+  reset_budget();
+}
+
+void run_admission(BenchJson& json) {
+  reset_budget();
+  constexpr int kBurst = 32;
+  constexpr int kPublishes = 512;
+  EventBackbone backbone;
+  omf::transport::RemoteBackboneServer server(
+      backbone,
+      omf::transport::RemoteBackboneServer::Options{
+          .admission = {.msgs_per_sec = 0.001,
+                        .msgs_burst = kBurst}});  // bucket never refills
+  auto local = backbone.subscribe("ch");
+
+  const std::uint64_t rejected_before =
+      counter_value("omf.admission.rejected.rate");
+  omf::transport::RemotePublisher pub(server.port());
+  auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < kPublishes; ++i) {
+    pub.publish("ch", filled_buffer(256));
+  }
+  const double publish_ns = elapsed_ns(start) / kPublishes;
+  for (int i = 0;
+       i < 2000 && counter_value("omf.admission.rejected.rate") -
+                       rejected_before < kPublishes - kBurst;
+       ++i) {
+    std::this_thread::sleep_for(2ms);
+  }
+  const std::uint64_t rejected =
+      counter_value("omf.admission.rejected.rate") - rejected_before;
+  int delivered = 0;
+  while (local.try_receive()) ++delivered;
+  server.stop();
+
+  json.add("admission/publisher-quota", publish_ns,
+           256.0 / (publish_ns / 1e9) / 1e6,
+           {{"publishes", kPublishes},
+            {"msgs_burst", kBurst},
+            {"admitted", delivered},
+            {"rejected_rate", static_cast<double>(rejected)}});
+  std::printf("%-26s %9.0f ns/publish  admitted=%d rejected=%llu\n",
+              "admission/publisher-quota", publish_ns, delivered,
+              static_cast<unsigned long long>(rejected));
+}
+
+void run_journal(BenchJson& json) {
+  constexpr int kRecords = 2000;
+  constexpr std::size_t kRecordBytes = 256;
+  std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "omf_bench_overload_journal";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  std::vector<std::uint8_t> record(kRecordBytes, 0x5a);
+  {
+    omf::overload::Journal journal(dir);
+    journal.recover([](std::span<const std::uint8_t>) {});
+    auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < kRecords; ++i) {
+      journal.append(record);
+    }
+    const double append_ns = elapsed_ns(start) / kRecords;
+    json.add("journal/append", append_ns,
+             static_cast<double>(kRecordBytes) / (append_ns / 1e9) / 1e6,
+             {{"records", kRecords},
+              {"record_bytes", static_cast<double>(kRecordBytes)},
+              {"fsync_each_append", 1}});
+    std::printf("%-26s %9.0f ns/append (fsync each)\n", "journal/append",
+                append_ns);
+  }
+  {
+    omf::overload::Journal journal(dir);
+    std::size_t replayed = 0;
+    auto start = std::chrono::steady_clock::now();
+    auto stats =
+        journal.recover([&](std::span<const std::uint8_t>) { ++replayed; });
+    const double recover_ns = elapsed_ns(start) / static_cast<double>(
+                                                      replayed ? replayed : 1);
+    json.add("journal/recover", recover_ns,
+             static_cast<double>(kRecordBytes) / (recover_ns / 1e9) / 1e6,
+             {{"recovered_records", static_cast<double>(replayed)},
+              {"torn_tail", stats.torn_tail ? 1.0 : 0.0}});
+    std::printf("%-26s %9.0f ns/record  recovered=%zu\n", "journal/recover",
+                recover_ns, replayed);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+
+int main() {
+  BenchJson json("overload");
+  run_flood(json, /*stall_one=*/false);
+  run_flood(json, /*stall_one=*/true);
+  run_admission(json);
+  run_journal(json);
+  std::printf("wrote %s\n", json.write().c_str());
+  return 0;
+}

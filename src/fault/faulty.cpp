@@ -167,6 +167,11 @@ void FaultProxy::relay(int client_fd, int server_fd, int conn_index) {
           case Outcome::kKill:
             kill = true;
             break;
+          case Outcome::kStall:
+            // Stop reading client->server without shutdown: the client's
+            // sends back up into full kernel buffers and eventually block.
+            open_c2s = false;
+            break;
         }
       }
       if (!kill && open_s2c && pfds[1].revents != 0) {
@@ -182,6 +187,12 @@ void FaultProxy::relay(int client_fd, int server_fd, int conn_index) {
             break;
           case Outcome::kKill:
             kill = true;
+            break;
+          case Outcome::kStall:
+            // The stalled-subscriber fault: the server's stream toward this
+            // client is never read again (and never closed), so the server
+            // discovers the stall only as send backpressure.
+            open_s2c = false;
             break;
         }
       }
@@ -242,6 +253,11 @@ FaultProxy::Outcome FaultProxy::forward_frame(int src_fd, int dst_fd,
         netio::arm_reset_on_close(src_fd);
         netio::arm_reset_on_close(dst_fd);
         return Outcome::kKill;  // close() now RSTs both sides
+      case FaultKind::kStall:
+        // The matched frame is "stuck in transit" and this direction goes
+        // quiet for good; the relay keeps the fds open so neither side
+        // observes EOF — only backpressure.
+        return Outcome::kStall;
     }
   }
   netio::write_all(dst_fd, raw.data(), raw.size(), deadline, "proxy write");
@@ -305,6 +321,7 @@ std::optional<FaultAction> FaultyConnection::match(Direction dir,
 void FaultyConnection::send(const Buffer& message) {
   std::optional<FaultAction> action =
       match(Direction::kClientToServer, sends_++);
+  if (stalled_tx_) return;  // a stalled endpoint's bytes never leave it
   if (!action) {
     conn_.send(message);
     return;
@@ -343,6 +360,9 @@ void FaultyConnection::send(const Buffer& message) {
       netio::arm_reset_on_close(conn_.native_handle());
       conn_.close();
       return;
+    case FaultKind::kStall:
+      stalled_tx_ = true;  // this and every later send is swallowed
+      return;
   }
 }
 
@@ -365,6 +385,10 @@ std::optional<Buffer> FaultyConnection::receive() {
     case FaultKind::kReset:
       conn_.close();
       throw TransportError("injected receive fault");
+    case FaultKind::kStall:
+      // This endpoint stops reading for good; to the caller that is a
+      // stream that never produces again.
+      return std::nullopt;
   }
   return conn_.receive();  // unreachable
 }

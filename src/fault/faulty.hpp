@@ -41,6 +41,11 @@ enum class FaultKind {
   kCorrupt,   ///< flip `corrupt_count` payload/CRC bytes, then forward
   kTruncate,  ///< forward only `keep_bytes` raw bytes, then close
   kReset,     ///< tear the connection down with RST (SO_LINGER 0)
+  kStall,     ///< stop reading this direction *without* closing: kernel
+              ///< buffers fill until the sender blocks — the slow-loris
+              ///< subscriber of the overload suite. Never scheduled by
+              ///< chaos_script() (it would wedge latency-sensitive suites);
+              ///< scripted explicitly where backpressure is the point.
 };
 
 enum class Direction {
@@ -95,7 +100,7 @@ public:
   void stop();
 
 private:
-  enum class Outcome { kForwarded, kEof, kKill };
+  enum class Outcome { kForwarded, kEof, kKill, kStall };
 
   void accept_loop();
   void relay(int client_fd, int server_fd, int conn_index);
@@ -149,6 +154,7 @@ private:
   int sends_ = 0;
   int receives_ = 0;
   std::size_t faults_ = 0;
+  bool stalled_tx_ = false;  // kStall fired on the send side
 };
 
 }  // namespace omf::fault

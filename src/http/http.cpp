@@ -12,6 +12,7 @@
 
 #include "obs/exposition.hpp"
 #include "obs/metrics.hpp"
+#include "overload/health.hpp"
 #include "transport/net_io.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
@@ -210,7 +211,9 @@ void Server::serve() {
 // to be correct.
 void Server::handle(transport::TcpConnection conn) {
   // We need raw byte-stream I/O; TcpConnection frames messages. Extract the
-  // descriptor by releasing it from the connection.
+  // descriptor by releasing it from the connection (peer identity first —
+  // the admission layer keys quotas on it).
+  const std::string peer = conn.peer_ip();
   int fd = conn.release_fd();
   if (fd < 0) return;
   requests_.fetch_add(1);
@@ -232,8 +235,16 @@ void Server::handle(transport::TcpConnection conn) {
     std::string body = "bad request";
     std::string content_type = "text/plain";
 
-    if (parts.size() >= 2 && parts[0] == "GET") {
+    overload::Admission adm = admission_.admit_message(peer, raw.size());
+    if (!adm) {
+      static obs::Counter& throttled =
+          obs::MetricsRegistry::instance().counter("http.server.throttled");
+      throttled.add();
+      status = "429 Too Many Requests";
+      body = std::string("[") + adm.code + "] " + adm.detail + "\n";
+    } else if (parts.size() >= 2 && parts[0] == "GET") {
       std::string path(parts[1]);
+      std::string bare = path.substr(0, path.find('?'));
       std::optional<std::string> doc;
       std::string doc_type;
       {
@@ -244,7 +255,6 @@ void Server::handle(transport::TcpConnection conn) {
         }
         if (!doc) {
           // Strip any query string for the static map.
-          std::string bare = path.substr(0, path.find('?'));
           auto it = documents_.find(bare);
           if (it != documents_.end()) {
             doc = it->second.first;
@@ -252,12 +262,18 @@ void Server::handle(transport::TcpConnection conn) {
           }
         }
       }
-      if (!doc && metrics_endpoint_.load() &&
-          path.substr(0, path.find('?')) == "/metrics") {
+      if (!doc && metrics_endpoint_.load() && bare == "/metrics") {
         doc = obs::render_prometheus();
         doc_type = "text/plain; version=0.0.4";
       }
-      if (doc) {
+      if (!doc && health_endpoint_.load() && bare == "/healthz") {
+        // Readiness probe: anything other than "ok" answers 503 so load
+        // balancers stop routing here, while the body names the state.
+        overload::Health h = overload::HealthMonitor::instance().state();
+        status = h == overload::Health::kOk ? "200 OK"
+                                            : "503 Service Unavailable";
+        body = std::string(overload::health_name(h)) + "\n";
+      } else if (doc) {
         status = "200 OK";
         body = std::move(*doc);
         content_type = doc_type;

@@ -17,6 +17,7 @@
 #include <string>
 #include <thread>
 
+#include "overload/admission.hpp"
 #include "transport/tcp.hpp"
 #include "util/deadline.hpp"
 
@@ -89,6 +90,21 @@ public:
     metrics_endpoint_.store(enabled);
   }
 
+  /// Every Server also exposes GET /healthz — the process overload state as
+  /// a readiness probe: 200 "ok" normally, 503 "degraded" past the memory
+  /// high-watermark, 503 "draining" during graceful shutdown. Same
+  /// precedence and opt-out shape as /metrics.
+  void set_health_endpoint(bool enabled) noexcept {
+    health_endpoint_.store(enabled);
+  }
+
+  /// Per-peer request quotas (msgs/s counts requests, bytes/s counts
+  /// request-header bytes). Over-quota requests get a 429 with a
+  /// lint-style "[OMFnnn] detail" body. Unlimited by default.
+  void set_admission(const overload::AdmissionLimits& limits) {
+    admission_.set_limits(limits);
+  }
+
   /// Per-request I/O bound. The server handles requests sequentially on one
   /// thread, so a client that connects and stalls (slowloris) would
   /// otherwise wedge every later request. Default 30 s.
@@ -105,6 +121,8 @@ private:
   transport::TcpListener listener_;
   std::atomic<bool> running_{true};
   std::atomic<bool> metrics_endpoint_{true};
+  std::atomic<bool> health_endpoint_{true};
+  overload::AdmissionController admission_;
   std::atomic<std::size_t> requests_{0};
   std::atomic<std::int64_t> request_timeout_ms_{30000};
   mutable std::mutex mutex_;

@@ -52,7 +52,23 @@ constexpr const char* kCoreCounters[] = {
     "transport.format_service.pushes",
     "transport.format_service.unknown_ids",
     "transport.format_service.retries",
+    "transport.format_service.push_rejects",
+    "transport.backbone.published",
+    "transport.backbone.delivered",
+    "transport.backbone.shed",
+    "transport.backbone.overflow_disconnects",
+    "omf.admission.admitted",
+    "omf.admission.rejected.connections",
+    "omf.admission.rejected.rate",
+    "omf.admission.rejected.bytes",
+    "omf.admission.rejected.degraded",
+    "omf.budget.frame_rejects",
+    "omf.journal.appends",
+    "omf.journal.compactions",
+    "omf.journal.recovered_records",
+    "omf.journal.torn_tails",
     "http.server.requests",
+    "http.server.throttled",
     "gateway.converted",
     "gateway.passed_through",
     "obs.spans.recorded",
@@ -68,6 +84,14 @@ constexpr const char* kCoreHistograms[] = {
 
 constexpr const char* kCoreGauges[] = {
     "pbio.decode.kernel_tier",
+    "transport.backbone.queue_depth",
+    "omf.admission.connections",
+    "omf.budget.used_bytes",
+    "omf.budget.peak_bytes",
+    "omf.budget.limit_bytes",
+    "omf.budget.degraded",
+    "omf.health.draining",
+    "omf.journal.bytes",
 };
 
 }  // namespace

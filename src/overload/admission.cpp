@@ -1,0 +1,141 @@
+#include "overload/admission.hpp"
+
+#include <algorithm>
+
+#include "obs/metrics.hpp"
+
+namespace omf::overload {
+
+namespace {
+struct AdmissionMetrics {
+  obs::Counter& admitted;
+  obs::Counter& rejected_connections;
+  obs::Counter& rejected_rate;
+  obs::Counter& rejected_bytes;
+  obs::Gauge& connections;
+  static const AdmissionMetrics& get() {
+    auto& reg = obs::MetricsRegistry::instance();
+    static AdmissionMetrics m{
+        reg.counter("omf.admission.admitted"),
+        reg.counter("omf.admission.rejected.connections"),
+        reg.counter("omf.admission.rejected.rate"),
+        reg.counter("omf.admission.rejected.bytes"),
+        reg.gauge("omf.admission.connections")};
+    return m;
+  }
+};
+
+Admission reject(const char* code, std::string detail) {
+  Admission out;
+  out.admitted = false;
+  out.code = code;
+  out.detail = std::move(detail);
+  return out;
+}
+}  // namespace
+
+std::uint64_t AdmissionController::now() const {
+  return now_ns_ != nullptr ? now_ns_() : obs::monotonic_ns();
+}
+
+void AdmissionController::refill(Peer& peer, std::uint64_t now_ns) const {
+  double burst_msgs =
+      limits_.msgs_burst > 0 ? limits_.msgs_burst : limits_.msgs_per_sec;
+  double burst_bytes =
+      limits_.bytes_burst > 0 ? limits_.bytes_burst : limits_.bytes_per_sec;
+  if (!peer.buckets_primed) {
+    // A new peer starts with a full bucket: a burst up to the depth is fine,
+    // sustained traffic is what the rate bounds.
+    peer.msg_tokens = burst_msgs;
+    peer.byte_tokens = burst_bytes;
+    peer.refill_ns = now_ns;
+    peer.buckets_primed = true;
+    return;
+  }
+  double dt = static_cast<double>(now_ns - peer.refill_ns) * 1e-9;
+  if (dt <= 0) return;
+  peer.msg_tokens =
+      std::min(burst_msgs, peer.msg_tokens + dt * limits_.msgs_per_sec);
+  peer.byte_tokens =
+      std::min(burst_bytes, peer.byte_tokens + dt * limits_.bytes_per_sec);
+  peer.refill_ns = now_ns;
+}
+
+Admission AdmissionController::admit_connection(const std::string& peer) {
+  const AdmissionMetrics& m = AdmissionMetrics::get();
+  std::lock_guard lock(mutex_);
+  if (limits_.max_connections_total != 0 &&
+      total_connections_ >= limits_.max_connections_total) {
+    m.rejected_connections.add();
+    return reject("OMF502",
+                  "OMF502: connection cap reached (" +
+                      std::to_string(limits_.max_connections_total) +
+                      " total); peer " + peer + " shed");
+  }
+  Peer& state = peers_[peer];
+  if (limits_.max_connections_per_peer != 0 &&
+      state.connections >= limits_.max_connections_per_peer) {
+    m.rejected_connections.add();
+    return reject("OMF501",
+                  "OMF501: peer " + peer + " exceeded its connection cap (" +
+                      std::to_string(limits_.max_connections_per_peer) + ")");
+  }
+  ++state.connections;
+  ++total_connections_;
+  m.admitted.add();
+  m.connections.set(static_cast<std::int64_t>(total_connections_));
+  return Admission{};
+}
+
+void AdmissionController::release_connection(const std::string& peer) {
+  std::lock_guard lock(mutex_);
+  auto it = peers_.find(peer);
+  if (it == peers_.end() || it->second.connections == 0) return;
+  --it->second.connections;
+  if (total_connections_ > 0) --total_connections_;
+  AdmissionMetrics::get().connections.set(
+      static_cast<std::int64_t>(total_connections_));
+  // Peers with no connections and full-by-construction buckets would leak
+  // one map entry per historical peer; keep entries only while they carry
+  // state that matters (live connections or a draining bucket).
+  if (it->second.connections == 0 && limits_.msgs_per_sec == 0 &&
+      limits_.bytes_per_sec == 0) {
+    peers_.erase(it);
+  }
+}
+
+Admission AdmissionController::admit_message(const std::string& peer,
+                                             std::size_t bytes) {
+  const AdmissionMetrics& m = AdmissionMetrics::get();
+  std::lock_guard lock(mutex_);
+  if (limits_.msgs_per_sec == 0 && limits_.bytes_per_sec == 0) {
+    return Admission{};
+  }
+  Peer& state = peers_[peer];
+  refill(state, now());
+  if (limits_.msgs_per_sec > 0 && state.msg_tokens < 1.0) {
+    m.rejected_rate.add();
+    return reject("OMF503",
+                  "OMF503: peer " + peer + " exceeded " +
+                      std::to_string(static_cast<long long>(
+                          limits_.msgs_per_sec)) +
+                      " msgs/s quota");
+  }
+  if (limits_.bytes_per_sec > 0 &&
+      state.byte_tokens < static_cast<double>(bytes)) {
+    m.rejected_bytes.add();
+    return reject("OMF504",
+                  "OMF504: peer " + peer + " exceeded " +
+                      std::to_string(static_cast<long long>(
+                          limits_.bytes_per_sec)) +
+                      " bytes/s quota");
+  }
+  if (limits_.msgs_per_sec > 0) state.msg_tokens -= 1.0;
+  if (limits_.bytes_per_sec > 0) {
+    state.byte_tokens -= static_cast<double>(bytes);
+  }
+  m.admitted.add();
+  return Admission{};
+}
+
+}  // namespace omf::overload

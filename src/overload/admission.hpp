@@ -1,0 +1,110 @@
+// Per-peer admission control: token buckets and connection caps.
+//
+// PR 3 made *clients* resilient; this is the mirror image for servers. Any
+// peer in the paper's deployment model can dial the publicly known metadata
+// server or the backbone and start pushing: admission control is the first
+// gate a connection or message crosses, before any allocation or
+// registration happens on its behalf. Quotas are token buckets (msgs/s and
+// bytes/s with a configurable burst) keyed by peer identity plus per-peer
+// and total connection caps.
+//
+// Rejections are structured, lint-style: every decision carries a stable
+// OMF5xx code and a one-line human detail, the same shape as the analyzer
+// diagnostics (OMF0xx–4xx) so operators grep one namespace. The codes:
+//
+//   OMF500  process degraded (memory budget brownout) — shed, retry later
+//   OMF501  per-peer connection cap exceeded
+//   OMF502  total connection cap exceeded
+//   OMF503  per-peer message-rate quota exceeded
+//   OMF504  per-peer byte-rate quota exceeded
+//
+// Decisions are cheap (one mutex-guarded map probe; admission sits on
+// connection setup and per-frame server paths, not on the decode hot path)
+// and deterministic under a test clock via set_now_fn.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace omf::overload {
+
+struct AdmissionLimits {
+  std::size_t max_connections_per_peer = 0;  ///< 0 = unlimited
+  std::size_t max_connections_total = 0;     ///< 0 = unlimited
+  double msgs_per_sec = 0;                   ///< 0 = unlimited
+  double msgs_burst = 0;                     ///< bucket depth; 0 = 1s of rate
+  double bytes_per_sec = 0;                  ///< 0 = unlimited
+  double bytes_burst = 0;                    ///< bucket depth; 0 = 1s of rate
+
+  bool unlimited() const noexcept {
+    return max_connections_per_peer == 0 && max_connections_total == 0 &&
+           msgs_per_sec == 0 && bytes_per_sec == 0;
+  }
+};
+
+/// Outcome of an admission check. `code`/`detail` are set only on rejection;
+/// `code` is a stable "OMF5xx" string.
+struct Admission {
+  bool admitted = true;
+  const char* code = nullptr;
+  std::string detail;
+
+  explicit operator bool() const noexcept { return admitted; }
+};
+
+class AdmissionController {
+ public:
+  AdmissionController() = default;
+  explicit AdmissionController(AdmissionLimits limits)
+      : limits_(std::move(limits)) {}
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  void set_limits(const AdmissionLimits& limits) {
+    std::lock_guard lock(mutex_);
+    limits_ = limits;
+  }
+
+  /// Gate for a new connection from `peer`. An admitted connection MUST be
+  /// paired with release_connection when it ends.
+  Admission admit_connection(const std::string& peer);
+  void release_connection(const std::string& peer);
+
+  /// Gate for one message of `bytes` from `peer` (token buckets only; call
+  /// on the server's per-frame receive path).
+  Admission admit_message(const std::string& peer, std::size_t bytes);
+
+  std::size_t active_connections() const {
+    std::lock_guard lock(mutex_);
+    return total_connections_;
+  }
+
+  /// Test clock: monotonic nanoseconds. nullptr restores the real clock.
+  void set_now_fn(std::uint64_t (*now_ns)()) {
+    std::lock_guard lock(mutex_);
+    now_ns_ = now_ns;
+  }
+
+ private:
+  struct Peer {
+    double msg_tokens = 0;
+    double byte_tokens = 0;
+    std::uint64_t refill_ns = 0;
+    std::size_t connections = 0;
+    bool buckets_primed = false;
+  };
+
+  std::uint64_t now() const;
+  void refill(Peer& peer, std::uint64_t now_ns) const;
+
+  mutable std::mutex mutex_;
+  AdmissionLimits limits_;
+  std::unordered_map<std::string, Peer> peers_;
+  std::size_t total_connections_ = 0;
+  std::uint64_t (*now_ns_)() = nullptr;
+};
+
+}  // namespace omf::overload

@@ -1,0 +1,129 @@
+#include "overload/budget.hpp"
+
+#include <algorithm>
+
+#include "obs/metrics.hpp"
+
+namespace omf::overload {
+
+namespace {
+struct BudgetMetrics {
+  obs::Gauge& used;
+  obs::Gauge& peak;
+  obs::Gauge& limit;
+  obs::Gauge& degraded;
+  static const BudgetMetrics& get() {
+    auto& reg = obs::MetricsRegistry::instance();
+    static BudgetMetrics m{reg.gauge("omf.budget.used_bytes"),
+                           reg.gauge("omf.budget.peak_bytes"),
+                           reg.gauge("omf.budget.limit_bytes"),
+                           reg.gauge("omf.budget.degraded")};
+    return m;
+  }
+};
+}  // namespace
+
+MemoryBudget& MemoryBudget::instance() {
+  static MemoryBudget budget;
+  return budget;
+}
+
+MemoryBudget::MemoryBudget() = default;
+
+void MemoryBudget::set_limit(std::size_t bytes) noexcept {
+  limit_.store(bytes, std::memory_order_relaxed);
+  BudgetMetrics::get().limit.set(static_cast<std::int64_t>(bytes));
+  after_update(used());
+}
+
+void MemoryBudget::set_watermarks(unsigned high_pct,
+                                  unsigned low_pct) noexcept {
+  high_pct = std::clamp(high_pct, 1u, 100u);
+  low_pct = std::clamp(low_pct, 1u, high_pct);
+  high_pct_.store(high_pct, std::memory_order_relaxed);
+  low_pct_.store(low_pct, std::memory_order_relaxed);
+  after_update(used());
+}
+
+void MemoryBudget::charge(std::size_t n) noexcept {
+  std::size_t now = used_.fetch_add(n, std::memory_order_relaxed) + n;
+  after_update(now);
+}
+
+bool MemoryBudget::try_charge(std::size_t n) noexcept {
+  std::size_t limit = limit_.load(std::memory_order_relaxed);
+  if (limit == 0) {
+    charge(n);
+    return true;
+  }
+  std::size_t cur = used_.load(std::memory_order_relaxed);
+  for (;;) {
+    if (cur + n > limit) return false;
+    if (used_.compare_exchange_weak(cur, cur + n, std::memory_order_relaxed)) {
+      after_update(cur + n);
+      return true;
+    }
+  }
+}
+
+void MemoryBudget::release(std::size_t n) noexcept {
+  // Saturate at zero rather than wrapping: a mismatched release is a bug,
+  // but an absurd used() must not cascade into permanent brownout.
+  std::size_t cur = used_.load(std::memory_order_relaxed);
+  for (;;) {
+    std::size_t next = cur >= n ? cur - n : 0;
+    if (used_.compare_exchange_weak(cur, next, std::memory_order_relaxed)) {
+      after_update(next);
+      return;
+    }
+  }
+}
+
+void MemoryBudget::after_update(std::size_t used_now) noexcept {
+  std::size_t prev_peak = peak_.load(std::memory_order_relaxed);
+  while (used_now > prev_peak &&
+         !peak_.compare_exchange_weak(prev_peak, used_now,
+                                      std::memory_order_relaxed)) {
+  }
+  std::size_t limit = limit_.load(std::memory_order_relaxed);
+  bool degraded = degraded_.load(std::memory_order_relaxed);
+  if (limit == 0) {
+    if (degraded) degraded_.store(false, std::memory_order_relaxed);
+    degraded = false;
+  } else {
+    // Hysteresis: trip above high, clear only below low.
+    std::size_t high =
+        limit / 100 * high_pct_.load(std::memory_order_relaxed) +
+        limit % 100 * high_pct_.load(std::memory_order_relaxed) / 100;
+    std::size_t low = limit / 100 * low_pct_.load(std::memory_order_relaxed) +
+                      limit % 100 * low_pct_.load(std::memory_order_relaxed) /
+                          100;
+    if (!degraded && used_now >= high) {
+      degraded_.store(true, std::memory_order_relaxed);
+      degraded = true;
+    } else if (degraded && used_now < low) {
+      degraded_.store(false, std::memory_order_relaxed);
+      degraded = false;
+    }
+  }
+  const BudgetMetrics& m = BudgetMetrics::get();
+  m.used.set(static_cast<std::int64_t>(used_now));
+  m.peak.set(static_cast<std::int64_t>(peak_.load(std::memory_order_relaxed)));
+  m.degraded.set(degraded ? 1 : 0);
+}
+
+void MemoryBudget::reset_for_tests() noexcept {
+  used_.store(0, std::memory_order_relaxed);
+  peak_.store(0, std::memory_order_relaxed);
+  limit_.store(0, std::memory_order_relaxed);
+  high_pct_.store(90, std::memory_order_relaxed);
+  low_pct_.store(70, std::memory_order_relaxed);
+  degraded_.store(false, std::memory_order_relaxed);
+  const BudgetMetrics& m = BudgetMetrics::get();
+  m.used.set(0);
+  m.peak.set(0);
+  m.limit.set(0);
+  m.degraded.set(0);
+}
+
+}  // namespace omf::overload

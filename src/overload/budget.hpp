@@ -1,0 +1,109 @@
+// Process-wide memory budget: the accounting substrate of server-side
+// graceful degradation.
+//
+// The transports' per-frame bounds (max_message_size) protect against one
+// hostile frame; they do nothing against a thousand well-formed ones queued
+// behind a stalled subscriber. MemoryBudget is the aggregate bound: every
+// subsystem that buffers bytes on behalf of a peer — subscriber queues,
+// DecodeArena pools, frame preallocation — charges its bytes here and
+// releases them when the memory is reclaimed. The budget never allocates
+// and never frees; it is bookkeeping only, so `used()` is an RSS *proxy*
+// for peer-attributable memory, cheap enough to update from hot paths
+// (two relaxed atomic RMWs).
+//
+// Degradation is hysteretic: crossing the high watermark flips the process
+// into a degraded state (servers shed new connections, reject writes, serve
+// stale metadata); the flag clears only once usage falls back below the low
+// watermark, so a server hovering at the boundary does not flap.
+//
+// The default limit is 0 = unlimited: pure accounting, no behaviour change.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace omf::overload {
+
+class MemoryBudget {
+ public:
+  static MemoryBudget& instance();
+
+  /// Sets the budget in bytes; 0 = unlimited (accounting only).
+  void set_limit(std::size_t bytes) noexcept;
+  std::size_t limit() const noexcept {
+    return limit_.load(std::memory_order_relaxed);
+  }
+
+  /// Watermarks as percentages of the limit (defaults 90 high / 70 low).
+  /// `high` must be >= `low`; values are clamped to [1, 100].
+  void set_watermarks(unsigned high_pct, unsigned low_pct) noexcept;
+
+  /// Unconditional accounting (allocations that must not fail mid-operation,
+  /// e.g. arena growth inside a decode). May push usage past the limit;
+  /// pressure then surfaces through degraded() instead of a failure.
+  void charge(std::size_t n) noexcept;
+
+  /// Accounting that respects the limit: returns false (charging nothing)
+  /// when the charge would exceed it. Use at admission-style sites that can
+  /// reject cleanly (frame preallocation, queue enqueue).
+  bool try_charge(std::size_t n) noexcept;
+
+  void release(std::size_t n) noexcept;
+
+  std::size_t used() const noexcept {
+    return used_.load(std::memory_order_relaxed);
+  }
+
+  /// High-water mark of used() since process start (or reset_for_tests).
+  std::size_t peak() const noexcept {
+    return peak_.load(std::memory_order_relaxed);
+  }
+
+  /// True between crossing the high watermark and falling back below the
+  /// low one. Always false with an unlimited budget.
+  bool degraded() const noexcept {
+    return degraded_.load(std::memory_order_relaxed);
+  }
+
+  /// Tests only: zeroes usage, peak, limit, and the degraded flag. Racing
+  /// this against live charges is a test bug.
+  void reset_for_tests() noexcept;
+
+  MemoryBudget(const MemoryBudget&) = delete;
+  MemoryBudget& operator=(const MemoryBudget&) = delete;
+
+ private:
+  MemoryBudget();
+
+  void after_update(std::size_t used_now) noexcept;
+
+  std::atomic<std::size_t> used_{0};
+  std::atomic<std::size_t> peak_{0};
+  std::atomic<std::size_t> limit_{0};
+  std::atomic<unsigned> high_pct_{90};
+  std::atomic<unsigned> low_pct_{70};
+  std::atomic<bool> degraded_{false};
+};
+
+/// RAII transient charge (frame preallocation, staging buffers): charges in
+/// the constructor, releases in the destructor. `ok()` is false when the
+/// budget refused the charge — the caller rejects the operation.
+class ScopedCharge {
+ public:
+  explicit ScopedCharge(std::size_t n) noexcept
+      : n_(n), ok_(MemoryBudget::instance().try_charge(n)) {}
+  ~ScopedCharge() {
+    if (ok_) MemoryBudget::instance().release(n_);
+  }
+  ScopedCharge(const ScopedCharge&) = delete;
+  ScopedCharge& operator=(const ScopedCharge&) = delete;
+
+  bool ok() const noexcept { return ok_; }
+
+ private:
+  std::size_t n_;
+  bool ok_;
+};
+
+}  // namespace omf::overload

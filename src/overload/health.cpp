@@ -1,0 +1,19 @@
+#include "overload/health.hpp"
+
+#include "obs/metrics.hpp"
+
+namespace omf::overload {
+
+HealthMonitor& HealthMonitor::instance() {
+  static HealthMonitor monitor;
+  return monitor;
+}
+
+void HealthMonitor::set_draining(bool draining) noexcept {
+  draining_.store(draining, std::memory_order_relaxed);
+  static obs::Gauge& gauge =
+      obs::MetricsRegistry::instance().gauge("omf.health.draining");
+  gauge.set(draining ? 1 : 0);
+}
+
+}  // namespace omf::overload

@@ -1,0 +1,59 @@
+// Process health for readiness probes: ok / degraded / draining.
+//
+// One process-wide tri-state, derived rather than stored where possible:
+// "draining" is set explicitly by graceful shutdown (servers have stopped
+// accepting and are flushing queues/journals); "degraded" comes straight
+// from the MemoryBudget's hysteretic watermark state. http::Server exposes
+// this as GET /healthz — "ok" with 200, "degraded"/"draining" with 503 —
+// so a load balancer steers new clients away while existing ones drain.
+#pragma once
+
+#include <atomic>
+
+#include "overload/budget.hpp"
+
+namespace omf::overload {
+
+enum class Health {
+  kOk = 0,
+  kDegraded = 1,
+  kDraining = 2,
+};
+
+inline const char* health_name(Health h) noexcept {
+  switch (h) {
+    case Health::kOk:
+      return "ok";
+    case Health::kDegraded:
+      return "degraded";
+    case Health::kDraining:
+      return "draining";
+  }
+  return "unknown";
+}
+
+class HealthMonitor {
+ public:
+  static HealthMonitor& instance();
+
+  /// Draining wins over degraded; degraded tracks the memory budget.
+  Health state() const noexcept {
+    if (draining_.load(std::memory_order_relaxed)) return Health::kDraining;
+    if (MemoryBudget::instance().degraded()) return Health::kDegraded;
+    return Health::kOk;
+  }
+
+  void set_draining(bool draining) noexcept;
+  bool draining() const noexcept {
+    return draining_.load(std::memory_order_relaxed);
+  }
+
+  HealthMonitor(const HealthMonitor&) = delete;
+  HealthMonitor& operator=(const HealthMonitor&) = delete;
+
+ private:
+  HealthMonitor() = default;
+  std::atomic<bool> draining_{false};
+};
+
+}  // namespace omf::overload

@@ -1,0 +1,245 @@
+#include "overload/journal.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "obs/metrics.hpp"
+#include "util/bytes.hpp"
+#include "util/error.hpp"
+#include "util/hash.hpp"
+#include "util/logging.hpp"
+
+namespace omf::overload {
+
+namespace {
+
+struct JournalMetrics {
+  obs::Counter& appends;
+  obs::Counter& compactions;
+  obs::Counter& recovered;
+  obs::Counter& torn_tails;
+  obs::Gauge& bytes;
+  static const JournalMetrics& get() {
+    auto& reg = obs::MetricsRegistry::instance();
+    static JournalMetrics m{reg.counter("omf.journal.appends"),
+                            reg.counter("omf.journal.compactions"),
+                            reg.counter("omf.journal.recovered_records"),
+                            reg.counter("omf.journal.torn_tails"),
+                            reg.gauge("omf.journal.bytes")};
+    return m;
+  }
+};
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw Error(what + ": " + std::strerror(errno));
+}
+
+void write_fully(int fd, const std::uint8_t* data, std::size_t n,
+                 const char* what) {
+  while (n > 0) {
+    ssize_t w = ::write(fd, data, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      throw_errno(what);
+    }
+    data += w;
+    n -= static_cast<std::size_t>(w);
+  }
+}
+
+std::vector<std::uint8_t> read_file(const std::filesystem::path& path) {
+  std::vector<std::uint8_t> out;
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (errno == ENOENT) return out;
+    throw_errno("journal: open " + path.string());
+  }
+  std::uint8_t buf[1 << 16];
+  for (;;) {
+    ssize_t r = ::read(fd, buf, sizeof(buf));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      int saved = errno;
+      ::close(fd);
+      errno = saved;
+      throw_errno("journal: read " + path.string());
+    }
+    if (r == 0) break;
+    out.insert(out.end(), buf, buf + r);
+  }
+  ::close(fd);
+  return out;
+}
+
+/// Walks `data` record by record, calling `apply` for each intact one.
+/// Returns the byte offset just past the last intact record; `torn` is set
+/// when trailing bytes had to be discarded (partial or CRC-failing tail).
+std::size_t replay_records(
+    std::span<const std::uint8_t> data,
+    const std::function<void(std::span<const std::uint8_t>)>& apply,
+    std::size_t* count, bool* torn) {
+  std::size_t off = 0;
+  while (data.size() - off >= 8) {
+    std::uint32_t len = load_le<std::uint32_t>(data.data() + off);
+    if (data.size() - off - 8 < len) break;  // partial payload: torn tail
+    const std::uint8_t* payload = data.data() + off + 4;
+    std::uint32_t stored = load_le<std::uint32_t>(payload + len);
+    if (crc32(payload, len) != stored) break;  // corrupt tail record
+    apply({payload, len});
+    ++*count;
+    off += 8 + len;
+  }
+  *torn = off != data.size();
+  return off;
+}
+
+void fsync_dir(const std::filesystem::path& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return;  // best effort; not all filesystems support it
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
+Journal::Journal(std::filesystem::path dir)
+    : Journal(std::move(dir), Options()) {}
+
+Journal::Journal(std::filesystem::path dir, Options options)
+    : dir_(std::move(dir)), options_(options) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) {
+    throw Error("journal: cannot create directory " + dir_.string() + ": " +
+                ec.message());
+  }
+  open_log();
+}
+
+Journal::~Journal() {
+  if (log_fd_ >= 0) ::close(log_fd_);
+}
+
+void Journal::open_log() {
+  log_fd_ = ::open(journal_path().c_str(),
+                   O_CREAT | O_RDWR | O_APPEND | O_CLOEXEC, 0644);
+  if (log_fd_ < 0) throw_errno("journal: open " + journal_path().string());
+  struct stat st{};
+  if (::fstat(log_fd_, &st) != 0) {
+    throw_errno("journal: stat " + journal_path().string());
+  }
+  log_bytes_ = static_cast<std::size_t>(st.st_size);
+  JournalMetrics::get().bytes.set(static_cast<std::int64_t>(log_bytes_));
+}
+
+Journal::RecoverStats Journal::recover(
+    const std::function<void(std::span<const std::uint8_t>)>& apply) {
+  std::lock_guard lock(mutex_);
+  RecoverStats stats;
+
+  // Snapshot first. It was written atomically (temp + rename), so a torn
+  // snapshot means an interrupted *write* whose rename never happened —
+  // still, parse defensively and take what is intact.
+  std::vector<std::uint8_t> snap = read_file(snapshot_path());
+  bool snap_torn = false;
+  replay_records(snap, apply, &stats.snapshot_records, &snap_torn);
+
+  std::vector<std::uint8_t> log = read_file(journal_path());
+  bool log_torn = false;
+  std::size_t good =
+      replay_records(log, apply, &stats.journal_records, &log_torn);
+  stats.torn_tail = log_torn || snap_torn;
+  if (log_torn) {
+    // Truncate back to the last intact record so future appends extend a
+    // clean log instead of burying the partial write mid-file.
+    if (::ftruncate(log_fd_, static_cast<off_t>(good)) != 0) {
+      throw_errno("journal: truncate torn tail");
+    }
+    log_bytes_ = good;
+    JournalMetrics::get().torn_tails.add();
+    OMF_LOG_WARN("journal", "discarded torn tail (",
+                 log.size() - good, " bytes) in ", journal_path().string());
+  } else {
+    log_bytes_ = log.size();
+  }
+  const JournalMetrics& m = JournalMetrics::get();
+  m.recovered.add(stats.snapshot_records + stats.journal_records);
+  m.bytes.set(static_cast<std::int64_t>(log_bytes_));
+  return stats;
+}
+
+void Journal::append(std::span<const std::uint8_t> record) {
+  std::vector<std::uint8_t> frame(8 + record.size());
+  store_le<std::uint32_t>(frame.data(),
+                          static_cast<std::uint32_t>(record.size()));
+  std::memcpy(frame.data() + 4, record.data(), record.size());
+  store_le<std::uint32_t>(frame.data() + 4 + record.size(),
+                          crc32(record.data(), record.size()));
+  std::lock_guard lock(mutex_);
+  write_fully(log_fd_, frame.data(), frame.size(), "journal: append");
+  if (options_.fsync_each_append) ::fdatasync(log_fd_);
+  log_bytes_ += frame.size();
+  const JournalMetrics& m = JournalMetrics::get();
+  m.appends.add();
+  m.bytes.set(static_cast<std::int64_t>(log_bytes_));
+}
+
+bool Journal::wants_compaction() const {
+  std::lock_guard lock(mutex_);
+  return log_bytes_ > options_.compact_threshold;
+}
+
+void Journal::compact(std::span<const Buffer> records) {
+  std::lock_guard lock(mutex_);
+  std::filesystem::path tmp = dir_ / "snapshot.tmp";
+  int fd = ::open(tmp.c_str(), O_CREAT | O_WRONLY | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) throw_errno("journal: open " + tmp.string());
+  try {
+    for (const Buffer& record : records) {
+      std::uint8_t header[4];
+      store_le<std::uint32_t>(header,
+                              static_cast<std::uint32_t>(record.size()));
+      write_fully(fd, header, 4, "journal: snapshot write");
+      write_fully(fd, record.data(), record.size(), "journal: snapshot write");
+      std::uint8_t trailer[4];
+      store_le<std::uint32_t>(trailer, crc32(record.data(), record.size()));
+      write_fully(fd, trailer, 4, "journal: snapshot write");
+    }
+    if (::fsync(fd) != 0) throw_errno("journal: snapshot fsync");
+  } catch (...) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    throw;
+  }
+  ::close(fd);
+  std::error_code ec;
+  std::filesystem::rename(tmp, snapshot_path(), ec);
+  if (ec) {
+    throw Error("journal: rename snapshot: " + ec.message());
+  }
+  fsync_dir(dir_);
+  // The journal's records are now all in the snapshot; truncate it. A crash
+  // before this point replays old snapshot + full journal — same state.
+  if (::ftruncate(log_fd_, 0) != 0) throw_errno("journal: truncate");
+  ::fdatasync(log_fd_);
+  log_bytes_ = 0;
+  const JournalMetrics& m = JournalMetrics::get();
+  m.compactions.add();
+  m.bytes.set(0);
+}
+
+void Journal::flush() {
+  std::lock_guard lock(mutex_);
+  if (log_fd_ >= 0) ::fsync(log_fd_);
+}
+
+std::size_t Journal::journal_bytes() const {
+  std::lock_guard lock(mutex_);
+  return log_bytes_;
+}
+
+}  // namespace omf::overload

@@ -1,0 +1,95 @@
+// Crash-recoverable append-only journal with snapshot compaction.
+//
+// The format service is the paper's "publicly known server": losing its
+// registry on a restart strands every peer whose formats were published
+// there. The Journal is the durability layer underneath it — generic over
+// opaque byte records so other registries can reuse it:
+//
+//   <dir>/journal.log    append-only records, one per registration
+//   <dir>/snapshot.bin   the compacted state, same record framing
+//
+// Records are framed as u32-LE length | payload | u32-LE CRC-32(payload).
+// Recovery replays the snapshot, then the journal, stopping at the first
+// incomplete or CRC-failing record: a torn tail (the process died mid-
+// append) is tolerated by construction — the file is truncated back to the
+// last good record so subsequent appends extend a clean log, never bury
+// garbage mid-file. An append is atomic-on-recovery: either its CRC closes
+// and replay sees it, or it is the torn tail and replay does not.
+//
+// Compaction rewrites the snapshot (write-to-temp, fsync, rename — the
+// fs123 diskcache idiom) and truncates the journal; a crash at any point
+// leaves either the old snapshot + full journal or the new snapshot +
+// truncated journal, both of which replay to the same state.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "util/buffer.hpp"
+
+namespace omf::overload {
+
+class Journal {
+ public:
+  struct Options {
+    /// compact() is recommended (wants_compaction()) past this many journal
+    /// bytes; the owner decides when to act on it.
+    std::size_t compact_threshold = 1u << 20;
+    /// fsync after every append (crash-durable at the cost of latency).
+    /// flush() always syncs regardless.
+    bool fsync_each_append = true;
+  };
+
+  /// Opens (creating if needed) the journal under `dir`. Throws omf::Error
+  /// on I/O failure.
+  explicit Journal(std::filesystem::path dir);
+  Journal(std::filesystem::path dir, Options options);
+  ~Journal();
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  struct RecoverStats {
+    std::size_t snapshot_records = 0;
+    std::size_t journal_records = 0;
+    bool torn_tail = false;  ///< a partial/corrupt tail record was discarded
+  };
+
+  /// Replays snapshot then journal through `apply`, truncating any torn
+  /// tail. Call once, before the first append.
+  RecoverStats recover(
+      const std::function<void(std::span<const std::uint8_t>)>& apply);
+
+  /// Appends one record (write + optional fsync). Thread-safe.
+  void append(std::span<const std::uint8_t> record);
+
+  /// True once the journal holds more than compact_threshold bytes.
+  bool wants_compaction() const;
+
+  /// Atomically replaces the snapshot with `records` and truncates the
+  /// journal. `records` must be the complete current state.
+  void compact(std::span<const Buffer> records);
+
+  /// fsyncs the journal (graceful-shutdown flush).
+  void flush();
+
+  std::size_t journal_bytes() const;
+
+  const std::filesystem::path& dir() const noexcept { return dir_; }
+  std::filesystem::path journal_path() const { return dir_ / "journal.log"; }
+  std::filesystem::path snapshot_path() const { return dir_ / "snapshot.bin"; }
+
+ private:
+  void open_log();
+
+  std::filesystem::path dir_;
+  Options options_;
+  mutable std::mutex mutex_;
+  int log_fd_ = -1;
+  std::size_t log_bytes_ = 0;
+};
+
+}  // namespace omf::overload

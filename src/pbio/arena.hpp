@@ -10,6 +10,11 @@
 // reset retains the arena's high-water chunk plus a small free list, so a
 // steady-state loop decoding similar-sized messages performs zero heap
 // allocations once warm. clear() releases everything back to the heap.
+//
+// Chunk memory is accounted against the process-wide overload::MemoryBudget
+// (charged on genuine heap growth, released when a chunk is truly freed —
+// free-list churn is invisible), so long-lived arenas show up in the same
+// brownout arithmetic as queue backlogs and frame preallocations.
 #pragma once
 
 #include <cstddef>
@@ -19,6 +24,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "overload/budget.hpp"
 
 namespace omf::pbio {
 
@@ -27,6 +33,7 @@ public:
   DecodeArena() = default;
   DecodeArena(const DecodeArena&) = delete;
   DecodeArena& operator=(const DecodeArena&) = delete;
+  ~DecodeArena() { clear(); }
 
   /// Returns `n` bytes aligned to `align` (a power of two, at most 16).
   /// The memory is UNINITIALIZED and valid until clear()/destruction.
@@ -82,8 +89,12 @@ public:
       if (chunks_[i].size > chunks_[largest].size) largest = i;
     }
     for (std::size_t i = 0; i < chunks_.size(); ++i) {
-      if (i != largest && free_list_.size() < kFreeListMax) {
+      if (i == largest) continue;
+      if (free_list_.size() < kFreeListMax) {
         free_list_.push_back(std::move(chunks_[i]));
+      } else {
+        // Dropped back to the heap for real: return its budget share.
+        overload::MemoryBudget::instance().release(chunks_[i].size);
       }
     }
     if (largest != 0) chunks_[0] = std::move(chunks_[largest]);
@@ -95,6 +106,10 @@ public:
 
   /// Releases all memory; previously returned pointers become invalid.
   void clear() {
+    std::size_t reserved = reserved_bytes();
+    if (reserved != 0) {
+      overload::MemoryBudget::instance().release(reserved);
+    }
     chunks_.clear();
     free_list_.clear();
     current_ = nullptr;
@@ -143,6 +158,9 @@ private:
         obs::MetricsRegistry::instance().counter("pbio.arena.chunk_bytes");
     chunk_allocs.add();
     chunk_bytes.add(static_cast<std::uint64_t>(size));
+    // Unconditional charge: a decode in flight must not fail mid-record.
+    // Pressure is handled upstream (admission, brownout), not here.
+    overload::MemoryBudget::instance().charge(size);
     chunks_.push_back(Chunk{std::make_unique<std::uint8_t[]>(size), size});
     current_ = chunks_.back().data.get();
     current_capacity_ = size;

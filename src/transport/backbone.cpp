@@ -2,7 +2,29 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+
 namespace omf::transport {
+
+namespace {
+struct BackboneMetrics {
+  obs::Counter& published;
+  obs::Counter& delivered;
+  obs::Counter& shed;
+  obs::Counter& overflow_disconnects;
+  obs::Gauge& queue_depth;
+  static const BackboneMetrics& get() {
+    auto& reg = obs::MetricsRegistry::instance();
+    static BackboneMetrics m{
+        reg.counter("transport.backbone.published"),
+        reg.counter("transport.backbone.delivered"),
+        reg.counter("transport.backbone.shed"),
+        reg.counter("transport.backbone.overflow_disconnects"),
+        reg.gauge("transport.backbone.queue_depth")};
+    return m;
+  }
+};
+}  // namespace
 
 void EventBackbone::Subscription::unsubscribe() {
   if (backbone_ != nullptr && queue_ != nullptr) {
@@ -15,7 +37,15 @@ void EventBackbone::Subscription::unsubscribe() {
 
 EventBackbone::Subscription EventBackbone::subscribe(
     const std::string& channel) {
-  auto queue = std::make_shared<MessageQueue>();
+  std::unique_lock lock(mutex_);
+  QueueOptions options = default_queue_options_;
+  lock.unlock();
+  return subscribe(channel, options);
+}
+
+EventBackbone::Subscription EventBackbone::subscribe(
+    const std::string& channel, const QueueOptions& options) {
+  auto queue = std::make_shared<MessageQueue>(options);
   {
     std::lock_guard lock(mutex_);
     if (closed_) {
@@ -27,21 +57,55 @@ EventBackbone::Subscription EventBackbone::subscribe(
   return Subscription(this, channel, std::move(queue));
 }
 
+void EventBackbone::set_queue_options(const QueueOptions& options) {
+  std::lock_guard lock(mutex_);
+  default_queue_options_ = options;
+}
+
+QueueOptions EventBackbone::queue_options() const {
+  std::lock_guard lock(mutex_);
+  return default_queue_options_;
+}
+
 std::size_t EventBackbone::publish(const std::string& channel,
                                    const Buffer& message) {
+  // Snapshot the queue shared_ptrs under the lock; every push happens
+  // outside it. One subscriber queue blocking (kBlock at capacity) or
+  // contending therefore cannot serialize the rest of the fan-out, and a
+  // concurrent unsubscribe stays safe (shared_ptr keeps the queue alive
+  // until this publish is done with it).
   std::vector<std::shared_ptr<MessageQueue>> targets;
   {
     std::lock_guard lock(mutex_);
     auto it = subscribers_.find(channel);
     if (it == subscribers_.end()) return 0;
-    targets = it->second;  // copy so delivery happens outside the lock
+    targets = it->second;
   }
+  const BackboneMetrics& metrics = BackboneMetrics::get();
+  metrics.published.add();
   std::size_t delivered = 0;
+  std::size_t deepest = 0;
   for (const auto& q : targets) {
     Buffer copy;
     copy.append(message.span());
-    if (q->push(std::move(copy))) ++delivered;
+    switch (q->offer(std::move(copy))) {
+      case PushOutcome::kOk:
+        ++delivered;
+        break;
+      case PushOutcome::kShed:
+        ++delivered;
+        metrics.shed.add();
+        break;
+      case PushOutcome::kDisconnected:
+        metrics.overflow_disconnects.add();
+        break;
+      case PushOutcome::kClosed:
+        break;  // subscriber already gone
+    }
+    deepest = std::max(deepest, q->size());
   }
+  metrics.delivered.add(delivered);
+  metrics.queue_depth.set(static_cast<std::int64_t>(deepest));
   return delivered;
 }
 

@@ -65,6 +65,9 @@ public:
     bool closed() const { return !queue_ || queue_->closed(); }
 
     std::size_t pending() const { return queue_ ? queue_->size() : 0; }
+
+    /// Messages this subscription lost to its overflow policy.
+    std::size_t dropped() const { return queue_ ? queue_->dropped() : 0; }
     const std::string& channel() const noexcept { return channel_; }
     bool active() const noexcept { return queue_ != nullptr; }
 
@@ -88,11 +91,23 @@ public:
   EventBackbone& operator=(const EventBackbone&) = delete;
   ~EventBackbone() { close(); }
 
-  /// Subscribes to a channel (created on first use).
+  /// Subscribes to a channel (created on first use) with the backbone's
+  /// default queue options, or explicit per-subscription ones.
   Subscription subscribe(const std::string& channel);
+  Subscription subscribe(const std::string& channel,
+                         const QueueOptions& options);
+
+  /// Default queue options applied to *future* subscriptions (existing
+  /// queues keep theirs). Unbounded by default.
+  void set_queue_options(const QueueOptions& options);
+  QueueOptions queue_options() const;
 
   /// Delivers `message` to every current subscriber of `channel` (each gets
-  /// its own copy). Returns the number of queues it was delivered to.
+  /// its own copy). The subscriber list is snapshotted under the backbone
+  /// mutex and the pushes happen outside it, so one contended or blocking
+  /// subscriber queue cannot serialize the fan-out or wedge the backbone.
+  /// Returns the number of queues it was delivered to (shed-oldest
+  /// deliveries count; overflow disconnects and closed queues do not).
   std::size_t publish(const std::string& channel, const Buffer& message);
 
   /// Announces where the metadata for this channel's messages can be
@@ -117,6 +132,7 @@ private:
   std::unordered_map<std::string, std::vector<std::shared_ptr<MessageQueue>>>
       subscribers_;
   std::unordered_map<std::string, std::string> locators_;
+  QueueOptions default_queue_options_{};
   bool closed_ = false;
 };
 

@@ -1,6 +1,7 @@
 #include "transport/format_service.hpp"
 
 #include "obs/metrics.hpp"
+#include "overload/health.hpp"
 #include "util/logging.hpp"
 
 namespace omf::transport {
@@ -12,6 +13,7 @@ struct FormatServiceMetrics {
   obs::Counter& pushes;
   obs::Counter& unknown_ids;
   obs::Counter& retries;
+  obs::Counter& push_rejects;
   static const FormatServiceMetrics& get() {
     auto& reg = obs::MetricsRegistry::instance();
     static FormatServiceMetrics m{
@@ -19,14 +21,47 @@ struct FormatServiceMetrics {
         reg.counter("transport.format_service.fetches"),
         reg.counter("transport.format_service.pushes"),
         reg.counter("transport.format_service.unknown_ids"),
-        reg.counter("transport.format_service.retries")};
+        reg.counter("transport.format_service.retries"),
+        reg.counter("transport.format_service.push_rejects")};
     return m;
   }
 };
+
+/// Response to a rejected 'P': status 0 then the lint-style reason.
+Buffer reject_response(const char* code, const std::string& detail) {
+  Buffer response;
+  response.append_int<std::uint8_t>(0, ByteOrder::kLittle);
+  std::string reason = std::string("[") + code + "] " + detail;
+  response.append(reason);
+  return response;
+}
 }  // namespace
 
 FormatServiceServer::FormatServiceServer(std::uint16_t port)
-    : listener_(port), thread_([this] { serve(); }) {}
+    : FormatServiceServer(Options{.port = port}) {}
+
+FormatServiceServer::FormatServiceServer(Options options)
+    : options_(std::move(options)),
+      admission_(options_.admission),
+      listener_(options_.port) {
+  if (!options_.journal_dir.empty()) {
+    journal_ = std::make_unique<overload::Journal>(options_.journal_dir,
+                                                   options_.journal);
+    // Replay before serving: a request must never observe a half-recovered
+    // registry. A torn tail (killed mid-append) is truncated by recover().
+    recovered_ = journal_->recover([&](std::span<const std::uint8_t> record) {
+      pbio::deserialize_format_bundle(registry_, record);
+    });
+    if (recovered_.snapshot_records + recovered_.journal_records > 0 ||
+        recovered_.torn_tail) {
+      OMF_LOG_INFO("format-service", "recovered ",
+                   recovered_.snapshot_records, " snapshot + ",
+                   recovered_.journal_records, " journal records",
+                   recovered_.torn_tail ? " (torn tail truncated)" : "");
+    }
+  }
+  thread_ = std::thread([this] { serve(); });
+}
 
 FormatServiceServer::~FormatServiceServer() { stop(); }
 
@@ -37,11 +72,34 @@ void FormatServiceServer::stop() {
   running_.store(false);
   if (thread_.joinable()) thread_.join();
   listener_.close();
+  if (journal_) journal_->flush();  // graceful shutdown: nothing buffered
+}
+
+pbio::FormatHandle FormatServiceServer::ingest(
+    std::span<const std::uint8_t> bundle) {
+  // One mutex around {register, journal, maybe-compact} so a compaction
+  // snapshot can never miss a registration that beat it to the registry
+  // but not yet to the journal.
+  std::lock_guard lock(persist_mutex_);
+  pbio::FormatHandle format = pbio::deserialize_format_bundle(registry_, bundle);
+  if (journal_) {
+    // Registration validated above — only well-formed bundles are journaled,
+    // and the push is acknowledged only after the record is durable.
+    journal_->append(bundle);
+    if (journal_->wants_compaction()) {
+      std::vector<Buffer> records;
+      for (const pbio::FormatHandle& f : registry_.all()) {
+        records.push_back(pbio::serialize_format_bundle(*f));
+      }
+      journal_->compact(records);
+    }
+  }
+  return format;
 }
 
 void FormatServiceServer::publish(const pbio::Format& format) {
   Buffer bundle = pbio::serialize_format_bundle(format);
-  pbio::deserialize_format_bundle(registry_, bundle.span());
+  ingest(bundle.span());
 }
 
 void FormatServiceServer::serve() {
@@ -68,6 +126,7 @@ void FormatServiceServer::handle(TcpConnection conn) {
   // robust; discovery traffic is rare by design.
   std::chrono::milliseconds t(request_timeout_.load());
   conn.set_timeouts({.connect = {}, .send = t, .recv = t});
+  const std::string peer = conn.peer_ip();
   std::optional<Buffer> request = conn.receive();
   if (!request) return;
   BufferReader in(*request);
@@ -75,8 +134,15 @@ void FormatServiceServer::handle(TcpConnection conn) {
   const FormatServiceMetrics& metrics = FormatServiceMetrics::get();
   metrics.requests.add();
 
+  // Per-peer rate quota, checked before any registration or serialization
+  // happens on the request's behalf. A throttled fetch just loses its
+  // connection (clients retry per policy); a throttled push gets the
+  // structured reason.
+  overload::Admission adm = admission_.admit_message(peer, request->size());
+
   Buffer response;
   if (op == 'G') {
+    if (!adm) return;
     auto id = in.read_int<std::uint64_t>(ByteOrder::kLittle);
     pbio::FormatHandle format = registry_.by_id(id);
     if (format) {
@@ -89,9 +155,28 @@ void FormatServiceServer::handle(TcpConnection conn) {
       response.append_int<std::uint32_t>(0, ByteOrder::kLittle);
     }
   } else if (op == 'P') {
+    if (!adm) {
+      metrics.push_rejects.add();
+      conn.send(reject_response(adm.code, adm.detail));
+      return;
+    }
+    if (options_.reject_publishes_when_degraded &&
+        overload::HealthMonitor::instance().state() != overload::Health::kOk) {
+      // Brownout: keep serving (possibly stale) metadata, but refuse to
+      // grow the registry until memory pressure recedes.
+      metrics.push_rejects.add();
+      static obs::Counter& degraded_rejects =
+          obs::MetricsRegistry::instance().counter(
+              "omf.admission.rejected.degraded");
+      degraded_rejects.add();
+      conn.send(reject_response(
+          "OMF500", "publish rejected: memory budget in brownout; the "
+                    "registry is read-only until pressure recedes"));
+      return;
+    }
     auto len = in.read_int<std::uint32_t>(ByteOrder::kLittle);
     const std::uint8_t* bundle = in.read_bytes(len);
-    pbio::deserialize_format_bundle(registry_, {bundle, len});
+    ingest({bundle, len});
     response.append_int<std::uint8_t>(1, ByteOrder::kLittle);
   } else {
     throw TransportError("unknown format-service opcode");
@@ -142,7 +227,12 @@ void FormatServiceClient::push(const pbio::Format& format) {
   Buffer response = roundtrip(request);
   BufferReader in(response);
   if (in.read_int<std::uint8_t>(ByteOrder::kLittle) != 1) {
-    throw TransportError("format service rejected push");
+    // New servers follow the status byte with a lint-style "[OMFnnn] why"
+    // string; surface it verbatim so callers can branch on the code.
+    std::string reason = in.remaining() > 0
+                             ? in.read_string(in.remaining())
+                             : std::string("(no reason given)");
+    throw TransportError("format service rejected push: " + reason);
   }
 }
 

@@ -10,12 +10,18 @@
 //     G: 8-byte format id
 //     P: 4-byte bundle length + bundle bytes
 //   response (to G): 4-byte length + bundle bytes, length 0 = unknown id
-//   response (to P): 1-byte status (1 = ok)
+//   response (to P): 1-byte status (1 = ok; 0 = rejected, followed by a
+//                    lint-style "[OMFnnn] detail" string for new clients —
+//                    old clients just see status != 1 and throw)
 #pragma once
 
 #include <atomic>
+#include <memory>
+#include <mutex>
 #include <thread>
 
+#include "overload/admission.hpp"
+#include "overload/journal.hpp"
 #include "pbio/format.hpp"
 #include "pbio/metaserde.hpp"
 #include "transport/tcp.hpp"
@@ -25,10 +31,32 @@ namespace omf::transport {
 
 /// In-process format server: owns its own registry of published formats and
 /// serves them over a loopback TCP port on a background thread.
+///
+/// With Options::journal_dir set, every accepted registration is appended to
+/// a crash-recoverable journal (overload::Journal) before the push is
+/// acknowledged, and a restart pointing at the same directory replays
+/// snapshot + journal back into the registry — the paper's "publicly known
+/// server" survives being killed. Per-peer rate quotas gate requests, and
+/// during memory-budget brownout the service rejects new publishes
+/// ([OMF500]) while continuing to serve possibly-stale fetches.
 class FormatServiceServer {
 public:
+  struct Options {
+    std::uint16_t port = 0;  ///< 0 = ephemeral (see port())
+    /// Directory for journal.log/snapshot.bin; empty = volatile registry.
+    std::string journal_dir;
+    overload::Journal::Options journal{};
+    /// Per-peer msgs/bytes-per-second quotas (connections are one-shot
+    /// here, so only the rate fields apply).
+    overload::AdmissionLimits admission{};
+    /// Reject 'P' requests while the memory budget is in brownout; 'G'
+    /// keeps serving (stale metadata beats no metadata).
+    bool reject_publishes_when_degraded = true;
+  };
+
   /// Starts listening on `port` (0 = ephemeral; see port()).
   explicit FormatServiceServer(std::uint16_t port = 0);
+  explicit FormatServiceServer(Options options);
   ~FormatServiceServer();
   FormatServiceServer(const FormatServiceServer&) = delete;
   FormatServiceServer& operator=(const FormatServiceServer&) = delete;
@@ -41,19 +69,35 @@ public:
   /// Number of formats currently published.
   std::size_t published() const { return registry_.size(); }
 
+  /// Every format currently in the registry (diagnostics / recovery diff).
+  std::vector<pbio::FormatHandle> formats() const { return registry_.all(); }
+
+  /// What construction-time journal recovery replayed (all zeros when no
+  /// journal_dir was configured).
+  const overload::Journal::RecoverStats& recovered() const noexcept {
+    return recovered_;
+  }
+
   /// Per-request I/O bound: a client that connects and stalls is dropped
   /// after this long instead of wedging the (single) service thread.
   void set_request_timeout(std::chrono::milliseconds t) noexcept {
     request_timeout_.store(t.count());
   }
 
+  /// Stops accepting and flushes the journal (graceful shutdown).
   void stop();
 
 private:
   void serve();
   void handle(TcpConnection conn);
+  pbio::FormatHandle ingest(std::span<const std::uint8_t> bundle);
 
+  Options options_;
   pbio::FormatRegistry registry_;
+  std::unique_ptr<overload::Journal> journal_;
+  overload::Journal::RecoverStats recovered_{};
+  overload::AdmissionController admission_;
+  std::mutex persist_mutex_;
   TcpListener listener_;
   std::atomic<bool> running_{true};
   std::atomic<std::int64_t> request_timeout_{30000};  // ms

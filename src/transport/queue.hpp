@@ -1,34 +1,119 @@
-// Bounded-unbounded MPMC message queue: the in-process transport primitive.
+// Bounded MPMC message queue: the in-process transport primitive.
 //
 // Buffers are moved, never copied, queue-to-queue — the event backbone and
 // the in-process channel endpoints are built on this.
+//
+// Capacity and overflow policy are the server-side overload story: an
+// unbounded queue turns one stalled subscriber into unbounded process
+// growth. A bounded queue instead picks, per subscriber, what to sacrifice
+// when the consumer falls behind:
+//
+//   kBlock       backpressure the producer (in-process pipelines that must
+//                not lose messages and trust their consumers)
+//   kShedOldest  drop the oldest queued message to admit the new one — a
+//                slow subscriber sees a gap, everyone else sees nothing
+//   kDisconnect  close the queue at the overflow point; the subscriber is
+//                torn down rather than served stale data
+//
+// Queued bytes are charged against the process-wide overload::MemoryBudget,
+// so /metrics' budget gauges reflect queue growth as it happens.
 #pragma once
 
 #include <chrono>
 #include <condition_variable>
+#include <cstddef>
 #include <deque>
 #include <mutex>
 #include <optional>
 
+#include "overload/budget.hpp"
 #include "util/buffer.hpp"
 
 namespace omf::transport {
 
+enum class OverflowPolicy {
+  kBlock,
+  kShedOldest,
+  kDisconnect,
+};
+
+struct QueueOptions {
+  std::size_t max_messages = 0;  ///< 0 = unbounded
+  std::size_t max_bytes = 0;     ///< 0 = unbounded
+  OverflowPolicy policy = OverflowPolicy::kShedOldest;
+};
+
+/// What happened to a pushed message.
+enum class PushOutcome {
+  kOk,            ///< enqueued, nothing lost
+  kShed,          ///< enqueued, but older message(s) were dropped for room
+  kClosed,        ///< queue was already closed; message lost
+  kDisconnected,  ///< this push overflowed a kDisconnect queue and closed it
+};
+
 class MessageQueue {
 public:
   MessageQueue() = default;
+  explicit MessageQueue(QueueOptions options) : options_(options) {}
   MessageQueue(const MessageQueue&) = delete;
   MessageQueue& operator=(const MessageQueue&) = delete;
+  ~MessageQueue() {
+    std::lock_guard lock(mutex_);
+    release_all_locked();
+  }
+
+  /// Enqueues a message under the queue's capacity/policy. Never blocks
+  /// except under OverflowPolicy::kBlock at capacity (then it waits for the
+  /// consumer or close()). Returns what happened; bool-style callers can
+  /// use push() below.
+  PushOutcome offer(Buffer message) {
+    const std::size_t bytes = message.size();
+    std::unique_lock lock(mutex_);
+    if (closed_) return PushOutcome::kClosed;
+    bool shed = false;
+    if (bounded()) {
+      if (options_.policy == OverflowPolicy::kBlock) {
+        not_full_.wait(lock, [&] { return !would_overflow(bytes) || closed_; });
+        if (closed_) return PushOutcome::kClosed;
+      } else {
+        while (would_overflow(bytes) && !queue_.empty()) {
+          if (options_.policy == OverflowPolicy::kDisconnect) {
+            // The overflowing message and everything queued are lost; the
+            // consumer observes closure and tears the subscriber down.
+            dropped_ += queue_.size() + 1;
+            release_all_locked();
+            closed_ = true;
+            lock.unlock();
+            cv_.notify_all();
+            not_full_.notify_all();
+            return PushOutcome::kDisconnected;
+          }
+          overload::MemoryBudget::instance().release(queue_.front().size());
+          queued_bytes_ -= queue_.front().size();
+          queue_.pop_front();
+          ++dropped_;
+          shed = true;
+        }
+        // A message alone larger than max_bytes can never fit: count it as
+        // shed-on-arrival rather than growing past the bound.
+        if (would_overflow(bytes)) {
+          ++dropped_;
+          return PushOutcome::kShed;
+        }
+      }
+    }
+    overload::MemoryBudget::instance().charge(bytes);
+    queued_bytes_ += bytes;
+    queue_.push_back(std::move(message));
+    lock.unlock();
+    cv_.notify_one();
+    return shed ? PushOutcome::kShed : PushOutcome::kOk;
+  }
 
   /// Enqueues a message. Returns false if the queue has been closed.
   bool push(Buffer message) {
-    {
-      std::lock_guard lock(mutex_);
-      if (closed_) return false;
-      queue_.push_back(std::move(message));
-    }
-    cv_.notify_one();
-    return true;
+    PushOutcome out = offer(std::move(message));
+    return out == PushOutcome::kOk || out == PushOutcome::kShed;
   }
 
   /// Blocks until a message is available or the queue is closed and
@@ -36,10 +121,7 @@ public:
   std::optional<Buffer> pop() {
     std::unique_lock lock(mutex_);
     cv_.wait(lock, [&] { return !queue_.empty() || closed_; });
-    if (queue_.empty()) return std::nullopt;
-    Buffer b = std::move(queue_.front());
-    queue_.pop_front();
-    return b;
+    return take_front_locked();
   }
 
   /// Blocks up to `timeout` for a message; nullopt on timeout or when
@@ -48,19 +130,13 @@ public:
   std::optional<Buffer> pop_for(std::chrono::milliseconds timeout) {
     std::unique_lock lock(mutex_);
     cv_.wait_for(lock, timeout, [&] { return !queue_.empty() || closed_; });
-    if (queue_.empty()) return std::nullopt;
-    Buffer b = std::move(queue_.front());
-    queue_.pop_front();
-    return b;
+    return take_front_locked();
   }
 
   /// Non-blocking pop; nullopt when nothing is queued right now.
   std::optional<Buffer> try_pop() {
     std::lock_guard lock(mutex_);
-    if (queue_.empty()) return std::nullopt;
-    Buffer b = std::move(queue_.front());
-    queue_.pop_front();
-    return b;
+    return take_front_locked();
   }
 
   /// Wakes all blocked consumers; subsequent pushes are rejected. Messages
@@ -71,6 +147,7 @@ public:
       closed_ = true;
     }
     cv_.notify_all();
+    not_full_.notify_all();
   }
 
   bool closed() const {
@@ -83,10 +160,58 @@ public:
     return queue_.size();
   }
 
+  std::size_t queued_bytes() const {
+    std::lock_guard lock(mutex_);
+    return queued_bytes_;
+  }
+
+  /// Messages lost to overflow (shed or discarded at a disconnect) so far.
+  std::size_t dropped() const {
+    std::lock_guard lock(mutex_);
+    return dropped_;
+  }
+
+  const QueueOptions& options() const noexcept { return options_; }
+
 private:
+  bool bounded() const noexcept {
+    return options_.max_messages != 0 || options_.max_bytes != 0;
+  }
+
+  bool would_overflow(std::size_t incoming_bytes) const {
+    if (options_.max_messages != 0 &&
+        queue_.size() + 1 > options_.max_messages) {
+      return true;
+    }
+    return options_.max_bytes != 0 &&
+           queued_bytes_ + incoming_bytes > options_.max_bytes;
+  }
+
+  std::optional<Buffer> take_front_locked() {
+    if (queue_.empty()) return std::nullopt;
+    Buffer b = std::move(queue_.front());
+    queue_.pop_front();
+    queued_bytes_ -= b.size();
+    overload::MemoryBudget::instance().release(b.size());
+    not_full_.notify_one();
+    return b;
+  }
+
+  void release_all_locked() {
+    if (queued_bytes_ != 0) {
+      overload::MemoryBudget::instance().release(queued_bytes_);
+      queued_bytes_ = 0;
+    }
+    queue_.clear();
+  }
+
+  QueueOptions options_{};
   mutable std::mutex mutex_;
   std::condition_variable cv_;
+  std::condition_variable not_full_;
   std::deque<Buffer> queue_;
+  std::size_t queued_bytes_ = 0;
+  std::size_t dropped_ = 0;
   bool closed_ = false;
 };
 

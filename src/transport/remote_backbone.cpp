@@ -3,6 +3,8 @@
 #include <chrono>
 #include <cstring>
 
+#include "obs/metrics.hpp"
+#include "overload/health.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
 
@@ -10,21 +12,32 @@ namespace omf::transport {
 
 using namespace std::chrono_literals;
 
+namespace {
+
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
 RemoteBackboneServer::RemoteBackboneServer(EventBackbone& backbone,
                                            std::uint16_t port)
+    : RemoteBackboneServer(backbone, Options{.port = port}) {}
+
+RemoteBackboneServer::RemoteBackboneServer(EventBackbone& backbone,
+                                           Options options)
     : backbone_(&backbone),
-      listener_(port),
+      options_(options),
+      admission_(options.admission),
+      listener_(options.port),
       acceptor_([this] { accept_loop(); }) {}
 
 RemoteBackboneServer::~RemoteBackboneServer() { stop(); }
 
-void RemoteBackboneServer::stop() {
-  // Order matters: the acceptor polls with a short deadline and re-checks
-  // running_, so it exits on its own; only then is it safe to close the
-  // listener from this thread (no cross-thread fd access).
-  running_.store(false);
-  if (acceptor_.joinable()) acceptor_.join();
-  listener_.close();
+void RemoteBackboneServer::join_workers() {
   std::vector<std::thread> workers;
   {
     std::lock_guard lock(workers_mutex_);
@@ -35,13 +48,45 @@ void RemoteBackboneServer::stop() {
   }
 }
 
+void RemoteBackboneServer::stop() {
+  // Order matters: the acceptor polls with a short deadline and re-checks
+  // its flags, so it exits on its own; only then is it safe to close the
+  // listener from this thread (no cross-thread fd access).
+  running_.store(false);
+  accepting_.store(false);
+  if (acceptor_.joinable()) acceptor_.join();
+  listener_.close();
+  join_workers();
+}
+
+void RemoteBackboneServer::drain(std::chrono::milliseconds deadline) {
+  // Graceful shutdown in three acts: (1) stop accepting, so no new work
+  // arrives; (2) mark draining — publisher sessions stop consuming frames
+  // immediately, subscriber workers keep sending until their queues are
+  // empty or the deadline lapses; (3) tear down whatever remains.
+  accepting_.store(false);
+  if (acceptor_.joinable()) acceptor_.join();
+  listener_.close();
+  drain_deadline_ns_.store(steady_now_ns() +
+                           static_cast<std::uint64_t>(
+                               std::chrono::duration_cast<
+                                   std::chrono::nanoseconds>(deadline)
+                                   .count()));
+  draining_.store(true);
+  join_workers();
+  running_.store(false);
+}
+
 void RemoteBackboneServer::accept_loop() {
-  while (running_.load()) {
+  static obs::Counter& degraded_sheds =
+      obs::MetricsRegistry::instance().counter(
+          "omf.admission.rejected.degraded");
+  while (running_.load() && accepting_.load()) {
     TcpConnection conn;
     try {
       conn = listener_.accept(Deadline::after(50ms));
     } catch (const TimeoutError&) {
-      continue;  // periodic running_ re-check; stop() relies on this
+      continue;  // periodic flag re-check; stop()/drain() rely on this
     } catch (const TransportError&) {
       break;
     }
@@ -57,51 +102,119 @@ void RemoteBackboneServer::accept_loop() {
     }
     if (!hello || hello->empty()) continue;
     char op = static_cast<char>(*hello->data());
+    if (op != 'S' && op != 'P') {
+      OMF_LOG_WARN("remote-backbone", "unknown hello op");
+      continue;
+    }
+    // Brownout: past the memory high-watermark, refuse new work outright
+    // rather than degrade established sessions (OMF500).
+    if (options_.shed_connections_when_degraded &&
+        overload::HealthMonitor::instance().state() != overload::Health::kOk) {
+      degraded_sheds.add();
+      OMF_LOG_WARN("remote-backbone",
+                   "connection shed [OMF500]: process is in brownout");
+      continue;
+    }
+    const std::string peer = conn.peer_ip();
+    overload::Admission adm = admission_.admit_connection(peer);
+    if (!adm) {
+      OMF_LOG_WARN("remote-backbone", "connection rejected [", adm.code,
+                   "]: ", adm.detail);
+      continue;
+    }
     std::lock_guard lock(workers_mutex_);
     if (op == 'S') {
       std::string channel(reinterpret_cast<const char*>(hello->data()) + 1,
                           hello->size() - 1);
       workers_.emplace_back(
-          [this, channel,
+          [this, channel, peer,
            c = std::make_shared<TcpConnection>(std::move(conn))]() mutable {
-            serve_subscriber(std::move(*c), channel);
-          });
-    } else if (op == 'P') {
-      workers_.emplace_back(
-          [this, c = std::make_shared<TcpConnection>(std::move(conn))]() mutable {
-            serve_publisher(std::move(*c));
+            serve_subscriber(std::move(*c), channel, peer);
+            admission_.release_connection(peer);
           });
     } else {
-      OMF_LOG_WARN("remote-backbone", "unknown hello op");
+      workers_.emplace_back(
+          [this, peer,
+           c = std::make_shared<TcpConnection>(std::move(conn))]() mutable {
+            serve_publisher(std::move(*c), peer);
+            admission_.release_connection(peer);
+          });
     }
   }
 }
 
 void RemoteBackboneServer::serve_subscriber(TcpConnection conn,
-                                            const std::string& channel) {
+                                            const std::string& channel,
+                                            const std::string& peer) {
+  (void)peer;
   // A subscriber that stops draining its socket must not pin this worker
-  // (and the messages queued behind it) forever: bound the send.
-  conn.set_timeouts({.connect = {}, .send = 10000ms, .recv = {}});
-  EventBackbone::Subscription sub = backbone_->subscribe(channel);
+  // (and the messages queued behind it) forever: bound the send. The
+  // subscription's queue carries the server's bound/overflow policy, so a
+  // stalled socket backs up into *shedding*, not unbounded memory.
+  conn.set_timeouts(
+      {.connect = {}, .send = options_.subscriber_send_timeout, .recv = {}});
+  EventBackbone::Subscription sub =
+      backbone_->subscribe(channel, options_.queue);
+  const std::size_t id = ++subscriber_seq_;
+  obs::Counter& drops = obs::MetricsRegistry::instance().counter(
+      "transport.backbone.subscriber." + std::to_string(id) + ".dropped");
+  std::size_t drops_flushed = 0;
+  auto flush_drops = [&] {
+    std::size_t d = sub.dropped();
+    if (d > drops_flushed) {
+      drops.add(d - drops_flushed);
+      drops_flushed = d;
+    }
+  };
   try {
     while (running_.load()) {
+      if (draining_.load() &&
+          steady_now_ns() >= drain_deadline_ns_.load()) {
+        break;  // deadline lapsed with messages still queued: cut losses
+      }
       auto msg = sub.receive_for(50ms);
+      flush_drops();
       if (msg) {
         conn.send(*msg);
       } else if (sub.closed()) {
         break;
+      } else if (draining_.load()) {
+        break;  // queue ran dry while draining: this subscriber is flushed
       }
     }
   } catch (const Error&) {
     // Peer went away; the subscription unsubscribes via RAII.
   }
+  flush_drops();
 }
 
-void RemoteBackboneServer::serve_publisher(TcpConnection conn) {
+void RemoteBackboneServer::serve_publisher(TcpConnection conn,
+                                           const std::string& peer) {
+  bool reject_logged = false;
   try {
-    while (running_.load()) {
+    while (running_.load() && !draining_.load()) {
+      // Poll readability instead of using a receive timeout: a timeout can
+      // expire *mid-frame* (the chaos suite delays bytes in transit) and
+      // desynchronize the stream, whereas this blocks only once a frame
+      // has started arriving — and an idle publisher cannot pin this
+      // worker across stop()/drain().
+      if (!conn.readable()) {
+        std::this_thread::sleep_for(5ms);
+        continue;
+      }
       auto frame = conn.receive();
       if (!frame) break;
+      // Per-peer rate admission: a flooding publisher is shed frame by
+      // frame (counted in omf.admission.*), never queued.
+      overload::Admission adm = admission_.admit_message(peer, frame->size());
+      if (!adm) {
+        if (!reject_logged) {
+          OMF_LOG_WARN("remote-backbone", "publish rejected [", adm.code,
+                       "]: ", adm.detail, " (further rejects counted only)");
+          reject_logged = true;
+        }
+        continue;
+      }
       BufferReader in(*frame);
       std::uint16_t name_len = in.read_int<std::uint16_t>(ByteOrder::kLittle);
       std::string channel = in.read_string(name_len);

@@ -27,6 +27,7 @@
 #include <thread>
 #include <vector>
 
+#include "overload/admission.hpp"
 #include "transport/backbone.hpp"
 #include "transport/tcp.hpp"
 #include "util/retry.hpp"
@@ -34,27 +35,62 @@
 namespace omf::transport {
 
 /// Exposes an EventBackbone on a TCP port.
+///
+/// Overload protection (all opt-in through Options, unlimited by default):
+/// per-subscriber queues are bounded with an overflow policy so a stalled
+/// consumer is shed rather than accumulated; per-peer admission quotas gate
+/// new connections and publish frames; and when the process memory budget
+/// is in brownout, new connections are shed outright. Per-subscriber drop
+/// counters surface on /metrics as
+/// "transport.backbone.subscriber.<n>.dropped".
 class RemoteBackboneServer {
 public:
+  struct Options {
+    std::uint16_t port = 0;  ///< 0 = ephemeral (see port())
+    /// Queue bound/policy for each remote subscriber's fan-out queue.
+    QueueOptions queue{};
+    /// Per-peer connection caps and msgs/bytes-per-second quotas.
+    overload::AdmissionLimits admission{};
+    /// A subscriber socket that accepts no bytes for this long is dropped.
+    std::chrono::milliseconds subscriber_send_timeout{10000};
+    /// Shed brand-new connections while the memory budget is in brownout.
+    bool shed_connections_when_degraded = true;
+  };
+
   /// `backbone` must outlive the server. Port 0 = ephemeral (see port()).
   explicit RemoteBackboneServer(EventBackbone& backbone,
                                 std::uint16_t port = 0);
+  RemoteBackboneServer(EventBackbone& backbone, Options options);
   ~RemoteBackboneServer();
   RemoteBackboneServer(const RemoteBackboneServer&) = delete;
   RemoteBackboneServer& operator=(const RemoteBackboneServer&) = delete;
 
   std::uint16_t port() const noexcept { return listener_.port(); }
 
+  /// Graceful shutdown: stops accepting, stops consuming publisher frames,
+  /// and lets subscriber workers flush their queues until `deadline` has
+  /// elapsed (whichever comes first), then tears everything down. stop()
+  /// afterwards is a no-op; destruction calls stop().
+  void drain(std::chrono::milliseconds deadline);
+
   void stop();
 
 private:
   void accept_loop();
-  void serve_subscriber(TcpConnection conn, const std::string& channel);
-  void serve_publisher(TcpConnection conn);
+  void serve_subscriber(TcpConnection conn, const std::string& channel,
+                        const std::string& peer);
+  void serve_publisher(TcpConnection conn, const std::string& peer);
+  void join_workers();
 
   EventBackbone* backbone_;
+  Options options_;
+  overload::AdmissionController admission_;
   TcpListener listener_;
   std::atomic<bool> running_{true};
+  std::atomic<bool> accepting_{true};
+  std::atomic<bool> draining_{false};
+  std::atomic<std::uint64_t> drain_deadline_ns_{0};
+  std::atomic<std::size_t> subscriber_seq_{0};
   std::thread acceptor_;
   std::mutex workers_mutex_;
   std::vector<std::thread> workers_;

@@ -11,6 +11,7 @@
 #include <cstring>
 
 #include "obs/metrics.hpp"
+#include "overload/budget.hpp"
 #include "transport/net_io.hpp"
 #include "util/error.hpp"
 #include "util/hash.hpp"
@@ -119,6 +120,18 @@ std::optional<Buffer> TcpConnection::receive(const Deadline& deadline) {
                          std::to_string(len) + " bytes (limit " +
                          std::to_string(max_message_size_) + ")");
   }
+  // The frame is well-formed and within the per-frame bound; the staging
+  // buffer still has to fit the *process* memory budget. The charge is
+  // transient (released once the frame is handed to the caller) but keeps
+  // many concurrent preallocations from quietly blowing past the budget.
+  overload::ScopedCharge charge(len);
+  if (!charge.ok()) {
+    static obs::Counter& budget_rejects =
+        obs::MetricsRegistry::instance().counter("omf.budget.frame_rejects");
+    budget_rejects.add();
+    throw TransportError("frame preallocation of " + std::to_string(len) +
+                         " bytes exceeds the process memory budget");
+  }
   std::vector<std::uint8_t> payload(len);
   netio::read_exact(fd_, payload.data(), len, /*eof_ok=*/false, deadline,
                     "recv");
@@ -133,6 +146,21 @@ std::optional<Buffer> TcpConnection::receive(const Deadline& deadline) {
   metrics.frames_rx.add();
   metrics.bytes_rx.add(static_cast<std::uint64_t>(len) + 8);
   return Buffer(std::move(payload));
+}
+
+std::string TcpConnection::peer_ip() const {
+  if (fd_ < 0) return {};
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getpeername(fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0 ||
+      addr.sin_family != AF_INET) {
+    return {};
+  }
+  char buf[INET_ADDRSTRLEN];
+  if (::inet_ntop(AF_INET, &addr.sin_addr, buf, sizeof(buf)) == nullptr) {
+    return {};
+  }
+  return buf;
 }
 
 TcpListener::TcpListener(std::uint16_t port) {

@@ -98,6 +98,11 @@ public:
   /// For diagnostics and the fault-injection harness only.
   int native_handle() const noexcept { return fd_; }
 
+  /// Remote peer's IPv4 address ("127.0.0.1" in this loopback-only
+  /// reproduction); empty on a closed connection. The admission layer keys
+  /// per-peer quotas on this.
+  std::string peer_ip() const;
+
   /// Relinquishes ownership of the descriptor to the caller (for byte-
   /// stream protocols like HTTP that cannot use message framing). The fd
   /// is non-blocking. Returns -1 if the connection is not open.

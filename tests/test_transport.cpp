@@ -284,14 +284,16 @@ TEST(Tcp, ReceiveDeadlineThrowsTimeoutError) {
 }
 
 TEST(Tcp, SendToResetPeerThrowsInsteadOfSigpipe) {
+  // Connect before accepting: the loopback handshake completes via the
+  // listen backlog, so the client connection is fully established before
+  // the RST below can exist. (Accepting + resetting from a thread raced
+  // the RST against the client's own connect and could kill tcp_connect
+  // instead of the send this test is about.)
   TcpListener listener(0);
-  std::thread server([&] {
-    TcpConnection conn = listener.accept();
-    netio::arm_reset_on_close(conn.native_handle());
-    conn.close();  // RST
-  });
   TcpConnection client = tcp_connect(listener.port());
-  server.join();
+  TcpConnection server_side = listener.accept();
+  netio::arm_reset_on_close(server_side.native_handle());
+  server_side.close();  // RST
   // The first sends may land in the kernel buffer before the RST is
   // processed; keep sending — with SIGPIPE the process would die here.
   EXPECT_THROW(

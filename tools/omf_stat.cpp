@@ -21,6 +21,8 @@
 #include "obs/exposition.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "overload/budget.hpp"
+#include "overload/health.hpp"
 #include "util/error.hpp"
 
 namespace {
@@ -76,6 +78,52 @@ void run_demo() {
     channel.decode(wire.span(), &decoded, arena);
     arena.reset();
   }
+}
+
+// The overload-protection state at a glance: health, the memory budget, and
+// every shed/reject counter an operator reaches for first during an incident.
+void print_overload_summary() {
+  auto& reg = omf::obs::MetricsRegistry::instance();
+  auto counter = [&](const char* name) { return reg.counter(name).value(); };
+  auto& budget = omf::overload::MemoryBudget::instance();
+  std::printf("== overload ==\n");
+  std::printf("  health                 %s\n",
+              omf::overload::health_name(
+                  omf::overload::HealthMonitor::instance().state()));
+  std::printf("  budget.used/peak       %zu / %zu bytes\n", budget.used(),
+              budget.peak());
+  std::printf("  budget.limit           %zu bytes%s\n", budget.limit(),
+              budget.limit() == 0 ? " (unlimited)" : "");
+  std::printf("  budget.degraded        %s\n",
+              budget.degraded() ? "yes" : "no");
+  std::printf("  queue.depth            %lld\n",
+              static_cast<long long>(
+                  reg.gauge("transport.backbone.queue_depth").value()));
+  std::printf("  backbone.shed          %llu (overflow disconnects %llu)\n",
+              static_cast<unsigned long long>(
+                  counter("transport.backbone.shed")),
+              static_cast<unsigned long long>(
+                  counter("transport.backbone.overflow_disconnects")));
+  std::printf("  admission.admitted     %llu\n",
+              static_cast<unsigned long long>(
+                  counter("omf.admission.admitted")));
+  std::printf("  admission.rejected     conn=%llu rate=%llu bytes=%llu "
+              "degraded=%llu\n",
+              static_cast<unsigned long long>(
+                  counter("omf.admission.rejected.connections")),
+              static_cast<unsigned long long>(
+                  counter("omf.admission.rejected.rate")),
+              static_cast<unsigned long long>(
+                  counter("omf.admission.rejected.bytes")),
+              static_cast<unsigned long long>(
+                  counter("omf.admission.rejected.degraded")));
+  std::printf("  journal                appends=%llu compactions=%llu "
+              "torn_tails=%llu\n",
+              static_cast<unsigned long long>(counter("omf.journal.appends")),
+              static_cast<unsigned long long>(
+                  counter("omf.journal.compactions")),
+              static_cast<unsigned long long>(
+                  counter("omf.journal.torn_tails")));
 }
 
 }  // namespace
@@ -138,6 +186,7 @@ int main(int argc, char** argv) {
   if (prom) {
     std::fputs(omf::obs::render_prometheus().c_str(), stdout);
   } else {
+    print_overload_summary();
     std::fputs(omf::obs::render_text(omf::obs::stats_snapshot()).c_str(),
                stdout);
   }
