@@ -1,0 +1,168 @@
+// C14: origin-fetch rate vs cache tier for the replicated metadata plane
+// (EXPERIMENTS.md).
+//
+// A hand-rolled harness like C13 (the interesting axis is which tier served
+// each resolve, not steady-state throughput): the same 64 metadata documents
+// are resolved through metacache::CachedHttpSource in four client states,
+// and each row records the wall cost per resolve plus the origin-fetch rate
+// (origin HTTP requests per resolve — the number the caching exists to
+// drive to zero). Emits BENCH_metacache.json.
+//
+//   resolve/cold              empty tiers; every resolve pays the origin
+//   resolve/warm-memory       same process again; the LRU answers
+//   resolve/warm-disk         new process (fresh instance, same directory);
+//                             the disk tier answers and promotes
+//   resolve/all-replicas-down new process, origin stopped, clock advanced
+//                             past max-age + swr: every resolve serves a
+//                             stale copy rather than failing
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "http/http.hpp"
+#include "metacache/caching_source.hpp"
+#include "obs/metrics.hpp"
+#include "overload/budget.hpp"
+
+namespace {
+
+using namespace std::chrono_literals;
+using omf::bench::BenchJson;
+
+constexpr int kDocs = 64;
+constexpr std::size_t kDocBytes = 2048;
+
+std::string doc_path(int i) {
+  return "/meta/doc" + std::to_string(i) + ".xml";
+}
+
+std::string doc_body(int i) {
+  std::string body = "<format id='" + std::to_string(i) + "'>";
+  body.append(kDocBytes, 'x');
+  body += "</format>";
+  return body;
+}
+
+double elapsed_ns(std::chrono::steady_clock::time_point start) {
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+omf::metacache::CachedHttpSourceOptions source_options(
+    const std::filesystem::path& dir) {
+  omf::metacache::CachedHttpSourceOptions options;
+  options.cache.disk_dir = dir;
+  options.fetch_timeout = 2000ms;
+  options.breaker = {.failure_threshold = 1, .cooldown = 60000ms};
+  return options;
+}
+
+/// Resolves every document once; returns {ns_per_op, origin requests}.
+std::pair<double, double> run_resolves(omf::metacache::CachedHttpSource& source,
+                                       const std::string& dead_host_base,
+                                       std::size_t origin_requests_before,
+                                       const omf::http::Server* origin) {
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < kDocs; ++i) {
+    auto text = source.fetch(dead_host_base + doc_path(i));
+    if (!text || text->size() < kDocBytes) {
+      std::fprintf(stderr, "bench_metacache: resolve %d failed\n", i);
+      std::exit(1);
+    }
+  }
+  const double ns = elapsed_ns(start) / kDocs;
+  const double fetches =
+      origin == nullptr
+          ? 0.0
+          : static_cast<double>(origin->request_count() -
+                                origin_requests_before) /
+                kDocs;
+  return {ns, fetches};
+}
+
+}  // namespace
+
+int main() {
+  omf::overload::MemoryBudget::instance().reset_for_tests();
+  BenchJson json("metacache");
+  auto dir = std::filesystem::temp_directory_path() / "omf_bench_metacache";
+  std::filesystem::remove_all(dir);
+
+  auto origin = std::make_unique<omf::http::Server>();
+  for (int i = 0; i < kDocs; ++i) {
+    origin->put_document(doc_path(i), doc_body(i));
+  }
+  origin->set_cache_policy(
+      {.enabled = true, .max_age = 60s, .stale_while_revalidate = 3600s});
+  const std::string base = "http://127.0.0.1:" + std::to_string(origin->port());
+  // The locator's host is routing-irrelevant (replicas own the URL space);
+  // using a dead host in the locator proves that.
+  const std::string locator_base = "http://origin.invalid:1";
+  const double mb = static_cast<double>(kDocBytes) / (1024.0 * 1024.0);
+  auto& reg = omf::obs::MetricsRegistry::instance();
+
+  {
+    omf::metacache::CachedHttpSource source({base}, source_options(dir));
+    auto [cold_ns, cold_rate] =
+        run_resolves(source, locator_base, 0, origin.get());
+    json.add("resolve/cold", cold_ns, mb / (cold_ns / 1e9),
+             {{"origin_fetch_rate", cold_rate},
+              {"docs", kDocs},
+              {"stale_served", 0}});
+
+    const std::size_t before = origin->request_count();
+    auto [warm_ns, warm_rate] =
+        run_resolves(source, locator_base, before, origin.get());
+    json.add("resolve/warm-memory", warm_ns, mb / (warm_ns / 1e9),
+             {{"origin_fetch_rate", warm_rate},
+              {"memory_hits", static_cast<double>(source.cache().stats().hits)},
+              {"stale_served", 0}});
+  }
+
+  {
+    // "Process restart": a fresh instance over the same directory.
+    omf::metacache::CachedHttpSource source({base}, source_options(dir));
+    const std::size_t before = origin->request_count();
+    auto [disk_ns, disk_rate] =
+        run_resolves(source, locator_base, before, origin.get());
+    json.add(
+        "resolve/warm-disk", disk_ns, mb / (disk_ns / 1e9),
+        {{"origin_fetch_rate", disk_rate},
+         {"disk_hits", static_cast<double>(source.cache().stats().disk_hits)},
+         {"stale_served", 0}});
+  }
+
+  {
+    // Restart again with every replica down AND the cached copies aged far
+    // past max-age + swr: the degraded path must still answer, and fast.
+    origin.reset();
+    omf::metacache::CachedHttpSource source({base}, source_options(dir));
+    std::atomic<std::int64_t> now{omf::metacache::MetaCache::wall_now_ms()};
+    now += 10'000'000;  // +10,000 s: beyond 60 s max-age + 3600 s swr
+    source.cache().set_now_fn([&now] { return now.load(); });
+    const std::uint64_t stale_before =
+        reg.counter("omf.metacache.stale_served").value();
+    auto [down_ns, down_rate] =
+        run_resolves(source, locator_base, 0, nullptr);
+    json.add("resolve/all-replicas-down", down_ns, mb / (down_ns / 1e9),
+             {{"origin_fetch_rate", down_rate},
+              {"stale_served",
+               static_cast<double>(
+                   reg.counter("omf.metacache.stale_served").value() -
+                   stale_before)},
+              {"failovers",
+               static_cast<double>(
+                   reg.counter("omf.replica.failover").value())}});
+  }
+
+  std::filesystem::remove_all(dir);
+  std::printf("wrote %s\n", json.write().c_str());
+  return 0;
+}

@@ -51,10 +51,12 @@ public:
   std::optional<std::string> fetch(const std::string& locator) override {
     if (!handles(locator)) return std::nullopt;
     try {
-      http::Response resp = retry_call(options_.retry, [&] {
-        return http::get(locator,
-                         Deadline::from_timeout(options_.fetch_timeout));
-      });
+      // Whole-fetch deadline: retries (including any honored Retry-After)
+      // must fit inside it, so a throttling origin cannot stretch one
+      // discovery past the time the caller budgeted.
+      http::Response resp = http::get_with_retry(
+          http::Url::parse(locator), {}, options_.retry,
+          Deadline::from_timeout(options_.fetch_timeout));
       if (resp.status != 200) {
         OMF_LOG_WARN("discovery", "http ", resp.status, " for ", locator);
         return std::nullopt;
@@ -130,6 +132,20 @@ void DiscoveryManager::add_source(std::unique_ptr<MetadataSource> source) {
   }
   entry.source = std::move(source);
   sources_.push_back(std::move(entry));
+}
+
+void DiscoveryManager::set_source(std::size_t index,
+                                  std::unique_ptr<MetadataSource> source) {
+  std::lock_guard lock(mutex_);
+  if (index >= sources_.size()) {
+    throw Error("set_source: no source at index " + std::to_string(index));
+  }
+  SourceEntry entry;
+  if (source->remote()) {
+    entry.breaker = std::make_unique<fault::CircuitBreaker>(breaker_config_);
+  }
+  entry.source = std::move(source);
+  sources_[index] = std::move(entry);
 }
 
 void DiscoveryManager::set_breaker_config(

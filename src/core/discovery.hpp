@@ -59,13 +59,14 @@ public:
   virtual std::optional<std::string> fetch(const std::string& locator) = 0;
 };
 
-/// Knobs for the HTTP metadata source: how long one fetch attempt may take
-/// and how transient failures are retried (exponential backoff with
-/// deterministic jitter). Defaults keep the historical behaviour: one
-/// attempt, no timeout.
+/// Knobs for the HTTP metadata source: how long one fetch (including every
+/// retry) may take and how transient failures are retried (exponential
+/// backoff with deterministic jitter; a 429/503 Retry-After from the
+/// server overrides the schedule, capped by the fetch deadline). Defaults
+/// keep the historical behaviour: one attempt, no timeout.
 struct HttpSourceOptions {
   RetryPolicy retry{.max_attempts = 1};
-  std::chrono::milliseconds fetch_timeout{0};  ///< per attempt; 0 = none
+  std::chrono::milliseconds fetch_timeout{0};  ///< whole fetch; 0 = none
 };
 
 /// Serves "http://..." locators via the HTTP client.
@@ -116,6 +117,14 @@ public:
   /// Appends a source; sources are tried in the order added. Remote
   /// sources get a circuit breaker with the current breaker config.
   void add_source(std::unique_ptr<MetadataSource> source);
+
+  /// Replaces the source at `index` (in add order) in place, preserving the
+  /// chain's ordering; the replacement gets a fresh breaker if remote. This
+  /// is how the plain HTTP source is upgraded to the replicated, two-tier
+  /// cached one (metacache::make_cached_http_source) without re-ordering
+  /// the fault-tolerance chain. Config-time only: calling this while other
+  /// threads are inside discover() is a data race on the snapshot.
+  void set_source(std::size_t index, std::unique_ptr<MetadataSource> source);
 
   /// Breaker config for remote sources. Existing breakers are rebuilt
   /// (losing their state), so call this before the faults start flying.

@@ -15,6 +15,7 @@
 #include "overload/health.hpp"
 #include "transport/net_io.hpp"
 #include "util/error.hpp"
+#include "util/hash.hpp"
 #include "util/logging.hpp"
 #include "util/strings.hpp"
 
@@ -66,6 +67,53 @@ std::string read_until_headers_end(int fd, const Deadline& deadline,
 
 }  // namespace
 
+std::string Response::etag() const {
+  auto it = headers.find("etag");
+  return it == headers.end() ? std::string() : it->second;
+}
+
+std::optional<std::chrono::seconds> Response::retry_after() const {
+  auto it = headers.find("retry-after");
+  if (it == headers.end()) return std::nullopt;
+  auto secs = parse_uint(trim(it->second));
+  if (!secs) return std::nullopt;  // HTTP-date form: not supported
+  return std::chrono::seconds(*secs);
+}
+
+Response::CacheControl Response::cache_control() const {
+  CacheControl out;
+  auto it = headers.find("cache-control");
+  if (it == headers.end()) return out;
+  for (std::string_view directive : split(it->second, ',')) {
+    directive = trim(directive);
+    std::size_t eq = directive.find('=');
+    std::string_view name =
+        eq == std::string_view::npos ? directive : directive.substr(0, eq);
+    std::optional<std::uint64_t> value;
+    if (eq != std::string_view::npos) {
+      value = parse_uint(trim(directive.substr(eq + 1)));
+    }
+    if (name == "max-age" && value) {
+      out.present = true;
+      out.max_age = std::chrono::seconds(*value);
+    } else if (name == "stale-while-revalidate" && value) {
+      out.stale_while_revalidate = std::chrono::seconds(*value);
+    }
+  }
+  return out;
+}
+
+std::string strong_etag(std::string_view body) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::uint64_t hash = fnv1a(body);
+  std::string out(18, '"');
+  for (int i = 16; i >= 1; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[hash & 0xF];
+    hash >>= 4;
+  }
+  return out;
+}
+
 Url Url::parse(const std::string& url) {
   Url out;
   std::string_view rest = url;
@@ -95,19 +143,28 @@ Url Url::parse(const std::string& url) {
 }
 
 Response get(const Url& url, const Deadline& deadline) {
+  return get(url, HeaderList{}, deadline);
+}
+
+Response get(const Url& url, const HeaderList& headers,
+             const Deadline& deadline) {
   int fd = netio::connect_loopback(url.port, deadline);
   Response out;
   try {
     std::ostringstream req;
     req << "GET " << url.path << " HTTP/1.0\r\n"
         << "Host: " << url.host << "\r\n"
-        << "User-Agent: omf-xml2wire/1.0\r\n"
-        << "Connection: close\r\n\r\n";
+        << "User-Agent: omf-xml2wire/1.0\r\n";
+    for (const auto& [name, value] : headers) {
+      req << name << ": " << value << "\r\n";
+    }
+    req << "Connection: close\r\n\r\n";
     write_all(fd, req.str(), deadline);
     ::shutdown(fd, SHUT_WR);
     std::string raw = read_to_eof(fd, deadline);
     ::close(fd);
     fd = -1;
+    out.wire_bytes = raw.size();
 
     std::size_t headers_end = raw.find("\r\n\r\n");
     if (headers_end == std::string::npos) {
@@ -149,6 +206,41 @@ Response get(const std::string& url, const Deadline& deadline) {
   return get(Url::parse(url), deadline);
 }
 
+Response get_with_retry(const Url& url, const HeaderList& headers,
+                        const RetryPolicy& policy, const Deadline& deadline,
+                        const RetrySleeper& sleeper) {
+  int attempts = policy.max_attempts < 1 ? 1 : policy.max_attempts;
+  for (int attempt = 1;; ++attempt) {
+    Response resp;
+    try {
+      resp = get(url, headers, deadline);
+    } catch (const TransportError&) {
+      if (attempt >= attempts || deadline.expired()) throw;
+      obs::MetricsRegistry::instance().counter("fault.retry.retries").add();
+      sleeper(std::min(policy.backoff(attempt),
+                       std::chrono::duration_cast<std::chrono::milliseconds>(
+                           deadline.remaining())));
+      continue;
+    }
+    if ((resp.status == 429 || resp.status == 503) && attempt < attempts) {
+      // The server told us when to come back; believe it over the backoff
+      // schedule, but never wait out a Retry-After the deadline cannot
+      // absorb — the throttled response goes back to the caller instead.
+      std::chrono::milliseconds wait = policy.backoff(attempt);
+      if (auto ra = resp.retry_after()) {
+        wait = std::chrono::duration_cast<std::chrono::milliseconds>(*ra);
+        obs::MetricsRegistry::instance()
+            .counter("http.client.retry_after_waits")
+            .add();
+      }
+      if (!deadline.is_never() && wait >= deadline.remaining()) return resp;
+      sleeper(wait);
+      continue;
+    }
+    return resp;
+  }
+}
+
 Server::Server(std::uint16_t port)
     : listener_(port), thread_([this] { serve(); }) {}
 
@@ -177,6 +269,16 @@ void Server::remove_document(const std::string& path) {
 void Server::set_handler(Handler handler) {
   std::lock_guard lock(mutex_);
   handler_ = std::move(handler);
+}
+
+void Server::set_responder(Responder responder) {
+  std::lock_guard lock(mutex_);
+  responder_ = std::move(responder);
+}
+
+void Server::set_cache_policy(const CachePolicy& policy) {
+  std::lock_guard lock(mutex_);
+  cache_policy_ = policy;
 }
 
 std::string Server::url_for(const std::string& path) const {
@@ -231,10 +333,38 @@ void Server::handle(transport::TcpConnection conn) {
             : std::string_view(raw.data(), line_end);
     auto parts = split(trim(request_line), ' ');
 
+    Request request;
+    if (parts.size() >= 2) request.path = std::string(parts[1]);
+    if (line_end != std::string::npos) {
+      std::size_t head_end = raw.find("\r\n\r\n");
+      std::string_view head(raw.data() + line_end,
+                            (head_end == std::string::npos ? raw.size()
+                                                           : head_end) -
+                                line_end);
+      for (std::string_view line : split(head, '\n')) {
+        line = trim(line);
+        std::size_t colon = line.find(':');
+        if (colon == std::string_view::npos) continue;
+        request.headers[to_lower(trim(line.substr(0, colon)))] =
+            std::string(trim(line.substr(colon + 1)));
+      }
+    }
+
     std::string status = "400 Bad Request";
     std::string body = "bad request";
     std::string content_type = "text/plain";
+    std::map<std::string, std::string> extra_headers;
+    bool suppress_body = false;  // 304: headers only, never a body
 
+    CachePolicy cache_policy;
+    Responder responder;
+    {
+      std::lock_guard lock(mutex_);
+      cache_policy = cache_policy_;
+      responder = responder_;
+    }
+
+    std::optional<Response> canned;
     overload::Admission adm = admission_.admit_message(peer, raw.size());
     if (!adm) {
       static obs::Counter& throttled =
@@ -242,6 +372,21 @@ void Server::handle(transport::TcpConnection conn) {
       throttled.add();
       status = "429 Too Many Requests";
       body = std::string("[") + adm.code + "] " + adm.detail + "\n";
+      // Quota windows refill every second; tell well-behaved clients when
+      // to come back instead of letting them guess a backoff.
+      extra_headers["Retry-After"] = "1";
+    } else if (parts.size() >= 2 && parts[0] == "GET" && responder &&
+               (canned = responder(request))) {
+      status = std::to_string(canned->status) + " " +
+               (canned->reason.empty() ? "Canned" : canned->reason);
+      body = std::move(canned->body);
+      for (const auto& [name, value] : canned->headers) {
+        if (to_lower(name) == "content-type") {
+          content_type = value;
+        } else {
+          extra_headers[name] = value;
+        }
+      }
     } else if (parts.size() >= 2 && parts[0] == "GET") {
       std::string path(parts[1]);
       std::string bare = path.substr(0, path.find('?'));
@@ -274,9 +419,41 @@ void Server::handle(transport::TcpConnection conn) {
                                             : "503 Service Unavailable";
         body = std::string(overload::health_name(h)) + "\n";
       } else if (doc) {
-        status = "200 OK";
-        body = std::move(*doc);
-        content_type = doc_type;
+        // Strong validator: the content hash of the exact bytes served.
+        // A matching If-None-Match skips the body (304); everything else
+        // gets the document plus the validator for next time.
+        std::string etag = strong_etag(*doc);
+        extra_headers["ETag"] = etag;
+        if (cache_policy.enabled) {
+          extra_headers["Cache-Control"] =
+              "max-age=" + std::to_string(cache_policy.max_age.count()) +
+              ", stale-while-revalidate=" +
+              std::to_string(cache_policy.stale_while_revalidate.count());
+        }
+        auto inm = request.headers.find("if-none-match");
+        bool matched = false;
+        if (inm != request.headers.end()) {
+          for (std::string_view candidate : split(inm->second, ',')) {
+            candidate = trim(candidate);
+            if (candidate == etag || candidate == "*") {
+              matched = true;
+              break;
+            }
+          }
+        }
+        if (matched) {
+          static obs::Counter& revalidations =
+              obs::MetricsRegistry::instance().counter(
+                  "http.server.revalidations");
+          revalidations.add();
+          status = "304 Not Modified";
+          body.clear();
+          suppress_body = true;
+        } else {
+          status = "200 OK";
+          body = std::move(*doc);
+          content_type = doc_type;
+        }
       } else {
         status = "404 Not Found";
         body = "document not found: " + path;
@@ -287,11 +464,15 @@ void Server::handle(transport::TcpConnection conn) {
     }
 
     std::ostringstream resp;
-    resp << "HTTP/1.0 " << status << "\r\n"
-         << "Content-Type: " << content_type << "\r\n"
-         << "Content-Length: " << body.size() << "\r\n"
-         << "Connection: close\r\n\r\n"
-         << body;
+    resp << "HTTP/1.0 " << status << "\r\n";
+    if (!suppress_body) {
+      resp << "Content-Type: " << content_type << "\r\n";
+    }
+    resp << "Content-Length: " << body.size() << "\r\n";
+    for (const auto& [name, value] : extra_headers) {
+      resp << name << ": " << value << "\r\n";
+    }
+    resp << "Connection: close\r\n\r\n" << body;
     write_all(fd, resp.str(), deadline);
   } catch (...) {
     ::close(fd);

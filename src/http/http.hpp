@@ -5,9 +5,17 @@
 // by a directory) on a background thread; the client issues one GET per
 // call. Loopback only. This is deliberately not a general web server — it
 // is the metadata repository of Figure 3.
+//
+// Cache semantics: every 200 for a served document carries a strong ETag
+// (content hash of the body) and, when a cache policy is set, a
+// Cache-Control header with max-age + stale-while-revalidate. A GET whose
+// If-None-Match matches the current ETag is answered 304 Not Modified with
+// no body — the revalidation handshake the client-side metadata cache
+// (src/metacache) is built on.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <filesystem>
 #include <functional>
@@ -16,10 +24,12 @@
 #include <optional>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "overload/admission.hpp"
 #include "transport/tcp.hpp"
 #include "util/deadline.hpp"
+#include "util/retry.hpp"
 
 namespace omf::http {
 
@@ -28,7 +38,29 @@ struct Response {
   std::string reason;
   std::map<std::string, std::string> headers;  // lower-cased names
   std::string body;
+  /// Raw bytes this response occupied on the wire (status line + headers +
+  /// body), so tests can prove a 304 really skipped the body transfer.
+  std::size_t wire_bytes = 0;
+
+  /// The ETag header verbatim (including quotes), or "" when absent.
+  std::string etag() const;
+
+  /// Retry-After as delta-seconds (429/503 throttling); nullopt when the
+  /// header is absent or uses the HTTP-date form.
+  std::optional<std::chrono::seconds> retry_after() const;
+
+  /// Parsed Cache-Control freshness lifetimes; `present` is false when the
+  /// header (or the max-age directive) is missing.
+  struct CacheControl {
+    bool present = false;
+    std::chrono::seconds max_age{0};
+    std::chrono::seconds stale_while_revalidate{0};
+  };
+  CacheControl cache_control() const;
 };
+
+/// Extra request headers for conditional GETs ("If-None-Match": etag).
+using HeaderList = std::vector<std::pair<std::string, std::string>>;
 
 /// Parses "http://host:port/path" (host must be a loopback name/address in
 /// this reproduction). Throws omf::Error on malformed URLs.
@@ -47,6 +79,20 @@ struct Url {
 Response get(const Url& url, const Deadline& deadline = Deadline::never());
 Response get(const std::string& url,
              const Deadline& deadline = Deadline::never());
+Response get(const Url& url, const HeaderList& headers,
+             const Deadline& deadline = Deadline::never());
+
+/// GET with retry. Transport failures are retried on the policy's backoff
+/// schedule; a 429/503 response that names a Retry-After is retried after
+/// *that* long instead (the server knows its own recovery horizon better
+/// than our exponential guess), always capped by the caller's deadline — a
+/// Retry-After the deadline cannot absorb returns the throttled response
+/// immediately rather than blocking past it. Any other status (including
+/// 404) is returned as-is on the first attempt.
+Response get_with_retry(const Url& url, const HeaderList& headers,
+                        const RetryPolicy& policy,
+                        const Deadline& deadline = Deadline::never(),
+                        const RetrySleeper& sleeper = default_retry_sleeper);
 
 /// Tiny document server.
 class Server {
@@ -73,6 +119,33 @@ public:
   /// "dynamically generated metadata" / format-scoping server works).
   using Handler = std::function<std::optional<std::string>(const std::string&)>;
   void set_handler(Handler handler);
+
+  /// A parsed request, for responders that need more than the path.
+  struct Request {
+    std::string path;  ///< includes any query string
+    std::map<std::string, std::string> headers;  ///< lower-cased names
+  };
+
+  /// Full-control hook: sees the whole request and dictates status, headers,
+  /// and body verbatim (Content-Length is filled in). Takes precedence over
+  /// handlers, documents, and the built-in ETag/304 machinery; returning
+  /// nullopt falls through to them. This is how tests can can 429/503 +
+  /// Retry-After sequences and how nonstandard origins are simulated.
+  using Responder = std::function<std::optional<Response>(const Request&)>;
+  void set_responder(Responder responder);
+
+  /// Freshness lifetimes advertised on document responses. While enabled,
+  /// every document 200/304 carries "Cache-Control: max-age=N,
+  /// stale-while-revalidate=M"; clients may serve a cached copy N seconds
+  /// without revalidating and keep serving it for M more while they
+  /// revalidate (or while every replica is down). ETag/If-None-Match
+  /// revalidation is always on — it needs no policy.
+  struct CachePolicy {
+    bool enabled = true;
+    std::chrono::seconds max_age{60};
+    std::chrono::seconds stale_while_revalidate{3600};
+  };
+  void set_cache_policy(const CachePolicy& policy);
 
   /// URL for a path on this server.
   std::string url_for(const std::string& path) const;
@@ -128,7 +201,15 @@ private:
   mutable std::mutex mutex_;
   std::map<std::string, std::pair<std::string, std::string>> documents_;
   Handler handler_;
+  Responder responder_;
+  CachePolicy cache_policy_;
   std::thread thread_;
 };
+
+/// The strong ETag the server would serve for `body` (quoted 16-hex content
+/// hash). Exposed so clients can revalidate bundles they obtained out of
+/// band (e.g. over the TCP format service, whose validator is the same
+/// content hash without quotes).
+std::string strong_etag(std::string_view body);
 
 }  // namespace omf::http

@@ -1,0 +1,77 @@
+// The unit the metadata cache stores: one immutable metadata bundle (a
+// serialized format bundle or a schema document) plus the freshness state
+// HTTP cache semantics need — the strong validator (ETag / content hash),
+// when it was last known fresh, and how long the origin said it may be
+// served without (max_age) and with (stale_while_revalidate) revalidation.
+//
+// Bundles are immutable and shared (shared_ptr<const Bundle>): a revalidated
+// or refreshed entry is a *new* Bundle, so readers holding the old handle
+// are never raced.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "util/hash.hpp"
+
+namespace omf::metacache {
+
+struct Bundle {
+  std::string body;
+  /// Strong validator as the origin spelled it (quoted hex for HTTP ETags,
+  /// bare 16-hex content hash for the TCP format service); "" when the
+  /// origin supplied none.
+  std::string etag;
+  std::uint64_t content_hash = 0;  ///< fnv1a(body), the disk store's key half
+  std::chrono::seconds max_age{60};
+  std::chrono::seconds stale_while_revalidate{3600};
+  /// Cache-clock milliseconds (wall time) when this copy was fetched or
+  /// last revalidated. Wall time, not steady time, so freshness survives a
+  /// process restart through the disk tier.
+  std::int64_t fetched_ms = 0;
+
+  std::size_t cost_bytes() const noexcept {
+    return body.size() + etag.size() + sizeof(Bundle);
+  }
+
+  std::chrono::milliseconds age_at(std::int64_t now_ms) const noexcept {
+    std::int64_t age = now_ms - fetched_ms;
+    return std::chrono::milliseconds(age < 0 ? 0 : age);
+  }
+
+  bool fresh_at(std::int64_t now_ms) const noexcept {
+    return age_at(now_ms) <= max_age;
+  }
+
+  /// Inside the stale-while-revalidate window: serve immediately, but a
+  /// revalidation should be in flight.
+  bool within_swr_at(std::int64_t now_ms) const noexcept {
+    return age_at(now_ms) <= max_age + stale_while_revalidate;
+  }
+};
+
+using BundleHandle = std::shared_ptr<const Bundle>;
+
+/// What one origin-fetch attempt produced.
+enum class FetchStatus {
+  kFetched,      ///< full body in FetchResult::bundle
+  kNotModified,  ///< validator matched; cached copy is still current
+  kNotFound,     ///< the origin authoritatively does not have it
+  kUnavailable,  ///< every replica failed / was skipped; nothing learned
+};
+
+struct FetchResult {
+  FetchStatus status = FetchStatus::kUnavailable;
+  Bundle bundle;  ///< meaningful only for kFetched
+};
+
+/// Reaches the origin (through the replica router): given the cached
+/// validator ("" = unconditional), returns what the origin said. Must be
+/// self-contained (capture by value / shared_ptr) — background revalidation
+/// may run it after the caller's stack frame is gone.
+using Fetcher = std::function<FetchResult(const std::string& etag)>;
+
+}  // namespace omf::metacache

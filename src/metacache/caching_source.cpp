@@ -1,0 +1,57 @@
+#include "metacache/caching_source.hpp"
+
+#include "http/http.hpp"
+#include "metacache/http_origin.hpp"
+#include "util/hash.hpp"
+
+namespace omf::metacache {
+
+CachedHttpSource::CachedHttpSource(std::vector<std::string> replica_bases,
+                                   CachedHttpSourceOptions options)
+    : options_(options),
+      replicas_(std::move(replica_bases), options.breaker, options.vnodes),
+      cache_(options.cache) {}
+
+bool CachedHttpSource::handles(const std::string& locator) const {
+  return locator.rfind("http://", 0) == 0;
+}
+
+std::optional<std::string> CachedHttpSource::fetch(const std::string& locator) {
+  std::string path;
+  try {
+    path = http::Url::parse(locator).path;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  const std::uint64_t key = fnv1a(path);
+  // Value captures only: background revalidation may run this after the
+  // discover() frame that triggered it is gone.
+  const RetryPolicy retry = options_.retry;
+  const auto timeout = options_.fetch_timeout;
+  const auto max_age = options_.default_max_age;
+  const auto swr = options_.default_swr;
+  ReplicaSet* replicas = &replicas_;
+  Fetcher fetcher = [=](const std::string& etag) {
+    return replicas->fetch(
+        key, [&](std::size_t, const std::string& base) {
+          return http_conditional_get(base + path, etag, retry, timeout,
+                                      max_age, swr);
+        });
+  };
+  BundleHandle bundle = cache_.resolve(key, fetcher);
+  if (!bundle) return std::nullopt;
+  return bundle->body;
+}
+
+std::unique_ptr<CachedHttpSource> make_cached_http_source(
+    std::vector<std::string> replica_bases) {
+  return make_cached_http_source(std::move(replica_bases),
+                                 CachedHttpSourceOptions{});
+}
+
+std::unique_ptr<CachedHttpSource> make_cached_http_source(
+    std::vector<std::string> replica_bases, CachedHttpSourceOptions options) {
+  return std::make_unique<CachedHttpSource>(std::move(replica_bases), options);
+}
+
+}  // namespace omf::metacache

@@ -1,0 +1,69 @@
+// The replicated, cached HTTP metadata source for the discovery chain.
+//
+// Drop-in upgrade for core::make_http_source(): handles the same
+// "http://..." locators, but resolves each document through the two-tier
+// MetaCache and fans fetches out across replica base URLs with
+// consistent-hash failover. Install it with
+//
+//   ctx.discovery().set_source(0, metacache::make_cached_http_source(
+//       {"http://127.0.0.1:7001", "http://127.0.0.1:7002"}));
+//
+// so the discovery chain's ordering (remote -> file -> compiled-in) is
+// preserved while the remote leg gains caching, revalidation, and replica
+// failover. The document key is the locator's *path*, not its host — every
+// replica serves the same URL space, so a locator minted against one
+// replica hits the cache no matter which replica answers.
+#pragma once
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/discovery.hpp"
+#include "fault/circuit_breaker.hpp"
+#include "metacache/meta_cache.hpp"
+#include "metacache/replica_set.hpp"
+#include "util/retry.hpp"
+
+namespace omf::metacache {
+
+struct CachedHttpSourceOptions {
+  MetaCacheOptions cache{};
+  fault::CircuitBreaker::Config breaker{};
+  RetryPolicy retry{.max_attempts = 1};
+  std::chrono::milliseconds fetch_timeout{0};  ///< per attempt; 0 = none
+  std::chrono::seconds default_max_age{60};
+  std::chrono::seconds default_swr{3600};
+  std::size_t vnodes = 64;
+};
+
+class CachedHttpSource : public core::MetadataSource {
+public:
+  /// `replica_bases` are origin prefixes ("http://127.0.0.1:7001"); the
+  /// locator's path is appended to whichever replica the walk picks.
+  explicit CachedHttpSource(std::vector<std::string> replica_bases)
+      : CachedHttpSource(std::move(replica_bases), CachedHttpSourceOptions{}) {}
+  CachedHttpSource(std::vector<std::string> replica_bases,
+                   CachedHttpSourceOptions options);
+
+  std::string name() const override { return "http-cached"; }
+  bool remote() const override { return true; }
+  bool handles(const std::string& locator) const override;
+  std::optional<std::string> fetch(const std::string& locator) override;
+
+  MetaCache& cache() noexcept { return cache_; }
+  ReplicaSet& replicas() noexcept { return replicas_; }
+
+private:
+  CachedHttpSourceOptions options_;
+  ReplicaSet replicas_;
+  MetaCache cache_;  // after replicas_: dtor joins the revalidation thread
+};
+
+std::unique_ptr<CachedHttpSource> make_cached_http_source(
+    std::vector<std::string> replica_bases);
+std::unique_ptr<CachedHttpSource> make_cached_http_source(
+    std::vector<std::string> replica_bases, CachedHttpSourceOptions options);
+
+}  // namespace omf::metacache

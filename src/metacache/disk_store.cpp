@@ -1,0 +1,218 @@
+#include "metacache/disk_store.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "util/bytes.hpp"
+#include "util/error.hpp"
+#include "util/fsio.hpp"
+#include "util/logging.hpp"
+
+namespace omf::metacache {
+
+namespace {
+
+constexpr char kMagic[8] = {'O', 'M', 'F', 'C', 'A', 'C', 'H', '1'};
+constexpr std::size_t kHeaderBytes = 8 + 8 + 8 + 4 + 4 + 8;
+
+struct DiskMetrics {
+  obs::Counter& installs;
+  obs::Counter& rejects;
+  static const DiskMetrics& get() {
+    auto& reg = obs::MetricsRegistry::instance();
+    static DiskMetrics m{reg.counter("omf.metacache.disk_installs"),
+                         reg.counter("omf.metacache.disk_rejects")};
+    return m;
+  }
+};
+
+std::string hex16(std::uint64_t v) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[v & 0xF];
+    v >>= 4;
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> serialize(std::uint64_t key, const Bundle& b) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kHeaderBytes + 8 + b.etag.size() + b.body.size() + 4);
+  auto push_bytes = [&](const void* p, std::size_t n) {
+    const auto* u = static_cast<const std::uint8_t*>(p);
+    out.insert(out.end(), u, u + n);
+  };
+  auto push_u32 = [&](std::uint32_t v) {
+    std::uint8_t buf[4];
+    store_le<std::uint32_t>(buf, v);
+    push_bytes(buf, 4);
+  };
+  auto push_u64 = [&](std::uint64_t v) {
+    std::uint8_t buf[8];
+    store_le<std::uint64_t>(buf, v);
+    push_bytes(buf, 8);
+  };
+  push_bytes(kMagic, 8);
+  push_u64(key);
+  push_u64(b.content_hash);
+  push_u32(static_cast<std::uint32_t>(b.max_age.count()));
+  push_u32(static_cast<std::uint32_t>(b.stale_while_revalidate.count()));
+  push_u64(static_cast<std::uint64_t>(b.fetched_ms));
+  push_u32(static_cast<std::uint32_t>(b.etag.size()));
+  push_bytes(b.etag.data(), b.etag.size());
+  push_u32(static_cast<std::uint32_t>(b.body.size()));
+  push_bytes(b.body.data(), b.body.size());
+  push_u32(crc32(out.data(), out.size()));
+  return out;
+}
+
+/// Parses one cache file defensively: any structural violation — short
+/// file, bad magic, key mismatch, length overflow, CRC mismatch — yields
+/// nullopt. A file that passed the CRC also has its content hash
+/// recomputed, so even a CRC collision cannot smuggle a body whose hash
+/// (the half of the cache key clients revalidate with) lies.
+std::optional<Bundle> parse(std::uint64_t key,
+                            const std::vector<std::uint8_t>& data) {
+  if (data.size() < kHeaderBytes + 8 + 4) return std::nullopt;
+  if (std::memcmp(data.data(), kMagic, 8) != 0) return std::nullopt;
+  std::uint32_t stored_crc = load_le<std::uint32_t>(&data[data.size() - 4]);
+  if (crc32(data.data(), data.size() - 4) != stored_crc) return std::nullopt;
+  std::size_t off = 8;
+  auto read_u32 = [&](std::uint32_t* v) {
+    *v = load_le<std::uint32_t>(&data[off]);
+    off += 4;
+  };
+  auto read_u64 = [&](std::uint64_t* v) {
+    *v = load_le<std::uint64_t>(&data[off]);
+    off += 8;
+  };
+  std::uint64_t stored_key = 0;
+  Bundle b;
+  std::uint64_t fetched = 0;
+  std::uint32_t max_age = 0, swr = 0, etag_len = 0, body_len = 0;
+  read_u64(&stored_key);
+  if (stored_key != key) return std::nullopt;
+  read_u64(&b.content_hash);
+  read_u32(&max_age);
+  read_u32(&swr);
+  read_u64(&fetched);
+  read_u32(&etag_len);
+  if (data.size() - off - 4 < etag_len) return std::nullopt;
+  b.etag.assign(reinterpret_cast<const char*>(&data[off]), etag_len);
+  off += etag_len;
+  read_u32(&body_len);
+  if (data.size() - off - 4 != body_len) return std::nullopt;
+  b.body.assign(reinterpret_cast<const char*>(&data[off]), body_len);
+  if (fnv1a(b.body) != b.content_hash) return std::nullopt;
+  b.max_age = std::chrono::seconds(max_age);
+  b.stale_while_revalidate = std::chrono::seconds(swr);
+  b.fetched_ms = static_cast<std::int64_t>(fetched);
+  return b;
+}
+
+std::vector<std::uint8_t> read_file(const std::filesystem::path& path) {
+  std::vector<std::uint8_t> out;
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return out;
+  std::uint8_t buf[1 << 16];
+  for (;;) {
+    ssize_t r = ::read(fd, buf, sizeof(buf));
+    if (r <= 0) {
+      if (r < 0 && errno == EINTR) continue;
+      break;
+    }
+    out.insert(out.end(), buf, buf + r);
+  }
+  ::close(fd);
+  return out;
+}
+
+}  // namespace
+
+DiskStore::DiskStore(std::filesystem::path dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) {
+    throw Error("metacache: cannot create disk store " + dir_.string() +
+                ": " + ec.message());
+  }
+}
+
+std::filesystem::path DiskStore::path_for(std::uint64_t key,
+                                          std::uint64_t content_hash) const {
+  return dir_ / (hex16(key) + "-" + hex16(content_hash) + ".omfc");
+}
+
+void DiskStore::install(std::uint64_t key, const Bundle& bundle) {
+  std::vector<std::uint8_t> bytes = serialize(key, bundle);
+  std::lock_guard lock(mutex_);
+  fsio::atomic_install(path_for(key, bundle.content_hash), bytes,
+                       hex16(key) + ".tmp");
+  DiskMetrics::get().installs.add();
+  // Prune superseded revisions of this key (crash-safe: the new file is
+  // already durable, and readers only ever need one intact copy).
+  std::string prefix = hex16(key) + "-";
+  std::string keep = path_for(key, bundle.content_hash).filename().string();
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    std::string name = entry.path().filename().string();
+    if (name.size() == keep.size() && name.compare(0, prefix.size(), prefix) == 0 &&
+        name != keep) {
+      std::filesystem::remove(entry.path(), ec);
+    }
+  }
+}
+
+std::optional<Bundle> DiskStore::load(std::uint64_t key) {
+  std::string prefix = hex16(key) + "-";
+  std::vector<std::filesystem::path> candidates;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    std::string name = entry.path().filename().string();
+    if (name.compare(0, prefix.size(), prefix) == 0 &&
+        name.size() > prefix.size() && entry.path().extension() == ".omfc") {
+      candidates.push_back(entry.path());
+    }
+  }
+  std::optional<Bundle> best;
+  for (const auto& path : candidates) {
+    std::optional<Bundle> parsed = parse(key, read_file(path));
+    if (!parsed) {
+      DiskMetrics::get().rejects.add();
+      OMF_LOG_WARN("metacache", "rejecting torn/corrupt cache file ",
+                   path.string());
+      std::filesystem::remove(path, ec);
+      continue;
+    }
+    if (!best || parsed->fetched_ms > best->fetched_ms) best = parsed;
+  }
+  return best;
+}
+
+void DiskStore::erase(std::uint64_t key) {
+  std::lock_guard lock(mutex_);
+  std::string prefix = hex16(key) + "-";
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    std::string name = entry.path().filename().string();
+    if (name.compare(0, prefix.size(), prefix) == 0) {
+      std::filesystem::remove(entry.path(), ec);
+    }
+  }
+}
+
+std::size_t DiskStore::entries() const {
+  std::size_t n = 0;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    if (entry.path().extension() == ".omfc") ++n;
+  }
+  return n;
+}
+
+}  // namespace omf::metacache

@@ -1,0 +1,54 @@
+// On-disk tier of the metadata cache: a content-addressed store keyed by
+// {key id, content hash}.
+//
+// One file per key, named "<16-hex key>-<16-hex content hash>.omfc" —
+// content-addressing means a new revision of a format never overwrites the
+// bytes a concurrent reader may be mapping; it lands under a new name and
+// the old one is pruned. Installs are crash-safe (write temp, fsync,
+// rename, fsync the directory — util/fsio.hpp); loads reject torn or
+// tampered files by magic/length/CRC before a byte reaches a parser, so a
+// cache directory that survived a power loss cold-starts the process
+// without touching the origin.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <mutex>
+#include <optional>
+
+#include "metacache/bundle.hpp"
+
+namespace omf::metacache {
+
+class DiskStore {
+public:
+  /// Creates `dir` if needed. Throws omf::Error when the directory cannot
+  /// be created or written.
+  explicit DiskStore(std::filesystem::path dir);
+
+  /// Atomically installs `bundle` as the current copy for `key`, replacing
+  /// (and pruning) any previous content revision.
+  void install(std::uint64_t key, const Bundle& bundle);
+
+  /// Loads the current copy for `key`. Returns nullopt when absent or when
+  /// every candidate file is torn/corrupt (counted in
+  /// omf.metacache.disk_rejects; the bad file is quarantined by unlink so
+  /// it is not re-parsed on every miss).
+  std::optional<Bundle> load(std::uint64_t key);
+
+  void erase(std::uint64_t key);
+
+  const std::filesystem::path& dir() const noexcept { return dir_; }
+
+  /// Entries currently on disk (diagnostics; walks the directory).
+  std::size_t entries() const;
+
+private:
+  std::filesystem::path path_for(std::uint64_t key,
+                                 std::uint64_t content_hash) const;
+
+  std::filesystem::path dir_;
+  std::mutex mutex_;  // serializes install/prune for one store instance
+};
+
+}  // namespace omf::metacache

@@ -1,0 +1,109 @@
+#include "metacache/format_client.hpp"
+
+#include <cstdlib>
+
+#include "core/http_formats.hpp"
+#include "http/http.hpp"
+#include "metacache/http_origin.hpp"
+#include "pbio/metaserde.hpp"
+#include "transport/format_service.hpp"
+#include "util/hash.hpp"
+
+namespace omf::metacache {
+
+namespace {
+
+bool is_http_endpoint(const std::string& endpoint) {
+  return endpoint.rfind("http://", 0) == 0;
+}
+
+/// Recovers the content hash from a validator ("\"16-hex\"" or bare hex).
+/// 0 on anything unparsable — which never matches a live bundle, so the
+/// replica simply answers with the full body.
+std::uint64_t hash_from_etag(const std::string& etag) {
+  std::string_view v(etag);
+  if (v.size() >= 2 && v.front() == '"' && v.back() == '"') {
+    v = v.substr(1, v.size() - 2);
+  }
+  if (v.empty() || v.size() > 16) return 0;
+  std::uint64_t out = 0;
+  for (char c : v) {
+    out <<= 4;
+    if (c >= '0' && c <= '9') out |= static_cast<std::uint64_t>(c - '0');
+    else if (c >= 'a' && c <= 'f') out |= static_cast<std::uint64_t>(c - 'a' + 10);
+    else if (c >= 'A' && c <= 'F') out |= static_cast<std::uint64_t>(c - 'A' + 10);
+    else return 0;
+  }
+  return out;
+}
+
+}  // namespace
+
+ReplicatedFormatClient::ReplicatedFormatClient(
+    std::vector<std::string> endpoints, Options options)
+    : options_(options),
+      replicas_(std::move(endpoints), options.breaker, options.vnodes),
+      cache_(options.cache) {}
+
+FetchResult ReplicatedFormatClient::attempt(const std::string& endpoint,
+                                            pbio::FormatId id,
+                                            const std::string& etag) {
+  if (is_http_endpoint(endpoint)) {
+    return http_conditional_get(endpoint + core::format_id_hex(id), etag,
+                                options_.retry, options_.fetch_timeout,
+                                options_.default_max_age, options_.default_swr);
+  }
+  const auto port =
+      static_cast<std::uint16_t>(std::strtoul(endpoint.c_str(), nullptr, 10));
+  transport::FormatServiceClient client(
+      port, {.retry = options_.retry, .rpc_timeout = options_.fetch_timeout});
+  auto cf = client.conditional_fetch(id, hash_from_etag(etag));
+  using Status = transport::FormatServiceClient::ConditionalFetch::Status;
+  FetchResult out;
+  switch (cf.status) {
+    case Status::kUnknown:
+      out.status = FetchStatus::kNotFound;
+      break;
+    case Status::kNotModified:
+      out.status = FetchStatus::kNotModified;
+      break;
+    case Status::kFetched: {
+      out.status = FetchStatus::kFetched;
+      Bundle b;
+      b.body.assign(reinterpret_cast<const char*>(cf.bundle.data()),
+                    cf.bundle.size());
+      b.content_hash = fnv1a(b.body);
+      // Same validator spelling as the HTTP origin, so a bundle cached from
+      // a TCP replica revalidates against an HTTP one and vice versa.
+      b.etag = http::strong_etag(b.body);
+      b.max_age = options_.default_max_age;
+      b.stale_while_revalidate = options_.default_swr;
+      out.bundle = std::move(b);
+      break;
+    }
+  }
+  return out;
+}
+
+BundleHandle ReplicatedFormatClient::resolve_bundle(pbio::FormatId id) {
+  // Self-contained fetcher: captures only what the background revalidation
+  // thread may still need after the caller returns.
+  Fetcher fetch = [this, id](const std::string& etag) {
+    return replicas_.fetch(
+        id, [this, id, &etag](std::size_t, const std::string& endpoint) {
+          return attempt(endpoint, id, etag);
+        });
+  };
+  return cache_.resolve(id, fetch);
+}
+
+pbio::FormatHandle ReplicatedFormatClient::resolve(
+    pbio::FormatRegistry& registry, pbio::FormatId id) {
+  BundleHandle bundle = resolve_bundle(id);
+  if (!bundle) return nullptr;
+  return pbio::deserialize_format_bundle(
+      registry, {reinterpret_cast<const std::uint8_t*>(bundle->body.data()),
+                 bundle->body.size()});
+}
+
+}  // namespace omf::metacache

@@ -1,0 +1,79 @@
+// ReplicatedFormatClient: the receiver-side entry point of the replicated
+// metadata plane.
+//
+// Where transport::FormatServiceClient talks to ONE format service,
+// this client consistent-hashes each format id across N replicas
+// (metacache::ReplicaSet) and resolves bundles through the two-tier
+// MetaCache, so the common case costs zero network traffic, an unchanged
+// bundle costs a validator exchange (HTTP 304 / TCP 'C' not-modified), and
+// a dead first-choice replica costs one failover hop instead of a decode
+// outage. When every replica is down, a previously-seen bundle is served
+// stale at any age — format metadata is immutable by content, so stale
+// metadata still decodes.
+//
+// Replica endpoints come in two spellings:
+//   "http://host:port/prefix/"  an HttpFormatPublisher URL space
+//                               (conditional GET + ETag)
+//   "7001"                      a TCP format-service port on loopback
+//                               (the 'C' conditional-fetch opcode)
+// Both use the same validator — the fnv1a content hash of the bundle
+// bytes — so a bundle cached from one replica kind revalidates against the
+// other.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/circuit_breaker.hpp"
+#include "metacache/meta_cache.hpp"
+#include "metacache/replica_set.hpp"
+#include "pbio/format.hpp"
+#include "util/retry.hpp"
+
+namespace omf::metacache {
+
+class ReplicatedFormatClient {
+public:
+  struct Options {
+    MetaCacheOptions cache{};
+    fault::CircuitBreaker::Config breaker{};
+    /// Per-replica attempt policy; the replica walk itself is the primary
+    /// retry mechanism, so default is one attempt per replica.
+    RetryPolicy retry{.max_attempts = 1};
+    std::chrono::milliseconds fetch_timeout{0};  ///< per attempt; 0 = none
+    /// Freshness lifetimes for origins that state none (TCP replicas, HTTP
+    /// replicas without a Cache-Control policy).
+    std::chrono::seconds default_max_age{60};
+    std::chrono::seconds default_swr{3600};
+    std::size_t vnodes = 64;
+  };
+
+  explicit ReplicatedFormatClient(std::vector<std::string> endpoints)
+      : ReplicatedFormatClient(std::move(endpoints), Options{}) {}
+  ReplicatedFormatClient(std::vector<std::string> endpoints, Options options);
+
+  /// Resolves the bundle for `id` (cache tiers first, replicas on miss or
+  /// expiry) and registers it into `registry`. Returns nullptr when no
+  /// replica knows the id and no tier holds a copy.
+  pbio::FormatHandle resolve(pbio::FormatRegistry& registry,
+                             pbio::FormatId id);
+
+  /// The raw cached bundle for `id` without registering it (diagnostics).
+  BundleHandle resolve_bundle(pbio::FormatId id);
+
+  MetaCache& cache() noexcept { return cache_; }
+  ReplicaSet& replicas() noexcept { return replicas_; }
+
+private:
+  FetchResult attempt(const std::string& endpoint, pbio::FormatId id,
+                      const std::string& etag);
+
+  Options options_;
+  ReplicaSet replicas_;
+  // Declared after replicas_: the cache dtor joins the revalidation thread,
+  // whose fetchers walk replicas_, so the cache must die first.
+  MetaCache cache_;
+};
+
+}  // namespace omf::metacache

@@ -1,0 +1,47 @@
+#include "metacache/http_origin.hpp"
+
+#include "http/http.hpp"
+#include "util/deadline.hpp"
+#include "util/hash.hpp"
+
+namespace omf::metacache {
+
+FetchResult http_conditional_get(const std::string& url,
+                                 const std::string& etag,
+                                 const RetryPolicy& retry,
+                                 std::chrono::milliseconds timeout,
+                                 std::chrono::seconds default_max_age,
+                                 std::chrono::seconds default_swr) {
+  http::HeaderList headers;
+  if (!etag.empty()) headers.emplace_back("If-None-Match", etag);
+  http::Response resp =
+      http::get_with_retry(http::Url::parse(url), headers, retry,
+                           Deadline::from_timeout(timeout));
+  FetchResult out;
+  if (resp.status == 304) {
+    out.status = FetchStatus::kNotModified;
+    return out;
+  }
+  if (resp.status == 404) {
+    out.status = FetchStatus::kNotFound;
+    return out;
+  }
+  if (resp.status != 200) {
+    out.status = FetchStatus::kUnavailable;
+    return out;
+  }
+  out.status = FetchStatus::kFetched;
+  Bundle b;
+  b.body = std::move(resp.body);
+  b.etag = resp.etag();
+  if (b.etag.empty()) b.etag = http::strong_etag(b.body);
+  b.content_hash = fnv1a(b.body);
+  http::Response::CacheControl cc = resp.cache_control();
+  b.max_age = cc.present ? cc.max_age : default_max_age;
+  b.stale_while_revalidate =
+      cc.present ? cc.stale_while_revalidate : default_swr;
+  out.bundle = std::move(b);
+  return out;
+}
+
+}  // namespace omf::metacache

@@ -1,0 +1,26 @@
+// One conditional HTTP fetch against one origin, translated into the
+// cache's FetchResult vocabulary. Shared by the replicated format client
+// (bundle URLs) and the cached discovery source (schema URLs).
+#pragma once
+
+#include <chrono>
+#include <string>
+
+#include "metacache/bundle.hpp"
+#include "util/retry.hpp"
+
+namespace omf::metacache {
+
+/// GETs `url` with If-None-Match when `etag` is non-empty. 200 -> kFetched
+/// (freshness lifetimes from Cache-Control, or the supplied defaults),
+/// 304 -> kNotModified, 404 -> kNotFound, anything else -> kUnavailable.
+/// Network failures (connect refused, deadline expiry) propagate as
+/// exceptions — the replica walk turns them into breaker failures.
+FetchResult http_conditional_get(const std::string& url,
+                                 const std::string& etag,
+                                 const RetryPolicy& retry,
+                                 std::chrono::milliseconds timeout,
+                                 std::chrono::seconds default_max_age,
+                                 std::chrono::seconds default_swr);
+
+}  // namespace omf::metacache

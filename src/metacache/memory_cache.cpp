@@ -1,0 +1,122 @@
+#include "metacache/memory_cache.hpp"
+
+#include "obs/metrics.hpp"
+#include "overload/budget.hpp"
+
+namespace omf::metacache {
+
+namespace {
+obs::Counter& eviction_metric() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::instance().counter("omf.metacache.evictions");
+  return c;
+}
+obs::Gauge& bytes_gauge() {
+  static obs::Gauge& g =
+      obs::MetricsRegistry::instance().gauge("omf.metacache.memory_bytes");
+  return g;
+}
+}  // namespace
+
+MemoryCache::MemoryCache(std::size_t max_bytes, std::size_t shards)
+    : per_shard_bytes_(max_bytes / (shards == 0 ? 1 : shards)),
+      shards_(shards == 0 ? 1 : shards) {}
+
+MemoryCache::~MemoryCache() {
+  auto& budget = overload::MemoryBudget::instance();
+  for (Shard& shard : shards_) {
+    std::lock_guard lock(shard.mutex);
+    if (shard.bytes > 0) budget.release(shard.bytes);
+    bytes_gauge().add(-static_cast<std::int64_t>(shard.bytes));
+    shard.map.clear();
+    shard.lru.clear();
+    shard.bytes = 0;
+  }
+}
+
+BundleHandle MemoryCache::get(std::uint64_t key) {
+  Shard& shard = shard_for(key);
+  std::lock_guard lock(shard.mutex);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) return nullptr;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
+  return it->second.bundle;
+}
+
+bool MemoryCache::put(std::uint64_t key, BundleHandle bundle) {
+  if (!bundle) return false;
+  const std::size_t cost = bundle->cost_bytes();
+  if (cost > per_shard_bytes_) return false;  // would evict the whole shard
+  auto& budget = overload::MemoryBudget::instance();
+
+  Shard& shard = shard_for(key);
+  std::lock_guard lock(shard.mutex);
+  auto it = shard.map.find(key);
+  if (it != shard.map.end()) {
+    budget.release(it->second.cost);
+    bytes_gauge().add(-static_cast<std::int64_t>(it->second.cost));
+    shard.bytes -= it->second.cost;
+    shard.lru.erase(it->second.lru_it);
+    shard.map.erase(it);
+  }
+  // Make room first, then charge: eviction releases budget, so the charge
+  // below sees the best case the shard can offer.
+  while (shard.bytes + cost > per_shard_bytes_ && !shard.lru.empty()) {
+    std::uint64_t victim = shard.lru.back();
+    auto vit = shard.map.find(victim);
+    budget.release(vit->second.cost);
+    bytes_gauge().add(-static_cast<std::int64_t>(vit->second.cost));
+    shard.bytes -= vit->second.cost;
+    shard.lru.pop_back();
+    shard.map.erase(vit);
+    ++shard.evictions;
+    eviction_metric().add();
+  }
+  if (!budget.try_charge(cost)) return false;  // process under pressure
+  shard.lru.push_front(key);
+  shard.map.emplace(key, Entry{std::move(bundle), shard.lru.begin(), cost});
+  shard.bytes += cost;
+  bytes_gauge().add(static_cast<std::int64_t>(cost));
+  return true;
+}
+
+void MemoryCache::erase(std::uint64_t key) {
+  Shard& shard = shard_for(key);
+  std::lock_guard lock(shard.mutex);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) return;
+  overload::MemoryBudget::instance().release(it->second.cost);
+  bytes_gauge().add(-static_cast<std::int64_t>(it->second.cost));
+  shard.bytes -= it->second.cost;
+  shard.lru.erase(it->second.lru_it);
+  shard.map.erase(it);
+}
+
+std::size_t MemoryCache::bytes() const {
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard lock(shard.mutex);
+    total += shard.bytes;
+  }
+  return total;
+}
+
+std::size_t MemoryCache::entries() const {
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard lock(shard.mutex);
+    total += shard.map.size();
+  }
+  return total;
+}
+
+std::size_t MemoryCache::evictions() const {
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard lock(shard.mutex);
+    total += shard.evictions;
+  }
+  return total;
+}
+
+}  // namespace omf::metacache

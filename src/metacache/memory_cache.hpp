@@ -1,0 +1,68 @@
+// In-process tier of the metadata cache: a sharded, bytes-bounded LRU.
+//
+// Sharded by key hash so concurrent subscribers resolving different formats
+// never contend on one mutex; bounded in bytes, not entries, because bundle
+// sizes span three orders of magnitude. Every cached byte is charged to the
+// process-wide overload::MemoryBudget — when the process is under memory
+// pressure the cache declines new entries (callers still work, they just
+// pay the origin/disk again) rather than deepening the pressure.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "metacache/bundle.hpp"
+
+namespace omf::metacache {
+
+class MemoryCache {
+public:
+  /// `max_bytes` bounds the sum of cost_bytes() across all shards.
+  explicit MemoryCache(std::size_t max_bytes, std::size_t shards = 8);
+  ~MemoryCache();
+  MemoryCache(const MemoryCache&) = delete;
+  MemoryCache& operator=(const MemoryCache&) = delete;
+
+  /// Returns the cached bundle and marks it most-recently-used.
+  BundleHandle get(std::uint64_t key);
+
+  /// Inserts/replaces. Returns false when the entry was *not* cached: it is
+  /// larger than a shard's whole budget, or the memory budget refused the
+  /// charge (process under pressure).
+  bool put(std::uint64_t key, BundleHandle bundle);
+
+  void erase(std::uint64_t key);
+
+  std::size_t bytes() const;
+  std::size_t entries() const;
+  std::size_t evictions() const;
+
+private:
+  struct Entry {
+    BundleHandle bundle;
+    std::list<std::uint64_t>::iterator lru_it;
+    std::size_t cost = 0;
+  };
+  struct Shard {
+    mutable std::mutex mutex;
+    std::list<std::uint64_t> lru;  // front = most recent
+    std::unordered_map<std::uint64_t, Entry> map;
+    std::size_t bytes = 0;
+    std::size_t evictions = 0;
+  };
+
+  Shard& shard_for(std::uint64_t key) noexcept {
+    return shards_[key % shards_.size()];
+  }
+  const Shard& shard_for(std::uint64_t key) const noexcept {
+    return shards_[key % shards_.size()];
+  }
+
+  std::size_t per_shard_bytes_;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace omf::metacache

@@ -1,0 +1,245 @@
+#include "metacache/meta_cache.hpp"
+
+#include <chrono>
+
+#include "obs/metrics.hpp"
+#include "util/hash.hpp"
+#include "util/logging.hpp"
+
+namespace omf::metacache {
+
+namespace {
+
+struct CacheMetrics {
+  obs::Counter& hit;
+  obs::Counter& miss;
+  obs::Counter& revalidate;
+  obs::Counter& stale_served;
+  obs::Counter& disk_hit;
+  static const CacheMetrics& get() {
+    auto& reg = obs::MetricsRegistry::instance();
+    static CacheMetrics m{reg.counter("omf.metacache.hit"),
+                          reg.counter("omf.metacache.miss"),
+                          reg.counter("omf.metacache.revalidate"),
+                          reg.counter("omf.metacache.stale_served"),
+                          reg.counter("omf.metacache.disk_hit")};
+    return m;
+  }
+};
+
+}  // namespace
+
+std::int64_t MetaCache::wall_now_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+MetaCache::MetaCache(MetaCacheOptions options)
+    : options_(options),
+      memory_(options.memory_bytes, options.memory_shards),
+      now_fn_(&MetaCache::wall_now_ms) {
+  if (options_.disk_dir) disk_ = std::make_unique<DiskStore>(*options_.disk_dir);
+  reval_thread_ = std::thread([this] { revalidation_loop(); });
+}
+
+MetaCache::~MetaCache() {
+  {
+    std::lock_guard lock(reval_mutex_);
+    stop_ = true;
+  }
+  reval_cv_.notify_all();
+  if (reval_thread_.joinable()) reval_thread_.join();
+}
+
+std::int64_t MetaCache::now_ms() const {
+  std::lock_guard lock(now_mutex_);
+  return now_fn_();
+}
+
+void MetaCache::set_now_fn(std::function<std::int64_t()> now_fn) {
+  std::lock_guard lock(now_mutex_);
+  now_fn_ = now_fn ? std::move(now_fn) : &MetaCache::wall_now_ms;
+}
+
+BundleHandle MetaCache::resolve(std::uint64_t key, const Fetcher& fetch) {
+  BundleHandle cached = memory_.get(key);
+  bool from_disk = false;
+  if (!cached && disk_) {
+    if (std::optional<Bundle> loaded = disk_->load(key)) {
+      cached = std::make_shared<const Bundle>(std::move(*loaded));
+      memory_.put(key, cached);
+      from_disk = true;
+    }
+  }
+  const std::int64_t now = now_ms();
+  if (cached) {
+    if (cached->fresh_at(now)) {
+      if (from_disk) {
+        disk_hits_.fetch_add(1, std::memory_order_relaxed);
+        CacheMetrics::get().disk_hit.add();
+      } else {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        CacheMetrics::get().hit.add();
+      }
+      return cached;
+    }
+    if (cached->within_swr_at(now)) {
+      // Stale-while-revalidate: the caller gets the stale copy NOW; a
+      // background conditional fetch refreshes the tiers for the next one.
+      if (from_disk) {
+        disk_hits_.fetch_add(1, std::memory_order_relaxed);
+        CacheMetrics::get().disk_hit.add();
+      } else {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        CacheMetrics::get().hit.add();
+      }
+      enqueue_revalidation(key, cached, fetch);
+      return cached;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  CacheMetrics::get().miss.add();
+  return refresh(key, std::move(cached), fetch);
+}
+
+void MetaCache::install(std::uint64_t key, Bundle bundle, BundleHandle* out) {
+  if (bundle.content_hash == 0) bundle.content_hash = fnv1a(bundle.body);
+  auto handle = std::make_shared<const Bundle>(std::move(bundle));
+  memory_.put(key, handle);
+  if (disk_) {
+    try {
+      disk_->install(key, *handle);
+    } catch (const std::exception& e) {
+      // A full or read-only disk degrades to a memory-only cache.
+      OMF_LOG_WARN("metacache", "disk install failed for key ", key, ": ",
+                   e.what());
+    }
+  }
+  if (out) *out = std::move(handle);
+}
+
+BundleHandle MetaCache::refresh(std::uint64_t key, BundleHandle cached,
+                                const Fetcher& fetch) {
+  const std::string etag = cached ? cached->etag : std::string();
+  FetchResult result;
+  try {
+    result = fetch(etag);
+  } catch (const std::exception& e) {
+    OMF_LOG_WARN("metacache", "fetch for key ", key, " failed: ", e.what());
+    result.status = FetchStatus::kUnavailable;
+  }
+  if (!etag.empty() && (result.status == FetchStatus::kNotModified ||
+                        result.status == FetchStatus::kFetched)) {
+    revalidations_.fetch_add(1, std::memory_order_relaxed);
+    CacheMetrics::get().revalidate.add();
+  }
+  switch (result.status) {
+    case FetchStatus::kFetched: {
+      Bundle b = std::move(result.bundle);
+      if (b.fetched_ms == 0) b.fetched_ms = now_ms();
+      BundleHandle handle;
+      install(key, std::move(b), &handle);
+      return handle;
+    }
+    case FetchStatus::kNotModified: {
+      if (!cached) return nullptr;  // origin confirmed a copy we don't hold
+      Bundle b = *cached;
+      b.fetched_ms = now_ms();
+      BundleHandle handle;
+      install(key, std::move(b), &handle);
+      return handle;
+    }
+    case FetchStatus::kNotFound:
+      invalidate(key);
+      return nullptr;
+    case FetchStatus::kUnavailable:
+      break;
+  }
+  if (cached) {
+    // Every replica down or skipped: metadata is immutable by content, so a
+    // stale format description still decodes — serve it at any age.
+    stale_served_.fetch_add(1, std::memory_order_relaxed);
+    CacheMetrics::get().stale_served.add();
+    return cached;
+  }
+  return nullptr;
+}
+
+void MetaCache::invalidate(std::uint64_t key) {
+  memory_.erase(key);
+  if (disk_) disk_->erase(key);
+}
+
+MetaCache::Stats MetaCache::stats() const {
+  Stats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.disk_hits = disk_hits_.load(std::memory_order_relaxed);
+  s.revalidations = revalidations_.load(std::memory_order_relaxed);
+  s.stale_served = stale_served_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void MetaCache::enqueue_revalidation(std::uint64_t key, BundleHandle cached,
+                                     Fetcher fetch) {
+  std::lock_guard lock(reval_mutex_);
+  if (stop_) return;
+  if (!reval_inflight_.insert(key).second) return;  // already queued/running
+  reval_queue_.push_back(Revalidation{key, std::move(cached), std::move(fetch)});
+  reval_cv_.notify_one();
+}
+
+void MetaCache::revalidation_loop() {
+  std::unique_lock lock(reval_mutex_);
+  for (;;) {
+    reval_cv_.wait(lock, [this] { return stop_ || !reval_queue_.empty(); });
+    if (stop_) return;
+    Revalidation job = std::move(reval_queue_.front());
+    reval_queue_.pop_front();
+    lock.unlock();
+    try {
+      // Background refresh: nothing is being served, so kUnavailable here is
+      // simply "try again next time" — no stale_served accounting.
+      const std::string etag = job.cached ? job.cached->etag : std::string();
+      FetchResult result;
+      try {
+        result = job.fetch(etag);
+      } catch (const std::exception&) {
+        result.status = FetchStatus::kUnavailable;
+      }
+      if (!etag.empty() && (result.status == FetchStatus::kNotModified ||
+                            result.status == FetchStatus::kFetched)) {
+        revalidations_.fetch_add(1, std::memory_order_relaxed);
+        CacheMetrics::get().revalidate.add();
+      }
+      if (result.status == FetchStatus::kFetched) {
+        Bundle b = std::move(result.bundle);
+        if (b.fetched_ms == 0) b.fetched_ms = now_ms();
+        install(job.key, std::move(b), nullptr);
+      } else if (result.status == FetchStatus::kNotModified && job.cached) {
+        Bundle b = *job.cached;
+        b.fetched_ms = now_ms();
+        install(job.key, std::move(b), nullptr);
+      } else if (result.status == FetchStatus::kNotFound) {
+        invalidate(job.key);
+      }
+    } catch (...) {
+      // Revalidation is best-effort by definition.
+    }
+    lock.lock();
+    reval_inflight_.erase(job.key);
+    if (reval_queue_.empty() && reval_inflight_.empty()) {
+      reval_idle_cv_.notify_all();
+    }
+  }
+}
+
+void MetaCache::wait_revalidations_idle() {
+  std::unique_lock lock(reval_mutex_);
+  reval_idle_cv_.wait(lock, [this] {
+    return reval_queue_.empty() && reval_inflight_.empty();
+  });
+}
+
+}  // namespace omf::metacache

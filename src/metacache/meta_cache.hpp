@@ -1,0 +1,125 @@
+// Two-tier metadata cache with HTTP freshness semantics.
+//
+// resolve(key) walks: memory LRU -> disk store -> origin (through whatever
+// Fetcher the caller supplies — usually a ReplicaSet walk). Freshness
+// follows RFC 9111's shape:
+//
+//   age <= max_age                 serve from cache, no traffic
+//   age <= max_age + swr window    serve the stale copy NOW, revalidate in
+//                                  the background (subscribers never stall
+//                                  on a refresh)
+//   beyond the swr window          revalidate synchronously (conditional:
+//                                  the cached validator rides along, so an
+//                                  unchanged bundle costs a 304, not a body)
+//   origin unavailable             serve whatever copy exists at ANY age and
+//                                  count omf.metacache.stale_served — the
+//                                  paper's availability argument: metadata
+//                                  is immutable-by-content, so a stale
+//                                  format description beats no decode at all
+//
+// The disk tier makes restarts cheap: fetched_ms is wall-clock, so a bundle
+// written yesterday is correctly seen as stale-but-servable after a restart
+// with the origin down. Disk hits are promoted into memory.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <filesystem>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <unordered_set>
+
+#include "metacache/bundle.hpp"
+#include "metacache/disk_store.hpp"
+#include "metacache/memory_cache.hpp"
+
+namespace omf::metacache {
+
+struct MetaCacheOptions {
+  std::size_t memory_bytes = 8u << 20;
+  std::size_t memory_shards = 8;
+  /// Directory for the disk tier; nullopt = memory-only cache.
+  std::optional<std::filesystem::path> disk_dir;
+};
+
+class MetaCache {
+public:
+  struct Stats {
+    std::uint64_t hits = 0;          ///< served from memory (fresh or swr)
+    std::uint64_t misses = 0;        ///< synchronous trip to the origin
+    std::uint64_t disk_hits = 0;     ///< served after disk->memory promotion
+    std::uint64_t revalidations = 0; ///< conditional refreshes performed
+    std::uint64_t stale_served = 0;  ///< origin unavailable, stale copy served
+  };
+
+  explicit MetaCache(MetaCacheOptions options);
+  ~MetaCache();
+  MetaCache(const MetaCache&) = delete;
+  MetaCache& operator=(const MetaCache&) = delete;
+
+  /// Resolves `key` through the tiers; `fetch` reaches the origin when
+  /// needed and must be self-contained (it may run on the background
+  /// revalidation thread after the caller returns). Returns nullptr only
+  /// when no tier has a copy and the origin answered kNotFound /
+  /// kUnavailable.
+  BundleHandle resolve(std::uint64_t key, const Fetcher& fetch);
+
+  /// Drops `key` from every tier.
+  void invalidate(std::uint64_t key);
+
+  Stats stats() const;
+  MemoryCache& memory() noexcept { return memory_; }
+  DiskStore* disk() noexcept { return disk_ ? disk_.get() : nullptr; }
+
+  /// Test clock: milliseconds of wall time. Defaults to system_clock.
+  void set_now_fn(std::function<std::int64_t()> now_fn);
+
+  /// Blocks until the background revalidation queue is drained (tests).
+  void wait_revalidations_idle();
+
+  static std::int64_t wall_now_ms();
+
+private:
+  void install(std::uint64_t key, Bundle bundle, BundleHandle* out);
+  /// Runs one conditional fetch and folds the answer into the tiers.
+  /// Returns the bundle to serve, or nullptr for kNotFound/kUnavailable.
+  BundleHandle refresh(std::uint64_t key, BundleHandle cached,
+                       const Fetcher& fetch);
+  void enqueue_revalidation(std::uint64_t key, BundleHandle cached,
+                            Fetcher fetch);
+  void revalidation_loop();
+  std::int64_t now_ms() const;
+
+  MetaCacheOptions options_;
+  MemoryCache memory_;
+  std::unique_ptr<DiskStore> disk_;
+
+  mutable std::mutex now_mutex_;
+  std::function<std::int64_t()> now_fn_;
+
+  struct Revalidation {
+    std::uint64_t key;
+    BundleHandle cached;
+    Fetcher fetch;
+  };
+  std::mutex reval_mutex_;
+  std::condition_variable reval_cv_;
+  std::condition_variable reval_idle_cv_;
+  std::deque<Revalidation> reval_queue_;
+  std::unordered_set<std::uint64_t> reval_inflight_;
+  bool stop_ = false;
+  std::thread reval_thread_;
+
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> disk_hits_{0};
+  std::atomic<std::uint64_t> revalidations_{0};
+  std::atomic<std::uint64_t> stale_served_{0};
+};
+
+}  // namespace omf::metacache

@@ -1,0 +1,88 @@
+#include "metacache/replica_set.hpp"
+
+#include <algorithm>
+
+#include "obs/metrics.hpp"
+#include "util/hash.hpp"
+#include "util/logging.hpp"
+
+namespace omf::metacache {
+
+namespace {
+obs::Counter& failover_metric() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::instance().counter("omf.replica.failover");
+  return c;
+}
+}  // namespace
+
+ReplicaSet::ReplicaSet(std::vector<std::string> endpoints,
+                       fault::CircuitBreaker::Config breaker_config,
+                       std::size_t vnodes)
+    : endpoints_(std::move(endpoints)) {
+  if (vnodes == 0) vnodes = 1;
+  breakers_.reserve(endpoints_.size());
+  ring_.reserve(endpoints_.size() * vnodes);
+  for (std::size_t i = 0; i < endpoints_.size(); ++i) {
+    breakers_.push_back(std::make_unique<fault::CircuitBreaker>(breaker_config));
+    for (std::size_t v = 0; v < vnodes; ++v) {
+      Fnv1a h;
+      h.update(endpoints_[i]);
+      h.update(static_cast<std::uint64_t>(v));
+      ring_.push_back(Point{h.digest(), i});
+    }
+  }
+  std::sort(ring_.begin(), ring_.end(), [](const Point& a, const Point& b) {
+    return a.hash < b.hash || (a.hash == b.hash && a.replica < b.replica);
+  });
+}
+
+std::vector<std::size_t> ReplicaSet::route(std::uint64_t key) const {
+  std::vector<std::size_t> order;
+  if (ring_.empty()) return order;
+  order.reserve(endpoints_.size());
+  Fnv1a h;
+  h.update(key);
+  const std::uint64_t point = h.digest();
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), point,
+      [](const Point& p, std::uint64_t v) { return p.hash < v; });
+  std::vector<bool> seen(endpoints_.size(), false);
+  for (std::size_t walked = 0;
+       walked < ring_.size() && order.size() < endpoints_.size(); ++walked) {
+    if (it == ring_.end()) it = ring_.begin();
+    if (!seen[it->replica]) {
+      seen[it->replica] = true;
+      order.push_back(it->replica);
+    }
+    ++it;
+  }
+  return order;
+}
+
+FetchResult ReplicaSet::fetch(std::uint64_t key, const Attempt& attempt) {
+  const std::vector<std::size_t> order = route(key);
+  for (std::size_t rank = 0; rank < order.size(); ++rank) {
+    const std::size_t idx = order[rank];
+    fault::CircuitBreaker& breaker = *breakers_[idx];
+    if (!breaker.allow()) continue;
+    FetchResult result;
+    try {
+      result = attempt(idx, endpoints_[idx]);
+    } catch (const std::exception& e) {
+      OMF_LOG_WARN("metacache", "replica ", endpoints_[idx], " failed: ",
+                   e.what());
+      result.status = FetchStatus::kUnavailable;
+    }
+    if (result.status == FetchStatus::kUnavailable) {
+      breaker.record_failure();
+      continue;
+    }
+    breaker.record_success();
+    if (rank != 0) failover_metric().add();
+    return result;
+  }
+  return FetchResult{FetchStatus::kUnavailable, {}};
+}
+
+}  // namespace omf::metacache

@@ -1,0 +1,73 @@
+// Replica-aware routing for the metadata plane.
+//
+// A ReplicaSet consistent-hashes format ids across N format-service
+// replicas: each endpoint contributes `vnodes` virtual points on a hash
+// ring, and route(key) walks the ring from the key's position collecting
+// every distinct replica in successor order. Two properties matter:
+//
+//  * stability — a key's preferred replica changes only when that replica
+//    is added or removed, so warm caches on the replicas stay warm when
+//    the set is resized (classic consistent hashing, vs. `key % N` which
+//    reshuffles almost everything);
+//  * a full preference order — the walk does not stop at the first owner,
+//    so failover has a deterministic second, third, ... choice per key
+//    instead of a random scatter.
+//
+// Each replica sits behind its own fault::CircuitBreaker: a replica that
+// keeps failing is skipped without paying its connect timeout, and probed
+// again after the cooldown. fetch() packages the whole policy — walk the
+// preference order, skip open breakers, record outcomes, count failovers.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fault/circuit_breaker.hpp"
+#include "metacache/bundle.hpp"
+
+namespace omf::metacache {
+
+class ReplicaSet {
+public:
+  /// One fetch attempt against one replica. Must return kUnavailable (or
+  /// throw) when the replica could not answer; any other status is treated
+  /// as an authoritative answer and ends the walk.
+  using Attempt =
+      std::function<FetchResult(std::size_t replica, const std::string& endpoint)>;
+
+  explicit ReplicaSet(std::vector<std::string> endpoints,
+                      fault::CircuitBreaker::Config breaker_config = {},
+                      std::size_t vnodes = 64);
+
+  std::size_t size() const noexcept { return endpoints_.size(); }
+  const std::string& endpoint(std::size_t i) const { return endpoints_.at(i); }
+
+  /// Preference-ordered replica indices for `key` (all replicas, no
+  /// duplicates). Deterministic for a given endpoint set.
+  std::vector<std::size_t> route(std::uint64_t key) const;
+
+  /// Walks route(key), skipping replicas whose breaker is open, running
+  /// `attempt` against each until one answers (any status but
+  /// kUnavailable). Successes/failures are recorded on the breakers; an
+  /// answer from any replica other than the key's first choice counts in
+  /// omf.replica.failover. Returns kUnavailable when every replica failed
+  /// or was skipped — the caller's cue to serve stale.
+  FetchResult fetch(std::uint64_t key, const Attempt& attempt);
+
+  fault::CircuitBreaker& breaker(std::size_t i) { return *breakers_.at(i); }
+
+private:
+  struct Point {
+    std::uint64_t hash;
+    std::size_t replica;
+  };
+
+  std::vector<std::string> endpoints_;
+  std::vector<std::unique_ptr<fault::CircuitBreaker>> breakers_;
+  std::vector<Point> ring_;  // sorted by hash
+};
+
+}  // namespace omf::metacache

@@ -53,6 +53,7 @@ constexpr const char* kCoreCounters[] = {
     "transport.format_service.unknown_ids",
     "transport.format_service.retries",
     "transport.format_service.push_rejects",
+    "transport.format_service.not_modified",
     "transport.backbone.published",
     "transport.backbone.delivered",
     "transport.backbone.shed",
@@ -69,6 +70,17 @@ constexpr const char* kCoreCounters[] = {
     "omf.journal.torn_tails",
     "http.server.requests",
     "http.server.throttled",
+    "http.server.revalidations",
+    "http.client.retry_after_waits",
+    "omf.metacache.hit",
+    "omf.metacache.miss",
+    "omf.metacache.revalidate",
+    "omf.metacache.stale_served",
+    "omf.metacache.disk_hit",
+    "omf.metacache.disk_installs",
+    "omf.metacache.disk_rejects",
+    "omf.metacache.evictions",
+    "omf.replica.failover",
     "gateway.converted",
     "gateway.passed_through",
     "obs.spans.recorded",
@@ -92,6 +104,7 @@ constexpr const char* kCoreGauges[] = {
     "omf.budget.degraded",
     "omf.health.draining",
     "omf.journal.bytes",
+    "omf.metacache.memory_bytes",
 };
 
 }  // namespace

@@ -10,12 +10,17 @@
 #include "obs/metrics.hpp"
 #include "util/bytes.hpp"
 #include "util/error.hpp"
+#include "util/fsio.hpp"
 #include "util/hash.hpp"
 #include "util/logging.hpp"
 
 namespace omf::overload {
 
 namespace {
+
+using fsio::fsync_dir;
+using fsio::throw_errno;
+using fsio::write_fully;
 
 struct JournalMetrics {
   obs::Counter& appends;
@@ -33,23 +38,6 @@ struct JournalMetrics {
     return m;
   }
 };
-
-[[noreturn]] void throw_errno(const std::string& what) {
-  throw Error(what + ": " + std::strerror(errno));
-}
-
-void write_fully(int fd, const std::uint8_t* data, std::size_t n,
-                 const char* what) {
-  while (n > 0) {
-    ssize_t w = ::write(fd, data, n);
-    if (w < 0) {
-      if (errno == EINTR) continue;
-      throw_errno(what);
-    }
-    data += w;
-    n -= static_cast<std::size_t>(w);
-  }
-}
 
 std::vector<std::uint8_t> read_file(const std::filesystem::path& path) {
   std::vector<std::uint8_t> out;
@@ -97,13 +85,6 @@ std::size_t replay_records(
   return off;
 }
 
-void fsync_dir(const std::filesystem::path& dir) {
-  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
-  if (fd < 0) return;  // best effort; not all filesystems support it
-  ::fsync(fd);
-  ::close(fd);
-}
-
 }  // namespace
 
 Journal::Journal(std::filesystem::path dir)
@@ -128,6 +109,9 @@ void Journal::open_log() {
   log_fd_ = ::open(journal_path().c_str(),
                    O_CREAT | O_RDWR | O_APPEND | O_CLOEXEC, 0644);
   if (log_fd_ < 0) throw_errno("journal: open " + journal_path().string());
+  // Make the file's *name* durable too: the first fsynced append is useless
+  // if the journal's directory entry itself vanishes on power loss.
+  fsync_dir(dir_);
   struct stat st{};
   if (::fstat(log_fd_, &st) != 0) {
     throw_errno("journal: stat " + journal_path().string());

@@ -2,6 +2,7 @@
 
 #include "obs/metrics.hpp"
 #include "overload/health.hpp"
+#include "util/hash.hpp"
 #include "util/logging.hpp"
 
 namespace omf::transport {
@@ -14,6 +15,7 @@ struct FormatServiceMetrics {
   obs::Counter& unknown_ids;
   obs::Counter& retries;
   obs::Counter& push_rejects;
+  obs::Counter& not_modified;
   static const FormatServiceMetrics& get() {
     auto& reg = obs::MetricsRegistry::instance();
     static FormatServiceMetrics m{
@@ -22,7 +24,8 @@ struct FormatServiceMetrics {
         reg.counter("transport.format_service.pushes"),
         reg.counter("transport.format_service.unknown_ids"),
         reg.counter("transport.format_service.retries"),
-        reg.counter("transport.format_service.push_rejects")};
+        reg.counter("transport.format_service.push_rejects"),
+        reg.counter("transport.format_service.not_modified")};
     return m;
   }
 };
@@ -154,6 +157,29 @@ void FormatServiceServer::handle(TcpConnection conn) {
       metrics.unknown_ids.add();
       response.append_int<std::uint32_t>(0, ByteOrder::kLittle);
     }
+  } else if (op == 'C') {
+    if (!adm) return;
+    auto id = in.read_int<std::uint64_t>(ByteOrder::kLittle);
+    auto known_hash = in.read_int<std::uint64_t>(ByteOrder::kLittle);
+    pbio::FormatHandle format = registry_.by_id(id);
+    if (!format) {
+      metrics.unknown_ids.add();
+      response.append_int<std::uint8_t>(0, ByteOrder::kLittle);
+    } else {
+      Buffer bundle = pbio::serialize_format_bundle(*format);
+      std::uint64_t hash = fnv1a(
+          {reinterpret_cast<const char*>(bundle.data()), bundle.size()});
+      if (hash == known_hash) {
+        // Validator match: spend one status byte, not the whole bundle.
+        metrics.not_modified.add();
+        response.append_int<std::uint8_t>(1, ByteOrder::kLittle);
+      } else {
+        response.append_int<std::uint8_t>(2, ByteOrder::kLittle);
+        response.append_int<std::uint32_t>(
+            static_cast<std::uint32_t>(bundle.size()), ByteOrder::kLittle);
+        response.append(bundle.span());
+      }
+    }
   } else if (op == 'P') {
     if (!adm) {
       metrics.push_rejects.add();
@@ -214,6 +240,36 @@ pbio::FormatHandle FormatServiceClient::fetch(pbio::FormatRegistry& registry,
   if (len == 0) return nullptr;
   const std::uint8_t* bundle = in.read_bytes(len);
   return pbio::deserialize_format_bundle(registry, {bundle, len});
+}
+
+FormatServiceClient::ConditionalFetch FormatServiceClient::conditional_fetch(
+    pbio::FormatId id, std::uint64_t known_hash) {
+  FormatServiceMetrics::get().fetches.add();
+  Buffer request;
+  request.append_int<std::uint8_t>('C', ByteOrder::kLittle);
+  request.append_int<std::uint64_t>(id, ByteOrder::kLittle);
+  request.append_int<std::uint64_t>(known_hash, ByteOrder::kLittle);
+  Buffer response = roundtrip(request);
+  BufferReader in(response);
+  ConditionalFetch out;
+  switch (in.read_int<std::uint8_t>(ByteOrder::kLittle)) {
+    case 0:
+      out.status = ConditionalFetch::Status::kUnknown;
+      break;
+    case 1:
+      out.status = ConditionalFetch::Status::kNotModified;
+      break;
+    case 2: {
+      out.status = ConditionalFetch::Status::kFetched;
+      auto len = in.read_int<std::uint32_t>(ByteOrder::kLittle);
+      const std::uint8_t* bundle = in.read_bytes(len);
+      out.bundle.append({bundle, len});
+      break;
+    }
+    default:
+      throw TransportError("format service: bad conditional-fetch tag");
+  }
+  return out;
 }
 
 void FormatServiceClient::push(const pbio::Format& format) {

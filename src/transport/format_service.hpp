@@ -6,13 +6,19 @@
 // Senders push their formats to the service at registration time.
 //
 // Protocol (all integers little-endian):
-//   request:  1-byte opcode ('G' get | 'P' put) ...
+//   request:  1-byte opcode ('G' get | 'P' put | 'C' conditional get) ...
 //     G: 8-byte format id
 //     P: 4-byte bundle length + bundle bytes
+//     C: 8-byte format id + 8-byte known content hash (fnv1a of the bundle
+//        bytes the client already holds — the TCP analogue of HTTP's
+//        If-None-Match)
 //   response (to G): 4-byte length + bundle bytes, length 0 = unknown id
 //   response (to P): 1-byte status (1 = ok; 0 = rejected, followed by a
 //                    lint-style "[OMFnnn] detail" string for new clients —
 //                    old clients just see status != 1 and throw)
+//   response (to C): 1-byte tag: 0 = unknown id, 1 = not modified (the
+//                    client's hash matches; no body follows — the 304),
+//                    2 = modified, followed by 4-byte length + bundle bytes
 #pragma once
 
 #include <atomic>
@@ -125,6 +131,23 @@ public:
   /// Fetches the bundle for `id` and registers it into `registry`.
   /// Returns the fetched format, or nullptr if the server does not know it.
   pbio::FormatHandle fetch(pbio::FormatRegistry& registry, pbio::FormatId id);
+
+  /// Outcome of a conditional fetch ('C').
+  struct ConditionalFetch {
+    enum class Status {
+      kUnknown,      ///< server does not know the id
+      kNotModified,  ///< `known_hash` matches; the cached copy is current
+      kFetched,      ///< bundle holds the new bytes
+    };
+    Status status = Status::kUnknown;
+    Buffer bundle;  ///< meaningful only for kFetched
+  };
+
+  /// Conditional fetch: sends the fnv1a hash of the bundle bytes the caller
+  /// already holds; the server answers "not modified" instead of re-sending
+  /// an unchanged bundle (the TCP analogue of If-None-Match / 304).
+  ConditionalFetch conditional_fetch(pbio::FormatId id,
+                                     std::uint64_t known_hash);
 
   /// Pushes a format's bundle to the server.
   void push(const pbio::Format& format);

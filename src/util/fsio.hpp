@@ -1,0 +1,85 @@
+// Durable file-system primitives shared by the crash-safe stores (the
+// overload journal, the metacache disk tier).
+//
+// POSIX durability is a two-key protocol: fsync the file to make its bytes
+// durable, then fsync the containing directory to make the *name* durable —
+// a rename that was never followed by a directory fsync can vanish on power
+// loss even though the data it pointed at survived. atomic_install()
+// packages the full write-temp/fsync/rename/fsync-dir sequence so callers
+// cannot forget the second key.
+#pragma once
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <span>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace omf::fsio {
+
+[[noreturn]] inline void throw_errno(const std::string& what) {
+  throw Error(what + ": " + std::strerror(errno));
+}
+
+/// write(2) until every byte is out, retrying EINTR.
+inline void write_fully(int fd, const std::uint8_t* data, std::size_t n,
+                        const char* what) {
+  while (n > 0) {
+    ssize_t w = ::write(fd, data, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      throw_errno(what);
+    }
+    data += w;
+    n -= static_cast<std::size_t>(w);
+  }
+}
+
+/// fsync the directory itself so renames/creates within it survive power
+/// loss. Best effort: not every filesystem supports directory fds.
+inline void fsync_dir(const std::filesystem::path& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+/// Atomically installs `bytes` at `target`: writes `target.parent/tmp_name`,
+/// fsyncs it, renames over `target`, and fsyncs the parent directory. A
+/// crash at any point leaves either the old file (or nothing) or the
+/// complete new file — never a torn mix; a leftover temp file is inert
+/// because readers only open the target name.
+inline void atomic_install(const std::filesystem::path& target,
+                           std::span<const std::uint8_t> bytes,
+                           const std::string& tmp_name) {
+  std::filesystem::path dir = target.parent_path();
+  std::filesystem::path tmp = dir / tmp_name;
+  int fd = ::open(tmp.c_str(), O_CREAT | O_WRONLY | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) throw_errno("atomic_install: open " + tmp.string());
+  try {
+    write_fully(fd, bytes.data(), bytes.size(), "atomic_install: write");
+    if (::fsync(fd) != 0) throw_errno("atomic_install: fsync");
+  } catch (...) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    throw;
+  }
+  ::close(fd);
+  std::error_code ec;
+  std::filesystem::rename(tmp, target, ec);
+  if (ec) {
+    ::unlink(tmp.c_str());
+    throw Error("atomic_install: rename " + tmp.string() + " -> " +
+                target.string() + ": " + ec.message());
+  }
+  fsync_dir(dir);
+}
+
+}  // namespace omf::fsio

@@ -1,0 +1,866 @@
+// The replicated metadata plane: two-tier cache (memory LRU + crash-safe
+// disk store), HTTP cache semantics (ETag / If-None-Match / 304,
+// Cache-Control max-age + stale-while-revalidate, Retry-After), and
+// consistent-hash failover across format-service replicas.
+//
+// Suite names start with "MetaCache" / "Replica" on purpose: the TSan CI
+// job filters on those prefixes to race-check the cache and failover paths,
+// and the chaos job sweeps ReplicaChaos under OMF_CHAOS_SEED.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/discovery.hpp"
+#include "core/http_formats.hpp"
+#include "fault/faulty.hpp"
+#include "http/http.hpp"
+#include "metacache/caching_source.hpp"
+#include "metacache/disk_store.hpp"
+#include "metacache/format_client.hpp"
+#include "metacache/memory_cache.hpp"
+#include "metacache/meta_cache.hpp"
+#include "metacache/replica_set.hpp"
+#include "obs/metrics.hpp"
+#include "overload/budget.hpp"
+#include "overload/health.hpp"
+#include "test_structs.hpp"
+#include "transport/format_service.hpp"
+#include "util/rng.hpp"
+
+namespace omf {
+namespace {
+
+using namespace std::chrono_literals;
+using namespace omf::testing;
+using metacache::Bundle;
+using metacache::BundleHandle;
+using metacache::FetchResult;
+using metacache::FetchStatus;
+using metacache::MetaCache;
+using metacache::MetaCacheOptions;
+
+struct BudgetGuard {
+  BudgetGuard() { reset(); }
+  ~BudgetGuard() { reset(); }
+  static void reset() {
+    overload::HealthMonitor::instance().set_draining(false);
+    overload::MemoryBudget::instance().reset_for_tests();
+  }
+};
+
+std::filesystem::path fresh_dir(const std::string& tag) {
+  std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      ("omf_metacache_" + tag + "_" + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+std::uint64_t counter_value(const std::string& name) {
+  return obs::MetricsRegistry::instance().counter(name).value();
+}
+
+Bundle make_bundle(std::string body, std::chrono::seconds max_age = 60s,
+                   std::chrono::seconds swr = 3600s,
+                   std::int64_t fetched_ms = 1'000'000) {
+  Bundle b;
+  b.body = std::move(body);
+  b.content_hash = fnv1a(b.body);
+  b.etag = http::strong_etag(b.body);
+  b.max_age = max_age;
+  b.stale_while_revalidate = swr;
+  b.fetched_ms = fetched_ms;
+  return b;
+}
+
+/// Fetcher stub with call accounting and a scriptable answer.
+struct StubOrigin {
+  std::string body = "<formats/>";
+  std::atomic<int> calls{0};
+  std::atomic<int> conditional_calls{0};
+  FetchStatus when_etag_matches = FetchStatus::kNotModified;
+  bool unavailable = false;
+  bool not_found = false;
+
+  metacache::Fetcher fetcher() {
+    return [this](const std::string& etag) {
+      calls.fetch_add(1);
+      if (!etag.empty()) conditional_calls.fetch_add(1);
+      FetchResult out;
+      if (unavailable) {
+        out.status = FetchStatus::kUnavailable;
+        return out;
+      }
+      if (not_found) {
+        out.status = FetchStatus::kNotFound;
+        return out;
+      }
+      if (!etag.empty() && etag == http::strong_etag(body)) {
+        out.status = when_etag_matches;
+        if (out.status == FetchStatus::kNotModified) return out;
+      }
+      out.status = FetchStatus::kFetched;
+      out.bundle = make_bundle(body, 60s, 3600s, 0);  // 0 = stamp at install
+      return out;
+    };
+  }
+};
+
+// --- Memory tier -------------------------------------------------------------
+
+TEST(MetaCacheMemory, EvictsLeastRecentlyUsedWhenBytesOverflow) {
+  BudgetGuard guard;
+  const std::size_t before = overload::MemoryBudget::instance().used();
+  {
+    metacache::MemoryCache cache(4096, 1);
+    std::string kilo(700, 'x');
+    for (std::uint64_t key = 1; key <= 8; ++key) {
+      auto b = std::make_shared<const Bundle>(
+          make_bundle(kilo + std::to_string(key)));
+      ASSERT_TRUE(cache.put(key, b));
+    }
+    EXPECT_LE(cache.bytes(), 4096u);
+    EXPECT_GT(cache.evictions(), 0u);
+    EXPECT_EQ(cache.get(1), nullptr);  // oldest is gone
+    EXPECT_NE(cache.get(8), nullptr);  // newest survives
+    // Every cached byte is charged to the process budget.
+    EXPECT_EQ(overload::MemoryBudget::instance().used() - before,
+              cache.bytes());
+  }
+  // Destruction releases the charge.
+  EXPECT_EQ(overload::MemoryBudget::instance().used(), before);
+}
+
+TEST(MetaCacheMemory, GetRefreshesRecency) {
+  BudgetGuard guard;
+  metacache::MemoryCache cache(4096, 1);
+  std::string kilo(1200, 'y');
+  for (std::uint64_t key = 1; key <= 3; ++key) {
+    ASSERT_TRUE(cache.put(key, std::make_shared<const Bundle>(
+                                   make_bundle(kilo + std::to_string(key)))));
+  }
+  ASSERT_NE(cache.get(1), nullptr);  // touch: 1 becomes most recent
+  ASSERT_TRUE(cache.put(4, std::make_shared<const Bundle>(
+                               make_bundle(kilo + "4"))));
+  EXPECT_NE(cache.get(1), nullptr);  // survived because it was touched
+  EXPECT_EQ(cache.get(2), nullptr);  // the true LRU got evicted
+}
+
+TEST(MetaCacheMemory, DeclinesEntriesWhenTheBudgetIsExhausted) {
+  BudgetGuard guard;
+  auto& budget = overload::MemoryBudget::instance();
+  metacache::MemoryCache cache(1 << 20, 1);
+  budget.set_limit(budget.used() + 64);
+  auto big = std::make_shared<const Bundle>(make_bundle(std::string(4096, 'z')));
+  EXPECT_FALSE(cache.put(7, big));  // refused, not partially charged
+  EXPECT_EQ(cache.entries(), 0u);
+  budget.set_limit(0);
+  EXPECT_TRUE(cache.put(7, big));
+}
+
+// --- Disk tier ---------------------------------------------------------------
+
+TEST(MetaCacheDisk, InstallThenLoadRoundTripsAcrossInstances) {
+  auto dir = fresh_dir("disk_roundtrip");
+  Bundle b = make_bundle("<format name='A'/>", 120s, 600s, 42'000);
+  {
+    metacache::DiskStore store(dir);
+    store.install(9, b);
+    EXPECT_EQ(store.entries(), 1u);
+  }
+  metacache::DiskStore reopened(dir);
+  std::optional<Bundle> loaded = reopened.load(9);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->body, b.body);
+  EXPECT_EQ(loaded->etag, b.etag);
+  EXPECT_EQ(loaded->content_hash, b.content_hash);
+  EXPECT_EQ(loaded->max_age, 120s);
+  EXPECT_EQ(loaded->stale_while_revalidate, 600s);
+  EXPECT_EQ(loaded->fetched_ms, 42'000);
+  EXPECT_FALSE(reopened.load(10).has_value());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(MetaCacheDisk, TornFileIsRejectedAndQuarantined) {
+  auto dir = fresh_dir("disk_torn");
+  metacache::DiskStore store(dir);
+  store.install(9, make_bundle(std::string(2048, 'q')));
+  // Tear the file the way a crash mid-write would: keep a prefix only.
+  std::filesystem::path victim;
+  for (const auto& e : std::filesystem::directory_iterator(dir)) {
+    victim = e.path();
+  }
+  ASSERT_FALSE(victim.empty());
+  std::filesystem::resize_file(victim, std::filesystem::file_size(victim) / 2);
+  const std::uint64_t rejects_before = counter_value("omf.metacache.disk_rejects");
+  EXPECT_FALSE(store.load(9).has_value());
+  EXPECT_EQ(counter_value("omf.metacache.disk_rejects"), rejects_before + 1);
+  EXPECT_FALSE(std::filesystem::exists(victim));  // quarantined by unlink
+  std::filesystem::remove_all(dir);
+}
+
+TEST(MetaCacheDisk, FlippedByteIsRejectedByTheCrc) {
+  auto dir = fresh_dir("disk_flip");
+  metacache::DiskStore store(dir);
+  store.install(9, make_bundle(std::string(512, 'r')));
+  std::filesystem::path victim;
+  for (const auto& e : std::filesystem::directory_iterator(dir)) {
+    victim = e.path();
+  }
+  {
+    std::fstream f(victim, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(64);
+    f.put('X');
+  }
+  EXPECT_FALSE(store.load(9).has_value());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(MetaCacheDisk, LeftoverTempFilesAreNeverServed) {
+  auto dir = fresh_dir("disk_tmp");
+  metacache::DiskStore store(dir);
+  // A crash between temp-write and rename leaves a *.tmp; readers must not
+  // even consider it, whatever its contents claim.
+  std::ofstream(dir / "0000000000000009.tmp") << std::string(128, 'j');
+  EXPECT_FALSE(store.load(9).has_value());
+  store.install(9, make_bundle("<real/>"));
+  std::optional<Bundle> loaded = store.load(9);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->body, "<real/>");
+  std::filesystem::remove_all(dir);
+}
+
+// --- Two-tier resolve + stale-while-revalidate -------------------------------
+
+TEST(MetaCacheTiering, FreshHitsNeverTouchTheOrigin) {
+  BudgetGuard guard;
+  auto dir = fresh_dir("tier_fresh");
+  MetaCache cache(MetaCacheOptions{.disk_dir = dir});
+  StubOrigin origin;
+  BundleHandle first = cache.resolve(1, origin.fetcher());
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first->body, origin.body);
+  BundleHandle second = cache.resolve(1, origin.fetcher());
+  ASSERT_NE(second, nullptr);
+  EXPECT_EQ(origin.calls.load(), 1);  // one miss, then pure cache
+  auto stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(MetaCacheTiering, WithinSwrServesStaleNowAndRevalidatesInBackground) {
+  BudgetGuard guard;
+  MetaCache cache(MetaCacheOptions{});
+  std::atomic<std::int64_t> now{1'000'000};
+  cache.set_now_fn([&] { return now.load(); });
+  StubOrigin origin;
+  ASSERT_NE(cache.resolve(1, origin.fetcher()), nullptr);
+  // 90 s later: beyond max-age (60 s) but inside the swr window (3600 s).
+  now += 90'000;
+  BundleHandle served = cache.resolve(1, origin.fetcher());
+  ASSERT_NE(served, nullptr);
+  EXPECT_EQ(served->body, origin.body);  // the stale copy, served immediately
+  cache.wait_revalidations_idle();
+  EXPECT_EQ(origin.calls.load(), 2);
+  EXPECT_EQ(origin.conditional_calls.load(), 1);  // validator rode along
+  auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_GE(stats.revalidations, 1u);
+  // The background revalidation restored freshness: no further origin trips.
+  ASSERT_NE(cache.resolve(1, origin.fetcher()), nullptr);
+  EXPECT_EQ(origin.calls.load(), 2);
+}
+
+TEST(MetaCacheTiering, BeyondSwrRevalidatesSynchronouslyVia304) {
+  BudgetGuard guard;
+  MetaCache cache(MetaCacheOptions{});
+  std::atomic<std::int64_t> now{1'000'000};
+  cache.set_now_fn([&] { return now.load(); });
+  StubOrigin origin;
+  ASSERT_NE(cache.resolve(1, origin.fetcher()), nullptr);
+  now += 5'000'000;  // way past max-age + swr
+  BundleHandle served = cache.resolve(1, origin.fetcher());
+  ASSERT_NE(served, nullptr);
+  EXPECT_EQ(served->body, origin.body);
+  EXPECT_EQ(origin.conditional_calls.load(), 1);  // synchronous conditional GET
+  EXPECT_GE(cache.stats().revalidations, 1u);
+  // The 304 refreshed fetched_ms: the next resolve is a plain hit.
+  ASSERT_NE(cache.resolve(1, origin.fetcher()), nullptr);
+  EXPECT_EQ(origin.calls.load(), 2);
+}
+
+TEST(MetaCacheTiering, AllReplicasDownServesStaleAtAnyAge) {
+  BudgetGuard guard;
+  MetaCache cache(MetaCacheOptions{});
+  std::atomic<std::int64_t> now{1'000'000};
+  cache.set_now_fn([&] { return now.load(); });
+  StubOrigin origin;
+  ASSERT_NE(cache.resolve(1, origin.fetcher()), nullptr);
+  now += 100'000'000;  // ancient — far beyond max-age + swr
+  origin.unavailable = true;
+  const std::uint64_t stale_before = counter_value("omf.metacache.stale_served");
+  BundleHandle served = cache.resolve(1, origin.fetcher());
+  ASSERT_NE(served, nullptr);
+  EXPECT_EQ(served->body, origin.body);
+  EXPECT_EQ(cache.stats().stale_served, 1u);
+  EXPECT_EQ(counter_value("omf.metacache.stale_served"), stale_before + 1);
+}
+
+TEST(MetaCacheTiering, ColdStartFromDiskWithOriginUnreachable) {
+  BudgetGuard guard;
+  auto dir = fresh_dir("tier_coldstart");
+  StubOrigin origin;
+  {
+    MetaCache warm(MetaCacheOptions{.disk_dir = dir});
+    ASSERT_NE(warm.resolve(1, origin.fetcher()), nullptr);
+  }
+  // New process, same directory, origin dead: the disk tier answers.
+  MetaCache cold(MetaCacheOptions{.disk_dir = dir});
+  origin.unavailable = true;
+  BundleHandle served = cold.resolve(1, origin.fetcher());
+  ASSERT_NE(served, nullptr);
+  EXPECT_EQ(served->body, origin.body);
+  EXPECT_EQ(cold.stats().disk_hits, 1u);
+  EXPECT_EQ(cold.stats().misses, 0u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(MetaCacheTiering, NotFoundInvalidatesEveryTier) {
+  BudgetGuard guard;
+  auto dir = fresh_dir("tier_notfound");
+  MetaCache cache(MetaCacheOptions{.disk_dir = dir});
+  std::atomic<std::int64_t> now{1'000'000};
+  cache.set_now_fn([&] { return now.load(); });
+  StubOrigin origin;
+  ASSERT_NE(cache.resolve(1, origin.fetcher()), nullptr);
+  EXPECT_EQ(cache.disk()->entries(), 1u);
+  now += 5'000'000;
+  origin.not_found = true;  // the origin authoritatively dropped the format
+  EXPECT_EQ(cache.resolve(1, origin.fetcher()), nullptr);
+  EXPECT_EQ(cache.memory().entries(), 0u);
+  EXPECT_EQ(cache.disk()->entries(), 0u);
+  std::filesystem::remove_all(dir);
+}
+
+// --- Consistent-hash replica routing -----------------------------------------
+
+TEST(ReplicaRouting, RouteIsADeterministicPermutation) {
+  metacache::ReplicaSet set({"a", "b", "c", "d"});
+  for (std::uint64_t key = 0; key < 64; ++key) {
+    std::vector<std::size_t> order = set.route(key);
+    ASSERT_EQ(order.size(), 4u);
+    std::vector<bool> seen(4, false);
+    for (std::size_t idx : order) {
+      ASSERT_LT(idx, 4u);
+      EXPECT_FALSE(seen[idx]);
+      seen[idx] = true;
+    }
+    EXPECT_EQ(set.route(key), order);
+  }
+}
+
+TEST(ReplicaRouting, RemovingAReplicaOnlyRemapsItsOwnKeys) {
+  metacache::ReplicaSet three({"alpha", "beta", "gamma"});
+  metacache::ReplicaSet two({"alpha", "beta"});
+  int moved = 0;
+  for (std::uint64_t key = 0; key < 512; ++key) {
+    const std::string& before = three.endpoint(three.route(key)[0]);
+    const std::string& after = two.endpoint(two.route(key)[0]);
+    if (before == "gamma") {
+      ++moved;  // orphaned keys must land somewhere
+    } else {
+      // Consistent hashing: keys owned by a surviving replica stay put.
+      EXPECT_EQ(before, after) << "key " << key << " reshuffled needlessly";
+    }
+  }
+  EXPECT_GT(moved, 0);
+  EXPECT_LT(moved, 512);
+}
+
+TEST(ReplicaRouting, FailoverWalksToTheNextReplicaAndCounts) {
+  metacache::ReplicaSet set({"dead", "live"});
+  // Find a key whose first choice is the dead replica.
+  std::uint64_t key = 0;
+  while (set.endpoint(set.route(key)[0]) != "dead") ++key;
+  const std::uint64_t failovers_before = counter_value("omf.replica.failover");
+  std::atomic<int> dead_attempts{0};
+  FetchResult got = set.fetch(
+      key, [&](std::size_t, const std::string& endpoint) {
+        FetchResult out;
+        if (endpoint == "dead") {
+          dead_attempts.fetch_add(1);
+          throw TransportError("connection refused");
+        }
+        out.status = FetchStatus::kFetched;
+        out.bundle = make_bundle("<from-live/>");
+        return out;
+      });
+  EXPECT_EQ(got.status, FetchStatus::kFetched);
+  EXPECT_EQ(got.bundle.body, "<from-live/>");
+  EXPECT_EQ(dead_attempts.load(), 1);
+  EXPECT_EQ(counter_value("omf.replica.failover"), failovers_before + 1);
+}
+
+TEST(ReplicaRouting, OpenBreakerSkipsTheDeadReplicaWithoutDialing) {
+  metacache::ReplicaSet set(
+      {"dead", "live"},
+      {.failure_threshold = 1, .cooldown = std::chrono::milliseconds(60000)});
+  std::uint64_t key = 0;
+  while (set.endpoint(set.route(key)[0]) != "dead") ++key;
+  std::atomic<int> dead_attempts{0};
+  auto attempt = [&](std::size_t, const std::string& endpoint) {
+    FetchResult out;
+    if (endpoint == "dead") {
+      dead_attempts.fetch_add(1);
+      out.status = FetchStatus::kUnavailable;
+      return out;
+    }
+    out.status = FetchStatus::kFetched;
+    out.bundle = make_bundle("<ok/>");
+    return out;
+  };
+  EXPECT_EQ(set.fetch(key, attempt).status, FetchStatus::kFetched);
+  EXPECT_EQ(dead_attempts.load(), 1);  // tripped the one-strike breaker
+  EXPECT_EQ(set.fetch(key, attempt).status, FetchStatus::kFetched);
+  EXPECT_EQ(dead_attempts.load(), 1);  // skipped: no second dial
+  EXPECT_EQ(set.breaker(set.route(key)[0]).state(),
+            fault::CircuitBreaker::State::kOpen);
+}
+
+TEST(ReplicaRouting, AllReplicasDownReturnsUnavailable) {
+  metacache::ReplicaSet set({"a", "b"});
+  FetchResult got = set.fetch(5, [](std::size_t, const std::string&) {
+    FetchResult out;
+    out.status = FetchStatus::kUnavailable;
+    return out;
+  });
+  EXPECT_EQ(got.status, FetchStatus::kUnavailable);
+}
+
+// --- HTTP cache semantics on the wire ----------------------------------------
+
+TEST(MetaCacheHttp, ConditionalGetRevalidatesWith304AndSkipsTheBody) {
+  http::Server server;
+  const std::string body = "<huge>" + std::string(4096, 'm') + "</huge>";
+  server.put_document("/formats/big.xml", body);
+  server.set_cache_policy({.enabled = true,
+                           .max_age = 60s,
+                           .stale_while_revalidate = 600s});
+  http::Response full = http::get(server.url_for("/formats/big.xml"));
+  ASSERT_EQ(full.status, 200);
+  EXPECT_EQ(full.body, body);
+  ASSERT_FALSE(full.etag().empty());
+  auto cc = full.cache_control();
+  EXPECT_TRUE(cc.present);
+  EXPECT_EQ(cc.max_age, 60s);
+  EXPECT_EQ(cc.stale_while_revalidate, 600s);
+  EXPECT_GT(full.wire_bytes, body.size());
+
+  const std::uint64_t revalidations_before =
+      counter_value("http.server.revalidations");
+  http::Response cond =
+      http::get(http::Url::parse(server.url_for("/formats/big.xml")),
+                {{"If-None-Match", full.etag()}});
+  EXPECT_EQ(cond.status, 304);
+  EXPECT_TRUE(cond.body.empty());
+  EXPECT_EQ(cond.etag(), full.etag());
+  // The acceptance check, on the wire: revalidation must cost headers, not
+  // the body — an order of magnitude fewer bytes here.
+  EXPECT_LT(cond.wire_bytes, body.size() / 4);
+  EXPECT_EQ(counter_value("http.server.revalidations"),
+            revalidations_before + 1);
+
+  // A different (or absent) validator still gets the full body.
+  http::Response changed =
+      http::get(http::Url::parse(server.url_for("/formats/big.xml")),
+                {{"If-None-Match", "\"0123456789abcdef\""}});
+  EXPECT_EQ(changed.status, 200);
+  EXPECT_EQ(changed.body, body);
+}
+
+TEST(MetaCacheHttp, CachedSourceServesDiscoveryThroughTheTiers) {
+  BudgetGuard guard;
+  http::Server replica;
+  replica.put_document("/meta/stream.xml", "<stream><a/></stream>");
+  replica.set_cache_policy({.enabled = true,
+                            .max_age = 3600s,
+                            .stale_while_revalidate = 3600s});
+  auto source = metacache::make_cached_http_source(
+      {"http://127.0.0.1:" + std::to_string(replica.port())});
+  metacache::CachedHttpSource* cached = source.get();
+
+  core::DiscoveryManager discovery;
+  discovery.add_source(core::make_http_source());
+  discovery.set_source(0, std::move(source));
+
+  const std::string locator = replica.url_for("/meta/stream.xml");
+  auto doc = discovery.discover(locator);
+  ASSERT_NE(doc, nullptr);
+  EXPECT_EQ(cached->cache().stats().misses, 1u);
+
+  // DiscoveryManager's own parsed-document cache answers repeats; drop it to
+  // prove the metacache tier also holds the document.
+  discovery.invalidate(locator);
+  auto again = discovery.discover(locator);
+  ASSERT_NE(again, nullptr);
+  EXPECT_EQ(cached->cache().stats().hits, 1u);
+  EXPECT_EQ(cached->cache().stats().misses, 1u);
+
+  // Origin down + document cache cleared: the metadata cache still answers.
+  replica.stop();
+  discovery.invalidate(locator);
+  auto offline = discovery.discover(locator);
+  ASSERT_NE(offline, nullptr);
+}
+
+TEST(MetaCacheHttp, FailoverToSecondReplicaWhenFirstChoiceIsDown) {
+  BudgetGuard guard;
+  auto replica0 = std::make_unique<http::Server>();
+  auto replica1 = std::make_unique<http::Server>();
+  const std::string body = "<stream><b/></stream>";
+  for (http::Server* s : {replica0.get(), replica1.get()}) {
+    s->put_document("/meta/pick.xml", body);
+  }
+  metacache::CachedHttpSourceOptions options;
+  options.breaker = {.failure_threshold = 1,
+                     .cooldown = std::chrono::milliseconds(60000)};
+  options.fetch_timeout = std::chrono::milliseconds(2000);
+  metacache::CachedHttpSource source(
+      {"http://127.0.0.1:" + std::to_string(replica0->port()),
+       "http://127.0.0.1:" + std::to_string(replica1->port())},
+      options);
+
+  // Kill whichever replica the ring prefers for this document's key.
+  const std::uint64_t key = fnv1a(std::string("/meta/pick.xml"));
+  const std::size_t preferred = source.replicas().route(key)[0];
+  (preferred == 0 ? replica0 : replica1).reset();
+
+  const std::uint64_t failovers_before = counter_value("omf.replica.failover");
+  std::optional<std::string> text =
+      source.fetch("http://127.0.0.1:1/meta/pick.xml");  // host is ignored
+  ASSERT_TRUE(text.has_value());
+  EXPECT_EQ(*text, body);
+  EXPECT_EQ(counter_value("omf.replica.failover"), failovers_before + 1);
+}
+
+// --- Replicated format client over the TCP format service --------------------
+
+TEST(MetaCacheFormatClient, ResolvesAndCachesAcrossTcpReplicas) {
+  BudgetGuard guard;
+  pbio::FormatRegistry source;
+  auto f = source.register_format("ASDOffEvent", asdoff_fields(),
+                                  sizeof(AsdOff));
+  transport::FormatServiceServer replica0, replica1;
+  replica0.publish(*f);
+  replica1.publish(*f);
+
+  metacache::ReplicatedFormatClient client(
+      {std::to_string(replica0.port()), std::to_string(replica1.port())});
+  pbio::FormatRegistry receiver;
+  auto resolved = client.resolve(receiver, f->id());
+  ASSERT_NE(resolved, nullptr);
+  EXPECT_EQ(resolved->name(), "ASDOffEvent");
+  // Second resolve: memory tier, no RPC.
+  const std::uint64_t fetches_before =
+      counter_value("transport.format_service.fetches");
+  ASSERT_NE(client.resolve(receiver, f->id()), nullptr);
+  EXPECT_EQ(counter_value("transport.format_service.fetches"), fetches_before);
+  EXPECT_EQ(client.cache().stats().hits, 1u);
+  EXPECT_EQ(client.cache().stats().misses, 1u);
+}
+
+TEST(MetaCacheFormatClient, ConditionalFetchAnswersNotModified) {
+  pbio::FormatRegistry source;
+  auto f = source.register_format("ASDOffEvent", asdoff_fields(),
+                                  sizeof(AsdOff));
+  transport::FormatServiceServer server;
+  server.publish(*f);
+  transport::FormatServiceClient client(server.port());
+
+  pbio::FormatRegistry receiver;
+  auto first = client.conditional_fetch(f->id(), 0);
+  using Status = transport::FormatServiceClient::ConditionalFetch::Status;
+  ASSERT_EQ(first.status, Status::kFetched);
+  ASSERT_GT(first.bundle.size(), 0u);
+  const std::uint64_t hash =
+      fnv1a({reinterpret_cast<const char*>(first.bundle.data()),
+             first.bundle.size()});
+  const std::uint64_t nm_before =
+      counter_value("transport.format_service.not_modified");
+  auto second = client.conditional_fetch(f->id(), hash);
+  EXPECT_EQ(second.status, Status::kNotModified);
+  EXPECT_EQ(second.bundle.size(), 0u);  // the 304: status byte, no body
+  EXPECT_EQ(counter_value("transport.format_service.not_modified"),
+            nm_before + 1);
+  auto unknown = client.conditional_fetch(f->id() ^ 0x5a5a, hash);
+  EXPECT_EQ(unknown.status, Status::kUnknown);
+}
+
+TEST(MetaCacheFormatClient, WarmClientSurvivesAllReplicasDownWithinDeadline) {
+  BudgetGuard guard;
+  auto dir = fresh_dir("client_alldown");
+  pbio::FormatRegistry source;
+  auto f = source.register_format("ASDOffEvent", asdoff_fields(),
+                                  sizeof(AsdOff));
+  auto replica0 = std::make_unique<transport::FormatServiceServer>();
+  auto replica1 = std::make_unique<transport::FormatServiceServer>();
+  replica0->publish(*f);
+  replica1->publish(*f);
+
+  metacache::ReplicatedFormatClient::Options options;
+  options.cache.disk_dir = dir;
+  // Zero lifetimes force every resolve to the origin — the harshest case
+  // for an outage, so the stale path (not mere freshness) is what passes.
+  options.default_max_age = 0s;
+  options.default_swr = 0s;
+  options.fetch_timeout = std::chrono::milliseconds(250);
+  options.breaker = {.failure_threshold = 1,
+                     .cooldown = std::chrono::milliseconds(60000)};
+  metacache::ReplicatedFormatClient client(
+      {std::to_string(replica0->port()), std::to_string(replica1->port())},
+      options);
+  pbio::FormatRegistry receiver;
+  ASSERT_NE(client.resolve(receiver, f->id()), nullptr);  // warm the tiers
+
+  replica0.reset();
+  replica1.reset();
+  const std::uint64_t stale_before = counter_value("omf.metacache.stale_served");
+  const auto t0 = std::chrono::steady_clock::now();
+  auto resolved = client.resolve(receiver, f->id());
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  ASSERT_NE(resolved, nullptr);
+  EXPECT_EQ(resolved->name(), "ASDOffEvent");
+  EXPECT_GE(client.cache().stats().stale_served, 1u);
+  EXPECT_EQ(counter_value("omf.metacache.stale_served"), stale_before + 1);
+  // Both replicas are dialed at most once each, bounded by fetch_timeout;
+  // nothing may block past the per-attempt deadlines.
+  EXPECT_LT(elapsed, 2000ms);
+  std::filesystem::remove_all(dir);
+}
+
+// --- Chaos: replica 0 dies or stalls mid-discovery ---------------------------
+
+TEST(ReplicaChaos, ClientsConvergeViaReplicaOneWithZeroDecodeErrors) {
+  BudgetGuard guard;
+  std::uint64_t seed = 1;
+  if (const char* env = std::getenv("OMF_CHAOS_SEED")) {
+    seed = std::strtoull(env, nullptr, 10);
+  }
+  SCOPED_TRACE("OMF_CHAOS_SEED=" + std::to_string(seed));
+  Rng rng(seed);
+
+  pbio::FormatRegistry source;
+  std::vector<pbio::FormatHandle> formats;
+  formats.push_back(source.register_format("ASDOffEvent", asdoff_fields(),
+                                           sizeof(AsdOff)));
+  auto [nested_b, nested_c] = register_nested_pair(source);
+  formats.push_back(nested_c);
+
+  transport::FormatServiceServer replica0, replica1;
+  for (const auto& f : formats) {
+    replica0.publish(*f);
+    replica1.publish(*f);
+  }
+
+  // Replica 0 fails mid-discovery, in a seed-chosen way: a kStall (socket
+  // up, bytes never flow — the worst case for deadlines) or a kill
+  // (connection refused — the easy case). Both must converge via replica 1.
+  const bool stall = rng.below(2) == 0;
+  std::unique_ptr<fault::FaultProxy> proxy;
+  std::string replica0_endpoint;
+  if (stall) {
+    fault::FaultScript script;
+    script.push_back({.kind = fault::FaultKind::kStall,
+                      .direction = fault::Direction::kServerToClient,
+                      .connection = -1,
+                      .frame = -1});
+    proxy = std::make_unique<fault::FaultProxy>(replica0.port(), script);
+    replica0_endpoint = std::to_string(proxy->port());
+  } else {
+    replica0.stop();
+    replica0_endpoint = std::to_string(replica0.port());
+  }
+
+  metacache::ReplicatedFormatClient::Options options;
+  options.fetch_timeout = std::chrono::milliseconds(300);
+  options.breaker = {.failure_threshold = 1,
+                     .cooldown = std::chrono::milliseconds(60000)};
+  metacache::ReplicatedFormatClient client(
+      {replica0_endpoint, std::to_string(replica1.port())}, options);
+
+  // Several independent clients' worth of lookups; every resolve must yield
+  // a registered, decodable format — zero DecodeErrors, no wedged deadline.
+  pbio::FormatRegistry receiver;
+  for (int round = 0; round < 3; ++round) {
+    for (const auto& f : formats) {
+      const auto t0 = std::chrono::steady_clock::now();
+      pbio::FormatHandle resolved;
+      ASSERT_NO_THROW(resolved = client.resolve(receiver, f->id()));
+      ASSERT_NE(resolved, nullptr) << "format " << f->name();
+      EXPECT_EQ(resolved->name(), f->name());
+      EXPECT_LT(std::chrono::steady_clock::now() - t0, 2000ms);
+    }
+  }
+  EXPECT_EQ(counter_value("transport.crc_rejects"), 0u);
+}
+
+// --- Retry-After (429/503) ---------------------------------------------------
+
+TEST(MetaCacheRetryAfter, ParsesDeltaSecondsOnly) {
+  http::Response r;
+  r.headers["retry-after"] = "7";
+  ASSERT_TRUE(r.retry_after().has_value());
+  EXPECT_EQ(*r.retry_after(), 7s);
+  r.headers["retry-after"] = "Fri, 08 Aug 2026 12:00:00 GMT";  // date form
+  EXPECT_FALSE(r.retry_after().has_value());
+  r.headers.erase("retry-after");
+  EXPECT_FALSE(r.retry_after().has_value());
+}
+
+TEST(MetaCacheRetryAfter, ClientHonorsRetryAfterOnThrottledResponses) {
+  http::Server server;
+  std::atomic<int> requests{0};
+  server.set_responder(
+      [&](const http::Server::Request&) -> std::optional<http::Response> {
+        if (requests.fetch_add(1) == 0) {
+          http::Response throttled;
+          throttled.status = 429;
+          throttled.reason = "Too Many Requests";
+          throttled.headers["retry-after"] = "1";
+          throttled.body = "slow down";
+          return throttled;
+        }
+        http::Response ok;
+        ok.status = 200;
+        ok.reason = "OK";
+        ok.body = "<doc/>";
+        return ok;
+      });
+  const std::uint64_t waits_before =
+      counter_value("http.client.retry_after_waits");
+  const auto t0 = std::chrono::steady_clock::now();
+  http::Response resp = http::get_with_retry(
+      http::Url::parse(server.url_for("/anything")), {},
+      RetryPolicy{.max_attempts = 3}, Deadline::after(10000ms));
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_EQ(resp.status, 200);
+  EXPECT_EQ(resp.body, "<doc/>");
+  EXPECT_EQ(requests.load(), 2);
+  // It waited what the server asked (1 s), not the backoff schedule.
+  EXPECT_GE(elapsed, 900ms);
+  EXPECT_EQ(counter_value("http.client.retry_after_waits"), waits_before + 1);
+}
+
+TEST(MetaCacheRetryAfter, RetryAfterBeyondTheDeadlineReturnsImmediately) {
+  http::Server server;
+  server.set_responder(
+      [&](const http::Server::Request&) -> std::optional<http::Response> {
+        http::Response throttled;
+        throttled.status = 503;
+        throttled.reason = "Service Unavailable";
+        throttled.headers["retry-after"] = "30";
+        return throttled;
+      });
+  const auto t0 = std::chrono::steady_clock::now();
+  http::Response resp = http::get_with_retry(
+      http::Url::parse(server.url_for("/anything")), {},
+      RetryPolicy{.max_attempts = 5}, Deadline::after(300ms));
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  // A 30 s wait cannot fit a 300 ms deadline: the throttled response comes
+  // back without blocking past it.
+  EXPECT_EQ(resp.status, 503);
+  EXPECT_LT(elapsed, 2000ms);
+}
+
+// --- Kill -9 harness (driven by CI; skipped without the env) -----------------
+
+// CI runs OriginServeUntilKilled with OMF_METACACHE_DIR set, WarmThroughOrigin
+// against it, kill -9s the origin, then runs ColdStartOriginDown with the
+// same directory: a fresh process must resolve the document from the disk
+// tier alone, counting omf.metacache.stale_served (the origin advertised
+// max-age=0, so the disk copy is stale by construction).
+TEST(MetaCacheHarness, OriginServeUntilKilled) {
+  const char* dir_env = std::getenv("OMF_METACACHE_DIR");
+  if (dir_env == nullptr) {
+    GTEST_SKIP() << "set OMF_METACACHE_DIR to run the kill harness";
+  }
+  std::filesystem::path dir(dir_env);
+  std::filesystem::create_directories(dir);
+  http::Server origin;
+  origin.put_document("/meta/killed.xml", "<survivor/>");
+  origin.set_cache_policy(
+      {.enabled = true, .max_age = 0s, .stale_while_revalidate = 0s});
+  {
+    std::ofstream port_file(dir / "port.txt", std::ios::trunc);
+    port_file << origin.port() << "\n";
+  }
+  for (;;) std::this_thread::sleep_for(100ms);  // until kill -9
+}
+
+namespace {
+std::uint16_t harness_port(const std::filesystem::path& dir) {
+  std::ifstream port_file(dir / "port.txt");
+  int port = 0;
+  port_file >> port;
+  return static_cast<std::uint16_t>(port);
+}
+}  // namespace
+
+TEST(MetaCacheHarness, WarmThroughOrigin) {
+  const char* dir_env = std::getenv("OMF_METACACHE_DIR");
+  if (dir_env == nullptr) {
+    GTEST_SKIP() << "set OMF_METACACHE_DIR to run the kill harness";
+  }
+  std::filesystem::path dir(dir_env);
+  metacache::CachedHttpSourceOptions options;
+  options.cache.disk_dir = dir / "cache";
+  options.fetch_timeout = std::chrono::milliseconds(2000);
+  metacache::CachedHttpSource source(
+      {"http://127.0.0.1:" + std::to_string(harness_port(dir))}, options);
+  std::optional<std::string> text =
+      source.fetch("http://origin/meta/killed.xml");
+  ASSERT_TRUE(text.has_value());
+  EXPECT_EQ(*text, "<survivor/>");
+  ASSERT_NE(source.cache().disk(), nullptr);
+  EXPECT_GE(source.cache().disk()->entries(), 1u);
+}
+
+TEST(MetaCacheHarness, ColdStartOriginDown) {
+  const char* dir_env = std::getenv("OMF_METACACHE_DIR");
+  if (dir_env == nullptr) {
+    GTEST_SKIP() << "set OMF_METACACHE_DIR to run the kill harness";
+  }
+  std::filesystem::path dir(dir_env);
+  metacache::CachedHttpSourceOptions options;
+  options.cache.disk_dir = dir / "cache";
+  options.fetch_timeout = std::chrono::milliseconds(300);
+  options.breaker = {.failure_threshold = 1,
+                     .cooldown = std::chrono::milliseconds(60000)};
+  metacache::CachedHttpSource source(
+      {"http://127.0.0.1:" + std::to_string(harness_port(dir))}, options);
+  const std::uint64_t stale_before = counter_value("omf.metacache.stale_served");
+  const auto t0 = std::chrono::steady_clock::now();
+  std::optional<std::string> text =
+      source.fetch("http://origin/meta/killed.xml");
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  ASSERT_TRUE(text.has_value()) << "disk tier did not survive the kill";
+  EXPECT_EQ(*text, "<survivor/>");
+  EXPECT_EQ(counter_value("omf.metacache.stale_served"), stale_before + 1);
+  EXPECT_LT(elapsed, 2000ms);
+  RecordProperty("stale_served", 1);
+}
+
+}  // namespace
+}  // namespace omf

@@ -514,6 +514,30 @@ TEST(OverloadJournal, CompactionFoldsTheJournalIntoTheSnapshot) {
   std::filesystem::remove_all(dir);
 }
 
+TEST(OverloadJournal, RecoveryAfterCompactionSeesOnlyTheSnapshot) {
+  auto dir = fresh_dir("journal_compact_durable");
+  {
+    overload::Journal j(dir, {.compact_threshold = 1});
+    replay_all(j, nullptr);
+    append_str(j, "alpha");
+    append_str(j, "beta");
+    std::vector<Buffer> state;
+    state.push_back(text_buffer("alpha"));
+    state.push_back(text_buffer("beta"));
+    j.compact(state);
+  }
+  EXPECT_TRUE(std::filesystem::exists(dir / "snapshot.bin"));
+  EXPECT_EQ(std::filesystem::file_size(dir / "journal.log"), 0u);
+  overload::Journal j(dir);
+  overload::Journal::RecoverStats stats;
+  EXPECT_EQ(replay_all(j, &stats),
+            (std::vector<std::string>{"alpha", "beta"}));
+  EXPECT_EQ(stats.snapshot_records, 2u);
+  EXPECT_EQ(stats.journal_records, 0u);
+  EXPECT_FALSE(stats.torn_tail);
+  std::filesystem::remove_all(dir);
+}
+
 // --- Format service: crash recovery and brownout -----------------------------
 
 TEST(OverloadRegistry, RecoversAcrossRestart) {

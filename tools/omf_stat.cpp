@@ -126,6 +126,38 @@ void print_overload_summary() {
                   counter("omf.journal.torn_tails")));
 }
 
+// The metadata cache plane: hit-tier breakdown, revalidation traffic, the
+// degraded-mode stale serves, and replica failovers — the panel that answers
+// "are clients still resolving formats, and what is it costing the origin?"
+void print_metacache_summary() {
+  auto& reg = omf::obs::MetricsRegistry::instance();
+  auto counter = [&](const char* name) {
+    return static_cast<unsigned long long>(reg.counter(name).value());
+  };
+  std::printf("== metacache ==\n");
+  std::printf("  hit/miss               %llu / %llu (disk hits %llu)\n",
+              counter("omf.metacache.hit"), counter("omf.metacache.miss"),
+              counter("omf.metacache.disk_hit"));
+  std::printf("  memory                 %lld bytes (evictions %llu)\n",
+              static_cast<long long>(
+                  reg.gauge("omf.metacache.memory_bytes").value()),
+              counter("omf.metacache.evictions"));
+  std::printf("  revalidations          %llu (server 304s %llu, "
+              "tcp not-modified %llu)\n",
+              counter("omf.metacache.revalidate"),
+              counter("http.server.revalidations"),
+              counter("transport.format_service.not_modified"));
+  std::printf("  stale_served           %llu\n",
+              counter("omf.metacache.stale_served"));
+  std::printf("  disk installs/rejects  %llu / %llu\n",
+              counter("omf.metacache.disk_installs"),
+              counter("omf.metacache.disk_rejects"));
+  std::printf("  replica.failover       %llu\n",
+              counter("omf.replica.failover"));
+  std::printf("  retry_after_waits      %llu\n",
+              counter("http.client.retry_after_waits"));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -187,6 +219,7 @@ int main(int argc, char** argv) {
     std::fputs(omf::obs::render_prometheus().c_str(), stdout);
   } else {
     print_overload_summary();
+    print_metacache_summary();
     std::fputs(omf::obs::render_text(omf::obs::stats_snapshot()).c_str(),
                stdout);
   }
