@@ -11,7 +11,8 @@
 //   decode/trace-every        worst case: a span + two clock reads per msg
 //   decode/tracer-disabled    counters only (sample() short-circuits)
 //   primitive/*               counter add, histogram record, sample() skip,
-//                             full ScopedSpan — the unit costs
+//                             full ScopedSpan, attribution charge, flight-
+//                             recorder append — the unit costs
 //   exposition/render         /metrics render (scrape cost, off hot path)
 //
 // Run the same binary from a -DOMF_NO_METRICS=ON build to get the true
@@ -28,7 +29,9 @@
 
 #include "bench_common.hpp"
 #include "core/xml2wire.hpp"
+#include "obs/attribution.hpp"
 #include "obs/exposition.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "pbio/decode.hpp"
@@ -157,6 +160,25 @@ int main() {
   json.add("primitive/scoped-span", span, 0,
            {{"metrics_enabled", kMetricsEnabled}});
   std::printf("primitive/scoped-span     %8.2f ns\n", span);
+
+  // Event-site costs: what a per-batch attribution charge and a flight-
+  // recorder append cost the paths that call them (never per-message).
+  auto& attr = obs::Attribution::instance();
+  double charge = time_op(2000000, [&] {
+    attr.charge(0x42, "bench-peer", {.messages = 1, .decode_ns = 10});
+  });
+  json.add("primitive/attribution-charge", charge, 0,
+           {{"metrics_enabled", kMetricsEnabled}});
+  std::printf("primitive/attr-charge     %8.2f ns\n", charge);
+
+  obs::FlightRecorder flight("BENCH_flight_scratch.bin", 256 * 1024);
+  double record = time_op(1000000, [&] {
+    flight.append("bench", "steady-state event");
+  });
+  json.add("primitive/flight-record", record, 0,
+           {{"metrics_enabled", kMetricsEnabled}});
+  std::printf("primitive/flight-record   %8.2f ns\n", record);
+  std::remove("BENCH_flight_scratch.bin");
 
   double render = time_op(2000, [] {
     std::string text = obs::render_prometheus();

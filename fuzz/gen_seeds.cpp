@@ -130,11 +130,13 @@ int main(int argc, char** argv) {
     write_file(root / "ndr_frame/message.bin", frame);
   }
   {
-    Buffer frame(message.size() + 9);
+    Buffer frame(message.size() + 17);
     char tag = 'T';
     frame.append(&tag, 1);
-    std::uint8_t id[8] = {0xEF, 0xBE, 0xAD, 0xDE, 0, 0, 0, 0};
-    frame.append(id, 8);
+    std::uint8_t trace_id[8] = {0xEF, 0xBE, 0xAD, 0xDE, 0, 0, 0, 0};
+    frame.append(trace_id, 8);
+    std::uint8_t parent_span[8] = {0xBE, 0xBA, 0xFE, 0xCA, 0, 0, 0, 0};
+    frame.append(parent_span, 8);
     frame.append(message.span());
     write_file(root / "ndr_frame/traced.bin", frame);
   }

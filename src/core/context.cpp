@@ -3,6 +3,7 @@
 #include "analysis/audit_format.hpp"
 #include "analysis/audit_schema.hpp"
 #include "analysis/verify_plan.hpp"
+#include "obs/flight_recorder.hpp"
 #include "pbio/metaserde.hpp"
 #include "schema/reader.hpp"
 #include "util/error.hpp"
@@ -24,6 +25,9 @@ pbio::PlanOptions verified_plan_options() {
 Context::Context(std::shared_ptr<pbio::PlanCache> shared_plans)
     : xml2wire_(registry_, arch::native()),
       decoder_(registry_, std::move(shared_plans), verified_plan_options()) {
+  // Honor OMF_FLIGHT_RECORDER from the first pipeline, not the first
+  // anomaly: the black box should already be rolling when trouble starts.
+  obs::FlightRecorder::installed();
   discovery_.add_source(make_http_source());
   discovery_.add_source(make_file_source());
   auto compiled = std::make_unique<CompiledInSource>();

@@ -244,6 +244,8 @@ std::shared_ptr<const xml::Document> DiscoveryManager::discover(
       // failing the subscription outright.
       ++stats_.stale_served;
       metrics.stale_served.add();
+      obs::Tracer::instance().mark_trace(obs::current_trace_id(),
+                                         "stale_served");
       OMF_LOG_WARN("discovery", "all sources failed for ", locator,
                    "; serving stale metadata");
       return it->second;

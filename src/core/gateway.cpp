@@ -4,6 +4,7 @@
 
 #include "analysis/audit_format.hpp"
 #include "analysis/verify_plan.hpp"
+#include "obs/attribution.hpp"
 #include "obs/metrics.hpp"
 #include "pbio/encode.hpp"
 #include "pbio/metaserde.hpp"
@@ -58,15 +59,20 @@ Buffer Gateway::convert(std::span<const std::uint8_t> message) {
     copy.append(message);
     return copy;
   }
+  const pbio::FormatId source = pbio::Decoder::peek_format_id(message);
+  const std::uint64_t t0 = obs::monotonic_ns();
   scratch_.from_wire(decoder_, message);
   ++converted_;
   GatewayMetrics::get().converted.add();
-  if (target_->id() == staging_->id()) {
-    // Target is this machine's own format: the ordinary encoder is the
-    // fastest way to produce it.
-    return pbio::encode(*staging_, scratch_.data());
-  }
-  return pbio::synthesize_wire(*target_, scratch_);
+  Buffer out = target_->id() == staging_->id()
+                   // Target is this machine's own format: the ordinary
+                   // encoder is the fastest way to produce it.
+                   ? pbio::encode(*staging_, scratch_.data())
+                   : pbio::synthesize_wire(*target_, scratch_);
+  obs::Attribution::instance().charge(
+      source, peer_,
+      obs::AttrDelta{.decode_ns = obs::monotonic_ns() - t0});
+  return out;
 }
 
 std::vector<Buffer> Gateway::convert_batch(
@@ -94,6 +100,7 @@ std::vector<Buffer> Gateway::convert_batch(
       ++j;
     }
     const std::size_t n = j - i;
+    const std::uint64_t t0 = obs::monotonic_ns();
     batch_structs_.resize(n * stride);
     batch_ptrs_.clear();
     for (std::size_t k = 0; k < n; ++k) {
@@ -115,6 +122,10 @@ std::vector<Buffer> Gateway::convert_batch(
         out.push_back(pbio::synthesize_wire(*target_, scratch_));
       }
     }
+    // One charge per run: the whole decode+re-encode of the run is this
+    // format's cost.
+    obs::Attribution::instance().charge(
+        id, peer_, obs::AttrDelta{.decode_ns = obs::monotonic_ns() - t0});
     i = j;
   }
   return out;

@@ -13,6 +13,8 @@
 // DynamicRecord, then wire synthesis for the target format.
 #pragma once
 
+#include <string>
+
 #include "analysis/diagnostics.hpp"
 #include "pbio/decode.hpp"
 #include "pbio/format.hpp"
@@ -63,6 +65,12 @@ public:
   pbio::FormatHandle register_remote_format(
       std::span<const std::uint8_t> bundle);
 
+  /// Peer label charged for this gateway's decode time in the attribution
+  /// family (obs/attribution.hpp). Defaults to "local"; a forwarding loop
+  /// serving one upstream sets it to that peer's address.
+  void set_peer(std::string peer) { peer_ = std::move(peer); }
+  const std::string& peer() const noexcept { return peer_; }
+
   /// Messages converted so far.
   std::size_t converted() const noexcept { return converted_; }
 
@@ -92,6 +100,7 @@ private:
   std::vector<void*> batch_ptrs_;
   pbio::DecodeArena batch_arena_;
   analysis::AuditPolicy audit_policy_;
+  std::string peer_ = "local";
   std::size_t converted_ = 0;
   std::size_t passed_through_ = 0;
 };

@@ -1,6 +1,8 @@
 #include "fault/circuit_breaker.hpp"
 
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace omf::fault {
 
@@ -32,6 +34,10 @@ bool CircuitBreaker::allow() {
       }
       ++rejected_;
       BreakerMetrics::get().rejected.add();
+      // A request turned away by an open breaker is an anomaly worth
+      // keeping whole: pin its trace for the tail sampler.
+      obs::Tracer::instance().mark_trace(obs::current_trace_id(),
+                                         "breaker.rejected");
       return false;
     case State::kHalfOpen:
       return true;
@@ -46,6 +52,7 @@ void CircuitBreaker::record_success() {
       state_ = State::kClosed;
       failures_ = 0;
       BreakerMetrics::get().closes.add();
+      obs::flight_record("breaker", "closed after half-open probes");
     }
   } else {
     failures_ = 0;
@@ -58,12 +65,20 @@ void CircuitBreaker::record_failure() {
     state_ = State::kOpen;
     opened_at_ = Clock::now();
     BreakerMetrics::get().trips.add();
+    obs::flight_record("breaker", "re-opened: half-open probe failed");
+    obs::Tracer::instance().mark_trace(obs::current_trace_id(),
+                                       "breaker.tripped");
     return;
   }
   if (state_ == State::kClosed && ++failures_ >= config_.failure_threshold) {
     state_ = State::kOpen;
     opened_at_ = Clock::now();
     BreakerMetrics::get().trips.add();
+    obs::flight_record("breaker", "opened after " +
+                                      std::to_string(failures_) +
+                                      " consecutive failures");
+    obs::Tracer::instance().mark_trace(obs::current_trace_id(),
+                                       "breaker.tripped");
   }
 }
 

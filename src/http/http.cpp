@@ -7,11 +7,14 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 #include <sstream>
 
 #include "obs/exposition.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "overload/health.hpp"
 #include "transport/net_io.hpp"
 #include "util/error.hpp"
@@ -63,6 +66,35 @@ std::string read_until_headers_end(int fd, const Deadline& deadline,
     if (out.size() > cap) throw TransportError("http headers too large");
   }
   return out;
+}
+
+/// "<16-hex trace>-<16-hex span>", the X-Omf-Trace wire form.
+std::string trace_header_value(std::uint64_t trace_id, std::uint64_t span_id) {
+  char buf[34];
+  std::snprintf(buf, sizeof(buf), "%016llx-%016llx",
+                static_cast<unsigned long long>(trace_id),
+                static_cast<unsigned long long>(span_id));
+  return buf;
+}
+
+/// Parses the X-Omf-Trace wire form; false on anything malformed.
+bool parse_trace_header(std::string_view value, std::uint64_t& trace_id,
+                        std::uint64_t& span_id) {
+  if (value.size() != 33 || value[16] != '-') return false;
+  auto hex16 = [](std::string_view s, std::uint64_t& out) {
+    out = 0;
+    for (char c : s) {
+      int digit;
+      if (c >= '0' && c <= '9') digit = c - '0';
+      else if (c >= 'a' && c <= 'f') digit = c - 'a' + 10;
+      else if (c >= 'A' && c <= 'F') digit = c - 'A' + 10;
+      else return false;
+      out = (out << 4) | static_cast<std::uint64_t>(digit);
+    }
+    return true;
+  };
+  return hex16(value.substr(0, 16), trace_id) &&
+         hex16(value.substr(17), span_id);
 }
 
 }  // namespace
@@ -155,6 +187,12 @@ Response get(const Url& url, const HeaderList& headers,
     req << "GET " << url.path << " HTTP/1.0\r\n"
         << "Host: " << url.host << "\r\n"
         << "User-Agent: omf-xml2wire/1.0\r\n";
+    if (std::uint64_t trace = obs::current_trace_id(); trace != 0) {
+      // Propagate the caller's trace context so the origin's serve span
+      // joins this trace tree (obs/trace.hpp).
+      req << "X-Omf-Trace: "
+          << trace_header_value(trace, obs::current_span_id()) << "\r\n";
+    }
     for (const auto& [name, value] : headers) {
       req << name << ": " << value << "\r\n";
     }
@@ -242,7 +280,12 @@ Response get_with_retry(const Url& url, const HeaderList& headers,
 }
 
 Server::Server(std::uint16_t port)
-    : listener_(port), thread_([this] { serve(); }) {}
+    : listener_(port), thread_([this] { serve(); }) {
+  // Honor OMF_FLIGHT_RECORDER for serving processes too: the black box
+  // should be rolling before the first request, not after the first
+  // anomaly.
+  obs::FlightRecorder::installed();
+}
 
 Server::~Server() { stop(); }
 
@@ -301,6 +344,9 @@ void Server::serve() {
     } catch (const Error& e) {
       OMF_LOG_WARN("http", "request failed: ", e.what());
     }
+    // A traced request adopts the caller's context for its serve spans;
+    // drop it so the next request on this thread starts clean.
+    obs::set_current_trace_id(0);
   }
 }
 
@@ -326,6 +372,25 @@ void Server::handle(transport::TcpConnection conn) {
       std::chrono::milliseconds(request_timeout_ms_.load()));
   try {
     std::string raw = read_until_headers_end(fd, deadline);
+    // Adopt any X-Omf-Trace context before doing work on the request's
+    // behalf, so spans recorded while serving parent under the caller's
+    // request span. serve() clears the thread's context after handle.
+    if (std::size_t pos = to_lower(raw).find("x-omf-trace:");
+        pos != std::string::npos) {
+      std::size_t value_start = pos + 12;
+      std::size_t line_end = raw.find("\r\n", value_start);
+      std::uint64_t trace_id = 0, span_id = 0;
+      if (line_end != std::string::npos &&
+          parse_trace_header(
+              trim(std::string_view(raw).substr(value_start,
+                                                line_end - value_start)),
+              trace_id, span_id)) {
+        obs::set_current_trace(trace_id, span_id);
+        static obs::Counter& traced = obs::MetricsRegistry::instance().counter(
+            "http.server.traced_requests");
+        traced.add();
+      }
+    }
     std::size_t line_end = raw.find("\r\n");
     std::string_view request_line =
         line_end == std::string::npos
@@ -410,6 +475,14 @@ void Server::handle(transport::TcpConnection conn) {
       if (!doc && metrics_endpoint_.load() && bare == "/metrics") {
         doc = obs::render_prometheus();
         doc_type = "text/plain; version=0.0.4";
+      }
+      if (!doc && traces_endpoint_.load() && bare == "/debug/traces") {
+        // Retained trace trees, one JSON object per line (tail-sampled:
+        // slow/errored/marked traces survive ring eviction).
+        std::ostringstream trees;
+        obs::Tracer::instance().export_trace_trees(trees);
+        doc = trees.str();
+        doc_type = "application/x-ndjson";
       }
       if (!doc && health_endpoint_.load() && bare == "/healthz") {
         // Readiness probe: anything other than "ok" answers 503 so load

@@ -171,6 +171,13 @@ public:
     health_endpoint_.store(enabled);
   }
 
+  /// Every Server also exposes GET /debug/traces — the tracer's retained
+  /// trace trees as JSONL (obs::Tracer::export_trace_trees). Same
+  /// precedence and opt-out shape as /metrics.
+  void set_traces_endpoint(bool enabled) noexcept {
+    traces_endpoint_.store(enabled);
+  }
+
   /// Per-peer request quotas (msgs/s counts requests, bytes/s counts
   /// request-header bytes). Over-quota requests get a 429 with a
   /// lint-style "[OMFnnn] detail" body. Unlimited by default.
@@ -195,6 +202,7 @@ private:
   std::atomic<bool> running_{true};
   std::atomic<bool> metrics_endpoint_{true};
   std::atomic<bool> health_endpoint_{true};
+  std::atomic<bool> traces_endpoint_{true};
   overload::AdmissionController admission_;
   std::atomic<std::size_t> requests_{0};
   std::atomic<std::int64_t> request_timeout_ms_{30000};

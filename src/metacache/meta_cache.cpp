@@ -2,7 +2,9 @@
 
 #include <chrono>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/hash.hpp"
 #include "util/logging.hpp"
 
@@ -158,9 +160,15 @@ BundleHandle MetaCache::refresh(std::uint64_t key, BundleHandle cached,
   }
   if (cached) {
     // Every replica down or skipped: metadata is immutable by content, so a
-    // stale format description still decodes — serve it at any age.
+    // stale format description still decodes — serve it at any age. A
+    // request that fell all the way here is worth keeping: pin its trace
+    // and note the serve in the flight recorder.
     stale_served_.fetch_add(1, std::memory_order_relaxed);
     CacheMetrics::get().stale_served.add();
+    obs::Tracer::instance().mark_trace(obs::current_trace_id(),
+                                       "stale_served");
+    obs::flight_record("stale", "served stale bundle for key " +
+                                    std::to_string(key));
     return cached;
   }
   return nullptr;

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/hash.hpp"
 #include "util/logging.hpp"
 
@@ -79,7 +81,17 @@ FetchResult ReplicaSet::fetch(std::uint64_t key, const Attempt& attempt) {
       continue;
     }
     breaker.record_success();
-    if (rank != 0) failover_metric().add();
+    if (rank != 0) {
+      failover_metric().add();
+      // A failover is exactly the kind of anomaly tail sampling exists
+      // for: pin the active trace (with an event span naming the replica
+      // that served) and note it in the flight recorder.
+      obs::Tracer::instance().mark_trace(obs::current_trace_id(),
+                                         "replica.failover");
+      obs::flight_record("failover", "replica " + endpoints_[idx] +
+                                         " served after " +
+                                         std::to_string(rank) + " skips");
+    }
     return result;
   }
   return FetchResult{FetchStatus::kUnavailable, {}};

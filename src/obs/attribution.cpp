@@ -1,0 +1,88 @@
+#include "obs/attribution.hpp"
+
+#ifndef OMF_NO_METRICS
+
+#include <algorithm>
+
+#include "obs/metrics.hpp"
+#include "util/hash.hpp"
+
+namespace omf::obs {
+
+Attribution& Attribution::instance() {
+  static Attribution attribution;
+  return attribution;
+}
+
+namespace {
+
+void accumulate(AttrDelta& cell, const AttrDelta& d) noexcept {
+  cell.messages += d.messages;
+  cell.bytes += d.bytes;
+  cell.decode_ns += d.decode_ns;
+  cell.drops += d.drops;
+  cell.stale_serves += d.stale_serves;
+}
+
+}  // namespace
+
+void Attribution::charge(std::uint64_t format_id, std::string_view peer,
+                         const AttrDelta& d) noexcept {
+  Fnv1a h;
+  h.update(format_id);
+  h.update(peer);
+  Shard& shard = shards_[h.digest() & (kShards - 1)];
+  {
+    std::lock_guard lock(shard.mutex);
+    auto it = shard.cells.find(Key{format_id, std::string(peer)});
+    if (it != shard.cells.end()) {
+      accumulate(it->second, d);
+      return;
+    }
+    if (keys_.load(std::memory_order_relaxed) <
+        max_keys_.load(std::memory_order_relaxed)) {
+      accumulate(shard.cells[Key{format_id, std::string(peer)}], d);
+      keys_.fetch_add(1, std::memory_order_relaxed);
+      static Gauge& keys_gauge =
+          MetricsRegistry::instance().gauge("obs.attr.keys");
+      keys_gauge.add();
+      return;
+    }
+  }
+  // Cardinality bound reached: collapse into the overflow bucket so the
+  // family stays bounded no matter what formats/peers show up.
+  static Counter& overflow =
+      MetricsRegistry::instance().counter("obs.attr.overflow");
+  overflow.add();
+  Shard& shard0 = shards_[0];
+  std::lock_guard lock(shard0.mutex);
+  accumulate(shard0.cells[Key{0, std::string(kOverflowPeer)}], d);
+}
+
+std::vector<AttrRow> Attribution::snapshot() const {
+  std::vector<AttrRow> out;
+  for (const Shard& shard : shards_) {
+    std::lock_guard lock(shard.mutex);
+    for (const auto& [key, cell] : shard.cells) {
+      out.push_back(AttrRow{key.format_id, key.peer, cell});
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const AttrRow& a, const AttrRow& b) {
+    return a.format_id != b.format_id ? a.format_id < b.format_id
+                                      : a.peer < b.peer;
+  });
+  return out;
+}
+
+void Attribution::reset() {
+  for (Shard& shard : shards_) {
+    std::lock_guard lock(shard.mutex);
+    shard.cells.clear();
+  }
+  keys_.store(0, std::memory_order_relaxed);
+  MetricsRegistry::instance().gauge("obs.attr.keys").reset();
+}
+
+}  // namespace omf::obs
+
+#endif  // OMF_NO_METRICS

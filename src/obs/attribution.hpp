@@ -1,0 +1,125 @@
+// Per-{format id, peer} cost attribution.
+//
+// The registry's counters answer "how much work is the process doing";
+// they cannot answer "which format, from which peer, is costing us". This
+// family charges decode nanoseconds, bytes, messages, queue drops, and
+// stale serves to a (format id, peer) label pair — the instance-focused
+// accounting BSML/Tamayo-style per-binding measurement argues for —
+// exposed as labeled Prometheus series (`omf_attr_*_total{format=...,
+// peer=...}`) and as the `omf-stat --top` panel.
+//
+// Cardinality is bounded: label sets are first-come-first-served up to
+// max_keys (default 1024); once the bound is hit, new pairs are charged to
+// a single overflow bucket (format 0, peer "~overflow") and counted in
+// obs.attr.overflow, so a peer spraying format ids cannot grow the map
+// without limit. Charges take one shard mutex (16 shards, keyed by label
+// hash) — they belong on per-connection / per-batch paths, not inside the
+// per-message decode loop (which batches in thread-locals and charges per
+// flush).
+//
+// OMF_NO_METRICS compiles the family down to empty inline no-ops.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#ifndef OMF_NO_METRICS
+#include <array>
+#include <atomic>
+#include <map>
+#include <mutex>
+#endif
+
+namespace omf::obs {
+
+/// One charge (all fields default 0; set what you know).
+struct AttrDelta {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t decode_ns = 0;
+  std::uint64_t drops = 0;
+  std::uint64_t stale_serves = 0;
+};
+
+/// One accumulated row of the family.
+struct AttrRow {
+  std::uint64_t format_id = 0;
+  std::string peer;
+  AttrDelta totals;
+};
+
+#ifndef OMF_NO_METRICS
+
+class Attribution {
+ public:
+  /// The peer label every over-bound charge collapses into.
+  static constexpr std::string_view kOverflowPeer = "~overflow";
+
+  static Attribution& instance();
+
+  /// Adds `d` to the (format_id, peer) cell, creating it if the cardinality
+  /// bound allows; otherwise charges the overflow bucket.
+  void charge(std::uint64_t format_id, std::string_view peer,
+              const AttrDelta& d) noexcept;
+
+  /// Every cell, sorted by (format_id, peer).
+  std::vector<AttrRow> snapshot() const;
+
+  /// Cardinality bound (existing cells are kept even if above a new bound).
+  void set_max_keys(std::size_t n) noexcept {
+    max_keys_.store(n, std::memory_order_relaxed);
+  }
+  std::size_t max_keys() const noexcept {
+    return max_keys_.load(std::memory_order_relaxed);
+  }
+
+  /// Drops every cell (tests).
+  void reset();
+
+  Attribution(const Attribution&) = delete;
+  Attribution& operator=(const Attribution&) = delete;
+
+ private:
+  Attribution() = default;
+
+  struct Key {
+    std::uint64_t format_id;
+    std::string peer;
+    bool operator<(const Key& o) const noexcept {
+      return format_id != o.format_id ? format_id < o.format_id
+                                      : peer < o.peer;
+    }
+  };
+  struct Shard {
+    mutable std::mutex mutex;
+    std::map<Key, AttrDelta> cells;
+  };
+
+  static constexpr std::size_t kShards = 16;
+
+  std::array<Shard, kShards> shards_;
+  std::atomic<std::size_t> keys_{0};
+  std::atomic<std::size_t> max_keys_{1024};
+};
+
+#else  // OMF_NO_METRICS
+
+class Attribution {
+ public:
+  static constexpr std::string_view kOverflowPeer = "~overflow";
+  static Attribution& instance() {
+    static Attribution a;
+    return a;
+  }
+  void charge(std::uint64_t, std::string_view, const AttrDelta&) noexcept {}
+  std::vector<AttrRow> snapshot() const { return {}; }
+  void set_max_keys(std::size_t) noexcept {}
+  std::size_t max_keys() const noexcept { return 0; }
+  void reset() {}
+};
+
+#endif  // OMF_NO_METRICS
+
+}  // namespace omf::obs

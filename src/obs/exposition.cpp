@@ -1,6 +1,8 @@
 #include "obs/exposition.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstring>
 #include <sstream>
 
 #include "util/logging.hpp"
@@ -10,6 +12,7 @@ namespace omf::obs {
 StatsSnapshot stats_snapshot() {
   StatsSnapshot out;
   out.metrics = MetricsRegistry::instance().snapshot();
+  out.attribution = Attribution::instance().snapshot();
   out.spans = Tracer::instance().snapshot();
   out.recent_errors = recent_log_errors();
   return out;
@@ -26,19 +29,41 @@ std::string prometheus_name(const std::string& dotted) {
   return out;
 }
 
+namespace {
+
+void emit_meta(std::ostringstream& out, const std::string& prom_name,
+               std::string_view dotted, const char* type) {
+  std::string_view help = metric_help(dotted);
+  if (!help.empty()) out << "# HELP " << prom_name << " " << help << "\n";
+  out << "# TYPE " << prom_name << " " << type << "\n";
+}
+
+// Prometheus label-value escaping: backslash, quote, newline.
+void emit_label_value(std::ostringstream& out, std::string_view v) {
+  for (char c : v) {
+    if (c == '\\' || c == '"') out << '\\' << c;
+    else if (c == '\n') out << "\\n";
+    else out << c;
+  }
+}
+
+}  // namespace
+
 std::string render_prometheus(const MetricsSnapshot& snapshot) {
   std::ostringstream out;
   for (const auto& c : snapshot.counters) {
     std::string name = prometheus_name(c.name);
-    out << "# TYPE " << name << " counter\n" << name << " " << c.value << "\n";
+    emit_meta(out, name, c.name, "counter");
+    out << name << " " << c.value << "\n";
   }
   for (const auto& g : snapshot.gauges) {
     std::string name = prometheus_name(g.name);
-    out << "# TYPE " << name << " gauge\n" << name << " " << g.value << "\n";
+    emit_meta(out, name, g.name, "gauge");
+    out << name << " " << g.value << "\n";
   }
   for (const auto& h : snapshot.histograms) {
     std::string name = prometheus_name(h.name);
-    out << "# TYPE " << name << " histogram\n";
+    emit_meta(out, name, h.name, "histogram");
     std::uint64_t cumulative = 0;
     // Collapse the empty tail: emit buckets up to the last nonzero one, so
     // 40 log2 buckets don't become 40 lines of zeros per histogram.
@@ -58,8 +83,45 @@ std::string render_prometheus(const MetricsSnapshot& snapshot) {
   return out.str();
 }
 
+std::string render_prometheus_attribution(const std::vector<AttrRow>& rows) {
+  if (rows.empty()) return {};
+  struct Family {
+    const char* name;
+    const char* help;
+    std::uint64_t AttrDelta::* field;
+  };
+  static constexpr Family kFamilies[] = {
+      {"omf_attr_messages_total", "Messages charged to {format, peer}.",
+       &AttrDelta::messages},
+      {"omf_attr_bytes_total", "Wire bytes charged to {format, peer}.",
+       &AttrDelta::bytes},
+      {"omf_attr_decode_ns_total",
+       "Decode/convert nanoseconds charged to {format, peer}.",
+       &AttrDelta::decode_ns},
+      {"omf_attr_drops_total", "Queue drops charged to {format, peer}.",
+       &AttrDelta::drops},
+      {"omf_attr_stale_serves_total",
+       "Stale serves charged to {format, peer}.", &AttrDelta::stale_serves},
+  };
+  std::ostringstream out;
+  for (const Family& fam : kFamilies) {
+    out << "# HELP " << fam.name << " " << fam.help << "\n";
+    out << "# TYPE " << fam.name << " counter\n";
+    for (const AttrRow& row : rows) {
+      char format_hex[19];
+      std::snprintf(format_hex, sizeof(format_hex), "%016llx",
+                    static_cast<unsigned long long>(row.format_id));
+      out << fam.name << "{format=\"" << format_hex << "\",peer=\"";
+      emit_label_value(out, row.peer);
+      out << "\"} " << row.totals.*(fam.field) << "\n";
+    }
+  }
+  return out.str();
+}
+
 std::string render_prometheus() {
-  return render_prometheus(MetricsRegistry::instance().snapshot());
+  return render_prometheus(MetricsRegistry::instance().snapshot()) +
+         render_prometheus_attribution(Attribution::instance().snapshot());
 }
 
 std::string render_text(const StatsSnapshot& snapshot) {
@@ -95,6 +157,20 @@ std::string render_text(const StatsSnapshot& snapshot) {
       out << "    le " << Histogram::le(b) << ": " << h.buckets[b] << "\n";
     }
   }
+  if (!snapshot.attribution.empty()) {
+    out << "== attribution (" << snapshot.attribution.size()
+        << " label sets) ==\n";
+    for (const AttrRow& row : snapshot.attribution) {
+      char format_hex[19];
+      std::snprintf(format_hex, sizeof(format_hex), "%016llx",
+                    static_cast<unsigned long long>(row.format_id));
+      out << "  format=" << format_hex << " peer=" << row.peer
+          << "  msgs=" << row.totals.messages << " bytes=" << row.totals.bytes
+          << " decode_ns=" << row.totals.decode_ns
+          << " drops=" << row.totals.drops
+          << " stale=" << row.totals.stale_serves << "\n";
+    }
+  }
   if (!snapshot.spans.empty()) {
     out << "== spans (" << snapshot.spans.size() << ") ==\n";
     for (const Span& s : snapshot.spans) {
@@ -114,6 +190,90 @@ std::string render_text(const StatsSnapshot& snapshot) {
       out << "  " << line << "\n";
     }
   }
+  return out.str();
+}
+
+std::map<std::string, PromSample> parse_prometheus(const std::string& text) {
+  std::map<std::string, PromSample> out;
+  std::map<std::string, std::string> family_type;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      // "# TYPE <name> <type>"
+      std::istringstream meta(line);
+      std::string hash, kind, name, type;
+      meta >> hash >> kind >> name >> type;
+      if (kind == "TYPE") family_type[name] = type;
+      continue;
+    }
+    // "<name>[{labels}] <value>" — the separating space is the first space
+    // outside a label block.
+    std::size_t i = 0;
+    bool in_labels = false;
+    while (i < line.size() && (in_labels || line[i] != ' ')) {
+      if (line[i] == '{') in_labels = true;
+      if (line[i] == '}') in_labels = false;
+      ++i;
+    }
+    if (i == 0 || i >= line.size()) continue;
+    std::string name = line.substr(0, i);
+    std::string value = line.substr(i + 1);
+    PromSample sample;
+    if (value == "+Inf") {
+      sample.value = 0;
+    } else {
+      try {
+        sample.value = std::stod(value);
+      } catch (...) {
+        continue;
+      }
+    }
+    // A sample's family is the name up to the label block; histogram
+    // component series resolve through their base family's type.
+    std::string family = name.substr(0, name.find('{'));
+    auto it = family_type.find(family);
+    if (it == family_type.end()) {
+      for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+        std::size_t len = std::strlen(suffix);
+        if (family.size() > len &&
+            family.compare(family.size() - len, len, suffix) == 0) {
+          it = family_type.find(family.substr(0, family.size() - len));
+          break;
+        }
+      }
+    }
+    if (it != family_type.end()) sample.type = it->second;
+    out[name] = sample;
+  }
+  return out;
+}
+
+std::string render_counter_deltas(const std::map<std::string, PromSample>& prev,
+                                  const std::map<std::string, PromSample>& cur,
+                                  double seconds) {
+  if (seconds <= 0) seconds = 1;
+  std::ostringstream out;
+  std::size_t moved = 0;
+  for (const auto& [name, sample] : cur) {
+    if (sample.type != "counter") continue;
+    auto it = prev.find(name);
+    if (it == prev.end()) continue;
+    double delta = sample.value - it->second.value;
+    if (delta == 0) continue;
+    if (delta < 0) {
+      out << "  " << name << "  RESET (" << it->second.value << " -> "
+          << sample.value << ")\n";
+      ++moved;
+      continue;
+    }
+    char rate[32];
+    std::snprintf(rate, sizeof(rate), "%.1f", delta / seconds);
+    out << "  " << name << "  +" << rate << "/s\n";
+    ++moved;
+  }
+  if (moved == 0) out << "  (no counter movement)\n";
   return out.str();
 }
 

@@ -1,33 +1,43 @@
-// Exposition: turning the registry and tracer into text.
+// Exposition: turning the registry, tracer, and attribution into text.
 //
-// Two renderings:
+// Renderings:
 //  * render_prometheus — the Prometheus text exposition format (version
-//    0.0.4): `# TYPE` comments, mangled names (dots -> underscores, "omf_"
-//    prefix), cumulative `_bucket{le="..."}` series for histograms. Served
-//    by http::Server's /metrics endpoint and scraped by anything that
-//    speaks Prometheus.
+//    0.0.4): `# HELP`/`# TYPE` comments, mangled names (dots ->
+//    underscores, "omf_" prefix), cumulative `_bucket{le="..."}` series
+//    for histograms, and the labeled per-{format, peer} attribution
+//    families (`omf_attr_*_total{format=...,peer=...}`). Served by
+//    http::Server's /metrics endpoint and scraped by anything that speaks
+//    Prometheus.
 //  * render_text — a human-oriented dump of a full StatsSnapshot (metrics,
-//    recent spans, last captured errors) used by tools/omf-stat and
-//    post-mortem diagnostics.
+//    attribution, recent spans, last captured errors) used by
+//    tools/omf-stat and post-mortem diagnostics.
+//  * parse_prometheus / render_counter_deltas — the scrape-side half:
+//    parses exposition text back into samples and renders per-second
+//    counter rates between two scrapes (`omf-stat --watch`).
 #pragma once
 
+#include <map>
 #include <string>
 #include <vector>
 
+#include "obs/attribution.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace omf::obs {
 
 /// Everything observable about the process at one instant: metric values,
-/// the tracer's span ring, and the last captured warning/error log lines.
+/// the attribution family, the tracer's span ring, and the last captured
+/// warning/error log lines.
 struct StatsSnapshot {
   MetricsSnapshot metrics;
+  std::vector<AttrRow> attribution;
   std::vector<Span> spans;
   std::vector<std::string> recent_errors;
 };
 
-/// Captures the process-wide snapshot (registry + tracer + log ring).
+/// Captures the process-wide snapshot (registry + attribution + tracer +
+/// log ring).
 StatsSnapshot stats_snapshot();
 
 /// Mangles a dotted metric name into a valid Prometheus metric name:
@@ -38,10 +48,34 @@ std::string prometheus_name(const std::string& dotted);
 /// "text/plain; version=0.0.4").
 std::string render_prometheus(const MetricsSnapshot& snapshot);
 
-/// Convenience: snapshot the process registry and render it.
+/// Renders the labeled attribution families as Prometheus text.
+std::string render_prometheus_attribution(const std::vector<AttrRow>& rows);
+
+/// Convenience: snapshot the process registry + attribution and render
+/// both (what /metrics serves).
 std::string render_prometheus();
 
 /// Human-readable multi-section dump of a StatsSnapshot.
 std::string render_text(const StatsSnapshot& snapshot);
+
+/// One sample parsed back out of Prometheus exposition text.
+struct PromSample {
+  double value = 0;
+  std::string type;  ///< "counter" | "gauge" | "histogram" | "" (unknown)
+};
+
+/// Parses exposition text into name -> sample. Labeled series keep their
+/// label block in the name (`omf_attr_bytes_total{format="...",...}`, typed
+/// from their family's # TYPE line); histogram component series (_bucket,
+/// _sum, _count) appear under their own names with type "histogram".
+std::map<std::string, PromSample> parse_prometheus(const std::string& text);
+
+/// Renders per-second rates for every counter whose value advanced between
+/// two scrapes `seconds` apart — the body of one `omf-stat --watch` frame.
+/// Counters that did not move are omitted; a counter that went backwards
+/// (process restart) renders as a reset marker.
+std::string render_counter_deltas(const std::map<std::string, PromSample>& prev,
+                                  const std::map<std::string, PromSample>& cur,
+                                  double seconds);
 
 }  // namespace omf::obs

@@ -1,0 +1,312 @@
+#include "obs/flight_recorder.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+#include "obs/metrics.hpp"
+#include "util/error.hpp"
+#include "util/hash.hpp"
+#include "util/logging.hpp"
+
+namespace omf::obs {
+
+namespace {
+
+constexpr char kMagic[8] = {'O', 'M', 'F', 'F', 'L', 'T', '1', '\0'};
+constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kRecMagic = 0x544C4652u;  // "RFLT" little-endian
+constexpr std::size_t kRecHeader = 16;            // magic + len + seq
+constexpr std::size_t kRecTrailer = 4;            // crc
+
+std::uint64_t wall_ms_now() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+void put_u32(std::uint8_t* p, std::uint32_t v) noexcept {
+  std::memcpy(p, &v, 4);
+}
+void put_u64(std::uint8_t* p, std::uint64_t v) noexcept {
+  std::memcpy(p, &v, 8);
+}
+std::uint32_t get_u32(const std::uint8_t* p) noexcept {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+std::uint64_t get_u64(const std::uint8_t* p) noexcept {
+  std::uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+std::atomic<FlightRecorder*> g_recorder{nullptr};
+
+void log_tap(std::string_view line) { flight_record("log", line); }
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(const std::string& path,
+                               std::size_t capacity_bytes)
+    : path_(path),
+      capacity_(std::max(capacity_bytes, kMinCapacity)) {
+  fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd_ < 0) {
+    throw Error("flight recorder: open " + path + ": " +
+                std::strerror(errno));
+  }
+  std::size_t file_size = kHeaderSize + capacity_;
+  if (::ftruncate(fd_, static_cast<off_t>(file_size)) != 0) {
+    int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    throw Error("flight recorder: ftruncate " + path + ": " +
+                std::strerror(err));
+  }
+  void* m = ::mmap(nullptr, file_size, PROT_READ | PROT_WRITE, MAP_SHARED,
+                   fd_, 0);
+  if (m == MAP_FAILED) {
+    int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    throw Error("flight recorder: mmap " + path + ": " + std::strerror(err));
+  }
+  map_ = static_cast<std::uint8_t*>(m);
+  scratch_.resize(kRecHeader + 17 + 256 + kMaxPayload + kRecTrailer);
+  std::memcpy(map_, kMagic, sizeof(kMagic));
+  put_u32(map_ + 8, kVersion);
+  put_u32(map_ + 12, static_cast<std::uint32_t>(kHeaderSize));
+  put_u64(map_ + 16, capacity_);
+  put_u64(map_ + 24, 0);  // total
+  put_u64(map_ + 32, 0);  // seq
+  put_u64(map_ + 40, wall_ms_now());
+  std::memset(map_ + 48, 0, kHeaderSize - 48);
+}
+
+FlightRecorder::~FlightRecorder() {
+  if (map_ != nullptr) {
+    ::msync(map_, kHeaderSize + capacity_, MS_ASYNC);
+    ::munmap(map_, kHeaderSize + capacity_);
+  }
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void FlightRecorder::store_header_u64(std::size_t offset,
+                                      std::uint64_t v) noexcept {
+  put_u64(map_ + offset, v);
+}
+
+void FlightRecorder::ring_write(std::uint64_t pos, const std::uint8_t* data,
+                                std::size_t n) noexcept {
+  std::uint64_t off = pos % capacity_;
+  std::size_t first = static_cast<std::size_t>(
+      std::min<std::uint64_t>(n, capacity_ - off));
+  std::memcpy(map_ + kHeaderSize + off, data, first);
+  if (first < n) std::memcpy(map_ + kHeaderSize, data + first, n - first);
+}
+
+std::uint64_t FlightRecorder::append(std::string_view category,
+                                     std::string_view message) noexcept {
+  if (category.size() > 255) category = category.substr(0, 255);
+  std::size_t text_max = kMaxPayload - 17 - category.size();
+  if (message.size() > text_max) message = message.substr(0, text_max);
+  std::size_t payload = 17 + category.size() + message.size();
+  std::size_t size = kRecHeader + payload + kRecTrailer;
+
+  std::lock_guard lock(mutex_);
+  std::uint64_t seq = seq_;
+  std::uint8_t* r = scratch_.data();
+  put_u32(r, kRecMagic);
+  put_u32(r + 4, static_cast<std::uint32_t>(payload));
+  put_u64(r + 8, seq);
+  put_u64(r + 16, wall_ms_now());
+  put_u64(r + 24, monotonic_ns());
+  r[32] = static_cast<std::uint8_t>(category.size());
+  std::memcpy(r + 33, category.data(), category.size());
+  std::memcpy(r + 33 + category.size(), message.data(), message.size());
+  // CRC covers everything after the record magic (len, seq, payload).
+  put_u32(r + kRecHeader + payload,
+          crc32(r + 4, kRecHeader - 4 + payload));
+
+  // Record bytes first, header ack second: a crash between the two leaves
+  // an un-acked but CRC-valid record (recover() still finds it); a crash
+  // mid-memcpy leaves a CRC-invalid tail that recovery drops.
+  ring_write(total_, r, size);
+  total_ += size;
+  seq_ += 1;
+  store_header_u64(24, total_);
+  store_header_u64(32, seq_);
+
+  static Counter& records =
+      MetricsRegistry::instance().counter("obs.flight.records");
+  static Counter& bytes =
+      MetricsRegistry::instance().counter("obs.flight.bytes");
+  records.add();
+  bytes.add(payload);
+  return seq;
+}
+
+void FlightRecorder::install(const std::string& path,
+                             std::size_t capacity_bytes) {
+  auto* fresh = new FlightRecorder(path, capacity_bytes);
+  FlightRecorder* old = g_recorder.exchange(fresh, std::memory_order_acq_rel);
+  set_log_capture_hook(&log_tap);
+  fresh->append("flight", "recorder installed");
+  delete old;
+}
+
+FlightRecorder* FlightRecorder::installed() noexcept {
+  static std::once_flag env_once;
+  std::call_once(env_once, [] {
+    if (g_recorder.load(std::memory_order_acquire) != nullptr) return;
+    const char* path = std::getenv("OMF_FLIGHT_RECORDER");
+    if (path == nullptr || *path == '\0') return;
+    std::size_t bytes = 1u << 20;
+    if (const char* sz = std::getenv("OMF_FLIGHT_RECORDER_BYTES")) {
+      char* end = nullptr;
+      unsigned long long v = std::strtoull(sz, &end, 10);
+      if (end != sz && v > 0) bytes = static_cast<std::size_t>(v);
+    }
+    try {
+      install(path, bytes);
+    } catch (const Error&) {
+      // Black-boxing is best effort; a bad path must not take the process.
+    }
+  });
+  return g_recorder.load(std::memory_order_acquire);
+}
+
+void FlightRecorder::uninstall() noexcept {
+  set_log_capture_hook(nullptr);
+  delete g_recorder.exchange(nullptr, std::memory_order_acq_rel);
+}
+
+FlightRecovery FlightRecorder::recover(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    throw Error("flight recorder: open " + path + ": " +
+                std::strerror(errno));
+  }
+  std::vector<std::uint8_t> file;
+  {
+    off_t end = ::lseek(fd, 0, SEEK_END);
+    if (end < static_cast<off_t>(kHeaderSize)) {
+      ::close(fd);
+      throw Error("flight recorder: " + path + " is too small to be a ring");
+    }
+    file.resize(static_cast<std::size_t>(end));
+    ::lseek(fd, 0, SEEK_SET);
+    std::size_t got = 0;
+    while (got < file.size()) {
+      ssize_t r = ::read(fd, file.data() + got, file.size() - got);
+      if (r < 0 && errno == EINTR) continue;
+      if (r <= 0) break;
+      got += static_cast<std::size_t>(r);
+    }
+    ::close(fd);
+    if (got < file.size()) {
+      throw Error("flight recorder: short read of " + path);
+    }
+  }
+  if (std::memcmp(file.data(), kMagic, sizeof(kMagic)) != 0) {
+    throw Error("flight recorder: " + path + " has no OMFFLT1 header");
+  }
+  if (get_u32(file.data() + 8) != kVersion) {
+    throw Error("flight recorder: " + path + ": unsupported version");
+  }
+  std::uint32_t header_size = get_u32(file.data() + 12);
+  std::uint64_t capacity = get_u64(file.data() + 16);
+  if (header_size < kHeaderSize || capacity == 0 ||
+      header_size + capacity > file.size()) {
+    throw Error("flight recorder: " + path + ": header geometry is corrupt");
+  }
+
+  FlightRecovery out;
+  out.capacity = capacity;
+  out.header_total = get_u64(file.data() + 24);
+  out.header_seq = get_u64(file.data() + 32);
+
+  const std::uint8_t* ring = file.data() + header_size;
+  auto ring_at = [&](std::uint64_t off, std::uint8_t* dst, std::size_t n) {
+    std::uint64_t o = off % capacity;
+    std::size_t first =
+        static_cast<std::size_t>(std::min<std::uint64_t>(n, capacity - o));
+    std::memcpy(dst, ring + o, first);
+    if (first < n) std::memcpy(dst + first, ring, n - first);
+  };
+
+  // Byte-scan for CRC-valid records. A torn write, an overwritten older
+  // record, or random bytes all fail the CRC; false positives need a
+  // 1-in-2^32 collision *and* a sane length, which we accept.
+  std::vector<std::uint8_t> rec(kRecHeader + kMaxPayload + kRecTrailer);
+  std::uint64_t off = 0;
+  while (off < capacity) {
+    std::uint8_t head[kRecHeader];
+    ring_at(off, head, kRecHeader);
+    if (get_u32(head) != kRecMagic) {
+      ++off;
+      continue;
+    }
+    std::uint32_t payload = get_u32(head + 4);
+    if (payload < 17 || payload > kMaxPayload ||
+        kRecHeader + payload + kRecTrailer > capacity) {
+      ++off;
+      continue;
+    }
+    std::size_t size = kRecHeader + payload + kRecTrailer;
+    ring_at(off, rec.data(), size);
+    std::uint32_t want = get_u32(rec.data() + kRecHeader + payload);
+    if (crc32(rec.data() + 4, kRecHeader - 4 + payload) != want) {
+      ++off;
+      continue;
+    }
+    FlightEvent ev;
+    ev.seq = get_u64(rec.data() + 8);
+    ev.wall_ms = get_u64(rec.data() + 16);
+    ev.mono_ns = get_u64(rec.data() + 24);
+    std::size_t cat_len = rec[32];
+    if (33 + cat_len <= kRecHeader + payload) {
+      ev.category.assign(reinterpret_cast<const char*>(rec.data() + 33),
+                         cat_len);
+      ev.message.assign(
+          reinterpret_cast<const char*>(rec.data() + 33 + cat_len),
+          payload - 17 - cat_len);
+      out.events.push_back(std::move(ev));
+    }
+    off += size;
+  }
+
+  std::sort(out.events.begin(), out.events.end(),
+            [](const FlightEvent& a, const FlightEvent& b) {
+              return a.seq < b.seq;
+            });
+  out.events.erase(std::unique(out.events.begin(), out.events.end(),
+                               [](const FlightEvent& a, const FlightEvent& b) {
+                                 return a.seq == b.seq;
+                               }),
+                   out.events.end());
+  for (std::size_t i = 1; i < out.events.size(); ++i) {
+    out.gaps += out.events[i].seq - out.events[i - 1].seq - 1;
+  }
+  return out;
+}
+
+void flight_record(std::string_view category,
+                   std::string_view message) noexcept {
+  if (FlightRecorder* r = FlightRecorder::installed()) {
+    r->append(category, message);
+  }
+}
+
+}  // namespace omf::obs

@@ -1,0 +1,121 @@
+// Black-box flight recorder: a crash-surviving ring of recent events.
+//
+// The chaos and kill -9 scenarios CI exercises leave no evidence behind:
+// the warn+ log ring, admission rejects, breaker transitions, and replica
+// failovers all live in process memory and die with it. This recorder
+// streams those events into a fixed-size mmap'd file so a `kill -9` (or
+// any crash) leaves the last N seconds on disk — dirty page-cache pages
+// survive process death; only power loss can take them (the same contract
+// as the PR 8 journal's page-cache window, minus its fsync, because a
+// black box that fsync'd per event would not be allowed near hot paths).
+//
+// File layout ("OMFFLT1" discipline, torn-tail tolerant like the journal):
+//
+//   header (64 bytes):
+//     [0..8)   magic "OMFFLT1\0"
+//     [8..12)  u32 version (1)       [12..16) u32 header size (64)
+//     [16..24) u64 ring capacity     [24..32) u64 total bytes written
+//     [32..40) u64 next sequence     [40..48) u64 epoch wall-clock ms
+//     [48..64) reserved (zero)
+//   ring (capacity bytes, records written circularly, byte-wise wrap):
+//     u32 record magic | u32 payload len | u64 seq | payload | u32 CRC-32
+//     payload: u64 wall ms | u64 mono ns | u8 category len | category | text
+//
+// The CRC covers (len, seq, payload). append() writes the record bytes
+// first and only then advances the header's total/seq — so a record whose
+// append() returned is recoverable, and a record torn mid-write simply
+// fails its CRC. recover() byte-scans the ring for CRC-valid records and
+// orders them by sequence: the torn tail is dropped, every record before
+// the tear survives, and wrap-around overwrites show up as a sequence gap
+// at the front, not corruption.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace omf::obs {
+
+/// One recovered event.
+struct FlightEvent {
+  std::uint64_t seq = 0;
+  std::uint64_t wall_ms = 0;   ///< ms since Unix epoch at append
+  std::uint64_t mono_ns = 0;   ///< monotonic_ns() at append
+  std::string category;        ///< "log", "admission", "breaker", ...
+  std::string message;
+};
+
+/// What recover() reconstructs from a flight-recorder file.
+struct FlightRecovery {
+  std::vector<FlightEvent> events;  ///< sorted by seq, ascending
+  std::uint64_t capacity = 0;       ///< ring bytes, from the header
+  std::uint64_t header_total = 0;   ///< logical bytes the header acked
+  std::uint64_t header_seq = 0;     ///< next sequence the header acked
+  std::uint64_t gaps = 0;           ///< missing seqs inside [first, last]
+};
+
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kHeaderSize = 64;
+  static constexpr std::size_t kMaxPayload = 4096;  // larger text truncates
+  // A ring must hold at least one max-size record, or a single write would
+  // lap itself.
+  static constexpr std::size_t kMinCapacity = 8192;
+
+  /// Creates (truncating any previous content) an mmap'd ring of
+  /// `capacity_bytes` at `path`. Throws omf::Error on I/O failure.
+  FlightRecorder(const std::string& path, std::size_t capacity_bytes);
+  ~FlightRecorder();
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Appends one event (thread-safe, never throws, never blocks on I/O —
+  /// the kernel owns writeback). Returns the record's sequence number.
+  std::uint64_t append(std::string_view category,
+                       std::string_view message) noexcept;
+
+  const std::string& path() const noexcept { return path_; }
+
+  /// Installs a process-wide recorder fed by flight_record() and the warn+
+  /// log capture hook. Replaces (and destroys) any previous one.
+  static void install(const std::string& path, std::size_t capacity_bytes);
+
+  /// The process-wide recorder, or nullptr. The first call consults the
+  /// OMF_FLIGHT_RECORDER environment variable (a file path; size override
+  /// in OMF_FLIGHT_RECORDER_BYTES) so any omf process can be black-boxed
+  /// without a code change.
+  static FlightRecorder* installed() noexcept;
+
+  /// Tears down the process-wide recorder (tests).
+  static void uninstall() noexcept;
+
+  /// Parses a flight-recorder file offline. Throws omf::Error when the
+  /// header is not a valid OMFFLT1 header; torn or overwritten records are
+  /// silently dropped (that is the point).
+  static FlightRecovery recover(const std::string& path);
+
+ private:
+  void store_header_u64(std::size_t offset, std::uint64_t v) noexcept;
+  void ring_write(std::uint64_t pos, const std::uint8_t* data,
+                  std::size_t n) noexcept;
+
+  std::string path_;
+  std::size_t capacity_ = 0;
+  int fd_ = -1;
+  std::uint8_t* map_ = nullptr;  // kHeaderSize + capacity_ bytes
+  std::mutex mutex_;
+  std::uint64_t total_ = 0;  // logical bytes written (mirror of header)
+  std::uint64_t seq_ = 0;    // next sequence (mirror of header)
+  std::vector<std::uint8_t> scratch_;  // record assembly buffer
+};
+
+/// Appends to the process-wide recorder; a cheap no-op (one atomic load)
+/// when none is installed. The emit hook every event site calls.
+void flight_record(std::string_view category, std::string_view message) noexcept;
+
+}  // namespace omf::obs

@@ -1,113 +1,245 @@
 #include "obs/metrics.hpp"
 
+#include <algorithm>
+#include <iterator>
 #include <stdexcept>
 
 namespace omf::obs {
 
 namespace {
 
-// The stable instrumentation name table (README "Observability"). Names are
-// pre-registered at registry construction so a /metrics scrape sees the full
-// surface from process start — a metric a workload never touched reads 0
-// instead of being absent, which keeps dashboards and the acceptance check
-// independent of traffic ordering.
-constexpr const char* kCoreCounters[] = {
-    "pbio.plan_cache.hits",
-    "pbio.plan_cache.misses",
-    "pbio.plan_cache.compiles",
-    "pbio.decode.messages",
-    "pbio.decode.bytes",
-    "pbio.decode.in_place",
-    "pbio.decode.batches",
-    "pbio.decode.runs_fused",
-    "pbio.encode.messages",
-    "pbio.encode.bytes",
-    "pbio.arena.chunk_allocs",
-    "pbio.arena.chunk_bytes",
-    "discovery.requests",
-    "discovery.cache_hits",
-    "discovery.fetches",
-    "discovery.fallbacks",
-    "discovery.stale_served",
-    "discovery.breaker_skips",
-    "fault.breaker.trips",
-    "fault.breaker.closes",
-    "fault.breaker.rejected",
-    "fault.retry.retries",
-    "fault.retry.exhausted",
-    "transport.bytes_tx",
-    "transport.bytes_rx",
-    "transport.frames_tx",
-    "transport.frames_rx",
-    "transport.crc_rejects",
-    "transport.oversized_rejects",
-    "transport.timeouts",
-    "transport.ndr.messages_tx",
-    "transport.ndr.messages_rx",
-    "transport.ndr.formats_tx",
-    "transport.ndr.formats_rx",
-    "transport.ndr.traced_frames",
-    "transport.format_service.requests",
-    "transport.format_service.fetches",
-    "transport.format_service.pushes",
-    "transport.format_service.unknown_ids",
-    "transport.format_service.retries",
-    "transport.format_service.push_rejects",
-    "transport.format_service.not_modified",
-    "transport.backbone.published",
-    "transport.backbone.delivered",
-    "transport.backbone.shed",
-    "transport.backbone.overflow_disconnects",
-    "omf.admission.admitted",
-    "omf.admission.rejected.connections",
-    "omf.admission.rejected.rate",
-    "omf.admission.rejected.bytes",
-    "omf.admission.rejected.degraded",
-    "omf.budget.frame_rejects",
-    "omf.journal.appends",
-    "omf.journal.compactions",
-    "omf.journal.recovered_records",
-    "omf.journal.torn_tails",
-    "http.server.requests",
-    "http.server.throttled",
-    "http.server.revalidations",
-    "http.client.retry_after_waits",
-    "omf.metacache.hit",
-    "omf.metacache.miss",
-    "omf.metacache.revalidate",
-    "omf.metacache.stale_served",
-    "omf.metacache.disk_hit",
-    "omf.metacache.disk_installs",
-    "omf.metacache.disk_rejects",
-    "omf.metacache.evictions",
-    "omf.replica.failover",
-    "gateway.converted",
-    "gateway.passed_through",
-    "obs.spans.recorded",
-    "obs.spans.dropped",
-};
-
-constexpr const char* kCoreHistograms[] = {
-    "pbio.plan_cache.compile_ns",
-    "pbio.decode.body_bytes",
-    "pbio.decode.batch_messages",
-    "discovery.fetch_ns",
-};
-
-constexpr const char* kCoreGauges[] = {
-    "pbio.decode.kernel_tier",
-    "transport.backbone.queue_depth",
-    "omf.admission.connections",
-    "omf.budget.used_bytes",
-    "omf.budget.peak_bytes",
-    "omf.budget.limit_bytes",
-    "omf.budget.degraded",
-    "omf.health.draining",
-    "omf.journal.bytes",
-    "omf.metacache.memory_bytes",
+// The stable instrumentation table (docs/METRICS.md is generated from it;
+// README "Observability" points there). Every name is pre-registered at
+// registry construction so a fresh process's /metrics scrape sees the full
+// surface from startup — a metric a workload never touched reads 0 instead
+// of being absent, which keeps dashboards and the acceptance check
+// independent of traffic ordering. Keep the table sorted by name.
+constexpr MetricInfo kCoreMetrics[] = {
+    {"discovery.breaker_skips", "counter",
+     "Sources skipped because their circuit breaker was open."},
+    {"discovery.cache_hits", "counter",
+     "Discoveries served from the metadata cache."},
+    {"discovery.fallbacks", "counter",
+     "Discoveries that needed a non-primary source."},
+    {"discovery.fetch_ns", "histogram",
+     "Metadata source fetch latency in nanoseconds."},
+    {"discovery.fetches", "counter", "Metadata source fetch attempts."},
+    {"discovery.requests", "counter", "Metadata discovery requests."},
+    {"discovery.stale_served", "counter",
+     "Discoveries served from stale metadata after every source failed."},
+    {"fault.breaker.closes", "counter",
+     "Circuit breakers closed after a successful half-open probe."},
+    {"fault.breaker.rejected", "counter",
+     "Calls rejected outright by an open circuit breaker."},
+    {"fault.breaker.trips", "counter", "Circuit breakers tripped open."},
+    {"fault.retry.exhausted", "counter",
+     "Operations that still failed after the final retry."},
+    {"fault.retry.retries", "counter",
+     "Retries performed by jittered retry policies."},
+    {"gateway.converted", "counter",
+     "Messages converted between wire formats by the gateway."},
+    {"gateway.passed_through", "counter",
+     "Messages forwarded by the gateway without conversion."},
+    {"http.client.retry_after_waits", "counter",
+     "HTTP client waits honoring a server Retry-After."},
+    {"http.server.requests", "counter", "HTTP requests served."},
+    {"http.server.revalidations", "counter",
+     "Conditional HTTP requests answered 304 Not Modified."},
+    {"http.server.throttled", "counter",
+     "HTTP requests rejected by admission control."},
+    {"http.server.traced_requests", "counter",
+     "HTTP requests that joined a propagated X-Omf-Trace context."},
+    {"obs.attr.overflow", "counter",
+     "Attribution charges routed to the overflow bucket (cardinality "
+     "bound reached)."},
+    {"obs.flight.bytes", "counter",
+     "Payload bytes appended to the flight recorder."},
+    {"obs.flight.records", "counter",
+     "Events appended to the flight recorder."},
+    {"obs.spans.dropped", "counter",
+     "Spans overwritten by trace-ring eviction."},
+    {"obs.spans.recorded", "counter", "Spans recorded into the trace ring."},
+    {"obs.traces.marked", "counter",
+     "Incident annotations attached to traces via mark_trace."},
+    {"obs.traces.pin_displaced", "counter",
+     "Trace pins displaced by newer incidents (pin table full)."},
+    {"obs.traces.pinned", "counter",
+     "Traces pinned by tail sampling (slow, errored, or marked)."},
+    {"omf.admission.admitted", "counter",
+     "Units (connections, messages) admitted by admission control."},
+    {"omf.admission.rejected.bytes", "counter",
+     "Admission rejects for byte-rate quota (OMF503)."},
+    {"omf.admission.rejected.connections", "counter",
+     "Admission rejects for the connection quota (OMF501)."},
+    {"omf.admission.rejected.degraded", "counter",
+     "Admission rejects while the process was in brownout (OMF504)."},
+    {"omf.admission.rejected.rate", "counter",
+     "Admission rejects for message-rate quota (OMF502)."},
+    {"omf.budget.frame_rejects", "counter",
+     "Frame allocations rejected by the memory budget."},
+    {"omf.journal.appends", "counter",
+     "Records appended to the format-registry journal."},
+    {"omf.journal.compactions", "counter", "Journal compactions performed."},
+    {"omf.journal.recovered_records", "counter",
+     "Journal records replayed at recovery."},
+    {"omf.journal.torn_tails", "counter",
+     "Torn journal tails truncated at recovery."},
+    {"omf.metacache.disk_hit", "counter",
+     "Metacache resolves served from the disk tier."},
+    {"omf.metacache.disk_installs", "counter",
+     "Bundles atomically installed into the disk tier."},
+    {"omf.metacache.disk_rejects", "counter",
+     "Torn or corrupt disk-tier files rejected at read."},
+    {"omf.metacache.evictions", "counter",
+     "Memory-tier entries evicted by the LRU."},
+    {"omf.metacache.hit", "counter",
+     "Metacache resolves served from the memory tier."},
+    {"omf.metacache.miss", "counter",
+     "Metacache resolves that had to fetch from the origin."},
+    {"omf.metacache.revalidate", "counter",
+     "Conditional revalidations sent upstream."},
+    {"omf.metacache.stale_served", "counter",
+     "Metacache resolves served stale (stale-while-revalidate or all "
+     "replicas down)."},
+    {"omf.replica.failover", "counter",
+     "Fetches served by a non-primary replica after failover."},
+    {"pbio.arena.chunk_allocs", "counter",
+     "DecodeArena chunk allocations (growth events)."},
+    {"pbio.arena.chunk_bytes", "counter",
+     "Bytes of DecodeArena chunk capacity allocated."},
+    {"pbio.decode.batch_messages", "histogram",
+     "Messages per decode_batch plan dispatch."},
+    {"pbio.decode.batches", "counter", "decode_batch plan dispatches."},
+    {"pbio.decode.body_bytes", "histogram",
+     "Decoded message body size in bytes."},
+    {"pbio.decode.bytes", "counter", "Wire bytes consumed by decode."},
+    {"pbio.decode.in_place", "counter",
+     "Decodes served by the matched-layout (memcpy) fast path."},
+    {"pbio.decode.messages", "counter", "Messages decoded (wire to native)."},
+    {"pbio.decode.runs_fused", "counter",
+     "Contiguous field runs fused into SIMD kernels."},
+    {"pbio.encode.bytes", "counter", "Wire bytes produced by encode."},
+    {"pbio.encode.messages", "counter", "Messages encoded (native to wire)."},
+    {"pbio.plan_cache.compile_ns", "histogram",
+     "Conversion-plan compile latency in nanoseconds."},
+    {"pbio.plan_cache.compiles", "counter",
+     "Conversion plans compiled (once per key)."},
+    {"pbio.plan_cache.hits", "counter", "Conversion-plan cache hits."},
+    {"pbio.plan_cache.misses", "counter",
+     "Plan cache misses that triggered or waited on a compile."},
+    {"transport.backbone.delivered", "counter",
+     "Backbone deliveries across all subscribers."},
+    {"transport.backbone.overflow_disconnects", "counter",
+     "Subscribers disconnected for persistent queue overflow."},
+    {"transport.backbone.published", "counter",
+     "Messages published to the backbone."},
+    {"transport.backbone.shed", "counter",
+     "Messages shed by bounded subscriber queues."},
+    {"transport.backbone.subscriber_dropped", "counter",
+     "Frames dropped across per-subscriber queues (per-peer detail is in "
+     "the attribution family)."},
+    {"transport.bytes_rx", "counter", "Framed bytes received."},
+    {"transport.bytes_tx", "counter", "Framed bytes sent."},
+    {"transport.crc_rejects", "counter",
+     "Frames dropped for CRC-32 trailer mismatch."},
+    {"transport.format_service.fetches", "counter",
+     "Format-service fetches served with a bundle."},
+    {"transport.format_service.not_modified", "counter",
+     "Conditional 'C' fetches answered not-modified."},
+    {"transport.format_service.push_rejects", "counter",
+     "Format pushes rejected by audit or admission."},
+    {"transport.format_service.pushes", "counter",
+     "Format pushes accepted into the registry."},
+    {"transport.format_service.requests", "counter",
+     "Format-service requests handled."},
+    {"transport.format_service.retries", "counter",
+     "Format-service client request retries."},
+    {"transport.format_service.traced_requests", "counter",
+     "Format-service requests that carried propagated trace context."},
+    {"transport.format_service.unknown_ids", "counter",
+     "Fetches for a format id the service does not hold."},
+    {"transport.frames_rx", "counter", "Frames received."},
+    {"transport.frames_tx", "counter", "Frames sent."},
+    {"transport.ndr.formats_rx", "counter", "Format bundles received."},
+    {"transport.ndr.formats_tx", "counter", "Format bundles sent."},
+    {"transport.ndr.messages_rx", "counter", "NDR messages received."},
+    {"transport.ndr.messages_tx", "counter", "NDR messages sent."},
+    {"transport.ndr.traced_frames", "counter",
+     "'T'-tagged frames carrying (trace id, parent span id) context."},
+    {"transport.oversized_rejects", "counter",
+     "Frames dropped for exceeding the pre-allocation size bound."},
+    {"transport.timeouts", "counter",
+     "Transport operations that hit their deadline."},
+    // gauges
+    {"obs.attr.keys", "gauge",
+     "Distinct {format, peer} label sets in the attribution family."},
+    {"omf.admission.connections", "gauge",
+     "Connections currently admitted."},
+    {"omf.budget.degraded", "gauge",
+     "1 while the memory budget is in brownout."},
+    {"omf.budget.limit_bytes", "gauge",
+     "Memory budget limit (0 = unlimited)."},
+    {"omf.budget.peak_bytes", "gauge", "Peak bytes charged to the budget."},
+    {"omf.budget.used_bytes", "gauge",
+     "Bytes currently charged to the budget."},
+    {"omf.health.draining", "gauge",
+     "1 while shutdown drain is in progress."},
+    {"omf.journal.bytes", "gauge", "Format-registry journal file size."},
+    {"omf.metacache.memory_bytes", "gauge",
+     "Metacache memory-tier bytes charged to the budget."},
+    {"pbio.decode.kernel_tier", "gauge",
+     "SIMD dispatch tier the decoder selected (0 scalar, 1 sse2, 2 avx2)."},
+    {"transport.backbone.queue_depth", "gauge",
+     "Total queued frames across backbone subscribers."},
 };
 
 }  // namespace
+
+const std::vector<MetricInfo>& core_metrics() {
+  static const std::vector<MetricInfo> table = [] {
+    std::vector<MetricInfo> v(std::begin(kCoreMetrics),
+                              std::end(kCoreMetrics));
+    std::sort(v.begin(), v.end(), [](const MetricInfo& a, const MetricInfo& b) {
+      return std::string_view(a.name) < std::string_view(b.name);
+    });
+    return v;
+  }();
+  return table;
+}
+
+std::string_view metric_help(std::string_view name) noexcept {
+  for (const MetricInfo& m : core_metrics()) {
+    if (name == m.name) return m.help;
+  }
+  return {};
+}
+
+std::string metrics_markdown() {
+  std::string out;
+  out += "# Metrics\n";
+  out +=
+      "\nGenerated from the registry's core table "
+      "(`omf::obs::core_metrics()`) by `omf-stat --metrics-md`; a tier-1 "
+      "test keeps this file in sync — regenerate it instead of editing:\n"
+      "\n```sh\nbuild/tools/omf-stat --metrics-md > docs/METRICS.md\n```\n"
+      "\nEvery name below is pre-registered at process start, so a fresh "
+      "`/metrics` scrape exposes the full table (zero-valued until "
+      "traffic arrives). Prometheus names are mangled as `omf_` + dots to "
+      "underscores. Per-{format, peer} attribution series "
+      "(`omf_attr_*_total`) are labeled and documented in the README's "
+      "Observability section.\n";
+  out += "\n| name | kind | help |\n|---|---|---|\n";
+  for (const MetricInfo& m : core_metrics()) {
+    out += "| `";
+    out += m.name;
+    out += "` | ";
+    out += m.kind;
+    out += " | ";
+    out += m.help;
+    out += " |\n";
+  }
+  return out;
+}
 
 MetricsRegistry& MetricsRegistry::instance() {
   static MetricsRegistry registry;
@@ -117,14 +249,15 @@ MetricsRegistry& MetricsRegistry::instance() {
 #ifndef OMF_NO_METRICS
 
 MetricsRegistry::MetricsRegistry() {
-  for (const char* name : kCoreCounters) {
-    counters_.emplace(name, std::make_unique<Counter>());
-  }
-  for (const char* name : kCoreHistograms) {
-    histograms_.emplace(name, std::make_unique<Histogram>());
-  }
-  for (const char* name : kCoreGauges) {
-    gauges_.emplace(name, std::make_unique<Gauge>());
+  for (const MetricInfo& m : core_metrics()) {
+    std::string_view kind = m.kind;
+    if (kind == "counter") {
+      counters_.emplace(m.name, std::make_unique<Counter>());
+    } else if (kind == "gauge") {
+      gauges_.emplace(m.name, std::make_unique<Gauge>());
+    } else {
+      histograms_.emplace(m.name, std::make_unique<Histogram>());
+    }
   }
 }
 

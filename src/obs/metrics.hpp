@@ -198,6 +198,26 @@ class Histogram {
 
 #endif  // OMF_NO_METRICS
 
+/// One row of the stable instrumentation table: every core metric's name,
+/// kind ("counter" | "gauge" | "histogram"), and one-line help string. The
+/// table drives pre-registration, docs/METRICS.md generation, and the
+/// Prometheus # HELP lines, so the three can never drift apart.
+struct MetricInfo {
+  const char* name;
+  const char* kind;
+  const char* help;
+};
+
+/// The full core table, sorted by name. Available in every build (it is
+/// just data) so docs can be generated even under OMF_NO_METRICS.
+const std::vector<MetricInfo>& core_metrics();
+
+/// Help text for a core metric name; empty for ad-hoc names.
+std::string_view metric_help(std::string_view name) noexcept;
+
+/// Renders the core table as the docs/METRICS.md markdown document.
+std::string metrics_markdown();
+
 /// Point-in-time copy of every registered metric, ordered by name (the
 /// shape exposition and omf-stat render from).
 struct MetricsSnapshot {

@@ -1,6 +1,8 @@
 #include "obs/trace.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <map>
 #include <ostream>
 
 #include "obs/metrics.hpp"
@@ -14,6 +16,7 @@ std::string_view phase_name(Phase p) noexcept {
     case Phase::kMarshal: return "marshal";
     case Phase::kUnmarshal: return "unmarshal";
     case Phase::kTransport: return "transport";
+    case Phase::kEvent: return "event";
   }
   return "?";
 }
@@ -22,10 +25,46 @@ std::string_view phase_name(Phase p) noexcept {
 
 namespace {
 thread_local std::uint64_t t_current_trace = 0;
+thread_local std::uint64_t t_current_span = 0;
+
+void hex16(std::uint64_t v, char out[17]) noexcept {
+  static constexpr char kHex[] = "0123456789abcdef";
+  for (int i = 0; i < 16; ++i) out[i] = kHex[(v >> (60 - 4 * i)) & 0xF];
+  out[16] = '\0';
+}
+
+void json_escaped(std::ostream& out, const char* s) {
+  for (const char* p = s; *p != '\0'; ++p) {
+    if (*p == '"' || *p == '\\') out << '\\';
+    out << *p;
+  }
+}
+
+void span_fields_json(std::ostream& out, const Span& s) {
+  char id[17];
+  hex16(s.span_id, id);
+  out << "\"span\":\"" << id << "\",\"parent\":\"";
+  hex16(s.parent_id, id);
+  out << id << "\",\"phase\":\"" << phase_name(s.phase) << "\",\"name\":\"";
+  json_escaped(out, s.name);
+  out << "\",\"start_ns\":" << s.start_ns << ",\"dur_ns\":" << s.duration_ns
+      << ",\"ok\":" << (s.ok ? "true" : "false");
+}
+
 }  // namespace
 
 std::uint64_t current_trace_id() noexcept { return t_current_trace; }
-void set_current_trace_id(std::uint64_t id) noexcept { t_current_trace = id; }
+void set_current_trace_id(std::uint64_t id) noexcept {
+  t_current_trace = id;
+  if (id == 0) t_current_span = 0;
+}
+
+std::uint64_t current_span_id() noexcept { return t_current_span; }
+void set_current_trace(std::uint64_t trace_id,
+                       std::uint64_t parent_span_id) noexcept {
+  t_current_trace = trace_id;
+  t_current_span = trace_id == 0 ? 0 : parent_span_id;
+}
 
 std::uint64_t new_trace_id() noexcept {
   // SplitMix64 over a process-wide sequence: unique, well-mixed, never 0.
@@ -55,6 +94,40 @@ void Tracer::set_sample_every(std::uint32_t n) noexcept {
   sample_mask_.store(mask, std::memory_order_relaxed);
 }
 
+bool Tracer::pinned_locked(std::uint64_t trace_id) const noexcept {
+  if (trace_id == 0) return false;
+  // Ids are SplitMix64 output, already uniform: probe linearly from the low
+  // bits. Insertion may overwrite within the window, so scan the whole
+  // window rather than stopping at the first empty slot.
+  std::size_t h = static_cast<std::size_t>(trace_id) & (kPinSlots - 1);
+  for (std::size_t i = 0; i < kPinProbes; ++i) {
+    if (pins_[(h + i) & (kPinSlots - 1)] == trace_id) return true;
+  }
+  return false;
+}
+
+void Tracer::pin_locked(std::uint64_t trace_id) noexcept {
+  if (trace_id == 0) return;
+  std::size_t h = static_cast<std::size_t>(trace_id) & (kPinSlots - 1);
+  for (std::size_t i = 0; i < kPinProbes; ++i) {
+    std::uint64_t& slot = pins_[(h + i) & (kPinSlots - 1)];
+    if (slot == trace_id) return;
+    if (slot == 0) {
+      slot = trace_id;
+      static Counter& pinned =
+          MetricsRegistry::instance().counter("obs.traces.pinned");
+      pinned.add();
+      return;
+    }
+  }
+  // Probe window full: cardinality bound reached locally. Replace the
+  // oldest-ish pin (slot h) so recent incidents win over stale ones.
+  pins_[h] = trace_id;
+  static Counter& displaced =
+      MetricsRegistry::instance().counter("obs.traces.pin_displaced");
+  displaced.add();
+}
+
 void Tracer::record(const Span& span) noexcept {
   if (!enabled()) return;
   static Counter& recorded =
@@ -64,15 +137,63 @@ void Tracer::record(const Span& span) noexcept {
   recorded.add();
   std::lock_guard lock(mutex_);
   if (ring_.empty()) return;
-  if (total_ >= ring_.size()) dropped.add();  // overwrote the oldest
-  ring_[next_] = span;
-  next_ = (next_ + 1) % ring_.size();
+  if (total_ < ring_.size()) {
+    ring_[next_] = span;
+    next_ = (next_ + 1) % ring_.size();
+  } else {
+    // Tail sampling: reclaim the first span whose trace is not pinned;
+    // after kEvictScan pinned spans in a row give up and overwrite anyway
+    // so a pathological pin load can never wedge recording.
+    std::size_t slot = next_;
+    for (std::size_t i = 0; i + 1 < kEvictScan; ++i) {
+      if (!pinned_locked(ring_[slot].trace_id)) break;
+      slot = (slot + 1) % ring_.size();
+    }
+    dropped.add();  // overwrote a recorded span
+    ring_[slot] = span;
+    next_ = (slot + 1) % ring_.size();
+  }
   ++total_;
+  // Tail-based pin decision: errored or slow spans make their whole trace
+  // worth keeping.
+  if (!span.ok ||
+      span.duration_ns >= latency_threshold_ns_.load(std::memory_order_relaxed)) {
+    pin_locked(span.trace_id);
+  }
+}
+
+void Tracer::mark_trace(std::uint64_t trace_id,
+                        std::string_view reason) noexcept {
+  if (trace_id == 0 || !enabled()) return;
+  static Counter& marked =
+      MetricsRegistry::instance().counter("obs.traces.marked");
+  marked.add();
+  Span ev{};
+  ev.trace_id = trace_id;
+  ev.span_id = new_trace_id();
+  ev.parent_id = t_current_trace == trace_id ? t_current_span : 0;
+  ev.start_ns = monotonic_ns();
+  ev.duration_ns = 0;
+  ev.phase = Phase::kEvent;
+  ev.ok = true;
+  std::size_t n = reason.size() < sizeof(ev.name) - 1 ? reason.size()
+                                                      : sizeof(ev.name) - 1;
+  std::memcpy(ev.name, reason.data(), n);
+  ev.name[n] = '\0';
+  record(ev);
+  std::lock_guard lock(mutex_);
+  pin_locked(trace_id);
+}
+
+bool Tracer::trace_pinned(std::uint64_t trace_id) const noexcept {
+  std::lock_guard lock(mutex_);
+  return pinned_locked(trace_id);
 }
 
 void Tracer::set_capacity(std::size_t spans) {
   std::lock_guard lock(mutex_);
   ring_.assign(spans, Span{});
+  pins_.fill(0);
   next_ = 0;
   total_ = 0;
 }
@@ -82,7 +203,9 @@ std::vector<Span> Tracer::snapshot() const {
   std::vector<Span> out;
   std::size_t n = total_ < ring_.size() ? total_ : ring_.size();
   out.reserve(n);
-  // Oldest first: when the ring has wrapped, the oldest span sits at next_.
+  // Roughly oldest first: when the ring has wrapped, start at the write
+  // cursor. (Pinned survivors make the order approximate; tree export
+  // sorts by timestamp.)
   std::size_t start = total_ < ring_.size() ? 0 : next_;
   for (std::size_t i = 0; i < n; ++i) {
     out.push_back(ring_[(start + i) % ring_.size()]);
@@ -91,27 +214,53 @@ std::vector<Span> Tracer::snapshot() const {
 }
 
 void Tracer::export_jsonl(std::ostream& out) const {
-  static constexpr char kHex[] = "0123456789abcdef";
   for (const Span& s : snapshot()) {
     char id[17];
-    for (int i = 0; i < 16; ++i) {
-      id[i] = kHex[(s.trace_id >> (60 - 4 * i)) & 0xF];
+    hex16(s.trace_id, id);
+    out << "{\"trace\":\"" << id << "\",";
+    span_fields_json(out, s);
+    out << ",\"pinned\":" << (trace_pinned(s.trace_id) ? "true" : "false")
+        << "}\n";
+  }
+}
+
+void Tracer::export_trace_trees(std::ostream& out) const {
+  std::vector<Span> spans = snapshot();
+  std::map<std::uint64_t, std::vector<Span>> by_trace;
+  for (const Span& s : spans) by_trace[s.trace_id].push_back(s);
+  std::vector<std::pair<std::uint64_t, std::vector<Span>*>> order;
+  order.reserve(by_trace.size());
+  for (auto& [trace, list] : by_trace) {
+    std::sort(list.begin(), list.end(),
+              [](const Span& a, const Span& b) {
+                return a.start_ns != b.start_ns ? a.start_ns < b.start_ns
+                                                : a.span_id < b.span_id;
+              });
+    order.emplace_back(trace, &list);
+  }
+  std::sort(order.begin(), order.end(), [](const auto& a, const auto& b) {
+    return a.second->front().start_ns < b.second->front().start_ns;
+  });
+  for (auto& [trace, list] : order) {
+    char id[17];
+    hex16(trace, id);
+    out << "{\"trace\":\"" << id << "\",\"pinned\":"
+        << (trace_pinned(trace) ? "true" : "false") << ",\"spans\":[";
+    bool first = true;
+    for (const Span& s : *list) {
+      if (!first) out << ',';
+      first = false;
+      out << '{';
+      span_fields_json(out, s);
+      out << '}';
     }
-    id[16] = '\0';
-    out << "{\"trace\":\"" << id << "\",\"phase\":\"" << phase_name(s.phase)
-        << "\",\"name\":\"";
-    for (const char* p = s.name; *p != '\0'; ++p) {
-      if (*p == '"' || *p == '\\') out << '\\';
-      out << *p;
-    }
-    out << "\",\"start_ns\":" << s.start_ns
-        << ",\"dur_ns\":" << s.duration_ns
-        << ",\"ok\":" << (s.ok ? "true" : "false") << "}\n";
+    out << "]}\n";
   }
 }
 
 void Tracer::clear() {
   std::lock_guard lock(mutex_);
+  pins_.fill(0);
   next_ = 0;
   total_ = 0;
 }
@@ -124,6 +273,10 @@ void ScopedSpan::init(Phase phase, std::string_view name) noexcept {
     owns_trace_ = true;
   }
   span_.trace_id = t_current_trace;
+  span_.span_id = new_trace_id();
+  span_.parent_id = t_current_span;
+  prev_span_ = t_current_span;
+  t_current_span = span_.span_id;
   span_.phase = phase;
   std::size_t n = name.size() < sizeof(span_.name) - 1 ? name.size()
                                                        : sizeof(span_.name) - 1;
@@ -137,13 +290,19 @@ void ScopedSpan::finish() noexcept {
   span_.duration_ns = monotonic_ns() - span_.start_ns;
   span_.ok = std::uncaught_exceptions() == exceptions_;
   Tracer::instance().record(span_);
-  if (owns_trace_) t_current_trace = 0;
+  t_current_span = prev_span_;
+  if (owns_trace_) {
+    t_current_trace = 0;
+    t_current_span = 0;
+  }
 }
 
 #else  // OMF_NO_METRICS
 
 std::uint64_t current_trace_id() noexcept { return 0; }
 void set_current_trace_id(std::uint64_t) noexcept {}
+std::uint64_t current_span_id() noexcept { return 0; }
+void set_current_trace(std::uint64_t, std::uint64_t) noexcept {}
 std::uint64_t new_trace_id() noexcept { return 0; }
 
 #endif  // OMF_NO_METRICS

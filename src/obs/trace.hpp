@@ -1,25 +1,36 @@
-// Span tracing for a message's journey through the paper's three phases.
+// Causal span tracing for a message's journey through the paper's phases.
 //
 // Every BCM performs discovery, binding, and marshaling (§2); this tracer
 // stamps each phase with monotonic timestamps so the per-phase costs the
 // paper tabulates are visible in deployment, per message, not just in
 // bench/. A span is a fixed-size POD (no allocation on the record path)
-// holding a 64-bit trace id, the phase, a short detail string (locator,
-// format name), and start/duration in nanoseconds. Spans land in a
-// preallocated ring buffer; readers snapshot or export JSONL for offline
-// analysis.
+// holding a 64-bit trace id, its own span id and parent span id (so spans
+// form Dapper-style causal trees), the phase, a short detail string
+// (locator, format name), and start/duration in nanoseconds. Spans land in
+// a preallocated ring buffer; readers snapshot or export JSONL trace trees
+// for offline analysis.
 //
-// Trace ids propagate: the thread-local current trace id set by a
-// ScopedSpan (or explicitly) is carried across NdrConnection frames in a
-// 'T'-tagged frame header, so a receiver's unmarshal span joins the
-// sender's marshal span under one id — Dapper-style propagation scaled to
-// this repo's loopback world.
+// Trace context propagates: the thread-local (trace id, current span id)
+// pair set by a ScopedSpan (or explicitly) is carried across NdrConnection
+// frames in a 'T'-tagged frame header, appended to format-service 'C'
+// conditional fetches, and sent as an X-Omf-Trace header on HTTP origin
+// requests — so a receiver's unmarshal span joins the sender's marshal
+// span under one id with a true parent link.
+//
+// Retention is *tail-sampled*: the ring no longer blindly overwrites the
+// oldest span. A trace whose span was slow (>= the configurable latency
+// threshold) or errored is pinned, as is any trace explicitly marked by an
+// event site (circuit-breaker trip, stale serve, replica failover);
+// eviction skips pinned traces and reclaims boring ones first, so the ring
+// keeps the evidence an incident review needs instead of the last N
+// uninteresting messages.
 //
 // Hot-path discipline: marshal/unmarshal spans are *sampled* (default one
 // in 64 messages per thread, power-of-two mask, a thread-local increment on
 // the skip path — no shared-cacheline traffic) so steady-state decode pays
 // ~no clock reads; discovery and plan-compile spans are always recorded —
-// those paths are millisecond-scale and rare.
+// those paths are millisecond-scale and rare. Pin state lives in a fixed
+// open-addressed table, so recording and pinning never allocate.
 // Building with -DOMF_NO_METRICS compiles all of it out.
 #pragma once
 
@@ -30,19 +41,22 @@
 #include <vector>
 
 #ifndef OMF_NO_METRICS
+#include <array>
 #include <atomic>
 #include <mutex>
 #endif
 
 namespace omf::obs {
 
-/// The paper's phase taxonomy, plus transport for frame-level events.
+/// The paper's phase taxonomy, plus transport for frame-level events and
+/// `event` for incident annotations attached to a trace by mark_trace().
 enum class Phase : std::uint8_t {
   kDiscover = 0,   ///< locating metadata (DiscoveryManager)
   kBind = 1,       ///< metadata -> usable plan (PlanCache compile)
   kMarshal = 2,    ///< native struct -> wire bytes (encode)
   kUnmarshal = 3,  ///< wire bytes -> native struct (decode)
   kTransport = 4,  ///< frame-level send/receive
+  kEvent = 5,      ///< zero-duration annotation (breaker trip, stale serve)
 };
 
 std::string_view phase_name(Phase p) noexcept;
@@ -50,10 +64,12 @@ std::string_view phase_name(Phase p) noexcept;
 /// One recorded phase of one traced operation. Fixed-size so ring writes
 /// never allocate. Deliberately has no default member initializers:
 /// ScopedSpan embeds one that stays *uninitialized* on the unsampled hot
-/// path (zeroing 56 bytes per message is measurable); value-initialize
+/// path (zeroing 72 bytes per message is measurable); value-initialize
 /// (`Span{}`) when you need a blank one.
 struct Span {
   std::uint64_t trace_id;
+  std::uint64_t span_id;          ///< unique within the process, never 0
+  std::uint64_t parent_id;        ///< 0 = root of its trace tree
   std::uint64_t start_ns;         ///< monotonic_ns() at phase entry
   std::uint64_t duration_ns;
   Phase phase;
@@ -62,19 +78,29 @@ struct Span {
 };
 
 /// The trace id active on this thread (0 = none). Set by ScopedSpan for the
-/// root span of an operation, and by NdrConnection::receive when a traced
-/// frame arrives.
+/// root span of an operation, and by the transport receive paths when a
+/// traced frame/request arrives.
 std::uint64_t current_trace_id() noexcept;
 void set_current_trace_id(std::uint64_t id) noexcept;
 
-/// Allocates a fresh, process-unique 64-bit trace id (SplitMix64 over an
-/// atomic sequence — never 0).
+/// The span id new child spans on this thread parent under (0 = none).
+/// ScopedSpan pushes its own id for its extent; receive paths install the
+/// sender's span id so the first local span becomes the sender's child.
+std::uint64_t current_span_id() noexcept;
+
+/// Adopts a propagated trace context: subsequent spans on this thread join
+/// `trace_id` as children of `parent_span_id`. (0, 0) clears it.
+void set_current_trace(std::uint64_t trace_id,
+                       std::uint64_t parent_span_id) noexcept;
+
+/// Allocates a fresh, process-unique 64-bit id (SplitMix64 over an atomic
+/// sequence — never 0). Used for both trace ids and span ids.
 std::uint64_t new_trace_id() noexcept;
 
 #ifndef OMF_NO_METRICS
 
-/// Process-wide span sink: a fixed-capacity ring (default 4096 spans,
-/// overwriting the oldest) plus the sampling decision for hot paths.
+/// Process-wide span sink: a fixed-capacity ring (default 4096 spans) with
+/// tail-sampled eviction, plus the sampling decision for hot paths.
 class Tracer {
  public:
   static Tracer& instance();
@@ -96,6 +122,16 @@ class Tracer {
     return sample_mask_.load(std::memory_order_relaxed) + 1;
   }
 
+  /// A completed span at least this slow pins its trace (tail sampling).
+  /// Default 10 ms — discovery/network hiccups qualify, per-message decode
+  /// never does.
+  static void set_latency_threshold_ns(std::uint64_t ns) noexcept {
+    latency_threshold_ns_.store(ns, std::memory_order_relaxed);
+  }
+  static std::uint64_t latency_threshold_ns() noexcept {
+    return latency_threshold_ns_.load(std::memory_order_relaxed);
+  }
+
   /// The per-message sampling decision: a thread-local increment and a mask
   /// — no shared-cacheline RMW and no singleton lookup on the skip path.
   /// Each thread runs its own 1-in-N sequence (and samples its first
@@ -108,21 +144,40 @@ class Tracer {
     return (seq++ & mask) == 0;
   }
 
-  /// Appends one span to the ring (no allocation; overwrites the oldest
-  /// when full).
+  /// Appends one span to the ring (no allocation). When the ring is full,
+  /// eviction scans forward past spans of pinned traces (bounded scan) and
+  /// overwrites the first boring span; a span that finished slow or not-ok
+  /// pins its own trace.
   void record(const Span& span) noexcept;
 
-  /// Ring capacity; resizing clears recorded spans.
+  /// Pins `trace_id` (its spans survive eviction) and records a
+  /// zero-duration Phase::kEvent span named `reason` attached to the
+  /// thread's current span when this thread is inside that trace. The hook
+  /// for incident sites: breaker trips, stale serves, replica failovers.
+  void mark_trace(std::uint64_t trace_id, std::string_view reason) noexcept;
+
+  /// True when `trace_id` is currently pinned.
+  bool trace_pinned(std::uint64_t trace_id) const noexcept;
+
+  /// Ring capacity; resizing clears recorded spans and pins.
   void set_capacity(std::size_t spans);
 
-  /// Spans currently in the ring, oldest first.
+  /// Spans currently in the ring, oldest first (insertion order; with
+  /// pinned traces interleaved where eviction skipped them).
   std::vector<Span> snapshot() const;
 
-  /// Writes one JSON object per span: {"trace":"%016x","phase":"marshal",
-  /// "name":"...","start_ns":N,"dur_ns":N,"ok":true}.
+  /// Writes one JSON object per span: {"trace":"%016x","span":"%016x",
+  /// "parent":"%016x","phase":"marshal","name":"...","start_ns":N,
+  /// "dur_ns":N,"ok":true,"pinned":false}.
   void export_jsonl(std::ostream& out) const;
 
-  /// Drops recorded spans (capacity and switches unchanged).
+  /// Writes one JSON object per *trace*, spans sorted by start time:
+  /// {"trace":"%016x","pinned":true,"spans":[{"span":...,"parent":...,
+  /// "phase":...,"name":...,"start_ns":N,"dur_ns":N,"ok":true},...]}.
+  /// Traces are ordered by their earliest span.
+  void export_trace_trees(std::ostream& out) const;
+
+  /// Drops recorded spans and pins (capacity and switches unchanged).
   void clear();
 
   Tracer(const Tracer&) = delete;
@@ -131,20 +186,32 @@ class Tracer {
  private:
   Tracer();
 
+  // Fixed open-addressed pin table (no allocation, bounded cardinality).
+  void pin_locked(std::uint64_t trace_id) noexcept;
+  bool pinned_locked(std::uint64_t trace_id) const noexcept;
+
   static inline std::atomic<bool> enabled_{true};
   static inline std::atomic<std::uint32_t> sample_mask_{63};  // 1 in 64
+  static inline std::atomic<std::uint64_t> latency_threshold_ns_{10'000'000};
+
+  static constexpr std::size_t kPinSlots = 512;   // power of two
+  static constexpr std::size_t kPinProbes = 8;    // probe window per id
+  static constexpr std::size_t kEvictScan = 64;   // max pinned spans skipped
+
   mutable std::mutex mutex_;
   std::vector<Span> ring_;
-  std::size_t next_ = 0;    // ring write cursor
-  std::uint64_t total_ = 0; // spans ever recorded
+  std::array<std::uint64_t, kPinSlots> pins_{};   // 0 = empty slot
+  std::size_t next_ = 0;     // ring write cursor
+  std::uint64_t total_ = 0;  // spans ever recorded
 };
 
 /// RAII phase span. Construct with sampled=false to make it inert (the
 /// pattern for hot paths: `ScopedSpan span(phase, name, tracer.sample())`).
 /// If no trace id is active on this thread, a fresh one is installed for
 /// the span's extent and cleared on exit, so nested phases (e.g. a decode
-/// that triggers a plan compile) share the root's id. A span whose scope
-/// unwinds via exception records ok=false.
+/// that triggers a plan compile) share the root's id; nested ScopedSpans
+/// parent under the enclosing span's id. A span whose scope unwinds via
+/// exception records ok=false.
 class ScopedSpan {
  public:
   /// The unsampled path is the hot one (decode constructs a span per
@@ -165,6 +232,9 @@ class ScopedSpan {
   std::uint64_t trace_id() const noexcept {
     return active_ ? span_.trace_id : 0;
   }
+  std::uint64_t span_id() const noexcept {
+    return active_ ? span_.span_id : 0;
+  }
 
  private:
   void init(Phase phase, std::string_view name) noexcept;
@@ -174,6 +244,7 @@ class ScopedSpan {
   bool active_ = false;
   bool owns_trace_ = false;  // we installed the thread's current trace id
   int exceptions_ = 0;
+  std::uint64_t prev_span_ = 0;  // enclosing span id, restored on finish
 };
 
 #else  // OMF_NO_METRICS
@@ -188,11 +259,16 @@ class Tracer {
   static bool enabled() noexcept { return false; }
   static void set_sample_every(std::uint32_t) noexcept {}
   static std::uint32_t sample_every() noexcept { return 0; }
+  static void set_latency_threshold_ns(std::uint64_t) noexcept {}
+  static std::uint64_t latency_threshold_ns() noexcept { return 0; }
   static bool sample() noexcept { return false; }
   void record(const Span&) noexcept {}
+  void mark_trace(std::uint64_t, std::string_view) noexcept {}
+  bool trace_pinned(std::uint64_t) const noexcept { return false; }
   void set_capacity(std::size_t) {}
   std::vector<Span> snapshot() const { return {}; }
   void export_jsonl(std::ostream&) const {}
+  void export_trace_trees(std::ostream&) const {}
   void clear() {}
 };
 
@@ -201,6 +277,7 @@ class ScopedSpan {
   ScopedSpan(Phase, std::string_view, bool = true) noexcept {}
   bool active() const noexcept { return false; }
   std::uint64_t trace_id() const noexcept { return 0; }
+  std::uint64_t span_id() const noexcept { return 0; }
   ScopedSpan(const ScopedSpan&) = delete;
   ScopedSpan& operator=(const ScopedSpan&) = delete;
 };

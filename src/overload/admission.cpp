@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 
 namespace omf::overload {
@@ -30,6 +31,9 @@ Admission reject(const char* code, std::string detail) {
   out.admitted = false;
   out.code = code;
   out.detail = std::move(detail);
+  // Every admission reject lands in the flight recorder: after a crash the
+  // postmortem shows who was being shed in the final seconds.
+  obs::flight_record("admission", out.detail);
   return out;
 }
 }  // namespace

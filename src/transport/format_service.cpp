@@ -1,6 +1,7 @@
 #include "transport/format_service.hpp"
 
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "overload/health.hpp"
 #include "util/hash.hpp"
 #include "util/logging.hpp"
@@ -16,6 +17,7 @@ struct FormatServiceMetrics {
   obs::Counter& retries;
   obs::Counter& push_rejects;
   obs::Counter& not_modified;
+  obs::Counter& traced_requests;
   static const FormatServiceMetrics& get() {
     auto& reg = obs::MetricsRegistry::instance();
     static FormatServiceMetrics m{
@@ -25,7 +27,8 @@ struct FormatServiceMetrics {
         reg.counter("transport.format_service.unknown_ids"),
         reg.counter("transport.format_service.retries"),
         reg.counter("transport.format_service.push_rejects"),
-        reg.counter("transport.format_service.not_modified")};
+        reg.counter("transport.format_service.not_modified"),
+        reg.counter("transport.format_service.traced_requests")};
     return m;
   }
 };
@@ -121,6 +124,9 @@ void FormatServiceServer::serve() {
     } catch (const Error& e) {
       OMF_LOG_WARN("format-service", "request failed: ", e.what());
     }
+    // A traced 'C' adopts the caller's trace context for the serve span;
+    // drop it so the next request on this thread starts clean.
+    obs::set_current_trace_id(0);
   }
 }
 
@@ -161,6 +167,16 @@ void FormatServiceServer::handle(TcpConnection conn) {
     if (!adm) return;
     auto id = in.read_int<std::uint64_t>(ByteOrder::kLittle);
     auto known_hash = in.read_int<std::uint64_t>(ByteOrder::kLittle);
+    // Optional trailing trace context (8-byte LE trace id + 8-byte LE
+    // parent span id): the serve span joins the caller's trace tree as a
+    // child of the client's fetch span. Old clients simply omit it.
+    if (in.remaining() >= 16) {
+      std::uint64_t trace_id = in.read_int<std::uint64_t>(ByteOrder::kLittle);
+      std::uint64_t parent = in.read_int<std::uint64_t>(ByteOrder::kLittle);
+      obs::set_current_trace(trace_id, parent);
+      metrics.traced_requests.add();
+    }
+    obs::ScopedSpan serve_span(obs::Phase::kDiscover, "format_service.serve");
     pbio::FormatHandle format = registry_.by_id(id);
     if (!format) {
       metrics.unknown_ids.add();
@@ -245,10 +261,20 @@ pbio::FormatHandle FormatServiceClient::fetch(pbio::FormatRegistry& registry,
 FormatServiceClient::ConditionalFetch FormatServiceClient::conditional_fetch(
     pbio::FormatId id, std::uint64_t known_hash) {
   FormatServiceMetrics::get().fetches.add();
+  // The fetch gets its own discover span; its id rides the request as the
+  // trailing trace context, so the server's serve span parents under it.
+  obs::ScopedSpan fetch_span(obs::Phase::kDiscover, "format_service.cfetch");
   Buffer request;
   request.append_int<std::uint8_t>('C', ByteOrder::kLittle);
   request.append_int<std::uint64_t>(id, ByteOrder::kLittle);
   request.append_int<std::uint64_t>(known_hash, ByteOrder::kLittle);
+  if (std::uint64_t trace = obs::current_trace_id(); trace != 0) {
+    request.append_int<std::uint64_t>(trace, ByteOrder::kLittle);
+    request.append_int<std::uint64_t>(
+        fetch_span.active() ? fetch_span.span_id() : obs::current_span_id(),
+        ByteOrder::kLittle);
+    FormatServiceMetrics::get().traced_requests.add();
+  }
   Buffer response = roundtrip(request);
   BufferReader in(response);
   ConditionalFetch out;

@@ -1,7 +1,9 @@
 #include "transport/ndr_connection.hpp"
 
+#include "obs/attribution.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "pbio/decode.hpp"
 #include "pbio/encode.hpp"
 #include "pbio/metaserde.hpp"
 #include "util/error.hpp"
@@ -18,15 +20,19 @@ Buffer tagged(char tag, std::span<const std::uint8_t> payload) {
   return frame;
 }
 
-/// 'T' frame: tag + 8-byte little-endian trace id + NDR message. The trace
-/// id travels at the framing layer, not inside WireHeader, so the 16-byte
-/// wire header (and every golden vector that pins it) is untouched.
-Buffer traced(std::uint64_t trace_id, std::span<const std::uint8_t> payload) {
-  Buffer frame(payload.size() + 9);
+/// 'T' frame: tag + 8-byte LE trace id + 8-byte LE parent span id + NDR
+/// message. The trace context travels at the framing layer, not inside
+/// WireHeader, so the 16-byte wire header (and every golden vector that
+/// pins it) is untouched.
+Buffer traced(std::uint64_t trace_id, std::uint64_t parent_span_id,
+              std::span<const std::uint8_t> payload) {
+  Buffer frame(payload.size() + 17);
   char tag = 'T';
   frame.append(&tag, 1);
   std::uint8_t id[8];
   store_le<std::uint64_t>(id, trace_id);
+  frame.append(id, 8);
+  store_le<std::uint64_t>(id, parent_span_id);
   frame.append(id, 8);
   frame.append(payload);
   return frame;
@@ -59,11 +65,12 @@ NdrFrame parse_ndr_frame(std::span<const std::uint8_t> frame) {
   out.tag = static_cast<char>(frame[0]);
   out.payload = frame.subspan(1);
   if (out.tag == 'T') {
-    if (out.payload.size() < 8) {
+    if (out.payload.size() < 16) {
       throw TransportError("truncated traced NDR frame");
     }
     out.trace_id = load_le<std::uint64_t>(out.payload.data());
-    out.payload = out.payload.subspan(8);
+    out.parent_span_id = load_le<std::uint64_t>(out.payload.data() + 8);
+    out.payload = out.payload.subspan(16);
   } else if (out.tag != 'F' && out.tag != 'M') {
     throw TransportError("unknown NDR connection frame tag");
   }
@@ -79,7 +86,13 @@ void NdrConnection::send(const pbio::Format& format, const Buffer& wire) {
   }
   std::uint64_t trace = obs::current_trace_id();
   if (trace != 0) {
-    connection_.send(traced(trace, wire.span()));
+    // The send gets its own transport span, and the frame carries that
+    // span's id — the receiver's first span parents under the send, so the
+    // exported tree reads sender.marshal -> sender.send -> receiver.
+    obs::ScopedSpan send_span(obs::Phase::kTransport, "ndr.send");
+    std::uint64_t parent =
+        send_span.active() ? send_span.span_id() : obs::current_span_id();
+    connection_.send(traced(trace, parent, wire.span()));
     metrics.traced_frames.add();
   } else {
     connection_.send(tagged('M', wire.span()));
@@ -104,14 +117,26 @@ std::optional<Buffer> NdrConnection::receive(const Deadline& deadline) {
       continue;
     }
     if (parsed.tag == 'T') {
-      // Traced message: adopt the sender's trace id so spans recorded while
-      // processing this message correlate across the two processes.
-      obs::set_current_trace_id(parsed.trace_id);
+      // Traced message: adopt the sender's (trace id, span id) so spans
+      // recorded while processing this message become children of the
+      // sender's send span in the trace tree.
+      obs::set_current_trace(parsed.trace_id, parsed.parent_span_id);
       metrics.traced_frames.add();
     }
     Buffer message(parsed.payload.size());
     message.append(parsed.payload);
     metrics.messages_rx.add();
+#ifndef OMF_NO_METRICS
+    // Attribute inbound traffic to {format, peer}. The wire header is
+    // peekable without decoding; the peer label is cached once per
+    // connection.
+    if (message.size() >= 16) {
+      if (peer_label_.empty()) peer_label_ = connection_.peer_ip();
+      obs::Attribution::instance().charge(
+          pbio::Decoder::peek_format_id(message.span()), peer_label_,
+          obs::AttrDelta{.messages = 1, .bytes = message.size()});
+    }
+#endif
     return message;
   }
 }

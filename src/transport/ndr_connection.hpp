@@ -10,18 +10,24 @@
 //
 // Frame layout on top of TcpConnection's length framing:
 //   1-byte tag: 'F' (format bundle) | 'M' (NDR message)
-//             | 'T' (traced NDR message: 8-byte LE trace id, then message)
+//             | 'T' (traced NDR message: 8-byte LE trace id, 8-byte LE
+//                    parent span id, then message)
 //   payload
 //
-// 'T' frames carry the sender's active span-trace id (obs/trace.hpp) so a
-// discover→bind→marshal→unmarshal pipeline can be correlated across
-// processes; receivers adopt the id as their thread's current trace before
-// returning the message. Senders emit 'T' only when a trace is active, so
-// the format stays byte-compatible with peers that predate tracing.
+// 'T' frames carry the sender's active trace context (obs/trace.hpp): the
+// trace id plus the span id of the sender's transport span, so a
+// discover→bind→marshal→unmarshal pipeline is correlated across processes
+// *with causality* — the receiver's unmarshal span becomes a child of the
+// sender's send span in the exported trace tree, not merely a sibling
+// under the same id. Receivers adopt the pair as their thread's current
+// trace context before returning the message. Senders emit 'T' only when
+// a trace is active, so untraced traffic stays byte-compatible with peers
+// that predate tracing.
 #pragma once
 
 #include <optional>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "pbio/format.hpp"
@@ -33,7 +39,8 @@ namespace omf::transport {
 /// format-bundle body for 'F', the NDR message for 'M'/'T'.
 struct NdrFrame {
   char tag = 0;                 ///< 'F', 'M', or 'T'
-  std::uint64_t trace_id = 0;   ///< sender's span-trace id ('T' frames only)
+  std::uint64_t trace_id = 0;   ///< sender's trace id ('T' frames only)
+  std::uint64_t parent_span_id = 0;  ///< sender's span id ('T' frames only)
   std::span<const std::uint8_t> payload;
 };
 
@@ -108,6 +115,7 @@ private:
   pbio::FormatRegistry* registry_;
   std::set<pbio::FormatId> announced_;
   std::size_t received_ = 0;
+  std::string peer_label_;  // lazily cached peer ip for attribution charges
 };
 
 }  // namespace omf::transport

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <cstring>
 
+#include "obs/attribution.hpp"
 #include "obs/metrics.hpp"
 #include "overload/health.hpp"
 #include "util/error.hpp"
@@ -146,7 +147,6 @@ void RemoteBackboneServer::accept_loop() {
 void RemoteBackboneServer::serve_subscriber(TcpConnection conn,
                                             const std::string& channel,
                                             const std::string& peer) {
-  (void)peer;
   // A subscriber that stops draining its socket must not pin this worker
   // (and the messages queued behind it) forever: bound the send. The
   // subscription's queue carries the server's bound/overflow policy, so a
@@ -155,14 +155,19 @@ void RemoteBackboneServer::serve_subscriber(TcpConnection conn,
       {.connect = {}, .send = options_.subscriber_send_timeout, .recv = {}});
   EventBackbone::Subscription sub =
       backbone_->subscribe(channel, options_.queue);
-  const std::size_t id = ++subscriber_seq_;
-  obs::Counter& drops = obs::MetricsRegistry::instance().counter(
-      "transport.backbone.subscriber." + std::to_string(id) + ".dropped");
+  ++subscriber_seq_;
+  // One pre-registered aggregate counter; the per-subscriber breakdown
+  // lives in the bounded attribution family keyed on the peer, not in an
+  // unbounded set of dynamically named counters.
+  static obs::Counter& drops = obs::MetricsRegistry::instance().counter(
+      "transport.backbone.subscriber_dropped");
   std::size_t drops_flushed = 0;
   auto flush_drops = [&] {
     std::size_t d = sub.dropped();
     if (d > drops_flushed) {
       drops.add(d - drops_flushed);
+      obs::Attribution::instance().charge(
+          0, peer, obs::AttrDelta{.drops = d - drops_flushed});
       drops_flushed = d;
     }
   };

@@ -40,9 +40,10 @@ namespace omf::transport {
 /// per-subscriber queues are bounded with an overflow policy so a stalled
 /// consumer is shed rather than accumulated; per-peer admission quotas gate
 /// new connections and publish frames; and when the process memory budget
-/// is in brownout, new connections are shed outright. Per-subscriber drop
-/// counters surface on /metrics as
-/// "transport.backbone.subscriber.<n>.dropped".
+/// is in brownout, new connections are shed outright. Subscriber drops
+/// surface on /metrics as the aggregate
+/// "transport.backbone.subscriber_dropped" counter plus a per-peer
+/// breakdown in the attribution family (omf_attr_drops_total{peer=...}).
 class RemoteBackboneServer {
 public:
   struct Options {

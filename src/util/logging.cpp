@@ -39,25 +39,44 @@ LogLevel log_level() noexcept {
   return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
 }
 
+namespace {
+std::atomic<LogCaptureHook> g_capture_hook{nullptr};
+}  // namespace
+
+void set_log_capture_hook(LogCaptureHook hook) noexcept {
+  g_capture_hook.store(hook, std::memory_order_release);
+}
+
 void log_line(LogLevel level, std::string_view component,
               std::string_view message) {
   bool print = level >= log_level();
   bool capture = level >= LogLevel::kWarn && level < LogLevel::kOff;
   if (!print && !capture) return;
-  std::lock_guard<std::mutex> lock(g_mutex);
+  std::string line;
   if (capture) {
-    std::string line;
     line.reserve(component.size() + message.size() + 16);
     line.append("[").append(level_name(level)).append("] ");
     line.append(component).append(": ").append(message);
-    std::deque<std::string>& ring = capture_ring();
-    if (ring.size() >= kCaptureMax) ring.pop_front();
-    ring.push_back(std::move(line));
   }
-  if (print) {
-    std::fprintf(stderr, "[%s] %.*s: %.*s\n", level_name(level),
-                 static_cast<int>(component.size()), component.data(),
-                 static_cast<int>(message.size()), message.data());
+  {
+    std::lock_guard<std::mutex> lock(g_mutex);
+    if (capture) {
+      std::deque<std::string>& ring = capture_ring();
+      if (ring.size() >= kCaptureMax) ring.pop_front();
+      ring.push_back(line);
+    }
+    if (print) {
+      std::fprintf(stderr, "[%s] %.*s: %.*s\n", level_name(level),
+                   static_cast<int>(component.size()), component.data(),
+                   static_cast<int>(message.size()), message.data());
+    }
+  }
+  // Tap after the lock is released: the hook may take its own locks (the
+  // flight recorder does) and must never nest inside the logger's.
+  if (capture) {
+    if (LogCaptureHook hook = g_capture_hook.load(std::memory_order_acquire)) {
+      hook(line);
+    }
   }
 }
 

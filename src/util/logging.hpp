@@ -48,6 +48,14 @@ std::vector<std::string> recent_log_errors();
 /// Empties the post-mortem ring (tests).
 void clear_recent_log_errors();
 
+/// Optional tap on the capture path: invoked (outside the logger's lock)
+/// with every formatted kWarn/kError line right after it enters the ring.
+/// Installed by the obs flight recorder so warn+ lines stream into the
+/// crash-safe event ring; nullptr uninstalls. The hook must be cheap and
+/// must not log.
+using LogCaptureHook = void (*)(std::string_view line);
+void set_log_capture_hook(LogCaptureHook hook) noexcept;
+
 /// Structured key=value log field; stream it inside the OMF_LOG_* macros.
 /// Prints as " key=value" (leading space, so fields chain after prose).
 template <typename T>

@@ -6,19 +6,34 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
 #include <new>
+#include <optional>
+#include <set>
 #include <sstream>
 #include <stdexcept>
+#include <string_view>
 #include <thread>
 #include <vector>
+
+#include <unistd.h>
 
 #include "core/gateway.hpp"
 #include "core/xml2wire.hpp"
 #include "http/http.hpp"
+#include "metacache/replica_set.hpp"
+#include "obs/attribution.hpp"
 #include "obs/exposition.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "transport/format_service.hpp"
 #include "pbio/decode.hpp"
 #include "pbio/record.hpp"
 #include "pbio/synth.hpp"
@@ -147,27 +162,33 @@ TEST(ObsRegistry, StableReferencesAndKindCollision) {
 
 TEST(ObsRegistry, SnapshotPreRegistersCoreNames) {
   // The full core instrumentation surface is visible (zero-valued or not)
-  // before any traffic flows — scrape targets never see a partial schema.
+  // before any traffic flows — scrape targets never see a partial schema,
+  // and every name docs/METRICS.md documents resolves to a live series.
   obs::MetricsSnapshot snap = obs::MetricsRegistry::instance().snapshot();
-  auto has_counter = [&](std::string_view name) {
-    for (const auto& row : snap.counters) {
-      if (row.name == name) return true;
-    }
-    return false;
-  };
-  EXPECT_TRUE(has_counter("pbio.plan_cache.hits"));
-  EXPECT_TRUE(has_counter("pbio.decode.messages"));
-  EXPECT_TRUE(has_counter("discovery.requests"));
-  EXPECT_TRUE(has_counter("transport.bytes_rx"));
-  EXPECT_TRUE(has_counter("fault.breaker.trips"));
-  EXPECT_TRUE(has_counter("gateway.converted"));
-  EXPECT_TRUE(has_counter("http.server.requests"));
-
-  bool has_hist = false;
-  for (const auto& row : snap.histograms) {
-    if (row.name == "pbio.plan_cache.compile_ns") has_hist = true;
+  std::set<std::string> counters, gauges, histograms;
+  for (const auto& row : snap.counters) counters.insert(row.name);
+  for (const auto& row : snap.gauges) gauges.insert(row.name);
+  for (const auto& row : snap.histograms) histograms.insert(row.name);
+  for (const obs::MetricInfo& m : obs::core_metrics()) {
+    const std::set<std::string>& family =
+        std::string_view(m.kind) == "counter" ? counters
+        : std::string_view(m.kind) == "gauge" ? gauges
+                                              : histograms;
+    EXPECT_TRUE(family.count(m.name))
+        << m.kind << " '" << m.name << "' is documented but absent from a "
+        << "startup snapshot — pre-register it in the registry constructor";
   }
-  EXPECT_TRUE(has_hist);
+}
+
+TEST(MetricsDoc, InSyncWithRegistryTable) {
+  std::ifstream in(OMF_METRICS_MD, std::ios::binary);
+  ASSERT_TRUE(in.is_open()) << OMF_METRICS_MD
+      << " missing — regenerate with: omf-stat --metrics-md > docs/METRICS.md";
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(buf.str(), obs::metrics_markdown())
+      << "docs/METRICS.md is stale — regenerate with: "
+         "omf-stat --metrics-md > docs/METRICS.md";
 }
 
 // --- Span tracing -----------------------------------------------------------
@@ -249,6 +270,7 @@ TEST(ObsTrace, RingOverwritesOldestAndCountsDrops) {
   for (std::uint64_t i = 1; i <= 6; ++i) {
     obs::Span s{};
     s.trace_id = i;
+    s.ok = true;  // boring spans: no tail-sampling pin, pure FIFO eviction
     tracer.record(s);
   }
   std::vector<obs::Span> spans = tracer.snapshot();
@@ -320,8 +342,8 @@ TEST(ObsExposition, PrometheusNameMangling) {
 }
 
 // Line-level validation of the Prometheus text exposition format: every
-// line is either a "# TYPE <name> <kind>" comment or "<name>[{labels}]
-// <number>", names match [a-zA-Z_][a-zA-Z0-9_]*.
+// line is a "# HELP <name> <text>" / "# TYPE <name> <kind>" comment or
+// "<name>[{labels}] <number>", names match [a-zA-Z_][a-zA-Z0-9_]*.
 void validate_prometheus_text(const std::string& body) {
   std::istringstream in(body);
   std::string line;
@@ -329,7 +351,9 @@ void validate_prometheus_text(const std::string& body) {
   while (std::getline(in, line)) {
     ASSERT_FALSE(line.empty()) << "blank line in exposition";
     if (line[0] == '#') {
-      EXPECT_EQ(line.rfind("# TYPE ", 0), 0u) << line;
+      EXPECT_TRUE(line.rfind("# TYPE ", 0) == 0 ||
+                  line.rfind("# HELP ", 0) == 0)
+          << line;
       continue;
     }
     std::size_t i = 0;
@@ -494,6 +518,603 @@ TEST(ObsLogging, RingReachesStatsSnapshot) {
   EXPECT_NE(snap.recent_errors.back().find("snapshot sees this"),
             std::string::npos);
   clear_recent_log_errors();
+}
+
+// --- Tail sampling ----------------------------------------------------------
+
+TEST(ObsTailSampling, ErroredAndSlowTracesSurviveEviction) {
+  auto& tracer = obs::Tracer::instance();
+  tracer.set_capacity(8);  // clears spans and pins
+
+  obs::Span bad{};
+  bad.trace_id = 0x99990001;
+  bad.span_id = obs::new_trace_id();
+  bad.ok = false;  // errored span: pins its trace
+  tracer.record(bad);
+  EXPECT_TRUE(tracer.trace_pinned(bad.trace_id));
+
+  obs::Span slow{};
+  slow.trace_id = 0x99990002;
+  slow.span_id = obs::new_trace_id();
+  slow.ok = true;
+  slow.duration_ns = obs::Tracer::latency_threshold_ns();  // slow: pins
+  tracer.record(slow);
+  EXPECT_TRUE(tracer.trace_pinned(slow.trace_id));
+
+  // Flood with several rings' worth of boring spans: FIFO alone would have
+  // evicted the evidence many times over.
+  for (int i = 0; i < 64; ++i) {
+    obs::Span s{};
+    s.trace_id = 0x1000 + static_cast<std::uint64_t>(i);
+    s.span_id = obs::new_trace_id();
+    s.ok = true;
+    tracer.record(s);
+  }
+
+  bool bad_alive = false;
+  bool slow_alive = false;
+  for (const obs::Span& s : tracer.snapshot()) {
+    if (s.trace_id == bad.trace_id) bad_alive = true;
+    if (s.trace_id == slow.trace_id) slow_alive = true;
+  }
+  EXPECT_TRUE(bad_alive) << "errored trace was evicted by boring traffic";
+  EXPECT_TRUE(slow_alive) << "slow trace was evicted by boring traffic";
+  tracer.set_capacity(4096);
+}
+
+TEST(ObsTailSampling, MarkTraceRecordsEventSpanAndPins) {
+  auto& tracer = obs::Tracer::instance();
+  tracer.clear();
+  const std::uint64_t trace = obs::new_trace_id();
+  const std::uint64_t parent = obs::new_trace_id();
+  obs::set_current_trace(trace, parent);
+  tracer.mark_trace(obs::current_trace_id(), "stale_served");
+  obs::set_current_trace_id(0);
+
+  EXPECT_TRUE(tracer.trace_pinned(trace));
+  bool found = false;
+  for (const obs::Span& s : tracer.snapshot()) {
+    if (s.trace_id != trace) continue;
+    EXPECT_EQ(s.phase, obs::Phase::kEvent);
+    EXPECT_STREQ(s.name, "stale_served");
+    EXPECT_EQ(s.parent_id, parent);  // attached under the thread's span
+    EXPECT_EQ(s.duration_ns, 0u);
+    found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ObsTailSampling, TraceTreeExportGroupsSpansByTrace) {
+  auto& tracer = obs::Tracer::instance();
+  tracer.clear();
+  std::uint64_t trace_a = 0;
+  {
+    obs::ScopedSpan root(obs::Phase::kDiscover, "tree.root");
+    trace_a = root.trace_id();
+    obs::ScopedSpan child(obs::Phase::kBind, "tree.child");
+  }
+  const std::uint64_t trace_b = obs::new_trace_id();
+  tracer.mark_trace(trace_b, "breaker.tripped");
+
+  std::ostringstream out;
+  tracer.export_trace_trees(out);
+  std::vector<std::string> lines;
+  {
+    std::istringstream in(out.str());
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+  }
+  ASSERT_EQ(lines.size(), 2u);  // one JSON object per trace
+
+  char hex_a[17];
+  char hex_b[17];
+  std::snprintf(hex_a, sizeof(hex_a), "%016llx",
+                static_cast<unsigned long long>(trace_a));
+  std::snprintf(hex_b, sizeof(hex_b), "%016llx",
+                static_cast<unsigned long long>(trace_b));
+  // Ordered by earliest span: the ScopedSpan pair precedes the mark.
+  EXPECT_NE(lines[0].find(hex_a), std::string::npos);
+  EXPECT_NE(lines[0].find("tree.root"), std::string::npos);
+  EXPECT_NE(lines[0].find("tree.child"), std::string::npos);
+  EXPECT_NE(lines[1].find(hex_b), std::string::npos);
+  EXPECT_NE(lines[1].find("breaker.tripped"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"pinned\":true"), std::string::npos);
+}
+
+// --- Trace propagation: format service, HTTP, replica failover --------------
+
+TEST(ObsTracePropagation, ConditionalFetchCarriesTraceToServer) {
+  auto& tracer = obs::Tracer::instance();
+  tracer.clear();
+  pbio::FormatRegistry reg;
+  core::Xml2Wire x2w(reg, arch::native());
+  auto format = x2w.register_text(kSchema)[0];
+
+  transport::FormatServiceServer server;
+  transport::FormatServiceClient client(server.port());
+  client.push(*format);
+
+  const std::uint64_t trace = obs::new_trace_id();
+  obs::set_current_trace(trace, 0);
+  auto fetched = client.conditional_fetch(format->id(), 0);
+  obs::set_current_trace_id(0);
+  EXPECT_EQ(fetched.status,
+            transport::FormatServiceClient::ConditionalFetch::Status::kFetched);
+
+  // The server thread records its serve span asynchronously.
+  bool joined = false;
+  std::uint64_t parent = 0;
+  for (int i = 0; i < 200 && !joined; ++i) {
+    for (const obs::Span& s : tracer.snapshot()) {
+      if (s.trace_id == trace &&
+          std::string_view(s.name) == "format_service.serve") {
+        joined = true;
+        parent = s.parent_id;
+      }
+    }
+    if (!joined) std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(joined) << "server serve span never joined the client's trace";
+  EXPECT_NE(parent, 0u);  // parented under the client's cfetch span
+}
+
+TEST(ObsTracePropagation, HttpHeaderJoinsServerAndDebugTracesServes) {
+  auto& tracer = obs::Tracer::instance();
+  tracer.clear();
+  http::Server server;
+  server.set_handler([](const std::string& path) -> std::optional<std::string> {
+    if (path != "/work") return std::nullopt;
+    obs::ScopedSpan span(obs::Phase::kDiscover, "http.handler");
+    return std::string("done");
+  });
+
+  std::uint64_t trace = 0;
+  http::Response resp;
+  {
+    // The X-Omf-Trace header carries (trace id, the client span's id), so
+    // the handler's span becomes this request span's child.
+    obs::ScopedSpan request(obs::Phase::kDiscover, "http.client");
+    trace = request.trace_id();
+    resp = http::get(server.url_for("/work"),
+                     Deadline::from_timeout(std::chrono::seconds(5)));
+  }
+  ASSERT_EQ(resp.status, 200);
+
+  bool joined = false;
+  for (const obs::Span& s : tracer.snapshot()) {
+    if (s.trace_id == trace && std::string_view(s.name) == "http.handler") {
+      joined = true;
+      EXPECT_NE(s.parent_id, 0u);  // child of the client's request context
+    }
+  }
+  EXPECT_TRUE(joined) << "handler span did not join the X-Omf-Trace trace";
+
+  // The retained ring is browsable as JSONL trace trees.
+  http::Response traces =
+      http::get(server.url_for("/debug/traces"),
+                Deadline::from_timeout(std::chrono::seconds(5)));
+  ASSERT_EQ(traces.status, 200);
+  EXPECT_NE(traces.headers.at("content-type").find("ndjson"),
+            std::string::npos);
+  char hex[17];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(trace));
+  EXPECT_NE(traces.body.find(hex), std::string::npos);
+
+  server.set_traces_endpoint(false);
+  EXPECT_EQ(http::get(server.url_for("/debug/traces"),
+                      Deadline::from_timeout(std::chrono::seconds(5)))
+                .status,
+            404);
+}
+
+TEST(ObsTracePropagation, ReplicaFailoverMarksTheCallersTrace) {
+  auto& tracer = obs::Tracer::instance();
+  tracer.clear();
+  metacache::ReplicaSet set({"dead", "live"});
+  // Find a key whose first choice is the dead replica.
+  std::uint64_t key = 0;
+  while (set.endpoint(set.route(key)[0]) != "dead") ++key;
+
+  const std::uint64_t trace = obs::new_trace_id();
+  obs::set_current_trace(trace, 0);
+  metacache::FetchResult got = set.fetch(
+      key, [&](std::size_t, const std::string& endpoint) {
+        metacache::FetchResult out;
+        if (endpoint == "dead") return out;  // replica 0 is down
+        out.status = metacache::FetchStatus::kFetched;
+        return out;
+      });
+  obs::set_current_trace_id(0);
+
+  EXPECT_EQ(got.status, metacache::FetchStatus::kFetched);
+  EXPECT_TRUE(tracer.trace_pinned(trace));  // tail sampling keeps evidence
+  bool event = false;
+  for (const obs::Span& s : tracer.snapshot()) {
+    if (s.trace_id == trace &&
+        std::string_view(s.name) == "replica.failover") {
+      EXPECT_EQ(s.phase, obs::Phase::kEvent);
+      event = true;
+    }
+  }
+  EXPECT_TRUE(event) << "failover event span missing from the trace";
+}
+
+// --- End-to-end chaos trace tree --------------------------------------------
+
+TEST(ObsChaos, RetainedTreeSpansSenderGatewaySubscriberWithIncident) {
+  auto& tracer = obs::Tracer::instance();
+  tracer.clear();
+  tracer.set_sample_every(1);
+
+  pbio::FormatRegistry registry;
+  core::Xml2Wire native_side(registry, arch::native());
+  auto native = native_side.register_text(kSchema)[0];
+  core::Xml2Wire foreign_side(registry, arch::profile_by_name("sparc64"));
+  auto foreign = foreign_side.register_text(kSchema)[0];
+
+  pbio::DynamicRecord rec(native);
+  rec.set_string("tag", "chaos");
+  rec.set_float_array("values", std::vector<double>(4, 3.5));
+  Buffer foreign_wire = pbio::synthesize_wire(*foreign, rec);
+
+  transport::TcpListener to_gateway(0);
+  transport::TcpListener to_subscriber(0);
+
+  // Subscriber: adopt the propagated trace, decode (unmarshal span).
+  std::thread subscriber([&] {
+    transport::NdrConnection conn(to_subscriber.accept(), registry);
+    pbio::Decoder dec(registry);
+    std::vector<std::uint8_t> out(native->struct_size());
+    pbio::DecodeArena arena;
+    while (auto msg = conn.receive()) {
+      dec.decode(msg->span(), *native, out.data(), arena);
+      arena.reset();
+    }
+    obs::set_current_trace_id(0);
+  });
+
+  // Gateway: adopt the trace, convert, hit a replica failover mid-flight,
+  // and forward — the incident event attaches to the in-flight trace.
+  std::thread gateway_thread([&] {
+    transport::NdrConnection in(to_gateway.accept(), registry);
+    transport::NdrConnection out(transport::tcp_connect(to_subscriber.port()),
+                                 registry);
+    core::Gateway gateway(registry, native, native);
+    gateway.set_peer("chaos-sender");
+    metacache::ReplicaSet replicas({"replica-0", "replica-1"});
+    std::uint64_t key = 0;
+    while (replicas.endpoint(replicas.route(key)[0]) != "replica-0") ++key;
+    while (auto msg = in.receive()) {
+      Buffer converted = gateway.convert(msg->span());
+      (void)replicas.fetch(key, [](std::size_t, const std::string& ep) {
+        metacache::FetchResult r;
+        if (ep == "replica-0") return r;  // first choice is down
+        r.status = metacache::FetchStatus::kFetched;
+        return r;
+      });
+      out.send(*native, converted);
+    }
+    obs::set_current_trace_id(0);
+  });
+
+  const std::uint64_t trace = obs::new_trace_id();
+  obs::set_current_trace(trace, 0);
+  {
+    transport::NdrConnection conn(transport::tcp_connect(to_gateway.port()),
+                                  registry);
+    conn.send(*foreign, foreign_wire);
+  }
+  obs::set_current_trace_id(0);
+  gateway_thread.join();
+  subscriber.join();
+
+  EXPECT_TRUE(tracer.trace_pinned(trace));
+  std::ostringstream out;
+  tracer.export_trace_trees(out);
+  char hex[17];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(trace));
+  std::string tree;
+  {
+    std::istringstream in(out.str());
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.find(hex) != std::string::npos) tree = line;
+    }
+  }
+  ASSERT_FALSE(tree.empty()) << "no exported tree for the chaos trace";
+  EXPECT_NE(tree.find("\"pinned\":true"), std::string::npos);
+  EXPECT_NE(tree.find("ndr.send"), std::string::npos);        // sender hop
+  EXPECT_NE(tree.find("unmarshal"), std::string::npos);       // decode spans
+  EXPECT_NE(tree.find("replica.failover"), std::string::npos);  // incident
+  tracer.set_sample_every(64);
+}
+
+// --- Flight recorder --------------------------------------------------------
+
+std::string flight_test_path(const char* name) {
+  return (std::filesystem::temp_directory_path() /
+          ("omf_obs_" + std::string(name) + "_" + std::to_string(::getpid()) +
+           ".bin"))
+      .string();
+}
+
+TEST(ObsFlightRecorder, AppendRecoverRoundtrip) {
+  const std::string path = flight_test_path("roundtrip");
+  {
+    obs::FlightRecorder rec(path, 64 * 1024);
+    const std::uint64_t s0 = rec.append("test", "first event");
+    const std::uint64_t s1 = rec.append("breaker", "second event");
+    EXPECT_EQ(s1, s0 + 1);
+  }
+  obs::FlightRecovery r = obs::FlightRecorder::recover(path);
+  ASSERT_EQ(r.events.size(), 2u);
+  EXPECT_EQ(r.events[0].category, "test");
+  EXPECT_EQ(r.events[0].message, "first event");
+  EXPECT_EQ(r.events[1].category, "breaker");
+  EXPECT_EQ(r.events[1].message, "second event");
+  EXPECT_EQ(r.gaps, 0u);
+  EXPECT_GE(r.events[1].wall_ms, r.events[0].wall_ms);
+  EXPECT_GE(r.events[1].mono_ns, r.events[0].mono_ns);
+  std::filesystem::remove(path);
+}
+
+TEST(ObsFlightRecorder, TornTailIsDroppedAckedPrefixSurvives) {
+  const std::string path = flight_test_path("torn");
+  {
+    obs::FlightRecorder rec(path, 64 * 1024);
+    rec.append("test", "kept 0");
+    rec.append("test", "kept 1");
+    rec.append("test", "torn victim");
+  }
+  {
+    // Simulate a write torn mid-record: clobber the newest record's trailing
+    // CRC. (No wrap here — total stays far below capacity.)
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good());
+    std::uint64_t hdr_total = 0;
+    f.seekg(24);  // header: u64 total bytes written
+    f.read(reinterpret_cast<char*>(&hdr_total), sizeof(hdr_total));
+    ASSERT_GT(hdr_total, 4u);
+    f.seekp(static_cast<std::streamoff>(obs::FlightRecorder::kHeaderSize +
+                                        hdr_total - 4));
+    const char junk[4] = {0x5a, 0x5a, 0x5a, 0x5a};
+    f.write(junk, sizeof(junk));
+  }
+  obs::FlightRecovery r = obs::FlightRecorder::recover(path);
+  ASSERT_EQ(r.events.size(), 2u);  // torn tail gone, acked prefix intact
+  EXPECT_EQ(r.events[0].message, "kept 0");
+  EXPECT_EQ(r.events[1].message, "kept 1");
+  std::filesystem::remove(path);
+}
+
+TEST(ObsFlightRecorder, WrapAroundKeepsTheNewestRecords) {
+  const std::string path = flight_test_path("wrap");
+  constexpr int kEvents = 600;  // ~60 KB through an 8 KB ring: wraps ~7x
+  {
+    obs::FlightRecorder rec(path, obs::FlightRecorder::kMinCapacity);
+    const std::string pad(64, 'x');
+    for (int i = 0; i < kEvents; ++i) {
+      rec.append("wrap", "event " + std::to_string(i) + " " + pad);
+    }
+  }
+  obs::FlightRecovery r = obs::FlightRecorder::recover(path);
+  ASSERT_FALSE(r.events.empty());
+  EXPECT_LT(r.events.size(), static_cast<std::size_t>(kEvents));
+  EXPECT_EQ(r.events.back().seq, static_cast<std::uint64_t>(kEvents - 1));
+  EXPECT_EQ(r.header_seq, static_cast<std::uint64_t>(kEvents));
+  for (std::size_t i = 1; i < r.events.size(); ++i) {
+    EXPECT_GT(r.events[i].seq, r.events[i - 1].seq);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(ObsFlightRecorder, InstalledRecorderCapturesWarnLogsAndEventSites) {
+  const std::string path = flight_test_path("install");
+  obs::FlightRecorder::install(path, 64 * 1024);
+  LogLevel prev = log_level();
+  set_log_level(LogLevel::kOff);  // the capture hook still sees warn+
+  OMF_LOG_WARN("obs-test", "flight recorded warning", kv("k", 1));
+  set_log_level(prev);
+  obs::flight_record("admission", "[OMF503] queue full");
+  obs::FlightRecorder::uninstall();
+
+  obs::FlightRecovery r = obs::FlightRecorder::recover(path);
+  bool saw_log = false;
+  bool saw_admission = false;
+  for (const obs::FlightEvent& e : r.events) {
+    if (e.category == "log" &&
+        e.message.find("flight recorded warning") != std::string::npos) {
+      saw_log = true;
+    }
+    if (e.category == "admission" &&
+        e.message.find("OMF503") != std::string::npos) {
+      saw_admission = true;
+    }
+  }
+  EXPECT_TRUE(saw_log) << "warn+ log line did not reach the flight recorder";
+  EXPECT_TRUE(saw_admission);
+  std::filesystem::remove(path);
+}
+
+// --- Kill -9 flight-recorder harness (driven by CI; skipped without env) ----
+
+// CI runs ServeUntilKilled with OMF_FLIGHT_DIR set, scrapes the process's
+// /metrics and /healthz mid-run, kill -9s it, then runs PostmortemAfterKill
+// against the same directory: the flight-recorder file must parse and the
+// last acknowledged event (acked.txt is written only after append()
+// returned) must be among the recovered records.
+TEST(ObsFlightHarness, ServeUntilKilled) {
+  const char* dir_env = std::getenv("OMF_FLIGHT_DIR");
+  if (dir_env == nullptr) {
+    GTEST_SKIP() << "set OMF_FLIGHT_DIR to run the kill harness";
+  }
+  std::filesystem::path dir(dir_env);
+  std::filesystem::create_directories(dir);
+  obs::FlightRecorder::install((dir / "flight.bin").string(), 256 * 1024);
+
+  // A live serving process for the mid-run scrape.
+  http::Server server;
+  {
+    std::ofstream port(dir / "port.txt", std::ios::trunc);
+    port << server.port() << "\n";
+  }
+
+  std::ofstream acked(dir / "acked.txt", std::ios::trunc);
+  for (std::uint64_t i = 0;; ++i) {
+    obs::flight_record("harness", "event " + std::to_string(i));
+    acked << i << "\n" << std::flush;
+    if (i % 64 == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+}
+
+TEST(ObsFlightHarness, PostmortemAfterKill) {
+  const char* dir_env = std::getenv("OMF_FLIGHT_DIR");
+  if (dir_env == nullptr) {
+    GTEST_SKIP() << "set OMF_FLIGHT_DIR to run the kill harness";
+  }
+  std::filesystem::path dir(dir_env);
+  std::ifstream acked(dir / "acked.txt");
+  ASSERT_TRUE(acked.good()) << "no acked.txt: did ServeUntilKilled run?";
+  std::string line;
+  std::string last;
+  while (std::getline(acked, line)) {
+    if (!line.empty()) last = line;
+  }
+  ASSERT_FALSE(last.empty()) << "the harness was killed before any ack";
+
+  obs::FlightRecovery r =
+      obs::FlightRecorder::recover((dir / "flight.bin").string());
+  ASSERT_FALSE(r.events.empty());
+  const std::string want = "event " + last;
+  bool found = false;
+  for (const obs::FlightEvent& e : r.events) {
+    if (e.message == want) found = true;
+  }
+  EXPECT_TRUE(found) << "acked record lost across kill -9: " << want;
+  RecordProperty("recovered_events", static_cast<int>(r.events.size()));
+}
+
+// --- Per-{format, peer} attribution -----------------------------------------
+
+TEST(ObsAttribution, ChargesAccumulatePerFormatPeer) {
+  auto& attr = obs::Attribution::instance();
+  attr.reset();
+  attr.charge(7, "peer-a", {.messages = 2, .bytes = 100});
+  attr.charge(7, "peer-a", {.decode_ns = 50, .stale_serves = 1});
+  attr.charge(7, "peer-b", {.drops = 3});
+  std::vector<obs::AttrRow> rows = attr.snapshot();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].format_id, 7u);
+  EXPECT_EQ(rows[0].peer, "peer-a");
+  EXPECT_EQ(rows[0].totals.messages, 2u);
+  EXPECT_EQ(rows[0].totals.bytes, 100u);
+  EXPECT_EQ(rows[0].totals.decode_ns, 50u);
+  EXPECT_EQ(rows[0].totals.stale_serves, 1u);
+  EXPECT_EQ(rows[1].peer, "peer-b");
+  EXPECT_EQ(rows[1].totals.drops, 3u);
+  attr.reset();
+}
+
+TEST(ObsAttribution, CardinalityBoundRoutesNewKeysToOverflow) {
+  auto& attr = obs::Attribution::instance();
+  attr.reset();
+  attr.set_max_keys(2);
+  attr.charge(1, "p", {.messages = 1});
+  attr.charge(2, "p", {.messages = 1});
+  attr.charge(3, "p", {.messages = 1});  // over the bound
+  attr.charge(4, "p", {.messages = 1});  // over the bound
+  attr.charge(1, "p", {.messages = 1});  // existing cells keep accumulating
+  std::uint64_t overflow_msgs = 0;
+  std::size_t real_cells = 0;
+  for (const obs::AttrRow& row : attr.snapshot()) {
+    if (row.peer == obs::Attribution::kOverflowPeer) {
+      EXPECT_EQ(row.format_id, 0u);
+      overflow_msgs += row.totals.messages;
+    } else {
+      ++real_cells;
+    }
+  }
+  EXPECT_EQ(real_cells, 2u);     // a spraying peer cannot grow the family
+  EXPECT_EQ(overflow_msgs, 2u);  // but its charges are still accounted
+  attr.set_max_keys(1024);
+  attr.reset();
+}
+
+TEST(ObsAttribution, LabeledPrometheusExpositionRoundtrips) {
+  auto& attr = obs::Attribution::instance();
+  attr.reset();
+  attr.charge(0x1234, "10.0.0.7:9000", {.bytes = 77, .stale_serves = 3});
+  const std::string text =
+      obs::render_prometheus_attribution(attr.snapshot());
+  EXPECT_NE(
+      text.find("omf_attr_bytes_total{format=\"0000000000001234\","
+                "peer=\"10.0.0.7:9000\"} 77"),
+      std::string::npos)
+      << text;
+  EXPECT_NE(
+      text.find("omf_attr_stale_serves_total{format=\"0000000000001234\","
+                "peer=\"10.0.0.7:9000\"} 3"),
+      std::string::npos);
+
+  // The scrape side keeps the label block and resolves the family type.
+  auto samples = obs::parse_prometheus(text);
+  auto it = samples.find(
+      "omf_attr_bytes_total{format=\"0000000000001234\","
+      "peer=\"10.0.0.7:9000\"}");
+  ASSERT_NE(it, samples.end());
+  EXPECT_EQ(it->second.type, "counter");
+  EXPECT_EQ(it->second.value, 77.0);
+  attr.reset();
+}
+
+// --- Scrape side: parse + per-second deltas (omf-stat --watch) --------------
+
+TEST(ObsWatch, ParsePrometheusTypesAndHistogramComponents) {
+  const std::string text =
+      "# HELP omf_a total things\n"
+      "# TYPE omf_a counter\n"
+      "omf_a 5\n"
+      "# TYPE omf_g gauge\n"
+      "omf_g -2\n"
+      "# TYPE omf_lat histogram\n"
+      "omf_lat_bucket{le=\"1000\"} 2\n"
+      "omf_lat_bucket{le=\"+Inf\"} 3\n"
+      "omf_lat_sum 4500\n"
+      "omf_lat_count 3\n";
+  auto samples = obs::parse_prometheus(text);
+  EXPECT_EQ(samples.at("omf_a").type, "counter");
+  EXPECT_EQ(samples.at("omf_a").value, 5.0);
+  EXPECT_EQ(samples.at("omf_g").type, "gauge");
+  EXPECT_EQ(samples.at("omf_g").value, -2.0);
+  EXPECT_EQ(samples.at("omf_lat_bucket{le=\"+Inf\"}").type, "histogram");
+  EXPECT_EQ(samples.at("omf_lat_sum").type, "histogram");
+  EXPECT_EQ(samples.at("omf_lat_count").value, 3.0);
+}
+
+TEST(ObsWatch, CounterDeltasRenderRatesAndResetMarkers) {
+  std::map<std::string, obs::PromSample> prev;
+  std::map<std::string, obs::PromSample> cur;
+  prev["omf_busy"] = {.value = 10, .type = "counter"};
+  cur["omf_busy"] = {.value = 30, .type = "counter"};
+  prev["omf_idle"] = {.value = 5, .type = "counter"};
+  cur["omf_idle"] = {.value = 5, .type = "counter"};  // no movement: omitted
+  prev["omf_depth"] = {.value = 1, .type = "gauge"};
+  cur["omf_depth"] = {.value = 99, .type = "gauge"};  // gauges: omitted
+  prev["omf_restarted"] = {.value = 50, .type = "counter"};
+  cur["omf_restarted"] = {.value = 2, .type = "counter"};  // went backwards
+
+  const std::string out = obs::render_counter_deltas(prev, cur, 2.0);
+  EXPECT_NE(out.find("omf_busy  +10.0/s"), std::string::npos) << out;
+  EXPECT_EQ(out.find("omf_idle"), std::string::npos);
+  EXPECT_EQ(out.find("omf_depth"), std::string::npos);
+  EXPECT_NE(out.find("omf_restarted  RESET"), std::string::npos);
+
+  const std::string quiet = obs::render_counter_deltas(cur, cur, 1.0);
+  EXPECT_NE(quiet.find("(no counter movement)"), std::string::npos);
 }
 
 // --- Zero-allocation steady state with metrics ON ---------------------------

@@ -3,22 +3,40 @@
 //   omf-stat <url>              scrape an OMF process's /metrics endpoint
 //                               (e.g. http://127.0.0.1:8080/metrics) and
 //                               print the Prometheus text it serves
+//   omf-stat --watch <secs> <url>
+//                               scrape repeatedly, printing per-second
+//                               deltas for every counter that moved
+//   omf-stat --postmortem <file>
+//                               reconstruct the last seconds before a crash
+//                               from a flight-recorder file (OMFFLT1)
 //   omf-stat --local            print this process's snapshot (human text)
 //   omf-stat --local --prom     ...as Prometheus text instead
-//   omf-stat --local --spans    ...plus the span ring as JSONL
+//   omf-stat --local --spans    ...plus the retained trace trees as JSONL
+//   omf-stat --local --top      ...plus per-{format, peer} cost attribution
+//                               sorted by decode time
 //   omf-stat --demo [...]       run a small discover/bind/marshal pipeline
 //                               first so the local snapshot has data; the
 //                               smoke test for the whole obs layer
+//   omf-stat --metrics-md       print docs/METRICS.md regenerated from the
+//                               metric registry's name/kind/help table
 //
-// Exit status: 0 = success, 1 = scrape failed, 2 = usage error.
+// Exit status: 0 = success, 1 = scrape/parse failed, 2 = usage error.
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <map>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "core/context.hpp"
 #include "http/http.hpp"
+#include "obs/attribution.hpp"
 #include "obs/exposition.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "overload/budget.hpp"
@@ -30,11 +48,16 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <url>\n"
-               "       %s [--demo] --local [--prom] [--spans]\n"
+               "       %s --watch <seconds> <url>\n"
+               "       %s --postmortem <flight-recorder-file>\n"
+               "       %s [--demo] --local [--prom] [--spans] [--top]\n"
+               "       %s --metrics-md\n"
                "\n"
-               "Scrapes a /metrics endpoint, or dumps this process's own\n"
-               "metrics/span snapshot (use --demo to generate traffic).\n",
-               argv0, argv0);
+               "Scrapes a /metrics endpoint (once, or repeatedly with\n"
+               "--watch), replays a crash's flight recorder, or dumps this\n"
+               "process's own metrics/trace snapshot (use --demo to\n"
+               "generate traffic).\n",
+               argv0, argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -158,6 +181,101 @@ void print_metacache_summary() {
               counter("http.client.retry_after_waits"));
 }
 
+// Per-{format, peer} cost attribution, heaviest decode bill first — the
+// "who is costing me CPU" panel.
+void print_attribution_top() {
+  std::vector<omf::obs::AttrRow> rows =
+      omf::obs::Attribution::instance().snapshot();
+  std::sort(rows.begin(), rows.end(),
+            [](const omf::obs::AttrRow& a, const omf::obs::AttrRow& b) {
+              return a.totals.decode_ns > b.totals.decode_ns;
+            });
+  std::printf("== attribution: top by decode time ==\n");
+  std::printf("  %-16s  %-15s  %12s  %10s  %12s  %6s  %6s\n", "format",
+              "peer", "decode_ns", "msgs", "bytes", "drops", "stale");
+  for (const omf::obs::AttrRow& row : rows) {
+    std::printf("  %016llx  %-15s  %12llu  %10llu  %12llu  %6llu  %6llu\n",
+                static_cast<unsigned long long>(row.format_id),
+                row.peer.c_str(),
+                static_cast<unsigned long long>(row.totals.decode_ns),
+                static_cast<unsigned long long>(row.totals.messages),
+                static_cast<unsigned long long>(row.totals.bytes),
+                static_cast<unsigned long long>(row.totals.drops),
+                static_cast<unsigned long long>(row.totals.stale_serves));
+  }
+  if (rows.empty()) std::printf("  (no attribution charges recorded)\n");
+}
+
+/// Replays a flight-recorder file: the last seconds before a crash, in
+/// order, with the recovery's integrity summary. Exit 1 on a bad header.
+int run_postmortem(const std::string& file) {
+  omf::obs::FlightRecovery rec;
+  try {
+    rec = omf::obs::FlightRecorder::recover(file);
+  } catch (const omf::Error& e) {
+    std::fprintf(stderr, "omf-stat: postmortem failed: %s\n", e.what());
+    return 1;
+  }
+  std::printf("== flight recorder postmortem: %s ==\n", file.c_str());
+  std::printf("  ring capacity      %llu bytes\n",
+              static_cast<unsigned long long>(rec.capacity));
+  std::printf("  header acked       seq=%llu total=%llu bytes\n",
+              static_cast<unsigned long long>(rec.header_seq),
+              static_cast<unsigned long long>(rec.header_total));
+  std::printf("  recovered events   %zu (sequence gaps: %llu)\n",
+              rec.events.size(),
+              static_cast<unsigned long long>(rec.gaps));
+  const std::uint64_t last_ms =
+      rec.events.empty() ? 0 : rec.events.back().wall_ms;
+  for (const omf::obs::FlightEvent& ev : rec.events) {
+    // Relative age reads better than absolute wall time in a postmortem:
+    // "-2.133s breaker ..." is the answer to "what happened right before?".
+    double age_s =
+        static_cast<double>(last_ms - ev.wall_ms) / 1000.0;
+    std::printf("  [%6llu] -%7.3fs  %-10s %s\n",
+                static_cast<unsigned long long>(ev.seq), age_s,
+                ev.category.c_str(), ev.message.c_str());
+  }
+  return 0;
+}
+
+int scrape(const std::string& url, std::string& body) {
+  try {
+    omf::http::Response resp = omf::http::get(
+        url, omf::Deadline::from_timeout(std::chrono::seconds(5)));
+    if (resp.status != 200) {
+      std::fprintf(stderr, "omf-stat: %s returned HTTP %d\n", url.c_str(),
+                   resp.status);
+      return 1;
+    }
+    body = std::move(resp.body);
+    return 0;
+  } catch (const omf::Error& e) {
+    std::fprintf(stderr, "omf-stat: scrape failed: %s\n", e.what());
+    return 1;
+  }
+}
+
+/// Scrape every `interval` seconds forever, rendering per-second rates for
+/// the counters that moved between consecutive scrapes.
+int run_watch(const std::string& url, double interval) {
+  std::string body;
+  if (scrape(url, body) != 0) return 1;
+  std::map<std::string, omf::obs::PromSample> prev =
+      omf::obs::parse_prometheus(body);
+  for (;;) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(interval));
+    if (scrape(url, body) != 0) return 1;
+    std::map<std::string, omf::obs::PromSample> cur =
+        omf::obs::parse_prometheus(body);
+    std::printf("-- %s (every %.1fs) --\n", url.c_str(), interval);
+    std::fputs(omf::obs::render_counter_deltas(prev, cur, interval).c_str(),
+               stdout);
+    std::fflush(stdout);
+    prev = std::move(cur);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -165,7 +283,10 @@ int main(int argc, char** argv) {
   bool demo = false;
   bool prom = false;
   bool spans = false;
+  bool top = false;
   std::string url;
+  std::string postmortem_file;
+  double watch_interval = 0;
 
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--local") == 0) {
@@ -177,6 +298,18 @@ int main(int argc, char** argv) {
       prom = true;
     } else if (std::strcmp(argv[i], "--spans") == 0) {
       spans = true;
+    } else if (std::strcmp(argv[i], "--top") == 0) {
+      top = true;
+    } else if (std::strcmp(argv[i], "--metrics-md") == 0) {
+      std::fputs(omf::obs::metrics_markdown().c_str(), stdout);
+      return 0;
+    } else if (std::strcmp(argv[i], "--postmortem") == 0) {
+      if (++i >= argc) return usage(argv[0]);
+      postmortem_file = argv[i];
+    } else if (std::strcmp(argv[i], "--watch") == 0) {
+      if (++i >= argc) return usage(argv[0]);
+      watch_interval = std::atof(argv[i]);
+      if (watch_interval <= 0) return usage(argv[0]);
     } else if (std::strcmp(argv[i], "--help") == 0 ||
                std::strcmp(argv[i], "-h") == 0) {
       usage(argv[0]);
@@ -188,22 +321,17 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (!postmortem_file.empty()) {
+    return run_postmortem(postmortem_file);
+  }
+
   if (!local) {
     if (url.empty()) return usage(argv[0]);
-    try {
-      omf::http::Response resp = omf::http::get(
-          url, omf::Deadline::from_timeout(std::chrono::seconds(5)));
-      if (resp.status != 200) {
-        std::fprintf(stderr, "omf-stat: %s returned HTTP %d\n", url.c_str(),
-                     resp.status);
-        return 1;
-      }
-      std::fputs(resp.body.c_str(), stdout);
-      return 0;
-    } catch (const omf::Error& e) {
-      std::fprintf(stderr, "omf-stat: scrape failed: %s\n", e.what());
-      return 1;
-    }
+    if (watch_interval > 0) return run_watch(url, watch_interval);
+    std::string body;
+    if (scrape(url, body) != 0) return 1;
+    std::fputs(body.c_str(), stdout);
+    return 0;
   }
 
   if (demo) {
@@ -223,8 +351,12 @@ int main(int argc, char** argv) {
     std::fputs(omf::obs::render_text(omf::obs::stats_snapshot()).c_str(),
                stdout);
   }
+  if (top) {
+    print_attribution_top();
+  }
   if (spans) {
-    omf::obs::Tracer::instance().export_jsonl(std::cout);
+    // Trace trees, one JSON object per retained trace (tail-sampled).
+    omf::obs::Tracer::instance().export_trace_trees(std::cout);
   }
   return 0;
 }
